@@ -1,0 +1,89 @@
+// A3 — membership-function ablation (Section 5): rollup via the
+// user-defined recursive local:paths versus the built-in xqa:paths, and the
+// datacube's cost as the dimension count grows (2^n group memberships per
+// item — the "substantially increases storage and time" remark).
+
+#include <benchmark/benchmark.h>
+
+#include "api/engine.h"
+#include "workload/books.h"
+
+namespace {
+
+using xqa::DocumentPtr;
+using xqa::Engine;
+using xqa::PreparedQuery;
+
+const DocumentPtr& SharedCategorizedBooks() {
+  static const DocumentPtr& doc = *new DocumentPtr([] {
+    xqa::workload::BooksConfig config;
+    config.num_books = 1000;
+    config.with_categories = true;
+    return xqa::workload::GenerateBooksDocument(config);
+  }());
+  return doc;
+}
+
+void RunQuery(benchmark::State& state, const std::string& query_text) {
+  Engine engine;
+  PreparedQuery query = engine.Compile(query_text);
+  const DocumentPtr& doc = SharedCategorizedBooks();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.Execute(doc));
+  }
+}
+
+void BM_RollupUserPaths(benchmark::State& state) {
+  RunQuery(state, R"(
+    declare function local:paths($es as element()*) as xs:string* {
+      for $e in $es
+      let $name := string(node-name($e))
+      return ($name,
+              for $p in local:paths($e/*) return concat($name, "/", $p))
+    };
+    for $b in //book
+    for $c in local:paths($b/categories/*)
+    group by $c into $category
+    nest $b/price into $prices
+    return <result>{$category, avg($prices)}</result>
+  )");
+}
+BENCHMARK(BM_RollupUserPaths);
+
+void BM_RollupBuiltinPaths(benchmark::State& state) {
+  RunQuery(state, R"(
+    for $b in //book
+    for $c in xqa:paths($b/categories/*)
+    group by $c into $category
+    nest $b/price into $prices
+    return <result>{$category, avg($prices)}</result>
+  )");
+}
+BENCHMARK(BM_RollupBuiltinPaths);
+
+void BM_CubeByDimensions(benchmark::State& state) {
+  // Dimensions: publisher, year, and optionally a derived decade / price
+  // band — 2^n memberships per book.
+  int dims = static_cast<int>(state.range(0));
+  std::string dim_list = "$b/publisher";
+  if (dims >= 2) dim_list += ", $b/year";
+  if (dims >= 3) dim_list += ", <decade>{$b/year idiv 10}</decade>";
+  if (dims >= 4) dim_list += ", <band>{$b/price idiv 50}</band>";
+  RunQuery(state,
+           "for $b in //book "
+           "for $d in xqa:cube((" + dim_list + ")) "
+           "group by $d into $key "
+           "nest $b/price into $prices "
+           "return <result>{count($prices)}</result>");
+}
+BENCHMARK(BM_CubeByDimensions)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_RollupFunctionOnly(benchmark::State& state) {
+  // The membership function itself, without grouping.
+  RunQuery(state, "count(for $b in //book return xqa:paths($b/categories/*))");
+}
+BENCHMARK(BM_RollupFunctionOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

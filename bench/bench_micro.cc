@@ -1,0 +1,164 @@
+// Engine micro-benchmarks: XML parsing, query compilation, path navigation,
+// ordering, windowing, and construction throughput. Not tied to a specific
+// paper artifact; used to understand where time goes in E1-E3.
+
+#include <benchmark/benchmark.h>
+
+#include "api/engine.h"
+#include "workload/orders.h"
+#include "workload/sales.h"
+
+namespace {
+
+using xqa::DocumentPtr;
+using xqa::Engine;
+using xqa::PreparedQuery;
+
+const std::string& OrdersXml() {
+  static const std::string& xml = *new std::string([] {
+    xqa::workload::OrderConfig config;
+    config.num_orders = 500;
+    return xqa::workload::GenerateOrdersXml(config);
+  }());
+  return xml;
+}
+
+const DocumentPtr& OrdersDoc() {
+  static const DocumentPtr& doc =
+      *new DocumentPtr(Engine::ParseDocument(OrdersXml()));
+  return doc;
+}
+
+const DocumentPtr& SalesDoc() {
+  static const DocumentPtr& doc = *new DocumentPtr([] {
+    xqa::workload::SalesConfig config;
+    config.num_sales = 2000;
+    return xqa::workload::GenerateSalesDocument(config);
+  }());
+  return doc;
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  const std::string& xml = OrdersXml();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Engine::ParseDocument(xml));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_CompileSimpleQuery(benchmark::State& state) {
+  Engine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Compile("count(//order/lineitem)"));
+  }
+}
+BENCHMARK(BM_CompileSimpleQuery);
+
+void BM_CompileGroupByQuery(benchmark::State& state) {
+  Engine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Compile(
+        "for $l in //order/lineitem "
+        "group by $l/shipmode into $m nest $l into $ls "
+        "let $n := count($ls) where $n > 1 order by $n "
+        "return <r>{$m, $n}</r>"));
+  }
+}
+BENCHMARK(BM_CompileGroupByQuery);
+
+void RunQuery(benchmark::State& state, const DocumentPtr& doc,
+              const std::string& query_text) {
+  Engine engine;
+  PreparedQuery query = engine.Compile(query_text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.Execute(doc));
+  }
+}
+
+void BM_PathDescendantScan(benchmark::State& state) {
+  RunQuery(state, OrdersDoc(), "count(//lineitem)");
+}
+BENCHMARK(BM_PathDescendantScan);
+
+void BM_PathWithPredicate(benchmark::State& state) {
+  RunQuery(state, OrdersDoc(),
+           "count(//lineitem[quantity > 25][shipmode = \"MODE-3\"])");
+}
+BENCHMARK(BM_PathWithPredicate);
+
+void BM_OrderByPrice(benchmark::State& state) {
+  RunQuery(state, OrdersDoc(),
+           "for $l in //lineitem order by number($l/extendedprice) "
+           "return $l/linenumber");
+}
+BENCHMARK(BM_OrderByPrice);
+
+void BM_GroupBySingleKey(benchmark::State& state) {
+  RunQuery(state, OrdersDoc(),
+           "for $l in //lineitem group by $l/shipmode into $m "
+           "nest $l into $ls return count($ls)");
+}
+BENCHMARK(BM_GroupBySingleKey);
+
+void BM_ConstructResultElements(benchmark::State& state) {
+  RunQuery(state, OrdersDoc(),
+           "for $l in //lineitem "
+           "return <li mode=\"{$l/shipmode}\">{$l/quantity}</li>");
+}
+BENCHMARK(BM_ConstructResultElements);
+
+void BM_MovingWindowQ8(benchmark::State& state) {
+  RunQuery(state, SalesDoc(), R"(
+    for $s in //sale
+    group by $s/region into $region
+    nest $s order by $s/timestamp into $rs
+    return
+      <region>{
+        for $s1 at $i in $rs
+        return sum(for $s2 at $j in $rs
+                   where $j >= $i - 10 and $j < $i
+                   return $s2/quantity * $s2/price)
+      }</region>
+  )");
+}
+BENCHMARK(BM_MovingWindowQ8);
+
+void BM_TwoLevelGroupingQ3(benchmark::State& state) {
+  RunQuery(state, SalesDoc(), R"(
+    for $s in //sale
+    group by $s/region into $region,
+             year-from-dateTime($s/timestamp) into $year
+    nest $s into $region-sales
+    let $region-sum := sum( $region-sales/(quantity * price) )
+    return
+      for $s in $region-sales
+      group by $s/state into $state
+      nest $s into $state-sales
+      return sum($state-sales/(quantity * price)) div $region-sum
+  )");
+}
+BENCHMARK(BM_TwoLevelGroupingQ3);
+
+void BM_RankingQ10(benchmark::State& state) {
+  RunQuery(state, SalesDoc(), R"(
+    for $s in //sale
+    group by year-from-dateTime($s/timestamp) into $year,
+             month-from-dateTime($s/timestamp) into $month
+    nest $s into $ms
+    order by $year, $month
+    return
+      <m>{for $x in $ms
+          group by $x/region into $region
+          nest $x/quantity * $x/price into $amounts
+          let $sum := sum($amounts)
+          order by $sum descending
+          return at $rank <r>{$rank, $sum}</r>}</m>
+  )");
+}
+BENCHMARK(BM_RankingQ10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E3 — Section 6 scaling: the number of aggregated lineitems ranges from 8K
+// to 32K (the paper's input sizes). The explicit group by scales linearly in
+// the input; the naive form scales as input x groups.
+//
+// Usage: bench_scaling [--quick]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "api/engine.h"
+#include "workload/orders.h"
+
+namespace {
+
+using xqa::DocumentPtr;
+using xqa::Engine;
+using xqa::PreparedQuery;
+
+double MeasureSeconds(const PreparedQuery& query, const DocumentPtr& doc) {
+  (void)query.Execute(doc);  // warm-up
+  auto start = std::chrono::steady_clock::now();
+  (void)query.Execute(doc);
+  auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  Engine engine;
+  PreparedQuery with_groupby = engine.Compile(
+      "for $litem in //order/lineitem "
+      "group by $litem/quantity into $a "
+      "nest $litem into $items "
+      "return <r>{$a, count($items)}</r>");
+  PreparedQuery without_groupby = engine.Compile(
+      "for $a in distinct-values(//order/lineitem/quantity) "
+      "let $items := for $i in //order/lineitem "
+      "              where $i/quantity = $a "
+      "              return $i "
+      "return <r>{$a, count($items)}</r>");
+
+  std::printf("E3: scaling with input size (grouping by quantity, 50 groups)\n");
+  std::printf("%10s %10s %12s %12s %9s\n", "orders", "lineitems", "t(Q) ms",
+              "t(Qgb) ms", "ratio");
+  // ~4 lineitems per order: 2000..8000 orders give the paper's 8K..32K range.
+  for (int orders : {2000, 4000, 6000, 8000}) {
+    xqa::workload::OrderConfig config;
+    config.num_orders = quick ? orders / 4 : orders;
+    DocumentPtr doc = xqa::workload::GenerateOrdersDocument(config);
+    int lineitems = xqa::workload::CountLineitems(config);
+    double t_qgb = MeasureSeconds(with_groupby, doc);
+    double t_q = MeasureSeconds(without_groupby, doc);
+    std::printf("%10d %10d %12.2f %12.2f %9.1f\n", config.num_orders,
+                lineitems, t_q * 1e3, t_qgb * 1e3, t_q / t_qgb);
+  }
+  return 0;
+}

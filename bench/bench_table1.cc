@@ -1,0 +1,86 @@
+// E2 — Table 1: google-benchmark timings of the two query templates (with /
+// without explicit group by) for one- and two-element grouping keys.
+
+#include <benchmark/benchmark.h>
+
+#include "api/engine.h"
+#include "workload/orders.h"
+
+namespace {
+
+using xqa::DocumentPtr;
+using xqa::Engine;
+using xqa::PreparedQuery;
+
+const DocumentPtr& SharedOrders() {
+  static const DocumentPtr& doc = *new DocumentPtr([] {
+    xqa::workload::OrderConfig config;
+    config.num_orders = 500;
+    return xqa::workload::GenerateOrdersDocument(config);
+  }());
+  return doc;
+}
+
+void BM_Table1a_WithGroupBy(benchmark::State& state) {
+  Engine engine;
+  PreparedQuery query = engine.Compile(
+      "for $litem in //order/lineitem "
+      "group by $litem/shipmode into $a "
+      "nest $litem into $items "
+      "return <r>{$a, count($items)}</r>");
+  const DocumentPtr& doc = SharedOrders();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.Execute(doc));
+  }
+}
+BENCHMARK(BM_Table1a_WithGroupBy);
+
+void BM_Table1a_WithoutGroupBy(benchmark::State& state) {
+  Engine engine;
+  PreparedQuery query = engine.Compile(
+      "for $a in distinct-values(//order/lineitem/shipmode) "
+      "let $items := for $i in //order/lineitem "
+      "              where $i/shipmode = $a "
+      "              return $i "
+      "return <r>{$a, count($items)}</r>");
+  const DocumentPtr& doc = SharedOrders();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.Execute(doc));
+  }
+}
+BENCHMARK(BM_Table1a_WithoutGroupBy);
+
+void BM_Table1b_WithGroupBy(benchmark::State& state) {
+  Engine engine;
+  PreparedQuery query = engine.Compile(
+      "for $litem in //order/lineitem "
+      "group by $litem/shipinstruct into $a, $litem/shipmode into $b "
+      "nest $litem into $items "
+      "return <r>{$a, $b, count($items)}</r>");
+  const DocumentPtr& doc = SharedOrders();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.Execute(doc));
+  }
+}
+BENCHMARK(BM_Table1b_WithGroupBy);
+
+void BM_Table1b_WithoutGroupBy(benchmark::State& state) {
+  Engine engine;
+  PreparedQuery query = engine.Compile(
+      "for $a in distinct-values(//order/lineitem/shipinstruct), "
+      "    $b in distinct-values(//order/lineitem/shipmode) "
+      "let $items := for $i in //order/lineitem "
+      "              where $i/shipinstruct = $a and $i/shipmode = $b "
+      "              return $i "
+      "where exists($items) "
+      "return <r>{$a, $b, count($items)}</r>");
+  const DocumentPtr& doc = SharedOrders();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.Execute(doc));
+  }
+}
+BENCHMARK(BM_Table1b_WithoutGroupBy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Interactive shell: load documents and run queries against them.
+//
+//   ./build/examples/xqa_shell [file.xml ...]
+//
+// Each file is registered under its path for fn:doc; the first file becomes
+// the context document. Commands:
+//
+//   :load <uri> <file>   register a document
+//   :explain <query>     show the compiled plan
+//   :quit                exit
+//   anything else        compile and run as a query
+//
+// Multi-line queries: end a line with '\' to continue.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "api/engine.h"
+
+namespace {
+
+xqa::DocumentPtr LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return nullptr;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return xqa::Engine::ParseDocument(buffer.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xqa::Engine engine;
+  xqa::DocumentRegistry registry;
+  xqa::DocumentPtr context;
+
+  for (int i = 1; i < argc; ++i) {
+    xqa::DocumentPtr doc = LoadFile(argv[i]);
+    if (doc == nullptr) return 1;
+    registry[argv[i]] = doc;
+    if (context == nullptr) context = doc;
+    std::printf("loaded %s\n", argv[i]);
+  }
+  if (context == nullptr) {
+    context = xqa::Engine::ParseDocument("<empty/>");
+  }
+
+  std::printf("xqa shell — enter a query, :explain <q>, :load <uri> <file>, "
+              ":quit\n");
+  std::string line;
+  while (true) {
+    std::printf("xqa> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Continuation lines.
+    while (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      line.push_back('\n');
+      std::string more;
+      std::printf("...> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, more)) break;
+      line += more;
+    }
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+
+    if (line.rfind(":load ", 0) == 0) {
+      std::istringstream args(line.substr(6));
+      std::string uri, file;
+      args >> uri >> file;
+      if (file.empty()) file = uri;
+      xqa::DocumentPtr doc = LoadFile(file);
+      if (doc != nullptr) {
+        registry[uri] = doc;
+        if (context == nullptr) context = doc;
+        std::printf("registered %s\n", uri.c_str());
+      }
+      continue;
+    }
+
+    bool explain = false;
+    std::string query = line;
+    if (line.rfind(":explain ", 0) == 0) {
+      explain = true;
+      query = line.substr(9);
+    }
+
+    xqa::Result<xqa::PreparedQuery> compiled = engine.TryCompile(query);
+    if (!compiled.ok()) {
+      std::printf("error: %s\n", compiled.status().message().c_str());
+      continue;
+    }
+    if (explain) {
+      std::printf("%s", compiled.value().Explain().c_str());
+      continue;
+    }
+    try {
+      xqa::Sequence result = compiled.value().Execute(context, registry);
+      std::printf("%s\n", xqa::SerializeSequence(result, 2).c_str());
+      std::printf("-- %zu item(s)\n", result.size());
+    } catch (const xqa::XQueryError& error) {
+      std::printf("error: %s\n", error.FormattedMessage().c_str());
+    }
+  }
+  return 0;
+}

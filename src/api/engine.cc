@@ -1,0 +1,106 @@
+#include "api/engine.h"
+
+#include "api/explain.h"
+#include "binder/binder.h"
+#include "eval/evaluator.h"
+#include "optimizer/rewriter.h"
+#include "parser/parser.h"
+#include "xml/serializer.h"
+
+namespace xqa {
+
+namespace {
+
+Sequence Run(const Module& module, Focus focus,
+             const DocumentRegistry* documents = nullptr) {
+  DynamicContext context;
+  context.documents = documents;
+  Evaluator evaluator(&module);
+  return evaluator.EvaluateQuery(&context, focus);
+}
+
+Focus DocumentFocus(const DocumentPtr& document) {
+  Focus focus;
+  focus.valid = true;
+  focus.item = Item(document->root(), document);
+  focus.position = 1;
+  focus.size = 1;
+  return focus;
+}
+
+}  // namespace
+
+Sequence PreparedQuery::Execute(const DocumentPtr& document) const {
+  return Run(*module_, DocumentFocus(document));
+}
+
+Sequence PreparedQuery::Execute() const { return Run(*module_, Focus{}); }
+
+Sequence PreparedQuery::Execute(const DocumentPtr& context_document,
+                                const DocumentRegistry& documents) const {
+  Focus focus =
+      context_document != nullptr ? DocumentFocus(context_document) : Focus{};
+  return Run(*module_, focus, &documents);
+}
+
+Result<Sequence> PreparedQuery::TryExecute(const DocumentPtr& document) const {
+  try {
+    return Execute(document);
+  } catch (const XQueryError& error) {
+    return Status::FromException(error);
+  }
+}
+
+std::string SerializeSequence(const Sequence& sequence, int indent) {
+  SerializeOptions options;
+  options.indent = indent;
+  std::string out;
+  bool prev_atomic = false;
+  for (const Item& item : sequence) {
+    if (item.IsNode()) {
+      if (!out.empty() && indent > 0) out += '\n';
+      out += SerializeNode(item.node(), options);
+      prev_atomic = false;
+    } else {
+      if (prev_atomic) out += ' ';
+      out += item.atomic().ToLexical();
+      prev_atomic = true;
+    }
+  }
+  return out;
+}
+
+std::string PreparedQuery::ExecuteToString(const DocumentPtr& document,
+                                           int indent) const {
+  return SerializeSequence(Execute(document), indent);
+}
+
+std::string PreparedQuery::Explain() const { return ExplainModule(*module_); }
+
+PreparedQuery Engine::Compile(std::string_view query) const {
+  PreparedQuery prepared;
+  prepared.module_ = ParseQuery(query);
+  if (options_.enable_groupby_rewrite || options_.enable_constant_folding) {
+    OptimizerOptions optimizer_options;
+    optimizer_options.detect_groupby_patterns = options_.enable_groupby_rewrite;
+    optimizer_options.fold_constants = options_.enable_constant_folding;
+    prepared.rewrites_applied_ =
+        OptimizeModule(prepared.module_.get(), optimizer_options);
+  }
+  BindModule(prepared.module_.get());
+  return prepared;
+}
+
+Result<PreparedQuery> Engine::TryCompile(std::string_view query) const {
+  try {
+    return Compile(query);
+  } catch (const XQueryError& error) {
+    return Status::FromException(error);
+  }
+}
+
+DocumentPtr Engine::ParseDocument(std::string_view xml) {
+  return ParseXml(xml);
+}
+
+}  // namespace xqa

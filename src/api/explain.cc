@@ -1,0 +1,222 @@
+#include "api/explain.h"
+
+#include <sstream>
+
+namespace xqa {
+
+namespace {
+
+void Render(const Expr* expr, int indent, std::ostringstream* out);
+
+std::string Pad(int indent) { return std::string(indent * 2, ' '); }
+
+const char* AxisLabel(Axis axis) {
+  switch (axis) {
+    case Axis::kChild: return "child";
+    case Axis::kDescendant: return "descendant";
+    case Axis::kDescendantOrSelf: return "desc-or-self";
+    case Axis::kAttribute: return "attribute";
+    case Axis::kSelf: return "self";
+    case Axis::kParent: return "parent";
+    case Axis::kAncestor: return "ancestor";
+    case Axis::kAncestorOrSelf: return "anc-or-self";
+    case Axis::kFollowingSibling: return "following-sibling";
+    case Axis::kPrecedingSibling: return "preceding-sibling";
+  }
+  return "?";
+}
+
+std::string TestLabel(const NodeTest& test) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+      return test.name.empty() ? "*" : test.name;
+    case NodeTest::Kind::kAnyKind: return "node()";
+    case NodeTest::Kind::kText: return "text()";
+    case NodeTest::Kind::kComment: return "comment()";
+    case NodeTest::Kind::kElement: return "element(" + test.name + ")";
+    case NodeTest::Kind::kAttribute: return "attribute(" + test.name + ")";
+    case NodeTest::Kind::kDocument: return "document-node()";
+    case NodeTest::Kind::kPi: return "processing-instruction()";
+  }
+  return "?";
+}
+
+/// Compact single-line summary for expressions small enough to inline.
+std::string Summary(const Expr* expr) {
+  if (expr == nullptr) return "()";
+  std::string dumped = DumpExpr(expr);
+  if (dumped.size() <= 60) return dumped;
+  return dumped.substr(0, 57) + "...";
+}
+
+void RenderOrderBy(const OrderByData& order, int indent,
+                   std::ostringstream* out) {
+  *out << Pad(indent) << "order by" << (order.stable ? " (stable)" : "")
+       << "\n";
+  for (const OrderSpec& spec : order.specs) {
+    *out << Pad(indent + 1) << "key " << Summary(spec.key.get())
+         << (spec.descending ? " descending" : " ascending")
+         << (spec.empty_greatest ? " empty greatest" : "") << "\n";
+  }
+}
+
+void RenderFlwor(const FlworExpr* e, int indent, std::ostringstream* out) {
+  *out << Pad(indent) << "flwor\n";
+  for (const FlworClause& clause : e->clauses) {
+    switch (clause.kind) {
+      case ClauseKind::kFor:
+        *out << Pad(indent + 1) << "for $" << clause.for_var;
+        if (!clause.pos_var.empty()) *out << " at $" << clause.pos_var;
+        *out << " in " << Summary(clause.for_expr.get()) << "\n";
+        break;
+      case ClauseKind::kLet:
+        *out << Pad(indent + 1) << "let $" << clause.let_var << " := "
+             << Summary(clause.let_expr.get()) << "\n";
+        break;
+      case ClauseKind::kWhere:
+        *out << Pad(indent + 1) << "where "
+             << Summary(clause.where_expr.get()) << "\n";
+        break;
+      case ClauseKind::kOrderBy:
+        RenderOrderBy(clause.order_by, indent + 1, out);
+        if (clause.order_after_group && clause.order_by.stable) {
+          *out << Pad(indent + 2)
+               << "(stable ignored after group by, Section 3.4.2)\n";
+        }
+        break;
+      case ClauseKind::kCount:
+        *out << Pad(indent + 1) << "count $" << clause.count_var << "\n";
+        break;
+      case ClauseKind::kGroupBy: {
+        bool hash = true;
+        for (const auto& key : clause.group_keys) {
+          if (!key.using_function.empty()) hash = false;
+        }
+        *out << Pad(indent + 1) << "group by  ["
+             << (hash ? "hash aggregation" : "linear group table")
+             << (clause.xquery3_group_style
+                     ? ", XQuery 3.0 dialect: implicit rebinding"
+                     : "")
+             << "]\n";
+        for (const auto& key : clause.group_keys) {
+          *out << Pad(indent + 2) << "key $" << key.var << " := "
+               << Summary(key.expr.get()) << "  [";
+          if (key.using_function.empty()) {
+            *out << "deep-equal";
+          } else {
+            *out << "using " << key.using_function;
+          }
+          *out << "]\n";
+        }
+        for (const auto& nest : clause.nest_specs) {
+          *out << Pad(indent + 2) << "nest $" << nest.var << " := "
+               << Summary(nest.expr.get());
+          if (nest.order_by.has_value()) {
+            *out << "  [ordered]";
+          }
+          *out << "\n";
+          if (nest.order_by.has_value()) {
+            RenderOrderBy(*nest.order_by, indent + 3, out);
+          }
+        }
+        break;
+      }
+    }
+  }
+  *out << Pad(indent + 1) << "return";
+  if (!e->at_var.empty()) *out << " at $" << e->at_var;
+  *out << "\n";
+  Render(e->return_expr.get(), indent + 2, out);
+}
+
+void Render(const Expr* expr, int indent, std::ostringstream* out) {
+  if (expr == nullptr) {
+    *out << Pad(indent) << "()\n";
+    return;
+  }
+  switch (expr->kind()) {
+    case ExprKind::kFlwor:
+      RenderFlwor(static_cast<const FlworExpr*>(expr), indent, out);
+      return;
+    case ExprKind::kPath: {
+      const auto* e = static_cast<const PathExpr*>(expr);
+      *out << Pad(indent) << "path";
+      if (e->absolute) {
+        *out << " /";
+      } else if (e->start != nullptr) {
+        *out << " " << Summary(e->start.get());
+      }
+      for (const PathSegment& segment : e->segments) {
+        if (segment.is_expr()) {
+          *out << " / (" << Summary(segment.expr.get()) << ")";
+        } else {
+          *out << " / " << AxisLabel(segment.step.axis)
+               << "::" << TestLabel(segment.step.test);
+          if (!segment.step.predicates.empty()) {
+            *out << "[" << segment.step.predicates.size() << " pred]";
+          }
+        }
+      }
+      *out << "\n";
+      return;
+    }
+    case ExprKind::kDirectConstructor: {
+      const auto* e = static_cast<const DirectConstructorExpr*>(expr);
+      *out << Pad(indent) << "element <" << e->name << "> ("
+           << e->attributes.size() << " attrs)\n";
+      for (const ConstructorContent& child : e->children) {
+        if (child.expr != nullptr) Render(child.expr.get(), indent + 1, out);
+      }
+      return;
+    }
+    case ExprKind::kIf: {
+      const auto* e = static_cast<const IfExpr*>(expr);
+      *out << Pad(indent) << "if " << Summary(e->condition.get()) << "\n";
+      Render(e->then_branch.get(), indent + 1, out);
+      *out << Pad(indent) << "else\n";
+      Render(e->else_branch.get(), indent + 1, out);
+      return;
+    }
+    case ExprKind::kSequence: {
+      const auto* e = static_cast<const SequenceExpr*>(expr);
+      *out << Pad(indent) << "sequence (" << e->items.size() << " items)\n";
+      for (const ExprPtr& item : e->items) {
+        Render(item.get(), indent + 1, out);
+      }
+      return;
+    }
+    default:
+      *out << Pad(indent) << Summary(expr) << "\n";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string ExplainExpr(const Expr* expr, int indent) {
+  std::ostringstream out;
+  Render(expr, indent, &out);
+  return out.str();
+}
+
+std::string ExplainModule(const Module& module) {
+  std::ostringstream out;
+  out << "module (ordering " << (module.ordered ? "ordered" : "unordered")
+      << ", " << module.variables.size() << " globals, "
+      << module.functions.size() << " functions, frame "
+      << module.frame_size << ")\n";
+  for (const VariableDecl& decl : module.variables) {
+    out << "  global $" << decl.name << "\n";
+    out << ExplainExpr(decl.expr.get(), 2);
+  }
+  for (const FunctionDecl& fn : module.functions) {
+    out << "  function " << fn.name << "#" << fn.params.size() << " (frame "
+        << fn.frame_size << ")\n";
+    out << ExplainExpr(fn.body.get(), 2);
+  }
+  out << "  body\n";
+  out << ExplainExpr(module.body.get(), 2);
+  return out.str();
+}
+
+}  // namespace xqa

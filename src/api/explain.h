@@ -1,0 +1,29 @@
+#ifndef XQA_API_EXPLAIN_H_
+#define XQA_API_EXPLAIN_H_
+
+#include <string>
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Renders a bound module as an indented logical plan, one clause/operator
+/// per line — the tuple-stream view of Section 3.1:
+///
+///   flwor
+///     for $b in path(desc-or-self::node()/child::book)
+///     group by
+///       key $p := path($b/child::publisher)   [deep-equal]
+///       nest $netprices := arith(-)
+///     return
+///       element group ...
+///
+/// Intended for debugging, tests, and the engine's explain output.
+std::string ExplainModule(const Module& module);
+
+/// Renders one expression subtree (used by ExplainModule and tests).
+std::string ExplainExpr(const Expr* expr, int indent = 0);
+
+}  // namespace xqa
+
+#endif  // XQA_API_EXPLAIN_H_

@@ -1,0 +1,75 @@
+#include "base/error.h"
+
+#include <sstream>
+
+namespace xqa {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kXPST0003: return "XPST0003";
+    case ErrorCode::kXPST0008: return "XPST0008";
+    case ErrorCode::kXPST0017: return "XPST0017";
+    case ErrorCode::kXPST0081: return "XPST0081";
+    case ErrorCode::kXQST0033: return "XQST0033";
+    case ErrorCode::kXQST0034: return "XQST0034";
+    case ErrorCode::kXQST0039: return "XQST0039";
+    case ErrorCode::kXQST0049: return "XQST0049";
+    case ErrorCode::kXQST0089: return "XQST0089";
+    case ErrorCode::kXQAG0001: return "XQAG0001";
+    case ErrorCode::kXQAG0002: return "XQAG0002";
+    case ErrorCode::kXQAG0003: return "XQAG0003";
+    case ErrorCode::kXQAG0004: return "XQAG0004";
+    case ErrorCode::kXQAG0005: return "XQAG0005";
+    case ErrorCode::kXPTY0004: return "XPTY0004";
+    case ErrorCode::kXPDY0002: return "XPDY0002";
+    case ErrorCode::kXPDY0050: return "XPDY0050";
+    case ErrorCode::kXQDY0025: return "XQDY0025";
+    case ErrorCode::kFOAR0001: return "FOAR0001";
+    case ErrorCode::kFOAR0002: return "FOAR0002";
+    case ErrorCode::kFOCA0002: return "FOCA0002";
+    case ErrorCode::kFORG0001: return "FORG0001";
+    case ErrorCode::kFORG0003: return "FORG0003";
+    case ErrorCode::kFORG0004: return "FORG0004";
+    case ErrorCode::kFORG0005: return "FORG0005";
+    case ErrorCode::kFORG0006: return "FORG0006";
+    case ErrorCode::kFORG0008: return "FORG0008";
+    case ErrorCode::kFOTY0012: return "FOTY0012";
+    case ErrorCode::kFODT0001: return "FODT0001";
+    case ErrorCode::kFODC0002: return "FODC0002";
+    case ErrorCode::kFORX0002: return "FORX0002";
+    case ErrorCode::kFORX0003: return "FORX0003";
+    case ErrorCode::kXMLP0001: return "XMLP0001";
+  }
+  return "UNKNOWN";
+}
+
+XQueryError::XQueryError(ErrorCode code, const std::string& message,
+                         SourceLocation location)
+    : std::runtime_error(message), code_(code), location_(location) {}
+
+std::string XQueryError::FormattedMessage() const {
+  std::ostringstream out;
+  out << "[" << ErrorCodeName(code_) << "]";
+  if (location_.line != 0) {
+    out << " line " << location_.line << ":" << location_.column;
+  }
+  out << ": " << what();
+  return out.str();
+}
+
+Status Status::FromException(const XQueryError& error) {
+  return Status(error.code(), error.FormattedMessage());
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return std::string(ErrorCodeName(code_)) + ": " + message_;
+}
+
+void ThrowError(ErrorCode code, const std::string& message,
+                SourceLocation location) {
+  throw XQueryError(code, message, location);
+}
+
+}  // namespace xqa

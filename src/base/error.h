@@ -1,0 +1,143 @@
+#ifndef XQA_BASE_ERROR_H_
+#define XQA_BASE_ERROR_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace xqa {
+
+/// W3C-style error codes raised by the engine. Codes beginning with XPST /
+/// XQST are static (compile-time) errors, XPDY / XQDY are dynamic errors,
+/// FO* are function/operator errors, and XQAG* are codes specific to the
+/// analytics extensions proposed by the paper (group by / output numbering).
+enum class ErrorCode : uint16_t {
+  kOk = 0,
+
+  // --- Static errors -------------------------------------------------------
+  kXPST0003,  ///< grammar / syntax error
+  kXPST0008,  ///< undefined variable reference
+  kXPST0017,  ///< unknown function name or wrong arity
+  kXPST0081,  ///< unknown namespace prefix
+  kXQST0033,  ///< duplicate namespace declaration
+  kXQST0034,  ///< duplicate function declaration
+  kXQST0039,  ///< duplicate parameter name in a function declaration
+  kXQST0049,  ///< duplicate global variable declaration
+  kXQST0089,  ///< positional variable shadows the binding variable
+
+  // Static errors introduced by the grouping extension (Section 3.2 of the
+  // paper): variables bound before group by are out of scope afterwards, a
+  // grouping expression may not reference another grouping variable, and a
+  // FLWOR may contain at most one group by clause.
+  kXQAG0001,  ///< reference to a pre-group variable after group by
+  kXQAG0002,  ///< grouping expression references a sibling grouping variable
+  kXQAG0003,  ///< more than one group by clause in a FLWOR expression
+  kXQAG0004,  ///< duplicate grouping / nesting variable name in one clause
+  kXQAG0005,  ///< "using" function is not a valid comparison function
+
+  // --- Type errors ---------------------------------------------------------
+  kXPTY0004,  ///< type mismatch (e.g. comparing xs:integer with xs:date)
+
+  // --- Dynamic errors ------------------------------------------------------
+  kXPDY0002,  ///< context item absent
+  kXPDY0050,  ///< treat / context-item type mismatch
+  kXQDY0025,  ///< duplicate attribute name in a constructed element
+  kFOAR0001,  ///< division by zero
+  kFOAR0002,  ///< numeric overflow / underflow
+  kFOCA0002,  ///< invalid lexical value (casting)
+  kFORG0001,  ///< invalid value for cast / constructor
+  kFORG0003,  ///< zero-or-one called with a sequence of more than one item
+  kFORG0004,  ///< one-or-more called with an empty sequence
+  kFORG0005,  ///< exactly-one called with zero or more than one item
+  kFORG0006,  ///< invalid argument type (e.g. EBV of a bad sequence)
+  kFORG0008,  ///< both arguments to fn:dateTime have a timezone
+  kFOTY0012,  ///< node does not have a typed value
+  kFODT0001,  ///< overflow in date/time arithmetic
+  kFODC0002,  ///< document / collection not found
+  kFORX0002,  ///< invalid regular expression
+  kFORX0003,  ///< regular expression matches the zero-length string
+
+  // --- XML / input errors --------------------------------------------------
+  kXMLP0001,  ///< malformed XML input
+};
+
+/// Returns the canonical name of an error code, e.g. "XPST0008".
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// A position in query or document text, 1-based. line == 0 means unknown.
+struct SourceLocation {
+  uint32_t line = 0;
+  uint32_t column = 0;
+};
+
+/// Exception carrying an XQuery error code, human-readable message, and the
+/// source location where the error was detected (when known).
+class XQueryError : public std::runtime_error {
+ public:
+  XQueryError(ErrorCode code, const std::string& message,
+              SourceLocation location = {});
+
+  ErrorCode code() const { return code_; }
+  SourceLocation location() const { return location_; }
+
+  /// "[XPST0008] line 3:14: undefined variable $x" style rendering.
+  std::string FormattedMessage() const;
+
+ private:
+  ErrorCode code_;
+  SourceLocation location_;
+};
+
+/// Lightweight status for the non-throwing public API boundary.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status FromException(const XQueryError& error);
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Minimal Arrow-style carrier
+/// used by the Engine facade so that callers may avoid exceptions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}         // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status(ErrorCode::kFORG0006, "Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+/// Throws XQueryError with the given code and message.
+[[noreturn]] void ThrowError(ErrorCode code, const std::string& message,
+                             SourceLocation location = {});
+
+}  // namespace xqa
+
+#endif  // XQA_BASE_ERROR_H_

@@ -1,0 +1,557 @@
+#include "base/regex_lite.h"
+
+#include <cctype>
+#include <functional>
+
+#include "base/error.h"
+
+namespace xqa {
+
+namespace regex_internal {
+
+enum class NodeType : uint8_t {
+  kChar,        ///< one literal character
+  kAny,         ///< '.'
+  kClass,       ///< character class
+  kConcat,      ///< children in sequence
+  kAlternate,   ///< children as alternatives
+  kRepeat,      ///< child repeated min..max (max = -1: unbounded), greedy
+  kGroup,       ///< capturing group
+  kAnchorStart, ///< ^
+  kAnchorEnd,   ///< $
+};
+
+struct ClassRange {
+  unsigned char lo;
+  unsigned char hi;
+};
+
+struct Node {
+  NodeType type;
+  char ch = 0;                      // kChar
+  bool negated = false;             // kClass
+  std::vector<ClassRange> ranges;   // kClass
+  std::vector<std::unique_ptr<Node>> children;
+  int min = 0;                      // kRepeat
+  int max = -1;                     // kRepeat
+  int group_index = 0;              // kGroup
+};
+
+namespace {
+
+using NodePtr = std::unique_ptr<Node>;
+
+[[noreturn]] void BadPattern(const std::string& message) {
+  ThrowError(ErrorCode::kFORX0002, "invalid regular expression: " + message);
+}
+
+/// Recursive-descent regex parser.
+class PatternParser {
+ public:
+  PatternParser(std::string_view pattern, bool literal)
+      : pattern_(pattern), literal_(literal) {}
+
+  NodePtr Parse(int* group_count) {
+    if (literal_) {
+      auto concat = std::make_unique<Node>();
+      concat->type = NodeType::kConcat;
+      for (char c : pattern_) {
+        auto ch = std::make_unique<Node>();
+        ch->type = NodeType::kChar;
+        ch->ch = c;
+        concat->children.push_back(std::move(ch));
+      }
+      *group_count = 0;
+      return concat;
+    }
+    NodePtr root = ParseAlternation();
+    if (pos_ != pattern_.size()) BadPattern("unexpected ')'");
+    *group_count = group_count_;
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pos_ < pattern_.size() ? pattern_[pos_] : '\0'; }
+  char Next() { return pattern_[pos_++]; }
+
+  NodePtr ParseAlternation() {
+    NodePtr first = ParseConcat();
+    if (Peek() != '|') return first;
+    auto alt = std::make_unique<Node>();
+    alt->type = NodeType::kAlternate;
+    alt->children.push_back(std::move(first));
+    while (Peek() == '|') {
+      Next();
+      alt->children.push_back(ParseConcat());
+    }
+    return alt;
+  }
+
+  NodePtr ParseConcat() {
+    auto concat = std::make_unique<Node>();
+    concat->type = NodeType::kConcat;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      concat->children.push_back(ParseQuantified());
+    }
+    return concat;
+  }
+
+  NodePtr ParseQuantified() {
+    NodePtr atom = ParseAtom();
+    while (!AtEnd()) {
+      char c = Peek();
+      int min, max;
+      if (c == '*') {
+        min = 0; max = -1; Next();
+      } else if (c == '+') {
+        min = 1; max = -1; Next();
+      } else if (c == '?') {
+        min = 0; max = 1; Next();
+      } else if (c == '{') {
+        size_t save = pos_;
+        Next();
+        if (!ParseBounds(&min, &max)) {
+          pos_ = save;  // not a quantifier: '{' is a literal
+          break;
+        }
+      } else {
+        break;
+      }
+      auto repeat = std::make_unique<Node>();
+      repeat->type = NodeType::kRepeat;
+      repeat->min = min;
+      repeat->max = max;
+      repeat->children.push_back(std::move(atom));
+      atom = std::move(repeat);
+    }
+    return atom;
+  }
+
+  bool ParseBounds(int* min, int* max) {
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    int lo = 0;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      lo = lo * 10 + (Next() - '0');
+      if (lo > 10000) BadPattern("quantifier bound too large");
+    }
+    int hi = lo;
+    if (Peek() == ',') {
+      Next();
+      if (Peek() == '}') {
+        hi = -1;
+      } else {
+        hi = 0;
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          hi = hi * 10 + (Next() - '0');
+          if (hi > 10000) BadPattern("quantifier bound too large");
+        }
+        if (hi < lo) BadPattern("quantifier bounds out of order");
+      }
+    }
+    if (Peek() != '}') return false;
+    Next();
+    *min = lo;
+    *max = hi;
+    return true;
+  }
+
+  NodePtr ParseAtom() {
+    if (AtEnd()) BadPattern("dangling operator");
+    char c = Next();
+    switch (c) {
+      case '(': {
+        auto group = std::make_unique<Node>();
+        group->type = NodeType::kGroup;
+        group->group_index = ++group_count_;
+        group->children.push_back(ParseAlternation());
+        if (Peek() != ')') BadPattern("missing ')'");
+        Next();
+        return group;
+      }
+      case '[':
+        return ParseClass();
+      case '.': {
+        auto any = std::make_unique<Node>();
+        any->type = NodeType::kAny;
+        return any;
+      }
+      case '^': {
+        auto anchor = std::make_unique<Node>();
+        anchor->type = NodeType::kAnchorStart;
+        return anchor;
+      }
+      case '$': {
+        auto anchor = std::make_unique<Node>();
+        anchor->type = NodeType::kAnchorEnd;
+        return anchor;
+      }
+      case '\\':
+        return ParseEscape();
+      case '*':
+      case '+':
+      case '?':
+        BadPattern("quantifier with nothing to repeat");
+      case ')':
+        BadPattern("unmatched ')'");
+      default: {
+        auto ch = std::make_unique<Node>();
+        ch->type = NodeType::kChar;
+        ch->ch = c;
+        return ch;
+      }
+    }
+  }
+
+  static void AddNamedClassRanges(char name, Node* node) {
+    switch (name) {
+      case 'd':
+        node->ranges.push_back({'0', '9'});
+        break;
+      case 'w':
+        node->ranges.push_back({'a', 'z'});
+        node->ranges.push_back({'A', 'Z'});
+        node->ranges.push_back({'0', '9'});
+        node->ranges.push_back({'_', '_'});
+        break;
+      case 's':
+        node->ranges.push_back({' ', ' '});
+        node->ranges.push_back({'\t', '\t'});
+        node->ranges.push_back({'\n', '\n'});
+        node->ranges.push_back({'\r', '\r'});
+        break;
+      default:
+        BadPattern("unknown class escape");
+    }
+  }
+
+  NodePtr ParseEscape() {
+    if (AtEnd()) BadPattern("trailing backslash");
+    char c = Next();
+    auto node = std::make_unique<Node>();
+    switch (c) {
+      case 'd': case 'w': case 's':
+        node->type = NodeType::kClass;
+        AddNamedClassRanges(c, node.get());
+        return node;
+      case 'D': case 'W': case 'S':
+        node->type = NodeType::kClass;
+        node->negated = true;
+        AddNamedClassRanges(static_cast<char>(std::tolower(c)), node.get());
+        return node;
+      case 'n': node->type = NodeType::kChar; node->ch = '\n'; return node;
+      case 'r': node->type = NodeType::kChar; node->ch = '\r'; return node;
+      case 't': node->type = NodeType::kChar; node->ch = '\t'; return node;
+      default:
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+          BadPattern(std::string("unsupported escape \\") + c);
+        }
+        node->type = NodeType::kChar;
+        node->ch = c;
+        return node;
+    }
+  }
+
+  NodePtr ParseClass() {
+    auto node = std::make_unique<Node>();
+    node->type = NodeType::kClass;
+    if (Peek() == '^') {
+      Next();
+      node->negated = true;
+    }
+    bool first = true;
+    while (true) {
+      if (AtEnd()) BadPattern("unterminated character class");
+      char c = Next();
+      if (c == ']' && !first) break;
+      first = false;
+      if (c == '\\') {
+        if (AtEnd()) BadPattern("trailing backslash in class");
+        char e = Next();
+        switch (e) {
+          case 'd': case 'w': case 's':
+            AddNamedClassRanges(e, node.get());
+            continue;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          default: c = e; break;
+        }
+      }
+      if (Peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        Next();  // '-'
+        char hi = Next();
+        if (hi == '\\') {
+          if (AtEnd()) BadPattern("trailing backslash in class");
+          hi = Next();
+        }
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          BadPattern("character range out of order");
+        }
+        node->ranges.push_back({static_cast<unsigned char>(c),
+                                static_cast<unsigned char>(hi)});
+      } else {
+        node->ranges.push_back({static_cast<unsigned char>(c),
+                                static_cast<unsigned char>(c)});
+      }
+    }
+    return node;
+  }
+
+  std::string_view pattern_;
+  bool literal_;
+  size_t pos_ = 0;
+  int group_count_ = 0;
+};
+
+/// Backtracking matcher over the node tree.
+class Matcher {
+ public:
+  Matcher(const Node* root, std::string_view text, bool case_insensitive,
+          bool dot_all, int group_count)
+      : root_(root),
+        text_(text),
+        case_insensitive_(case_insensitive),
+        dot_all_(dot_all),
+        groups_(static_cast<size_t>(group_count) + 1,
+                {std::string_view::npos, std::string_view::npos}) {}
+
+  /// Attempts a match anchored at `start`; on success sets *end. With
+  /// `require_end`, only matches consuming the whole text are accepted
+  /// (the backtracking continuation keeps exploring otherwise).
+  bool MatchAt(size_t start, size_t* end, bool require_end = false) {
+    steps_ = 0;
+    bool ok = MatchNode(root_, start, [&](size_t pos) {
+      if (require_end && pos != text_.size()) return false;
+      *end = pos;
+      return true;
+    });
+    return ok;
+  }
+
+  const std::vector<std::pair<size_t, size_t>>& groups() const {
+    return groups_;
+  }
+
+ private:
+  using Cont = std::function<bool(size_t)>;
+
+  char Fold(char c) const {
+    return case_insensitive_
+               ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+               : c;
+  }
+
+  bool MatchNode(const Node* node, size_t pos, const Cont& cont) {
+    if (++steps_ > kMaxSteps) {
+      ThrowError(ErrorCode::kFORX0002, "regular expression too complex");
+    }
+    switch (node->type) {
+      case NodeType::kChar:
+        if (pos < text_.size() && Fold(text_[pos]) == Fold(node->ch)) {
+          return cont(pos + 1);
+        }
+        return false;
+      case NodeType::kAny:
+        if (pos < text_.size() && (dot_all_ || text_[pos] != '\n')) {
+          return cont(pos + 1);
+        }
+        return false;
+      case NodeType::kClass: {
+        if (pos >= text_.size()) return false;
+        unsigned char c = static_cast<unsigned char>(text_[pos]);
+        unsigned char folded = case_insensitive_
+            ? static_cast<unsigned char>(std::tolower(c))
+            : c;
+        bool in_class = false;
+        for (const ClassRange& range : node->ranges) {
+          if ((folded >= range.lo && folded <= range.hi) ||
+              (case_insensitive_ &&
+               std::toupper(folded) >= range.lo &&
+               std::toupper(folded) <= range.hi)) {
+            in_class = true;
+            break;
+          }
+        }
+        if (in_class != node->negated) return cont(pos + 1);
+        return false;
+      }
+      case NodeType::kAnchorStart:
+        return pos == 0 && cont(pos);
+      case NodeType::kAnchorEnd:
+        return pos == text_.size() && cont(pos);
+      case NodeType::kConcat:
+        return MatchSeq(node->children, 0, pos, cont);
+      case NodeType::kAlternate:
+        for (const NodePtr& child : node->children) {
+          if (MatchNode(child.get(), pos, cont)) return true;
+        }
+        return false;
+      case NodeType::kGroup: {
+        size_t index = static_cast<size_t>(node->group_index);
+        auto saved = groups_[index];
+        size_t group_start = pos;
+        bool ok = MatchNode(node->children[0].get(), pos, [&](size_t end) {
+          auto inner_saved = groups_[index];
+          groups_[index] = {group_start, end};
+          if (cont(end)) return true;
+          groups_[index] = inner_saved;
+          return false;
+        });
+        if (!ok) groups_[index] = saved;
+        return ok;
+      }
+      case NodeType::kRepeat:
+        return MatchRepeat(node, 0, pos, cont);
+    }
+    return false;
+  }
+
+  bool MatchSeq(const std::vector<NodePtr>& children, size_t index, size_t pos,
+                const Cont& cont) {
+    if (index == children.size()) return cont(pos);
+    return MatchNode(children[index].get(), pos, [&](size_t next) {
+      return MatchSeq(children, index + 1, next, cont);
+    });
+  }
+
+  bool MatchRepeat(const Node* node, int count, size_t pos, const Cont& cont) {
+    const Node* body = node->children[0].get();
+    // Greedy: try one more repetition first (guarding against empty-match
+    // loops by requiring progress), then fall back to stopping here.
+    if (node->max < 0 || count < node->max) {
+      bool advanced = MatchNode(body, pos, [&](size_t next) {
+        if (next == pos) return false;  // no progress: stop repeating
+        return MatchRepeat(node, count + 1, next, cont);
+      });
+      if (advanced) return true;
+    }
+    if (count >= node->min) return cont(pos);
+    return false;
+  }
+
+  static constexpr int64_t kMaxSteps = 4'000'000;
+
+  const Node* root_;
+  std::string_view text_;
+  bool case_insensitive_;
+  bool dot_all_;
+  std::vector<std::pair<size_t, size_t>> groups_;
+  int64_t steps_ = 0;
+};
+
+}  // namespace
+}  // namespace regex_internal
+
+using regex_internal::Matcher;
+using regex_internal::Node;
+
+RegexLite::RegexLite() = default;
+RegexLite::RegexLite(RegexLite&&) noexcept = default;
+RegexLite& RegexLite::operator=(RegexLite&&) noexcept = default;
+RegexLite::~RegexLite() = default;
+
+RegexLite RegexLite::Compile(std::string_view pattern, std::string_view flags) {
+  RegexLite regex;
+  bool literal = false;
+  for (char flag : flags) {
+    switch (flag) {
+      case 'i': regex.case_insensitive_ = true; break;
+      case 's': regex.dot_all_ = true; break;
+      case 'q': literal = true; break;
+      case 'm':  // multiline: accepted, anchors stay string-wide
+        break;
+      case 'x':  // extended whitespace mode is not supported
+      default:
+        ThrowError(ErrorCode::kFORX0002,
+                   std::string("unsupported regex flag '") + flag + "'");
+    }
+  }
+  regex_internal::PatternParser parser(pattern, literal);
+  regex.root_ = parser.Parse(&regex.group_count_);
+  return regex;
+}
+
+bool RegexLite::Find(std::string_view text, size_t from, Match* match) const {
+  for (size_t start = from; start <= text.size(); ++start) {
+    Matcher matcher(root_.get(), text, case_insensitive_, dot_all_,
+                    group_count_);
+    size_t end = 0;
+    if (matcher.MatchAt(start, &end)) {
+      match->begin = start;
+      match->end = end;
+      match->groups = matcher.groups();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RegexLite::Search(std::string_view text) const {
+  Match match;
+  return Find(text, 0, &match);
+}
+
+bool RegexLite::FullMatch(std::string_view text) const {
+  Matcher matcher(root_.get(), text, case_insensitive_, dot_all_,
+                  group_count_);
+  size_t end = 0;
+  return matcher.MatchAt(0, &end, /*require_end=*/true);
+}
+
+std::string RegexLite::Replace(std::string_view text,
+                               std::string_view replacement) const {
+  std::string out;
+  size_t pos = 0;
+  Match match;
+  while (pos <= text.size() && Find(text, pos, &match)) {
+    if (match.begin == match.end) {
+      ThrowError(ErrorCode::kFORX0003,
+                 "fn:replace: pattern matches the zero-length string");
+    }
+    out.append(text.substr(pos, match.begin - pos));
+    // Expand $N references and escapes.
+    for (size_t i = 0; i < replacement.size(); ++i) {
+      char c = replacement[i];
+      if (c == '\\' && i + 1 < replacement.size()) {
+        out.push_back(replacement[++i]);
+      } else if (c == '$' && i + 1 < replacement.size() &&
+                 std::isdigit(static_cast<unsigned char>(replacement[i + 1]))) {
+        size_t group = static_cast<size_t>(replacement[++i] - '0');
+        if (group == 0) {
+          out.append(text.substr(match.begin, match.end - match.begin));
+        } else if (group < match.groups.size() &&
+                   match.groups[group].first != std::string_view::npos) {
+          out.append(text.substr(match.groups[group].first,
+                                 match.groups[group].second -
+                                     match.groups[group].first));
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    pos = match.end;
+  }
+  out.append(text.substr(pos));
+  return out;
+}
+
+std::vector<std::string> RegexLite::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  if (text.empty()) return tokens;
+  size_t pos = 0;
+  Match match;
+  while (pos <= text.size() && Find(text, pos, &match)) {
+    if (match.begin == match.end) {
+      ThrowError(ErrorCode::kFORX0003,
+                 "fn:tokenize: pattern matches the zero-length string");
+    }
+    tokens.emplace_back(text.substr(pos, match.begin - pos));
+    pos = match.end;
+  }
+  tokens.emplace_back(text.substr(pos));
+  return tokens;
+}
+
+}  // namespace xqa

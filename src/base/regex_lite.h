@@ -1,0 +1,77 @@
+#ifndef XQA_BASE_REGEX_LITE_H_
+#define XQA_BASE_REGEX_LITE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqa {
+
+namespace regex_internal {
+struct Node;
+}
+
+/// A small backtracking regular-expression engine implementing the subset of
+/// XML Schema / XPath regular expressions used by fn:matches, fn:replace,
+/// and fn:tokenize:
+///
+///   literals, '.', escapes \d \D \w \W \s \S \n \r \t and \<punct>,
+///   character classes [abc], [^a-z], ranges; anchors ^ $;
+///   greedy quantifiers * + ? {m} {m,} {m,n}; alternation |;
+///   capturing groups (...) with $1..$9 references in replacements.
+///
+/// Supported flags: "i" (case-insensitive), "s" (dot matches newline),
+/// "q" (pattern is a literal string). Semantics are leftmost, greedy,
+/// backtracking (PCRE-style) — byte-oriented, suitable for the engine's
+/// ASCII-dominant workloads.
+class RegexLite {
+ public:
+  /// Compiles a pattern; throws XQueryError(FORX0002) on syntax errors or
+  /// unsupported constructs.
+  static RegexLite Compile(std::string_view pattern,
+                           std::string_view flags = "");
+
+  RegexLite(RegexLite&&) noexcept;
+  RegexLite& operator=(RegexLite&&) noexcept;
+  ~RegexLite();
+
+  /// True if the pattern matches anywhere in `text` (fn:matches semantics).
+  bool Search(std::string_view text) const;
+
+  /// True if the pattern matches the whole of `text`.
+  bool FullMatch(std::string_view text) const;
+
+  /// Replaces every non-overlapping match with `replacement`, expanding
+  /// $1..$9 group references and the \$ / \\ escapes. Throws FORX0003 when
+  /// the pattern matches the empty string (per fn:replace).
+  std::string Replace(std::string_view text,
+                      std::string_view replacement) const;
+
+  /// Splits `text` at every match (fn:tokenize semantics: a leading match
+  /// yields a leading empty token; no trailing empty token for a trailing
+  /// match is suppressed — matches the W3C rules). Throws FORX0003 when the
+  /// pattern matches the empty string.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  RegexLite();
+
+  struct Match {
+    size_t begin;
+    size_t end;
+    std::vector<std::pair<size_t, size_t>> groups;
+  };
+
+  /// Finds the leftmost match starting at or after `from`; false if none.
+  bool Find(std::string_view text, size_t from, Match* match) const;
+
+  std::unique_ptr<regex_internal::Node> root_;
+  int group_count_ = 0;
+  bool case_insensitive_ = false;
+  bool dot_all_ = false;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_BASE_REGEX_LITE_H_

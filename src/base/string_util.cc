@@ -1,0 +1,196 @@
+#include "base/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace xqa {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && IsXmlWhitespace(s[begin])) ++begin;
+  while (end > begin && IsXmlWhitespace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!IsXmlWhitespace(c)) return false;
+  }
+  return true;
+}
+
+std::string CollapseWhitespace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = false;
+  for (char c : TrimWhitespace(s)) {
+    if (IsXmlWhitespace(c)) {
+      in_space = true;
+    } else {
+      if (in_space && !out.empty()) out.push_back(' ');
+      in_space = false;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitChar(std::string_view s, char delim) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+bool IsNameStartChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalpha(u) || c == '_' || u >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '_' || c == '-' || c == '.' || u >= 0x80;
+}
+
+bool IsNCName(std::string_view name) {
+  if (name.empty() || !IsNameStartChar(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!IsNameChar(name[i])) return false;
+  }
+  return true;
+}
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "INF" : "-INF";
+  if (value == 0) return std::signbit(value) ? "-0" : "0";
+  // Integral values within +/-1e15 render as plain integers.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  // Shortest representation that round-trips.
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  std::string out = buf;
+  // Normalize exponent form "1e+05" -> "1.0E5".
+  size_t e = out.find_first_of("eE");
+  if (e != std::string::npos) {
+    std::string mantissa = out.substr(0, e);
+    std::string exponent = out.substr(e + 1);
+    if (!exponent.empty() && exponent[0] == '+') exponent.erase(0, 1);
+    // Strip leading zeros of the exponent magnitude.
+    bool neg = !exponent.empty() && exponent[0] == '-';
+    size_t digits = neg ? 1 : 0;
+    while (digits + 1 < exponent.size() && exponent[digits] == '0') {
+      exponent.erase(digits, 1);
+    }
+    if (mantissa.find('.') == std::string::npos) mantissa += ".0";
+    out = mantissa + "E" + exponent;
+  }
+  return out;
+}
+
+std::string FormatInteger(int64_t value) { return std::to_string(value); }
+
+bool ParseInteger(std::string_view s, int64_t* out) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return false;
+  size_t i = 0;
+  bool negative = false;
+  if (s[0] == '+' || s[0] == '-') {
+    negative = s[0] == '-';
+    i = 1;
+  }
+  if (i == s.size()) return false;
+  uint64_t magnitude = 0;
+  const uint64_t limit = negative
+      ? static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1
+      : static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    uint64_t digit = static_cast<uint64_t>(s[i] - '0');
+    if (magnitude > (limit - digit) / 10) return false;
+    magnitude = magnitude * 10 + digit;
+  }
+  *out = negative ? -static_cast<int64_t>(magnitude)
+                  : static_cast<int64_t>(magnitude);
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return false;
+  if (s == "NaN") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (s == "INF" || s == "+INF") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "-INF") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  // strtod accepts "inf"/"nan" spellings XQuery does not.
+  if (std::isinf(value) && errno != ERANGE) {
+    if (buf.find_first_of("iInN") != std::string::npos) return false;
+  }
+  if (std::isnan(value)) return false;
+  *out = value;
+  return true;
+}
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace xqa

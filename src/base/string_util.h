@@ -1,0 +1,61 @@
+#ifndef XQA_BASE_STRING_UTIL_H_
+#define XQA_BASE_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqa {
+
+/// True for the XML whitespace characters: space, tab, CR, LF.
+inline bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Removes leading and trailing XML whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True if every character of `s` is XML whitespace (including empty).
+bool IsAllWhitespace(std::string_view s);
+
+/// Collapses runs of whitespace to single spaces and trims the ends
+/// (the whitespace normalization applied by xs:token / attribute values).
+std::string CollapseWhitespace(std::string_view s);
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string_view> SplitChar(std::string_view s, char delim);
+
+/// True if `name` is a valid XML NCName (no colon).
+bool IsNCName(std::string_view name);
+
+/// True if `c` may start an NCName.
+bool IsNameStartChar(char c);
+
+/// True if `c` may continue an NCName.
+bool IsNameChar(char c);
+
+/// Formats an xs:double using XQuery's canonical rules: integral values in
+/// range render without exponent or fraction ("42"), NaN/INF/-INF literally,
+/// values needing an exponent use "1.234E5" form.
+std::string FormatDouble(double value);
+
+/// Formats an xs:integer.
+std::string FormatInteger(int64_t value);
+
+/// Parses an xs:integer; returns false on syntax error or overflow.
+bool ParseInteger(std::string_view s, int64_t* out);
+
+/// Parses an xs:double accepting XQuery lexical forms ("NaN", "INF", "-INF",
+/// decimal and scientific notation); returns false on syntax error.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Escapes text content for XML serialization (& < >).
+std::string EscapeText(std::string_view s);
+
+/// Escapes an attribute value for XML serialization (& < > ").
+std::string EscapeAttribute(std::string_view s);
+
+}  // namespace xqa
+
+#endif  // XQA_BASE_STRING_UTIL_H_

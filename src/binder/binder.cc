@@ -1,0 +1,421 @@
+#include "binder/binder.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "functions/function_registry.h"
+
+namespace xqa {
+
+namespace {
+
+class Binder {
+ public:
+  explicit Binder(Module* module) : module_(module) {}
+
+  void Bind() {
+    // Pass 1: register user function signatures (forward references and
+    // recursion are allowed).
+    for (size_t i = 0; i < module_->functions.size(); ++i) {
+      const FunctionDecl& fn = module_->functions[i];
+      for (size_t j = 0; j < i; ++j) {
+        if (module_->functions[j].name == fn.name &&
+            module_->functions[j].params.size() == fn.params.size()) {
+          ThrowError(ErrorCode::kXQST0034,
+                     "duplicate function declaration " + fn.name, fn.location);
+        }
+      }
+    }
+
+    // Pass 2: global variables, bound sequentially (each sees the previous).
+    for (size_t i = 0; i < module_->variables.size(); ++i) {
+      VariableDecl& decl = module_->variables[i];
+      for (size_t j = 0; j < i; ++j) {
+        if (module_->variables[j].name == decl.name) {
+          ThrowError(ErrorCode::kXQST0049,
+                     "duplicate global variable $" + decl.name, decl.location);
+        }
+      }
+      BindExpr(decl.expr.get());
+      decl.slot = static_cast<int>(i);
+      scope_.push_back({decl.name, decl.slot, /*global=*/true, /*dead=*/false});
+    }
+    size_t globals_end = scope_.size();
+    // Slots consumed by FLWORs inside global initializers live in the main
+    // frame; body slots must start after them.
+    int globals_slot_count = slot_counter_;
+
+    // Pass 3: function bodies, each in its own frame with globals visible.
+    for (FunctionDecl& fn : module_->functions) {
+      scope_.resize(globals_end);
+      slot_counter_ = 0;
+      std::set<std::string> param_names;
+      for (FunctionDecl::Param& param : fn.params) {
+        if (!param_names.insert(param.name).second) {
+          ThrowError(ErrorCode::kXQST0039,
+                     "duplicate parameter $" + param.name + " in " + fn.name,
+                     fn.location);
+        }
+        param.slot = Declare(param.name);
+      }
+      BindExpr(fn.body.get());
+      fn.frame_size = slot_counter_;
+    }
+
+    // Pass 4: the query body in the main frame.
+    scope_.resize(globals_end);
+    slot_counter_ = globals_slot_count;
+    BindExpr(module_->body.get());
+    module_->frame_size = slot_counter_;
+  }
+
+ private:
+  struct ScopeEntry {
+    std::string name;
+    int slot;
+    bool global;
+    bool dead;  ///< pre-group binding invalidated by a group by clause
+  };
+
+  int Declare(const std::string& name) {
+    int slot = slot_counter_++;
+    scope_.push_back({name, slot, /*global=*/false, /*dead=*/false});
+    return slot;
+  }
+
+  void BindVarRef(VarRefExpr* e) {
+    for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+      if (it->name != e->name) continue;
+      if (it->dead) {
+        ThrowError(ErrorCode::kXQAG0001,
+                   "$" + e->name +
+                       " was bound before the group by clause and is no "
+                       "longer in scope (rebind it as a grouping or nesting "
+                       "variable)",
+                   e->location());
+      }
+      e->slot = it->slot;
+      e->is_global = it->global;
+      return;
+    }
+    if (sibling_group_names_ != nullptr &&
+        sibling_group_names_->count(e->name) > 0) {
+      ThrowError(ErrorCode::kXQAG0002,
+                 "grouping expression may not reference the grouping or "
+                 "nesting variable $" +
+                     e->name,
+                 e->location());
+    }
+    ThrowError(ErrorCode::kXPST0008, "undefined variable $" + e->name,
+               e->location());
+  }
+
+  void ResolveCall(FunctionCallExpr* e) {
+    for (size_t i = 0; i < module_->functions.size(); ++i) {
+      const FunctionDecl& fn = module_->functions[i];
+      if (fn.name == e->name && fn.params.size() == e->args.size()) {
+        e->user_fn_index = static_cast<int>(i);
+        return;
+      }
+    }
+    int builtin = FindBuiltin(e->name, e->args.size());
+    if (builtin >= 0) {
+      e->builtin_id = builtin;
+      return;
+    }
+    ThrowError(ErrorCode::kXPST0017,
+               "unknown function " + e->name + "#" +
+                   std::to_string(e->args.size()),
+               e->location());
+  }
+
+  void ResolveUsing(FlworClause::GroupKey* key, SourceLocation loc) {
+    if (key->using_function.empty()) return;
+    for (size_t i = 0; i < module_->functions.size(); ++i) {
+      const FunctionDecl& fn = module_->functions[i];
+      if (fn.name == key->using_function && fn.params.size() == 2) {
+        key->using_user_fn_index = static_cast<int>(i);
+        return;
+      }
+    }
+    int builtin = FindBuiltin(key->using_function, 2);
+    if (builtin >= 0) {
+      key->using_builtin_id = builtin;
+      return;
+    }
+    ThrowError(ErrorCode::kXQAG0005,
+               "'using' requires a two-argument comparison function; " +
+                   key->using_function + " is not one",
+               loc);
+  }
+
+  void BindOrderBy(OrderByData* order) {
+    for (OrderSpec& spec : order->specs) {
+      BindExpr(spec.key.get());
+    }
+  }
+
+  void BindFlwor(FlworExpr* e) {
+    size_t flwor_start = scope_.size();
+    bool seen_group = false;
+    for (FlworClause& clause : e->clauses) {
+      switch (clause.kind) {
+        case ClauseKind::kFor:
+          BindExpr(clause.for_expr.get());
+          clause.for_slot = Declare(clause.for_var);
+          if (!clause.pos_var.empty()) {
+            if (clause.pos_var == clause.for_var) {
+              ThrowError(ErrorCode::kXQST0089,
+                         "positional variable $" + clause.pos_var +
+                             " shadows the binding variable",
+                         clause.location);
+            }
+            clause.pos_slot = Declare(clause.pos_var);
+          }
+          break;
+        case ClauseKind::kLet:
+          BindExpr(clause.let_expr.get());
+          clause.let_slot = Declare(clause.let_var);
+          break;
+        case ClauseKind::kWhere:
+          BindExpr(clause.where_expr.get());
+          break;
+        case ClauseKind::kCount:
+          clause.count_slot = Declare(clause.count_var);
+          break;
+        case ClauseKind::kOrderBy:
+          clause.order_after_group = seen_group;
+          BindOrderBy(&clause.order_by);
+          break;
+        case ClauseKind::kGroupBy: {
+          if (seen_group) {
+            ThrowError(ErrorCode::kXQAG0003,
+                       "at most one group by clause per FLWOR expression",
+                       clause.location);
+          }
+          seen_group = true;
+          BindGroupBy(&clause, flwor_start);
+          break;
+        }
+      }
+    }
+    if (!e->at_var.empty()) {
+      e->at_slot = Declare(e->at_var);
+    }
+    BindExpr(e->return_expr.get());
+    scope_.resize(flwor_start);
+  }
+
+  void BindGroupBy(FlworClause* clause, size_t flwor_start) {
+    if (clause->xquery3_group_style) {
+      // XQuery 3.0 dialect: keys bound in the pre-group scope; all pre-group
+      // variables REMAIN in scope, implicitly rebound to per-group sequences
+      // by the evaluator (the design the paper's Section 3.2 rejects for its
+      // own syntax, standardized later by XQuery 3.0).
+      std::set<std::string> names;
+      for (auto& key : clause->group_keys) {
+        if (!names.insert(key.var).second) {
+          ThrowError(ErrorCode::kXQAG0004,
+                     "duplicate grouping variable $" + key.var,
+                     clause->location);
+        }
+        BindExpr(key.expr.get());
+        key.slot = Declare(key.var);
+      }
+      return;
+    }
+    // Collect the clause's grouping/nesting variable names; duplicates are a
+    // static error, and references to them from grouping expressions are
+    // XQAG0002 (they are not yet in scope while groups are being formed).
+    std::set<std::string> sibling_names;
+    for (const auto& key : clause->group_keys) {
+      if (!sibling_names.insert(key.var).second) {
+        ThrowError(ErrorCode::kXQAG0004,
+                   "duplicate grouping variable $" + key.var, clause->location);
+      }
+    }
+    for (const auto& nest : clause->nest_specs) {
+      if (!sibling_names.insert(nest.var).second) {
+        ThrowError(ErrorCode::kXQAG0004,
+                   "duplicate grouping/nesting variable $" + nest.var,
+                   clause->location);
+      }
+    }
+
+    // Bind grouping and nesting expressions in the pre-group scope.
+    const std::set<std::string>* saved = sibling_group_names_;
+    sibling_group_names_ = &sibling_names;
+    for (auto& key : clause->group_keys) {
+      BindExpr(key.expr.get());
+      ResolveUsing(&key, clause->location);
+    }
+    for (auto& nest : clause->nest_specs) {
+      BindExpr(nest.expr.get());
+      if (nest.order_by.has_value()) {
+        // Section 3.4.1: the nest's order by sees the input tuple stream.
+        BindOrderBy(&*nest.order_by);
+      }
+    }
+    sibling_group_names_ = saved;
+
+    // Section 3.2: pre-group bindings of this FLWOR leave scope. They keep
+    // their entries (marked dead) so that references produce XQAG0001 rather
+    // than resolving to shadowed outer bindings.
+    for (size_t i = flwor_start; i < scope_.size(); ++i) {
+      scope_[i].dead = true;
+    }
+
+    // Grouping and nesting variables enter scope (possibly reusing names).
+    for (auto& key : clause->group_keys) {
+      key.slot = Declare(key.var);
+    }
+    for (auto& nest : clause->nest_specs) {
+      nest.slot = Declare(nest.var);
+    }
+  }
+
+  void BindExpr(Expr* expr) {
+    if (expr == nullptr) return;
+    switch (expr->kind()) {
+      case ExprKind::kLiteral:
+      case ExprKind::kContextItem:
+        return;
+      case ExprKind::kVarRef:
+        BindVarRef(static_cast<VarRefExpr*>(expr));
+        return;
+      case ExprKind::kSequence:
+        for (ExprPtr& item : static_cast<SequenceExpr*>(expr)->items) {
+          BindExpr(item.get());
+        }
+        return;
+      case ExprKind::kRange: {
+        auto* e = static_cast<RangeExpr*>(expr);
+        BindExpr(e->lo.get());
+        BindExpr(e->hi.get());
+        return;
+      }
+      case ExprKind::kArithmetic: {
+        auto* e = static_cast<ArithmeticExpr*>(expr);
+        BindExpr(e->lhs.get());
+        BindExpr(e->rhs.get());
+        return;
+      }
+      case ExprKind::kUnary:
+        BindExpr(static_cast<UnaryExpr*>(expr)->operand.get());
+        return;
+      case ExprKind::kComparison: {
+        auto* e = static_cast<ComparisonExpr*>(expr);
+        BindExpr(e->lhs.get());
+        BindExpr(e->rhs.get());
+        return;
+      }
+      case ExprKind::kLogical: {
+        auto* e = static_cast<LogicalExpr*>(expr);
+        BindExpr(e->lhs.get());
+        BindExpr(e->rhs.get());
+        return;
+      }
+      case ExprKind::kIf: {
+        auto* e = static_cast<IfExpr*>(expr);
+        BindExpr(e->condition.get());
+        BindExpr(e->then_branch.get());
+        BindExpr(e->else_branch.get());
+        return;
+      }
+      case ExprKind::kQuantified: {
+        auto* e = static_cast<QuantifiedExpr*>(expr);
+        size_t start = scope_.size();
+        for (QuantifiedExpr::Binding& binding : e->bindings) {
+          BindExpr(binding.expr.get());
+          binding.slot = Declare(binding.var);
+        }
+        BindExpr(e->satisfies.get());
+        scope_.resize(start);
+        return;
+      }
+      case ExprKind::kPath: {
+        auto* e = static_cast<PathExpr*>(expr);
+        BindExpr(e->start.get());
+        for (PathSegment& segment : e->segments) {
+          if (segment.is_expr()) {
+            BindExpr(segment.expr.get());
+          } else {
+            for (ExprPtr& predicate : segment.step.predicates) {
+              BindExpr(predicate.get());
+            }
+          }
+        }
+        return;
+      }
+      case ExprKind::kFilter: {
+        auto* e = static_cast<FilterExpr*>(expr);
+        BindExpr(e->primary.get());
+        for (ExprPtr& predicate : e->predicates) {
+          BindExpr(predicate.get());
+        }
+        return;
+      }
+      case ExprKind::kFunctionCall: {
+        auto* e = static_cast<FunctionCallExpr*>(expr);
+        for (ExprPtr& arg : e->args) {
+          BindExpr(arg.get());
+        }
+        ResolveCall(e);
+        return;
+      }
+      case ExprKind::kFlwor:
+        BindFlwor(static_cast<FlworExpr*>(expr));
+        return;
+      case ExprKind::kDirectConstructor: {
+        auto* e = static_cast<DirectConstructorExpr*>(expr);
+        for (auto& attr : e->attributes) {
+          for (ConstructorContent& part : attr.parts) {
+            BindExpr(part.expr.get());
+          }
+        }
+        for (ConstructorContent& child : e->children) {
+          BindExpr(child.expr.get());
+        }
+        return;
+      }
+      case ExprKind::kComputedConstructor: {
+        auto* e = static_cast<ComputedConstructorExpr*>(expr);
+        BindExpr(e->name_expr.get());
+        BindExpr(e->content.get());
+        return;
+      }
+      case ExprKind::kTypeOp:
+        BindExpr(static_cast<TypeOpExpr*>(expr)->operand.get());
+        return;
+      case ExprKind::kTypeswitch: {
+        auto* e = static_cast<TypeswitchExpr*>(expr);
+        BindExpr(e->operand.get());
+        for (TypeswitchExpr::CaseClause& clause : e->cases) {
+          size_t start = scope_.size();
+          if (!clause.var.empty()) clause.slot = Declare(clause.var);
+          BindExpr(clause.result.get());
+          scope_.resize(start);
+        }
+        size_t start = scope_.size();
+        if (!e->default_var.empty()) e->default_slot = Declare(e->default_var);
+        BindExpr(e->default_result.get());
+        scope_.resize(start);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  Module* module_;
+  std::vector<ScopeEntry> scope_;
+  int slot_counter_ = 0;
+  const std::set<std::string>* sibling_group_names_ = nullptr;
+};
+
+}  // namespace
+
+void BindModule(Module* module) { Binder(module).Bind(); }
+
+}  // namespace xqa

@@ -1,0 +1,29 @@
+#ifndef XQA_BINDER_BINDER_H_
+#define XQA_BINDER_BINDER_H_
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Static analysis pass: resolves variable references to frame slots,
+/// resolves function calls to built-ins or user declarations, and enforces
+/// the scoping rules of the paper's group-by extension (Section 3.2):
+///
+///  - after a group by clause, variables bound earlier in the same FLWOR are
+///    out of scope (XQAG0001), including when they shadow outer bindings;
+///  - a grouping expression may not reference a sibling grouping or nesting
+///    variable (XQAG0002);
+///  - grouping / nesting variable names within one clause must be distinct
+///    (XQAG0004);
+///  - a nest clause's embedded order by is bound in the *pre-group* scope;
+///  - an order by that follows group by has `stable` ignored (Section 3.4.2)
+///    — the binder marks it so the evaluator can skip stability bookkeeping.
+///
+/// Throws XQueryError with a static error code on violations. On success the
+/// module's slots/frame sizes and call-site resolution fields are filled and
+/// the module is ready for evaluation.
+void BindModule(Module* module);
+
+}  // namespace xqa
+
+#endif  // XQA_BINDER_BINDER_H_

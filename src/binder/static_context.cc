@@ -1,0 +1,32 @@
+#include "binder/static_context.h"
+
+#include <sstream>
+
+namespace xqa {
+
+StaticContext DescribeModule(const Module& module) {
+  StaticContext context;
+  context.ordered = module.ordered;
+  context.global_count = static_cast<int>(module.variables.size());
+  context.main_frame_size = module.frame_size;
+  for (const FunctionDecl& fn : module.functions) {
+    context.functions.push_back(
+        {fn.name, fn.params.size(), fn.frame_size});
+  }
+  return context;
+}
+
+std::string FormatStaticContext(const StaticContext& context) {
+  std::ostringstream out;
+  out << "ordering mode: " << (context.ordered ? "ordered" : "unordered")
+      << "\n";
+  out << "globals: " << context.global_count << "\n";
+  out << "main frame slots: " << context.main_frame_size << "\n";
+  for (const auto& fn : context.functions) {
+    out << "function " << fn.name << "#" << fn.arity << " (frame "
+        << fn.frame_size << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace xqa

@@ -1,0 +1,35 @@
+#ifndef XQA_BINDER_STATIC_CONTEXT_H_
+#define XQA_BINDER_STATIC_CONTEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Summary of a module's static environment: what the prolog declared and
+/// which names the binder resolved. Produced by DescribeModule() after
+/// binding; used by tooling, tests, and the engine's explain output.
+struct StaticContext {
+  bool ordered = true;
+  int global_count = 0;
+  int main_frame_size = 0;
+
+  struct FunctionInfo {
+    std::string name;
+    size_t arity;
+    int frame_size;
+  };
+  std::vector<FunctionInfo> functions;
+};
+
+/// Builds the static-context summary for a bound module.
+StaticContext DescribeModule(const Module& module);
+
+/// Human-readable rendering (one line per entry) for debugging / explain.
+std::string FormatStaticContext(const StaticContext& context);
+
+}  // namespace xqa
+
+#endif  // XQA_BINDER_STATIC_CONTEXT_H_

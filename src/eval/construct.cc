@@ -1,0 +1,192 @@
+#include "eval/evaluator.h"
+
+#include "base/error.h"
+#include "base/string_util.h"
+#include "xdm/sequence_ops.h"
+
+namespace xqa {
+
+namespace {
+
+/// Builds the string value of an attribute from its parts: literal text is
+/// appended verbatim; each enclosed expression contributes its atomized
+/// items' lexical forms joined by single spaces.
+std::string BuildAttributeValue(Evaluator* evaluator,
+                                const std::vector<ConstructorContent>& parts,
+                                DynamicContext* context) {
+  std::string value;
+  for (const ConstructorContent& part : parts) {
+    if (part.expr == nullptr) {
+      value += part.text;
+      continue;
+    }
+    Sequence items = Atomize(evaluator->Evaluate(part.expr.get(), context));
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) value += ' ';
+      value += items[i].atomic().ToLexical();
+    }
+  }
+  return value;
+}
+
+/// Copies evaluated content items into `parent`. Adjacent atomic values from
+/// one expression result are joined with a single space into one text node;
+/// node items are deep-copied (XQuery element construction copies content).
+void AppendContentSequence(const Sequence& items, Document* doc, Node* parent,
+                           SourceLocation loc) {
+  std::string pending_text;
+  bool prev_atomic = false;
+  auto flush = [&]() {
+    if (!pending_text.empty()) {
+      doc->AppendChild(parent, doc->CreateText(pending_text));
+      pending_text.clear();
+    }
+  };
+  for (const Item& item : items) {
+    if (item.IsAtomic()) {
+      if (prev_atomic) pending_text += ' ';
+      pending_text += item.atomic().ToLexical();
+      prev_atomic = true;
+      continue;
+    }
+    prev_atomic = false;
+    flush();
+    const Node* source = item.node();
+    if (source->kind() == NodeKind::kDocument) {
+      // A document node contributes its children.
+      for (const Node* child : source->children()) {
+        doc->AppendChild(parent, doc->ImportNode(child));
+      }
+      continue;
+    }
+    if (source->kind() == NodeKind::kAttribute) {
+      if (!parent->children().empty()) {
+        ThrowError(ErrorCode::kXQDY0025,
+                   "attribute node after non-attribute content", loc);
+      }
+      if (!doc->AppendAttribute(parent, doc->ImportNode(source))) {
+        ThrowError(ErrorCode::kXQDY0025,
+                   "duplicate attribute '" + source->name() + "'", loc);
+      }
+      continue;
+    }
+    doc->AppendChild(parent, doc->ImportNode(source));
+  }
+  flush();
+}
+
+}  // namespace
+
+Sequence Evaluator::EvalConstructor(const DirectConstructorExpr* expr,
+                                    DynamicContext* context) {
+  // Each outermost constructor builds a fresh tree; nested constructors in
+  // content are evaluated as expressions and their results copied in.
+  DocumentPtr doc = std::make_shared<Document>();
+  Node* element = doc->CreateElement(expr->name);
+  doc->AppendChild(doc->root(), element);
+
+  for (const DirectConstructorExpr::Attribute& attr : expr->attributes) {
+    std::string value = BuildAttributeValue(this, attr.parts, context);
+    if (!doc->AppendAttribute(element, doc->CreateAttribute(attr.name, value))) {
+      ThrowError(ErrorCode::kXQDY0025, "duplicate attribute '" + attr.name + "'",
+                 expr->location());
+    }
+  }
+
+  for (const ConstructorContent& child : expr->children) {
+    if (child.expr != nullptr) {
+      Sequence items = Evaluate(child.expr.get(), context);
+      AppendContentSequence(items, doc.get(), element, expr->location());
+    } else if (child.is_comment) {
+      doc->AppendChild(element, doc->CreateComment(child.text));
+    } else {
+      doc->AppendChild(element, doc->CreateText(child.text));
+    }
+  }
+
+  doc->SealOrder();
+  return {Item(element, doc)};
+}
+
+Sequence Evaluator::EvalComputedConstructor(const ComputedConstructorExpr* expr,
+                                            DynamicContext* context) {
+  using Kind = ComputedConstructorExpr::Kind;
+
+  // Resolve the (possibly computed) name for element / attribute.
+  std::string name = expr->name;
+  if (expr->name_expr != nullptr) {
+    Sequence value = Atomize(Evaluate(expr->name_expr.get(), context));
+    if (value.size() != 1) {
+      ThrowError(ErrorCode::kXPTY0004,
+                 "computed constructor name must be a single value",
+                 expr->location());
+    }
+    name = CollapseWhitespace(value[0].atomic().ToLexical());
+    if (!IsNCName(name) && name.find(':') == std::string::npos) {
+      ThrowError(ErrorCode::kFORG0001,
+                 "'" + name + "' is not a valid element/attribute name",
+                 expr->location());
+    }
+  }
+
+  Sequence content;
+  if (expr->content != nullptr) {
+    content = Evaluate(expr->content.get(), context);
+  }
+
+  DocumentPtr doc = std::make_shared<Document>();
+  switch (expr->constructor_kind) {
+    case Kind::kElement: {
+      Node* element = doc->CreateElement(name);
+      doc->AppendChild(doc->root(), element);
+      AppendContentSequence(content, doc.get(), element, expr->location());
+      doc->SealOrder();
+      return {Item(element, doc)};
+    }
+    case Kind::kAttribute: {
+      // Attribute value: atomized items joined by single spaces.
+      Sequence atomized = Atomize(content);
+      std::string value;
+      for (size_t i = 0; i < atomized.size(); ++i) {
+        if (i > 0) value += ' ';
+        value += atomized[i].atomic().ToLexical();
+      }
+      Node* attribute = doc->CreateAttribute(name, value);
+      doc->SealOrder();
+      return {Item(attribute, doc)};
+    }
+    case Kind::kText: {
+      Sequence atomized = Atomize(content);
+      if (atomized.empty()) return {};  // text {()} constructs no node
+      std::string value;
+      for (size_t i = 0; i < atomized.size(); ++i) {
+        if (i > 0) value += ' ';
+        value += atomized[i].atomic().ToLexical();
+      }
+      Node* text = doc->CreateText(value);
+      doc->AppendChild(doc->root(), text);
+      doc->SealOrder();
+      return {Item(text, doc)};
+    }
+    case Kind::kComment: {
+      Sequence atomized = Atomize(content);
+      std::string value;
+      for (size_t i = 0; i < atomized.size(); ++i) {
+        if (i > 0) value += ' ';
+        value += atomized[i].atomic().ToLexical();
+      }
+      Node* comment = doc->CreateComment(value);
+      doc->AppendChild(doc->root(), comment);
+      doc->SealOrder();
+      return {Item(comment, doc)};
+    }
+    case Kind::kDocument: {
+      AppendContentSequence(content, doc.get(), doc->root(), expr->location());
+      doc->SealOrder();
+      return {Item(doc->root(), doc)};
+    }
+  }
+  return {};
+}
+
+}  // namespace xqa

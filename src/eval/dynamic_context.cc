@@ -1,0 +1,16 @@
+#include "eval/dynamic_context.h"
+
+#include "base/error.h"
+
+namespace xqa {
+
+void DynamicContext::PushFrame(size_t size) {
+  if (frames_.size() >= static_cast<size_t>(kMaxRecursionDepth)) {
+    ThrowError(ErrorCode::kFORG0006, "frame stack overflow");
+  }
+  frames_.emplace_back(size);
+}
+
+void DynamicContext::PopFrame() { frames_.pop_back(); }
+
+}  // namespace xqa

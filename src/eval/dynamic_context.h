@@ -1,0 +1,72 @@
+#ifndef XQA_EVAL_DYNAMIC_CONTEXT_H_
+#define XQA_EVAL_DYNAMIC_CONTEXT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xdm/item.h"
+
+namespace xqa {
+
+/// Documents addressable by fn:doc / fn:collection, keyed by URI.
+using DocumentRegistry = std::map<std::string, DocumentPtr>;
+
+/// The focus of evaluation: context item, position, and size (".",
+/// fn:position(), fn:last()).
+struct Focus {
+  bool valid = false;
+  Item item;
+  int64_t position = 0;
+  int64_t size = 0;
+};
+
+/// Runtime state for one query execution: global variable values, a stack of
+/// variable frames (one per active user-function call, plus the main frame),
+/// and the current focus.
+class DynamicContext {
+ public:
+  DynamicContext() = default;
+  DynamicContext(const DynamicContext&) = delete;
+  DynamicContext& operator=(const DynamicContext&) = delete;
+
+  /// Values of prolog-declared global variables, indexed by VariableDecl slot.
+  std::vector<Sequence> globals;
+
+  /// The current (innermost) frame.
+  Sequence& Slot(int slot) { return frames_.back()[slot]; }
+
+  void PushFrame(size_t size);
+  void PopFrame();
+  size_t FrameDepth() const { return frames_.size(); }
+
+  Focus focus;
+
+  /// Documents available to fn:doc / fn:collection; may be null.
+  const DocumentRegistry* documents = nullptr;
+
+  /// Guards against runaway recursion in user-defined functions.
+  int recursion_depth = 0;
+  static constexpr int kMaxRecursionDepth = 2048;
+
+ private:
+  std::vector<std::vector<Sequence>> frames_;
+};
+
+/// RAII focus save/restore.
+class FocusGuard {
+ public:
+  explicit FocusGuard(DynamicContext* context)
+      : context_(context), saved_(context->focus) {}
+  ~FocusGuard() { context_->focus = saved_; }
+  FocusGuard(const FocusGuard&) = delete;
+  FocusGuard& operator=(const FocusGuard&) = delete;
+
+ private:
+  DynamicContext* context_;
+  Focus saved_;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_EVAL_DYNAMIC_CONTEXT_H_

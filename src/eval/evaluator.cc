@@ -1,0 +1,575 @@
+#include "eval/evaluator.h"
+
+#include <cmath>
+#include <functional>
+
+#include "base/error.h"
+#include "eval/type_match.h"
+#include "functions/function_registry.h"
+#include "xdm/compare.h"
+#include "xdm/sequence_ops.h"
+
+namespace xqa {
+
+Sequence Evaluator::EvaluateQuery(DynamicContext* context, Focus initial_focus) {
+  context->globals.assign(module_->variables.size(), Sequence{});
+  context->PushFrame(module_->frame_size);
+  context->focus = initial_focus;
+  struct FramePopper {
+    DynamicContext* context;
+    ~FramePopper() { context->PopFrame(); }
+  } popper{context};
+  for (const VariableDecl& decl : module_->variables) {
+    context->globals[decl.slot] = Evaluate(decl.expr.get(), context);
+  }
+  return Evaluate(module_->body.get(), context);
+}
+
+Sequence Evaluator::Evaluate(const Expr* expr, DynamicContext* context) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return {Item(static_cast<const LiteralExpr*>(expr)->value)};
+    case ExprKind::kVarRef: {
+      const auto* e = static_cast<const VarRefExpr*>(expr);
+      if (e->is_global) return context->globals[e->slot];
+      return context->Slot(e->slot);
+    }
+    case ExprKind::kContextItem: {
+      if (!context->focus.valid) {
+        ThrowError(ErrorCode::kXPDY0002, "context item is absent",
+                   expr->location());
+      }
+      return {context->focus.item};
+    }
+    case ExprKind::kSequence: {
+      const auto* e = static_cast<const SequenceExpr*>(expr);
+      Sequence result;
+      for (const ExprPtr& item : e->items) {
+        Concat(&result, Evaluate(item.get(), context));
+      }
+      return result;
+    }
+    case ExprKind::kRange:
+      return EvalRange(static_cast<const RangeExpr*>(expr), context);
+    case ExprKind::kArithmetic:
+      return EvalArithmetic(static_cast<const ArithmeticExpr*>(expr), context);
+    case ExprKind::kUnary: {
+      const auto* e = static_cast<const UnaryExpr*>(expr);
+      Sequence operand = Atomize(Evaluate(e->operand.get(), context));
+      if (operand.empty()) return {};
+      if (operand.size() > 1) {
+        ThrowError(ErrorCode::kXPTY0004, "unary operand must be a singleton",
+                   e->location());
+      }
+      AtomicValue v = operand[0].atomic();
+      if (v.type() == AtomicType::kUntypedAtomic) {
+        v = AtomicValue::Double(v.ToDoubleValue());
+      }
+      if (!e->negate) return {Item(v)};
+      switch (v.type()) {
+        case AtomicType::kInteger:
+          return {MakeInteger(-v.AsInteger())};
+        case AtomicType::kDecimal:
+          return {MakeDecimalItem(v.AsDecimal().Negate())};
+        case AtomicType::kDouble:
+          return {MakeDouble(-v.AsDouble())};
+        default:
+          ThrowError(ErrorCode::kXPTY0004,
+                     "unary minus requires a numeric operand", e->location());
+      }
+    }
+    case ExprKind::kComparison:
+      return EvalComparison(static_cast<const ComparisonExpr*>(expr), context);
+    case ExprKind::kLogical: {
+      const auto* e = static_cast<const LogicalExpr*>(expr);
+      bool lhs = EffectiveBooleanValue(Evaluate(e->lhs.get(), context));
+      if (e->op == LogicalOp::kAnd) {
+        if (!lhs) return {MakeBoolean(false)};
+        return {MakeBoolean(
+            EffectiveBooleanValue(Evaluate(e->rhs.get(), context)))};
+      }
+      if (lhs) return {MakeBoolean(true)};
+      return {MakeBoolean(
+          EffectiveBooleanValue(Evaluate(e->rhs.get(), context)))};
+    }
+    case ExprKind::kIf: {
+      const auto* e = static_cast<const IfExpr*>(expr);
+      bool condition =
+          EffectiveBooleanValue(Evaluate(e->condition.get(), context));
+      return Evaluate(condition ? e->then_branch.get() : e->else_branch.get(),
+                      context);
+    }
+    case ExprKind::kQuantified:
+      return EvalQuantified(static_cast<const QuantifiedExpr*>(expr), context);
+    case ExprKind::kPath:
+      return EvalPath(static_cast<const PathExpr*>(expr), context);
+    case ExprKind::kFilter:
+      return EvalFilter(static_cast<const FilterExpr*>(expr), context);
+    case ExprKind::kFunctionCall:
+      return EvalFunctionCall(static_cast<const FunctionCallExpr*>(expr),
+                              context);
+    case ExprKind::kFlwor:
+      return EvalFlwor(static_cast<const FlworExpr*>(expr), context);
+    case ExprKind::kDirectConstructor:
+      return EvalConstructor(static_cast<const DirectConstructorExpr*>(expr),
+                             context);
+    case ExprKind::kComputedConstructor:
+      return EvalComputedConstructor(
+          static_cast<const ComputedConstructorExpr*>(expr), context);
+    case ExprKind::kTypeOp:
+      return EvalTypeOp(static_cast<const TypeOpExpr*>(expr), context);
+    case ExprKind::kTypeswitch: {
+      const auto* e = static_cast<const TypeswitchExpr*>(expr);
+      Sequence operand = Evaluate(e->operand.get(), context);
+      for (const TypeswitchExpr::CaseClause& clause : e->cases) {
+        if (MatchesSeqType(operand, clause.type)) {
+          if (clause.slot >= 0) context->Slot(clause.slot) = operand;
+          return Evaluate(clause.result.get(), context);
+        }
+      }
+      if (e->default_slot >= 0) {
+        context->Slot(e->default_slot) = std::move(operand);
+      }
+      return Evaluate(e->default_result.get(), context);
+    }
+    default:
+      ThrowError(ErrorCode::kXPST0003, "unsupported expression kind",
+                 expr->location());
+  }
+}
+
+namespace {
+
+/// Prepares one arithmetic operand: atomize, require empty-or-singleton,
+/// promote untypedAtomic to xs:double.
+bool PrepareArithOperand(Sequence raw, SourceLocation loc, AtomicValue* out) {
+  Sequence seq = Atomize(std::move(raw));
+  if (seq.empty()) return false;
+  if (seq.size() > 1) {
+    ThrowError(ErrorCode::kXPTY0004,
+               "arithmetic operand must be a singleton sequence", loc);
+  }
+  AtomicValue v = seq[0].atomic();
+  if (v.type() == AtomicType::kUntypedAtomic) {
+    v = AtomicValue::Double(v.ToDoubleValue());
+  }
+  bool temporal = v.type() == AtomicType::kDateTime ||
+                  v.type() == AtomicType::kDate ||
+                  v.type() == AtomicType::kTime ||
+                  v.type() == AtomicType::kDuration;
+  if (!v.IsNumeric() && !temporal) {
+    ThrowError(ErrorCode::kXPTY0004,
+               "arithmetic requires numeric or date/time operands, got " +
+                   std::string(AtomicTypeName(v.type())),
+               loc);
+  }
+  return (*out = v, true);
+}
+
+Item IntegerArith(ArithOp op, int64_t a, int64_t b, SourceLocation loc) {
+  int64_t result = 0;
+  bool overflow = false;
+  switch (op) {
+    case ArithOp::kAdd:
+      overflow = __builtin_add_overflow(a, b, &result);
+      break;
+    case ArithOp::kSubtract:
+      overflow = __builtin_sub_overflow(a, b, &result);
+      break;
+    case ArithOp::kMultiply:
+      overflow = __builtin_mul_overflow(a, b, &result);
+      break;
+    case ArithOp::kIntegerDivide:
+      if (b == 0) ThrowError(ErrorCode::kFOAR0001, "integer division by zero", loc);
+      if (a == INT64_MIN && b == -1) {
+        ThrowError(ErrorCode::kFOAR0002, "integer overflow", loc);
+      }
+      result = a / b;
+      break;
+    case ArithOp::kModulo:
+      if (b == 0) ThrowError(ErrorCode::kFOAR0001, "modulo by zero", loc);
+      if (a == INT64_MIN && b == -1) {
+        result = 0;
+      } else {
+        result = a % b;
+      }
+      break;
+    case ArithOp::kDivide:
+      // Handled by the caller (integer div yields xs:decimal).
+      break;
+  }
+  if (overflow) ThrowError(ErrorCode::kFOAR0002, "integer overflow", loc);
+  return MakeInteger(result);
+}
+
+double DoubleArith(ArithOp op, double a, double b) {
+  switch (op) {
+    case ArithOp::kAdd: return a + b;
+    case ArithOp::kSubtract: return a - b;
+    case ArithOp::kMultiply: return a * b;
+    case ArithOp::kDivide: return a / b;  // IEEE semantics: INF / NaN
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+bool IsDateTimeLike(AtomicType type) {
+  return type == AtomicType::kDateTime || type == AtomicType::kDate ||
+         type == AtomicType::kTime;
+}
+
+/// Date/time/duration arithmetic (XPath operator set, dayTimeDuration only):
+///   dateTime - dateTime -> duration      dateTime ± duration -> dateTime
+///   duration ± duration -> duration      duration * number   -> duration
+///   duration div number -> duration      duration div duration -> decimal
+/// Returns nullopt when neither operand is temporal (plain numeric path).
+std::optional<Item> TemporalArith(ArithOp op, const AtomicValue& a,
+                                  const AtomicValue& b, SourceLocation loc) {
+  bool a_temporal = IsDateTimeLike(a.type()) || a.type() == AtomicType::kDuration;
+  bool b_temporal = IsDateTimeLike(b.type()) || b.type() == AtomicType::kDuration;
+  if (!a_temporal && !b_temporal) return std::nullopt;
+
+  auto fail = [&]() -> std::optional<Item> {
+    ThrowError(ErrorCode::kXPTY0004,
+               std::string("invalid operand types for date/time arithmetic: ") +
+                   std::string(AtomicTypeName(a.type())) + " and " +
+                   std::string(AtomicTypeName(b.type())),
+               loc);
+  };
+
+  if (IsDateTimeLike(a.type())) {
+    if (op == ArithOp::kSubtract && a.type() == b.type()) {
+      return Item(AtomicValue::MakeDuration(a.AsDateTime().ToEpochMillis() -
+                                            b.AsDateTime().ToEpochMillis()));
+    }
+    if (b.type() == AtomicType::kDuration &&
+        (op == ArithOp::kAdd || op == ArithOp::kSubtract)) {
+      int64_t delta = op == ArithOp::kAdd ? b.AsDurationMillis()
+                                          : -b.AsDurationMillis();
+      DateTime shifted = a.AsDateTime().PlusMillis(delta);
+      switch (a.type()) {
+        case AtomicType::kDateTime:
+          return Item(AtomicValue::MakeDateTime(shifted));
+        case AtomicType::kDate:
+          return Item(AtomicValue::MakeDate(shifted));
+        default:
+          return Item(AtomicValue::MakeTime(shifted));
+      }
+    }
+    return fail();
+  }
+
+  // a is a duration.
+  if (b.type() == AtomicType::kDuration) {
+    switch (op) {
+      case ArithOp::kAdd:
+        return Item(AtomicValue::MakeDuration(a.AsDurationMillis() +
+                                              b.AsDurationMillis()));
+      case ArithOp::kSubtract:
+        return Item(AtomicValue::MakeDuration(a.AsDurationMillis() -
+                                              b.AsDurationMillis()));
+      case ArithOp::kDivide: {
+        if (b.AsDurationMillis() == 0) {
+          ThrowError(ErrorCode::kFOAR0001, "duration division by zero", loc);
+        }
+        Decimal x(a.AsDurationMillis());
+        Decimal y(b.AsDurationMillis());
+        return Item(AtomicValue::MakeDecimal(x.Divide(y)));
+      }
+      default:
+        return fail();
+    }
+  }
+  if (IsDateTimeLike(b.type()) && op == ArithOp::kAdd) {
+    // duration + dateTime: commute.
+    return TemporalArith(op, b, a, loc);
+  }
+  if (b.IsNumeric() &&
+      (op == ArithOp::kMultiply || op == ArithOp::kDivide)) {
+    double factor = b.ToDoubleValue();
+    if (std::isnan(factor)) {
+      ThrowError(ErrorCode::kFOCA0002, "duration scaled by NaN", loc);
+    }
+    if (op == ArithOp::kDivide) {
+      if (factor == 0) {
+        ThrowError(ErrorCode::kFOAR0001, "duration division by zero", loc);
+      }
+      factor = 1.0 / factor;
+    }
+    double scaled = static_cast<double>(a.AsDurationMillis()) * factor;
+    if (std::isnan(scaled) || std::isinf(scaled) || std::fabs(scaled) > 9e15) {
+      ThrowError(ErrorCode::kFODT0001, "duration arithmetic overflow", loc);
+    }
+    return Item(AtomicValue::MakeDuration(
+        static_cast<int64_t>(std::llround(scaled))));
+  }
+  return fail();
+}
+
+}  // namespace
+
+Sequence Evaluator::EvalArithmetic(const ArithmeticExpr* expr,
+                                   DynamicContext* context) {
+  AtomicValue a, b;
+  if (!PrepareArithOperand(Evaluate(expr->lhs.get(), context),
+                           expr->location(), &a)) {
+    return {};
+  }
+  if (!PrepareArithOperand(Evaluate(expr->rhs.get(), context),
+                           expr->location(), &b)) {
+    return {};
+  }
+  std::optional<Item> temporal =
+      TemporalArith(expr->op, a, b, expr->location());
+  if (temporal.has_value()) return {*temporal};
+
+  // Promotion: double > decimal > integer.
+  if (a.type() == AtomicType::kDouble || b.type() == AtomicType::kDouble) {
+    double x = a.ToDoubleValue();
+    double y = b.ToDoubleValue();
+    if (expr->op == ArithOp::kIntegerDivide) {
+      if (y == 0) {
+        ThrowError(ErrorCode::kFOAR0001, "integer division by zero",
+                   expr->location());
+      }
+      double q = std::trunc(x / y);
+      if (std::isnan(q) || std::isinf(q)) {
+        ThrowError(ErrorCode::kFOAR0002, "idiv result out of range",
+                   expr->location());
+      }
+      return {MakeInteger(static_cast<int64_t>(q))};
+    }
+    if (expr->op == ArithOp::kModulo) {
+      return {MakeDouble(std::fmod(x, y))};
+    }
+    return {MakeDouble(DoubleArith(expr->op, x, y))};
+  }
+
+  if (a.type() == AtomicType::kDecimal || b.type() == AtomicType::kDecimal ||
+      expr->op == ArithOp::kDivide) {
+    Decimal x = a.type() == AtomicType::kDecimal ? a.AsDecimal()
+                                                 : Decimal(a.AsInteger());
+    Decimal y = b.type() == AtomicType::kDecimal ? b.AsDecimal()
+                                                 : Decimal(b.AsInteger());
+    switch (expr->op) {
+      case ArithOp::kAdd: return {MakeDecimalItem(x.Add(y))};
+      case ArithOp::kSubtract: return {MakeDecimalItem(x.Subtract(y))};
+      case ArithOp::kMultiply: return {MakeDecimalItem(x.Multiply(y))};
+      case ArithOp::kDivide: return {MakeDecimalItem(x.Divide(y))};
+      case ArithOp::kIntegerDivide: return {MakeInteger(x.IntegerDivide(y))};
+      case ArithOp::kModulo: return {MakeDecimalItem(x.Mod(y))};
+    }
+  }
+
+  return {IntegerArith(expr->op, a.AsInteger(), b.AsInteger(),
+                       expr->location())};
+}
+
+Sequence Evaluator::EvalComparison(const ComparisonExpr* expr,
+                                   DynamicContext* context) {
+  Sequence lhs = Evaluate(expr->lhs.get(), context);
+  Sequence rhs = Evaluate(expr->rhs.get(), context);
+  switch (expr->comparison_kind) {
+    case ComparisonKind::kGeneral:
+      return {MakeBoolean(
+          GeneralCompare(static_cast<CompareOp>(expr->op), lhs, rhs))};
+    case ComparisonKind::kValue: {
+      bool empty = false;
+      bool result = ValueCompareSequences(static_cast<CompareOp>(expr->op),
+                                          lhs, rhs, &empty);
+      if (empty) return {};
+      return {MakeBoolean(result)};
+    }
+    case ComparisonKind::kNodeIs: {
+      if (lhs.empty() || rhs.empty()) return {};
+      if (lhs.size() > 1 || rhs.size() > 1 || !lhs[0].IsNode() ||
+          !rhs[0].IsNode()) {
+        ThrowError(ErrorCode::kXPTY0004, "'is' requires singleton nodes",
+                   expr->location());
+      }
+      return {MakeBoolean(lhs[0].node() == rhs[0].node())};
+    }
+  }
+  return {};
+}
+
+Sequence Evaluator::EvalRange(const RangeExpr* expr, DynamicContext* context) {
+  auto bound = [&](const Expr* e) -> std::optional<int64_t> {
+    Sequence seq = Atomize(Evaluate(e, context));
+    if (seq.empty()) return std::nullopt;
+    if (seq.size() > 1) {
+      ThrowError(ErrorCode::kXPTY0004, "range bound must be a singleton",
+                 expr->location());
+    }
+    return seq[0].atomic().CastTo(AtomicType::kInteger).AsInteger();
+  };
+  std::optional<int64_t> lo = bound(expr->lo.get());
+  std::optional<int64_t> hi = bound(expr->hi.get());
+  if (!lo.has_value() || !hi.has_value() || *lo > *hi) return {};
+  if (*hi - *lo > 100'000'000) {
+    ThrowError(ErrorCode::kFOAR0002, "range too large", expr->location());
+  }
+  Sequence result;
+  result.reserve(static_cast<size_t>(*hi - *lo + 1));
+  for (int64_t i = *lo; i <= *hi; ++i) {
+    result.push_back(MakeInteger(i));
+  }
+  return result;
+}
+
+Sequence Evaluator::EvalQuantified(const QuantifiedExpr* expr,
+                                   DynamicContext* context) {
+  // Depth-first over the binding tuples; short-circuits.
+  bool every = expr->every;
+  std::vector<Sequence> domains(expr->bindings.size());
+  std::vector<size_t> index(expr->bindings.size(), 0);
+
+  // Recursive lambda over binding position.
+  std::function<bool(size_t)> recurse = [&](size_t depth) -> bool {
+    if (depth == expr->bindings.size()) {
+      bool satisfied =
+          EffectiveBooleanValue(Evaluate(expr->satisfies.get(), context));
+      return satisfied;
+    }
+    const auto& binding = expr->bindings[depth];
+    Sequence domain = Evaluate(binding.expr.get(), context);
+    for (const Item& item : domain) {
+      context->Slot(binding.slot) = {item};
+      bool result = recurse(depth + 1);
+      if (every && !result) return false;
+      if (!every && result) return true;
+    }
+    return every;
+  };
+  return {MakeBoolean(recurse(0))};
+}
+
+Sequence Evaluator::ApplyPredicate(Sequence input, const Expr* predicate,
+                                   DynamicContext* context) {
+  Sequence output;
+  FocusGuard guard(context);
+  int64_t size = static_cast<int64_t>(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    context->focus.valid = true;
+    context->focus.item = input[i];
+    context->focus.position = static_cast<int64_t>(i + 1);
+    context->focus.size = size;
+    Sequence value = Evaluate(predicate, context);
+    bool keep;
+    if (value.size() == 1 && value[0].IsAtomic() &&
+        value[0].atomic().IsNumeric()) {
+      keep = value[0].atomic().ToDoubleValue() ==
+             static_cast<double>(context->focus.position);
+    } else {
+      keep = EffectiveBooleanValue(value);
+    }
+    if (keep) output.push_back(input[i]);
+  }
+  return output;
+}
+
+Sequence Evaluator::EvalFilter(const FilterExpr* expr, DynamicContext* context) {
+  Sequence current = Evaluate(expr->primary.get(), context);
+  for (const ExprPtr& predicate : expr->predicates) {
+    current = ApplyPredicate(std::move(current), predicate.get(), context);
+  }
+  return current;
+}
+
+Sequence Evaluator::EvalFunctionCall(const FunctionCallExpr* expr,
+                                     DynamicContext* context) {
+  std::vector<Sequence> args;
+  args.reserve(expr->args.size());
+  for (const ExprPtr& arg : expr->args) {
+    args.push_back(Evaluate(arg.get(), context));
+  }
+  if (expr->user_fn_index >= 0) {
+    return CallUserFunction(expr->user_fn_index, std::move(args), context);
+  }
+  EvalContext eval_context{*context, *this};
+  return BuiltinFunctions()[expr->builtin_id].fn(eval_context, args);
+}
+
+Sequence Evaluator::EvalTypeOp(const TypeOpExpr* expr,
+                               DynamicContext* context) {
+  Sequence operand = Evaluate(expr->operand.get(), context);
+  switch (expr->op) {
+    case TypeOpKind::kInstanceOf:
+      return {MakeBoolean(MatchesSeqType(operand, expr->type))};
+    case TypeOpKind::kTreatAs:
+      if (!MatchesSeqType(operand, expr->type)) {
+        ThrowError(ErrorCode::kXPDY0050,
+                   "treat as: value does not match the required type",
+                   expr->location());
+      }
+      return operand;
+    case TypeOpKind::kCastAs:
+    case TypeOpKind::kCastableAs: {
+      bool castable_probe = expr->op == TypeOpKind::kCastableAs;
+      Sequence atomized = Atomize(operand);
+      if (atomized.empty()) {
+        bool optional = expr->type.occurrence == SeqType::Occurrence::kOptional;
+        if (castable_probe) return {MakeBoolean(optional)};
+        if (optional) return {};
+        ThrowError(ErrorCode::kXPTY0004,
+                   "cast as: empty sequence for a non-optional type",
+                   expr->location());
+      }
+      if (atomized.size() > 1) {
+        if (castable_probe) return {MakeBoolean(false)};
+        ThrowError(ErrorCode::kXPTY0004,
+                   "cast as: more than one item", expr->location());
+      }
+      if (castable_probe) {
+        try {
+          (void)atomized[0].atomic().CastTo(expr->type.atomic_type);
+          return {MakeBoolean(true)};
+        } catch (const XQueryError&) {
+          return {MakeBoolean(false)};
+        }
+      }
+      return {Item(atomized[0].atomic().CastTo(expr->type.atomic_type))};
+    }
+  }
+  return {};
+}
+
+Sequence Evaluator::CallUserFunction(int index, std::vector<Sequence> args,
+                                     DynamicContext* context) {
+  const FunctionDecl& fn = module_->functions[index];
+  // Function conversion rules on each declared parameter type.
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    args[i] = ApplyFunctionConversion(std::move(args[i]), fn.params[i].type,
+                                      fn.name + " $" + fn.params[i].name);
+  }
+  if (++context->recursion_depth > DynamicContext::kMaxRecursionDepth) {
+    --context->recursion_depth;
+    ThrowError(ErrorCode::kFORG0006,
+               "recursion limit exceeded in " + fn.name, fn.location);
+  }
+  context->PushFrame(fn.frame_size);
+  // Function bodies do not inherit the caller's focus.
+  Focus saved_focus = context->focus;
+  context->focus = Focus{};
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    context->Slot(fn.params[i].slot) = std::move(args[i]);
+  }
+  Sequence result;
+  try {
+    result = Evaluate(fn.body.get(), context);
+  } catch (...) {
+    context->focus = saved_focus;
+    context->PopFrame();
+    --context->recursion_depth;
+    throw;
+  }
+  context->focus = saved_focus;
+  context->PopFrame();
+  --context->recursion_depth;
+  return result;
+}
+
+}  // namespace xqa

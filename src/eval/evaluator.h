@@ -1,0 +1,69 @@
+#ifndef XQA_EVAL_EVALUATOR_H_
+#define XQA_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "eval/dynamic_context.h"
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Tree-walking evaluator over a bound Module. The FLWOR pipeline follows
+/// the paper's tuple-stream model: each clause maps a vector of tuples to a
+/// vector of tuples; group by performs hash aggregation keyed by
+/// deep-equal-consistent hashes (or a linear group table under a custom
+/// `using` equality function).
+class Evaluator {
+ public:
+  explicit Evaluator(const Module* module) : module_(module) {}
+
+  /// Evaluates the whole query: global variables first, then the body.
+  /// `context_item` (usually a document) seeds the initial focus; pass an
+  /// invalid Focus for queries that do not touch the context item.
+  Sequence EvaluateQuery(DynamicContext* context, Focus initial_focus);
+
+  /// Evaluates one expression in the current context.
+  Sequence Evaluate(const Expr* expr, DynamicContext* context);
+
+  /// Invokes a user-declared function with pre-evaluated arguments.
+  Sequence CallUserFunction(int index, std::vector<Sequence> args,
+                            DynamicContext* context);
+
+  const Module* module() const { return module_; }
+
+ private:
+  // evaluator.cc
+  Sequence EvalArithmetic(const ArithmeticExpr* expr, DynamicContext* context);
+  Sequence EvalComparison(const ComparisonExpr* expr, DynamicContext* context);
+  Sequence EvalQuantified(const QuantifiedExpr* expr, DynamicContext* context);
+  Sequence EvalRange(const RangeExpr* expr, DynamicContext* context);
+  Sequence EvalFilter(const FilterExpr* expr, DynamicContext* context);
+  Sequence EvalFunctionCall(const FunctionCallExpr* expr,
+                            DynamicContext* context);
+
+  /// Applies one predicate list to a sequence with XPath focus semantics
+  /// (numeric predicate = positional). Shared by filters and path steps.
+  Sequence ApplyPredicate(Sequence input, const Expr* predicate,
+                          DynamicContext* context);
+
+  // flwor.cc
+  Sequence EvalFlwor(const FlworExpr* expr, DynamicContext* context);
+
+  // path.cc
+  Sequence EvalPath(const PathExpr* expr, DynamicContext* context);
+
+  // construct.cc
+  Sequence EvalConstructor(const DirectConstructorExpr* expr,
+                           DynamicContext* context);
+  Sequence EvalComputedConstructor(const ComputedConstructorExpr* expr,
+                                   DynamicContext* context);
+
+  // evaluator.cc
+  Sequence EvalTypeOp(const TypeOpExpr* expr, DynamicContext* context);
+
+  const Module* module_;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_EVAL_EVALUATOR_H_

@@ -1,0 +1,426 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "base/error.h"
+#include "eval/evaluator.h"
+#include "functions/function_registry.h"
+#include "xdm/compare.h"
+#include "xdm/deep_equal.h"
+#include "xdm/sequence_ops.h"
+
+namespace xqa {
+
+namespace {
+
+/// One tuple of the FLWOR tuple stream: values for the variables bound so
+/// far, parallel to the pipeline's bound-slot list.
+using Tuple = std::vector<Sequence>;
+
+/// An evaluated order-by key: empty sequence or a single atomic value.
+struct SortKey {
+  bool empty = true;
+  AtomicValue value;
+};
+
+bool IsNaN(const AtomicValue& v) {
+  return v.type() == AtomicType::kDouble && std::isnan(v.AsDouble());
+}
+
+/// Three-way comparison of two sort keys under one order spec, including
+/// direction and empty-ordering. NaN sorts together, below all other values.
+int CompareSortKeys(const SortKey& a, const SortKey& b, const OrderSpec& spec) {
+  if (a.empty && b.empty) return 0;
+  if (a.empty) return spec.empty_greatest ? 1 : -1;
+  if (b.empty) return spec.empty_greatest ? -1 : 1;
+  int cmp;
+  bool a_nan = IsNaN(a.value);
+  bool b_nan = IsNaN(b.value);
+  if (a_nan || b_nan) {
+    cmp = a_nan && b_nan ? 0 : (a_nan ? -1 : 1);
+  } else {
+    std::optional<int> three_way = ThreeWayCompareAtomic(a.value, b.value);
+    cmp = three_way.value_or(0);
+  }
+  return spec.descending ? -cmp : cmp;
+}
+
+size_t CombineHash(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
+  // Slots bound so far in this FLWOR, parallel to each tuple's entries.
+  std::vector<int> bound_slots;
+  std::vector<Tuple> tuples;
+  tuples.emplace_back();  // the initial single empty tuple
+
+  auto load_tuple = [&](const Tuple& tuple) {
+    for (size_t i = 0; i < bound_slots.size(); ++i) {
+      context->Slot(bound_slots[i]) = tuple[i];
+    }
+  };
+
+  // Evaluates one order-by key for the currently loaded tuple.
+  auto eval_sort_key = [&](const OrderSpec& spec) {
+    SortKey key;
+    Sequence value = Atomize(Evaluate(spec.key.get(), context));
+    if (value.size() > 1) {
+      ThrowError(ErrorCode::kXPTY0004,
+                 "order by key must be an empty or singleton sequence",
+                 expr->location());
+    }
+    if (!value.empty()) {
+      key.empty = false;
+      key.value = value[0].atomic();
+    }
+    return key;
+  };
+
+  // True when the `using` equality function accepts (a, b).
+  auto equal_under = [&](const FlworClause::GroupKey& group_key,
+                         const Sequence& a, const Sequence& b) {
+    if (group_key.using_function.empty()) {
+      return DeepEqualSequences(a, b);
+    }
+    std::vector<Sequence> args = {a, b};
+    Sequence result;
+    if (group_key.using_user_fn_index >= 0) {
+      result = CallUserFunction(group_key.using_user_fn_index, std::move(args),
+                                context);
+    } else {
+      EvalContext eval_context{*context, *this};
+      result = BuiltinFunctions()[group_key.using_builtin_id].fn(eval_context,
+                                                                 args);
+    }
+    return EffectiveBooleanValue(result);
+  };
+
+  for (const FlworClause& clause : expr->clauses) {
+    switch (clause.kind) {
+      case ClauseKind::kFor: {
+        std::vector<Tuple> next;
+        for (const Tuple& tuple : tuples) {
+          load_tuple(tuple);
+          Sequence domain = Evaluate(clause.for_expr.get(), context);
+          for (size_t i = 0; i < domain.size(); ++i) {
+            Tuple extended = tuple;
+            extended.push_back(Sequence{domain[i]});
+            if (clause.pos_slot >= 0) {
+              extended.push_back(
+                  Sequence{MakeInteger(static_cast<int64_t>(i + 1))});
+            }
+            next.push_back(std::move(extended));
+          }
+        }
+        bound_slots.push_back(clause.for_slot);
+        if (clause.pos_slot >= 0) bound_slots.push_back(clause.pos_slot);
+        tuples = std::move(next);
+        break;
+      }
+
+      case ClauseKind::kLet: {
+        for (Tuple& tuple : tuples) {
+          load_tuple(tuple);
+          tuple.push_back(Evaluate(clause.let_expr.get(), context));
+        }
+        bound_slots.push_back(clause.let_slot);
+        break;
+      }
+
+      case ClauseKind::kWhere: {
+        std::vector<Tuple> next;
+        next.reserve(tuples.size());
+        for (Tuple& tuple : tuples) {
+          load_tuple(tuple);
+          if (EffectiveBooleanValue(
+                  Evaluate(clause.where_expr.get(), context))) {
+            next.push_back(std::move(tuple));
+          }
+        }
+        tuples = std::move(next);
+        break;
+      }
+
+      case ClauseKind::kCount: {
+        // XQuery 3.0 count clause: 1-based position in the current stream.
+        for (size_t i = 0; i < tuples.size(); ++i) {
+          tuples[i].push_back(
+              Sequence{MakeInteger(static_cast<int64_t>(i + 1))});
+        }
+        bound_slots.push_back(clause.count_slot);
+        break;
+      }
+
+      case ClauseKind::kOrderBy: {
+        // Evaluate all keys per tuple, then stable-sort an index vector.
+        std::vector<std::vector<SortKey>> keys(tuples.size());
+        for (size_t i = 0; i < tuples.size(); ++i) {
+          load_tuple(tuples[i]);
+          keys[i].reserve(clause.order_by.specs.size());
+          for (const OrderSpec& spec : clause.order_by.specs) {
+            keys[i].push_back(eval_sort_key(spec));
+          }
+        }
+        std::vector<size_t> order(tuples.size());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                           for (size_t s = 0; s < clause.order_by.specs.size();
+                                ++s) {
+                             int cmp = CompareSortKeys(
+                                 keys[a][s], keys[b][s],
+                                 clause.order_by.specs[s]);
+                             if (cmp != 0) return cmp < 0;
+                           }
+                           return false;
+                         });
+        std::vector<Tuple> next;
+        next.reserve(tuples.size());
+        for (size_t index : order) next.push_back(std::move(tuples[index]));
+        tuples = std::move(next);
+        break;
+      }
+
+      case ClauseKind::kGroupBy: {
+        if (clause.xquery3_group_style) {
+          // --- XQuery 3.0 dialect ------------------------------------------
+          // Keys: atomized singletons compared under eq-like deep-equal.
+          // Every currently bound variable is implicitly rebound to the
+          // concatenation of its values over the group's tuples.
+          struct Group3 {
+            std::vector<Sequence> keys;
+            std::vector<size_t> members;
+          };
+          std::vector<Group3> groups;
+          std::unordered_map<size_t, std::vector<size_t>> buckets;
+          for (size_t ti = 0; ti < tuples.size(); ++ti) {
+            load_tuple(tuples[ti]);
+            std::vector<Sequence> keys;
+            keys.reserve(clause.group_keys.size());
+            for (const auto& group_key : clause.group_keys) {
+              Sequence value =
+                  Atomize(Evaluate(group_key.expr.get(), context));
+              if (value.size() > 1) {
+                ThrowError(ErrorCode::kXPTY0004,
+                           "XQuery 3.0 group by key must be an empty or "
+                           "singleton atomic value",
+                           expr->location());
+              }
+              keys.push_back(std::move(value));
+            }
+            size_t hash = 0xa0761d6478bd642fULL;
+            for (const Sequence& key : keys) {
+              hash = CombineHash(hash, DeepHashSequence(key));
+            }
+            std::vector<size_t>& bucket = buckets[hash];
+            size_t group_index = SIZE_MAX;
+            for (size_t candidate : bucket) {
+              bool all_equal = true;
+              for (size_t k = 0; k < keys.size(); ++k) {
+                if (!DeepEqualSequences(groups[candidate].keys[k], keys[k])) {
+                  all_equal = false;
+                  break;
+                }
+              }
+              if (all_equal) {
+                group_index = candidate;
+                break;
+              }
+            }
+            if (group_index == SIZE_MAX) {
+              group_index = groups.size();
+              bucket.push_back(group_index);
+              groups.push_back(Group3{std::move(keys), {}});
+            }
+            groups[group_index].members.push_back(ti);
+          }
+
+          std::vector<Tuple> next;
+          next.reserve(groups.size());
+          for (const Group3& group : groups) {
+            Tuple out_tuple;
+            out_tuple.reserve(bound_slots.size() + clause.group_keys.size());
+            // Implicit rebinding: concatenate each bound slot's values.
+            for (size_t s = 0; s < bound_slots.size(); ++s) {
+              Sequence merged;
+              for (size_t member : group.members) {
+                Concat(&merged, tuples[member][s]);
+              }
+              out_tuple.push_back(std::move(merged));
+            }
+            for (const Sequence& key : group.keys) {
+              out_tuple.push_back(key);
+            }
+            next.push_back(std::move(out_tuple));
+          }
+          for (const auto& key : clause.group_keys) {
+            bound_slots.push_back(key.slot);
+          }
+          tuples = std::move(next);
+          break;
+        }
+
+        // --- Group formation (paper dialect) --------------------------------
+        struct Group {
+          std::vector<Sequence> keys;  ///< representative key values
+          std::vector<size_t> members; ///< input tuple indexes, input order
+        };
+        std::vector<Group> groups;
+        bool custom_equality = false;
+        for (const auto& key : clause.group_keys) {
+          if (!key.using_function.empty()) custom_equality = true;
+        }
+        // Hash buckets (default deep-equal path only).
+        std::unordered_map<size_t, std::vector<size_t>> buckets;
+
+        std::vector<std::vector<Sequence>> tuple_keys(tuples.size());
+        for (size_t ti = 0; ti < tuples.size(); ++ti) {
+          load_tuple(tuples[ti]);
+          std::vector<Sequence>& keys = tuple_keys[ti];
+          keys.reserve(clause.group_keys.size());
+          for (const auto& group_key : clause.group_keys) {
+            keys.push_back(Evaluate(group_key.expr.get(), context));
+          }
+
+          size_t group_index = SIZE_MAX;
+          if (!custom_equality) {
+            size_t hash = 0xc2b2ae3d27d4eb4fULL;
+            for (const Sequence& key : keys) {
+              hash = CombineHash(hash, DeepHashSequence(key));
+            }
+            std::vector<size_t>& bucket = buckets[hash];
+            for (size_t candidate : bucket) {
+              bool all_equal = true;
+              for (size_t k = 0; k < keys.size(); ++k) {
+                if (!DeepEqualSequences(groups[candidate].keys[k], keys[k])) {
+                  all_equal = false;
+                  break;
+                }
+              }
+              if (all_equal) {
+                group_index = candidate;
+                break;
+              }
+            }
+            if (group_index == SIZE_MAX) {
+              group_index = groups.size();
+              bucket.push_back(group_index);
+              groups.push_back(Group{std::move(keys), {}});
+            }
+          } else {
+            // Custom `using` equality: linear scan over the group table (the
+            // user function need not be hashable).
+            for (size_t candidate = 0; candidate < groups.size(); ++candidate) {
+              bool all_equal = true;
+              for (size_t k = 0; k < keys.size(); ++k) {
+                if (!equal_under(clause.group_keys[k],
+                                 groups[candidate].keys[k], keys[k])) {
+                  all_equal = false;
+                  break;
+                }
+              }
+              if (all_equal) {
+                group_index = candidate;
+                break;
+              }
+            }
+            if (group_index == SIZE_MAX) {
+              group_index = groups.size();
+              groups.push_back(Group{std::move(keys), {}});
+            }
+          }
+          groups[group_index].members.push_back(ti);
+        }
+
+        // --- Output tuple construction --------------------------------------
+        // Each group yields one tuple: grouping variables bound to the
+        // representative key values, nesting variables to the concatenation
+        // of the nesting expression over the group's member tuples — in input
+        // order, or per the nest's own order by (whose scope is the input
+        // tuple stream, Section 3.4.1).
+        std::vector<Tuple> next;
+        next.reserve(groups.size());
+        for (const Group& group : groups) {
+          Tuple out_tuple;
+          out_tuple.reserve(clause.group_keys.size() +
+                            clause.nest_specs.size());
+          for (const Sequence& key : group.keys) {
+            out_tuple.push_back(key);
+          }
+          for (const auto& nest : clause.nest_specs) {
+            Sequence nested;
+            if (!nest.order_by.has_value()) {
+              for (size_t member : group.members) {
+                load_tuple(tuples[member]);
+                Concat(&nested, Evaluate(nest.expr.get(), context));
+              }
+            } else {
+              struct MemberValue {
+                std::vector<SortKey> keys;
+                Sequence value;
+              };
+              std::vector<MemberValue> values;
+              values.reserve(group.members.size());
+              for (size_t member : group.members) {
+                load_tuple(tuples[member]);
+                MemberValue mv;
+                for (const OrderSpec& spec : nest.order_by->specs) {
+                  mv.keys.push_back(eval_sort_key(spec));
+                }
+                mv.value = Evaluate(nest.expr.get(), context);
+                values.push_back(std::move(mv));
+              }
+              std::vector<size_t> order(values.size());
+              for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+              std::stable_sort(
+                  order.begin(), order.end(), [&](size_t a, size_t b) {
+                    for (size_t s = 0; s < nest.order_by->specs.size(); ++s) {
+                      int cmp = CompareSortKeys(values[a].keys[s],
+                                                values[b].keys[s],
+                                                nest.order_by->specs[s]);
+                      if (cmp != 0) return cmp < 0;
+                    }
+                    return false;
+                  });
+              for (size_t index : order) {
+                Concat(&nested, values[index].value);
+              }
+            }
+            out_tuple.push_back(std::move(nested));
+          }
+          next.push_back(std::move(out_tuple));
+        }
+
+        // Rebind: only grouping and nesting variables remain (Section 3.2).
+        bound_slots.clear();
+        for (const auto& key : clause.group_keys) {
+          bound_slots.push_back(key.slot);
+        }
+        for (const auto& nest : clause.nest_specs) {
+          bound_slots.push_back(nest.slot);
+        }
+        tuples = std::move(next);
+        break;
+      }
+    }
+  }
+
+  // Return clause, with the paper's output-numbering extension: the `at`
+  // variable is bound to the ordinal of each return-clause execution (i.e.
+  // output order, after any order by).
+  Sequence result;
+  int64_t ordinal = 0;
+  for (const Tuple& tuple : tuples) {
+    load_tuple(tuple);
+    if (expr->at_slot >= 0) {
+      context->Slot(expr->at_slot) = Sequence{MakeInteger(++ordinal)};
+    }
+    Concat(&result, Evaluate(expr->return_expr.get(), context));
+  }
+  return result;
+}
+
+}  // namespace xqa

@@ -1,0 +1,276 @@
+#include <algorithm>
+
+#include "eval/evaluator.h"
+
+#include "base/error.h"
+#include "xdm/sequence_ops.h"
+
+namespace xqa {
+
+namespace {
+
+/// True when `node` matches the test given the step's principal node kind
+/// (attributes for the attribute axis, elements otherwise).
+bool MatchesTest(const Node* node, const NodeTest& test, Axis axis) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName: {
+      NodeKind principal = axis == Axis::kAttribute ? NodeKind::kAttribute
+                                                    : NodeKind::kElement;
+      if (node->kind() != principal) return false;
+      return test.name == "*" || node->name() == test.name;
+    }
+    case NodeTest::Kind::kAnyKind:
+      return true;
+    case NodeTest::Kind::kText:
+      return node->kind() == NodeKind::kText;
+    case NodeTest::Kind::kComment:
+      return node->kind() == NodeKind::kComment;
+    case NodeTest::Kind::kElement:
+      return node->kind() == NodeKind::kElement &&
+             (test.name.empty() || test.name == "*" ||
+              node->name() == test.name);
+    case NodeTest::Kind::kAttribute:
+      return node->kind() == NodeKind::kAttribute &&
+             (test.name.empty() || test.name == "*" ||
+              node->name() == test.name);
+    case NodeTest::Kind::kDocument:
+      return node->kind() == NodeKind::kDocument;
+    case NodeTest::Kind::kPi:
+      return node->kind() == NodeKind::kProcessingInstruction &&
+             (test.name.empty() || node->name() == test.name);
+  }
+  return false;
+}
+
+void CollectDescendants(Node* node, const NodeTest& test, Axis axis,
+                        const DocumentPtr& doc, Sequence* out) {
+  for (Node* child : node->children()) {
+    if (MatchesTest(child, test, axis)) out->push_back(Item(child, doc));
+    CollectDescendants(child, test, axis, doc, out);
+  }
+}
+
+/// Applies one axis step (without predicates) to a single context node,
+/// returning matches in axis order.
+Sequence ApplyAxis(const Item& context_item, const PathStep& step,
+                   SourceLocation loc) {
+  if (!context_item.IsNode()) {
+    ThrowError(ErrorCode::kXPTY0004,
+               "a path step was applied to an atomic value", loc);
+  }
+  Node* node = context_item.node();
+  const DocumentPtr& doc = context_item.document();
+  Sequence out;
+  switch (step.axis) {
+    case Axis::kChild:
+      for (Node* child : node->children()) {
+        if (MatchesTest(child, step.test, step.axis)) {
+          out.push_back(Item(child, doc));
+        }
+      }
+      break;
+    case Axis::kDescendant:
+      CollectDescendants(node, step.test, step.axis, doc, &out);
+      break;
+    case Axis::kDescendantOrSelf:
+      if (MatchesTest(node, step.test, step.axis)) {
+        out.push_back(Item(node, doc));
+      }
+      CollectDescendants(node, step.test, step.axis, doc, &out);
+      break;
+    case Axis::kAttribute:
+      if (node->kind() == NodeKind::kElement) {
+        for (Node* attr : node->attributes()) {
+          if (MatchesTest(attr, step.test, step.axis)) {
+            out.push_back(Item(attr, doc));
+          }
+        }
+      }
+      break;
+    case Axis::kSelf:
+      if (MatchesTest(node, step.test, step.axis)) {
+        out.push_back(Item(node, doc));
+      }
+      break;
+    case Axis::kParent:
+      if (node->parent() != nullptr &&
+          MatchesTest(node->parent(), step.test, step.axis)) {
+        out.push_back(Item(node->parent(), doc));
+      }
+      break;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      Node* current =
+          step.axis == Axis::kAncestor ? node->parent() : node;
+      // Nearest-first order (the reverse-axis order used for positional
+      // predicates).
+      while (current != nullptr) {
+        if (MatchesTest(current, step.test, step.axis)) {
+          out.push_back(Item(current, doc));
+        }
+        current = current->parent();
+      }
+      break;
+    }
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      Node* parent = node->parent();
+      if (parent == nullptr || node->kind() == NodeKind::kAttribute) break;
+      const std::vector<Node*>& siblings = parent->children();
+      size_t self_index = 0;
+      while (self_index < siblings.size() && siblings[self_index] != node) {
+        ++self_index;
+      }
+      if (step.axis == Axis::kFollowingSibling) {
+        for (size_t i = self_index + 1; i < siblings.size(); ++i) {
+          if (MatchesTest(siblings[i], step.test, step.axis)) {
+            out.push_back(Item(siblings[i], doc));
+          }
+        }
+      } else {
+        // Nearest-first for the reverse axis.
+        for (size_t i = self_index; i-- > 0;) {
+          if (MatchesTest(siblings[i], step.test, step.axis)) {
+            out.push_back(Item(siblings[i], doc));
+          }
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+bool IsReverseAxis(Axis axis) {
+  return axis == Axis::kParent || axis == Axis::kAncestor ||
+         axis == Axis::kAncestorOrSelf || axis == Axis::kPrecedingSibling;
+}
+
+/// True when an axis step's combined result is guaranteed to already be in
+/// document order with no duplicate identities, so the normalization sort
+/// can be skipped. Child/attribute/self steps from a sorted, deduplicated
+/// context are sorted and disjoint; descendant steps are too when there is
+/// at most one context node (nested contexts could otherwise overlap).
+bool InDocumentOrderByConstruction(const PathSegment& segment,
+                                   size_t context_count) {
+  if (segment.is_expr()) return false;  // arbitrary expressions: normalize
+  switch (segment.step.axis) {
+    case Axis::kChild:
+    case Axis::kAttribute:
+    case Axis::kSelf:
+      return true;
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+    case Axis::kFollowingSibling:
+      return context_count <= 1;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Sequence Evaluator::EvalPath(const PathExpr* expr, DynamicContext* context) {
+  Sequence current;
+  if (expr->absolute) {
+    if (!context->focus.valid || !context->focus.item.IsNode()) {
+      ThrowError(ErrorCode::kXPDY0002,
+                 "absolute path requires a node context item",
+                 expr->location());
+    }
+    const NodeRef& ref = context->focus.item.node_ref();
+    current.push_back(Item(ref.document->root(), ref.document));
+  } else if (expr->start != nullptr) {
+    current = Evaluate(expr->start.get(), context);
+  } else {
+    if (!context->focus.valid) {
+      ThrowError(ErrorCode::kXPDY0002, "context item is absent",
+                 expr->location());
+    }
+    current.push_back(context->focus.item);
+  }
+
+  for (size_t seg_index = 0; seg_index < expr->segments.size(); ++seg_index) {
+    const PathSegment& segment = expr->segments[seg_index];
+    bool last = seg_index + 1 == expr->segments.size();
+    Sequence output;
+
+    // Fusion: descendant-or-self::node()/child::T (the expansion of "//T")
+    // evaluates as descendant::T, avoiding materializing every node. Only
+    // valid when T carries no predicates: a positional predicate on T must
+    // see per-parent positions, which the fused step would collapse.
+    if (!segment.is_expr() && segment.step.axis == Axis::kDescendantOrSelf &&
+        segment.step.test.kind == NodeTest::Kind::kAnyKind &&
+        segment.step.predicates.empty() && !last) {
+      const PathSegment& next = expr->segments[seg_index + 1];
+      if (!next.is_expr() && next.step.axis == Axis::kChild &&
+          next.step.predicates.empty()) {
+        PathStep fused;
+        fused.axis = Axis::kDescendant;
+        fused.test = next.step.test;
+        for (const Item& item : current) {
+          Concat(&output, ApplyAxis(item, fused, expr->location()));
+        }
+        ++seg_index;
+        last = seg_index + 1 == expr->segments.size();
+        if (current.size() > 1) {
+          SortDocumentOrderAndDedup(&output);
+        }
+        current = std::move(output);
+        continue;
+      }
+    }
+
+    if (segment.is_expr()) {
+      // Filter-expression segment: evaluate once per context item with focus.
+      FocusGuard guard(context);
+      int64_t size = static_cast<int64_t>(current.size());
+      for (size_t i = 0; i < current.size(); ++i) {
+        context->focus.valid = true;
+        context->focus.item = current[i];
+        context->focus.position = static_cast<int64_t>(i + 1);
+        context->focus.size = size;
+        Concat(&output, Evaluate(segment.expr.get(), context));
+      }
+    } else {
+      // Axis step: per context node, then predicates in axis order.
+      for (const Item& item : current) {
+        Sequence matched = ApplyAxis(item, segment.step, expr->location());
+        for (const ExprPtr& predicate : segment.step.predicates) {
+          matched = ApplyPredicate(std::move(matched), predicate.get(), context);
+        }
+        // Reverse axes yield nearest-first order for predicates; convert to
+        // document order for the result contribution.
+        if (IsReverseAxis(segment.step.axis) && matched.size() > 1) {
+          std::reverse(matched.begin(), matched.end());
+        }
+        Concat(&output, matched);
+      }
+    }
+
+    // Classify the segment result.
+    bool any_node = false;
+    bool any_atomic = false;
+    for (const Item& item : output) {
+      (item.IsNode() ? any_node : any_atomic) = true;
+    }
+    if (any_node && any_atomic) {
+      ThrowError(ErrorCode::kXPTY0004,
+                 "path step mixes nodes and atomic values", expr->location());
+    }
+    if (any_atomic && !last) {
+      ThrowError(ErrorCode::kXPTY0004,
+                 "intermediate path step produced atomic values",
+                 expr->location());
+    }
+    if (any_node && !InDocumentOrderByConstruction(segment, current.size())) {
+      // Multiple context nodes or non-forward navigation can break document
+      // order; normalize (also removes duplicate identities).
+      SortDocumentOrderAndDedup(&output);
+    }
+    current = std::move(output);
+  }
+  return current;
+}
+
+}  // namespace xqa

@@ -1,0 +1,106 @@
+#include "eval/type_match.h"
+
+#include "base/error.h"
+#include "xdm/sequence_ops.h"
+
+namespace xqa {
+
+namespace {
+
+bool MatchesAtomicType(const AtomicValue& value, AtomicType expected) {
+  if (value.type() == expected) return true;
+  // Built-in derivation: xs:integer is derived from xs:decimal.
+  if (expected == AtomicType::kDecimal &&
+      value.type() == AtomicType::kInteger) {
+    return true;
+  }
+  return false;
+}
+
+bool NameMatches(const std::string& test_name, const std::string& node_name) {
+  return test_name.empty() || test_name == "*" || test_name == node_name;
+}
+
+}  // namespace
+
+bool MatchesItemType(const Item& item, const SeqType& type) {
+  switch (type.item_kind) {
+    case SeqType::ItemKind::kItem:
+      return true;
+    case SeqType::ItemKind::kNode:
+      return item.IsNode();
+    case SeqType::ItemKind::kElement:
+      return item.IsNode() && item.node()->kind() == NodeKind::kElement &&
+             NameMatches(type.name, item.node()->name());
+    case SeqType::ItemKind::kAttribute:
+      return item.IsNode() && item.node()->kind() == NodeKind::kAttribute &&
+             NameMatches(type.name, item.node()->name());
+    case SeqType::ItemKind::kText:
+      return item.IsNode() && item.node()->kind() == NodeKind::kText;
+    case SeqType::ItemKind::kDocument:
+      return item.IsNode() && item.node()->kind() == NodeKind::kDocument;
+    case SeqType::ItemKind::kAtomic:
+      return item.IsAtomic() &&
+             MatchesAtomicType(item.atomic(), type.atomic_type);
+  }
+  return false;
+}
+
+bool MatchesSeqType(const Sequence& sequence, const SeqType& type) {
+  switch (type.occurrence) {
+    case SeqType::Occurrence::kOne:
+      if (sequence.size() != 1) return false;
+      break;
+    case SeqType::Occurrence::kOptional:
+      if (sequence.size() > 1) return false;
+      break;
+    case SeqType::Occurrence::kPlus:
+      if (sequence.empty()) return false;
+      break;
+    case SeqType::Occurrence::kStar:
+      break;
+  }
+  for (const Item& item : sequence) {
+    if (!MatchesItemType(item, type)) return false;
+  }
+  return true;
+}
+
+Sequence ApplyFunctionConversion(Sequence argument, const SeqType& type,
+                                 const std::string& context_name) {
+  Sequence converted;
+  if (type.item_kind == SeqType::ItemKind::kAtomic) {
+    converted = Atomize(argument);
+    for (Item& item : converted) {
+      const AtomicValue& value = item.atomic();
+      if (MatchesAtomicType(value, type.atomic_type)) continue;
+      if (value.type() == AtomicType::kUntypedAtomic) {
+        item = Item(value.CastTo(type.atomic_type));
+        continue;
+      }
+      // Numeric promotion: integer -> decimal -> double.
+      if (type.atomic_type == AtomicType::kDouble && value.IsNumeric()) {
+        item = Item(AtomicValue::Double(value.ToDoubleValue()));
+        continue;
+      }
+      if (type.atomic_type == AtomicType::kDecimal &&
+          value.type() == AtomicType::kInteger) {
+        item = Item(AtomicValue::MakeDecimal(Decimal(value.AsInteger())));
+        continue;
+      }
+      ThrowError(ErrorCode::kXPTY0004,
+                 context_name + ": expected " +
+                     std::string(AtomicTypeName(type.atomic_type)) + ", got " +
+                     std::string(AtomicTypeName(value.type())));
+    }
+  } else {
+    converted = std::move(argument);
+  }
+  if (!MatchesSeqType(converted, type)) {
+    ThrowError(ErrorCode::kXPTY0004,
+               context_name + ": value does not match the declared type");
+  }
+  return converted;
+}
+
+}  // namespace xqa

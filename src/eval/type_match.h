@@ -1,0 +1,31 @@
+#ifndef XQA_EVAL_TYPE_MATCH_H_
+#define XQA_EVAL_TYPE_MATCH_H_
+
+#include "parser/ast.h"
+#include "xdm/item.h"
+
+namespace xqa {
+
+/// True when `item` matches the item-type component of `type`. Atomic types
+/// honor the built-in derivation used by the engine (xs:integer is a
+/// subtype of xs:decimal); node kinds match by kind and (optionally) name.
+bool MatchesItemType(const Item& item, const SeqType& type);
+
+/// True when the whole sequence matches `type`: the occurrence indicator is
+/// checked first, then every item.
+bool MatchesSeqType(const Sequence& sequence, const SeqType& type);
+
+/// Applies the XQuery function conversion rules to an argument against a
+/// declared parameter type:
+///  - for atomic expected types, the argument is atomized, untypedAtomic
+///    items are cast to the expected type, and numeric values are promoted
+///    (integer -> decimal -> double);
+///  - cardinality is enforced per the occurrence indicator;
+///  - node/item expected types are checked without conversion.
+/// Throws XPTY0004 when the converted value does not match.
+Sequence ApplyFunctionConversion(Sequence argument, const SeqType& type,
+                                 const std::string& context_name);
+
+}  // namespace xqa
+
+#endif  // XQA_EVAL_TYPE_MATCH_H_

@@ -1,0 +1,176 @@
+#include <cmath>
+
+#include "functions/helpers.h"
+#include "xdm/compare.h"
+
+namespace xqa {
+namespace fn_internal {
+
+namespace {
+
+/// Numeric accumulation with XQuery promotion: integer -> decimal -> double.
+/// untypedAtomic items are cast to xs:double (the fn:sum / fn:avg rule).
+struct NumericAccumulator {
+  bool use_double = false;
+  bool use_decimal = false;
+  int64_t int_sum = 0;
+  Decimal decimal_sum;
+  double double_sum = 0;
+  size_t count = 0;
+
+  void Add(const AtomicValue& raw, const char* fn_name) {
+    AtomicValue v = raw;
+    if (v.type() == AtomicType::kUntypedAtomic) {
+      v = AtomicValue::Double(v.ToDoubleValue());
+    }
+    if (!v.IsNumeric()) {
+      ThrowError(ErrorCode::kFORG0006,
+                 std::string(fn_name) + ": non-numeric item " +
+                     std::string(AtomicTypeName(v.type())));
+    }
+    ++count;
+    if (use_double || v.type() == AtomicType::kDouble) {
+      Promote2();
+      double_sum += v.ToDoubleValue();
+      return;
+    }
+    if (use_decimal || v.type() == AtomicType::kDecimal) {
+      Promote1();
+      decimal_sum = decimal_sum.Add(v.type() == AtomicType::kDecimal
+                                        ? v.AsDecimal()
+                                        : Decimal(v.AsInteger()));
+      return;
+    }
+    int64_t result;
+    if (__builtin_add_overflow(int_sum, v.AsInteger(), &result)) {
+      Promote1();
+      decimal_sum = decimal_sum.Add(Decimal(v.AsInteger()));
+      return;
+    }
+    int_sum = result;
+  }
+
+  void Promote1() {
+    if (!use_decimal && !use_double) {
+      decimal_sum = Decimal(int_sum);
+      use_decimal = true;
+    }
+  }
+
+  void Promote2() {
+    if (!use_double) {
+      Promote1();
+      double_sum = use_decimal ? decimal_sum.ToDouble()
+                               : static_cast<double>(int_sum);
+      // After promotion we accumulate in double only.
+      use_double = true;
+    }
+  }
+
+  Item Total() const {
+    if (use_double) return MakeDouble(double_sum);
+    if (use_decimal) return MakeDecimalItem(decimal_sum);
+    return MakeInteger(int_sum);
+  }
+
+  Item Average() const {
+    if (use_double) return MakeDouble(double_sum / static_cast<double>(count));
+    Decimal sum = use_decimal ? decimal_sum : Decimal(int_sum);
+    return MakeDecimalItem(sum.Divide(Decimal(static_cast<int64_t>(count))));
+  }
+};
+
+Sequence FnCount(EvalContext&, std::vector<Sequence>& args) {
+  return {MakeInteger(static_cast<int64_t>(args[0].size()))};
+}
+
+/// Sums a sequence of xs:dayTimeDuration values; every item must be one.
+int64_t SumDurations(const Sequence& items, const char* fn_name) {
+  int64_t total = 0;
+  for (const Item& item : items) {
+    if (item.atomic().type() != AtomicType::kDuration) {
+      ThrowError(ErrorCode::kFORG0006,
+                 std::string(fn_name) +
+                     ": cannot mix durations with other types");
+    }
+    total += item.atomic().AsDurationMillis();
+  }
+  return total;
+}
+
+Sequence FnSum(EvalContext&, std::vector<Sequence>& args) {
+  Sequence items = Atomize(args[0]);
+  if (items.empty()) {
+    if (args.size() > 1) return args[1];  // caller-provided zero
+    return {MakeInteger(0)};
+  }
+  if (items[0].atomic().type() == AtomicType::kDuration) {
+    return {Item(AtomicValue::MakeDuration(SumDurations(items, "fn:sum")))};
+  }
+  NumericAccumulator acc;
+  for (const Item& item : items) acc.Add(item.atomic(), "fn:sum");
+  return {acc.Total()};
+}
+
+Sequence FnAvg(EvalContext&, std::vector<Sequence>& args) {
+  Sequence items = Atomize(args[0]);
+  if (items.empty()) return {};
+  if (items[0].atomic().type() == AtomicType::kDuration) {
+    int64_t total = SumDurations(items, "fn:avg");
+    return {Item(AtomicValue::MakeDuration(
+        total / static_cast<int64_t>(items.size())))};
+  }
+  NumericAccumulator acc;
+  for (const Item& item : items) acc.Add(item.atomic(), "fn:avg");
+  return {acc.Average()};
+}
+
+/// Shared min/max: untyped items are cast to double; values must be mutually
+/// comparable (numeric with promotion, or all strings, etc.).
+Sequence MinMax(std::vector<Sequence>& args, bool want_max, const char* name) {
+  Sequence items = Atomize(args[0]);
+  if (items.empty()) return {};
+  AtomicValue best;
+  bool have_best = false;
+  for (const Item& item : items) {
+    AtomicValue v = item.atomic();
+    if (v.type() == AtomicType::kUntypedAtomic) {
+      v = AtomicValue::Double(v.ToDoubleValue());
+    }
+    // NaN propagates: the result is NaN if any item is NaN.
+    if (v.type() == AtomicType::kDouble && std::isnan(v.AsDouble())) {
+      return {MakeDouble(v.AsDouble())};
+    }
+    if (!have_best) {
+      best = v;
+      have_best = true;
+      continue;
+    }
+    std::optional<int> cmp = ThreeWayCompareAtomic(v, best);
+    if (!cmp.has_value()) continue;
+    if ((want_max && *cmp > 0) || (!want_max && *cmp < 0)) best = v;
+  }
+  (void)name;
+  return {Item(best)};
+}
+
+Sequence FnMin(EvalContext&, std::vector<Sequence>& args) {
+  return MinMax(args, /*want_max=*/false, "fn:min");
+}
+
+Sequence FnMax(EvalContext&, std::vector<Sequence>& args) {
+  return MinMax(args, /*want_max=*/true, "fn:max");
+}
+
+}  // namespace
+
+void RegisterAggregate(std::vector<BuiltinFunction>* registry) {
+  registry->push_back({"count", 1, 1, FnCount});
+  registry->push_back({"sum", 1, 2, FnSum});
+  registry->push_back({"avg", 1, 1, FnAvg});
+  registry->push_back({"min", 1, 1, FnMin});
+  registry->push_back({"max", 1, 1, FnMax});
+}
+
+}  // namespace fn_internal
+}  // namespace xqa

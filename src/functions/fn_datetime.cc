@@ -1,0 +1,123 @@
+#include "functions/helpers.h"
+
+namespace xqa {
+namespace fn_internal {
+
+namespace {
+
+/// Coerces an argument to the expected date/time type (untypedAtomic and
+/// string lexical forms cast implicitly — function conversion rules).
+std::optional<DateTime> DateTimeArg(const Sequence& arg, AtomicType target,
+                                    const char* fn_name) {
+  std::optional<AtomicValue> value = OptionalAtomicArg(arg, fn_name);
+  if (!value.has_value()) return std::nullopt;
+  AtomicValue v = *value;
+  if (v.type() != target) v = v.CastTo(target);
+  return v.AsDateTime();
+}
+
+template <int (DateTime::*Component)() const, AtomicType Target>
+Sequence ComponentFn(EvalContext&, std::vector<Sequence>& args) {
+  std::optional<DateTime> value = DateTimeArg(args[0], Target, "component");
+  if (!value.has_value()) return {};
+  return {MakeInteger(((*value).*Component)())};
+}
+
+Sequence FnSecondsFromDateTime(EvalContext&, std::vector<Sequence>& args) {
+  std::optional<DateTime> value =
+      DateTimeArg(args[0], AtomicType::kDateTime, "fn:seconds-from-dateTime");
+  if (!value.has_value()) return {};
+  if (value->millisecond() == 0) return {MakeInteger(value->second())};
+  Decimal seconds = Decimal::FromUnscaled(
+      value->second() * 1000 + value->millisecond(), 3);
+  return {MakeDecimalItem(seconds)};
+}
+
+Sequence FnCurrentDateTimePlaceholder(EvalContext&, std::vector<Sequence>&) {
+  // The engine is deterministic by design (benchmarks and tests depend on
+  // it); current-dateTime() returns a fixed instant, documented in README.
+  DateTime value;
+  DateTime::ParseDateTime("2005-06-14T00:00:00Z", &value);
+  return {Item(AtomicValue::MakeDateTime(value))};
+}
+
+// --- xs:dayTimeDuration ---------------------------------------------------
+
+std::optional<int64_t> DurationArg(const Sequence& arg, const char* fn_name) {
+  std::optional<AtomicValue> value = OptionalAtomicArg(arg, fn_name);
+  if (!value.has_value()) return std::nullopt;
+  AtomicValue v = *value;
+  if (v.type() != AtomicType::kDuration) v = v.CastTo(AtomicType::kDuration);
+  return v.AsDurationMillis();
+}
+
+Sequence FnDaysFromDuration(EvalContext&, std::vector<Sequence>& args) {
+  std::optional<int64_t> millis = DurationArg(args[0], "fn:days-from-duration");
+  if (!millis.has_value()) return {};
+  return {MakeInteger(*millis / (24LL * 60 * 60 * 1000))};
+}
+
+Sequence FnHoursFromDuration(EvalContext&, std::vector<Sequence>& args) {
+  std::optional<int64_t> millis =
+      DurationArg(args[0], "fn:hours-from-duration");
+  if (!millis.has_value()) return {};
+  return {MakeInteger(*millis / (60LL * 60 * 1000) % 24)};
+}
+
+Sequence FnMinutesFromDuration(EvalContext&, std::vector<Sequence>& args) {
+  std::optional<int64_t> millis =
+      DurationArg(args[0], "fn:minutes-from-duration");
+  if (!millis.has_value()) return {};
+  return {MakeInteger(*millis / (60LL * 1000) % 60)};
+}
+
+Sequence FnSecondsFromDuration(EvalContext&, std::vector<Sequence>& args) {
+  std::optional<int64_t> millis =
+      DurationArg(args[0], "fn:seconds-from-duration");
+  if (!millis.has_value()) return {};
+  int64_t part = *millis % (60LL * 1000);
+  if (part % 1000 == 0) return {MakeInteger(part / 1000)};
+  return {MakeDecimalItem(Decimal::FromUnscaled(part, 3))};
+}
+
+Sequence FnDayTimeDurationCtor(EvalContext&, std::vector<Sequence>& args) {
+  std::optional<AtomicValue> value =
+      OptionalAtomicArg(args[0], "xs:dayTimeDuration");
+  if (!value.has_value()) return {};
+  return {Item(value->CastTo(AtomicType::kDuration))};
+}
+
+}  // namespace
+
+void RegisterDateTime(std::vector<BuiltinFunction>* registry) {
+  registry->push_back({"days-from-duration", 1, 1, FnDaysFromDuration});
+  registry->push_back({"hours-from-duration", 1, 1, FnHoursFromDuration});
+  registry->push_back({"minutes-from-duration", 1, 1, FnMinutesFromDuration});
+  registry->push_back({"seconds-from-duration", 1, 1, FnSecondsFromDuration});
+  registry->push_back({"xs:dayTimeDuration", 1, 1, FnDayTimeDurationCtor});
+  registry->push_back({"year-from-dateTime", 1, 1,
+                       ComponentFn<&DateTime::year, AtomicType::kDateTime>});
+  registry->push_back({"month-from-dateTime", 1, 1,
+                       ComponentFn<&DateTime::month, AtomicType::kDateTime>});
+  registry->push_back({"day-from-dateTime", 1, 1,
+                       ComponentFn<&DateTime::day, AtomicType::kDateTime>});
+  registry->push_back({"hours-from-dateTime", 1, 1,
+                       ComponentFn<&DateTime::hour, AtomicType::kDateTime>});
+  registry->push_back({"minutes-from-dateTime", 1, 1,
+                       ComponentFn<&DateTime::minute, AtomicType::kDateTime>});
+  registry->push_back({"seconds-from-dateTime", 1, 1, FnSecondsFromDateTime});
+  registry->push_back({"year-from-date", 1, 1,
+                       ComponentFn<&DateTime::year, AtomicType::kDate>});
+  registry->push_back({"month-from-date", 1, 1,
+                       ComponentFn<&DateTime::month, AtomicType::kDate>});
+  registry->push_back({"day-from-date", 1, 1,
+                       ComponentFn<&DateTime::day, AtomicType::kDate>});
+  registry->push_back({"hours-from-time", 1, 1,
+                       ComponentFn<&DateTime::hour, AtomicType::kTime>});
+  registry->push_back({"minutes-from-time", 1, 1,
+                       ComponentFn<&DateTime::minute, AtomicType::kTime>});
+  registry->push_back({"current-dateTime", 0, 0, FnCurrentDateTimePlaceholder});
+}
+
+}  // namespace fn_internal
+}  // namespace xqa

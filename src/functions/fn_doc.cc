@@ -1,0 +1,72 @@
+#include "eval/dynamic_context.h"
+#include "functions/helpers.h"
+
+namespace xqa {
+namespace fn_internal {
+
+namespace {
+
+// fn:doc / fn:collection resolve against the DocumentRegistry supplied to
+// PreparedQuery::Execute — the engine has no ambient filesystem access
+// (deterministic evaluation; callers decide what is reachable).
+
+const DocumentRegistry* Registry(EvalContext& context) {
+  return context.dynamic.documents;
+}
+
+Sequence FnDoc(EvalContext& context, std::vector<Sequence>& args) {
+  std::optional<AtomicValue> uri = OptionalAtomicArg(args[0], "fn:doc");
+  if (!uri.has_value()) return {};
+  const DocumentRegistry* registry = Registry(context);
+  if (registry != nullptr) {
+    auto it = registry->find(uri->ToLexical());
+    if (it != registry->end()) {
+      return {Item(it->second->root(), it->second)};
+    }
+  }
+  ThrowError(ErrorCode::kFODC0002,
+             "document '" + uri->ToLexical() + "' is not registered");
+}
+
+Sequence FnDocAvailable(EvalContext& context, std::vector<Sequence>& args) {
+  std::optional<AtomicValue> uri = OptionalAtomicArg(args[0], "fn:doc-available");
+  if (!uri.has_value()) return {MakeBoolean(false)};
+  const DocumentRegistry* registry = Registry(context);
+  return {MakeBoolean(registry != nullptr &&
+                      registry->count(uri->ToLexical()) > 0)};
+}
+
+Sequence FnCollection(EvalContext& context, std::vector<Sequence>& args) {
+  const DocumentRegistry* registry = Registry(context);
+  if (args.empty()) {
+    // The default collection: every registered document, in URI order.
+    Sequence out;
+    if (registry != nullptr) {
+      for (const auto& [uri, doc] : *registry) {
+        out.push_back(Item(doc->root(), doc));
+      }
+    }
+    return out;
+  }
+  std::optional<AtomicValue> uri = OptionalAtomicArg(args[0], "fn:collection");
+  if (!uri.has_value()) return {};
+  if (registry != nullptr) {
+    auto it = registry->find(uri->ToLexical());
+    if (it != registry->end()) {
+      return {Item(it->second->root(), it->second)};
+    }
+  }
+  ThrowError(ErrorCode::kFODC0002,
+             "collection '" + uri->ToLexical() + "' is not registered");
+}
+
+}  // namespace
+
+void RegisterDoc(std::vector<BuiltinFunction>* registry) {
+  registry->push_back({"doc", 1, 1, FnDoc});
+  registry->push_back({"doc-available", 1, 1, FnDocAvailable});
+  registry->push_back({"collection", 0, 1, FnCollection});
+}
+
+}  // namespace fn_internal
+}  // namespace xqa

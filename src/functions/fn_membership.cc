@@ -1,0 +1,131 @@
+#include "functions/helpers.h"
+#include "xdm/compare.h"
+
+namespace xqa {
+namespace fn_internal {
+
+namespace {
+
+// Membership functions (Sections 3.3 and 5 of the paper): helpers that map
+// an item to the set of groups it belongs to, turning group by into rollup /
+// cube / custom-equality grouping without further language extension. The
+// paper anticipates that "a common set of such membership functions will be
+// provided by the implementations"; these are xqa's built-in set.
+
+/// xqa:set-equal($a, $b): true when each item of one sequence has an equal
+/// item (under `eq` on atomized values) in the other — i.e. sequences
+/// compared as sets, the Section 3.3 example.
+Sequence FnSetEqual(EvalContext&, std::vector<Sequence>& args) {
+  Sequence a = Atomize(args[0]);
+  Sequence b = Atomize(args[1]);
+  auto covered = [](const Sequence& xs, const Sequence& ys) {
+    for (const Item& x : xs) {
+      bool found = false;
+      for (const Item& y : ys) {
+        if (ValueCompareAtomic(CompareOp::kEq, x.atomic(), y.atomic())) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  return {MakeBoolean(covered(a, b) && covered(b, a))};
+}
+
+void CollectPaths(const Node* node, const std::string& prefix, Sequence* out) {
+  if (node->kind() != NodeKind::kElement) return;
+  std::string path = prefix.empty() ? node->name() : prefix + "/" + node->name();
+  out->push_back(MakeString(path));
+  for (const Node* child : node->children()) {
+    CollectPaths(child, path, out);
+  }
+}
+
+/// xqa:paths($elems): all root-to-descendant category paths of a ragged
+/// hierarchy forest, as strings ("software", "software/db", ...). The
+/// built-in equivalent of the paper's local:paths (Q11).
+Sequence FnPaths(EvalContext&, std::vector<Sequence>& args) {
+  Sequence out;
+  for (const Item& item : args[0]) {
+    if (!item.IsNode()) {
+      ThrowError(ErrorCode::kXPTY0004, "xqa:paths expects element nodes");
+    }
+    CollectPaths(item.node(), "", &out);
+  }
+  return out;
+}
+
+/// xqa:cube($dims): the powerset of the dimension sequence, one
+/// <cube-group> element per subset containing copies of the subset's items
+/// (atomic items become <dim> wrappers). Grouping on these elements with
+/// deep-equal reproduces SQL's CUBE (Q12). 2^n subsets — n is capped.
+Sequence FnCube(EvalContext&, std::vector<Sequence>& args) {
+  const Sequence& dims = args[0];
+  if (dims.size() > 16) {
+    ThrowError(ErrorCode::kFORG0006,
+               "xqa:cube supports at most 16 dimensions");
+  }
+  DocumentPtr doc = std::make_shared<Document>();
+  Sequence out;
+  size_t subset_count = size_t{1} << dims.size();
+  out.reserve(subset_count);
+  for (size_t mask = 0; mask < subset_count; ++mask) {
+    Node* group = doc->CreateElement("cube-group");
+    doc->AppendChild(doc->root(), group);
+    for (size_t i = 0; i < dims.size(); ++i) {
+      if ((mask & (size_t{1} << i)) == 0) continue;
+      const Item& dim = dims[i];
+      if (dim.IsNode()) {
+        doc->AppendChild(group, doc->ImportNode(dim.node()));
+      } else {
+        Node* wrapper = doc->CreateElement("dim");
+        doc->AppendChild(wrapper, doc->CreateText(dim.atomic().ToLexical()));
+        doc->AppendChild(group, wrapper);
+      }
+    }
+    out.push_back(Item(group, doc));
+  }
+  doc->SealOrder();
+  return out;
+}
+
+/// xqa:rollup($dims): the prefix sets of the dimension sequence — (), (d1),
+/// (d1,d2), ... — one <rollup-group> element per prefix. The built-in
+/// equivalent of SQL ROLLUP via complex-object grouping.
+Sequence FnRollup(EvalContext&, std::vector<Sequence>& args) {
+  const Sequence& dims = args[0];
+  DocumentPtr doc = std::make_shared<Document>();
+  Sequence out;
+  out.reserve(dims.size() + 1);
+  for (size_t length = 0; length <= dims.size(); ++length) {
+    Node* group = doc->CreateElement("rollup-group");
+    doc->AppendChild(doc->root(), group);
+    for (size_t i = 0; i < length; ++i) {
+      const Item& dim = dims[i];
+      if (dim.IsNode()) {
+        doc->AppendChild(group, doc->ImportNode(dim.node()));
+      } else {
+        Node* wrapper = doc->CreateElement("dim");
+        doc->AppendChild(wrapper, doc->CreateText(dim.atomic().ToLexical()));
+        doc->AppendChild(group, wrapper);
+      }
+    }
+    out.push_back(Item(group, doc));
+  }
+  doc->SealOrder();
+  return out;
+}
+
+}  // namespace
+
+void RegisterMembership(std::vector<BuiltinFunction>* registry) {
+  registry->push_back({"xqa:set-equal", 2, 2, FnSetEqual});
+  registry->push_back({"xqa:paths", 1, 1, FnPaths});
+  registry->push_back({"xqa:cube", 1, 1, FnCube});
+  registry->push_back({"xqa:rollup", 1, 1, FnRollup});
+}
+
+}  // namespace fn_internal
+}  // namespace xqa

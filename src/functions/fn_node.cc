@@ -1,0 +1,101 @@
+#include "eval/dynamic_context.h"
+#include "functions/helpers.h"
+
+namespace xqa {
+namespace fn_internal {
+
+namespace {
+
+const Node* ContextNode(EvalContext& context, const char* fn_name) {
+  if (!context.dynamic.focus.valid || !context.dynamic.focus.item.IsNode()) {
+    ThrowError(ErrorCode::kXPDY0002,
+               std::string(fn_name) + ": context item is not a node");
+  }
+  return context.dynamic.focus.item.node();
+}
+
+Sequence FnName(EvalContext& context, std::vector<Sequence>& args) {
+  const Node* node = args.empty() ? ContextNode(context, "fn:name")
+                                  : OptionalNodeArg(args[0], "fn:name");
+  if (node == nullptr) return {MakeString("")};
+  return {MakeString(node->name())};
+}
+
+Sequence FnLocalName(EvalContext& context, std::vector<Sequence>& args) {
+  const Node* node = args.empty() ? ContextNode(context, "fn:local-name")
+                                  : OptionalNodeArg(args[0], "fn:local-name");
+  if (node == nullptr) return {MakeString("")};
+  std::string name = node->name();
+  size_t colon = name.find(':');
+  if (colon != std::string::npos) name = name.substr(colon + 1);
+  return {MakeString(std::move(name))};
+}
+
+Sequence FnNodeName(EvalContext&, std::vector<Sequence>& args) {
+  const Node* node = OptionalNodeArg(args[0], "fn:node-name");
+  if (node == nullptr || node->name().empty()) return {};
+  return {Item(AtomicValue::MakeQName(node->name()))};
+}
+
+Sequence FnRoot(EvalContext& context, std::vector<Sequence>& args) {
+  if (args.empty()) {
+    const Node* node = ContextNode(context, "fn:root");
+    (void)node;
+    const NodeRef& ref = context.dynamic.focus.item.node_ref();
+    return {Item(ref.document->root(), ref.document)};
+  }
+  if (args[0].empty()) return {};
+  if (!args[0][0].IsNode()) {
+    ThrowError(ErrorCode::kXPTY0004, "fn:root expects a node");
+  }
+  const NodeRef& ref = args[0][0].node_ref();
+  return {Item(ref.document->root(), ref.document)};
+}
+
+Sequence FnNot(EvalContext&, std::vector<Sequence>& args) {
+  return {MakeBoolean(!EffectiveBooleanValue(args[0]))};
+}
+
+Sequence FnBoolean(EvalContext&, std::vector<Sequence>& args) {
+  return {MakeBoolean(EffectiveBooleanValue(args[0]))};
+}
+
+Sequence FnTrue(EvalContext&, std::vector<Sequence>&) {
+  return {MakeBoolean(true)};
+}
+
+Sequence FnFalse(EvalContext&, std::vector<Sequence>&) {
+  return {MakeBoolean(false)};
+}
+
+Sequence FnPosition(EvalContext& context, std::vector<Sequence>&) {
+  if (!context.dynamic.focus.valid) {
+    ThrowError(ErrorCode::kXPDY0002, "fn:position(): no focus");
+  }
+  return {MakeInteger(context.dynamic.focus.position)};
+}
+
+Sequence FnLast(EvalContext& context, std::vector<Sequence>&) {
+  if (!context.dynamic.focus.valid) {
+    ThrowError(ErrorCode::kXPDY0002, "fn:last(): no focus");
+  }
+  return {MakeInteger(context.dynamic.focus.size)};
+}
+
+}  // namespace
+
+void RegisterNode(std::vector<BuiltinFunction>* registry) {
+  registry->push_back({"name", 0, 1, FnName});
+  registry->push_back({"local-name", 0, 1, FnLocalName});
+  registry->push_back({"node-name", 1, 1, FnNodeName});
+  registry->push_back({"root", 0, 1, FnRoot});
+  registry->push_back({"not", 1, 1, FnNot});
+  registry->push_back({"boolean", 1, 1, FnBoolean});
+  registry->push_back({"true", 0, 0, FnTrue});
+  registry->push_back({"false", 0, 0, FnFalse});
+  registry->push_back({"position", 0, 0, FnPosition});
+  registry->push_back({"last", 0, 0, FnLast});
+}
+
+}  // namespace fn_internal
+}  // namespace xqa

@@ -1,0 +1,146 @@
+#include <cmath>
+#include <limits>
+
+#include "eval/dynamic_context.h"
+#include "functions/helpers.h"
+
+namespace xqa {
+namespace fn_internal {
+
+namespace {
+
+Sequence FnNumber(EvalContext& context, std::vector<Sequence>& args) {
+  AtomicValue value;
+  if (args.empty()) {
+    if (!context.dynamic.focus.valid) {
+      ThrowError(ErrorCode::kXPDY0002, "fn:number(): context item is absent");
+    }
+    value = AtomizeItem(context.dynamic.focus.item);
+  } else {
+    std::optional<AtomicValue> arg = OptionalAtomicArg(args[0], "fn:number");
+    if (!arg.has_value()) {
+      return {MakeDouble(std::numeric_limits<double>::quiet_NaN())};
+    }
+    value = *arg;
+  }
+  try {
+    return {MakeDouble(value.CastTo(AtomicType::kDouble).AsDouble())};
+  } catch (const XQueryError&) {
+    return {MakeDouble(std::numeric_limits<double>::quiet_NaN())};
+  }
+}
+
+/// Applies a numeric unary op preserving the numeric type family.
+template <typename IntOp, typename DecimalOp, typename DoubleOp>
+Sequence NumericUnary(std::vector<Sequence>& args, const char* name,
+                      IntOp int_op, DecimalOp decimal_op, DoubleOp double_op) {
+  std::optional<AtomicValue> arg = OptionalAtomicArg(args[0], name);
+  if (!arg.has_value()) return {};
+  AtomicValue v = *arg;
+  if (v.type() == AtomicType::kUntypedAtomic) {
+    v = AtomicValue::Double(v.ToDoubleValue());
+  }
+  switch (v.type()) {
+    case AtomicType::kInteger:
+      return {MakeInteger(int_op(v.AsInteger()))};
+    case AtomicType::kDecimal:
+      return {MakeDecimalItem(decimal_op(v.AsDecimal()))};
+    case AtomicType::kDouble:
+      return {MakeDouble(double_op(v.AsDouble()))};
+    default:
+      ThrowError(ErrorCode::kXPTY0004,
+                 std::string(name) + " requires a numeric argument");
+  }
+}
+
+Sequence FnAbs(EvalContext&, std::vector<Sequence>& args) {
+  return NumericUnary(
+      args, "fn:abs", [](int64_t x) { return x < 0 ? -x : x; },
+      [](const Decimal& d) { return d.Abs(); },
+      [](double d) { return std::fabs(d); });
+}
+
+Sequence FnFloor(EvalContext&, std::vector<Sequence>& args) {
+  return NumericUnary(
+      args, "fn:floor", [](int64_t x) { return x; },
+      [](const Decimal& d) { return d.Floor(); },
+      [](double d) { return std::floor(d); });
+}
+
+Sequence FnCeiling(EvalContext&, std::vector<Sequence>& args) {
+  return NumericUnary(
+      args, "fn:ceiling", [](int64_t x) { return x; },
+      [](const Decimal& d) { return d.Ceiling(); },
+      [](double d) { return std::ceil(d); });
+}
+
+Sequence FnRound(EvalContext&, std::vector<Sequence>& args) {
+  return NumericUnary(
+      args, "fn:round", [](int64_t x) { return x; },
+      [](const Decimal& d) { return d.Round(); },
+      [](double d) { return std::floor(d + 0.5); });
+}
+
+Sequence FnRoundHalfToEven(EvalContext&, std::vector<Sequence>& args) {
+  int64_t precision = 0;
+  if (args.size() > 1) {
+    precision = RequiredAtomicArg(args[1], "fn:round-half-to-even")
+                    .CastTo(AtomicType::kInteger)
+                    .AsInteger();
+  }
+  std::optional<AtomicValue> arg =
+      OptionalAtomicArg(args[0], "fn:round-half-to-even");
+  if (!arg.has_value()) return {};
+  AtomicValue v = *arg;
+  if (v.type() == AtomicType::kUntypedAtomic) {
+    v = AtomicValue::Double(v.ToDoubleValue());
+  }
+  switch (v.type()) {
+    case AtomicType::kInteger:
+      return {Item(v)};
+    case AtomicType::kDecimal:
+      return {MakeDecimalItem(
+          v.AsDecimal().RoundHalfToEven(static_cast<int>(precision)))};
+    case AtomicType::kDouble: {
+      double scale = std::pow(10.0, static_cast<double>(precision));
+      double scaled = v.AsDouble() * scale;
+      double rounded = std::nearbyint(scaled);  // default mode: to-even
+      return {MakeDouble(rounded / scale)};
+    }
+    default:
+      ThrowError(ErrorCode::kXPTY0004,
+                 "fn:round-half-to-even requires a numeric argument");
+  }
+}
+
+// xs:TYPE constructor functions (cast subset).
+template <AtomicType Target>
+Sequence CastConstructor(EvalContext&, std::vector<Sequence>& args) {
+  std::optional<AtomicValue> arg = OptionalAtomicArg(args[0], "constructor");
+  if (!arg.has_value()) return {};
+  return {Item(arg->CastTo(Target))};
+}
+
+}  // namespace
+
+void RegisterNumeric(std::vector<BuiltinFunction>* registry) {
+  registry->push_back({"number", 0, 1, FnNumber});
+  registry->push_back({"abs", 1, 1, FnAbs});
+  registry->push_back({"floor", 1, 1, FnFloor});
+  registry->push_back({"ceiling", 1, 1, FnCeiling});
+  registry->push_back({"round", 1, 1, FnRound});
+  registry->push_back({"round-half-to-even", 1, 2, FnRoundHalfToEven});
+  registry->push_back({"xs:integer", 1, 1, CastConstructor<AtomicType::kInteger>});
+  registry->push_back({"xs:decimal", 1, 1, CastConstructor<AtomicType::kDecimal>});
+  registry->push_back({"xs:double", 1, 1, CastConstructor<AtomicType::kDouble>});
+  registry->push_back({"xs:string", 1, 1, CastConstructor<AtomicType::kString>});
+  registry->push_back({"xs:boolean", 1, 1, CastConstructor<AtomicType::kBoolean>});
+  registry->push_back({"xs:date", 1, 1, CastConstructor<AtomicType::kDate>});
+  registry->push_back({"xs:dateTime", 1, 1, CastConstructor<AtomicType::kDateTime>});
+  registry->push_back({"xs:time", 1, 1, CastConstructor<AtomicType::kTime>});
+  registry->push_back(
+      {"xs:untypedAtomic", 1, 1, CastConstructor<AtomicType::kUntypedAtomic>});
+}
+
+}  // namespace fn_internal
+}  // namespace xqa

@@ -1,0 +1,50 @@
+#include "base/regex_lite.h"
+#include "functions/helpers.h"
+
+namespace xqa {
+namespace fn_internal {
+
+namespace {
+
+RegexLite CompileArgs(std::vector<Sequence>& args, size_t pattern_index,
+                      size_t flags_index, const char* fn_name) {
+  std::string pattern = StringArg(args[pattern_index], fn_name);
+  std::string flags = args.size() > flags_index
+                          ? StringArg(args[flags_index], fn_name)
+                          : "";
+  return RegexLite::Compile(pattern, flags);
+}
+
+Sequence FnMatches(EvalContext&, std::vector<Sequence>& args) {
+  std::string input = StringArg(args[0], "fn:matches");
+  RegexLite regex = CompileArgs(args, 1, 2, "fn:matches");
+  return {MakeBoolean(regex.Search(input))};
+}
+
+Sequence FnReplace(EvalContext&, std::vector<Sequence>& args) {
+  std::string input = StringArg(args[0], "fn:replace");
+  RegexLite regex = CompileArgs(args, 1, 3, "fn:replace");
+  std::string replacement = StringArg(args[2], "fn:replace");
+  return {MakeString(regex.Replace(input, replacement))};
+}
+
+Sequence FnTokenize(EvalContext&, std::vector<Sequence>& args) {
+  std::string input = StringArg(args[0], "fn:tokenize");
+  RegexLite regex = CompileArgs(args, 1, 2, "fn:tokenize");
+  Sequence out;
+  for (std::string& token : regex.Tokenize(input)) {
+    out.push_back(MakeString(std::move(token)));
+  }
+  return out;
+}
+
+}  // namespace
+
+void RegisterRegex(std::vector<BuiltinFunction>* registry) {
+  registry->push_back({"matches", 2, 3, FnMatches});
+  registry->push_back({"replace", 3, 4, FnReplace});
+  registry->push_back({"tokenize", 2, 3, FnTokenize});
+}
+
+}  // namespace fn_internal
+}  // namespace xqa

@@ -1,0 +1,183 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "functions/helpers.h"
+#include "xdm/deep_equal.h"
+
+namespace xqa {
+namespace fn_internal {
+
+namespace {
+
+Sequence FnExists(EvalContext&, std::vector<Sequence>& args) {
+  return {MakeBoolean(!args[0].empty())};
+}
+
+Sequence FnEmpty(EvalContext&, std::vector<Sequence>& args) {
+  return {MakeBoolean(args[0].empty())};
+}
+
+Sequence FnDistinctValues(EvalContext&, std::vector<Sequence>& args) {
+  Sequence items = Atomize(args[0]);
+  Sequence out;
+  // Hash + verify, consistent with the `eq` equality used by deep-equal for
+  // atomic values (NaN equals NaN, untypedAtomic compares as string).
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  for (const Item& item : items) {
+    size_t hash = DeepHashItem(item);
+    std::vector<size_t>& bucket = buckets[hash];
+    bool duplicate = false;
+    for (size_t index : bucket) {
+      if (DeepEqualItems(out[index], item)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      bucket.push_back(out.size());
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+Sequence FnReverse(EvalContext&, std::vector<Sequence>& args) {
+  Sequence out = args[0];
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Sequence FnSubsequence(EvalContext&, std::vector<Sequence>& args) {
+  double start = RequiredAtomicArg(args[1], "fn:subsequence").ToDoubleValue();
+  double length = args.size() > 2
+      ? RequiredAtomicArg(args[2], "fn:subsequence").ToDoubleValue()
+      : std::numeric_limits<double>::infinity();
+  Sequence out;
+  double position = 0;
+  for (const Item& item : args[0]) {
+    position += 1;
+    if (position >= std::round(start) &&
+        position < std::round(start) + std::round(length)) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+Sequence FnInsertBefore(EvalContext&, std::vector<Sequence>& args) {
+  int64_t position =
+      RequiredAtomicArg(args[1], "fn:insert-before")
+          .CastTo(AtomicType::kInteger)
+          .AsInteger();
+  if (position < 1) position = 1;
+  Sequence out;
+  size_t insert_at = std::min<size_t>(static_cast<size_t>(position - 1),
+                                      args[0].size());
+  out.insert(out.end(), args[0].begin(), args[0].begin() + insert_at);
+  out.insert(out.end(), args[2].begin(), args[2].end());
+  out.insert(out.end(), args[0].begin() + insert_at, args[0].end());
+  return out;
+}
+
+Sequence FnRemove(EvalContext&, std::vector<Sequence>& args) {
+  int64_t position = RequiredAtomicArg(args[1], "fn:remove")
+                         .CastTo(AtomicType::kInteger)
+                         .AsInteger();
+  Sequence out;
+  for (size_t i = 0; i < args[0].size(); ++i) {
+    if (static_cast<int64_t>(i + 1) != position) out.push_back(args[0][i]);
+  }
+  return out;
+}
+
+Sequence FnIndexOf(EvalContext&, std::vector<Sequence>& args) {
+  AtomicValue target = RequiredAtomicArg(args[1], "fn:index-of");
+  Sequence items = Atomize(args[0]);
+  Sequence out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (DeepEqualItems(items[i], Item(target))) {
+      out.push_back(MakeInteger(static_cast<int64_t>(i + 1)));
+    }
+  }
+  return out;
+}
+
+Sequence FnZeroOrOne(EvalContext&, std::vector<Sequence>& args) {
+  if (args[0].size() > 1) {
+    ThrowError(ErrorCode::kFORG0003,
+               "fn:zero-or-one called with more than one item");
+  }
+  return args[0];
+}
+
+Sequence FnOneOrMore(EvalContext&, std::vector<Sequence>& args) {
+  if (args[0].empty()) {
+    ThrowError(ErrorCode::kFORG0004, "fn:one-or-more called with empty sequence");
+  }
+  return args[0];
+}
+
+Sequence FnExactlyOne(EvalContext&, std::vector<Sequence>& args) {
+  if (args[0].size() != 1) {
+    ThrowError(ErrorCode::kFORG0005,
+               "fn:exactly-one called with " + std::to_string(args[0].size()) +
+                   " items");
+  }
+  return args[0];
+}
+
+Sequence FnDeepEqual(EvalContext&, std::vector<Sequence>& args) {
+  return {MakeBoolean(DeepEqualSequences(args[0], args[1]))};
+}
+
+Sequence FnUnion(EvalContext&, std::vector<Sequence>& args) {
+  Sequence out = args[0];
+  Concat(&out, args[1]);
+  SortDocumentOrderAndDedup(&out);
+  return out;
+}
+
+Sequence FnData(EvalContext&, std::vector<Sequence>& args) {
+  return Atomize(args[0]);
+}
+
+Sequence FnUnordered(EvalContext&, std::vector<Sequence>& args) {
+  return args[0];
+}
+
+Sequence FnHead(EvalContext&, std::vector<Sequence>& args) {
+  if (args[0].empty()) return {};
+  return {args[0][0]};
+}
+
+Sequence FnTail(EvalContext&, std::vector<Sequence>& args) {
+  if (args[0].empty()) return {};
+  return Sequence(args[0].begin() + 1, args[0].end());
+}
+
+}  // namespace
+
+void RegisterSequence(std::vector<BuiltinFunction>* registry) {
+  registry->push_back({"exists", 1, 1, FnExists});
+  registry->push_back({"empty", 1, 1, FnEmpty});
+  registry->push_back({"distinct-values", 1, 1, FnDistinctValues});
+  registry->push_back({"reverse", 1, 1, FnReverse});
+  registry->push_back({"subsequence", 2, 3, FnSubsequence});
+  registry->push_back({"insert-before", 3, 3, FnInsertBefore});
+  registry->push_back({"remove", 2, 2, FnRemove});
+  registry->push_back({"index-of", 2, 2, FnIndexOf});
+  registry->push_back({"zero-or-one", 1, 1, FnZeroOrOne});
+  registry->push_back({"one-or-more", 1, 1, FnOneOrMore});
+  registry->push_back({"exactly-one", 1, 1, FnExactlyOne});
+  registry->push_back({"deep-equal", 2, 2, FnDeepEqual});
+  registry->push_back({"xqa:union", 2, 2, FnUnion});
+  registry->push_back({"data", 1, 1, FnData});
+  registry->push_back({"unordered", 1, 1, FnUnordered});
+  registry->push_back({"head", 1, 1, FnHead});
+  registry->push_back({"tail", 1, 1, FnTail});
+}
+
+}  // namespace fn_internal
+}  // namespace xqa

@@ -1,0 +1,242 @@
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+#include "base/string_util.h"
+#include "eval/dynamic_context.h"
+#include "functions/helpers.h"
+
+namespace xqa {
+namespace fn_internal {
+
+namespace {
+
+Sequence FnString(EvalContext& context, std::vector<Sequence>& args) {
+  if (args.empty()) {
+    if (!context.dynamic.focus.valid) {
+      ThrowError(ErrorCode::kXPDY0002, "fn:string(): context item is absent");
+    }
+    return {MakeString(context.dynamic.focus.item.StringValue())};
+  }
+  return {MakeString(StringValueOf(args[0]))};
+}
+
+Sequence FnConcat(EvalContext&, std::vector<Sequence>& args) {
+  std::string out;
+  for (const Sequence& arg : args) {
+    out += StringArg(arg, "fn:concat");
+  }
+  return {MakeString(std::move(out))};
+}
+
+Sequence FnStringJoin(EvalContext&, std::vector<Sequence>& args) {
+  std::string separator = args.size() > 1 ? StringArg(args[1], "fn:string-join")
+                                          : "";
+  Sequence items = Atomize(args[0]);
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += separator;
+    out += items[i].atomic().ToLexical();
+  }
+  return {MakeString(std::move(out))};
+}
+
+Sequence FnContains(EvalContext&, std::vector<Sequence>& args) {
+  std::string haystack = StringArg(args[0], "fn:contains");
+  std::string needle = StringArg(args[1], "fn:contains");
+  return {MakeBoolean(haystack.find(needle) != std::string::npos)};
+}
+
+Sequence FnStartsWith(EvalContext&, std::vector<Sequence>& args) {
+  std::string s = StringArg(args[0], "fn:starts-with");
+  std::string prefix = StringArg(args[1], "fn:starts-with");
+  return {MakeBoolean(s.rfind(prefix, 0) == 0)};
+}
+
+Sequence FnEndsWith(EvalContext&, std::vector<Sequence>& args) {
+  std::string s = StringArg(args[0], "fn:ends-with");
+  std::string suffix = StringArg(args[1], "fn:ends-with");
+  return {MakeBoolean(s.size() >= suffix.size() &&
+                      s.compare(s.size() - suffix.size(), suffix.size(),
+                                suffix) == 0)};
+}
+
+Sequence FnSubstring(EvalContext&, std::vector<Sequence>& args) {
+  // Byte-oriented (ASCII workloads); positions are 1-based and rounded.
+  std::string s = StringArg(args[0], "fn:substring");
+  double start = RequiredAtomicArg(args[1], "fn:substring").ToDoubleValue();
+  double length = args.size() > 2
+      ? RequiredAtomicArg(args[2], "fn:substring").ToDoubleValue()
+      : std::numeric_limits<double>::infinity();
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    double position = static_cast<double>(i + 1);
+    if (position >= std::round(start) &&
+        position < std::round(start) + std::round(length)) {
+      out.push_back(s[i]);
+    }
+  }
+  return {MakeString(std::move(out))};
+}
+
+Sequence FnStringLength(EvalContext& context, std::vector<Sequence>& args) {
+  std::string s;
+  if (args.empty()) {
+    if (!context.dynamic.focus.valid) {
+      ThrowError(ErrorCode::kXPDY0002,
+                 "fn:string-length(): context item is absent");
+    }
+    s = context.dynamic.focus.item.StringValue();
+  } else {
+    s = StringArg(args[0], "fn:string-length");
+  }
+  return {MakeInteger(static_cast<int64_t>(s.size()))};
+}
+
+Sequence FnUpperCase(EvalContext&, std::vector<Sequence>& args) {
+  std::string s = StringArg(args[0], "fn:upper-case");
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return {MakeString(std::move(s))};
+}
+
+Sequence FnLowerCase(EvalContext&, std::vector<Sequence>& args) {
+  std::string s = StringArg(args[0], "fn:lower-case");
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return {MakeString(std::move(s))};
+}
+
+Sequence FnNormalizeSpace(EvalContext& context, std::vector<Sequence>& args) {
+  std::string s;
+  if (args.empty()) {
+    if (!context.dynamic.focus.valid) {
+      ThrowError(ErrorCode::kXPDY0002,
+                 "fn:normalize-space(): context item is absent");
+    }
+    s = context.dynamic.focus.item.StringValue();
+  } else {
+    s = StringArg(args[0], "fn:normalize-space");
+  }
+  return {MakeString(CollapseWhitespace(s))};
+}
+
+Sequence FnSubstringBefore(EvalContext&, std::vector<Sequence>& args) {
+  std::string s = StringArg(args[0], "fn:substring-before");
+  std::string needle = StringArg(args[1], "fn:substring-before");
+  if (needle.empty()) return {MakeString("")};
+  size_t pos = s.find(needle);
+  if (pos == std::string::npos) return {MakeString("")};
+  return {MakeString(s.substr(0, pos))};
+}
+
+Sequence FnSubstringAfter(EvalContext&, std::vector<Sequence>& args) {
+  std::string s = StringArg(args[0], "fn:substring-after");
+  std::string needle = StringArg(args[1], "fn:substring-after");
+  if (needle.empty()) return {MakeString(s)};
+  size_t pos = s.find(needle);
+  if (pos == std::string::npos) return {MakeString("")};
+  return {MakeString(s.substr(pos + needle.size()))};
+}
+
+Sequence FnTranslate(EvalContext&, std::vector<Sequence>& args) {
+  std::string s = StringArg(args[0], "fn:translate");
+  std::string from = StringArg(args[1], "fn:translate");
+  std::string to = StringArg(args[2], "fn:translate");
+  std::string out;
+  for (char c : s) {
+    size_t pos = from.find(c);
+    if (pos == std::string::npos) {
+      out.push_back(c);
+    } else if (pos < to.size()) {
+      out.push_back(to[pos]);
+    }  // else: dropped
+  }
+  return {MakeString(std::move(out))};
+}
+
+Sequence FnCompare(EvalContext&, std::vector<Sequence>& args) {
+  if (args[0].empty() || args[1].empty()) return {};
+  std::string a = StringArg(args[0], "fn:compare");
+  std::string b = StringArg(args[1], "fn:compare");
+  int cmp = a.compare(b);
+  return {MakeInteger(cmp == 0 ? 0 : (cmp < 0 ? -1 : 1))};
+}
+
+Sequence FnStringToCodepoints(EvalContext&, std::vector<Sequence>& args) {
+  std::string s = StringArg(args[0], "fn:string-to-codepoints");
+  Sequence out;
+  // UTF-8 decoding; invalid bytes pass through as their byte values.
+  for (size_t i = 0; i < s.size();) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    uint32_t code = c;
+    size_t length = 1;
+    if ((c & 0xE0) == 0xC0 && i + 1 < s.size()) {
+      code = (c & 0x1F) << 6 | (s[i + 1] & 0x3F);
+      length = 2;
+    } else if ((c & 0xF0) == 0xE0 && i + 2 < s.size()) {
+      code = (c & 0x0F) << 12 | (s[i + 1] & 0x3F) << 6 | (s[i + 2] & 0x3F);
+      length = 3;
+    } else if ((c & 0xF8) == 0xF0 && i + 3 < s.size()) {
+      code = (c & 0x07) << 18 | (s[i + 1] & 0x3F) << 12 |
+             (s[i + 2] & 0x3F) << 6 | (s[i + 3] & 0x3F);
+      length = 4;
+    }
+    out.push_back(MakeInteger(static_cast<int64_t>(code)));
+    i += length;
+  }
+  return out;
+}
+
+Sequence FnCodepointsToString(EvalContext&, std::vector<Sequence>& args) {
+  Sequence codes = Atomize(args[0]);
+  std::string out;
+  for (const Item& item : codes) {
+    int64_t code =
+        item.atomic().CastTo(AtomicType::kInteger).AsInteger();
+    if (code <= 0 || code > 0x10FFFF) {
+      ThrowError(ErrorCode::kFOCA0002,
+                 "codepoint out of range: " + std::to_string(code));
+    }
+    uint32_t u = static_cast<uint32_t>(code);
+    if (u < 0x80) {
+      out.push_back(static_cast<char>(u));
+    } else if (u < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (u >> 6)));
+      out.push_back(static_cast<char>(0x80 | (u & 0x3F)));
+    } else if (u < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (u >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((u >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (u & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (u >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((u >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((u >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (u & 0x3F)));
+    }
+  }
+  return {MakeString(std::move(out))};
+}
+
+}  // namespace
+
+void RegisterString(std::vector<BuiltinFunction>* registry) {
+  registry->push_back({"string", 0, 1, FnString});
+  registry->push_back({"concat", 2, -1, FnConcat});
+  registry->push_back({"string-join", 1, 2, FnStringJoin});
+  registry->push_back({"contains", 2, 2, FnContains});
+  registry->push_back({"starts-with", 2, 2, FnStartsWith});
+  registry->push_back({"ends-with", 2, 2, FnEndsWith});
+  registry->push_back({"substring", 2, 3, FnSubstring});
+  registry->push_back({"string-length", 0, 1, FnStringLength});
+  registry->push_back({"upper-case", 1, 1, FnUpperCase});
+  registry->push_back({"lower-case", 1, 1, FnLowerCase});
+  registry->push_back({"normalize-space", 0, 1, FnNormalizeSpace});
+  registry->push_back({"substring-before", 2, 2, FnSubstringBefore});
+  registry->push_back({"substring-after", 2, 2, FnSubstringAfter});
+  registry->push_back({"translate", 3, 3, FnTranslate});
+  registry->push_back({"compare", 2, 2, FnCompare});
+  registry->push_back({"string-to-codepoints", 1, 1, FnStringToCodepoints});
+  registry->push_back({"codepoints-to-string", 1, 1, FnCodepointsToString});
+}
+
+}  // namespace fn_internal
+}  // namespace xqa

@@ -1,0 +1,49 @@
+#include "functions/function_registry.h"
+
+namespace xqa {
+
+// Registration hooks implemented by the per-category translation units.
+namespace fn_internal {
+void RegisterAggregate(std::vector<BuiltinFunction>* registry);
+void RegisterSequence(std::vector<BuiltinFunction>* registry);
+void RegisterString(std::vector<BuiltinFunction>* registry);
+void RegisterNumeric(std::vector<BuiltinFunction>* registry);
+void RegisterDateTime(std::vector<BuiltinFunction>* registry);
+void RegisterNode(std::vector<BuiltinFunction>* registry);
+void RegisterMembership(std::vector<BuiltinFunction>* registry);
+void RegisterRegex(std::vector<BuiltinFunction>* registry);
+void RegisterDoc(std::vector<BuiltinFunction>* registry);
+}  // namespace fn_internal
+
+const std::vector<BuiltinFunction>& BuiltinFunctions() {
+  static const std::vector<BuiltinFunction>& registry = *[] {
+    auto* r = new std::vector<BuiltinFunction>();
+    fn_internal::RegisterAggregate(r);
+    fn_internal::RegisterSequence(r);
+    fn_internal::RegisterString(r);
+    fn_internal::RegisterNumeric(r);
+    fn_internal::RegisterDateTime(r);
+    fn_internal::RegisterNode(r);
+    fn_internal::RegisterMembership(r);
+    fn_internal::RegisterRegex(r);
+    fn_internal::RegisterDoc(r);
+    return r;
+  }();
+  return registry;
+}
+
+int FindBuiltin(std::string_view name, size_t arity) {
+  // "fn:" is the default function namespace; strip it.
+  if (name.rfind("fn:", 0) == 0) name.remove_prefix(3);
+  const std::vector<BuiltinFunction>& registry = BuiltinFunctions();
+  for (size_t i = 0; i < registry.size(); ++i) {
+    const BuiltinFunction& fn = registry[i];
+    if (fn.name != name) continue;
+    if (static_cast<int>(arity) < fn.min_arity) continue;
+    if (fn.max_arity >= 0 && static_cast<int>(arity) > fn.max_arity) continue;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace xqa

@@ -1,0 +1,44 @@
+#ifndef XQA_FUNCTIONS_FUNCTION_REGISTRY_H_
+#define XQA_FUNCTIONS_FUNCTION_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xdm/item.h"
+
+namespace xqa {
+
+class DynamicContext;
+class Evaluator;
+
+/// Context handed to built-in functions: the dynamic context (focus, frames)
+/// plus the evaluator, so built-ins that need to call back into query
+/// evaluation (none currently) or construct nodes can do so.
+struct EvalContext {
+  DynamicContext& dynamic;
+  Evaluator& evaluator;
+};
+
+/// A built-in function implementation. Arguments are fully evaluated
+/// sequences; the result is a sequence.
+using BuiltinFn = Sequence (*)(EvalContext&, std::vector<Sequence>&);
+
+struct BuiltinFunction {
+  std::string_view name;  ///< local name ("avg") or prefixed ("xqa:union")
+  int min_arity;
+  int max_arity;  ///< -1 = unbounded (fn:concat)
+  BuiltinFn fn;
+};
+
+/// All registered built-ins. Index into this vector is the builtin id the
+/// binder stores on call sites.
+const std::vector<BuiltinFunction>& BuiltinFunctions();
+
+/// Resolves a lexical function name + arity to a builtin id, or -1. The
+/// "fn:" prefix is optional ("fn:avg" == "avg").
+int FindBuiltin(std::string_view name, size_t arity);
+
+}  // namespace xqa
+
+#endif  // XQA_FUNCTIONS_FUNCTION_REGISTRY_H_

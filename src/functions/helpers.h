@@ -1,0 +1,56 @@
+#ifndef XQA_FUNCTIONS_HELPERS_H_
+#define XQA_FUNCTIONS_HELPERS_H_
+
+#include <optional>
+#include <string>
+
+#include "base/error.h"
+#include "functions/function_registry.h"
+#include "xdm/sequence_ops.h"
+
+namespace xqa {
+namespace fn_internal {
+
+/// Atomizes an argument and enforces empty-or-singleton cardinality.
+inline std::optional<AtomicValue> OptionalAtomicArg(const Sequence& arg,
+                                                    const char* fn_name) {
+  Sequence atomized = Atomize(arg);
+  if (atomized.empty()) return std::nullopt;
+  if (atomized.size() > 1) {
+    ThrowError(ErrorCode::kXPTY0004,
+               std::string(fn_name) + " expects at most one item");
+  }
+  return atomized[0].atomic();
+}
+
+/// Atomized singleton argument, required.
+inline AtomicValue RequiredAtomicArg(const Sequence& arg, const char* fn_name) {
+  std::optional<AtomicValue> value = OptionalAtomicArg(arg, fn_name);
+  if (!value.has_value()) {
+    ThrowError(ErrorCode::kFORG0006,
+               std::string(fn_name) + " expects exactly one item");
+  }
+  return *value;
+}
+
+/// String view of an optional string-typed argument; empty sequence -> "".
+inline std::string StringArg(const Sequence& arg, const char* fn_name) {
+  std::optional<AtomicValue> value = OptionalAtomicArg(arg, fn_name);
+  if (!value.has_value()) return "";
+  return value->ToLexical();
+}
+
+/// The singleton node argument of node functions (fn:name etc.).
+inline const Node* OptionalNodeArg(const Sequence& arg, const char* fn_name) {
+  if (arg.empty()) return nullptr;
+  if (arg.size() > 1 || !arg[0].IsNode()) {
+    ThrowError(ErrorCode::kXPTY0004,
+               std::string(fn_name) + " expects at most one node");
+  }
+  return arg[0].node();
+}
+
+}  // namespace fn_internal
+}  // namespace xqa
+
+#endif  // XQA_FUNCTIONS_HELPERS_H_

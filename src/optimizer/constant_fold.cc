@@ -1,0 +1,174 @@
+#include "optimizer/constant_fold.h"
+
+#include <cmath>
+#include <optional>
+
+#include "xdm/compare.h"
+
+namespace xqa {
+
+namespace {
+
+const AtomicValue* AsLiteral(const Expr* expr) {
+  if (expr == nullptr || expr->kind() != ExprKind::kLiteral) return nullptr;
+  return &static_cast<const LiteralExpr*>(expr)->value;
+}
+
+ExprPtr MakeLiteral(AtomicValue value, SourceLocation loc) {
+  return std::make_unique<LiteralExpr>(std::move(value), loc);
+}
+
+/// Folds numeric arithmetic when it cannot raise (no division, no overflow).
+ExprPtr FoldArithmetic(const ArithmeticExpr* e) {
+  const AtomicValue* a = AsLiteral(e->lhs.get());
+  const AtomicValue* b = AsLiteral(e->rhs.get());
+  if (a == nullptr || b == nullptr) return nullptr;
+  if (!a->IsNumeric() || !b->IsNumeric()) return nullptr;
+  // Division and modulo can raise FOAR0001; leave them to runtime.
+  if (e->op == ArithOp::kDivide || e->op == ArithOp::kIntegerDivide ||
+      e->op == ArithOp::kModulo) {
+    return nullptr;
+  }
+  if (a->type() == AtomicType::kDouble || b->type() == AtomicType::kDouble) {
+    double x = a->ToDoubleValue();
+    double y = b->ToDoubleValue();
+    double result = e->op == ArithOp::kAdd        ? x + y
+                    : e->op == ArithOp::kSubtract ? x - y
+                                                  : x * y;
+    return MakeLiteral(AtomicValue::Double(result), e->location());
+  }
+  if (a->type() == AtomicType::kDecimal || b->type() == AtomicType::kDecimal) {
+    Decimal x = a->type() == AtomicType::kDecimal ? a->AsDecimal()
+                                                  : Decimal(a->AsInteger());
+    Decimal y = b->type() == AtomicType::kDecimal ? b->AsDecimal()
+                                                  : Decimal(b->AsInteger());
+    try {
+      Decimal result = e->op == ArithOp::kAdd        ? x.Add(y)
+                       : e->op == ArithOp::kSubtract ? x.Subtract(y)
+                                                     : x.Multiply(y);
+      return MakeLiteral(AtomicValue::MakeDecimal(result), e->location());
+    } catch (const XQueryError&) {
+      return nullptr;  // overflow: keep the runtime error
+    }
+  }
+  int64_t result = 0;
+  bool overflow = false;
+  switch (e->op) {
+    case ArithOp::kAdd:
+      overflow = __builtin_add_overflow(a->AsInteger(), b->AsInteger(), &result);
+      break;
+    case ArithOp::kSubtract:
+      overflow = __builtin_sub_overflow(a->AsInteger(), b->AsInteger(), &result);
+      break;
+    case ArithOp::kMultiply:
+      overflow = __builtin_mul_overflow(a->AsInteger(), b->AsInteger(), &result);
+      break;
+    default:
+      return nullptr;
+  }
+  if (overflow) return nullptr;
+  return MakeLiteral(AtomicValue::Integer(result), e->location());
+}
+
+ExprPtr FoldComparison(const ComparisonExpr* e) {
+  if (e->comparison_kind == ComparisonKind::kNodeIs) return nullptr;
+  const AtomicValue* a = AsLiteral(e->lhs.get());
+  const AtomicValue* b = AsLiteral(e->rhs.get());
+  if (a == nullptr || b == nullptr) return nullptr;
+  try {
+    bool result = ValueCompareAtomic(static_cast<CompareOp>(e->op), *a, *b);
+    return MakeLiteral(AtomicValue::Boolean(result), e->location());
+  } catch (const XQueryError&) {
+    return nullptr;  // incomparable types: keep the runtime error
+  }
+}
+
+std::optional<bool> LiteralTruth(const Expr* expr) {
+  const AtomicValue* v = AsLiteral(expr);
+  if (v == nullptr) return std::nullopt;
+  switch (v->type()) {
+    case AtomicType::kBoolean:
+      return v->AsBoolean();
+    case AtomicType::kString:
+    case AtomicType::kUntypedAtomic:
+      return !v->AsString().empty();
+    case AtomicType::kInteger:
+      return v->AsInteger() != 0;
+    case AtomicType::kDecimal:
+      return !v->AsDecimal().IsZero();
+    case AtomicType::kDouble: {
+      double d = v->AsDouble();
+      return d != 0 && !std::isnan(d);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+ExprPtr FoldLogical(LogicalExpr* e) {
+  std::optional<bool> lhs = LiteralTruth(e->lhs.get());
+  std::optional<bool> rhs = LiteralTruth(e->rhs.get());
+  bool is_and = e->op == LogicalOp::kAnd;
+  // A decided short-circuit side folds the whole expression (evaluation
+  // order of and/or is implementation-defined in XQuery, so dropping the
+  // other side's potential errors is permitted).
+  if (lhs.has_value() && *lhs == !is_and) {
+    return MakeLiteral(AtomicValue::Boolean(*lhs), e->location());
+  }
+  if (rhs.has_value() && *rhs == !is_and) {
+    return MakeLiteral(AtomicValue::Boolean(*rhs), e->location());
+  }
+  if (lhs.has_value() && rhs.has_value()) {
+    return MakeLiteral(
+        AtomicValue::Boolean(is_and ? (*lhs && *rhs) : (*lhs || *rhs)),
+        e->location());
+  }
+  // true and E  ->  E must still be reduced to its EBV; only fold when E is
+  // itself a decided literal (handled above), so nothing more to do.
+  return nullptr;
+}
+
+ExprPtr FoldIf(IfExpr* e) {
+  std::optional<bool> condition = LiteralTruth(e->condition.get());
+  if (!condition.has_value()) return nullptr;
+  return std::move(*condition ? e->then_branch : e->else_branch);
+}
+
+ExprPtr FoldUnary(UnaryExpr* e) {
+  const AtomicValue* v = AsLiteral(e->operand.get());
+  if (v == nullptr || !v->IsNumeric()) return nullptr;
+  if (!e->negate) return std::move(e->operand);
+  switch (v->type()) {
+    case AtomicType::kInteger:
+      if (v->AsInteger() == INT64_MIN) return nullptr;
+      return MakeLiteral(AtomicValue::Integer(-v->AsInteger()), e->location());
+    case AtomicType::kDecimal:
+      return MakeLiteral(AtomicValue::MakeDecimal(v->AsDecimal().Negate()),
+                         e->location());
+    case AtomicType::kDouble:
+      return MakeLiteral(AtomicValue::Double(-v->AsDouble()), e->location());
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+ExprPtr TryFoldConstant(Expr* expr) {
+  switch (expr->kind()) {
+    case ExprKind::kArithmetic:
+      return FoldArithmetic(static_cast<const ArithmeticExpr*>(expr));
+    case ExprKind::kComparison:
+      return FoldComparison(static_cast<const ComparisonExpr*>(expr));
+    case ExprKind::kLogical:
+      return FoldLogical(static_cast<LogicalExpr*>(expr));
+    case ExprKind::kIf:
+      return FoldIf(static_cast<IfExpr*>(expr));
+    case ExprKind::kUnary:
+      return FoldUnary(static_cast<UnaryExpr*>(expr));
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace xqa

@@ -1,0 +1,27 @@
+#ifndef XQA_OPTIMIZER_CONSTANT_FOLD_H_
+#define XQA_OPTIMIZER_CONSTANT_FOLD_H_
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Attempts to fold one expression whose children have already been folded:
+///
+///  - arithmetic / unary over literals  (1 + 2 -> 3)
+///  - value and general comparisons over literals  (1 < 2 -> true)
+///  - and/or with a decided literal side  (false and E -> false;
+///    true and E -> boolean(E) only when E is a literal)
+///  - if with a literal condition -> the taken branch
+///  - concat / string functions over literals are left alone (the fold is
+///    conservative: only pure arithmetic/logic kernels)
+///
+/// Folding never changes error behavior for the expressions it touches: a
+/// literal expression that would raise a dynamic error (1 div 0) is left
+/// unfolded so the error still surfaces at evaluation time.
+///
+/// Returns the replacement literal/branch, or nullptr when not foldable.
+ExprPtr TryFoldConstant(Expr* expr);
+
+}  // namespace xqa
+
+#endif  // XQA_OPTIMIZER_CONSTANT_FOLD_H_

@@ -1,0 +1,235 @@
+#include "optimizer/groupby_detect.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xqa {
+
+namespace {
+
+/// Matches FunctionCallExpr `name(arg)`; returns the argument or nullptr.
+Expr* MatchCall1(Expr* expr, std::string_view name) {
+  if (expr == nullptr || expr->kind() != ExprKind::kFunctionCall) return nullptr;
+  auto* call = static_cast<FunctionCallExpr*>(expr);
+  if (call->name != name || call->args.size() != 1) return nullptr;
+  return call->args[0].get();
+}
+
+/// Matches a single-child-step path "$var/child" and returns the child name.
+bool MatchVarChildPath(const Expr* expr, std::string* var, std::string* child) {
+  if (expr == nullptr || expr->kind() != ExprKind::kPath) return false;
+  const auto* path = static_cast<const PathExpr*>(expr);
+  if (path->absolute || path->start == nullptr) return false;
+  if (path->start->kind() != ExprKind::kVarRef) return false;
+  if (path->segments.size() != 1) return false;
+  const PathSegment& segment = path->segments[0];
+  if (segment.is_expr()) return false;
+  if (segment.step.axis != Axis::kChild ||
+      segment.step.test.kind != NodeTest::Kind::kName ||
+      segment.step.test.name == "*" || !segment.step.predicates.empty()) {
+    return false;
+  }
+  *var = static_cast<const VarRefExpr*>(path->start.get())->name;
+  *child = segment.step.test.name;
+  return true;
+}
+
+/// Flattens an `and` tree into conjuncts.
+void CollectConjuncts(Expr* expr, std::vector<Expr*>* out) {
+  if (expr->kind() == ExprKind::kLogical &&
+      static_cast<LogicalExpr*>(expr)->op == LogicalOp::kAnd) {
+    auto* logical = static_cast<LogicalExpr*>(expr);
+    CollectConjuncts(logical->lhs.get(), out);
+    CollectConjuncts(logical->rhs.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+/// Builds the path expression $var/child.
+ExprPtr BuildVarChildPath(const std::string& var, const std::string& child,
+                          SourceLocation loc) {
+  std::vector<PathSegment> segments(1);
+  segments[0].step.axis = Axis::kChild;
+  segments[0].step.test.kind = NodeTest::Kind::kName;
+  segments[0].step.test.name = child;
+  return std::make_unique<PathExpr>(std::make_unique<VarRefExpr>(var, loc),
+                                    /*absolute=*/false, std::move(segments),
+                                    loc);
+}
+
+ExprPtr BuildCall1(std::string name, ExprPtr arg, SourceLocation loc) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(arg));
+  return std::make_unique<FunctionCallExpr>(std::move(name), std::move(args),
+                                            loc);
+}
+
+}  // namespace
+
+ExprPtr TryRewriteGroupByPattern(FlworExpr* expr) {
+  // --- Shape check ----------------------------------------------------------
+  // Leading for-clauses over distinct-values(...).
+  size_t index = 0;
+  std::vector<std::string> key_vars;
+  while (index < expr->clauses.size() &&
+         expr->clauses[index].kind == ClauseKind::kFor) {
+    FlworClause& clause = expr->clauses[index];
+    if (!clause.pos_var.empty()) return nullptr;
+    if (MatchCall1(clause.for_expr.get(), "distinct-values") == nullptr &&
+        MatchCall1(clause.for_expr.get(), "fn:distinct-values") == nullptr) {
+      break;
+    }
+    key_vars.push_back(clause.for_var);
+    ++index;
+  }
+  if (key_vars.empty()) return nullptr;
+
+  // One let clause binding the correlated inner FLWOR.
+  if (index >= expr->clauses.size() ||
+      expr->clauses[index].kind != ClauseKind::kLet) {
+    return nullptr;
+  }
+  FlworClause& let_clause = expr->clauses[index];
+  const std::string items_var = let_clause.let_var;
+  if (let_clause.let_expr->kind() != ExprKind::kFlwor) return nullptr;
+  auto* inner = static_cast<FlworExpr*>(let_clause.let_expr.get());
+  ++index;
+
+  // Inner: for $i in SRC where <conjunction> return $i.
+  if (inner->clauses.size() != 2 ||
+      inner->clauses[0].kind != ClauseKind::kFor ||
+      inner->clauses[1].kind != ClauseKind::kWhere ||
+      !inner->at_var.empty()) {
+    return nullptr;
+  }
+  FlworClause& inner_for = inner->clauses[0];
+  if (!inner_for.pos_var.empty()) return nullptr;
+  const std::string item_var = inner_for.for_var;
+  if (inner->return_expr->kind() != ExprKind::kVarRef ||
+      static_cast<VarRefExpr*>(inner->return_expr.get())->name != item_var) {
+    return nullptr;
+  }
+
+  // The conjunction must pair each key variable with one $i/child = $key.
+  std::vector<Expr*> conjuncts;
+  CollectConjuncts(inner->clauses[1].where_expr.get(), &conjuncts);
+  if (conjuncts.size() != key_vars.size()) return nullptr;
+  std::vector<std::string> key_children(key_vars.size());
+  std::set<std::string> matched;
+  for (Expr* conjunct : conjuncts) {
+    if (conjunct->kind() != ExprKind::kComparison) return nullptr;
+    auto* comparison = static_cast<ComparisonExpr*>(conjunct);
+    if (comparison->comparison_kind != ComparisonKind::kGeneral ||
+        comparison->op != 0 /* CompareOp::kEq */) {
+      return nullptr;
+    }
+    std::string path_var, child;
+    Expr* lhs = comparison->lhs.get();
+    Expr* rhs = comparison->rhs.get();
+    // Accept either orientation: $i/c = $k or $k = $i/c.
+    if (!MatchVarChildPath(lhs, &path_var, &child)) {
+      std::swap(lhs, rhs);
+      if (!MatchVarChildPath(lhs, &path_var, &child)) return nullptr;
+    }
+    if (path_var != item_var) return nullptr;
+    if (rhs->kind() != ExprKind::kVarRef) return nullptr;
+    const std::string& key_name = static_cast<VarRefExpr*>(rhs)->name;
+    bool found = false;
+    for (size_t k = 0; k < key_vars.size(); ++k) {
+      if (key_vars[k] == key_name) {
+        if (!matched.insert(key_name).second) return nullptr;
+        key_children[k] = child;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return nullptr;
+  }
+
+  // Optional `where exists($items)`.
+  if (index < expr->clauses.size() &&
+      expr->clauses[index].kind == ClauseKind::kWhere) {
+    Expr* arg = MatchCall1(expr->clauses[index].where_expr.get(), "exists");
+    if (arg == nullptr) {
+      arg = MatchCall1(expr->clauses[index].where_expr.get(), "fn:exists");
+    }
+    if (arg == nullptr || arg->kind() != ExprKind::kVarRef ||
+        static_cast<VarRefExpr*>(arg)->name != items_var) {
+      return nullptr;
+    }
+    ++index;
+  }
+
+  // Optional trailing order by, then nothing else.
+  FlworClause* order_clause = nullptr;
+  if (index < expr->clauses.size() &&
+      expr->clauses[index].kind == ClauseKind::kOrderBy) {
+    order_clause = &expr->clauses[index];
+    ++index;
+  }
+  if (index != expr->clauses.size()) return nullptr;
+
+  // Name hygiene: the inner item variable must not collide with the key or
+  // items variables (its name becomes visible in the rewritten FLWOR head).
+  for (const std::string& key : key_vars) {
+    if (key == item_var) return nullptr;
+  }
+  if (items_var == item_var) return nullptr;
+
+  // --- Build the rewritten FLWOR --------------------------------------------
+  SourceLocation loc = expr->location();
+  std::vector<FlworClause> clauses;
+
+  FlworClause for_clause;
+  for_clause.kind = ClauseKind::kFor;
+  for_clause.location = loc;
+  for_clause.for_var = item_var;
+  for_clause.for_expr = std::move(inner_for.for_expr);
+  clauses.push_back(std::move(for_clause));
+
+  FlworClause group_clause;
+  group_clause.kind = ClauseKind::kGroupBy;
+  group_clause.location = loc;
+  for (size_t k = 0; k < key_vars.size(); ++k) {
+    FlworClause::GroupKey key;
+    key.expr = BuildCall1(
+        "data", BuildVarChildPath(item_var, key_children[k], loc), loc);
+    key.var = key_vars[k];
+    group_clause.group_keys.push_back(std::move(key));
+  }
+  FlworClause::NestSpec nest;
+  nest.expr = std::make_unique<VarRefExpr>(item_var, loc);
+  nest.var = items_var;
+  group_clause.nest_specs.push_back(std::move(nest));
+  clauses.push_back(std::move(group_clause));
+
+  // Post-group filter: drop groups whose key is the empty sequence — items
+  // lacking the child element never matched the naive form's equality.
+  ExprPtr filter;
+  for (const std::string& key : key_vars) {
+    ExprPtr exists = BuildCall1(
+        "exists", std::make_unique<VarRefExpr>(key, loc), loc);
+    if (filter == nullptr) {
+      filter = std::move(exists);
+    } else {
+      filter = std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(filter),
+                                             std::move(exists), loc);
+    }
+  }
+  FlworClause where_clause;
+  where_clause.kind = ClauseKind::kWhere;
+  where_clause.location = loc;
+  where_clause.where_expr = std::move(filter);
+  clauses.push_back(std::move(where_clause));
+
+  if (order_clause != nullptr) {
+    clauses.push_back(std::move(*order_clause));
+  }
+
+  return std::make_unique<FlworExpr>(std::move(clauses), expr->at_var,
+                                     std::move(expr->return_expr), loc);
+}
+
+}  // namespace xqa

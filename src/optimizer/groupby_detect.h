@@ -1,0 +1,41 @@
+#ifndef XQA_OPTIMIZER_GROUPBY_DETECT_H_
+#define XQA_OPTIMIZER_GROUPBY_DETECT_H_
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Attempts to rewrite one FLWOR matching the naive grouping template of
+/// Table 1 into an explicit group by:
+///
+///   for $k1 in distinct-values(P1) (, $k2 in distinct-values(P2))*
+///   let $items := for $i in SRC
+///                 where $i/c1 = $k1 (and $i/c2 = $k2)* return $i
+///   (where exists($items))?
+///   (order by ...)?
+///   return R
+///
+/// becomes
+///
+///   for $i in SRC
+///   group by data($i/c1) into $k1 (, data($i/c2) into $k2)*
+///     nest $i into $items
+///   where exists($k1) (and exists($k2))*
+///   (order by ...)?
+///   return R
+///
+/// The rewrite preserves semantics when each ci occurs at most once per item
+/// of SRC — the configuration of the paper's experiment ("each grouping
+/// element occurred exactly once in its parent"). With repeated ci children
+/// the general '=' in the naive form is existential while grouping compares
+/// the whole value sequence; detecting and compensating that difference is
+/// exactly the hardness the paper argues motivates an explicit construct
+/// (Section 7).
+///
+/// Returns the replacement (and empties *expr) or nullptr if the FLWOR does
+/// not match the template.
+ExprPtr TryRewriteGroupByPattern(FlworExpr* expr);
+
+}  // namespace xqa
+
+#endif  // XQA_OPTIMIZER_GROUPBY_DETECT_H_

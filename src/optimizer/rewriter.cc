@@ -1,0 +1,215 @@
+#include "optimizer/rewriter.h"
+
+#include "optimizer/constant_fold.h"
+#include "optimizer/groupby_detect.h"
+
+namespace xqa {
+
+namespace {
+
+class Rewriter {
+ public:
+  explicit Rewriter(const OptimizerOptions& options) : options_(options) {}
+
+  int rewrites() const { return rewrites_; }
+
+  /// Rewrites the expression in `slot`, recursing into children first so
+  /// nested occurrences of a pattern are handled bottom-up.
+  void Rewrite(ExprPtr* slot) {
+    RewriteChildren(slot);
+    if (options_.fold_constants && slot->get() != nullptr) {
+      ExprPtr folded = TryFoldConstant(slot->get());
+      if (folded != nullptr) {
+        ++rewrites_;
+        *slot = std::move(folded);
+        // A folded if-branch may expose further folds.
+        ExprPtr again = TryFoldConstant(slot->get());
+        while (again != nullptr) {
+          ++rewrites_;
+          *slot = std::move(again);
+          again = TryFoldConstant(slot->get());
+        }
+      }
+    }
+  }
+
+  void RewriteChildren(ExprPtr* slot) {
+    Expr* expr = slot->get();
+    if (expr == nullptr) return;
+    switch (expr->kind()) {
+      case ExprKind::kLiteral:
+      case ExprKind::kVarRef:
+      case ExprKind::kContextItem:
+        return;
+      case ExprKind::kSequence:
+        for (ExprPtr& item : static_cast<SequenceExpr*>(expr)->items) {
+          Rewrite(&item);
+        }
+        return;
+      case ExprKind::kRange: {
+        auto* e = static_cast<RangeExpr*>(expr);
+        Rewrite(&e->lo);
+        Rewrite(&e->hi);
+        return;
+      }
+      case ExprKind::kArithmetic: {
+        auto* e = static_cast<ArithmeticExpr*>(expr);
+        Rewrite(&e->lhs);
+        Rewrite(&e->rhs);
+        return;
+      }
+      case ExprKind::kUnary:
+        Rewrite(&static_cast<UnaryExpr*>(expr)->operand);
+        return;
+      case ExprKind::kComparison: {
+        auto* e = static_cast<ComparisonExpr*>(expr);
+        Rewrite(&e->lhs);
+        Rewrite(&e->rhs);
+        return;
+      }
+      case ExprKind::kLogical: {
+        auto* e = static_cast<LogicalExpr*>(expr);
+        Rewrite(&e->lhs);
+        Rewrite(&e->rhs);
+        return;
+      }
+      case ExprKind::kIf: {
+        auto* e = static_cast<IfExpr*>(expr);
+        Rewrite(&e->condition);
+        Rewrite(&e->then_branch);
+        Rewrite(&e->else_branch);
+        return;
+      }
+      case ExprKind::kQuantified: {
+        auto* e = static_cast<QuantifiedExpr*>(expr);
+        for (QuantifiedExpr::Binding& binding : e->bindings) {
+          Rewrite(&binding.expr);
+        }
+        Rewrite(&e->satisfies);
+        return;
+      }
+      case ExprKind::kPath: {
+        auto* e = static_cast<PathExpr*>(expr);
+        if (e->start != nullptr) Rewrite(&e->start);
+        for (PathSegment& segment : e->segments) {
+          if (segment.is_expr()) {
+            Rewrite(&segment.expr);
+          } else {
+            for (ExprPtr& predicate : segment.step.predicates) {
+              Rewrite(&predicate);
+            }
+          }
+        }
+        return;
+      }
+      case ExprKind::kFilter: {
+        auto* e = static_cast<FilterExpr*>(expr);
+        Rewrite(&e->primary);
+        for (ExprPtr& predicate : e->predicates) {
+          Rewrite(&predicate);
+        }
+        return;
+      }
+      case ExprKind::kFunctionCall:
+        for (ExprPtr& arg : static_cast<FunctionCallExpr*>(expr)->args) {
+          Rewrite(&arg);
+        }
+        return;
+      case ExprKind::kFlwor: {
+        auto* e = static_cast<FlworExpr*>(expr);
+        for (FlworClause& clause : e->clauses) {
+          switch (clause.kind) {
+            case ClauseKind::kFor:
+              Rewrite(&clause.for_expr);
+              break;
+            case ClauseKind::kLet:
+              Rewrite(&clause.let_expr);
+              break;
+            case ClauseKind::kWhere:
+              Rewrite(&clause.where_expr);
+              break;
+            case ClauseKind::kGroupBy:
+              for (auto& key : clause.group_keys) Rewrite(&key.expr);
+              for (auto& nest : clause.nest_specs) {
+                Rewrite(&nest.expr);
+                if (nest.order_by.has_value()) {
+                  for (OrderSpec& spec : nest.order_by->specs) {
+                    Rewrite(&spec.key);
+                  }
+                }
+              }
+              break;
+            case ClauseKind::kOrderBy:
+              for (OrderSpec& spec : clause.order_by.specs) {
+                Rewrite(&spec.key);
+              }
+              break;
+            case ClauseKind::kCount:
+              break;
+          }
+        }
+        Rewrite(&e->return_expr);
+        if (options_.detect_groupby_patterns) {
+          ExprPtr replacement = TryRewriteGroupByPattern(e);
+          if (replacement != nullptr) {
+            ++rewrites_;
+            *slot = std::move(replacement);
+          }
+        }
+        return;
+      }
+      case ExprKind::kDirectConstructor: {
+        auto* e = static_cast<DirectConstructorExpr*>(expr);
+        for (auto& attr : e->attributes) {
+          for (ConstructorContent& part : attr.parts) {
+            if (part.expr != nullptr) Rewrite(&part.expr);
+          }
+        }
+        for (ConstructorContent& child : e->children) {
+          if (child.expr != nullptr) Rewrite(&child.expr);
+        }
+        return;
+      }
+      case ExprKind::kComputedConstructor: {
+        auto* e = static_cast<ComputedConstructorExpr*>(expr);
+        if (e->name_expr != nullptr) Rewrite(&e->name_expr);
+        if (e->content != nullptr) Rewrite(&e->content);
+        return;
+      }
+      case ExprKind::kTypeOp:
+        Rewrite(&static_cast<TypeOpExpr*>(expr)->operand);
+        return;
+      case ExprKind::kTypeswitch: {
+        auto* e = static_cast<TypeswitchExpr*>(expr);
+        Rewrite(&e->operand);
+        for (TypeswitchExpr::CaseClause& clause : e->cases) {
+          Rewrite(&clause.result);
+        }
+        Rewrite(&e->default_result);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+ private:
+  OptimizerOptions options_;
+  int rewrites_ = 0;
+};
+
+}  // namespace
+
+int OptimizeModule(Module* module, const OptimizerOptions& options) {
+  Rewriter rewriter(options);
+  for (FunctionDecl& fn : module->functions) {
+    rewriter.Rewrite(&fn.body);
+  }
+  for (VariableDecl& decl : module->variables) {
+    rewriter.Rewrite(&decl.expr);
+  }
+  rewriter.Rewrite(&module->body);
+  return rewriter.rewrites();
+}
+
+}  // namespace xqa

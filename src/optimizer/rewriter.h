@@ -1,0 +1,26 @@
+#ifndef XQA_OPTIMIZER_REWRITER_H_
+#define XQA_OPTIMIZER_REWRITER_H_
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+struct OptimizerOptions {
+  /// Detect the distinct-values/self-join grouping pattern (the naive
+  /// formulation from Table 1 of the paper) and rewrite it to an explicit
+  /// group by. See groupby_detect.h for the exact template and the
+  /// conditions under which the rewrite preserves semantics.
+  bool detect_groupby_patterns = false;
+
+  /// Fold literal-only arithmetic, comparisons, logic, and concatenations at
+  /// compile time, and prune statically-decided conditionals.
+  bool fold_constants = false;
+};
+
+/// Runs enabled rewrite passes over the (parsed, unbound) module. Returns
+/// the number of rewrites applied. Run before BindModule.
+int OptimizeModule(Module* module, const OptimizerOptions& options);
+
+}  // namespace xqa
+
+#endif  // XQA_OPTIMIZER_REWRITER_H_

@@ -1,0 +1,429 @@
+#include "parser/ast.h"
+
+#include <sstream>
+
+namespace xqa {
+
+namespace {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild: return "child";
+    case Axis::kDescendant: return "descendant";
+    case Axis::kDescendantOrSelf: return "descendant-or-self";
+    case Axis::kAttribute: return "attribute";
+    case Axis::kSelf: return "self";
+    case Axis::kParent: return "parent";
+    case Axis::kAncestor: return "ancestor";
+    case Axis::kAncestorOrSelf: return "ancestor-or-self";
+    case Axis::kFollowingSibling: return "following-sibling";
+    case Axis::kPrecedingSibling: return "preceding-sibling";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSubtract: return "-";
+    case ArithOp::kMultiply: return "*";
+    case ArithOp::kDivide: return "div";
+    case ArithOp::kIntegerDivide: return "idiv";
+    case ArithOp::kModulo: return "mod";
+  }
+  return "?";
+}
+
+const char* CompareOpName(int op) {
+  switch (op) {
+    case 0: return "eq";
+    case 1: return "ne";
+    case 2: return "lt";
+    case 3: return "le";
+    case 4: return "gt";
+    case 5: return "ge";
+  }
+  return "?";
+}
+
+void Dump(const Expr* expr, std::ostringstream* out);
+
+void DumpSeqType(const SeqType& type, std::ostringstream* out) {
+  switch (type.item_kind) {
+    case SeqType::ItemKind::kItem: *out << "item()"; break;
+    case SeqType::ItemKind::kNode: *out << "node()"; break;
+    case SeqType::ItemKind::kElement:
+      *out << "element(" << type.name << ")";
+      break;
+    case SeqType::ItemKind::kAttribute:
+      *out << "attribute(" << type.name << ")";
+      break;
+    case SeqType::ItemKind::kText: *out << "text()"; break;
+    case SeqType::ItemKind::kDocument: *out << "document-node()"; break;
+    case SeqType::ItemKind::kAtomic:
+      *out << AtomicTypeName(type.atomic_type);
+      break;
+  }
+  switch (type.occurrence) {
+    case SeqType::Occurrence::kOne: break;
+    case SeqType::Occurrence::kOptional: *out << '?'; break;
+    case SeqType::Occurrence::kStar: *out << '*'; break;
+    case SeqType::Occurrence::kPlus: *out << '+'; break;
+  }
+}
+
+void DumpNodeTest(const NodeTest& test, std::ostringstream* out) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+      *out << (test.name.empty() ? "*" : test.name);
+      break;
+    case NodeTest::Kind::kAnyKind: *out << "node()"; break;
+    case NodeTest::Kind::kText: *out << "text()"; break;
+    case NodeTest::Kind::kComment: *out << "comment()"; break;
+    case NodeTest::Kind::kElement: *out << "element(" << test.name << ")"; break;
+    case NodeTest::Kind::kAttribute: *out << "attribute(" << test.name << ")"; break;
+    case NodeTest::Kind::kDocument: *out << "document-node()"; break;
+    case NodeTest::Kind::kPi: *out << "processing-instruction()"; break;
+  }
+}
+
+void DumpOrderBy(const OrderByData& order, std::ostringstream* out) {
+  *out << "(order-by";
+  if (order.stable) *out << " stable";
+  for (const OrderSpec& spec : order.specs) {
+    *out << " (";
+    Dump(spec.key.get(), out);
+    *out << (spec.descending ? " desc" : " asc");
+    if (spec.empty_greatest) *out << " empty-greatest";
+    *out << ")";
+  }
+  *out << ")";
+}
+
+void Dump(const Expr* expr, std::ostringstream* out) {
+  if (expr == nullptr) {
+    *out << "<null>";
+    return;
+  }
+  switch (expr->kind()) {
+    case ExprKind::kLiteral: {
+      const auto* e = static_cast<const LiteralExpr*>(expr);
+      if (e->value.IsStringLike()) {
+        *out << '"' << e->value.ToLexical() << '"';
+      } else {
+        *out << e->value.ToLexical();
+      }
+      break;
+    }
+    case ExprKind::kVarRef: {
+      const auto* e = static_cast<const VarRefExpr*>(expr);
+      *out << '$' << e->name;
+      break;
+    }
+    case ExprKind::kContextItem:
+      *out << '.';
+      break;
+    case ExprKind::kSequence: {
+      const auto* e = static_cast<const SequenceExpr*>(expr);
+      *out << "(seq";
+      for (const ExprPtr& item : e->items) {
+        *out << ' ';
+        Dump(item.get(), out);
+      }
+      *out << ')';
+      break;
+    }
+    case ExprKind::kRange: {
+      const auto* e = static_cast<const RangeExpr*>(expr);
+      *out << "(to ";
+      Dump(e->lo.get(), out);
+      *out << ' ';
+      Dump(e->hi.get(), out);
+      *out << ')';
+      break;
+    }
+    case ExprKind::kArithmetic: {
+      const auto* e = static_cast<const ArithmeticExpr*>(expr);
+      *out << '(' << ArithOpName(e->op) << ' ';
+      Dump(e->lhs.get(), out);
+      *out << ' ';
+      Dump(e->rhs.get(), out);
+      *out << ')';
+      break;
+    }
+    case ExprKind::kUnary: {
+      const auto* e = static_cast<const UnaryExpr*>(expr);
+      *out << '(' << (e->negate ? "neg" : "pos") << ' ';
+      Dump(e->operand.get(), out);
+      *out << ')';
+      break;
+    }
+    case ExprKind::kComparison: {
+      const auto* e = static_cast<const ComparisonExpr*>(expr);
+      *out << '(';
+      if (e->comparison_kind == ComparisonKind::kGeneral) *out << "general-";
+      if (e->comparison_kind == ComparisonKind::kNodeIs) *out << "is";
+      else *out << CompareOpName(e->op);
+      *out << ' ';
+      Dump(e->lhs.get(), out);
+      *out << ' ';
+      Dump(e->rhs.get(), out);
+      *out << ')';
+      break;
+    }
+    case ExprKind::kLogical: {
+      const auto* e = static_cast<const LogicalExpr*>(expr);
+      *out << '(' << (e->op == LogicalOp::kAnd ? "and" : "or") << ' ';
+      Dump(e->lhs.get(), out);
+      *out << ' ';
+      Dump(e->rhs.get(), out);
+      *out << ')';
+      break;
+    }
+    case ExprKind::kIf: {
+      const auto* e = static_cast<const IfExpr*>(expr);
+      *out << "(if ";
+      Dump(e->condition.get(), out);
+      *out << ' ';
+      Dump(e->then_branch.get(), out);
+      *out << ' ';
+      Dump(e->else_branch.get(), out);
+      *out << ')';
+      break;
+    }
+    case ExprKind::kQuantified: {
+      const auto* e = static_cast<const QuantifiedExpr*>(expr);
+      *out << '(' << (e->every ? "every" : "some");
+      for (const auto& binding : e->bindings) {
+        *out << " ($" << binding.var << " in ";
+        Dump(binding.expr.get(), out);
+        *out << ')';
+      }
+      *out << " satisfies ";
+      Dump(e->satisfies.get(), out);
+      *out << ')';
+      break;
+    }
+    case ExprKind::kPath: {
+      const auto* e = static_cast<const PathExpr*>(expr);
+      *out << "(path";
+      if (e->absolute) {
+        *out << " /";
+      } else if (e->start != nullptr) {
+        *out << ' ';
+        Dump(e->start.get(), out);
+      }
+      for (const PathSegment& segment : e->segments) {
+        if (segment.is_expr()) {
+          *out << " (step ";
+          Dump(segment.expr.get(), out);
+          *out << ')';
+          continue;
+        }
+        *out << ' ' << AxisName(segment.step.axis) << "::";
+        DumpNodeTest(segment.step.test, out);
+        for (const ExprPtr& predicate : segment.step.predicates) {
+          *out << '[';
+          Dump(predicate.get(), out);
+          *out << ']';
+        }
+      }
+      *out << ')';
+      break;
+    }
+    case ExprKind::kFilter: {
+      const auto* e = static_cast<const FilterExpr*>(expr);
+      *out << "(filter ";
+      Dump(e->primary.get(), out);
+      for (const ExprPtr& predicate : e->predicates) {
+        *out << '[';
+        Dump(predicate.get(), out);
+        *out << ']';
+      }
+      *out << ')';
+      break;
+    }
+    case ExprKind::kFunctionCall: {
+      const auto* e = static_cast<const FunctionCallExpr*>(expr);
+      *out << '(' << e->name;
+      for (const ExprPtr& arg : e->args) {
+        *out << ' ';
+        Dump(arg.get(), out);
+      }
+      *out << ')';
+      break;
+    }
+    case ExprKind::kFlwor: {
+      const auto* e = static_cast<const FlworExpr*>(expr);
+      *out << "(flwor";
+      for (const FlworClause& clause : e->clauses) {
+        switch (clause.kind) {
+          case ClauseKind::kFor:
+            *out << " (for $" << clause.for_var;
+            if (!clause.pos_var.empty()) *out << " at $" << clause.pos_var;
+            *out << " in ";
+            Dump(clause.for_expr.get(), out);
+            *out << ')';
+            break;
+          case ClauseKind::kLet:
+            *out << " (let $" << clause.let_var << " := ";
+            Dump(clause.let_expr.get(), out);
+            *out << ')';
+            break;
+          case ClauseKind::kWhere:
+            *out << " (where ";
+            Dump(clause.where_expr.get(), out);
+            *out << ')';
+            break;
+          case ClauseKind::kCount:
+            *out << " (count $" << clause.count_var << ')';
+            break;
+          case ClauseKind::kGroupBy:
+            if (clause.xquery3_group_style) {
+              *out << " (group-by-3.0";
+              for (const auto& key : clause.group_keys) {
+                *out << " ($" << key.var << " := ";
+                Dump(key.expr.get(), out);
+                *out << ')';
+              }
+              *out << ')';
+              break;
+            }
+            *out << " (group-by";
+            for (const auto& key : clause.group_keys) {
+              *out << " (";
+              Dump(key.expr.get(), out);
+              *out << " into $" << key.var;
+              if (!key.using_function.empty()) {
+                *out << " using " << key.using_function;
+              }
+              *out << ')';
+            }
+            for (const auto& nest : clause.nest_specs) {
+              *out << " (nest ";
+              Dump(nest.expr.get(), out);
+              if (nest.order_by.has_value()) {
+                *out << ' ';
+                DumpOrderBy(*nest.order_by, out);
+              }
+              *out << " into $" << nest.var << ')';
+            }
+            *out << ')';
+            break;
+          case ClauseKind::kOrderBy:
+            *out << ' ';
+            DumpOrderBy(clause.order_by, out);
+            break;
+        }
+      }
+      *out << " (return";
+      if (!e->at_var.empty()) *out << " at $" << e->at_var;
+      *out << ' ';
+      Dump(e->return_expr.get(), out);
+      *out << "))";
+      break;
+    }
+    case ExprKind::kDirectConstructor: {
+      const auto* e = static_cast<const DirectConstructorExpr*>(expr);
+      *out << "(elem " << e->name;
+      for (const auto& attr : e->attributes) {
+        *out << " (@" << attr.name;
+        for (const auto& part : attr.parts) {
+          if (part.expr != nullptr) {
+            *out << " {";
+            Dump(part.expr.get(), out);
+            *out << '}';
+          } else {
+            *out << " \"" << part.text << '"';
+          }
+        }
+        *out << ')';
+      }
+      for (const auto& child : e->children) {
+        if (child.expr != nullptr) {
+          *out << " {";
+          Dump(child.expr.get(), out);
+          *out << '}';
+        } else if (child.is_comment) {
+          *out << " (comment \"" << child.text << "\")";
+        } else {
+          *out << " \"" << child.text << '"';
+        }
+      }
+      *out << ')';
+      break;
+    }
+    case ExprKind::kTypeOp: {
+      const auto* e = static_cast<const TypeOpExpr*>(expr);
+      const char* op_name = "?";
+      switch (e->op) {
+        case TypeOpKind::kInstanceOf: op_name = "instance-of"; break;
+        case TypeOpKind::kTreatAs: op_name = "treat-as"; break;
+        case TypeOpKind::kCastableAs: op_name = "castable-as"; break;
+        case TypeOpKind::kCastAs: op_name = "cast-as"; break;
+      }
+      *out << '(' << op_name << ' ';
+      Dump(e->operand.get(), out);
+      *out << ' ';
+      DumpSeqType(e->type, out);
+      *out << ')';
+      break;
+    }
+    case ExprKind::kComputedConstructor: {
+      const auto* e = static_cast<const ComputedConstructorExpr*>(expr);
+      const char* kind_name = "?";
+      switch (e->constructor_kind) {
+        case ComputedConstructorExpr::Kind::kElement: kind_name = "comp-elem"; break;
+        case ComputedConstructorExpr::Kind::kAttribute: kind_name = "comp-attr"; break;
+        case ComputedConstructorExpr::Kind::kText: kind_name = "comp-text"; break;
+        case ComputedConstructorExpr::Kind::kComment: kind_name = "comp-comment"; break;
+        case ComputedConstructorExpr::Kind::kDocument: kind_name = "comp-doc"; break;
+      }
+      *out << '(' << kind_name;
+      if (!e->name.empty()) {
+        *out << ' ' << e->name;
+      } else if (e->name_expr != nullptr) {
+        *out << " {";
+        Dump(e->name_expr.get(), out);
+        *out << '}';
+      }
+      if (e->content != nullptr) {
+        *out << " {";
+        Dump(e->content.get(), out);
+        *out << '}';
+      }
+      *out << ')';
+      break;
+    }
+    case ExprKind::kTypeswitch: {
+      const auto* e = static_cast<const TypeswitchExpr*>(expr);
+      *out << "(typeswitch ";
+      Dump(e->operand.get(), out);
+      for (const TypeswitchExpr::CaseClause& clause : e->cases) {
+        *out << " (case ";
+        if (!clause.var.empty()) *out << '$' << clause.var << " as ";
+        DumpSeqType(clause.type, out);
+        *out << ' ';
+        Dump(clause.result.get(), out);
+        *out << ')';
+      }
+      *out << " (default ";
+      if (!e->default_var.empty()) *out << '$' << e->default_var << ' ';
+      Dump(e->default_result.get(), out);
+      *out << "))";
+      break;
+    }
+    default:
+      *out << "(?)";
+  }
+}
+
+}  // namespace
+
+std::string DumpExpr(const Expr* expr) {
+  std::ostringstream out;
+  Dump(expr, &out);
+  return out.str();
+}
+
+}  // namespace xqa

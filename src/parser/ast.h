@@ -1,0 +1,495 @@
+#ifndef XQA_PARSER_AST_H_
+#define XQA_PARSER_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "xdm/atomic_value.h"
+
+namespace xqa {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node kinds. The evaluator dispatches on this tag.
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kVarRef,
+  kContextItem,
+  kSequence,       ///< comma expression (including empty parentheses)
+  kRange,          ///< e1 to e2
+  kArithmetic,     ///< + - * div idiv mod
+  kUnary,          ///< unary + / -
+  kComparison,     ///< general (= != < <= > >=), value (eq..ge), node (is)
+  kLogical,        ///< and / or
+  kIf,
+  kQuantified,     ///< some / every
+  kPath,
+  kFilter,         ///< primary[predicate]...
+  kFunctionCall,
+  kFlwor,
+  kDirectConstructor,
+  kComputedConstructor,
+  kTypeOp,      ///< instance of / treat as / castable as / cast as
+  kTypeswitch,
+};
+
+/// The four sequence-type operators.
+enum class TypeOpKind : uint8_t { kInstanceOf, kTreatAs, kCastableAs, kCastAs };
+
+enum class ArithOp : uint8_t { kAdd, kSubtract, kMultiply, kDivide, kIntegerDivide, kModulo };
+
+enum class ComparisonKind : uint8_t { kGeneral, kValue, kNodeIs };
+
+enum class LogicalOp : uint8_t { kAnd, kOr };
+
+/// XPath axes implemented by the engine.
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kAttribute,
+  kSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowingSibling,
+  kPrecedingSibling,
+};
+
+/// Node test inside a path step.
+struct NodeTest {
+  enum class Kind : uint8_t {
+    kName,      ///< element/attribute name, possibly "*"
+    kAnyKind,   ///< node()
+    kText,      ///< text()
+    kComment,   ///< comment()
+    kElement,   ///< element() or element(name)
+    kAttribute, ///< attribute() or attribute(name)
+    kDocument,  ///< document-node()
+    kPi,        ///< processing-instruction()
+  };
+  Kind kind = Kind::kName;
+  std::string name;  ///< empty or "*" = any name
+};
+
+/// Minimal sequence-type annotation ("xs:integer?", "item()*", "element()+").
+/// Used for documentation and arity/emptiness checks on function boundaries.
+struct SeqType {
+  enum class ItemKind : uint8_t {
+    kItem,
+    kNode,
+    kElement,
+    kAttribute,
+    kText,
+    kDocument,
+    kAtomic,  ///< a named xs: type
+  };
+  enum class Occurrence : uint8_t { kOne, kOptional, kStar, kPlus };
+  ItemKind item_kind = ItemKind::kItem;
+  AtomicType atomic_type = AtomicType::kString;  ///< when item_kind == kAtomic
+  std::string name;                              ///< element(name) etc.
+  Occurrence occurrence = Occurrence::kOne;
+};
+
+/// Base class for all expression AST nodes.
+class Expr {
+ public:
+  explicit Expr(ExprKind kind, SourceLocation location = {})
+      : kind_(kind), location_(location) {}
+  virtual ~Expr() = default;
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind() const { return kind_; }
+  SourceLocation location() const { return location_; }
+
+ private:
+  ExprKind kind_;
+  SourceLocation location_;
+};
+
+class LiteralExpr : public Expr {
+ public:
+  LiteralExpr(AtomicValue value, SourceLocation loc)
+      : Expr(ExprKind::kLiteral, loc), value(std::move(value)) {}
+  AtomicValue value;
+};
+
+class VarRefExpr : public Expr {
+ public:
+  VarRefExpr(std::string name, SourceLocation loc)
+      : Expr(ExprKind::kVarRef, loc), name(std::move(name)) {}
+  std::string name;
+  /// Filled by the binder: frame-local slot index, or an index into the
+  /// module's global-variable array when is_global.
+  int slot = -1;
+  bool is_global = false;
+};
+
+class ContextItemExpr : public Expr {
+ public:
+  explicit ContextItemExpr(SourceLocation loc)
+      : Expr(ExprKind::kContextItem, loc) {}
+};
+
+class SequenceExpr : public Expr {
+ public:
+  SequenceExpr(std::vector<ExprPtr> items, SourceLocation loc)
+      : Expr(ExprKind::kSequence, loc), items(std::move(items)) {}
+  std::vector<ExprPtr> items;
+};
+
+class RangeExpr : public Expr {
+ public:
+  RangeExpr(ExprPtr lo, ExprPtr hi, SourceLocation loc)
+      : Expr(ExprKind::kRange, loc), lo(std::move(lo)), hi(std::move(hi)) {}
+  ExprPtr lo, hi;
+};
+
+class ArithmeticExpr : public Expr {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs, SourceLocation loc)
+      : Expr(ExprKind::kArithmetic, loc),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  ArithOp op;
+  ExprPtr lhs, rhs;
+};
+
+class UnaryExpr : public Expr {
+ public:
+  UnaryExpr(bool negate, ExprPtr operand, SourceLocation loc)
+      : Expr(ExprKind::kUnary, loc), negate(negate), operand(std::move(operand)) {}
+  bool negate;
+  ExprPtr operand;
+};
+
+class ComparisonExpr : public Expr {
+ public:
+  ComparisonExpr(ComparisonKind kind, int op, ExprPtr lhs, ExprPtr rhs,
+                 SourceLocation loc)
+      : Expr(ExprKind::kComparison, loc),
+        comparison_kind(kind),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  ComparisonKind comparison_kind;
+  int op;  ///< a CompareOp for general/value; ignored for node `is`
+  ExprPtr lhs, rhs;
+};
+
+class LogicalExpr : public Expr {
+ public:
+  LogicalExpr(LogicalOp op, ExprPtr lhs, ExprPtr rhs, SourceLocation loc)
+      : Expr(ExprKind::kLogical, loc), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+  LogicalOp op;
+  ExprPtr lhs, rhs;
+};
+
+class IfExpr : public Expr {
+ public:
+  IfExpr(ExprPtr condition, ExprPtr then_branch, ExprPtr else_branch,
+         SourceLocation loc)
+      : Expr(ExprKind::kIf, loc),
+        condition(std::move(condition)),
+        then_branch(std::move(then_branch)),
+        else_branch(std::move(else_branch)) {}
+  ExprPtr condition, then_branch, else_branch;
+};
+
+class QuantifiedExpr : public Expr {
+ public:
+  struct Binding {
+    std::string var;
+    int slot = -1;
+    ExprPtr expr;
+  };
+  QuantifiedExpr(bool every, std::vector<Binding> bindings, ExprPtr satisfies,
+                 SourceLocation loc)
+      : Expr(ExprKind::kQuantified, loc),
+        every(every),
+        bindings(std::move(bindings)),
+        satisfies(std::move(satisfies)) {}
+  bool every;  ///< false = some
+  std::vector<Binding> bindings;
+  ExprPtr satisfies;
+};
+
+/// One step of a path: axis :: node-test predicate*.
+struct PathStep {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<ExprPtr> predicates;
+};
+
+/// A path segment: either an axis step or a general expression evaluated
+/// once per context item (XPath 2.0 StepExpr ::= FilterExpr | AxisStep),
+/// e.g. the "(quantity * price)" in "$sales/(quantity * price)".
+struct PathSegment {
+  PathStep step;  ///< used when expr == nullptr
+  ExprPtr expr;   ///< a filter-expression segment
+
+  bool is_expr() const { return expr != nullptr; }
+};
+
+class PathExpr : public Expr {
+ public:
+  PathExpr(ExprPtr start, bool absolute, std::vector<PathSegment> segments,
+           SourceLocation loc)
+      : Expr(ExprKind::kPath, loc),
+        start(std::move(start)),
+        absolute(absolute),
+        segments(std::move(segments)) {}
+  /// Initial value expression ("$b" in $b/price); null for absolute paths,
+  /// which start at the root of the context item's tree.
+  ExprPtr start;
+  bool absolute;
+  std::vector<PathSegment> segments;
+};
+
+class FilterExpr : public Expr {
+ public:
+  FilterExpr(ExprPtr primary, std::vector<ExprPtr> predicates, SourceLocation loc)
+      : Expr(ExprKind::kFilter, loc),
+        primary(std::move(primary)),
+        predicates(std::move(predicates)) {}
+  ExprPtr primary;
+  std::vector<ExprPtr> predicates;
+};
+
+class FunctionCallExpr : public Expr {
+ public:
+  FunctionCallExpr(std::string name, std::vector<ExprPtr> args, SourceLocation loc)
+      : Expr(ExprKind::kFunctionCall, loc), name(std::move(name)), args(std::move(args)) {}
+  std::string name;  ///< lexical QName, e.g. "avg" or "local:set-equal"
+  std::vector<ExprPtr> args;
+  /// Filled by the binder:
+  int builtin_id = -1;    ///< index into the builtin registry, or -1
+  int user_fn_index = -1; ///< index into Module::functions, or -1
+};
+
+// --- FLWOR ------------------------------------------------------------------
+
+enum class ClauseKind : uint8_t {
+  kFor,
+  kLet,
+  kWhere,
+  kGroupBy,
+  kOrderBy,
+  kCount,  ///< XQuery 3.0 "count $var": numbers the tuple stream
+};
+
+struct OrderSpec {
+  ExprPtr key;
+  bool descending = false;
+  bool empty_greatest = false;  ///< default: empty least
+};
+
+struct OrderByData {
+  bool stable = false;
+  std::vector<OrderSpec> specs;
+};
+
+/// A FLWOR clause. A tagged union kept as one struct for a simple pipeline.
+struct FlworClause {
+  ClauseKind kind;
+  SourceLocation location;
+
+  // kFor
+  std::string for_var;
+  int for_slot = -1;
+  std::string pos_var;  ///< "at $pos"; empty if absent
+  int pos_slot = -1;
+  ExprPtr for_expr;
+
+  // kLet
+  std::string let_var;
+  int let_slot = -1;
+  ExprPtr let_expr;
+
+  // kWhere
+  ExprPtr where_expr;
+
+  // kGroupBy
+  struct GroupKey {
+    ExprPtr expr;
+    std::string var;
+    int slot = -1;
+    std::string using_function;  ///< empty = fn:deep-equal
+    int using_builtin_id = -1;
+    int using_user_fn_index = -1;
+  };
+  /// True for the XQuery 3.0 dialect "group by $k := expr": keys are
+  /// atomized singletons compared with `eq`, and every pre-group variable is
+  /// implicitly rebound to the sequence of its values over the group — the
+  /// alternative design the paper discusses (and rejects) in Section 3.2.
+  bool xquery3_group_style = false;
+  struct NestSpec {
+    ExprPtr expr;
+    std::optional<OrderByData> order_by;  ///< evaluated in pre-group scope
+    std::string var;
+    int slot = -1;
+  };
+  std::vector<GroupKey> group_keys;
+  std::vector<NestSpec> nest_specs;
+
+  // kCount
+  std::string count_var;
+  int count_slot = -1;
+
+  // kOrderBy
+  OrderByData order_by;
+  /// True when this order by follows a group by in the same FLWOR
+  /// (Section 3.4.2: `stable` is then ignored). Set by the binder.
+  bool order_after_group = false;
+};
+
+class FlworExpr : public Expr {
+ public:
+  FlworExpr(std::vector<FlworClause> clauses, std::string at_var,
+            ExprPtr return_expr, SourceLocation loc)
+      : Expr(ExprKind::kFlwor, loc),
+        clauses(std::move(clauses)),
+        at_var(std::move(at_var)),
+        return_expr(std::move(return_expr)) {}
+  std::vector<FlworClause> clauses;
+  std::string at_var;  ///< "return at $rank"; empty if absent
+  int at_slot = -1;
+  ExprPtr return_expr;
+};
+
+// --- Constructors -----------------------------------------------------------
+
+/// One piece of constructor content: literal text or an enclosed expression.
+struct ConstructorContent {
+  std::string text;  ///< used when expr == nullptr
+  ExprPtr expr;      ///< nested constructor or enclosed expression
+  bool is_comment = false;  ///< text holds the content of a literal comment
+};
+
+class DirectConstructorExpr : public Expr {
+ public:
+  struct Attribute {
+    std::string name;
+    /// Attribute value parts: literal text and enclosed expressions.
+    std::vector<ConstructorContent> parts;
+  };
+  DirectConstructorExpr(std::string name, std::vector<Attribute> attributes,
+                        std::vector<ConstructorContent> children,
+                        SourceLocation loc)
+      : Expr(ExprKind::kDirectConstructor, loc),
+        name(std::move(name)),
+        attributes(std::move(attributes)),
+        children(std::move(children)) {}
+  std::string name;
+  std::vector<Attribute> attributes;
+  std::vector<ConstructorContent> children;
+};
+
+/// instance of / treat as / castable as / cast as. For the cast family the
+/// type is a SingleType: an atomic type with optional '?'.
+class TypeOpExpr : public Expr {
+ public:
+  TypeOpExpr(TypeOpKind op, ExprPtr operand, SeqType type, SourceLocation loc)
+      : Expr(ExprKind::kTypeOp, loc),
+        op(op),
+        operand(std::move(operand)),
+        type(type) {}
+  TypeOpKind op;
+  ExprPtr operand;
+  SeqType type;
+};
+
+/// typeswitch ($op) case ($v as)? SeqType return Expr ... default ($v)? return.
+class TypeswitchExpr : public Expr {
+ public:
+  struct CaseClause {
+    std::string var;  ///< empty when no case variable is bound
+    int slot = -1;
+    SeqType type;
+    ExprPtr result;
+  };
+  TypeswitchExpr(ExprPtr operand, std::vector<CaseClause> cases,
+                 std::string default_var, ExprPtr default_result,
+                 SourceLocation loc)
+      : Expr(ExprKind::kTypeswitch, loc),
+        operand(std::move(operand)),
+        cases(std::move(cases)),
+        default_var(std::move(default_var)),
+        default_result(std::move(default_result)) {}
+  ExprPtr operand;
+  std::vector<CaseClause> cases;
+  std::string default_var;  ///< empty when unbound
+  int default_slot = -1;
+  ExprPtr default_result;
+};
+
+/// Computed constructors: element {name} {content}, attribute, text {},
+/// comment {}, document {}.
+class ComputedConstructorExpr : public Expr {
+ public:
+  enum class Kind : uint8_t { kElement, kAttribute, kText, kComment, kDocument };
+  ComputedConstructorExpr(Kind constructor_kind, std::string name,
+                          ExprPtr name_expr, ExprPtr content,
+                          SourceLocation loc)
+      : Expr(ExprKind::kComputedConstructor, loc),
+        constructor_kind(constructor_kind),
+        name(std::move(name)),
+        name_expr(std::move(name_expr)),
+        content(std::move(content)) {}
+  Kind constructor_kind;
+  std::string name;    ///< literal QName; empty when name_expr is used
+  ExprPtr name_expr;   ///< computed name (element/attribute only)
+  ExprPtr content;     ///< may be null (empty content)
+};
+
+// --- Module -----------------------------------------------------------------
+
+struct FunctionDecl {
+  std::string name;  ///< lexical QName, e.g. "local:set-equal"
+  struct Param {
+    std::string name;
+    SeqType type;
+    int slot = -1;
+  };
+  std::vector<Param> params;
+  SeqType return_type;
+  ExprPtr body;
+  /// Filled by the binder: total frame slots for this function's body.
+  int frame_size = 0;
+  SourceLocation location;
+};
+
+struct VariableDecl {
+  std::string name;
+  ExprPtr expr;
+  int slot = -1;
+  SourceLocation location;
+};
+
+/// A parsed query: prolog declarations plus the query body.
+struct Module {
+  /// XQuery ordering mode (Section 3.4.1 of the paper relies on it).
+  bool ordered = true;
+  std::vector<FunctionDecl> functions;
+  std::vector<VariableDecl> variables;
+  ExprPtr body;
+  /// Filled by the binder: frame slots for the main body (includes globals).
+  int frame_size = 0;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+/// Renders an expression tree as a compact s-expression — used by parser
+/// tests and debugging.
+std::string DumpExpr(const Expr* expr);
+
+}  // namespace xqa
+
+#endif  // XQA_PARSER_AST_H_

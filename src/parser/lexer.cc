@@ -1,0 +1,444 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "base/string_util.h"
+
+namespace xqa {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIntegerLiteral: return "integer literal";
+    case TokenKind::kDecimalLiteral: return "decimal literal";
+    case TokenKind::kDoubleLiteral: return "double literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kName: return "name";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kAssign: return "':='";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kSlashSlash: return "'//'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kVBar: return "'|'";
+    case TokenKind::kColonColon: return "'::'";
+    case TokenKind::kQuestion: return "'?'";
+  }
+  return "token";
+}
+
+Lexer::Lexer(std::string_view text) : text_(text) {}
+
+void Lexer::AdvanceChar(Cursor* cursor) const {
+  if (cursor->pos >= text_.size()) return;
+  if (text_[cursor->pos] == '\n') {
+    ++cursor->line;
+    cursor->column = 1;
+  } else {
+    ++cursor->column;
+  }
+  ++cursor->pos;
+}
+
+void Lexer::SkipWhitespaceAndComments(Cursor* cursor) const {
+  while (cursor->pos < text_.size()) {
+    char c = text_[cursor->pos];
+    if (IsXmlWhitespace(c)) {
+      AdvanceChar(cursor);
+      continue;
+    }
+    // XQuery comments "(: ... :)" nest.
+    if (c == '(' && CharAt(cursor->pos + 1) == ':') {
+      int depth = 0;
+      while (cursor->pos < text_.size()) {
+        if (text_[cursor->pos] == '(' && CharAt(cursor->pos + 1) == ':') {
+          ++depth;
+          AdvanceChar(cursor);
+          AdvanceChar(cursor);
+        } else if (text_[cursor->pos] == ':' && CharAt(cursor->pos + 1) == ')') {
+          --depth;
+          AdvanceChar(cursor);
+          AdvanceChar(cursor);
+          if (depth == 0) break;
+        } else {
+          AdvanceChar(cursor);
+        }
+      }
+      if (depth != 0) {
+        ThrowError(ErrorCode::kXPST0003, "unterminated comment",
+                   {cursor->line, cursor->column});
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+std::string Lexer::LexStringLiteral(Cursor* cursor) const {
+  char quote = text_[cursor->pos];
+  AdvanceChar(cursor);
+  std::string value;
+  while (true) {
+    if (cursor->pos >= text_.size()) {
+      ThrowError(ErrorCode::kXPST0003, "unterminated string literal",
+                 {cursor->line, cursor->column});
+    }
+    char c = text_[cursor->pos];
+    if (c == quote) {
+      AdvanceChar(cursor);
+      // Doubled quote escapes the quote character.
+      if (CharAt(cursor->pos) == quote) {
+        value.push_back(quote);
+        AdvanceChar(cursor);
+        continue;
+      }
+      return value;
+    }
+    if (c == '&') {
+      // Predefined entity / character references.
+      size_t start = cursor->pos;
+      AdvanceChar(cursor);
+      std::string entity;
+      while (cursor->pos < text_.size() && text_[cursor->pos] != ';' &&
+             entity.size() < 12) {
+        entity.push_back(text_[cursor->pos]);
+        AdvanceChar(cursor);
+      }
+      if (CharAt(cursor->pos) != ';') {
+        ThrowError(ErrorCode::kXPST0003, "bad entity reference",
+                   {cursor->line, cursor->column});
+      }
+      AdvanceChar(cursor);
+      if (entity == "lt") value.push_back('<');
+      else if (entity == "gt") value.push_back('>');
+      else if (entity == "amp") value.push_back('&');
+      else if (entity == "quot") value.push_back('"');
+      else if (entity == "apos") value.push_back('\'');
+      else if (!entity.empty() && entity[0] == '#') {
+        int base = 10;
+        size_t i = 1;
+        if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+          base = 16;
+          i = 2;
+        }
+        uint32_t code = 0;
+        for (; i < entity.size(); ++i) {
+          code = code * base;
+          char d = entity[i];
+          if (d >= '0' && d <= '9') code += d - '0';
+          else if (base == 16 && d >= 'a' && d <= 'f') code += d - 'a' + 10;
+          else if (base == 16 && d >= 'A' && d <= 'F') code += d - 'A' + 10;
+          else ThrowError(ErrorCode::kXPST0003, "bad character reference",
+                          {cursor->line, cursor->column});
+        }
+        // Append as UTF-8.
+        if (code < 0x80) {
+          value.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          value.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          value.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          value.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          value.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          value.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        ThrowError(ErrorCode::kXPST0003, "unknown entity &" + entity + ";",
+                   {cursor->line, cursor->column});
+      }
+      (void)start;
+      continue;
+    }
+    value.push_back(c);
+    AdvanceChar(cursor);
+  }
+}
+
+Token Lexer::LexToken(Cursor* cursor) const {
+  SkipWhitespaceAndComments(cursor);
+  Token token;
+  token.location = {cursor->line, cursor->column};
+  if (cursor->pos >= text_.size()) {
+    token.kind = TokenKind::kEof;
+    return token;
+  }
+  char c = text_[cursor->pos];
+
+  // Numeric literals. ".5" is decimal; "." and ".." are punctuation.
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(CharAt(cursor->pos + 1))))) {
+    std::string number;
+    bool has_point = false;
+    bool has_exponent = false;
+    while (cursor->pos < text_.size()) {
+      char d = text_[cursor->pos];
+      if (std::isdigit(static_cast<unsigned char>(d))) {
+        number.push_back(d);
+        AdvanceChar(cursor);
+      } else if (d == '.' && !has_point && !has_exponent) {
+        // ".." after digits is a separate token (e.g. "1..3" is invalid
+        // anyway; don't consume).
+        if (CharAt(cursor->pos + 1) == '.') break;
+        has_point = true;
+        number.push_back(d);
+        AdvanceChar(cursor);
+      } else if ((d == 'e' || d == 'E') && !has_exponent) {
+        char next = CharAt(cursor->pos + 1);
+        char next2 = CharAt(cursor->pos + 2);
+        if (std::isdigit(static_cast<unsigned char>(next)) ||
+            ((next == '+' || next == '-') &&
+             std::isdigit(static_cast<unsigned char>(next2)))) {
+          has_exponent = true;
+          number.push_back(d);
+          AdvanceChar(cursor);
+          if (text_[cursor->pos] == '+' || text_[cursor->pos] == '-') {
+            number.push_back(text_[cursor->pos]);
+            AdvanceChar(cursor);
+          }
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    token.kind = has_exponent ? TokenKind::kDoubleLiteral
+                 : has_point  ? TokenKind::kDecimalLiteral
+                              : TokenKind::kIntegerLiteral;
+    token.text = std::move(number);
+    return token;
+  }
+
+  if (c == '"' || c == '\'') {
+    token.kind = TokenKind::kStringLiteral;
+    token.text = LexStringLiteral(cursor);
+    return token;
+  }
+
+  if (c == '$') {
+    AdvanceChar(cursor);
+    if (cursor->pos >= text_.size() || !IsNameStartChar(text_[cursor->pos])) {
+      ThrowError(ErrorCode::kXPST0003, "expected a variable name after '$'",
+                 {cursor->line, cursor->column});
+    }
+    std::string name;
+    while (cursor->pos < text_.size() &&
+           (IsNameChar(text_[cursor->pos]) || text_[cursor->pos] == ':')) {
+      // A single ':' may join prefix:local; "::" never appears in names.
+      if (text_[cursor->pos] == ':' && CharAt(cursor->pos + 1) == ':') break;
+      name.push_back(text_[cursor->pos]);
+      AdvanceChar(cursor);
+    }
+    token.kind = TokenKind::kVariable;
+    token.text = std::move(name);
+    return token;
+  }
+
+  if (IsNameStartChar(c)) {
+    std::string name;
+    while (cursor->pos < text_.size() && IsNameChar(text_[cursor->pos])) {
+      name.push_back(text_[cursor->pos]);
+      AdvanceChar(cursor);
+    }
+    // QName: prefix ':' local (but not "::" which is an axis separator, and
+    // not ":=" which is an assignment).
+    if (CharAt(cursor->pos) == ':' && IsNameStartChar(CharAt(cursor->pos + 1)) &&
+        CharAt(cursor->pos + 1) != ':') {
+      name.push_back(':');
+      AdvanceChar(cursor);
+      while (cursor->pos < text_.size() && IsNameChar(text_[cursor->pos])) {
+        name.push_back(text_[cursor->pos]);
+        AdvanceChar(cursor);
+      }
+    }
+    token.kind = TokenKind::kName;
+    token.text = std::move(name);
+    return token;
+  }
+
+  auto two = [&](char second) { return CharAt(cursor->pos + 1) == second; };
+  switch (c) {
+    case '(': AdvanceChar(cursor); token.kind = TokenKind::kLParen; return token;
+    case ')': AdvanceChar(cursor); token.kind = TokenKind::kRParen; return token;
+    case '[': AdvanceChar(cursor); token.kind = TokenKind::kLBracket; return token;
+    case ']': AdvanceChar(cursor); token.kind = TokenKind::kRBracket; return token;
+    case '{': AdvanceChar(cursor); token.kind = TokenKind::kLBrace; return token;
+    case '}': AdvanceChar(cursor); token.kind = TokenKind::kRBrace; return token;
+    case ',': AdvanceChar(cursor); token.kind = TokenKind::kComma; return token;
+    case ';': AdvanceChar(cursor); token.kind = TokenKind::kSemicolon; return token;
+    case '?': AdvanceChar(cursor); token.kind = TokenKind::kQuestion; return token;
+    case '@': AdvanceChar(cursor); token.kind = TokenKind::kAt; return token;
+    case '|': AdvanceChar(cursor); token.kind = TokenKind::kVBar; return token;
+    case '+': AdvanceChar(cursor); token.kind = TokenKind::kPlus; return token;
+    case '-': AdvanceChar(cursor); token.kind = TokenKind::kMinus; return token;
+    case '*': AdvanceChar(cursor); token.kind = TokenKind::kStar; return token;
+    case '=': AdvanceChar(cursor); token.kind = TokenKind::kEq; return token;
+    case '!':
+      if (two('=')) {
+        AdvanceChar(cursor);
+        AdvanceChar(cursor);
+        token.kind = TokenKind::kNeq;
+        return token;
+      }
+      break;
+    case '<':
+      AdvanceChar(cursor);
+      if (CharAt(cursor->pos) == '=') {
+        AdvanceChar(cursor);
+        token.kind = TokenKind::kLe;
+      } else {
+        token.kind = TokenKind::kLt;
+      }
+      return token;
+    case '>':
+      AdvanceChar(cursor);
+      if (CharAt(cursor->pos) == '=') {
+        AdvanceChar(cursor);
+        token.kind = TokenKind::kGe;
+      } else {
+        token.kind = TokenKind::kGt;
+      }
+      return token;
+    case '/':
+      AdvanceChar(cursor);
+      if (CharAt(cursor->pos) == '/') {
+        AdvanceChar(cursor);
+        token.kind = TokenKind::kSlashSlash;
+      } else {
+        token.kind = TokenKind::kSlash;
+      }
+      return token;
+    case '.':
+      AdvanceChar(cursor);
+      if (CharAt(cursor->pos) == '.') {
+        AdvanceChar(cursor);
+        token.kind = TokenKind::kDotDot;
+      } else {
+        token.kind = TokenKind::kDot;
+      }
+      return token;
+    case ':':
+      AdvanceChar(cursor);
+      if (CharAt(cursor->pos) == '=') {
+        AdvanceChar(cursor);
+        token.kind = TokenKind::kAssign;
+        return token;
+      }
+      if (CharAt(cursor->pos) == ':') {
+        AdvanceChar(cursor);
+        token.kind = TokenKind::kColonColon;
+        return token;
+      }
+      break;
+    default:
+      break;
+  }
+  ThrowError(ErrorCode::kXPST0003,
+             std::string("unexpected character '") + c + "'",
+             {cursor->line, cursor->column});
+}
+
+const Token& Lexer::Peek() {
+  if (!has_peeked_) {
+    Cursor end = cursor_;
+    peeked_ = LexToken(&end);
+    peek_end_ = end;
+    has_peeked_ = true;
+  }
+  return peeked_;
+}
+
+const Token& Lexer::Peek2() {
+  Peek();
+  if (!has_peeked2_) {
+    Cursor end = peek_end_;
+    peeked2_ = LexToken(&end);
+    peek2_end_ = end;
+    has_peeked2_ = true;
+  }
+  return peeked2_;
+}
+
+const Token& Lexer::Peek3() {
+  Peek2();
+  if (!has_peeked3_) {
+    Cursor end = peek2_end_;
+    peeked3_ = LexToken(&end);
+    has_peeked3_ = true;
+  }
+  return peeked3_;
+}
+
+Token Lexer::Next() {
+  Peek();
+  has_peeked_ = false;
+  has_peeked2_ = false;
+  has_peeked3_ = false;
+  cursor_ = peek_end_;
+  return std::move(peeked_);
+}
+
+void Lexer::Fail(const std::string& message) const {
+  ThrowError(ErrorCode::kXPST0003, message, {cursor_.line, cursor_.column});
+}
+
+bool Lexer::RawAtEnd() {
+  DropPeeked();
+  return cursor_.pos >= text_.size();
+}
+
+char Lexer::RawPeek(size_t offset) {
+  DropPeeked();
+  return CharAt(cursor_.pos + offset);
+}
+
+char Lexer::RawNext() {
+  DropPeeked();
+  if (cursor_.pos >= text_.size()) {
+    Fail("unexpected end of input in constructor");
+  }
+  char c = text_[cursor_.pos];
+  AdvanceChar(&cursor_);
+  return c;
+}
+
+void Lexer::RawSkipWhitespace() {
+  DropPeeked();
+  while (cursor_.pos < text_.size() && IsXmlWhitespace(text_[cursor_.pos])) {
+    AdvanceChar(&cursor_);
+  }
+}
+
+std::string Lexer::RawName() {
+  DropPeeked();
+  if (cursor_.pos >= text_.size() || !IsNameStartChar(text_[cursor_.pos])) {
+    Fail("expected a name");
+  }
+  std::string name;
+  while (cursor_.pos < text_.size() &&
+         (IsNameChar(text_[cursor_.pos]) || text_[cursor_.pos] == ':')) {
+    name.push_back(text_[cursor_.pos]);
+    AdvanceChar(&cursor_);
+  }
+  return name;
+}
+
+}  // namespace xqa

@@ -1,0 +1,130 @@
+#ifndef XQA_PARSER_LEXER_H_
+#define XQA_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/error.h"
+
+namespace xqa {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kIntegerLiteral,
+  kDecimalLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kName,      ///< NCName or prefixed QName; text holds the full lexical form
+  kVariable,  ///< $name; text holds the name without '$'
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kAssign,  ///< :=
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kSlashSlash,
+  kAt,
+  kDot,
+  kDotDot,
+  kVBar,
+  kColonColon,
+  kQuestion,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  ///< names, variables, and decoded string literals
+  SourceLocation location;
+};
+
+/// Hand-written lexer with one-token lookahead plus a raw-character mode used
+/// by the parser for direct element constructors (XQuery requires lexical
+/// mode switching inside constructors). Raw-mode reads and token reads share
+/// one cursor, so the parser can interleave them: consume '<' as a token,
+/// read the tag name raw, parse an enclosed expression back in token mode...
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text);
+
+  /// The next token without consuming it.
+  const Token& Peek();
+
+  /// The token after the next one (two-token lookahead), without consuming.
+  const Token& Peek2();
+
+  /// Three-token lookahead (used for computed-constructor disambiguation).
+  const Token& Peek3();
+
+  /// Consumes and returns the next token.
+  Token Next();
+
+  /// Throws XPST0003 with the current location.
+  [[noreturn]] void Fail(const std::string& message) const;
+
+  SourceLocation CurrentLocation() const {
+    return {cursor_.line, cursor_.column};
+  }
+
+  // --- Raw mode -------------------------------------------------------------
+  // Raw reads start exactly after the last consumed token (any peeked token
+  // is discarded — peeking never advances the cursor).
+
+  bool RawAtEnd();
+  char RawPeek(size_t offset = 0);
+  char RawNext();
+  /// Consumes XML whitespace characters.
+  void RawSkipWhitespace();
+  /// Reads an XML name (NCName or prefixed); fails on malformed input.
+  std::string RawName();
+
+ private:
+  struct Cursor {
+    size_t pos = 0;
+    uint32_t line = 1;
+    uint32_t column = 1;
+  };
+
+  void DropPeeked() {
+    has_peeked_ = false;
+    has_peeked2_ = false;
+    has_peeked3_ = false;
+  }
+  char CharAt(size_t pos) const {
+    return pos < text_.size() ? text_[pos] : '\0';
+  }
+  void AdvanceChar(Cursor* cursor) const;
+  void SkipWhitespaceAndComments(Cursor* cursor) const;
+  Token LexToken(Cursor* cursor) const;
+  std::string LexStringLiteral(Cursor* cursor) const;
+
+  std::string_view text_;
+  Cursor cursor_;
+
+  bool has_peeked_ = false;
+  Token peeked_;
+  Cursor peek_end_;
+  bool has_peeked2_ = false;
+  Token peeked2_;
+  Cursor peek2_end_;
+  bool has_peeked3_ = false;
+  Token peeked3_;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_PARSER_LEXER_H_

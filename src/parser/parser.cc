@@ -1,0 +1,1322 @@
+#include "parser/parser.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "parser/lexer.h"
+#include "xdm/compare.h"
+
+namespace xqa {
+
+namespace {
+
+/// Recursive-descent parser over the mode-switching Lexer.
+class Parser {
+ public:
+  explicit Parser(std::string_view query) : lexer_(query) {}
+
+  ModulePtr Parse() {
+    auto module = std::make_unique<Module>();
+    ParseProlog(module.get());
+    module->body = ParseExprSequence();
+    if (lexer_.Peek().kind != TokenKind::kEof) {
+      Fail("unexpected " + std::string(TokenKindName(lexer_.Peek().kind)) +
+           " after the query body");
+    }
+    return module;
+  }
+
+ private:
+  // --- Token helpers --------------------------------------------------------
+
+  [[noreturn]] void Fail(const std::string& message) {
+    ThrowError(ErrorCode::kXPST0003, message, lexer_.Peek().location);
+  }
+
+  bool PeekIs(TokenKind kind) { return lexer_.Peek().kind == kind; }
+
+  bool PeekIsName(std::string_view text) {
+    const Token& t = lexer_.Peek();
+    return t.kind == TokenKind::kName && t.text == text;
+  }
+
+  bool Peek2IsName(std::string_view text) {
+    const Token& t = lexer_.Peek2();
+    return t.kind == TokenKind::kName && t.text == text;
+  }
+
+  bool ConsumeIf(TokenKind kind) {
+    if (!PeekIs(kind)) return false;
+    lexer_.Next();
+    return true;
+  }
+
+  bool ConsumeIfName(std::string_view text) {
+    if (!PeekIsName(text)) return false;
+    lexer_.Next();
+    return true;
+  }
+
+  Token Expect(TokenKind kind, const char* what) {
+    if (!PeekIs(kind)) {
+      Fail(std::string("expected ") + what + ", found " +
+           std::string(TokenKindName(lexer_.Peek().kind)));
+    }
+    return lexer_.Next();
+  }
+
+  void ExpectName(std::string_view text) {
+    if (!PeekIsName(text)) {
+      Fail("expected '" + std::string(text) + "'");
+    }
+    lexer_.Next();
+  }
+
+  SourceLocation Here() { return lexer_.Peek().location; }
+
+  // --- Prolog ---------------------------------------------------------------
+
+  void ParseProlog(Module* module) {
+    while (PeekIsName("declare")) {
+      lexer_.Next();
+      if (ConsumeIfName("function")) {
+        ParseFunctionDecl(module);
+      } else if (ConsumeIfName("variable")) {
+        ParseVariableDecl(module);
+      } else if (ConsumeIfName("ordering")) {
+        if (ConsumeIfName("ordered")) {
+          module->ordered = true;
+        } else if (ConsumeIfName("unordered")) {
+          module->ordered = false;
+        } else {
+          Fail("expected 'ordered' or 'unordered'");
+        }
+      } else if (ConsumeIfName("boundary-space")) {
+        // Accepted and currently fixed at 'strip'.
+        if (!ConsumeIfName("strip") && !ConsumeIfName("preserve")) {
+          Fail("expected 'strip' or 'preserve'");
+        }
+      } else {
+        Fail("unsupported declaration");
+      }
+      Expect(TokenKind::kSemicolon, "';' after declaration");
+    }
+  }
+
+  void ParseFunctionDecl(Module* module) {
+    FunctionDecl decl;
+    decl.location = Here();
+    decl.name = Expect(TokenKind::kName, "function name").text;
+    Expect(TokenKind::kLParen, "'('");
+    if (!PeekIs(TokenKind::kRParen)) {
+      do {
+        FunctionDecl::Param param;
+        param.name = Expect(TokenKind::kVariable, "parameter variable").text;
+        // Untyped parameters accept anything: item()*.
+        param.type.occurrence = SeqType::Occurrence::kStar;
+        if (ConsumeIfName("as")) param.type = ParseSeqType();
+        decl.params.push_back(std::move(param));
+      } while (ConsumeIf(TokenKind::kComma));
+    }
+    Expect(TokenKind::kRParen, "')'");
+    decl.return_type.occurrence = SeqType::Occurrence::kStar;
+    if (ConsumeIfName("as")) decl.return_type = ParseSeqType();
+    Expect(TokenKind::kLBrace, "'{' before function body");
+    decl.body = ParseExprSequence();
+    Expect(TokenKind::kRBrace, "'}' after function body");
+    module->functions.push_back(std::move(decl));
+  }
+
+  void ParseVariableDecl(Module* module) {
+    VariableDecl decl;
+    decl.location = Here();
+    decl.name = Expect(TokenKind::kVariable, "variable name").text;
+    if (ConsumeIfName("as")) ParseSeqType();
+    Expect(TokenKind::kAssign, "':='");
+    decl.expr = ParseExprSingle();
+    module->variables.push_back(std::move(decl));
+  }
+
+  SeqType ParseSeqType() {
+    SeqType type;
+    Token name = Expect(TokenKind::kName, "a type name");
+    auto parse_parens = [&](bool allow_name) {
+      Expect(TokenKind::kLParen, "'('");
+      if (allow_name && PeekIs(TokenKind::kName)) {
+        type.name = lexer_.Next().text;
+      } else if (allow_name && ConsumeIf(TokenKind::kStar)) {
+        type.name = "*";
+      }
+      Expect(TokenKind::kRParen, "')'");
+    };
+    if (name.text == "item") {
+      type.item_kind = SeqType::ItemKind::kItem;
+      parse_parens(false);
+    } else if (name.text == "node") {
+      type.item_kind = SeqType::ItemKind::kNode;
+      parse_parens(false);
+    } else if (name.text == "element") {
+      type.item_kind = SeqType::ItemKind::kElement;
+      parse_parens(true);
+    } else if (name.text == "attribute") {
+      type.item_kind = SeqType::ItemKind::kAttribute;
+      parse_parens(true);
+    } else if (name.text == "text") {
+      type.item_kind = SeqType::ItemKind::kText;
+      parse_parens(false);
+    } else if (name.text == "document-node") {
+      type.item_kind = SeqType::ItemKind::kDocument;
+      parse_parens(false);
+    } else if (name.text == "empty-sequence") {
+      parse_parens(false);
+      type.item_kind = SeqType::ItemKind::kItem;
+      type.occurrence = SeqType::Occurrence::kStar;
+      return type;
+    } else {
+      type.item_kind = SeqType::ItemKind::kAtomic;
+      type.atomic_type = AtomicTypeFromName(name.text);
+    }
+    if (ConsumeIf(TokenKind::kQuestion)) {
+      type.occurrence = SeqType::Occurrence::kOptional;
+    } else if (ConsumeIf(TokenKind::kStar)) {
+      type.occurrence = SeqType::Occurrence::kStar;
+    } else if (ConsumeIf(TokenKind::kPlus)) {
+      type.occurrence = SeqType::Occurrence::kPlus;
+    }
+    return type;
+  }
+
+  AtomicType AtomicTypeFromName(const std::string& name) {
+    std::string local = name;
+    if (local.rfind("xs:", 0) == 0) local = local.substr(3);
+    if (local == "string") return AtomicType::kString;
+    if (local == "boolean") return AtomicType::kBoolean;
+    if (local == "integer" || local == "int" || local == "long") {
+      return AtomicType::kInteger;
+    }
+    if (local == "decimal") return AtomicType::kDecimal;
+    if (local == "double" || local == "float") return AtomicType::kDouble;
+    if (local == "dateTime") return AtomicType::kDateTime;
+    if (local == "date") return AtomicType::kDate;
+    if (local == "time") return AtomicType::kTime;
+    if (local == "QName") return AtomicType::kQName;
+    if (local == "untypedAtomic") return AtomicType::kUntypedAtomic;
+    if (local == "anyAtomicType") return AtomicType::kUntypedAtomic;
+    if (local == "dayTimeDuration" || local == "duration") {
+      return AtomicType::kDuration;
+    }
+    Fail("unknown type name '" + name + "'");
+  }
+
+  // --- Expressions ----------------------------------------------------------
+
+  ExprPtr ParseExprSequence() {
+    SourceLocation loc = Here();
+    std::vector<ExprPtr> items;
+    items.push_back(ParseExprSingle());
+    while (ConsumeIf(TokenKind::kComma)) {
+      items.push_back(ParseExprSingle());
+    }
+    if (items.size() == 1) return std::move(items[0]);
+    return std::make_unique<SequenceExpr>(std::move(items), loc);
+  }
+
+  ExprPtr ParseExprSingle() { return ParseOr(); }
+
+  /// An operand of and/or: a "special" expression (FLWOR, quantified, if) or
+  /// a comparison chain. Allowing specials here is slightly more permissive
+  /// than the W3C grammar — it accepts the idiomatic
+  /// "... satisfies P and every ..." form used by the paper's set-equal
+  /// example without parentheses.
+  ExprPtr ParseComparisonOrSpecial() {
+    if ((PeekIsName("for") || PeekIsName("let")) &&
+        lexer_.Peek2().kind == TokenKind::kVariable) {
+      return ParseFlwor();
+    }
+    if ((PeekIsName("some") || PeekIsName("every")) &&
+        lexer_.Peek2().kind == TokenKind::kVariable) {
+      return ParseQuantified();
+    }
+    if (PeekIsName("if") && lexer_.Peek2().kind == TokenKind::kLParen) {
+      return ParseIf();
+    }
+    if (PeekIsName("typeswitch") &&
+        lexer_.Peek2().kind == TokenKind::kLParen) {
+      return ParseTypeswitch();
+    }
+    return ParseComparison();
+  }
+
+  ExprPtr ParseTypeswitch() {
+    SourceLocation loc = Here();
+    ExpectName("typeswitch");
+    Expect(TokenKind::kLParen, "'('");
+    ExprPtr operand = ParseExprSequence();
+    Expect(TokenKind::kRParen, "')'");
+    std::vector<TypeswitchExpr::CaseClause> cases;
+    while (PeekIsName("case")) {
+      lexer_.Next();
+      TypeswitchExpr::CaseClause clause;
+      if (PeekIs(TokenKind::kVariable)) {
+        clause.var = lexer_.Next().text;
+        ExpectName("as");
+      }
+      clause.type = ParseSeqType();
+      ExpectName("return");
+      clause.result = ParseExprSingle();
+      cases.push_back(std::move(clause));
+    }
+    if (cases.empty()) Fail("typeswitch requires at least one case clause");
+    ExpectName("default");
+    std::string default_var;
+    if (PeekIs(TokenKind::kVariable)) {
+      default_var = lexer_.Next().text;
+    }
+    ExpectName("return");
+    ExprPtr default_result = ParseExprSingle();
+    return std::make_unique<TypeswitchExpr>(
+        std::move(operand), std::move(cases), std::move(default_var),
+        std::move(default_result), loc);
+  }
+
+  // FLWOR with the paper's extensions.
+  ExprPtr ParseFlwor() {
+    SourceLocation loc = Here();
+    std::vector<FlworClause> clauses;
+
+    // (ForClause | LetClause)+
+    while (true) {
+      if (PeekIsName("for") && lexer_.Peek2().kind == TokenKind::kVariable) {
+        lexer_.Next();
+        do {
+          FlworClause clause;
+          clause.kind = ClauseKind::kFor;
+          clause.location = Here();
+          clause.for_var = Expect(TokenKind::kVariable, "variable").text;
+          if (ConsumeIfName("at")) {
+            clause.pos_var = Expect(TokenKind::kVariable, "positional variable").text;
+          }
+          ExpectName("in");
+          clause.for_expr = ParseExprSingle();
+          clauses.push_back(std::move(clause));
+        } while (ConsumeIf(TokenKind::kComma));
+      } else if (PeekIsName("let") &&
+                 lexer_.Peek2().kind == TokenKind::kVariable) {
+        lexer_.Next();
+        do {
+          FlworClause clause;
+          clause.kind = ClauseKind::kLet;
+          clause.location = Here();
+          clause.let_var = Expect(TokenKind::kVariable, "variable").text;
+          Expect(TokenKind::kAssign, "':='");
+          clause.let_expr = ParseExprSingle();
+          clauses.push_back(std::move(clause));
+        } while (ConsumeIf(TokenKind::kComma));
+      } else if (PeekIsName("count") &&
+                 lexer_.Peek2().kind == TokenKind::kVariable) {
+        // XQuery 3.0 count clause: numbers the current tuple stream.
+        lexer_.Next();
+        FlworClause clause;
+        clause.kind = ClauseKind::kCount;
+        clause.location = Here();
+        clause.count_var = Expect(TokenKind::kVariable, "count variable").text;
+        clauses.push_back(std::move(clause));
+      } else {
+        break;
+      }
+    }
+
+    // WhereClause?
+    if (PeekIsName("where")) {
+      lexer_.Next();
+      FlworClause clause;
+      clause.kind = ClauseKind::kWhere;
+      clause.location = Here();
+      clause.where_expr = ParseExprSingle();
+      clauses.push_back(std::move(clause));
+    }
+
+    // (GroupByClause LetClause* WhereClause?)?
+    if (PeekIsName("group") && Peek2IsName("by")) {
+      lexer_.Next();
+      lexer_.Next();
+      clauses.push_back(ParseGroupBy());
+      while (PeekIsName("let") && lexer_.Peek2().kind == TokenKind::kVariable) {
+        lexer_.Next();
+        do {
+          FlworClause clause;
+          clause.kind = ClauseKind::kLet;
+          clause.location = Here();
+          clause.let_var = Expect(TokenKind::kVariable, "variable").text;
+          Expect(TokenKind::kAssign, "':='");
+          clause.let_expr = ParseExprSingle();
+          clauses.push_back(std::move(clause));
+        } while (ConsumeIf(TokenKind::kComma));
+      }
+      if (PeekIsName("where")) {
+        lexer_.Next();
+        FlworClause clause;
+        clause.kind = ClauseKind::kWhere;
+        clause.location = Here();
+        clause.where_expr = ParseExprSingle();
+        clauses.push_back(std::move(clause));
+      }
+    }
+
+    // count clause after the grouping section (numbers groups).
+    if (PeekIsName("count") && lexer_.Peek2().kind == TokenKind::kVariable) {
+      lexer_.Next();
+      FlworClause clause;
+      clause.kind = ClauseKind::kCount;
+      clause.location = Here();
+      clause.count_var = Expect(TokenKind::kVariable, "count variable").text;
+      clauses.push_back(std::move(clause));
+    }
+
+    // OrderByClause?
+    if (PeekIsName("order") || (PeekIsName("stable") && Peek2IsName("order"))) {
+      FlworClause clause;
+      clause.kind = ClauseKind::kOrderBy;
+      clause.location = Here();
+      clause.order_by = ParseOrderBy();
+      clauses.push_back(std::move(clause));
+    }
+
+    // ReturnClause with optional output numbering: return (at $var)? Expr.
+    ExpectName("return");
+    std::string at_var;
+    if (PeekIsName("at") && lexer_.Peek2().kind == TokenKind::kVariable) {
+      lexer_.Next();
+      at_var = Expect(TokenKind::kVariable, "positional variable").text;
+    }
+    ExprPtr return_expr = ParseExprSingle();
+    return std::make_unique<FlworExpr>(std::move(clauses), std::move(at_var),
+                                       std::move(return_expr), loc);
+  }
+
+  FlworClause ParseGroupBy() {
+    FlworClause clause;
+    clause.kind = ClauseKind::kGroupBy;
+    clause.location = Here();
+    // XQuery 3.0 dialect: "group by $k := Expr" or bare "group by $k"
+    // (group by the variable's current value). Distinguished from the paper
+    // dialect — whose key exprs may also start with '$' ("group by
+    // $b/publisher into $p") — by what follows the variable: ':=', ',' or a
+    // clause-ending keyword means 3.0; anything else is a key expression.
+    bool xquery3 = false;
+    if (PeekIs(TokenKind::kVariable)) {
+      const Token& after = lexer_.Peek2();
+      if (after.kind == TokenKind::kAssign ||
+          after.kind == TokenKind::kComma) {
+        xquery3 = true;
+      } else if (after.kind == TokenKind::kName &&
+                 (after.text == "return" || after.text == "order" ||
+                  after.text == "stable" || after.text == "where" ||
+                  after.text == "let" || after.text == "count")) {
+        xquery3 = true;
+      }
+    }
+    if (xquery3) {
+      clause.xquery3_group_style = true;
+      do {
+        FlworClause::GroupKey key;
+        key.var = Expect(TokenKind::kVariable, "grouping variable").text;
+        if (ConsumeIf(TokenKind::kAssign)) {
+          key.expr = ParseExprSingle();
+        } else {
+          // Bare "$v": groups by the current binding of $v.
+          key.expr = std::make_unique<VarRefExpr>(key.var, clause.location);
+        }
+        clause.group_keys.push_back(std::move(key));
+      } while (ConsumeIf(TokenKind::kComma));
+      if (PeekIsName("nest")) {
+        Fail("'nest' is the paper-dialect extension; XQuery 3.0 style "
+             "group by rebinds variables implicitly");
+      }
+      return clause;
+    }
+    do {
+      FlworClause::GroupKey key;
+      key.expr = ParseExprSingle();
+      ExpectName("into");
+      key.var = Expect(TokenKind::kVariable, "grouping variable").text;
+      if (ConsumeIfName("using")) {
+        key.using_function = Expect(TokenKind::kName, "comparison function").text;
+      }
+      clause.group_keys.push_back(std::move(key));
+    } while (ConsumeIf(TokenKind::kComma));
+    if (ConsumeIfName("nest")) {
+      do {
+        FlworClause::NestSpec nest;
+        nest.expr = ParseExprSingle();
+        if (PeekIsName("order") ||
+            (PeekIsName("stable") && Peek2IsName("order"))) {
+          nest.order_by = ParseOrderBy();
+        }
+        ExpectName("into");
+        nest.var = Expect(TokenKind::kVariable, "nesting variable").text;
+        clause.nest_specs.push_back(std::move(nest));
+      } while (ConsumeIf(TokenKind::kComma));
+    }
+    return clause;
+  }
+
+  OrderByData ParseOrderBy() {
+    OrderByData data;
+    if (ConsumeIfName("stable")) data.stable = true;
+    ExpectName("order");
+    ExpectName("by");
+    do {
+      OrderSpec spec;
+      spec.key = ParseExprSingle();
+      if (ConsumeIfName("descending")) {
+        spec.descending = true;
+      } else {
+        ConsumeIfName("ascending");
+      }
+      if (ConsumeIfName("empty")) {
+        if (ConsumeIfName("greatest")) {
+          spec.empty_greatest = true;
+        } else {
+          ExpectName("least");
+        }
+      }
+      data.specs.push_back(std::move(spec));
+    } while (ConsumeIf(TokenKind::kComma));
+    return data;
+  }
+
+  ExprPtr ParseQuantified() {
+    SourceLocation loc = Here();
+    bool every = lexer_.Next().text == "every";
+    std::vector<QuantifiedExpr::Binding> bindings;
+    do {
+      QuantifiedExpr::Binding binding;
+      binding.var = Expect(TokenKind::kVariable, "variable").text;
+      ExpectName("in");
+      binding.expr = ParseExprSingle();
+      bindings.push_back(std::move(binding));
+    } while (ConsumeIf(TokenKind::kComma));
+    ExpectName("satisfies");
+    ExprPtr satisfies = ParseExprSingle();
+    return std::make_unique<QuantifiedExpr>(every, std::move(bindings),
+                                            std::move(satisfies), loc);
+  }
+
+  ExprPtr ParseIf() {
+    SourceLocation loc = Here();
+    ExpectName("if");
+    Expect(TokenKind::kLParen, "'('");
+    ExprPtr condition = ParseExprSequence();
+    Expect(TokenKind::kRParen, "')'");
+    ExpectName("then");
+    ExprPtr then_branch = ParseExprSingle();
+    ExpectName("else");
+    ExprPtr else_branch = ParseExprSingle();
+    return std::make_unique<IfExpr>(std::move(condition), std::move(then_branch),
+                                    std::move(else_branch), loc);
+  }
+
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    while (PeekIsName("or")) {
+      SourceLocation loc = Here();
+      lexer_.Next();
+      ExprPtr rhs = ParseAnd();
+      lhs = std::make_unique<LogicalExpr>(LogicalOp::kOr, std::move(lhs),
+                                          std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseComparisonOrSpecial();
+    while (PeekIsName("and")) {
+      SourceLocation loc = Here();
+      lexer_.Next();
+      ExprPtr rhs = ParseComparisonOrSpecial();
+      lhs = std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(lhs),
+                                          std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseComparison() {
+    ExprPtr lhs = ParseRange();
+    SourceLocation loc = Here();
+    ComparisonKind kind;
+    CompareOp op = CompareOp::kEq;
+    const Token& t = lexer_.Peek();
+    if (t.kind == TokenKind::kEq) { kind = ComparisonKind::kGeneral; op = CompareOp::kEq; }
+    else if (t.kind == TokenKind::kNeq) { kind = ComparisonKind::kGeneral; op = CompareOp::kNe; }
+    else if (t.kind == TokenKind::kLt) { kind = ComparisonKind::kGeneral; op = CompareOp::kLt; }
+    else if (t.kind == TokenKind::kLe) { kind = ComparisonKind::kGeneral; op = CompareOp::kLe; }
+    else if (t.kind == TokenKind::kGt) { kind = ComparisonKind::kGeneral; op = CompareOp::kGt; }
+    else if (t.kind == TokenKind::kGe) { kind = ComparisonKind::kGeneral; op = CompareOp::kGe; }
+    else if (t.kind == TokenKind::kName && t.text == "eq") { kind = ComparisonKind::kValue; op = CompareOp::kEq; }
+    else if (t.kind == TokenKind::kName && t.text == "ne") { kind = ComparisonKind::kValue; op = CompareOp::kNe; }
+    else if (t.kind == TokenKind::kName && t.text == "lt") { kind = ComparisonKind::kValue; op = CompareOp::kLt; }
+    else if (t.kind == TokenKind::kName && t.text == "le") { kind = ComparisonKind::kValue; op = CompareOp::kLe; }
+    else if (t.kind == TokenKind::kName && t.text == "gt") { kind = ComparisonKind::kValue; op = CompareOp::kGt; }
+    else if (t.kind == TokenKind::kName && t.text == "ge") { kind = ComparisonKind::kValue; op = CompareOp::kGe; }
+    else if (t.kind == TokenKind::kName && t.text == "is") { kind = ComparisonKind::kNodeIs; }
+    else { return lhs; }
+    lexer_.Next();
+    ExprPtr rhs = ParseRange();
+    return std::make_unique<ComparisonExpr>(kind, static_cast<int>(op),
+                                            std::move(lhs), std::move(rhs), loc);
+  }
+
+  ExprPtr ParseRange() {
+    ExprPtr lhs = ParseAdditive();
+    if (PeekIsName("to")) {
+      SourceLocation loc = Here();
+      lexer_.Next();
+      ExprPtr rhs = ParseAdditive();
+      return std::make_unique<RangeExpr>(std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr lhs = ParseMultiplicative();
+    while (PeekIs(TokenKind::kPlus) || PeekIs(TokenKind::kMinus)) {
+      SourceLocation loc = Here();
+      ArithOp op = lexer_.Next().kind == TokenKind::kPlus ? ArithOp::kAdd
+                                                          : ArithOp::kSubtract;
+      ExprPtr rhs = ParseMultiplicative();
+      lhs = std::make_unique<ArithmeticExpr>(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr lhs = ParseUnion();
+    while (true) {
+      ArithOp op;
+      if (PeekIs(TokenKind::kStar)) op = ArithOp::kMultiply;
+      else if (PeekIsName("div")) op = ArithOp::kDivide;
+      else if (PeekIsName("idiv")) op = ArithOp::kIntegerDivide;
+      else if (PeekIsName("mod")) op = ArithOp::kModulo;
+      else break;
+      SourceLocation loc = Here();
+      lexer_.Next();
+      ExprPtr rhs = ParseUnion();
+      lhs = std::make_unique<ArithmeticExpr>(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseUnion() {
+    ExprPtr lhs = ParseTypeOps();
+    while (PeekIs(TokenKind::kVBar) || PeekIsName("union")) {
+      SourceLocation loc = Here();
+      lexer_.Next();
+      ExprPtr rhs = ParseTypeOps();
+      // Union is modeled as fn-level: the binder resolves "xqa:union".
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(lhs));
+      args.push_back(std::move(rhs));
+      lhs = std::make_unique<FunctionCallExpr>("xqa:union", std::move(args), loc);
+    }
+    return lhs;
+  }
+
+  /// The cast/castable/treat/instance-of chain in W3C precedence order
+  /// (cast binds tightest).
+  ExprPtr ParseTypeOps() {
+    ExprPtr expr = ParseUnary();
+    if (PeekIsName("cast") && Peek2IsName("as")) {
+      SourceLocation loc = Here();
+      lexer_.Next();
+      lexer_.Next();
+      expr = std::make_unique<TypeOpExpr>(TypeOpKind::kCastAs, std::move(expr),
+                                          ParseSingleType(), loc);
+    }
+    if (PeekIsName("castable") && Peek2IsName("as")) {
+      SourceLocation loc = Here();
+      lexer_.Next();
+      lexer_.Next();
+      expr = std::make_unique<TypeOpExpr>(TypeOpKind::kCastableAs,
+                                          std::move(expr), ParseSingleType(),
+                                          loc);
+    }
+    if (PeekIsName("treat") && Peek2IsName("as")) {
+      SourceLocation loc = Here();
+      lexer_.Next();
+      lexer_.Next();
+      expr = std::make_unique<TypeOpExpr>(TypeOpKind::kTreatAs, std::move(expr),
+                                          ParseSeqType(), loc);
+    }
+    if (PeekIsName("instance") && Peek2IsName("of")) {
+      SourceLocation loc = Here();
+      lexer_.Next();
+      lexer_.Next();
+      expr = std::make_unique<TypeOpExpr>(TypeOpKind::kInstanceOf,
+                                          std::move(expr), ParseSeqType(), loc);
+    }
+    return expr;
+  }
+
+  /// SingleType for cast/castable: an atomic type, optionally '?'.
+  SeqType ParseSingleType() {
+    SeqType type;
+    Token name = Expect(TokenKind::kName, "an atomic type name");
+    type.item_kind = SeqType::ItemKind::kAtomic;
+    type.atomic_type = AtomicTypeFromName(name.text);
+    if (ConsumeIf(TokenKind::kQuestion)) {
+      type.occurrence = SeqType::Occurrence::kOptional;
+    }
+    return type;
+  }
+
+  ExprPtr ParseUnary() {
+    bool negate = false;
+    bool any_sign = false;
+    SourceLocation loc = Here();
+    while (PeekIs(TokenKind::kMinus) || PeekIs(TokenKind::kPlus)) {
+      if (lexer_.Next().kind == TokenKind::kMinus) negate = !negate;
+      any_sign = true;
+    }
+    ExprPtr operand = ParsePath();
+    if (!any_sign) return operand;
+    return std::make_unique<UnaryExpr>(negate, std::move(operand), loc);
+  }
+
+  // --- Paths ----------------------------------------------------------------
+
+  static PathSegment DescendantSegment() {
+    PathSegment segment;
+    segment.step.axis = Axis::kDescendantOrSelf;
+    segment.step.test.kind = NodeTest::Kind::kAnyKind;
+    return segment;
+  }
+
+  ExprPtr ParsePath() {
+    SourceLocation loc = Here();
+    if (PeekIs(TokenKind::kSlash)) {
+      lexer_.Next();
+      std::vector<PathSegment> segments;
+      if (IsStepStart() || IsFilterSegmentStart()) {
+        ParseRelativeSegments(&segments);
+      }
+      return std::make_unique<PathExpr>(nullptr, /*absolute=*/true,
+                                        std::move(segments), loc);
+    }
+    if (PeekIs(TokenKind::kSlashSlash)) {
+      lexer_.Next();
+      std::vector<PathSegment> segments;
+      segments.push_back(DescendantSegment());
+      ParseRelativeSegments(&segments);
+      return std::make_unique<PathExpr>(nullptr, /*absolute=*/true,
+                                        std::move(segments), loc);
+    }
+    // Relative path: first step may be a primary (filter) expression.
+    ExprPtr first = ParseStepOrPrimary();
+    if (!PeekIs(TokenKind::kSlash) && !PeekIs(TokenKind::kSlashSlash)) {
+      return first;
+    }
+    std::vector<PathSegment> segments;
+    while (PeekIs(TokenKind::kSlash) || PeekIs(TokenKind::kSlashSlash)) {
+      if (lexer_.Next().kind == TokenKind::kSlashSlash) {
+        segments.push_back(DescendantSegment());
+      }
+      segments.push_back(ParseSegment());
+    }
+    return std::make_unique<PathExpr>(std::move(first), /*absolute=*/false,
+                                      std::move(segments), loc);
+  }
+
+  void ParseRelativeSegments(std::vector<PathSegment>* segments) {
+    segments->push_back(ParseSegment());
+    while (PeekIs(TokenKind::kSlash) || PeekIs(TokenKind::kSlashSlash)) {
+      if (lexer_.Next().kind == TokenKind::kSlashSlash) {
+        segments->push_back(DescendantSegment());
+      }
+      segments->push_back(ParseSegment());
+    }
+  }
+
+  /// True when the upcoming token begins a filter-expression segment
+  /// (variable, literal, parenthesized expression, or function call) rather
+  /// than an axis step.
+  bool IsFilterSegmentStart() {
+    const Token& t = lexer_.Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable:
+      case TokenKind::kLParen:
+      case TokenKind::kIntegerLiteral:
+      case TokenKind::kDecimalLiteral:
+      case TokenKind::kDoubleLiteral:
+      case TokenKind::kStringLiteral:
+        return true;
+      case TokenKind::kName:
+        return lexer_.Peek2().kind == TokenKind::kLParen &&
+               !IsNodeTestName(t.text);
+      default:
+        return false;
+    }
+  }
+
+  /// One path segment: an axis step or a filter-expression step.
+  PathSegment ParseSegment() {
+    PathSegment segment;
+    if (IsFilterSegmentStart()) {
+      segment.expr = ParseFilter();
+      return segment;
+    }
+    segment.step = ParseAxisStep();
+    return segment;
+  }
+
+  /// True when the upcoming token can begin an axis step.
+  bool IsStepStart() {
+    const Token& t = lexer_.Peek();
+    return t.kind == TokenKind::kName || t.kind == TokenKind::kStar ||
+           t.kind == TokenKind::kAt || t.kind == TokenKind::kDotDot ||
+           t.kind == TokenKind::kDot;
+  }
+
+  /// Parses the first step of a relative path: either a primary expression
+  /// (variable, literal, call, parenthesized, constructor, context item) with
+  /// predicates, or an axis step wrapped in a single-step PathExpr.
+  ExprPtr ParseStepOrPrimary() {
+    const Token& t = lexer_.Peek();
+    SourceLocation loc = t.location;
+    switch (t.kind) {
+      case TokenKind::kVariable:
+      case TokenKind::kIntegerLiteral:
+      case TokenKind::kDecimalLiteral:
+      case TokenKind::kDoubleLiteral:
+      case TokenKind::kStringLiteral:
+      case TokenKind::kLParen:
+      case TokenKind::kLt:
+        return ParseFilter();
+      case TokenKind::kDot: {
+        lexer_.Next();
+        ExprPtr ctx = std::make_unique<ContextItemExpr>(loc);
+        std::vector<ExprPtr> predicates = ParsePredicates();
+        if (predicates.empty()) return ctx;
+        return std::make_unique<FilterExpr>(std::move(ctx),
+                                            std::move(predicates), loc);
+      }
+      case TokenKind::kName: {
+        // Function call if followed by '(' and not a node-test keyword.
+        if (lexer_.Peek2().kind == TokenKind::kLParen && !IsNodeTestName(t.text)) {
+          return ParseFilter();
+        }
+        if (IsComputedConstructorStart()) return ParseFilter();
+        break;
+      }
+      default:
+        break;
+    }
+    if (!IsStepStart()) {
+      Fail("expected an expression, found " +
+           std::string(TokenKindName(t.kind)));
+    }
+    std::vector<PathSegment> segments;
+    segments.push_back(ParseSegment());
+    return std::make_unique<PathExpr>(nullptr, /*absolute=*/false,
+                                      std::move(segments), loc);
+  }
+
+  static bool IsNodeTestName(const std::string& name) {
+    return name == "node" || name == "text" || name == "comment" ||
+           name == "element" || name == "attribute" ||
+           name == "document-node" || name == "processing-instruction";
+  }
+
+  PathStep ParseAxisStep() {
+    PathStep step;
+    const Token& t = lexer_.Peek();
+    if (t.kind == TokenKind::kDotDot) {
+      lexer_.Next();
+      step.axis = Axis::kParent;
+      step.test.kind = NodeTest::Kind::kAnyKind;
+      step.predicates = ParsePredicates();
+      return step;
+    }
+    if (t.kind == TokenKind::kDot) {
+      lexer_.Next();
+      step.axis = Axis::kSelf;
+      step.test.kind = NodeTest::Kind::kAnyKind;
+      step.predicates = ParsePredicates();
+      return step;
+    }
+    if (ConsumeIf(TokenKind::kAt)) {
+      step.axis = Axis::kAttribute;
+      step.test = ParseNodeTest(/*attribute_axis=*/true);
+      step.predicates = ParsePredicates();
+      return step;
+    }
+    // Explicit axis?
+    if (t.kind == TokenKind::kName &&
+        lexer_.Peek2().kind == TokenKind::kColonColon) {
+      std::string axis_name = t.text;
+      if (axis_name == "child") step.axis = Axis::kChild;
+      else if (axis_name == "descendant") step.axis = Axis::kDescendant;
+      else if (axis_name == "descendant-or-self") step.axis = Axis::kDescendantOrSelf;
+      else if (axis_name == "attribute") step.axis = Axis::kAttribute;
+      else if (axis_name == "self") step.axis = Axis::kSelf;
+      else if (axis_name == "parent") step.axis = Axis::kParent;
+      else if (axis_name == "ancestor") step.axis = Axis::kAncestor;
+      else if (axis_name == "ancestor-or-self") step.axis = Axis::kAncestorOrSelf;
+      else if (axis_name == "following-sibling") step.axis = Axis::kFollowingSibling;
+      else if (axis_name == "preceding-sibling") step.axis = Axis::kPrecedingSibling;
+      else Fail("unknown axis '" + axis_name + "'");
+      lexer_.Next();
+      lexer_.Next();
+      step.test = ParseNodeTest(step.axis == Axis::kAttribute);
+      step.predicates = ParsePredicates();
+      return step;
+    }
+    step.axis = Axis::kChild;
+    step.test = ParseNodeTest(false);
+    step.predicates = ParsePredicates();
+    return step;
+  }
+
+  NodeTest ParseNodeTest(bool attribute_axis) {
+    NodeTest test;
+    if (ConsumeIf(TokenKind::kStar)) {
+      test.kind = NodeTest::Kind::kName;
+      test.name = "*";
+      return test;
+    }
+    Token name = Expect(TokenKind::kName, "a node test");
+    if (lexer_.Peek().kind == TokenKind::kLParen && IsNodeTestName(name.text)) {
+      lexer_.Next();
+      if (name.text == "node") test.kind = NodeTest::Kind::kAnyKind;
+      else if (name.text == "text") test.kind = NodeTest::Kind::kText;
+      else if (name.text == "comment") test.kind = NodeTest::Kind::kComment;
+      else if (name.text == "element") test.kind = NodeTest::Kind::kElement;
+      else if (name.text == "attribute") test.kind = NodeTest::Kind::kAttribute;
+      else if (name.text == "document-node") test.kind = NodeTest::Kind::kDocument;
+      else test.kind = NodeTest::Kind::kPi;
+      if (PeekIs(TokenKind::kName)) test.name = lexer_.Next().text;
+      else if (ConsumeIf(TokenKind::kStar)) test.name = "*";
+      Expect(TokenKind::kRParen, "')'");
+      return test;
+    }
+    test.kind = NodeTest::Kind::kName;
+    test.name = name.text;
+    (void)attribute_axis;
+    return test;
+  }
+
+  std::vector<ExprPtr> ParsePredicates() {
+    std::vector<ExprPtr> predicates;
+    while (ConsumeIf(TokenKind::kLBracket)) {
+      predicates.push_back(ParseExprSequence());
+      Expect(TokenKind::kRBracket, "']'");
+    }
+    return predicates;
+  }
+
+  /// Primary expression plus trailing predicates.
+  ExprPtr ParseFilter() {
+    SourceLocation loc = Here();
+    ExprPtr primary = ParsePrimary();
+    std::vector<ExprPtr> predicates = ParsePredicates();
+    if (predicates.empty()) return primary;
+    return std::make_unique<FilterExpr>(std::move(primary),
+                                        std::move(predicates), loc);
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& t = lexer_.Peek();
+    SourceLocation loc = t.location;
+    switch (t.kind) {
+      case TokenKind::kIntegerLiteral: {
+        Token tok = lexer_.Next();
+        int64_t value;
+        if (!ParseInteger(tok.text, &value)) Fail("integer literal out of range");
+        return std::make_unique<LiteralExpr>(AtomicValue::Integer(value), loc);
+      }
+      case TokenKind::kDecimalLiteral: {
+        Token tok = lexer_.Next();
+        Decimal value;
+        if (!Decimal::Parse(tok.text, &value)) Fail("bad decimal literal");
+        return std::make_unique<LiteralExpr>(AtomicValue::MakeDecimal(value), loc);
+      }
+      case TokenKind::kDoubleLiteral: {
+        Token tok = lexer_.Next();
+        double value;
+        if (!ParseDouble(tok.text, &value)) Fail("bad double literal");
+        return std::make_unique<LiteralExpr>(AtomicValue::Double(value), loc);
+      }
+      case TokenKind::kStringLiteral: {
+        Token tok = lexer_.Next();
+        return std::make_unique<LiteralExpr>(AtomicValue::String(tok.text), loc);
+      }
+      case TokenKind::kVariable: {
+        Token tok = lexer_.Next();
+        return std::make_unique<VarRefExpr>(tok.text, loc);
+      }
+      case TokenKind::kLParen: {
+        lexer_.Next();
+        if (ConsumeIf(TokenKind::kRParen)) {
+          return std::make_unique<SequenceExpr>(std::vector<ExprPtr>{}, loc);
+        }
+        ExprPtr inner = ParseExprSequence();
+        Expect(TokenKind::kRParen, "')'");
+        return inner;
+      }
+      case TokenKind::kLt:
+        return ParseDirectConstructor();
+      case TokenKind::kName: {
+        if (IsComputedConstructorStart()) {
+          return ParseComputedConstructor();
+        }
+        if (lexer_.Peek2().kind == TokenKind::kLParen) {
+          Token name = lexer_.Next();
+          lexer_.Next();  // '('
+          std::vector<ExprPtr> args;
+          if (!PeekIs(TokenKind::kRParen)) {
+            do {
+              args.push_back(ParseExprSingle());
+            } while (ConsumeIf(TokenKind::kComma));
+          }
+          Expect(TokenKind::kRParen, "')'");
+          return std::make_unique<FunctionCallExpr>(name.text, std::move(args), loc);
+        }
+        Fail("unexpected name '" + t.text + "' in expression");
+      }
+      default:
+        Fail("unexpected " + std::string(TokenKindName(t.kind)));
+    }
+  }
+
+  /// True when the upcoming tokens begin a computed constructor:
+  ///   element {..} / element name {..} / attribute {..} / attribute name {..}
+  ///   text {..} / comment {..} / document {..}
+  bool IsComputedConstructorStart() {
+    const Token& t = lexer_.Peek();
+    if (t.kind != TokenKind::kName) return false;
+    if (t.text == "text" || t.text == "comment" || t.text == "document") {
+      return lexer_.Peek2().kind == TokenKind::kLBrace;
+    }
+    if (t.text == "element" || t.text == "attribute") {
+      if (lexer_.Peek2().kind == TokenKind::kLBrace) return true;
+      return lexer_.Peek2().kind == TokenKind::kName &&
+             lexer_.Peek3().kind == TokenKind::kLBrace;
+    }
+    return false;
+  }
+
+  ExprPtr ParseComputedConstructor() {
+    SourceLocation loc = Here();
+    Token keyword = lexer_.Next();
+    ComputedConstructorExpr::Kind kind;
+    if (keyword.text == "element") kind = ComputedConstructorExpr::Kind::kElement;
+    else if (keyword.text == "attribute") kind = ComputedConstructorExpr::Kind::kAttribute;
+    else if (keyword.text == "text") kind = ComputedConstructorExpr::Kind::kText;
+    else if (keyword.text == "comment") kind = ComputedConstructorExpr::Kind::kComment;
+    else kind = ComputedConstructorExpr::Kind::kDocument;
+
+    std::string name;
+    ExprPtr name_expr;
+    if (kind == ComputedConstructorExpr::Kind::kElement ||
+        kind == ComputedConstructorExpr::Kind::kAttribute) {
+      if (PeekIs(TokenKind::kName)) {
+        name = lexer_.Next().text;
+      } else {
+        Expect(TokenKind::kLBrace, "'{' or a name");
+        name_expr = ParseExprSequence();
+        Expect(TokenKind::kRBrace, "'}'");
+      }
+    }
+    Expect(TokenKind::kLBrace, "'{'");
+    ExprPtr content;
+    if (!PeekIs(TokenKind::kRBrace)) {
+      content = ParseExprSequence();
+    }
+    Expect(TokenKind::kRBrace, "'}'");
+    return std::make_unique<ComputedConstructorExpr>(
+        kind, std::move(name), std::move(name_expr), std::move(content), loc);
+  }
+
+  // --- Direct constructors (raw lexical mode) -------------------------------
+
+  ExprPtr ParseDirectConstructor() {
+    SourceLocation loc = Here();
+    Expect(TokenKind::kLt, "'<'");
+    // No whitespace is allowed between '<' and the tag name.
+    if (!IsNameStartChar(lexer_.RawPeek())) {
+      Fail("expected an element name after '<'");
+    }
+    return ParseConstructorAfterLt(loc);
+  }
+
+  /// Parses a direct element constructor whose '<' has been consumed and
+  /// whose name starts at the raw cursor.
+  ExprPtr ParseConstructorAfterLt(SourceLocation loc) {
+    std::string name = lexer_.RawName();
+    std::vector<DirectConstructorExpr::Attribute> attributes;
+    bool self_closing = false;
+    // Attribute list.
+    while (true) {
+      lexer_.RawSkipWhitespace();
+      char c = lexer_.RawPeek();
+      if (c == '/') {
+        lexer_.RawNext();
+        if (lexer_.RawNext() != '>') Fail("expected '/>'");
+        self_closing = true;
+        break;
+      }
+      if (c == '>') {
+        lexer_.RawNext();
+        break;
+      }
+      if (!IsNameStartChar(c)) Fail("expected an attribute name");
+      DirectConstructorExpr::Attribute attr;
+      attr.name = lexer_.RawName();
+      for (const auto& existing : attributes) {
+        if (existing.name == attr.name) {
+          ThrowError(ErrorCode::kXQDY0025,
+                     "duplicate attribute '" + attr.name + "'", loc);
+        }
+      }
+      lexer_.RawSkipWhitespace();
+      if (lexer_.RawNext() != '=') Fail("expected '=' after attribute name");
+      lexer_.RawSkipWhitespace();
+      char quote = lexer_.RawNext();
+      if (quote != '"' && quote != '\'') Fail("expected a quoted attribute value");
+      attr.parts = ParseQuotedParts(quote);
+      attributes.push_back(std::move(attr));
+    }
+
+    std::vector<ConstructorContent> children;
+    if (!self_closing) {
+      children = ParseElementContent(name);
+    }
+    return std::make_unique<DirectConstructorExpr>(
+        std::move(name), std::move(attributes), std::move(children), loc);
+  }
+
+  /// Attribute value: text and {expr} parts until the closing quote.
+  std::vector<ConstructorContent> ParseQuotedParts(char quote) {
+    std::vector<ConstructorContent> parts;
+    std::string text;
+    auto flush = [&]() {
+      if (text.empty()) return;
+      ConstructorContent part;
+      part.text = std::move(text);
+      text.clear();
+      parts.push_back(std::move(part));
+    };
+    while (true) {
+      char c = lexer_.RawPeek();
+      if (c == '\0') Fail("unterminated attribute value");
+      if (c == quote) {
+        lexer_.RawNext();
+        if (lexer_.RawPeek() == quote) {  // doubled quote escape
+          lexer_.RawNext();
+          text.push_back(quote);
+          continue;
+        }
+        flush();
+        return parts;
+      }
+      if (c == '{') {
+        if (lexer_.RawPeek(1) == '{') {
+          lexer_.RawNext();
+          lexer_.RawNext();
+          text.push_back('{');
+          continue;
+        }
+        lexer_.RawNext();  // '{' — switch to token mode for the expression
+        flush();
+        ConstructorContent part;
+        part.expr = ParseExprSequence();
+        Expect(TokenKind::kRBrace, "'}'");
+        parts.push_back(std::move(part));
+        continue;
+      }
+      if (c == '}') {
+        lexer_.RawNext();
+        if (lexer_.RawPeek() == '}') {
+          lexer_.RawNext();
+          text.push_back('}');
+          continue;
+        }
+        Fail("'}' must be escaped as '}}' in attribute values");
+      }
+      if (c == '&') {
+        AppendRawReference(&text);
+        continue;
+      }
+      if (c == '<') Fail("'<' in attribute value");
+      text.push_back(lexer_.RawNext());
+    }
+  }
+
+  /// Element content until the matching end tag. Whitespace-only literal text
+  /// is boundary whitespace and is stripped (boundary-space strip).
+  std::vector<ConstructorContent> ParseElementContent(const std::string& name) {
+    std::vector<ConstructorContent> children;
+    std::string text;
+    bool text_significant = false;  // contains CDATA or character references
+    auto flush = [&]() {
+      if (!text.empty() && (text_significant || !IsAllWhitespace(text))) {
+        ConstructorContent part;
+        part.text = std::move(text);
+        children.push_back(std::move(part));
+      }
+      text.clear();
+      text_significant = false;
+    };
+    while (true) {
+      char c = lexer_.RawPeek();
+      if (c == '\0') Fail("unterminated element constructor <" + name + ">");
+      if (c == '<') {
+        if (lexer_.RawPeek(1) == '/') {
+          flush();
+          lexer_.RawNext();
+          lexer_.RawNext();
+          std::string end_name = lexer_.RawName();
+          if (end_name != name) {
+            Fail("mismatched end tag </" + end_name + ">, expected </" + name + ">");
+          }
+          lexer_.RawSkipWhitespace();
+          if (lexer_.RawNext() != '>') Fail("expected '>'");
+          return children;
+        }
+        if (lexer_.RawPeek(1) == '!' && lexer_.RawPeek(2) == '-' &&
+            lexer_.RawPeek(3) == '-') {
+          flush();
+          for (int i = 0; i < 4; ++i) lexer_.RawNext();
+          ConstructorContent comment;
+          comment.is_comment = true;
+          while (!(lexer_.RawPeek() == '-' && lexer_.RawPeek(1) == '-' &&
+                   lexer_.RawPeek(2) == '>')) {
+            if (lexer_.RawPeek() == '\0') Fail("unterminated comment");
+            comment.text.push_back(lexer_.RawNext());
+          }
+          for (int i = 0; i < 3; ++i) lexer_.RawNext();
+          children.push_back(std::move(comment));
+          continue;
+        }
+        if (lexer_.RawPeek(1) == '!' && lexer_.RawPeek(2) == '[') {
+          // <![CDATA[ ... ]]>
+          const char* prefix = "<![CDATA[";
+          for (int i = 0; prefix[i] != '\0'; ++i) {
+            if (lexer_.RawNext() != prefix[i]) Fail("malformed CDATA section");
+          }
+          while (!(lexer_.RawPeek() == ']' && lexer_.RawPeek(1) == ']' &&
+                   lexer_.RawPeek(2) == '>')) {
+            if (lexer_.RawPeek() == '\0') Fail("unterminated CDATA section");
+            text.push_back(lexer_.RawNext());
+          }
+          for (int i = 0; i < 3; ++i) lexer_.RawNext();
+          text_significant = true;
+          continue;
+        }
+        // Nested element constructor.
+        flush();
+        SourceLocation loc = lexer_.CurrentLocation();
+        lexer_.RawNext();  // '<'
+        if (!IsNameStartChar(lexer_.RawPeek())) {
+          Fail("expected an element name after '<'");
+        }
+        ConstructorContent part;
+        part.expr = ParseConstructorAfterLt(loc);
+        children.push_back(std::move(part));
+        continue;
+      }
+      if (c == '{') {
+        if (lexer_.RawPeek(1) == '{') {
+          lexer_.RawNext();
+          lexer_.RawNext();
+          text.push_back('{');
+          text_significant = true;
+          continue;
+        }
+        flush();
+        lexer_.RawNext();  // '{' — token mode for the enclosed expression
+        ConstructorContent part;
+        part.expr = ParseExprSequence();
+        Expect(TokenKind::kRBrace, "'}'");
+        children.push_back(std::move(part));
+        continue;
+      }
+      if (c == '}') {
+        lexer_.RawNext();
+        if (lexer_.RawPeek() == '}') {
+          lexer_.RawNext();
+          text.push_back('}');
+          text_significant = true;
+          continue;
+        }
+        Fail("'}' must be escaped as '}}' in element content");
+      }
+      if (c == '&') {
+        AppendRawReference(&text);
+        text_significant = true;
+        continue;
+      }
+      text.push_back(lexer_.RawNext());
+    }
+  }
+
+  /// Decodes an entity or character reference in raw constructor content.
+  void AppendRawReference(std::string* out) {
+    lexer_.RawNext();  // '&'
+    std::string entity;
+    while (lexer_.RawPeek() != ';') {
+      if (lexer_.RawPeek() == '\0' || entity.size() > 10) {
+        Fail("bad entity reference");
+      }
+      entity.push_back(lexer_.RawNext());
+    }
+    lexer_.RawNext();  // ';'
+    if (entity == "lt") out->push_back('<');
+    else if (entity == "gt") out->push_back('>');
+    else if (entity == "amp") out->push_back('&');
+    else if (entity == "quot") out->push_back('"');
+    else if (entity == "apos") out->push_back('\'');
+    else if (!entity.empty() && entity[0] == '#') {
+      int base = 10;
+      size_t i = 1;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        base = 16;
+        i = 2;
+      }
+      uint32_t code = 0;
+      for (; i < entity.size(); ++i) {
+        char d = entity[i];
+        int digit;
+        if (d >= '0' && d <= '9') digit = d - '0';
+        else if (base == 16 && d >= 'a' && d <= 'f') digit = d - 'a' + 10;
+        else if (base == 16 && d >= 'A' && d <= 'F') digit = d - 'A' + 10;
+        else { Fail("bad character reference"); }
+        code = code * base + static_cast<uint32_t>(digit);
+      }
+      if (code == 0 || code > 0x10FFFF) Fail("bad character reference");
+      if (code < 0x80) {
+        out->push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      Fail("unknown entity &" + entity + ";");
+    }
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+ModulePtr ParseQuery(std::string_view query) {
+  Parser parser(query);
+  return parser.Parse();
+}
+
+}  // namespace xqa

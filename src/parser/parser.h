@@ -1,0 +1,29 @@
+#ifndef XQA_PARSER_PARSER_H_
+#define XQA_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Parses an XQuery module (prolog + query body) written in the XQuery 1.0
+/// subset extended with the paper's analytics proposals:
+///
+///   FLWORExpr ::= (ForClause | LetClause)+ WhereClause?
+///                 (GroupByClause LetClause* WhereClause?)?
+///                 OrderByClause? ReturnClause
+///   GroupByClause ::= "group" "by"
+///                 Expr "into" "$" VarName ("using" QName)?
+///                 ("," Expr "into" "$" VarName ("using" QName)?)*
+///                 ("nest" Expr OrderByClause? "into" "$" VarName
+///                  ("," Expr OrderByClause? "into" "$" VarName)*)?
+///   ReturnClause ::= "return" ("at" "$" VarName)? Expr
+///
+/// Throws XQueryError(XPST0003) on syntax errors. The returned module is
+/// unbound — run the Binder before evaluation.
+ModulePtr ParseQuery(std::string_view query);
+
+}  // namespace xqa
+
+#endif  // XQA_PARSER_PARSER_H_

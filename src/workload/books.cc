@@ -1,0 +1,225 @@
+#include "workload/books.h"
+
+#include <sstream>
+
+#include "workload/random.h"
+#include "xml/xml_parser.h"
+
+namespace xqa::workload {
+
+namespace {
+
+const std::vector<std::string>& TitleWords() {
+  static const auto& words = *new std::vector<std::string>{
+      "Transaction", "Processing", "Database", "Systems", "Distributed",
+      "Query", "Optimization", "Principles", "Foundations", "Advanced",
+      "Modern", "Practical", "Readings", "Concurrency", "Streams"};
+  return words;
+}
+
+const std::vector<std::string>& AuthorNames() {
+  static const auto& names = *new std::vector<std::string>{
+      "Jim Gray", "Andreas Reuter", "Don Chamberlin", "Jim Melton",
+      "Michael Stonebraker", "Jennifer Widom", "Hector Garcia-Molina",
+      "Jeffrey Ullman", "Raghu Ramakrishnan", "Johannes Gehrke",
+      "Serge Abiteboul", "Rick Hull", "Victor Vianu", "David DeWitt",
+      "Goetz Graefe", "Pat Selinger", "Bruce Lindsay", "C. Mohan",
+      "Phil Bernstein", "Nathan Goodman"};
+  return names;
+}
+
+const std::vector<std::string>& CategoryForests() {
+  // Ragged hierarchies in the style of Section 5.
+  static const auto& forests = *new std::vector<std::string>{
+      "<software><db><concurrency/></db><distributed/></software>",
+      "<software><db/></software><anthology/>",
+      "<software><db><query-processing/><storage/></db></software>",
+      "<software><languages><xml/></languages></software>",
+      "<hardware><architecture/></hardware>",
+      "<software><db/><os/></software>",
+      "<anthology/>",
+      "<software><db><concurrency/><recovery/></db></software>"};
+  return forests;
+}
+
+}  // namespace
+
+std::string GenerateBooksXml(const BooksConfig& config) {
+  Random random(config.seed);
+  std::ostringstream out;
+  out << "<bib>\n";
+  for (int i = 0; i < config.num_books; ++i) {
+    out << "  <book>\n";
+    out << "    <title>" << random.Pick(TitleWords()) << " "
+        << random.Pick(TitleWords()) << " " << i << "</title>\n";
+    int authors = static_cast<int>(random.NextInt(0, config.max_authors));
+    for (int a = 0; a < authors; ++a) {
+      out << "    <author>" << random.Pick(AuthorNames()) << "</author>\n";
+    }
+    if (!random.NextBool(config.no_publisher_prob)) {
+      out << "    <publisher>Publisher-"
+          << random.NextInt(0, config.publisher_pool - 1) << "</publisher>\n";
+    }
+    out << "    <year>" << random.NextInt(config.min_year, config.max_year)
+        << "</year>\n";
+    int64_t price = random.NextInt(10, 150);
+    out << "    <price>" << price << ".00</price>\n";
+    if (random.NextBool(config.discount_prob)) {
+      out << "    <discount>" << random.NextInt(1, price / 2) << ".00"
+          << "</discount>\n";
+    }
+    if (config.with_categories) {
+      out << "    <categories>" << random.Pick(CategoryForests())
+          << "</categories>\n";
+    }
+    out << "  </book>\n";
+  }
+  out << "</bib>\n";
+  return out.str();
+}
+
+DocumentPtr GenerateBooksDocument(const BooksConfig& config) {
+  return ParseXml(GenerateBooksXml(config));
+}
+
+std::string PaperBibliographyXml() {
+  // The Section 2 example instance plus companions that exercise multiple
+  // authors, missing publishers, and missing discounts.
+  return R"(<bib>
+  <book>
+    <title>Transaction Processing</title>
+    <author>Jim Gray</author>
+    <author>Andreas Reuter</author>
+    <publisher>Morgan Kaufmann</publisher>
+    <year>1993</year>
+    <price>65.00</price>
+    <discount>6.00</discount>
+  </book>
+  <book>
+    <title>Readings in Database Systems</title>
+    <author>Michael Stonebraker</author>
+    <publisher>Morgan Kaufmann</publisher>
+    <year>1993</year>
+    <price>43.00</price>
+  </book>
+  <book>
+    <title>Understanding the New SQL</title>
+    <author>Jim Melton</author>
+    <publisher>Morgan Kaufmann</publisher>
+    <year>1993</year>
+    <price>54.95</price>
+    <discount>4.95</discount>
+  </book>
+  <book>
+    <title>Principles of Transaction Processing</title>
+    <author>Andreas Reuter</author>
+    <author>Jim Gray</author>
+    <publisher>Morgan Kaufmann</publisher>
+    <year>1995</year>
+    <price>34.00</price>
+  </book>
+  <book>
+    <title>Understanding SQL and Java Together</title>
+    <author>Jim Melton</author>
+    <publisher>Morgan Kaufmann</publisher>
+    <year>1995</year>
+    <price>49.95</price>
+  </book>
+  <book>
+    <title>Database Systems The Complete Book</title>
+    <author>Hector Garcia-Molina</author>
+    <author>Jeffrey Ullman</author>
+    <author>Jennifer Widom</author>
+    <publisher>Addison-Wesley</publisher>
+    <year>1993</year>
+    <price>48.00</price>
+  </book>
+  <book>
+    <title>Self Published Notes</title>
+    <author>Jim Gray</author>
+    <year>1995</year>
+    <price>120.00</price>
+  </book>
+</bib>)";
+}
+
+std::string PaperSalesXml() {
+  // Sale elements shaped like the Section 2 example.
+  return R"(<sales>
+  <sale>
+    <timestamp>2004-01-31T11:32:07</timestamp>
+    <product>Green Tea</product>
+    <state>CA</state>
+    <region>West</region>
+    <quantity>10</quantity>
+    <price>9.99</price>
+  </sale>
+  <sale>
+    <timestamp>2004-02-14T09:12:55</timestamp>
+    <product>Black Tea</product>
+    <state>OR</state>
+    <region>West</region>
+    <quantity>5</quantity>
+    <price>7.50</price>
+  </sale>
+  <sale>
+    <timestamp>2004-03-02T15:45:30</timestamp>
+    <product>Green Tea</product>
+    <state>CA</state>
+    <region>West</region>
+    <quantity>20</quantity>
+    <price>9.99</price>
+  </sale>
+  <sale>
+    <timestamp>2004-04-01T11:32:07</timestamp>
+    <product>Oolong</product>
+    <state>NY</state>
+    <region>East</region>
+    <quantity>8</quantity>
+    <price>12.00</price>
+  </sale>
+  <sale>
+    <timestamp>2004-05-20T18:03:44</timestamp>
+    <product>Green Tea</product>
+    <state>MA</state>
+    <region>East</region>
+    <quantity>3</quantity>
+    <price>9.99</price>
+  </sale>
+  <sale>
+    <timestamp>2003-11-11T10:00:00</timestamp>
+    <product>Black Tea</product>
+    <state>CA</state>
+    <region>West</region>
+    <quantity>7</quantity>
+    <price>7.50</price>
+  </sale>
+</sales>)";
+}
+
+std::string PaperCategorizedBooksXml() {
+  // The Section 5 ragged-hierarchy example instance.
+  return R"(<bib>
+  <book>
+    <title>Transaction Processing</title>
+    <publisher>Morgan Kaufmann</publisher>
+    <year>1993</year>
+    <price>59.00</price>
+    <categories>
+      <software><db><concurrency/></db><distributed/></software>
+    </categories>
+  </book>
+  <book>
+    <title>Readings in Database Systems</title>
+    <publisher>Morgan Kaufmann</publisher>
+    <year>1998</year>
+    <price>65.00</price>
+    <categories>
+      <software><db/></software>
+      <anthology/>
+    </categories>
+  </book>
+</bib>)";
+}
+
+}  // namespace xqa::workload

@@ -1,0 +1,39 @@
+#ifndef XQA_WORKLOAD_BOOKS_H_
+#define XQA_WORKLOAD_BOOKS_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace xqa::workload {
+
+/// Bibliography generator matching the paper's running example (Section 2):
+/// books with a title, zero or more authors, zero or one publisher, a year,
+/// a price, and an optional discount. With `with_categories`, each book also
+/// carries a ragged category hierarchy (Section 5's rollup input).
+struct BooksConfig {
+  int num_books = 100;
+  int publisher_pool = 8;
+  int author_pool = 20;
+  int min_year = 1990;
+  int max_year = 2004;
+  int max_authors = 3;          ///< 0..max_authors authors per book
+  double no_publisher_prob = 0.1;
+  double discount_prob = 0.5;
+  bool with_categories = false;
+  uint64_t seed = 7;
+};
+
+/// <bib> wrapping `num_books` book elements.
+std::string GenerateBooksXml(const BooksConfig& config);
+
+DocumentPtr GenerateBooksDocument(const BooksConfig& config);
+
+/// The paper's own example documents, usable in tests and examples.
+std::string PaperBibliographyXml();
+std::string PaperSalesXml();
+std::string PaperCategorizedBooksXml();
+
+}  // namespace xqa::workload
+
+#endif  // XQA_WORKLOAD_BOOKS_H_

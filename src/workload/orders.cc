@@ -1,0 +1,143 @@
+#include "workload/orders.h"
+
+#include <sstream>
+
+#include "workload/random.h"
+#include "xml/xml_parser.h"
+
+namespace xqa::workload {
+
+namespace {
+
+const std::vector<std::string>& CustomerNames() {
+  static const auto& names = *new std::vector<std::string>{
+      "Acme Retail", "Globex Corporation", "Initech Systems",
+      "Umbrella Supplies", "Stark Industrial", "Wayne Logistics",
+      "Tyrell Wholesale", "Cyberdyne Parts", "Wonka Distribution",
+      "Oscorp Trading"};
+  return names;
+}
+
+const std::vector<std::string>& Cities() {
+  static const auto& cities = *new std::vector<std::string>{
+      "San Jose", "Baltimore", "Chicago", "Austin", "Seattle",
+      "Boston", "Denver", "Atlanta", "Portland", "Raleigh"};
+  return cities;
+}
+
+const std::vector<std::string>& Comments() {
+  static const auto& comments = *new std::vector<std::string>{
+      "expedite per customer request and confirm receipt by fax",
+      "fragile goods, handle with care during transfer",
+      "standard handling, no special instructions apply",
+      "priority account, notify sales representative on delay",
+      "bulk packaging acceptable for this shipment",
+      "customer requires delivery confirmation signature"};
+  return comments;
+}
+
+void EmitLineitem(std::ostringstream* out, Random* random, int line_number,
+                  const OrderConfig& config) {
+  auto& o = *out;
+  int quantity = static_cast<int>(
+      random->NextInt(1, config.quantity_cardinality));
+  int64_t price_cents = random->NextInt(100, 99999);
+  int discount_percent = static_cast<int>(random->NextInt(0, 10));
+  int tax_index = static_cast<int>(random->NextInt(0, config.tax_cardinality - 1));
+  o << "    <lineitem>\n";
+  o << "      <linenumber>" << line_number << "</linenumber>\n";
+  o << "      <partkey>P-" << random->NextInt(1, 20000) << "</partkey>\n";
+  o << "      <suppkey>S-" << random->NextInt(1, 1000) << "</suppkey>\n";
+  o << "      <quantity>" << quantity << "</quantity>\n";
+  o << "      <extendedprice>" << price_cents / 100 << "."
+    << (price_cents % 100 < 10 ? "0" : "") << price_cents % 100
+    << "</extendedprice>\n";
+  o << "      <discount>0.0" << discount_percent << "</discount>\n";
+  // Tax values are drawn from a small set of distinct rates.
+  o << "      <tax>0." << 10 + tax_index << "</tax>\n";
+  o << "      <returnflag>" << (random->NextBool(0.5) ? "N" : "R")
+    << "</returnflag>\n";
+  o << "      <linestatus>" << (random->NextBool(0.5) ? "O" : "F")
+    << "</linestatus>\n";
+  o << "      <shipdate>199" << random->NextInt(2, 8) << "-0"
+    << random->NextInt(1, 9) << "-1" << random->NextInt(0, 9)
+    << "</shipdate>\n";
+  o << "      <commitdate>199" << random->NextInt(2, 8) << "-0"
+    << random->NextInt(1, 9) << "-2" << random->NextInt(0, 8)
+    << "</commitdate>\n";
+  o << "      <receiptdate>199" << random->NextInt(2, 8) << "-0"
+    << random->NextInt(1, 9) << "-0" << random->NextInt(1, 9)
+    << "</receiptdate>\n";
+  o << "      <shipinstruct>"
+    << TokenValue("INSTRUCT", random, config.shipinstruct_cardinality)
+    << "</shipinstruct>\n";
+  o << "      <shipmode>"
+    << TokenValue("MODE", random, config.shipmode_cardinality)
+    << "</shipmode>\n";
+  o << "      <comment>" << random->Pick(Comments()) << "</comment>\n";
+  o << "    </lineitem>\n";
+}
+
+}  // namespace
+
+std::string GenerateOrdersXml(const OrderConfig& config) {
+  Random random(config.seed);
+  std::ostringstream out;
+  out << "<orders>\n";
+  for (int i = 0; i < config.num_orders; ++i) {
+    out << "  <order>\n";
+    out << "    <orderkey>O-" << i + 1 << "</orderkey>\n";
+    out << "    <orderstatus>" << (random.NextBool(0.3) ? "F" : "O")
+        << "</orderstatus>\n";
+    out << "    <orderdate>199" << random.NextInt(2, 8) << "-0"
+        << random.NextInt(1, 9) << "-0" << random.NextInt(1, 9)
+        << "</orderdate>\n";
+    out << "    <orderpriority>" << random.NextInt(1, 5)
+        << "-PRIORITY</orderpriority>\n";
+    out << "    <customer>\n";
+    out << "      <name>" << random.Pick(CustomerNames()) << "</name>\n";
+    out << "      <custkey>C-" << random.NextInt(1, 5000) << "</custkey>\n";
+    out << "      <address>\n";
+    out << "        <street>" << random.NextInt(1, 9999) << " Market St</street>\n";
+    out << "        <city>" << random.Pick(Cities()) << "</city>\n";
+    out << "        <zip>9" << random.NextInt(1000, 9999) << "0</zip>\n";
+    out << "      </address>\n";
+    out << "      <phone>408-555-0" << random.NextInt(100, 999) << "</phone>\n";
+    out << "    </customer>\n";
+    out << "    <clerk>Clerk#" << random.NextInt(1, 1000) << "</clerk>\n";
+    int lineitems = static_cast<int>(
+        random.NextInt(config.min_lineitems, config.max_lineitems));
+    for (int line = 1; line <= lineitems; ++line) {
+      EmitLineitem(&out, &random, line, config);
+    }
+    out << "    <totalprice>" << random.NextInt(100, 500000) << ".00"
+        << "</totalprice>\n";
+    out << "    <comment>" << random.Pick(Comments()) << "</comment>\n";
+    out << "  </order>\n";
+  }
+  out << "</orders>\n";
+  return out.str();
+}
+
+DocumentPtr GenerateOrdersDocument(const OrderConfig& config) {
+  return ParseXml(GenerateOrdersXml(config));
+}
+
+int CountLineitems(const OrderConfig& config) {
+  // Replays only the draws that determine lineitem counts by regenerating;
+  // cheap relative to benchmark setup and exactly consistent.
+  DocumentPtr doc = GenerateOrdersDocument(config);
+  int count = 0;
+  const Node* orders = doc->root()->children()[0];  // the <orders> wrapper
+  for (const Node* order : orders->children()) {
+    if (order->kind() != NodeKind::kElement) continue;
+    for (const Node* child : order->children()) {
+      if (child->kind() == NodeKind::kElement && child->name() == "lineitem") {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace xqa::workload

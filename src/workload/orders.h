@@ -1,0 +1,45 @@
+#ifndef XQA_WORKLOAD_ORDERS_H_
+#define XQA_WORKLOAD_ORDERS_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace xqa::workload {
+
+/// Purchase-order generator matching Section 6 of the paper: order elements
+/// with customer information and an average of four lineitem elements; each
+/// lineitem has many child elements; each order's textual form is ~3 KB.
+/// The grouping children (shipinstruct, shipmode, tax, quantity) have
+/// configurable distinct-value counts — the experiment's group-count axis.
+struct OrderConfig {
+  int num_orders = 2000;
+  /// Lineitems per order are uniform in [min, max]; the paper's average of
+  /// four corresponds to the default [1, 7].
+  int min_lineitems = 1;
+  int max_lineitems = 7;
+
+  // Distinct-value counts of the grouping children. The defaults mirror
+  // TPC-H-like cardinalities; benchmarks override them to sweep group counts.
+  int shipinstruct_cardinality = 4;
+  int shipmode_cardinality = 7;
+  int tax_cardinality = 9;
+  int quantity_cardinality = 50;
+
+  uint64_t seed = 42;
+};
+
+/// The generated collection as XML text: <orders> wrapping `num_orders`
+/// order elements.
+std::string GenerateOrdersXml(const OrderConfig& config);
+
+/// Convenience: generate and parse.
+DocumentPtr GenerateOrdersDocument(const OrderConfig& config);
+
+/// Total number of lineitem elements that GenerateOrdersXml(config) emits
+/// (deterministic given the seed).
+int CountLineitems(const OrderConfig& config);
+
+}  // namespace xqa::workload
+
+#endif  // XQA_WORKLOAD_ORDERS_H_

@@ -1,0 +1,29 @@
+#include "workload/random.h"
+
+namespace xqa::workload {
+
+uint64_t Random::NextUint64() {
+  // splitmix64 (Steele, Lea, Flood).
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int64_t Random::NextInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo + 1);
+  return lo + static_cast<int64_t>(NextUint64() % span);
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Random::NextBool(double p) { return NextDouble() < p; }
+
+std::string TokenValue(const std::string& prefix, Random* random,
+                       int cardinality) {
+  return prefix + "-" + std::to_string(random->NextInt(0, cardinality - 1));
+}
+
+}  // namespace xqa::workload

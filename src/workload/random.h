@@ -1,0 +1,45 @@
+#ifndef XQA_WORKLOAD_RANDOM_H_
+#define XQA_WORKLOAD_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xqa::workload {
+
+/// Deterministic 64-bit PRNG (splitmix64). Workload generation must be
+/// reproducible across runs and platforms, so std::mt19937 distributions
+/// (which vary across standard libraries) are avoided.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextUint64();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+  /// Uniformly chosen element.
+  template <typename T>
+  const T& Pick(const std::vector<T>& pool) {
+    return pool[static_cast<size_t>(NextInt(0, static_cast<int64_t>(pool.size()) - 1))];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// "Value-<k>" style token with k < cardinality; used for controlled
+/// distinct-value counts in grouping experiments.
+std::string TokenValue(const std::string& prefix, Random* random,
+                       int cardinality);
+
+}  // namespace xqa::workload
+
+#endif  // XQA_WORKLOAD_RANDOM_H_

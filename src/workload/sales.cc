@@ -1,0 +1,75 @@
+#include "workload/sales.h"
+
+#include <sstream>
+
+#include "workload/random.h"
+#include "xml/xml_parser.h"
+
+namespace xqa::workload {
+
+namespace {
+
+struct RegionStates {
+  const char* region;
+  std::vector<std::string> states;
+};
+
+const std::vector<RegionStates>& Regions() {
+  static const auto& regions = *new std::vector<RegionStates>{
+      {"West", {"CA", "OR", "WA", "NV"}},
+      {"East", {"NY", "MA", "NJ", "CT"}},
+      {"South", {"TX", "FL", "GA"}},
+      {"Midwest", {"IL", "OH", "MI"}},
+  };
+  return regions;
+}
+
+const std::vector<std::string>& Products() {
+  static const auto& products = *new std::vector<std::string>{
+      "Green Tea", "Black Tea", "Oolong", "White Tea", "Chai", "Matcha",
+      "Earl Grey", "Rooibos", "Jasmine", "Mint Tea", "Pu-erh", "Darjeeling"};
+  return products;
+}
+
+}  // namespace
+
+std::string GenerateSalesXml(const SalesConfig& config) {
+  Random random(config.seed);
+  std::ostringstream out;
+  out << "<sales>\n";
+  for (int i = 0; i < config.num_sales; ++i) {
+    const RegionStates& region = random.Pick(Regions());
+    int year = static_cast<int>(random.NextInt(config.min_year, config.max_year));
+    int month = static_cast<int>(random.NextInt(1, 12));
+    int day = static_cast<int>(random.NextInt(1, 28));
+    int hour = static_cast<int>(random.NextInt(0, 23));
+    int minute = static_cast<int>(random.NextInt(0, 59));
+    int second = static_cast<int>(random.NextInt(0, 59));
+    int product = static_cast<int>(
+        random.NextInt(0, std::min<int64_t>(config.product_pool,
+                                            Products().size()) - 1));
+    int64_t price_cents = random.NextInt(199, 2999);
+    char timestamp[32];
+    std::snprintf(timestamp, sizeof(timestamp),
+                  "%04d-%02d-%02dT%02d:%02d:%02d", year, month, day, hour,
+                  minute, second);
+    out << "  <sale>\n";
+    out << "    <timestamp>" << timestamp << "</timestamp>\n";
+    out << "    <product>" << Products()[product] << "</product>\n";
+    out << "    <state>" << random.Pick(region.states) << "</state>\n";
+    out << "    <region>" << region.region << "</region>\n";
+    out << "    <quantity>" << random.NextInt(1, 50) << "</quantity>\n";
+    out << "    <price>" << price_cents / 100 << "."
+        << (price_cents % 100 < 10 ? "0" : "") << price_cents % 100
+        << "</price>\n";
+    out << "  </sale>\n";
+  }
+  out << "</sales>\n";
+  return out.str();
+}
+
+DocumentPtr GenerateSalesDocument(const SalesConfig& config) {
+  return ParseXml(GenerateSalesXml(config));
+}
+
+}  // namespace xqa::workload

@@ -1,0 +1,28 @@
+#ifndef XQA_WORKLOAD_SALES_H_
+#define XQA_WORKLOAD_SALES_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace xqa::workload {
+
+/// Retail sales generator for the OLAP queries (Q3, Q8, Q10): sale elements
+/// with timestamp, product, state, region, quantity, and price. States are
+/// grouped under four fixed regions so region/state rollups are meaningful.
+struct SalesConfig {
+  int num_sales = 1000;
+  int min_year = 2002;
+  int max_year = 2004;
+  int product_pool = 12;
+  uint64_t seed = 11;
+};
+
+/// <sales> wrapping `num_sales` sale elements.
+std::string GenerateSalesXml(const SalesConfig& config);
+
+DocumentPtr GenerateSalesDocument(const SalesConfig& config);
+
+}  // namespace xqa::workload
+
+#endif  // XQA_WORKLOAD_SALES_H_

@@ -1,0 +1,268 @@
+#include "xdm/atomic_value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace xqa {
+
+std::string_view AtomicTypeName(AtomicType type) {
+  switch (type) {
+    case AtomicType::kUntypedAtomic: return "xs:untypedAtomic";
+    case AtomicType::kString: return "xs:string";
+    case AtomicType::kBoolean: return "xs:boolean";
+    case AtomicType::kInteger: return "xs:integer";
+    case AtomicType::kDecimal: return "xs:decimal";
+    case AtomicType::kDouble: return "xs:double";
+    case AtomicType::kDateTime: return "xs:dateTime";
+    case AtomicType::kDate: return "xs:date";
+    case AtomicType::kTime: return "xs:time";
+    case AtomicType::kQName: return "xs:QName";
+    case AtomicType::kDuration: return "xs:dayTimeDuration";
+  }
+  return "xs:anyAtomicType";
+}
+
+AtomicValue AtomicValue::Untyped(std::string value) {
+  AtomicValue v;
+  v.type_ = AtomicType::kUntypedAtomic;
+  v.value_ = std::move(value);
+  return v;
+}
+
+AtomicValue AtomicValue::String(std::string value) {
+  AtomicValue v;
+  v.type_ = AtomicType::kString;
+  v.value_ = std::move(value);
+  return v;
+}
+
+AtomicValue AtomicValue::Boolean(bool value) {
+  AtomicValue v;
+  v.type_ = AtomicType::kBoolean;
+  v.value_ = value;
+  return v;
+}
+
+AtomicValue AtomicValue::Integer(int64_t value) {
+  AtomicValue v;
+  v.type_ = AtomicType::kInteger;
+  v.value_ = value;
+  return v;
+}
+
+AtomicValue AtomicValue::MakeDecimal(Decimal value) {
+  AtomicValue v;
+  v.type_ = AtomicType::kDecimal;
+  v.value_ = value;
+  return v;
+}
+
+AtomicValue AtomicValue::Double(double value) {
+  AtomicValue v;
+  v.type_ = AtomicType::kDouble;
+  v.value_ = value;
+  return v;
+}
+
+AtomicValue AtomicValue::MakeDateTime(DateTime value) {
+  AtomicValue v;
+  v.type_ = AtomicType::kDateTime;
+  v.value_ = value;
+  return v;
+}
+
+AtomicValue AtomicValue::MakeDate(DateTime value) {
+  AtomicValue v;
+  v.type_ = AtomicType::kDate;
+  v.value_ = value;
+  return v;
+}
+
+AtomicValue AtomicValue::MakeTime(DateTime value) {
+  AtomicValue v;
+  v.type_ = AtomicType::kTime;
+  v.value_ = value;
+  return v;
+}
+
+AtomicValue AtomicValue::MakeDuration(int64_t millis) {
+  AtomicValue v;
+  v.type_ = AtomicType::kDuration;
+  v.value_ = millis;
+  return v;
+}
+
+AtomicValue AtomicValue::MakeQName(std::string lexical) {
+  AtomicValue v;
+  v.type_ = AtomicType::kQName;
+  v.value_ = std::move(lexical);
+  return v;
+}
+
+std::string AtomicValue::ToLexical() const {
+  switch (type_) {
+    case AtomicType::kUntypedAtomic:
+    case AtomicType::kString:
+    case AtomicType::kQName:
+      return AsString();
+    case AtomicType::kBoolean:
+      return AsBoolean() ? "true" : "false";
+    case AtomicType::kInteger:
+      return FormatInteger(AsInteger());
+    case AtomicType::kDecimal:
+      return AsDecimal().ToString();
+    case AtomicType::kDouble:
+      return FormatDouble(AsDouble());
+    case AtomicType::kDateTime:
+    case AtomicType::kDate:
+    case AtomicType::kTime:
+      return AsDateTime().ToString();
+    case AtomicType::kDuration:
+      return DateTime::FormatDayTimeDuration(AsDurationMillis());
+  }
+  return {};
+}
+
+double AtomicValue::ToDoubleValue() const {
+  switch (type_) {
+    case AtomicType::kInteger:
+      return static_cast<double>(AsInteger());
+    case AtomicType::kDecimal:
+      return AsDecimal().ToDouble();
+    case AtomicType::kDouble:
+      return AsDouble();
+    case AtomicType::kUntypedAtomic: {
+      double value;
+      if (!ParseDouble(AsString(), &value)) {
+        ThrowError(ErrorCode::kFORG0001,
+                   "cannot convert '" + AsString() + "' to a number");
+      }
+      return value;
+    }
+    default:
+      ThrowError(ErrorCode::kFORG0001,
+                 std::string("not a numeric value: ") +
+                     std::string(AtomicTypeName(type_)));
+  }
+}
+
+AtomicValue AtomicValue::CastTo(AtomicType target) const {
+  if (target == type_) return *this;
+  const std::string lexical = ToLexical();
+  auto bad_cast = [&]() -> AtomicValue {
+    ThrowError(ErrorCode::kFORG0001,
+               "cannot cast '" + lexical + "' (" +
+                   std::string(AtomicTypeName(type_)) + ") to " +
+                   std::string(AtomicTypeName(target)));
+  };
+  switch (target) {
+    case AtomicType::kString:
+      return String(lexical);
+    case AtomicType::kUntypedAtomic:
+      return Untyped(lexical);
+    case AtomicType::kBoolean: {
+      if (IsNumeric()) {
+        double d = ToDoubleValue();
+        return Boolean(d != 0 && !std::isnan(d));
+      }
+      std::string_view t = TrimWhitespace(lexical);
+      if (t == "true" || t == "1") return Boolean(true);
+      if (t == "false" || t == "0") return Boolean(false);
+      return bad_cast();
+    }
+    case AtomicType::kInteger: {
+      if (type_ == AtomicType::kDecimal) return Integer(AsDecimal().ToInteger());
+      if (type_ == AtomicType::kDouble) {
+        double d = AsDouble();
+        if (std::isnan(d) || std::isinf(d)) {
+          ThrowError(ErrorCode::kFOCA0002, "cannot cast NaN or INF to xs:integer");
+        }
+        return Integer(static_cast<int64_t>(d));
+      }
+      if (type_ == AtomicType::kBoolean) return Integer(AsBoolean() ? 1 : 0);
+      int64_t value;
+      if (!ParseInteger(lexical, &value)) return bad_cast();
+      return Integer(value);
+    }
+    case AtomicType::kDecimal: {
+      if (type_ == AtomicType::kInteger) return MakeDecimal(Decimal(AsInteger()));
+      if (type_ == AtomicType::kDouble) return MakeDecimal(Decimal::FromDouble(AsDouble()));
+      if (type_ == AtomicType::kBoolean) return MakeDecimal(Decimal(AsBoolean() ? 1 : 0));
+      Decimal value;
+      if (!Decimal::Parse(lexical, &value)) return bad_cast();
+      return MakeDecimal(value);
+    }
+    case AtomicType::kDouble: {
+      if (IsNumeric()) return Double(ToDoubleValue());
+      if (type_ == AtomicType::kBoolean) return Double(AsBoolean() ? 1.0 : 0.0);
+      double value;
+      if (!ParseDouble(lexical, &value)) return bad_cast();
+      return Double(value);
+    }
+    case AtomicType::kDateTime: {
+      DateTime value;
+      if (!DateTime::ParseDateTime(lexical, &value)) return bad_cast();
+      return MakeDateTime(value);
+    }
+    case AtomicType::kDate: {
+      if (type_ == AtomicType::kDateTime) {
+        DateTime d = AsDateTime();
+        DateTime date = DateTime::FromComponents(d.year(), d.month(), d.day());
+        DateTime parsed;
+        // Rebuild via lexical to set has_time=false cleanly.
+        if (!DateTime::ParseDate(date.ToString().substr(0, 10), &parsed)) {
+          return bad_cast();
+        }
+        return MakeDate(parsed);
+      }
+      DateTime value;
+      if (!DateTime::ParseDate(lexical, &value)) return bad_cast();
+      return MakeDate(value);
+    }
+    case AtomicType::kTime: {
+      DateTime value;
+      if (!DateTime::ParseTime(lexical, &value)) return bad_cast();
+      return MakeTime(value);
+    }
+    case AtomicType::kQName:
+      if (IsStringLike()) return MakeQName(CollapseWhitespace(lexical));
+      return bad_cast();
+    case AtomicType::kDuration: {
+      int64_t millis;
+      if (!DateTime::ParseDayTimeDuration(lexical, &millis)) return bad_cast();
+      return MakeDuration(millis);
+    }
+  }
+  return bad_cast();
+}
+
+size_t AtomicValue::Hash() const {
+  switch (type_) {
+    case AtomicType::kUntypedAtomic:
+    case AtomicType::kString:
+    case AtomicType::kQName:
+      return std::hash<std::string>()(AsString());
+    case AtomicType::kBoolean:
+      return AsBoolean() ? 0x9e3779b9u : 0x85ebca6bu;
+    case AtomicType::kInteger:
+    case AtomicType::kDecimal:
+    case AtomicType::kDouble: {
+      // Numerically equal values of different types must hash alike.
+      double d = ToDoubleValue();
+      if (d == 0) d = 0;  // normalize -0.0
+      return std::hash<double>()(d);
+    }
+    case AtomicType::kDateTime:
+    case AtomicType::kDate:
+    case AtomicType::kTime:
+      return AsDateTime().Hash();
+    case AtomicType::kDuration:
+      return std::hash<int64_t>()(AsDurationMillis()) ^ 0x6475726174696f6eULL;
+  }
+  return 0;
+}
+
+}  // namespace xqa

@@ -1,0 +1,95 @@
+#ifndef XQA_XDM_ATOMIC_VALUE_H_
+#define XQA_XDM_ATOMIC_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "xdm/datetime.h"
+#include "xdm/decimal.h"
+
+namespace xqa {
+
+/// The atomic types implemented by the engine — the subset of XML Schema
+/// types exercised by the paper's queries and workloads.
+enum class AtomicType : uint8_t {
+  kUntypedAtomic,  ///< untyped data from schemaless documents
+  kString,
+  kBoolean,
+  kInteger,  ///< xs:integer (64-bit)
+  kDecimal,  ///< exact fixed-point
+  kDouble,
+  kDateTime,
+  kDate,
+  kTime,
+  kQName,
+  kDuration,  ///< xs:dayTimeDuration (signed milliseconds)
+};
+
+/// Returns "xs:integer"-style names for diagnostics.
+std::string_view AtomicTypeName(AtomicType type);
+
+/// An atomic value: a type tag plus the value. Immutable.
+class AtomicValue {
+ public:
+  /// Default-constructs the empty string (rarely useful; prefer factories).
+  AtomicValue() : type_(AtomicType::kString), value_(std::string()) {}
+
+  static AtomicValue Untyped(std::string value);
+  static AtomicValue String(std::string value);
+  static AtomicValue Boolean(bool value);
+  static AtomicValue Integer(int64_t value);
+  static AtomicValue MakeDecimal(Decimal value);
+  static AtomicValue Double(double value);
+  static AtomicValue MakeDateTime(DateTime value);
+  static AtomicValue MakeDate(DateTime value);
+  static AtomicValue MakeTime(DateTime value);
+  static AtomicValue MakeQName(std::string lexical);
+  /// xs:dayTimeDuration from a signed millisecond count.
+  static AtomicValue MakeDuration(int64_t millis);
+
+  AtomicType type() const { return type_; }
+
+  bool IsNumeric() const {
+    return type_ == AtomicType::kInteger || type_ == AtomicType::kDecimal ||
+           type_ == AtomicType::kDouble;
+  }
+
+  bool IsStringLike() const {
+    return type_ == AtomicType::kString || type_ == AtomicType::kUntypedAtomic;
+  }
+
+  // Accessors; each requires the matching type().
+  bool AsBoolean() const { return std::get<bool>(value_); }
+  int64_t AsInteger() const { return std::get<int64_t>(value_); }
+  const Decimal& AsDecimal() const { return std::get<Decimal>(value_); }
+  double AsDouble() const { return std::get<double>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  const DateTime& AsDateTime() const { return std::get<DateTime>(value_); }
+  int64_t AsDurationMillis() const { return std::get<int64_t>(value_); }
+
+  /// The canonical lexical form (what fn:string returns).
+  std::string ToLexical() const;
+
+  /// Numeric view with promotion (integer/decimal/double); untypedAtomic is
+  /// parsed as xs:double per XPath arithmetic rules. Throws FORG0001 on
+  /// non-numeric input.
+  double ToDoubleValue() const;
+
+  /// Casts to the target type following XQuery cast rules (subset). Throws
+  /// FORG0001 on invalid lexical values.
+  AtomicValue CastTo(AtomicType target) const;
+
+  /// Structural hash consistent with value equality under `eq` semantics:
+  /// numerically equal values of different numeric types hash identically.
+  size_t Hash() const;
+
+ private:
+  AtomicType type_;
+  std::variant<bool, int64_t, double, Decimal, std::string, DateTime> value_;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_XDM_ATOMIC_VALUE_H_

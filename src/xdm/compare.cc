@@ -1,0 +1,171 @@
+#include "xdm/compare.h"
+
+#include <cmath>
+
+#include "base/error.h"
+#include "xdm/sequence_ops.h"
+
+namespace xqa {
+
+namespace {
+
+bool IsDateTimeLike(AtomicType type) {
+  return type == AtomicType::kDateTime || type == AtomicType::kDate ||
+         type == AtomicType::kTime;
+}
+
+[[noreturn]] void IncomparableError(const AtomicValue& a, const AtomicValue& b) {
+  ThrowError(ErrorCode::kXPTY0004,
+             "cannot compare " + std::string(AtomicTypeName(a.type())) +
+                 " with " + std::string(AtomicTypeName(b.type())));
+}
+
+bool ApplyOp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq: return cmp == 0;
+    case CompareOp::kNe: return cmp != 0;
+    case CompareOp::kLt: return cmp < 0;
+    case CompareOp::kLe: return cmp <= 0;
+    case CompareOp::kGt: return cmp > 0;
+    case CompareOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+/// Three-way compare after both sides are known comparable; nullopt = NaN.
+std::optional<int> CompareComparable(const AtomicValue& a,
+                                     const AtomicValue& b) {
+  // Numeric comparison with promotion.
+  if (a.IsNumeric() && b.IsNumeric()) {
+    if (a.type() == AtomicType::kDouble || b.type() == AtomicType::kDouble) {
+      double x = a.ToDoubleValue();
+      double y = b.ToDoubleValue();
+      if (std::isnan(x) || std::isnan(y)) return std::nullopt;
+      if (x == y) return 0;
+      return x < y ? -1 : 1;
+    }
+    // integer / decimal: exact.
+    Decimal x = a.type() == AtomicType::kInteger ? Decimal(a.AsInteger())
+                                                 : a.AsDecimal();
+    Decimal y = b.type() == AtomicType::kInteger ? Decimal(b.AsInteger())
+                                                 : b.AsDecimal();
+    return x.Compare(y);
+  }
+  if (a.IsStringLike() && b.IsStringLike()) {
+    int cmp = a.AsString().compare(b.AsString());
+    return cmp == 0 ? 0 : (cmp < 0 ? -1 : 1);
+  }
+  if (a.type() == AtomicType::kBoolean && b.type() == AtomicType::kBoolean) {
+    int x = a.AsBoolean() ? 1 : 0;
+    int y = b.AsBoolean() ? 1 : 0;
+    return x == y ? 0 : (x < y ? -1 : 1);
+  }
+  if (IsDateTimeLike(a.type()) && a.type() == b.type()) {
+    return a.AsDateTime().Compare(b.AsDateTime());
+  }
+  if (a.type() == AtomicType::kQName && b.type() == AtomicType::kQName) {
+    int cmp = a.AsString().compare(b.AsString());
+    return cmp == 0 ? 0 : (cmp < 0 ? -1 : 1);
+  }
+  if (a.type() == AtomicType::kDuration && b.type() == AtomicType::kDuration) {
+    int64_t x = a.AsDurationMillis();
+    int64_t y = b.AsDurationMillis();
+    return x == y ? 0 : (x < y ? -1 : 1);
+  }
+  IncomparableError(a, b);
+}
+
+}  // namespace
+
+bool ValueCompareAtomic(CompareOp op, const AtomicValue& a,
+                        const AtomicValue& b) {
+  // Value comparison treats untypedAtomic as xs:string.
+  const AtomicValue* pa = &a;
+  const AtomicValue* pb = &b;
+  AtomicValue sa, sb;
+  if (a.type() == AtomicType::kUntypedAtomic) {
+    sa = AtomicValue::String(a.AsString());
+    pa = &sa;
+  }
+  if (b.type() == AtomicType::kUntypedAtomic) {
+    sb = AtomicValue::String(b.AsString());
+    pb = &sb;
+  }
+  std::optional<int> cmp = CompareComparable(*pa, *pb);
+  if (!cmp.has_value()) return op == CompareOp::kNe;  // NaN
+  return ApplyOp(op, *cmp);
+}
+
+std::optional<int> ThreeWayCompareAtomic(const AtomicValue& a,
+                                         const AtomicValue& b) {
+  const AtomicValue* pa = &a;
+  const AtomicValue* pb = &b;
+  AtomicValue conv;
+  if (a.type() == AtomicType::kUntypedAtomic &&
+      b.type() != AtomicType::kUntypedAtomic) {
+    conv = b.IsNumeric() ? a.CastTo(AtomicType::kDouble) : a.CastTo(b.type());
+    pa = &conv;
+  } else if (b.type() == AtomicType::kUntypedAtomic &&
+             a.type() != AtomicType::kUntypedAtomic) {
+    conv = a.IsNumeric() ? b.CastTo(AtomicType::kDouble) : b.CastTo(a.type());
+    pb = &conv;
+  } else if (a.type() == AtomicType::kUntypedAtomic &&
+             b.type() == AtomicType::kUntypedAtomic) {
+    int cmp = a.AsString().compare(b.AsString());
+    return cmp == 0 ? 0 : (cmp < 0 ? -1 : 1);
+  }
+  return CompareComparable(*pa, *pb);
+}
+
+bool GeneralCompare(CompareOp op, const Sequence& lhs, const Sequence& rhs) {
+  Sequence left = Atomize(lhs);
+  Sequence right = Atomize(rhs);
+  for (const Item& li : left) {
+    for (const Item& ri : right) {
+      const AtomicValue& a = li.atomic();
+      const AtomicValue& b = ri.atomic();
+      AtomicValue ca = a;
+      AtomicValue cb = b;
+      // General-comparison untyped casting rules.
+      if (a.type() == AtomicType::kUntypedAtomic &&
+          b.type() != AtomicType::kUntypedAtomic) {
+        if (b.IsNumeric()) {
+          ca = a.CastTo(AtomicType::kDouble);
+        } else if (b.type() == AtomicType::kString) {
+          ca = a.CastTo(AtomicType::kString);
+        } else {
+          ca = a.CastTo(b.type());
+        }
+      } else if (b.type() == AtomicType::kUntypedAtomic &&
+                 a.type() != AtomicType::kUntypedAtomic) {
+        if (a.IsNumeric()) {
+          cb = b.CastTo(AtomicType::kDouble);
+        } else if (a.type() == AtomicType::kString) {
+          cb = b.CastTo(AtomicType::kString);
+        } else {
+          cb = b.CastTo(a.type());
+        }
+      }
+      if (ValueCompareAtomic(op, ca, cb)) return true;
+    }
+  }
+  return false;
+}
+
+bool ValueCompareSequences(CompareOp op, const Sequence& lhs,
+                           const Sequence& rhs, bool* empty) {
+  Sequence left = Atomize(lhs);
+  Sequence right = Atomize(rhs);
+  if (left.empty() || right.empty()) {
+    *empty = true;
+    return false;
+  }
+  *empty = false;
+  if (left.size() > 1 || right.size() > 1) {
+    ThrowError(ErrorCode::kXPTY0004,
+               "value comparison requires singleton operands");
+  }
+  return ValueCompareAtomic(op, left[0].atomic(), right[0].atomic());
+}
+
+}  // namespace xqa

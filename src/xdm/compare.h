@@ -1,0 +1,41 @@
+#ifndef XQA_XDM_COMPARE_H_
+#define XQA_XDM_COMPARE_H_
+
+#include <optional>
+
+#include "xdm/item.h"
+
+namespace xqa {
+
+/// The six comparison operators shared by value ("eq") and general ("=")
+/// comparisons.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Value comparison of two atomic values with numeric promotion.
+/// untypedAtomic operands are treated as xs:string (the value-comparison
+/// rule). Incomparable type combinations raise XPTY0004. NaN compares false
+/// under every operator except ne.
+bool ValueCompareAtomic(CompareOp op, const AtomicValue& a,
+                        const AtomicValue& b);
+
+/// Three-way comparison for order-by keys: nullopt when unordered (NaN).
+/// Numeric promotion as above; untypedAtomic compares as xs:string when the
+/// other side is string-like, as xs:double when the other side is numeric.
+std::optional<int> ThreeWayCompareAtomic(const AtomicValue& a,
+                                         const AtomicValue& b);
+
+/// General comparison ("="-family): existential over the atomized item pairs
+/// with the untypedAtomic casting rules of XPath 2.0 (untyped vs numeric →
+/// double; untyped vs untyped/string → string; untyped vs other → cast to the
+/// other's type).
+bool GeneralCompare(CompareOp op, const Sequence& lhs, const Sequence& rhs);
+
+/// Value comparison of two sequences that must each be empty or singleton
+/// ("eq" family). Empty operand → empty result, reported as false here with
+/// *empty set true (callers that need the XQuery empty semantics check it).
+bool ValueCompareSequences(CompareOp op, const Sequence& lhs,
+                           const Sequence& rhs, bool* empty);
+
+}  // namespace xqa
+
+#endif  // XQA_XDM_COMPARE_H_

@@ -1,0 +1,403 @@
+#include "xdm/datetime.h"
+
+#include <cctype>
+#include <cstdio>
+#include <functional>
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace xqa {
+
+namespace {
+
+/// Cursor over a lexical form with digit-run helpers.
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return pos < text.size() ? text[pos] : '\0'; }
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  /// Reads exactly `count` digits into *out; false on failure.
+  bool Digits(int count, int* out) {
+    int value = 0;
+    for (int i = 0; i < count; ++i) {
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return false;
+      }
+      value = value * 10 + (text[pos++] - '0');
+    }
+    *out = value;
+    return true;
+  }
+};
+
+bool ParseTimezone(Cursor* cursor, bool* has_tz, int* tz_minutes) {
+  *has_tz = false;
+  *tz_minutes = 0;
+  if (cursor->AtEnd()) return true;
+  if (cursor->Consume('Z')) {
+    *has_tz = true;
+    return cursor->AtEnd();
+  }
+  int sign = 0;
+  if (cursor->Consume('+')) sign = 1;
+  else if (cursor->Consume('-')) sign = -1;
+  else return false;
+  int hours, minutes;
+  if (!cursor->Digits(2, &hours) || !cursor->Consume(':') ||
+      !cursor->Digits(2, &minutes)) {
+    return false;
+  }
+  if (hours > 14 || minutes > 59) return false;
+  *has_tz = true;
+  *tz_minutes = sign * (hours * 60 + minutes);
+  return cursor->AtEnd();
+}
+
+bool ParseDatePart(Cursor* cursor, DateTime* out, int* year, int* month,
+                   int* day) {
+  bool negative = cursor->Consume('-');
+  if (!cursor->Digits(4, year)) return false;
+  if (negative) *year = -*year;
+  if (!cursor->Consume('-') || !cursor->Digits(2, month)) return false;
+  if (!cursor->Consume('-') || !cursor->Digits(2, day)) return false;
+  if (*month < 1 || *month > 12) return false;
+  if (*day < 1 || *day > DateTime::DaysInMonth(*year, *month)) return false;
+  (void)out;
+  return true;
+}
+
+bool ParseTimePart(Cursor* cursor, int* hour, int* minute, int* second,
+                   int* millisecond) {
+  if (!cursor->Digits(2, hour) || !cursor->Consume(':') ||
+      !cursor->Digits(2, minute) || !cursor->Consume(':') ||
+      !cursor->Digits(2, second)) {
+    return false;
+  }
+  if (*hour > 24 || *minute > 59 || *second > 59) return false;
+  if (*hour == 24 && (*minute != 0 || *second != 0)) return false;
+  *millisecond = 0;
+  if (cursor->Consume('.')) {
+    int scale = 100;
+    bool any = false;
+    while (!cursor->AtEnd() &&
+           std::isdigit(static_cast<unsigned char>(cursor->Peek()))) {
+      int digit = cursor->text[cursor->pos++] - '0';
+      if (scale > 0) {
+        *millisecond += digit * scale;
+        scale /= 10;
+      }
+      any = true;
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DateTime::IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DateTime::DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+bool DateTime::ParseDateTime(std::string_view text, DateTime* out) {
+  Cursor cursor{TrimWhitespace(text)};
+  DateTime result;
+  if (!ParseDatePart(&cursor, &result, &result.year_, &result.month_,
+                     &result.day_)) {
+    return false;
+  }
+  if (!cursor.Consume('T')) return false;
+  if (!ParseTimePart(&cursor, &result.hour_, &result.minute_, &result.second_,
+                     &result.millisecond_)) {
+    return false;
+  }
+  if (!ParseTimezone(&cursor, &result.has_timezone_, &result.tz_minutes_)) {
+    return false;
+  }
+  result.has_date_ = true;
+  result.has_time_ = true;
+  *out = result;
+  return true;
+}
+
+bool DateTime::ParseDate(std::string_view text, DateTime* out) {
+  Cursor cursor{TrimWhitespace(text)};
+  DateTime result;
+  if (!ParseDatePart(&cursor, &result, &result.year_, &result.month_,
+                     &result.day_)) {
+    return false;
+  }
+  if (!ParseTimezone(&cursor, &result.has_timezone_, &result.tz_minutes_)) {
+    return false;
+  }
+  result.has_date_ = true;
+  result.has_time_ = false;
+  *out = result;
+  return true;
+}
+
+bool DateTime::ParseTime(std::string_view text, DateTime* out) {
+  Cursor cursor{TrimWhitespace(text)};
+  DateTime result;
+  if (!ParseTimePart(&cursor, &result.hour_, &result.minute_, &result.second_,
+                     &result.millisecond_)) {
+    return false;
+  }
+  if (!ParseTimezone(&cursor, &result.has_timezone_, &result.tz_minutes_)) {
+    return false;
+  }
+  result.has_date_ = false;
+  result.has_time_ = true;
+  result.year_ = 1;
+  result.month_ = 1;
+  result.day_ = 1;
+  *out = result;
+  return true;
+}
+
+DateTime DateTime::FromComponents(int year, int month, int day, int hour,
+                                  int minute, int second, int millisecond) {
+  DateTime dt;
+  dt.year_ = year;
+  dt.month_ = month;
+  dt.day_ = day;
+  dt.hour_ = hour;
+  dt.minute_ = minute;
+  dt.second_ = second;
+  dt.millisecond_ = millisecond;
+  return dt;
+}
+
+std::string DateTime::ToString() const {
+  char buf[64];
+  std::string out;
+  if (has_date_) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year_, month_, day_);
+    out += buf;
+  }
+  if (has_date_ && has_time_) out += 'T';
+  if (has_time_) {
+    std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", hour_, minute_, second_);
+    out += buf;
+    if (millisecond_ != 0) {
+      std::snprintf(buf, sizeof(buf), ".%03d", millisecond_);
+      out += buf;
+    }
+  }
+  if (has_timezone_) {
+    if (tz_minutes_ == 0) {
+      out += 'Z';
+    } else {
+      int magnitude = tz_minutes_ < 0 ? -tz_minutes_ : tz_minutes_;
+      std::snprintf(buf, sizeof(buf), "%c%02d:%02d", tz_minutes_ < 0 ? '-' : '+',
+                    magnitude / 60, magnitude % 60);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+int64_t DateTime::ToEpochMillis() const {
+  // Days from 0001-01-01 (proleptic Gregorian, day 0).
+  int64_t y = year_ - 1;
+  int64_t days = y * 365 + y / 4 - y / 100 + y / 400;
+  for (int m = 1; m < month_; ++m) days += DaysInMonth(year_, m);
+  days += day_ - 1;
+  int64_t millis = ((days * 24 + hour_) * 60 + minute_) * 60 * 1000 +
+                   second_ * 1000 + millisecond_;
+  if (has_timezone_) millis -= static_cast<int64_t>(tz_minutes_) * 60 * 1000;
+  return millis;
+}
+
+DateTime DateTime::FromEpochMillis(int64_t millis) {
+  if (millis < 0) {
+    ThrowError(ErrorCode::kFODT0001, "dateTime arithmetic underflow");
+  }
+  int64_t day_millis = millis % (24LL * 60 * 60 * 1000);
+  int64_t days = millis / (24LL * 60 * 60 * 1000);
+  // Civil-from-days over the proleptic Gregorian calendar (day 0 is
+  // 0001-01-01). 400-year era arithmetic.
+  int64_t year = 1;
+  // Fast-forward by 400-year eras (146097 days each).
+  int64_t eras = days / 146097;
+  year += eras * 400;
+  days -= eras * 146097;
+  while (true) {
+    int year_days = IsLeapYear(static_cast<int>(year)) ? 366 : 365;
+    if (days < year_days) break;
+    days -= year_days;
+    ++year;
+  }
+  if (year > 9999) {
+    ThrowError(ErrorCode::kFODT0001, "dateTime arithmetic overflow");
+  }
+  int month = 1;
+  while (days >= DaysInMonth(static_cast<int>(year), month)) {
+    days -= DaysInMonth(static_cast<int>(year), month);
+    ++month;
+  }
+  DateTime result;
+  result.year_ = static_cast<int>(year);
+  result.month_ = month;
+  result.day_ = static_cast<int>(days) + 1;
+  result.hour_ = static_cast<int>(day_millis / (60 * 60 * 1000));
+  result.minute_ = static_cast<int>(day_millis / (60 * 1000) % 60);
+  result.second_ = static_cast<int>(day_millis / 1000 % 60);
+  result.millisecond_ = static_cast<int>(day_millis % 1000);
+  return result;
+}
+
+DateTime DateTime::PlusMillis(int64_t millis) const {
+  DateTime shifted = FromEpochMillis(ToEpochMillis() + millis);
+  shifted.has_date_ = has_date_;
+  shifted.has_time_ = has_time_;
+  return shifted;
+}
+
+bool DateTime::ParseDayTimeDuration(std::string_view text, int64_t* millis) {
+  Cursor cursor{TrimWhitespace(text)};
+  bool negative = cursor.Consume('-');
+  if (!cursor.Consume('P')) return false;
+  int64_t total = 0;
+  bool any_component = false;
+
+  auto read_number = [&](int64_t* value, int* fraction_millis) -> bool {
+    *fraction_millis = -1;
+    if (cursor.AtEnd() ||
+        !std::isdigit(static_cast<unsigned char>(cursor.Peek()))) {
+      return false;
+    }
+    int64_t v = 0;
+    while (!cursor.AtEnd() &&
+           std::isdigit(static_cast<unsigned char>(cursor.Peek()))) {
+      v = v * 10 + (cursor.text[cursor.pos++] - '0');
+      if (v > 100'000'000'000LL) return false;
+    }
+    if (!cursor.AtEnd() && cursor.Peek() == '.') {
+      ++cursor.pos;
+      int scale = 100;
+      int frac = 0;
+      bool digits = false;
+      while (!cursor.AtEnd() &&
+             std::isdigit(static_cast<unsigned char>(cursor.Peek()))) {
+        int digit = cursor.text[cursor.pos++] - '0';
+        if (scale > 0) {
+          frac += digit * scale;
+          scale /= 10;
+        }
+        digits = true;
+      }
+      if (!digits) return false;
+      *fraction_millis = frac;
+    }
+    *value = v;
+    return true;
+  };
+
+  // Days part.
+  if (!cursor.AtEnd() && cursor.Peek() != 'T') {
+    int64_t days;
+    int frac;
+    if (!read_number(&days, &frac) || frac >= 0) return false;
+    if (!cursor.Consume('D')) return false;
+    total += days * 24 * 60 * 60 * 1000;
+    any_component = true;
+  }
+  if (cursor.Consume('T')) {
+    bool any_time = false;
+    while (!cursor.AtEnd()) {
+      int64_t value;
+      int frac;
+      if (!read_number(&value, &frac)) return false;
+      if (cursor.AtEnd()) return false;
+      char unit = cursor.text[cursor.pos++];
+      switch (unit) {
+        case 'H':
+          if (frac >= 0) return false;
+          total += value * 60 * 60 * 1000;
+          break;
+        case 'M':
+          if (frac >= 0) return false;
+          total += value * 60 * 1000;
+          break;
+        case 'S':
+          total += value * 1000 + (frac >= 0 ? frac : 0);
+          break;
+        default:
+          return false;
+      }
+      any_time = true;
+      any_component = true;
+      if (unit == 'S') break;
+    }
+    if (!any_time) return false;
+  }
+  if (!cursor.AtEnd() || !any_component) return false;
+  *millis = negative ? -total : total;
+  return true;
+}
+
+std::string DateTime::FormatDayTimeDuration(int64_t millis) {
+  if (millis == 0) return "PT0S";
+  std::string out;
+  uint64_t magnitude;
+  if (millis < 0) {
+    out += '-';
+    magnitude = ~static_cast<uint64_t>(millis) + 1;
+  } else {
+    magnitude = static_cast<uint64_t>(millis);
+  }
+  out += 'P';
+  uint64_t days = magnitude / (24ULL * 60 * 60 * 1000);
+  uint64_t rest = magnitude % (24ULL * 60 * 60 * 1000);
+  if (days > 0) out += std::to_string(days) + "D";
+  if (rest > 0) {
+    out += 'T';
+    uint64_t hours = rest / (60ULL * 60 * 1000);
+    uint64_t minutes = rest / (60ULL * 1000) % 60;
+    uint64_t seconds = rest / 1000 % 60;
+    uint64_t frac = rest % 1000;
+    if (hours > 0) out += std::to_string(hours) + "H";
+    if (minutes > 0) out += std::to_string(minutes) + "M";
+    if (seconds > 0 || frac > 0) {
+      out += std::to_string(seconds);
+      if (frac > 0) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), ".%03llu",
+                      static_cast<unsigned long long>(frac));
+        std::string fraction = buf;
+        while (fraction.back() == '0') fraction.pop_back();
+        out += fraction;
+      }
+      out += 'S';
+    }
+  }
+  return out;
+}
+
+int DateTime::Compare(const DateTime& other) const {
+  int64_t a = ToEpochMillis();
+  int64_t b = other.ToEpochMillis();
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+size_t DateTime::Hash() const {
+  return std::hash<int64_t>()(ToEpochMillis());
+}
+
+}  // namespace xqa

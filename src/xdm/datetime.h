@@ -1,0 +1,98 @@
+#ifndef XQA_XDM_DATETIME_H_
+#define XQA_XDM_DATETIME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xqa {
+
+/// xs:dateTime / xs:date / xs:time value. Parsed from ISO 8601 lexical forms
+/// like "2004-01-31T11:32:07", "2004-01-31T11:32:07.250-08:00", "2004-01-31",
+/// "11:32:07". The component set present depends on which type parsed it;
+/// has_date / has_time record that.
+///
+/// Timezone support: an optional offset in minutes. Comparison converts to a
+/// normalized instant when both values carry timezones; values without a
+/// timezone compare field-wise (the common case in analytics documents).
+class DateTime {
+ public:
+  DateTime() = default;
+
+  /// Parses an xs:dateTime ("YYYY-MM-DDThh:mm:ss(.fff)?(Z|±hh:mm)?").
+  static bool ParseDateTime(std::string_view text, DateTime* out);
+  /// Parses an xs:date ("YYYY-MM-DD(Z|±hh:mm)?").
+  static bool ParseDate(std::string_view text, DateTime* out);
+  /// Parses an xs:time ("hh:mm:ss(.fff)?(Z|±hh:mm)?").
+  static bool ParseTime(std::string_view text, DateTime* out);
+
+  static DateTime FromComponents(int year, int month, int day, int hour = 0,
+                                 int minute = 0, int second = 0,
+                                 int millisecond = 0);
+
+  int year() const { return year_; }
+  int month() const { return month_; }
+  int day() const { return day_; }
+  int hour() const { return hour_; }
+  int minute() const { return minute_; }
+  int second() const { return second_; }
+  int millisecond() const { return millisecond_; }
+  bool has_timezone() const { return has_timezone_; }
+  int timezone_offset_minutes() const { return tz_minutes_; }
+  bool has_date() const { return has_date_; }
+  bool has_time() const { return has_time_; }
+
+  /// Canonical lexical form matching the parsed shape.
+  std::string ToString() const;
+
+  /// Milliseconds since 0001-01-01T00:00:00 (proleptic Gregorian), adjusted
+  /// to UTC when a timezone is present. Total order for comparison.
+  int64_t ToEpochMillis() const;
+
+  /// Three-way compare: -1, 0, +1.
+  int Compare(const DateTime& other) const;
+
+  bool operator==(const DateTime& other) const { return Compare(other) == 0; }
+
+  size_t Hash() const;
+
+  /// Days in the given month (1-12) of `year` (Gregorian).
+  static int DaysInMonth(int year, int month);
+  static bool IsLeapYear(int year);
+
+  /// Inverse of ToEpochMillis: rebuilds the date/time components from a
+  /// proleptic-Gregorian instant (no timezone). Throws FODT0001 when the
+  /// instant is outside years 1..9999.
+  static DateTime FromEpochMillis(int64_t millis);
+
+  /// Returns this instant shifted by a dayTimeDuration in milliseconds,
+  /// preserving the has_date/has_time shape and dropping the timezone
+  /// (arithmetic is done on the normalized instant).
+  DateTime PlusMillis(int64_t millis) const;
+
+ public:
+  // --- xs:dayTimeDuration helpers (stored as signed milliseconds) ----------
+
+  /// Parses "(-)PnDTnHnMn(.nnn)S" forms ("P1D", "PT2H30M", "-PT0.5S", ...).
+  static bool ParseDayTimeDuration(std::string_view text, int64_t* millis);
+
+  /// Canonical xs:dayTimeDuration lexical form for a millisecond count.
+  static std::string FormatDayTimeDuration(int64_t millis);
+
+ private:
+  int year_ = 1;
+  int month_ = 1;
+  int day_ = 1;
+  int hour_ = 0;
+  int minute_ = 0;
+  int second_ = 0;
+  int millisecond_ = 0;
+  bool has_timezone_ = false;
+  int tz_minutes_ = 0;
+  bool has_date_ = true;
+  bool has_time_ = true;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_XDM_DATETIME_H_

@@ -1,0 +1,303 @@
+#include "xdm/decimal.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace xqa {
+
+namespace {
+
+using int128 = __int128;
+
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+constexpr int64_t kInt64Min = std::numeric_limits<int64_t>::min();
+
+int64_t CheckedNarrow(int128 value) {
+  if (value > static_cast<int128>(kInt64Max) ||
+      value < static_cast<int128>(kInt64Min)) {
+    ThrowError(ErrorCode::kFOAR0002, "decimal overflow");
+  }
+  return static_cast<int64_t>(value);
+}
+
+int128 Pow10_128(int exponent) {
+  int128 result = 1;
+  for (int i = 0; i < exponent; ++i) result *= 10;
+  return result;
+}
+
+/// Scales `value` by 10^delta, checking overflow.
+int128 ScaleUp(int128 value, int delta) {
+  for (int i = 0; i < delta; ++i) {
+    int128 next = value * 10;
+    if (next / 10 != value) ThrowError(ErrorCode::kFOAR0002, "decimal overflow");
+    value = next;
+  }
+  return value;
+}
+
+}  // namespace
+
+void Decimal::Normalize() {
+  while (scale_ > 0 && unscaled_ % 10 == 0) {
+    unscaled_ /= 10;
+    --scale_;
+  }
+  if (unscaled_ == 0) scale_ = 0;
+}
+
+Decimal Decimal::FromUnscaled(int64_t unscaled, int scale) {
+  if (scale < 0 || scale > kMaxScale) {
+    ThrowError(ErrorCode::kFOAR0002, "decimal scale out of range");
+  }
+  Decimal d;
+  d.unscaled_ = unscaled;
+  d.scale_ = scale;
+  d.Normalize();
+  return d;
+}
+
+bool Decimal::Parse(std::string_view text, Decimal* out) {
+  text = TrimWhitespace(text);
+  if (text.empty()) return false;
+  size_t i = 0;
+  bool negative = false;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  int128 unscaled = 0;
+  int scale = 0;
+  bool seen_digit = false;
+  bool seen_point = false;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '.') {
+      if (seen_point) return false;
+      seen_point = true;
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    seen_digit = true;
+    if (seen_point && scale >= kMaxScale) {
+      // Extra fractional digits beyond the representable scale are dropped
+      // (truncated); xs:decimal implementations may limit precision.
+      continue;
+    }
+    unscaled = unscaled * 10 + (c - '0');
+    if (unscaled > static_cast<int128>(kInt64Max)) return false;
+    if (seen_point) ++scale;
+  }
+  if (!seen_digit) return false;
+  Decimal d;
+  d.unscaled_ = negative ? -static_cast<int64_t>(unscaled)
+                         : static_cast<int64_t>(unscaled);
+  d.scale_ = scale;
+  d.Normalize();
+  *out = d;
+  return true;
+}
+
+Decimal Decimal::FromDouble(double value) {
+  if (std::isnan(value) || std::isinf(value)) {
+    ThrowError(ErrorCode::kFOCA0002, "cannot convert NaN or INF to xs:decimal");
+  }
+  // Render with enough digits and parse back; simple and round-trip safe for
+  // workload-scale values.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12f", value);
+  Decimal d;
+  if (!Parse(buf, &d)) {
+    ThrowError(ErrorCode::kFOCA0002, "double out of xs:decimal range");
+  }
+  return d;
+}
+
+double Decimal::ToDouble() const {
+  double result = static_cast<double>(unscaled_);
+  for (int i = 0; i < scale_; ++i) result /= 10.0;
+  return result;
+}
+
+int64_t Decimal::ToInteger() const {
+  int128 divisor = Pow10_128(scale_);
+  return CheckedNarrow(static_cast<int128>(unscaled_) / divisor);
+}
+
+std::string Decimal::ToString() const {
+  if (scale_ == 0) return std::to_string(unscaled_);
+  bool negative = unscaled_ < 0;
+  // Render magnitude via unsigned to survive INT64_MIN.
+  uint64_t magnitude = negative
+      ? ~static_cast<uint64_t>(unscaled_) + 1
+      : static_cast<uint64_t>(unscaled_);
+  std::string digits = std::to_string(magnitude);
+  // Build the result front-to-back (avoids repeated inserts, and a GCC 12
+  // -Wrestrict false positive on string::insert).
+  std::string out;
+  out.reserve(digits.size() + static_cast<size_t>(scale_) + 2);
+  if (negative) out.push_back('-');
+  size_t scale = static_cast<size_t>(scale_);
+  if (digits.size() <= scale) {
+    out.push_back('0');
+    out.push_back('.');
+    out.append(scale - digits.size(), '0');
+    out.append(digits);
+  } else {
+    out.append(digits, 0, digits.size() - scale);
+    out.push_back('.');
+    out.append(digits, digits.size() - scale, scale);
+  }
+  return out;
+}
+
+Decimal Decimal::Negate() const {
+  if (unscaled_ == kInt64Min) ThrowError(ErrorCode::kFOAR0002, "decimal overflow");
+  Decimal d;
+  d.unscaled_ = -unscaled_;
+  d.scale_ = scale_;
+  return d;
+}
+
+Decimal Decimal::Add(const Decimal& other) const {
+  int scale = std::max(scale_, other.scale_);
+  int128 a = ScaleUp(unscaled_, scale - scale_);
+  int128 b = ScaleUp(other.unscaled_, scale - other.scale_);
+  return FromUnscaled(CheckedNarrow(a + b), scale);
+}
+
+Decimal Decimal::Subtract(const Decimal& other) const {
+  int scale = std::max(scale_, other.scale_);
+  int128 a = ScaleUp(unscaled_, scale - scale_);
+  int128 b = ScaleUp(other.unscaled_, scale - other.scale_);
+  return FromUnscaled(CheckedNarrow(a - b), scale);
+}
+
+Decimal Decimal::Multiply(const Decimal& other) const {
+  int128 product = static_cast<int128>(unscaled_) * other.unscaled_;
+  int scale = scale_ + other.scale_;
+  // Reduce scale if the product has trailing zeros or exceeds limits.
+  while (scale > kMaxScale || product > static_cast<int128>(kInt64Max) ||
+         product < static_cast<int128>(kInt64Min)) {
+    if (scale == 0) ThrowError(ErrorCode::kFOAR0002, "decimal overflow");
+    // Round half away from zero while reducing precision.
+    int128 rem = product % 10;
+    product /= 10;
+    if (rem >= 5) product += 1;
+    if (rem <= -5) product -= 1;
+    --scale;
+  }
+  return FromUnscaled(static_cast<int64_t>(product), scale);
+}
+
+Decimal Decimal::Divide(const Decimal& other) const {
+  if (other.IsZero()) ThrowError(ErrorCode::kFOAR0001, "division by zero");
+  // Compute (a * 10^k) / b at maximal precision, then trim.
+  int128 numerator = unscaled_;
+  int128 denominator = other.unscaled_;
+  // Result scale before adjustment: scale_ - other.scale_ + k.
+  int target_scale = kDivisionScale;
+  int shift = target_scale - scale_ + other.scale_;
+  if (shift < 0) {
+    denominator = ScaleUp(denominator, -shift);
+  } else {
+    numerator = ScaleUp(numerator, shift);
+  }
+  int128 quotient = numerator / denominator;
+  int128 remainder = numerator % denominator;
+  // Round half away from zero.
+  int128 twice = remainder * 2;
+  if (twice >= denominator || twice <= -denominator) {
+    quotient += (numerator < 0) == (denominator < 0) ? 1 : -1;
+  }
+  int scale = target_scale;
+  while (scale > kMaxScale || quotient > static_cast<int128>(kInt64Max) ||
+         quotient < static_cast<int128>(kInt64Min)) {
+    if (scale == 0) ThrowError(ErrorCode::kFOAR0002, "decimal overflow");
+    quotient /= 10;
+    --scale;
+  }
+  return FromUnscaled(static_cast<int64_t>(quotient), scale);
+}
+
+int64_t Decimal::IntegerDivide(const Decimal& other) const {
+  if (other.IsZero()) ThrowError(ErrorCode::kFOAR0001, "integer division by zero");
+  int scale = std::max(scale_, other.scale_);
+  int128 a = ScaleUp(unscaled_, scale - scale_);
+  int128 b = ScaleUp(other.unscaled_, scale - other.scale_);
+  return CheckedNarrow(a / b);
+}
+
+Decimal Decimal::Mod(const Decimal& other) const {
+  if (other.IsZero()) ThrowError(ErrorCode::kFOAR0001, "modulo by zero");
+  int scale = std::max(scale_, other.scale_);
+  int128 a = ScaleUp(unscaled_, scale - scale_);
+  int128 b = ScaleUp(other.unscaled_, scale - other.scale_);
+  return FromUnscaled(CheckedNarrow(a % b), scale);
+}
+
+int Decimal::Compare(const Decimal& other) const {
+  if (scale_ == other.scale_) {
+    if (unscaled_ == other.unscaled_) return 0;
+    return unscaled_ < other.unscaled_ ? -1 : 1;
+  }
+  int scale = std::max(scale_, other.scale_);
+  // Use 128-bit so scaling cannot overflow.
+  int128 a = static_cast<int128>(unscaled_) * Pow10_128(scale - scale_);
+  int128 b = static_cast<int128>(other.unscaled_) * Pow10_128(scale - other.scale_);
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+Decimal Decimal::Abs() const { return IsNegative() ? Negate() : *this; }
+
+Decimal Decimal::Floor() const {
+  if (scale_ == 0) return *this;
+  int128 divisor = Pow10_128(scale_);
+  int128 quotient = unscaled_ / divisor;
+  if (unscaled_ < 0 && unscaled_ % divisor != 0) quotient -= 1;
+  return Decimal(CheckedNarrow(quotient));
+}
+
+Decimal Decimal::Ceiling() const {
+  if (scale_ == 0) return *this;
+  int128 divisor = Pow10_128(scale_);
+  int128 quotient = unscaled_ / divisor;
+  if (unscaled_ > 0 && unscaled_ % divisor != 0) quotient += 1;
+  return Decimal(CheckedNarrow(quotient));
+}
+
+Decimal Decimal::Round() const {
+  if (scale_ == 0) return *this;
+  // round(x) = floor(x + 0.5)
+  return Add(FromUnscaled(5, 1)).Floor();
+}
+
+Decimal Decimal::RoundHalfToEven(int precision) const {
+  if (precision < 0) precision = 0;
+  if (scale_ <= precision) return *this;
+  int128 divisor = Pow10_128(scale_ - precision);
+  int128 quotient = unscaled_ / divisor;
+  int128 remainder = unscaled_ % divisor;
+  int128 twice = remainder * 2;
+  if (twice > divisor || (twice == divisor && quotient % 2 != 0)) {
+    quotient += 1;
+  } else if (twice < -divisor || (twice == -divisor && quotient % 2 != 0)) {
+    quotient -= 1;
+  }
+  return FromUnscaled(CheckedNarrow(quotient), precision);
+}
+
+size_t Decimal::Hash() const {
+  size_t h1 = std::hash<int64_t>()(unscaled_);
+  size_t h2 = std::hash<int>()(scale_);
+  return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+}
+
+}  // namespace xqa

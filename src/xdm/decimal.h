@@ -1,0 +1,89 @@
+#ifndef XQA_XDM_DECIMAL_H_
+#define XQA_XDM_DECIMAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xqa {
+
+/// Exact fixed-point decimal: value = unscaled * 10^-scale, with
+/// 0 <= scale <= kMaxScale. Arithmetic uses 128-bit intermediates and throws
+/// XQueryError(FOAR0002) on overflow, FOAR0001 on division by zero.
+///
+/// Decimals are kept normalized (no trailing fractional zeros) so that
+/// equality and hashing are structural.
+class Decimal {
+ public:
+  static constexpr int kMaxScale = 18;
+  /// Division results are computed to this many fractional digits.
+  static constexpr int kDivisionScale = 18;
+
+  Decimal() : unscaled_(0), scale_(0) {}
+
+  /// Constructs from an integer value (scale 0).
+  explicit Decimal(int64_t value) : unscaled_(value), scale_(0) {}
+
+  /// Constructs from a raw (unscaled, scale) pair and normalizes.
+  static Decimal FromUnscaled(int64_t unscaled, int scale);
+
+  /// Parses an xs:decimal lexical form ("-12.340"); returns false on error.
+  static bool Parse(std::string_view text, Decimal* out);
+
+  /// Converts from a double, rounding to at most kMaxScale fractional digits.
+  /// Throws FOCA0002 for NaN/INF.
+  static Decimal FromDouble(double value);
+
+  int64_t unscaled() const { return unscaled_; }
+  int scale() const { return scale_; }
+
+  bool IsZero() const { return unscaled_ == 0; }
+  bool IsNegative() const { return unscaled_ < 0; }
+
+  double ToDouble() const;
+
+  /// Truncates toward zero to an integer. Throws FOAR0002 if out of range.
+  int64_t ToInteger() const;
+
+  /// Canonical xs:decimal string: "12.34", "-0.5", "7".
+  std::string ToString() const;
+
+  Decimal Negate() const;
+  Decimal Add(const Decimal& other) const;
+  Decimal Subtract(const Decimal& other) const;
+  Decimal Multiply(const Decimal& other) const;
+  Decimal Divide(const Decimal& other) const;
+
+  /// Integer division (idiv) truncating toward zero.
+  int64_t IntegerDivide(const Decimal& other) const;
+
+  /// Remainder with the sign of the dividend (mod).
+  Decimal Mod(const Decimal& other) const;
+
+  /// Three-way compare: -1, 0, +1.
+  int Compare(const Decimal& other) const;
+
+  Decimal Abs() const;
+  Decimal Floor() const;
+  Decimal Ceiling() const;
+  /// round() per XQuery: round half toward positive infinity.
+  Decimal Round() const;
+  /// round-half-to-even to `precision` fractional digits.
+  Decimal RoundHalfToEven(int precision) const;
+
+  bool operator==(const Decimal& other) const {
+    return unscaled_ == other.unscaled_ && scale_ == other.scale_;
+  }
+
+  size_t Hash() const;
+
+ private:
+  int64_t unscaled_;
+  int scale_;
+
+  void Normalize();
+};
+
+}  // namespace xqa
+
+#endif  // XQA_XDM_DECIMAL_H_

@@ -1,0 +1,159 @@
+#include "xdm/deep_equal.h"
+
+#include <cmath>
+
+namespace xqa {
+
+namespace {
+
+bool IsIgnoredChild(const Node* node) {
+  return node->kind() == NodeKind::kComment ||
+         node->kind() == NodeKind::kProcessingInstruction;
+}
+
+bool DeepEqualAtomic(const AtomicValue& a, const AtomicValue& b) {
+  if (a.IsNumeric() && b.IsNumeric()) {
+    if (a.type() == AtomicType::kDouble || b.type() == AtomicType::kDouble) {
+      double x = a.ToDoubleValue();
+      double y = b.ToDoubleValue();
+      if (std::isnan(x) && std::isnan(y)) return true;  // fn:deep-equal rule
+      return x == y;
+    }
+    Decimal x = a.type() == AtomicType::kInteger ? Decimal(a.AsInteger())
+                                                 : a.AsDecimal();
+    Decimal y = b.type() == AtomicType::kInteger ? Decimal(b.AsInteger())
+                                                 : b.AsDecimal();
+    return x.Compare(y) == 0;
+  }
+  if (a.IsStringLike() && b.IsStringLike()) {
+    return a.AsString() == b.AsString();
+  }
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case AtomicType::kBoolean:
+      return a.AsBoolean() == b.AsBoolean();
+    case AtomicType::kDateTime:
+    case AtomicType::kDate:
+    case AtomicType::kTime:
+      return a.AsDateTime().Compare(b.AsDateTime()) == 0;
+    case AtomicType::kQName:
+      return a.AsString() == b.AsString();
+    case AtomicType::kDuration:
+      return a.AsDurationMillis() == b.AsDurationMillis();
+    default:
+      return false;
+  }
+}
+
+size_t CombineHash(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+size_t DeepHashNode(const Node* node) {
+  size_t h = static_cast<size_t>(node->kind()) * 0x9e3779b97f4a7c15ULL;
+  switch (node->kind()) {
+    case NodeKind::kText:
+      return CombineHash(h, std::hash<std::string>()(node->content()));
+    case NodeKind::kAttribute:
+      h = CombineHash(h, std::hash<std::string>()(node->name()));
+      return CombineHash(h, std::hash<std::string>()(node->content()));
+    case NodeKind::kComment:
+    case NodeKind::kProcessingInstruction:
+      return CombineHash(h, std::hash<std::string>()(node->content()));
+    case NodeKind::kElement:
+      h = CombineHash(h, std::hash<std::string>()(node->name()));
+      [[fallthrough]];
+    case NodeKind::kDocument: {
+      // Attribute sets hash order-insensitively (XOR).
+      size_t attrs = 0;
+      for (const Node* attr : node->attributes()) {
+        attrs ^= DeepHashNode(attr);
+      }
+      h = CombineHash(h, attrs);
+      for (const Node* child : node->children()) {
+        if (IsIgnoredChild(child)) continue;
+        h = CombineHash(h, DeepHashNode(child));
+      }
+      return h;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+bool DeepEqualNodes(const Node* a, const Node* b) {
+  if (a == b) return true;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case NodeKind::kText:
+    case NodeKind::kComment:
+      return a->content() == b->content();
+    case NodeKind::kProcessingInstruction:
+      return a->name() == b->name() && a->content() == b->content();
+    case NodeKind::kAttribute:
+      return a->name() == b->name() && a->content() == b->content();
+    case NodeKind::kElement:
+      if (a->name() != b->name()) return false;
+      if (a->attributes().size() != b->attributes().size()) return false;
+      for (const Node* attr : a->attributes()) {
+        const Node* other = b->FindAttribute(attr->name());
+        if (other == nullptr || other->content() != attr->content()) {
+          return false;
+        }
+      }
+      [[fallthrough]];
+    case NodeKind::kDocument: {
+      // Compare element/text children pairwise, skipping comments and PIs.
+      size_t i = 0, j = 0;
+      const auto& ca = a->children();
+      const auto& cb = b->children();
+      while (true) {
+        while (i < ca.size() && IsIgnoredChild(ca[i])) ++i;
+        while (j < cb.size() && IsIgnoredChild(cb[j])) ++j;
+        if (i >= ca.size() || j >= cb.size()) break;
+        if (!DeepEqualNodes(ca[i], cb[j])) return false;
+        ++i;
+        ++j;
+      }
+      while (i < ca.size() && IsIgnoredChild(ca[i])) ++i;
+      while (j < cb.size() && IsIgnoredChild(cb[j])) ++j;
+      return i >= ca.size() && j >= cb.size();
+    }
+  }
+  return false;
+}
+
+bool DeepEqualItems(const Item& a, const Item& b) {
+  if (a.IsNode() != b.IsNode()) return false;
+  if (a.IsNode()) return DeepEqualNodes(a.node(), b.node());
+  return DeepEqualAtomic(a.atomic(), b.atomic());
+}
+
+bool DeepEqualSequences(const Sequence& a, const Sequence& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!DeepEqualItems(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+size_t DeepHashItem(const Item& item) {
+  if (item.IsNode()) return DeepHashNode(item.node());
+  const AtomicValue& v = item.atomic();
+  // NaN must hash consistently with "NaN deep-equals NaN".
+  if (v.type() == AtomicType::kDouble && std::isnan(v.AsDouble())) {
+    return 0x7ff8000000000000ULL;
+  }
+  return v.Hash();
+}
+
+size_t DeepHashSequence(const Sequence& sequence) {
+  size_t h = 0x51ed270b76a4f1ceULL;
+  for (const Item& item : sequence) {
+    h = CombineHash(h, DeepHashItem(item));
+  }
+  return h;
+}
+
+}  // namespace xqa

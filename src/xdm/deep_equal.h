@@ -1,0 +1,35 @@
+#ifndef XQA_XDM_DEEP_EQUAL_H_
+#define XQA_XDM_DEEP_EQUAL_H_
+
+#include <cstddef>
+
+#include "xdm/item.h"
+
+namespace xqa {
+
+/// fn:deep-equal over two sequences: equal length and pairwise deep-equal
+/// items. This is the paper's default grouping equality (Section 3.3):
+/// permutations are distinct, the empty sequence is a distinct value, and
+/// NaN deep-equals NaN.
+bool DeepEqualSequences(const Sequence& a, const Sequence& b);
+
+/// Deep equality of two items. Atomic values compare under `eq` semantics
+/// (with untypedAtomic-as-string and NaN=NaN); incomparable atomic types are
+/// unequal rather than an error. Nodes compare structurally: same kind and
+/// name, attribute *sets* equal (order-insensitive), element/text children
+/// pairwise deep-equal (comments and PIs are ignored, per fn:deep-equal).
+bool DeepEqualItems(const Item& a, const Item& b);
+
+/// Structural deep equality of two nodes (as used by DeepEqualItems).
+bool DeepEqualNodes(const Node* a, const Node* b);
+
+/// Hash consistent with DeepEqualSequences: deep-equal sequences hash to the
+/// same value. Used to key hash-based grouping.
+size_t DeepHashSequence(const Sequence& sequence);
+
+/// Hash of one item consistent with DeepEqualItems.
+size_t DeepHashItem(const Item& item);
+
+}  // namespace xqa
+
+#endif  // XQA_XDM_DEEP_EQUAL_H_

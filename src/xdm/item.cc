@@ -1,0 +1,10 @@
+#include "xdm/item.h"
+
+namespace xqa {
+
+std::string Item::StringValue() const {
+  if (IsNode()) return node()->StringValue();
+  return atomic().ToLexical();
+}
+
+}  // namespace xqa

@@ -1,0 +1,72 @@
+#ifndef XQA_XDM_ITEM_H_
+#define XQA_XDM_ITEM_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "xdm/atomic_value.h"
+#include "xml/node.h"
+
+namespace xqa {
+
+/// A node reference: the node plus shared ownership of its document so that
+/// trees constructed during evaluation outlive the expressions that built
+/// them.
+struct NodeRef {
+  Node* node = nullptr;
+  DocumentPtr document;
+};
+
+/// An XDM item: either a node or an atomic value.
+class Item {
+ public:
+  /// Default: the atomic empty string. Prefer the factories.
+  Item() : value_(AtomicValue()) {}
+
+  explicit Item(AtomicValue atomic) : value_(std::move(atomic)) {}
+  Item(Node* node, DocumentPtr document)
+      : value_(NodeRef{node, std::move(document)}) {}
+  explicit Item(NodeRef ref) : value_(std::move(ref)) {}
+
+  bool IsNode() const { return std::holds_alternative<NodeRef>(value_); }
+  bool IsAtomic() const { return !IsNode(); }
+
+  /// Precondition: IsNode().
+  Node* node() const { return std::get<NodeRef>(value_).node; }
+  const DocumentPtr& document() const {
+    return std::get<NodeRef>(value_).document;
+  }
+  const NodeRef& node_ref() const { return std::get<NodeRef>(value_); }
+
+  /// Precondition: IsAtomic().
+  const AtomicValue& atomic() const { return std::get<AtomicValue>(value_); }
+
+  /// fn:string of this item: the node string-value or atomic lexical form.
+  std::string StringValue() const;
+
+ private:
+  std::variant<AtomicValue, NodeRef> value_;
+};
+
+/// An XDM sequence: a flat, ordered list of items (never nested).
+using Sequence = std::vector<Item>;
+
+// Convenience factories.
+inline Item MakeInteger(int64_t v) { return Item(AtomicValue::Integer(v)); }
+inline Item MakeString(std::string v) {
+  return Item(AtomicValue::String(std::move(v)));
+}
+inline Item MakeBoolean(bool v) { return Item(AtomicValue::Boolean(v)); }
+inline Item MakeDouble(double v) { return Item(AtomicValue::Double(v)); }
+inline Item MakeDecimalItem(Decimal v) {
+  return Item(AtomicValue::MakeDecimal(v));
+}
+inline Item MakeUntyped(std::string v) {
+  return Item(AtomicValue::Untyped(std::move(v)));
+}
+
+}  // namespace xqa
+
+#endif  // XQA_XDM_ITEM_H_

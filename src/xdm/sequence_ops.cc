@@ -1,0 +1,83 @@
+#include "xdm/sequence_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.h"
+
+namespace xqa {
+
+AtomicValue AtomizeItem(const Item& item) {
+  if (item.IsAtomic()) return item.atomic();
+  return AtomicValue::Untyped(item.node()->StringValue());
+}
+
+Sequence Atomize(const Sequence& sequence) {
+  Sequence out;
+  out.reserve(sequence.size());
+  for (const Item& item : sequence) {
+    out.push_back(Item(AtomizeItem(item)));
+  }
+  return out;
+}
+
+bool EffectiveBooleanValue(const Sequence& sequence) {
+  if (sequence.empty()) return false;
+  if (sequence[0].IsNode()) return true;
+  if (sequence.size() > 1) {
+    ThrowError(ErrorCode::kFORG0006,
+               "effective boolean value of a multi-item atomic sequence");
+  }
+  const AtomicValue& v = sequence[0].atomic();
+  switch (v.type()) {
+    case AtomicType::kBoolean:
+      return v.AsBoolean();
+    case AtomicType::kString:
+    case AtomicType::kUntypedAtomic:
+      return !v.AsString().empty();
+    case AtomicType::kInteger:
+      return v.AsInteger() != 0;
+    case AtomicType::kDecimal:
+      return !v.AsDecimal().IsZero();
+    case AtomicType::kDouble: {
+      double d = v.AsDouble();
+      return d != 0 && !std::isnan(d);
+    }
+    default:
+      ThrowError(ErrorCode::kFORG0006,
+                 "no effective boolean value for " +
+                     std::string(AtomicTypeName(v.type())));
+  }
+}
+
+std::string StringValueOf(const Sequence& sequence) {
+  if (sequence.empty()) return "";
+  if (sequence.size() > 1) {
+    ThrowError(ErrorCode::kFORG0006, "fn:string applied to a multi-item sequence");
+  }
+  return sequence[0].StringValue();
+}
+
+void SortDocumentOrderAndDedup(Sequence* sequence) {
+  for (const Item& item : *sequence) {
+    if (!item.IsNode()) {
+      ThrowError(ErrorCode::kFORG0006,
+                 "path step produced a non-node item");
+    }
+  }
+  std::stable_sort(sequence->begin(), sequence->end(),
+                   [](const Item& a, const Item& b) {
+                     return CompareDocumentOrder(a.node(), b.node()) < 0;
+                   });
+  sequence->erase(std::unique(sequence->begin(), sequence->end(),
+                              [](const Item& a, const Item& b) {
+                                return a.node() == b.node();
+                              }),
+                  sequence->end());
+}
+
+void Concat(Sequence* head, const Sequence& tail) {
+  head->insert(head->end(), tail.begin(), tail.end());
+}
+
+}  // namespace xqa

@@ -1,0 +1,36 @@
+#ifndef XQA_XDM_SEQUENCE_OPS_H_
+#define XQA_XDM_SEQUENCE_OPS_H_
+
+#include <string>
+
+#include "xdm/item.h"
+
+namespace xqa {
+
+/// Atomizes one item: atomic values pass through; nodes yield their typed
+/// value. In this schemaless engine a node's typed value is xs:untypedAtomic
+/// of its string-value (the XDM rule for untyped data).
+AtomicValue AtomizeItem(const Item& item);
+
+/// fn:data — atomizes a whole sequence.
+Sequence Atomize(const Sequence& sequence);
+
+/// The effective boolean value per XPath 2.0: empty → false; first item a
+/// node → true; singleton boolean/string/numeric per their rules; any other
+/// sequence raises FORG0006.
+bool EffectiveBooleanValue(const Sequence& sequence);
+
+/// fn:string of a sequence that must be empty or a singleton; empty → "".
+/// More than one item raises FORG0006.
+std::string StringValueOf(const Sequence& sequence);
+
+/// Sorts nodes into document order and removes duplicate identities. Raises
+/// FORG0006 if the sequence contains a non-node (path steps require nodes).
+void SortDocumentOrderAndDedup(Sequence* sequence);
+
+/// Appends `tail` to `head`.
+void Concat(Sequence* head, const Sequence& tail);
+
+}  // namespace xqa
+
+#endif  // XQA_XDM_SEQUENCE_OPS_H_

@@ -1,0 +1,183 @@
+#include "xml/node.h"
+
+#include <cassert>
+
+namespace xqa {
+
+std::atomic<uint64_t> Document::next_id_{1};
+
+namespace {
+
+void AppendStringValue(const Node* node, std::string* out) {
+  switch (node->kind()) {
+    case NodeKind::kText:
+      out->append(node->content());
+      break;
+    case NodeKind::kDocument:
+    case NodeKind::kElement:
+      // Only descendant text nodes contribute (XDM string-value rule);
+      // comments and processing instructions are skipped.
+      for (const Node* child : node->children()) {
+        if (child->kind() == NodeKind::kElement ||
+            child->kind() == NodeKind::kText) {
+          AppendStringValue(child, out);
+        }
+      }
+      break;
+    case NodeKind::kAttribute:
+    case NodeKind::kComment:
+    case NodeKind::kProcessingInstruction:
+      out->append(node->content());
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Node::StringValue() const {
+  std::string out;
+  AppendStringValue(this, &out);
+  return out;
+}
+
+Node* Node::FindAttribute(std::string_view attr_name) const {
+  for (Node* attr : attributes_) {
+    if (attr->name() == attr_name) return attr;
+  }
+  return nullptr;
+}
+
+bool Node::IsDescendantOrSelfOf(const Node* ancestor) const {
+  for (const Node* n = this; n != nullptr; n = n->parent()) {
+    if (n == ancestor) return true;
+  }
+  return false;
+}
+
+Document::Document() : id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {
+  root_ = NewNode(NodeKind::kDocument);
+}
+
+Node* Document::NewNode(NodeKind kind) {
+  arena_.emplace_back(Node::Passkey{}, kind, this);
+  return &arena_.back();
+}
+
+Node* Document::CreateElement(std::string_view name) {
+  Node* node = NewNode(NodeKind::kElement);
+  node->name_ = name;
+  return node;
+}
+
+Node* Document::CreateText(std::string_view content) {
+  Node* node = NewNode(NodeKind::kText);
+  node->content_ = content;
+  return node;
+}
+
+Node* Document::CreateComment(std::string_view content) {
+  Node* node = NewNode(NodeKind::kComment);
+  node->content_ = content;
+  return node;
+}
+
+Node* Document::CreateProcessingInstruction(std::string_view target,
+                                            std::string_view content) {
+  Node* node = NewNode(NodeKind::kProcessingInstruction);
+  node->name_ = target;
+  node->content_ = content;
+  return node;
+}
+
+Node* Document::CreateAttribute(std::string_view name,
+                                std::string_view value) {
+  Node* node = NewNode(NodeKind::kAttribute);
+  node->name_ = name;
+  node->content_ = value;
+  return node;
+}
+
+void Document::AppendChild(Node* parent, Node* child) {
+  assert(parent->kind() == NodeKind::kDocument ||
+         parent->kind() == NodeKind::kElement);
+  assert(child->kind() != NodeKind::kDocument &&
+         child->kind() != NodeKind::kAttribute);
+  assert(child->document() == this);
+  // Merge adjacent text nodes (XDM requires no adjacent text siblings).
+  if (child->kind() == NodeKind::kText && !parent->children_.empty() &&
+      parent->children_.back()->kind() == NodeKind::kText) {
+    parent->children_.back()->content_ += child->content_;
+    return;
+  }
+  child->parent_ = parent;
+  parent->children_.push_back(child);
+}
+
+bool Document::AppendAttribute(Node* element, Node* attribute) {
+  assert(element->kind() == NodeKind::kElement);
+  assert(attribute->kind() == NodeKind::kAttribute);
+  if (element->FindAttribute(attribute->name()) != nullptr) return false;
+  attribute->parent_ = element;
+  element->attributes_.push_back(attribute);
+  return true;
+}
+
+Node* Document::ImportNode(const Node* source) {
+  switch (source->kind()) {
+    case NodeKind::kText:
+      return CreateText(source->content());
+    case NodeKind::kComment:
+      return CreateComment(source->content());
+    case NodeKind::kProcessingInstruction:
+      return CreateProcessingInstruction(source->name(), source->content());
+    case NodeKind::kAttribute:
+      return CreateAttribute(source->name(), source->content());
+    case NodeKind::kElement: {
+      Node* copy = CreateElement(source->name());
+      for (const Node* attr : source->attributes()) {
+        AppendAttribute(copy, ImportNode(attr));
+      }
+      for (const Node* child : source->children()) {
+        AppendChild(copy, ImportNode(child));
+      }
+      return copy;
+    }
+    case NodeKind::kDocument: {
+      // Importing a document node imports its children into an element-less
+      // fragment; callers splice the children themselves. Represented here by
+      // copying children under a fresh element is wrong, so we forbid it.
+      assert(false && "cannot import a document node");
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+void Document::SealOrder() {
+  uint32_t next = 0;
+  // Iterative preorder walk: element attributes come right after the element.
+  std::vector<Node*> stack = {root_};
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    node->order_index_ = next++;
+    for (Node* attr : node->attributes_) {
+      attr->order_index_ = next++;
+    }
+    for (auto it = node->children_.rbegin(); it != node->children_.rend();
+         ++it) {
+      stack.push_back(*it);
+    }
+  }
+}
+
+int CompareDocumentOrder(const Node* a, const Node* b) {
+  if (a == b) return 0;
+  if (a->document() != b->document()) {
+    return a->document()->id() < b->document()->id() ? -1 : 1;
+  }
+  if (a->order_index() == b->order_index()) return 0;
+  return a->order_index() < b->order_index() ? -1 : 1;
+}
+
+}  // namespace xqa

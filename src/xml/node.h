@@ -1,0 +1,152 @@
+#ifndef XQA_XML_NODE_H_
+#define XQA_XML_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqa {
+
+class Document;
+
+/// The seven XDM node kinds, minus namespace nodes (not materialized).
+enum class NodeKind : uint8_t {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+/// A node in an XML tree. Nodes are arena-allocated by their owning Document
+/// and addressed by raw pointer; node identity is pointer identity. Document
+/// order is a preorder index assigned by Document::SealOrder(), with
+/// attributes ordered after their owning element and before its children.
+class Node {
+ public:
+  /// Passkey restricting construction to Document (nodes must live in a
+  /// document's arena) while keeping the constructor usable by containers.
+  class Passkey {
+   private:
+    friend class Document;
+    Passkey() = default;
+  };
+
+  Node(Passkey, NodeKind kind, Document* document)
+      : kind_(kind), document_(document) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  Document* document() const { return document_; }
+  Node* parent() const { return parent_; }
+
+  /// Element / attribute / PI name ("publisher", "xml-stylesheet"). Empty
+  /// for document, text, and comment nodes.
+  const std::string& name() const { return name_; }
+
+  /// Text content for text / comment / PI nodes; attribute value for
+  /// attribute nodes. Unused for document and element nodes.
+  const std::string& content() const { return content_; }
+
+  const std::vector<Node*>& children() const { return children_; }
+  const std::vector<Node*>& attributes() const { return attributes_; }
+
+  /// Preorder position in the document; valid after Document::SealOrder().
+  uint32_t order_index() const { return order_index_; }
+
+  /// The XDM string-value: concatenation of descendant text for document /
+  /// element nodes, the content for the rest.
+  std::string StringValue() const;
+
+  /// Looks up an attribute by name; nullptr when absent.
+  Node* FindAttribute(std::string_view attr_name) const;
+
+  /// True if this node is `ancestor` or a descendant of it.
+  bool IsDescendantOrSelfOf(const Node* ancestor) const;
+
+ private:
+  friend class Document;
+
+  NodeKind kind_;
+  Document* document_;
+  Node* parent_ = nullptr;
+  std::string name_;
+  std::string content_;
+  std::vector<Node*> children_;
+  std::vector<Node*> attributes_;
+  uint32_t order_index_ = 0;
+};
+
+/// Owns an XML tree. All nodes live in a deque arena (stable addresses).
+/// Evaluation-constructed fragments are Documents too, so every node has a
+/// well-defined owner whose lifetime is managed by shared_ptr.
+class Document {
+ public:
+  Document();
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  /// The document node (root of the tree).
+  Node* root() { return root_; }
+  const Node* root() const { return root_; }
+
+  /// Globally unique id used to order nodes across documents.
+  uint64_t id() const { return id_; }
+
+  // --- Tree construction ----------------------------------------------------
+  // The builder API below is used by the XML parser and by element
+  // constructors in the evaluator. AppendChild/AppendAttribute enforce the
+  // kind constraints of the XDM.
+
+  Node* CreateElement(std::string_view name);
+  Node* CreateText(std::string_view content);
+  Node* CreateComment(std::string_view content);
+  Node* CreateProcessingInstruction(std::string_view target,
+                                    std::string_view content);
+  Node* CreateAttribute(std::string_view name, std::string_view value);
+
+  /// Appends `child` (element/text/comment/PI) to `parent` (document or
+  /// element). Adjacent text children are merged per XDM.
+  void AppendChild(Node* parent, Node* child);
+
+  /// Attaches an attribute to an element. Returns false if an attribute with
+  /// the same name already exists.
+  bool AppendAttribute(Node* element, Node* attribute);
+
+  /// Deep-copies `source` (from any document) into this document; returns the
+  /// new node. Used by element construction, which copies content per XQuery.
+  Node* ImportNode(const Node* source);
+
+  /// Assigns preorder order indexes. Must be called after construction is
+  /// complete and before document-order comparisons.
+  void SealOrder();
+
+  size_t node_count() const { return arena_.size(); }
+
+ private:
+  Node* NewNode(NodeKind kind);
+
+  std::deque<Node> arena_;
+  Node* root_;
+  uint64_t id_;
+
+  static std::atomic<uint64_t> next_id_;
+};
+
+using DocumentPtr = std::shared_ptr<Document>;
+
+/// Compares two nodes in document order: -1, 0, +1. Nodes from different
+/// documents are ordered by document id (a stable, implementation-defined
+/// total order, as the XDM allows).
+int CompareDocumentOrder(const Node* a, const Node* b);
+
+}  // namespace xqa
+
+#endif  // XQA_XML_NODE_H_

@@ -1,0 +1,79 @@
+#include "xml/serializer.h"
+
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace xqa {
+
+namespace {
+
+bool HasElementChild(const Node* node) {
+  for (const Node* child : node->children()) {
+    if (child->kind() == NodeKind::kElement) return true;
+  }
+  return false;
+}
+
+void Serialize(const Node* node, const SerializeOptions& options, int depth,
+               std::ostringstream* out) {
+  auto newline_indent = [&](int d) {
+    if (options.indent <= 0) return;
+    *out << '\n';
+    for (int i = 0; i < d * options.indent; ++i) *out << ' ';
+  };
+
+  switch (node->kind()) {
+    case NodeKind::kDocument: {
+      bool first = true;
+      for (const Node* child : node->children()) {
+        if (!first) newline_indent(depth);
+        first = false;
+        Serialize(child, options, depth, out);
+      }
+      break;
+    }
+    case NodeKind::kElement: {
+      *out << '<' << node->name();
+      for (const Node* attr : node->attributes()) {
+        *out << ' ' << attr->name() << "=\"" << EscapeAttribute(attr->content())
+             << '"';
+      }
+      if (node->children().empty()) {
+        *out << "/>";
+        break;
+      }
+      *out << '>';
+      bool indent_children = options.indent > 0 && HasElementChild(node);
+      for (const Node* child : node->children()) {
+        if (indent_children) newline_indent(depth + 1);
+        Serialize(child, options, depth + 1, out);
+      }
+      if (indent_children) newline_indent(depth);
+      *out << "</" << node->name() << '>';
+      break;
+    }
+    case NodeKind::kText:
+      *out << EscapeText(node->content());
+      break;
+    case NodeKind::kAttribute:
+      *out << node->name() << "=\"" << EscapeAttribute(node->content()) << '"';
+      break;
+    case NodeKind::kComment:
+      *out << "<!--" << node->content() << "-->";
+      break;
+    case NodeKind::kProcessingInstruction:
+      *out << "<?" << node->name() << ' ' << node->content() << "?>";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string SerializeNode(const Node* node, const SerializeOptions& options) {
+  std::ostringstream out;
+  Serialize(node, options, 0, &out);
+  return out.str();
+}
+
+}  // namespace xqa

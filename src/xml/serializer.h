@@ -1,0 +1,22 @@
+#ifndef XQA_XML_SERIALIZER_H_
+#define XQA_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace xqa {
+
+/// Options controlling XML serialization.
+struct SerializeOptions {
+  /// Pretty-print with the given indent width; 0 = compact single line.
+  int indent = 0;
+};
+
+/// Serializes a node (and its subtree) back to XML text. Attribute nodes
+/// serialize as name="value"; document nodes serialize their children.
+std::string SerializeNode(const Node* node, const SerializeOptions& options = {});
+
+}  // namespace xqa
+
+#endif  // XQA_XML_SERIALIZER_H_

@@ -1,0 +1,321 @@
+#include "xml/xml_parser.h"
+
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace xqa {
+
+namespace {
+
+/// Single-pass, non-validating XML parser. Keeps a cursor into the input and
+/// tracks line/column for error messages.
+class XmlParser {
+ public:
+  XmlParser(std::string_view text, const XmlParseOptions& options)
+      : text_(text), options_(options), doc_(std::make_shared<Document>()) {}
+
+  DocumentPtr Parse() {
+    SkipProlog();
+    // Misc before the root element.
+    SkipMiscAndContentTo(doc_->root(), /*allow_text=*/false);
+    if (!AtEnd()) {
+      Fail("unexpected content after document element");
+    }
+    bool has_element = false;
+    for (const Node* child : doc_->root()->children()) {
+      if (child->kind() == NodeKind::kElement) {
+        if (has_element) Fail("multiple document elements");
+        has_element = true;
+      }
+    }
+    if (!has_element) Fail("no document element");
+    doc_->SealOrder();
+    return doc_;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool Consume(std::string_view expected) {
+    if (text_.substr(pos_, expected.size()) != expected) return false;
+    for (size_t i = 0; i < expected.size(); ++i) Advance();
+    return true;
+  }
+
+  void Expect(std::string_view expected, const char* what) {
+    if (!Consume(expected)) Fail(std::string("expected ") + what);
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && IsXmlWhitespace(Peek())) Advance();
+  }
+
+  [[noreturn]] void Fail(const std::string& message) {
+    ThrowError(ErrorCode::kXMLP0001, message, {line_, column_});
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (Consume("<?xml")) {
+      while (!AtEnd() && !Consume("?>")) Advance();
+    }
+    SkipWhitespace();
+    if (Consume("<!DOCTYPE")) {
+      int depth = 1;
+      while (!AtEnd() && depth > 0) {
+        char c = Advance();
+        if (c == '<') ++depth;
+        if (c == '>') --depth;
+        if (c == '[') {
+          // Internal subset: skip to matching ']'.
+          while (!AtEnd() && Peek() != ']') Advance();
+        }
+      }
+    }
+  }
+
+  std::string ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) Fail("expected a name");
+    size_t start = pos_;
+    while (!AtEnd() && (IsNameChar(Peek()) || Peek() == ':')) Advance();
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Decodes &amp; &lt; &gt; &quot; &apos; and numeric references.
+  void AppendReference(std::string* out) {
+    Expect("&", "'&'");
+    if (Consume("amp;")) {
+      out->push_back('&');
+    } else if (Consume("lt;")) {
+      out->push_back('<');
+    } else if (Consume("gt;")) {
+      out->push_back('>');
+    } else if (Consume("quot;")) {
+      out->push_back('"');
+    } else if (Consume("apos;")) {
+      out->push_back('\'');
+    } else if (Consume("#")) {
+      int base = Consume("x") ? 16 : 10;
+      uint32_t code = 0;
+      bool any = false;
+      while (!AtEnd() && Peek() != ';') {
+        char c = Advance();
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          Fail("bad character reference");
+        }
+        code = code * base + static_cast<uint32_t>(digit);
+        any = true;
+      }
+      if (!any || code == 0 || code > 0x10FFFF) Fail("bad character reference");
+      Expect(";", "';'");
+      AppendUtf8(code, out);
+    } else {
+      Fail("unknown entity reference");
+    }
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::string ParseAttributeValue() {
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') Fail("expected quoted attribute value");
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        AppendReference(&value);
+      } else if (Peek() == '<') {
+        Fail("'<' in attribute value");
+      } else {
+        value.push_back(Advance());
+      }
+    }
+    if (AtEnd()) Fail("unterminated attribute value");
+    Advance();  // closing quote
+    return value;
+  }
+
+  /// Parses element/comment/PI/text content into `parent` until a closing
+  /// tag (for elements) or end of input (for the document node).
+  void SkipMiscAndContentTo(Node* parent, bool allow_text) {
+    std::string text_buffer;
+    auto flush_text = [&]() {
+      if (text_buffer.empty()) return;
+      if (options_.strip_whitespace_text && IsAllWhitespace(text_buffer)) {
+        text_buffer.clear();
+        return;
+      }
+      doc_->AppendChild(parent, doc_->CreateText(text_buffer));
+      text_buffer.clear();
+    };
+
+    while (!AtEnd()) {
+      if (Peek() == '<') {
+        if (PeekAt(1) == '/') {
+          flush_text();
+          return;  // caller handles the end tag
+        }
+        flush_text();
+        if (Consume("<!--")) {
+          ParseComment(parent);
+        } else if (Consume("<![CDATA[")) {
+          ParseCData(&text_buffer);
+          // CDATA is text: do not flush yet, it may merge with neighbors.
+        } else if (Consume("<?")) {
+          ParsePI(parent);
+        } else {
+          ParseElement(parent);
+        }
+      } else if (Peek() == '&') {
+        AppendReference(&text_buffer);
+      } else {
+        if (!allow_text && !IsXmlWhitespace(Peek())) {
+          Fail("text not allowed at document level");
+        }
+        text_buffer.push_back(Advance());
+      }
+    }
+    flush_text();
+  }
+
+  void ParseComment(Node* parent) {
+    size_t start = pos_;
+    while (!AtEnd()) {
+      if (text_.substr(pos_, 3) == "-->") break;
+      Advance();
+    }
+    if (AtEnd()) Fail("unterminated comment");
+    std::string content(text_.substr(start, pos_ - start));
+    Expect("-->", "'-->'");
+    if (options_.keep_comments) {
+      doc_->AppendChild(parent, doc_->CreateComment(content));
+    }
+  }
+
+  void ParseCData(std::string* out) {
+    while (!AtEnd()) {
+      if (text_.substr(pos_, 3) == "]]>") {
+        Expect("]]>", "']]>'");
+        return;
+      }
+      out->push_back(Advance());
+    }
+    Fail("unterminated CDATA section");
+  }
+
+  void ParsePI(Node* parent) {
+    std::string target = ParseName();
+    SkipWhitespace();
+    size_t start = pos_;
+    while (!AtEnd() && text_.substr(pos_, 2) != "?>") Advance();
+    if (AtEnd()) Fail("unterminated processing instruction");
+    std::string content(text_.substr(start, pos_ - start));
+    Expect("?>", "'?>'");
+    if (options_.keep_comments) {
+      doc_->AppendChild(parent,
+                        doc_->CreateProcessingInstruction(target, content));
+    }
+  }
+
+  void ParseElement(Node* parent) {
+    if (++depth_ > options_.max_depth) {
+      Fail("element nesting exceeds the depth limit (" +
+           std::to_string(options_.max_depth) + ")");
+    }
+    Expect("<", "'<'");
+    std::string name = ParseName();
+    Node* element = doc_->CreateElement(name);
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) Fail("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') break;
+      std::string attr_name = ParseName();
+      SkipWhitespace();
+      Expect("=", "'='");
+      SkipWhitespace();
+      std::string attr_value = ParseAttributeValue();
+      // xmlns declarations are accepted but treated as ordinary attributes
+      // (the engine is namespace-lexical: QNames compare by lexical form).
+      if (!doc_->AppendAttribute(element,
+                                 doc_->CreateAttribute(attr_name, attr_value))) {
+        Fail("duplicate attribute '" + attr_name + "'");
+      }
+    }
+    doc_->AppendChild(parent, element);
+    if (Consume("/>")) {
+      --depth_;
+      return;
+    }
+    Expect(">", "'>'");
+    SkipMiscAndContentTo(element, /*allow_text=*/true);
+    Expect("</", "'</'");
+    std::string end_name = ParseName();
+    if (end_name != name) {
+      Fail("mismatched end tag </" + end_name + ">, expected </" + name + ">");
+    }
+    SkipWhitespace();
+    Expect(">", "'>'");
+    --depth_;
+  }
+
+  std::string_view text_;
+  XmlParseOptions options_;
+  DocumentPtr doc_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+DocumentPtr ParseXml(std::string_view text, const XmlParseOptions& options) {
+  XmlParser parser(text, options);
+  return parser.Parse();
+}
+
+}  // namespace xqa

@@ -1,0 +1,31 @@
+#ifndef XQA_XML_XML_PARSER_H_
+#define XQA_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "xml/node.h"
+
+namespace xqa {
+
+/// Options controlling XML parsing.
+struct XmlParseOptions {
+  /// Drop text nodes that consist solely of whitespace between elements
+  /// (typical for data-oriented documents; keeps trees compact).
+  bool strip_whitespace_text = true;
+  /// Keep comments and processing instructions in the tree.
+  bool keep_comments = true;
+  /// Maximum element nesting depth; deeper input raises XMLP0001 (guards
+  /// the recursive-descent parser's stack against adversarial documents).
+  int max_depth = 1000;
+};
+
+/// Parses an XML document (or fragment with a single root element) into a
+/// fresh Document. Non-validating: DOCTYPE declarations are skipped, entity
+/// references are limited to the five predefined entities plus numeric
+/// character references. Throws XQueryError(kXMLP0001) on malformed input.
+/// The returned document is sealed (document order assigned).
+DocumentPtr ParseXml(std::string_view text, const XmlParseOptions& options = {});
+
+}  // namespace xqa
+
+#endif  // XQA_XML_XML_PARSER_H_

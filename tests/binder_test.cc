@@ -1,0 +1,233 @@
+// Static-analysis tests, including the paper's Section 3.2 scoping rules.
+
+#include "binder/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "binder/static_context.h"
+#include "parser/parser.h"
+
+namespace xqa {
+namespace {
+
+ModulePtr Bind(const std::string& query) {
+  ModulePtr module = ParseQuery(query);
+  BindModule(module.get());
+  return module;
+}
+
+ErrorCode BindError(const std::string& query) {
+  try {
+    Bind(query);
+  } catch (const XQueryError& error) {
+    return error.code();
+  }
+  return ErrorCode::kOk;
+}
+
+TEST(Binder, ResolvesSimpleBindings) {
+  ModulePtr module = Bind("for $x in (1, 2) let $y := $x + 1 return $y");
+  EXPECT_GE(module->frame_size, 2);
+}
+
+TEST(Binder, UndefinedVariable) {
+  EXPECT_EQ(BindError("$nowhere"), ErrorCode::kXPST0008);
+  EXPECT_EQ(BindError("for $x in (1) return $y"), ErrorCode::kXPST0008);
+}
+
+TEST(Binder, VariableShadowing) {
+  // Inner binding shadows outer; both queries are valid.
+  EXPECT_EQ(BindError("for $x in (1) return for $x in (2) return $x"),
+            ErrorCode::kOk);
+  EXPECT_EQ(BindError("let $x := 1 let $x := $x + 1 return $x"),
+            ErrorCode::kOk);
+}
+
+TEST(Binder, UnknownFunction) {
+  EXPECT_EQ(BindError("no-such-fn(1)"), ErrorCode::kXPST0017);
+  // Known function, wrong arity.
+  EXPECT_EQ(BindError("count(1, 2)"), ErrorCode::kXPST0017);
+  EXPECT_EQ(BindError("count()"), ErrorCode::kXPST0017);
+}
+
+TEST(Binder, FnPrefixOptional) {
+  EXPECT_EQ(BindError("fn:count((1, 2))"), ErrorCode::kOk);
+  EXPECT_EQ(BindError("fn:exists(())"), ErrorCode::kOk);
+}
+
+TEST(Binder, UserFunctionResolution) {
+  ModulePtr module = Bind(
+      "declare function local:f($x) { $x }; "
+      "declare function local:f($x, $y) { $x, $y }; "
+      "local:f(local:f(1), 2)");
+  EXPECT_EQ(module->functions.size(), 2u);
+}
+
+TEST(Binder, RecursiveFunction) {
+  EXPECT_EQ(BindError("declare function local:down($n as xs:integer) { "
+                      "if ($n <= 0) then 0 else local:down($n - 1) }; "
+                      "local:down(5)"),
+            ErrorCode::kOk);
+}
+
+TEST(Binder, MutuallyRecursiveFunctions) {
+  EXPECT_EQ(
+      BindError("declare function local:a($n) { if ($n <= 0) then 0 else "
+                "local:b($n - 1) }; "
+                "declare function local:b($n) { local:a($n) }; local:a(3)"),
+      ErrorCode::kOk);
+}
+
+TEST(Binder, DuplicateDeclarations) {
+  EXPECT_EQ(BindError("declare function local:f($x) { $x }; "
+                      "declare function local:f($y) { $y }; 1"),
+            ErrorCode::kXQST0034);
+  EXPECT_EQ(BindError("declare function local:f($x, $x) { $x }; 1"),
+            ErrorCode::kXQST0039);
+  EXPECT_EQ(BindError("declare variable $g := 1; "
+                      "declare variable $g := 2; $g"),
+            ErrorCode::kXQST0049);
+}
+
+TEST(Binder, PositionalVariableShadowsBinding) {
+  EXPECT_EQ(BindError("for $x at $x in (1, 2) return $x"),
+            ErrorCode::kXQST0089);
+}
+
+TEST(Binder, GlobalVariablesVisibleInFunctions) {
+  EXPECT_EQ(BindError("declare variable $g := 10; "
+                      "declare function local:f() { $g * 2 }; local:f()"),
+            ErrorCode::kOk);
+}
+
+// --- Section 3.2: group-by scoping ------------------------------------------
+
+TEST(Binder, PreGroupVariableOutOfScopeAfterGroupBy) {
+  // $b is dead after group by: XQAG0001, not a generic undefined-variable.
+  EXPECT_EQ(BindError("for $b in (1, 2) "
+                      "group by $b into $k "
+                      "return $b"),
+            ErrorCode::kXQAG0001);
+}
+
+TEST(Binder, PreGroupLetVariableAlsoDies) {
+  EXPECT_EQ(BindError("for $b in (1, 2) let $p := $b + 1 "
+                      "group by $b into $k return $p"),
+            ErrorCode::kXQAG0001);
+}
+
+TEST(Binder, DeadNameShadowsOuterBinding) {
+  // Even though an outer $b exists, the FLWOR-local $b died at group by;
+  // the paper rejects silently resolving to the outer binding.
+  EXPECT_EQ(BindError("let $b := 99 return "
+                      "for $b in (1, 2) group by $b into $k return $b"),
+            ErrorCode::kXQAG0001);
+}
+
+TEST(Binder, RebindingAsGroupingVariableIsFine) {
+  // Q7's pattern: nest $b into $b rebinds the same name.
+  EXPECT_EQ(BindError("for $b in (1, 2) "
+                      "group by $b into $k nest $b into $b "
+                      "return ($k, $b)"),
+            ErrorCode::kOk);
+}
+
+TEST(Binder, OuterVariablesRemainInScope) {
+  EXPECT_EQ(BindError("let $outer := 10 return "
+                      "for $b in (1, 2) group by $b into $k "
+                      "return $outer + $k"),
+            ErrorCode::kOk);
+}
+
+TEST(Binder, GroupingExprMayNotReferenceSiblingGroupVar) {
+  EXPECT_EQ(BindError("for $b in (1, 2) "
+                      "group by $b into $k, $k into $j return $j"),
+            ErrorCode::kXQAG0002);
+}
+
+TEST(Binder, DuplicateGroupingVariableNames) {
+  EXPECT_EQ(BindError("for $b in (1, 2) "
+                      "group by $b into $k, $b + 1 into $k return $k"),
+            ErrorCode::kXQAG0004);
+  EXPECT_EQ(BindError("for $b in (1, 2) "
+                      "group by $b into $k nest $b into $k return $k"),
+            ErrorCode::kXQAG0004);
+}
+
+TEST(Binder, UsingFunctionMustExistWithArityTwo) {
+  EXPECT_EQ(BindError("for $b in (1, 2) "
+                      "group by $b into $k using local:nope return $k"),
+            ErrorCode::kXQAG0005);
+  EXPECT_EQ(BindError("declare function local:one($x) { true() }; "
+                      "for $b in (1, 2) "
+                      "group by $b into $k using local:one return $k"),
+            ErrorCode::kXQAG0005);
+  EXPECT_EQ(BindError("for $b in (1, 2) "
+                      "group by $b into $k using deep-equal return $k"),
+            ErrorCode::kOk);
+}
+
+TEST(Binder, NestOrderBySeesInputVariables) {
+  // The order by inside nest is evaluated per input tuple (Section 3.4.1).
+  EXPECT_EQ(BindError("for $s in (1, 2) let $w := $s * 2 "
+                      "group by $s into $k "
+                      "nest $s order by $w descending into $ns "
+                      "return $ns"),
+            ErrorCode::kOk);
+}
+
+TEST(Binder, PostGroupLetAndWhereSeeGroupVariables) {
+  EXPECT_EQ(BindError("for $b in (1, 2) "
+                      "group by $b into $k nest $b into $bs "
+                      "let $n := count($bs) where $n > 0 return ($k, $n)"),
+            ErrorCode::kOk);
+}
+
+TEST(Binder, PostGroupWhereCannotSeePreGroupVars) {
+  EXPECT_EQ(BindError("for $b in (1, 2) "
+                      "group by $b into $k where $b > 1 return $k"),
+            ErrorCode::kXQAG0001);
+}
+
+TEST(Binder, ReturnAtVariableInScopeInReturnOnly) {
+  EXPECT_EQ(BindError("for $x in (1, 2) return at $rank $rank"),
+            ErrorCode::kOk);
+  EXPECT_EQ(BindError("(for $x in (1, 2) return at $rank 0), $rank"),
+            ErrorCode::kXPST0008);
+}
+
+TEST(Binder, OrderAfterGroupMarked) {
+  ModulePtr module = Bind(
+      "for $b in (1, 2) group by $b into $k "
+      "stable order by $k return $k");
+  const auto* flwor = static_cast<const FlworExpr*>(module->body.get());
+  bool found = false;
+  for (const FlworClause& clause : flwor->clauses) {
+    if (clause.kind == ClauseKind::kOrderBy) {
+      EXPECT_TRUE(clause.order_after_group);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StaticContextSummary, DescribesModule) {
+  ModulePtr module = Bind(
+      "declare ordering unordered; "
+      "declare variable $g := 5; "
+      "declare function local:f($x) { $x }; "
+      "local:f($g)");
+  StaticContext context = DescribeModule(*module);
+  EXPECT_FALSE(context.ordered);
+  EXPECT_EQ(context.global_count, 1);
+  ASSERT_EQ(context.functions.size(), 1u);
+  EXPECT_EQ(context.functions[0].name, "local:f");
+  EXPECT_EQ(context.functions[0].arity, 1u);
+  std::string text = FormatStaticContext(context);
+  EXPECT_NE(text.find("unordered"), std::string::npos);
+  EXPECT_NE(text.find("local:f#1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xqa

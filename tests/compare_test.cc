@@ -1,0 +1,173 @@
+#include "xdm/compare.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/error.h"
+#include "xml/xml_parser.h"
+
+namespace xqa {
+namespace {
+
+AtomicValue Dec(const char* text) {
+  Decimal d;
+  EXPECT_TRUE(Decimal::Parse(text, &d));
+  return AtomicValue::MakeDecimal(d);
+}
+
+TEST(ValueCompare, NumericPromotion) {
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kEq, AtomicValue::Integer(5),
+                                 Dec("5.0")));
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kEq, AtomicValue::Integer(5),
+                                 AtomicValue::Double(5.0)));
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kLt, Dec("1.4"),
+                                 AtomicValue::Double(1.5)));
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kGe, AtomicValue::Integer(2),
+                                 Dec("1.999")));
+}
+
+TEST(ValueCompare, NaNSemantics) {
+  AtomicValue nan = AtomicValue::Double(std::nan(""));
+  EXPECT_FALSE(ValueCompareAtomic(CompareOp::kEq, nan, nan));
+  EXPECT_FALSE(ValueCompareAtomic(CompareOp::kLt, nan, AtomicValue::Double(1)));
+  EXPECT_FALSE(ValueCompareAtomic(CompareOp::kGe, nan, nan));
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kNe, nan, nan));
+}
+
+TEST(ValueCompare, UntypedComparesAsString) {
+  // Value comparison treats untypedAtomic as xs:string: "10" lt "9".
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kLt, AtomicValue::Untyped("10"),
+                                 AtomicValue::Untyped("9")));
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kEq, AtomicValue::Untyped("x"),
+                                 AtomicValue::String("x")));
+}
+
+TEST(ValueCompare, Strings) {
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kLt, AtomicValue::String("abc"),
+                                 AtomicValue::String("abd")));
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kEq, AtomicValue::String(""),
+                                 AtomicValue::String("")));
+}
+
+TEST(ValueCompare, Booleans) {
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kLt, AtomicValue::Boolean(false),
+                                 AtomicValue::Boolean(true)));
+}
+
+TEST(ValueCompare, DateTimes) {
+  DateTime a, b;
+  ASSERT_TRUE(DateTime::ParseDateTime("2004-01-01T00:00:00", &a));
+  ASSERT_TRUE(DateTime::ParseDateTime("2004-06-01T00:00:00", &b));
+  EXPECT_TRUE(ValueCompareAtomic(CompareOp::kLt, AtomicValue::MakeDateTime(a),
+                                 AtomicValue::MakeDateTime(b)));
+}
+
+TEST(ValueCompare, IncomparableThrows) {
+  EXPECT_THROW(ValueCompareAtomic(CompareOp::kEq, AtomicValue::Integer(1),
+                                  AtomicValue::String("1")),
+               XQueryError);
+  EXPECT_THROW(ValueCompareAtomic(CompareOp::kLt, AtomicValue::Boolean(true),
+                                  AtomicValue::Integer(1)),
+               XQueryError);
+}
+
+TEST(ThreeWayCompare, UntypedAdaptsToOtherOperand) {
+  // Against a numeric operand, untyped parses as a number: 10 > 9.
+  EXPECT_EQ(*ThreeWayCompareAtomic(AtomicValue::Untyped("10"),
+                                   AtomicValue::Integer(9)),
+            1);
+  // Against a string it compares lexically: "10" < "9".
+  EXPECT_EQ(*ThreeWayCompareAtomic(AtomicValue::Untyped("10"),
+                                   AtomicValue::String("9")),
+            -1);
+  // Untyped vs untyped: string comparison.
+  EXPECT_EQ(*ThreeWayCompareAtomic(AtomicValue::Untyped("10"),
+                                   AtomicValue::Untyped("9")),
+            -1);
+}
+
+TEST(ThreeWayCompare, NaNIsUnordered) {
+  EXPECT_FALSE(ThreeWayCompareAtomic(AtomicValue::Double(std::nan("")),
+                                     AtomicValue::Double(1))
+                   .has_value());
+}
+
+TEST(GeneralCompare, Existential) {
+  Sequence lhs = {MakeInteger(1), MakeInteger(5)};
+  Sequence rhs = {MakeInteger(5), MakeInteger(9)};
+  EXPECT_TRUE(GeneralCompare(CompareOp::kEq, lhs, rhs));
+  EXPECT_TRUE(GeneralCompare(CompareOp::kLt, lhs, rhs));   // 1 < 5
+  EXPECT_FALSE(GeneralCompare(CompareOp::kGt, lhs, rhs));  // no pair satisfies >
+}
+
+TEST(GeneralCompare, ExistentialNegativeCases) {
+  Sequence lhs = {MakeInteger(1), MakeInteger(2)};
+  Sequence rhs = {MakeInteger(5)};
+  EXPECT_FALSE(GeneralCompare(CompareOp::kEq, lhs, rhs));
+  EXPECT_FALSE(GeneralCompare(CompareOp::kGt, lhs, rhs));
+  EXPECT_TRUE(GeneralCompare(CompareOp::kNe, lhs, rhs));
+  // Empty operand: always false.
+  EXPECT_FALSE(GeneralCompare(CompareOp::kEq, {}, rhs));
+  EXPECT_FALSE(GeneralCompare(CompareOp::kNe, lhs, {}));
+}
+
+TEST(GeneralCompare, UntypedVsNumericCastsToDouble) {
+  DocumentPtr doc = ParseXml("<q>10</q>");
+  Sequence node = {Item(doc->root()->children()[0], doc)};
+  EXPECT_TRUE(GeneralCompare(CompareOp::kEq, node, {MakeInteger(10)}));
+  EXPECT_TRUE(GeneralCompare(CompareOp::kGt, node, {MakeInteger(9)}));
+  // Against a string, compares as string.
+  EXPECT_TRUE(GeneralCompare(CompareOp::kEq, node, {MakeString("10")}));
+}
+
+TEST(GeneralCompare, AtomizesNodes) {
+  DocumentPtr doc = ParseXml("<a><p>x</p><p>y</p></a>");
+  const Node* a = doc->root()->children()[0];
+  Sequence nodes = {Item(a->children()[0], doc), Item(a->children()[1], doc)};
+  EXPECT_TRUE(GeneralCompare(CompareOp::kEq, nodes, {MakeString("y")}));
+  EXPECT_FALSE(GeneralCompare(CompareOp::kEq, nodes, {MakeString("z")}));
+}
+
+TEST(ValueCompareSequences, Cardinality) {
+  bool empty = false;
+  EXPECT_TRUE(ValueCompareSequences(CompareOp::kEq, {MakeInteger(1)},
+                                    {MakeInteger(1)}, &empty));
+  EXPECT_FALSE(empty);
+  ValueCompareSequences(CompareOp::kEq, {}, {MakeInteger(1)}, &empty);
+  EXPECT_TRUE(empty);
+  Sequence two = {MakeInteger(1), MakeInteger(2)};
+  EXPECT_THROW(
+      ValueCompareSequences(CompareOp::kEq, two, {MakeInteger(1)}, &empty),
+      XQueryError);
+}
+
+// Parameterized consistency: ValueCompare(op) agrees with ThreeWayCompare for
+// comparable numeric pairs.
+struct ComparePair {
+  double a;
+  double b;
+};
+
+class CompareConsistencyTest : public ::testing::TestWithParam<ComparePair> {};
+
+TEST_P(CompareConsistencyTest, OpsAgreeWithThreeWay) {
+  AtomicValue a = AtomicValue::Double(GetParam().a);
+  AtomicValue b = AtomicValue::Double(GetParam().b);
+  int cmp = *ThreeWayCompareAtomic(a, b);
+  EXPECT_EQ(ValueCompareAtomic(CompareOp::kEq, a, b), cmp == 0);
+  EXPECT_EQ(ValueCompareAtomic(CompareOp::kNe, a, b), cmp != 0);
+  EXPECT_EQ(ValueCompareAtomic(CompareOp::kLt, a, b), cmp < 0);
+  EXPECT_EQ(ValueCompareAtomic(CompareOp::kLe, a, b), cmp <= 0);
+  EXPECT_EQ(ValueCompareAtomic(CompareOp::kGt, a, b), cmp > 0);
+  EXPECT_EQ(ValueCompareAtomic(CompareOp::kGe, a, b), cmp >= 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CompareConsistencyTest,
+    ::testing::Values(ComparePair{0, 0}, ComparePair{1, 2}, ComparePair{2, 1},
+                      ComparePair{-1.5, 1.5}, ComparePair{1e10, 1e-10},
+                      ComparePair{-0.0, 0.0}));
+
+}  // namespace
+}  // namespace xqa

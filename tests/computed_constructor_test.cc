@@ -1,0 +1,114 @@
+// Computed constructor tests: element / attribute / text / comment /
+// document constructors with literal and computed names.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+class ComputedConstructorTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query,
+                  const std::string& xml = "<root><a>1</a><b>2</b></root>") {
+    DocumentPtr doc = Engine::ParseDocument(xml);
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  ErrorCode RunError(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<root/>");
+    try {
+      engine_.Compile(query).Execute(doc);
+    } catch (const XQueryError& error) {
+      return error.code();
+    }
+    return ErrorCode::kOk;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(ComputedConstructorTest, ElementWithLiteralName) {
+  EXPECT_EQ(Run("element result { 1 + 2 }"), "<result>3</result>");
+  EXPECT_EQ(Run("element empty {}"), "<empty/>");
+  EXPECT_EQ(Run("element wrap { //a }"), "<wrap><a>1</a></wrap>");
+}
+
+TEST_F(ComputedConstructorTest, ElementWithComputedName) {
+  EXPECT_EQ(Run("element { concat(\"t\", \"ag\") } { \"v\" }"),
+            "<tag>v</tag>");
+  EXPECT_EQ(Run("for $n in (\"x\", \"y\") return element { $n } { 1 }"),
+            "<x>1</x><y>1</y>");
+  // Dynamic, data-driven element names — the hierarchy-inversion use case.
+  EXPECT_EQ(Run("element { name(//a) } { string(//b) }"), "<a>2</a>");
+}
+
+TEST_F(ComputedConstructorTest, BadComputedNames) {
+  EXPECT_EQ(RunError("element { \"two words\" } { 1 }"), ErrorCode::kFORG0001);
+  EXPECT_EQ(RunError("element { () } { 1 }"), ErrorCode::kXPTY0004);
+  EXPECT_EQ(RunError("element { (1, 2) } { 1 }"), ErrorCode::kXPTY0004);
+}
+
+TEST_F(ComputedConstructorTest, AttributeConstructor) {
+  EXPECT_EQ(Run("element e { attribute id { 7 } }"), "<e id=\"7\"/>");
+  EXPECT_EQ(Run("element e { attribute { \"k\" } { \"v\" }, \"text\" }"),
+            "<e k=\"v\">text</e>");
+  EXPECT_EQ(Run("element e { attribute multi { (1, 2, 3) } }"),
+            "<e multi=\"1 2 3\"/>");
+}
+
+TEST_F(ComputedConstructorTest, AttributeAfterContentIsError) {
+  EXPECT_EQ(RunError("element e { \"text\", attribute id { 1 } }"),
+            ErrorCode::kXQDY0025);
+}
+
+TEST_F(ComputedConstructorTest, TextConstructor) {
+  EXPECT_EQ(Run("element e { text { \"hi\" } }"), "<e>hi</e>");
+  EXPECT_EQ(Run("element e { text { (1, 2) } }"), "<e>1 2</e>");
+  // text {()} constructs no node at all.
+  EXPECT_EQ(Run("count(text { () })"), "0");
+}
+
+TEST_F(ComputedConstructorTest, CommentConstructor) {
+  EXPECT_EQ(Run("element e { comment { \"note\" } }"), "<e><!--note--></e>");
+}
+
+TEST_F(ComputedConstructorTest, DocumentConstructor) {
+  EXPECT_EQ(Run("count(document { element a {}, element b {} }/*)"), "2");
+  EXPECT_EQ(Run("document { element a { \"x\" } } instance of document-node()"),
+            "true");
+}
+
+TEST_F(ComputedConstructorTest, MixedWithDirectConstructors) {
+  EXPECT_EQ(Run("<out>{element inner { attribute n { 1 }, \"v\" }}</out>"),
+            "<out><inner n=\"1\">v</inner></out>");
+  EXPECT_EQ(Run("element out { <inner>{2}</inner> }"),
+            "<out><inner>2</inner></out>");
+}
+
+TEST_F(ComputedConstructorTest, ConstructedNodesNavigate) {
+  EXPECT_EQ(Run("let $e := element r { element c { 5 } } return string($e/c)"),
+            "5");
+  EXPECT_EQ(Run("let $e := element r { attribute a { \"v\" } } "
+                "return string($e/@a)"),
+            "v");
+}
+
+TEST_F(ComputedConstructorTest, GroupingByComputedElements) {
+  // Computed constructors in grouping keys (dynamic-hierarchy use).
+  EXPECT_EQ(Run("for $x in (1, 2, 1, 1, 2) "
+                "let $k := element key { $x } "
+                "group by $k into $key nest $x into $xs "
+                "order by string($key) return count($xs)"),
+            "3 2");
+}
+
+TEST_F(ComputedConstructorTest, KeywordsStillUsableAsNames) {
+  // "element" and "text" remain valid path steps / element names.
+  EXPECT_EQ(Run("count(//element)", "<r><element>x</element></r>"), "1");
+  EXPECT_EQ(Run("string(//text)", "<r><text>y</text></r>"), "y");
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,129 @@
+// Extended conformance table: durations, both grouping dialects, count
+// clauses, typeswitch, computed constructors, regex — the features beyond
+// the core surface covered by conformance_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+constexpr char kDoc[] = R"(
+<shifts>
+  <shift worker="ada"><start>2004-05-01T08:00:00</start><end>2004-05-01T16:30:00</end></shift>
+  <shift worker="ada"><start>2004-05-02T09:00:00</start><end>2004-05-02T17:00:00</end></shift>
+  <shift worker="grace"><start>2004-05-01T12:00:00</start><end>2004-05-02T00:15:00</end></shift>
+  <shift worker="edsger"><start>2004-05-03T07:45:00</start><end>2004-05-03T07:50:00</end></shift>
+</shifts>
+)";
+
+struct Case {
+  const char* query;
+  const char* expected;
+};
+
+class ConformanceExtended : public ::testing::TestWithParam<Case> {
+ protected:
+  static void SetUpTestSuite() {
+    doc_ = new DocumentPtr(Engine::ParseDocument(kDoc));
+  }
+  static void TearDownTestSuite() { delete doc_; }
+  static DocumentPtr* doc_;
+};
+
+DocumentPtr* ConformanceExtended::doc_ = nullptr;
+
+TEST_P(ConformanceExtended, QueryYieldsExpected) {
+  Engine engine;
+  EXPECT_EQ(engine.Compile(GetParam().query).ExecuteToString(*doc_),
+            GetParam().expected)
+      << "query: " << GetParam().query;
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, ConformanceExtended, ::testing::Values(
+    Case{"xs:dateTime((//end)[1]) - xs:dateTime((//start)[1])", "PT8H30M"},
+    Case{"for $s in //shift order by xs:dateTime($s/start) "
+         "return string(xs:dateTime($s/end) - xs:dateTime($s/start))",
+         "PT8H30M PT12H15M PT8H PT5M"},
+    Case{"string(max(for $s in //shift "
+         "return xs:dateTime($s/end) - xs:dateTime($s/start)))", "PT12H15M"},
+    Case{"count(//shift[xs:dateTime(end) - xs:dateTime(start) "
+         "ge xs:dayTimeDuration(\"PT8H\")])", "3"},
+    Case{"string(xs:dateTime(\"2004-05-01T08:00:00\") + "
+         "xs:dayTimeDuration(\"P2DT12H\"))", "2004-05-03T20:00:00"},
+    Case{"hours-from-duration(xs:dayTimeDuration(\"P1DT5H\"))", "5"},
+    Case{"days-from-duration(xs:dayTimeDuration(\"P1DT5H\"))", "1"},
+    Case{"xs:dayTimeDuration(\"PT1H\") * 24", "P1D"},
+    Case{"string(xs:dayTimeDuration(\"P1D\") div "
+         "xs:dayTimeDuration(\"PT6H\"))", "4"},
+    Case{"xs:dayTimeDuration(\"PT30M\") lt xs:dayTimeDuration(\"PT1H\")",
+         "true"}));
+
+INSTANTIATE_TEST_SUITE_P(GroupingDialects, ConformanceExtended, ::testing::Values(
+    // Paper dialect.
+    Case{"for $s in //shift group by $s/@worker into $w "
+         "nest $s into $ss order by string($w) "
+         "return concat($w, \":\", count($ss))",
+         "ada:2 edsger:1 grace:1"},
+    // XQuery 3.0 dialect, implicit rebinding of $s.
+    Case{"for $s in //shift group by $w := string($s/@worker) "
+         "order by $w return concat($w, \":\", count($s))",
+         "ada:2 edsger:1 grace:1"},
+    // Total shift time per worker via rebinding.
+    Case{"for $s in //shift "
+         "let $d := xs:dateTime($s/end) - xs:dateTime($s/start) "
+         "group by $w := string($s/@worker) "
+         "order by $w "
+         "return string(sum($d, xs:dayTimeDuration(\"PT0S\")))",
+         "PT16H30M PT5M PT12H15M"},
+    // count clause numbering groups.
+    Case{"for $s in //shift group by $w := string($s/@worker) "
+         "count $n order by $w return concat($n, \"-\", $w)",
+         "1-ada 3-edsger 2-grace"},
+    // Paper dialect: using + post-group let/where combination.
+    Case{"for $x in (1, 2, 3, 4, 5, 6, 7, 8) "
+         "group by $x mod 4 into $k nest $x into $xs "
+         "let $n := count($xs) where $k >= 1 "
+         "order by $k return concat($k, \"#\", $n)",
+         "1#2 2#2 3#2"}));
+
+INSTANTIATE_TEST_SUITE_P(TypeswitchAndConstructors, ConformanceExtended,
+                         ::testing::Values(
+    Case{"typeswitch ((//shift)[1]) case element(shift) return \"s\" "
+         "default return \"d\"", "s"},
+    Case{"string-join(for $v in (1, \"x\", 2.5, <e/>) return "
+         "typeswitch ($v) case xs:integer return \"int\" "
+         "case xs:decimal return \"dec\" case xs:string return \"str\" "
+         "case element() return \"elem\" default return \"?\", \",\")",
+         "int,str,dec,elem"},
+    Case{"element report { attribute shifts { count(//shift) }, "
+         "element longest { string(max(for $s in //shift return "
+         "xs:dateTime($s/end) - xs:dateTime($s/start))) } }",
+         "<report shifts=\"4\"><longest>PT12H15M</longest></report>"},
+    Case{"for $w in distinct-values(//shift/@worker) "
+         "order by $w "
+         "return element { $w } { count(//shift[@worker = $w]) }",
+         "<ada>2</ada><edsger>1</edsger><grace>1</grace>"},
+    Case{"document { element a {}, comment { \"x\" } } instance of "
+         "document-node()", "true"}));
+
+INSTANTIATE_TEST_SUITE_P(RegexAndStrings, ConformanceExtended, ::testing::Values(
+    Case{"count(//shift[matches(@worker, \"^[ag]\")])", "3"},
+    Case{"replace(\"2004-05-01T08:00:00\", \"T.*$\", \"\")", "2004-05-01"},
+    Case{"string-join(tokenize(\"a-b_c\", \"[-_]\"), \".\")", "a.b.c"},
+    Case{"matches(\"shift\", \"SHIFT\", \"i\")", "true"},
+    Case{"replace(\"aaa bbb\", \"(\\w+) (\\w+)\", \"$2 $1\")", "bbb aaa"},
+    Case{"upper-case(substring-before(\"ada@host\", \"@\"))", "ADA"}));
+
+INSTANTIATE_TEST_SUITE_P(TypeOps, ConformanceExtended, ::testing::Values(
+    Case{"(//shift)[1]/@worker instance of attribute()", "true"},
+    Case{"\"PT1H\" castable as xs:dayTimeDuration", "true"},
+    Case{"(3.14 instance of xs:decimal) and (3.14 castable as xs:string)",
+         "true"},
+    Case{"count(//shift) cast as xs:string", "4"},
+    Case{"((//shift)[1] treat as element()) instance of element(shift)",
+         "true"}));
+
+}  // namespace
+}  // namespace xqa

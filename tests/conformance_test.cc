@@ -1,0 +1,316 @@
+// Table-driven conformance suite: several hundred (query, expected-result)
+// pairs over a fixed document, exercising the full language surface. Each
+// case serializes its result (compact form) and compares against the
+// expected string. Cases are grouped by area; all run through one
+// parameterized harness so failures name the offending query.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+constexpr char kDoc[] = R"(
+<store>
+  <inventory>
+    <item sku="A1" cat="tea"><name>Green Tea</name><qty>30</qty><price>9.99</price></item>
+    <item sku="A2" cat="tea"><name>Black Tea</name><qty>12</qty><price>7.50</price></item>
+    <item sku="B1" cat="cup"><name>Mug</name><qty>5</qty><price>4.00</price></item>
+    <item sku="B2" cat="cup"><name>Glass</name><qty>0</qty><price>3.25</price></item>
+    <item sku="C1"><name>Gift Card</name><qty>100</qty><price>25.00</price></item>
+  </inventory>
+  <staff>
+    <person><name>Ada</name><role>manager</role></person>
+    <person><name>Grace</name><role>clerk</role></person>
+    <person><name>Edsger</name><role>clerk</role></person>
+  </staff>
+</store>
+)";
+
+struct Case {
+  const char* query;
+  const char* expected;
+};
+
+class Conformance : public ::testing::TestWithParam<Case> {
+ protected:
+  static void SetUpTestSuite() {
+    doc_ = new DocumentPtr(Engine::ParseDocument(kDoc));
+  }
+  static void TearDownTestSuite() { delete doc_; }
+  static DocumentPtr* doc_;
+};
+
+DocumentPtr* Conformance::doc_ = nullptr;
+
+TEST_P(Conformance, QueryYieldsExpected) {
+  Engine engine;
+  EXPECT_EQ(engine.Compile(GetParam().query).ExecuteToString(*doc_),
+            GetParam().expected)
+      << "query: " << GetParam().query;
+}
+
+// --- Arithmetic and numerics --------------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(Arithmetic, Conformance, ::testing::Values(
+    Case{"2 + 3 * 4", "14"},
+    Case{"(2 + 3) * 4", "20"},
+    Case{"2 - 3 - 4", "-5"},
+    Case{"17 idiv 5", "3"},
+    Case{"17 mod 5", "2"},
+    Case{"-17 idiv 5", "-3"},
+    Case{"17 div 5", "3.4"},
+    Case{"0.3 - 0.1", "0.2"},
+    Case{"2.5 * 2.5", "6.25"},
+    Case{"10 div 4", "2.5"},
+    Case{"1e2 * 2", "200"},
+    Case{"5 + 0.5", "5.5"},
+    Case{"-(3 + 4)", "-7"},
+    Case{"+5", "5"},
+    Case{"abs(-2.5)", "2.5"},
+    Case{"floor(-1.1)", "-2"},
+    Case{"ceiling(-1.9)", "-1"},
+    Case{"round(0.5)", "1"},
+    Case{"round(-0.5)", "0"},
+    Case{"round-half-to-even(1.5)", "2"},
+    Case{"round-half-to-even(0.5)", "0"},
+    Case{"number(\"7\") + 1", "8"},
+    Case{"string(1 div 0e0)", "INF"},
+    Case{"xs:integer(\"010\")", "10"},
+    Case{"xs:decimal(2) div 8", "0.25"}));
+
+// --- Comparisons and logic -----------------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(Comparisons, Conformance, ::testing::Values(
+    Case{"1 = 1.0", "true"},
+    Case{"1 eq 1.0", "true"},
+    Case{"\"a\" < \"b\"", "true"},
+    Case{"\"10\" lt \"9\"", "true"},
+    Case{"(1, 2) = (2, 3)", "true"},
+    Case{"(1, 2) != (1, 2)", "true"},
+    Case{"() = ()", "false"},
+    Case{"not(() = 1)", "true"},
+    Case{"1 < 2 and 2 < 3", "true"},
+    Case{"1 > 2 or 2 > 1", "true"},
+    Case{"true() and not(false())", "true"},
+    Case{"boolean((0))", "false"},
+    Case{"boolean(\"false\")", "true"},  // non-empty string EBV
+    Case{"(//item)[1] is (//item)[1]", "true"},
+    Case{"(//item)[1] is (//item)[2]", "false"},
+    Case{"deep-equal(<a><b/></a>, <a><b/></a>)", "true"},
+    Case{"deep-equal(<a>1</a>, <a>2</a>)", "false"}));
+
+// --- Paths ----------------------------------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(Paths, Conformance, ::testing::Values(
+    Case{"count(//item)", "5"},
+    Case{"count(/store/inventory/item)", "5"},
+    Case{"count(//item[@cat])", "4"},
+    Case{"count(//item[not(@cat)])", "1"},
+    Case{"string(//item[@sku = \"B1\"]/name)", "Mug"},
+    Case{"count(//item[qty > 10])", "3"},
+    Case{"count(//item[qty = 0])", "1"},
+    Case{"string((//item)[2]/@sku)", "A2"},
+    Case{"string((//item)[last()]/name)", "Gift Card"},
+    Case{"count(//inventory/*)", "5"},
+    Case{"count(//*)", "32"},
+    Case{"name((//qty)[1]/..)", "item"},
+    Case{"count((//qty)[1]/ancestor::*)", "3"},
+    Case{"string(//person[role = \"manager\"]/name)", "Ada"},
+    Case{"count(//person[role = \"clerk\"])", "2"},
+    Case{"string((//item)[1]/following-sibling::item[1]/name)", "Black Tea"},
+    Case{"string((//item)[3]/preceding-sibling::item[1]/name)", "Black Tea"},
+    Case{"count(//@*)", "9"},
+    Case{"count(//text())", "21"},
+    Case{"string-join(//item[position() <= 2]/name/text(), \";\")",
+         "Green Tea;Black Tea"},
+    Case{"sum(//item/(qty * price))", "2909.7"},
+    Case{"count(//item/self::item)", "5"},
+    Case{"count(//node()) > 40", "true"}));
+
+// --- FLWOR ----------------------------------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(Flwor, Conformance, ::testing::Values(
+    Case{"for $i in 1 to 4 return $i * $i", "1 4 9 16"},
+    Case{"for $i in (1, 2), $j in (10, 20) return $i + $j",
+         "11 21 12 22"},
+    Case{"let $x := (1, 2, 3) return sum($x)", "6"},
+    Case{"for $i at $p in (\"a\", \"b\") return $p", "1 2"},
+    Case{"for $i in 1 to 10 where $i mod 4 = 1 return $i", "1 5 9"},
+    Case{"for $n in //item/name order by string($n) descending "
+         "return at $r concat($r, \":\", string($n))",
+         "1:Mug 2:Green Tea 3:Glass 4:Gift Card 5:Black Tea"},
+    Case{"for $i in //item order by number($i/price) "
+         "return string($i/@sku)", "B2 B1 A2 A1 C1"},
+    Case{"for $i in //item order by $i/@cat, number($i/price) descending "
+         "return string($i/name)",
+         "Gift Card Mug Glass Green Tea Black Tea"},  // empty @cat least
+    Case{"count(for $x in () return 1)", "0"},
+    Case{"for $x in (3, 1, 2) order by $x return at $rank $rank * 10 + $x",
+         "11 22 33"},
+    Case{"let $a := 1 let $b := $a + 1 let $c := $b + 1 return $c", "3"},
+    Case{"for $x in (1, 2, 3) let $y := $x * $x where $y > 2 "
+         "order by $y descending return $y", "9 4"}));
+
+// --- Grouping (the paper's extension) -------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(Grouping, Conformance, ::testing::Values(
+    Case{"for $i in //item group by $i/@cat into $c nest $i into $is "
+         "order by string($c) return count($is)", "1 2 2"},
+    Case{"for $i in //item group by $i/@cat into $c "
+         "order by string($c) return string($c)", " cup tea"},
+    Case{"for $i in //item group by $i/@cat into $c "
+         "nest $i/price into $prices "
+         "order by string($c) "
+         "return round-half-to-even(avg($prices), 2)",
+         "25 3.62 8.75"},
+    Case{"for $i in //item group by exists($i/@cat) into $has "
+         "nest $i into $is order by $has return count($is)", "1 4"},
+    Case{"for $p in //person group by $p/role into $r "
+         "nest $p/name into $names order by string($r) "
+         "return <g>{string-join(for $n in $names return string($n), \",\")}</g>",
+         "<g>Grace,Edsger</g><g>Ada</g>"},
+    Case{"for $i in //item group by $i/@cat into $c "
+         "nest $i order by number($i/price) into $sorted "
+         "order by string($c) "
+         "return string-join(for $s in $sorted return string($s/@sku), \",\")",
+         "C1 B2,B1 A2,A1"},
+    Case{"for $i in //item group by 1 into $k "
+         "nest $i/qty into $qs let $total := sum($qs) "
+         "where $total > 100 return $total", "147"},
+    Case{"count(for $i in //item group by $i/@sku into $s return 1)", "5"},
+    Case{"for $x in (1, 2, 2, 3, 3, 3) group by $x into $k "
+         "nest $x into $xs order by count($xs) descending, $k "
+         "return at $rank concat($rank, \"#\", $k)",
+         "1#3 2#2 3#1"}));
+
+// --- Strings --------------------------------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(Strings, Conformance, ::testing::Values(
+    Case{"concat(\"a\", \"b\")", "ab"},
+    Case{"upper-case(\"tea\")", "TEA"},
+    Case{"lower-case(\"TEA\")", "tea"},
+    Case{"substring(\"hello\", 2, 2)", "el"},
+    Case{"string-length(\"hello\")", "5"},
+    Case{"normalize-space(\"  a  b  \")", "a b"},
+    Case{"contains(string(//item[1]/name), \"Tea\")", "true"},
+    Case{"starts-with(\"prefix\", \"pre\")", "true"},
+    Case{"ends-with(\"suffix\", \"fix\")", "true"},
+    Case{"substring-before(\"key=value\", \"=\")", "key"},
+    Case{"substring-after(\"key=value\", \"=\")", "value"},
+    Case{"translate(\"abcd\", \"bd\", \"BD\")", "aBcD"},
+    Case{"string-join((\"x\", \"y\", \"z\"), \"/\")", "x/y/z"},
+    Case{"compare(\"a\", \"b\")", "-1"},
+    Case{"compare(\"b\", \"a\")", "1"},
+    Case{"compare(\"a\", \"a\")", "0"},
+    Case{"codepoints-to-string((104, 105))", "hi"},
+    Case{"string-to-codepoints(\"hi\")", "104 105"},
+    Case{"matches(\"A1\", \"^[A-Z]\\d$\")", "true"},
+    Case{"replace(\"2004-01-31\", \"-\", \"/\")", "2004/01/31"},
+    Case{"count(tokenize(\"a,b,c\", \",\"))", "3"},
+    Case{"string(3.50)", "3.5"},
+    Case{"string(())", ""}));
+
+// --- Sequences ------------------------------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(Sequences, Conformance, ::testing::Values(
+    Case{"count(())", "0"},
+    Case{"count((1, (2, 3)))", "3"},
+    Case{"empty(())", "true"},
+    Case{"exists(//item)", "true"},
+    Case{"count(distinct-values(//item/@cat))", "2"},
+    Case{"distinct-values((1, 1e0, \"1\"))", "1 1"},
+    Case{"reverse(1 to 3)", "3 2 1"},
+    Case{"subsequence(1 to 10, 8)", "8 9 10"},
+    Case{"insert-before((1, 3), 2, 2)", "1 2 3"},
+    Case{"remove((1, 9, 2), 2)", "1 2"},
+    Case{"index-of((5, 10, 5), 5)", "1 3"},
+    Case{"head(1 to 5)", "1"},
+    Case{"tail(1 to 5)", "2 3 4 5"},
+    Case{"count(head(()))", "0"},
+    Case{"count(tail((1)))", "0"},
+    Case{"min(//item/price)", "3.25"},
+    Case{"max(//item/qty)", "100"},
+    Case{"sum(//item/qty)", "147"},
+    Case{"avg((2, 4, 6))", "4"},
+    Case{"count(//item[1] | //item[2])", "2"},
+    Case{"count(//item | //item)", "5"},
+    Case{"string-join(for $x in (1 to 3, 2 to 4) return string($x), \"\")",
+         "123234"}));
+
+// --- Conditionals, quantifiers, types -------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(ControlAndTypes, Conformance, ::testing::Values(
+    Case{"if (//item[qty = 0]) then \"out-of-stock\" else \"ok\"",
+         "out-of-stock"},
+    Case{"if (()) then 1 else 2", "2"},
+    Case{"some $i in //item satisfies $i/qty > 50", "true"},
+    Case{"every $i in //item satisfies $i/price > 3", "true"},
+    Case{"every $i in //item satisfies $i/qty > 0", "false"},
+    Case{"(5 instance of xs:integer)", "true"},
+    Case{"(//item[1] instance of element(item))", "true"},
+    Case{"\"12\" cast as xs:integer", "12"},
+    Case{"\"x\" castable as xs:integer", "false"},
+    Case{"(//item[1]/qty treat as element()) instance of element(qty)",
+         "true"},
+    Case{"count(//missing) instance of xs:integer", "true"},
+    Case{"(1, 2, 3) instance of xs:integer+", "true"}));
+
+// --- Constructors ---------------------------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(Constructors, Conformance, ::testing::Values(
+    Case{"<a/>", "<a/>"},
+    Case{"<a b=\"{1+1}\">{2+2}</a>", "<a b=\"2\">4</a>"},
+    Case{"<low>{//item[qty < 10]/name}</low>",
+         "<low><name>Mug</name><name>Glass</name></low>"},
+    Case{"element tally { count(//item) }", "<tally>5</tally>"},
+    Case{"element { lower-case(\"OUT\") } { attribute n { 1 + 1 } }",
+         "<out n=\"2\"/>"},
+    Case{"<r>{for $i in //item[@cat = \"tea\"] "
+         "return <t sku=\"{$i/@sku}\"/>}</r>",
+         "<r><t sku=\"A1\"/><t sku=\"A2\"/></r>"},
+    Case{"string(<x>{1 to 3}</x>)", "1 2 3"},
+    Case{"count(document { <a/>, <b/> }/*)", "2"},
+    Case{"<a>{text { \"t\" }}</a>", "<a>t</a>"},
+    Case{"name(<dyn/>)", "dyn"}));
+
+// --- Functions and prolog -------------------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(FunctionsAndProlog, Conformance, ::testing::Values(
+    Case{"declare function local:tax($p as xs:decimal) { $p * 0.1 }; "
+         "local:tax(50)", "5"},
+    Case{"declare function local:depth($e as element()) as xs:integer "
+         "{ if (empty($e/*)) then 1 "
+         "  else 1 + max(for $c in $e/* return local:depth($c)) }; "
+         "local:depth(/store/inventory)", "3"},
+    Case{"declare variable $threshold := 10; "
+         "count(//item[qty >= $threshold])", "3"},
+    Case{"declare function local:even($n as xs:integer) as xs:boolean "
+         "{ if ($n = 0) then true() else local:odd($n - 1) }; "
+         "declare function local:odd($n as xs:integer) as xs:boolean "
+         "{ if ($n = 0) then false() else local:even($n - 1) }; "
+         "local:even(10)", "true"},
+    Case{"declare function local:sum-to($n as xs:integer) as xs:integer "
+         "{ if ($n <= 0) then 0 else $n + local:sum-to($n - 1) }; "
+         "local:sum-to(100)", "5050"},
+    Case{"xqa:set-equal((\"a\", \"b\"), (\"b\", \"a\"))", "true"},
+    Case{"count(xqa:cube((1, 2)))", "4"},
+    Case{"count(xqa:rollup((1, 2)))", "3"}));
+
+// --- dateTime -------------------------------------------------------------------
+
+INSTANTIATE_TEST_SUITE_P(DateTimes, Conformance, ::testing::Values(
+    Case{"year-from-dateTime(xs:dateTime(\"1999-12-31T23:59:59\"))", "1999"},
+    Case{"month-from-dateTime(xs:dateTime(\"1999-12-31T23:59:59\"))", "12"},
+    Case{"day-from-date(xs:date(\"2004-02-29\"))", "29"},
+    Case{"xs:date(\"2004-01-01\") < xs:date(\"2004-06-01\")", "true"},
+    Case{"xs:dateTime(\"2004-01-31T11:32:07\") = "
+         "xs:dateTime(\"2004-01-31T11:32:07\")", "true"},
+    Case{"string(xs:date(\"2004-07-04\"))", "2004-07-04"},
+    Case{"hours-from-time(xs:time(\"14:30:00\"))", "14"},
+    Case{"min((xs:date(\"2004-01-01\"), xs:date(\"2003-01-01\")))",
+         "2003-01-01"}));
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,104 @@
+// Constant-folding pass: folds literal kernels, preserves error behavior,
+// and leaves non-constant expressions alone.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "optimizer/rewriter.h"
+#include "parser/parser.h"
+
+namespace xqa {
+namespace {
+
+/// Folds a query body and returns (fold count, dumped AST).
+std::pair<int, std::string> Fold(const std::string& query) {
+  ModulePtr module = ParseQuery(query);
+  OptimizerOptions options;
+  options.fold_constants = true;
+  int count = OptimizeModule(module.get(), options);
+  return {count, DumpExpr(module->body.get())};
+}
+
+TEST(ConstantFold, Arithmetic) {
+  EXPECT_EQ(Fold("1 + 2 * 3").second, "7");
+  EXPECT_EQ(Fold("1.5 + 0.5").second, "2");
+  EXPECT_EQ(Fold("2 * 3 + $x").second, "(+ 6 $x)");
+  EXPECT_EQ(Fold("-(2 + 3)").second, "-5");
+  EXPECT_EQ(Fold("1e1 * 2").second, "20");
+}
+
+TEST(ConstantFold, DivisionIsNotFolded) {
+  // Division can raise FOAR0001; the fold must not hide it.
+  EXPECT_EQ(Fold("4 div 2").first, 0);
+  EXPECT_EQ(Fold("1 div 0").first, 0);
+  EXPECT_EQ(Fold("7 mod 2").first, 0);
+}
+
+TEST(ConstantFold, OverflowIsNotFolded) {
+  EXPECT_EQ(Fold("9223372036854775807 + 1").first, 0);
+}
+
+TEST(ConstantFold, Comparisons) {
+  EXPECT_EQ(Fold("1 < 2").second, "true");
+  EXPECT_EQ(Fold("\"a\" eq \"b\"").second, "false");
+  EXPECT_EQ(Fold("2 >= 2").second, "true");
+  // Incomparable literal types keep the runtime XPTY0004.
+  EXPECT_EQ(Fold("1 eq \"1\"").first, 0);
+}
+
+TEST(ConstantFold, Logic) {
+  EXPECT_EQ(Fold("1 < 2 and 3 < 4").second, "true");
+  EXPECT_EQ(Fold("1 > 2 or 3 > 4").second, "false");
+  // Short-circuit with a decided side folds even when the other is dynamic.
+  EXPECT_EQ(Fold("1 > 2 and $x").second, "false");
+  EXPECT_EQ(Fold("1 < 2 or count(//a) = 0").second, "true");
+  // Undecided stays.
+  EXPECT_EQ(Fold("$x and $y").first, 0);
+}
+
+TEST(ConstantFold, ConditionalPruning) {
+  EXPECT_EQ(Fold("if (1 < 2) then \"yes\" else \"no\"").second, "\"yes\"");
+  EXPECT_EQ(Fold("if (0) then $a else $b").second, "$b");
+  EXPECT_EQ(Fold("if ($cond) then 1 else 2").first, 0);
+  // Cascaded folding: condition folds, then the if folds.
+  EXPECT_EQ(Fold("if (2 + 2 = 4) then \"t\" else \"f\"").second, "\"t\"");
+}
+
+TEST(ConstantFold, InsideLargerExpressions) {
+  auto [count, dump] = Fold("for $x in //v where $x > 2 + 3 return $x * (1 + 1)");
+  EXPECT_EQ(count, 2);
+  EXPECT_NE(dump.find("(general-gt $x 5)"), std::string::npos);
+  EXPECT_NE(dump.find("(* $x 2)"), std::string::npos);
+}
+
+TEST(ConstantFold, ResultsUnchangedThroughEngine) {
+  Engine plain;
+  Engine::Options options;
+  options.enable_constant_folding = true;
+  Engine folding(options);
+  DocumentPtr doc = Engine::ParseDocument("<r><v>1</v><v>7</v></r>");
+  const char* queries[] = {
+      "for $x in //v where number($x) > 2 + 3 return number($x) * (10 - 9)",
+      "if (2 > 1) then sum(for $v in //v return number($v)) else 0",
+      "1 + 2 * 3 - 4",
+      "for $x in (1, 2, 3) return if ($x > 1 + 1) then \"big\" else \"small\"",
+      "count(//v[. = \"7\"]) + (2 - 2)",
+  };
+  for (const char* query : queries) {
+    PreparedQuery folded = folding.Compile(query);
+    EXPECT_EQ(plain.Compile(query).ExecuteToString(doc),
+              folded.ExecuteToString(doc))
+        << query;
+  }
+}
+
+TEST(ConstantFold, FoldCountSurfacedViaEngine) {
+  Engine::Options options;
+  options.enable_constant_folding = true;
+  Engine folding(options);
+  EXPECT_GE(folding.Compile("1 + 2 + 3").rewrites_applied(), 2);
+  EXPECT_EQ(folding.Compile("count(//a)").rewrites_applied(), 0);
+}
+
+}  // namespace
+}  // namespace xqa

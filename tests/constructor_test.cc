@@ -1,0 +1,153 @@
+// Direct element constructor evaluation: attributes, enclosed expressions,
+// content sequence rules, copy semantics.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+class ConstructorTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query,
+                  const std::string& xml = "<root><a>1</a><b>2</b></root>") {
+    DocumentPtr doc = Engine::ParseDocument(xml);
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  ErrorCode RunError(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<root/>");
+    try {
+      engine_.Compile(query).Execute(doc);
+    } catch (const XQueryError& error) {
+      return error.code();
+    }
+    return ErrorCode::kOk;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(ConstructorTest, EmptyAndTextElements) {
+  EXPECT_EQ(Run("<e/>"), "<e/>");
+  EXPECT_EQ(Run("<e>text</e>"), "<e>text</e>");
+  EXPECT_EQ(Run("<e>a b  c</e>"), "<e>a b  c</e>");  // inner spaces kept
+}
+
+TEST_F(ConstructorTest, LiteralAttributes) {
+  EXPECT_EQ(Run("<e a=\"1\" b='two'/>"), "<e a=\"1\" b=\"two\"/>");
+}
+
+TEST_F(ConstructorTest, AttributeValueTemplates) {
+  EXPECT_EQ(Run("let $v := 5 return <e a=\"{$v}\"/>"), "<e a=\"5\"/>");
+  EXPECT_EQ(Run("let $v := 5 return <e a=\"x{$v}y\"/>"), "<e a=\"x5y\"/>");
+  EXPECT_EQ(Run("<e a=\"{1 + 2}-{3 + 4}\"/>"), "<e a=\"3-7\"/>");
+  // Sequence values join with single spaces.
+  EXPECT_EQ(Run("<e a=\"{(1, 2, 3)}\"/>"), "<e a=\"1 2 3\"/>");
+  EXPECT_EQ(Run("<e a=\"{()}\"/>"), "<e a=\"\"/>");
+}
+
+TEST_F(ConstructorTest, AttributeValueAtomizesNodes) {
+  EXPECT_EQ(Run("<e a=\"{//a}\"/>"), "<e a=\"1\"/>");
+}
+
+TEST_F(ConstructorTest, EnclosedExpressionsInContent) {
+  EXPECT_EQ(Run("<e>{1 + 2}</e>"), "<e>3</e>");
+  EXPECT_EQ(Run("<e>x{1}y</e>"), "<e>x1y</e>");
+  // Adjacent atomics from one expression are space-separated.
+  EXPECT_EQ(Run("<e>{(1, 2, 3)}</e>"), "<e>1 2 3</e>");
+  // Adjacent enclosed expressions do NOT insert a space.
+  EXPECT_EQ(Run("<e>{1}{2}</e>"), "<e>12</e>");
+}
+
+TEST_F(ConstructorTest, NodeContentIsCopied) {
+  std::string out = Run("let $copy := <wrap>{//a}</wrap> return $copy");
+  EXPECT_EQ(out, "<wrap><a>1</a></wrap>");
+  // The copy is a distinct node: modifying nothing, but identity differs.
+  EXPECT_EQ(Run("let $w := <wrap>{//a}</wrap> return $w/a is (//a)[1]"),
+            "false");
+}
+
+TEST_F(ConstructorTest, MixedNodeAndAtomicContent) {
+  EXPECT_EQ(Run("<e>{ \"n=\", count(//a) }</e>"), "<e>n= 1</e>");
+  EXPECT_EQ(Run("<e>{//a}{//b}</e>"), "<e><a>1</a><b>2</b></e>");
+}
+
+TEST_F(ConstructorTest, NestedConstructors) {
+  EXPECT_EQ(Run("<out><mid><in>{40 + 2}</in></mid></out>"),
+            "<out><mid><in>42</in></mid></out>");
+}
+
+TEST_F(ConstructorTest, BoundaryWhitespaceStripped) {
+  EXPECT_EQ(Run("<e>\n  <f/>\n  <g/>\n</e>"), "<e><f/><g/></e>");
+  EXPECT_EQ(Run("<e> {1} </e>"), "<e>1</e>");
+}
+
+TEST_F(ConstructorTest, SignificantWhitespacePreserved) {
+  EXPECT_EQ(Run("<e>a <f/> b</e>"), "<e>a <f/> b</e>");
+  // CDATA whitespace is significant even if all-spaces.
+  EXPECT_EQ(Run("<e><![CDATA[  ]]></e>"), "<e>  </e>");
+}
+
+TEST_F(ConstructorTest, EscapesAndReferences) {
+  EXPECT_EQ(Run("<e>{{braces}}</e>"), "<e>{braces}</e>");
+  EXPECT_EQ(Run("<e>&lt;raw&gt;</e>"), "<e>&lt;raw&gt;</e>");
+  EXPECT_EQ(Run("<e a=\"{{x}}\"/>"), "<e a=\"{x}\"/>");
+  EXPECT_EQ(Run("<e>&#65;</e>"), "<e>A</e>");
+}
+
+TEST_F(ConstructorTest, CommentsBecomeCommentNodes) {
+  EXPECT_EQ(Run("<e><!-- note --><v>1</v></e>"), "<e><!-- note --><v>1</v></e>");
+}
+
+TEST_F(ConstructorTest, ConstructedTreeIsNavigable) {
+  EXPECT_EQ(Run("let $t := <o><i><x>7</x></i></o> return string($t/i/x)"),
+            "7");
+  EXPECT_EQ(Run("let $t := <o><i/><i/></o> return count($t/i)"), "2");
+  EXPECT_EQ(Run("let $t := <o a=\"v\"/> return string($t/@a)"), "v");
+  // Parent navigation within a constructed tree.
+  EXPECT_EQ(Run("let $t := <o><i><x/></i></o> "
+                "return name(($t//x)[1]/..)"),
+            "i");
+}
+
+TEST_F(ConstructorTest, ConstructedNodesHaveDocumentOrder) {
+  EXPECT_EQ(Run("let $t := <o><p/><q/><r/></o> "
+                "return string-join(for $n in $t/* return name($n), \",\")"),
+            "p,q,r");
+}
+
+TEST_F(ConstructorTest, EachEvaluationCreatesFreshNodes) {
+  // Two evaluations of the same constructor are distinct nodes.
+  EXPECT_EQ(Run("let $a := <e/> let $b := <e/> return $a is $b"), "false");
+  EXPECT_EQ(Run("let $a := <e/> return $a is $a"), "true");
+  // Constructors inside a loop make one node per iteration.
+  EXPECT_EQ(Run("count(for $i in 1 to 3 return <e/>)"), "3");
+}
+
+TEST_F(ConstructorTest, DeepEqualOnConstructedTrees) {
+  EXPECT_EQ(Run("deep-equal(<a x=\"1\"><b/></a>, <a x=\"1\"><b/></a>)"),
+            "true");
+  EXPECT_EQ(Run("deep-equal(<a x=\"1\"/>, <a x=\"2\"/>)"), "false");
+}
+
+TEST_F(ConstructorTest, DuplicateAttributeError) {
+  EXPECT_EQ(RunError("<e a=\"1\" a=\"2\"/>"), ErrorCode::kXQDY0025);
+}
+
+TEST_F(ConstructorTest, NumbersFormatInContent) {
+  EXPECT_EQ(Run("<e>{1.50}</e>"), "<e>1.5</e>");
+  EXPECT_EQ(Run("<e>{1e3}</e>"), "<e>1000</e>");
+  EXPECT_EQ(Run("<e>{true()}</e>"), "<e>true</e>");
+}
+
+TEST_F(ConstructorTest, TextEscapingOnSerialization) {
+  // In XQuery string literals a bare '&' is illegal; use &amp;.
+  EXPECT_EQ(Run("<e>{\"a < b &amp; c\"}</e>"), "<e>a &lt; b &amp; c</e>");
+  EXPECT_EQ(Run("<e a=\"{'say &quot;hi&quot;'}\"/>"),
+            "<e a=\"say &quot;hi&quot;\"/>");
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,136 @@
+#include "xdm/datetime.h"
+
+#include <gtest/gtest.h>
+
+namespace xqa {
+namespace {
+
+DateTime DT(const std::string& text) {
+  DateTime value;
+  EXPECT_TRUE(DateTime::ParseDateTime(text, &value)) << text;
+  return value;
+}
+
+TEST(DateTimeParse, Basic) {
+  DateTime value = DT("2004-01-31T11:32:07");
+  EXPECT_EQ(value.year(), 2004);
+  EXPECT_EQ(value.month(), 1);
+  EXPECT_EQ(value.day(), 31);
+  EXPECT_EQ(value.hour(), 11);
+  EXPECT_EQ(value.minute(), 32);
+  EXPECT_EQ(value.second(), 7);
+  EXPECT_FALSE(value.has_timezone());
+}
+
+TEST(DateTimeParse, FractionalSeconds) {
+  DateTime value = DT("2004-01-31T11:32:07.250");
+  EXPECT_EQ(value.millisecond(), 250);
+  // Sub-millisecond digits are truncated.
+  EXPECT_EQ(DT("2004-01-31T11:32:07.1239").millisecond(), 123);
+}
+
+TEST(DateTimeParse, Timezones) {
+  DateTime utc = DT("2004-01-31T11:32:07Z");
+  EXPECT_TRUE(utc.has_timezone());
+  EXPECT_EQ(utc.timezone_offset_minutes(), 0);
+  DateTime pst = DT("2004-01-31T11:32:07-08:00");
+  EXPECT_EQ(pst.timezone_offset_minutes(), -480);
+  DateTime ist = DT("2004-01-31T11:32:07+05:30");
+  EXPECT_EQ(ist.timezone_offset_minutes(), 330);
+}
+
+TEST(DateTimeParse, Rejects) {
+  DateTime value;
+  EXPECT_FALSE(DateTime::ParseDateTime("2004-13-01T00:00:00", &value));
+  EXPECT_FALSE(DateTime::ParseDateTime("2004-02-30T00:00:00", &value));
+  EXPECT_FALSE(DateTime::ParseDateTime("2004-01-31", &value));  // no time
+  EXPECT_FALSE(DateTime::ParseDateTime("2004-01-31T25:00:00", &value));
+  EXPECT_FALSE(DateTime::ParseDateTime("2004-01-31T10:61:00", &value));
+  EXPECT_FALSE(DateTime::ParseDateTime("garbage", &value));
+  EXPECT_FALSE(DateTime::ParseDateTime("2004-01-31T11:32:07X", &value));
+}
+
+TEST(DateParse, Basics) {
+  DateTime value;
+  ASSERT_TRUE(DateTime::ParseDate("2004-02-29", &value));  // leap year
+  EXPECT_EQ(value.day(), 29);
+  EXPECT_TRUE(value.has_date());
+  EXPECT_FALSE(value.has_time());
+  EXPECT_FALSE(DateTime::ParseDate("2003-02-29", &value));  // not leap
+  EXPECT_FALSE(DateTime::ParseDate("2004-02-29T00:00:00", &value));
+}
+
+TEST(TimeParse, Basics) {
+  DateTime value;
+  ASSERT_TRUE(DateTime::ParseTime("11:32:07", &value));
+  EXPECT_EQ(value.hour(), 11);
+  EXPECT_FALSE(value.has_date());
+  EXPECT_FALSE(DateTime::ParseTime("2004-01-01", &value));
+}
+
+TEST(DateTimeToString, RoundTrips) {
+  for (const char* text :
+       {"2004-01-31T11:32:07", "2004-01-31T11:32:07.250",
+        "2004-01-31T11:32:07Z", "2004-01-31T11:32:07-08:00",
+        "0001-01-01T00:00:00"}) {
+    EXPECT_EQ(DT(text).ToString(), text);
+  }
+  DateTime date;
+  ASSERT_TRUE(DateTime::ParseDate("2004-12-25", &date));
+  EXPECT_EQ(date.ToString(), "2004-12-25");
+  DateTime time;
+  ASSERT_TRUE(DateTime::ParseTime("23:59:59", &time));
+  EXPECT_EQ(time.ToString(), "23:59:59");
+}
+
+TEST(DateTimeCompare, FieldOrder) {
+  EXPECT_LT(DT("2004-01-31T11:32:07").Compare(DT("2004-01-31T11:32:08")), 0);
+  EXPECT_LT(DT("2004-01-31T23:59:59").Compare(DT("2004-02-01T00:00:00")), 0);
+  EXPECT_LT(DT("2003-12-31T23:59:59").Compare(DT("2004-01-01T00:00:00")), 0);
+  EXPECT_EQ(DT("2004-01-31T11:32:07").Compare(DT("2004-01-31T11:32:07")), 0);
+}
+
+TEST(DateTimeCompare, TimezoneNormalization) {
+  // 11:32:07-08:00 == 19:32:07Z.
+  EXPECT_EQ(DT("2004-01-31T11:32:07-08:00").Compare(DT("2004-01-31T19:32:07Z")),
+            0);
+  EXPECT_LT(DT("2004-01-31T11:32:07Z").Compare(DT("2004-01-31T11:32:07-01:00")),
+            0);
+}
+
+TEST(DateTimeLeapYears, Rules) {
+  EXPECT_TRUE(DateTime::IsLeapYear(2004));
+  EXPECT_TRUE(DateTime::IsLeapYear(2000));
+  EXPECT_FALSE(DateTime::IsLeapYear(1900));
+  EXPECT_FALSE(DateTime::IsLeapYear(2003));
+  EXPECT_EQ(DateTime::DaysInMonth(2004, 2), 29);
+  EXPECT_EQ(DateTime::DaysInMonth(2003, 2), 28);
+  EXPECT_EQ(DateTime::DaysInMonth(2004, 4), 30);
+  EXPECT_EQ(DateTime::DaysInMonth(2004, 12), 31);
+}
+
+TEST(DateTimeHash, EqualInstantsHashEqual) {
+  EXPECT_EQ(DT("2004-01-31T11:32:07-08:00").Hash(),
+            DT("2004-01-31T19:32:07Z").Hash());
+}
+
+// Property: epoch millis is strictly monotone over a day-by-day sweep.
+class DateTimeMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateTimeMonotoneTest, EpochIncreasesAcrossDays) {
+  int day_offset = GetParam();
+  int month = 1 + day_offset / 28;
+  int day = 1 + day_offset % 28;
+  DateTime a = DateTime::FromComponents(2004, month, day, 12, 0, 0);
+  DateTime b = DateTime::FromComponents(2004, month, day, 12, 0, 1);
+  EXPECT_LT(a.ToEpochMillis(), b.ToEpochMillis());
+  if (day < 28) {
+    DateTime next = DateTime::FromComponents(2004, month, day + 1, 12, 0, 0);
+    EXPECT_LT(a.ToEpochMillis(), next.ToEpochMillis());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Days, DateTimeMonotoneTest, ::testing::Range(0, 336));
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,153 @@
+#include "xdm/decimal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+
+#include "base/error.h"
+
+namespace xqa {
+namespace {
+
+Decimal D(const std::string& text) {
+  Decimal d;
+  EXPECT_TRUE(Decimal::Parse(text, &d)) << text;
+  return d;
+}
+
+TEST(DecimalParse, Basics) {
+  EXPECT_EQ(D("12.34").ToString(), "12.34");
+  EXPECT_EQ(D("-0.5").ToString(), "-0.5");
+  EXPECT_EQ(D("7").ToString(), "7");
+  EXPECT_EQ(D("+3.25").ToString(), "3.25");
+  EXPECT_EQ(D(".5").ToString(), "0.5");
+  EXPECT_EQ(D("5.").ToString(), "5");
+}
+
+TEST(DecimalParse, NormalizesTrailingZeros) {
+  EXPECT_EQ(D("1.500").ToString(), "1.5");
+  EXPECT_EQ(D("0.000").ToString(), "0");
+  EXPECT_EQ(D("10.0").ToString(), "10");
+}
+
+TEST(DecimalParse, Rejects) {
+  Decimal d;
+  EXPECT_FALSE(Decimal::Parse("", &d));
+  EXPECT_FALSE(Decimal::Parse("abc", &d));
+  EXPECT_FALSE(Decimal::Parse("1.2.3", &d));
+  EXPECT_FALSE(Decimal::Parse(".", &d));
+  EXPECT_FALSE(Decimal::Parse("1e5", &d));  // exponent is xs:double
+}
+
+TEST(DecimalArithmetic, AddSubtract) {
+  EXPECT_EQ(D("1.25").Add(D("2.75")).ToString(), "4");
+  EXPECT_EQ(D("0.1").Add(D("0.2")).ToString(), "0.3");  // exact, unlike double
+  EXPECT_EQ(D("5").Subtract(D("7.5")).ToString(), "-2.5");
+  EXPECT_EQ(D("65.00").Subtract(D("6.00")).ToString(), "59");
+}
+
+TEST(DecimalArithmetic, Multiply) {
+  EXPECT_EQ(D("1.5").Multiply(D("2")).ToString(), "3");
+  EXPECT_EQ(D("0.01").Multiply(D("0.01")).ToString(), "0.0001");
+  EXPECT_EQ(D("-3.3").Multiply(D("3")).ToString(), "-9.9");
+}
+
+TEST(DecimalArithmetic, Divide) {
+  EXPECT_EQ(D("1").Divide(D("4")).ToString(), "0.25");
+  EXPECT_EQ(D("109.5").Divide(D("2")).ToString(), "54.75");
+  EXPECT_EQ(D("1").Divide(D("3")).ToString(), "0.333333333333333333");
+  EXPECT_EQ(D("-9").Divide(D("2")).ToString(), "-4.5");
+}
+
+TEST(DecimalArithmetic, DivisionByZeroThrows) {
+  EXPECT_THROW(D("1").Divide(D("0")), XQueryError);
+  EXPECT_THROW(D("1").IntegerDivide(D("0")), XQueryError);
+  EXPECT_THROW(D("1").Mod(D("0")), XQueryError);
+}
+
+TEST(DecimalArithmetic, IntegerDivideAndMod) {
+  EXPECT_EQ(D("7").IntegerDivide(D("2")), 3);
+  EXPECT_EQ(D("-7").IntegerDivide(D("2")), -3);  // truncates toward zero
+  EXPECT_EQ(D("7.5").IntegerDivide(D("2.5")), 3);
+  EXPECT_EQ(D("7").Mod(D("2")).ToString(), "1");
+  EXPECT_EQ(D("-7").Mod(D("2")).ToString(), "-1");  // sign of dividend
+  EXPECT_EQ(D("7.5").Mod(D("2")).ToString(), "1.5");
+}
+
+TEST(DecimalArithmetic, OverflowThrows) {
+  Decimal big(INT64_MAX);
+  EXPECT_THROW(big.Add(Decimal(1)), XQueryError);
+  EXPECT_THROW(Decimal(INT64_MIN).Negate(), XQueryError);
+}
+
+TEST(DecimalCompare, Basics) {
+  EXPECT_EQ(D("1.5").Compare(D("1.50")), 0);
+  EXPECT_LT(D("1.4").Compare(D("1.5")), 0);
+  EXPECT_GT(D("2").Compare(D("1.999")), 0);
+  EXPECT_LT(D("-1").Compare(D("0.001")), 0);
+  // Different scales, same value.
+  EXPECT_EQ(Decimal::FromUnscaled(1500, 3).Compare(D("1.5")), 0);
+}
+
+TEST(DecimalRounding, FloorCeilingRound) {
+  EXPECT_EQ(D("2.7").Floor().ToString(), "2");
+  EXPECT_EQ(D("-2.1").Floor().ToString(), "-3");
+  EXPECT_EQ(D("2.1").Ceiling().ToString(), "3");
+  EXPECT_EQ(D("-2.7").Ceiling().ToString(), "-2");
+  EXPECT_EQ(D("2.5").Round().ToString(), "3");    // half toward +inf
+  EXPECT_EQ(D("-2.5").Round().ToString(), "-2");  // half toward +inf
+  EXPECT_EQ(D("2.4").Round().ToString(), "2");
+}
+
+TEST(DecimalRounding, HalfToEven) {
+  EXPECT_EQ(D("2.5").RoundHalfToEven(0).ToString(), "2");
+  EXPECT_EQ(D("3.5").RoundHalfToEven(0).ToString(), "4");
+  EXPECT_EQ(D("2.125").RoundHalfToEven(2).ToString(), "2.12");
+  EXPECT_EQ(D("2.135").RoundHalfToEven(2).ToString(), "2.14");
+  EXPECT_EQ(D("-2.5").RoundHalfToEven(0).ToString(), "-2");
+  EXPECT_EQ(D("2.44").RoundHalfToEven(1).ToString(), "2.4");
+}
+
+TEST(DecimalConvert, ToIntegerAndDouble) {
+  EXPECT_EQ(D("42.9").ToInteger(), 42);   // truncation
+  EXPECT_EQ(D("-42.9").ToInteger(), -42);
+  EXPECT_DOUBLE_EQ(D("1.25").ToDouble(), 1.25);
+  EXPECT_EQ(Decimal::FromDouble(2.5).ToString(), "2.5");
+  EXPECT_THROW(Decimal::FromDouble(std::numeric_limits<double>::quiet_NaN()),
+               XQueryError);
+}
+
+TEST(DecimalHash, EqualValuesHashEqual) {
+  EXPECT_EQ(D("1.50").Hash(), D("1.5").Hash());
+  EXPECT_EQ(Decimal::FromUnscaled(1500, 3).Hash(), D("1.5").Hash());
+}
+
+// Property sweep: a + b - b == a, (a * b) compare consistency, over a grid.
+class DecimalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecimalPropertyTest, AddSubtractRoundTrip) {
+  int i = GetParam();
+  Decimal a = Decimal::FromUnscaled(i * 37 - 500, i % 4);
+  Decimal b = Decimal::FromUnscaled(i * 11 + 3, (i + 1) % 4);
+  EXPECT_EQ(a.Add(b).Subtract(b).Compare(a), 0) << a.ToString();
+  EXPECT_EQ(a.Add(b).Compare(b.Add(a)), 0);
+  EXPECT_EQ(a.Subtract(a).ToString(), "0");
+}
+
+TEST_P(DecimalPropertyTest, CompareAntisymmetric) {
+  int i = GetParam();
+  Decimal a = Decimal::FromUnscaled(i * 37 - 500, i % 4);
+  Decimal b = Decimal::FromUnscaled(i * 11 + 3, (i + 1) % 4);
+  EXPECT_EQ(a.Compare(b), -b.Compare(a));
+  // ToString round-trips through Parse.
+  Decimal reparsed;
+  ASSERT_TRUE(Decimal::Parse(a.ToString(), &reparsed));
+  EXPECT_EQ(a.Compare(reparsed), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DecimalPropertyTest, ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,126 @@
+#include "xdm/deep_equal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xml/xml_parser.h"
+
+namespace xqa {
+namespace {
+
+Sequence NodeSeq(const DocumentPtr& doc, std::initializer_list<size_t> indexes) {
+  Sequence out;
+  const Node* root_elem = doc->root()->children()[0];
+  for (size_t i : indexes) {
+    out.push_back(Item(root_elem->children()[i], doc));
+  }
+  return out;
+}
+
+TEST(DeepEqualAtomic, NumericCrossType) {
+  Decimal d;
+  ASSERT_TRUE(Decimal::Parse("5", &d));
+  EXPECT_TRUE(DeepEqualItems(MakeInteger(5), MakeDecimalItem(d)));
+  EXPECT_TRUE(DeepEqualItems(MakeInteger(5), MakeDouble(5.0)));
+  EXPECT_FALSE(DeepEqualItems(MakeInteger(5), MakeInteger(6)));
+}
+
+TEST(DeepEqualAtomic, NaNEqualsNaN) {
+  // fn:deep-equal's explicit exception to eq semantics.
+  EXPECT_TRUE(DeepEqualItems(MakeDouble(std::nan("")), MakeDouble(std::nan(""))));
+}
+
+TEST(DeepEqualAtomic, StringsAndUntyped) {
+  EXPECT_TRUE(DeepEqualItems(MakeString("x"), MakeUntyped("x")));
+  EXPECT_FALSE(DeepEqualItems(MakeString("x"), MakeString("y")));
+  // Incomparable types are unequal, not an error.
+  EXPECT_FALSE(DeepEqualItems(MakeString("1"), MakeInteger(1)));
+  EXPECT_FALSE(DeepEqualItems(MakeBoolean(true), MakeInteger(1)));
+}
+
+TEST(DeepEqualNodes, StructuralEquality) {
+  DocumentPtr doc = ParseXml(
+      "<r><a x=\"1\" y=\"2\"><b>t</b></a>"
+      "<a y=\"2\" x=\"1\"><b>t</b></a>"
+      "<a x=\"1\"><b>t</b></a>"
+      "<a x=\"1\" y=\"2\"><b>u</b></a></r>");
+  Sequence nodes = NodeSeq(doc, {0, 1, 2, 3});
+  // Attribute order does not matter.
+  EXPECT_TRUE(DeepEqualItems(nodes[0], nodes[1]));
+  // Missing attribute matters.
+  EXPECT_FALSE(DeepEqualItems(nodes[0], nodes[2]));
+  // Text difference matters.
+  EXPECT_FALSE(DeepEqualItems(nodes[0], nodes[3]));
+}
+
+TEST(DeepEqualNodes, CommentsAndPisIgnored) {
+  DocumentPtr a = ParseXml("<e><!-- c --><b>x</b></e>");
+  DocumentPtr b = ParseXml("<e><b>x</b><?pi data?></e>");
+  EXPECT_TRUE(DeepEqualNodes(a->root()->children()[0], b->root()->children()[0]));
+}
+
+TEST(DeepEqualNodes, DifferentNamesUnequal) {
+  DocumentPtr doc = ParseXml("<r><a/><b/></r>");
+  Sequence nodes = NodeSeq(doc, {0, 1});
+  EXPECT_FALSE(DeepEqualItems(nodes[0], nodes[1]));
+}
+
+TEST(DeepEqualNodes, TextNodes) {
+  DocumentPtr a = ParseXml("<e>same</e>");
+  DocumentPtr b = ParseXml("<f>same</f>");
+  EXPECT_TRUE(DeepEqualNodes(a->root()->children()[0]->children()[0],
+                             b->root()->children()[0]->children()[0]));
+}
+
+TEST(DeepEqualSequences, PermutationsDistinct) {
+  // Section 3.3 property 1: each permutation is a distinct value.
+  DocumentPtr doc = ParseXml("<r><a>Gray</a><a>Reuter</a></r>");
+  Sequence forward = NodeSeq(doc, {0, 1});
+  Sequence backward = NodeSeq(doc, {1, 0});
+  EXPECT_TRUE(DeepEqualSequences(forward, forward));
+  EXPECT_FALSE(DeepEqualSequences(forward, backward));
+}
+
+TEST(DeepEqualSequences, EmptyIsDistinct) {
+  // Section 3.3 property 2: the empty sequence equals only itself.
+  EXPECT_TRUE(DeepEqualSequences({}, {}));
+  EXPECT_FALSE(DeepEqualSequences({}, {MakeInteger(1)}));
+  EXPECT_FALSE(DeepEqualSequences({MakeInteger(1)}, {}));
+}
+
+TEST(DeepEqualSequences, LengthMismatch) {
+  Sequence one = {MakeInteger(1)};
+  Sequence two = {MakeInteger(1), MakeInteger(1)};
+  EXPECT_FALSE(DeepEqualSequences(one, two));
+}
+
+TEST(DeepHash, ConsistencyWithEquality) {
+  DocumentPtr doc = ParseXml(
+      "<r><a x=\"1\" y=\"2\"><b>t</b></a><a y=\"2\" x=\"1\"><b>t</b></a></r>");
+  Sequence nodes = NodeSeq(doc, {0, 1});
+  EXPECT_EQ(DeepHashItem(nodes[0]), DeepHashItem(nodes[1]));
+  EXPECT_EQ(DeepHashItem(MakeInteger(5)), DeepHashItem(MakeDouble(5.0)));
+  EXPECT_EQ(DeepHashItem(MakeDouble(std::nan(""))),
+            DeepHashItem(MakeDouble(std::nan(""))));
+}
+
+// Property: for a corpus of value pairs, deep-equal implies equal hashes.
+class DeepHashPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeepHashPropertyTest, EqualImpliesSameHash) {
+  int i = GetParam();
+  std::string tag = "s";
+  tag += std::to_string(i % 5);
+  Sequence a = {MakeInteger(i % 7), MakeString(tag),
+                MakeDouble((i % 3) * 1.5)};
+  Sequence b = {MakeInteger(i % 7), MakeString(tag),
+                MakeDouble((i % 3) * 1.5)};
+  ASSERT_TRUE(DeepEqualSequences(a, b));
+  EXPECT_EQ(DeepHashSequence(a), DeepHashSequence(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DeepHashPropertyTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,80 @@
+// fn:doc / fn:doc-available / fn:collection against the document registry.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+class DocRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_["books.xml"] =
+        Engine::ParseDocument("<bib><book><price>10</price></book></bib>");
+    registry_["sales.xml"] =
+        Engine::ParseDocument("<sales><sale><price>5</price></sale></sales>");
+  }
+
+  std::string Run(const std::string& query) {
+    return SerializeSequence(
+        engine_.Compile(query).Execute(nullptr, registry_));
+  }
+
+  Engine engine_;
+  DocumentRegistry registry_;
+};
+
+TEST_F(DocRegistryTest, DocResolvesRegisteredDocuments) {
+  EXPECT_EQ(Run("count(doc(\"books.xml\")//book)"), "1");
+  EXPECT_EQ(Run("string(doc(\"sales.xml\")//price)"), "5");
+}
+
+TEST_F(DocRegistryTest, DocJoinsAcrossDocuments) {
+  EXPECT_EQ(Run("sum((doc(\"books.xml\")//price, doc(\"sales.xml\")//price))"),
+            "15");
+}
+
+TEST_F(DocRegistryTest, DocEmptyUriYieldsEmpty) {
+  EXPECT_EQ(Run("count(doc(()))"), "0");
+}
+
+TEST_F(DocRegistryTest, UnknownDocumentThrows) {
+  try {
+    Run("doc(\"missing.xml\")");
+    FAIL() << "expected FODC0002";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kFODC0002);
+  }
+}
+
+TEST_F(DocRegistryTest, DocAvailable) {
+  EXPECT_EQ(Run("doc-available(\"books.xml\")"), "true");
+  EXPECT_EQ(Run("doc-available(\"missing.xml\")"), "false");
+  EXPECT_EQ(Run("doc-available(())"), "false");
+}
+
+TEST_F(DocRegistryTest, CollectionReturnsAllInUriOrder) {
+  EXPECT_EQ(Run("count(collection())"), "2");
+  EXPECT_EQ(Run("count(collection()//price)"), "2");
+  EXPECT_EQ(Run("name(collection()[1]/*)"), "bib");  // "books.xml" < "sales.xml"
+}
+
+TEST_F(DocRegistryTest, NoRegistryMeansNothingAvailable) {
+  Engine engine;
+  DocumentPtr doc = Engine::ParseDocument("<r/>");
+  EXPECT_THROW(engine.Compile("doc(\"x\")").Execute(doc), XQueryError);
+  Sequence result = engine.Compile("count(collection())").Execute(doc);
+  EXPECT_EQ(result[0].atomic().AsInteger(), 0);
+}
+
+TEST_F(DocRegistryTest, ContextDocumentAndRegistryTogether) {
+  DocumentPtr context = Engine::ParseDocument("<ctx><v>1</v></ctx>");
+  Sequence result = engine_
+      .Compile("sum((//v, doc(\"books.xml\")//price))")
+      .Execute(context, registry_);
+  EXPECT_EQ(result[0].atomic().ToLexical(), "11");
+}
+
+}  // namespace
+}  // namespace xqa

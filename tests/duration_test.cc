@@ -1,0 +1,198 @@
+// xs:dayTimeDuration: lexical forms, date/time arithmetic, components.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "xdm/datetime.h"
+
+namespace xqa {
+namespace {
+
+int64_t ParseDur(const std::string& text) {
+  int64_t millis = 0;
+  EXPECT_TRUE(DateTime::ParseDayTimeDuration(text, &millis)) << text;
+  return millis;
+}
+
+TEST(DurationLexical, Parse) {
+  EXPECT_EQ(ParseDur("P1D"), 24LL * 60 * 60 * 1000);
+  EXPECT_EQ(ParseDur("PT1H"), 60LL * 60 * 1000);
+  EXPECT_EQ(ParseDur("PT1M"), 60LL * 1000);
+  EXPECT_EQ(ParseDur("PT1S"), 1000);
+  EXPECT_EQ(ParseDur("PT0.5S"), 500);
+  EXPECT_EQ(ParseDur("P1DT2H3M4.5S"),
+            ((24 + 2) * 60LL * 60 + 3 * 60 + 4) * 1000 + 500);
+  EXPECT_EQ(ParseDur("-PT30M"), -30LL * 60 * 1000);
+  EXPECT_EQ(ParseDur("PT90M"), 90LL * 60 * 1000);  // unnormalized input OK
+}
+
+TEST(DurationLexical, Rejects) {
+  int64_t millis;
+  EXPECT_FALSE(DateTime::ParseDayTimeDuration("P", &millis));
+  EXPECT_FALSE(DateTime::ParseDayTimeDuration("PT", &millis));
+  EXPECT_FALSE(DateTime::ParseDayTimeDuration("1D", &millis));
+  EXPECT_FALSE(DateTime::ParseDayTimeDuration("P1H", &millis));   // H needs T
+  EXPECT_FALSE(DateTime::ParseDayTimeDuration("P1Y", &millis));   // no years
+  EXPECT_FALSE(DateTime::ParseDayTimeDuration("PT1.5H", &millis)); // frac hours
+  EXPECT_FALSE(DateTime::ParseDayTimeDuration("PT1S2M", &millis)); // order
+  EXPECT_FALSE(DateTime::ParseDayTimeDuration("", &millis));
+}
+
+TEST(DurationLexical, CanonicalForm) {
+  EXPECT_EQ(DateTime::FormatDayTimeDuration(0), "PT0S");
+  EXPECT_EQ(DateTime::FormatDayTimeDuration(1000), "PT1S");
+  EXPECT_EQ(DateTime::FormatDayTimeDuration(90LL * 60 * 1000), "PT1H30M");
+  EXPECT_EQ(DateTime::FormatDayTimeDuration(25LL * 60 * 60 * 1000), "P1DT1H");
+  EXPECT_EQ(DateTime::FormatDayTimeDuration(-500), "-PT0.5S");
+  // Round-trips.
+  for (const char* text : {"P1D", "PT1H30M", "P2DT3H4M5.25S", "-PT10S"}) {
+    EXPECT_EQ(DateTime::FormatDayTimeDuration(ParseDur(text)), text);
+  }
+}
+
+TEST(EpochRoundTrip, FromEpochInvertsToEpoch) {
+  for (const char* text :
+       {"0001-01-01T00:00:00", "1999-12-31T23:59:59", "2000-02-29T12:00:00",
+        "2004-07-04T01:02:03.456", "9999-12-31T23:59:59"}) {
+    DateTime dt;
+    ASSERT_TRUE(DateTime::ParseDateTime(text, &dt));
+    EXPECT_EQ(DateTime::FromEpochMillis(dt.ToEpochMillis()).ToString(), text);
+  }
+}
+
+class DurationQueryTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<r/>");
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  ErrorCode RunError(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<r/>");
+    try {
+      engine_.Compile(query).Execute(doc);
+    } catch (const XQueryError& error) {
+      return error.code();
+    }
+    return ErrorCode::kOk;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(DurationQueryTest, ConstructorAndString) {
+  EXPECT_EQ(Run("xs:dayTimeDuration(\"PT90M\")"), "PT1H30M");
+  EXPECT_EQ(Run("string(xs:dayTimeDuration(\"P1D\"))"), "P1D");
+  EXPECT_EQ(RunError("xs:dayTimeDuration(\"nope\")"), ErrorCode::kFORG0001);
+}
+
+TEST_F(DurationQueryTest, DateTimeSubtraction) {
+  EXPECT_EQ(Run("xs:dateTime(\"2004-02-01T12:00:00\") - "
+                "xs:dateTime(\"2004-01-31T10:30:00\")"),
+            "P1DT1H30M");
+  EXPECT_EQ(Run("xs:date(\"2004-03-01\") - xs:date(\"2004-02-28\")"),
+            "P2D");  // 2004 is a leap year
+  EXPECT_EQ(Run("xs:date(\"2003-03-01\") - xs:date(\"2003-02-28\")"), "P1D");
+  EXPECT_EQ(Run("xs:time(\"14:00:00\") - xs:time(\"12:30:00\")"), "PT1H30M");
+}
+
+TEST_F(DurationQueryTest, DateTimePlusMinusDuration) {
+  EXPECT_EQ(Run("xs:dateTime(\"2004-01-31T23:00:00\") + "
+                "xs:dayTimeDuration(\"PT2H\")"),
+            "2004-02-01T01:00:00");
+  EXPECT_EQ(Run("xs:date(\"2004-02-28\") + xs:dayTimeDuration(\"P2D\")"),
+            "2004-03-01");
+  EXPECT_EQ(Run("xs:dateTime(\"2004-01-01T00:00:00\") - "
+                "xs:dayTimeDuration(\"PT1S\")"),
+            "2003-12-31T23:59:59");
+  // Commuted: duration + dateTime.
+  EXPECT_EQ(Run("xs:dayTimeDuration(\"P1D\") + xs:date(\"2004-12-31\")"),
+            "2005-01-01");
+}
+
+TEST_F(DurationQueryTest, DurationArithmetic) {
+  EXPECT_EQ(Run("xs:dayTimeDuration(\"PT1H\") + xs:dayTimeDuration(\"PT30M\")"),
+            "PT1H30M");
+  EXPECT_EQ(Run("xs:dayTimeDuration(\"P1D\") - xs:dayTimeDuration(\"PT1H\")"),
+            "PT23H");
+  EXPECT_EQ(Run("xs:dayTimeDuration(\"PT1H\") * 2.5"), "PT2H30M");
+  EXPECT_EQ(Run("xs:dayTimeDuration(\"P1D\") div 4"), "PT6H");
+  EXPECT_EQ(Run("xs:dayTimeDuration(\"PT3H\") div xs:dayTimeDuration(\"PT30M\")"),
+            "6");
+  EXPECT_EQ(RunError("xs:dayTimeDuration(\"P1D\") div 0"),
+            ErrorCode::kFOAR0001);
+}
+
+TEST_F(DurationQueryTest, Comparisons) {
+  EXPECT_EQ(Run("xs:dayTimeDuration(\"PT1H\") lt xs:dayTimeDuration(\"P1D\")"),
+            "true");
+  EXPECT_EQ(Run("xs:dayTimeDuration(\"PT60M\") eq xs:dayTimeDuration(\"PT1H\")"),
+            "true");
+  EXPECT_EQ(Run("max((xs:dayTimeDuration(\"PT1H\"), "
+                "xs:dayTimeDuration(\"PT90M\")))"),
+            "PT1H30M");
+  EXPECT_EQ(RunError("xs:dayTimeDuration(\"PT1H\") eq 3600"),
+            ErrorCode::kXPTY0004);
+}
+
+TEST_F(DurationQueryTest, Components) {
+  EXPECT_EQ(Run("days-from-duration(xs:dayTimeDuration(\"P3DT10H\"))"), "3");
+  EXPECT_EQ(Run("hours-from-duration(xs:dayTimeDuration(\"P3DT10H\"))"), "10");
+  EXPECT_EQ(Run("minutes-from-duration(xs:dayTimeDuration(\"PT2H35M\"))"), "35");
+  EXPECT_EQ(Run("seconds-from-duration(xs:dayTimeDuration(\"PT1M30.5S\"))"),
+            "30.5");
+  EXPECT_EQ(Run("count(days-from-duration(()))"), "0");
+}
+
+TEST_F(DurationQueryTest, InstanceOfAndCast) {
+  EXPECT_EQ(Run("xs:dayTimeDuration(\"P1D\") instance of xs:dayTimeDuration"),
+            "true");
+  EXPECT_EQ(Run("\"PT5S\" cast as xs:dayTimeDuration"), "PT5S");
+  EXPECT_EQ(Run("\"PT5X\" castable as xs:dayTimeDuration"), "false");
+}
+
+TEST_F(DurationQueryTest, TimeWindowAnalytics) {
+  // A duration-based window: sales within one hour of each sale — the
+  // time-span analogue of the paper's Q8 row-count window.
+  DocumentPtr doc = Engine::ParseDocument(R"(
+    <sales>
+      <sale><ts>2004-01-01T10:00:00</ts><amt>10</amt></sale>
+      <sale><ts>2004-01-01T10:30:00</ts><amt>20</amt></sale>
+      <sale><ts>2004-01-01T11:15:00</ts><amt>40</amt></sale>
+      <sale><ts>2004-01-01T15:00:00</ts><amt>80</amt></sale>
+    </sales>)");
+  std::string out = engine_.Compile(R"(
+    for $s in //sale
+    let $t := xs:dateTime($s/ts)
+    order by $t
+    return sum(for $p in //sale
+               let $pt := xs:dateTime($p/ts)
+               where $pt le $t and
+                     $t - $pt le xs:dayTimeDuration("PT1H")
+               return number($p/amt))
+  )").ExecuteToString(doc);
+  // Windows: [10], [10+20], [20+40 (10:15<=..? 11:15-10:00=75m > 1h -> out)],
+  // [80].
+  EXPECT_EQ(out, "10 30 60 80");
+}
+
+TEST_F(DurationQueryTest, GroupingByDurationBuckets) {
+  DocumentPtr doc = Engine::ParseDocument(R"(
+    <log>
+      <job><start>2004-01-01T10:00:00</start><end>2004-01-01T10:05:00</end></job>
+      <job><start>2004-01-01T11:00:00</start><end>2004-01-01T11:04:00</end></job>
+      <job><start>2004-01-01T12:00:00</start><end>2004-01-01T13:30:00</end></job>
+    </log>)");
+  std::string out = engine_.Compile(R"(
+    for $j in //job
+    let $d := xs:dateTime($j/end) - xs:dateTime($j/start)
+    group by $d le xs:dayTimeDuration("PT10M") into $fast
+    nest $d into $durations
+    order by $fast
+    return <g fast="{$fast}">{count($durations)}</g>
+  )").ExecuteToString(doc);
+  EXPECT_EQ(out, "<g fast=\"false\">1</g><g fast=\"true\">2</g>");
+}
+
+}  // namespace
+}  // namespace xqa

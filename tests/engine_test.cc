@@ -1,0 +1,122 @@
+// Public API tests: Engine / PreparedQuery, error carriers, serialization.
+
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace xqa {
+namespace {
+
+TEST(Engine, CompileOnceExecuteMany) {
+  Engine engine;
+  PreparedQuery query = engine.Compile("count(//x)");
+  EXPECT_EQ(query.ExecuteToString(Engine::ParseDocument("<r><x/><x/></r>")),
+            "2");
+  EXPECT_EQ(query.ExecuteToString(Engine::ParseDocument("<r/>")), "0");
+}
+
+TEST(Engine, ExecuteWithoutContextItem) {
+  Engine engine;
+  PreparedQuery query = engine.Compile("1 + 1");
+  Sequence result = query.Execute();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].atomic().AsInteger(), 2);
+  // Touching the context item without one is a dynamic error.
+  EXPECT_THROW(engine.Compile("//x").Execute(), XQueryError);
+}
+
+TEST(Engine, TryCompileReportsStaticErrors) {
+  Engine engine;
+  Result<PreparedQuery> bad_syntax = engine.TryCompile("for $x in");
+  ASSERT_FALSE(bad_syntax.ok());
+  EXPECT_EQ(bad_syntax.status().code(), ErrorCode::kXPST0003);
+
+  Result<PreparedQuery> bad_var = engine.TryCompile("$nope");
+  ASSERT_FALSE(bad_var.ok());
+  EXPECT_EQ(bad_var.status().code(), ErrorCode::kXPST0008);
+
+  Result<PreparedQuery> ok = engine.TryCompile("1");
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(Engine, TryExecuteReportsDynamicErrors) {
+  Engine engine;
+  DocumentPtr doc = Engine::ParseDocument("<r/>");
+  Result<Sequence> result = engine.Compile("1 div 0").TryExecute(doc);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kFOAR0001);
+  EXPECT_NE(result.status().ToString().find("FOAR0001"), std::string::npos);
+}
+
+TEST(Engine, SerializeSequenceRules) {
+  Engine engine;
+  DocumentPtr doc = Engine::ParseDocument("<r><a>1</a></r>");
+  // Adjacent atomics get one space; nodes serialize as XML.
+  EXPECT_EQ(engine.Compile("(1, 2, //a, 3)").ExecuteToString(doc),
+            "1 2<a>1</a>3");
+  EXPECT_EQ(engine.Compile("()").ExecuteToString(doc), "");
+}
+
+TEST(Engine, SerializeWithIndent) {
+  Engine engine;
+  DocumentPtr doc = Engine::ParseDocument("<r/>");
+  std::string out =
+      engine.Compile("<a><b>x</b><c/></a>").ExecuteToString(doc, 2);
+  EXPECT_EQ(out, "<a>\n  <b>x</b>\n  <c/>\n</a>");
+}
+
+TEST(Engine, ModuleAccessors) {
+  Engine engine;
+  PreparedQuery query = engine.Compile(
+      "declare function local:f($x) { $x }; local:f(1)");
+  EXPECT_EQ(query.module().functions.size(), 1u);
+  EXPECT_EQ(query.rewrites_applied(), 0);
+}
+
+TEST(Engine, GroupByRewriteOptionSurfacesCount) {
+  Engine::Options options;
+  options.enable_groupby_rewrite = true;
+  Engine engine(options);
+  PreparedQuery query = engine.Compile(R"(
+    for $a in distinct-values(//order/lineitem/shipmode)
+    let $items := for $i in //order/lineitem
+                  where $i/shipmode = $a
+                  return $i
+    return <r>{$a, count($items)}</r>
+  )");
+  EXPECT_EQ(query.rewrites_applied(), 1);
+}
+
+TEST(Engine, QueriesAreIndependentAcrossExecutions) {
+  // A PreparedQuery carries no mutable execution state.
+  Engine engine;
+  PreparedQuery query = engine.Compile(
+      "for $x in //v return at $n $n");
+  DocumentPtr doc = Engine::ParseDocument("<r><v/><v/></r>");
+  EXPECT_EQ(query.ExecuteToString(doc), "1 2");
+  EXPECT_EQ(query.ExecuteToString(doc), "1 2");  // numbering restarts
+}
+
+TEST(Engine, LargeDocumentRoundTrip) {
+  Engine engine;
+  std::string xml = "<r>";
+  for (int i = 0; i < 1000; ++i) {
+    xml += "<item n=\"" + std::to_string(i) + "\">" + std::to_string(i % 10) +
+           "</item>";
+  }
+  xml += "</r>";
+  DocumentPtr doc = Engine::ParseDocument(xml);
+  EXPECT_EQ(engine.Compile("count(//item)").ExecuteToString(doc), "1000");
+  EXPECT_EQ(engine.Compile("count(distinct-values(//item))")
+                .ExecuteToString(doc),
+            "10");
+  EXPECT_EQ(engine
+                .Compile("for $i in //item group by string($i) into $k "
+                         "nest $i into $is order by $k "
+                         "return count($is)")
+                .ExecuteToString(doc),
+            "100 100 100 100 100 100 100 100 100 100");
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,131 @@
+// Systematic error-code coverage: each engine error code is raised by at
+// least one representative query, with the right static/dynamic phase.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+struct ErrorCase {
+  const char* query;
+  ErrorCode code;
+  bool is_static;  ///< raised at Compile (true) or Execute (false)
+};
+
+class ErrorCodes : public ::testing::TestWithParam<ErrorCase> {};
+
+TEST_P(ErrorCodes, RaisedInTheRightPhase) {
+  const ErrorCase& c = GetParam();
+  Engine engine;
+  DocumentPtr doc = Engine::ParseDocument("<r><v>1</v></r>");
+  if (c.is_static) {
+    try {
+      engine.Compile(c.query);
+      FAIL() << "expected static error from: " << c.query;
+    } catch (const XQueryError& error) {
+      EXPECT_EQ(error.code(), c.code) << c.query;
+    }
+  } else {
+    PreparedQuery query = engine.Compile(c.query);  // must compile cleanly
+    try {
+      query.Execute(doc);
+      FAIL() << "expected dynamic error from: " << c.query;
+    } catch (const XQueryError& error) {
+      EXPECT_EQ(error.code(), c.code) << c.query;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Static, ErrorCodes, ::testing::Values(
+    // Grammar
+    ErrorCase{"1 +", ErrorCode::kXPST0003, true},
+    ErrorCase{"for $x in (1)", ErrorCode::kXPST0003, true},
+    ErrorCase{"<a></b>", ErrorCode::kXPST0003, true},
+    // Names
+    ErrorCase{"$undefined", ErrorCode::kXPST0008, true},
+    ErrorCase{"nope(1)", ErrorCode::kXPST0017, true},
+    ErrorCase{"avg(1, 2, 3)", ErrorCode::kXPST0017, true},
+    // Prolog
+    ErrorCase{"declare function local:f($a) {1}; "
+              "declare function local:f($b) {2}; 1",
+              ErrorCode::kXQST0034, true},
+    ErrorCase{"declare function local:f($a, $a) {1}; 1",
+              ErrorCode::kXQST0039, true},
+    ErrorCase{"declare variable $v := 1; declare variable $v := 2; $v",
+              ErrorCode::kXQST0049, true},
+    ErrorCase{"for $x at $x in (1) return $x", ErrorCode::kXQST0089, true},
+    // Grouping scope rules (the paper's Section 3.2)
+    ErrorCase{"for $b in (1) group by $b into $k return $b",
+              ErrorCode::kXQAG0001, true},
+    ErrorCase{"for $b in (1) group by $b into $k, $k into $j return $j",
+              ErrorCode::kXQAG0002, true},
+    ErrorCase{"for $b in (1) group by $b into $k, $b into $k return $k",
+              ErrorCode::kXQAG0004, true},
+    ErrorCase{"for $b in (1) group by $b into $k using local:gone return $k",
+              ErrorCode::kXQAG0005, true}));
+
+INSTANTIATE_TEST_SUITE_P(Dynamic, ErrorCodes, ::testing::Values(
+    // Arithmetic
+    ErrorCase{"1 div 0", ErrorCode::kFOAR0001, false},
+    ErrorCase{"1 idiv 0", ErrorCode::kFOAR0001, false},
+    ErrorCase{"9223372036854775807 * 2", ErrorCode::kFOAR0002, false},
+    // Types
+    ErrorCase{"\"a\" + 1", ErrorCode::kXPTY0004, false},
+    ErrorCase{"(1, 2) * 2", ErrorCode::kXPTY0004, false},
+    ErrorCase{"1 eq \"1\"", ErrorCode::kXPTY0004, false},
+    ErrorCase{"(1, 2)/v", ErrorCode::kXPTY0004, false},
+    ErrorCase{"() cast as xs:integer", ErrorCode::kXPTY0004, false},
+    ErrorCase{"1.5 treat as xs:integer", ErrorCode::kXPDY0050, false},
+    // Casting / values
+    ErrorCase{"xs:integer(\"abc\")", ErrorCode::kFORG0001, false},
+    ErrorCase{"xs:date(\"2004-13-01\")", ErrorCode::kFORG0001, false},
+    ErrorCase{"zero-or-one((1, 2))", ErrorCode::kFORG0003, false},
+    ErrorCase{"one-or-more(())", ErrorCode::kFORG0004, false},
+    ErrorCase{"exactly-one(())", ErrorCode::kFORG0005, false},
+    ErrorCase{"sum((\"a\", \"b\"))", ErrorCode::kFORG0006, false},
+    ErrorCase{"string((1, 2))", ErrorCode::kFORG0006, false},
+    ErrorCase{"boolean((1, 2))", ErrorCode::kFORG0006, false},
+    // Constructors
+    ErrorCase{"element { \"no space allowed\" } { 1 }",
+              ErrorCode::kFORG0001, false},
+    // Documents
+    ErrorCase{"doc(\"unregistered.xml\")", ErrorCode::kFODC0002, false},
+    // Regex
+    ErrorCase{"matches(\"x\", \"(\")", ErrorCode::kFORX0002, false},
+    ErrorCase{"replace(\"x\", \"a*\", \"y\")", ErrorCode::kFORX0003, false},
+    ErrorCase{"tokenize(\"x\", \"b?\")", ErrorCode::kFORX0003, false}));
+
+TEST(ErrorReporting, StaticErrorsCarryLocations) {
+  Engine engine;
+  try {
+    engine.Compile("let $x := 1\nreturn $x +");
+    FAIL();
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.location().line, 2u);
+    EXPECT_NE(error.FormattedMessage().find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ErrorReporting, DynamicErrorsNameTheCode) {
+  Engine engine;
+  DocumentPtr doc = Engine::ParseDocument("<r/>");
+  Result<Sequence> result = engine.Compile("1 div 0").TryExecute(doc);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("FOAR0001"), std::string::npos);
+  EXPECT_NE(result.status().message().find("division by zero"),
+            std::string::npos);
+}
+
+TEST(ErrorReporting, XmlParseErrorsUseXmlpCode) {
+  try {
+    Engine::ParseDocument("<a><b></a>");
+    FAIL();
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXMLP0001);
+  }
+}
+
+}  // namespace
+}  // namespace xqa

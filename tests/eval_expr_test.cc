@@ -1,0 +1,184 @@
+// Expression-evaluation tests: arithmetic, comparisons, logic, conditionals,
+// quantifiers, ranges, filters.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+class EvalExprTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<root/>");
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  ErrorCode RunError(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<root/>");
+    try {
+      engine_.Compile(query).Execute(doc);
+    } catch (const XQueryError& error) {
+      return error.code();
+    }
+    return ErrorCode::kOk;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(EvalExprTest, IntegerArithmetic) {
+  EXPECT_EQ(Run("1 + 2 * 3"), "7");
+  EXPECT_EQ(Run("10 - 4 - 3"), "3");
+  EXPECT_EQ(Run("7 idiv 2"), "3");
+  EXPECT_EQ(Run("-7 idiv 2"), "-3");
+  EXPECT_EQ(Run("7 mod 2"), "1");
+  EXPECT_EQ(Run("-7 mod 2"), "-1");
+}
+
+TEST_F(EvalExprTest, IntegerDivisionYieldsDecimal) {
+  // XQuery rule: div on two integers produces xs:decimal.
+  EXPECT_EQ(Run("7 div 2"), "3.5");
+  EXPECT_EQ(Run("1 div 3"), "0.333333333333333333");
+}
+
+TEST_F(EvalExprTest, DecimalArithmetic) {
+  EXPECT_EQ(Run("0.1 + 0.2"), "0.3");
+  EXPECT_EQ(Run("65.00 - 6.00"), "59");
+  EXPECT_EQ(Run("1.5 * 4"), "6");
+  EXPECT_EQ(Run("7.5 mod 2"), "1.5");
+}
+
+TEST_F(EvalExprTest, DoubleArithmetic) {
+  EXPECT_EQ(Run("1e1 + 5"), "15");
+  EXPECT_EQ(Run("1e0 div 0e0"), "INF");
+  EXPECT_EQ(Run("-1e0 div 0e0"), "-INF");
+  EXPECT_EQ(Run("0e0 div 0e0"), "NaN");
+}
+
+TEST_F(EvalExprTest, ArithmeticErrors) {
+  EXPECT_EQ(RunError("1 div 0"), ErrorCode::kFOAR0001);
+  EXPECT_EQ(RunError("1 idiv 0"), ErrorCode::kFOAR0001);
+  EXPECT_EQ(RunError("1 mod 0"), ErrorCode::kFOAR0001);
+  EXPECT_EQ(RunError("9223372036854775807 + 1"), ErrorCode::kFOAR0002);
+  EXPECT_EQ(RunError("\"a\" + 1"), ErrorCode::kXPTY0004);
+  EXPECT_EQ(RunError("(1, 2) + 1"), ErrorCode::kXPTY0004);
+}
+
+TEST_F(EvalExprTest, EmptySequencePropagatesThroughArithmetic) {
+  EXPECT_EQ(Run("count(() + 1)"), "0");
+  EXPECT_EQ(Run("count(1 + ())"), "0");
+  EXPECT_EQ(Run("count(-())"), "0");
+}
+
+TEST_F(EvalExprTest, UnaryMinus) {
+  EXPECT_EQ(Run("-5"), "-5");
+  EXPECT_EQ(Run("--5"), "5");
+  EXPECT_EQ(Run("-(1.5)"), "-1.5");
+  EXPECT_EQ(Run("4 - -2"), "6");
+}
+
+TEST_F(EvalExprTest, Comparisons) {
+  EXPECT_EQ(Run("1 < 2"), "true");
+  EXPECT_EQ(Run("2 <= 2"), "true");
+  EXPECT_EQ(Run("1 eq 1"), "true");
+  EXPECT_EQ(Run("1 ne 2"), "true");
+  EXPECT_EQ(Run("\"abc\" lt \"abd\""), "true");
+  EXPECT_EQ(Run("(1, 2, 3) = 2"), "true");
+  EXPECT_EQ(Run("(1, 2, 3) = 9"), "false");
+  EXPECT_EQ(Run("() = 1"), "false");
+  // Value comparison with empty operand yields the empty sequence.
+  EXPECT_EQ(Run("count(() eq 1)"), "0");
+}
+
+TEST_F(EvalExprTest, Logic) {
+  EXPECT_EQ(Run("true() and false()"), "false");
+  EXPECT_EQ(Run("true() or false()"), "true");
+  EXPECT_EQ(Run("not(true())"), "false");
+  // EBV of sequences.
+  EXPECT_EQ(Run("() or false()"), "false");
+  EXPECT_EQ(Run("\"x\" and 1"), "true");
+  // Short-circuit: the rhs error is never reached.
+  EXPECT_EQ(Run("false() and (1 div 0 = 1)"), "false");
+  EXPECT_EQ(Run("true() or (1 div 0 = 1)"), "true");
+}
+
+TEST_F(EvalExprTest, Conditionals) {
+  EXPECT_EQ(Run("if (1 < 2) then \"yes\" else \"no\""), "yes");
+  EXPECT_EQ(Run("if (()) then 1 else 2"), "2");
+  EXPECT_EQ(Run("if (0) then 1 else 2"), "2");
+}
+
+TEST_F(EvalExprTest, Quantified) {
+  EXPECT_EQ(Run("some $x in (1, 2, 3) satisfies $x > 2"), "true");
+  EXPECT_EQ(Run("every $x in (1, 2, 3) satisfies $x > 0"), "true");
+  EXPECT_EQ(Run("every $x in (1, 2, 3) satisfies $x > 1"), "false");
+  EXPECT_EQ(Run("some $x in () satisfies true()"), "false");
+  EXPECT_EQ(Run("every $x in () satisfies false()"), "true");
+  EXPECT_EQ(
+      Run("some $x in (1, 2), $y in (3, 4) satisfies $x + $y = 6"), "true");
+}
+
+TEST_F(EvalExprTest, Ranges) {
+  EXPECT_EQ(Run("count(1 to 5)"), "5");
+  EXPECT_EQ(Run("string-join(for $i in 1 to 3 return string($i), \",\")"),
+            "1,2,3");
+  EXPECT_EQ(Run("count(5 to 1)"), "0");
+  EXPECT_EQ(Run("count(2 to 2)"), "1");
+  EXPECT_EQ(Run("count(() to 3)"), "0");
+}
+
+TEST_F(EvalExprTest, FilterPredicates) {
+  EXPECT_EQ(Run("(10, 20, 30)[2]"), "20");
+  EXPECT_EQ(Run("string-join(for $x in (10, 20, 30)[. > 15] "
+                "return string($x), \",\")"),
+            "20,30");
+  EXPECT_EQ(Run("count((1, 2, 3)[9])"), "0");
+  EXPECT_EQ(Run("(1 to 10)[last()]"), "10");
+  EXPECT_EQ(Run("string-join(for $x in (1 to 10)[position() > 8] "
+                "return string($x), \",\")"),
+            "9,10");
+}
+
+TEST_F(EvalExprTest, SequenceConstruction) {
+  EXPECT_EQ(Run("count((1, (2, 3), ()))"), "3");  // sequences flatten
+  EXPECT_EQ(Run("count(())"), "0");
+}
+
+TEST_F(EvalExprTest, GlobalVariables) {
+  DocumentPtr doc = Engine::ParseDocument("<root/>");
+  std::string out = engine_
+      .Compile("declare variable $base := 10; "
+               "declare variable $double := $base * 2; "
+               "$base + $double")
+      .ExecuteToString(doc);
+  EXPECT_EQ(out, "30");
+}
+
+TEST_F(EvalExprTest, UserFunctions) {
+  EXPECT_EQ(Run("declare function local:sq($x as xs:integer) { $x * $x }; "
+                "local:sq(7)"),
+            "49");
+  EXPECT_EQ(Run("declare function local:fact($n as xs:integer) { "
+                "if ($n <= 1) then 1 else $n * local:fact($n - 1) }; "
+                "local:fact(10)"),
+            "3628800");
+}
+
+TEST_F(EvalExprTest, RecursionLimit) {
+  EXPECT_EQ(RunError("declare function local:loop($n) { local:loop($n) }; "
+                     "local:loop(1)"),
+            ErrorCode::kFORG0006);
+}
+
+TEST_F(EvalExprTest, UnionOperator) {
+  DocumentPtr doc = Engine::ParseDocument("<r><a/><b/><c/></r>");
+  std::string out = engine_
+      .Compile("let $r := /r return count(($r/a | $r/b) | ($r/b | $r/c))")
+      .ExecuteToString(doc);
+  EXPECT_EQ(out, "3");  // duplicates removed by identity
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,162 @@
+// FLWOR pipeline tests: for/let/where/order-by semantics, positional
+// variables, output numbering. Group by has its own file.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+class EvalFlworTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query,
+                  const std::string& xml = "<root/>") {
+    DocumentPtr doc = Engine::ParseDocument(xml);
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  ErrorCode RunError(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<root/>");
+    try {
+      engine_.Compile(query).Execute(doc);
+    } catch (const XQueryError& error) {
+      return error.code();
+    }
+    return ErrorCode::kOk;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(EvalFlworTest, ForIteratesInOrder) {
+  EXPECT_EQ(Run("for $x in (3, 1, 2) return $x + 10"), "13 11 12");
+}
+
+TEST_F(EvalFlworTest, NestedForsFormCrossProduct) {
+  EXPECT_EQ(Run("for $x in (1, 2), $y in (10, 20) return $x * $y"),
+            "10 20 20 40");
+}
+
+TEST_F(EvalFlworTest, ForOverEmptyYieldsNothing) {
+  EXPECT_EQ(Run("count(for $x in () return 99)"), "0");
+}
+
+TEST_F(EvalFlworTest, LetBindsWholeSequence) {
+  EXPECT_EQ(Run("let $s := (1, 2, 3) return count($s)"), "3");
+  EXPECT_EQ(Run("for $x in (1, 2) let $y := ($x, $x) return count($y)"),
+            "2 2");
+}
+
+TEST_F(EvalFlworTest, WhereFilters) {
+  EXPECT_EQ(Run("for $x in 1 to 10 where $x mod 3 = 0 return $x"), "3 6 9");
+  EXPECT_EQ(Run("for $x in (1, 2) where () return $x"), "");
+}
+
+TEST_F(EvalFlworTest, PositionalVariable) {
+  EXPECT_EQ(Run("for $x at $i in (\"a\", \"b\", \"c\") return $i"), "1 2 3");
+  EXPECT_EQ(Run("string-join(for $x at $i in (\"a\", \"b\") "
+                "return concat(string($i), $x), \",\")"),
+            "1a,2b");
+  // Positional numbering restarts per binding sequence, not per tuple.
+  EXPECT_EQ(Run("for $x in (1, 2) for $y at $i in (\"p\", \"q\") return $i"),
+            "1 2 1 2");
+}
+
+TEST_F(EvalFlworTest, OrderByAscendingDescending) {
+  EXPECT_EQ(Run("for $x in (3, 1, 2) order by $x return $x"), "1 2 3");
+  EXPECT_EQ(Run("for $x in (3, 1, 2) order by $x descending return $x"),
+            "3 2 1");
+  EXPECT_EQ(Run("for $x in (3, 1, 2) order by $x ascending return $x"),
+            "1 2 3");
+}
+
+TEST_F(EvalFlworTest, OrderByMultipleKeys) {
+  EXPECT_EQ(Run("for $x in (12, 21, 11, 22) "
+                "order by $x mod 10, $x idiv 10 return $x"),
+            "11 21 12 22");
+  EXPECT_EQ(Run("for $x in (12, 21, 11, 22) "
+                "order by $x mod 10, $x idiv 10 descending return $x"),
+            "21 11 22 12");
+}
+
+TEST_F(EvalFlworTest, OrderByStringsAndNumbers) {
+  EXPECT_EQ(Run("for $s in (\"pear\", \"apple\", \"fig\") order by $s return $s"),
+            "apple fig pear");
+  EXPECT_EQ(RunError("for $x in (1, \"a\") order by $x return $x"),
+            ErrorCode::kXPTY0004);
+}
+
+TEST_F(EvalFlworTest, OrderByEmptyLeastGreatest) {
+  const char* doc = "<r><e><k>2</k></e><e/><e><k>1</k></e></r>";
+  EXPECT_EQ(Run("for $e in //e order by $e/k return count($e/k)", doc),
+            "0 1 1");  // empty least by default
+  EXPECT_EQ(Run("for $e in //e order by $e/k empty greatest "
+                "return count($e/k)", doc),
+            "1 1 0");
+}
+
+TEST_F(EvalFlworTest, OrderByIsStable) {
+  const char* doc =
+      "<r><e><k>1</k><v>a</v></e><e><k>1</k><v>b</v></e>"
+      "<e><k>0</k><v>c</v></e></r>";
+  EXPECT_EQ(Run("string-join(for $e in //e stable order by $e/k "
+                "return string($e/v), \"\")", doc),
+            "cab");
+  // Our sort is always stable, with or without the keyword.
+  EXPECT_EQ(Run("string-join(for $e in //e order by $e/k "
+                "return string($e/v), \"\")", doc),
+            "cab");
+}
+
+TEST_F(EvalFlworTest, OrderByNaNSortsBeforeNumbers) {
+  EXPECT_EQ(Run("for $x in (1e0, 0e0 div 0e0, -1e0) order by $x return $x"),
+            "NaN -1 1");
+}
+
+TEST_F(EvalFlworTest, OrderKeyCardinalityError) {
+  EXPECT_EQ(RunError("for $x in (1, 2) order by (1, 2) return $x"),
+            ErrorCode::kXPTY0004);
+}
+
+TEST_F(EvalFlworTest, ReturnAtNumbersOutputOrder) {
+  EXPECT_EQ(Run("for $x in (30, 10, 20) order by $x return at $r ($r * 100 + $x)"),
+            "110 220 330");
+  // Without order by, output order is binding order.
+  EXPECT_EQ(Run("for $x in (30, 10, 20) return at $r $r"), "1 2 3");
+}
+
+TEST_F(EvalFlworTest, ReturnAtOnLetOnlyFlwor) {
+  EXPECT_EQ(Run("let $x := 5 return at $r ($r, $x)"), "1 5");
+}
+
+TEST_F(EvalFlworTest, WhereSeesAllPriorBindings) {
+  EXPECT_EQ(Run("for $x in (1, 2, 3) let $sq := $x * $x "
+                "where $sq > 2 and $x < 3 return $sq"),
+            "4");
+}
+
+TEST_F(EvalFlworTest, NestedFlworsIndependentNumbering) {
+  EXPECT_EQ(Run("for $x in (1, 2) return at $i "
+                "(for $y in (1, 2) return at $j ($i * 10 + $j))"),
+            "11 12 21 22");
+}
+
+TEST_F(EvalFlworTest, LetAfterForRebindsPerTuple) {
+  EXPECT_EQ(Run("for $x in (1, 2, 3) let $y := $x * 2 return $y"), "2 4 6");
+}
+
+TEST_F(EvalFlworTest, OrderByAfterWhere) {
+  EXPECT_EQ(Run("for $x in (5, 3, 8, 1) where $x > 2 "
+                "order by $x descending return $x"),
+            "8 5 3");
+}
+
+TEST_F(EvalFlworTest, MixedForLetChains) {
+  EXPECT_EQ(Run("for $a in (1, 2) let $b := $a * 10 for $c in (1, 2) "
+                "let $d := $b + $c return $d"),
+            "11 12 21 22");
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,248 @@
+// In-depth tests of the paper's group by / nest extension semantics
+// (Section 3): group formation, deep-equal keys, empty-sequence groups,
+// custom equality, nest ordering, post-group clauses, group output order.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+class GroupByTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query,
+                  const std::string& xml = "<root/>") {
+    DocumentPtr doc = Engine::ParseDocument(xml);
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  Engine engine_;
+};
+
+TEST_F(GroupByTest, BasicGroupingByAtomicValue) {
+  EXPECT_EQ(Run("for $x in (1, 2, 1, 3, 2, 1) "
+                "group by $x into $k nest $x into $xs "
+                "order by $k return count($xs)"),
+            "3 2 1");
+}
+
+TEST_F(GroupByTest, GroupsFormInFirstSeenOrderWithoutOrderBy) {
+  // Implementation-defined but deterministic: first-seen order.
+  EXPECT_EQ(Run("for $x in (5, 3, 5, 9, 3) group by $x into $k return $k"),
+            "5 3 9");
+}
+
+TEST_F(GroupByTest, EmptySequenceIsADistinctGroup) {
+  const char* doc = "<r><e><k>1</k></e><e/><e><k>1</k></e><e/></r>";
+  EXPECT_EQ(Run("for $e in //e group by $e/k into $k nest $e into $es "
+                "return count($es)", doc),
+            "2 2");
+}
+
+TEST_F(GroupByTest, MultiKeyGrouping) {
+  const char* doc =
+      "<r><e><a>1</a><b>x</b></e><e><a>1</a><b>y</b></e>"
+      "<e><a>1</a><b>x</b></e><e><a>2</a><b>x</b></e></r>";
+  EXPECT_EQ(Run("for $e in //e group by $e/a into $a, $e/b into $b "
+                "nest $e into $es order by $a, $b return count($es)", doc),
+            "2 1 1");
+}
+
+TEST_F(GroupByTest, GroupingKeySequencePermutationsDistinct) {
+  const char* doc =
+      "<r><e><t>p</t><t>q</t></e><e><t>q</t><t>p</t></e>"
+      "<e><t>p</t><t>q</t></e></r>";
+  EXPECT_EQ(Run("for $e in //e group by $e/t into $k nest $e into $es "
+                "return count($es)", doc),
+            "2 1");
+}
+
+TEST_F(GroupByTest, NumericCrossTypeKeysGroupTogether) {
+  // deep-equal: integer 1 and double 1.0e0 are the same key.
+  EXPECT_EQ(Run("for $x in (1, 1e0, 2) group by $x into $k "
+                "nest $x into $xs return count($xs)"),
+            "2 1");
+}
+
+TEST_F(GroupByTest, RepresentativeIsFromFirstTuple) {
+  // The grouping variable is bound to a representative of its group — ours
+  // is the first occurrence's key value (documented).
+  const char* doc =
+      "<r><e id=\"first\"><k>a</k></e><e id=\"second\"><k>a</k></e></r>";
+  EXPECT_EQ(Run("for $e in //e group by $e/k into $k "
+                "return string($k/../@id)", doc),
+            "first");
+}
+
+TEST_F(GroupByTest, NestMergesSequencesLosingBoundaries) {
+  // Two tuples with 2-element nest expressions merge into one 4-sequence.
+  const char* doc = "<r><e><v>1</v><v>2</v></e><e><v>3</v><v>4</v></e></r>";
+  EXPECT_EQ(Run("for $e in //e group by 1 into $k nest $e/v into $vs "
+                "return count($vs)", doc),
+            "4");
+}
+
+TEST_F(GroupByTest, EmptyNestContributionsVanish) {
+  // Section 3.1 / Q6 remark: empty nesting values leave no trace, so the
+  // nesting sequences of one group can have different cardinalities.
+  const char* doc =
+      "<r><e><k>g</k><v>1</v></e><e><k>g</k></e><e><k>g</k><v>2</v></e></r>";
+  EXPECT_EQ(Run("for $e in //e group by $e/k into $k "
+                "nest $e/v into $vs, $e into $es "
+                "return (count($vs), count($es))", doc),
+            "2 3");
+}
+
+TEST_F(GroupByTest, MultipleNestVariables) {
+  const char* doc =
+      "<r><s><p>10</p><q>1</q></s><s><p>20</p><q>2</q></s></r>";
+  EXPECT_EQ(Run("for $s in //s group by 1 into $k "
+                "nest $s/p into $ps, $s/q into $qs "
+                "return (sum($ps), sum($qs))", doc),
+            "30 3");
+}
+
+TEST_F(GroupByTest, NestPreservesInputTupleOrder) {
+  EXPECT_EQ(Run("for $x in (3, 1, 2) group by 1 into $k nest $x into $xs "
+                "return string-join(for $v in $xs return string($v), \",\")"),
+            "3,1,2");
+}
+
+TEST_F(GroupByTest, NestWithOrderByReorders) {
+  EXPECT_EQ(Run("for $x in (3, 1, 2) group by 1 into $k "
+                "nest $x order by $x into $xs "
+                "return string-join(for $v in $xs return string($v), \",\")"),
+            "1,2,3");
+  EXPECT_EQ(Run("for $x in (3, 1, 2) group by 1 into $k "
+                "nest $x order by $x descending into $xs "
+                "return string-join(for $v in $xs return string($v), \",\")"),
+            "3,2,1");
+}
+
+TEST_F(GroupByTest, NestOrderByUsesInputScopeVariables) {
+  // Order the nested values by a derived pre-group binding.
+  EXPECT_EQ(Run("for $x in (1, 2, 3) let $neg := -$x "
+                "group by 1 into $k nest $x order by $neg into $xs "
+                "return string-join(for $v in $xs return string($v), \",\")"),
+            "3,2,1");
+}
+
+TEST_F(GroupByTest, PerNestIndependentOrdering) {
+  EXPECT_EQ(Run("for $x in (2, 1, 3) group by 1 into $k "
+                "nest $x order by $x into $asc, "
+                "     $x order by $x descending into $desc "
+                "return (string-join(for $v in $asc return string($v), \",\"), "
+                "        string-join(for $v in $desc return string($v), \",\"))"),
+            "1,2,3 3,2,1");
+}
+
+TEST_F(GroupByTest, GroupByWithNoNest) {
+  // SELECT DISTINCT (Q5 pattern).
+  EXPECT_EQ(Run("for $x in (2, 1, 2, 3, 1) group by $x into $k "
+                "order by $k return $k"),
+            "1 2 3");
+}
+
+TEST_F(GroupByTest, PostGroupLetWhereOrder) {
+  EXPECT_EQ(Run("for $x in (1, 1, 2, 2, 2, 3) "
+                "group by $x into $k nest $x into $xs "
+                "let $n := count($xs) "
+                "where $n >= 2 "
+                "order by $n descending "
+                "return ($k, $n)"),
+            "2 3 1 2");
+}
+
+TEST_F(GroupByTest, MultiplePostGroupLets) {
+  EXPECT_EQ(Run("for $x in (1, 2, 3, 4) "
+                "group by $x mod 2 into $parity nest $x into $xs "
+                "let $n := count($xs), $s := sum($xs) "
+                "order by $parity return ($parity, $n, $s)"),
+            "0 2 6 1 2 4");
+}
+
+TEST_F(GroupByTest, UsingCustomEqualityMergesGroups) {
+  EXPECT_EQ(Run("declare function local:mod3($a as item()*, $b as item()*) "
+                "as xs:boolean { $a mod 3 = $b mod 3 }; "
+                "for $x in (1, 4, 2, 7, 9) "
+                "group by $x into $k using local:mod3 "
+                "nest $x into $xs return count($xs)"),
+            "3 1 1");  // {1,4,7}, {2}, {9}
+}
+
+TEST_F(GroupByTest, UsingDeepEqualExplicitlyMatchesDefault) {
+  std::string default_eq = Run(
+      "for $x in (1, 2, 1) group by $x into $k nest $x into $xs "
+      "order by $k return count($xs)");
+  std::string using_eq = Run(
+      "for $x in (1, 2, 1) group by $x into $k using deep-equal "
+      "nest $x into $xs order by $k return count($xs)");
+  EXPECT_EQ(default_eq, using_eq);
+}
+
+TEST_F(GroupByTest, MixedUsingAndDefaultKeys) {
+  const char* doc =
+      "<r><e><a>1</a><b>x</b></e><e><a>4</a><b>x</b></e>"
+      "<e><a>1</a><b>y</b></e></r>";
+  EXPECT_EQ(Run("declare function local:mod3($p as item()*, $q as item()*) "
+                "as xs:boolean { number($p) mod 3 = number($q) mod 3 }; "
+                "for $e in //e "
+                "group by $e/a into $a using local:mod3, $e/b into $b "
+                "nest $e into $es return count($es)",
+                doc),
+            "2 1");  // (1~4, x) together; (1, y) separate
+}
+
+TEST_F(GroupByTest, GroupingByConstructedElements) {
+  // Grouping keys may be freshly constructed nodes; deep-equal compares
+  // structure, not identity.
+  EXPECT_EQ(Run("for $x in (1, 2, 1) "
+                "let $e := <wrap>{$x}</wrap> "
+                "group by $e into $k nest $x into $xs "
+                "order by string($k) return count($xs)"),
+            "2 1");
+}
+
+TEST_F(GroupByTest, NestedFlworGroupBys) {
+  // A FLWOR may contain only one group by; nesting provides more levels
+  // (Section 3.5). Two-level aggregation:
+  EXPECT_EQ(Run("for $x in (11, 12, 21, 22, 23) "
+                "group by $x idiv 10 into $tens nest $x into $xs "
+                "order by $tens "
+                "return <t n=\"{$tens}\">{ "
+                "  for $y in $xs group by $y mod 2 into $p nest $y into $ys "
+                "  order by $p return <p>{count($ys)}</p> "
+                "}</t>"),
+            "<t n=\"1\"><p>1</p><p>1</p></t><t n=\"2\"><p>1</p><p>2</p></t>");
+}
+
+TEST_F(GroupByTest, GroupByOverEmptyInput) {
+  EXPECT_EQ(Run("count(for $x in () group by $x into $k return $k)"), "0");
+}
+
+TEST_F(GroupByTest, SingleGroupConstantKey) {
+  EXPECT_EQ(Run("for $x in 1 to 100 group by 1 into $k nest $x into $xs "
+                "return (count($xs), sum($xs))"),
+            "100 5050");
+}
+
+TEST_F(GroupByTest, GroupingVariableHoldsKeyNotTuple) {
+  // When the key expression returns multiple items, the grouping variable
+  // holds the whole sequence.
+  const char* doc = "<r><e><t>a</t><t>b</t></e><e><t>a</t><t>b</t></e></r>";
+  EXPECT_EQ(Run("for $e in //e group by $e/t into $k nest $e into $es "
+                "return count($k)", doc),
+            "2");
+}
+
+TEST_F(GroupByTest, OrderByAfterGroupOrdersGroups) {
+  EXPECT_EQ(Run("for $x in (30, 10, 30, 20, 10, 10) "
+                "group by $x into $k nest $x into $xs "
+                "order by count($xs) descending, $k "
+                "return ($k, count($xs))"),
+            "10 3 30 2 20 1");
+}
+
+}  // namespace
+}  // namespace xqa

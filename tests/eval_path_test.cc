@@ -1,0 +1,174 @@
+// Path-expression evaluation: axes, node tests, predicates, document order.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+constexpr char kDoc[] = R"(
+<library>
+  <shelf id="s1">
+    <book lang="en"><title>Alpha</title><pages>100</pages></book>
+    <book lang="de"><title>Beta</title><pages>200</pages></book>
+  </shelf>
+  <shelf id="s2">
+    <book lang="en"><title>Gamma</title><pages>300</pages></book>
+    <magazine><title>Weekly</title></magazine>
+  </shelf>
+  <!-- catalogue comment -->
+</library>
+)";
+
+class EvalPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override { doc_ = Engine::ParseDocument(kDoc); }
+
+  std::string Run(const std::string& query) {
+    return engine_.Compile(query).ExecuteToString(doc_);
+  }
+
+  ErrorCode RunError(const std::string& query) {
+    try {
+      engine_.Compile(query).Execute(doc_);
+    } catch (const XQueryError& error) {
+      return error.code();
+    }
+    return ErrorCode::kOk;
+  }
+
+  Engine engine_;
+  DocumentPtr doc_;
+};
+
+TEST_F(EvalPathTest, ChildAxis) {
+  EXPECT_EQ(Run("count(/library/shelf)"), "2");
+  EXPECT_EQ(Run("count(/library/shelf/book)"), "3");
+  EXPECT_EQ(Run("count(/library/book)"), "0");
+}
+
+TEST_F(EvalPathTest, DescendantShortcut) {
+  EXPECT_EQ(Run("count(//book)"), "3");
+  EXPECT_EQ(Run("count(//title)"), "4");
+  EXPECT_EQ(Run("count(//shelf//title)"), "4");
+}
+
+TEST_F(EvalPathTest, Wildcards) {
+  EXPECT_EQ(Run("count(/library/*)"), "2");
+  EXPECT_EQ(Run("count(//shelf/*)"), "4");
+}
+
+TEST_F(EvalPathTest, AttributeAxis) {
+  EXPECT_EQ(Run("string(/library/shelf[1]/@id)"), "s1");
+  EXPECT_EQ(Run("count(//@lang)"), "3");
+  EXPECT_EQ(Run("count(//book[@lang = \"en\"])"), "2");
+  EXPECT_EQ(Run("count(//book/attribute::*)"), "3");
+}
+
+TEST_F(EvalPathTest, ParentAndAncestor) {
+  EXPECT_EQ(Run("string((//title)[1]/../pages)"), "100");
+  EXPECT_EQ(Run("count((//pages)[1]/ancestor::*)"), "3");
+  EXPECT_EQ(Run("string((//pages)[1]/ancestor::shelf/@id)"), "s1");
+  EXPECT_EQ(Run("count((//pages)[1]/ancestor-or-self::*)"), "4");
+}
+
+TEST_F(EvalPathTest, SelfAxis) {
+  EXPECT_EQ(Run("count(//book/self::book)"), "3");
+  EXPECT_EQ(Run("count(//book/self::magazine)"), "0");
+  EXPECT_EQ(Run("count(//book/.)"), "3");
+}
+
+TEST_F(EvalPathTest, SiblingAxes) {
+  EXPECT_EQ(Run("string(//magazine/preceding-sibling::book/title)"), "Gamma");
+  EXPECT_EQ(Run("count((//book)[1]/following-sibling::*)"), "1");
+  EXPECT_EQ(Run("count((//book)[1]/preceding-sibling::*)"), "0");
+}
+
+TEST_F(EvalPathTest, NodeKindTests) {
+  EXPECT_EQ(Run("count(//text())"), "7");  // 4 titles + 3 pages
+  EXPECT_EQ(Run("count(/library/comment())"), "1");
+  EXPECT_EQ(Run("count(//node())"), "22");  // 14 elements + 7 text + 1 comment
+  EXPECT_EQ(Run("count(//element(book))"), "3");
+}
+
+TEST_F(EvalPathTest, PositionalPredicates) {
+  EXPECT_EQ(Run("string((//book)[1]/title)"), "Alpha");
+  EXPECT_EQ(Run("string((//book)[3]/title)"), "Gamma");
+  // In a step predicate, [1] applies per context node: the first book of
+  // EACH shelf — so //book[1] has two matches and //book[2] only one.
+  EXPECT_EQ(Run("count(//book[1])"), "2");
+  EXPECT_EQ(Run("count(//book[2])"), "1");
+  EXPECT_EQ(Run("count(//shelf/book[1])"), "2");
+  EXPECT_EQ(Run("string(//shelf[2]/book[1]/title)"), "Gamma");
+  EXPECT_EQ(Run("string((//book)[last()]/title)"), "Gamma");
+  // Per-shelf last(): the last book of each shelf.
+  EXPECT_EQ(Run("string-join(for $t in //shelf/book[last()]/title "
+                "return string($t), \",\")"),
+            "Beta,Gamma");
+}
+
+TEST_F(EvalPathTest, ValuePredicates) {
+  EXPECT_EQ(Run("string(//book[pages = 200]/title)"), "Beta");
+  EXPECT_EQ(Run("count(//book[pages > 150])"), "2");
+  EXPECT_EQ(Run("count(//book[title])"), "3");
+  EXPECT_EQ(Run("count(//book[subtitle])"), "0");
+  EXPECT_EQ(Run("string(//book[title = \"Beta\" and @lang = \"de\"]/pages)"),
+            "200");
+}
+
+TEST_F(EvalPathTest, ChainedPredicates) {
+  // Per-shelf filtering: each shelf contributes at most one pages>100 book,
+  // so the positional [2] never matches within a shelf...
+  EXPECT_EQ(Run("count(//book[pages > 100][2])"), "0");
+  // ...but over the whole filtered sequence it selects Gamma.
+  EXPECT_EQ(Run("string((//book[pages > 100])[2]/title)"), "Gamma");
+}
+
+TEST_F(EvalPathTest, ResultsInDocumentOrderWithoutDuplicates) {
+  // Both steps can reach the same titles; dedup keeps three.
+  EXPECT_EQ(Run("count((//shelf | //shelf)/book)"), "3");
+  EXPECT_EQ(Run("string-join(for $t in //title return string($t), \",\")"),
+            "Alpha,Beta,Gamma,Weekly");
+  // Parent step from multiple children yields each shelf once.
+  EXPECT_EQ(Run("count(//book/..)"), "2");
+}
+
+TEST_F(EvalPathTest, FilterSegments) {
+  EXPECT_EQ(Run("string-join(for $p in //book/(pages div 100) "
+                "return string($p), \",\")"),
+            "1,2,3");
+  EXPECT_EQ(Run("count(//book/string(title))"), "3");
+}
+
+TEST_F(EvalPathTest, AbsoluteFromRoot) {
+  EXPECT_EQ(Run("count(/)"), "1");
+  EXPECT_EQ(Run("string(/library/shelf[2]/@id)"), "s2");
+}
+
+TEST_F(EvalPathTest, RelativePathUsesFocus) {
+  EXPECT_EQ(Run("string-join(for $b in //book return string($b/title), \"|\")"),
+            "Alpha|Beta|Gamma");
+}
+
+TEST_F(EvalPathTest, Errors) {
+  EXPECT_EQ(RunError("(1, 2)/x"), ErrorCode::kXPTY0004);
+  // Mixing nodes and atomics in one step result.
+  EXPECT_EQ(RunError("//book/(title, 1)"), ErrorCode::kXPTY0004);
+  // Atomics from a non-final step.
+  EXPECT_EQ(RunError("//book/string(title)/x"), ErrorCode::kXPTY0004);
+}
+
+TEST_F(EvalPathTest, AttributesHaveStringValues) {
+  EXPECT_EQ(Run("string-join(for $a in //book/@lang return string($a), \",\")"),
+            "en,de,en");
+}
+
+TEST_F(EvalPathTest, RootFunctionAndAbsolutePathsFromNodes) {
+  EXPECT_EQ(Run("count(root((//title)[1])//book)"), "3");
+  // Absolute path inside a predicate still sees the whole document.
+  EXPECT_EQ(Run("count(//book[count(/library/shelf) = 2])"), "3");
+}
+
+}  // namespace
+}  // namespace xqa

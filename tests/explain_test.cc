@@ -1,0 +1,83 @@
+// Explain rendering tests.
+
+#include "api/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+std::string Explain(const std::string& query) {
+  Engine engine;
+  return engine.Compile(query).Explain();
+}
+
+TEST(Explain, SimpleQuery) {
+  std::string plan = Explain("count(//book)");
+  EXPECT_NE(plan.find("module (ordering ordered"), std::string::npos);
+  EXPECT_NE(plan.find("body"), std::string::npos);
+  EXPECT_NE(plan.find("count"), std::string::npos);
+}
+
+TEST(Explain, FlworClauses) {
+  std::string plan = Explain(
+      "for $b in //book where $b/price > 10 "
+      "order by $b/price descending return $b/title");
+  EXPECT_NE(plan.find("flwor"), std::string::npos);
+  EXPECT_NE(plan.find("for $b in"), std::string::npos);
+  EXPECT_NE(plan.find("where"), std::string::npos);
+  EXPECT_NE(plan.find("order by"), std::string::npos);
+  EXPECT_NE(plan.find("descending"), std::string::npos);
+  EXPECT_NE(plan.find("return"), std::string::npos);
+}
+
+TEST(Explain, GroupByShowsStrategy) {
+  std::string hash_plan = Explain(
+      "for $b in //book group by $b/publisher into $p "
+      "nest $b into $bs return count($bs)");
+  EXPECT_NE(hash_plan.find("hash aggregation"), std::string::npos);
+  EXPECT_NE(hash_plan.find("key $p"), std::string::npos);
+  EXPECT_NE(hash_plan.find("[deep-equal]"), std::string::npos);
+  EXPECT_NE(hash_plan.find("nest $bs"), std::string::npos);
+
+  std::string linear_plan = Explain(
+      "for $b in //book group by $b/author into $a using xqa:set-equal "
+      "return $a");
+  EXPECT_NE(linear_plan.find("linear group table"), std::string::npos);
+  EXPECT_NE(linear_plan.find("using xqa:set-equal"), std::string::npos);
+}
+
+TEST(Explain, NestOrderByMarked) {
+  std::string plan = Explain(
+      "for $s in //sale group by $s/region into $r "
+      "nest $s order by $s/timestamp into $rs return $rs");
+  EXPECT_NE(plan.find("[ordered]"), std::string::npos);
+}
+
+TEST(Explain, StableAfterGroupAnnotated) {
+  std::string plan = Explain(
+      "for $b in //book group by $b/year into $y "
+      "stable order by $y return $y");
+  EXPECT_NE(plan.find("stable ignored after group by"), std::string::npos);
+}
+
+TEST(Explain, FunctionsAndGlobals) {
+  std::string plan = Explain(
+      "declare variable $g := 1; "
+      "declare function local:f($x) { $x + $g }; "
+      "local:f(2)");
+  EXPECT_NE(plan.find("1 globals, 1 functions"), std::string::npos);
+  EXPECT_NE(plan.find("global $g"), std::string::npos);
+  EXPECT_NE(plan.find("function local:f#1"), std::string::npos);
+}
+
+TEST(Explain, PathsRenderAxes) {
+  std::string plan = Explain("//order/lineitem[quantity > 5]");
+  EXPECT_NE(plan.find("desc-or-self::node()"), std::string::npos);
+  EXPECT_NE(plan.find("child::lineitem[1 pred]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xqa

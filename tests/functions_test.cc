@@ -1,0 +1,296 @@
+// Built-in function library tests, one section per category.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "functions/function_registry.h"
+
+namespace xqa {
+namespace {
+
+class FunctionsTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query,
+                  const std::string& xml = "<root/>") {
+    DocumentPtr doc = Engine::ParseDocument(xml);
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  ErrorCode RunError(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<root/>");
+    try {
+      engine_.Compile(query).Execute(doc);
+    } catch (const XQueryError& error) {
+      return error.code();
+    }
+    return ErrorCode::kOk;
+  }
+
+  Engine engine_;
+};
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(FunctionRegistry, LookupRespectsArity) {
+  EXPECT_GE(FindBuiltin("count", 1), 0);
+  EXPECT_EQ(FindBuiltin("count", 2), -1);
+  EXPECT_GE(FindBuiltin("fn:count", 1), 0);
+  EXPECT_GE(FindBuiltin("concat", 5), 0);  // unbounded max arity
+  EXPECT_EQ(FindBuiltin("concat", 1), -1);
+  EXPECT_EQ(FindBuiltin("does-not-exist", 1), -1);
+  EXPECT_GE(FindBuiltin("string", 0), 0);
+  EXPECT_GE(FindBuiltin("string", 1), 0);
+}
+
+// --- Aggregates ---------------------------------------------------------------
+
+TEST_F(FunctionsTest, Count) {
+  EXPECT_EQ(Run("count(())"), "0");
+  EXPECT_EQ(Run("count((1, 2, 3))"), "3");
+}
+
+TEST_F(FunctionsTest, Sum) {
+  EXPECT_EQ(Run("sum(())"), "0");
+  EXPECT_EQ(Run("sum((1, 2, 3))"), "6");
+  EXPECT_EQ(Run("sum((1.5, 2.5))"), "4");
+  EXPECT_EQ(Run("sum((1, 2.5))"), "3.5");
+  EXPECT_EQ(Run("sum((1, 1e1))"), "11");
+  EXPECT_EQ(Run("sum((), 99)"), "99");  // explicit zero
+  EXPECT_EQ(RunError("sum((\"a\"))"), ErrorCode::kFORG0006);
+}
+
+TEST_F(FunctionsTest, SumAtomizesNodes) {
+  EXPECT_EQ(Run("sum(//p)", "<r><p>1</p><p>2.5</p></r>"), "3.5");
+}
+
+TEST_F(FunctionsTest, Avg) {
+  EXPECT_EQ(Run("count(avg(()))"), "0");
+  EXPECT_EQ(Run("avg((1, 2, 3, 4))"), "2.5");
+  EXPECT_EQ(Run("avg((2, 4))"), "3");
+  EXPECT_EQ(Run("avg((1e0, 2e0))"), "1.5");
+}
+
+TEST_F(FunctionsTest, MinMax) {
+  EXPECT_EQ(Run("min((3, 1, 2))"), "1");
+  EXPECT_EQ(Run("max((3, 1, 2))"), "3");
+  EXPECT_EQ(Run("min((1.5, 1))"), "1");
+  EXPECT_EQ(Run("max((\"a\", \"c\", \"b\"))"), "c");
+  EXPECT_EQ(Run("count(min(()))"), "0");
+  EXPECT_EQ(Run("max((1, 0e0 div 0e0))"), "NaN");  // NaN propagates
+}
+
+// --- Sequences ----------------------------------------------------------------
+
+TEST_F(FunctionsTest, ExistsEmpty) {
+  EXPECT_EQ(Run("exists(())"), "false");
+  EXPECT_EQ(Run("exists((1))"), "true");
+  EXPECT_EQ(Run("empty(())"), "true");
+  EXPECT_EQ(Run("empty((1))"), "false");
+}
+
+TEST_F(FunctionsTest, DistinctValues) {
+  EXPECT_EQ(Run("count(distinct-values((1, 2, 1, 3, 2)))"), "3");
+  EXPECT_EQ(Run("distinct-values((1, 1e0, 1.0))"), "1");  // numeric eq
+  EXPECT_EQ(Run("count(distinct-values((\"a\", \"A\")))"), "2");
+  EXPECT_EQ(Run("count(distinct-values(()))"), "0");
+  // First-occurrence order.
+  EXPECT_EQ(Run("distinct-values((3, 1, 3, 2))"), "3 1 2");
+  // NaN equals NaN for distinct-values.
+  EXPECT_EQ(Run("count(distinct-values((0e0 div 0e0, 0e0 div 0e0)))"), "1");
+}
+
+TEST_F(FunctionsTest, ReverseSubsequence) {
+  EXPECT_EQ(Run("reverse((1, 2, 3))"), "3 2 1");
+  EXPECT_EQ(Run("subsequence((1, 2, 3, 4, 5), 2, 3)"), "2 3 4");
+  EXPECT_EQ(Run("subsequence((1, 2, 3), 2)"), "2 3");
+  EXPECT_EQ(Run("count(subsequence((1, 2), 5))"), "0");
+}
+
+TEST_F(FunctionsTest, InsertRemoveIndexOf) {
+  EXPECT_EQ(Run("insert-before((1, 2, 3), 2, (9))"), "1 9 2 3");
+  EXPECT_EQ(Run("insert-before((1, 2), 9, (3))"), "1 2 3");
+  EXPECT_EQ(Run("remove((1, 2, 3), 2)"), "1 3");
+  EXPECT_EQ(Run("remove((1, 2, 3), 9)"), "1 2 3");
+  EXPECT_EQ(Run("index-of((10, 20, 10), 10)"), "1 3");
+  EXPECT_EQ(Run("count(index-of((1, 2), 9))"), "0");
+}
+
+TEST_F(FunctionsTest, CardinalityCheckers) {
+  EXPECT_EQ(Run("zero-or-one(())"), "");
+  EXPECT_EQ(Run("zero-or-one((1))"), "1");
+  EXPECT_EQ(RunError("zero-or-one((1, 2))"), ErrorCode::kFORG0003);
+  EXPECT_EQ(RunError("one-or-more(())"), ErrorCode::kFORG0004);
+  EXPECT_EQ(Run("exactly-one((7))"), "7");
+  EXPECT_EQ(RunError("exactly-one(())"), ErrorCode::kFORG0005);
+  EXPECT_EQ(RunError("exactly-one((1, 2))"), ErrorCode::kFORG0005);
+}
+
+TEST_F(FunctionsTest, DeepEqualFunction) {
+  EXPECT_EQ(Run("deep-equal((1, 2), (1, 2))"), "true");
+  EXPECT_EQ(Run("deep-equal((1, 2), (2, 1))"), "false");
+  EXPECT_EQ(Run("deep-equal((), ())"), "true");
+}
+
+TEST_F(FunctionsTest, DataFunction) {
+  EXPECT_EQ(Run("data(//p)", "<r><p>5</p></r>"), "5");
+  EXPECT_EQ(Run("count(data(()))"), "0");
+}
+
+// --- Strings ------------------------------------------------------------------
+
+TEST_F(FunctionsTest, StringAndConcat) {
+  EXPECT_EQ(Run("string(42)"), "42");
+  EXPECT_EQ(Run("string(())"), "");
+  EXPECT_EQ(Run("concat(\"a\", \"b\", \"c\")"), "abc");
+  EXPECT_EQ(Run("concat(\"a\", (), 1)"), "a1");
+  EXPECT_EQ(Run("string-join((\"a\", \"b\"), \"-\")"), "a-b");
+  EXPECT_EQ(Run("string-join((), \"-\")"), "");
+}
+
+TEST_F(FunctionsTest, StringTests) {
+  EXPECT_EQ(Run("contains(\"banana\", \"nan\")"), "true");
+  EXPECT_EQ(Run("contains(\"banana\", \"xyz\")"), "false");
+  EXPECT_EQ(Run("contains(\"abc\", \"\")"), "true");
+  EXPECT_EQ(Run("starts-with(\"banana\", \"ban\")"), "true");
+  EXPECT_EQ(Run("ends-with(\"banana\", \"ana\")"), "true");
+  EXPECT_EQ(Run("ends-with(\"banana\", \"bab\")"), "false");
+}
+
+TEST_F(FunctionsTest, SubstringFamily) {
+  EXPECT_EQ(Run("substring(\"hello\", 2)"), "ello");
+  EXPECT_EQ(Run("substring(\"hello\", 2, 3)"), "ell");
+  EXPECT_EQ(Run("substring(\"hello\", 0)"), "hello");
+  EXPECT_EQ(Run("substring-before(\"a=b\", \"=\")"), "a");
+  EXPECT_EQ(Run("substring-after(\"a=b\", \"=\")"), "b");
+  EXPECT_EQ(Run("substring-after(\"ab\", \"x\")"), "");
+  EXPECT_EQ(Run("string-length(\"hello\")"), "5");
+  EXPECT_EQ(Run("string-length(\"\")"), "0");
+}
+
+TEST_F(FunctionsTest, CaseAndSpace) {
+  EXPECT_EQ(Run("upper-case(\"aBc\")"), "ABC");
+  EXPECT_EQ(Run("lower-case(\"AbC\")"), "abc");
+  EXPECT_EQ(Run("normalize-space(\"  a   b \")"), "a b");
+  EXPECT_EQ(Run("translate(\"abcabc\", \"ab\", \"AB\")"), "ABcABc");
+  EXPECT_EQ(Run("translate(\"abc\", \"b\", \"\")"), "ac");  // deletion
+}
+
+// --- Numerics -----------------------------------------------------------------
+
+TEST_F(FunctionsTest, NumberFunction) {
+  EXPECT_EQ(Run("number(\"12.5\")"), "12.5");
+  EXPECT_EQ(Run("number(\"abc\")"), "NaN");
+  EXPECT_EQ(Run("number(())"), "NaN");
+  EXPECT_EQ(Run("number(true())"), "1");
+}
+
+TEST_F(FunctionsTest, RoundingFamily) {
+  EXPECT_EQ(Run("abs(-4.5)"), "4.5");
+  EXPECT_EQ(Run("abs(-3)"), "3");
+  EXPECT_EQ(Run("floor(2.7)"), "2");
+  EXPECT_EQ(Run("ceiling(2.1)"), "3");
+  EXPECT_EQ(Run("round(2.5)"), "3");
+  EXPECT_EQ(Run("round(-2.5)"), "-2");
+  EXPECT_EQ(Run("round-half-to-even(2.5)"), "2");
+  EXPECT_EQ(Run("round-half-to-even(2.345, 2)"), "2.34");
+  EXPECT_EQ(Run("count(abs(()))"), "0");
+}
+
+TEST_F(FunctionsTest, CastConstructors) {
+  EXPECT_EQ(Run("xs:integer(\"42\")"), "42");
+  EXPECT_EQ(Run("xs:decimal(\"1.50\")"), "1.5");
+  EXPECT_EQ(Run("xs:double(\"1e2\")"), "100");
+  EXPECT_EQ(Run("xs:string(3.5)"), "3.5");
+  EXPECT_EQ(Run("xs:boolean(\"1\")"), "true");
+  EXPECT_EQ(Run("count(xs:integer(()))"), "0");
+  EXPECT_EQ(RunError("xs:integer(\"nope\")"), ErrorCode::kFORG0001);
+}
+
+// --- Date / time ---------------------------------------------------------------
+
+TEST_F(FunctionsTest, DateTimeComponents) {
+  EXPECT_EQ(Run("year-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))"),
+            "2004");
+  EXPECT_EQ(Run("month-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))"),
+            "1");
+  EXPECT_EQ(Run("day-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))"),
+            "31");
+  EXPECT_EQ(Run("hours-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))"),
+            "11");
+  EXPECT_EQ(Run("minutes-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))"),
+            "32");
+  EXPECT_EQ(Run("seconds-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))"),
+            "7");
+  EXPECT_EQ(
+      Run("seconds-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07.5\"))"),
+      "7.5");
+  EXPECT_EQ(Run("year-from-date(xs:date(\"1999-12-31\"))"), "1999");
+  EXPECT_EQ(Run("count(year-from-dateTime(()))"), "0");
+}
+
+TEST_F(FunctionsTest, DateTimeFromUntypedNodes) {
+  // The paper's queries apply components directly to timestamp elements.
+  EXPECT_EQ(Run("year-from-dateTime(//ts)",
+                "<r><ts>2004-05-20T18:03:44</ts></r>"),
+            "2004");
+}
+
+// --- Nodes ---------------------------------------------------------------------
+
+TEST_F(FunctionsTest, NameFunctions) {
+  const char* doc = "<r><ns:item xmlns:ns=\"urn:x\" a=\"1\">v</ns:item></r>";
+  EXPECT_EQ(Run("name(/r/*)", doc), "ns:item");
+  EXPECT_EQ(Run("local-name(/r/*)", doc), "item");
+  EXPECT_EQ(Run("string(node-name(/r/*))", doc), "ns:item");
+  EXPECT_EQ(Run("name(())"), "");
+  EXPECT_EQ(Run("count(node-name(()))"), "0");
+}
+
+TEST_F(FunctionsTest, BooleansAndNot) {
+  EXPECT_EQ(Run("not(())"), "true");
+  EXPECT_EQ(Run("not(0)"), "true");
+  EXPECT_EQ(Run("boolean((1))"), "true");
+  EXPECT_EQ(Run("true()"), "true");
+  EXPECT_EQ(Run("false()"), "false");
+}
+
+TEST_F(FunctionsTest, PositionLast) {
+  EXPECT_EQ(Run("(\"a\", \"b\", \"c\")[position() = 2]"), "b");
+  EXPECT_EQ(Run("(\"a\", \"b\", \"c\")[position() = last()]"), "c");
+}
+
+// --- Membership helpers (Sections 3.3 / 5) --------------------------------------
+
+TEST_F(FunctionsTest, SetEqual) {
+  EXPECT_EQ(Run("xqa:set-equal((1, 2), (2, 1))"), "true");
+  EXPECT_EQ(Run("xqa:set-equal((1, 2), (1, 2, 2))"), "true");  // set semantics
+  EXPECT_EQ(Run("xqa:set-equal((1, 2), (1, 3))"), "false");
+  EXPECT_EQ(Run("xqa:set-equal((), ())"), "true");
+  EXPECT_EQ(Run("xqa:set-equal((), (1))"), "false");
+}
+
+TEST_F(FunctionsTest, Paths) {
+  const char* doc =
+      "<r><categories><software><db><concurrency/></db><distributed/>"
+      "</software></categories></r>";
+  EXPECT_EQ(Run("string-join(xqa:paths(//categories/*), \",\")", doc),
+            "software,software/db,software/db/concurrency,"
+            "software/distributed");
+  EXPECT_EQ(Run("count(xqa:paths(()))"), "0");
+}
+
+TEST_F(FunctionsTest, Cube) {
+  EXPECT_EQ(Run("count(xqa:cube((1, 2)))"), "4");
+  EXPECT_EQ(Run("count(xqa:cube((1, 2, 3)))"), "8");
+  EXPECT_EQ(Run("count(xqa:cube(()))"), "1");
+  // Subset elements carry the dimension values.
+  EXPECT_EQ(Run("count(xqa:cube((1, 2))[count(dim) = 2])"), "1");
+}
+
+TEST_F(FunctionsTest, Rollup) {
+  EXPECT_EQ(Run("count(xqa:rollup((1, 2, 3)))"), "4");  // prefixes incl. ()
+  EXPECT_EQ(Run("count(xqa:rollup(()))"), "1");
+}
+
+}  // namespace
+}  // namespace xqa

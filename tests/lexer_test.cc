@@ -1,0 +1,158 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/error.h"
+
+namespace xqa {
+namespace {
+
+std::vector<Token> LexAll(std::string_view text) {
+  Lexer lexer(text);
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = lexer.Next();
+    if (token.kind == TokenKind::kEof) break;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+TEST(Lexer, NumericLiterals) {
+  auto tokens = LexAll("42 3.14 1e5 2.5E-3 .5");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntegerLiteral);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDecimalLiteral);
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDoubleLiteral);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kDoubleLiteral);
+  EXPECT_EQ(tokens[3].text, "2.5E-3");
+  EXPECT_EQ(tokens[4].kind, TokenKind::kDecimalLiteral);
+  EXPECT_EQ(tokens[4].text, ".5");
+}
+
+TEST(Lexer, StringLiterals) {
+  auto tokens = LexAll(R"("hello" 'world' "say ""hi""" "a&amp;b")");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "world");
+  EXPECT_EQ(tokens[2].text, "say \"hi\"");
+  EXPECT_EQ(tokens[3].text, "a&b");
+}
+
+TEST(Lexer, NamesAndQNames) {
+  auto tokens = LexAll("book year-from-dateTime local:set-equal xs:integer");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (const Token& token : tokens) {
+    EXPECT_EQ(token.kind, TokenKind::kName);
+  }
+  EXPECT_EQ(tokens[1].text, "year-from-dateTime");
+  EXPECT_EQ(tokens[2].text, "local:set-equal");
+}
+
+TEST(Lexer, Variables) {
+  auto tokens = LexAll("$b $region-sales $local:x");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[0].text, "b");
+  EXPECT_EQ(tokens[1].text, "region-sales");
+  EXPECT_EQ(tokens[2].text, "local:x");
+}
+
+TEST(Lexer, PunctuationAndOperators) {
+  auto tokens = LexAll("( ) [ ] { } , ; := = != < <= > >= + - * / // @ | :: ? . ..");
+  std::vector<TokenKind> expected = {
+      TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBracket,
+      TokenKind::kRBracket, TokenKind::kLBrace, TokenKind::kRBrace,
+      TokenKind::kComma, TokenKind::kSemicolon, TokenKind::kAssign,
+      TokenKind::kEq, TokenKind::kNeq, TokenKind::kLt, TokenKind::kLe,
+      TokenKind::kGt, TokenKind::kGe, TokenKind::kPlus, TokenKind::kMinus,
+      TokenKind::kStar, TokenKind::kSlash, TokenKind::kSlashSlash,
+      TokenKind::kAt, TokenKind::kVBar, TokenKind::kColonColon,
+      TokenKind::kQuestion, TokenKind::kDot, TokenKind::kDotDot};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(Lexer, AxisVsAssignVsQName) {
+  // "child::book" must lex as name, ::, name — not a QName "child:..".
+  auto tokens = LexAll("child::book");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "child");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kColonColon);
+  EXPECT_EQ(tokens[2].text, "book");
+}
+
+TEST(Lexer, NestedComments) {
+  auto tokens = LexAll("1 (: outer (: inner :) still-comment :) 2");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "1");
+  EXPECT_EQ(tokens[1].text, "2");
+  EXPECT_THROW(LexAll("(: unterminated"), XQueryError);
+}
+
+TEST(Lexer, LocationTracking) {
+  Lexer lexer("a\n  bc");
+  Token a = lexer.Next();
+  EXPECT_EQ(a.location.line, 1u);
+  EXPECT_EQ(a.location.column, 1u);
+  Token bc = lexer.Next();
+  EXPECT_EQ(bc.location.line, 2u);
+  EXPECT_EQ(bc.location.column, 3u);
+}
+
+TEST(Lexer, PeekDoesNotConsume) {
+  Lexer lexer("a b");
+  EXPECT_EQ(lexer.Peek().text, "a");
+  EXPECT_EQ(lexer.Peek().text, "a");
+  EXPECT_EQ(lexer.Peek2().text, "b");
+  EXPECT_EQ(lexer.Next().text, "a");
+  EXPECT_EQ(lexer.Peek().text, "b");
+}
+
+TEST(Lexer, RawModeAfterToken) {
+  // Simulates the constructor flow: consume '<', then raw-read the tag.
+  Lexer lexer("<book attr=\"v\">");
+  Token lt = lexer.Next();
+  ASSERT_EQ(lt.kind, TokenKind::kLt);
+  EXPECT_EQ(lexer.RawName(), "book");
+  lexer.RawSkipWhitespace();
+  EXPECT_EQ(lexer.RawName(), "attr");
+  EXPECT_EQ(lexer.RawNext(), '=');
+  EXPECT_EQ(lexer.RawNext(), '"');
+  EXPECT_EQ(lexer.RawNext(), 'v');
+}
+
+TEST(Lexer, RawModeDiscardsPeek) {
+  Lexer lexer("<abc");
+  lexer.Next();              // consume '<'
+  (void)lexer.Peek();        // peeks "abc" as a name token
+  EXPECT_EQ(lexer.RawPeek(), 'a');  // raw cursor is still right after '<'
+  EXPECT_EQ(lexer.RawName(), "abc");
+  EXPECT_TRUE(lexer.RawAtEnd());
+}
+
+TEST(Lexer, ErrorsCarryLocation) {
+  Lexer lexer("  #");
+  try {
+    lexer.Next();
+    FAIL() << "expected error";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXPST0003);
+    EXPECT_EQ(error.location().column, 3u);
+  }
+}
+
+TEST(Lexer, CharacterReferencesInStrings) {
+  auto tokens = LexAll(R"("A&#66;C" "&#x44;")");
+  EXPECT_EQ(tokens[0].text, "ABC");
+  EXPECT_EQ(tokens[1].text, "D");
+}
+
+}  // namespace
+}  // namespace xqa

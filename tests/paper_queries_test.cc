@@ -1,0 +1,617 @@
+// Integration tests: every numbered query from "Extending XQuery for
+// Analytics" (SIGMOD 2005) runs against the paper's example documents, and
+// the results are checked against hand-computed expectations. This is the
+// E4/E5 experiment index entry in DESIGN.md.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/engine.h"
+#include "workload/books.h"
+#include "workload/orders.h"
+
+namespace xqa {
+namespace {
+
+class PaperQueriesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bib_ = new DocumentPtr(Engine::ParseDocument(workload::PaperBibliographyXml()));
+    sales_ = new DocumentPtr(Engine::ParseDocument(workload::PaperSalesXml()));
+    categorized_ =
+        new DocumentPtr(Engine::ParseDocument(workload::PaperCategorizedBooksXml()));
+  }
+  static void TearDownTestSuite() {
+    delete bib_;
+    delete sales_;
+    delete categorized_;
+  }
+
+  std::string Run(const DocumentPtr& doc, const std::string& query) {
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  Sequence Eval(const DocumentPtr& doc, const std::string& query) {
+    return engine_.Compile(query).Execute(doc);
+  }
+
+  static int CountOccurrences(const std::string& text, const std::string& needle) {
+    int count = 0;
+    size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+      ++count;
+      pos += needle.size();
+    }
+    return count;
+  }
+
+  Engine engine_;
+  static DocumentPtr* bib_;
+  static DocumentPtr* sales_;
+  static DocumentPtr* categorized_;
+};
+
+DocumentPtr* PaperQueriesTest::bib_ = nullptr;
+DocumentPtr* PaperQueriesTest::sales_ = nullptr;
+DocumentPtr* PaperQueriesTest::categorized_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Q1 — average net price per (publisher, year), explicit group by.
+// ---------------------------------------------------------------------------
+
+constexpr char kQ1Explicit[] = R"(
+  for $b in //book
+  group by $b/publisher into $p, $b/year into $y
+  nest $b/price - $b/discount into $netprices
+  return
+    <group>
+      {$p, $y}
+      <avg-net-price>{avg($netprices)}</avg-net-price>
+    </group>
+)";
+
+TEST_F(PaperQueriesTest, Q1ExplicitGroupCount) {
+  // Groups: (MK,1993) (MK,1995) (AW,1993) ((),1995) — the empty publisher
+  // forms its own group (Section 3.1: empty sequence is a distinct value).
+  std::string out = Run(*bib_, kQ1Explicit);
+  EXPECT_EQ(CountOccurrences(out, "<group>"), 4);
+}
+
+TEST_F(PaperQueriesTest, Q1NetPriceSkipsBooksWithoutDiscount) {
+  // (MK,1993): net prices (59.00, 50.00) — the no-discount book contributes
+  // an empty sequence which vanishes in the nest (Section 3.1, Q6 remark).
+  std::string out = Run(*bib_, kQ1Explicit);
+  EXPECT_NE(out.find("<avg-net-price>54.5</avg-net-price>"), std::string::npos);
+}
+
+TEST_F(PaperQueriesTest, Q1NaiveMissesBooksWithoutPublisher) {
+  // The Section 2 formulation: cross product of distinct publishers/years
+  // with an exists() filter. Books with no publisher produce no group.
+  std::string naive = Run(*bib_, R"(
+    for $p in distinct-values(//book/publisher)
+    for $y in distinct-values(//book/year)
+    let $b2 := //book[publisher = $p and year = $y]
+    where exists($b2)
+    return
+      <group>
+        <publisher>{$p}</publisher><year>{$y}</year>
+        <avg-net-price>{avg(for $b in $b2 return $b/price - $b/discount)}</avg-net-price>
+      </group>
+  )");
+  EXPECT_EQ(CountOccurrences(naive, "<group>"), 3);  // the 4th group is lost
+  EXPECT_NE(naive.find("<avg-net-price>54.5</avg-net-price>"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Q2 / Q2a — grouping by author (existential vs whole-sequence).
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Q2PerAuthorExistential) {
+  std::string out = Run(*bib_, R"(
+    for $a in distinct-values(//book/author)
+    let $b := //book[author = $a]
+    order by $a
+    return <group><a>{$a}</a><avg-price>{avg($b/price)}</avg-price></group>
+  )");
+  EXPECT_EQ(CountOccurrences(out, "<group>"), 7);
+  // Gray co-authored or authored books 65, 34, 120 -> avg 73.
+  EXPECT_NE(out.find("<a>Jim Gray</a><avg-price>73</avg-price>"),
+            std::string::npos);
+}
+
+TEST_F(PaperQueriesTest, Q2aDistinctAuthorSequences) {
+  // Permutations are distinct: (Gray,Reuter) and (Reuter,Gray) are separate
+  // groups under the default deep-equal comparison (Section 3.3).
+  std::string out = Run(*bib_, R"(
+    for $b in //book
+    group by $b/author into $a
+    nest $b/price into $prices
+    return <group>{$a}<avg-price>{avg($prices)}</avg-price></group>
+  )");
+  EXPECT_EQ(CountOccurrences(out, "<group>"), 6);
+  EXPECT_NE(out.find("<avg-price>65</avg-price>"), std::string::npos);  // (Gray,Reuter)
+  EXPECT_NE(out.find("<avg-price>34</avg-price>"), std::string::npos);  // (Reuter,Gray)
+}
+
+TEST_F(PaperQueriesTest, Q2aSetEqualUserFunction) {
+  // The Section 3.3 user-defined set-equal function merges permutations.
+  std::string out = Run(*bib_, R"(
+    declare function local:set-equal
+        ($arg1 as item()*, $arg2 as item()*) as xs:boolean
+    { every $i1 in $arg1 satisfies
+        some $i2 in $arg2 satisfies $i1 eq $i2
+      and every $i2 in $arg2 satisfies
+        some $i1 in $arg1 satisfies $i1 eq $i2
+    };
+    for $b in //book
+    group by $b/author into $a using local:set-equal
+    nest $b/price into $prices
+    return <group>{$a}<avg-price>{avg($prices)}</avg-price></group>
+  )");
+  EXPECT_EQ(CountOccurrences(out, "<group>"), 5);
+  EXPECT_NE(out.find("<avg-price>49.5</avg-price>"), std::string::npos);
+}
+
+TEST_F(PaperQueriesTest, Q2aBuiltinSetEqual) {
+  // Same result with the engine-provided membership function.
+  std::string out = Run(*bib_, R"(
+    for $b in //book
+    group by $b/author into $a using xqa:set-equal
+    nest $b/price into $prices
+    return <group>{$a}<avg-price>{avg($prices)}</avg-price></group>
+  )");
+  EXPECT_EQ(CountOccurrences(out, "<group>"), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Q3 — state vs region yearly sales, both formulations.
+// ---------------------------------------------------------------------------
+
+constexpr char kQ3Explicit[] = R"(
+  for $s in //sale
+  group by $s/region into $region,
+           year-from-dateTime($s/timestamp) into $year
+  nest $s into $region-sales
+  let $region-sum := round-half-to-even(sum( $region-sales/(quantity * price) ), 2)
+  order by $year, $region
+  return
+    for $s in $region-sales
+    group by $s/state into $state
+    nest $s into $state-sales
+    let $state-sum := round-half-to-even(sum( $state-sales/(quantity * price) ), 2)
+    order by $state
+    return
+      <summary>
+        <year>{$year}</year>{$region, $state}
+        <state-sales>{ $state-sum }</state-sales>
+        <region-sales>{ $region-sum }</region-sales>
+        <state-percentage>
+          { round-half-to-even($state-sum * 100 div $region-sum, 1) }
+        </state-percentage>
+      </summary>
+)";
+
+constexpr char kQ3Naive[] = R"(
+  for $year in distinct-values(//sale/year-from-dateTime(timestamp))
+  for $region in distinct-values(//sale/region)
+  let $region-sales := //sale[region = $region and
+                        year-from-dateTime(timestamp) = $year]
+  let $region-sum := round-half-to-even(sum( $region-sales/(quantity * price) ), 2)
+  for $state in distinct-values($region-sales/state)
+  let $state-sales := $region-sales[state = $state]
+  let $state-sum := round-half-to-even(sum( $state-sales/(quantity * price) ), 2)
+  order by $year, $region, $state
+  return <summary>
+        <year>{ $year }</year>
+        <region>{ $region }</region>
+        <state>{ $state }</state>
+        <state-sales>{ $state-sum }</state-sales>
+        <region-sales>{ $region-sum }</region-sales>
+        <state-percentage>
+          { round-half-to-even($state-sum * 100 div $region-sum, 1) }
+        </state-percentage>
+      </summary>
+)";
+
+TEST_F(PaperQueriesTest, Q3ExplicitSummaries) {
+  std::string out = Run(*sales_, kQ3Explicit);
+  EXPECT_EQ(CountOccurrences(out, "<summary>"), 5);
+  // 2004 / West / CA: 299.70 of 337.20 = 88.9%.
+  EXPECT_NE(out.find("<state-sales>299.7</state-sales>"), std::string::npos);
+  EXPECT_NE(out.find("<region-sales>337.2</region-sales>"), std::string::npos);
+  EXPECT_NE(out.find("88.9"), std::string::npos);
+}
+
+TEST_F(PaperQueriesTest, Q3BothFormulationsAgree) {
+  std::string explicit_out = Run(*sales_, kQ3Explicit);
+  std::string naive_out = Run(*sales_, kQ3Naive);
+  // Same summaries in the same order (year, region, state); the naive text
+  // differs only in whitespace-free construction, so compare per-element.
+  for (const char* fragment :
+       {"<state-sales>299.7</state-sales>", "<state-sales>37.5</state-sales>",
+        "<state-sales>96</state-sales>", "<state-sales>29.97</state-sales>",
+        "<state-sales>52.5</state-sales>"}) {
+    EXPECT_NE(explicit_out.find(fragment), std::string::npos) << fragment;
+    EXPECT_NE(naive_out.find(fragment), std::string::npos) << fragment;
+  }
+  EXPECT_EQ(CountOccurrences(naive_out, "<summary>"), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Q4 — post-group let and where.
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Q4PostGroupLetAndWhere) {
+  std::string out = Run(*bib_, R"(
+    for $b in //book
+    group by $b/publisher into $pub nest $b/price into $prices
+    let $avgprice := avg($prices)
+    where $avgprice > 100
+    order by $avgprice descending
+    return
+      <expensive-publisher>
+        { $pub }
+        <avg-price> {$avgprice} </avg-price>
+      </expensive-publisher>
+  )");
+  // Only the publisher-less group (the 120.00 self-published book) exceeds 100.
+  EXPECT_EQ(CountOccurrences(out, "<expensive-publisher>"), 1);
+  EXPECT_NE(out.find("120"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Q5 — grouping with no nest clause (SELECT DISTINCT).
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Q5DistinctPairs) {
+  std::string out = Run(*bib_, R"(
+    for $b in //book
+    group by $b/publisher into $pub, $b/title into $title
+    order by $pub, $title
+    return <pair> {$pub, $title} </pair>
+  )");
+  EXPECT_EQ(CountOccurrences(out, "<pair>"), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Q6 — count of nested titles per year.
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Q6YearlyReport) {
+  std::string out = Run(*bib_, R"(
+    for $b in //book
+    group by $b/year into $year
+    nest $b/title into $titles
+    order by $year
+    return
+      <yearly-report>
+        { $year}
+        <book-count> {count($titles)} </book-count>
+        <title-list> {$titles} </title-list>
+      </yearly-report>
+  )");
+  EXPECT_EQ(CountOccurrences(out, "<yearly-report>"), 2);
+  EXPECT_NE(out.find("<book-count>4</book-count>"), std::string::npos);
+  EXPECT_NE(out.find("<book-count>3</book-count>"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Q7 — hierarchy inversion; variable-name rebinding in the nest clause.
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Q7HierarchyInversion) {
+  std::string out = Run(*bib_, R"(
+    for $b in //book
+    group by $b/publisher into $pub nest $b into $b
+    order by $pub
+    return
+      <publisher>
+        <name> {string($pub)} </name>
+        <books> {$b} </books>
+      </publisher>
+  )");
+  // Three groups; the publisher-less group's name serializes as <name/>.
+  EXPECT_EQ(CountOccurrences(out, "<name"), 3);
+  EXPECT_NE(out.find("<name>Morgan Kaufmann</name>"), std::string::npos);
+  // The Morgan Kaufmann group nests 5 complete book elements.
+  EXPECT_EQ(CountOccurrences(out, "<book>"), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Q8 — moving window over a nest ordered by timestamp.
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Q8MovingWindow) {
+  std::string out = Run(*sales_, R"(
+    for $s in //sale
+    group by $s/region into $region
+    nest $s order by $s/timestamp into $rs
+    order by $region
+    return
+      <region name="{string($region)}">
+        {for $s1 at $i in $rs
+         return
+           <sale>
+             {$s1/timestamp}
+             <sale-amount>{$s1/quantity * $s1/price}</sale-amount>
+             <previous-ten-sales>
+               {sum(for $s2 at $j in $rs
+                    where $j >= $i - 10 and $j < $i
+                    return $s2/quantity * $s2/price)}
+             </previous-ten-sales>
+           </sale>}
+      </region>
+  )");
+  EXPECT_EQ(CountOccurrences(out, "<region name="), 2);
+  // West in timestamp order: 52.50, 99.90, 37.50, 199.80. The third sale's
+  // previous-ten window holds 52.50 + 99.90 = 152.40.
+  EXPECT_NE(out.find("<previous-ten-sales>152.4</previous-ten-sales>"),
+            std::string::npos);
+  // The first sale of each region has an empty window: sum(()) = 0.
+  EXPECT_NE(out.find("<previous-ten-sales>0</previous-ten-sales>"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Q9 / Q9a / Q9b — input vs output numbering.
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Q9InputNumbering) {
+  std::string out = Run(*bib_, R"(
+    for $b at $i in //book[author = "Jim Melton"]
+    return <book><number>{$i}</number>{$b/title}</book>
+  )");
+  EXPECT_NE(out.find("<number>1</number><title>Understanding the New SQL"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("<number>2</number><title>Understanding SQL and Java Together"),
+      std::string::npos);
+}
+
+TEST_F(PaperQueriesTest, Q9aInputNumbersDoNotFollowOutputOrder) {
+  Sequence result = Eval(*bib_, R"(
+    for $b at $i in //book[author = "Jim Melton"]
+    order by $b/price ascending
+    return <book><number>{$i}</number>{$b/title, $b/price}</book>
+  )");
+  ASSERT_EQ(result.size(), 2u);
+  // Cheapest book first (49.95) but it carries input number 2.
+  std::string first = SerializeSequence({result[0]});
+  EXPECT_NE(first.find("<number>2</number>"), std::string::npos);
+  EXPECT_NE(first.find("49.95"), std::string::npos);
+}
+
+TEST_F(PaperQueriesTest, Q9bOutputNumberingRanks) {
+  std::string out = Run(*bib_, R"(
+    let $ranked :=
+      (for $b in //book[author = "Jim Melton"]
+       order by $b/price descending
+       return at $i
+         <book><rank>{$i}</rank>{$b/title, $b/price}</book>)
+    return $ranked[rank <= 3]
+  )");
+  EXPECT_NE(out.find("<rank>1</rank><title>Understanding the New SQL"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("<rank>2</rank><title>Understanding SQL and Java Together"),
+      std::string::npos);
+}
+
+TEST_F(PaperQueriesTest, Q9bOldSyntaxWorkaroundAgrees) {
+  // The pre-extension formulation from Section 4 (reorder, renumber with a
+  // for-at over the materialized stream).
+  std::string workaround = Run(*bib_, R"(
+    let $ranked-books :=
+      (for $b in //book[author = "Jim Melton"]
+       order by $b/price descending
+       return $b)
+    return
+      (for $b at $i in $ranked-books
+       where $i <= 3
+       return
+         <book>
+           <rank>{$i}</rank>
+           {$b/title, $b/price}
+         </book> )
+  )");
+  std::string extension = Run(*bib_, R"(
+    for $b in //book[author = "Jim Melton"]
+    order by $b/price descending
+    return at $i
+      <book><rank>{$i}</rank>{$b/title, $b/price}</book>
+  )");
+  EXPECT_EQ(workaround, extension);
+}
+
+// ---------------------------------------------------------------------------
+// Q10 — grouping + output numbering combined.
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Q10MonthlyRanks) {
+  std::string out = Run(*sales_, R"(
+    for $s in //sale
+    group by year-from-dateTime($s/timestamp) into $year,
+             month-from-dateTime($s/timestamp) into $month
+    nest $s into $month-sales
+    order by $year, $month
+    return
+      <monthly-report year="{$year}" month="{$month}">
+        {for $ms in $month-sales
+         group by $ms/region into $region
+         nest $ms/quantity * $ms/price into $sales-amounts
+         let $sum := sum($sales-amounts)
+         order by $sum descending
+         return at $rank
+           <regional-results>
+             <rank> {$rank} </rank>
+             { $region }
+             <total-sales> {$sum} </total-sales>
+           </regional-results>}
+      </monthly-report>
+  )");
+  EXPECT_EQ(CountOccurrences(out, "<monthly-report"), 6);
+  EXPECT_EQ(CountOccurrences(out, "<rank>1</rank>"), 6);
+  EXPECT_NE(out.find("month=\"11\""), std::string::npos);  // 2003-11
+}
+
+// ---------------------------------------------------------------------------
+// Q11 — rollup over a ragged hierarchy via a membership function.
+// ---------------------------------------------------------------------------
+
+constexpr char kQ11WithUserPaths[] = R"(
+  declare function local:paths($es as element()*) as xs:string* {
+    for $e in $es
+    let $name := string(node-name($e))
+    return ($name,
+            for $p in local:paths($e/*) return concat($name, "/", $p))
+  };
+  for $b in //book
+  for $c in local:paths($b/categories/*)
+  group by $c into $category
+  nest $b/price into $prices
+  order by $category
+  return <result><category>{$category}</category>
+          <avg-price>{avg($prices)}</avg-price></result>
+)";
+
+TEST_F(PaperQueriesTest, Q11RaggedRollupUserFunction) {
+  std::string out = Run(*categorized_, kQ11WithUserPaths);
+  EXPECT_NE(out.find("<category>software</category>"), std::string::npos);
+  EXPECT_NE(out.find("<category>software/db</category>"), std::string::npos);
+  EXPECT_NE(out.find("<category>software/db/concurrency</category>"),
+            std::string::npos);
+  EXPECT_NE(out.find("<category>software/distributed</category>"),
+            std::string::npos);
+  EXPECT_NE(out.find("<category>anthology</category>"), std::string::npos);
+  // software: both books -> (59 + 65) / 2 = 62 (the paper's example output).
+  EXPECT_NE(out.find("<category>software</category><avg-price>62</avg-price>"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(PaperQueriesTest, Q11BuiltinPathsAgrees) {
+  std::string user = Run(*categorized_, kQ11WithUserPaths);
+  std::string builtin = Run(*categorized_, R"(
+    for $b in //book
+    for $c in xqa:paths($b/categories/*)
+    group by $c into $category
+    nest $b/price into $prices
+    order by $category
+    return <result><category>{$category}</category>
+            <avg-price>{avg($prices)}</avg-price></result>
+  )");
+  EXPECT_EQ(user, builtin);
+}
+
+// ---------------------------------------------------------------------------
+// Q12 — datacube via the powerset membership function.
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Q12Datacube) {
+  std::string out = Run(*categorized_, R"(
+    for $b in //book
+    let $pub := if (exists($b/publisher)) then $b/publisher else <publisher/>
+    for $d in xqa:cube(($pub, $b/year))
+    group by $d into $key
+    nest $b/price into $prices
+    return <result>{$key/*}<avg-price>{avg($prices)}</avg-price></result>
+  )");
+  // Two books, same publisher, years 1993 and 1998. Subsets: {} {pub} {year}
+  // {pub,year} -> 1 + 1 + 2 + 2 = 6 cube groups.
+  EXPECT_EQ(CountOccurrences(out, "<result>"), 6);
+  // Overall average: (59 + 65) / 2 = 62.
+  EXPECT_NE(out.find("<result><avg-price>62</avg-price></result>"),
+            std::string::npos);
+  // by (publisher, year) = (MK, 1998): 65.
+  EXPECT_NE(out.find("<publisher>Morgan Kaufmann</publisher><year>1998</year>"
+                     "<avg-price>65</avg-price>"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 / Figure 2 — post-group variable bindings.
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Figure1BindingsAfterGroupBy) {
+  // Verify the shape of the Q1 tuple stream after group by: grouping vars
+  // hold representative elements, the nesting var the merged net prices.
+  Sequence result = Eval(*bib_, R"(
+    for $b in //book
+    group by $b/publisher into $p, $b/year into $y
+    nest $b/price into $prices
+    where string($p) = "Morgan Kaufmann" and $y = 1993
+    return count($prices)
+  )");
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].atomic().AsInteger(), 3);  // 65.00, 43.00, 54.95
+}
+
+TEST_F(PaperQueriesTest, Figure2RegionYearBinding) {
+  Sequence result = Eval(*sales_, R"(
+    for $s in //sale
+    group by $s/region into $region,
+             year-from-dateTime($s/timestamp) into $year
+    nest $s into $region-sales
+    let $region-sum := round-half-to-even(sum( $region-sales/(quantity * price) ), 2)
+    where string($region) = "West" and $year = 2004
+    return $region-sum
+  )");
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].atomic().ToLexical(), "337.2");
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — the experiment's query templates agree on results.
+// ---------------------------------------------------------------------------
+
+TEST_F(PaperQueriesTest, Table1TemplatesAgreeOneElement) {
+  workload::OrderConfig config;
+  config.num_orders = 150;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  std::string with_groupby = Run(doc, R"(
+    for $litem in //order/lineitem
+    group by $litem/shipmode into $a
+    nest $litem into $items
+    order by $a
+    return <r>{string($a), count($items)}</r>
+  )");
+  std::string without_groupby = Run(doc, R"(
+    for $a in distinct-values(//order/lineitem/shipmode)
+    let $items := for $i in //order/lineitem
+                  where $i/shipmode = $a
+                  return $i
+    order by $a
+    return <r>{string($a), count($items)}</r>
+  )");
+  EXPECT_EQ(with_groupby, without_groupby);
+  EXPECT_EQ(CountOccurrences(with_groupby, "<r>"), 7);  // shipmode cardinality
+}
+
+TEST_F(PaperQueriesTest, Table1TemplatesAgreeTwoElements) {
+  workload::OrderConfig config;
+  config.num_orders = 120;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  std::string with_groupby = Run(doc, R"(
+    for $litem in //order/lineitem
+    group by $litem/shipinstruct into $a, $litem/shipmode into $b
+    nest $litem into $items
+    order by $a, $b
+    return <r>{string($a), string($b), count($items)}</r>
+  )");
+  std::string without_groupby = Run(doc, R"(
+    for $a in distinct-values(//order/lineitem/shipinstruct),
+        $b in distinct-values(//order/lineitem/shipmode)
+    let $items := for $i in //order/lineitem
+                  where $i/shipinstruct = $a and $i/shipmode = $b
+                  return $i
+    where exists($items)
+    order by $a, $b
+    return <r>{string($a), string($b), count($items)}</r>
+  )");
+  EXPECT_EQ(with_groupby, without_groupby);
+}
+
+}  // namespace
+}  // namespace xqa

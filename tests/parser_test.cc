@@ -1,0 +1,276 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace xqa {
+namespace {
+
+std::string Dump(const std::string& query) {
+  ModulePtr module = ParseQuery(query);
+  return DumpExpr(module->body.get());
+}
+
+TEST(Parser, Literals) {
+  EXPECT_EQ(Dump("42"), "42");
+  EXPECT_EQ(Dump("3.5"), "3.5");
+  EXPECT_EQ(Dump("\"hi\""), "\"hi\"");
+  EXPECT_EQ(Dump("1e3"), "1000");
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  EXPECT_EQ(Dump("1 + 2 * 3"), "(+ 1 (* 2 3))");
+  EXPECT_EQ(Dump("(1 + 2) * 3"), "(* (+ 1 2) 3)");
+  EXPECT_EQ(Dump("10 div 2 - 3"), "(- (div 10 2) 3)");
+  EXPECT_EQ(Dump("7 idiv 2 mod 3"), "(mod (idiv 7 2) 3)");
+  EXPECT_EQ(Dump("-$x + 1"), "(+ (neg $x) 1)");
+}
+
+TEST(Parser, ComparisonKinds) {
+  EXPECT_EQ(Dump("$a = $b"), "(general-eq $a $b)");
+  EXPECT_EQ(Dump("$a != $b"), "(general-ne $a $b)");
+  EXPECT_EQ(Dump("$a eq $b"), "(eq $a $b)");
+  EXPECT_EQ(Dump("$a lt $b"), "(lt $a $b)");
+  EXPECT_EQ(Dump("$a is $b"), "(is $a $b)");
+  EXPECT_EQ(Dump("$a <= 3"), "(general-le $a 3)");
+}
+
+TEST(Parser, LogicalPrecedence) {
+  EXPECT_EQ(Dump("$a or $b and $c"), "(or $a (and $b $c))");
+  EXPECT_EQ(Dump("$a = 1 and $b = 2"),
+            "(and (general-eq $a 1) (general-eq $b 2))");
+}
+
+TEST(Parser, Range) {
+  EXPECT_EQ(Dump("1 to 5"), "(to 1 5)");
+  EXPECT_EQ(Dump("1 to $n + 1"), "(to 1 (+ $n 1))");
+}
+
+TEST(Parser, SequenceExpr) {
+  EXPECT_EQ(Dump("(1, 2, 3)"), "(seq 1 2 3)");
+  EXPECT_EQ(Dump("()"), "(seq)");
+  EXPECT_EQ(Dump("(1)"), "1");
+}
+
+TEST(Parser, Paths) {
+  EXPECT_EQ(Dump("//book"),
+            "(path / descendant-or-self::node() child::book)");
+  EXPECT_EQ(Dump("/bib/book"), "(path / child::bib child::book)");
+  EXPECT_EQ(Dump("$b/price"), "(path $b child::price)");
+  EXPECT_EQ(Dump("$b/@id"), "(path $b attribute::id)");
+  EXPECT_EQ(Dump("$b/*"), "(path $b child::*)");
+  EXPECT_EQ(Dump("$b/.."), "(path $b parent::node())");
+  EXPECT_EQ(Dump("$b//text()"),
+            "(path $b descendant-or-self::node() child::text())");
+}
+
+TEST(Parser, ExplicitAxes) {
+  EXPECT_EQ(Dump("$b/ancestor::order"), "(path $b ancestor::order)");
+  EXPECT_EQ(Dump("$b/self::book"), "(path $b self::book)");
+  EXPECT_EQ(Dump("$b/following-sibling::*"),
+            "(path $b following-sibling::*)");
+}
+
+TEST(Parser, Predicates) {
+  EXPECT_EQ(Dump("//book[author = \"X\"]"),
+            "(path / descendant-or-self::node() "
+            "child::book[(general-eq (path child::author) \"X\")])");
+  EXPECT_EQ(Dump("$seq[3]"), "(filter $seq[3])");
+  EXPECT_EQ(Dump("$seq[rank <= 3]"),
+            "(filter $seq[(general-le (path child::rank) 3)])");
+}
+
+TEST(Parser, FilterExpressionSegments) {
+  // The paper's Q3 uses both of these step shapes.
+  EXPECT_EQ(Dump("$sales/(quantity * price)"),
+            "(path $sales (step (* (path child::quantity) "
+            "(path child::price))))");
+  EXPECT_EQ(Dump("//sale/year-from-dateTime(timestamp)"),
+            "(path / descendant-or-self::node() child::sale "
+            "(step (year-from-dateTime (path child::timestamp))))");
+}
+
+TEST(Parser, FunctionCalls) {
+  EXPECT_EQ(Dump("count(//book)"),
+            "(count (path / descendant-or-self::node() child::book))");
+  EXPECT_EQ(Dump("concat(\"a\", \"b\", \"c\")"),
+            "(concat \"a\" \"b\" \"c\")");
+  EXPECT_EQ(Dump("true()"), "(true)");
+}
+
+TEST(Parser, IfAndQuantified) {
+  EXPECT_EQ(Dump("if ($a) then 1 else 2"), "(if $a 1 2)");
+  EXPECT_EQ(Dump("some $x in $s satisfies $x > 3"),
+            "(some ($x in $s) satisfies (general-gt $x 3))");
+  EXPECT_EQ(Dump("every $x in $s, $y in $t satisfies $x = $y"),
+            "(every ($x in $s) ($y in $t) satisfies (general-eq $x $y))");
+}
+
+TEST(Parser, BasicFlwor) {
+  EXPECT_EQ(Dump("for $x in $s return $x"),
+            "(flwor (for $x in $s) (return $x))");
+  EXPECT_EQ(Dump("for $x at $i in $s return $i"),
+            "(flwor (for $x at $i in $s) (return $i))");
+  EXPECT_EQ(Dump("let $x := 1 return $x"),
+            "(flwor (let $x := 1) (return $x))");
+  EXPECT_EQ(Dump("for $x in $s where $x > 2 order by $x descending return $x"),
+            "(flwor (for $x in $s) (where (general-gt $x 2)) "
+            "(order-by ($x desc)) (return $x))");
+}
+
+TEST(Parser, FlworMultipleBindings) {
+  EXPECT_EQ(Dump("for $x in $s, $y in $t return 1"),
+            "(flwor (for $x in $s) (for $y in $t) (return 1))");
+  EXPECT_EQ(Dump("let $x := 1, $y := 2 return $y"),
+            "(flwor (let $x := 1) (let $y := 2) (return $y))");
+}
+
+TEST(Parser, GroupByClause) {
+  EXPECT_EQ(Dump("for $b in $s group by $b/p into $p return $p"),
+            "(flwor (for $b in $s) (group-by ((path $b child::p) into $p)) "
+            "(return $p))");
+  EXPECT_EQ(
+      Dump("for $b in $s group by $b/p into $p, $b/y into $y "
+           "nest $b/price into $prices, $b into $books return $p"),
+      "(flwor (for $b in $s) (group-by ((path $b child::p) into $p) "
+      "((path $b child::y) into $y) (nest (path $b child::price) into "
+      "$prices) (nest $b into $books)) (return $p))");
+}
+
+TEST(Parser, GroupByUsingFunction) {
+  EXPECT_EQ(Dump("for $b in $s group by $b/a into $a using local:set-equal "
+                 "return $a"),
+            "(flwor (for $b in $s) (group-by ((path $b child::a) into $a "
+            "using local:set-equal)) (return $a))");
+}
+
+TEST(Parser, NestWithOrderBy) {
+  EXPECT_EQ(Dump("for $s in $in group by $s/r into $r "
+                 "nest $s order by $s/ts into $rs return $rs"),
+            "(flwor (for $s in $in) (group-by ((path $s child::r) into $r) "
+            "(nest $s (order-by ((path $s child::ts) asc)) into $rs)) "
+            "(return $rs))");
+}
+
+TEST(Parser, PostGroupLetAndWhere) {
+  EXPECT_EQ(Dump("for $b in $s group by $b/p into $p nest $b into $bs "
+                 "let $n := count($bs) where $n > 1 return $p"),
+            "(flwor (for $b in $s) (group-by ((path $b child::p) into $p) "
+            "(nest $b into $bs)) (let $n := (count $bs)) "
+            "(where (general-gt $n 1)) (return $p))");
+}
+
+TEST(Parser, ReturnAtVariable) {
+  EXPECT_EQ(Dump("for $x in $s order by $x return at $rank $rank"),
+            "(flwor (for $x in $s) (order-by ($x asc)) "
+            "(return at $rank $rank))");
+}
+
+TEST(Parser, StableOrderByAndEmptyModifiers) {
+  EXPECT_EQ(
+      Dump("for $x in $s stable order by $x empty greatest return $x"),
+      "(flwor (for $x in $s) (order-by stable ($x asc empty-greatest)) "
+      "(return $x))");
+}
+
+TEST(Parser, DirectConstructors) {
+  EXPECT_EQ(Dump("<a/>"), "(elem a)");
+  EXPECT_EQ(Dump("<a>text</a>"), "(elem a \"text\")");
+  EXPECT_EQ(Dump("<a x=\"1\">{$v}</a>"), "(elem a (@x \"1\") {$v})");
+  EXPECT_EQ(Dump("<a><b>{1 + 2}</b></a>"),
+            "(elem a {(elem b {(+ 1 2)})})");
+  EXPECT_EQ(Dump("<a x=\"{$v}-suffix\"/>"),
+            "(elem a (@x {$v} \"-suffix\"))");
+}
+
+TEST(Parser, ConstructorEscapes) {
+  EXPECT_EQ(Dump("<a>{{literal}}</a>"), "(elem a \"{literal}\")");
+  EXPECT_EQ(Dump("<a>&lt;tag&gt;</a>"), "(elem a \"<tag>\")");
+  EXPECT_EQ(Dump("<a><![CDATA[x < y]]></a>"), "(elem a \"x < y\")");
+  EXPECT_EQ(Dump("<a><!-- note --></a>"), "(elem a (comment \" note \"))");
+}
+
+TEST(Parser, ConstructorBoundaryWhitespaceStripped) {
+  EXPECT_EQ(Dump("<a>\n  <b/>\n</a>"), "(elem a {(elem b)})");
+  EXPECT_EQ(Dump("<a> {1} </a>"), "(elem a {1})");
+  EXPECT_EQ(Dump("<a> x </a>"), "(elem a \" x \")");
+}
+
+TEST(Parser, PrologDeclarations) {
+  ModulePtr module = ParseQuery(
+      "declare ordering unordered; "
+      "declare variable $size := 10; "
+      "declare function local:double($x as xs:integer) as xs:integer "
+      "{ $x * 2 }; "
+      "local:double($size)");
+  EXPECT_FALSE(module->ordered);
+  ASSERT_EQ(module->variables.size(), 1u);
+  EXPECT_EQ(module->variables[0].name, "size");
+  ASSERT_EQ(module->functions.size(), 1u);
+  EXPECT_EQ(module->functions[0].name, "local:double");
+  ASSERT_EQ(module->functions[0].params.size(), 1u);
+  EXPECT_EQ(module->functions[0].params[0].type.atomic_type,
+            AtomicType::kInteger);
+}
+
+TEST(Parser, SequenceTypes) {
+  ModulePtr module = ParseQuery(
+      "declare function local:f($a as item()*, $b as element(book), "
+      "$c as xs:string?, $d as node()+) as xs:boolean { true() }; 1");
+  const auto& params = module->functions[0].params;
+  EXPECT_EQ(params[0].type.item_kind, SeqType::ItemKind::kItem);
+  EXPECT_EQ(params[0].type.occurrence, SeqType::Occurrence::kStar);
+  EXPECT_EQ(params[1].type.item_kind, SeqType::ItemKind::kElement);
+  EXPECT_EQ(params[1].type.name, "book");
+  EXPECT_EQ(params[2].type.occurrence, SeqType::Occurrence::kOptional);
+  EXPECT_EQ(params[3].type.occurrence, SeqType::Occurrence::kPlus);
+}
+
+TEST(Parser, UnionExpression) {
+  EXPECT_EQ(Dump("$a | $b"), "(xqa:union $a $b)");
+  EXPECT_EQ(Dump("$a union $b"), "(xqa:union $a $b)");
+}
+
+TEST(Parser, KeywordsAsElementNames) {
+  // Operator keywords are contextual: valid as path steps.
+  EXPECT_EQ(Dump("$x/div"), "(path $x child::div)");
+  EXPECT_EQ(Dump("$x/for"), "(path $x child::for)");
+  EXPECT_EQ(Dump("//group"), "(path / descendant-or-self::node() child::group)");
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(ParseQuery("for $x in"), XQueryError);
+  EXPECT_THROW(ParseQuery("1 +"), XQueryError);
+  EXPECT_THROW(ParseQuery("(1, 2"), XQueryError);
+  EXPECT_THROW(ParseQuery("<a><b></a>"), XQueryError);
+  EXPECT_THROW(ParseQuery("<a x=1/>"), XQueryError);
+  EXPECT_THROW(ParseQuery("for $x in $s"), XQueryError);   // missing return
+  EXPECT_THROW(ParseQuery("group by $x into $y"), XQueryError);
+  EXPECT_THROW(ParseQuery("for $b in $s group by $b into return 1"),
+               XQueryError);
+  EXPECT_THROW(ParseQuery("1 2"), XQueryError);  // trailing junk
+  EXPECT_THROW(ParseQuery(""), XQueryError);
+}
+
+TEST(Parser, ErrorLocationReported) {
+  try {
+    ParseQuery("for $x in $s\nreturn <a></b>");
+    FAIL() << "expected error";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXPST0003);
+    EXPECT_EQ(error.location().line, 2u);
+  }
+}
+
+TEST(Parser, DuplicateConstructorAttribute) {
+  try {
+    ParseQuery("<a x=\"1\" x=\"2\"/>");
+    FAIL() << "expected error";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQDY0025);
+  }
+}
+
+}  // namespace
+}  // namespace xqa

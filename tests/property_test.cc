@@ -1,0 +1,216 @@
+// Property-based invariants over randomized workloads, parameterized by
+// generator seed/size. These exercise cross-cutting guarantees:
+//
+//  P1  group by partitions the input: groups are disjoint and cover it.
+//  P2  group by agrees with distinct-values on atomized single-occurrence keys.
+//  P3  nest without order by preserves input order; with order by, sorted.
+//  P4  order by produces a sorted permutation of its input.
+//  P5  return-at numbering is 1..n in output order.
+//  P6  explicit group by and the naive distinct-values/self-join formulation
+//      return the same aggregate rows (the Table 1 equivalence).
+//  P7  deep-equal grouping keys: items land in the same group iff deep-equal.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "api/engine.h"
+#include "workload/orders.h"
+#include "workload/sales.h"
+
+namespace xqa {
+namespace {
+
+struct PropertyCase {
+  uint64_t seed;
+  int num_orders;
+};
+
+class GroupPartitionProperty : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    workload::OrderConfig config;
+    config.seed = GetParam().seed;
+    config.num_orders = GetParam().num_orders;
+    doc_ = workload::GenerateOrdersDocument(config);
+  }
+
+  std::string Run(const std::string& query) {
+    return engine_.Compile(query).ExecuteToString(doc_);
+  }
+
+  Engine engine_;
+  DocumentPtr doc_;
+};
+
+TEST_P(GroupPartitionProperty, P1GroupSizesSumToInputSize) {
+  std::string total = Run("count(//lineitem)");
+  std::string summed = Run(
+      "sum(for $l in //lineitem "
+      "    group by $l/shipmode into $m nest $l into $ls "
+      "    return count($ls))");
+  EXPECT_EQ(total, summed);
+}
+
+TEST_P(GroupPartitionProperty, P1EveryItemInExactlyOneGroup) {
+  // Union of all groups, deduplicated by node identity, equals the input.
+  std::string rejoined = Run(
+      "count(for $l in //lineitem "
+      "      group by $l/shipmode into $m nest $l into $ls "
+      "      return $ls)");
+  std::string total = Run("count(//lineitem)");
+  EXPECT_EQ(rejoined, total);
+}
+
+TEST_P(GroupPartitionProperty, P2GroupCountMatchesDistinctValues) {
+  std::string groups = Run(
+      "count(for $l in //lineitem group by $l/shipinstruct into $k return 1)");
+  std::string distinct =
+      Run("count(distinct-values(//lineitem/shipinstruct))");
+  EXPECT_EQ(groups, distinct);
+}
+
+TEST_P(GroupPartitionProperty, P3NestPreservesInputOrder) {
+  // The nested linenumbers of one order appear in document order.
+  std::string violations = Run(
+      "count(for $o in //order "
+      "      for $l at $i in $o/lineitem "
+      "      where $i > 1 and "
+      "            number($l/linenumber) <= "
+      "            number($o/lineitem[$i - 1]/linenumber) "
+      "      return 1)");
+  EXPECT_EQ(violations, "0");
+  // And nest keeps that order.
+  std::string first = Run(
+      "for $l in (//lineitem)[position() <= 5] "
+      "group by 1 into $k nest string($l/linenumber) into $ns "
+      "return string-join($ns, \",\")");
+  std::string direct = Run(
+      "string-join(for $l in (//lineitem)[position() <= 5] "
+      "return string($l/linenumber), \",\")");
+  EXPECT_EQ(first, direct);
+}
+
+TEST_P(GroupPartitionProperty, P4OrderBySorts) {
+  std::string prices = Run(
+      "string-join(for $l in //lineitem "
+      "order by number($l/extendedprice) "
+      "return string($l/extendedprice), \",\")");
+  std::istringstream stream(prices);
+  std::string token;
+  double previous = -1;
+  int count = 0;
+  while (std::getline(stream, token, ',')) {
+    double value = std::stod(token);
+    EXPECT_GE(value, previous);
+    previous = value;
+    ++count;
+  }
+  EXPECT_EQ(std::to_string(count), Run("count(//lineitem)"));
+}
+
+TEST_P(GroupPartitionProperty, P5ReturnAtIsDenseAscending) {
+  std::string ranks = Run(
+      "string-join(for $l in //lineitem "
+      "order by number($l/extendedprice) descending "
+      "return at $r string($r), \",\")");
+  std::istringstream stream(ranks);
+  std::string token;
+  int expected = 1;
+  while (std::getline(stream, token, ',')) {
+    EXPECT_EQ(token, std::to_string(expected++));
+  }
+}
+
+TEST_P(GroupPartitionProperty, P6NaiveAndExplicitAgree) {
+  std::string explicit_rows = Run(
+      "for $l in //lineitem "
+      "group by $l/quantity into $q nest $l into $ls "
+      "order by number($q) "
+      "return <r>{string($q), count($ls)}</r>");
+  std::string naive_rows = Run(
+      "for $q in distinct-values(//lineitem/quantity) "
+      "let $ls := for $l in //lineitem where $l/quantity = $q return $l "
+      "order by number($q) "
+      "return <r>{string($q), count($ls)}</r>");
+  EXPECT_EQ(explicit_rows, naive_rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, GroupPartitionProperty,
+    ::testing::Values(PropertyCase{1, 40}, PropertyCase{2, 80},
+                      PropertyCase{3, 120}, PropertyCase{7, 60},
+                      PropertyCase{11, 100}, PropertyCase{13, 30},
+                      PropertyCase{42, 150}, PropertyCase{99, 50}));
+
+// --- P7 on sales data: deep-equal consistency of grouping -------------------
+
+class SalesGroupingProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    workload::SalesConfig config;
+    config.seed = GetParam();
+    config.num_sales = 300;
+    doc_ = workload::GenerateSalesDocument(config);
+  }
+
+  std::string Run(const std::string& query) {
+    return engine_.Compile(query).ExecuteToString(doc_);
+  }
+
+  Engine engine_;
+  DocumentPtr doc_;
+};
+
+TEST_P(SalesGroupingProperty, P7SameGroupIffDeepEqualKey) {
+  // Every pair of sales in one state-group has deep-equal state keys; the
+  // count of cross-group deep-equal key pairs is zero.
+  EXPECT_EQ(Run("count(for $s in //sale "
+                "group by string($s/state) into $state "
+                "nest $s into $ss "
+                "where count(distinct-values($ss/state)) != 1 "
+                "return 1)"),
+            "0");
+  // Number of groups equals the number of distinct states.
+  EXPECT_EQ(Run("count(for $s in //sale group by $s/state into $k return 1)"),
+            Run("count(distinct-values(//sale/state))"));
+}
+
+TEST_P(SalesGroupingProperty, TwoLevelGroupingConsistent) {
+  // Sum over (region, year) groups equals the global sum.
+  std::string global =
+      Run("round-half-to-even(sum(//sale/(quantity * price)), 2)");
+  std::string grouped = Run(
+      "round-half-to-even(sum(for $s in //sale "
+      "group by $s/region into $r, "
+      "         year-from-dateTime($s/timestamp) into $y "
+      "nest $s into $ss "
+      "return sum($ss/(quantity * price))), 2)");
+  EXPECT_EQ(global, grouped);
+}
+
+TEST_P(SalesGroupingProperty, MovingWindowCoversPrefixSums) {
+  // Q8-style window of size 10^9 equals the full prefix sum: the last
+  // sale's window total = total - its own amount.
+  std::string check = Run(
+      "for $s in //sale group by $s/region into $region "
+      "nest $s order by $s/timestamp into $rs "
+      "order by string($region) "
+      "return round-half-to-even( "
+      "  sum(for $s2 at $j in $rs where $j < count($rs) "
+      "      return $s2/quantity * $s2/price) "
+      "  + ($rs[last()]/quantity * $rs[last()]/price) "
+      "  - sum($rs/(quantity * price)), 2)");
+  std::istringstream stream(check);
+  std::string token;
+  while (stream >> token) {
+    EXPECT_EQ(token, "0");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SalesGroupingProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,171 @@
+// RegexLite unit tests plus fn:matches / fn:replace / fn:tokenize.
+
+#include "base/regex_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+bool Matches(const std::string& pattern, const std::string& text,
+             const std::string& flags = "") {
+  return RegexLite::Compile(pattern, flags).Search(text);
+}
+
+TEST(RegexLite, Literals) {
+  EXPECT_TRUE(Matches("abc", "xxabcxx"));
+  EXPECT_FALSE(Matches("abc", "abx"));
+  EXPECT_TRUE(Matches("", "anything"));  // empty pattern matches anywhere
+}
+
+TEST(RegexLite, Anchors) {
+  EXPECT_TRUE(Matches("^abc", "abcdef"));
+  EXPECT_FALSE(Matches("^abc", "xabc"));
+  EXPECT_TRUE(Matches("def$", "abcdef"));
+  EXPECT_FALSE(Matches("abc$", "abcdef"));
+  EXPECT_TRUE(Matches("^abc$", "abc"));
+}
+
+TEST(RegexLite, DotAndClasses) {
+  EXPECT_TRUE(Matches("a.c", "abc"));
+  EXPECT_FALSE(Matches("a.c", "a\nc"));  // dot excludes newline by default
+  EXPECT_TRUE(Matches("a.c", "a\nc", "s"));
+  EXPECT_TRUE(Matches("[abc]+", "cab"));
+  EXPECT_TRUE(Matches("[a-f0-9]+", "deadbeef42"));
+  EXPECT_FALSE(Matches("^[a-f]+$", "xyz"));
+  EXPECT_TRUE(Matches("[^0-9]", "a1"));
+  EXPECT_FALSE(Matches("^[^0-9]+$", "123"));
+  EXPECT_TRUE(Matches("[-x]", "-"));  // literal '-' at class edge
+}
+
+TEST(RegexLite, EscapeClasses) {
+  EXPECT_TRUE(Matches("\\d+", "abc123"));
+  EXPECT_FALSE(Matches("^\\d+$", "12a"));
+  EXPECT_TRUE(Matches("\\w+", "under_score9"));
+  EXPECT_TRUE(Matches("\\s", "a b"));
+  EXPECT_TRUE(Matches("^\\D+$", "abc"));
+  EXPECT_TRUE(Matches("\\$\\.", "$."));  // escaped metacharacters
+}
+
+TEST(RegexLite, Quantifiers) {
+  EXPECT_TRUE(Matches("^ab*c$", "ac"));
+  EXPECT_TRUE(Matches("^ab*c$", "abbbc"));
+  EXPECT_TRUE(Matches("^ab+c$", "abc"));
+  EXPECT_FALSE(Matches("^ab+c$", "ac"));
+  EXPECT_TRUE(Matches("^ab?c$", "ac"));
+  EXPECT_FALSE(Matches("^ab?c$", "abbc"));
+  EXPECT_TRUE(Matches("^a{3}$", "aaa"));
+  EXPECT_FALSE(Matches("^a{3}$", "aa"));
+  EXPECT_TRUE(Matches("^a{2,}$", "aaaa"));
+  EXPECT_TRUE(Matches("^a{1,3}$", "aa"));
+  EXPECT_FALSE(Matches("^a{1,3}$", "aaaa"));
+}
+
+TEST(RegexLite, AlternationAndGroups) {
+  EXPECT_TRUE(Matches("^(cat|dog)$", "dog"));
+  EXPECT_FALSE(Matches("^(cat|dog)$", "cow"));
+  EXPECT_TRUE(Matches("^(ab)+$", "ababab"));
+  EXPECT_TRUE(Matches("^(a|b)*c$", "abbac"));
+  EXPECT_TRUE(Matches("x(1|2)?y", "xy"));
+}
+
+TEST(RegexLite, Backtracking) {
+  EXPECT_TRUE(Matches("^a*a$", "aaa"));      // star must give one back
+  EXPECT_TRUE(Matches("^.*b$", "aab"));
+  EXPECT_TRUE(Matches("^(a+)(ab)$", "aaab"));  // group boundary adjusts
+}
+
+TEST(RegexLite, CaseInsensitive) {
+  EXPECT_TRUE(Matches("abc", "xABCx", "i"));
+  EXPECT_TRUE(Matches("[a-f]+", "DEAD", "i"));
+  EXPECT_FALSE(Matches("abc", "ABC"));
+}
+
+TEST(RegexLite, LiteralFlag) {
+  EXPECT_TRUE(Matches("a.c", "xa.cx", "q"));
+  EXPECT_FALSE(Matches("a.c", "abc", "q"));
+}
+
+TEST(RegexLite, FullMatch) {
+  EXPECT_TRUE(RegexLite::Compile("a+").FullMatch("aaa"));
+  EXPECT_FALSE(RegexLite::Compile("a+").FullMatch("aab"));
+  // Requires backtracking past a shorter greedy match.
+  EXPECT_TRUE(RegexLite::Compile("a*ab").FullMatch("aaab"));
+}
+
+TEST(RegexLite, Replace) {
+  EXPECT_EQ(RegexLite::Compile("o").Replace("foo", "0"), "f00");
+  EXPECT_EQ(RegexLite::Compile("\\d+").Replace("a1b22c", "#"), "a#b#c");
+  EXPECT_EQ(RegexLite::Compile("(\\w+)@(\\w+)").Replace("me@host", "$2.$1"),
+            "host.me");
+  EXPECT_EQ(RegexLite::Compile("x").Replace("abc", "y"), "abc");
+  EXPECT_EQ(RegexLite::Compile("a").Replace("aaa", "$0$0"), "aaaaaa");
+}
+
+TEST(RegexLite, Tokenize) {
+  auto tokens = RegexLite::Compile(",\\s*").Tokenize("a, b,c");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "b");
+  EXPECT_EQ(tokens[2], "c");
+  // Leading separator yields a leading empty token.
+  auto leading = RegexLite::Compile(",").Tokenize(",a");
+  ASSERT_EQ(leading.size(), 2u);
+  EXPECT_EQ(leading[0], "");
+  EXPECT_TRUE(RegexLite::Compile(",").Tokenize("").empty());
+}
+
+TEST(RegexLite, Errors) {
+  EXPECT_THROW(RegexLite::Compile("("), XQueryError);
+  EXPECT_THROW(RegexLite::Compile(")"), XQueryError);
+  EXPECT_THROW(RegexLite::Compile("*a"), XQueryError);
+  EXPECT_THROW(RegexLite::Compile("[z-a]"), XQueryError);
+  EXPECT_THROW(RegexLite::Compile("[abc"), XQueryError);
+  EXPECT_THROW(RegexLite::Compile("a\\"), XQueryError);
+  EXPECT_THROW(RegexLite::Compile("a", "x"), XQueryError);
+  EXPECT_THROW(RegexLite::Compile("a{3,1}"), XQueryError);
+  // Zero-length matches are rejected by replace/tokenize.
+  EXPECT_THROW(RegexLite::Compile("a*").Replace("bbb", "x"), XQueryError);
+  EXPECT_THROW(RegexLite::Compile("a?").Tokenize("bbb"), XQueryError);
+}
+
+// --- XQuery surface -----------------------------------------------------------
+
+class RegexFnTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<r/>");
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+  Engine engine_;
+};
+
+TEST_F(RegexFnTest, Matches) {
+  EXPECT_EQ(Run("matches(\"abracadabra\", \"bra\")"), "true");
+  EXPECT_EQ(Run("matches(\"abracadabra\", \"^a.*a$\")"), "true");
+  EXPECT_EQ(Run("matches(\"abracadabra\", \"^bra\")"), "false");
+  EXPECT_EQ(Run("matches(\"HELLO\", \"hello\", \"i\")"), "true");
+}
+
+TEST_F(RegexFnTest, Replace) {
+  EXPECT_EQ(Run("replace(\"abracadabra\", \"bra\", \"*\")"), "a*cada*");
+  EXPECT_EQ(Run("replace(\"abc-123\", \"(\\d+)\", \"[$1]\")"), "abc-[123]");
+  EXPECT_EQ(Run("replace(\"AAA\", \"a\", \"b\", \"i\")"), "bbb");
+}
+
+TEST_F(RegexFnTest, Tokenize) {
+  EXPECT_EQ(Run("count(tokenize(\"a b c\", \"\\s+\"))"), "3");
+  EXPECT_EQ(Run("string-join(tokenize(\"1,2,,3\", \",\"), \"|\")"), "1|2||3");
+  EXPECT_EQ(Run("count(tokenize(\"\", \",\"))"), "0");
+}
+
+TEST_F(RegexFnTest, UsableInQueries) {
+  EXPECT_EQ(Run("for $w in tokenize(\"green tea, black tea\", \",\\s*\") "
+                "where matches($w, \"^green\") return upper-case($w)"),
+            "GREEN TEA");
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,160 @@
+// Round-trip and robustness properties:
+//
+//  R1  serialize(parse(x)) == x for canonical documents, and
+//      deep-equal(parse(serialize(t)), t) for random generated trees.
+//  R2  randomly truncating or mutating valid queries never crashes the
+//      parser — it either parses or throws XQueryError.
+//  R3  a constructed copy of any element deep-equals its source.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "base/error.h"
+#include "workload/random.h"
+#include "xdm/deep_equal.h"
+#include "xml/serializer.h"
+
+namespace xqa {
+namespace {
+
+// --- R1: random tree generation and round-trip --------------------------------
+
+void BuildRandomTree(Document* doc, Node* parent, workload::Random* random,
+                     int depth) {
+  int children = static_cast<int>(random->NextInt(0, depth > 0 ? 4 : 0));
+  for (int i = 0; i < children; ++i) {
+    switch (random->NextInt(0, 3)) {
+      case 0:
+      case 1: {
+        Node* element = doc->CreateElement(
+            "e" + std::to_string(random->NextInt(0, 5)));
+        if (random->NextBool(0.4)) {
+          doc->AppendAttribute(
+              element,
+              doc->CreateAttribute(
+                  "a" + std::to_string(random->NextInt(0, 2)),
+                  "value-" + std::to_string(random->NextInt(0, 99))));
+        }
+        doc->AppendChild(parent, element);
+        BuildRandomTree(doc, element, random, depth - 1);
+        break;
+      }
+      case 2:
+        doc->AppendChild(
+            parent,
+            doc->CreateText("text " + std::to_string(random->NextInt(0, 99)) +
+                            " <&> "));
+        break;
+      case 3:
+        doc->AppendChild(parent, doc->CreateComment("note"));
+        break;
+    }
+  }
+}
+
+class XmlRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlRoundTripProperty, SerializeParseIsDeepEqual) {
+  workload::Random random(GetParam());
+  auto doc = std::make_shared<Document>();
+  Node* root = doc->CreateElement("root");
+  doc->AppendChild(doc->root(), root);
+  BuildRandomTree(doc.get(), root, &random, 4);
+  doc->SealOrder();
+
+  std::string xml = SerializeNode(root);
+  XmlParseOptions options;
+  options.strip_whitespace_text = false;  // preserve generated text exactly
+  DocumentPtr reparsed = ParseXml(xml, options);
+  EXPECT_TRUE(DeepEqualNodes(root, reparsed->root()->children()[0]))
+      << xml;
+  // Serialization is a fixpoint.
+  EXPECT_EQ(SerializeNode(reparsed->root()->children()[0]), xml);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+// --- R2: parser robustness under mutation --------------------------------------
+
+class ParserRobustnessProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserRobustnessProperty, MutatedQueriesNeverCrash) {
+  static const char* kSeeds[] = {
+      "for $b in //book group by $b/publisher into $p "
+      "nest $b/price into $prices order by $p return <g>{avg($prices)}</g>",
+      "declare function local:f($x as xs:integer) { $x * 2 }; local:f(21)",
+      "<a x=\"{1 + 2}\">{for $i in 1 to 3 return <b>{$i}</b>}</a>",
+      "some $x in (1, 2) satisfies $x = 2 and every $y in () satisfies $y",
+      "//sale[region = \"West\"]/(quantity * price)",
+  };
+  workload::Random random(GetParam());
+  Engine engine;
+  for (const char* seed : kSeeds) {
+    std::string query = seed;
+    int mutations = static_cast<int>(random.NextInt(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (random.NextInt(0, 2)) {
+        case 0:  // truncate
+          query = query.substr(
+              0, static_cast<size_t>(random.NextInt(
+                     0, static_cast<int64_t>(query.size()))));
+          break;
+        case 1: {  // flip one character
+          if (query.empty()) break;
+          size_t at = static_cast<size_t>(
+              random.NextInt(0, static_cast<int64_t>(query.size()) - 1));
+          query[at] = static_cast<char>(random.NextInt(32, 126));
+          break;
+        }
+        case 2: {  // duplicate a slice
+          if (query.size() < 4) break;
+          size_t at = static_cast<size_t>(
+              random.NextInt(0, static_cast<int64_t>(query.size()) - 3));
+          query.insert(at, query.substr(at, 3));
+          break;
+        }
+      }
+    }
+    // Must either compile or throw a well-formed XQueryError; anything else
+    // (crash, non-XQueryError exception) fails the test.
+    try {
+      (void)engine.Compile(query);
+    } catch (const XQueryError&) {
+      // expected for most mutations
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustnessProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+// --- R3: constructor copies are deep-equal -------------------------------------
+
+class CopyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CopyProperty, ConstructedCopyDeepEqualsSource) {
+  workload::Random random(GetParam());
+  auto doc = std::make_shared<Document>();
+  Node* root = doc->CreateElement("r");
+  doc->AppendChild(doc->root(), root);
+  BuildRandomTree(doc.get(), root, &random, 3);
+  doc->SealOrder();
+
+  Engine engine;
+  // <copy>{/r/node()}</copy> copies all content.
+  DocumentPtr parsed = Engine::ParseDocument(SerializeNode(root));
+  Sequence result =
+      engine.Compile("<r>{/r/(node() | @*)}</r>").Execute(parsed);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(
+      DeepEqualNodes(result[0].node(), parsed->root()->children()[0]));
+  // Identity differs: it is a copy.
+  EXPECT_NE(result[0].node(), parsed->root()->children()[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CopyProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{15}));
+
+}  // namespace
+}  // namespace xqa

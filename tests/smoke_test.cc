@@ -1,0 +1,35 @@
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "workload/books.h"
+
+namespace xqa {
+namespace {
+
+TEST(Smoke, ParseAndCount) {
+  Engine engine;
+  DocumentPtr doc =
+      Engine::ParseDocument(workload::PaperBibliographyXml());
+  PreparedQuery query = engine.Compile("count(//book)");
+  Sequence result = query.Execute(doc);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].atomic().AsInteger(), 7);
+}
+
+TEST(Smoke, GroupByRuns) {
+  Engine engine;
+  DocumentPtr doc =
+      Engine::ParseDocument(workload::PaperBibliographyXml());
+  PreparedQuery query = engine.Compile(R"(
+    for $b in //book
+    group by $b/publisher into $p
+    nest $b/price into $prices
+    order by $p
+    return <g>{$p}<n>{count($prices)}</n></g>
+  )");
+  std::string out = query.ExecuteToString(doc);
+  EXPECT_NE(out.find("Morgan Kaufmann"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,138 @@
+#include "base/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+
+namespace xqa {
+namespace {
+
+TEST(TrimWhitespace, Basics) {
+  EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
+  EXPECT_EQ(TrimWhitespace("\t\r\nabc"), "abc");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("a b"), "a b");
+}
+
+TEST(IsAllWhitespace, Basics) {
+  EXPECT_TRUE(IsAllWhitespace(""));
+  EXPECT_TRUE(IsAllWhitespace(" \t\r\n"));
+  EXPECT_FALSE(IsAllWhitespace(" x "));
+}
+
+TEST(CollapseWhitespace, Basics) {
+  EXPECT_EQ(CollapseWhitespace("  a   b  "), "a b");
+  EXPECT_EQ(CollapseWhitespace("a\t\nb"), "a b");
+  EXPECT_EQ(CollapseWhitespace(""), "");
+  EXPECT_EQ(CollapseWhitespace("   "), "");
+}
+
+TEST(SplitChar, Basics) {
+  auto parts = SplitChar("a/b//c", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(SplitChar("", ',').size(), 1u);
+}
+
+TEST(IsNCName, Basics) {
+  EXPECT_TRUE(IsNCName("book"));
+  EXPECT_TRUE(IsNCName("year-from-dateTime"));
+  EXPECT_TRUE(IsNCName("_x1.2"));
+  EXPECT_FALSE(IsNCName(""));
+  EXPECT_FALSE(IsNCName("1abc"));
+  EXPECT_FALSE(IsNCName("-abc"));
+  EXPECT_FALSE(IsNCName("a:b"));  // NCName excludes ':'
+}
+
+TEST(FormatDouble, IntegralValues) {
+  EXPECT_EQ(FormatDouble(42), "42");
+  EXPECT_EQ(FormatDouble(-7), "-7");
+  EXPECT_EQ(FormatDouble(0), "0");
+  EXPECT_EQ(FormatDouble(-0.0), "-0");
+  EXPECT_EQ(FormatDouble(1e10), "10000000000");
+}
+
+TEST(FormatDouble, SpecialValues) {
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "INF");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-INF");
+}
+
+TEST(FormatDouble, Fractions) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(-0.25), "-0.25");
+  // Round-trips.
+  double parsed;
+  ASSERT_TRUE(ParseDouble(FormatDouble(0.1), &parsed));
+  EXPECT_EQ(parsed, 0.1);
+}
+
+TEST(FormatDouble, ExponentForm) {
+  std::string s = FormatDouble(1.5e20);
+  EXPECT_NE(s.find('E'), std::string::npos);
+  double parsed;
+  ASSERT_TRUE(ParseDouble(s, &parsed));
+  EXPECT_EQ(parsed, 1.5e20);
+}
+
+TEST(ParseInteger, Basics) {
+  int64_t v;
+  EXPECT_TRUE(ParseInteger("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInteger("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInteger("+7", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(ParseInteger("  99  ", &v));
+  EXPECT_EQ(v, 99);
+}
+
+TEST(ParseInteger, Limits) {
+  int64_t v;
+  EXPECT_TRUE(ParseInteger("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(ParseInteger("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+  EXPECT_FALSE(ParseInteger("9223372036854775808", &v));
+  EXPECT_FALSE(ParseInteger("-9223372036854775809", &v));
+}
+
+TEST(ParseInteger, Rejects) {
+  int64_t v;
+  EXPECT_FALSE(ParseInteger("", &v));
+  EXPECT_FALSE(ParseInteger("12.5", &v));
+  EXPECT_FALSE(ParseInteger("abc", &v));
+  EXPECT_FALSE(ParseInteger("-", &v));
+}
+
+TEST(ParseDouble, XQueryForms) {
+  double v;
+  EXPECT_TRUE(ParseDouble("NaN", &v));
+  EXPECT_TRUE(std::isnan(v));
+  EXPECT_TRUE(ParseDouble("INF", &v));
+  EXPECT_TRUE(std::isinf(v) && v > 0);
+  EXPECT_TRUE(ParseDouble("-INF", &v));
+  EXPECT_TRUE(std::isinf(v) && v < 0);
+  EXPECT_TRUE(ParseDouble("1.5e3", &v));
+  EXPECT_EQ(v, 1500);
+  EXPECT_FALSE(ParseDouble("inf", &v));   // lowercase not XQuery
+  EXPECT_FALSE(ParseDouble("nan", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(Escape, TextAndAttribute) {
+  EXPECT_EQ(EscapeText("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+  EXPECT_EQ(EscapeAttribute("say \"hi\""), "say &quot;hi&quot;");
+  EXPECT_EQ(EscapeAttribute("<&>"), "&lt;&amp;&gt;");
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,83 @@
+// Thread-compatibility: one PreparedQuery executed concurrently from many
+// threads (each Execute gets its own DynamicContext), and independent
+// engines compiling in parallel.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "workload/orders.h"
+
+namespace xqa {
+namespace {
+
+TEST(Threading, ConcurrentExecutionsOfOnePreparedQuery) {
+  Engine engine;
+  workload::OrderConfig config;
+  config.num_orders = 100;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  PreparedQuery query = engine.Compile(
+      "for $l in //lineitem group by $l/shipmode into $m "
+      "nest $l into $ls order by string($m) return count($ls)");
+  const std::string expected = query.ExecuteToString(doc);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 20; ++i) {
+        if (query.ExecuteToString(doc) != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Threading, ConcurrentCompilation) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      Engine engine;
+      for (int i = 0; i < 50; ++i) {
+        std::string query = "for $x in (1 to " + std::to_string(t + i + 1) +
+                            ") group by $x mod 3 into $k "
+                            "nest $x into $xs return count($xs)";
+        try {
+          (void)engine.Compile(query);
+        } catch (...) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Threading, ConcurrentDocumentParsing) {
+  workload::OrderConfig config;
+  config.num_orders = 30;
+  const std::string xml = workload::GenerateOrdersXml(config);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 10; ++i) {
+        DocumentPtr doc = Engine::ParseDocument(xml);
+        if (doc->root()->children().empty()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,192 @@
+// Type-operator tests: instance of / treat as / castable as / cast as, plus
+// the function conversion rules applied to declared parameter types.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "eval/type_match.h"
+
+namespace xqa {
+namespace {
+
+class TypeOpsTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query,
+                  const std::string& xml = "<root><a>1</a></root>") {
+    DocumentPtr doc = Engine::ParseDocument(xml);
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  ErrorCode RunError(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<root><a>1</a></root>");
+    try {
+      engine_.Compile(query).Execute(doc);
+    } catch (const XQueryError& error) {
+      return error.code();
+    }
+    return ErrorCode::kOk;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(TypeOpsTest, InstanceOfAtomicTypes) {
+  EXPECT_EQ(Run("1 instance of xs:integer"), "true");
+  EXPECT_EQ(Run("1 instance of xs:decimal"), "true");  // integer ⊆ decimal
+  EXPECT_EQ(Run("1.5 instance of xs:integer"), "false");
+  EXPECT_EQ(Run("1.5 instance of xs:decimal"), "true");
+  EXPECT_EQ(Run("1e0 instance of xs:double"), "true");
+  EXPECT_EQ(Run("1e0 instance of xs:decimal"), "false");
+  EXPECT_EQ(Run("\"x\" instance of xs:string"), "true");
+  EXPECT_EQ(Run("true() instance of xs:boolean"), "true");
+}
+
+TEST_F(TypeOpsTest, InstanceOfOccurrence) {
+  EXPECT_EQ(Run("() instance of xs:integer"), "false");
+  EXPECT_EQ(Run("() instance of xs:integer?"), "true");
+  EXPECT_EQ(Run("() instance of xs:integer*"), "true");
+  EXPECT_EQ(Run("(1, 2) instance of xs:integer"), "false");
+  EXPECT_EQ(Run("(1, 2) instance of xs:integer+"), "true");
+  EXPECT_EQ(Run("(1, 2) instance of xs:integer*"), "true");
+  EXPECT_EQ(Run("(1, \"a\") instance of xs:integer*"), "false");
+}
+
+TEST_F(TypeOpsTest, InstanceOfNodeKinds) {
+  EXPECT_EQ(Run("//a instance of element()"), "true");
+  EXPECT_EQ(Run("//a instance of element(a)"), "true");
+  EXPECT_EQ(Run("//a instance of element(b)"), "false");
+  EXPECT_EQ(Run("//a instance of node()"), "true");
+  EXPECT_EQ(Run("//a instance of item()"), "true");
+  EXPECT_EQ(Run("//a/text() instance of text()"), "true");
+  EXPECT_EQ(Run("1 instance of node()"), "false");
+  // "(/)": a bare "/ instance" would parse "instance" as a step name (the
+  // W3C grammar has the same ambiguity and resolution).
+  EXPECT_EQ(Run("(/) instance of document-node()"), "true");
+  EXPECT_EQ(Run("//missing instance of element()?"), "true");
+}
+
+TEST_F(TypeOpsTest, CastAs) {
+  EXPECT_EQ(Run("\"42\" cast as xs:integer"), "42");
+  EXPECT_EQ(Run("3.9 cast as xs:integer"), "3");
+  EXPECT_EQ(Run("\"1.5\" cast as xs:decimal"), "1.5");
+  EXPECT_EQ(Run("//a cast as xs:integer"), "1");  // atomizes the node
+  EXPECT_EQ(Run("count(() cast as xs:integer?)"), "0");
+  EXPECT_EQ(RunError("() cast as xs:integer"), ErrorCode::kXPTY0004);
+  EXPECT_EQ(RunError("(1, 2) cast as xs:integer"), ErrorCode::kXPTY0004);
+  EXPECT_EQ(RunError("\"abc\" cast as xs:integer"), ErrorCode::kFORG0001);
+}
+
+TEST_F(TypeOpsTest, CastableAs) {
+  EXPECT_EQ(Run("\"42\" castable as xs:integer"), "true");
+  EXPECT_EQ(Run("\"abc\" castable as xs:integer"), "false");
+  EXPECT_EQ(Run("\"2004-01-31\" castable as xs:date"), "true");
+  EXPECT_EQ(Run("\"2004-13-31\" castable as xs:date"), "false");
+  EXPECT_EQ(Run("() castable as xs:integer"), "false");
+  EXPECT_EQ(Run("() castable as xs:integer?"), "true");
+  EXPECT_EQ(Run("(1, 2) castable as xs:integer"), "false");
+}
+
+TEST_F(TypeOpsTest, CastableGuardsCast) {
+  EXPECT_EQ(Run("for $v in (\"3\", \"x\", \"7\") "
+                "return if ($v castable as xs:integer) "
+                "       then $v cast as xs:integer else -1"),
+            "3 -1 7");
+}
+
+TEST_F(TypeOpsTest, TreatAs) {
+  EXPECT_EQ(Run("(1 treat as xs:integer) + 1"), "2");
+  EXPECT_EQ(Run("count(//a treat as element()+)"), "1");
+  EXPECT_EQ(RunError("(1.5 treat as xs:integer) + 1"), ErrorCode::kXPDY0050);
+  EXPECT_EQ(RunError("() treat as xs:integer"), ErrorCode::kXPDY0050);
+}
+
+TEST_F(TypeOpsTest, PrecedenceWithComparison) {
+  // instance-of binds tighter than comparison.
+  EXPECT_EQ(Run("(1 instance of xs:integer) = true()"), "true");
+  EXPECT_EQ(Run("1 instance of xs:integer and 2 instance of xs:integer"),
+            "true");
+}
+
+// --- Function conversion rules ------------------------------------------------
+
+TEST_F(TypeOpsTest, UntypedArgumentsCastToDeclaredType) {
+  // A node argument atomizes to untypedAtomic then casts to the parameter
+  // type — the rule that makes local:f(//a) work with typed params.
+  EXPECT_EQ(Run("declare function local:inc($x as xs:integer) { $x + 1 }; "
+                "local:inc(//a)"),
+            "2");
+  EXPECT_EQ(Run("declare function local:half($x as xs:decimal) { $x div 2 }; "
+                "local:half(5)"),  // integer promotes to decimal
+            "2.5");
+  EXPECT_EQ(Run("declare function local:d($x as xs:double) { $x * 2 }; "
+                "local:d(1.5)"),  // decimal promotes to double
+            "3");
+}
+
+TEST_F(TypeOpsTest, CardinalityEnforced) {
+  EXPECT_EQ(RunError("declare function local:one($x as xs:integer) { $x }; "
+                     "local:one((1, 2))"),
+            ErrorCode::kXPTY0004);
+  EXPECT_EQ(RunError("declare function local:one($x as xs:integer) { $x }; "
+                     "local:one(())"),
+            ErrorCode::kXPTY0004);
+  EXPECT_EQ(Run("declare function local:opt($x as xs:integer?) "
+                "{ count($x) }; local:opt(())"),
+            "0");
+  EXPECT_EQ(RunError("declare function local:el($x as element(book)) { $x }; "
+                     "local:el(//a)"),
+            ErrorCode::kXPTY0004);
+}
+
+TEST_F(TypeOpsTest, UntypedParametersAcceptAnything) {
+  EXPECT_EQ(Run("declare function local:n($x) { count($x) }; "
+                "local:n((1, \"a\", //a))"),
+            "3");
+  EXPECT_EQ(Run("declare function local:n($x) { count($x) }; local:n(())"),
+            "0");
+}
+
+TEST_F(TypeOpsTest, BadConversionMessageNamesParameter) {
+  try {
+    DocumentPtr doc = Engine::ParseDocument("<r/>");
+    engine_.Compile("declare function local:f($x as xs:integer) { $x }; "
+                    "local:f(\"oops\")")
+        .Execute(doc);
+    FAIL() << "expected error";
+  } catch (const XQueryError& error) {
+    EXPECT_NE(std::string(error.what()).find("local:f"), std::string::npos);
+  }
+}
+
+// --- Direct MatchesSeqType coverage -------------------------------------------
+
+TEST(MatchesSeqType, OccurrenceMatrix) {
+  SeqType one;  // item()
+  SeqType star = one;
+  star.occurrence = SeqType::Occurrence::kStar;
+  SeqType optional = one;
+  optional.occurrence = SeqType::Occurrence::kOptional;
+  SeqType plus = one;
+  plus.occurrence = SeqType::Occurrence::kPlus;
+
+  Sequence empty;
+  Sequence single = {MakeInteger(1)};
+  Sequence pair = {MakeInteger(1), MakeInteger(2)};
+
+  EXPECT_FALSE(MatchesSeqType(empty, one));
+  EXPECT_TRUE(MatchesSeqType(single, one));
+  EXPECT_FALSE(MatchesSeqType(pair, one));
+
+  EXPECT_TRUE(MatchesSeqType(empty, optional));
+  EXPECT_TRUE(MatchesSeqType(single, optional));
+  EXPECT_FALSE(MatchesSeqType(pair, optional));
+
+  EXPECT_TRUE(MatchesSeqType(empty, star));
+  EXPECT_TRUE(MatchesSeqType(pair, star));
+
+  EXPECT_FALSE(MatchesSeqType(empty, plus));
+  EXPECT_TRUE(MatchesSeqType(pair, plus));
+}
+
+}  // namespace
+}  // namespace xqa

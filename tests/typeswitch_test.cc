@@ -1,0 +1,131 @@
+// typeswitch expression tests.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace xqa {
+namespace {
+
+class TypeswitchTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query,
+                  const std::string& xml = "<r><a>1</a></r>") {
+    DocumentPtr doc = Engine::ParseDocument(xml);
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  ErrorCode Error(const std::string& query) {
+    try {
+      engine_.Compile(query);
+    } catch (const XQueryError& error) {
+      return error.code();
+    }
+    return ErrorCode::kOk;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(TypeswitchTest, FirstMatchingCaseWins) {
+  EXPECT_EQ(Run("typeswitch (5) "
+                "case xs:string return \"string\" "
+                "case xs:integer return \"integer\" "
+                "case xs:decimal return \"decimal\" "
+                "default return \"other\""),
+            "integer");
+  // Integer matches decimal too; order decides.
+  EXPECT_EQ(Run("typeswitch (5) "
+                "case xs:decimal return \"decimal\" "
+                "case xs:integer return \"integer\" "
+                "default return \"other\""),
+            "decimal");
+}
+
+TEST_F(TypeswitchTest, DefaultWhenNothingMatches) {
+  EXPECT_EQ(Run("typeswitch (\"x\") "
+                "case xs:integer return \"int\" "
+                "default return \"fallback\""),
+            "fallback");
+}
+
+TEST_F(TypeswitchTest, CaseVariableBindsOperand) {
+  EXPECT_EQ(Run("typeswitch (21) "
+                "case $n as xs:integer return $n * 2 "
+                "default return 0"),
+            "42");
+  EXPECT_EQ(Run("typeswitch ((1, 2, 3)) "
+                "case $s as xs:integer+ return sum($s) "
+                "default return 0"),
+            "6");
+}
+
+TEST_F(TypeswitchTest, DefaultVariableBindsOperand) {
+  EXPECT_EQ(Run("typeswitch (\"abc\") "
+                "case xs:integer return 0 "
+                "default $v return string-length($v)"),
+            "3");
+}
+
+TEST_F(TypeswitchTest, NodeKindDispatch) {
+  const char* query =
+      "string-join(for $n in (//a, //a/text(), //a/@*) "
+      "return typeswitch ($n) "
+      "  case element() return \"elem\" "
+      "  case text() return \"text\" "
+      "  default return \"other\", \",\")";
+  EXPECT_EQ(Run(query), "elem,text");
+}
+
+TEST_F(TypeswitchTest, OccurrenceDispatch) {
+  EXPECT_EQ(Run("for $s in (1, 2) "
+                "return typeswitch (1 to $s) "
+                "  case xs:integer return \"one\" "
+                "  case xs:integer+ return \"many\" "
+                "  default return \"none\""),
+            "one many");
+  EXPECT_EQ(Run("typeswitch (()) "
+                "case xs:integer return \"one\" "
+                "case xs:integer* return \"maybe\" "
+                "default return \"no\""),
+            "maybe");
+}
+
+TEST_F(TypeswitchTest, CaseVariableScopedToItsBranch) {
+  EXPECT_EQ(Error("(typeswitch (1) case $n as xs:integer return $n "
+                  "default return 0), $n"),
+            ErrorCode::kXPST0008);
+}
+
+TEST_F(TypeswitchTest, SyntaxErrors) {
+  EXPECT_EQ(Error("typeswitch (1) default return 0"), ErrorCode::kXPST0003);
+  EXPECT_EQ(Error("typeswitch (1) case xs:integer return 1"),
+            ErrorCode::kXPST0003);
+}
+
+TEST_F(TypeswitchTest, UsableAsOperand) {
+  EXPECT_EQ(Run("1 + (typeswitch (2) case xs:integer return 10 "
+                "default return 20)"),
+            "11");
+  EXPECT_EQ(Run("if (true()) then typeswitch (1) case xs:integer return "
+                "\"i\" default return \"d\" else \"x\""),
+            "i");
+}
+
+TEST_F(TypeswitchTest, RecursiveTransformIdiom) {
+  // The classic typeswitch use: a recursive identity-ish transform that
+  // renames elements and keeps text.
+  EXPECT_EQ(
+      Run("declare function local:upcase($n as node()) as node() { "
+          "  typeswitch ($n) "
+          "  case $e as element() return "
+          "    element { upper-case(name($e)) } "
+          "      { for $c in $e/node() return local:upcase($c) } "
+          "  default $d return $d "
+          "}; "
+          "local:upcase((//a)[1])"),
+      "<A>1</A>");
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,151 @@
+// Workload generator tests: determinism, paper-matching shape parameters.
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "workload/books.h"
+#include "workload/orders.h"
+#include "workload/random.h"
+#include "workload/sales.h"
+
+namespace xqa {
+namespace {
+
+TEST(WorkloadRandom, Deterministic) {
+  workload::Random a(42), b(42), c(43);
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  EXPECT_NE(a.NextUint64(), c.NextUint64());
+}
+
+TEST(WorkloadRandom, RangesRespected) {
+  workload::Random random(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = random.NextInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    double d = random.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(OrdersWorkload, DeterministicBySeed) {
+  workload::OrderConfig config;
+  config.num_orders = 10;
+  EXPECT_EQ(workload::GenerateOrdersXml(config),
+            workload::GenerateOrdersXml(config));
+  workload::OrderConfig other = config;
+  other.seed = 99;
+  EXPECT_NE(workload::GenerateOrdersXml(config),
+            workload::GenerateOrdersXml(other));
+}
+
+TEST(OrdersWorkload, MatchesPaperShape) {
+  // Section 6: each order ~3 KB of text, an average of four lineitems, and
+  // many child elements per lineitem.
+  workload::OrderConfig config;
+  config.num_orders = 200;
+  std::string xml = workload::GenerateOrdersXml(config);
+  double bytes_per_order = static_cast<double>(xml.size()) / config.num_orders;
+  EXPECT_GT(bytes_per_order, 2000) << "orders should be ~3KB";
+  EXPECT_LT(bytes_per_order, 4500) << "orders should be ~3KB";
+
+  DocumentPtr doc = Engine::ParseDocument(xml);
+  Engine engine;
+  double lineitems = std::stod(
+      engine.Compile("count(//order/lineitem)").ExecuteToString(doc));
+  double average = lineitems / config.num_orders;
+  EXPECT_GT(average, 3.0);
+  EXPECT_LT(average, 5.0);
+  // Lineitems have many children (the paper: "many child elements").
+  EXPECT_EQ(engine.Compile("count((//lineitem)[1]/*)").ExecuteToString(doc),
+            "15");
+}
+
+TEST(OrdersWorkload, GroupingChildCardinalities) {
+  workload::OrderConfig config;
+  config.num_orders = 400;
+  config.shipinstruct_cardinality = 13;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  Engine engine;
+  EXPECT_EQ(engine
+                .Compile("count(distinct-values(//lineitem/shipinstruct))")
+                .ExecuteToString(doc),
+            "13");
+  EXPECT_EQ(engine.Compile("count(distinct-values(//lineitem/shipmode))")
+                .ExecuteToString(doc),
+            "7");
+  // Each grouping child occurs exactly once per lineitem (the experiment's
+  // stated precondition).
+  EXPECT_EQ(engine
+                .Compile("count(//lineitem[count(shipinstruct) != 1])")
+                .ExecuteToString(doc),
+            "0");
+}
+
+TEST(OrdersWorkload, CountLineitemsConsistent) {
+  workload::OrderConfig config;
+  config.num_orders = 50;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  Engine engine;
+  EXPECT_EQ(std::to_string(workload::CountLineitems(config)),
+            engine.Compile("count(//lineitem)").ExecuteToString(doc));
+}
+
+TEST(BooksWorkload, ShapeAndOptionality) {
+  workload::BooksConfig config;
+  config.num_books = 300;
+  config.no_publisher_prob = 0.25;
+  config.with_categories = true;
+  DocumentPtr doc = workload::GenerateBooksDocument(config);
+  Engine engine;
+  EXPECT_EQ(engine.Compile("count(//book)").ExecuteToString(doc), "300");
+  // Some books lack publishers, none lack years.
+  std::string missing = engine
+      .Compile("count(//book[not(publisher)])").ExecuteToString(doc);
+  EXPECT_GT(std::stoi(missing), 0);
+  EXPECT_EQ(engine.Compile("count(//book[not(year)])").ExecuteToString(doc),
+            "0");
+  EXPECT_GT(std::stoi(engine.Compile("count(//book/categories)")
+                          .ExecuteToString(doc)),
+            0);
+}
+
+TEST(BooksWorkload, PaperDocumentsParse) {
+  Engine engine;
+  DocumentPtr bib = Engine::ParseDocument(workload::PaperBibliographyXml());
+  EXPECT_EQ(engine.Compile("count(//book)").ExecuteToString(bib), "7");
+  DocumentPtr sales = Engine::ParseDocument(workload::PaperSalesXml());
+  EXPECT_EQ(engine.Compile("count(//sale)").ExecuteToString(sales), "6");
+  DocumentPtr cats =
+      Engine::ParseDocument(workload::PaperCategorizedBooksXml());
+  EXPECT_EQ(engine.Compile("count(//book/categories)").ExecuteToString(cats),
+            "2");
+}
+
+TEST(SalesWorkload, RegionsContainTheirStates) {
+  workload::SalesConfig config;
+  config.num_sales = 500;
+  DocumentPtr doc = workload::GenerateSalesDocument(config);
+  Engine engine;
+  EXPECT_EQ(engine.Compile("count(//sale)").ExecuteToString(doc), "500");
+  // Every sale has a coherent region/state pairing: grouping by region and
+  // checking each state maps to exactly one region.
+  EXPECT_EQ(engine
+                .Compile("count(for $s in //sale "
+                         "group by $s/state into $state "
+                         "nest $s/region into $regions "
+                         "where count(distinct-values($regions)) != 1 "
+                         "return $state)")
+                .ExecuteToString(doc),
+            "0");
+  // Timestamps parse as xs:dateTime.
+  EXPECT_EQ(engine
+                .Compile("count(//sale[not(year-from-dateTime(timestamp) >= "
+                         "2002 and year-from-dateTime(timestamp) <= 2004)])")
+                .ExecuteToString(doc),
+            "0");
+}
+
+}  // namespace
+}  // namespace xqa

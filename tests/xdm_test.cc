@@ -1,0 +1,143 @@
+// AtomicValue, Item, and sequence-operation tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/error.h"
+#include "xdm/sequence_ops.h"
+#include "xml/xml_parser.h"
+
+namespace xqa {
+namespace {
+
+TEST(AtomicValue, LexicalForms) {
+  EXPECT_EQ(AtomicValue::Integer(42).ToLexical(), "42");
+  EXPECT_EQ(AtomicValue::Boolean(true).ToLexical(), "true");
+  EXPECT_EQ(AtomicValue::Boolean(false).ToLexical(), "false");
+  EXPECT_EQ(AtomicValue::Double(1.5).ToLexical(), "1.5");
+  EXPECT_EQ(AtomicValue::String("hi").ToLexical(), "hi");
+  Decimal d;
+  ASSERT_TRUE(Decimal::Parse("12.50", &d));
+  EXPECT_EQ(AtomicValue::MakeDecimal(d).ToLexical(), "12.5");
+}
+
+TEST(AtomicValue, ToDoubleValuePromotion) {
+  EXPECT_EQ(AtomicValue::Integer(3).ToDoubleValue(), 3.0);
+  EXPECT_EQ(AtomicValue::Untyped("2.5").ToDoubleValue(), 2.5);
+  EXPECT_THROW(AtomicValue::Untyped("abc").ToDoubleValue(), XQueryError);
+  EXPECT_THROW(AtomicValue::String("3").ToDoubleValue(), XQueryError);
+}
+
+TEST(AtomicValue, CastToInteger) {
+  EXPECT_EQ(AtomicValue::String("123").CastTo(AtomicType::kInteger).AsInteger(), 123);
+  EXPECT_EQ(AtomicValue::Double(4.9).CastTo(AtomicType::kInteger).AsInteger(), 4);
+  EXPECT_EQ(AtomicValue::Boolean(true).CastTo(AtomicType::kInteger).AsInteger(), 1);
+  Decimal d;
+  ASSERT_TRUE(Decimal::Parse("-7.8", &d));
+  EXPECT_EQ(AtomicValue::MakeDecimal(d).CastTo(AtomicType::kInteger).AsInteger(), -7);
+  EXPECT_THROW(AtomicValue::String("x").CastTo(AtomicType::kInteger), XQueryError);
+  EXPECT_THROW(AtomicValue::Double(NAN).CastTo(AtomicType::kInteger), XQueryError);
+}
+
+TEST(AtomicValue, CastToBoolean) {
+  EXPECT_TRUE(AtomicValue::String("true").CastTo(AtomicType::kBoolean).AsBoolean());
+  EXPECT_TRUE(AtomicValue::String("1").CastTo(AtomicType::kBoolean).AsBoolean());
+  EXPECT_FALSE(AtomicValue::String("false").CastTo(AtomicType::kBoolean).AsBoolean());
+  EXPECT_FALSE(AtomicValue::Integer(0).CastTo(AtomicType::kBoolean).AsBoolean());
+  EXPECT_FALSE(AtomicValue::Double(NAN).CastTo(AtomicType::kBoolean).AsBoolean());
+  EXPECT_THROW(AtomicValue::String("yes").CastTo(AtomicType::kBoolean), XQueryError);
+}
+
+TEST(AtomicValue, CastToDateTimeFamily) {
+  AtomicValue dt = AtomicValue::Untyped("2004-01-31T11:32:07")
+                       .CastTo(AtomicType::kDateTime);
+  EXPECT_EQ(dt.AsDateTime().year(), 2004);
+  AtomicValue date = dt.CastTo(AtomicType::kDate);
+  EXPECT_EQ(date.ToLexical(), "2004-01-31");
+  EXPECT_THROW(AtomicValue::String("nope").CastTo(AtomicType::kDate), XQueryError);
+}
+
+TEST(AtomicValue, HashNumericCrossType) {
+  Decimal d;
+  ASSERT_TRUE(Decimal::Parse("5", &d));
+  EXPECT_EQ(AtomicValue::Integer(5).Hash(), AtomicValue::Double(5.0).Hash());
+  EXPECT_EQ(AtomicValue::Integer(5).Hash(), AtomicValue::MakeDecimal(d).Hash());
+  EXPECT_EQ(AtomicValue::Untyped("x").Hash(), AtomicValue::String("x").Hash());
+}
+
+TEST(Item, StringValue) {
+  EXPECT_EQ(MakeInteger(7).StringValue(), "7");
+  DocumentPtr doc = ParseXml("<a>hi <b>there</b></a>");
+  Item node(doc->root()->children()[0], doc);
+  EXPECT_EQ(node.StringValue(), "hi there");
+}
+
+TEST(Atomize, NodesBecomeUntyped) {
+  DocumentPtr doc = ParseXml("<a>42</a>");
+  Sequence seq = {Item(doc->root()->children()[0], doc), MakeInteger(7)};
+  Sequence atomized = Atomize(seq);
+  ASSERT_EQ(atomized.size(), 2u);
+  EXPECT_EQ(atomized[0].atomic().type(), AtomicType::kUntypedAtomic);
+  EXPECT_EQ(atomized[0].atomic().AsString(), "42");
+  EXPECT_EQ(atomized[1].atomic().type(), AtomicType::kInteger);
+}
+
+TEST(EffectiveBooleanValue, Rules) {
+  EXPECT_FALSE(EffectiveBooleanValue({}));
+  EXPECT_TRUE(EffectiveBooleanValue({MakeBoolean(true)}));
+  EXPECT_FALSE(EffectiveBooleanValue({MakeBoolean(false)}));
+  EXPECT_FALSE(EffectiveBooleanValue({MakeString("")}));
+  EXPECT_TRUE(EffectiveBooleanValue({MakeString("x")}));
+  EXPECT_FALSE(EffectiveBooleanValue({MakeInteger(0)}));
+  EXPECT_TRUE(EffectiveBooleanValue({MakeInteger(-1)}));
+  EXPECT_FALSE(EffectiveBooleanValue({MakeDouble(NAN)}));
+  EXPECT_TRUE(EffectiveBooleanValue({MakeUntyped("anything")}));
+
+  DocumentPtr doc = ParseXml("<a/>");
+  Item node(doc->root()->children()[0], doc);
+  // A sequence starting with a node is true regardless of length.
+  EXPECT_TRUE(EffectiveBooleanValue({node}));
+  EXPECT_TRUE(EffectiveBooleanValue({node, MakeInteger(0)}));
+  // Multi-item atomic sequences are an error.
+  EXPECT_THROW(EffectiveBooleanValue({MakeInteger(1), MakeInteger(2)}),
+               XQueryError);
+}
+
+TEST(StringValueOf, Cardinality) {
+  EXPECT_EQ(StringValueOf({}), "");
+  EXPECT_EQ(StringValueOf({MakeInteger(7)}), "7");
+  EXPECT_THROW(StringValueOf({MakeInteger(1), MakeInteger(2)}), XQueryError);
+}
+
+TEST(SortDocumentOrderAndDedup, SortsAndDedups) {
+  DocumentPtr doc = ParseXml("<a><b/><c/><d/></a>");
+  const Node* a = doc->root()->children()[0];
+  Item b(a->children()[0], doc);
+  Item c(a->children()[1], doc);
+  Item d(a->children()[2], doc);
+  Sequence seq = {d, b, c, b, d};
+  SortDocumentOrderAndDedup(&seq);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0].node(), b.node());
+  EXPECT_EQ(seq[1].node(), c.node());
+  EXPECT_EQ(seq[2].node(), d.node());
+}
+
+TEST(SortDocumentOrderAndDedup, RejectsAtomics) {
+  Sequence seq = {MakeInteger(1)};
+  EXPECT_THROW(SortDocumentOrderAndDedup(&seq), XQueryError);
+}
+
+TEST(ErrorCodes, NamesAndFormatting) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kXPST0008), "XPST0008");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kXQAG0001), "XQAG0001");
+  XQueryError error(ErrorCode::kXPST0008, "undefined variable $x", {3, 14});
+  EXPECT_EQ(error.FormattedMessage(), "[XPST0008] line 3:14: undefined variable $x");
+  Status status = Status::FromException(error);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kXPST0008);
+}
+
+}  // namespace
+}  // namespace xqa

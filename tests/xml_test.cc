@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xqa {
+namespace {
+
+TEST(XmlParser, SimpleDocument) {
+  DocumentPtr doc = ParseXml("<a><b>hello</b><c/></a>");
+  const Node* root = doc->root();
+  ASSERT_EQ(root->kind(), NodeKind::kDocument);
+  ASSERT_EQ(root->children().size(), 1u);
+  const Node* a = root->children()[0];
+  EXPECT_EQ(a->name(), "a");
+  ASSERT_EQ(a->children().size(), 2u);
+  EXPECT_EQ(a->children()[0]->name(), "b");
+  EXPECT_EQ(a->children()[0]->StringValue(), "hello");
+  EXPECT_EQ(a->children()[1]->name(), "c");
+  EXPECT_TRUE(a->children()[1]->children().empty());
+}
+
+TEST(XmlParser, Attributes) {
+  DocumentPtr doc = ParseXml(R"(<e a="1" b='two &amp; three'/>)");
+  const Node* e = doc->root()->children()[0];
+  ASSERT_EQ(e->attributes().size(), 2u);
+  EXPECT_EQ(e->FindAttribute("a")->content(), "1");
+  EXPECT_EQ(e->FindAttribute("b")->content(), "two & three");
+  EXPECT_EQ(e->FindAttribute("missing"), nullptr);
+}
+
+TEST(XmlParser, EntityAndCharReferences) {
+  DocumentPtr doc = ParseXml("<e>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</e>");
+  EXPECT_EQ(doc->root()->children()[0]->StringValue(), "<>&\"'AB");
+}
+
+TEST(XmlParser, CDataSection) {
+  DocumentPtr doc = ParseXml("<e><![CDATA[a <raw> & b]]></e>");
+  EXPECT_EQ(doc->root()->children()[0]->StringValue(), "a <raw> & b");
+}
+
+TEST(XmlParser, CommentsAndPis) {
+  DocumentPtr doc = ParseXml("<e><!-- note --><?target data?>x</e>");
+  const Node* e = doc->root()->children()[0];
+  ASSERT_EQ(e->children().size(), 3u);
+  EXPECT_EQ(e->children()[0]->kind(), NodeKind::kComment);
+  EXPECT_EQ(e->children()[0]->content(), " note ");
+  EXPECT_EQ(e->children()[1]->kind(), NodeKind::kProcessingInstruction);
+  EXPECT_EQ(e->children()[1]->name(), "target");
+  // Comments do not contribute to element string value.
+  EXPECT_EQ(e->StringValue(), "x");
+}
+
+TEST(XmlParser, DropsCommentsWhenConfigured) {
+  XmlParseOptions options;
+  options.keep_comments = false;
+  DocumentPtr doc = ParseXml("<e><!-- note -->x</e>", options);
+  EXPECT_EQ(doc->root()->children()[0]->children().size(), 1u);
+}
+
+TEST(XmlParser, WhitespaceStripping) {
+  DocumentPtr doc = ParseXml("<a>\n  <b>x</b>\n  <c>y</c>\n</a>");
+  EXPECT_EQ(doc->root()->children()[0]->children().size(), 2u);
+  XmlParseOptions keep;
+  keep.strip_whitespace_text = false;
+  DocumentPtr doc2 = ParseXml("<a>\n  <b>x</b>\n</a>", keep);
+  EXPECT_EQ(doc2->root()->children()[0]->children().size(), 3u);
+}
+
+TEST(XmlParser, MixedContentMergesAdjacentText) {
+  DocumentPtr doc = ParseXml("<e>a<![CDATA[b]]>c</e>");
+  const Node* e = doc->root()->children()[0];
+  ASSERT_EQ(e->children().size(), 1u);  // one merged text node
+  EXPECT_EQ(e->children()[0]->content(), "abc");
+}
+
+TEST(XmlParser, PrologAndDoctypeSkipped) {
+  DocumentPtr doc = ParseXml(
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><a>x</a>");
+  EXPECT_EQ(doc->root()->children().back()->StringValue(), "x");
+}
+
+TEST(XmlParser, Errors) {
+  EXPECT_THROW(ParseXml("<a><b></a>"), XQueryError);         // mismatched tag
+  EXPECT_THROW(ParseXml("<a>"), XQueryError);                // unterminated
+  EXPECT_THROW(ParseXml("<a/><b/>"), XQueryError);           // two roots
+  EXPECT_THROW(ParseXml("plain text"), XQueryError);         // no element
+  EXPECT_THROW(ParseXml("<a x=\"1\" x=\"2\"/>"), XQueryError);  // dup attr
+  EXPECT_THROW(ParseXml("<a>&unknown;</a>"), XQueryError);
+  EXPECT_THROW(ParseXml("<a b=<></a>"), XQueryError);
+  EXPECT_THROW(ParseXml(""), XQueryError);
+}
+
+TEST(XmlParser, DepthLimitGuardsStack) {
+  // 1,000,000 nested opens would overflow the recursive parser's stack
+  // without the guard; with it, a clean XMLP0001 is raised.
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += "<d>";
+  EXPECT_THROW(ParseXml(deep), XQueryError);
+  // A configurable limit admits deeper documents.
+  XmlParseOptions options;
+  options.max_depth = 6000;
+  std::string balanced;
+  for (int i = 0; i < 2000; ++i) balanced += "<d>";
+  balanced += "x";
+  for (int i = 0; i < 2000; ++i) balanced += "</d>";
+  DocumentPtr doc = ParseXml(balanced, options);
+  EXPECT_EQ(doc->root()->StringValue(), "x");
+}
+
+TEST(XmlParser, SiblingsDoNotAccumulateDepth) {
+  std::string wide = "<r>";
+  for (int i = 0; i < 3000; ++i) wide += "<c/>";
+  wide += "</r>";
+  DocumentPtr doc = ParseXml(wide);
+  EXPECT_EQ(doc->root()->children()[0]->children().size(), 3000u);
+}
+
+TEST(XmlParser, ErrorCarriesLocation) {
+  try {
+    ParseXml("<a>\n<b></c>\n</a>");
+    FAIL() << "expected XQueryError";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXMLP0001);
+    EXPECT_EQ(error.location().line, 2u);
+  }
+}
+
+TEST(DocumentOrder, PreorderWithAttributes) {
+  DocumentPtr doc = ParseXml(R"(<a x="1"><b y="2">t</b><c/></a>)");
+  const Node* a = doc->root()->children()[0];
+  const Node* x = a->attributes()[0];
+  const Node* b = a->children()[0];
+  const Node* y = b->attributes()[0];
+  const Node* t = b->children()[0];
+  const Node* c = a->children()[1];
+  EXPECT_LT(CompareDocumentOrder(a, x), 0);
+  EXPECT_LT(CompareDocumentOrder(x, b), 0);
+  EXPECT_LT(CompareDocumentOrder(b, y), 0);
+  EXPECT_LT(CompareDocumentOrder(y, t), 0);
+  EXPECT_LT(CompareDocumentOrder(t, c), 0);
+  EXPECT_EQ(CompareDocumentOrder(b, b), 0);
+  EXPECT_GT(CompareDocumentOrder(c, a), 0);
+}
+
+TEST(DocumentOrder, CrossDocumentStable) {
+  DocumentPtr d1 = ParseXml("<a/>");
+  DocumentPtr d2 = ParseXml("<b/>");
+  const Node* a = d1->root()->children()[0];
+  const Node* b = d2->root()->children()[0];
+  int cmp = CompareDocumentOrder(a, b);
+  EXPECT_NE(cmp, 0);
+  EXPECT_EQ(cmp, -CompareDocumentOrder(b, a));
+}
+
+TEST(NodeApi, StringValueConcatenatesDescendants) {
+  DocumentPtr doc = ParseXml("<a>x<b>y<c>z</c></b>w</a>");
+  EXPECT_EQ(doc->root()->children()[0]->StringValue(), "xyzw");
+  EXPECT_EQ(doc->root()->StringValue(), "xyzw");
+}
+
+TEST(NodeApi, IsDescendantOrSelfOf) {
+  DocumentPtr doc = ParseXml("<a><b><c/></b><d/></a>");
+  const Node* a = doc->root()->children()[0];
+  const Node* b = a->children()[0];
+  const Node* c = b->children()[0];
+  const Node* d = a->children()[1];
+  EXPECT_TRUE(c->IsDescendantOrSelfOf(a));
+  EXPECT_TRUE(c->IsDescendantOrSelfOf(c));
+  EXPECT_FALSE(d->IsDescendantOrSelfOf(b));
+}
+
+TEST(DocumentApi, ImportNodeDeepCopies) {
+  DocumentPtr source = ParseXml(R"(<a x="1"><b>t</b></a>)");
+  auto target = std::make_shared<Document>();
+  Node* copy = target->ImportNode(source->root()->children()[0]);
+  target->AppendChild(target->root(), copy);
+  target->SealOrder();
+  EXPECT_EQ(copy->document(), target.get());
+  EXPECT_EQ(copy->name(), "a");
+  EXPECT_EQ(copy->FindAttribute("x")->content(), "1");
+  EXPECT_EQ(copy->StringValue(), "t");
+  EXPECT_NE(copy, source->root()->children()[0]);
+}
+
+TEST(Serializer, RoundTrip) {
+  const char* xml = R"(<order id="7"><item>tea</item><item>cup &amp; saucer</item></order>)";
+  DocumentPtr doc = ParseXml(xml);
+  EXPECT_EQ(SerializeNode(doc->root()->children()[0]), xml);
+}
+
+TEST(Serializer, EscapesSpecialCharacters) {
+  auto doc = std::make_shared<Document>();
+  Node* e = doc->CreateElement("e");
+  doc->AppendChild(doc->root(), e);
+  doc->AppendAttribute(e, doc->CreateAttribute("a", "x\"<y"));
+  doc->AppendChild(e, doc->CreateText("a<b&c"));
+  doc->SealOrder();
+  EXPECT_EQ(SerializeNode(e), R"(<e a="x&quot;&lt;y">a&lt;b&amp;c</e>)");
+}
+
+TEST(Serializer, PrettyPrint) {
+  DocumentPtr doc = ParseXml("<a><b>x</b><c/></a>");
+  SerializeOptions options;
+  options.indent = 2;
+  std::string out = SerializeNode(doc->root()->children()[0], options);
+  EXPECT_EQ(out, "<a>\n  <b>x</b>\n  <c/>\n</a>");
+}
+
+TEST(Serializer, EmptyElementShortForm) {
+  DocumentPtr doc = ParseXml("<a><empty/></a>");
+  EXPECT_EQ(SerializeNode(doc->root()->children()[0]), "<a><empty/></a>");
+}
+
+}  // namespace
+}  // namespace xqa
