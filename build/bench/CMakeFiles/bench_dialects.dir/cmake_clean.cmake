@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dialects.dir/bench_dialects.cc.o"
+  "CMakeFiles/bench_dialects.dir/bench_dialects.cc.o.d"
+  "bench_dialects"
+  "bench_dialects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dialects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

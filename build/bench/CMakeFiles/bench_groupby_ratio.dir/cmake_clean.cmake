@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_groupby_ratio.dir/bench_groupby_ratio.cc.o"
+  "CMakeFiles/bench_groupby_ratio.dir/bench_groupby_ratio.cc.o.d"
+  "bench_groupby_ratio"
+  "bench_groupby_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_groupby_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

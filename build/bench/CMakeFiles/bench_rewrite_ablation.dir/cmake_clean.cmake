@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewrite_ablation.dir/bench_rewrite_ablation.cc.o"
+  "CMakeFiles/bench_rewrite_ablation.dir/bench_rewrite_ablation.cc.o.d"
+  "bench_rewrite_ablation"
+  "bench_rewrite_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewrite_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

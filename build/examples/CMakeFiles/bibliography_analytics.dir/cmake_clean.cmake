@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography_analytics.dir/bibliography_analytics.cpp.o"
+  "CMakeFiles/bibliography_analytics.dir/bibliography_analytics.cpp.o.d"
+  "bibliography_analytics"
+  "bibliography_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

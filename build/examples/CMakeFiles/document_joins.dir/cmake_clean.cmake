@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_joins.dir/document_joins.cpp.o"
+  "CMakeFiles/document_joins.dir/document_joins.cpp.o.d"
+  "document_joins"
+  "document_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_window.dir/moving_window.cpp.o"
+  "CMakeFiles/moving_window.dir/moving_window.cpp.o.d"
+  "moving_window"
+  "moving_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

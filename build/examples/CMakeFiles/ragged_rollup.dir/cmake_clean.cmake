@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ragged_rollup.dir/ragged_rollup.cpp.o"
+  "CMakeFiles/ragged_rollup.dir/ragged_rollup.cpp.o.d"
+  "ragged_rollup"
+  "ragged_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ragged_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqa_shell.dir/xqa_shell.cpp.o"
+  "CMakeFiles/xqa_shell.dir/xqa_shell.cpp.o.d"
+  "xqa_shell"
+  "xqa_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqa_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/engine.cc" "src/CMakeFiles/xqa.dir/api/engine.cc.o" "gcc" "src/CMakeFiles/xqa.dir/api/engine.cc.o.d"
+  "/root/repo/src/api/explain.cc" "src/CMakeFiles/xqa.dir/api/explain.cc.o" "gcc" "src/CMakeFiles/xqa.dir/api/explain.cc.o.d"
+  "/root/repo/src/base/error.cc" "src/CMakeFiles/xqa.dir/base/error.cc.o" "gcc" "src/CMakeFiles/xqa.dir/base/error.cc.o.d"
+  "/root/repo/src/base/regex_lite.cc" "src/CMakeFiles/xqa.dir/base/regex_lite.cc.o" "gcc" "src/CMakeFiles/xqa.dir/base/regex_lite.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/CMakeFiles/xqa.dir/base/string_util.cc.o" "gcc" "src/CMakeFiles/xqa.dir/base/string_util.cc.o.d"
+  "/root/repo/src/binder/binder.cc" "src/CMakeFiles/xqa.dir/binder/binder.cc.o" "gcc" "src/CMakeFiles/xqa.dir/binder/binder.cc.o.d"
+  "/root/repo/src/binder/static_context.cc" "src/CMakeFiles/xqa.dir/binder/static_context.cc.o" "gcc" "src/CMakeFiles/xqa.dir/binder/static_context.cc.o.d"
+  "/root/repo/src/eval/construct.cc" "src/CMakeFiles/xqa.dir/eval/construct.cc.o" "gcc" "src/CMakeFiles/xqa.dir/eval/construct.cc.o.d"
+  "/root/repo/src/eval/dynamic_context.cc" "src/CMakeFiles/xqa.dir/eval/dynamic_context.cc.o" "gcc" "src/CMakeFiles/xqa.dir/eval/dynamic_context.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/xqa.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/xqa.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/flwor.cc" "src/CMakeFiles/xqa.dir/eval/flwor.cc.o" "gcc" "src/CMakeFiles/xqa.dir/eval/flwor.cc.o.d"
+  "/root/repo/src/eval/path.cc" "src/CMakeFiles/xqa.dir/eval/path.cc.o" "gcc" "src/CMakeFiles/xqa.dir/eval/path.cc.o.d"
+  "/root/repo/src/eval/type_match.cc" "src/CMakeFiles/xqa.dir/eval/type_match.cc.o" "gcc" "src/CMakeFiles/xqa.dir/eval/type_match.cc.o.d"
+  "/root/repo/src/functions/fn_aggregate.cc" "src/CMakeFiles/xqa.dir/functions/fn_aggregate.cc.o" "gcc" "src/CMakeFiles/xqa.dir/functions/fn_aggregate.cc.o.d"
+  "/root/repo/src/functions/fn_datetime.cc" "src/CMakeFiles/xqa.dir/functions/fn_datetime.cc.o" "gcc" "src/CMakeFiles/xqa.dir/functions/fn_datetime.cc.o.d"
+  "/root/repo/src/functions/fn_doc.cc" "src/CMakeFiles/xqa.dir/functions/fn_doc.cc.o" "gcc" "src/CMakeFiles/xqa.dir/functions/fn_doc.cc.o.d"
+  "/root/repo/src/functions/fn_membership.cc" "src/CMakeFiles/xqa.dir/functions/fn_membership.cc.o" "gcc" "src/CMakeFiles/xqa.dir/functions/fn_membership.cc.o.d"
+  "/root/repo/src/functions/fn_node.cc" "src/CMakeFiles/xqa.dir/functions/fn_node.cc.o" "gcc" "src/CMakeFiles/xqa.dir/functions/fn_node.cc.o.d"
+  "/root/repo/src/functions/fn_numeric.cc" "src/CMakeFiles/xqa.dir/functions/fn_numeric.cc.o" "gcc" "src/CMakeFiles/xqa.dir/functions/fn_numeric.cc.o.d"
+  "/root/repo/src/functions/fn_regex.cc" "src/CMakeFiles/xqa.dir/functions/fn_regex.cc.o" "gcc" "src/CMakeFiles/xqa.dir/functions/fn_regex.cc.o.d"
+  "/root/repo/src/functions/fn_sequence.cc" "src/CMakeFiles/xqa.dir/functions/fn_sequence.cc.o" "gcc" "src/CMakeFiles/xqa.dir/functions/fn_sequence.cc.o.d"
+  "/root/repo/src/functions/fn_string.cc" "src/CMakeFiles/xqa.dir/functions/fn_string.cc.o" "gcc" "src/CMakeFiles/xqa.dir/functions/fn_string.cc.o.d"
+  "/root/repo/src/functions/function_registry.cc" "src/CMakeFiles/xqa.dir/functions/function_registry.cc.o" "gcc" "src/CMakeFiles/xqa.dir/functions/function_registry.cc.o.d"
+  "/root/repo/src/optimizer/constant_fold.cc" "src/CMakeFiles/xqa.dir/optimizer/constant_fold.cc.o" "gcc" "src/CMakeFiles/xqa.dir/optimizer/constant_fold.cc.o.d"
+  "/root/repo/src/optimizer/groupby_detect.cc" "src/CMakeFiles/xqa.dir/optimizer/groupby_detect.cc.o" "gcc" "src/CMakeFiles/xqa.dir/optimizer/groupby_detect.cc.o.d"
+  "/root/repo/src/optimizer/rewriter.cc" "src/CMakeFiles/xqa.dir/optimizer/rewriter.cc.o" "gcc" "src/CMakeFiles/xqa.dir/optimizer/rewriter.cc.o.d"
+  "/root/repo/src/parser/ast.cc" "src/CMakeFiles/xqa.dir/parser/ast.cc.o" "gcc" "src/CMakeFiles/xqa.dir/parser/ast.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/xqa.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/xqa.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/xqa.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/xqa.dir/parser/parser.cc.o.d"
+  "/root/repo/src/workload/books.cc" "src/CMakeFiles/xqa.dir/workload/books.cc.o" "gcc" "src/CMakeFiles/xqa.dir/workload/books.cc.o.d"
+  "/root/repo/src/workload/orders.cc" "src/CMakeFiles/xqa.dir/workload/orders.cc.o" "gcc" "src/CMakeFiles/xqa.dir/workload/orders.cc.o.d"
+  "/root/repo/src/workload/random.cc" "src/CMakeFiles/xqa.dir/workload/random.cc.o" "gcc" "src/CMakeFiles/xqa.dir/workload/random.cc.o.d"
+  "/root/repo/src/workload/sales.cc" "src/CMakeFiles/xqa.dir/workload/sales.cc.o" "gcc" "src/CMakeFiles/xqa.dir/workload/sales.cc.o.d"
+  "/root/repo/src/xdm/atomic_value.cc" "src/CMakeFiles/xqa.dir/xdm/atomic_value.cc.o" "gcc" "src/CMakeFiles/xqa.dir/xdm/atomic_value.cc.o.d"
+  "/root/repo/src/xdm/compare.cc" "src/CMakeFiles/xqa.dir/xdm/compare.cc.o" "gcc" "src/CMakeFiles/xqa.dir/xdm/compare.cc.o.d"
+  "/root/repo/src/xdm/datetime.cc" "src/CMakeFiles/xqa.dir/xdm/datetime.cc.o" "gcc" "src/CMakeFiles/xqa.dir/xdm/datetime.cc.o.d"
+  "/root/repo/src/xdm/decimal.cc" "src/CMakeFiles/xqa.dir/xdm/decimal.cc.o" "gcc" "src/CMakeFiles/xqa.dir/xdm/decimal.cc.o.d"
+  "/root/repo/src/xdm/deep_equal.cc" "src/CMakeFiles/xqa.dir/xdm/deep_equal.cc.o" "gcc" "src/CMakeFiles/xqa.dir/xdm/deep_equal.cc.o.d"
+  "/root/repo/src/xdm/item.cc" "src/CMakeFiles/xqa.dir/xdm/item.cc.o" "gcc" "src/CMakeFiles/xqa.dir/xdm/item.cc.o.d"
+  "/root/repo/src/xdm/sequence_ops.cc" "src/CMakeFiles/xqa.dir/xdm/sequence_ops.cc.o" "gcc" "src/CMakeFiles/xqa.dir/xdm/sequence_ops.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/xqa.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/xqa.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xqa.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xqa.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/xqa.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/xqa.dir/xml/xml_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

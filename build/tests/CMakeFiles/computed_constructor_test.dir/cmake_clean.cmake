@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/computed_constructor_test.dir/computed_constructor_test.cc.o"
+  "CMakeFiles/computed_constructor_test.dir/computed_constructor_test.cc.o.d"
+  "computed_constructor_test"
+  "computed_constructor_test.pdb"
+  "computed_constructor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/computed_constructor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_extended_test.dir/conformance_extended_test.cc.o"
+  "CMakeFiles/conformance_extended_test.dir/conformance_extended_test.cc.o.d"
+  "conformance_extended_test"
+  "conformance_extended_test.pdb"
+  "conformance_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constant_fold_test.dir/constant_fold_test.cc.o"
+  "CMakeFiles/constant_fold_test.dir/constant_fold_test.cc.o.d"
+  "constant_fold_test"
+  "constant_fold_test.pdb"
+  "constant_fold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constant_fold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constructor_test.dir/constructor_test.cc.o"
+  "CMakeFiles/constructor_test.dir/constructor_test.cc.o.d"
+  "constructor_test"
+  "constructor_test.pdb"
+  "constructor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constructor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_equal_test.dir/deep_equal_test.cc.o"
+  "CMakeFiles/deep_equal_test.dir/deep_equal_test.cc.o.d"
+  "deep_equal_test"
+  "deep_equal_test.pdb"
+  "deep_equal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_equal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duration_test.dir/duration_test.cc.o"
+  "CMakeFiles/duration_test.dir/duration_test.cc.o.d"
+  "duration_test"
+  "duration_test.pdb"
+  "duration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

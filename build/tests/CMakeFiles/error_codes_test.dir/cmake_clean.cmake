@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_codes_test.dir/error_codes_test.cc.o"
+  "CMakeFiles/error_codes_test.dir/error_codes_test.cc.o.d"
+  "error_codes_test"
+  "error_codes_test.pdb"
+  "error_codes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_codes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_expr_test.dir/eval_expr_test.cc.o"
+  "CMakeFiles/eval_expr_test.dir/eval_expr_test.cc.o.d"
+  "eval_expr_test"
+  "eval_expr_test.pdb"
+  "eval_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

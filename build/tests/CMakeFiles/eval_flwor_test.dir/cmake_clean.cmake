@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_flwor_test.dir/eval_flwor_test.cc.o"
+  "CMakeFiles/eval_flwor_test.dir/eval_flwor_test.cc.o.d"
+  "eval_flwor_test"
+  "eval_flwor_test.pdb"
+  "eval_flwor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_flwor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

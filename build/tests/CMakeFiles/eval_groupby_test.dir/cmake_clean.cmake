@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_groupby_test.dir/eval_groupby_test.cc.o"
+  "CMakeFiles/eval_groupby_test.dir/eval_groupby_test.cc.o.d"
+  "eval_groupby_test"
+  "eval_groupby_test.pdb"
+  "eval_groupby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_groupby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_path_test.dir/eval_path_test.cc.o"
+  "CMakeFiles/eval_path_test.dir/eval_path_test.cc.o.d"
+  "eval_path_test"
+  "eval_path_test.pdb"
+  "eval_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

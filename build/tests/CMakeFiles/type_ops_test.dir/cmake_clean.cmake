@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_ops_test.dir/type_ops_test.cc.o"
+  "CMakeFiles/type_ops_test.dir/type_ops_test.cc.o.d"
+  "type_ops_test"
+  "type_ops_test.pdb"
+  "type_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typeswitch_test.dir/typeswitch_test.cc.o"
+  "CMakeFiles/typeswitch_test.dir/typeswitch_test.cc.o.d"
+  "typeswitch_test"
+  "typeswitch_test.pdb"
+  "typeswitch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typeswitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

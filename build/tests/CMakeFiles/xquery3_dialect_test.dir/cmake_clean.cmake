@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery3_dialect_test.dir/xquery3_dialect_test.cc.o"
+  "CMakeFiles/xquery3_dialect_test.dir/xquery3_dialect_test.cc.o.d"
+  "xquery3_dialect_test"
+  "xquery3_dialect_test.pdb"
+  "xquery3_dialect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery3_dialect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
