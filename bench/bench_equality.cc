@@ -2,10 +2,18 @@
 // hash aggregation (O(N)); a custom `using` function forces a linear group
 // table with per-comparison function calls (O(N x G)), and a user-defined
 // XQuery set-equal costs more per call than the built-in.
+//
+// BENCH_equality.json records the QueryStats that separate the regimes: the
+// hash variants report hash_probes, the `using` variants report
+// linear_scan_compares (and zero probes).
+//
+// Usage: bench_equality [--quick]
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
-#include "api/engine.h"
+#include "bench_json.h"
 #include "workload/books.h"
 
 namespace {
@@ -13,76 +21,91 @@ namespace {
 using xqa::DocumentPtr;
 using xqa::Engine;
 using xqa::PreparedQuery;
+using xqa::bench::JsonValue;
+using xqa::bench::MeasureEntry;
+using xqa::bench::MeasureSeconds;
 
-const DocumentPtr& SharedBooks() {
-  static const DocumentPtr& doc = *new DocumentPtr([] {
-    xqa::workload::BooksConfig config;
-    config.num_books = 2000;
-    config.max_authors = 3;
-    return xqa::workload::GenerateBooksDocument(config);
-  }());
-  return doc;
-}
+struct NamedQuery {
+  const char* name;
+  const char* text;
+};
 
-void RunQuery(benchmark::State& state, const std::string& query_text) {
-  Engine engine;
-  PreparedQuery query = engine.Compile(query_text);
-  const DocumentPtr& doc = SharedBooks();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(query.Execute(doc));
-  }
-}
-
-void BM_GroupAuthorsDeepEqualHash(benchmark::State& state) {
-  // Q2a with the default deep-equal comparison: hash grouping.
-  RunQuery(state,
-           "for $b in //book "
-           "group by $b/author into $a "
-           "nest $b/price into $prices "
-           "return <g>{count($prices)}</g>");
-}
-BENCHMARK(BM_GroupAuthorsDeepEqualHash);
-
-void BM_GroupAuthorsBuiltinSetEqual(benchmark::State& state) {
-  RunQuery(state,
-           "for $b in //book "
-           "group by $b/author into $a using xqa:set-equal "
-           "nest $b/price into $prices "
-           "return <g>{count($prices)}</g>");
-}
-BENCHMARK(BM_GroupAuthorsBuiltinSetEqual);
-
-void BM_GroupAuthorsUserSetEqual(benchmark::State& state) {
-  // The paper's user-defined local:set-equal ("this query would execute more
-  // efficiently if the set-equal function were built-in"). Parenthesized to
-  // pin the intended conjunction of the two coverage tests — unparenthesized,
-  // the second `every` binds inside the first `satisfies`, which changes the
-  // result for empty author sequences.
-  RunQuery(state,
-           "declare function local:set-equal "
-           "    ($arg1 as item()*, $arg2 as item()*) as xs:boolean "
-           "{ (every $i1 in $arg1 satisfies "
-           "     some $i2 in $arg2 satisfies $i1 eq $i2) "
-           "  and (every $i2 in $arg2 satisfies "
-           "     some $i1 in $arg1 satisfies $i1 eq $i2) "
-           "}; "
-           "for $b in //book "
-           "group by $b/author into $a using local:set-equal "
-           "nest $b/price into $prices "
-           "return <g>{count($prices)}</g>");
-}
-BENCHMARK(BM_GroupAuthorsUserSetEqual);
-
-void BM_GroupPublisherScalarHash(benchmark::State& state) {
-  // Baseline: scalar single-element keys, hash path.
-  RunQuery(state,
-           "for $b in //book "
-           "group by $b/publisher into $p "
-           "nest $b/price into $prices "
-           "return <g>{count($prices)}</g>");
-}
-BENCHMARK(BM_GroupPublisherScalarHash);
+constexpr NamedQuery kQueries[] = {
+    // Q2a with the default deep-equal comparison: hash grouping.
+    {"authors_deep_equal_hash",
+     "for $b in //book "
+     "group by $b/author into $a "
+     "nest $b/price into $prices "
+     "return <g>{count($prices)}</g>"},
+    {"authors_builtin_set_equal",
+     "for $b in //book "
+     "group by $b/author into $a using xqa:set-equal "
+     "nest $b/price into $prices "
+     "return <g>{count($prices)}</g>"},
+    // The paper's user-defined local:set-equal ("this query would execute
+    // more efficiently if the set-equal function were built-in").
+    // Parenthesized to pin the intended conjunction of the two coverage
+    // tests — unparenthesized, the second `every` binds inside the first
+    // `satisfies`, which changes the result for empty author sequences.
+    {"authors_user_set_equal",
+     "declare function local:set-equal "
+     "    ($arg1 as item()*, $arg2 as item()*) as xs:boolean "
+     "{ (every $i1 in $arg1 satisfies "
+     "     some $i2 in $arg2 satisfies $i1 eq $i2) "
+     "  and (every $i2 in $arg2 satisfies "
+     "     some $i1 in $arg1 satisfies $i1 eq $i2) "
+     "}; "
+     "for $b in //book "
+     "group by $b/author into $a using local:set-equal "
+     "nest $b/price into $prices "
+     "return <g>{count($prices)}</g>"},
+    // Baseline: scalar single-element keys, hash path.
+    {"publisher_scalar_hash",
+     "for $b in //book "
+     "group by $b/publisher into $p "
+     "nest $b/price into $prices "
+     "return <g>{count($prices)}</g>"},
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  int repetitions = quick ? 1 : 3;
+
+  xqa::workload::BooksConfig config;
+  config.num_books = quick ? 500 : 2000;
+  config.max_authors = 3;
+  DocumentPtr doc = xqa::workload::GenerateBooksDocument(config);
+  Engine engine;
+
+  std::printf("A2: grouping-equality ablation (%d books)\n", config.num_books);
+  std::printf("%-28s %12s\n", "variant", "best ms");
+  JsonValue results = JsonValue::Array();
+  for (const NamedQuery& q : kQueries) {
+    PreparedQuery query = engine.Compile(q.text);
+    double seconds = MeasureSeconds(query, doc, repetitions);
+    std::printf("%-28s %12.2f\n", q.name, seconds * 1e3);
+    JsonValue entry = MeasureEntry(query, doc, seconds);
+    entry.Set("name", JsonValue::Str(q.name));
+    results.Append(std::move(entry));
+  }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", JsonValue::Str("equality"));
+  root.Set("experiment",
+           JsonValue::Str("A2: deep-equal hash vs `using` linear group "
+                          "table (Section 3.3)"));
+  JsonValue params = JsonValue::Object();
+  params.Set("quick", JsonValue::Bool(quick));
+  params.Set("books", JsonValue::Int(config.num_books));
+  params.Set("max_authors", JsonValue::Int(config.max_authors));
+  params.Set("repetitions", JsonValue::Int(repetitions));
+  root.Set("parameters", std::move(params));
+  root.Set("results", std::move(results));
+  xqa::bench::WriteBenchJson("equality", root);
+  return 0;
+}

@@ -9,15 +9,20 @@
 // grouping children to extend the group-count axis, showing the ratio's
 // growth trend (the paper's chart rises with the number of groups).
 //
+// Each (sweep, query pair) measurement is also appended to
+// BENCH_groupby_ratio.json with the per-run QueryStats counters, which make
+// the chart's shape mechanically checkable: the naive plan's where-clause
+// tuples_in grows as lineitems x groups while the explicit plan's group-by
+// hash probes stay linear in lineitems.
+//
 // Usage: bench_groupby_ratio [--quick]
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "api/engine.h"
+#include "bench_json.h"
 #include "workload/orders.h"
 
 namespace {
@@ -25,21 +30,9 @@ namespace {
 using xqa::DocumentPtr;
 using xqa::Engine;
 using xqa::PreparedQuery;
-
-double MeasureSeconds(const PreparedQuery& query, const DocumentPtr& doc,
-                      int repetitions) {
-  // Warm-up run, then the best of `repetitions` timed runs.
-  (void)query.Execute(doc);
-  double best = 1e300;
-  for (int i = 0; i < repetitions; ++i) {
-    auto start = std::chrono::steady_clock::now();
-    (void)query.Execute(doc);
-    auto stop = std::chrono::steady_clock::now();
-    double seconds = std::chrono::duration<double>(stop - start).count();
-    if (seconds < best) best = seconds;
-  }
-  return best;
-}
+using xqa::bench::JsonValue;
+using xqa::bench::MeasureEntry;
+using xqa::bench::MeasureSeconds;
 
 std::string OneKeyWithGroupBy(const std::string& a) {
   return "for $litem in //order/lineitem "
@@ -80,7 +73,7 @@ struct QueryPair {
 };
 
 void RunSweep(const char* title, const xqa::workload::OrderConfig& config,
-              int repetitions, bool include_two_key) {
+              int repetitions, bool include_two_key, JsonValue* results) {
   Engine engine;
   DocumentPtr doc = xqa::workload::GenerateOrdersDocument(config);
   int lineitems = xqa::workload::CountLineitems(config);
@@ -115,6 +108,17 @@ void RunSweep(const char* title, const xqa::workload::OrderConfig& config,
     double t_q = MeasureSeconds(without_groupby, doc, repetitions);
     std::printf("%-30s %8zu %12.2f %12.2f %9.1f\n", pair.label, groups,
                 t_q * 1e3, t_qgb * 1e3, t_q / t_qgb);
+
+    JsonValue entry = JsonValue::Object();
+    entry.Set("sweep", JsonValue::Str(title));
+    entry.Set("query", JsonValue::Str(pair.label));
+    entry.Set("orders", JsonValue::Int(config.num_orders));
+    entry.Set("lineitems", JsonValue::Int(lineitems));
+    entry.Set("groups", JsonValue::Int(static_cast<int64_t>(groups)));
+    entry.Set("ratio", JsonValue::Number(t_q / t_qgb));
+    entry.Set("with_groupby", MeasureEntry(with_groupby, doc, t_qgb));
+    entry.Set("without_groupby", MeasureEntry(without_groupby, doc, t_q));
+    results->Append(std::move(entry));
   }
 }
 
@@ -131,12 +135,14 @@ int main(int argc, char** argv) {
               "self-join)\n");
   std::printf("t(Qgb): query with explicit group by (hash aggregation)\n");
 
+  JsonValue results = JsonValue::Array();
+
   // Sweep 1: the paper's six queries at their natural cardinalities,
   // 8K-lineitem collection (the paper's lower bound).
   xqa::workload::OrderConfig natural;
   natural.num_orders = quick ? 500 : 2000;  // ~4 lineitems per order -> ~8K
   RunSweep("Sweep 1: natural cardinalities", natural, quick ? 1 : 3,
-           /*include_two_key=*/true);
+           /*include_two_key=*/true, &results);
 
   // Sweep 2: the group-count axis extended by raising the distinct-value
   // counts of the single-element keys. (The two-element templates at high
@@ -150,7 +156,19 @@ int main(int argc, char** argv) {
     config.quantity_cardinality = cardinality;
     std::string title =
         "Sweep 2: raised cardinalities (" + std::to_string(cardinality) + ")";
-    RunSweep(title.c_str(), config, 1, /*include_two_key=*/false);
+    RunSweep(title.c_str(), config, 1, /*include_two_key=*/false, &results);
   }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", JsonValue::Str("groupby_ratio"));
+  root.Set("experiment",
+           JsonValue::Str("E1: t(Q)/t(Qgb) vs number of groups (Section 6)"));
+  JsonValue params = JsonValue::Object();
+  params.Set("quick", JsonValue::Bool(quick));
+  params.Set("sweep1_orders", JsonValue::Int(quick ? 500 : 2000));
+  params.Set("sweep2_orders", JsonValue::Int(quick ? 250 : 1000));
+  root.Set("parameters", std::move(params));
+  root.Set("results", std::move(results));
+  xqa::bench::WriteBenchJson("groupby_ratio", root);
   return 0;
 }

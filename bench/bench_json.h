@@ -1,0 +1,172 @@
+// Shared JSON emission for the bench harnesses: each binary builds one
+// JsonValue tree (parameters, wall times, QueryStats counters) and writes it
+// to BENCH_<name>.json in the working directory. The schema is documented in
+// docs/OBSERVABILITY.md.
+#ifndef XQA_BENCH_BENCH_JSON_H_
+#define XQA_BENCH_BENCH_JSON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+
+namespace xqa::bench {
+
+/// A minimal ordered JSON document builder — enough for the bench artifacts,
+/// not a general library. Raw() splices pre-rendered JSON (QueryStats::ToJson)
+/// without re-parsing.
+class JsonValue {
+ public:
+  static JsonValue Object() { return JsonValue(Kind::kObject); }
+  static JsonValue Array() { return JsonValue(Kind::kArray); }
+  static JsonValue Str(const std::string& value) {
+    JsonValue v(Kind::kScalar);
+    // Built by append (a char* + string&& chain trips GCC 12's -Wrestrict
+    // false positive; cf. Decimal::ToString).
+    v.scalar_.reserve(value.size() + 2);
+    v.scalar_.push_back('"');
+    v.scalar_ += Escape(value);
+    v.scalar_.push_back('"');
+    return v;
+  }
+  static JsonValue Int(int64_t value) {
+    JsonValue v(Kind::kScalar);
+    v.scalar_ = std::to_string(value);
+    return v;
+  }
+  static JsonValue Number(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    JsonValue v(Kind::kScalar);
+    v.scalar_ = buf;
+    return v;
+  }
+  static JsonValue Bool(bool value) {
+    JsonValue v(Kind::kScalar);
+    v.scalar_ = value ? "true" : "false";
+    return v;
+  }
+  /// Splices `json` verbatim; the caller guarantees it is valid JSON.
+  static JsonValue Raw(std::string json) {
+    JsonValue v(Kind::kScalar);
+    v.scalar_ = std::move(json);
+    return v;
+  }
+
+  JsonValue& Set(const std::string& key, JsonValue value) {
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  JsonValue& Append(JsonValue value) {
+    members_.emplace_back("", std::move(value));
+    return *this;
+  }
+
+  std::string Dump(int indent = 0) const {
+    std::string out;
+    DumpTo(&out, indent);
+    return out;
+  }
+
+ private:
+  enum class Kind { kScalar, kObject, kArray };
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  static std::string Escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  void DumpTo(std::string* out, int indent) const {
+    if (kind_ == Kind::kScalar) {
+      *out += scalar_;
+      return;
+    }
+    std::string pad(static_cast<size_t>(indent) + 2, ' ');
+    std::string close_pad(static_cast<size_t>(indent), ' ');
+    *out += kind_ == Kind::kObject ? '{' : '[';
+    for (size_t i = 0; i < members_.size(); ++i) {
+      *out += i == 0 ? "\n" : ",\n";
+      *out += pad;
+      if (kind_ == Kind::kObject) {
+        out->push_back('"');
+        *out += Escape(members_[i].first);
+        *out += "\": ";
+      }
+      members_[i].second.DumpTo(out, indent + 2);
+    }
+    if (!members_.empty()) {
+      *out += '\n';
+      *out += close_pad;
+    }
+    *out += kind_ == Kind::kObject ? '}' : ']';
+  }
+
+  Kind kind_;
+  std::string scalar_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Best-of-`repetitions` wall time of the unprofiled Execute path, after one
+/// warm-up run.
+inline double MeasureSeconds(const PreparedQuery& query, const DocumentPtr& doc,
+                             int repetitions) {
+  (void)query.Execute(doc);
+  double best = 1e300;
+  for (int i = 0; i < repetitions; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    (void)query.Execute(doc);
+    auto stop = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(stop - start).count();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
+/// One measured query: the caller's unprofiled wall time plus result size
+/// and counters from one extra profiled run, as a JSON object fragment.
+inline JsonValue MeasureEntry(const PreparedQuery& query,
+                              const DocumentPtr& doc, double seconds) {
+  ProfiledResult profiled = query.ExecuteProfiled(doc);
+  JsonValue entry = JsonValue::Object();
+  entry.Set("seconds", JsonValue::Number(seconds));
+  entry.Set("result_size",
+            JsonValue::Int(static_cast<int64_t>(profiled.sequence.size())));
+  entry.Set("stats", JsonValue::Raw(profiled.stats.ToJson()));
+  return entry;
+}
+
+/// Writes BENCH_<name>.json next to the binary's working directory and
+/// reports the path on stdout.
+inline void WriteBenchJson(const std::string& name, const JsonValue& root) {
+  std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  out << root.Dump() << "\n";
+  out.close();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace xqa::bench
+
+#endif  // XQA_BENCH_BENCH_JSON_H_

@@ -5,10 +5,17 @@
 // argument is about: when the template matches, the rewrite recovers the
 // explicit plan's performance; the hard part (Section 7) is that only
 // stylized forms match.
+//
+// Results (wall time + QueryStats, whose counters show the plan shape — the
+// rewritten query forms groups; the non-matching one keeps the quadratic
+// where clause) go to BENCH_rewrite_ablation.json.
+//
+// Usage: bench_rewrite_ablation [--quick]
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
 
-#include "api/engine.h"
+#include "bench_json.h"
 #include "workload/orders.h"
 
 namespace {
@@ -16,6 +23,9 @@ namespace {
 using xqa::DocumentPtr;
 using xqa::Engine;
 using xqa::PreparedQuery;
+using xqa::bench::JsonValue;
+using xqa::bench::MeasureEntry;
+using xqa::bench::MeasureSeconds;
 
 constexpr char kNaiveQuery[] =
     "for $a in distinct-values(//order/lineitem/quantity) "
@@ -24,79 +34,80 @@ constexpr char kNaiveQuery[] =
     "              return $i "
     "return <r>{$a, count($items)}</r>";
 
-const DocumentPtr& SharedOrders() {
-  static const DocumentPtr& doc = *new DocumentPtr([] {
-    xqa::workload::OrderConfig config;
-    config.num_orders = 500;
-    return xqa::workload::GenerateOrdersDocument(config);
-  }());
-  return doc;
-}
-
-void BM_NaiveAsWritten(benchmark::State& state) {
-  Engine engine;  // rewrites off: the paper's experimental configuration
-  PreparedQuery query = engine.Compile(kNaiveQuery);
-  const DocumentPtr& doc = SharedOrders();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(query.Execute(doc));
-  }
-}
-BENCHMARK(BM_NaiveAsWritten);
-
-void BM_NaiveWithRewriteDetection(benchmark::State& state) {
-  Engine::Options options;
-  options.enable_groupby_rewrite = true;
-  Engine engine(options);
-  PreparedQuery query = engine.Compile(kNaiveQuery);
-  if (query.rewrites_applied() != 1) {
-    state.SkipWithError("rewrite did not fire");
-    return;
-  }
-  const DocumentPtr& doc = SharedOrders();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(query.Execute(doc));
-  }
-}
-BENCHMARK(BM_NaiveWithRewriteDetection);
-
-void BM_ExplicitGroupByReference(benchmark::State& state) {
-  Engine engine;
-  PreparedQuery query = engine.Compile(
-      "for $i in //order/lineitem "
-      "group by data($i/quantity) into $a nest $i into $items "
-      "where exists($a) "
-      "return <r>{$a, count($items)}</r>");
-  const DocumentPtr& doc = SharedOrders();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(query.Execute(doc));
-  }
-}
-BENCHMARK(BM_ExplicitGroupByReference);
-
 // A variant the detector cannot match (the key equality sits under a deeper
 // path), demonstrating the fragility the paper describes: it stays slow even
 // with detection enabled.
-void BM_NonMatchingVariantWithDetection(benchmark::State& state) {
-  Engine::Options options;
-  options.enable_groupby_rewrite = true;
-  Engine engine(options);
-  PreparedQuery query = engine.Compile(
-      "for $a in distinct-values(//order/lineitem/quantity) "
-      "let $items := for $i in //order "
-      "              where $i/lineitem/quantity = $a "
-      "              return $i "
-      "return <r>{$a, count($items)}</r>");
-  if (query.rewrites_applied() != 0) {
-    state.SkipWithError("unexpected rewrite");
-    return;
-  }
-  const DocumentPtr& doc = SharedOrders();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(query.Execute(doc));
-  }
-}
-BENCHMARK(BM_NonMatchingVariantWithDetection);
+constexpr char kNonMatchingQuery[] =
+    "for $a in distinct-values(//order/lineitem/quantity) "
+    "let $items := for $i in //order "
+    "              where $i/lineitem/quantity = $a "
+    "              return $i "
+    "return <r>{$a, count($items)}</r>";
+
+constexpr char kExplicitQuery[] =
+    "for $i in //order/lineitem "
+    "group by data($i/quantity) into $a nest $i into $items "
+    "where exists($a) "
+    "return <r>{$a, count($items)}</r>";
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  int repetitions = quick ? 1 : 5;
+
+  xqa::workload::OrderConfig config;
+  config.num_orders = 500;
+  DocumentPtr doc = xqa::workload::GenerateOrdersDocument(config);
+
+  Engine plain;
+  Engine::Options detect_options;
+  detect_options.enable_groupby_rewrite = true;
+  Engine detecting(detect_options);
+
+  struct Variant {
+    const char* name;
+    PreparedQuery query;
+    int expected_rewrites;
+  };
+  Variant variants[] = {
+      {"naive_as_written", plain.Compile(kNaiveQuery), 0},
+      {"naive_with_rewrite_detection", detecting.Compile(kNaiveQuery), 1},
+      {"explicit_groupby_reference", plain.Compile(kExplicitQuery), 0},
+      {"non_matching_with_detection", detecting.Compile(kNonMatchingQuery), 0},
+  };
+
+  std::printf("A1: rewrite ablation (500 orders)\n");
+  std::printf("%-32s %9s %12s\n", "variant", "rewrites", "best ms");
+  JsonValue results = JsonValue::Array();
+  for (Variant& v : variants) {
+    if (v.query.rewrites_applied() != v.expected_rewrites) {
+      std::printf("%-32s SKIPPED: expected %d rewrites, got %d\n", v.name,
+                  v.expected_rewrites, v.query.rewrites_applied());
+      continue;
+    }
+    double seconds = MeasureSeconds(v.query, doc, repetitions);
+    std::printf("%-32s %9d %12.2f\n", v.name, v.query.rewrites_applied(),
+                seconds * 1e3);
+    JsonValue entry = MeasureEntry(v.query, doc, seconds);
+    entry.Set("name", JsonValue::Str(v.name));
+    entry.Set("rewrites_applied", JsonValue::Int(v.query.rewrites_applied()));
+    results.Append(std::move(entry));
+  }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", JsonValue::Str("rewrite_ablation"));
+  root.Set("experiment",
+           JsonValue::Str("A1: optimizer group-by detection ablation"));
+  JsonValue params = JsonValue::Object();
+  params.Set("quick", JsonValue::Bool(quick));
+  params.Set("orders", JsonValue::Int(config.num_orders));
+  params.Set("repetitions", JsonValue::Int(repetitions));
+  root.Set("parameters", std::move(params));
+  root.Set("results", std::move(results));
+  xqa::bench::WriteBenchJson("rewrite_ablation", root);
+  return 0;
+}

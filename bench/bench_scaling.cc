@@ -2,13 +2,16 @@
 // to 32K (the paper's input sizes). The explicit group by scales linearly in
 // the input; the naive form scales as input x groups.
 //
+// Each point is appended to BENCH_scaling.json with QueryStats counters: the
+// naive plan's inner where-clause tuples_in is lineitems x groups while the
+// explicit plan's hash probes stay proportional to lineitems alone.
+//
 // Usage: bench_scaling [--quick]
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 
-#include "api/engine.h"
+#include "bench_json.h"
 #include "workload/orders.h"
 
 namespace {
@@ -16,14 +19,9 @@ namespace {
 using xqa::DocumentPtr;
 using xqa::Engine;
 using xqa::PreparedQuery;
-
-double MeasureSeconds(const PreparedQuery& query, const DocumentPtr& doc) {
-  (void)query.Execute(doc);  // warm-up
-  auto start = std::chrono::steady_clock::now();
-  (void)query.Execute(doc);
-  auto stop = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(stop - start).count();
-}
+using xqa::bench::JsonValue;
+using xqa::bench::MeasureEntry;
+using xqa::bench::MeasureSeconds;
 
 }  // namespace
 
@@ -49,16 +47,39 @@ int main(int argc, char** argv) {
   std::printf("E3: scaling with input size (grouping by quantity, 50 groups)\n");
   std::printf("%10s %10s %12s %12s %9s\n", "orders", "lineitems", "t(Q) ms",
               "t(Qgb) ms", "ratio");
+  JsonValue results = JsonValue::Array();
   // ~4 lineitems per order: 2000..8000 orders give the paper's 8K..32K range.
   for (int orders : {2000, 4000, 6000, 8000}) {
     xqa::workload::OrderConfig config;
     config.num_orders = quick ? orders / 4 : orders;
     DocumentPtr doc = xqa::workload::GenerateOrdersDocument(config);
     int lineitems = xqa::workload::CountLineitems(config);
-    double t_qgb = MeasureSeconds(with_groupby, doc);
-    double t_q = MeasureSeconds(without_groupby, doc);
+    double t_qgb = MeasureSeconds(with_groupby, doc, 1);
+    double t_q = MeasureSeconds(without_groupby, doc, 1);
     std::printf("%10d %10d %12.2f %12.2f %9.1f\n", config.num_orders,
                 lineitems, t_q * 1e3, t_qgb * 1e3, t_q / t_qgb);
+
+    JsonValue entry = JsonValue::Object();
+    entry.Set("orders", JsonValue::Int(config.num_orders));
+    entry.Set("lineitems", JsonValue::Int(lineitems));
+    entry.Set("t_qgb_seconds", JsonValue::Number(t_qgb));
+    entry.Set("t_q_seconds", JsonValue::Number(t_q));
+    entry.Set("ratio", JsonValue::Number(t_q / t_qgb));
+    entry.Set("with_groupby", MeasureEntry(with_groupby, doc, t_qgb));
+    entry.Set("without_groupby", MeasureEntry(without_groupby, doc, t_q));
+    results.Append(std::move(entry));
   }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", JsonValue::Str("scaling"));
+  root.Set("experiment",
+           JsonValue::Str("E3: input-size scaling, 8K..32K lineitems "
+                          "(Section 6)"));
+  JsonValue params = JsonValue::Object();
+  params.Set("quick", JsonValue::Bool(quick));
+  params.Set("groups", JsonValue::Int(50));
+  root.Set("parameters", std::move(params));
+  root.Set("results", std::move(results));
+  xqa::bench::WriteBenchJson("scaling", root);
   return 0;
 }

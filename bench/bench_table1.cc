@@ -1,9 +1,15 @@
-// E2 — Table 1: google-benchmark timings of the two query templates (with /
-// without explicit group by) for one- and two-element grouping keys.
+// E2 — Table 1: timings of the two query templates (with / without explicit
+// group by) for one- and two-element grouping keys, written to
+// BENCH_table1.json with the per-query QueryStats counters.
+//
+// Usage: bench_table1 [--quick]
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "api/engine.h"
+#include "bench_json.h"
 #include "workload/orders.h"
 
 namespace {
@@ -11,76 +17,78 @@ namespace {
 using xqa::DocumentPtr;
 using xqa::Engine;
 using xqa::PreparedQuery;
+using xqa::bench::JsonValue;
+using xqa::bench::MeasureEntry;
+using xqa::bench::MeasureSeconds;
 
-const DocumentPtr& SharedOrders() {
-  static const DocumentPtr& doc = *new DocumentPtr([] {
-    xqa::workload::OrderConfig config;
-    config.num_orders = 500;
-    return xqa::workload::GenerateOrdersDocument(config);
-  }());
-  return doc;
-}
+struct NamedQuery {
+  const char* name;
+  const char* text;
+};
 
-void BM_Table1a_WithGroupBy(benchmark::State& state) {
-  Engine engine;
-  PreparedQuery query = engine.Compile(
-      "for $litem in //order/lineitem "
-      "group by $litem/shipmode into $a "
-      "nest $litem into $items "
-      "return <r>{$a, count($items)}</r>");
-  const DocumentPtr& doc = SharedOrders();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(query.Execute(doc));
-  }
-}
-BENCHMARK(BM_Table1a_WithGroupBy);
-
-void BM_Table1a_WithoutGroupBy(benchmark::State& state) {
-  Engine engine;
-  PreparedQuery query = engine.Compile(
-      "for $a in distinct-values(//order/lineitem/shipmode) "
-      "let $items := for $i in //order/lineitem "
-      "              where $i/shipmode = $a "
-      "              return $i "
-      "return <r>{$a, count($items)}</r>");
-  const DocumentPtr& doc = SharedOrders();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(query.Execute(doc));
-  }
-}
-BENCHMARK(BM_Table1a_WithoutGroupBy);
-
-void BM_Table1b_WithGroupBy(benchmark::State& state) {
-  Engine engine;
-  PreparedQuery query = engine.Compile(
-      "for $litem in //order/lineitem "
-      "group by $litem/shipinstruct into $a, $litem/shipmode into $b "
-      "nest $litem into $items "
-      "return <r>{$a, $b, count($items)}</r>");
-  const DocumentPtr& doc = SharedOrders();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(query.Execute(doc));
-  }
-}
-BENCHMARK(BM_Table1b_WithGroupBy);
-
-void BM_Table1b_WithoutGroupBy(benchmark::State& state) {
-  Engine engine;
-  PreparedQuery query = engine.Compile(
-      "for $a in distinct-values(//order/lineitem/shipinstruct), "
-      "    $b in distinct-values(//order/lineitem/shipmode) "
-      "let $items := for $i in //order/lineitem "
-      "              where $i/shipinstruct = $a and $i/shipmode = $b "
-      "              return $i "
-      "where exists($items) "
-      "return <r>{$a, $b, count($items)}</r>");
-  const DocumentPtr& doc = SharedOrders();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(query.Execute(doc));
-  }
-}
-BENCHMARK(BM_Table1b_WithoutGroupBy);
+constexpr NamedQuery kQueries[] = {
+    {"table1a_with_groupby",
+     "for $litem in //order/lineitem "
+     "group by $litem/shipmode into $a "
+     "nest $litem into $items "
+     "return <r>{$a, count($items)}</r>"},
+    {"table1a_without_groupby",
+     "for $a in distinct-values(//order/lineitem/shipmode) "
+     "let $items := for $i in //order/lineitem "
+     "              where $i/shipmode = $a "
+     "              return $i "
+     "return <r>{$a, count($items)}</r>"},
+    {"table1b_with_groupby",
+     "for $litem in //order/lineitem "
+     "group by $litem/shipinstruct into $a, $litem/shipmode into $b "
+     "nest $litem into $items "
+     "return <r>{$a, $b, count($items)}</r>"},
+    {"table1b_without_groupby",
+     "for $a in distinct-values(//order/lineitem/shipinstruct), "
+     "    $b in distinct-values(//order/lineitem/shipmode) "
+     "let $items := for $i in //order/lineitem "
+     "              where $i/shipinstruct = $a and $i/shipmode = $b "
+     "              return $i "
+     "where exists($items) "
+     "return <r>{$a, $b, count($items)}</r>"},
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  int repetitions = quick ? 1 : 5;
+
+  xqa::workload::OrderConfig config;
+  config.num_orders = 500;
+  DocumentPtr doc = xqa::workload::GenerateOrdersDocument(config);
+  Engine engine;
+
+  std::printf("E2: Table 1 query templates (500 orders)\n");
+  std::printf("%-28s %12s\n", "query", "best ms");
+  JsonValue results = JsonValue::Array();
+  for (const NamedQuery& q : kQueries) {
+    PreparedQuery query = engine.Compile(q.text);
+    double seconds = MeasureSeconds(query, doc, repetitions);
+    std::printf("%-28s %12.2f\n", q.name, seconds * 1e3);
+    JsonValue entry = MeasureEntry(query, doc, seconds);
+    entry.Set("name", JsonValue::Str(q.name));
+    results.Append(std::move(entry));
+  }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", JsonValue::Str("table1"));
+  root.Set("experiment",
+           JsonValue::Str("E2: Table 1 one-/two-key grouping templates"));
+  JsonValue params = JsonValue::Object();
+  params.Set("quick", JsonValue::Bool(quick));
+  params.Set("orders", JsonValue::Int(config.num_orders));
+  params.Set("repetitions", JsonValue::Int(repetitions));
+  root.Set("parameters", std::move(params));
+  root.Set("results", std::move(results));
+  xqa::bench::WriteBenchJson("table1", root);
+  return 0;
+}

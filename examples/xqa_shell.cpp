@@ -7,6 +7,9 @@
 //
 //   :load <uri> <file>   register a document
 //   :explain <query>     show the compiled plan
+//   :analyze <query>     run the query, show the plan with observed
+//                        per-clause cardinalities and times
+//   :profile <query>     run the query, print results + QueryStats JSON
 //   :quit                exit
 //   anything else        compile and run as a query
 //
@@ -51,8 +54,8 @@ int main(int argc, char** argv) {
     context = xqa::Engine::ParseDocument("<empty/>");
   }
 
-  std::printf("xqa shell — enter a query, :explain <q>, :load <uri> <file>, "
-              ":quit\n");
+  std::printf("xqa shell — enter a query, :explain <q>, :analyze <q>, "
+              ":profile <q>, :load <uri> <file>, :quit\n");
   std::string line;
   while (true) {
     std::printf("xqa> ");
@@ -85,10 +88,17 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    bool explain = false;
+    enum class Mode { kRun, kExplain, kAnalyze, kProfile };
+    Mode mode = Mode::kRun;
     std::string query = line;
     if (line.rfind(":explain ", 0) == 0) {
-      explain = true;
+      mode = Mode::kExplain;
+      query = line.substr(9);
+    } else if (line.rfind(":analyze ", 0) == 0) {
+      mode = Mode::kAnalyze;
+      query = line.substr(9);
+    } else if (line.rfind(":profile ", 0) == 0) {
+      mode = Mode::kProfile;
       query = line.substr(9);
     }
 
@@ -97,14 +107,31 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", compiled.status().message().c_str());
       continue;
     }
-    if (explain) {
+    if (mode == Mode::kExplain) {
       std::printf("%s", compiled.value().Explain().c_str());
       continue;
     }
     try {
-      xqa::Sequence result = compiled.value().Execute(context, registry);
-      std::printf("%s\n", xqa::SerializeSequence(result, 2).c_str());
-      std::printf("-- %zu item(s)\n", result.size());
+      switch (mode) {
+        case Mode::kAnalyze:
+          std::printf("%s", compiled.value().ExplainAnalyze(context).c_str());
+          break;
+        case Mode::kProfile: {
+          xqa::ProfiledResult profiled =
+              compiled.value().ExecuteProfiled(context, registry);
+          std::printf("%s\n",
+                      xqa::SerializeSequence(profiled.sequence, 2).c_str());
+          std::printf("-- %zu item(s)\n%s\n", profiled.sequence.size(),
+                      profiled.stats.ToJson(2).c_str());
+          break;
+        }
+        default: {
+          xqa::Sequence result = compiled.value().Execute(context, registry);
+          std::printf("%s\n", xqa::SerializeSequence(result, 2).c_str());
+          std::printf("-- %zu item(s)\n", result.size());
+          break;
+        }
+      }
     } catch (const xqa::XQueryError& error) {
       std::printf("error: %s\n", error.FormattedMessage().c_str());
     }

@@ -19,6 +19,20 @@ Sequence Run(const Module& module, Focus focus,
   return evaluator.EvaluateQuery(&context, focus);
 }
 
+ProfiledResult RunProfiled(const Module& module, Focus focus,
+                           const DocumentRegistry* documents = nullptr) {
+  ProfiledResult result;
+  DynamicContext context;
+  context.documents = documents;
+  context.stats = &result.stats;
+  Evaluator evaluator(&module);
+  {
+    StatsTimer total(&result.stats.total_seconds);
+    result.sequence = evaluator.EvaluateQuery(&context, focus);
+  }
+  return result;
+}
+
 Focus DocumentFocus(const DocumentPtr& document) {
   Focus focus;
   focus.valid = true;
@@ -76,6 +90,29 @@ std::string PreparedQuery::ExecuteToString(const DocumentPtr& document,
 }
 
 std::string PreparedQuery::Explain() const { return ExplainModule(*module_); }
+
+ProfiledResult PreparedQuery::ExecuteProfiled(
+    const DocumentPtr& document) const {
+  return RunProfiled(*module_, DocumentFocus(document));
+}
+
+ProfiledResult PreparedQuery::ExecuteProfiled() const {
+  return RunProfiled(*module_, Focus{});
+}
+
+ProfiledResult PreparedQuery::ExecuteProfiled(
+    const DocumentPtr& context_document,
+    const DocumentRegistry& documents) const {
+  Focus focus =
+      context_document != nullptr ? DocumentFocus(context_document) : Focus{};
+  return RunProfiled(*module_, focus, &documents);
+}
+
+std::string PreparedQuery::ExplainAnalyze(const DocumentPtr& document) const {
+  Focus focus = document != nullptr ? DocumentFocus(document) : Focus{};
+  ProfiledResult profiled = RunProfiled(*module_, focus);
+  return ExplainAnalyzeModule(*module_, profiled.stats);
+}
 
 PreparedQuery Engine::Compile(std::string_view query) const {
   PreparedQuery prepared;

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "api/query_stats.h"
 #include "base/error.h"
 #include "eval/dynamic_context.h"
 #include "parser/ast.h"
@@ -12,6 +13,13 @@
 #include "xml/xml_parser.h"
 
 namespace xqa {
+
+/// Result of a profiled execution: the result sequence plus the execution
+/// statistics collected while producing it.
+struct ProfiledResult {
+  Sequence sequence;
+  QueryStats stats;
+};
 
 /// A compiled, bound (and optionally rewritten) query, ready for repeated
 /// execution against documents. Thread-compatible: concurrent Execute calls
@@ -44,6 +52,19 @@ class PreparedQuery {
 
   /// Indented logical-plan rendering of the compiled query (see explain.h).
   std::string Explain() const;
+
+  /// Runs the query with stats collection attached (per-clause cardinalities,
+  /// grouping counters, wall times — see query_stats.h). Identical semantics
+  /// to the matching Execute overload; only the instrumented path differs.
+  ProfiledResult ExecuteProfiled(const DocumentPtr& document) const;
+  ProfiledResult ExecuteProfiled() const;
+  ProfiledResult ExecuteProfiled(const DocumentPtr& context_document,
+                                 const DocumentRegistry& documents) const;
+
+  /// Executes the query against `document`, then renders the Explain() plan
+  /// annotated with the observed per-clause cardinalities, group counts, and
+  /// wall times (EXPLAIN ANALYZE). Pass null to run with no context item.
+  std::string ExplainAnalyze(const DocumentPtr& document) const;
 
   /// Number of distinct-values/self-join patterns the optimizer rewrote into
   /// explicit group by clauses (0 unless the rewrite was enabled).

@@ -1,12 +1,41 @@
 #include "api/explain.h"
 
+#include <cstdio>
 #include <sstream>
+
+#include "api/query_stats.h"
 
 namespace xqa {
 
 namespace {
 
-void Render(const Expr* expr, int indent, std::ostringstream* out);
+void Render(const Expr* expr, int indent, std::ostringstream* out,
+            const QueryStats* stats);
+
+/// "  [execs=2 in=120 out=40 ... 1.234ms]" annotation for one clause's
+/// observed counters; empty when stats are absent or the clause never ran.
+std::string StatsSuffix(const QueryStats* stats, const FlworExpr* flwor,
+                        int clause_index) {
+  if (stats == nullptr) return "";
+  const ClauseStats* cs = stats->FindClause(flwor, clause_index);
+  if (cs == nullptr) return "  [never executed]";
+  std::ostringstream out;
+  out << "  [execs=" << cs->executions << " in=" << cs->tuples_in
+      << " out=" << cs->tuples_out;
+  if (cs->groups_formed > 0) out << " groups=" << cs->groups_formed;
+  if (cs->hash_probes > 0) out << " probes=" << cs->hash_probes;
+  if (cs->hash_collisions > 0) out << " collisions=" << cs->hash_collisions;
+  if (cs->deep_equal_calls > 0) out << " deep-eq=" << cs->deep_equal_calls;
+  if (cs->linear_scan_compares > 0) {
+    out << " scan-cmp=" << cs->linear_scan_compares;
+  }
+  if (cs->implicit_rebinds > 0) out << " rebinds=" << cs->implicit_rebinds;
+  char time_buf[32];
+  std::snprintf(time_buf, sizeof(time_buf), " %.3fms",
+                cs->wall_seconds * 1e3);
+  out << time_buf << "]";
+  return out.str();
+}
 
 std::string Pad(int indent) { return std::string(indent * 2, ' '); }
 
@@ -50,9 +79,9 @@ std::string Summary(const Expr* expr) {
 }
 
 void RenderOrderBy(const OrderByData& order, int indent,
-                   std::ostringstream* out) {
+                   std::ostringstream* out, const std::string& suffix) {
   *out << Pad(indent) << "order by" << (order.stable ? " (stable)" : "")
-       << "\n";
+       << suffix << "\n";
   for (const OrderSpec& spec : order.specs) {
     *out << Pad(indent + 1) << "key " << Summary(spec.key.get())
          << (spec.descending ? " descending" : " ascending")
@@ -60,32 +89,38 @@ void RenderOrderBy(const OrderByData& order, int indent,
   }
 }
 
-void RenderFlwor(const FlworExpr* e, int indent, std::ostringstream* out) {
+void RenderFlwor(const FlworExpr* e, int indent, std::ostringstream* out,
+                 const QueryStats* stats) {
   *out << Pad(indent) << "flwor\n";
-  for (const FlworClause& clause : e->clauses) {
+  for (size_t clause_index = 0; clause_index < e->clauses.size();
+       ++clause_index) {
+    const FlworClause& clause = e->clauses[clause_index];
+    std::string suffix =
+        StatsSuffix(stats, e, static_cast<int>(clause_index));
     switch (clause.kind) {
       case ClauseKind::kFor:
         *out << Pad(indent + 1) << "for $" << clause.for_var;
         if (!clause.pos_var.empty()) *out << " at $" << clause.pos_var;
-        *out << " in " << Summary(clause.for_expr.get()) << "\n";
+        *out << " in " << Summary(clause.for_expr.get()) << suffix << "\n";
         break;
       case ClauseKind::kLet:
         *out << Pad(indent + 1) << "let $" << clause.let_var << " := "
-             << Summary(clause.let_expr.get()) << "\n";
+             << Summary(clause.let_expr.get()) << suffix << "\n";
         break;
       case ClauseKind::kWhere:
         *out << Pad(indent + 1) << "where "
-             << Summary(clause.where_expr.get()) << "\n";
+             << Summary(clause.where_expr.get()) << suffix << "\n";
         break;
       case ClauseKind::kOrderBy:
-        RenderOrderBy(clause.order_by, indent + 1, out);
+        RenderOrderBy(clause.order_by, indent + 1, out, suffix);
         if (clause.order_after_group && clause.order_by.stable) {
           *out << Pad(indent + 2)
                << "(stable ignored after group by, Section 3.4.2)\n";
         }
         break;
       case ClauseKind::kCount:
-        *out << Pad(indent + 1) << "count $" << clause.count_var << "\n";
+        *out << Pad(indent + 1) << "count $" << clause.count_var << suffix
+             << "\n";
         break;
       case ClauseKind::kGroupBy: {
         bool hash = true;
@@ -97,7 +132,7 @@ void RenderFlwor(const FlworExpr* e, int indent, std::ostringstream* out) {
              << (clause.xquery3_group_style
                      ? ", XQuery 3.0 dialect: implicit rebinding"
                      : "")
-             << "]\n";
+             << "]" << suffix << "\n";
         for (const auto& key : clause.group_keys) {
           *out << Pad(indent + 2) << "key $" << key.var << " := "
                << Summary(key.expr.get()) << "  [";
@@ -116,7 +151,7 @@ void RenderFlwor(const FlworExpr* e, int indent, std::ostringstream* out) {
           }
           *out << "\n";
           if (nest.order_by.has_value()) {
-            RenderOrderBy(*nest.order_by, indent + 3, out);
+            RenderOrderBy(*nest.order_by, indent + 3, out, "");
           }
         }
         break;
@@ -125,18 +160,19 @@ void RenderFlwor(const FlworExpr* e, int indent, std::ostringstream* out) {
   }
   *out << Pad(indent + 1) << "return";
   if (!e->at_var.empty()) *out << " at $" << e->at_var;
-  *out << "\n";
-  Render(e->return_expr.get(), indent + 2, out);
+  *out << StatsSuffix(stats, e, ClauseStats::kReturnClause) << "\n";
+  Render(e->return_expr.get(), indent + 2, out, stats);
 }
 
-void Render(const Expr* expr, int indent, std::ostringstream* out) {
+void Render(const Expr* expr, int indent, std::ostringstream* out,
+            const QueryStats* stats) {
   if (expr == nullptr) {
     *out << Pad(indent) << "()\n";
     return;
   }
   switch (expr->kind()) {
     case ExprKind::kFlwor:
-      RenderFlwor(static_cast<const FlworExpr*>(expr), indent, out);
+      RenderFlwor(static_cast<const FlworExpr*>(expr), indent, out, stats);
       return;
     case ExprKind::kPath: {
       const auto* e = static_cast<const PathExpr*>(expr);
@@ -165,23 +201,25 @@ void Render(const Expr* expr, int indent, std::ostringstream* out) {
       *out << Pad(indent) << "element <" << e->name << "> ("
            << e->attributes.size() << " attrs)\n";
       for (const ConstructorContent& child : e->children) {
-        if (child.expr != nullptr) Render(child.expr.get(), indent + 1, out);
+        if (child.expr != nullptr) {
+          Render(child.expr.get(), indent + 1, out, stats);
+        }
       }
       return;
     }
     case ExprKind::kIf: {
       const auto* e = static_cast<const IfExpr*>(expr);
       *out << Pad(indent) << "if " << Summary(e->condition.get()) << "\n";
-      Render(e->then_branch.get(), indent + 1, out);
+      Render(e->then_branch.get(), indent + 1, out, stats);
       *out << Pad(indent) << "else\n";
-      Render(e->else_branch.get(), indent + 1, out);
+      Render(e->else_branch.get(), indent + 1, out, stats);
       return;
     }
     case ExprKind::kSequence: {
       const auto* e = static_cast<const SequenceExpr*>(expr);
       *out << Pad(indent) << "sequence (" << e->items.size() << " items)\n";
       for (const ExprPtr& item : e->items) {
-        Render(item.get(), indent + 1, out);
+        Render(item.get(), indent + 1, out, stats);
       }
       return;
     }
@@ -191,15 +229,7 @@ void Render(const Expr* expr, int indent, std::ostringstream* out) {
   }
 }
 
-}  // namespace
-
-std::string ExplainExpr(const Expr* expr, int indent) {
-  std::ostringstream out;
-  Render(expr, indent, &out);
-  return out.str();
-}
-
-std::string ExplainModule(const Module& module) {
+std::string ExplainModuleImpl(const Module& module, const QueryStats* stats) {
   std::ostringstream out;
   out << "module (ordering " << (module.ordered ? "ordered" : "unordered")
       << ", " << module.variables.size() << " globals, "
@@ -207,16 +237,43 @@ std::string ExplainModule(const Module& module) {
       << module.frame_size << ")\n";
   for (const VariableDecl& decl : module.variables) {
     out << "  global $" << decl.name << "\n";
-    out << ExplainExpr(decl.expr.get(), 2);
+    Render(decl.expr.get(), 2, &out, stats);
   }
   for (const FunctionDecl& fn : module.functions) {
     out << "  function " << fn.name << "#" << fn.params.size() << " (frame "
         << fn.frame_size << ")\n";
-    out << ExplainExpr(fn.body.get(), 2);
+    Render(fn.body.get(), 2, &out, stats);
   }
   out << "  body\n";
-  out << ExplainExpr(module.body.get(), 2);
+  Render(module.body.get(), 2, &out, stats);
+  if (stats != nullptr) {
+    char time_buf[32];
+    std::snprintf(time_buf, sizeof(time_buf), "%.3fms",
+                  stats->total_seconds * 1e3);
+    out << "observed: total " << time_buf << ", tuples "
+        << stats->tuples_flowed << ", path steps " << stats->path_steps
+        << ", nodes constructed " << stats->nodes_constructed
+        << ", deep-equal " << stats->deep_equal_calls << ", deep-hash "
+        << stats->deep_hash_calls << "\n";
+  }
   return out.str();
+}
+
+}  // namespace
+
+std::string ExplainExpr(const Expr* expr, int indent) {
+  std::ostringstream out;
+  Render(expr, indent, &out, nullptr);
+  return out.str();
+}
+
+std::string ExplainModule(const Module& module) {
+  return ExplainModuleImpl(module, nullptr);
+}
+
+std::string ExplainAnalyzeModule(const Module& module,
+                                 const QueryStats& stats) {
+  return ExplainModuleImpl(module, &stats);
 }
 
 }  // namespace xqa

@@ -24,6 +24,13 @@ std::string ExplainModule(const Module& module);
 /// Renders one expression subtree (used by ExplainModule and tests).
 std::string ExplainExpr(const Expr* expr, int indent = 0);
 
+class QueryStats;
+
+/// EXPLAIN ANALYZE: the ExplainModule plan annotated with observed per-clause
+/// cardinalities, group counts, and wall times from a profiled execution
+/// (PreparedQuery::ExplainAnalyze runs the query and calls this).
+std::string ExplainAnalyzeModule(const Module& module, const QueryStats& stats);
+
 }  // namespace xqa
 
 #endif  // XQA_API_EXPLAIN_H_

@@ -1,0 +1,113 @@
+#include "api/query_stats.h"
+
+#include <map>
+#include <sstream>
+
+namespace xqa {
+
+namespace {
+
+/// JSON-escapes the label strings (quotes/backslashes/control chars).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ClauseStats& QueryStats::Clause(const void* flwor, int clause_index,
+                                const std::string& label) {
+  for (ClauseStats& clause : clauses) {
+    if (clause.flwor == flwor && clause.clause_index == clause_index) {
+      return clause;
+    }
+  }
+  ClauseStats clause;
+  clause.flwor = flwor;
+  clause.clause_index = clause_index;
+  clause.label = label;
+  clauses.push_back(std::move(clause));
+  return clauses.back();
+}
+
+const ClauseStats* QueryStats::FindClause(const void* flwor,
+                                          int clause_index) const {
+  for (const ClauseStats& clause : clauses) {
+    if (clause.flwor == flwor && clause.clause_index == clause_index) {
+      return &clause;
+    }
+  }
+  return nullptr;
+}
+
+int64_t QueryStats::TotalGroupsFormed() const {
+  int64_t total = 0;
+  for (const ClauseStats& clause : clauses) total += clause.groups_formed;
+  return total;
+}
+
+int64_t QueryStats::TotalHashProbes() const {
+  int64_t total = 0;
+  for (const ClauseStats& clause : clauses) total += clause.hash_probes;
+  return total;
+}
+
+std::string QueryStats::ToJson(int indent) const {
+  // Number distinct FLWOR expressions in first-execution order so the JSON
+  // is stable across runs and carries no raw pointers.
+  std::map<const void*, int> flwor_ids;
+  for (const ClauseStats& clause : clauses) {
+    flwor_ids.emplace(clause.flwor,
+                      static_cast<int>(flwor_ids.size()));
+  }
+  std::string pad = indent > 0 ? std::string(indent, ' ') : "";
+  std::string nl = indent > 0 ? "\n" : "";
+  std::ostringstream out;
+  out << "{" << nl;
+  out << pad << "\"total_seconds\": " << total_seconds << "," << nl;
+  out << pad << "\"path_steps\": " << path_steps << "," << nl;
+  out << pad << "\"nodes_constructed\": " << nodes_constructed << "," << nl;
+  out << pad << "\"deep_equal_calls\": " << deep_equal_calls << "," << nl;
+  out << pad << "\"deep_hash_calls\": " << deep_hash_calls << "," << nl;
+  out << pad << "\"tuples_flowed\": " << tuples_flowed << "," << nl;
+  out << pad << "\"clauses\": [" << nl;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    const ClauseStats& c = clauses[i];
+    out << pad << pad << "{\"flwor\": " << flwor_ids[c.flwor]
+        << ", \"clause\": " << c.clause_index
+        << ", \"label\": \"" << JsonEscape(c.label) << "\""
+        << ", \"executions\": " << c.executions
+        << ", \"tuples_in\": " << c.tuples_in
+        << ", \"tuples_out\": " << c.tuples_out
+        << ", \"groups_formed\": " << c.groups_formed
+        << ", \"hash_probes\": " << c.hash_probes
+        << ", \"hash_collisions\": " << c.hash_collisions
+        << ", \"deep_equal_calls\": " << c.deep_equal_calls
+        << ", \"linear_scan_compares\": " << c.linear_scan_compares
+        << ", \"implicit_rebinds\": " << c.implicit_rebinds
+        << ", \"wall_seconds\": " << c.wall_seconds << "}"
+        << (i + 1 < clauses.size() ? "," : "") << nl;
+  }
+  out << pad << "]" << nl;
+  out << "}";
+  return out.str();
+}
+
+}  // namespace xqa

@@ -1,0 +1,104 @@
+#ifndef XQA_API_QUERY_STATS_H_
+#define XQA_API_QUERY_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace xqa {
+
+/// Counters for one FLWOR clause (or the return clause) of one FLWOR
+/// expression, aggregated over every execution of that clause. A nested
+/// FLWOR that runs once per outer tuple accumulates into a single entry
+/// with `executions` recording how many times the clause ran.
+struct ClauseStats {
+  /// The owning FlworExpr, as an opaque identity (AST pointers are stable
+  /// for the lifetime of a PreparedQuery). Never dereferenced.
+  const void* flwor = nullptr;
+  /// Index into FlworExpr::clauses; kReturnClause for the return clause.
+  int clause_index = 0;
+  static constexpr int kReturnClause = -1;
+
+  std::string label;       ///< "for $x", "group by", "where", "return", ...
+  int64_t executions = 0;  ///< times this clause processed a tuple stream
+  int64_t tuples_in = 0;   ///< tuples entering the clause (summed)
+  int64_t tuples_out = 0;  ///< tuples leaving the clause (summed)
+
+  // Group-by only.
+  int64_t groups_formed = 0;    ///< groups in the output stream
+  int64_t hash_probes = 0;      ///< candidate groups inspected in hash buckets
+  int64_t hash_collisions = 0;  ///< probes whose keys were not equal
+  int64_t deep_equal_calls = 0; ///< key comparisons via deep-equal
+  int64_t linear_scan_compares = 0;  ///< `using`-equality group-table compares
+  int64_t implicit_rebinds = 0; ///< XQuery 3.0 merged sequences materialized
+
+  double wall_seconds = 0.0;  ///< monotonic wall time spent in the clause
+};
+
+/// Execution statistics for one query run, collected when the query is
+/// executed through PreparedQuery::ExecuteProfiled (or ExplainAnalyze).
+///
+/// Collection is opt-in: plain Execute leaves DynamicContext::stats null and
+/// every hook in the evaluator reduces to an inlined null-pointer test, so
+/// the unprofiled hot path stays unchanged (verified by bench_micro).
+class QueryStats {
+ public:
+  // --- whole-query counters ----------------------------------------------
+  int64_t path_steps = 0;        ///< axis/filter segment applications
+  int64_t nodes_constructed = 0; ///< element/attribute/text nodes built
+  int64_t deep_equal_calls = 0;  ///< deep-equal invocations (grouping keys)
+  int64_t deep_hash_calls = 0;   ///< deep-hash invocations (grouping keys)
+  int64_t tuples_flowed = 0;     ///< tuples leaving any FLWOR clause
+  double total_seconds = 0.0;    ///< wall time of the whole execution
+
+  /// Per-clause counters in first-execution order. A deque, not a vector:
+  /// the evaluator holds ClauseStats* across nested evaluation (an outer
+  /// return clause's entry outlives the inner FLWOR's first registration),
+  /// so growth must not invalidate references.
+  std::deque<ClauseStats> clauses;
+
+  /// The entry for (flwor, clause_index), created (with `label`) on first
+  /// use. Only called when stats collection is active. The returned
+  /// reference stays valid as the deque grows.
+  ClauseStats& Clause(const void* flwor, int clause_index,
+                      const std::string& label);
+
+  /// Lookup without creation; null when the clause never executed.
+  const ClauseStats* FindClause(const void* flwor, int clause_index) const;
+
+  /// Sum of a counter over every clause of every FLWOR, for coarse asserts.
+  int64_t TotalGroupsFormed() const;
+  int64_t TotalHashProbes() const;
+
+  /// Machine-readable JSON rendering (the BENCH_*.json "stats" object; see
+  /// docs/OBSERVABILITY.md for the schema). Distinct FLWOR expressions are
+  /// numbered in first-execution order rather than exposing pointers.
+  std::string ToJson(int indent = 0) const;
+};
+
+/// RAII accumulator for a wall-clock interval; a no-op when `sink` is null,
+/// so timed scopes cost nothing unless stats are attached.
+class StatsTimer {
+ public:
+  explicit StatsTimer(double* sink) : sink_(sink) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~StatsTimer() {
+    if (sink_ != nullptr) {
+      *sink_ += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    }
+  }
+  StatsTimer(const StatsTimer&) = delete;
+  StatsTimer& operator=(const StatsTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_API_QUERY_STATS_H_

@@ -1,0 +1,15 @@
+// Sanitizer detection. ASan instrumentation multiplies stack-frame sizes,
+// so recursion guards tuned for production builds overflow the real stack
+// before they fire; code with such guards keys its limits off XQA_UNDER_ASAN.
+#ifndef XQA_BASE_SANITIZER_H_
+#define XQA_BASE_SANITIZER_H_
+
+#if defined(__SANITIZE_ADDRESS__)  // GCC
+#define XQA_UNDER_ASAN 1
+#elif defined(__has_feature)  // Clang
+#if __has_feature(address_sanitizer)
+#define XQA_UNDER_ASAN 1
+#endif
+#endif
+
+#endif  // XQA_BASE_SANITIZER_H_

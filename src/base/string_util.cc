@@ -130,7 +130,9 @@ bool ParseInteger(std::string_view s, int64_t* out) {
     if (magnitude > (limit - digit) / 10) return false;
     magnitude = magnitude * 10 + digit;
   }
-  *out = negative ? -static_cast<int64_t>(magnitude)
+  // Negate in the unsigned domain: magnitude may be 2^63 (INT64_MIN), whose
+  // int64 negation is undefined. C++20 guarantees the modular conversion.
+  *out = negative ? static_cast<int64_t>(0 - magnitude)
                   : static_cast<int64_t>(magnitude);
   return true;
 }

@@ -221,7 +221,35 @@ class Binder {
                      clause->location);
         }
         BindExpr(key.expr.get());
-        key.slot = Declare(key.var);
+        // A bare `group by $x` whose $x is bound by this same FLWOR regroups
+        // the variable in place: reuse its slot instead of declaring a shadow,
+        // so the tuple stream carries one binding for $x (the key), not a
+        // key/merged-concatenation pair fighting for the same name. Keys
+        // bound in an *outer* FLWOR still get a fresh slot — writing the
+        // atomized key back into the outer slot would corrupt the outer
+        // binding.
+        const VarRefExpr* bare =
+            key.expr->kind() == ExprKind::kVarRef
+                ? static_cast<const VarRefExpr*>(key.expr.get())
+                : nullptr;
+        bool reuse_slot = false;
+        if (bare != nullptr && bare->name == key.var && !bare->is_global) {
+          for (size_t i = flwor_start; i < scope_.size(); ++i) {
+            if (scope_[i].slot == bare->slot && scope_[i].name == key.var) {
+              reuse_slot = true;
+              break;
+            }
+          }
+        }
+        if (reuse_slot) {
+          key.slot = bare->slot;
+          // Re-push the name so the key binding is the innermost resolution
+          // for the post-group clauses.
+          scope_.push_back({key.var, key.slot, /*global=*/false,
+                            /*dead=*/false});
+        } else {
+          key.slot = Declare(key.var);
+        }
       }
       return;
     }

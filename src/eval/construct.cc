@@ -1,5 +1,6 @@
 #include "eval/evaluator.h"
 
+#include "api/query_stats.h"
 #include "base/error.h"
 #include "base/string_util.h"
 #include "xdm/sequence_ops.h"
@@ -7,6 +8,26 @@
 namespace xqa {
 
 namespace {
+
+/// Nodes in the subtree rooted at `node`, including attributes. Only called
+/// when stats collection is active.
+int64_t CountSubtreeNodes(const Node* node) {
+  int64_t count = 1;
+  if (node->kind() == NodeKind::kElement) {
+    count += static_cast<int64_t>(node->attributes().size());
+  }
+  for (const Node* child : node->children()) {
+    count += CountSubtreeNodes(child);
+  }
+  return count;
+}
+
+/// Credits a freshly constructed tree to the stats sink, if any.
+void RecordConstructed(DynamicContext* context, const Node* root) {
+  if (context->stats != nullptr) {
+    context->stats->nodes_constructed += CountSubtreeNodes(root);
+  }
+}
 
 /// Builds the string value of an attribute from its parts: literal text is
 /// appended verbatim; each enclosed expression contributes its atomized
@@ -105,6 +126,7 @@ Sequence Evaluator::EvalConstructor(const DirectConstructorExpr* expr,
   }
 
   doc->SealOrder();
+  RecordConstructed(context, element);
   return {Item(element, doc)};
 }
 
@@ -141,6 +163,7 @@ Sequence Evaluator::EvalComputedConstructor(const ComputedConstructorExpr* expr,
       doc->AppendChild(doc->root(), element);
       AppendContentSequence(content, doc.get(), element, expr->location());
       doc->SealOrder();
+      RecordConstructed(context, element);
       return {Item(element, doc)};
     }
     case Kind::kAttribute: {
@@ -153,6 +176,7 @@ Sequence Evaluator::EvalComputedConstructor(const ComputedConstructorExpr* expr,
       }
       Node* attribute = doc->CreateAttribute(name, value);
       doc->SealOrder();
+      RecordConstructed(context, attribute);
       return {Item(attribute, doc)};
     }
     case Kind::kText: {
@@ -166,6 +190,7 @@ Sequence Evaluator::EvalComputedConstructor(const ComputedConstructorExpr* expr,
       Node* text = doc->CreateText(value);
       doc->AppendChild(doc->root(), text);
       doc->SealOrder();
+      RecordConstructed(context, text);
       return {Item(text, doc)};
     }
     case Kind::kComment: {
@@ -178,11 +203,13 @@ Sequence Evaluator::EvalComputedConstructor(const ComputedConstructorExpr* expr,
       Node* comment = doc->CreateComment(value);
       doc->AppendChild(doc->root(), comment);
       doc->SealOrder();
+      RecordConstructed(context, comment);
       return {Item(comment, doc)};
     }
     case Kind::kDocument: {
       AppendContentSequence(content, doc.get(), doc->root(), expr->location());
       doc->SealOrder();
+      RecordConstructed(context, doc->root());
       return {Item(doc->root(), doc)};
     }
   }

@@ -5,9 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "base/sanitizer.h"
 #include "xdm/item.h"
 
 namespace xqa {
+
+class QueryStats;
 
 /// Documents addressable by fn:doc / fn:collection, keyed by URI.
 using DocumentRegistry = std::map<std::string, DocumentPtr>;
@@ -45,9 +48,20 @@ class DynamicContext {
   /// Documents available to fn:doc / fn:collection; may be null.
   const DocumentRegistry* documents = nullptr;
 
-  /// Guards against runaway recursion in user-defined functions.
+  /// Execution-stats sink; null (the default) disables collection, reducing
+  /// every instrumentation hook to an inlined null test (see query_stats.h).
+  QueryStats* stats = nullptr;
+
+  /// Guards against runaway recursion in user-defined functions. The limit
+  /// must trip before the C++ call stack runs out; sanitizer builds have
+  /// much larger frames, so they get a tighter bound (the clean FORG0006
+  /// beats a stack-overflow abort).
   int recursion_depth = 0;
+#if defined(XQA_UNDER_ASAN)
+  static constexpr int kMaxRecursionDepth = 256;
+#else
   static constexpr int kMaxRecursionDepth = 2048;
+#endif
 
  private:
   std::vector<std::vector<Sequence>> frames_;

@@ -2,6 +2,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "api/query_stats.h"
 #include "base/error.h"
 #include "eval/evaluator.h"
 #include "functions/function_registry.h"
@@ -47,6 +48,19 @@ int CompareSortKeys(const SortKey& a, const SortKey& b, const OrderSpec& spec) {
 
 size_t CombineHash(size_t seed, size_t value) {
   return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Display label for a clause's ClauseStats / ExplainAnalyze entry.
+std::string ClauseLabel(const FlworClause& clause) {
+  switch (clause.kind) {
+    case ClauseKind::kFor: return "for $" + clause.for_var;
+    case ClauseKind::kLet: return "let $" + clause.let_var;
+    case ClauseKind::kWhere: return "where";
+    case ClauseKind::kCount: return "count $" + clause.count_var;
+    case ClauseKind::kOrderBy: return "order by";
+    case ClauseKind::kGroupBy: return "group by";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -98,7 +112,18 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
     return EffectiveBooleanValue(result);
   };
 
-  for (const FlworClause& clause : expr->clauses) {
+  QueryStats* stats = context->stats;
+  for (size_t clause_index = 0; clause_index < expr->clauses.size();
+       ++clause_index) {
+    const FlworClause& clause = expr->clauses[clause_index];
+    ClauseStats* cs = nullptr;
+    if (stats != nullptr) {
+      cs = &stats->Clause(expr, static_cast<int>(clause_index),
+                          ClauseLabel(clause));
+      ++cs->executions;
+      cs->tuples_in += static_cast<int64_t>(tuples.size());
+    }
+    StatsTimer timer(cs != nullptr ? &cs->wall_seconds : nullptr);
     switch (clause.kind) {
       case ClauseKind::kFor: {
         std::vector<Tuple> next;
@@ -215,15 +240,26 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
             for (const Sequence& key : keys) {
               hash = CombineHash(hash, DeepHashSequence(key));
             }
+            if (cs != nullptr) {
+              stats->deep_hash_calls += static_cast<int64_t>(keys.size());
+            }
             std::vector<size_t>& bucket = buckets[hash];
             size_t group_index = SIZE_MAX;
             for (size_t candidate : bucket) {
               bool all_equal = true;
               for (size_t k = 0; k < keys.size(); ++k) {
+                if (cs != nullptr) {
+                  ++cs->deep_equal_calls;
+                  ++stats->deep_equal_calls;
+                }
                 if (!DeepEqualSequences(groups[candidate].keys[k], keys[k])) {
                   all_equal = false;
                   break;
                 }
+              }
+              if (cs != nullptr) {
+                ++cs->hash_probes;
+                if (!all_equal) ++cs->hash_collisions;
               }
               if (all_equal) {
                 group_index = candidate;
@@ -238,17 +274,34 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
             groups[group_index].members.push_back(ti);
           }
 
+          // Slots rebound by a grouping key take the key binding only: a bare
+          // "group by $x" reuses $x's slot, and materializing the implicit
+          // concatenation for it as well would leave two entries fighting for
+          // one slot (with the stale merged sequence visible to later clauses
+          // depending on load order). The key wins; merged sequences are
+          // built only for genuinely non-grouping variables.
+          std::vector<bool> slot_is_key(bound_slots.size(), false);
+          for (size_t s = 0; s < bound_slots.size(); ++s) {
+            for (const auto& key : clause.group_keys) {
+              if (key.slot == bound_slots[s]) {
+                slot_is_key[s] = true;
+                break;
+              }
+            }
+          }
           std::vector<Tuple> next;
           next.reserve(groups.size());
           for (const Group3& group : groups) {
             Tuple out_tuple;
             out_tuple.reserve(bound_slots.size() + clause.group_keys.size());
-            // Implicit rebinding: concatenate each bound slot's values.
+            // Implicit rebinding: concatenate each non-key slot's values.
             for (size_t s = 0; s < bound_slots.size(); ++s) {
+              if (slot_is_key[s]) continue;
               Sequence merged;
               for (size_t member : group.members) {
                 Concat(&merged, tuples[member][s]);
               }
+              if (cs != nullptr) ++cs->implicit_rebinds;
               out_tuple.push_back(std::move(merged));
             }
             for (const Sequence& key : group.keys) {
@@ -256,8 +309,18 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
             }
             next.push_back(std::move(out_tuple));
           }
+          std::vector<int> remaining_slots;
+          remaining_slots.reserve(bound_slots.size() +
+                                  clause.group_keys.size());
+          for (size_t s = 0; s < bound_slots.size(); ++s) {
+            if (!slot_is_key[s]) remaining_slots.push_back(bound_slots[s]);
+          }
           for (const auto& key : clause.group_keys) {
-            bound_slots.push_back(key.slot);
+            remaining_slots.push_back(key.slot);
+          }
+          bound_slots = std::move(remaining_slots);
+          if (cs != nullptr) {
+            cs->groups_formed += static_cast<int64_t>(groups.size());
           }
           tuples = std::move(next);
           break;
@@ -291,14 +354,25 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
             for (const Sequence& key : keys) {
               hash = CombineHash(hash, DeepHashSequence(key));
             }
+            if (cs != nullptr) {
+              stats->deep_hash_calls += static_cast<int64_t>(keys.size());
+            }
             std::vector<size_t>& bucket = buckets[hash];
             for (size_t candidate : bucket) {
               bool all_equal = true;
               for (size_t k = 0; k < keys.size(); ++k) {
+                if (cs != nullptr) {
+                  ++cs->deep_equal_calls;
+                  ++stats->deep_equal_calls;
+                }
                 if (!DeepEqualSequences(groups[candidate].keys[k], keys[k])) {
                   all_equal = false;
                   break;
                 }
+              }
+              if (cs != nullptr) {
+                ++cs->hash_probes;
+                if (!all_equal) ++cs->hash_collisions;
               }
               if (all_equal) {
                 group_index = candidate;
@@ -316,6 +390,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
             for (size_t candidate = 0; candidate < groups.size(); ++candidate) {
               bool all_equal = true;
               for (size_t k = 0; k < keys.size(); ++k) {
+                if (cs != nullptr) ++cs->linear_scan_compares;
                 if (!equal_under(clause.group_keys[k],
                                  groups[candidate].keys[k], keys[k])) {
                   all_equal = false;
@@ -333,6 +408,9 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
             }
           }
           groups[group_index].members.push_back(ti);
+        }
+        if (cs != nullptr) {
+          cs->groups_formed += static_cast<int64_t>(groups.size());
         }
 
         // --- Output tuple construction --------------------------------------
@@ -406,11 +484,23 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
         break;
       }
     }
+    if (cs != nullptr) {
+      cs->tuples_out += static_cast<int64_t>(tuples.size());
+      stats->tuples_flowed += static_cast<int64_t>(tuples.size());
+    }
   }
 
   // Return clause, with the paper's output-numbering extension: the `at`
   // variable is bound to the ordinal of each return-clause execution (i.e.
   // output order, after any order by).
+  ClauseStats* return_cs = nullptr;
+  if (stats != nullptr) {
+    return_cs = &stats->Clause(expr, ClauseStats::kReturnClause, "return");
+    ++return_cs->executions;
+    return_cs->tuples_in += static_cast<int64_t>(tuples.size());
+  }
+  StatsTimer return_timer(return_cs != nullptr ? &return_cs->wall_seconds
+                                               : nullptr);
   Sequence result;
   int64_t ordinal = 0;
   for (const Tuple& tuple : tuples) {
@@ -419,6 +509,9 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
       context->Slot(expr->at_slot) = Sequence{MakeInteger(++ordinal)};
     }
     Concat(&result, Evaluate(expr->return_expr.get(), context));
+  }
+  if (return_cs != nullptr) {
+    return_cs->tuples_out += static_cast<int64_t>(result.size());
   }
   return result;
 }

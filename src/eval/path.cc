@@ -2,6 +2,7 @@
 
 #include "eval/evaluator.h"
 
+#include "api/query_stats.h"
 #include "base/error.h"
 #include "xdm/sequence_ops.h"
 
@@ -194,6 +195,11 @@ Sequence Evaluator::EvalPath(const PathExpr* expr, DynamicContext* context) {
     const PathSegment& segment = expr->segments[seg_index];
     bool last = seg_index + 1 == expr->segments.size();
     Sequence output;
+    if (context->stats != nullptr) {
+      // One "step" per context item the segment is applied to (a fused "//T"
+      // counts once).
+      context->stats->path_steps += static_cast<int64_t>(current.size());
+    }
 
     // Fusion: descendant-or-self::node()/child::T (the expansion of "//T")
     // evaluates as descendant::T, avoiding materializing every node. Only

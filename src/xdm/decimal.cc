@@ -120,9 +120,17 @@ Decimal Decimal::FromDouble(double value) {
 }
 
 double Decimal::ToDouble() const {
-  double result = static_cast<double>(unscaled_);
-  for (int i = 0; i < scale_; ++i) result /= 10.0;
-  return result;
+  // unscaled / 10^scale, computed as one correctly-rounded division. Repeated
+  // division by 10.0 compounds rounding error (e.g. 0.007 came out one ulp
+  // away from strtod("0.007"), making equal-valued decimal/double pairs
+  // compare unequal and hash apart).
+  if (scale_ == 0) return static_cast<double>(unscaled_);
+  double divisor = 1.0;
+  for (int i = 0; i < scale_; ++i) divisor *= 10.0;
+  // Powers of ten through 10^22 are exact doubles; scale_ <= 18 always holds
+  // for a normalized int64-backed decimal, so the single division rounds
+  // correctly and agrees with strtod of the lexical form.
+  return static_cast<double>(unscaled_) / divisor;
 }
 
 int64_t Decimal::ToInteger() const {

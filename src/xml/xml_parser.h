@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "base/sanitizer.h"
 #include "xml/node.h"
 
 namespace xqa {
@@ -16,7 +17,13 @@ struct XmlParseOptions {
   bool keep_comments = true;
   /// Maximum element nesting depth; deeper input raises XMLP0001 (guards
   /// the recursive-descent parser's stack against adversarial documents).
+  /// Sanitizer builds get a tighter default: their frames are several times
+  /// larger, and the guard must fire before the real stack runs out.
+#if defined(XQA_UNDER_ASAN)
+  int max_depth = 100;
+#else
   int max_depth = 1000;
+#endif
 };
 
 /// Parses an XML document (or fragment with a single root element) into a

@@ -119,6 +119,22 @@ TEST(DecimalConvert, ToIntegerAndDouble) {
                XQueryError);
 }
 
+TEST(DecimalConvert, ToDoubleIsCorrectlyRounded) {
+  // Regression: repeated division by 10 accumulated one ulp of error, so
+  // D("0.007").ToDouble() != 0.007 and deep-equal split decimal/double
+  // groups. A single division by the exact power of ten is correctly
+  // rounded for every scale we support.
+  EXPECT_EQ(D("0.007").ToDouble(), 0.007);
+  EXPECT_EQ(D("0.1").ToDouble(), 0.1);
+  EXPECT_EQ(D("2.5").ToDouble(), 2.5);
+  EXPECT_EQ(D("123456.789").ToDouble(), 123456.789);
+  EXPECT_EQ(D("-0.007").ToDouble(), -0.007);
+  // Max supported scale: 18 fractional digits.
+  EXPECT_EQ(D("0.000000000000000001").ToDouble(), 1e-18);
+  EXPECT_EQ(D("9.007199254740993").ToDouble(),
+            9007199254740993.0 / 1e15);
+}
+
 TEST(DecimalHash, EqualValuesHashEqual) {
   EXPECT_EQ(D("1.50").Hash(), D("1.5").Hash());
   EXPECT_EQ(Decimal::FromUnscaled(1500, 3).Hash(), D("1.5").Hash());

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "xdm/datetime.h"
 #include "xml/xml_parser.h"
 
 namespace xqa {
@@ -121,6 +125,106 @@ TEST_P(DeepHashPropertyTest, EqualImpliesSameHash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, DeepHashPropertyTest, ::testing::Range(0, 40));
+
+// Property sweep: DeepEqualSequences(a, b) ==> DeepHashSequence(a) ==
+// DeepHashSequence(b), checked over every pair drawn from a corpus that
+// crosses numeric representations (integer / decimal / double), signed
+// zeros, NaN, timezone-shifted dateTimes, decimals at and beyond double
+// precision, strings vs untypedAtomic, and attribute-order-differing
+// elements. Grouping correctness depends on this implication: hash buckets
+// prune candidates, so a hash split between equal values silently splits a
+// group.
+class HashEqualConsistencyTest : public ::testing::Test {
+ protected:
+  static Item Dec(const std::string& lexical) {
+    Decimal d;
+    EXPECT_TRUE(Decimal::Parse(lexical, &d)) << lexical;
+    return MakeDecimalItem(d);
+  }
+  static Item Dt(const std::string& lexical) {
+    DateTime value;
+    EXPECT_TRUE(DateTime::ParseDateTime(lexical, &value)) << lexical;
+    return Item(AtomicValue::MakeDateTime(value));
+  }
+
+  static std::vector<std::pair<std::string, Sequence>> Corpus() {
+    std::vector<std::pair<std::string, Sequence>> corpus;
+    auto add = [&](const std::string& label, Item item) {
+      corpus.emplace_back(label, Sequence{std::move(item)});
+    };
+    add("int 5", MakeInteger(5));
+    add("dec 5", Dec("5"));
+    add("dec 5.0", Dec("5.0"));
+    add("dbl 5", MakeDouble(5.0));
+    add("int 0", MakeInteger(0));
+    add("dec 0", Dec("0"));
+    add("dbl +0.0", MakeDouble(0.0));
+    add("dbl -0.0", MakeDouble(-0.0));
+    add("dec 0.007", Dec("0.007"));
+    add("dbl 0.007", MakeDouble(0.007));
+    add("dec 2.5", Dec("2.5"));
+    add("dbl 2.5", MakeDouble(2.5));
+    add("dbl NaN", MakeDouble(std::nan("")));
+    add("dbl NaN2", MakeDouble(std::nan("0x123")));
+    // Beyond double precision: rounds to the same double as 0.1.
+    add("dec 0.1+eps", Dec("0.100000000000000001"));
+    add("dec 0.1", Dec("0.1"));
+    add("dbl 0.1", MakeDouble(0.1));
+    add("str x", MakeString("x"));
+    add("untyped x", MakeUntyped("x"));
+    // The same instant written in three timezones.
+    add("dt Z", Dt("2004-01-31T12:00:00Z"));
+    add("dt -05:00", Dt("2004-01-31T07:00:00-05:00"));
+    add("dt +03:30", Dt("2004-01-31T15:30:00+03:30"));
+    add("dt other", Dt("2004-01-31T12:00:01Z"));
+    return corpus;
+  }
+};
+
+TEST_F(HashEqualConsistencyTest, AtomicPairs) {
+  auto corpus = Corpus();
+  int equal_pairs = 0;
+  for (const auto& [label_a, a] : corpus) {
+    for (const auto& [label_b, b] : corpus) {
+      if (!DeepEqualSequences(a, b)) continue;
+      ++equal_pairs;
+      EXPECT_EQ(DeepHashSequence(a), DeepHashSequence(b))
+          << label_a << " deep-equals " << label_b
+          << " but their hashes differ";
+    }
+  }
+  // The corpus must actually exercise cross-representation equality (e.g.
+  // dec 0.007 == dbl 0.007, the Decimal::ToDouble rounding regression), not
+  // just reflexive pairs.
+  EXPECT_GE(equal_pairs, static_cast<int>(corpus.size()) + 20);
+}
+
+TEST_F(HashEqualConsistencyTest, CrossRepresentationEqualityHolds) {
+  // These pairs must compare equal in the first place — the sweep above
+  // only checks the implication. dec/dbl 0.007 regressed when ToDouble
+  // divided by 10 repeatedly, accumulating one ulp of error.
+  EXPECT_TRUE(DeepEqualItems(Dec("0.007"), MakeDouble(0.007)));
+  EXPECT_TRUE(DeepEqualItems(Dec("2.5"), MakeDouble(2.5)));
+  EXPECT_TRUE(DeepEqualItems(Dec("0.1"), MakeDouble(0.1)));
+  EXPECT_TRUE(DeepEqualItems(MakeDouble(-0.0), MakeDouble(0.0)));
+  EXPECT_TRUE(DeepEqualItems(Dt("2004-01-31T12:00:00Z"),
+                             Dt("2004-01-31T07:00:00-05:00")));
+}
+
+TEST_F(HashEqualConsistencyTest, ElementPairsAttributeOrder) {
+  DocumentPtr doc = ParseXml(
+      "<r><a x=\"1\" y=\"2\">t</a><a y=\"2\" x=\"1\">t</a>"
+      "<a x=\"1\" y=\"3\">t</a></r>");
+  Sequence nodes = NodeSeq(doc, {0, 1, 2});
+  for (const Item& left : nodes) {
+    for (const Item& right : nodes) {
+      if (!DeepEqualItems(left, right)) continue;
+      EXPECT_EQ(DeepHashItem(left), DeepHashItem(right));
+    }
+  }
+  EXPECT_TRUE(DeepEqualItems(nodes[0], nodes[1]));
+  EXPECT_FALSE(DeepEqualItems(nodes[0], nodes[2]));
+}
 
 }  // namespace
 }  // namespace xqa

@@ -130,6 +130,22 @@ TEST_F(EvalFlworTest, ReturnAtOnLetOnlyFlwor) {
   EXPECT_EQ(Run("let $x := 5 return at $r ($r, $x)"), "1 5");
 }
 
+TEST_F(EvalFlworTest, ReturnAtAfterOrderByWithDuplicateKeys) {
+  // Ordinals number the post-sort stream; tuples with equal keys keep
+  // distinct consecutive ordinals (stable sort preserves binding order
+  // among the two 10s).
+  EXPECT_EQ(Run("for $x in (10, 30, 10, 20) order by $x "
+                "return at $r concat($r, \":\", $x)"),
+            "1:10 2:10 3:20 4:30");
+}
+
+TEST_F(EvalFlworTest, ReturnAtAfterGroupByNumbersGroups) {
+  // After group by, one ordinal per group tuple, not per input item.
+  EXPECT_EQ(Run("for $x in (10, 20, 10, 30) group by $x into $k "
+                "order by $k return at $r concat($r, \":\", $k)"),
+            "1:10 2:20 3:30");
+}
+
 TEST_F(EvalFlworTest, WhereSeesAllPriorBindings) {
   EXPECT_EQ(Run("for $x in (1, 2, 3) let $sq := $x * $x "
                 "where $sq > 2 and $x < 3 return $sq"),

@@ -1,0 +1,258 @@
+// ExecuteProfiled / QueryStats / ExplainAnalyze: golden per-clause
+// cardinalities for the paper's Q1 and Q3 (the documents are small enough to
+// hand-count every tuple), plus the zero-rebind regression guard for bare
+// XQuery 3.0 grouping keys.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/engine.h"
+#include "workload/books.h"
+#include "xdm/deep_equal.h"
+
+namespace xqa {
+namespace {
+
+class QueryStatsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bib_ = new DocumentPtr(
+        Engine::ParseDocument(workload::PaperBibliographyXml()));
+    sales_ = new DocumentPtr(Engine::ParseDocument(workload::PaperSalesXml()));
+  }
+  static void TearDownTestSuite() {
+    delete bib_;
+    delete sales_;
+  }
+
+  ProfiledResult Profile(const DocumentPtr& doc, const std::string& query) {
+    return engine_.Compile(query).ExecuteProfiled(doc);
+  }
+
+  Engine engine_;
+  static DocumentPtr* bib_;
+  static DocumentPtr* sales_;
+};
+
+DocumentPtr* QueryStatsTest::bib_ = nullptr;
+DocumentPtr* QueryStatsTest::sales_ = nullptr;
+
+// Q1 — average net price per (publisher, year) over the 7-book bibliography.
+constexpr char kQ1[] = R"(
+  for $b in //book
+  group by $b/publisher into $p, $b/year into $y
+  nest $b/price - $b/discount into $netprices
+  return
+    <group>
+      {$p, $y}
+      <avg-net-price>{avg($netprices)}</avg-net-price>
+    </group>
+)";
+
+TEST_F(QueryStatsTest, Q1PerClauseCardinalities) {
+  ProfiledResult profiled = Profile(*bib_, kQ1);
+  ASSERT_EQ(profiled.sequence.size(), 4u);
+
+  // Clause order follows first execution: for, group by, return.
+  const auto& clauses = profiled.stats.clauses;
+  ASSERT_EQ(clauses.size(), 3u);
+
+  EXPECT_EQ(clauses[0].label, "for $b");
+  EXPECT_EQ(clauses[0].executions, 1);
+  EXPECT_EQ(clauses[0].tuples_in, 1);   // the initial empty tuple
+  EXPECT_EQ(clauses[0].tuples_out, 7);  // one per book
+
+  EXPECT_EQ(clauses[1].label, "group by");
+  EXPECT_EQ(clauses[1].tuples_in, 7);
+  EXPECT_EQ(clauses[1].tuples_out, 4);  // (MK,93) (MK,95) (AW,93) ((),95)
+  EXPECT_EQ(clauses[1].groups_formed, 4);
+  // Two keys hashed per input tuple.
+  EXPECT_EQ(profiled.stats.deep_hash_calls, 14);
+  // Every probe found its group (no collisions between distinct key pairs).
+  EXPECT_EQ(clauses[1].hash_collisions, 0);
+  EXPECT_EQ(clauses[1].hash_probes, 3);  // books 2,3 join (MK,93); 5 joins (MK,95)
+  EXPECT_EQ(clauses[1].linear_scan_compares, 0);
+
+  EXPECT_EQ(clauses[2].label, "return");
+  EXPECT_EQ(clauses[2].clause_index, ClauseStats::kReturnClause);
+  EXPECT_EQ(clauses[2].tuples_in, 4);
+  EXPECT_EQ(clauses[2].tuples_out, 4);
+
+  EXPECT_EQ(profiled.stats.TotalGroupsFormed(), 4);
+  // 4 <group> elements, each with 2-3 copied children plus the avg element
+  // and its text; just pin that construction was counted at all.
+  EXPECT_GT(profiled.stats.nodes_constructed, 8);
+  EXPECT_GT(profiled.stats.path_steps, 0);
+}
+
+// Q3 — nested grouping: region/year outer, state inner (6-sale document).
+constexpr char kQ3[] = R"(
+  for $s in //sale
+  group by $s/region into $region,
+           year-from-dateTime($s/timestamp) into $year
+  nest $s into $region-sales
+  let $region-sum := round-half-to-even(sum( $region-sales/(quantity * price) ), 2)
+  order by $year, $region
+  return
+    for $s in $region-sales
+    group by $s/state into $state
+    nest $s into $state-sales
+    let $state-sum := round-half-to-even(sum( $state-sales/(quantity * price) ), 2)
+    order by $state
+    return
+      <summary>
+        <year>{$year}</year>{$region, $state}
+        <state-sales>{ $state-sum }</state-sales>
+        <region-sales>{ $region-sum }</region-sales>
+      </summary>
+)";
+
+TEST_F(QueryStatsTest, Q3NestedFlworCardinalities) {
+  ProfiledResult profiled = Profile(*sales_, kQ3);
+  ASSERT_EQ(profiled.sequence.size(), 5u);
+
+  // First-execution order: the outer FLWOR's five clauses, then the inner
+  // FLWOR's five (first reached from the outer return clause).
+  const auto& clauses = profiled.stats.clauses;
+  ASSERT_EQ(clauses.size(), 10u);
+
+  // Outer: 1 -> 6 sales -> 3 (region, year) groups.
+  EXPECT_EQ(clauses[0].label, "for $s");
+  EXPECT_EQ(clauses[0].tuples_out, 6);
+  EXPECT_EQ(clauses[1].label, "group by");
+  EXPECT_EQ(clauses[1].tuples_in, 6);
+  EXPECT_EQ(clauses[1].tuples_out, 3);  // (West,04) (East,04) (West,03)
+  EXPECT_EQ(clauses[1].groups_formed, 3);
+  EXPECT_EQ(clauses[2].label, "let $region-sum");
+  EXPECT_EQ(clauses[3].label, "order by");
+  EXPECT_EQ(clauses[3].tuples_in, 3);
+  EXPECT_EQ(clauses[4].label, "return");
+  EXPECT_EQ(clauses[4].executions, 1);
+  EXPECT_EQ(clauses[4].tuples_in, 3);
+  EXPECT_EQ(clauses[4].tuples_out, 5);  // five summaries total
+
+  // Inner: runs once per outer group; cardinalities are summed across runs.
+  EXPECT_EQ(clauses[5].label, "for $s");
+  EXPECT_EQ(clauses[5].executions, 3);
+  EXPECT_EQ(clauses[5].tuples_in, 3);   // one initial tuple per run
+  EXPECT_EQ(clauses[5].tuples_out, 6);  // 3 + 2 + 1 member sales
+  EXPECT_EQ(clauses[6].label, "group by");
+  EXPECT_EQ(clauses[6].tuples_in, 6);
+  EXPECT_EQ(clauses[6].tuples_out, 5);  // CA,OR | NY,MA | CA
+  EXPECT_EQ(clauses[6].groups_formed, 5);
+  EXPECT_EQ(clauses[9].label, "return");
+  EXPECT_EQ(clauses[9].executions, 3);
+  EXPECT_EQ(clauses[9].tuples_in, 5);
+  EXPECT_EQ(clauses[9].tuples_out, 5);
+}
+
+TEST_F(QueryStatsTest, ProfiledMatchesPlainAcrossFeatureQueries) {
+  // One query per language feature the paper exercises (Q1-Q12 shapes):
+  // grouping with nest, `using` equality, windows via positional predicates,
+  // output numbering, count clause, and the 3.0 dialect. Profiling must not
+  // change any result, and every run must report per-clause counters.
+  struct Case { const DocumentPtr* doc; const char* query; };
+  const Case kCases[] = {
+      {bib_, kQ1},
+      {sales_, kQ3},
+      {bib_,
+       "for $b in //book group by $b/author into $a using xqa:set-equal "
+       "nest $b/price into $p return count($p)"},
+      {sales_,
+       "for $s in //sale order by number($s/price) descending "
+       "return at $rank concat($rank, \"-\", $s/state)"},
+      {bib_, "for $b in //book count $n where $n mod 2 = 0 return $b/title"},
+      {bib_,
+       "for $b in //book let $y := $b/year group by $p := string($b/publisher) "
+       "order by $p return concat($p, \":\", count($y))"},
+  };
+  for (const Case& c : kCases) {
+    PreparedQuery query = engine_.Compile(c.query);
+    Sequence plain = query.Execute(*c.doc);
+    ProfiledResult profiled = query.ExecuteProfiled(*c.doc);
+    EXPECT_TRUE(DeepEqualSequences(plain, profiled.sequence)) << c.query;
+    EXPECT_FALSE(profiled.stats.clauses.empty()) << c.query;
+    for (const ClauseStats& clause : profiled.stats.clauses) {
+      EXPECT_GE(clause.executions, 1) << c.query << " / " << clause.label;
+    }
+  }
+}
+
+TEST_F(QueryStatsTest, PlainExecuteCollectsNothing) {
+  PreparedQuery query = engine_.Compile(kQ1);
+  // The unprofiled path must not allocate or observe a stats object at all;
+  // all we can check from outside is that profiled state is per-call.
+  ProfiledResult first = query.ExecuteProfiled(*bib_);
+  (void)query.Execute(*bib_);
+  ProfiledResult second = query.ExecuteProfiled(*bib_);
+  EXPECT_EQ(first.stats.tuples_flowed, second.stats.tuples_flowed);
+  EXPECT_EQ(first.stats.deep_hash_calls, second.stats.deep_hash_calls);
+}
+
+TEST_F(QueryStatsTest, ExplainAnalyzeAnnotatesClauses) {
+  PreparedQuery query = engine_.Compile(kQ1);
+  std::string analyzed = query.ExplainAnalyze(*bib_);
+  // The plan's clauses carry observed cardinalities...
+  EXPECT_NE(analyzed.find("for $b in"), std::string::npos);
+  EXPECT_NE(analyzed.find("[execs=1 in=1 out=7"), std::string::npos);
+  EXPECT_NE(analyzed.find("groups=4"), std::string::npos);
+  // ...the return line too, and a whole-query summary footer.
+  EXPECT_NE(analyzed.find("in=4 out=4"), std::string::npos);
+  EXPECT_NE(analyzed.find("observed: total"), std::string::npos);
+  // The unannotated plan has none of this.
+  std::string plain = query.Explain();
+  EXPECT_EQ(plain.find("execs="), std::string::npos);
+  EXPECT_EQ(plain.find("observed:"), std::string::npos);
+}
+
+TEST_F(QueryStatsTest, ToJsonIsWellFormed) {
+  ProfiledResult profiled = Profile(*bib_, kQ1);
+  std::string json = profiled.stats.ToJson();
+  // Spot-check shape: balanced braces, the counters present, no raw pointers.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"tuples_flowed\""), std::string::npos);
+  EXPECT_NE(json.find("\"clauses\""), std::string::npos);
+  EXPECT_NE(json.find("\"groups_formed\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"flwor\": 0"), std::string::npos);
+  EXPECT_EQ(json.find("0x"), std::string::npos);
+}
+
+// Regression (bare-key slot handling): `group by $x` on a variable bound in
+// the same FLWOR rebinds $x to the key in place. Before the fix the binder
+// declared a shadow slot while the evaluator also materialized the implicit
+// merged concatenation for the original slot — a duplicate binding whose
+// merged sequence was dead weight on every group. Post-group clauses must see
+// the key, and no merged sequence may be built for a grouping variable.
+TEST_F(QueryStatsTest, BareGroupKeyProducesNoImplicitRebind) {
+  ProfiledResult profiled = Profile(
+      *bib_,
+      "for $x in //book/year group by $x where $x >= 1995 return $x");
+  // Years: 1993 x4, 1995 x3 -> two groups, one survives the where.
+  ASSERT_EQ(profiled.sequence.size(), 1u);
+  EXPECT_EQ(profiled.sequence[0].atomic().ToLexical(), "1995");
+  for (const ClauseStats& clause : profiled.stats.clauses) {
+    EXPECT_EQ(clause.implicit_rebinds, 0)
+        << "grouping variable was also materialized as a merged sequence in "
+        << clause.label;
+  }
+}
+
+TEST_F(QueryStatsTest, NonGroupingVariablesStillRebind) {
+  // $y is not a grouping key, so it must still be rebound per group (two
+  // groups -> two merged sequences).
+  ProfiledResult profiled = Profile(
+      *bib_,
+      "for $x in //book/year let $y := $x + 1 group by $x "
+      "return count($y)");
+  ASSERT_EQ(profiled.sequence.size(), 2u);
+  int64_t rebinds = 0;
+  for (const ClauseStats& clause : profiled.stats.clauses) {
+    rebinds += clause.implicit_rebinds;
+  }
+  EXPECT_EQ(rebinds, 2);
+}
+
+}  // namespace
+}  // namespace xqa

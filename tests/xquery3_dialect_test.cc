@@ -64,6 +64,27 @@ TEST_F(XQuery3DialectTest, BareVariableGroupsByItsValue) {
             "a:1 b:2");
 }
 
+TEST_F(XQuery3DialectTest, BareVariableKeyVisibleToPostGroupWhere) {
+  // Regression: `group by $x` over a for-bound $x rebinds $x to the key in
+  // its original slot. The binder used to declare a shadow slot while the
+  // evaluator also materialized a dead merged sequence for the old one; a
+  // post-group where must read the singleton key, not the merged sequence.
+  EXPECT_EQ(Run("for $x in (1, 2, 2, 3, 3, 3) "
+                "group by $x "
+                "where $x > 1 "
+                "order by $x return concat($x, \":\", count($x))"),
+            "2:1 3:1");
+  // Same shape over node-derived keys, with another grouped variable along
+  // for the ride to check the non-key rebinding still happens.
+  EXPECT_EQ(Run("for $b in //b let $v := string($b) "
+                "group by $x := number($b/@k) "
+                "where $x >= 2 "
+                "order by $x return concat($x, \"=\", string-join($v, \"+\"))",
+                "<r><b k=\"1\">p</b><b k=\"2\">q</b><b k=\"2\">r</b>"
+                "<b k=\"3\">s</b></r>"),
+            "2=q+r 3=s");
+}
+
 TEST_F(XQuery3DialectTest, LetBindingsAlsoRebound) {
   EXPECT_EQ(Run("for $x in (1, 2, 3, 4) "
                 "let $double := $x * 2 "
