@@ -70,6 +70,45 @@ int main(int argc, char** argv) {
     results.Append(std::move(entry));
   }
 
+  // --- Thread scaling (docs/PARALLELISM.md) --------------------------------
+  // The same explicit group-by on one large document (~100K lineitems full,
+  // ~10K quick) at increasing worker counts. Results are byte-identical at
+  // every thread count (checked below); only the wall time may change.
+  std::printf("\nthread scaling: group by on one large document\n");
+  std::printf("%10s %12s %9s\n", "threads", "t(Qgb) ms", "speedup");
+  xqa::workload::OrderConfig scaling_config;
+  scaling_config.num_orders = quick ? 2500 : 25000;
+  DocumentPtr scaling_doc =
+      xqa::workload::GenerateOrdersDocument(scaling_config);
+  int scaling_lineitems = xqa::workload::CountLineitems(scaling_config);
+  const std::string serial_result = with_groupby.ExecuteToString(scaling_doc);
+
+  JsonValue thread_results = JsonValue::Array();
+  double t_serial = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    PreparedQuery query = with_groupby;  // copy: per-thread-count options
+    xqa::ExecutionOptions options;
+    options.num_threads = threads;
+    query.set_execution_options(options);
+    if (query.ExecuteToString(scaling_doc) != serial_result) {
+      std::fprintf(stderr,
+                   "FATAL: num_threads=%d result differs from serial\n",
+                   threads);
+      return 1;
+    }
+    double seconds = MeasureSeconds(query, scaling_doc, quick ? 3 : 5);
+    if (threads == 1) t_serial = seconds;
+    std::printf("%10d %12.2f %9.2f\n", threads, seconds * 1e3,
+                t_serial / seconds);
+
+    JsonValue entry = JsonValue::Object();
+    entry.Set("threads", JsonValue::Int(threads));
+    entry.Set("lineitems", JsonValue::Int(scaling_lineitems));
+    entry.Set("seconds", JsonValue::Number(seconds));
+    entry.Set("speedup_vs_1_thread", JsonValue::Number(t_serial / seconds));
+    thread_results.Append(std::move(entry));
+  }
+
   JsonValue root = JsonValue::Object();
   root.Set("bench", JsonValue::Str("scaling"));
   root.Set("experiment",
@@ -80,6 +119,7 @@ int main(int argc, char** argv) {
   params.Set("groups", JsonValue::Int(50));
   root.Set("parameters", std::move(params));
   root.Set("results", std::move(results));
+  root.Set("thread_scaling", std::move(thread_results));
   xqa::bench::WriteBenchJson("scaling", root);
   return 0;
 }

@@ -11,19 +11,22 @@ namespace xqa {
 
 namespace {
 
-Sequence Run(const Module& module, Focus focus,
+Sequence Run(const Module& module, const ExecutionOptions& exec, Focus focus,
              const DocumentRegistry* documents = nullptr) {
   DynamicContext context;
   context.documents = documents;
+  context.exec = exec;
   Evaluator evaluator(&module);
   return evaluator.EvaluateQuery(&context, focus);
 }
 
-ProfiledResult RunProfiled(const Module& module, Focus focus,
+ProfiledResult RunProfiled(const Module& module, const ExecutionOptions& exec,
+                           Focus focus,
                            const DocumentRegistry* documents = nullptr) {
   ProfiledResult result;
   DynamicContext context;
   context.documents = documents;
+  context.exec = exec;
   context.stats = &result.stats;
   Evaluator evaluator(&module);
   {
@@ -45,16 +48,18 @@ Focus DocumentFocus(const DocumentPtr& document) {
 }  // namespace
 
 Sequence PreparedQuery::Execute(const DocumentPtr& document) const {
-  return Run(*module_, DocumentFocus(document));
+  return Run(*module_, exec_options_, DocumentFocus(document));
 }
 
-Sequence PreparedQuery::Execute() const { return Run(*module_, Focus{}); }
+Sequence PreparedQuery::Execute() const {
+  return Run(*module_, exec_options_, Focus{});
+}
 
 Sequence PreparedQuery::Execute(const DocumentPtr& context_document,
                                 const DocumentRegistry& documents) const {
   Focus focus =
       context_document != nullptr ? DocumentFocus(context_document) : Focus{};
-  return Run(*module_, focus, &documents);
+  return Run(*module_, exec_options_, focus, &documents);
 }
 
 Result<Sequence> PreparedQuery::TryExecute(const DocumentPtr& document) const {
@@ -93,11 +98,11 @@ std::string PreparedQuery::Explain() const { return ExplainModule(*module_); }
 
 ProfiledResult PreparedQuery::ExecuteProfiled(
     const DocumentPtr& document) const {
-  return RunProfiled(*module_, DocumentFocus(document));
+  return RunProfiled(*module_, exec_options_, DocumentFocus(document));
 }
 
 ProfiledResult PreparedQuery::ExecuteProfiled() const {
-  return RunProfiled(*module_, Focus{});
+  return RunProfiled(*module_, exec_options_, Focus{});
 }
 
 ProfiledResult PreparedQuery::ExecuteProfiled(
@@ -105,12 +110,12 @@ ProfiledResult PreparedQuery::ExecuteProfiled(
     const DocumentRegistry& documents) const {
   Focus focus =
       context_document != nullptr ? DocumentFocus(context_document) : Focus{};
-  return RunProfiled(*module_, focus, &documents);
+  return RunProfiled(*module_, exec_options_, focus, &documents);
 }
 
 std::string PreparedQuery::ExplainAnalyze(const DocumentPtr& document) const {
   Focus focus = document != nullptr ? DocumentFocus(document) : Focus{};
-  ProfiledResult profiled = RunProfiled(*module_, focus);
+  ProfiledResult profiled = RunProfiled(*module_, exec_options_, focus);
   return ExplainAnalyzeModule(*module_, profiled.stats);
 }
 

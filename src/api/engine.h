@@ -70,10 +70,20 @@ class PreparedQuery {
   /// explicit group by clauses (0 unless the rewrite was enabled).
   int rewrites_applied() const { return rewrites_applied_; }
 
+  /// Sets the parallelism options applied by every subsequent Execute* call
+  /// (deterministic intra-query parallelism; see docs/PARALLELISM.md).
+  /// Serial by default. Set before sharing the query across threads:
+  /// concurrent Execute calls are safe, concurrent mutation is not.
+  void set_execution_options(const ExecutionOptions& options) {
+    exec_options_ = options;
+  }
+  const ExecutionOptions& execution_options() const { return exec_options_; }
+
  private:
   friend class Engine;
   std::shared_ptr<Module> module_;
   int rewrites_applied_ = 0;
+  ExecutionOptions exec_options_;
 };
 
 /// Serializes an already-computed result sequence (same rules as

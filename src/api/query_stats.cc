@@ -57,6 +57,28 @@ const ClauseStats* QueryStats::FindClause(const void* flwor,
   return nullptr;
 }
 
+void QueryStats::MergeFrom(const QueryStats& other) {
+  path_steps += other.path_steps;
+  nodes_constructed += other.nodes_constructed;
+  deep_equal_calls += other.deep_equal_calls;
+  deep_hash_calls += other.deep_hash_calls;
+  tuples_flowed += other.tuples_flowed;
+  total_seconds += other.total_seconds;
+  for (const ClauseStats& theirs : other.clauses) {
+    ClauseStats& ours = Clause(theirs.flwor, theirs.clause_index, theirs.label);
+    ours.executions += theirs.executions;
+    ours.tuples_in += theirs.tuples_in;
+    ours.tuples_out += theirs.tuples_out;
+    ours.groups_formed += theirs.groups_formed;
+    ours.hash_probes += theirs.hash_probes;
+    ours.hash_collisions += theirs.hash_collisions;
+    ours.deep_equal_calls += theirs.deep_equal_calls;
+    ours.linear_scan_compares += theirs.linear_scan_compares;
+    ours.implicit_rebinds += theirs.implicit_rebinds;
+    ours.wall_seconds += theirs.wall_seconds;
+  }
+}
+
 int64_t QueryStats::TotalGroupsFormed() const {
   int64_t total = 0;
   for (const ClauseStats& clause : clauses) total += clause.groups_formed;

@@ -67,6 +67,14 @@ class QueryStats {
   /// Lookup without creation; null when the clause never executed.
   const ClauseStats* FindClause(const void* flwor, int clause_index) const;
 
+  /// Accumulates another run's counters into this one, matching clause
+  /// entries by (flwor, clause_index) and creating missing ones. Used at the
+  /// barrier of a parallel FLWOR section to fold each worker's private sink
+  /// into the caller's stats (docs/PARALLELISM.md): counters are exact sums;
+  /// per-clause wall_seconds of nested clauses become summed-across-workers
+  /// CPU time rather than elapsed wall time.
+  void MergeFrom(const QueryStats& other);
+
   /// Sum of a counter over every clause of every FLWOR, for coarse asserts.
   int64_t TotalGroupsFormed() const;
   int64_t TotalHashProbes() const;

@@ -36,6 +36,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kFORG0008: return "FORG0008";
     case ErrorCode::kFOTY0012: return "FOTY0012";
     case ErrorCode::kFODT0001: return "FODT0001";
+    case ErrorCode::kFODT0002: return "FODT0002";
     case ErrorCode::kFODC0002: return "FODC0002";
     case ErrorCode::kFORX0002: return "FORX0002";
     case ErrorCode::kFORX0003: return "FORX0003";

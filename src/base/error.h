@@ -54,6 +54,7 @@ enum class ErrorCode : uint16_t {
   kFORG0008,  ///< both arguments to fn:dateTime have a timezone
   kFOTY0012,  ///< node does not have a typed value
   kFODT0001,  ///< overflow in date/time arithmetic
+  kFODT0002,  ///< overflow/underflow in duration arithmetic (e.g. fn:sum)
   kFODC0002,  ///< document / collection not found
   kFORX0002,  ///< invalid regular expression
   kFORX0003,  ///< regular expression matches the zero-length string

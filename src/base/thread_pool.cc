@@ -1,0 +1,143 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace xqa {
+
+ThreadPool::ThreadPool(int num_threads) {
+  threads_.reserve(static_cast<size_t>(std::max(num_threads, 0)));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 2;  // unknown: assume a small multicore
+    return new ThreadPool(static_cast<int>(hw) - 1);
+  }();
+  return *pool;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, and no work left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor call. Heap-allocated and shared with the
+/// enqueued lane tasks so a lane that starts after the call already returned
+/// (only possible once the cursor is exhausted) still touches valid memory.
+struct ForState {
+  explicit ForState(size_t count) : count(count) {}
+
+  const size_t count;
+  std::atomic<size_t> cursor{0};
+  /// Smallest index that has thrown so far; indexes at or above it are
+  /// skipped (their outcome cannot affect the deterministic result).
+  std::atomic<size_t> first_error{SIZE_MAX};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  int active_helpers = 0;
+  std::exception_ptr error;  ///< the exception thrown at `first_error`
+
+  void Record(size_t index, std::exception_ptr exception) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (index < first_error.load(std::memory_order_relaxed)) {
+      first_error.store(index, std::memory_order_relaxed);
+      error = std::move(exception);
+    }
+  }
+};
+
+void DrainLanes(ForState* state, size_t grain, int worker,
+                const std::function<void(int, size_t)>& fn) {
+  for (;;) {
+    size_t begin = state->cursor.fetch_add(grain, std::memory_order_relaxed);
+    if (begin >= state->count) break;
+    // Morsels are claimed in ascending begin order, so once a morsel starts
+    // past the earliest failure every later one does too.
+    if (begin >= state->first_error.load(std::memory_order_relaxed)) break;
+    size_t end = std::min(begin + grain, state->count);
+    for (size_t i = begin; i < end; ++i) {
+      if (i >= state->first_error.load(std::memory_order_relaxed)) break;
+      try {
+        fn(worker, i);
+      } catch (...) {
+        state->Record(i, std::current_exception());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t count, int max_workers,
+                             const std::function<void(int, size_t)>& fn) {
+  if (count == 0) return;
+  // Lanes (distinct worker ids handed to `fn`) are bounded by max_workers;
+  // helper tasks are additionally bounded by the pool's thread count so a
+  // task never waits for a thread that does not exist. On a pool with no
+  // threads the caller runs every index itself — the caller's algorithm
+  // (per-lane scratch, chunked partitions) still executes unchanged, which
+  // keeps parallel code paths testable on single-core hosts.
+  int helpers = std::min(max_workers - 1, size());
+  if (helpers <= 0) {
+    // Run in place: ascending order, exceptions propagate directly (the
+    // first failing index throws, matching the parallel contract).
+    for (size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  int workers = helpers + 1;
+  size_t grain =
+      std::max<size_t>(1, count / (static_cast<size_t>(workers) * 8));
+  auto state = std::make_shared<ForState>(count);
+  state->active_helpers = helpers;
+  for (int w = 1; w <= helpers; ++w) {
+    // The lambda copies the shared state but captures `fn` by pointer: the
+    // caller blocks below until every helper finishes, so `fn` stays alive.
+    const auto* fn_ptr = &fn;
+    Submit([state, grain, w, fn_ptr] {
+      DrainLanes(state.get(), grain, w, *fn_ptr);
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->active_helpers == 0) state->done.notify_all();
+    });
+  }
+  DrainLanes(state.get(), grain, /*worker=*/0, fn);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->active_helpers == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace xqa

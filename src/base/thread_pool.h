@@ -1,0 +1,74 @@
+#ifndef XQA_BASE_THREAD_POOL_H_
+#define XQA_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xqa {
+
+/// A fixed-size worker pool shared by every query in the process (see
+/// ThreadPool::Shared). Work is submitted either as fire-and-forget tasks or
+/// through ParallelFor, the building block of the engine's deterministic
+/// intra-query parallelism (docs/PARALLELISM.md).
+///
+/// ParallelFor never blocks a pool thread on another task's completion: the
+/// calling thread participates as worker 0 and drains the index space itself
+/// if no pool thread is free, so nested or concurrent ParallelFor calls
+/// cannot deadlock the pool.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` worker threads. Zero is valid: every ParallelFor
+  /// then runs inline on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// The process-wide pool, sized to hardware_concurrency - 1 (the caller of
+  /// ParallelFor is the remaining worker). Created on first use and
+  /// intentionally leaked so that worker threads outlive static destruction.
+  static ThreadPool& Shared();
+
+  /// Enqueues a task for any worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(worker, index) for every index in [0, count). `worker`
+  /// identifies the executing lane in [0, max_workers): a lane never runs
+  /// two indexes concurrently, so per-lane scratch state (forked evaluation
+  /// contexts, private stats sinks) needs no locking. The caller always
+  /// participates as lane 0; at most min(max_workers, size() + 1) lanes run
+  /// concurrently — on a pool with no threads the caller executes every
+  /// index itself, so callers may size lanes from the *requested*
+  /// parallelism and rely on the same code path (and the same result)
+  /// regardless of how many threads actually exist. Indexes are claimed as
+  /// contiguous morsels from an atomic cursor, so lane-to-index assignment
+  /// is nondeterministic — callers must write results into per-index slots.
+  ///
+  /// Exceptions are deterministic: if any fn(worker, i) throws, the
+  /// exception thrown for the smallest such i is rethrown on the caller
+  /// after every lane has drained, exactly as serial execution would have
+  /// reported it. Indexes at or above the smallest failing index may be
+  /// skipped; all smaller indexes are always attempted.
+  void ParallelFor(size_t count, int max_workers,
+                   const std::function<void(int worker, size_t index)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_BASE_THREAD_POOL_H_

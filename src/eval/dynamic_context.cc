@@ -13,4 +13,14 @@ void DynamicContext::PushFrame(size_t size) {
 
 void DynamicContext::PopFrame() { frames_.pop_back(); }
 
+std::unique_ptr<DynamicContext> DynamicContext::Fork() const {
+  auto fork = std::make_unique<DynamicContext>();
+  fork->globals = globals;
+  fork->documents = documents;
+  fork->focus = focus;
+  fork->recursion_depth = recursion_depth;
+  if (!frames_.empty()) fork->frames_.push_back(frames_.back());
+  return fork;
+}
+
 }  // namespace xqa

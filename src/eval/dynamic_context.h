@@ -2,6 +2,7 @@
 #define XQA_EVAL_DYNAMIC_CONTEXT_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,17 @@ class QueryStats;
 
 /// Documents addressable by fn:doc / fn:collection, keyed by URI.
 using DocumentRegistry = std::map<std::string, DocumentPtr>;
+
+/// Intra-query parallelism knobs (docs/PARALLELISM.md). The default is fully
+/// serial execution; num_threads > 1 enables deterministic morsel
+/// parallelism in the FLWOR hot paths (group-by, order-by, where), with
+/// results byte-identical to the serial engine.
+struct ExecutionOptions {
+  /// Worker threads per parallel section, including the calling thread.
+  /// 1 (default) = serial; 0 = one per hardware thread. Capped by the shared
+  /// pool size.
+  int num_threads = 1;
+};
 
 /// The focus of evaluation: context item, position, and size (".",
 /// fn:position(), fn:last()).
@@ -43,10 +55,22 @@ class DynamicContext {
   void PopFrame();
   size_t FrameDepth() const { return frames_.size(); }
 
+  /// Clones this context for a worker thread of a parallel FLWOR section:
+  /// shares documents and copies globals (both read-only while the query
+  /// body runs), copies the focus and the innermost frame (clause
+  /// expressions only reach local slots of the current frame), and leaves
+  /// `stats` null for the caller to attach a private sink. The fork's
+  /// ExecutionOptions are the serial default so workers never re-enter the
+  /// pool themselves.
+  std::unique_ptr<DynamicContext> Fork() const;
+
   Focus focus;
 
   /// Documents available to fn:doc / fn:collection; may be null.
   const DocumentRegistry* documents = nullptr;
+
+  /// Parallelism settings for this execution (serial by default).
+  ExecutionOptions exec;
 
   /// Execution-stats sink; null (the default) disables collection, reducing
   /// every instrumentation hook to an inlined null test (see query_stats.h).

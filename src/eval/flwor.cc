@@ -1,9 +1,13 @@
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "api/query_stats.h"
 #include "base/error.h"
+#include "base/thread_pool.h"
 #include "eval/evaluator.h"
 #include "functions/function_registry.h"
 #include "xdm/compare.h"
@@ -18,9 +22,27 @@ namespace {
 /// far, parallel to the pipeline's bound-slot list.
 using Tuple = std::vector<Sequence>;
 
-/// An evaluated order-by key: empty sequence or a single atomic value.
+/// Comparison class of a non-empty order-by key (after the untypedAtomic →
+/// xs:string cast). Keys order only against keys of the same class; mixing
+/// classes is XPTY0004, detected before any sort runs.
+enum class KeyClass : uint8_t {
+  kNumeric,
+  kString,
+  kBoolean,
+  kDateTime,
+  kDate,
+  kTime,
+  kDuration,
+  kQName,
+};
+
+/// An evaluated order-by key: empty sequence or a single atomic value, with
+/// its comparison class and NaN-ness resolved at evaluation time so the sort
+/// comparator itself can never hit an unordered or throwing case.
 struct SortKey {
   bool empty = true;
+  bool nan = false;
+  KeyClass cls = KeyClass::kString;
   AtomicValue value;
 };
 
@@ -28,20 +50,72 @@ bool IsNaN(const AtomicValue& v) {
   return v.type() == AtomicType::kDouble && std::isnan(v.AsDouble());
 }
 
+KeyClass ClassifyOrderKey(const AtomicValue& v) {
+  switch (v.type()) {
+    case AtomicType::kInteger:
+    case AtomicType::kDecimal:
+    case AtomicType::kDouble:
+      return KeyClass::kNumeric;
+    case AtomicType::kString:
+    case AtomicType::kUntypedAtomic:
+      return KeyClass::kString;
+    case AtomicType::kBoolean:
+      return KeyClass::kBoolean;
+    case AtomicType::kDateTime:
+      return KeyClass::kDateTime;
+    case AtomicType::kDate:
+      return KeyClass::kDate;
+    case AtomicType::kTime:
+      return KeyClass::kTime;
+    case AtomicType::kDuration:
+      return KeyClass::kDuration;
+    case AtomicType::kQName:
+      return KeyClass::kQName;
+  }
+  return KeyClass::kString;
+}
+
+/// Enforces that all non-empty keys of each order spec share one comparison
+/// class. CompareSortKeys must be a strict weak ordering for
+/// std::stable_sort, so incomparable keys (string vs number, ...) raise
+/// XPTY0004 here — at the first offending tuple in input order, identically
+/// in serial and parallel runs — never from inside the sort.
+void ValidateOrderKeys(size_t rows, size_t num_specs,
+                       const std::function<const SortKey&(size_t, size_t)>& at,
+                       SourceLocation location) {
+  for (size_t s = 0; s < num_specs; ++s) {
+    const SortKey* reference = nullptr;
+    for (size_t i = 0; i < rows; ++i) {
+      const SortKey& key = at(i, s);
+      if (key.empty) continue;
+      if (reference == nullptr) {
+        reference = &key;
+      } else if (key.cls != reference->cls) {
+        ThrowError(ErrorCode::kXPTY0004,
+                   "order by keys are not mutually comparable: " +
+                       std::string(AtomicTypeName(reference->value.type())) +
+                       " vs " + std::string(AtomicTypeName(key.value.type())),
+                   location);
+      }
+    }
+  }
+}
+
 /// Three-way comparison of two sort keys under one order spec, including
-/// direction and empty-ordering. NaN sorts together, below all other values.
+/// direction and empty-ordering. All NaN/incomparable outcomes route through
+/// the pre-computed `nan` flag: NaN sorts together, below all other values.
+/// Keys were validated mutually comparable before any sort, so
+/// ThreeWayCompareAtomic always yields a value here; a defensive 0 keeps the
+/// comparator a strict weak ordering regardless.
 int CompareSortKeys(const SortKey& a, const SortKey& b, const OrderSpec& spec) {
   if (a.empty && b.empty) return 0;
   if (a.empty) return spec.empty_greatest ? 1 : -1;
   if (b.empty) return spec.empty_greatest ? -1 : 1;
   int cmp;
-  bool a_nan = IsNaN(a.value);
-  bool b_nan = IsNaN(b.value);
-  if (a_nan || b_nan) {
-    cmp = a_nan && b_nan ? 0 : (a_nan ? -1 : 1);
+  if (a.nan || b.nan) {
+    cmp = a.nan && b.nan ? 0 : (a.nan ? -1 : 1);
   } else {
-    std::optional<int> three_way = ThreeWayCompareAtomic(a.value, b.value);
-    cmp = three_way.value_or(0);
+    cmp = ThreeWayCompareAtomic(a.value, b.value).value_or(0);
   }
   return spec.descending ? -cmp : cmp;
 }
@@ -63,6 +137,45 @@ std::string ClauseLabel(const FlworClause& clause) {
   return "?";
 }
 
+/// One group of the hash-grouping paths (either dialect): representative key
+/// values plus member tuple indexes in input order.
+struct HashGroup {
+  std::vector<Sequence> keys;
+  std::vector<size_t> members;
+};
+
+/// A worker-private group found while scanning one contiguous tuple chunk.
+struct PartialGroup {
+  std::vector<Sequence> keys;
+  size_t hash = 0;
+  std::vector<size_t> members;  ///< ascending within the chunk
+};
+
+/// One chunk's partial hash table: groups in first-member order plus the
+/// hash buckets indexing them.
+struct GroupPartition {
+  std::vector<PartialGroup> groups;
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+};
+
+/// Streams below this size run serially: forking contexts and scheduling
+/// morsels costs more than the work saves.
+constexpr size_t kMinParallelTuples = 32;
+
+/// Lane count for a parallel section over `count` items; 1 = serial. Lanes
+/// come from the requested num_threads, not from the pool size: ParallelFor
+/// multiplexes lanes onto however many threads exist, so the parallel
+/// algorithm (and its deterministic result) is a function of the options
+/// alone, never of the host's core count.
+int PlanWorkers(const ExecutionOptions& exec, size_t count) {
+  int requested = exec.num_threads;
+  if (requested == 0) requested = ThreadPool::Shared().size() + 1;
+  if (requested <= 1 || count < kMinParallelTuples) return 1;
+  int workers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(requested), count / (kMinParallelTuples / 2)));
+  return std::max(workers, 1);
+}
+
 }  // namespace
 
 Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
@@ -71,16 +184,17 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
   std::vector<Tuple> tuples;
   tuples.emplace_back();  // the initial single empty tuple
 
-  auto load_tuple = [&](const Tuple& tuple) {
+  auto load_tuple_into = [&](DynamicContext* ctx, const Tuple& tuple) {
     for (size_t i = 0; i < bound_slots.size(); ++i) {
-      context->Slot(bound_slots[i]) = tuple[i];
+      ctx->Slot(bound_slots[i]) = tuple[i];
     }
   };
+  auto load_tuple = [&](const Tuple& tuple) { load_tuple_into(context, tuple); };
 
-  // Evaluates one order-by key for the currently loaded tuple.
-  auto eval_sort_key = [&](const OrderSpec& spec) {
+  // Evaluates one order-by key for the tuple currently loaded into `ctx`.
+  auto eval_sort_key = [&](const OrderSpec& spec, DynamicContext* ctx) {
     SortKey key;
-    Sequence value = Atomize(Evaluate(spec.key.get(), context));
+    Sequence value = Atomize(Evaluate(spec.key.get(), ctx));
     if (value.size() > 1) {
       ThrowError(ErrorCode::kXPTY0004,
                  "order by key must be an empty or singleton sequence",
@@ -88,7 +202,14 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
     }
     if (!value.empty()) {
       key.empty = false;
-      key.value = value[0].atomic();
+      AtomicValue v = value[0].atomic();
+      // XQuery ordering rule: untypedAtomic key values are cast to xs:string.
+      if (v.type() == AtomicType::kUntypedAtomic) {
+        v = v.CastTo(AtomicType::kString);
+      }
+      key.nan = IsNaN(v);
+      key.cls = ClassifyOrderKey(v);
+      key.value = std::move(v);
     }
     return key;
   };
@@ -113,6 +234,35 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
   };
 
   QueryStats* stats = context->stats;
+
+  // --- Parallel-section machinery ------------------------------------------
+  // Each section forks one worker context per lane (the caller participates
+  // as lane 0 but also through a fork, so its own slots stay untouched) and
+  // gives each lane a private stats sink, merged at the barrier.
+  struct Lanes {
+    std::vector<std::unique_ptr<DynamicContext>> ctx;
+    std::vector<QueryStats> stats;
+  };
+  auto make_lanes = [&](int workers) {
+    Lanes lanes;
+    lanes.ctx.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) lanes.ctx.push_back(context->Fork());
+    if (stats != nullptr) {
+      lanes.stats.resize(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        lanes.ctx[static_cast<size_t>(w)]->stats =
+            &lanes.stats[static_cast<size_t>(w)];
+      }
+    }
+    return lanes;
+  };
+  auto merge_lanes = [&](Lanes& lanes) {
+    if (stats == nullptr) return;
+    for (QueryStats& worker_stats : lanes.stats) {
+      stats->MergeFrom(worker_stats);
+    }
+  };
+
   for (size_t clause_index = 0; clause_index < expr->clauses.size();
        ++clause_index) {
     const FlworClause& clause = expr->clauses[clause_index];
@@ -124,20 +274,173 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
       cs->tuples_in += static_cast<int64_t>(tuples.size());
     }
     StatsTimer timer(cs != nullptr ? &cs->wall_seconds : nullptr);
+
+    // Deterministic parallel group formation (both dialects): contiguous
+    // chunks → per-worker partial hash tables → serial merge in ascending
+    // chunk order. Within a chunk, partial groups are in first-member order,
+    // so global group creation order equals first-occurrence order over the
+    // whole input — exactly the serial table's order — and concatenating
+    // member lists chunk by chunk reproduces input order within each group.
+    auto form_groups_parallel =
+        [&](int workers, size_t hash_seed,
+            const std::function<std::vector<Sequence>(DynamicContext*)>&
+                eval_keys) -> std::vector<HashGroup> {
+      const size_t count = tuples.size();
+      const size_t lanes_count = static_cast<size_t>(workers);
+      Lanes lanes = make_lanes(workers);
+      std::vector<GroupPartition> partitions(lanes_count);
+      std::string label = ClauseLabel(clause);
+      ThreadPool::Shared().ParallelFor(
+          lanes_count, workers, [&](int w, size_t chunk) {
+            DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+            QueryStats* ws = ctx->stats;
+            ClauseStats* wcs =
+                ws != nullptr
+                    ? &ws->Clause(expr, static_cast<int>(clause_index), label)
+                    : nullptr;
+            GroupPartition& part = partitions[chunk];
+            size_t begin = chunk * count / lanes_count;
+            size_t end = (chunk + 1) * count / lanes_count;
+            for (size_t ti = begin; ti < end; ++ti) {
+              load_tuple_into(ctx, tuples[ti]);
+              std::vector<Sequence> keys = eval_keys(ctx);
+              size_t hash = hash_seed;
+              for (const Sequence& key : keys) {
+                hash = CombineHash(hash, DeepHashSequence(key));
+              }
+              if (ws != nullptr) {
+                ws->deep_hash_calls += static_cast<int64_t>(keys.size());
+              }
+              std::vector<size_t>& bucket = part.buckets[hash];
+              size_t group_index = SIZE_MAX;
+              for (size_t candidate : bucket) {
+                bool all_equal = true;
+                for (size_t k = 0; k < keys.size(); ++k) {
+                  if (wcs != nullptr) {
+                    ++wcs->deep_equal_calls;
+                    ++ws->deep_equal_calls;
+                  }
+                  if (!DeepEqualSequences(part.groups[candidate].keys[k],
+                                          keys[k])) {
+                    all_equal = false;
+                    break;
+                  }
+                }
+                if (wcs != nullptr) {
+                  ++wcs->hash_probes;
+                  if (!all_equal) ++wcs->hash_collisions;
+                }
+                if (all_equal) {
+                  group_index = candidate;
+                  break;
+                }
+              }
+              if (group_index == SIZE_MAX) {
+                group_index = part.groups.size();
+                bucket.push_back(group_index);
+                part.groups.push_back(PartialGroup{std::move(keys), hash, {}});
+              }
+              part.groups[group_index].members.push_back(ti);
+            }
+          });
+      merge_lanes(lanes);
+
+      std::vector<HashGroup> groups;
+      std::unordered_map<size_t, std::vector<size_t>> buckets;
+      for (GroupPartition& part : partitions) {
+        for (PartialGroup& partial : part.groups) {
+          std::vector<size_t>& bucket = buckets[partial.hash];
+          size_t group_index = SIZE_MAX;
+          for (size_t candidate : bucket) {
+            bool all_equal = true;
+            for (size_t k = 0; k < partial.keys.size(); ++k) {
+              if (cs != nullptr) {
+                ++cs->deep_equal_calls;
+                ++stats->deep_equal_calls;
+              }
+              if (!DeepEqualSequences(groups[candidate].keys[k],
+                                      partial.keys[k])) {
+                all_equal = false;
+                break;
+              }
+            }
+            if (cs != nullptr) {
+              ++cs->hash_probes;
+              if (!all_equal) ++cs->hash_collisions;
+            }
+            if (all_equal) {
+              group_index = candidate;
+              break;
+            }
+          }
+          if (group_index == SIZE_MAX) {
+            bucket.push_back(groups.size());
+            groups.push_back(
+                HashGroup{std::move(partial.keys), std::move(partial.members)});
+          } else {
+            std::vector<size_t>& members = groups[group_index].members;
+            members.insert(members.end(), partial.members.begin(),
+                           partial.members.end());
+          }
+        }
+      }
+      return groups;
+    };
+
     switch (clause.kind) {
       case ClauseKind::kFor: {
-        std::vector<Tuple> next;
-        for (const Tuple& tuple : tuples) {
-          load_tuple(tuple);
-          Sequence domain = Evaluate(clause.for_expr.get(), context);
-          for (size_t i = 0; i < domain.size(); ++i) {
-            Tuple extended = tuple;
-            extended.push_back(Sequence{domain[i]});
-            if (clause.pos_slot >= 0) {
-              extended.push_back(
-                  Sequence{MakeInteger(static_cast<int64_t>(i + 1))});
+        // Phase 1: each tuple's binding domain (parallel across tuples).
+        std::vector<Sequence> domains(tuples.size());
+        const int domain_workers = PlanWorkers(context->exec, tuples.size());
+        if (domain_workers > 1) {
+          Lanes lanes = make_lanes(domain_workers);
+          ThreadPool::Shared().ParallelFor(
+              tuples.size(), domain_workers, [&](int w, size_t ti) {
+                DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                load_tuple_into(ctx, tuples[ti]);
+                domains[ti] = Evaluate(clause.for_expr.get(), ctx);
+              });
+          merge_lanes(lanes);
+        } else {
+          for (size_t ti = 0; ti < tuples.size(); ++ti) {
+            load_tuple(tuples[ti]);
+            domains[ti] = Evaluate(clause.for_expr.get(), context);
+          }
+        }
+
+        // Phase 2: materialize the extended tuples at precomputed offsets.
+        // Pure data movement — no evaluation — so lanes need no contexts.
+        std::vector<size_t> offsets(tuples.size() + 1, 0);
+        for (size_t ti = 0; ti < tuples.size(); ++ti) {
+          offsets[ti + 1] = offsets[ti] + domains[ti].size();
+        }
+        std::vector<Tuple> next(offsets.back());
+        auto materialize = [&](size_t ti, size_t i) {
+          Tuple& out = next[offsets[ti] + i];
+          const Tuple& base = tuples[ti];
+          out.reserve(base.size() + (clause.pos_slot >= 0 ? 2 : 1));
+          out.insert(out.end(), base.begin(), base.end());
+          out.push_back(Sequence{domains[ti][i]});
+          if (clause.pos_slot >= 0) {
+            out.push_back(Sequence{MakeInteger(static_cast<int64_t>(i + 1))});
+          }
+        };
+        const int fill_workers = PlanWorkers(context->exec, next.size());
+        if (fill_workers > 1) {
+          ThreadPool::Shared().ParallelFor(
+              next.size(), fill_workers, [&](int, size_t j) {
+                size_t ti = static_cast<size_t>(
+                                std::upper_bound(offsets.begin(), offsets.end(),
+                                                 j) -
+                                offsets.begin()) -
+                            1;
+                materialize(ti, j - offsets[ti]);
+              });
+        } else {
+          for (size_t ti = 0; ti < tuples.size(); ++ti) {
+            for (size_t i = 0; i < domains[ti].size(); ++i) {
+              materialize(ti, i);
             }
-            next.push_back(std::move(extended));
           }
         }
         bound_slots.push_back(clause.for_slot);
@@ -156,13 +459,34 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
       }
 
       case ClauseKind::kWhere: {
+        const int workers = PlanWorkers(context->exec, tuples.size());
         std::vector<Tuple> next;
         next.reserve(tuples.size());
-        for (Tuple& tuple : tuples) {
-          load_tuple(tuple);
-          if (EffectiveBooleanValue(
-                  Evaluate(clause.where_expr.get(), context))) {
-            next.push_back(std::move(tuple));
+        if (workers > 1) {
+          // Parallel predicate evaluation into per-tuple flags, then a
+          // serial compaction that preserves input order.
+          Lanes lanes = make_lanes(workers);
+          std::vector<uint8_t> keep(tuples.size(), 0);
+          ThreadPool::Shared().ParallelFor(
+              tuples.size(), workers, [&](int w, size_t ti) {
+                DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                load_tuple_into(ctx, tuples[ti]);
+                keep[ti] = EffectiveBooleanValue(
+                               Evaluate(clause.where_expr.get(), ctx))
+                               ? 1
+                               : 0;
+              });
+          merge_lanes(lanes);
+          for (size_t ti = 0; ti < tuples.size(); ++ti) {
+            if (keep[ti] != 0) next.push_back(std::move(tuples[ti]));
+          }
+        } else {
+          for (Tuple& tuple : tuples) {
+            load_tuple(tuple);
+            if (EffectiveBooleanValue(
+                    Evaluate(clause.where_expr.get(), context))) {
+              next.push_back(std::move(tuple));
+            }
           }
         }
         tuples = std::move(next);
@@ -180,24 +504,43 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
       }
 
       case ClauseKind::kOrderBy: {
-        // Evaluate all keys per tuple, then stable-sort an index vector.
+        // Evaluate all keys per tuple (in parallel when enabled), validate
+        // comparability, then stable-sort an index vector serially.
+        const std::vector<OrderSpec>& specs = clause.order_by.specs;
         std::vector<std::vector<SortKey>> keys(tuples.size());
-        for (size_t i = 0; i < tuples.size(); ++i) {
-          load_tuple(tuples[i]);
-          keys[i].reserve(clause.order_by.specs.size());
-          for (const OrderSpec& spec : clause.order_by.specs) {
-            keys[i].push_back(eval_sort_key(spec));
+        const int workers = PlanWorkers(context->exec, tuples.size());
+        if (workers > 1) {
+          Lanes lanes = make_lanes(workers);
+          ThreadPool::Shared().ParallelFor(
+              tuples.size(), workers, [&](int w, size_t ti) {
+                DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                load_tuple_into(ctx, tuples[ti]);
+                keys[ti].reserve(specs.size());
+                for (const OrderSpec& spec : specs) {
+                  keys[ti].push_back(eval_sort_key(spec, ctx));
+                }
+              });
+          merge_lanes(lanes);
+        } else {
+          for (size_t i = 0; i < tuples.size(); ++i) {
+            load_tuple(tuples[i]);
+            keys[i].reserve(specs.size());
+            for (const OrderSpec& spec : specs) {
+              keys[i].push_back(eval_sort_key(spec, context));
+            }
           }
         }
+        ValidateOrderKeys(
+            keys.size(), specs.size(),
+            [&](size_t i, size_t s) -> const SortKey& { return keys[i][s]; },
+            expr->location());
         std::vector<size_t> order(tuples.size());
         for (size_t i = 0; i < order.size(); ++i) order[i] = i;
         std::stable_sort(order.begin(), order.end(),
                          [&](size_t a, size_t b) {
-                           for (size_t s = 0; s < clause.order_by.specs.size();
-                                ++s) {
-                             int cmp = CompareSortKeys(
-                                 keys[a][s], keys[b][s],
-                                 clause.order_by.specs[s]);
+                           for (size_t s = 0; s < specs.size(); ++s) {
+                             int cmp = CompareSortKeys(keys[a][s], keys[b][s],
+                                                       specs[s]);
                              if (cmp != 0) return cmp < 0;
                            }
                            return false;
@@ -215,19 +558,11 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           // Keys: atomized singletons compared under eq-like deep-equal.
           // Every currently bound variable is implicitly rebound to the
           // concatenation of its values over the group's tuples.
-          struct Group3 {
-            std::vector<Sequence> keys;
-            std::vector<size_t> members;
-          };
-          std::vector<Group3> groups;
-          std::unordered_map<size_t, std::vector<size_t>> buckets;
-          for (size_t ti = 0; ti < tuples.size(); ++ti) {
-            load_tuple(tuples[ti]);
+          auto eval_keys3 = [&](DynamicContext* ctx) {
             std::vector<Sequence> keys;
             keys.reserve(clause.group_keys.size());
             for (const auto& group_key : clause.group_keys) {
-              Sequence value =
-                  Atomize(Evaluate(group_key.expr.get(), context));
+              Sequence value = Atomize(Evaluate(group_key.expr.get(), ctx));
               if (value.size() > 1) {
                 ThrowError(ErrorCode::kXPTY0004,
                            "XQuery 3.0 group by key must be an empty or "
@@ -236,42 +571,56 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
               }
               keys.push_back(std::move(value));
             }
-            size_t hash = 0xa0761d6478bd642fULL;
-            for (const Sequence& key : keys) {
-              hash = CombineHash(hash, DeepHashSequence(key));
-            }
-            if (cs != nullptr) {
-              stats->deep_hash_calls += static_cast<int64_t>(keys.size());
-            }
-            std::vector<size_t>& bucket = buckets[hash];
-            size_t group_index = SIZE_MAX;
-            for (size_t candidate : bucket) {
-              bool all_equal = true;
-              for (size_t k = 0; k < keys.size(); ++k) {
-                if (cs != nullptr) {
-                  ++cs->deep_equal_calls;
-                  ++stats->deep_equal_calls;
+            return keys;
+          };
+          constexpr size_t kSeed3 = 0xa0761d6478bd642fULL;
+          std::vector<HashGroup> groups;
+          const int workers = PlanWorkers(context->exec, tuples.size());
+          if (workers > 1) {
+            groups = form_groups_parallel(workers, kSeed3, eval_keys3);
+          } else {
+            std::unordered_map<size_t, std::vector<size_t>> buckets;
+            for (size_t ti = 0; ti < tuples.size(); ++ti) {
+              load_tuple(tuples[ti]);
+              std::vector<Sequence> keys = eval_keys3(context);
+              size_t hash = kSeed3;
+              for (const Sequence& key : keys) {
+                hash = CombineHash(hash, DeepHashSequence(key));
+              }
+              if (cs != nullptr) {
+                stats->deep_hash_calls += static_cast<int64_t>(keys.size());
+              }
+              std::vector<size_t>& bucket = buckets[hash];
+              size_t group_index = SIZE_MAX;
+              for (size_t candidate : bucket) {
+                bool all_equal = true;
+                for (size_t k = 0; k < keys.size(); ++k) {
+                  if (cs != nullptr) {
+                    ++cs->deep_equal_calls;
+                    ++stats->deep_equal_calls;
+                  }
+                  if (!DeepEqualSequences(groups[candidate].keys[k],
+                                          keys[k])) {
+                    all_equal = false;
+                    break;
+                  }
                 }
-                if (!DeepEqualSequences(groups[candidate].keys[k], keys[k])) {
-                  all_equal = false;
+                if (cs != nullptr) {
+                  ++cs->hash_probes;
+                  if (!all_equal) ++cs->hash_collisions;
+                }
+                if (all_equal) {
+                  group_index = candidate;
                   break;
                 }
               }
-              if (cs != nullptr) {
-                ++cs->hash_probes;
-                if (!all_equal) ++cs->hash_collisions;
+              if (group_index == SIZE_MAX) {
+                group_index = groups.size();
+                bucket.push_back(group_index);
+                groups.push_back(HashGroup{std::move(keys), {}});
               }
-              if (all_equal) {
-                group_index = candidate;
-                break;
-              }
+              groups[group_index].members.push_back(ti);
             }
-            if (group_index == SIZE_MAX) {
-              group_index = groups.size();
-              bucket.push_back(group_index);
-              groups.push_back(Group3{std::move(keys), {}});
-            }
-            groups[group_index].members.push_back(ti);
           }
 
           // Slots rebound by a grouping key take the key binding only: a bare
@@ -291,7 +640,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           }
           std::vector<Tuple> next;
           next.reserve(groups.size());
-          for (const Group3& group : groups) {
+          for (const HashGroup& group : groups) {
             Tuple out_tuple;
             out_tuple.reserve(bound_slots.size() + clause.group_keys.size());
             // Implicit rebinding: concatenate each non-key slot's values.
@@ -327,87 +676,96 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
         }
 
         // --- Group formation (paper dialect) --------------------------------
-        struct Group {
-          std::vector<Sequence> keys;  ///< representative key values
-          std::vector<size_t> members; ///< input tuple indexes, input order
-        };
-        std::vector<Group> groups;
+        std::vector<HashGroup> groups;
         bool custom_equality = false;
         for (const auto& key : clause.group_keys) {
           if (!key.using_function.empty()) custom_equality = true;
         }
-        // Hash buckets (default deep-equal path only).
-        std::unordered_map<size_t, std::vector<size_t>> buckets;
-
-        std::vector<std::vector<Sequence>> tuple_keys(tuples.size());
-        for (size_t ti = 0; ti < tuples.size(); ++ti) {
-          load_tuple(tuples[ti]);
-          std::vector<Sequence>& keys = tuple_keys[ti];
+        auto eval_keys = [&](DynamicContext* ctx) {
+          std::vector<Sequence> keys;
           keys.reserve(clause.group_keys.size());
           for (const auto& group_key : clause.group_keys) {
-            keys.push_back(Evaluate(group_key.expr.get(), context));
+            keys.push_back(Evaluate(group_key.expr.get(), ctx));
           }
+          return keys;
+        };
+        constexpr size_t kSeedPaper = 0xc2b2ae3d27d4eb4fULL;
+        // Custom `using` equality runs serially: the user function evaluates
+        // on the caller's context and need not be hashable.
+        const int workers =
+            custom_equality ? 1 : PlanWorkers(context->exec, tuples.size());
+        if (workers > 1) {
+          groups = form_groups_parallel(workers, kSeedPaper, eval_keys);
+        } else {
+          // Hash buckets (default deep-equal path only).
+          std::unordered_map<size_t, std::vector<size_t>> buckets;
+          for (size_t ti = 0; ti < tuples.size(); ++ti) {
+            load_tuple(tuples[ti]);
+            std::vector<Sequence> keys = eval_keys(context);
 
-          size_t group_index = SIZE_MAX;
-          if (!custom_equality) {
-            size_t hash = 0xc2b2ae3d27d4eb4fULL;
-            for (const Sequence& key : keys) {
-              hash = CombineHash(hash, DeepHashSequence(key));
-            }
-            if (cs != nullptr) {
-              stats->deep_hash_calls += static_cast<int64_t>(keys.size());
-            }
-            std::vector<size_t>& bucket = buckets[hash];
-            for (size_t candidate : bucket) {
-              bool all_equal = true;
-              for (size_t k = 0; k < keys.size(); ++k) {
-                if (cs != nullptr) {
-                  ++cs->deep_equal_calls;
-                  ++stats->deep_equal_calls;
-                }
-                if (!DeepEqualSequences(groups[candidate].keys[k], keys[k])) {
-                  all_equal = false;
-                  break;
-                }
+            size_t group_index = SIZE_MAX;
+            if (!custom_equality) {
+              size_t hash = kSeedPaper;
+              for (const Sequence& key : keys) {
+                hash = CombineHash(hash, DeepHashSequence(key));
               }
               if (cs != nullptr) {
-                ++cs->hash_probes;
-                if (!all_equal) ++cs->hash_collisions;
+                stats->deep_hash_calls += static_cast<int64_t>(keys.size());
               }
-              if (all_equal) {
-                group_index = candidate;
-                break;
-              }
-            }
-            if (group_index == SIZE_MAX) {
-              group_index = groups.size();
-              bucket.push_back(group_index);
-              groups.push_back(Group{std::move(keys), {}});
-            }
-          } else {
-            // Custom `using` equality: linear scan over the group table (the
-            // user function need not be hashable).
-            for (size_t candidate = 0; candidate < groups.size(); ++candidate) {
-              bool all_equal = true;
-              for (size_t k = 0; k < keys.size(); ++k) {
-                if (cs != nullptr) ++cs->linear_scan_compares;
-                if (!equal_under(clause.group_keys[k],
-                                 groups[candidate].keys[k], keys[k])) {
-                  all_equal = false;
+              std::vector<size_t>& bucket = buckets[hash];
+              for (size_t candidate : bucket) {
+                bool all_equal = true;
+                for (size_t k = 0; k < keys.size(); ++k) {
+                  if (cs != nullptr) {
+                    ++cs->deep_equal_calls;
+                    ++stats->deep_equal_calls;
+                  }
+                  if (!DeepEqualSequences(groups[candidate].keys[k],
+                                          keys[k])) {
+                    all_equal = false;
+                    break;
+                  }
+                }
+                if (cs != nullptr) {
+                  ++cs->hash_probes;
+                  if (!all_equal) ++cs->hash_collisions;
+                }
+                if (all_equal) {
+                  group_index = candidate;
                   break;
                 }
               }
-              if (all_equal) {
-                group_index = candidate;
-                break;
+              if (group_index == SIZE_MAX) {
+                group_index = groups.size();
+                bucket.push_back(group_index);
+                groups.push_back(HashGroup{std::move(keys), {}});
+              }
+            } else {
+              // Custom `using` equality: linear scan over the group table
+              // (the user function need not be hashable).
+              for (size_t candidate = 0; candidate < groups.size();
+                   ++candidate) {
+                bool all_equal = true;
+                for (size_t k = 0; k < keys.size(); ++k) {
+                  if (cs != nullptr) ++cs->linear_scan_compares;
+                  if (!equal_under(clause.group_keys[k],
+                                   groups[candidate].keys[k], keys[k])) {
+                    all_equal = false;
+                    break;
+                  }
+                }
+                if (all_equal) {
+                  group_index = candidate;
+                  break;
+                }
+              }
+              if (group_index == SIZE_MAX) {
+                group_index = groups.size();
+                groups.push_back(HashGroup{std::move(keys), {}});
               }
             }
-            if (group_index == SIZE_MAX) {
-              group_index = groups.size();
-              groups.push_back(Group{std::move(keys), {}});
-            }
+            groups[group_index].members.push_back(ti);
           }
-          groups[group_index].members.push_back(ti);
         }
         if (cs != nullptr) {
           cs->groups_formed += static_cast<int64_t>(groups.size());
@@ -419,57 +777,101 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
         // of the nesting expression over the group's member tuples — in input
         // order, or per the nest's own order by (whose scope is the input
         // tuple stream, Section 3.4.1).
+        bool any_nest_order = false;
+        for (const auto& nest : clause.nest_specs) {
+          if (nest.order_by.has_value()) any_nest_order = true;
+        }
         std::vector<Tuple> next;
-        next.reserve(groups.size());
-        for (const Group& group : groups) {
-          Tuple out_tuple;
-          out_tuple.reserve(clause.group_keys.size() +
-                            clause.nest_specs.size());
-          for (const Sequence& key : group.keys) {
-            out_tuple.push_back(key);
-          }
-          for (const auto& nest : clause.nest_specs) {
-            Sequence nested;
-            if (!nest.order_by.has_value()) {
-              for (size_t member : group.members) {
-                load_tuple(tuples[member]);
-                Concat(&nested, Evaluate(nest.expr.get(), context));
-              }
-            } else {
-              struct MemberValue {
-                std::vector<SortKey> keys;
-                Sequence value;
-              };
-              std::vector<MemberValue> values;
-              values.reserve(group.members.size());
-              for (size_t member : group.members) {
-                load_tuple(tuples[member]);
-                MemberValue mv;
-                for (const OrderSpec& spec : nest.order_by->specs) {
-                  mv.keys.push_back(eval_sort_key(spec));
+        // Groups are independent, so construction parallelizes over groups;
+        // `nest ... order by` keeps the serial path (its keys evaluate in
+        // per-tuple scope and sort per group — cheap relative to formation).
+        const int out_workers =
+            any_nest_order || groups.size() < 2
+                ? 1
+                : PlanWorkers(context->exec, tuples.size());
+        if (out_workers > 1) {
+          next.resize(groups.size());
+          Lanes lanes = make_lanes(out_workers);
+          ThreadPool::Shared().ParallelFor(
+              groups.size(), out_workers, [&](int w, size_t gi) {
+                DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                const HashGroup& group = groups[gi];
+                Tuple out_tuple;
+                out_tuple.reserve(clause.group_keys.size() +
+                                  clause.nest_specs.size());
+                for (const Sequence& key : group.keys) {
+                  out_tuple.push_back(key);
                 }
-                mv.value = Evaluate(nest.expr.get(), context);
-                values.push_back(std::move(mv));
-              }
-              std::vector<size_t> order(values.size());
-              for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-              std::stable_sort(
-                  order.begin(), order.end(), [&](size_t a, size_t b) {
-                    for (size_t s = 0; s < nest.order_by->specs.size(); ++s) {
-                      int cmp = CompareSortKeys(values[a].keys[s],
-                                                values[b].keys[s],
-                                                nest.order_by->specs[s]);
-                      if (cmp != 0) return cmp < 0;
-                    }
-                    return false;
-                  });
-              for (size_t index : order) {
-                Concat(&nested, values[index].value);
-              }
+                for (const auto& nest : clause.nest_specs) {
+                  Sequence nested;
+                  for (size_t member : group.members) {
+                    load_tuple_into(ctx, tuples[member]);
+                    Concat(&nested, Evaluate(nest.expr.get(), ctx));
+                  }
+                  out_tuple.push_back(std::move(nested));
+                }
+                next[gi] = std::move(out_tuple);
+              });
+          merge_lanes(lanes);
+        } else {
+          next.reserve(groups.size());
+          for (const HashGroup& group : groups) {
+            Tuple out_tuple;
+            out_tuple.reserve(clause.group_keys.size() +
+                              clause.nest_specs.size());
+            for (const Sequence& key : group.keys) {
+              out_tuple.push_back(key);
             }
-            out_tuple.push_back(std::move(nested));
+            for (const auto& nest : clause.nest_specs) {
+              Sequence nested;
+              if (!nest.order_by.has_value()) {
+                for (size_t member : group.members) {
+                  load_tuple(tuples[member]);
+                  Concat(&nested, Evaluate(nest.expr.get(), context));
+                }
+              } else {
+                struct MemberValue {
+                  std::vector<SortKey> keys;
+                  Sequence value;
+                };
+                std::vector<MemberValue> values;
+                values.reserve(group.members.size());
+                for (size_t member : group.members) {
+                  load_tuple(tuples[member]);
+                  MemberValue mv;
+                  for (const OrderSpec& spec : nest.order_by->specs) {
+                    mv.keys.push_back(eval_sort_key(spec, context));
+                  }
+                  mv.value = Evaluate(nest.expr.get(), context);
+                  values.push_back(std::move(mv));
+                }
+                ValidateOrderKeys(
+                    values.size(), nest.order_by->specs.size(),
+                    [&](size_t i, size_t s) -> const SortKey& {
+                      return values[i].keys[s];
+                    },
+                    expr->location());
+                std::vector<size_t> order(values.size());
+                for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+                std::stable_sort(
+                    order.begin(), order.end(), [&](size_t a, size_t b) {
+                      for (size_t s = 0; s < nest.order_by->specs.size();
+                           ++s) {
+                        int cmp = CompareSortKeys(values[a].keys[s],
+                                                  values[b].keys[s],
+                                                  nest.order_by->specs[s]);
+                        if (cmp != 0) return cmp < 0;
+                      }
+                      return false;
+                    });
+                for (size_t index : order) {
+                  Concat(&nested, values[index].value);
+                }
+              }
+              out_tuple.push_back(std::move(nested));
+            }
+            next.push_back(std::move(out_tuple));
           }
-          next.push_back(std::move(out_tuple));
         }
 
         // Rebind: only grouping and nesting variables remain (Section 3.2).

@@ -93,7 +93,11 @@ int64_t SumDurations(const Sequence& items, const char* fn_name) {
                  std::string(fn_name) +
                      ": cannot mix durations with other types");
     }
-    total += item.atomic().AsDurationMillis();
+    if (__builtin_add_overflow(total, item.atomic().AsDurationMillis(),
+                               &total)) {
+      ThrowError(ErrorCode::kFODT0002,
+                 std::string(fn_name) + ": overflow in duration addition");
+    }
   }
   return total;
 }

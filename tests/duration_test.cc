@@ -194,5 +194,24 @@ TEST_F(DurationQueryTest, GroupingByDurationBuckets) {
   EXPECT_EQ(out, "<g fast=\"false\">1</g><g fast=\"true\">2</g>");
 }
 
+TEST_F(DurationQueryTest, SumOverflowRaisesFODT0002) {
+  // ~1e11 days is representable in int64 milliseconds; twice that is not.
+  // The overflow must surface as FODT0002, not wrap silently.
+  EXPECT_EQ(RunError("sum((xs:dayTimeDuration(\"P100000000000D\"), "
+                     "xs:dayTimeDuration(\"P100000000000D\")))"),
+            ErrorCode::kFODT0002);
+  EXPECT_EQ(RunError("sum((xs:dayTimeDuration(\"-P100000000000D\"), "
+                     "xs:dayTimeDuration(\"-P100000000000D\")))"),
+            ErrorCode::kFODT0002);
+  // avg shares the accumulator and the error.
+  EXPECT_EQ(RunError("avg((xs:dayTimeDuration(\"P100000000000D\"), "
+                     "xs:dayTimeDuration(\"P100000000000D\")))"),
+            ErrorCode::kFODT0002);
+  // Non-overflowing sums still work.
+  EXPECT_EQ(Run("sum((xs:dayTimeDuration(\"P1D\"), "
+                "xs:dayTimeDuration(\"PT12H\")))"),
+            "P1DT12H");
+}
+
 }  // namespace
 }  // namespace xqa

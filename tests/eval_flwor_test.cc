@@ -174,5 +174,52 @@ TEST_F(EvalFlworTest, MixedForLetChains) {
             "11 12 21 22");
 }
 
+TEST_F(EvalFlworTest, OrderByIncomparableKeysAlwaysRaiseTypeError) {
+  // Key comparability is validated before the sort runs, so XPTY0004 is
+  // raised even when a quicksort/insertion-sort pass would never have
+  // compared the offending pair directly (previously undefined behavior:
+  // throwing from inside std::stable_sort's comparator).
+  EXPECT_EQ(RunError("for $x in (2, 3, 1, 4, 6, 5, 8, 7, \"z\", 9) "
+                     "order by $x return $x"),
+            ErrorCode::kXPTY0004);
+  EXPECT_EQ(RunError("for $x in (1, 2) order by (if ($x = 2) then "
+                     "xs:date(\"2004-01-01\") else 1) return $x"),
+            ErrorCode::kXPTY0004);
+  EXPECT_EQ(RunError("for $x in (true(), 1) order by $x return $x"),
+            ErrorCode::kXPTY0004);
+}
+
+TEST_F(EvalFlworTest, OrderByEmptyKeysNeverConflict) {
+  // Empty keys carry no type: they may coexist with any key class.
+  const char* doc = "<r><e><k>b</k></e><e/><e><k>a</k></e></r>";
+  EXPECT_EQ(Run("for $e in //e order by $e/k return count($e/k)", doc),
+            "0 1 1");
+}
+
+TEST_F(EvalFlworTest, OrderByUntypedKeysCompareAsStrings) {
+  // XQuery ordering rule: untypedAtomic order keys are cast to xs:string,
+  // so node-derived digits sort lexicographically, not numerically...
+  const char* doc = "<r><e>10</e><e>9</e><e>100</e></r>";
+  EXPECT_EQ(Run("for $e in //e order by $e return string($e)", doc),
+            "10 100 9");
+  // ...and mixing untyped keys with numeric keys is a type error rather
+  // than a silent numeric cast.
+  EXPECT_EQ(RunError("for $x in (1, 2) order by "
+                     "(if ($x = 2) then data(<e>7</e>) else 5) return $x"),
+            ErrorCode::kXPTY0004);
+}
+
+TEST_F(EvalFlworTest, OrderByAllNaNKeysGroupTogether) {
+  // All NaN outcomes route through one comparator path: NaN ties with NaN
+  // (stable order preserved) and sorts below every number.
+  EXPECT_EQ(Run("for $x in (2e0, 0e0 div 0e0, 1e0, (-1e0) div 0e0 + 1e0 div 0e0) "
+                "order by $x return (if ($x ne $x) then \"nan\" else string($x))"),
+            "nan nan 1 2");
+  EXPECT_EQ(Run("for $x in (0e0 div 0e0, 3e0, 0e0 div 0e0) "
+                "order by $x descending return "
+                "(if ($x ne $x) then \"nan\" else string($x))"),
+            "3 nan nan");
+}
+
 }  // namespace
 }  // namespace xqa

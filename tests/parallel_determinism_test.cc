@@ -1,0 +1,357 @@
+// Deterministic intra-query parallelism (docs/PARALLELISM.md): parallel
+// execution must be an invisible optimization. For every query, the
+// serialized result bytes, the error outcome (code, message, and which
+// tuple's error wins), and the semantic profile counters must match the
+// serial engine exactly, at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "workload/books.h"
+#include "workload/orders.h"
+
+namespace xqa {
+namespace {
+
+std::string RunWithThreads(Engine& engine, const DocumentPtr& doc,
+                           const std::string& query, int num_threads) {
+  PreparedQuery prepared = engine.Compile(query);
+  ExecutionOptions options;
+  options.num_threads = num_threads;
+  prepared.set_execution_options(options);
+  return prepared.ExecuteToString(doc);
+}
+
+Status StatusWithThreads(Engine& engine, const DocumentPtr& doc,
+                         const std::string& query, int num_threads) {
+  PreparedQuery prepared = engine.Compile(query);
+  ExecutionOptions options;
+  options.num_threads = num_threads;
+  prepared.set_execution_options(options);
+  Result<Sequence> result = prepared.TryExecute(doc);
+  return result.ok() ? Status::OK() : result.status();
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::OrderConfig config;
+    config.num_orders = 3000;  // ~12k lineitems: well past the morsel cutoff
+    orders_ = new DocumentPtr(workload::GenerateOrdersDocument(config));
+    bib_ = new DocumentPtr(
+        Engine::ParseDocument(workload::PaperBibliographyXml()));
+    sales_ = new DocumentPtr(Engine::ParseDocument(workload::PaperSalesXml()));
+  }
+  static void TearDownTestSuite() {
+    delete orders_;
+    delete bib_;
+    delete sales_;
+  }
+
+  /// Serial output is the reference; 2, 4, and hardware (0) lanes must
+  /// reproduce it byte for byte.
+  void ExpectDeterministic(const DocumentPtr& doc, const std::string& query) {
+    const std::string serial = RunWithThreads(engine_, doc, query, 1);
+    for (int threads : {2, 4, 0}) {
+      EXPECT_EQ(RunWithThreads(engine_, doc, query, threads), serial)
+          << "num_threads=" << threads << "\nquery: " << query;
+    }
+  }
+
+  Engine engine_;
+  static DocumentPtr* orders_;
+  static DocumentPtr* bib_;
+  static DocumentPtr* sales_;
+};
+
+DocumentPtr* ParallelDeterminismTest::orders_ = nullptr;
+DocumentPtr* ParallelDeterminismTest::bib_ = nullptr;
+DocumentPtr* ParallelDeterminismTest::sales_ = nullptr;
+
+// --- Paper queries (small documents, exercises the option plumbing and the
+// --- below-cutoff serial fallback) -----------------------------------------
+
+TEST_F(ParallelDeterminismTest, PaperBibliographyQueries) {
+  const char* queries[] = {
+      // Q1: explicit group by with multiple keys and a nest.
+      R"(for $b in //book
+         group by $b/publisher into $p, $b/year into $y
+         nest $b/price - $b/discount into $netprices
+         return <group>{$p, $y}<avg>{avg($netprices)}</avg></group>)",
+      // Q2a: author-sequence grouping (permutations distinct).
+      R"(for $b in //book
+         group by $b/author into $a
+         nest $b/price into $prices
+         return <group>{$a}<avg-price>{avg($prices)}</avg-price></group>)",
+      // nest ... order by (always serial, must still honor the options).
+      R"(for $b in //book
+         group by $b/year into $y
+         nest $b/title order by string($b/title) descending into $titles
+         return <g>{$y, $titles}</g>)",
+      // order by + the paper's output-numbering extension.
+      R"(for $b in //book
+         order by string($b/title)
+         return at $r ($r, string($b/title)))",
+  };
+  for (const char* query : queries) ExpectDeterministic(*bib_, query);
+}
+
+TEST_F(ParallelDeterminismTest, PaperSalesNestedGroupBy) {
+  ExpectDeterministic(*sales_, R"(
+    for $s in //sale
+    group by $s/region into $region,
+             year-from-dateTime($s/timestamp) into $year
+    nest $s into $region-sales
+    order by $year, $region
+    return
+      for $s in $region-sales
+      group by $s/state into $state
+      nest $s/(quantity * price) into $amounts
+      order by $state
+      return <summary>{$year, $region, $state}
+        <sales>{round-half-to-even(sum($amounts), 2)}</sales></summary>
+  )");
+}
+
+// --- Large documents (the parallel paths actually engage) -------------------
+
+TEST_F(ParallelDeterminismTest, LargeGroupByPaperDialect) {
+  ExpectDeterministic(*orders_, R"(
+    for $l in //order/lineitem
+    group by $l/quantity into $q
+    nest $l/extendedprice into $prices
+    order by number($q)
+    return <r>{$q}<n>{count($prices)}</n><s>{sum($prices)}</s></r>
+  )");
+}
+
+TEST_F(ParallelDeterminismTest, LargeGroupByMultipleKeys) {
+  ExpectDeterministic(*orders_, R"(
+    for $l in //lineitem
+    group by $l/shipmode into $m, $l/returnflag into $f
+    nest $l/quantity into $qs
+    order by string($m), string($f)
+    return <r>{$m, $f}<n>{count($qs)}</n></r>
+  )");
+}
+
+TEST_F(ParallelDeterminismTest, LargeGroupByXQuery3Dialect) {
+  // Implicit rebinding: $l is rebound to each group's member sequence, whose
+  // order must match the serial engine's input order exactly.
+  ExpectDeterministic(*orders_, R"(
+    for $l in //lineitem
+    group by $k := string($l/shipmode)
+    order by $k
+    return ($k, count($l), sum($l/quantity))
+  )");
+}
+
+TEST_F(ParallelDeterminismTest, LargeWhereClause) {
+  ExpectDeterministic(*orders_, R"(
+    for $l in //lineitem
+    where number($l/quantity) > 25 and $l/shipmode = "AIR"
+    return string($l/partkey)
+  )");
+}
+
+TEST_F(ParallelDeterminismTest, LargeOrderByMultipleKeys) {
+  ExpectDeterministic(*orders_, R"(
+    for $l in //lineitem
+    order by string($l/shipmode) descending, number($l/quantity),
+             string($l/partkey)
+    return string($l/linenumber)
+  )");
+}
+
+TEST_F(ParallelDeterminismTest, LargeOrderByStableOnTies) {
+  // Massive tie groups: stability means input order decides within a tie, so
+  // any reordering introduced by parallel key evaluation would show up.
+  ExpectDeterministic(*orders_, R"(
+    for $l in //lineitem
+    order by string($l/returnflag)
+    return string($l/partkey)
+  )");
+}
+
+TEST_F(ParallelDeterminismTest, CustomUsingEqualityFallsBackToSerial) {
+  ExpectDeterministic(*bib_, R"(
+    for $b in //book
+    group by $b/author into $a using xqa:set-equal
+    nest $b/price into $prices
+    return <group>{$a}<avg>{avg($prices)}</avg></group>
+  )");
+}
+
+TEST_F(ParallelDeterminismTest, UserFunctionEqualityFallsBackToSerial) {
+  ExpectDeterministic(*bib_, R"(
+    declare function local:set-equal
+        ($arg1 as item()*, $arg2 as item()*) as xs:boolean
+    { every $i1 in $arg1 satisfies
+        some $i2 in $arg2 satisfies $i1 eq $i2
+      and every $i2 in $arg2 satisfies
+        some $i1 in $arg1 satisfies $i1 eq $i2
+    };
+    for $b in //book
+    group by $b/author into $a using local:set-equal
+    nest $b/price into $prices
+    return <group>{$a}</group>
+  )");
+}
+
+TEST_F(ParallelDeterminismTest, NestOrderByOnLargeDocument) {
+  ExpectDeterministic(*orders_, R"(
+    for $l in //lineitem
+    group by $l/shipmode into $m
+    nest $l/partkey order by number($l/quantity) descending,
+                             string($l/partkey) into $parts
+    return <g>{$m}<first>{$parts[1]}</first><n>{count($parts)}</n></g>
+  )");
+}
+
+// --- Error determinism ------------------------------------------------------
+
+TEST_F(ParallelDeterminismTest, IncomparableOrderKeysSameErrorEverywhere) {
+  // Key types flip from numeric to string mid-stream: every thread count
+  // must report the identical XPTY0004 (validated before the sort, at the
+  // first offending tuple in input order).
+  const std::string query =
+      "for $i in 1 to 2000 "
+      "order by (if ($i = 1500) then \"oops\" else $i) "
+      "return $i";
+  DocumentPtr doc = Engine::ParseDocument("<root/>");
+  Status serial = StatusWithThreads(engine_, doc, query, 1);
+  ASSERT_EQ(serial.code(), ErrorCode::kXPTY0004);
+  for (int threads : {2, 4, 0}) {
+    Status parallel = StatusWithThreads(engine_, doc, query, threads);
+    EXPECT_EQ(parallel.code(), serial.code()) << "num_threads=" << threads;
+    EXPECT_EQ(parallel.message(), serial.message())
+        << "num_threads=" << threads;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, LowestTupleErrorWinsUnderParallelism) {
+  // Two tuples fail during parallel key evaluation; the one at the lower
+  // input index must be reported, exactly as the serial engine does.
+  const std::string query =
+      "for $i in 1 to 2000 "
+      "order by (if ($i = 700 or $i = 1900) then $i div 0 else $i) "
+      "return $i";
+  DocumentPtr doc = Engine::ParseDocument("<root/>");
+  Status serial = StatusWithThreads(engine_, doc, query, 1);
+  ASSERT_EQ(serial.code(), ErrorCode::kFOAR0001);
+  for (int threads : {2, 4, 0}) {
+    Status parallel = StatusWithThreads(engine_, doc, query, threads);
+    EXPECT_EQ(parallel.code(), serial.code()) << "num_threads=" << threads;
+    EXPECT_EQ(parallel.message(), serial.message())
+        << "num_threads=" << threads;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, WhereClauseErrorIsDeterministic) {
+  const std::string query =
+      "for $i in 1 to 2000 "
+      "where (if ($i = 1111) then $i idiv 0 else $i) > 0 "
+      "return $i";
+  DocumentPtr doc = Engine::ParseDocument("<root/>");
+  Status serial = StatusWithThreads(engine_, doc, query, 1);
+  ASSERT_NE(serial.code(), ErrorCode::kOk);
+  for (int threads : {2, 4, 0}) {
+    Status parallel = StatusWithThreads(engine_, doc, query, threads);
+    EXPECT_EQ(parallel.code(), serial.code()) << "num_threads=" << threads;
+    EXPECT_EQ(parallel.message(), serial.message())
+        << "num_threads=" << threads;
+  }
+}
+
+// --- Profiled execution -----------------------------------------------------
+
+TEST_F(ParallelDeterminismTest, ProfiledCountersMatchSerial) {
+  const std::string query =
+      "for $l in //lineitem "
+      "group by $l/quantity into $q "
+      "nest $l into $ls "
+      "return count($ls)";
+  PreparedQuery serial_query = engine_.Compile(query);
+  ProfiledResult serial = serial_query.ExecuteProfiled(*orders_);
+
+  PreparedQuery parallel_query = engine_.Compile(query);
+  ExecutionOptions options;
+  options.num_threads = 4;
+  parallel_query.set_execution_options(options);
+  ProfiledResult parallel = parallel_query.ExecuteProfiled(*orders_);
+
+  EXPECT_EQ(SerializeSequence(parallel.sequence),
+            SerializeSequence(serial.sequence));
+  // Semantic counters are exact across thread counts; probe/collision
+  // counts may legitimately differ (the parallel path re-probes during the
+  // partial-table merge), so they are not compared.
+  EXPECT_EQ(parallel.stats.TotalGroupsFormed(), serial.stats.TotalGroupsFormed());
+  EXPECT_EQ(parallel.stats.deep_hash_calls, serial.stats.deep_hash_calls);
+  EXPECT_EQ(parallel.stats.tuples_flowed, serial.stats.tuples_flowed);
+}
+
+TEST_F(ParallelDeterminismTest, SingleThreadOptionIsExactlySerial) {
+  const std::string query =
+      "for $l in //lineitem "
+      "group by $l/shipmode into $m "
+      "nest $l/quantity into $qs "
+      "order by string($m) "
+      "return <r>{$m}<n>{count($qs)}</n></r>";
+  PreparedQuery serial_query = engine_.Compile(query);
+  ProfiledResult serial = serial_query.ExecuteProfiled(*orders_);
+
+  PreparedQuery one_thread_query = engine_.Compile(query);
+  ExecutionOptions options;
+  options.num_threads = 1;
+  one_thread_query.set_execution_options(options);
+  ProfiledResult one_thread = one_thread_query.ExecuteProfiled(*orders_);
+
+  EXPECT_EQ(SerializeSequence(one_thread.sequence),
+            SerializeSequence(serial.sequence));
+  // num_threads=1 takes the identical code path, so every counter matches.
+  EXPECT_EQ(one_thread.stats.TotalGroupsFormed(),
+            serial.stats.TotalGroupsFormed());
+  EXPECT_EQ(one_thread.stats.TotalHashProbes(), serial.stats.TotalHashProbes());
+  EXPECT_EQ(one_thread.stats.deep_equal_calls, serial.stats.deep_equal_calls);
+  EXPECT_EQ(one_thread.stats.deep_hash_calls, serial.stats.deep_hash_calls);
+  EXPECT_EQ(one_thread.stats.tuples_flowed, serial.stats.tuples_flowed);
+}
+
+// --- Cross-thread stress ----------------------------------------------------
+
+TEST_F(ParallelDeterminismTest, ConcurrentParallelExecutions) {
+  // Multiple caller threads drive parallel queries through the one shared
+  // pool simultaneously; every run must still match the serial reference.
+  PreparedQuery query = engine_.Compile(
+      "for $l in //lineitem "
+      "group by $l/shipmode into $m "
+      "nest $l into $ls "
+      "order by string($m) "
+      "return <r>{$m}<n>{count($ls)}</n></r>");
+  const std::string expected = query.ExecuteToString(*orders_);
+  ExecutionOptions options;
+  options.num_threads = 4;
+  query.set_execution_options(options);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 5; ++i) {
+        if (query.ExecuteToString(*orders_) != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace xqa
