@@ -7,7 +7,7 @@
 // hash variants report hash_probes, the `using` variants report
 // linear_scan_compares (and zero probes).
 //
-// Usage: bench_equality [--quick]
+// Usage: bench_equality [--quick] [--smoke]   (--smoke: CI-sized quick run)
 
 #include <cstdio>
 #include <cstring>
@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) quick = true;  // CI alias
   }
   int repetitions = quick ? 1 : 3;
 

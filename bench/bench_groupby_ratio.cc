@@ -15,7 +15,7 @@
 // tuples_in grows as lineitems x groups while the explicit plan's group-by
 // hash probes stay linear in lineitems.
 //
-// Usage: bench_groupby_ratio [--quick]
+// Usage: bench_groupby_ratio [--quick] [--smoke]   (--smoke: CI-sized quick run)
 
 #include <cstdio>
 #include <cstring>
@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) quick = true;  // CI alias
   }
 
   std::printf("E1: Section 6 chart — t(Q)/t(Qgb) vs number of groups\n");

@@ -1,0 +1,181 @@
+// E-path — structural-index ablation for descendant path steps: the same
+// "//name" queries with the element-name index on (default) and off
+// (ExecutionOptions::use_structural_index = false), over a wide sectioned
+// document (selective and non-selective name tests) and a pathologically
+// deep element chain. Results are asserted byte-identical across the
+// ablation; the JSON records wall times plus the nodes-visited counters
+// (index_scan_nodes vs fallback_walk_nodes) that quantify the saving.
+//
+// Usage: bench_path [--quick] [--smoke]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_json.h"
+#include "xml/node.h"
+
+namespace {
+
+using xqa::DocumentPtr;
+using xqa::Engine;
+using xqa::ExecutionOptions;
+using xqa::MakeDocument;
+using xqa::Node;
+using xqa::PreparedQuery;
+using xqa::ProfiledResult;
+using xqa::bench::JsonValue;
+using xqa::bench::MeasureEntry;
+using xqa::bench::MeasureSeconds;
+
+/// A wide document: `sections` section elements of `items_per_section` item
+/// children each, with one rare needle element every `needle_stride`
+/// sections. "//item" is non-selective (most elements match); "//needle" is
+/// highly selective.
+DocumentPtr BuildSectionedDocument(int sections, int items_per_section,
+                                   int needle_stride) {
+  std::string xml;
+  xml.reserve(static_cast<size_t>(sections) *
+              (static_cast<size_t>(items_per_section) * 18 + 32));
+  xml += "<doc>";
+  for (int s = 0; s < sections; ++s) {
+    xml += "<section>";
+    for (int i = 0; i < items_per_section; ++i) {
+      xml += "<item>v";
+      xml += std::to_string(i);
+      xml += "</item>";
+    }
+    if (s % needle_stride == 0) xml += "<needle>hit</needle>";
+    xml += "</section>";
+  }
+  xml += "</doc>";
+  return Engine::ParseDocument(xml);
+}
+
+/// A single chain of `depth` nested elements with one leaf at the bottom,
+/// built through the Document API (the parser caps nesting depth; the
+/// evaluator must not, which is what this document exercises).
+DocumentPtr BuildDeepChainDocument(int depth) {
+  DocumentPtr doc = MakeDocument();
+  Node* current = doc->CreateElement("d");
+  doc->AppendChild(doc->root(), current);
+  for (int i = 1; i < depth; ++i) {
+    Node* next = doc->CreateElement("d");
+    doc->AppendChild(current, next);
+    current = next;
+  }
+  Node* leaf = doc->CreateElement("leaf");
+  doc->AppendChild(current, leaf);
+  doc->AppendChild(leaf, doc->CreateText("bottom"));
+  doc->SealOrder();
+  return doc;
+}
+
+/// Runs `query_text` against `doc` indexed and unindexed, verifies the
+/// serialized results are byte-identical, and returns the JSON entry for
+/// this case. Aborts the benchmark on any ablation mismatch.
+JsonValue MeasureCase(const Engine& engine, const char* name,
+                      const std::string& query_text, const DocumentPtr& doc,
+                      int repetitions) {
+  PreparedQuery indexed = engine.Compile(query_text);
+  PreparedQuery fallback = engine.Compile(query_text);
+  ExecutionOptions no_index;
+  no_index.use_structural_index = false;
+  fallback.set_execution_options(no_index);
+
+  const std::string indexed_result = indexed.ExecuteToString(doc);
+  const std::string fallback_result = fallback.ExecuteToString(doc);
+  if (indexed_result != fallback_result) {
+    std::fprintf(stderr,
+                 "FATAL: %s: indexed and fallback results differ "
+                 "(%zu vs %zu bytes)\n",
+                 name, indexed_result.size(), fallback_result.size());
+    std::exit(1);
+  }
+
+  double t_indexed = MeasureSeconds(indexed, doc, repetitions);
+  double t_fallback = MeasureSeconds(fallback, doc, repetitions);
+  ProfiledResult p_indexed = indexed.ExecuteProfiled(doc);
+  ProfiledResult p_fallback = fallback.ExecuteProfiled(doc);
+  // Indexed runs may still walk (wildcards, tiny docs); count both sides.
+  int64_t visited_indexed =
+      p_indexed.stats.index_scan_nodes + p_indexed.stats.fallback_walk_nodes;
+  int64_t visited_fallback = p_fallback.stats.index_scan_nodes +
+                             p_fallback.stats.fallback_walk_nodes;
+  double nodes_ratio =
+      visited_indexed > 0
+          ? static_cast<double>(visited_fallback) /
+                static_cast<double>(visited_indexed)
+          : 0.0;
+  std::printf("%-28s %10zu %12.3f %12.3f %8.2fx %10lld %12lld\n", name,
+              p_indexed.sequence.size(), t_indexed * 1e3, t_fallback * 1e3,
+              t_fallback / t_indexed,
+              static_cast<long long>(visited_indexed),
+              static_cast<long long>(visited_fallback));
+
+  JsonValue entry = JsonValue::Object();
+  entry.Set("name", JsonValue::Str(name));
+  entry.Set("query", JsonValue::Str(query_text));
+  entry.Set("indexed", MeasureEntry(indexed, doc, t_indexed));
+  entry.Set("fallback", MeasureEntry(fallback, doc, t_fallback));
+  entry.Set("speedup", JsonValue::Number(t_fallback / t_indexed));
+  entry.Set("nodes_visited_indexed", JsonValue::Int(visited_indexed));
+  entry.Set("nodes_visited_fallback", JsonValue::Int(visited_fallback));
+  entry.Set("nodes_visited_ratio", JsonValue::Number(nodes_ratio));
+  entry.Set("ablation_identical", JsonValue::Bool(true));
+  return entry;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = quick = true;
+  }
+
+  int sections = smoke ? 100 : quick ? 500 : 2000;
+  int items_per_section = smoke ? 10 : 50;
+  int needle_stride = smoke ? 10 : 100;
+  int deep_depth = smoke ? 2000 : quick ? 20000 : 100000;
+  int repetitions = smoke ? 2 : quick ? 3 : 7;
+
+  Engine engine;
+  DocumentPtr wide =
+      BuildSectionedDocument(sections, items_per_section, needle_stride);
+  DocumentPtr deep = BuildDeepChainDocument(deep_depth);
+
+  std::printf("path-step ablation: element-name index vs subtree walk\n");
+  std::printf("%-28s %10s %12s %12s %8s %10s %12s\n", "case", "results",
+              "t(idx) ms", "t(walk) ms", "speedup", "n(idx)", "n(walk)");
+
+  JsonValue results = JsonValue::Array();
+  results.Append(MeasureCase(engine, "selective-shallow", "//needle", wide,
+                             repetitions));
+  results.Append(MeasureCase(engine, "nonselective-shallow", "//item", wide,
+                             repetitions));
+  results.Append(
+      MeasureCase(engine, "selective-deep", "//leaf", deep, repetitions));
+  results.Append(MeasureCase(engine, "child-after-descendant",
+                             "//section/item", wide, repetitions));
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", JsonValue::Str("path"));
+  root.Set("experiment",
+           JsonValue::Str("structural-index ablation for descendant steps "
+                          "(docs/INDEXES.md)"));
+  JsonValue params = JsonValue::Object();
+  params.Set("quick", JsonValue::Bool(quick));
+  params.Set("smoke", JsonValue::Bool(smoke));
+  params.Set("sections", JsonValue::Int(sections));
+  params.Set("items_per_section", JsonValue::Int(items_per_section));
+  params.Set("needle_stride", JsonValue::Int(needle_stride));
+  params.Set("deep_depth", JsonValue::Int(deep_depth));
+  root.Set("parameters", std::move(params));
+  root.Set("results", std::move(results));
+  xqa::bench::WriteBenchJson("path", root);
+  return 0;
+}

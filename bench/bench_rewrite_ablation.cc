@@ -10,7 +10,7 @@
 // rewritten query forms groups; the non-matching one keeps the quadratic
 // where clause) go to BENCH_rewrite_ablation.json.
 //
-// Usage: bench_rewrite_ablation [--quick]
+// Usage: bench_rewrite_ablation [--quick] [--smoke]   (--smoke: CI-sized quick run)
 
 #include <cstdio>
 #include <cstring>
@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) quick = true;  // CI alias
   }
   int repetitions = quick ? 1 : 5;
 

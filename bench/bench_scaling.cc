@@ -6,7 +6,7 @@
 // naive plan's inner where-clause tuples_in is lineitems x groups while the
 // explicit plan's hash probes stay proportional to lineitems alone.
 //
-// Usage: bench_scaling [--quick]
+// Usage: bench_scaling [--quick] [--smoke]   (--smoke: CI-sized quick run)
 
 #include <cstdio>
 #include <cstring>
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) quick = true;  // CI alias
   }
 
   Engine engine;

@@ -2,7 +2,7 @@
 // group by) for one- and two-element grouping keys, written to
 // BENCH_table1.json with the per-query QueryStats counters.
 //
-// Usage: bench_table1 [--quick]
+// Usage: bench_table1 [--quick] [--smoke]   (--smoke: CI-sized quick run)
 
 #include <cstdio>
 #include <cstring>
@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) quick = true;  // CI alias
   }
   int repetitions = quick ? 1 : 5;
 

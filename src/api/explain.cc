@@ -252,7 +252,10 @@ std::string ExplainModuleImpl(const Module& module, const QueryStats* stats) {
                   stats->total_seconds * 1e3);
     out << "observed: total " << time_buf << ", tuples "
         << stats->tuples_flowed << ", path steps " << stats->path_steps
-        << ", nodes constructed " << stats->nodes_constructed
+        << ", index scans " << stats->index_scans << " ("
+        << stats->index_scan_nodes << " nodes), fallback walks "
+        << stats->fallback_walks << " (" << stats->fallback_walk_nodes
+        << " nodes), nodes constructed " << stats->nodes_constructed
         << ", deep-equal " << stats->deep_equal_calls << ", deep-hash "
         << stats->deep_hash_calls << "\n";
   }

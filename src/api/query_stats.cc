@@ -64,6 +64,10 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   deep_hash_calls += other.deep_hash_calls;
   tuples_flowed += other.tuples_flowed;
   total_seconds += other.total_seconds;
+  index_scans += other.index_scans;
+  index_scan_nodes += other.index_scan_nodes;
+  fallback_walks += other.fallback_walks;
+  fallback_walk_nodes += other.fallback_walk_nodes;
   for (const ClauseStats& theirs : other.clauses) {
     ClauseStats& ours = Clause(theirs.flwor, theirs.clause_index, theirs.label);
     ours.executions += theirs.executions;
@@ -109,6 +113,11 @@ std::string QueryStats::ToJson(int indent) const {
   out << pad << "\"deep_equal_calls\": " << deep_equal_calls << "," << nl;
   out << pad << "\"deep_hash_calls\": " << deep_hash_calls << "," << nl;
   out << pad << "\"tuples_flowed\": " << tuples_flowed << "," << nl;
+  out << pad << "\"index_scans\": " << index_scans << "," << nl;
+  out << pad << "\"index_scan_nodes\": " << index_scan_nodes << "," << nl;
+  out << pad << "\"fallback_walks\": " << fallback_walks << "," << nl;
+  out << pad << "\"fallback_walk_nodes\": " << fallback_walk_nodes << ","
+      << nl;
   out << pad << "\"clauses\": [" << nl;
   for (size_t i = 0; i < clauses.size(); ++i) {
     const ClauseStats& c = clauses[i];

@@ -52,6 +52,17 @@ class QueryStats {
   int64_t tuples_flowed = 0;     ///< tuples leaving any FLWOR clause
   double total_seconds = 0.0;    ///< wall time of the whole execution
 
+  // Structural-index counters (docs/INDEXES.md). A descendant step applied
+  // to one context node is either answered by the element-name index (an
+  // index scan: a binary-search range over the name's preorder bucket) or
+  // walks the subtree (a fallback walk). Comparing `index_scan_nodes`
+  // against `fallback_walk_nodes` for the same query under the
+  // use_structural_index ablation quantifies the nodes-visited saving.
+  int64_t index_scans = 0;         ///< descendant steps answered by the index
+  int64_t index_scan_nodes = 0;    ///< nodes emitted by index range scans
+  int64_t fallback_walks = 0;      ///< descendant steps that walked the subtree
+  int64_t fallback_walk_nodes = 0; ///< nodes visited by walking steps
+
   /// Per-clause counters in first-execution order. A deque, not a vector:
   /// the evaluator holds ClauseStats* across nested evaluation (an outer
   /// return clause's entry outlives the inner FLWOR's first registration),

@@ -9,23 +9,16 @@ namespace xqa {
 
 namespace {
 
-/// Nodes in the subtree rooted at `node`, including attributes. Only called
-/// when stats collection is active.
-int64_t CountSubtreeNodes(const Node* node) {
-  int64_t count = 1;
-  if (node->kind() == NodeKind::kElement) {
-    count += static_cast<int64_t>(node->attributes().size());
-  }
-  for (const Node* child : node->children()) {
-    count += CountSubtreeNodes(child);
-  }
-  return count;
-}
-
-/// Credits a freshly constructed tree to the stats sink, if any.
+/// Credits a freshly constructed tree to the stats sink, if any. Every
+/// constructor seals its document before this runs, so the subtree size
+/// (attributes included) is just the preorder span — no walk.
 void RecordConstructed(DynamicContext* context, const Node* root) {
   if (context->stats != nullptr) {
-    context->stats->nodes_constructed += CountSubtreeNodes(root);
+    // A free-standing attribute (computed attribute constructor) hangs off
+    // no element, so SealOrder never spans it; it is exactly one node.
+    int64_t span =
+        static_cast<int64_t>(root->subtree_end() - root->order_index());
+    context->stats->nodes_constructed += span > 0 ? span : 1;
   }
 }
 
@@ -102,7 +95,7 @@ Sequence Evaluator::EvalConstructor(const DirectConstructorExpr* expr,
                                     DynamicContext* context) {
   // Each outermost constructor builds a fresh tree; nested constructors in
   // content are evaluated as expressions and their results copied in.
-  DocumentPtr doc = std::make_shared<Document>();
+  DocumentPtr doc = MakeDocument();
   Node* element = doc->CreateElement(expr->name);
   doc->AppendChild(doc->root(), element);
 
@@ -156,7 +149,7 @@ Sequence Evaluator::EvalComputedConstructor(const ComputedConstructorExpr* expr,
     content = Evaluate(expr->content.get(), context);
   }
 
-  DocumentPtr doc = std::make_shared<Document>();
+  DocumentPtr doc = MakeDocument();
   switch (expr->constructor_kind) {
     case Kind::kElement: {
       Node* element = doc->CreateElement(name);

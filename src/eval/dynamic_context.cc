@@ -19,6 +19,10 @@ std::unique_ptr<DynamicContext> DynamicContext::Fork() const {
   fork->documents = documents;
   fork->focus = focus;
   fork->recursion_depth = recursion_depth;
+  // num_threads stays at the serial default (workers never re-enter the
+  // pool), but the index ablation switch must carry over so indexed and
+  // fallback runs stay comparable at any thread count.
+  fork->exec.use_structural_index = exec.use_structural_index;
   if (!frames_.empty()) fork->frames_.push_back(frames_.back());
   return fork;
 }

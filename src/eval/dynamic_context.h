@@ -25,6 +25,12 @@ struct ExecutionOptions {
   /// 1 (default) = serial; 0 = one per hardware thread. Capped by the shared
   /// pool size.
   int num_threads = 1;
+
+  /// Consult the per-document structural indexes (docs/INDEXES.md) in path
+  /// steps. On by default; turning it off forces the walking fallback for
+  /// every step — used by the bench_path ablation and the index-equivalence
+  /// tests, which assert byte-identical results either way.
+  bool use_structural_index = true;
 };
 
 /// The focus of evaluation: context item, position, and size (".",

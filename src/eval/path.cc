@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "eval/evaluator.h"
 
@@ -10,15 +12,54 @@ namespace xqa {
 
 namespace {
 
+/// Resolves a name test to `doc`'s interned id: kNameIdAny for wildcards,
+/// kNameIdAbsent when the name was never interned (the test can match
+/// nothing in this document). Cached in the test's atomic word keyed by
+/// document id, so a step applied to many nodes of one document pays the
+/// hash lookup once; documents with ids above 2^32-1 bypass the cache.
+NameId ResolveTestNameId(const NodeTest& test, const Document& doc) {
+  // processing-instruction("*") means a PI literally named "*"; everywhere
+  // else "*" is the any-name wildcard.
+  if (test.name.empty() ||
+      (test.name == "*" && test.kind != NodeTest::Kind::kPi)) {
+    return kNameIdAny;
+  }
+  uint64_t doc_id = doc.id();
+  if (doc_id > 0xFFFFFFFFull) return doc.LookupName(test.name);
+  uint64_t cached = test.name_id_cache.load(std::memory_order_relaxed);
+  if ((cached >> 32) == doc_id) return static_cast<NameId>(cached);
+  NameId id = doc.LookupName(test.name);
+  test.name_id_cache.store((doc_id << 32) | id, std::memory_order_relaxed);
+  return id;
+}
+
+/// The resolved id MatchesTest needs for `test` against nodes of `doc`;
+/// kNameIdAny when the test kind carries no name constraint.
+NameId TestNameId(const NodeTest& test, const Document& doc) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+    case NodeTest::Kind::kElement:
+    case NodeTest::Kind::kAttribute:
+    case NodeTest::Kind::kPi:
+      return ResolveTestNameId(test, doc);
+    default:
+      return kNameIdAny;
+  }
+}
+
 /// True when `node` matches the test given the step's principal node kind
-/// (attributes for the attribute axis, elements otherwise).
-bool MatchesTest(const Node* node, const NodeTest& test, Axis axis) {
+/// (attributes for the attribute axis, elements otherwise). `test_id` is the
+/// test's name resolved against the node's document (TestNameId), making the
+/// name comparison an integer compare. Named kinds always carry a real
+/// interned id, so kNameIdAbsent correctly matches nothing.
+bool MatchesTest(const Node* node, const NodeTest& test, Axis axis,
+                 NameId test_id) {
   switch (test.kind) {
     case NodeTest::Kind::kName: {
       NodeKind principal = axis == Axis::kAttribute ? NodeKind::kAttribute
                                                     : NodeKind::kElement;
       if (node->kind() != principal) return false;
-      return test.name == "*" || node->name() == test.name;
+      return test_id == kNameIdAny || node->name_id() == test_id;
     }
     case NodeTest::Kind::kAnyKind:
       return true;
@@ -28,86 +69,192 @@ bool MatchesTest(const Node* node, const NodeTest& test, Axis axis) {
       return node->kind() == NodeKind::kComment;
     case NodeTest::Kind::kElement:
       return node->kind() == NodeKind::kElement &&
-             (test.name.empty() || test.name == "*" ||
-              node->name() == test.name);
+             (test_id == kNameIdAny || node->name_id() == test_id);
     case NodeTest::Kind::kAttribute:
       return node->kind() == NodeKind::kAttribute &&
-             (test.name.empty() || test.name == "*" ||
-              node->name() == test.name);
+             (test_id == kNameIdAny || node->name_id() == test_id);
     case NodeTest::Kind::kDocument:
       return node->kind() == NodeKind::kDocument;
     case NodeTest::Kind::kPi:
       return node->kind() == NodeKind::kProcessingInstruction &&
-             (test.name.empty() || node->name() == test.name);
+             (test_id == kNameIdAny || node->name_id() == test_id);
   }
   return false;
 }
 
+/// Emits node items that all share one document while paying refcount
+/// traffic once per batch instead of once per item: Reserve(n) performs a
+/// single AddRefs(n), each Emit adopts one pre-paid reference, and the
+/// destructor returns the unused remainder. References are paid before any
+/// adopted handle exists, so early exits and exceptions can never underflow
+/// the count. Emits beyond the reservation fall back to owned copies.
+class BorrowedEmitter {
+ public:
+  BorrowedEmitter(const DocumentPtr& doc, Sequence* out)
+      : doc_(doc.get()), out_(out) {}
+  ~BorrowedEmitter() {
+    if (reserved_ > emitted_) doc_->ReleaseRefs(reserved_ - emitted_);
+  }
+  BorrowedEmitter(const BorrowedEmitter&) = delete;
+  BorrowedEmitter& operator=(const BorrowedEmitter&) = delete;
+
+  void Reserve(uint64_t count) {
+    if (count > 0) doc_->AddRefs(count);
+    reserved_ += count;
+  }
+
+  void Emit(Node* node) {
+    if (emitted_ < reserved_) {
+      ++emitted_;
+      out_->push_back(Item(node, DocumentPtr::Adopt(doc_)));
+    } else {
+      out_->push_back(Item(node, DocumentPtr(doc_)));
+    }
+  }
+
+ private:
+  Document* doc_;
+  Sequence* out_;
+  uint64_t reserved_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+/// Attempts to answer descendant::T for one context node from the document's
+/// element-name index: the matches are exactly the slice of T's preorder-
+/// sorted bucket whose order indexes fall in the node's subtree span, found
+/// by binary search and emitted already in document order. Returns true when
+/// the step was fully answered (possibly with zero matches); false means the
+/// caller must walk the subtree.
+bool TryIndexedDescendants(Node* node, const NodeTest& test, NameId test_id,
+                           const DocumentPtr& doc, DynamicContext* context,
+                           Sequence* out) {
+  if (!context->exec.use_structural_index) return false;
+  if (test.kind != NodeTest::Kind::kName &&
+      test.kind != NodeTest::Kind::kElement) {
+    return false;
+  }
+  if (test_id == kNameIdAny) return false;  // wildcard: every element; walk
+  const Document* document = doc.get();
+  if (document == nullptr || !document->has_element_index()) return false;
+  if (test_id != kNameIdAbsent) {
+    const std::vector<Node*>* bucket = document->ElementsWithName(test_id);
+    if (bucket == nullptr) return false;
+    // Descendants strictly follow the context node in preorder, and the
+    // subtree span is half-open, so the match range is [order+1, end).
+    auto by_order = [](const Node* n, uint32_t index) {
+      return n->order_index() < index;
+    };
+    auto lo = std::lower_bound(bucket->begin(), bucket->end(),
+                               node->order_index() + 1, by_order);
+    auto hi = std::lower_bound(lo, bucket->end(), node->subtree_end(),
+                               by_order);
+    if (lo != hi) {
+      BorrowedEmitter emitter(doc, out);
+      emitter.Reserve(static_cast<uint64_t>(hi - lo));
+      for (auto it = lo; it != hi; ++it) emitter.Emit(*it);
+    }
+    if (context->stats != nullptr) {
+      context->stats->index_scan_nodes += static_cast<int64_t>(hi - lo);
+    }
+  }
+  // kNameIdAbsent: the name occurs nowhere in the document, an empty scan.
+  if (context->stats != nullptr) ++context->stats->index_scans;
+  return true;
+}
+
+/// Walking fallback for descendant steps: explicit-stack preorder so deep
+/// documents cannot overflow the C++ stack.
 void CollectDescendants(Node* node, const NodeTest& test, Axis axis,
-                        const DocumentPtr& doc, Sequence* out) {
-  for (Node* child : node->children()) {
-    if (MatchesTest(child, test, axis)) out->push_back(Item(child, doc));
-    CollectDescendants(child, test, axis, doc, out);
+                        NameId test_id, const DocumentPtr& doc,
+                        DynamicContext* context, Sequence* out) {
+  BorrowedEmitter emitter(doc, out);
+  if (node->document()->sealed()) {
+    // Matches can't exceed the subtree span; surplus is returned at scope
+    // exit.
+    emitter.Reserve(node->subtree_end() - node->order_index());
+  }
+  int64_t visited = 0;
+  std::vector<Node*> stack(node->children().rbegin(),
+                           node->children().rend());
+  while (!stack.empty()) {
+    Node* current = stack.back();
+    stack.pop_back();
+    ++visited;
+    if (MatchesTest(current, test, axis, test_id)) emitter.Emit(current);
+    const std::vector<Node*>& children = current->children();
+    stack.insert(stack.end(), children.rbegin(), children.rend());
+  }
+  if (context->stats != nullptr) {
+    ++context->stats->fallback_walks;
+    context->stats->fallback_walk_nodes += visited;
   }
 }
 
 /// Applies one axis step (without predicates) to a single context node,
-/// returning matches in axis order.
-Sequence ApplyAxis(const Item& context_item, const PathStep& step,
-                   SourceLocation loc) {
+/// appending matches to `out` in axis order.
+void ApplyAxis(const Item& context_item, Axis axis, const NodeTest& test,
+               DynamicContext* context, SourceLocation loc, Sequence* out) {
   if (!context_item.IsNode()) {
     ThrowError(ErrorCode::kXPTY0004,
                "a path step was applied to an atomic value", loc);
   }
   Node* node = context_item.node();
   const DocumentPtr& doc = context_item.document();
-  Sequence out;
-  switch (step.axis) {
-    case Axis::kChild:
-      for (Node* child : node->children()) {
-        if (MatchesTest(child, step.test, step.axis)) {
-          out.push_back(Item(child, doc));
-        }
+  NameId test_id = TestNameId(test, *doc);
+  switch (axis) {
+    case Axis::kChild: {
+      const std::vector<Node*>& children = node->children();
+      if (children.empty()) break;
+      BorrowedEmitter emitter(doc, out);
+      emitter.Reserve(children.size());
+      for (Node* child : children) {
+        if (MatchesTest(child, test, axis, test_id)) emitter.Emit(child);
       }
       break;
+    }
     case Axis::kDescendant:
-      CollectDescendants(node, step.test, step.axis, doc, &out);
+      if (!TryIndexedDescendants(node, test, test_id, doc, context, out)) {
+        CollectDescendants(node, test, axis, test_id, doc, context, out);
+      }
       break;
     case Axis::kDescendantOrSelf:
-      if (MatchesTest(node, step.test, step.axis)) {
-        out.push_back(Item(node, doc));
+      if (MatchesTest(node, test, axis, test_id)) {
+        out->push_back(Item(node, doc));
       }
-      CollectDescendants(node, step.test, step.axis, doc, &out);
-      break;
-    case Axis::kAttribute:
-      if (node->kind() == NodeKind::kElement) {
-        for (Node* attr : node->attributes()) {
-          if (MatchesTest(attr, step.test, step.axis)) {
-            out.push_back(Item(attr, doc));
-          }
-        }
+      if (!TryIndexedDescendants(node, test, test_id, doc, context, out)) {
+        CollectDescendants(node, test, axis, test_id, doc, context, out);
       }
       break;
+    case Axis::kAttribute: {
+      if (node->kind() != NodeKind::kElement) break;
+      const std::vector<Node*>& attributes = node->attributes();
+      if (attributes.empty()) break;
+      BorrowedEmitter emitter(doc, out);
+      emitter.Reserve(attributes.size());
+      for (Node* attr : attributes) {
+        if (MatchesTest(attr, test, axis, test_id)) emitter.Emit(attr);
+      }
+      break;
+    }
     case Axis::kSelf:
-      if (MatchesTest(node, step.test, step.axis)) {
-        out.push_back(Item(node, doc));
+      if (MatchesTest(node, test, axis, test_id)) {
+        out->push_back(Item(node, doc));
       }
       break;
     case Axis::kParent:
       if (node->parent() != nullptr &&
-          MatchesTest(node->parent(), step.test, step.axis)) {
-        out.push_back(Item(node->parent(), doc));
+          MatchesTest(node->parent(), test, axis, test_id)) {
+        out->push_back(Item(node->parent(), doc));
       }
       break;
     case Axis::kAncestor:
     case Axis::kAncestorOrSelf: {
-      Node* current =
-          step.axis == Axis::kAncestor ? node->parent() : node;
+      Node* current = axis == Axis::kAncestor ? node->parent() : node;
       // Nearest-first order (the reverse-axis order used for positional
       // predicates).
       while (current != nullptr) {
-        if (MatchesTest(current, step.test, step.axis)) {
-          out.push_back(Item(current, doc));
+        if (MatchesTest(current, test, axis, test_id)) {
+          out->push_back(Item(current, doc));
         }
         current = current->parent();
       }
@@ -122,24 +269,23 @@ Sequence ApplyAxis(const Item& context_item, const PathStep& step,
       while (self_index < siblings.size() && siblings[self_index] != node) {
         ++self_index;
       }
-      if (step.axis == Axis::kFollowingSibling) {
+      if (axis == Axis::kFollowingSibling) {
         for (size_t i = self_index + 1; i < siblings.size(); ++i) {
-          if (MatchesTest(siblings[i], step.test, step.axis)) {
-            out.push_back(Item(siblings[i], doc));
+          if (MatchesTest(siblings[i], test, axis, test_id)) {
+            out->push_back(Item(siblings[i], doc));
           }
         }
       } else {
         // Nearest-first for the reverse axis.
         for (size_t i = self_index; i-- > 0;) {
-          if (MatchesTest(siblings[i], step.test, step.axis)) {
-            out.push_back(Item(siblings[i], doc));
+          if (MatchesTest(siblings[i], test, axis, test_id)) {
+            out->push_back(Item(siblings[i], doc));
           }
         }
       }
       break;
     }
   }
-  return out;
 }
 
 bool IsReverseAxis(Axis axis) {
@@ -204,18 +350,18 @@ Sequence Evaluator::EvalPath(const PathExpr* expr, DynamicContext* context) {
     // Fusion: descendant-or-self::node()/child::T (the expansion of "//T")
     // evaluates as descendant::T, avoiding materializing every node. Only
     // valid when T carries no predicates: a positional predicate on T must
-    // see per-parent positions, which the fused step would collapse.
+    // see per-parent positions, which the fused step would collapse. The
+    // fused step reuses the child step's own NodeTest so its name-id cache
+    // persists across executions.
     if (!segment.is_expr() && segment.step.axis == Axis::kDescendantOrSelf &&
         segment.step.test.kind == NodeTest::Kind::kAnyKind &&
         segment.step.predicates.empty() && !last) {
       const PathSegment& next = expr->segments[seg_index + 1];
       if (!next.is_expr() && next.step.axis == Axis::kChild &&
           next.step.predicates.empty()) {
-        PathStep fused;
-        fused.axis = Axis::kDescendant;
-        fused.test = next.step.test;
         for (const Item& item : current) {
-          Concat(&output, ApplyAxis(item, fused, expr->location()));
+          ApplyAxis(item, Axis::kDescendant, next.step.test, context,
+                    expr->location(), &output);
         }
         ++seg_index;
         last = seg_index + 1 == expr->segments.size();
@@ -236,21 +382,32 @@ Sequence Evaluator::EvalPath(const PathExpr* expr, DynamicContext* context) {
         context->focus.item = current[i];
         context->focus.position = static_cast<int64_t>(i + 1);
         context->focus.size = size;
-        Concat(&output, Evaluate(segment.expr.get(), context));
+        MoveConcat(&output, Evaluate(segment.expr.get(), context));
+      }
+    } else if (segment.step.predicates.empty() &&
+               !IsReverseAxis(segment.step.axis)) {
+      // Forward axis without predicates: emit straight into the segment
+      // output, no per-context-node scratch sequence.
+      for (const Item& item : current) {
+        ApplyAxis(item, segment.step.axis, segment.step.test, context,
+                  expr->location(), &output);
       }
     } else {
       // Axis step: per context node, then predicates in axis order.
       for (const Item& item : current) {
-        Sequence matched = ApplyAxis(item, segment.step, expr->location());
+        Sequence matched;
+        ApplyAxis(item, segment.step.axis, segment.step.test, context,
+                  expr->location(), &matched);
         for (const ExprPtr& predicate : segment.step.predicates) {
-          matched = ApplyPredicate(std::move(matched), predicate.get(), context);
+          matched = ApplyPredicate(std::move(matched), predicate.get(),
+                                   context);
         }
         // Reverse axes yield nearest-first order for predicates; convert to
         // document order for the result contribution.
         if (IsReverseAxis(segment.step.axis) && matched.size() > 1) {
           std::reverse(matched.begin(), matched.end());
         }
-        Concat(&output, matched);
+        MoveConcat(&output, std::move(matched));
       }
     }
 

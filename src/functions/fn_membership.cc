@@ -67,7 +67,7 @@ Sequence FnCube(EvalContext&, std::vector<Sequence>& args) {
     ThrowError(ErrorCode::kFORG0006,
                "xqa:cube supports at most 16 dimensions");
   }
-  DocumentPtr doc = std::make_shared<Document>();
+  DocumentPtr doc = MakeDocument();
   Sequence out;
   size_t subset_count = size_t{1} << dims.size();
   out.reserve(subset_count);
@@ -96,7 +96,7 @@ Sequence FnCube(EvalContext&, std::vector<Sequence>& args) {
 /// equivalent of SQL ROLLUP via complex-object grouping.
 Sequence FnRollup(EvalContext&, std::vector<Sequence>& args) {
   const Sequence& dims = args[0];
-  DocumentPtr doc = std::make_shared<Document>();
+  DocumentPtr doc = MakeDocument();
   Sequence out;
   out.reserve(dims.size() + 1);
   for (size_t length = 0; length <= dims.size(); ++length) {

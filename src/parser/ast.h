@@ -1,6 +1,8 @@
 #ifndef XQA_PARSER_AST_H_
 #define XQA_PARSER_AST_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -74,6 +76,32 @@ struct NodeTest {
   };
   Kind kind = Kind::kName;
   std::string name;  ///< empty or "*" = any name
+
+  NodeTest() = default;
+  NodeTest(const NodeTest& other) : kind(other.kind), name(other.name) {}
+  NodeTest(NodeTest&& other) noexcept
+      : kind(other.kind), name(std::move(other.name)) {}
+  NodeTest& operator=(const NodeTest& other) {
+    kind = other.kind;
+    name = other.name;
+    name_id_cache.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+  NodeTest& operator=(NodeTest&& other) noexcept {
+    kind = other.kind;
+    name = std::move(other.name);
+    name_id_cache.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Per-(step, document) name-resolution cache maintained by the path
+  /// evaluator: (document id << 32) | NameId, so a step touching one
+  /// document resolves its name to an interned id once and every node test
+  /// after that is an integer compare. 0 means empty (document ids start at
+  /// 1); documents with ids above 2^32-1 bypass the cache. A single word so
+  /// concurrent evaluator lanes race benignly (each would store the same
+  /// value for the same document).
+  mutable std::atomic<uint64_t> name_id_cache{0};
 };
 
 /// Minimal sequence-type annotation ("xs:integer?", "item()*", "element()+").

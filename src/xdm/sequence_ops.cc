@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "base/error.h"
 
@@ -78,6 +79,16 @@ void SortDocumentOrderAndDedup(Sequence* sequence) {
 
 void Concat(Sequence* head, const Sequence& tail) {
   head->insert(head->end(), tail.begin(), tail.end());
+}
+
+void MoveConcat(Sequence* head, Sequence&& tail) {
+  if (head->empty()) {
+    *head = std::move(tail);
+    return;
+  }
+  head->insert(head->end(), std::make_move_iterator(tail.begin()),
+               std::make_move_iterator(tail.end()));
+  tail.clear();
 }
 
 }  // namespace xqa

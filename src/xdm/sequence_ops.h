@@ -31,6 +31,11 @@ void SortDocumentOrderAndDedup(Sequence* sequence);
 /// Appends `tail` to `head`.
 void Concat(Sequence* head, const Sequence& tail);
 
+/// Appends `tail` to `head` by moving the items (no refcount or string
+/// copies); `tail` is left empty-or-moved-from. Steals the whole buffer when
+/// `head` is empty.
+void MoveConcat(Sequence* head, Sequence&& tail);
+
 }  // namespace xqa
 
 #endif  // XQA_XDM_SEQUENCE_OPS_H_

@@ -1,6 +1,7 @@
 #include "xml/node.h"
 
 #include <cassert>
+#include <utility>
 
 namespace xqa {
 
@@ -48,6 +49,10 @@ Node* Node::FindAttribute(std::string_view attr_name) const {
 }
 
 bool Node::IsDescendantOrSelfOf(const Node* ancestor) const {
+  if (document_ == ancestor->document() && document_->sealed()) {
+    return ancestor->order_index_ <= order_index_ &&
+           order_index_ < ancestor->subtree_end_;
+  }
   for (const Node* n = this; n != nullptr; n = n->parent()) {
     if (n == ancestor) return true;
   }
@@ -58,14 +63,36 @@ Document::Document() : id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {
   root_ = NewNode(NodeKind::kDocument);
 }
 
+DocumentPtr MakeDocument() {
+  Document* doc = new Document();
+  doc->AddRefs(1);
+  return DocumentPtr::Adopt(doc);
+}
+
 Node* Document::NewNode(NodeKind kind) {
   arena_.emplace_back(Node::Passkey{}, kind, this);
   return &arena_.back();
 }
 
+NameId Document::InternName(std::string_view name) {
+  auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  NameId id = static_cast<NameId>(names_.size());
+  assert(id < kNameIdAny && "name pool overflow");
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+NameId Document::LookupName(std::string_view name) const {
+  auto it = name_ids_.find(name);
+  return it != name_ids_.end() ? it->second : kNameIdAbsent;
+}
+
 Node* Document::CreateElement(std::string_view name) {
   Node* node = NewNode(NodeKind::kElement);
   node->name_ = name;
+  node->name_id_ = InternName(name);
   return node;
 }
 
@@ -85,6 +112,7 @@ Node* Document::CreateProcessingInstruction(std::string_view target,
                                             std::string_view content) {
   Node* node = NewNode(NodeKind::kProcessingInstruction);
   node->name_ = target;
+  node->name_id_ = InternName(target);
   node->content_ = content;
   return node;
 }
@@ -93,6 +121,7 @@ Node* Document::CreateAttribute(std::string_view name,
                                 std::string_view value) {
   Node* node = NewNode(NodeKind::kAttribute);
   node->name_ = name;
+  node->name_id_ = InternName(name);
   node->content_ = value;
   return node;
 }
@@ -155,20 +184,37 @@ Node* Document::ImportNode(const Node* source) {
 
 void Document::SealOrder() {
   uint32_t next = 0;
-  // Iterative preorder walk: element attributes come right after the element.
-  std::vector<Node*> stack = {root_};
+  element_index_.clear();
+  const bool build_index = arena_.size() >= kElementIndexMinNodes;
+  if (build_index) element_index_.resize(names_.size());
+  // Iterative two-phase preorder walk: the first visit assigns the preorder
+  // index (element attributes come right after the element); the second,
+  // after the whole subtree was numbered, records the subtree span end.
+  std::vector<std::pair<Node*, bool>> stack;
+  stack.emplace_back(root_, true);
   while (!stack.empty()) {
-    Node* node = stack.back();
+    auto [node, entering] = stack.back();
     stack.pop_back();
+    if (!entering) {
+      node->subtree_end_ = next;
+      continue;
+    }
     node->order_index_ = next++;
+    if (build_index && node->kind_ == NodeKind::kElement) {
+      // Preorder emission keeps every bucket sorted by order_index.
+      element_index_[node->name_id_].push_back(node);
+    }
     for (Node* attr : node->attributes_) {
       attr->order_index_ = next++;
+      attr->subtree_end_ = next;
     }
+    stack.emplace_back(node, false);
     for (auto it = node->children_.rbegin(); it != node->children_.rend();
          ++it) {
-      stack.push_back(*it);
+      stack.emplace_back(*it, true);
     }
   }
+  sealed_ = true;
 }
 
 int CompareDocumentOrder(const Node* a, const Node* b) {

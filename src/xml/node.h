@@ -2,16 +2,34 @@
 #define XQA_XML_NODE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <memory>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace xqa {
 
 class Document;
+class DocumentPtr;
+DocumentPtr MakeDocument();
+
+/// Dense per-document identifier for an interned element/attribute/PI name.
+/// Ids are assigned in first-interning order by the owning Document's name
+/// pool, so equal names within one document always share one id and name
+/// tests reduce to integer compares (docs/INDEXES.md).
+using NameId = uint32_t;
+
+/// The name is not interned in the document: no node bears it, and a name
+/// test resolving to this id can match nothing.
+inline constexpr NameId kNameIdAbsent = 0xFFFFFFFFu;
+
+/// Wildcard resolution result ("*" or an empty test name): matches every
+/// name. Never assigned to a node.
+inline constexpr NameId kNameIdAny = 0xFFFFFFFEu;
 
 /// The seven XDM node kinds, minus namespace nodes (not materialized).
 enum class NodeKind : uint8_t {
@@ -51,6 +69,10 @@ class Node {
   /// for document, text, and comment nodes.
   const std::string& name() const { return name_; }
 
+  /// The document-local interned id of name(); kNameIdAbsent for the
+  /// nameless kinds (document, text, comment).
+  NameId name_id() const { return name_id_; }
+
   /// Text content for text / comment / PI nodes; attribute value for
   /// attribute nodes. Unused for document and element nodes.
   const std::string& content() const { return content_; }
@@ -61,6 +83,13 @@ class Node {
   /// Preorder position in the document; valid after Document::SealOrder().
   uint32_t order_index() const { return order_index_; }
 
+  /// One past the preorder index of the last node in this node's subtree
+  /// (attributes included); valid after Document::SealOrder(). The half-open
+  /// interval [order_index, subtree_end) spans exactly the subtree, so
+  /// descendant containment is an O(1) interval check and the element-name
+  /// index can answer descendant steps with a binary-search range scan.
+  uint32_t subtree_end() const { return subtree_end_; }
+
   /// The XDM string-value: concatenation of descendant text for document /
   /// element nodes, the content for the rest.
   std::string StringValue() const;
@@ -68,7 +97,8 @@ class Node {
   /// Looks up an attribute by name; nullptr when absent.
   Node* FindAttribute(std::string_view attr_name) const;
 
-  /// True if this node is `ancestor` or a descendant of it.
+  /// True if this node is `ancestor` or a descendant of it. O(1) via the
+  /// subtree span once the document is sealed; parent-chain walk before.
   bool IsDescendantOrSelfOf(const Node* ancestor) const;
 
  private:
@@ -81,15 +111,24 @@ class Node {
   std::string content_;
   std::vector<Node*> children_;
   std::vector<Node*> attributes_;
+  NameId name_id_ = kNameIdAbsent;
   uint32_t order_index_ = 0;
+  uint32_t subtree_end_ = 0;
 };
 
 /// Owns an XML tree. All nodes live in a deque arena (stable addresses).
 /// Evaluation-constructed fragments are Documents too, so every node has a
-/// well-defined owner whose lifetime is managed by shared_ptr.
+/// well-defined owner whose lifetime is managed by DocumentPtr (an intrusive
+/// refcounted handle — see below).
+///
+/// Structural indexes: every named node's name is interned into a
+/// per-document pool at creation time, and SealOrder() additionally assigns
+/// subtree spans and (for documents of at least kElementIndexMinNodes nodes)
+/// builds the element-name index consulted by descendant path steps. The
+/// indexes are immutable after sealing, so parallel FLWOR lanes read them
+/// without synchronization (docs/INDEXES.md).
 class Document {
  public:
-  Document();
   Document(const Document&) = delete;
   Document& operator=(const Document&) = delete;
 
@@ -97,7 +136,7 @@ class Document {
   Node* root() { return root_; }
   const Node* root() const { return root_; }
 
-  /// Globally unique id used to order nodes across documents.
+  /// Globally unique id used to order nodes across documents. Starts at 1.
   uint64_t id() const { return id_; }
 
   // --- Tree construction ----------------------------------------------------
@@ -124,23 +163,172 @@ class Document {
   /// new node. Used by element construction, which copies content per XQuery.
   Node* ImportNode(const Node* source);
 
-  /// Assigns preorder order indexes. Must be called after construction is
-  /// complete and before document-order comparisons.
+  /// Assigns preorder order indexes and subtree spans, and builds the
+  /// element-name index (above the size threshold). Must be called after
+  /// construction is complete and before document-order comparisons or
+  /// evaluation; the indexes are stale if the tree is mutated afterwards.
   void SealOrder();
+
+  /// True once SealOrder() ran (spans and order indexes are valid).
+  bool sealed() const { return sealed_; }
 
   size_t node_count() const { return arena_.size(); }
 
+  // --- Structural index accessors -------------------------------------------
+
+  /// The interned id of `name`, or kNameIdAbsent when no node of this
+  /// document ever bore it. Never interns.
+  NameId LookupName(std::string_view name) const;
+
+  /// Number of distinct interned names.
+  size_t name_pool_size() const { return names_.size(); }
+
+  /// True when SealOrder built the element-name index (node count reached
+  /// kElementIndexMinNodes).
+  bool has_element_index() const { return !element_index_.empty(); }
+
+  /// The document's elements bearing the interned name `id`, sorted by
+  /// preorder position; nullptr when the index was not built or the id is
+  /// out of range. May point at an empty vector (the name is interned for
+  /// attributes/PIs only).
+  const std::vector<Node*>* ElementsWithName(NameId id) const {
+    if (!has_element_index() || id >= element_index_.size()) return nullptr;
+    return &element_index_[id];
+  }
+
+  /// Minimum node count for SealOrder to build the element-name index.
+  /// Tiny documents (per-tuple constructed fragments) skip the build: the
+  /// walking fallback is already cheap there and the per-name buckets would
+  /// cost more to allocate than they save.
+  static constexpr size_t kElementIndexMinNodes = 32;
+
+  // --- Intrusive reference count --------------------------------------------
+  // DocumentPtr copies cost one relaxed atomic increment, and hot loops that
+  // emit many nodes of one document batch the updates: AddRefs(n) once, then
+  // n DocumentPtr::Adopt handles (see BorrowedEmitter in eval/path.cc).
+
+  void AddRefs(uint64_t count) const {
+    refcount_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void ReleaseRefs(uint64_t count) const {
+    if (refcount_.fetch_sub(count, std::memory_order_acq_rel) == count) {
+      delete this;
+    }
+  }
+
  private:
+  friend DocumentPtr MakeDocument();
+
+  /// Heap-only: documents are created via MakeDocument() and destroyed by
+  /// their refcount reaching zero.
+  Document();
+  ~Document() = default;
+
   Node* NewNode(NodeKind kind);
+
+  /// Returns the id for `name`, interning it on first sight.
+  NameId InternName(std::string_view name);
+
+  /// Transparent hash so the pool can be probed with string_view.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
 
   std::deque<Node> arena_;
   Node* root_;
   uint64_t id_;
+  bool sealed_ = false;
+
+  std::vector<std::string> names_;  ///< NameId -> name text
+  std::unordered_map<std::string, NameId, StringHash, std::equal_to<>>
+      name_ids_;
+  std::vector<std::vector<Node*>> element_index_;  ///< NameId -> elements
+
+  mutable std::atomic<uint64_t> refcount_{0};
 
   static std::atomic<uint64_t> next_id_;
 };
 
-using DocumentPtr = std::shared_ptr<Document>;
+/// Intrusive refcounted handle to a Document. Drop-in for the previous
+/// std::shared_ptr<Document> alias, with one addition: Adopt() wraps a
+/// pre-paid reference so bulk emitters can retain once per step instead of
+/// once per emitted item.
+class DocumentPtr {
+ public:
+  constexpr DocumentPtr() noexcept = default;
+  constexpr DocumentPtr(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  /// Retaining constructor (one increment).
+  explicit DocumentPtr(Document* doc) noexcept : doc_(doc) {
+    if (doc_ != nullptr) doc_->AddRefs(1);
+  }
+
+  DocumentPtr(const DocumentPtr& other) noexcept : doc_(other.doc_) {
+    if (doc_ != nullptr) doc_->AddRefs(1);
+  }
+  DocumentPtr(DocumentPtr&& other) noexcept : doc_(other.doc_) {
+    other.doc_ = nullptr;
+  }
+  DocumentPtr& operator=(const DocumentPtr& other) noexcept {
+    if (other.doc_ != nullptr) other.doc_->AddRefs(1);
+    Document* old = doc_;
+    doc_ = other.doc_;
+    if (old != nullptr) old->ReleaseRefs(1);
+    return *this;
+  }
+  DocumentPtr& operator=(DocumentPtr&& other) noexcept {
+    if (this != &other) {
+      Document* old = doc_;
+      doc_ = other.doc_;
+      other.doc_ = nullptr;
+      if (old != nullptr) old->ReleaseRefs(1);
+    }
+    return *this;
+  }
+  ~DocumentPtr() {
+    if (doc_ != nullptr) doc_->ReleaseRefs(1);
+  }
+
+  /// Wraps `doc` taking over one reference the caller already paid for (via
+  /// Document::AddRefs). The inverse of a leak; no atomic operation here.
+  static DocumentPtr Adopt(Document* doc) noexcept {
+    DocumentPtr ptr;
+    ptr.doc_ = doc;
+    return ptr;
+  }
+
+  Document* get() const noexcept { return doc_; }
+  Document& operator*() const noexcept { return *doc_; }
+  Document* operator->() const noexcept { return doc_; }
+  explicit operator bool() const noexcept { return doc_ != nullptr; }
+
+  void reset() noexcept {
+    if (doc_ != nullptr) doc_->ReleaseRefs(1);
+    doc_ = nullptr;
+  }
+
+  friend bool operator==(const DocumentPtr& a, const DocumentPtr& b) noexcept {
+    return a.doc_ == b.doc_;
+  }
+  friend bool operator!=(const DocumentPtr& a, const DocumentPtr& b) noexcept {
+    return a.doc_ != b.doc_;
+  }
+  friend bool operator==(const DocumentPtr& a, std::nullptr_t) noexcept {
+    return a.doc_ == nullptr;
+  }
+  friend bool operator!=(const DocumentPtr& a, std::nullptr_t) noexcept {
+    return a.doc_ != nullptr;
+  }
+
+ private:
+  Document* doc_ = nullptr;
+};
+
+/// Creates a new empty document (refcount 1).
+DocumentPtr MakeDocument();
 
 /// Compares two nodes in document order: -1, 0, +1. Nodes from different
 /// documents are ordered by document id (a stable, implementation-defined

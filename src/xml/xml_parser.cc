@@ -15,7 +15,7 @@ namespace {
 class XmlParser {
  public:
   XmlParser(std::string_view text, const XmlParseOptions& options)
-      : text_(text), options_(options), doc_(std::make_shared<Document>()) {}
+      : text_(text), options_(options), doc_(MakeDocument()) {}
 
   DocumentPtr Parse() {
     SkipProlog();

@@ -322,6 +322,75 @@ TEST_F(ParallelDeterminismTest, SingleThreadOptionIsExactlySerial) {
   EXPECT_EQ(one_thread.stats.tuples_flowed, serial.stats.tuples_flowed);
 }
 
+// --- Structural indexes under parallelism (docs/INDEXES.md) -----------------
+
+TEST_F(ParallelDeterminismTest, IndexedPathsDeterministicAcrossThreads) {
+  // Index-backed descendant steps inside parallel FLWOR lanes read the
+  // sealed per-document indexes without synchronization; the results must
+  // stay byte-identical at every thread count.
+  const char* queries[] = {
+      // Descendant step per tuple, answered by the element-name index.
+      R"(for $o in //order
+         where count($o//lineitem) > 3
+         return string($o/orderkey))",
+      // Fused //T start plus a per-tuple descendant step with a predicate.
+      R"(for $o in //order
+         let $air := $o//lineitem[shipmode = "MODE-1"]
+         order by string($o/orderkey)
+         return <r>{string($o/orderkey)}<n>{count($air)}</n></r>)",
+      // Name absent from the document: indexed no-op scans everywhere.
+      R"(for $o in //order
+         return count($o//nonexistent))",
+  };
+  for (const char* query : queries) ExpectDeterministic(*orders_, query);
+}
+
+TEST_F(ParallelDeterminismTest, IndexCountersMatchSerial) {
+  // Each order tuple triggers one index scan; the per-lane sinks must merge
+  // to exactly the serial totals (index counters are semantic, not timing).
+  const std::string query =
+      "for $o in //order "
+      "where count($o//lineitem) > 2 "
+      "return string($o/orderkey)";
+  PreparedQuery serial_query = engine_.Compile(query);
+  ProfiledResult serial = serial_query.ExecuteProfiled(*orders_);
+  EXPECT_GT(serial.stats.index_scans, 0);
+
+  PreparedQuery parallel_query = engine_.Compile(query);
+  ExecutionOptions options;
+  options.num_threads = 4;
+  parallel_query.set_execution_options(options);
+  ProfiledResult parallel = parallel_query.ExecuteProfiled(*orders_);
+
+  EXPECT_EQ(SerializeSequence(parallel.sequence),
+            SerializeSequence(serial.sequence));
+  EXPECT_EQ(parallel.stats.index_scans, serial.stats.index_scans);
+  EXPECT_EQ(parallel.stats.index_scan_nodes, serial.stats.index_scan_nodes);
+  EXPECT_EQ(parallel.stats.fallback_walks, serial.stats.fallback_walks);
+  EXPECT_EQ(parallel.stats.fallback_walk_nodes,
+            serial.stats.fallback_walk_nodes);
+}
+
+TEST_F(ParallelDeterminismTest, AblationDeterministicAcrossThreads) {
+  // use_structural_index = false must also be deterministic, and must agree
+  // with the indexed result at every thread count.
+  const std::string query =
+      "for $o in //order "
+      "where count($o//lineitem) > 3 "
+      "return string($o/orderkey)";
+  PreparedQuery indexed = engine_.Compile(query);
+  const std::string reference = indexed.ExecuteToString(*orders_);
+  for (int threads : {1, 2, 4}) {
+    PreparedQuery fallback = engine_.Compile(query);
+    ExecutionOptions options;
+    options.num_threads = threads;
+    options.use_structural_index = false;
+    fallback.set_execution_options(options);
+    EXPECT_EQ(fallback.ExecuteToString(*orders_), reference)
+        << "num_threads=" << threads;
+  }
+}
+
 // --- Cross-thread stress ----------------------------------------------------
 
 TEST_F(ParallelDeterminismTest, ConcurrentParallelExecutions) {

@@ -1,0 +1,334 @@
+// Document structural indexes (docs/INDEXES.md): per-document name
+// interning, subtree spans, and the element-name index behind descendant
+// path steps — plus the use_structural_index ablation, which must be
+// byte-identical to the indexed evaluation on every workload.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "workload/books.h"
+#include "workload/orders.h"
+#include "workload/sales.h"
+
+namespace xqa {
+namespace {
+
+// --- Name interning ---------------------------------------------------------
+
+TEST(NamePoolTest, InternsNamesToDenseIds) {
+  DocumentPtr doc = Engine::ParseDocument(
+      "<bib><book year=\"1994\"><title>TCP/IP</title></book>"
+      "<book year=\"2000\"><title>Data</title></book></bib>");
+  // Equal names share one id; ids are dense.
+  EXPECT_LT(doc->LookupName("bib"), doc->name_pool_size());
+  EXPECT_LT(doc->LookupName("book"), doc->name_pool_size());
+  EXPECT_NE(doc->LookupName("book"), doc->LookupName("title"));
+  EXPECT_EQ(doc->LookupName("nonexistent"), kNameIdAbsent);
+
+  const Node* bib = doc->root()->children()[0];
+  ASSERT_EQ(bib->children().size(), 2u);
+  EXPECT_EQ(bib->children()[0]->name_id(), bib->children()[1]->name_id());
+  EXPECT_EQ(bib->children()[0]->name_id(), doc->LookupName("book"));
+  // Attribute names are interned too.
+  EXPECT_EQ(bib->children()[0]->attributes()[0]->name_id(),
+            doc->LookupName("year"));
+}
+
+TEST(NamePoolTest, NamelessKindsCarryAbsentId) {
+  DocumentPtr doc = Engine::ParseDocument("<a>text<!--c--></a>");
+  EXPECT_EQ(doc->root()->name_id(), kNameIdAbsent);
+  const Node* a = doc->root()->children()[0];
+  for (const Node* child : a->children()) {
+    EXPECT_EQ(child->name_id(), kNameIdAbsent) << "kind "
+        << static_cast<int>(child->kind());
+  }
+}
+
+// --- Subtree spans ----------------------------------------------------------
+
+TEST(SubtreeSpanTest, SpansCoverExactlyTheSubtree) {
+  DocumentPtr doc = Engine::ParseDocument(
+      "<r><a x=\"1\"><b/><c><d/></c></a><e/></r>");
+  ASSERT_TRUE(doc->sealed());
+  const Node* root = doc->root();
+  // The document node spans every node.
+  EXPECT_EQ(root->order_index(), 0u);
+  EXPECT_EQ(root->subtree_end(), static_cast<uint32_t>(doc->node_count()));
+
+  const Node* r = root->children()[0];
+  const Node* a = r->children()[0];
+  const Node* e = r->children()[1];
+  // Sibling spans are adjacent and disjoint.
+  EXPECT_EQ(a->subtree_end(), e->order_index());
+  EXPECT_LT(a->order_index(), a->subtree_end());
+  // The attribute sits inside its element's span, right after the element.
+  const Node* x = a->attributes()[0];
+  EXPECT_EQ(x->order_index(), a->order_index() + 1);
+  EXPECT_EQ(x->subtree_end(), x->order_index() + 1);
+
+  // Span nesting mirrors ancestry for every pair of elements.
+  std::vector<const Node*> all = {r, a, e, a->children()[0],
+                                  a->children()[1],
+                                  a->children()[1]->children()[0]};
+  for (const Node* outer : all) {
+    for (const Node* inner : all) {
+      bool contained = outer->order_index() <= inner->order_index() &&
+                       inner->order_index() < outer->subtree_end();
+      EXPECT_EQ(inner->IsDescendantOrSelfOf(outer), contained)
+          << outer->name() << " vs " << inner->name();
+    }
+  }
+}
+
+// --- Element-name index -----------------------------------------------------
+
+TEST(ElementIndexTest, BuiltOnlyAboveThreshold) {
+  DocumentPtr small = Engine::ParseDocument("<r><a/><a/></r>");
+  EXPECT_FALSE(small->has_element_index());
+
+  workload::BooksConfig config;
+  config.num_books = 50;
+  DocumentPtr large = workload::GenerateBooksDocument(config);
+  ASSERT_GE(large->node_count(), Document::kElementIndexMinNodes);
+  EXPECT_TRUE(large->has_element_index());
+}
+
+TEST(ElementIndexTest, BucketsArePreorderSortedAndComplete) {
+  workload::OrderConfig config;
+  config.num_orders = 40;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  ASSERT_TRUE(doc->has_element_index());
+  const std::vector<Node*>* bucket =
+      doc->ElementsWithName(doc->LookupName("lineitem"));
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(static_cast<int>(bucket->size()),
+            workload::CountLineitems(config));
+  for (size_t i = 1; i < bucket->size(); ++i) {
+    EXPECT_LT((*bucket)[i - 1]->order_index(), (*bucket)[i]->order_index());
+  }
+  for (const Node* element : *bucket) {
+    EXPECT_EQ(element->kind(), NodeKind::kElement);
+    EXPECT_EQ(element->name(), "lineitem");
+  }
+}
+
+TEST(ElementIndexTest, OutOfRangeAndMissingNamesAreNull) {
+  DocumentPtr small = Engine::ParseDocument("<r><a/></r>");
+  EXPECT_EQ(small->ElementsWithName(0), nullptr);  // no index built
+  workload::BooksConfig config;
+  DocumentPtr large = workload::GenerateBooksDocument(config);
+  EXPECT_EQ(large->ElementsWithName(kNameIdAbsent), nullptr);
+}
+
+// --- Index-backed evaluation and counters -----------------------------------
+
+class PathIndexQueryTest : public ::testing::Test {
+ protected:
+  static ProfiledResult RunProfiled(const Engine& engine,
+                                    const DocumentPtr& doc,
+                                    const std::string& query,
+                                    bool use_index) {
+    PreparedQuery prepared = engine.Compile(query);
+    ExecutionOptions options;
+    options.use_structural_index = use_index;
+    prepared.set_execution_options(options);
+    return prepared.ExecuteProfiled(doc);
+  }
+
+  Engine engine_;
+};
+
+TEST_F(PathIndexQueryTest, DescendantStepUsesIndex) {
+  workload::OrderConfig config;
+  config.num_orders = 30;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+
+  ProfiledResult indexed = RunProfiled(engine_, doc, "//lineitem", true);
+  EXPECT_GT(indexed.stats.index_scans, 0);
+  EXPECT_EQ(indexed.stats.fallback_walks, 0);
+  EXPECT_EQ(indexed.stats.index_scan_nodes,
+            static_cast<int64_t>(indexed.sequence.size()));
+
+  ProfiledResult walked = RunProfiled(engine_, doc, "//lineitem", false);
+  EXPECT_EQ(walked.stats.index_scans, 0);
+  EXPECT_GT(walked.stats.fallback_walks, 0);
+  // The walk visits every node under the root; the scan only the matches.
+  EXPECT_GT(walked.stats.fallback_walk_nodes, indexed.stats.index_scan_nodes);
+
+  EXPECT_EQ(SerializeSequence(indexed.sequence),
+            SerializeSequence(walked.sequence));
+}
+
+TEST_F(PathIndexQueryTest, AbsentNameIsAnEmptyIndexedScan) {
+  workload::OrderConfig config;
+  config.num_orders = 20;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  ProfiledResult result = RunProfiled(engine_, doc, "//nonexistent", true);
+  EXPECT_TRUE(result.sequence.empty());
+  EXPECT_GT(result.stats.index_scans, 0);
+  EXPECT_EQ(result.stats.index_scan_nodes, 0);
+  EXPECT_EQ(result.stats.fallback_walks, 0);
+}
+
+TEST_F(PathIndexQueryTest, WildcardFallsBackToWalking) {
+  workload::OrderConfig config;
+  config.num_orders = 20;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  ProfiledResult result = RunProfiled(engine_, doc, "//*", true);
+  EXPECT_EQ(result.stats.index_scans, 0);
+  EXPECT_GT(result.stats.fallback_walks, 0);
+  EXPECT_FALSE(result.sequence.empty());
+}
+
+TEST_F(PathIndexQueryTest, TinyDocumentFallsBackToWalking) {
+  DocumentPtr doc = Engine::ParseDocument("<r><a/><a/></r>");
+  ASSERT_FALSE(doc->has_element_index());
+  ProfiledResult result = RunProfiled(engine_, doc, "//a", true);
+  EXPECT_EQ(result.sequence.size(), 2u);
+  EXPECT_EQ(result.stats.index_scans, 0);
+  EXPECT_GT(result.stats.fallback_walks, 0);
+}
+
+TEST_F(PathIndexQueryTest, ExplainAnalyzeReportsIndexScans) {
+  workload::OrderConfig config;
+  config.num_orders = 20;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  PreparedQuery query = engine_.Compile("//lineitem/quantity");
+  std::string plan = query.ExplainAnalyze(doc);
+  EXPECT_NE(plan.find("index scans"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("fallback walks"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("index scans 0 "), std::string::npos) << plan;
+}
+
+TEST_F(PathIndexQueryTest, NameCacheSurvivesDocumentChanges) {
+  // One PreparedQuery over documents with different name pools: the per-step
+  // cache is keyed by document id and must re-resolve on each new document.
+  PreparedQuery query = engine_.Compile("//item");
+  DocumentPtr doc1 = Engine::ParseDocument(
+      "<r><pad1/><pad2/><pad3/><pad4/><pad5/><pad6/><pad7/><pad8/><pad9/>"
+      "<pad10/><pad11/><pad12/><pad13/><pad14/><pad15/><pad16/><pad17/>"
+      "<pad18/><pad19/><pad20/><pad21/><pad22/><pad23/><pad24/><pad25/>"
+      "<pad26/><pad27/><pad28/><pad29/><item>one</item></r>");
+  DocumentPtr doc2 = Engine::ParseDocument(
+      "<r><x/><item>a</item><y/><item>b</item><z1/><z2/><z3/><z4/><z5/>"
+      "<z6/><z7/><z8/><z9/><z10/><z11/><z12/><z13/><z14/><z15/><z16/>"
+      "<z17/><z18/><z19/><z20/><z21/><z22/><z23/><z24/><z25/><z26/></r>");
+  ASSERT_TRUE(doc1->has_element_index());
+  ASSERT_TRUE(doc2->has_element_index());
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(query.Execute(doc1).size(), 1u) << "round " << round;
+    EXPECT_EQ(query.Execute(doc2).size(), 2u) << "round " << round;
+  }
+}
+
+// --- Deep documents (iterative walk, no C++ stack overflow) -----------------
+
+TEST_F(PathIndexQueryTest, DeepDocumentEvaluatesInBothModes) {
+  constexpr int kDepth = 150000;
+  DocumentPtr doc = MakeDocument();
+  Node* current = doc->CreateElement("d");
+  doc->AppendChild(doc->root(), current);
+  for (int i = 1; i < kDepth; ++i) {
+    Node* next = doc->CreateElement("d");
+    doc->AppendChild(current, next);
+    current = next;
+  }
+  doc->AppendChild(current, doc->CreateElement("leaf"));
+  doc->SealOrder();
+  ASSERT_TRUE(doc->has_element_index());
+
+  for (bool use_index : {true, false}) {
+    ProfiledResult leaf = RunProfiled(engine_, doc, "//leaf", use_index);
+    EXPECT_EQ(leaf.sequence.size(), 1u) << "use_index=" << use_index;
+    ProfiledResult chain = RunProfiled(engine_, doc, "//d", use_index);
+    EXPECT_EQ(chain.sequence.size(), static_cast<size_t>(kDepth))
+        << "use_index=" << use_index;
+  }
+}
+
+// --- Ablation property: indexed == fallback, byte for byte ------------------
+
+struct AblationCase {
+  const char* workload;
+  uint64_t seed;
+};
+
+class PathAblationPropertyTest
+    : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(PathAblationPropertyTest, IndexedAndFallbackAgree) {
+  const AblationCase& param = GetParam();
+  DocumentPtr doc;
+  std::vector<std::string> queries;
+  if (std::string(param.workload) == "orders") {
+    workload::OrderConfig config;
+    config.num_orders = 60;
+    config.seed = param.seed;
+    doc = workload::GenerateOrdersDocument(config);
+    queries = {
+        "//lineitem",
+        "//order/lineitem/quantity",
+        "//order[count(.//lineitem) > 3]/orderkey",
+        "for $l in //lineitem where $l/shipmode = \"MODE-1\" "
+        "  return string($l/partkey)",
+        "//customer//city",
+        "count(//comment)",
+    };
+  } else if (std::string(param.workload) == "books") {
+    workload::BooksConfig config;
+    config.num_books = 50;
+    config.with_categories = true;
+    config.seed = param.seed;
+    doc = workload::GenerateBooksDocument(config);
+    queries = {
+        "//book/title",
+        "//author",
+        "for $b in //book group by $b/publisher into $p "
+        "  nest $b/price into $prices "
+        "  return <g>{$p}<n>{count($prices)}</n></g>",
+        "//book[publisher]/year",
+        "//categories//db",
+    };
+  } else {
+    workload::SalesConfig config;
+    config.num_sales = 80;
+    config.seed = param.seed;
+    doc = workload::GenerateSalesDocument(config);
+    queries = {
+        "//sale/product",
+        "//sale[region = \"West\"]/state",
+        "for $s in //sale group by $s/region into $r "
+        "  nest $s/(quantity * price) into $amounts "
+        "  order by string($r) return <r>{$r}<t>{sum($amounts)}</t></r>",
+    };
+  }
+
+  Engine engine;
+  for (const std::string& text : queries) {
+    PreparedQuery indexed = engine.Compile(text);
+    PreparedQuery fallback = engine.Compile(text);
+    ExecutionOptions no_index;
+    no_index.use_structural_index = false;
+    fallback.set_execution_options(no_index);
+    EXPECT_EQ(indexed.ExecuteToString(doc), fallback.ExecuteToString(doc))
+        << param.workload << " seed " << param.seed << "\nquery: " << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PathAblationPropertyTest,
+    ::testing::Values(AblationCase{"orders", 3}, AblationCase{"orders", 17},
+                      AblationCase{"orders", 91}, AblationCase{"books", 3},
+                      AblationCase{"books", 17}, AblationCase{"books", 91},
+                      AblationCase{"sales", 3}, AblationCase{"sales", 17},
+                      AblationCase{"sales", 91}),
+    [](const ::testing::TestParamInfo<AblationCase>& info) {
+      return std::string(info.param.workload) + "_" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace xqa

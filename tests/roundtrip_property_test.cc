@@ -56,7 +56,7 @@ class XmlRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(XmlRoundTripProperty, SerializeParseIsDeepEqual) {
   workload::Random random(GetParam());
-  auto doc = std::make_shared<Document>();
+  auto doc = MakeDocument();
   Node* root = doc->CreateElement("root");
   doc->AppendChild(doc->root(), root);
   BuildRandomTree(doc.get(), root, &random, 4);
@@ -135,7 +135,7 @@ class CopyProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CopyProperty, ConstructedCopyDeepEqualsSource) {
   workload::Random random(GetParam());
-  auto doc = std::make_shared<Document>();
+  auto doc = MakeDocument();
   Node* root = doc->CreateElement("r");
   doc->AppendChild(doc->root(), root);
   BuildRandomTree(doc.get(), root, &random, 3);

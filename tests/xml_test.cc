@@ -180,7 +180,7 @@ TEST(NodeApi, IsDescendantOrSelfOf) {
 
 TEST(DocumentApi, ImportNodeDeepCopies) {
   DocumentPtr source = ParseXml(R"(<a x="1"><b>t</b></a>)");
-  auto target = std::make_shared<Document>();
+  auto target = MakeDocument();
   Node* copy = target->ImportNode(source->root()->children()[0]);
   target->AppendChild(target->root(), copy);
   target->SealOrder();
@@ -198,7 +198,7 @@ TEST(Serializer, RoundTrip) {
 }
 
 TEST(Serializer, EscapesSpecialCharacters) {
-  auto doc = std::make_shared<Document>();
+  auto doc = MakeDocument();
   Node* e = doc->CreateElement("e");
   doc->AppendChild(doc->root(), e);
   doc->AppendAttribute(e, doc->CreateAttribute("a", "x\"<y"));
