@@ -1,0 +1,231 @@
+// Service layer — closed-loop multi-client benchmark over QueryService
+// (docs/SERVICE.md): N client threads each issue a fixed number of
+// synchronous requests against one shared service while the document store
+// serves a sealed orders document. The sweep crosses client count with the
+// plan-cache ablation (enable_plan_cache on/off); with the cache on, every
+// request after the first per (query, options) key reuses the compiled plan,
+// so the on/off delta isolates the compilation cost the cache amortizes.
+// A final section submits requests with a nanosecond-scale deadline and
+// records that every one resolves with the dedicated timeout code and an
+// empty result (the no-partial-results guarantee).
+//
+// Usage: bench_service [--quick] [--smoke]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "service/query_service.h"
+#include "workload/orders.h"
+
+namespace {
+
+using xqa::ErrorCode;
+using xqa::bench::JsonValue;
+using xqa::service::PlanCache;
+using xqa::service::QueryService;
+using xqa::service::Request;
+using xqa::service::Response;
+using xqa::service::ServiceOptions;
+
+// The request mix: three grouping queries of different cost, all with a
+// total order on the output so any byte mismatch across clients is a bug.
+constexpr const char* kQueries[] = {
+    R"(for $l in //order/lineitem
+       group by $l/shipmode into $m
+       nest $l/quantity into $qs
+       order by string($m)
+       return <r>{$m}<n>{count($qs)}</n><s>{sum($qs)}</s></r>)",
+    R"(for $l in //lineitem
+       group by $l/shipmode into $m, $l/returnflag into $f
+       nest $l/extendedprice into $prices
+       order by string($m), string($f)
+       return <r>{$m, $f}<n>{count($prices)}</n></r>)",
+    R"(for $o in //order
+       group by $o/customer/address/city into $c
+       nest $o into $orders
+       order by string($c)
+       return <city>{$c}<orders>{count($orders)}</orders></city>)",
+};
+constexpr int kNumQueries = 3;
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  double throughput_qps = 0.0;
+  int errors = 0;
+  PlanCache::Counters cache;
+  std::string metrics_json;
+  double mean_latency = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Compilations performed during a run: with the cache on, only misses
+/// compile (the query-mix size, once warm); with it off, every request
+/// recompiles — the cost the ablation isolates.
+int64_t CompileCount(const RunResult& run, int total_requests,
+                     bool cache_enabled) {
+  return cache_enabled ? static_cast<int64_t>(run.cache.misses)
+                       : total_requests;
+}
+
+/// One closed-loop run: `clients` threads, `requests_per_client` requests
+/// each, round-robin over the query mix.
+RunResult RunClosedLoop(const xqa::DocumentPtr& orders, int clients,
+                        int requests_per_client, bool cache_enabled) {
+  ServiceOptions options;
+  options.worker_threads = clients;
+  options.max_pending_requests = static_cast<size_t>(clients) * 4 + 16;
+  options.enable_plan_cache = cache_enabled;
+  QueryService service(options);
+  service.documents().Put("orders", orders);
+
+  std::atomic<int> errors{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < requests_per_client; ++i) {
+        Request request;
+        request.query = kQueries[(c + i) % kNumQueries];
+        request.document = "orders";
+        request.collect_stats = false;
+        Response response = service.Execute(request);
+        if (!response.status.ok() || response.result.empty()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  auto stop = std::chrono::steady_clock::now();
+
+  RunResult run;
+  run.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  int total = clients * requests_per_client;
+  run.throughput_qps = static_cast<double>(total) / run.wall_seconds;
+  run.errors = errors.load();
+  run.cache = service.plan_cache_counters();
+  run.mean_latency = service.metrics().latency.mean_seconds();
+  run.p50 = service.metrics().latency.PercentileSeconds(0.50);
+  run.p95 = service.metrics().latency.PercentileSeconds(0.95);
+  run.metrics_json = service.MetricsJson();
+  return run;
+}
+
+JsonValue RunEntry(const RunResult& run, int clients, int requests_per_client,
+                   bool cache_enabled) {
+  JsonValue entry = JsonValue::Object();
+  entry.Set("clients", JsonValue::Int(clients));
+  entry.Set("requests_per_client", JsonValue::Int(requests_per_client));
+  entry.Set("plan_cache", JsonValue::Bool(cache_enabled));
+  entry.Set("wall_seconds", JsonValue::Number(run.wall_seconds));
+  entry.Set("throughput_qps", JsonValue::Number(run.throughput_qps));
+  entry.Set("mean_latency_seconds", JsonValue::Number(run.mean_latency));
+  entry.Set("p50_latency_seconds", JsonValue::Number(run.p50));
+  entry.Set("p95_latency_seconds", JsonValue::Number(run.p95));
+  entry.Set("errors", JsonValue::Int(run.errors));
+  entry.Set("cache_hits", JsonValue::Int(static_cast<int64_t>(run.cache.hits)));
+  entry.Set("cache_misses",
+            JsonValue::Int(static_cast<int64_t>(run.cache.misses)));
+  entry.Set("compiles",
+            JsonValue::Int(CompileCount(run, clients * requests_per_client,
+                                        cache_enabled)));
+  entry.Set("service_metrics", JsonValue::Raw(run.metrics_json));
+  return entry;
+}
+
+/// Deadline section: every request carries an unmeetable deadline and must
+/// resolve with XQSV0001 and an empty result.
+JsonValue RunDeadlineSection(const xqa::DocumentPtr& orders, int requests) {
+  ServiceOptions options;
+  options.worker_threads = 2;
+  QueryService service(options);
+  service.documents().Put("orders", orders);
+
+  int timed_out = 0;
+  int partial_results = 0;
+  for (int i = 0; i < requests; ++i) {
+    Request request;
+    request.query = kQueries[i % kNumQueries];
+    request.document = "orders";
+    request.deadline_seconds = 1e-7;
+    Response response = service.Execute(request);
+    if (response.status.code() == ErrorCode::kXQSV0001) ++timed_out;
+    if (!response.result.empty()) ++partial_results;
+  }
+
+  JsonValue entry = JsonValue::Object();
+  entry.Set("requests", JsonValue::Int(requests));
+  entry.Set("deadline_seconds", JsonValue::Number(1e-7));
+  entry.Set("timed_out", JsonValue::Int(timed_out));
+  entry.Set("partial_results", JsonValue::Int(partial_results));
+  return entry;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = quick = true;
+  }
+
+  xqa::workload::OrderConfig config;
+  config.num_orders = smoke ? 200 : quick ? 1000 : 4000;
+  int requests_per_client = smoke ? 8 : quick ? 25 : 100;
+  std::vector<int> client_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  xqa::DocumentPtr orders = xqa::workload::GenerateOrdersDocument(config);
+
+  std::printf("query service: closed-loop clients, plan-cache ablation\n");
+  std::printf("%8s %8s %12s %14s %14s %8s %8s\n", "clients", "cache",
+              "qps", "p50 ms", "p95 ms", "hits", "misses");
+
+  JsonValue results = JsonValue::Array();
+  for (int clients : client_counts) {
+    for (bool cache_enabled : {true, false}) {
+      RunResult run = RunClosedLoop(orders, clients, requests_per_client,
+                                    cache_enabled);
+      std::printf("%8d %8s %12.1f %14.3f %14.3f %8lld %8lld\n", clients,
+                  cache_enabled ? "on" : "off", run.throughput_qps,
+                  run.p50 * 1e3, run.p95 * 1e3,
+                  static_cast<long long>(run.cache.hits),
+                  static_cast<long long>(run.cache.misses));
+      if (run.errors > 0) {
+        std::fprintf(stderr, "FATAL: %d requests failed\n", run.errors);
+        return 1;
+      }
+      results.Append(
+          RunEntry(run, clients, requests_per_client, cache_enabled));
+    }
+  }
+
+  JsonValue deadline = RunDeadlineSection(orders, smoke ? 4 : 16);
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", JsonValue::Str("service"));
+  root.Set("experiment",
+           JsonValue::Str("closed-loop multi-client serving with plan-cache "
+                          "ablation and deadline enforcement "
+                          "(docs/SERVICE.md)"));
+  JsonValue params = JsonValue::Object();
+  params.Set("quick", JsonValue::Bool(quick));
+  params.Set("smoke", JsonValue::Bool(smoke));
+  params.Set("num_orders", JsonValue::Int(config.num_orders));
+  params.Set("requests_per_client", JsonValue::Int(requests_per_client));
+  params.Set("query_mix", JsonValue::Int(kNumQueries));
+  root.Set("parameters", std::move(params));
+  root.Set("results", std::move(results));
+  root.Set("deadline", std::move(deadline));
+  xqa::bench::WriteBenchJson("service", root);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// xqa_serve: a miniature query server over the service layer
+// (docs/SERVICE.md). It loads the three workload documents into a
+// DocumentStore, runs a short multi-client session against the QueryService
+// — demonstrating plan-cache reuse, atomic document replacement under load,
+// per-request deadlines, and client cancellation — and prints the service's
+// metrics JSON at the end, the way a real deployment would scrape it.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "service/query_service.h"
+#include "workload/books.h"
+#include "workload/orders.h"
+#include "workload/sales.h"
+
+namespace {
+
+using xqa::CancellationToken;
+using xqa::ErrorCodeName;
+using xqa::service::QueryService;
+using xqa::service::Request;
+using xqa::service::Response;
+using xqa::service::ServiceOptions;
+
+void Report(const char* title, const Response& response) {
+  if (response.status.ok()) {
+    std::printf("=== %s ===\n%s\n(cache_hit=%s, exec=%.2f ms)\n\n", title,
+                response.result.c_str(), response.cache_hit ? "yes" : "no",
+                response.exec_seconds * 1e3);
+  } else {
+    std::printf("=== %s ===\n[%s] %s\n(result empty: %s)\n\n", title,
+                std::string(ErrorCodeName(response.status.code())).c_str(),
+                response.status.message().c_str(),
+                response.result.empty() ? "yes" : "NO — BUG");
+  }
+}
+
+}  // namespace
+
+int main() {
+  ServiceOptions options;
+  options.worker_threads = 4;
+  options.default_deadline_seconds = 10.0;  // generous service-wide ceiling
+  QueryService service(options);
+
+  // Load the corpus. Put seals each document, so every request — including
+  // parallel FLWOR lanes — reads it without synchronization.
+  xqa::workload::OrderConfig orders_config;
+  orders_config.num_orders = 1000;
+  service.documents().Put(
+      "orders", xqa::workload::GenerateOrdersDocument(orders_config));
+  service.documents().Put(
+      "bib",
+      xqa::Engine::ParseDocument(xqa::workload::PaperBibliographyXml()));
+  service.documents().Put(
+      "sales", xqa::Engine::ParseDocument(xqa::workload::PaperSalesXml()));
+
+  // 1. A grouping query; the second submission hits the plan cache.
+  Request shipmodes;
+  shipmodes.query = R"(
+    for $l in //order/lineitem
+    group by $l/shipmode into $m
+    nest $l/quantity into $qs
+    order by string($m)
+    return <mode>{$m}<lineitems>{count($qs)}</lineitems></mode>
+  )";
+  shipmodes.document = "orders";
+  shipmodes.indent = 2;
+  Report("shipmode rollup (compiled)", service.Execute(shipmodes));
+  Report("shipmode rollup (cached)", service.Execute(shipmodes));
+
+  // 2. Cross-document join through the request's registry snapshot.
+  Request join;
+  join.query = R"(
+    for $b in doc("bib")//book
+    group by $b/publisher into $p
+    nest $b/price into $prices
+    order by string($p)
+    return <publisher>{string($p)}: {sum($prices)}</publisher>
+  )";
+  join.provide_registry = true;
+  join.indent = 2;
+  Report("publisher totals via fn:doc", service.Execute(join));
+
+  // 3. Four concurrent clients while a writer atomically replaces "orders":
+  // in-flight requests keep the version they resolved; no torn reads.
+  std::printf("=== concurrent session: 4 clients + 1 writer ===\n");
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&service, &shipmodes] {
+      for (int i = 0; i < 10; ++i) (void)service.Execute(shipmodes);
+    });
+  }
+  std::thread writer([&service] {
+    xqa::workload::OrderConfig fresh;
+    fresh.num_orders = 800;
+    fresh.seed = 1234;
+    service.documents().Put(
+        "orders", xqa::workload::GenerateOrdersDocument(fresh));
+  });
+  for (std::thread& client : clients) client.join();
+  writer.join();
+  std::printf("done; store version=%llu\n\n",
+              static_cast<unsigned long long>(service.documents().version()));
+
+  // 4. An unmeetable deadline: the request resolves with XQSV0001 and an
+  // empty result — never a partial one.
+  Request hurried = shipmodes;
+  hurried.deadline_seconds = 1e-7;
+  Report("deadline exceeded", service.Execute(hurried));
+
+  // 5. Client-side cancellation via the shared token.
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  Report("cancelled by client", service.Execute(shipmodes, token));
+
+  // 6. The observability surface a deployment would scrape.
+  std::printf("=== service metrics ===\n%s\n", service.MetricsJson(2).c_str());
+  return 0;
+}

@@ -62,6 +62,23 @@ Sequence PreparedQuery::Execute(const DocumentPtr& context_document,
   return Run(*module_, exec_options_, focus, &documents);
 }
 
+Sequence PreparedQuery::Execute(const DocumentPtr& document,
+                                const ExecutionOptions& options) const {
+  return Run(*module_, options, DocumentFocus(document));
+}
+
+Sequence PreparedQuery::Execute(const ExecutionOptions& options) const {
+  return Run(*module_, options, Focus{});
+}
+
+Sequence PreparedQuery::Execute(const DocumentPtr& context_document,
+                                const DocumentRegistry& documents,
+                                const ExecutionOptions& options) const {
+  Focus focus =
+      context_document != nullptr ? DocumentFocus(context_document) : Focus{};
+  return Run(*module_, options, focus, &documents);
+}
+
 Result<Sequence> PreparedQuery::TryExecute(const DocumentPtr& document) const {
   try {
     return Execute(document);
@@ -94,6 +111,26 @@ std::string PreparedQuery::ExecuteToString(const DocumentPtr& document,
   return SerializeSequence(Execute(document), indent);
 }
 
+std::string PreparedQuery::ExecuteToString(const DocumentPtr& context_document,
+                                           const DocumentRegistry& documents,
+                                           int indent) const {
+  return SerializeSequence(Execute(context_document, documents), indent);
+}
+
+std::string PreparedQuery::ExecuteToString(const DocumentPtr& document,
+                                           const ExecutionOptions& options,
+                                           int indent) const {
+  return SerializeSequence(Execute(document, options), indent);
+}
+
+std::string PreparedQuery::ExecuteToString(const DocumentPtr& context_document,
+                                           const DocumentRegistry& documents,
+                                           const ExecutionOptions& options,
+                                           int indent) const {
+  return SerializeSequence(Execute(context_document, documents, options),
+                           indent);
+}
+
 std::string PreparedQuery::Explain() const { return ExplainModule(*module_); }
 
 ProfiledResult PreparedQuery::ExecuteProfiled(
@@ -111,6 +148,24 @@ ProfiledResult PreparedQuery::ExecuteProfiled(
   Focus focus =
       context_document != nullptr ? DocumentFocus(context_document) : Focus{};
   return RunProfiled(*module_, exec_options_, focus, &documents);
+}
+
+ProfiledResult PreparedQuery::ExecuteProfiled(
+    const DocumentPtr& document, const ExecutionOptions& options) const {
+  return RunProfiled(*module_, options, DocumentFocus(document));
+}
+
+ProfiledResult PreparedQuery::ExecuteProfiled(
+    const ExecutionOptions& options) const {
+  return RunProfiled(*module_, options, Focus{});
+}
+
+ProfiledResult PreparedQuery::ExecuteProfiled(
+    const DocumentPtr& context_document, const DocumentRegistry& documents,
+    const ExecutionOptions& options) const {
+  Focus focus =
+      context_document != nullptr ? DocumentFocus(context_document) : Focus{};
+  return RunProfiled(*module_, options, focus, &documents);
 }
 
 std::string PreparedQuery::ExplainAnalyze(const DocumentPtr& document) const {

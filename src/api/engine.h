@@ -39,12 +39,40 @@ class PreparedQuery {
   Sequence Execute(const DocumentPtr& context_document,
                    const DocumentRegistry& documents) const;
 
+  // Per-call ExecutionOptions overloads: the options apply to this execution
+  // only, without touching the shared default — the form a cached, shared
+  // PreparedQuery requires (src/service/plan_cache.h), since many threads
+  // can execute one immutable handle with different parallelism, ablation,
+  // or cancellation settings concurrently.
+  Sequence Execute(const DocumentPtr& document,
+                   const ExecutionOptions& options) const;
+  Sequence Execute(const ExecutionOptions& options) const;
+  Sequence Execute(const DocumentPtr& context_document,
+                   const DocumentRegistry& documents,
+                   const ExecutionOptions& options) const;
+
   /// Non-throwing variant.
   Result<Sequence> TryExecute(const DocumentPtr& document) const;
 
   /// Executes and serializes the result sequence: nodes as XML, atomic
   /// values as lexical forms, adjacent atomics separated by single spaces.
   std::string ExecuteToString(const DocumentPtr& document,
+                              int indent = 0) const;
+
+  /// Serializing execution with a document registry, so fn:doc /
+  /// fn:collection queries can be rendered without hand-rolling
+  /// SerializeSequence at call sites; `context_document` may be null.
+  std::string ExecuteToString(const DocumentPtr& context_document,
+                              const DocumentRegistry& documents,
+                              int indent = 0) const;
+
+  /// Serializing execution with per-call options (and optionally a registry).
+  std::string ExecuteToString(const DocumentPtr& document,
+                              const ExecutionOptions& options,
+                              int indent = 0) const;
+  std::string ExecuteToString(const DocumentPtr& context_document,
+                              const DocumentRegistry& documents,
+                              const ExecutionOptions& options,
                               int indent = 0) const;
 
   /// The underlying bound module (for tests / explain).
@@ -61,6 +89,14 @@ class PreparedQuery {
   ProfiledResult ExecuteProfiled(const DocumentPtr& context_document,
                                  const DocumentRegistry& documents) const;
 
+  // Per-call ExecutionOptions variants (see the Execute overloads above).
+  ProfiledResult ExecuteProfiled(const DocumentPtr& document,
+                                 const ExecutionOptions& options) const;
+  ProfiledResult ExecuteProfiled(const ExecutionOptions& options) const;
+  ProfiledResult ExecuteProfiled(const DocumentPtr& context_document,
+                                 const DocumentRegistry& documents,
+                                 const ExecutionOptions& options) const;
+
   /// Executes the query against `document`, then renders the Explain() plan
   /// annotated with the observed per-clause cardinalities, group counts, and
   /// wall times (EXPLAIN ANALYZE). Pass null to run with no context item.
@@ -70,10 +106,14 @@ class PreparedQuery {
   /// explicit group by clauses (0 unless the rewrite was enabled).
   int rewrites_applied() const { return rewrites_applied_; }
 
-  /// Sets the parallelism options applied by every subsequent Execute* call
-  /// (deterministic intra-query parallelism; see docs/PARALLELISM.md).
-  /// Serial by default. Set before sharing the query across threads:
-  /// concurrent Execute calls are safe, concurrent mutation is not.
+  /// Sets the default options applied by Execute* calls that take no
+  /// per-call ExecutionOptions (docs/PARALLELISM.md). Serial by default.
+  ///
+  /// Deprecated pattern: prefer the const Execute*(..., options) overloads
+  /// above — they leave the query immutable, which is what lets a plan-cache
+  /// handle be shared across threads. This setter is kept for existing
+  /// callers; if used, set it before sharing the query across threads
+  /// (concurrent Execute calls are safe, concurrent mutation is not).
   void set_execution_options(const ExecutionOptions& options) {
     exec_options_ = options;
   }

@@ -1,0 +1,89 @@
+#ifndef XQA_BASE_CANCELLATION_H_
+#define XQA_BASE_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "base/error.h"
+
+namespace xqa {
+
+/// Shared cancellation state for one query execution (docs/SERVICE.md).
+/// Cancellation is cooperative: the evaluator polls the token at checkpoints
+/// in the FLWOR tuple loops and path scans (DynamicContext::CheckCancel) and
+/// unwinds with a dedicated service error code — XQSV0001 when the deadline
+/// passed, XQSV0002 when a client called Cancel(). Because the exception
+/// unwinds the whole execution, a timed-out request can never surface a
+/// partial result.
+///
+/// Thread-safe: Cancel() and the checkpoint reads may race freely across the
+/// submitting thread, the service worker, and parallel FLWOR lanes (Fork
+/// shares the token by pointer). Both fields are plain atomics; a checkpoint
+/// observes a cancellation after at most one poll interval.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation; checkpoints raise XQSV0002 from then on.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the absolute deadline; checkpoints raise XQSV0001 once the steady
+  /// clock passes it. May be re-armed or cleared (kNoDeadline) at any time.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Convenience: deadline = now + seconds. Non-positive values disarm.
+  void SetTimeout(double seconds) {
+    if (seconds <= 0) {
+      deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+      return;
+    }
+    SetDeadline(std::chrono::steady_clock::now() +
+                std::chrono::nanoseconds(
+                    static_cast<int64_t>(seconds * 1e9)));
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// True once the armed deadline has passed (reads the clock).
+  bool DeadlineExpired() const {
+    int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != kNoDeadline &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >=
+               deadline;
+  }
+
+  /// Throwing checkpoint: XQSV0002 if cancelled, XQSV0001 if past the
+  /// deadline, otherwise returns. Cancellation wins over expiry so an
+  /// explicit Cancel() reports as a cancel even after the deadline.
+  void Check() const {
+    if (cancelled()) {
+      ThrowError(ErrorCode::kXQSV0002, "request cancelled");
+    }
+    if (DeadlineExpired()) {
+      ThrowError(ErrorCode::kXQSV0001, "request deadline exceeded");
+    }
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  std::atomic<bool> cancelled_{false};
+  /// steady_clock ticks since epoch (nanoseconds on the supported targets).
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace xqa
+
+#endif  // XQA_BASE_CANCELLATION_H_

@@ -41,6 +41,10 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kFORX0002: return "FORX0002";
     case ErrorCode::kFORX0003: return "FORX0003";
     case ErrorCode::kXMLP0001: return "XMLP0001";
+    case ErrorCode::kXQSV0001: return "XQSV0001";
+    case ErrorCode::kXQSV0002: return "XQSV0002";
+    case ErrorCode::kXQSV0003: return "XQSV0003";
+    case ErrorCode::kXQSV0004: return "XQSV0004";
   }
   return "UNKNOWN";
 }

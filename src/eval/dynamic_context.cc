@@ -21,8 +21,11 @@ std::unique_ptr<DynamicContext> DynamicContext::Fork() const {
   fork->recursion_depth = recursion_depth;
   // num_threads stays at the serial default (workers never re-enter the
   // pool), but the index ablation switch must carry over so indexed and
-  // fallback runs stay comparable at any thread count.
+  // fallback runs stay comparable at any thread count, and the cancellation
+  // token is shared so every lane of a parallel section observes a deadline
+  // or cancel at its next checkpoint.
   fork->exec.use_structural_index = exec.use_structural_index;
+  fork->exec.cancellation = exec.cancellation;
   if (!frames_.empty()) fork->frames_.push_back(frames_.back());
   return fork;
 }

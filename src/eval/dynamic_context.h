@@ -1,11 +1,13 @@
 #ifndef XQA_EVAL_DYNAMIC_CONTEXT_H_
 #define XQA_EVAL_DYNAMIC_CONTEXT_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "base/cancellation.h"
 #include "base/sanitizer.h"
 #include "xdm/item.h"
 
@@ -31,6 +33,13 @@ struct ExecutionOptions {
   /// every step — used by the bench_path ablation and the index-equivalence
   /// tests, which assert byte-identical results either way.
   bool use_structural_index = true;
+
+  /// Cooperative cancellation / deadline token for this execution
+  /// (docs/SERVICE.md). Not owned; must outlive the Execute call. Null (the
+  /// default) disables the checkpoints entirely, so executions outside the
+  /// query service pay only a pointer test. Excluded from the plan cache's
+  /// options fingerprint — it is runtime state, not configuration.
+  const CancellationToken* cancellation = nullptr;
 };
 
 /// The focus of evaluation: context item, position, and size (".",
@@ -78,6 +87,20 @@ class DynamicContext {
   /// Parallelism settings for this execution (serial by default).
   ExecutionOptions exec;
 
+  /// Cooperative cancellation checkpoint, cheap enough for per-tuple and
+  /// per-node call sites in the FLWOR pipeline and path scans: the cancel
+  /// flag (one relaxed load) is read on every call, the deadline clock only
+  /// every kCancelPollStride calls. Throws XQSV0001/XQSV0002 via the token.
+  void CheckCancel() {
+    const CancellationToken* token = exec.cancellation;
+    if (token == nullptr) return;
+    if (token->cancelled() ||
+        (++cancel_poll_ % kCancelPollStride == 0 && token->DeadlineExpired())) {
+      token->Check();
+    }
+  }
+  static constexpr uint32_t kCancelPollStride = 64;
+
   /// Execution-stats sink; null (the default) disables collection, reducing
   /// every instrumentation hook to an inlined null test (see query_stats.h).
   QueryStats* stats = nullptr;
@@ -95,6 +118,7 @@ class DynamicContext {
 
  private:
   std::vector<std::vector<Sequence>> frames_;
+  uint32_t cancel_poll_ = 0;
 };
 
 /// RAII focus save/restore.

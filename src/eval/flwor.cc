@@ -266,6 +266,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
   for (size_t clause_index = 0; clause_index < expr->clauses.size();
        ++clause_index) {
     const FlworClause& clause = expr->clauses[clause_index];
+    context->CheckCancel();
     ClauseStats* cs = nullptr;
     if (stats != nullptr) {
       cs = &stats->Clause(expr, static_cast<int>(clause_index),
@@ -302,6 +303,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
             size_t begin = chunk * count / lanes_count;
             size_t end = (chunk + 1) * count / lanes_count;
             for (size_t ti = begin; ti < end; ++ti) {
+              ctx->CheckCancel();
               load_tuple_into(ctx, tuples[ti]);
               std::vector<Sequence> keys = eval_keys(ctx);
               size_t hash = hash_seed;
@@ -397,12 +399,14 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           ThreadPool::Shared().ParallelFor(
               tuples.size(), domain_workers, [&](int w, size_t ti) {
                 DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                ctx->CheckCancel();
                 load_tuple_into(ctx, tuples[ti]);
                 domains[ti] = Evaluate(clause.for_expr.get(), ctx);
               });
           merge_lanes(lanes);
         } else {
           for (size_t ti = 0; ti < tuples.size(); ++ti) {
+            context->CheckCancel();
             load_tuple(tuples[ti]);
             domains[ti] = Evaluate(clause.for_expr.get(), context);
           }
@@ -451,6 +455,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
 
       case ClauseKind::kLet: {
         for (Tuple& tuple : tuples) {
+          context->CheckCancel();
           load_tuple(tuple);
           tuple.push_back(Evaluate(clause.let_expr.get(), context));
         }
@@ -470,6 +475,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           ThreadPool::Shared().ParallelFor(
               tuples.size(), workers, [&](int w, size_t ti) {
                 DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                ctx->CheckCancel();
                 load_tuple_into(ctx, tuples[ti]);
                 keep[ti] = EffectiveBooleanValue(
                                Evaluate(clause.where_expr.get(), ctx))
@@ -482,6 +488,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           }
         } else {
           for (Tuple& tuple : tuples) {
+            context->CheckCancel();
             load_tuple(tuple);
             if (EffectiveBooleanValue(
                     Evaluate(clause.where_expr.get(), context))) {
@@ -514,6 +521,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           ThreadPool::Shared().ParallelFor(
               tuples.size(), workers, [&](int w, size_t ti) {
                 DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                ctx->CheckCancel();
                 load_tuple_into(ctx, tuples[ti]);
                 keys[ti].reserve(specs.size());
                 for (const OrderSpec& spec : specs) {
@@ -523,6 +531,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           merge_lanes(lanes);
         } else {
           for (size_t i = 0; i < tuples.size(); ++i) {
+            context->CheckCancel();
             load_tuple(tuples[i]);
             keys[i].reserve(specs.size());
             for (const OrderSpec& spec : specs) {
@@ -581,6 +590,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           } else {
             std::unordered_map<size_t, std::vector<size_t>> buckets;
             for (size_t ti = 0; ti < tuples.size(); ++ti) {
+              context->CheckCancel();
               load_tuple(tuples[ti]);
               std::vector<Sequence> keys = eval_keys3(context);
               size_t hash = kSeed3;
@@ -700,6 +710,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           // Hash buckets (default deep-equal path only).
           std::unordered_map<size_t, std::vector<size_t>> buckets;
           for (size_t ti = 0; ti < tuples.size(); ++ti) {
+            context->CheckCancel();
             load_tuple(tuples[ti]);
             std::vector<Sequence> keys = eval_keys(context);
 
@@ -795,6 +806,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           ThreadPool::Shared().ParallelFor(
               groups.size(), out_workers, [&](int w, size_t gi) {
                 DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                ctx->CheckCancel();
                 const HashGroup& group = groups[gi];
                 Tuple out_tuple;
                 out_tuple.reserve(clause.group_keys.size() +
@@ -816,6 +828,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
         } else {
           next.reserve(groups.size());
           for (const HashGroup& group : groups) {
+            context->CheckCancel();
             Tuple out_tuple;
             out_tuple.reserve(clause.group_keys.size() +
                               clause.nest_specs.size());
@@ -906,6 +919,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
   Sequence result;
   int64_t ordinal = 0;
   for (const Tuple& tuple : tuples) {
+    context->CheckCancel();
     load_tuple(tuple);
     if (expr->at_slot >= 0) {
       context->Slot(expr->at_slot) = Sequence{MakeInteger(++ordinal)};

@@ -149,6 +149,9 @@ bool TryIndexedDescendants(Node* node, const NodeTest& test, NameId test_id,
     auto hi = std::lower_bound(lo, bucket->end(), node->subtree_end(),
                                by_order);
     if (lo != hi) {
+      // One checkpoint per range scan: the scan itself is a tight memcpy-like
+      // loop, and the caller already checkpoints once per context node.
+      context->CheckCancel();
       BorrowedEmitter emitter(doc, out);
       emitter.Reserve(static_cast<uint64_t>(hi - lo));
       for (auto it = lo; it != hi; ++it) emitter.Emit(*it);
@@ -177,6 +180,7 @@ void CollectDescendants(Node* node, const NodeTest& test, Axis axis,
   std::vector<Node*> stack(node->children().rbegin(),
                            node->children().rend());
   while (!stack.empty()) {
+    context->CheckCancel();
     Node* current = stack.back();
     stack.pop_back();
     ++visited;
@@ -194,6 +198,7 @@ void CollectDescendants(Node* node, const NodeTest& test, Axis axis,
 /// appending matches to `out` in axis order.
 void ApplyAxis(const Item& context_item, Axis axis, const NodeTest& test,
                DynamicContext* context, SourceLocation loc, Sequence* out) {
+  context->CheckCancel();
   if (!context_item.IsNode()) {
     ThrowError(ErrorCode::kXPTY0004,
                "a path step was applied to an atomic value", loc);

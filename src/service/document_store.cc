@@ -1,0 +1,56 @@
+#include "service/document_store.h"
+
+#include <utility>
+
+#include "base/error.h"
+
+namespace xqa::service {
+
+bool DocumentStore::Put(const std::string& name, DocumentPtr document) {
+  if (document == nullptr) {
+    ThrowError(ErrorCode::kXQSV0004,
+               "DocumentStore::Put: null document for '" + name + "'");
+  }
+  // Seal outside the lock: sealing walks the whole tree, and the document is
+  // not yet visible to readers.
+  if (!document->sealed()) document->SealOrder();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = documents_.try_emplace(name);
+  it->second = std::move(document);
+  version_.fetch_add(1, std::memory_order_relaxed);
+  return !inserted;
+}
+
+DocumentPtr DocumentStore::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = documents_.find(name);
+  if (it == documents_.end()) return nullptr;
+  return it->second;  // refcount increment pins this version for the caller
+}
+
+bool DocumentStore::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool erased = documents_.erase(name) > 0;
+  if (erased) version_.fetch_add(1, std::memory_order_relaxed);
+  return erased;
+}
+
+DocumentRegistry DocumentStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return documents_;
+}
+
+std::vector<std::string> DocumentStore::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(documents_.size());
+  for (const auto& [name, doc] : documents_) names.push_back(name);
+  return names;
+}
+
+size_t DocumentStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return documents_.size();
+}
+
+}  // namespace xqa::service

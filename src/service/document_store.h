@@ -1,0 +1,70 @@
+#ifndef XQA_SERVICE_DOCUMENT_STORE_H_
+#define XQA_SERVICE_DOCUMENT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eval/dynamic_context.h"
+#include "xml/node.h"
+
+namespace xqa::service {
+
+/// Named, sealed, shared documents for the query service (docs/SERVICE.md).
+///
+/// Every stored document is sealed (Document::SealOrder ran), so its order
+/// indexes, subtree spans, and element-name index are immutable and any
+/// number of queries — including parallel FLWOR lanes — read it without
+/// synchronization (docs/INDEXES.md).
+///
+/// Replacement is an atomic snapshot swap: Put() publishes the new document
+/// under the name while in-flight queries keep executing against the
+/// DocumentPtr they resolved at admission time. The intrusive refcount keeps
+/// the old tree alive until its last reader finishes; a request therefore
+/// observes exactly one version for its whole execution, never a mix
+/// (asserted under TSan by tests/service_test.cc).
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+
+  /// Inserts or atomically replaces the document published under `name`.
+  /// Seals the document first if the caller has not (sealing mutates the
+  /// tree, so pass unshared documents when unsealed). Null erases nothing
+  /// and is rejected. Returns true when an existing document was replaced.
+  bool Put(const std::string& name, DocumentPtr document);
+
+  /// The current document under `name`; null when absent. The returned
+  /// handle pins that version for as long as the caller holds it.
+  DocumentPtr Get(const std::string& name) const;
+
+  /// Removes `name`; in-flight readers keep their version. Returns whether
+  /// the name was present.
+  bool Remove(const std::string& name);
+
+  /// A point-in-time copy of the whole catalog, usable as the fn:doc /
+  /// fn:collection registry of one request: later Put/Remove calls do not
+  /// affect the snapshot.
+  DocumentRegistry Snapshot() const;
+
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+  /// Bumped by every successful Put/Remove; lets callers detect catalog
+  /// changes without diffing snapshots.
+  uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  DocumentRegistry documents_;
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace xqa::service
+
+#endif  // XQA_SERVICE_DOCUMENT_STORE_H_

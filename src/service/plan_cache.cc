@@ -1,0 +1,118 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace xqa::service {
+
+PlanCache::PlanCache(Config config) {
+  int shard_count = std::max(config.shards, 1);
+  per_shard_capacity_ =
+      std::max<size_t>(1, config.capacity / static_cast<size_t>(shard_count));
+  shards_.reserve(static_cast<size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string PlanCache::MakeKey(std::string_view query,
+                               const Engine::Options& compile,
+                               const ExecutionOptions& exec) {
+  // Fixed-width option prefix, then the query text verbatim. The '\x1f'
+  // separator cannot occur in the prefix, so distinct option sets can never
+  // alias distinct queries.
+  std::string key;
+  key.reserve(query.size() + 16);
+  key += compile.enable_groupby_rewrite ? 'G' : 'g';
+  key += compile.enable_constant_folding ? 'F' : 'f';
+  key += exec.use_structural_index ? 'I' : 'i';
+  key += 't';
+  key += std::to_string(exec.num_threads);
+  key += '\x1f';
+  key += query;
+  return key;
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  size_t hash = std::hash<std::string_view>{}(key);
+  return *shards_[hash % shards_.size()];
+}
+
+PlanHandle PlanCache::Lookup(const Engine& engine, std::string_view query,
+                             const ExecutionOptions& exec) {
+  std::string key = MakeKey(query, engine.options(), exec);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(std::string_view(key));
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->plan;
+}
+
+PlanHandle PlanCache::GetOrCompile(const Engine& engine,
+                                   std::string_view query,
+                                   const ExecutionOptions& exec,
+                                   bool* cache_hit) {
+  std::string key = MakeKey(query, engine.options(), exec);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(std::string_view(key));
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->plan;
+    }
+  }
+  // Miss: compile outside the lock (a slow parse must not block hits on
+  // sibling keys). Static errors propagate and cache nothing.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit != nullptr) *cache_hit = false;
+  auto plan = std::make_shared<const PreparedQuery>(engine.Compile(query));
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(std::string_view(key));
+  if (it != shard.map.end()) {
+    // Lost a compile race; adopt the resident entry so every caller of this
+    // key shares one handle from now on.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->plan;
+  }
+  shard.lru.push_front(Entry{std::move(key), plan});
+  shard.map.emplace(std::string_view(shard.lru.front().key),
+                    shard.lru.begin());
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(std::string_view(shard.lru.back().key));
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return plan;
+}
+
+void PlanCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+PlanCache::Counters PlanCache::counters() const {
+  Counters counters;
+  counters.hits = hits_.load(std::memory_order_relaxed);
+  counters.misses = misses_.load(std::memory_order_relaxed);
+  counters.evictions = evictions_.load(std::memory_order_relaxed);
+  counters.entries = entries_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace xqa::service

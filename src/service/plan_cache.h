@@ -1,0 +1,114 @@
+#ifndef XQA_SERVICE_PLAN_CACHE_H_
+#define XQA_SERVICE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "api/engine.h"
+
+namespace xqa::service {
+
+/// A shared, immutable handle to a compiled query. The PreparedQuery behind
+/// the handle is never mutated after insertion — callers pass per-call
+/// ExecutionOptions to the const Execute* overloads — so one handle can be
+/// executed by any number of threads concurrently.
+using PlanHandle = std::shared_ptr<const PreparedQuery>;
+
+/// Sharded LRU cache of compiled plans, keyed by (query text, compile
+/// dialect = Engine::Options, ExecutionOptions fingerprint). Amortizes
+/// parse/rewrite/bind across repeated requests for the same query — the
+/// workload shape the paper's Section 6 experiments assume (the same
+/// analytics queries run again and again over shared documents), safe to
+/// reuse because grouping semantics are order-independent, so a cached plan
+/// is indistinguishable from a fresh compile (asserted byte-for-byte by
+/// tests/service_test.cc).
+///
+/// Sharding bounds contention: a key is owned by exactly one shard (by key
+/// hash), each shard holds its own mutex, LRU list, and map, and the global
+/// capacity is split evenly across shards. Compilation runs outside the
+/// shard lock, so a slow compile never blocks hits on sibling keys; two
+/// threads racing on the same missing key may both compile, and the loser
+/// adopts the winner's entry (counted as one miss each, never a double
+/// insert).
+class PlanCache {
+ public:
+  struct Config {
+    /// Total cached plans across all shards (per-shard cap = capacity /
+    /// shards, at least 1). Oldest entry of the owning shard is evicted on
+    /// overflow.
+    size_t capacity = 256;
+    int shards = 8;
+  };
+
+  /// Monotonic counters, aggregated over every shard. hits + misses equals
+  /// the number of GetOrCompile calls that returned (failed compiles count
+  /// as misses).
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;  ///< current resident plans
+  };
+
+  PlanCache() : PlanCache(Config{}) {}
+  explicit PlanCache(Config config);
+
+  /// Returns the cached plan for (query, engine.options(), exec), compiling
+  /// via `engine` and inserting on miss. Throws XQueryError on static errors
+  /// (failed compiles are never cached). `cache_hit`, when non-null, is set
+  /// to whether the plan came from the cache.
+  PlanHandle GetOrCompile(const Engine& engine, std::string_view query,
+                          const ExecutionOptions& exec,
+                          bool* cache_hit = nullptr);
+
+  /// Lookup without compiling; null on miss. Counts toward hits/misses.
+  PlanHandle Lookup(const Engine& engine, std::string_view query,
+                    const ExecutionOptions& exec);
+
+  /// Drops every cached plan (in-flight handles stay valid — shared
+  /// ownership). Counters are preserved; drops are not counted as evictions.
+  void Clear();
+
+  Counters counters() const;
+
+  /// The canonical cache key: a fingerprint of the compile dialect and the
+  /// semantically relevant ExecutionOptions fields, followed by the query
+  /// text verbatim. ExecutionOptions::cancellation is deliberately excluded
+  /// — it is per-request runtime state, not plan configuration.
+  static std::string MakeKey(std::string_view query,
+                             const Engine::Options& compile,
+                             const ExecutionOptions& exec);
+
+ private:
+  struct Entry {
+    std::string key;
+    PlanHandle plan;
+  };
+  /// One shard: an LRU list (front = most recently used) plus the key map
+  /// pointing into it.
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> map;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> entries_{0};
+};
+
+}  // namespace xqa::service
+
+#endif  // XQA_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,219 @@
+#include "service/query_service.h"
+
+#include <sstream>
+#include <utility>
+
+namespace xqa::service {
+
+namespace {
+
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(std::move(options)),
+      engine_(options_.engine),
+      cache_(options_.plan_cache),
+      max_concurrent_(options_.max_concurrent_queries > 0
+                          ? options_.max_concurrent_queries
+                          : options_.worker_threads),
+      pool_(std::make_unique<ThreadPool>(options_.worker_threads)) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  shutdown_.store(true, std::memory_order_relaxed);
+  // ThreadPool's destructor drains the queue before joining, so every
+  // admitted request resolves its promise before Shutdown returns.
+  pool_.reset();
+}
+
+std::future<Response> QueryService::Submit(
+    Request request, std::shared_ptr<CancellationToken> token) {
+  auto submitted = std::chrono::steady_clock::now();
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+
+  if (token == nullptr) token = std::make_shared<CancellationToken>();
+  // Arm the deadline at admission: it covers queue wait plus execution, so
+  // a request stuck behind a full scheduler still times out on schedule.
+  double deadline = request.deadline_seconds < 0
+                        ? options_.default_deadline_seconds
+                        : request.deadline_seconds;
+  if (deadline > 0) token->SetTimeout(deadline);
+
+  // shutdown_mutex_ pins pool_ across the enqueue (Shutdown destroys it
+  // under the same lock); rejection decisions happen inside so a request
+  // can never be admitted into a pool that is being torn down.
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    bool admitted =
+        !shutdown_.load(std::memory_order_relaxed) &&
+        pending_.fetch_add(1, std::memory_order_relaxed) <
+            options_.max_pending_requests;
+    if (!admitted) {
+      if (!shutdown_.load(std::memory_order_relaxed)) {
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.status = Status(
+          ErrorCode::kXQSV0003,
+          shutdown_.load(std::memory_order_relaxed)
+              ? "admission rejected: service is shutting down"
+              : "admission rejected: pending queue full (" +
+                    std::to_string(options_.max_pending_requests) + ")");
+      promise->set_value(std::move(response));
+      return future;
+    }
+    metrics_.admitted.fetch_add(1, std::memory_order_relaxed);
+
+    pool_->Submit([this, request = std::move(request),
+                   token = std::move(token), promise = std::move(promise),
+                   submitted]() mutable {
+      // Concurrency gate: at most max_concurrent_ requests execute at once;
+      // surplus workers wait here (still cancellable — RunRequest checks the
+      // token before doing any work).
+      {
+        std::unique_lock<std::mutex> gate(gate_mutex_);
+        gate_cv_.wait(gate, [this] { return running_ < max_concurrent_; });
+        ++running_;
+      }
+      Response response = RunRequest(request, *token, submitted);
+      {
+        std::lock_guard<std::mutex> gate(gate_mutex_);
+        --running_;
+      }
+      gate_cv_.notify_one();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      promise->set_value(std::move(response));
+    });
+  }
+  return future;
+}
+
+Response QueryService::Execute(Request request,
+                               std::shared_ptr<CancellationToken> token) {
+  return Submit(std::move(request), std::move(token)).get();
+}
+
+Response QueryService::RunRequest(
+    const Request& request, const CancellationToken& token,
+    std::chrono::steady_clock::time_point submitted) {
+  Response response;
+  auto started = std::chrono::steady_clock::now();
+  response.queue_seconds = SecondsBetween(submitted, started);
+  metrics_.queue_latency.Record(response.queue_seconds);
+
+  try {
+    // A request whose deadline elapsed in the queue (or that was cancelled
+    // before a worker picked it up) fails here, before any compilation or
+    // evaluation.
+    token.Check();
+
+    ExecutionOptions exec =
+        request.exec.has_value() ? *request.exec : options_.default_exec;
+    exec.cancellation = &token;
+
+    PlanHandle plan;
+    if (options_.enable_plan_cache) {
+      plan = cache_.GetOrCompile(engine_, request.query, exec,
+                                 &response.cache_hit);
+    } else {
+      plan = std::make_shared<const PreparedQuery>(
+          engine_.Compile(request.query));
+    }
+
+    DocumentPtr doc;
+    if (!request.document.empty()) {
+      doc = store_.Get(request.document);
+      if (doc == nullptr) {
+        metrics_.documents_missing.fetch_add(1, std::memory_order_relaxed);
+        ThrowError(ErrorCode::kXQSV0004,
+                   "unknown document '" + request.document + "'");
+      }
+    }
+
+    Sequence sequence;
+    if (request.provide_registry) {
+      DocumentRegistry registry = store_.Snapshot();
+      if (request.collect_stats) {
+        ProfiledResult profiled = plan->ExecuteProfiled(doc, registry, exec);
+        sequence = std::move(profiled.sequence);
+        response.stats = std::move(profiled.stats);
+      } else {
+        sequence = plan->Execute(doc, registry, exec);
+      }
+    } else if (doc != nullptr) {
+      if (request.collect_stats) {
+        ProfiledResult profiled = plan->ExecuteProfiled(doc, exec);
+        sequence = std::move(profiled.sequence);
+        response.stats = std::move(profiled.stats);
+      } else {
+        sequence = plan->Execute(doc, exec);
+      }
+    } else {
+      if (request.collect_stats) {
+        ProfiledResult profiled = plan->ExecuteProfiled(exec);
+        sequence = std::move(profiled.sequence);
+        response.stats = std::move(profiled.stats);
+      } else {
+        sequence = plan->Execute(exec);
+      }
+    }
+    response.result = SerializeSequence(sequence, request.indent);
+    response.executed = true;
+    if (request.collect_stats) metrics_.RecordQueryStats(response.stats);
+    metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+  } catch (const XQueryError& error) {
+    // Never a partial result: whatever was serialized or collected before
+    // the checkpoint fired is discarded with the unwound execution.
+    response.result.clear();
+    response.executed = false;
+    response.status = Status::FromException(error);
+    switch (error.code()) {
+      case ErrorCode::kXQSV0001:
+        metrics_.timed_out.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ErrorCode::kXQSV0002:
+        metrics_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+
+  auto finished = std::chrono::steady_clock::now();
+  response.exec_seconds = SecondsBetween(started, finished);
+  response.total_seconds = SecondsBetween(submitted, finished);
+  metrics_.latency.Record(response.total_seconds);
+  return response;
+}
+
+std::string QueryService::MetricsJson(int indent) const {
+  PlanCache::Counters cache = cache_.counters();
+  std::string pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent), ' ') : "";
+  std::string nl = indent > 0 ? "\n" : "";
+  std::ostringstream out;
+  out << "{" << nl;
+  out << pad << "\"service\": " << metrics_.ToJson() << "," << nl;
+  out << pad << "\"plan_cache\": {\"hits\": " << cache.hits
+      << ", \"misses\": " << cache.misses
+      << ", \"evictions\": " << cache.evictions
+      << ", \"entries\": " << cache.entries << "}," << nl;
+  out << pad << "\"documents\": {\"count\": " << store_.size()
+      << ", \"version\": " << store_.version() << "}" << nl;
+  out << "}";
+  return out.str();
+}
+
+}  // namespace xqa::service

@@ -1,0 +1,172 @@
+#ifndef XQA_SERVICE_QUERY_SERVICE_H_
+#define XQA_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "api/engine.h"
+#include "base/cancellation.h"
+#include "base/thread_pool.h"
+#include "service/document_store.h"
+#include "service/plan_cache.h"
+#include "service/service_metrics.h"
+
+namespace xqa::service {
+
+/// Configuration of one QueryService instance (docs/SERVICE.md).
+struct ServiceOptions {
+  /// Scheduler worker threads. Requests execute on this private pool, never
+  /// on ThreadPool::Shared — the shared pool stays dedicated to intra-query
+  /// parallel sections, so a saturated service cannot starve the lanes of
+  /// its own running queries.
+  int worker_threads = 4;
+
+  /// Requests executing at once; 0 means worker_threads. When smaller than
+  /// worker_threads, surplus workers block on the concurrency gate.
+  int max_concurrent_queries = 0;
+
+  /// Admitted-but-not-finished requests beyond which Submit rejects
+  /// immediately with XQSV0003 (bounded queue — a slow service sheds load
+  /// instead of buffering it).
+  size_t max_pending_requests = 64;
+
+  /// Deadline applied to requests that do not set their own; 0 disables.
+  /// The deadline clock starts at Submit and covers queue wait plus
+  /// execution.
+  double default_deadline_seconds = 0.0;
+
+  /// Plan cache on/off (off compiles every request — the bench_service
+  /// ablation) and its sizing.
+  bool enable_plan_cache = true;
+  PlanCache::Config plan_cache;
+
+  /// Compile dialect for every query of this service (part of the plan
+  /// cache key).
+  Engine::Options engine;
+
+  /// Execution options for requests that do not carry their own.
+  ExecutionOptions default_exec;
+};
+
+/// One query request. Copyable; the service keeps its own copy until the
+/// request finishes.
+struct Request {
+  std::string query;
+
+  /// Name of the DocumentStore entry to use as the context item; empty runs
+  /// with no context item. Resolved once, at execution start — the request
+  /// then sees that document version for its whole execution regardless of
+  /// concurrent Put calls.
+  std::string document;
+
+  /// Expose a point-in-time DocumentStore snapshot to fn:doc/fn:collection.
+  bool provide_registry = false;
+
+  /// Per-request deadline: < 0 uses ServiceOptions::default_deadline_seconds,
+  /// 0 disables, > 0 overrides.
+  double deadline_seconds = -1.0;
+
+  /// Collect QueryStats for this request (ExecuteProfiled path). The stats
+  /// land in Response::stats and in ServiceMetrics' aggregate.
+  bool collect_stats = true;
+
+  /// Serialization indent for Response::result.
+  int indent = 0;
+
+  /// Per-request execution options override (parallelism, index ablation).
+  std::optional<ExecutionOptions> exec;
+};
+
+/// Outcome of one request. On any error `result` is empty — a timed-out or
+/// failed request never carries a partial result.
+struct Response {
+  Status status;            ///< OK, or the error (XQSV* for service errors)
+  std::string result;       ///< serialized result sequence (empty on error)
+  QueryStats stats;         ///< populated when Request::collect_stats
+  bool cache_hit = false;   ///< plan came from the cache
+  bool executed = false;    ///< evaluation ran to completion
+  double queue_seconds = 0.0;  ///< admission → execution start
+  double exec_seconds = 0.0;   ///< execution start → finish
+  double total_seconds = 0.0;  ///< admission → finish
+};
+
+/// The serving layer over the engine: plan cache + document store +
+/// admission control + cooperative cancellation + metrics, one instance per
+/// served corpus (docs/SERVICE.md).
+///
+/// Threading model: Submit is safe from any thread and never blocks on query
+/// execution (admission is a counter check; rejected requests resolve
+/// immediately). Execution happens on the service's private pool; results
+/// are delivered through the returned future. Shutdown (and the destructor)
+/// stops admitting, then drains every admitted request.
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = {});
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits `request` and schedules it. On admission failure (queue full or
+  /// shutting down) the future resolves immediately with XQSV0003.
+  /// `token`, when provided, lets the caller cancel the request from another
+  /// thread (Response resolves with XQSV0002); the service arms the
+  /// request's deadline on it.
+  std::future<Response> Submit(
+      Request request, std::shared_ptr<CancellationToken> token = nullptr);
+
+  /// Synchronous convenience: Submit + wait.
+  Response Execute(Request request,
+                   std::shared_ptr<CancellationToken> token = nullptr);
+
+  DocumentStore& documents() { return store_; }
+  const DocumentStore& documents() const { return store_; }
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServiceMetrics& metrics() const { return metrics_; }
+  PlanCache::Counters plan_cache_counters() const {
+    return cache_.counters();
+  }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Everything observable about the service as one JSON object:
+  /// ServiceMetrics, plan-cache counters, and the document catalog
+  /// (docs/OBSERVABILITY.md).
+  std::string MetricsJson(int indent = 0) const;
+
+  /// Stops admitting new requests (XQSV0003 from then on) and blocks until
+  /// every admitted request has finished. Idempotent.
+  void Shutdown();
+
+ private:
+  Response RunRequest(const Request& request, const CancellationToken& token,
+                      std::chrono::steady_clock::time_point submitted);
+
+  ServiceOptions options_;
+  Engine engine_;
+  DocumentStore store_;
+  PlanCache cache_;
+  ServiceMetrics metrics_;
+
+  int max_concurrent_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> shutdown_{false};
+
+  // Concurrency gate: workers block here when more requests are scheduled
+  // than max_concurrent_queries allows.
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  int running_ = 0;
+
+  /// Private scheduler pool; destroyed (draining its queue) by Shutdown.
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex shutdown_mutex_;
+};
+
+}  // namespace xqa::service
+
+#endif  // XQA_SERVICE_QUERY_SERVICE_H_

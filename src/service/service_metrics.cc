@@ -1,0 +1,114 @@
+#include "service/service_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace xqa::service {
+
+namespace {
+
+/// Bucket upper bound in seconds: 2^(i+1) microseconds.
+double BucketUpperSeconds(int bucket) {
+  return std::ldexp(1e-6, bucket + 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  double micros = seconds * 1e6;
+  int bucket = 0;
+  if (micros >= 1.0) {
+    bucket = std::min(kBuckets - 1,
+                      static_cast<int>(std::floor(std::log2(micros))));
+  }
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_micros_.fetch_add(static_cast<int64_t>(micros),
+                          std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean_seconds() const {
+  int64_t n = count();
+  return n > 0 ? total_seconds() / static_cast<double>(n) : 0.0;
+}
+
+double LatencyHistogram::PercentileSeconds(double p) const {
+  int64_t n = count();
+  if (n <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target observation, 1-based ceiling.
+  int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p * static_cast<double>(n))));
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperSeconds(i);
+  }
+  return BucketUpperSeconds(kBuckets - 1);
+}
+
+std::string LatencyHistogram::ToJson() const {
+  std::ostringstream out;
+  out << "{\"count\": " << count()
+      << ", \"mean_seconds\": " << mean_seconds()
+      << ", \"p50_seconds\": " << PercentileSeconds(0.50)
+      << ", \"p95_seconds\": " << PercentileSeconds(0.95)
+      << ", \"p99_seconds\": " << PercentileSeconds(0.99)
+      << ", \"buckets_upper_micros_pow2\": [";
+  // Sparse rendering: [bucket_index, count] pairs for non-empty buckets;
+  // bucket i spans [2^i, 2^(i+1)) microseconds.
+  bool first = true;
+  for (int i = 0; i < kBuckets; ++i) {
+    int64_t n = buckets_[static_cast<size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (n == 0) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << "[" << i << ", " << n << "]";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void ServiceMetrics::RecordQueryStats(const QueryStats& stats) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  aggregate_stats_.MergeFrom(stats);
+}
+
+QueryStats ServiceMetrics::AggregatedQueryStats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return aggregate_stats_;
+}
+
+std::string ServiceMetrics::ToJson(int indent) const {
+  std::string pad = indent > 0 ? std::string(static_cast<size_t>(indent), ' ')
+                               : "";
+  std::string nl = indent > 0 ? "\n" : "";
+  std::ostringstream out;
+  out << "{" << nl;
+  out << pad << "\"submitted\": "
+      << submitted.load(std::memory_order_relaxed) << "," << nl;
+  out << pad << "\"rejected\": "
+      << rejected.load(std::memory_order_relaxed) << "," << nl;
+  out << pad << "\"admitted\": "
+      << admitted.load(std::memory_order_relaxed) << "," << nl;
+  out << pad << "\"completed\": "
+      << completed.load(std::memory_order_relaxed) << "," << nl;
+  out << pad << "\"failed\": " << failed.load(std::memory_order_relaxed)
+      << "," << nl;
+  out << pad << "\"timed_out\": "
+      << timed_out.load(std::memory_order_relaxed) << "," << nl;
+  out << pad << "\"cancelled\": "
+      << cancelled.load(std::memory_order_relaxed) << "," << nl;
+  out << pad << "\"documents_missing\": "
+      << documents_missing.load(std::memory_order_relaxed) << "," << nl;
+  out << pad << "\"latency\": " << latency.ToJson() << "," << nl;
+  out << pad << "\"queue_latency\": " << queue_latency.ToJson() << "," << nl;
+  out << pad << "\"query_stats\": " << AggregatedQueryStats().ToJson() << nl;
+  out << "}";
+  return out.str();
+}
+
+}  // namespace xqa::service

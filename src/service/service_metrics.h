@@ -1,0 +1,90 @@
+#ifndef XQA_SERVICE_SERVICE_METRICS_H_
+#define XQA_SERVICE_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "api/query_stats.h"
+
+namespace xqa::service {
+
+/// Lock-free log-spaced latency histogram: bucket i counts observations in
+/// [2^i, 2^(i+1)) microseconds, with the first and last buckets absorbing
+/// the tails (sub-microsecond / beyond ~67 s). Record is two relaxed
+/// fetch_adds, safe from any number of worker threads; percentiles are
+/// bucket-upper-bound estimates, which is what a serving dashboard needs —
+/// exact per-request latencies stay available to callers via Response.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 27;
+
+  void Record(double seconds);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_seconds() const {
+    return static_cast<double>(
+               total_micros_.load(std::memory_order_relaxed)) *
+           1e-6;
+  }
+  double mean_seconds() const;
+
+  /// Upper bound of the bucket containing the p-th percentile observation
+  /// (p in [0, 1]); 0 when empty.
+  double PercentileSeconds(double p) const;
+
+  /// {"count":..,"mean_seconds":..,"p50_seconds":..,...,"buckets":[..]} —
+  /// schema in docs/OBSERVABILITY.md.
+  std::string ToJson() const;
+
+ private:
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> total_micros_{0};
+};
+
+/// Service-level counters plus an aggregate of every profiled request's
+/// QueryStats (docs/SERVICE.md). Counter writes are relaxed atomics on the
+/// request path; the QueryStats aggregate takes a mutex, amortized by its
+/// per-request (not per-tuple) cadence.
+///
+/// Counter semantics: submitted = rejected + admitted; admitted requests
+/// finish as exactly one of completed / failed / timed_out / cancelled.
+/// `documents_missing` sub-counts failed requests that named an absent
+/// store document (XQSV0004).
+class ServiceMetrics {
+ public:
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> rejected{0};   ///< admission refused (XQSV0003)
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> failed{0};     ///< dynamic/static errors
+  std::atomic<uint64_t> timed_out{0};  ///< deadline exceeded (XQSV0001)
+  std::atomic<uint64_t> cancelled{0};  ///< client cancel (XQSV0002)
+  std::atomic<uint64_t> documents_missing{0};
+
+  /// End-to-end latency (queue wait + execution) of finished requests.
+  LatencyHistogram latency;
+  /// Queue wait alone (admission to execution start).
+  LatencyHistogram queue_latency;
+
+  /// Folds one request's execution stats into the service-wide aggregate.
+  void RecordQueryStats(const QueryStats& stats);
+
+  /// Copy of the aggregate (per-clause entries merged across requests).
+  QueryStats AggregatedQueryStats() const;
+
+  /// Machine-readable rendering of everything above; schema in
+  /// docs/OBSERVABILITY.md. `indent` > 0 pretty-prints.
+  std::string ToJson(int indent = 0) const;
+
+ private:
+  mutable std::mutex stats_mutex_;
+  QueryStats aggregate_stats_;
+};
+
+}  // namespace xqa::service
+
+#endif  // XQA_SERVICE_SERVICE_METRICS_H_

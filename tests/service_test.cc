@@ -1,0 +1,661 @@
+// Query service layer: plan cache, document store, admission control, and
+// cooperative cancellation (src/service/, docs/SERVICE.md).
+//
+// The concurrency fixtures here (DocumentStoreTest.ConcurrentSnapshotReplace,
+// ServiceTest.FourConcurrentClients) are the service subsystem's TSan
+// targets — CI runs them under -fsanitize=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/document_store.h"
+#include "service/plan_cache.h"
+#include "service/query_service.h"
+#include "workload/books.h"
+#include "workload/orders.h"
+#include "workload/sales.h"
+
+namespace xqa::service {
+namespace {
+
+// A grouping query per workload document, each with an order by so output
+// order is total and byte-comparison across runs is meaningful.
+constexpr const char* kOrdersQuery = R"(
+  for $l in //order/lineitem
+  group by $l/shipmode into $m
+  nest $l/quantity into $qs
+  order by string($m)
+  return <r>{$m}<n>{count($qs)}</n><s>{sum($qs)}</s></r>
+)";
+constexpr const char* kBooksQuery = R"(
+  for $b in //book
+  group by $b/publisher into $p, $b/year into $y
+  nest $b/price into $prices
+  order by string($p), string($y)
+  return <g>{$p, $y}<avg>{avg($prices)}</avg></g>
+)";
+constexpr const char* kSalesQuery = R"(
+  for $s in //sale
+  group by $s/region into $region
+  nest $s/(quantity * price) into $amounts
+  order by string($region)
+  return <r>{$region}<total>{sum($amounts)}</total></r>
+)";
+
+DocumentPtr SmallOrders() {
+  workload::OrderConfig config;
+  config.num_orders = 200;
+  return workload::GenerateOrdersDocument(config);
+}
+
+// --- PlanCache --------------------------------------------------------------
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  Engine engine_;
+  ExecutionOptions exec_;
+};
+
+TEST_F(PlanCacheTest, MissThenHitReturnsSameHandle) {
+  PlanCache cache;
+  bool hit = true;
+  PlanHandle first = cache.GetOrCompile(engine_, "1 + 1", exec_, &hit);
+  EXPECT_FALSE(hit);
+  PlanHandle second = cache.GetOrCompile(engine_, "1 + 1", exec_, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());
+
+  PlanCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.entries, 1u);
+  EXPECT_EQ(counters.evictions, 0u);
+}
+
+TEST_F(PlanCacheTest, ExecutionOptionsArePartOfTheKey) {
+  PlanCache cache;
+  ExecutionOptions indexed;
+  indexed.use_structural_index = !exec_.use_structural_index;
+  PlanHandle a = cache.GetOrCompile(engine_, "1 + 1", exec_);
+  PlanHandle b = cache.GetOrCompile(engine_, "1 + 1", indexed);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.counters().entries, 2u);
+
+  ExecutionOptions threaded;
+  threaded.num_threads = 4;
+  cache.GetOrCompile(engine_, "1 + 1", threaded);
+  EXPECT_EQ(cache.counters().entries, 3u);
+}
+
+TEST_F(PlanCacheTest, CancellationTokenIsNotPartOfTheKey) {
+  CancellationToken token;
+  ExecutionOptions with_token = exec_;
+  with_token.cancellation = &token;
+  EXPECT_EQ(PlanCache::MakeKey("1", Engine::Options{}, exec_),
+            PlanCache::MakeKey("1", Engine::Options{}, with_token));
+}
+
+TEST_F(PlanCacheTest, CompileDialectIsPartOfTheKey) {
+  Engine::Options rewriting;
+  rewriting.enable_groupby_rewrite = true;
+  EXPECT_NE(PlanCache::MakeKey("1", Engine::Options{}, exec_),
+            PlanCache::MakeKey("1", rewriting, exec_));
+}
+
+TEST_F(PlanCacheTest, LruEvictsOldestWithinShard) {
+  PlanCache::Config config;
+  config.capacity = 2;
+  config.shards = 1;  // single shard makes the LRU order global
+  PlanCache cache(config);
+  cache.GetOrCompile(engine_, "1", exec_);
+  cache.GetOrCompile(engine_, "2", exec_);
+  cache.GetOrCompile(engine_, "1", exec_);  // hit: "1" becomes most recent
+  cache.GetOrCompile(engine_, "3", exec_);  // evicts "2"
+
+  EXPECT_NE(cache.Lookup(engine_, "1", exec_), nullptr);
+  EXPECT_EQ(cache.Lookup(engine_, "2", exec_), nullptr);
+  EXPECT_NE(cache.Lookup(engine_, "3", exec_), nullptr);
+  PlanCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.entries, 2u);
+}
+
+TEST_F(PlanCacheTest, FailedCompilesAreNotCached) {
+  PlanCache cache;
+  EXPECT_THROW(cache.GetOrCompile(engine_, "for $x in", exec_), XQueryError);
+  EXPECT_THROW(cache.GetOrCompile(engine_, "for $x in", exec_), XQueryError);
+  PlanCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.entries, 0u);
+  EXPECT_EQ(counters.misses, 2u);
+}
+
+TEST_F(PlanCacheTest, ClearKeepsInFlightHandlesValid) {
+  PlanCache cache;
+  PlanHandle plan = cache.GetOrCompile(engine_, "2 + 3", exec_);
+  cache.Clear();
+  EXPECT_EQ(cache.counters().entries, 0u);
+  EXPECT_EQ(SerializeSequence(plan->Execute()), "5");
+}
+
+/// A cached plan must be indistinguishable from a fresh compile: identical
+/// serialized bytes and identical execution counters, across all three
+/// workload generators.
+TEST_F(PlanCacheTest, CachedPlanMatchesFreshCompile) {
+  struct Case {
+    DocumentPtr doc;
+    const char* query;
+  };
+  workload::BooksConfig books;
+  books.num_books = 120;
+  workload::SalesConfig sales;
+  sales.num_sales = 500;
+  const Case cases[] = {
+      {SmallOrders(), kOrdersQuery},
+      {workload::GenerateBooksDocument(books), kBooksQuery},
+      {workload::GenerateSalesDocument(sales), kSalesQuery},
+  };
+
+  PlanCache cache;
+  for (const Case& c : cases) {
+    ProfiledResult fresh = engine_.Compile(c.query).ExecuteProfiled(c.doc);
+    cache.GetOrCompile(engine_, c.query, exec_);  // warm
+    bool hit = false;
+    PlanHandle cached = cache.GetOrCompile(engine_, c.query, exec_, &hit);
+    ASSERT_TRUE(hit);
+    ProfiledResult reused = cached->ExecuteProfiled(c.doc, exec_);
+
+    EXPECT_EQ(SerializeSequence(reused.sequence),
+              SerializeSequence(fresh.sequence))
+        << c.query;
+    // Compare the deterministic counters (wall times naturally differ).
+    EXPECT_EQ(reused.stats.tuples_flowed, fresh.stats.tuples_flowed);
+    EXPECT_EQ(reused.stats.path_steps, fresh.stats.path_steps);
+    EXPECT_EQ(reused.stats.nodes_constructed, fresh.stats.nodes_constructed);
+    EXPECT_EQ(reused.stats.deep_equal_calls, fresh.stats.deep_equal_calls);
+    EXPECT_EQ(reused.stats.deep_hash_calls, fresh.stats.deep_hash_calls);
+    EXPECT_EQ(reused.stats.TotalGroupsFormed(),
+              fresh.stats.TotalGroupsFormed());
+    EXPECT_EQ(reused.stats.TotalHashProbes(), fresh.stats.TotalHashProbes());
+  }
+}
+
+TEST_F(PlanCacheTest, ConcurrentGetOrCompileSingleEntry) {
+  PlanCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<PlanHandle> handles(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      handles[static_cast<size_t>(t)] =
+          cache.GetOrCompile(engine_, "sum((1, 2, 3))", exec_);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Race losers may each compile, but exactly one entry is resident and
+  // every caller got a working plan.
+  EXPECT_EQ(cache.counters().entries, 1u);
+  for (const PlanHandle& handle : handles) {
+    ASSERT_NE(handle, nullptr);
+    EXPECT_EQ(SerializeSequence(handle->Execute()), "6");
+  }
+}
+
+// --- DocumentStore ----------------------------------------------------------
+
+TEST(DocumentStoreTest, PutGetRemove) {
+  DocumentStore store;
+  EXPECT_EQ(store.Get("orders"), nullptr);
+  EXPECT_EQ(store.size(), 0u);
+
+  DocumentPtr doc = SmallOrders();
+  EXPECT_FALSE(store.Put("orders", doc));  // insert, not replace
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Get("orders").get(), doc.get());
+  EXPECT_TRUE(store.Get("orders")->sealed());
+
+  EXPECT_TRUE(store.Put("orders", SmallOrders()));  // replace
+  EXPECT_NE(store.Get("orders").get(), doc.get());
+
+  EXPECT_TRUE(store.Remove("orders"));
+  EXPECT_FALSE(store.Remove("orders"));
+  EXPECT_EQ(store.Get("orders"), nullptr);
+}
+
+TEST(DocumentStoreTest, NullDocumentRejected) {
+  DocumentStore store;
+  try {
+    store.Put("orders", nullptr);
+    FAIL() << "expected XQSV0004";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+  }
+}
+
+TEST(DocumentStoreTest, VersionBumpsOnEveryMutation) {
+  DocumentStore store;
+  uint64_t v0 = store.version();
+  store.Put("a", Engine::ParseDocument("<a/>"));
+  EXPECT_GT(store.version(), v0);
+  uint64_t v1 = store.version();
+  store.Remove("a");
+  EXPECT_GT(store.version(), v1);
+}
+
+TEST(DocumentStoreTest, SnapshotIsolatedFromLaterMutations) {
+  DocumentStore store;
+  store.Put("a", Engine::ParseDocument("<a/>"));
+  DocumentRegistry snapshot = store.Snapshot();
+  store.Put("b", Engine::ParseDocument("<b/>"));
+  store.Remove("a");
+
+  EXPECT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot.count("a"), 1u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Get("b")->root()->children()[0]->name(), "b");
+}
+
+/// The tentpole's snapshot-replace guarantee: a writer atomically replacing
+/// the published document never perturbs concurrent readers — each request
+/// pins one sealed version and serializes to one of the two expected byte
+/// strings, never a mix. Run under TSan in CI.
+TEST(DocumentStoreTest, ConcurrentSnapshotReplace) {
+  Engine engine;
+  DocumentPtr v1 = Engine::ParseDocument(
+      "<bib><book><price>10</price></book><book><price>20</price></book>"
+      "</bib>");
+  DocumentPtr v2 = Engine::ParseDocument(
+      "<bib><book><price>7</price></book><book><price>7</price></book>"
+      "<book><price>7</price></book></bib>");
+
+  const std::string query =
+      "for $b in //book group by true() into $g nest $b/price into $p "
+      "return <r><n>{count($p)}</n><s>{sum($p)}</s></r>";
+  PreparedQuery prepared = engine.Compile(query);
+  const std::string expect1 = prepared.ExecuteToString(v1);
+  const std::string expect2 = prepared.ExecuteToString(v2);
+  ASSERT_NE(expect1, expect2);
+
+  DocumentStore store;
+  store.Put("bib", v1);
+
+  constexpr int kReaders = 4;
+  constexpr int kWriterFlips = 50;
+  std::atomic<bool> stop{false};
+  std::atomic<int> mixed{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        DocumentPtr doc = store.Get("bib");
+        ASSERT_NE(doc, nullptr);
+        std::string got = prepared.ExecuteToString(doc);
+        if (got != expect1 && got != expect2) {
+          mixed.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+
+  for (int flip = 0; flip < kWriterFlips; ++flip) {
+    store.Put("bib", flip % 2 == 0 ? v2 : v1);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(mixed.load(), 0) << "a reader observed a torn document";
+}
+
+// --- QueryService -----------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static ServiceOptions SmallService() {
+    ServiceOptions options;
+    options.worker_threads = 2;
+    return options;
+  }
+};
+
+TEST_F(ServiceTest, ExecutesAgainstStoredDocument) {
+  QueryService service(SmallService());
+  service.documents().Put("orders", SmallOrders());
+
+  Request request;
+  request.query = kOrdersQuery;
+  request.document = "orders";
+  Response response = service.Execute(request);
+
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.executed);
+  EXPECT_FALSE(response.cache_hit);
+
+  // Cross-check against a direct engine run.
+  Engine engine;
+  EXPECT_EQ(response.result, engine.Compile(kOrdersQuery)
+                                 .ExecuteToString(service.documents().Get(
+                                     "orders")));
+
+  // Second submission of the same text hits the plan cache.
+  Response again = service.Execute(request);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.result, response.result);
+
+  PlanCache::Counters cache = service.plan_cache_counters();
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(service.metrics().completed.load(), 2u);
+  EXPECT_EQ(service.metrics().latency.count(), 2);
+}
+
+TEST_F(ServiceTest, CacheDisabledCompilesEveryRequest) {
+  ServiceOptions options = SmallService();
+  options.enable_plan_cache = false;
+  QueryService service(options);
+  service.documents().Put("orders", SmallOrders());
+
+  Request request;
+  request.query = kOrdersQuery;
+  request.document = "orders";
+  Response first = service.Execute(request);
+  Response second = service.Execute(request);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(first.result, second.result);
+  PlanCache::Counters cache = service.plan_cache_counters();
+  EXPECT_EQ(cache.hits + cache.misses, 0u);
+}
+
+TEST_F(ServiceTest, UnknownDocumentIsADedicatedError) {
+  QueryService service(SmallService());
+  Request request;
+  request.query = "1 + 1";
+  request.document = "nope";
+  Response response = service.Execute(request);
+
+  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0004);
+  EXPECT_FALSE(response.executed);
+  EXPECT_TRUE(response.result.empty());
+  EXPECT_EQ(service.metrics().failed.load(), 1u);
+  EXPECT_EQ(service.metrics().documents_missing.load(), 1u);
+}
+
+TEST_F(ServiceTest, StaticErrorCountsAsFailed) {
+  QueryService service(SmallService());
+  Request request;
+  request.query = "for $x in";
+  Response response = service.Execute(request);
+  EXPECT_EQ(response.status.code(), ErrorCode::kXPST0003);
+  EXPECT_TRUE(response.result.empty());
+  EXPECT_EQ(service.metrics().failed.load(), 1u);
+}
+
+TEST_F(ServiceTest, CancelledRequestNeverExecutes) {
+  QueryService service(SmallService());
+  service.documents().Put("orders", SmallOrders());
+
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  Request request;
+  request.query = kOrdersQuery;
+  request.document = "orders";
+  Response response = service.Execute(request, token);
+
+  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0002);
+  EXPECT_FALSE(response.executed);
+  EXPECT_TRUE(response.result.empty());
+  EXPECT_EQ(service.metrics().cancelled.load(), 1u);
+}
+
+/// Acceptance criterion: a deadline-exceeded request resolves with the
+/// dedicated timeout code and an empty result — never a partial one. The
+/// checkpoints in the FLWOR loop fire mid-execution; whether the deadline
+/// trips in the queue or in the loop, the response is identical.
+TEST_F(ServiceTest, DeadlineExceededIsTimeoutWithNoPartialResult) {
+  QueryService service(SmallService());
+  workload::OrderConfig big;
+  big.num_orders = 3000;  // thousands of tuples: many checkpoint polls
+  service.documents().Put("orders", workload::GenerateOrdersDocument(big));
+
+  Request request;
+  request.query = kOrdersQuery;
+  request.document = "orders";
+  request.deadline_seconds = 1e-6;
+  Response response = service.Execute(request);
+
+  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0001);
+  EXPECT_FALSE(response.executed);
+  EXPECT_TRUE(response.result.empty());
+  EXPECT_EQ(service.metrics().timed_out.load(), 1u);
+  EXPECT_EQ(service.metrics().completed.load(), 0u);
+}
+
+TEST_F(ServiceTest, DefaultDeadlineApplies) {
+  ServiceOptions options = SmallService();
+  options.default_deadline_seconds = 1e-6;
+  QueryService service(options);
+  workload::OrderConfig big;
+  big.num_orders = 3000;
+  service.documents().Put("orders", workload::GenerateOrdersDocument(big));
+
+  Request request;
+  request.query = kOrdersQuery;
+  request.document = "orders";
+  EXPECT_EQ(service.Execute(request).status.code(), ErrorCode::kXQSV0001);
+
+  // An explicit 0 opts the request out of the service default.
+  request.deadline_seconds = 0.0;
+  Response response = service.Execute(request);
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+}
+
+TEST_F(ServiceTest, AdmissionRejectsWhenPendingQueueFull) {
+  ServiceOptions options;
+  options.worker_threads = 1;
+  options.max_pending_requests = 2;
+  QueryService service(options);
+  workload::OrderConfig big;
+  big.num_orders = 3000;  // tens of milliseconds per request
+  service.documents().Put("orders", workload::GenerateOrdersDocument(big));
+
+  // Occupy the single worker and the one remaining pending slot with slow
+  // requests (cancellable, so the test never waits for full executions),
+  // then overflow. Pending slots are held until a request *finishes*, so
+  // the third submission must bounce.
+  auto blocker_token = std::make_shared<CancellationToken>();
+  Request slow;
+  slow.query = kOrdersQuery;
+  slow.document = "orders";
+  std::future<Response> blocked = service.Submit(slow, blocker_token);
+
+  auto queued_token = std::make_shared<CancellationToken>();
+  std::future<Response> queued = service.Submit(slow, queued_token);
+  std::future<Response> rejected = service.Submit(slow);  // over capacity
+
+  Response rejection = rejected.get();
+  EXPECT_EQ(rejection.status.code(), ErrorCode::kXQSV0003);
+  EXPECT_EQ(service.metrics().rejected.load(), 1u);
+
+  blocker_token->Cancel();
+  queued_token->Cancel();
+  blocked.get();
+  queued.get();
+  EXPECT_EQ(service.metrics().submitted.load(),
+            service.metrics().rejected.load() +
+                service.metrics().admitted.load());
+}
+
+TEST_F(ServiceTest, ShutdownRejectsNewRequests) {
+  QueryService service(SmallService());
+  service.Shutdown();
+  Request request;
+  request.query = "1 + 1";
+  Response response = service.Execute(request);
+  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0003);
+}
+
+TEST_F(ServiceTest, RegistrySnapshotServesDocQueries) {
+  QueryService service(SmallService());
+  service.documents().Put(
+      "books.xml",
+      Engine::ParseDocument("<bib><book><price>10</price></book></bib>"));
+  service.documents().Put(
+      "sales.xml",
+      Engine::ParseDocument("<sales><sale><price>5</price></sale></sales>"));
+
+  Request request;
+  request.query =
+      "sum((doc(\"books.xml\")//price, doc(\"sales.xml\")//price))";
+  request.provide_registry = true;
+  Response response = service.Execute(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.result, "15");
+}
+
+TEST_F(ServiceTest, PerRequestExecOptionsOverrideDefaults) {
+  ServiceOptions options = SmallService();
+  options.default_exec.num_threads = 1;
+  QueryService service(options);
+  service.documents().Put("orders", SmallOrders());
+
+  Request serial;
+  serial.query = kOrdersQuery;
+  serial.document = "orders";
+  Response serial_response = service.Execute(serial);
+
+  Request parallel = serial;
+  ExecutionOptions exec;
+  exec.num_threads = 4;
+  parallel.exec = exec;
+  Response parallel_response = service.Execute(parallel);
+
+  ASSERT_TRUE(serial_response.status.ok());
+  ASSERT_TRUE(parallel_response.status.ok());
+  // Deterministic parallelism: identical bytes regardless of lanes.
+  EXPECT_EQ(parallel_response.result, serial_response.result);
+  // Different ExecutionOptions fingerprints occupy distinct cache slots.
+  EXPECT_EQ(service.plan_cache_counters().entries, 2u);
+}
+
+TEST_F(ServiceTest, MetricsJsonIsWellFormed) {
+  QueryService service(SmallService());
+  service.documents().Put("orders", SmallOrders());
+  Request request;
+  request.query = kOrdersQuery;
+  request.document = "orders";
+  service.Execute(request);
+
+  std::string json = service.MetricsJson();
+  for (const char* key :
+       {"\"service\"", "\"plan_cache\"", "\"documents\"", "\"submitted\"",
+        "\"completed\"", "\"latency\"", "\"queue_latency\"",
+        "\"query_stats\"", "\"hits\"", "\"misses\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+/// The tentpole's end-to-end concurrency scenario, run under TSan in CI:
+/// four closed-loop clients against one service while a writer replaces the
+/// shared document. Every response must be exactly one of the two versions'
+/// results, and the terminal counters must reconcile.
+TEST_F(ServiceTest, FourConcurrentClients) {
+  ServiceOptions options;
+  options.worker_threads = 4;
+  options.max_pending_requests = 256;
+  QueryService service(options);
+
+  workload::OrderConfig small;
+  small.num_orders = 60;
+  workload::OrderConfig tiny;
+  tiny.num_orders = 30;
+  tiny.seed = 99;
+  DocumentPtr v1 = workload::GenerateOrdersDocument(small);
+  DocumentPtr v2 = workload::GenerateOrdersDocument(tiny);
+  service.documents().Put("orders", v1);
+
+  Engine engine;
+  PreparedQuery prepared = engine.Compile(kOrdersQuery);
+  const std::string expect1 = prepared.ExecuteToString(v1);
+  const std::string expect2 = prepared.ExecuteToString(v2);
+  ASSERT_NE(expect1, expect2);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        Request request;
+        request.query = kOrdersQuery;
+        request.document = "orders";
+        Response response = service.Execute(request);
+        if (!response.status.ok() ||
+            (response.result != expect1 && response.result != expect2)) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int flip = 0; flip < 40; ++flip) {
+      service.documents().Put("orders", flip % 2 == 0 ? v2 : v1);
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& client : clients) client.join();
+  writer.join();
+  service.Shutdown();
+
+  EXPECT_EQ(wrong.load(), 0);
+  const ServiceMetrics& metrics = service.metrics();
+  uint64_t total = kClients * kRequestsPerClient;
+  EXPECT_EQ(metrics.submitted.load(), total);
+  EXPECT_EQ(metrics.admitted.load() + metrics.rejected.load(), total);
+  EXPECT_EQ(metrics.completed.load() + metrics.failed.load() +
+                metrics.timed_out.load() + metrics.cancelled.load(),
+            metrics.admitted.load());
+  EXPECT_EQ(metrics.completed.load(), total);  // nothing should have failed
+  EXPECT_EQ(metrics.latency.count(), static_cast<int64_t>(total));
+  // One compile, everything else cache hits.
+  PlanCache::Counters cache = service.plan_cache_counters();
+  EXPECT_EQ(cache.entries, 1u);
+  EXPECT_EQ(cache.hits + cache.misses, total);
+  EXPECT_GE(cache.hits, total - static_cast<uint64_t>(kClients));
+}
+
+/// Destroying a service with requests still queued must resolve every
+/// future (ThreadPool's destructor drains its queue).
+TEST_F(ServiceTest, DestructorDrainsQueuedRequests) {
+  std::vector<std::future<Response>> futures;
+  {
+    ServiceOptions options;
+    options.worker_threads = 1;
+    options.max_pending_requests = 16;
+    QueryService service(options);
+    service.documents().Put("orders", SmallOrders());
+    for (int i = 0; i < 8; ++i) {
+      Request request;
+      request.query = kOrdersQuery;
+      request.document = "orders";
+      futures.push_back(service.Submit(request));
+    }
+  }  // ~QueryService: Shutdown + drain
+  for (std::future<Response>& future : futures) {
+    Response response = future.get();  // must not hang or throw broken_promise
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace xqa::service
