@@ -5,9 +5,12 @@
 // plan-cache ablation (enable_plan_cache on/off); with the cache on, every
 // request after the first per (query, options) key reuses the compiled plan,
 // so the on/off delta isolates the compilation cost the cache amortizes.
-// A final section submits requests with a nanosecond-scale deadline and
+// A deadline section submits requests with a nanosecond-scale deadline and
 // records that every one resolves with the dedicated timeout code and an
-// empty result (the no-partial-results guarantee).
+// empty result (the no-partial-results guarantee). An overload section
+// saturates a small service (tiny queue, per-query budget, memory pressure
+// gate) and records shed/retryable rates and that every failure classifies
+// correctly (docs/ROBUSTNESS.md).
 //
 // Usage: bench_service [--quick] [--smoke]
 
@@ -168,6 +171,95 @@ JsonValue RunDeadlineSection(const xqa::DocumentPtr& orders, int requests) {
   return entry;
 }
 
+/// Overload section (docs/ROBUSTNESS.md): more clients than workers against
+/// a tiny queue, a small per-query budget, and a total-memory pressure gate,
+/// so every degradation path fires — queue-full and pressure sheds at
+/// Submit, per-query XQSV0004 during execution — while some requests still
+/// complete. Records how the failures classify: every shed must be
+/// retryable, every budget failure must not be, and nothing may carry a
+/// partial result.
+JsonValue RunOverloadSection(const xqa::DocumentPtr& orders, int clients,
+                             int requests_per_client) {
+  ServiceOptions options;
+  options.worker_threads = 2;
+  options.max_concurrent_queries = 2;
+  options.max_pending_requests = 4;  // far below the offered load
+  options.per_query_memory_bytes = 1 << 20;
+  options.total_memory_bytes = 4 << 20;  // pressure gate bites under load
+  QueryService service(options);
+  service.documents().Put("orders", orders);
+
+  std::atomic<int> completed{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> budget_failed{0};
+  std::atomic<int> retryable{0};
+  std::atomic<int> misclassified{0};
+  std::atomic<int> partial_results{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < requests_per_client; ++i) {
+        Request request;
+        request.query = kQueries[(c + i) % kNumQueries];
+        request.document = "orders";
+        request.collect_stats = false;
+        Response response = service.Execute(request);
+        if (response.status.ok()) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (!response.result.empty()) {
+          partial_results.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (response.retryable) retryable.fetch_add(1, std::memory_order_relaxed);
+        switch (response.status.code()) {
+          case ErrorCode::kXQSV0003:
+            shed.fetch_add(1, std::memory_order_relaxed);
+            // Queue-full and pressure sheds are transient by definition.
+            if (!response.retryable) {
+              misclassified.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          case ErrorCode::kXQSV0004:
+            budget_failed.fetch_add(1, std::memory_order_relaxed);
+            // A budget failure repeats on retry; it must not be retryable.
+            if (response.retryable) {
+              misclassified.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          default:
+            misclassified.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  int total = clients * requests_per_client;
+  JsonValue entry = JsonValue::Object();
+  entry.Set("clients", JsonValue::Int(clients));
+  entry.Set("requests", JsonValue::Int(total));
+  entry.Set("wall_seconds", JsonValue::Number(wall));
+  entry.Set("completed", JsonValue::Int(completed.load()));
+  entry.Set("shed", JsonValue::Int(shed.load()));
+  entry.Set("budget_exceeded", JsonValue::Int(budget_failed.load()));
+  entry.Set("shed_rate",
+            JsonValue::Number(static_cast<double>(shed.load()) / total));
+  entry.Set("retryable_rate",
+            JsonValue::Number(static_cast<double>(retryable.load()) / total));
+  entry.Set("misclassified", JsonValue::Int(misclassified.load()));
+  entry.Set("partial_results", JsonValue::Int(partial_results.load()));
+  entry.Set("idle_memory_used_bytes",
+            JsonValue::Int(service.root_memory().used()));
+  entry.Set("service_metrics", JsonValue::Raw(service.MetricsJson()));
+  return entry;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -210,6 +302,8 @@ int main(int argc, char** argv) {
   }
 
   JsonValue deadline = RunDeadlineSection(orders, smoke ? 4 : 16);
+  JsonValue overload = RunOverloadSection(orders, smoke ? 6 : 8,
+                                          requests_per_client);
 
   JsonValue root = JsonValue::Object();
   root.Set("bench", JsonValue::Str("service"));
@@ -226,6 +320,7 @@ int main(int argc, char** argv) {
   root.Set("parameters", std::move(params));
   root.Set("results", std::move(results));
   root.Set("deadline", std::move(deadline));
+  root.Set("overload", std::move(overload));
   xqa::bench::WriteBenchJson("service", root);
   return 0;
 }

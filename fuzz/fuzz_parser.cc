@@ -1,0 +1,34 @@
+// libFuzzer harness for the compile front half: lexer → parser → binder.
+// Arbitrary bytes go through Engine::Compile; any XQueryError is the
+// expected rejection path and is swallowed. What the fuzzer hunts is
+// everything else — crashes, sanitizer reports, and unbounded recursion
+// (the parser depth guard, XQSV0005 territory, is load-bearing here: before
+// it, `((((...` overflowed the C++ stack).
+//
+// Build:  cmake -B build-fuzz -S . -DXQA_FUZZ=ON \
+//             -DCMAKE_CXX_COMPILER=clang++ \
+//             -DCMAKE_CXX_FLAGS=-fsanitize=address
+// Run:    ./build-fuzz/fuzz/fuzz_parser fuzz/corpus -max_total_time=30
+//
+// Compilation only — no execution — so the harness needs no documents and
+// every input terminates quickly.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "api/engine.h"
+#include "base/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // One engine per process: Compile is const and the harness is
+  // single-threaded, so reusing it keeps the per-input cost at parse time.
+  static xqa::Engine* engine = new xqa::Engine();
+  std::string_view query(reinterpret_cast<const char*>(data), size);
+  try {
+    engine->Compile(query);
+  } catch (const xqa::XQueryError&) {
+    // Typed rejection is the contract for bad input.
+  }
+  return 0;
+}

@@ -90,11 +90,17 @@ Result<Sequence> PreparedQuery::TryExecute(const DocumentPtr& document) const {
 std::string SerializeSequence(const Sequence& sequence, int indent) {
   SerializeOptions options;
   options.indent = indent;
+  return SerializeSequence(sequence, options);
+}
+
+std::string SerializeSequence(const Sequence& sequence,
+                              const SerializeOptions& options) {
   std::string out;
   bool prev_atomic = false;
   for (const Item& item : sequence) {
+    if (options.cancellation != nullptr) options.cancellation->Check();
     if (item.IsNode()) {
-      if (!out.empty() && indent > 0) out += '\n';
+      if (!out.empty() && options.indent > 0) out += '\n';
       out += SerializeNode(item.node(), options);
       prev_atomic = false;
     } else {

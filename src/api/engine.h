@@ -10,6 +10,7 @@
 #include "eval/dynamic_context.h"
 #include "parser/ast.h"
 #include "xdm/item.h"
+#include "xml/serializer.h"
 #include "xml/xml_parser.h"
 
 namespace xqa {
@@ -129,6 +130,12 @@ class PreparedQuery {
 /// Serializes an already-computed result sequence (same rules as
 /// PreparedQuery::ExecuteToString).
 std::string SerializeSequence(const Sequence& sequence, int indent = 0);
+
+/// Full-options variant: the query service uses this to keep the output loop
+/// under the request's cancellation token and memory budget (the options
+/// carry both — see xml/serializer.h).
+std::string SerializeSequence(const Sequence& sequence,
+                              const SerializeOptions& options);
 
 /// Compilation and execution entry point.
 ///

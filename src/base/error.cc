@@ -45,6 +45,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kXQSV0002: return "XQSV0002";
     case ErrorCode::kXQSV0003: return "XQSV0003";
     case ErrorCode::kXQSV0004: return "XQSV0004";
+    case ErrorCode::kXQSV0005: return "XQSV0005";
+    case ErrorCode::kXQSV0006: return "XQSV0006";
   }
   return "UNKNOWN";
 }

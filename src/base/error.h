@@ -62,15 +62,19 @@ enum class ErrorCode : uint16_t {
   // --- XML / input errors --------------------------------------------------
   kXMLP0001,  ///< malformed XML input
 
-  // --- Service errors (src/service/, docs/SERVICE.md) ----------------------
-  // Raised at the query-service boundary rather than by the language itself.
-  // XQSV0001/XQSV0002 are thrown from the evaluator's cooperative
-  // cancellation checkpoints, so a timed-out request never yields a partial
-  // result — the exception unwinds the whole execution.
+  // --- Service / resource-governance errors (docs/SERVICE.md,
+  // docs/ROBUSTNESS.md) ------------------------------------------------------
+  // Raised at the query-service boundary or by the resource governors rather
+  // than by the language itself. XQSV0001/0002 come from the evaluator's
+  // cooperative cancellation checkpoints and XQSV0004/0005 from the memory
+  // and recursion governors; all four unwind the whole execution, so a
+  // killed request never yields a partial result.
   kXQSV0001,  ///< request deadline exceeded
   kXQSV0002,  ///< request cancelled by the client
-  kXQSV0003,  ///< admission rejected (pending queue full or shutting down)
-  kXQSV0004,  ///< named document not present in the DocumentStore
+  kXQSV0003,  ///< admission rejected (queue full, shedding, or shutting down)
+  kXQSV0004,  ///< memory budget exceeded (MemoryTracker)
+  kXQSV0005,  ///< expression nesting / recursion depth limit exceeded
+  kXQSV0006,  ///< named document not present in the DocumentStore
 };
 
 /// Returns the canonical name of an error code, e.g. "XPST0008".

@@ -1,0 +1,119 @@
+#include "base/fault_injection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace xqa::fault {
+
+namespace {
+
+struct SiteState {
+  ErrorCode code = ErrorCode::kOk;
+  uint64_t hits = 0;
+  uint64_t trips = 0;
+  /// 0 = disarmed; N trips on the Nth hit from arming.
+  uint64_t countdown = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteState> sites;
+  uint64_t any_countdown = 0;  ///< ArmNth trigger; 0 = disarmed
+  uint64_t total_hits = 0;
+  uint64_t total_trips = 0;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Fast-path gate: when nothing is armed, Hit takes one relaxed load plus
+/// the (mutexed) recording bump. Armed state is rare — tests only.
+std::atomic<bool> g_armed{false};
+
+}  // namespace
+
+void Hit(const char* site, ErrorCode code) {
+  Registry& registry = GetRegistry();
+  bool trip = false;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    SiteState& state = registry.sites[site];
+    state.code = code;
+    ++state.hits;
+    ++registry.total_hits;
+    if (g_armed.load(std::memory_order_relaxed)) {
+      if (state.countdown > 0 && --state.countdown == 0) trip = true;
+      if (registry.any_countdown > 0 && --registry.any_countdown == 0) {
+        trip = true;
+      }
+      if (trip) {
+        ++state.trips;
+        ++registry.total_trips;
+      }
+    }
+  }
+  if (trip) {
+    ThrowError(code, std::string("injected fault at ") + site);
+  }
+}
+
+void ArmSite(const std::string& site, uint64_t countdown) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites[site].countdown = countdown;
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void ArmNth(uint64_t countdown) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.any_countdown = countdown;
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void Disarm() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& [name, state] : registry.sites) state.countdown = 0;
+  registry.any_countdown = 0;
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites.clear();
+  registry.any_countdown = 0;
+  registry.total_hits = 0;
+  registry.total_trips = 0;
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::vector<SiteInfo> Sites() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<SiteInfo> out;
+  out.reserve(registry.sites.size());
+  for (const auto& [name, state] : registry.sites) {
+    out.push_back(SiteInfo{name, state.code, state.hits, state.trips});
+  }
+  return out;
+}
+
+uint64_t TotalHits() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.total_hits;
+}
+
+uint64_t TotalTrips() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.total_trips;
+}
+
+}  // namespace xqa::fault

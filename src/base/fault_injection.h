@@ -1,0 +1,84 @@
+#ifndef XQA_BASE_FAULT_INJECTION_H_
+#define XQA_BASE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+
+/// Deterministic fault injection (docs/ROBUSTNESS.md).
+///
+/// A fault point is a named site on a failure path — an allocation the
+/// memory tracker would veto, a compile step, a document load, a service
+/// enqueue — declared as
+///
+///   XQA_FAULT_POINT("flwor.tuple_alloc", ErrorCode::kXQSV0004);
+///
+/// In a normal build the macro compiles to nothing (zero instructions, zero
+/// branches), so production binaries carry no trace of the framework.
+/// Configuring with -DXQA_FAULTS=ON compiles the hooks in; the chaos tests
+/// then run a workload once in *record* mode to discover every reachable
+/// site, and re-run it once per site with that site armed, asserting the
+/// typed error propagates and every invariant (tracker balance, cache
+/// integrity, service liveness) holds after the unwind.
+///
+/// Tripping is deterministic: a site trips on its Nth hit (ArmSite), or the
+/// Nth hit across all sites (ArmNth) for seeded sweeps that do not know site
+/// names in advance. Thread-safe — sites are hit from service workers and
+/// parallel FLWOR lanes concurrently.
+
+#if defined(XQA_FAULTS_ENABLED)
+#define XQA_FAULT_POINT(site, code) ::xqa::fault::Hit(site, code)
+#else
+#define XQA_FAULT_POINT(site, code) ((void)0)
+#endif
+
+namespace xqa::fault {
+
+/// Counters for one site, reported by Sites().
+struct SiteInfo {
+  std::string name;
+  ErrorCode code = ErrorCode::kOk;  ///< error the site raises when tripped
+  uint64_t hits = 0;
+  uint64_t trips = 0;
+};
+
+/// The body behind XQA_FAULT_POINT. Records the hit; throws XQueryError
+/// with `code` and an "injected fault at <site>" message when this hit
+/// matches the armed trigger. No-op (beyond counting) when disarmed.
+void Hit(const char* site, ErrorCode code);
+
+/// Arms `site` to trip on its `countdown`-th hit from now (1 = next hit).
+void ArmSite(const std::string& site, uint64_t countdown = 1);
+
+/// Arms the `countdown`-th hit of any site from now.
+void ArmNth(uint64_t countdown);
+
+/// Disarms everything; recording stays on.
+void Disarm();
+
+/// Clears counters and the recorded site set (and disarms).
+void Reset();
+
+/// Every site hit since the last Reset, with counters, sorted by name. This
+/// is the sweep's work list: run the workload once, then iterate.
+std::vector<SiteInfo> Sites();
+
+/// Total hits / trips since the last Reset (exposed through
+/// ServiceMetrics::MetricsJson as the "faults" block).
+uint64_t TotalHits();
+uint64_t TotalTrips();
+
+/// True when the framework is compiled in (XQA_FAULTS=ON builds).
+constexpr bool Enabled() {
+#if defined(XQA_FAULTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace xqa::fault
+
+#endif  // XQA_BASE_FAULT_INJECTION_H_

@@ -1,0 +1,91 @@
+#include "base/memory_tracker.h"
+
+#include <algorithm>
+
+namespace xqa {
+
+MemoryTracker::MemoryTracker(std::string label, int64_t limit_bytes,
+                             MemoryTracker* parent)
+    : label_(std::move(label)),
+      limit_(limit_bytes > 0 ? limit_bytes : 0),
+      parent_(parent) {}
+
+MemoryTracker::~MemoryTracker() {
+  // Return the whole reservation, squaring the parent ledger even when the
+  // query unwound mid-charge. This is the invariant the chaos sweep asserts:
+  // after a request's tracker dies, the root balance is exactly what it was
+  // before the request.
+  if (parent_ != nullptr) {
+    parent_->Release(parent_reserved_.load(std::memory_order_relaxed));
+  }
+}
+
+void MemoryTracker::ReserveFromParent(int64_t needed) {
+  // Round the shortfall up to whole chunks so the parent's atomics are
+  // touched once per kReservationChunk of growth, not once per charge.
+  int64_t reserved = parent_reserved_.load(std::memory_order_relaxed);
+  while (reserved < needed) {
+    int64_t shortfall = needed - reserved;
+    int64_t grab =
+        ((shortfall + kReservationChunk - 1) / kReservationChunk) *
+        kReservationChunk;
+    if (parent_reserved_.compare_exchange_weak(reserved, reserved + grab,
+                                               std::memory_order_relaxed)) {
+      try {
+        parent_->Charge(grab);
+      } catch (...) {
+        parent_reserved_.fetch_sub(grab, std::memory_order_relaxed);
+        throw;
+      }
+      return;
+    }
+    // Lost the race: another lane extended the reservation; re-check.
+  }
+}
+
+void MemoryTracker::Charge(int64_t bytes) {
+  if (bytes <= 0) return;
+  int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ > 0 && now > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    budget_failures_.fetch_add(1, std::memory_order_relaxed);
+    ThrowError(ErrorCode::kXQSV0004,
+               "memory budget exceeded: '" + label_ + "' needs " +
+                   std::to_string(now) + " bytes, budget is " +
+                   std::to_string(limit_));
+  }
+  if (parent_ != nullptr &&
+      now > parent_reserved_.load(std::memory_order_relaxed)) {
+    try {
+      ReserveFromParent(now);
+    } catch (...) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      throw;
+    }
+  }
+  // Monotonic peak (racy max is fine — relaxed CAS loop).
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  int64_t before = used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (before < bytes) {
+    // Over-release: clamp back to zero rather than going negative. The
+    // destructor settles the parent from the reservation counter, so this
+    // cannot leak ancestor budget.
+    used_.fetch_add(bytes - before, std::memory_order_relaxed);
+  }
+  // The parent reservation is intentionally kept: requests are short-lived
+  // and return it wholesale at destruction.
+}
+
+bool MemoryTracker::WouldExceed(int64_t bytes) const {
+  if (limit_ > 0 && used() + bytes > limit_) return true;
+  return parent_ != nullptr && parent_->WouldExceed(bytes);
+}
+
+}  // namespace xqa

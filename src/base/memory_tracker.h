@@ -1,0 +1,126 @@
+#ifndef XQA_BASE_MEMORY_TRACKER_H_
+#define XQA_BASE_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "base/error.h"
+
+namespace xqa {
+
+/// Hierarchical memory accounting for query execution (docs/ROBUSTNESS.md).
+///
+/// One tracker sits at the service root (optionally capped by a global
+/// budget); every request gets a child tracker capped by its per-request
+/// budget. The evaluator charges the child at the real materialization
+/// sites — FLWOR tuple generations, group-by hash tables, order-by key
+/// vectors, constructed node trees, serializer output — and a charge that
+/// would exceed any budget on the path to the root throws XQSV0004, which
+/// unwinds exactly like a cancellation checkpoint: the whole execution is
+/// discarded and no partial result escapes.
+///
+/// Contention model: local charges are relaxed fetch_adds on this tracker
+/// only. Propagation to the parent is *chunked reservation* — a child grabs
+/// kReservationChunk bytes of parent budget at a time and satisfies local
+/// charges out of that reservation, so the parent's atomics are touched once
+/// per chunk, not once per charge. The whole reservation returns to the
+/// parent when the child is destroyed (end of request), which also makes the
+/// root's balance provably return to zero after any unwind: leak detection
+/// reduces to asserting root.used() == 0 between requests.
+///
+/// Thread-safe: parallel FLWOR lanes share the per-query tracker by pointer
+/// (DynamicContext::Fork) and may charge/release concurrently.
+class MemoryTracker {
+ public:
+  /// Parent reservation granularity. Large enough that a query touching the
+  /// root pays one parent fetch_add per MiB of growth; small enough that a
+  /// tight global budget (tests use a few MiB) still sheds accurately.
+  static constexpr int64_t kReservationChunk = 1 << 20;  // 1 MiB
+
+  /// `limit_bytes` == 0 means unlimited. `parent` (not owned) must outlive
+  /// this tracker.
+  explicit MemoryTracker(std::string label, int64_t limit_bytes = 0,
+                         MemoryTracker* parent = nullptr);
+  ~MemoryTracker();
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Accounts `bytes` against this tracker and (chunked) every ancestor.
+  /// Throws XQSV0004 naming the first tracker whose budget the charge
+  /// exceeds; the failed charge is fully rolled back before the throw.
+  void Charge(int64_t bytes);
+
+  /// Returns previously charged bytes. Never throws; over-release clamps at
+  /// zero (the destructor squares the parent ledger regardless).
+  void Release(int64_t bytes);
+
+  /// Non-throwing probe used by the service's pressure gate.
+  bool WouldExceed(int64_t bytes) const;
+
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t limit() const { return limit_; }
+  const std::string& label() const { return label_; }
+  MemoryTracker* parent() const { return parent_; }
+
+  /// Cumulative XQSV0004 throws raised by charges against this tracker
+  /// (children rejected by an ancestor's budget count on the ancestor).
+  int64_t budget_failures() const {
+    return budget_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Grows the parent reservation to cover `needed` local bytes.
+  void ReserveFromParent(int64_t needed);
+
+  const std::string label_;
+  const int64_t limit_;
+  MemoryTracker* const parent_;
+
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+  /// Bytes of parent budget currently held by this tracker (>= used_ except
+  /// transiently during a concurrent reservation race).
+  std::atomic<int64_t> parent_reserved_{0};
+  std::atomic<int64_t> budget_failures_{0};
+};
+
+/// RAII charge whose amount can be re-pointed as a data structure is
+/// replaced generation by generation (the FLWOR tuple buffer pattern):
+/// Reset(new_bytes) releases the old charge only after the new one
+/// succeeded, and the destructor releases whatever is still held — including
+/// during exception unwind, which is what keeps tracker balances exact under
+/// fault injection.
+class ScopedMemoryCharge {
+ public:
+  explicit ScopedMemoryCharge(MemoryTracker* tracker) : tracker_(tracker) {}
+  ~ScopedMemoryCharge() { Reset(0); }
+  ScopedMemoryCharge(const ScopedMemoryCharge&) = delete;
+  ScopedMemoryCharge& operator=(const ScopedMemoryCharge&) = delete;
+
+  /// Charges `bytes` and releases the previous amount. No-op when no
+  /// tracker is attached.
+  void Reset(int64_t bytes) {
+    if (tracker_ == nullptr || bytes == held_) return;
+    if (bytes > held_) {
+      tracker_->Charge(bytes - held_);
+    } else {
+      tracker_->Release(held_ - bytes);
+    }
+    held_ = bytes;
+  }
+
+  /// Adds to the current charge.
+  void Add(int64_t bytes) { Reset(held_ + bytes); }
+
+  int64_t held() const { return held_; }
+
+ private:
+  MemoryTracker* tracker_;
+  int64_t held_ = 0;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_BASE_MEMORY_TRACKER_H_

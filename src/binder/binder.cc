@@ -1,5 +1,7 @@
 #include "binder/binder.h"
 
+#include "base/fault_injection.h"
+
 #include <set>
 #include <string>
 #include <vector>
@@ -444,6 +446,9 @@ class Binder {
 
 }  // namespace
 
-void BindModule(Module* module) { Binder(module).Bind(); }
+void BindModule(Module* module) {
+  XQA_FAULT_POINT("compile.bind", ErrorCode::kXPST0008);
+  Binder(module).Bind();
+}
 
 }  // namespace xqa

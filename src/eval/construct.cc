@@ -2,6 +2,7 @@
 
 #include "api/query_stats.h"
 #include "base/error.h"
+#include "base/fault_injection.h"
 #include "base/string_util.h"
 #include "xdm/sequence_ops.h"
 
@@ -9,16 +10,29 @@ namespace xqa {
 
 namespace {
 
-/// Credits a freshly constructed tree to the stats sink, if any. Every
-/// constructor seals its document before this runs, so the subtree size
-/// (attributes included) is just the preorder span — no walk.
+/// Shallow per-node cost estimate for memory accounting: the Node object
+/// plus a small allowance for its name/text payload and child-pointer slot.
+constexpr int64_t kConstructedNodeBytes =
+    static_cast<int64_t>(sizeof(Node)) + 32;
+
+/// Credits a freshly constructed tree to the stats sink, if any, and charges
+/// it against the execution's memory budget. Every constructor seals its
+/// document before this runs, so the subtree size (attributes included) is
+/// just the preorder span — no walk. Constructed trees escape into the query
+/// result, so the charge has no matching release here; the per-query tracker
+/// settles the balance when the execution ends.
 void RecordConstructed(DynamicContext* context, const Node* root) {
+  // A free-standing attribute (computed attribute constructor) hangs off
+  // no element, so SealOrder never spans it; it is exactly one node.
+  int64_t span =
+      static_cast<int64_t>(root->subtree_end() - root->order_index());
+  if (span <= 0) span = 1;
   if (context->stats != nullptr) {
-    // A free-standing attribute (computed attribute constructor) hangs off
-    // no element, so SealOrder never spans it; it is exactly one node.
-    int64_t span =
-        static_cast<int64_t>(root->subtree_end() - root->order_index());
-    context->stats->nodes_constructed += span > 0 ? span : 1;
+    context->stats->nodes_constructed += span;
+  }
+  if (context->exec.memory != nullptr) {
+    XQA_FAULT_POINT("construct.node_alloc", ErrorCode::kXQSV0004);
+    context->ChargeMemory(span * kConstructedNodeBytes);
   }
 }
 

@@ -26,6 +26,10 @@ std::unique_ptr<DynamicContext> DynamicContext::Fork() const {
   // or cancel at its next checkpoint.
   fork->exec.use_structural_index = exec.use_structural_index;
   fork->exec.cancellation = exec.cancellation;
+  // The memory tracker is shared too (it is thread-safe): every lane's
+  // materialization counts against the same per-query budget.
+  fork->exec.memory = exec.memory;
+  fork->eval_depth = eval_depth;
   if (!frames_.empty()) fork->frames_.push_back(frames_.back());
   return fork;
 }

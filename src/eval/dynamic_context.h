@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/cancellation.h"
+#include "base/memory_tracker.h"
 #include "base/sanitizer.h"
 #include "xdm/item.h"
 
@@ -40,6 +41,13 @@ struct ExecutionOptions {
   /// query service pay only a pointer test. Excluded from the plan cache's
   /// options fingerprint — it is runtime state, not configuration.
   const CancellationToken* cancellation = nullptr;
+
+  /// Memory accounting for this execution (docs/ROBUSTNESS.md). Not owned;
+  /// must outlive the Execute call. Null (the default) disables accounting —
+  /// every charge site reduces to a pointer test. Shared by parallel lanes
+  /// through DynamicContext::Fork. Excluded from the plan cache fingerprint
+  /// for the same reason as `cancellation`.
+  MemoryTracker* memory = nullptr;
 };
 
 /// The focus of evaluation: context item, position, and size (".",
@@ -105,6 +113,15 @@ class DynamicContext {
   /// every instrumentation hook to an inlined null test (see query_stats.h).
   QueryStats* stats = nullptr;
 
+  /// Charges `bytes` against this execution's memory tracker, raising
+  /// XQSV0004 past the budget. One pointer test when accounting is off.
+  void ChargeMemory(int64_t bytes) {
+    if (exec.memory != nullptr) exec.memory->Charge(bytes);
+  }
+  void ReleaseMemory(int64_t bytes) {
+    if (exec.memory != nullptr) exec.memory->Release(bytes);
+  }
+
   /// Guards against runaway recursion in user-defined functions. The limit
   /// must trip before the C++ call stack runs out; sanitizer builds have
   /// much larger frames, so they get a tighter bound (the clean FORG0006
@@ -116,9 +133,41 @@ class DynamicContext {
   static constexpr int kMaxRecursionDepth = 2048;
 #endif
 
+  /// Expression-tree evaluation depth (every Evaluator::Evaluate frame, not
+  /// just user-function calls — a deeply right-nested path or arithmetic
+  /// chain recurses without ever calling a function). The guard raises a
+  /// clean XQSV0005 where an unguarded build would overflow the C++ stack.
+  /// The parser enforces the same bound on the AST it builds, so this trips
+  /// only for depth manufactured at runtime.
+  int eval_depth = 0;
+#if defined(XQA_UNDER_ASAN)
+  static constexpr int kMaxEvalDepth = 512;
+#else
+  static constexpr int kMaxEvalDepth = 4096;
+#endif
+
  private:
   std::vector<std::vector<Sequence>> frames_;
   uint32_t cancel_poll_ = 0;
+};
+
+/// RAII depth guard for Evaluator::Evaluate; throws XQSV0005 past the bound.
+class EvalDepthGuard {
+ public:
+  explicit EvalDepthGuard(DynamicContext* context) : context_(context) {
+    if (++context_->eval_depth > DynamicContext::kMaxEvalDepth) {
+      --context_->eval_depth;
+      ThrowError(ErrorCode::kXQSV0005,
+                 "expression nesting exceeds the evaluation depth limit (" +
+                     std::to_string(DynamicContext::kMaxEvalDepth) + ")");
+    }
+  }
+  ~EvalDepthGuard() { --context_->eval_depth; }
+  EvalDepthGuard(const EvalDepthGuard&) = delete;
+  EvalDepthGuard& operator=(const EvalDepthGuard&) = delete;
+
+ private:
+  DynamicContext* context_;
 };
 
 /// RAII focus save/restore.

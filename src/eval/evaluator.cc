@@ -26,6 +26,10 @@ Sequence Evaluator::EvaluateQuery(DynamicContext* context, Focus initial_focus) 
 }
 
 Sequence Evaluator::Evaluate(const Expr* expr, DynamicContext* context) {
+  // Depth governor: expression nesting is bounded so a hostile query raises
+  // a clean XQSV0005 instead of overflowing the C++ stack (two integer ops
+  // per frame when the guard does not trip).
+  EvalDepthGuard depth_guard(context);
   switch (expr->kind()) {
     case ExprKind::kLiteral:
       return {Item(static_cast<const LiteralExpr*>(expr)->value)};

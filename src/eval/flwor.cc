@@ -7,6 +7,8 @@
 
 #include "api/query_stats.h"
 #include "base/error.h"
+#include "base/fault_injection.h"
+#include "base/memory_tracker.h"
 #include "base/thread_pool.h"
 #include "eval/evaluator.h"
 #include "functions/function_registry.h"
@@ -158,6 +160,51 @@ struct GroupPartition {
   std::unordered_map<size_t, std::vector<size_t>> buckets;
 };
 
+/// Shallow byte estimate of a live tuple stream: vector headers plus item
+/// slots. Strings and node trees are charged where they are built (the
+/// constructors and string builders), so this deliberately counts structure,
+/// not payload — cheap enough to recompute once per clause, and it tracks
+/// exactly the buffers the FLWOR pipeline owns. Only runs when a memory
+/// tracker is attached.
+int64_t EstimateTupleBytes(const std::vector<Tuple>& tuples) {
+  int64_t items = 0;
+  for (const Tuple& tuple : tuples) {
+    for (const Sequence& sequence : tuple) {
+      items += static_cast<int64_t>(sequence.size());
+    }
+  }
+  int64_t slots = tuples.empty()
+                      ? 0
+                      : static_cast<int64_t>(tuples.size()) *
+                            static_cast<int64_t>(tuples.front().size());
+  return static_cast<int64_t>(tuples.size() * sizeof(Tuple)) +
+         slots * static_cast<int64_t>(sizeof(Sequence)) +
+         items * static_cast<int64_t>(sizeof(Item));
+}
+
+/// Re-charge cadence for the incremental group-formation accounting: the
+/// group table is re-estimated every kGroupChargeStride input tuples, so a
+/// group-by with millions of distinct keys trips its budget mid-formation
+/// instead of after the table is already resident.
+constexpr size_t kGroupChargeStride = 4096;
+
+int64_t EstimateGroupBytes(const std::vector<HashGroup>& groups) {
+  int64_t bytes = static_cast<int64_t>(groups.size() * (sizeof(HashGroup) + 64));
+  for (const HashGroup& group : groups) {
+    bytes += static_cast<int64_t>(group.members.size() * sizeof(size_t));
+    for (const Sequence& key : group.keys) {
+      bytes += static_cast<int64_t>(sizeof(Sequence) +
+                                    key.size() * sizeof(Item));
+    }
+  }
+  return bytes;
+}
+
+/// Cancellation poll stride inside sort comparators: a timed-out
+/// million-key order-by aborts within ~1k comparisons instead of running
+/// the full O(n log n) sort to completion.
+constexpr uint32_t kSortPollMask = 1023;
+
 /// Streams below this size run serially: forking contexts and scheduling
 /// morsels costs more than the work saves.
 constexpr size_t kMinParallelTuples = 32;
@@ -183,6 +230,12 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
   std::vector<int> bound_slots;
   std::vector<Tuple> tuples;
   tuples.emplace_back();  // the initial single empty tuple
+
+  // Live charge for the tuple stream, re-pointed as each clause replaces the
+  // generation; the destructor releases it on success and on unwind alike,
+  // so the tracker balance stays exact under cancellation and faults.
+  MemoryTracker* memory = context->exec.memory;
+  ScopedMemoryCharge tuples_charge(memory);
 
   auto load_tuple_into = [&](DynamicContext* ctx, const Tuple& tuple) {
     for (size_t i = 0; i < bound_slots.size(); ++i) {
@@ -539,14 +592,31 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
             }
           }
         }
+        // The key vectors are the clause's own materialization: charge them
+        // before validation/sort, released when the clause scope ends (the
+        // sorted tuples themselves are charged at the clause boundary).
+        ScopedMemoryCharge keys_charge(memory);
+        if (memory != nullptr) {
+          XQA_FAULT_POINT("flwor.sort_keys", ErrorCode::kXQSV0004);
+          keys_charge.Reset(static_cast<int64_t>(
+              tuples.size() * (sizeof(std::vector<SortKey>) +
+                               specs.size() * sizeof(SortKey))));
+        }
         ValidateOrderKeys(
             keys.size(), specs.size(),
             [&](size_t i, size_t s) -> const SortKey& { return keys[i][s]; },
             expr->location());
         std::vector<size_t> order(tuples.size());
         for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        // The comparator polls cancellation in batches so a timed-out sort
+        // of millions of keys aborts promptly; it sorts plain indexes, so an
+        // unwinding exception cannot corrupt the tuple stream.
+        uint32_t comparisons = 0;
         std::stable_sort(order.begin(), order.end(),
                          [&](size_t a, size_t b) {
+                           if ((++comparisons & kSortPollMask) == 0) {
+                             context->CheckCancel();
+                           }
                            for (size_t s = 0; s < specs.size(); ++s) {
                              int cmp = CompareSortKeys(keys[a][s], keys[b][s],
                                                        specs[s]);
@@ -584,6 +654,9 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
           };
           constexpr size_t kSeed3 = 0xa0761d6478bd642fULL;
           std::vector<HashGroup> groups;
+          // Charged incrementally during formation so a high-cardinality
+          // group-by trips the budget mid-build, not after the table exists.
+          ScopedMemoryCharge group_charge(memory);
           const int workers = PlanWorkers(context->exec, tuples.size());
           if (workers > 1) {
             groups = form_groups_parallel(workers, kSeed3, eval_keys3);
@@ -630,7 +703,14 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
                 groups.push_back(HashGroup{std::move(keys), {}});
               }
               groups[group_index].members.push_back(ti);
+              if (memory != nullptr && (ti % kGroupChargeStride) == 0) {
+                group_charge.Reset(EstimateGroupBytes(groups));
+              }
             }
+          }
+          if (memory != nullptr) {
+            XQA_FAULT_POINT("flwor.group_alloc", ErrorCode::kXQSV0004);
+            group_charge.Reset(EstimateGroupBytes(groups));
           }
 
           // Slots rebound by a grouping key take the key binding only: a bare
@@ -687,6 +767,7 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
 
         // --- Group formation (paper dialect) --------------------------------
         std::vector<HashGroup> groups;
+        ScopedMemoryCharge group_charge(memory);
         bool custom_equality = false;
         for (const auto& key : clause.group_keys) {
           if (!key.using_function.empty()) custom_equality = true;
@@ -776,7 +857,14 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
               }
             }
             groups[group_index].members.push_back(ti);
+            if (memory != nullptr && (ti % kGroupChargeStride) == 0) {
+              group_charge.Reset(EstimateGroupBytes(groups));
+            }
           }
+        }
+        if (memory != nullptr) {
+          XQA_FAULT_POINT("flwor.group_alloc", ErrorCode::kXQSV0004);
+          group_charge.Reset(EstimateGroupBytes(groups));
         }
         if (cs != nullptr) {
           cs->groups_formed += static_cast<int64_t>(groups.size());
@@ -866,8 +954,12 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
                     expr->location());
                 std::vector<size_t> order(values.size());
                 for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+                uint32_t comparisons = 0;
                 std::stable_sort(
                     order.begin(), order.end(), [&](size_t a, size_t b) {
+                      if ((++comparisons & kSortPollMask) == 0) {
+                        context->CheckCancel();
+                      }
                       for (size_t s = 0; s < nest.order_by->specs.size();
                            ++s) {
                         int cmp = CompareSortKeys(values[a].keys[s],
@@ -899,6 +991,12 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
         break;
       }
     }
+    // Budget checkpoint: account the new generation before the next clause
+    // consumes it. One shallow walk per clause, only when tracking is on.
+    if (memory != nullptr) {
+      XQA_FAULT_POINT("flwor.tuple_alloc", ErrorCode::kXQSV0004);
+      tuples_charge.Reset(EstimateTupleBytes(tuples));
+    }
     if (cs != nullptr) {
       cs->tuples_out += static_cast<int64_t>(tuples.size());
       stats->tuples_flowed += static_cast<int64_t>(tuples.size());
@@ -918,6 +1016,11 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
                                                : nullptr);
   Sequence result;
   int64_t ordinal = 0;
+  // The result escapes this evaluation, so its growth is charged without a
+  // matching release here; the per-query tracker settles the balance when the
+  // execution ends. Charged incrementally so an unbounded return sequence
+  // trips the budget while being built.
+  size_t charged_items = 0;
   for (const Tuple& tuple : tuples) {
     context->CheckCancel();
     load_tuple(tuple);
@@ -925,6 +1028,16 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
       context->Slot(expr->at_slot) = Sequence{MakeInteger(++ordinal)};
     }
     Concat(&result, Evaluate(expr->return_expr.get(), context));
+    if (memory != nullptr && result.size() - charged_items >= kGroupChargeStride) {
+      XQA_FAULT_POINT("flwor.result_alloc", ErrorCode::kXQSV0004);
+      memory->Charge(
+          static_cast<int64_t>((result.size() - charged_items) * sizeof(Item)));
+      charged_items = result.size();
+    }
+  }
+  if (memory != nullptr && result.size() > charged_items) {
+    memory->Charge(
+        static_cast<int64_t>((result.size() - charged_items) * sizeof(Item)));
   }
   if (return_cs != nullptr) {
     return_cs->tuples_out += static_cast<int64_t>(result.size());

@@ -1,3 +1,4 @@
+#include "base/fault_injection.h"
 #include "eval/dynamic_context.h"
 #include "functions/helpers.h"
 
@@ -17,6 +18,7 @@ const DocumentRegistry* Registry(EvalContext& context) {
 Sequence FnDoc(EvalContext& context, std::vector<Sequence>& args) {
   std::optional<AtomicValue> uri = OptionalAtomicArg(args[0], "fn:doc");
   if (!uri.has_value()) return {};
+  XQA_FAULT_POINT("doc.load", ErrorCode::kFODC0002);
   const DocumentRegistry* registry = Registry(context);
   if (registry != nullptr) {
     auto it = registry->find(uri->ToLexical());
@@ -37,6 +39,7 @@ Sequence FnDocAvailable(EvalContext& context, std::vector<Sequence>& args) {
 }
 
 Sequence FnCollection(EvalContext& context, std::vector<Sequence>& args) {
+  XQA_FAULT_POINT("doc.load", ErrorCode::kFODC0002);
   const DocumentRegistry* registry = Registry(context);
   if (args.empty()) {
     // The default collection: every registered document, in URI order.

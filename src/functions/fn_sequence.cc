@@ -3,6 +3,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "eval/dynamic_context.h"
 #include "functions/helpers.h"
 #include "xdm/deep_equal.h"
 
@@ -128,8 +129,11 @@ Sequence FnExactlyOne(EvalContext&, std::vector<Sequence>& args) {
   return args[0];
 }
 
-Sequence FnDeepEqual(EvalContext&, std::vector<Sequence>& args) {
-  return {MakeBoolean(DeepEqualSequences(args[0], args[1]))};
+Sequence FnDeepEqual(EvalContext& context, std::vector<Sequence>& args) {
+  // Pass the execution's cancellation token so comparing two huge subtrees
+  // still honors a deadline or cancel.
+  return {MakeBoolean(DeepEqualSequences(args[0], args[1],
+                                         context.dynamic.exec.cancellation))};
 }
 
 Sequence FnUnion(EvalContext&, std::vector<Sequence>& args) {

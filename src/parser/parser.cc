@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "base/fault_injection.h"
+#include "base/sanitizer.h"
 #include "base/string_util.h"
 #include "parser/lexer.h"
 #include "xdm/compare.h"
@@ -32,6 +34,29 @@ class Parser {
   [[noreturn]] void Fail(const std::string& message) {
     ThrowError(ErrorCode::kXPST0003, message, lexer_.Peek().location);
   }
+
+  /// Recursion-depth governor (docs/ROBUSTNESS.md). The limit caps AST depth
+  /// well below what the evaluator tolerates, and far below where the parser
+  /// itself would overflow the C++ stack on sanitizer builds.
+  struct DepthGuard {
+    explicit DepthGuard(Parser* parser) : parser(parser) {
+      if (++parser->depth_ > kMaxParseDepth) {
+        --parser->depth_;
+        ThrowError(ErrorCode::kXQSV0005,
+                   "expression nesting exceeds the parser depth limit (" +
+                       std::to_string(kMaxParseDepth) + ")",
+                   parser->Here());
+      }
+    }
+    ~DepthGuard() { --parser->depth_; }
+    Parser* parser;
+  };
+#if defined(XQA_UNDER_ASAN)
+  static constexpr int kMaxParseDepth = 128;
+#else
+  static constexpr int kMaxParseDepth = 512;
+#endif
+  int depth_ = 0;
 
   bool PeekIs(TokenKind kind) { return lexer_.Peek().kind == kind; }
 
@@ -221,7 +246,17 @@ class Parser {
     return std::make_unique<SequenceExpr>(std::move(items), loc);
   }
 
-  ExprPtr ParseExprSingle() { return ParseOr(); }
+  /// Every level of expression nesting passes through here (parenthesized
+  /// expressions, FLWOR bodies, function arguments, predicates) or through
+  /// ParseConstructorAfterLt (nested direct constructors), so guarding these
+  /// two bounds the depth of any AST this parser can build — a hostile
+  /// "((((...))))"  or "<a><a><a>..." raises a clean XQSV0005 instead of
+  /// overflowing the recursive-descent stack. The evaluator and binder walk
+  /// the same tree, so the parser bound protects them as well.
+  ExprPtr ParseExprSingle() {
+    DepthGuard guard(this);
+    return ParseOr();
+  }
 
   /// An operand of and/or: a "special" expression (FLWOR, quantified, if) or
   /// a comparison chain. Allowing specials here is slightly more permissive
@@ -1052,6 +1087,7 @@ class Parser {
   /// Parses a direct element constructor whose '<' has been consumed and
   /// whose name starts at the raw cursor.
   ExprPtr ParseConstructorAfterLt(SourceLocation loc) {
+    DepthGuard guard(this);
     std::string name = lexer_.RawName();
     std::vector<DirectConstructorExpr::Attribute> attributes;
     bool self_closing = false;
@@ -1315,6 +1351,7 @@ class Parser {
 }  // namespace
 
 ModulePtr ParseQuery(std::string_view query) {
+  XQA_FAULT_POINT("compile.parse", ErrorCode::kXPST0003);
   Parser parser(query);
   return parser.Parse();
 }

@@ -8,7 +8,7 @@ namespace xqa::service {
 
 bool DocumentStore::Put(const std::string& name, DocumentPtr document) {
   if (document == nullptr) {
-    ThrowError(ErrorCode::kXQSV0004,
+    ThrowError(ErrorCode::kXQSV0006,
                "DocumentStore::Put: null document for '" + name + "'");
   }
   // Seal outside the lock: sealing walks the whole tree, and the document is

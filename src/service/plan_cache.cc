@@ -71,10 +71,18 @@ PlanHandle PlanCache::GetOrCompile(const Engine& engine,
     }
   }
   // Miss: compile outside the lock (a slow parse must not block hits on
-  // sibling keys). Static errors propagate and cache nothing.
+  // sibling keys). Static errors propagate and cache nothing — no tombstone
+  // entry and no eviction, so the shard is exactly as it was before the
+  // failed call.
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (cache_hit != nullptr) *cache_hit = false;
-  auto plan = std::make_shared<const PreparedQuery>(engine.Compile(query));
+  PlanHandle plan;
+  try {
+    plan = std::make_shared<const PreparedQuery>(engine.Compile(query));
+  } catch (...) {
+    compile_failures_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
 
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(std::string_view(key));
@@ -112,6 +120,8 @@ PlanCache::Counters PlanCache::counters() const {
   counters.misses = misses_.load(std::memory_order_relaxed);
   counters.evictions = evictions_.load(std::memory_order_relaxed);
   counters.entries = entries_.load(std::memory_order_relaxed);
+  counters.compile_failures =
+      compile_failures_.load(std::memory_order_relaxed);
   return counters;
 }
 

@@ -55,6 +55,11 @@ class PlanCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t entries = 0;  ///< current resident plans
+    /// GetOrCompile calls whose compile threw. A failed compile caches
+    /// nothing — no tombstone entry, no eviction — so the next caller of the
+    /// same key compiles again (and a transient fault cannot poison the
+    /// cache). Counted in addition to the miss.
+    uint64_t compile_failures = 0;
   };
 
   PlanCache() : PlanCache(Config{}) {}
@@ -107,6 +112,7 @@ class PlanCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> compile_failures_{0};
 };
 
 }  // namespace xqa::service

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "base/fault_injection.h"
+
 namespace xqa::service {
 
 namespace {
@@ -18,6 +20,7 @@ QueryService::QueryService(ServiceOptions options)
     : options_(std::move(options)),
       engine_(options_.engine),
       cache_(options_.plan_cache),
+      root_memory_("service", options_.total_memory_bytes),
       max_concurrent_(options_.max_concurrent_queries > 0
                           ? options_.max_concurrent_queries
                           : options_.worker_threads),
@@ -49,6 +52,44 @@ std::future<Response> QueryService::Submit(
                         : request.deadline_seconds;
   if (deadline > 0) token->SetTimeout(deadline);
 
+  // Pressure gate: under memory pressure the service sheds new load instead
+  // of letting admissions push running queries over the root budget —
+  // reject-new before kill-running. Shed rejections are retryable: pressure
+  // is transient, released as in-flight requests finish.
+  if (options_.total_memory_bytes > 0 &&
+      options_.memory_pressure_shed_fraction > 0) {
+    int64_t threshold = static_cast<int64_t>(
+        options_.memory_pressure_shed_fraction *
+        static_cast<double>(options_.total_memory_bytes));
+    if (root_memory_.used() >= threshold) {
+      metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+      metrics_.shed_memory_pressure.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.retryable = true;
+      response.status =
+          Status(ErrorCode::kXQSV0003,
+                 "admission rejected: memory pressure (" +
+                     std::to_string(root_memory_.used()) + " of " +
+                     std::to_string(options_.total_memory_bytes) +
+                     " budget bytes in use)");
+      promise->set_value(std::move(response));
+      return future;
+    }
+  }
+
+  // Injected enqueue failures resolve the future like any other rejection —
+  // Submit never throws.
+  try {
+    XQA_FAULT_POINT("service.enqueue", ErrorCode::kXQSV0003);
+  } catch (const XQueryError& error) {
+    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.retryable = true;
+    response.status = Status::FromException(error);
+    promise->set_value(std::move(response));
+    return future;
+  }
+
   // shutdown_mutex_ pins pool_ across the enqueue (Shutdown destroys it
   // under the same lock); rejection decisions happen inside so a request
   // can never be admitted into a pool that is being torn down.
@@ -64,9 +105,13 @@ std::future<Response> QueryService::Submit(
       }
       metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
       Response response;
+      bool shutting_down = shutdown_.load(std::memory_order_relaxed);
+      // A full queue drains as requests finish — worth a client retry; a
+      // shutdown does not.
+      response.retryable = !shutting_down;
       response.status = Status(
           ErrorCode::kXQSV0003,
-          shutdown_.load(std::memory_order_relaxed)
+          shutting_down
               ? "admission rejected: service is shutting down"
               : "admission rejected: pending queue full (" +
                     std::to_string(options_.max_pending_requests) + ")");
@@ -112,15 +157,29 @@ Response QueryService::RunRequest(
   response.queue_seconds = SecondsBetween(submitted, started);
   metrics_.queue_latency.Record(response.queue_seconds);
 
+  // Per-request memory budget, a child of the service root tracker. Lives
+  // for the whole try block (execution and serialization) and is destroyed
+  // on every exit path — success or unwind — returning its entire chunked
+  // reservation to the root, which is how the root balance comes back to
+  // zero after any failure.
+  std::unique_ptr<MemoryTracker> memory;
+
   try {
     // A request whose deadline elapsed in the queue (or that was cancelled
     // before a worker picked it up) fails here, before any compilation or
     // evaluation.
     token.Check();
+    XQA_FAULT_POINT("service.execute", ErrorCode::kXQSV0002);
 
     ExecutionOptions exec =
         request.exec.has_value() ? *request.exec : options_.default_exec;
     exec.cancellation = &token;
+    if (options_.per_query_memory_bytes > 0 ||
+        options_.total_memory_bytes > 0) {
+      memory = std::make_unique<MemoryTracker>(
+          "request", options_.per_query_memory_bytes, &root_memory_);
+      exec.memory = memory.get();
+    }
 
     PlanHandle plan;
     if (options_.enable_plan_cache) {
@@ -136,7 +195,7 @@ Response QueryService::RunRequest(
       doc = store_.Get(request.document);
       if (doc == nullptr) {
         metrics_.documents_missing.fetch_add(1, std::memory_order_relaxed);
-        ThrowError(ErrorCode::kXQSV0004,
+        ThrowError(ErrorCode::kXQSV0006,
                    "unknown document '" + request.document + "'");
       }
     }
@@ -168,7 +227,13 @@ Response QueryService::RunRequest(
         sequence = plan->Execute(exec);
       }
     }
-    response.result = SerializeSequence(sequence, request.indent);
+    // Serialization stays under the request's deadline and budget: the
+    // output buffer of a huge result is a materialization like any other.
+    SerializeOptions serialize;
+    serialize.indent = request.indent;
+    serialize.cancellation = &token;
+    serialize.memory = exec.memory;
+    response.result = SerializeSequence(sequence, serialize);
     response.executed = true;
     if (request.collect_stats) metrics_.RecordQueryStats(response.stats);
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
@@ -180,10 +245,17 @@ Response QueryService::RunRequest(
     response.status = Status::FromException(error);
     switch (error.code()) {
       case ErrorCode::kXQSV0001:
+        // A deadline can expire from queue wait or transient load; the same
+        // request resent against an idle service may well finish.
+        response.retryable = true;
         metrics_.timed_out.fetch_add(1, std::memory_order_relaxed);
         break;
       case ErrorCode::kXQSV0002:
         metrics_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ErrorCode::kXQSV0004:
+        metrics_.budget_exceeded.fetch_add(1, std::memory_order_relaxed);
+        metrics_.failed.fetch_add(1, std::memory_order_relaxed);
         break;
       default:
         metrics_.failed.fetch_add(1, std::memory_order_relaxed);
@@ -209,7 +281,17 @@ std::string QueryService::MetricsJson(int indent) const {
   out << pad << "\"plan_cache\": {\"hits\": " << cache.hits
       << ", \"misses\": " << cache.misses
       << ", \"evictions\": " << cache.evictions
-      << ", \"entries\": " << cache.entries << "}," << nl;
+      << ", \"entries\": " << cache.entries
+      << ", \"compile_failures\": " << cache.compile_failures << "}," << nl;
+  out << pad << "\"memory\": {\"used_bytes\": " << root_memory_.used()
+      << ", \"peak_bytes\": " << root_memory_.peak()
+      << ", \"limit_bytes\": " << root_memory_.limit()
+      << ", \"budget_failures\": " << root_memory_.budget_failures() << "},"
+      << nl;
+  out << pad << "\"faults\": {\"enabled\": "
+      << (fault::Enabled() ? "true" : "false")
+      << ", \"hits\": " << fault::TotalHits()
+      << ", \"trips\": " << fault::TotalTrips() << "}," << nl;
   out << pad << "\"documents\": {\"count\": " << store_.size()
       << ", \"version\": " << store_.version() << "}" << nl;
   out << "}";

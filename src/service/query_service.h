@@ -52,6 +52,25 @@ struct ServiceOptions {
 
   /// Execution options for requests that do not carry their own.
   ExecutionOptions default_exec;
+
+  // --- Memory governance (docs/ROBUSTNESS.md) ------------------------------
+  // Accounting is active when either budget is set; with both at 0 the
+  // service runs untracked (every charge site reduces to a pointer test).
+
+  /// Memory budget per request, in bytes; a request whose materializations
+  /// exceed it fails with XQSV0004. 0 = no per-request limit (the request
+  /// still charges the root tracker when total_memory_bytes is set).
+  int64_t per_query_memory_bytes = 0;
+
+  /// Budget across all in-flight requests (the root tracker's limit). The
+  /// request that pushes the total past it gets XQSV0004. 0 = unlimited.
+  int64_t total_memory_bytes = 0;
+
+  /// Pressure gate: when the root tracker's in-use bytes reach this fraction
+  /// of total_memory_bytes, Submit sheds new requests with a retryable
+  /// XQSV0003 — reject-new before kill-running. <= 0 disables the gate;
+  /// ignored when total_memory_bytes is 0.
+  double memory_pressure_shed_fraction = 0.9;
 };
 
 /// One query request. Copyable; the service keeps its own copy until the
@@ -91,6 +110,15 @@ struct Response {
   QueryStats stats;         ///< populated when Request::collect_stats
   bool cache_hit = false;   ///< plan came from the cache
   bool executed = false;    ///< evaluation ran to completion
+
+  /// Transient-failure classification (docs/SERVICE.md failure modes): true
+  /// for overload and timing errors a client should back off and resend —
+  /// deadline in queue or execution (XQSV0001), queue-full or memory
+  /// pressure shed (XQSV0003). False for errors a retry would only repeat:
+  /// static/dynamic query errors, per-query budget (XQSV0004), depth
+  /// (XQSV0005), missing document (XQSV0006), client cancel (XQSV0002), and
+  /// shutdown rejection.
+  bool retryable = false;
   double queue_seconds = 0.0;  ///< admission → execution start
   double exec_seconds = 0.0;   ///< execution start → finish
   double total_seconds = 0.0;  ///< admission → finish
@@ -133,6 +161,10 @@ class QueryService {
   }
   const ServiceOptions& options() const { return options_; }
 
+  /// Root of the memory-tracker hierarchy (used()/peak()/budget_failures()
+  /// gauges; used() == 0 whenever no request is in flight).
+  const MemoryTracker& root_memory() const { return root_memory_; }
+
   /// Everything observable about the service as one JSON object:
   /// ServiceMetrics, plan-cache counters, and the document catalog
   /// (docs/OBSERVABILITY.md).
@@ -151,6 +183,14 @@ class QueryService {
   DocumentStore store_;
   PlanCache cache_;
   ServiceMetrics metrics_;
+
+  /// Root of the service's memory-tracker hierarchy: every request charges
+  /// through its own child tracker, so this holds the all-requests total
+  /// (and enforces total_memory_bytes). A request child returns its whole
+  /// reservation when it is destroyed — after any unwind — so the root
+  /// balance returning to zero when the service is idle is the leak
+  /// invariant the chaos tests assert.
+  MemoryTracker root_memory_;
 
   int max_concurrent_;
   std::atomic<size_t> pending_{0};

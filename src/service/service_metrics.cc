@@ -104,6 +104,10 @@ std::string ServiceMetrics::ToJson(int indent) const {
       << cancelled.load(std::memory_order_relaxed) << "," << nl;
   out << pad << "\"documents_missing\": "
       << documents_missing.load(std::memory_order_relaxed) << "," << nl;
+  out << pad << "\"shed_memory_pressure\": "
+      << shed_memory_pressure.load(std::memory_order_relaxed) << "," << nl;
+  out << pad << "\"budget_exceeded\": "
+      << budget_exceeded.load(std::memory_order_relaxed) << "," << nl;
   out << pad << "\"latency\": " << latency.ToJson() << "," << nl;
   out << pad << "\"queue_latency\": " << queue_latency.ToJson() << "," << nl;
   out << pad << "\"query_stats\": " << AggregatedQueryStats().ToJson() << nl;

@@ -52,8 +52,9 @@ class LatencyHistogram {
 ///
 /// Counter semantics: submitted = rejected + admitted; admitted requests
 /// finish as exactly one of completed / failed / timed_out / cancelled.
-/// `documents_missing` sub-counts failed requests that named an absent
-/// store document (XQSV0004).
+/// `documents_missing` and `budget_exceeded` sub-count failed requests
+/// (XQSV0006 and XQSV0004 respectively); `shed_memory_pressure` sub-counts
+/// rejected ones.
 class ServiceMetrics {
  public:
   std::atomic<uint64_t> submitted{0};
@@ -63,7 +64,12 @@ class ServiceMetrics {
   std::atomic<uint64_t> failed{0};     ///< dynamic/static errors
   std::atomic<uint64_t> timed_out{0};  ///< deadline exceeded (XQSV0001)
   std::atomic<uint64_t> cancelled{0};  ///< client cancel (XQSV0002)
-  std::atomic<uint64_t> documents_missing{0};
+  std::atomic<uint64_t> documents_missing{0};  ///< absent document (XQSV0006)
+  /// Submit rejections from the memory pressure gate (retryable XQSV0003):
+  /// the service sheds new load before killing running queries.
+  std::atomic<uint64_t> shed_memory_pressure{0};
+  /// Requests that failed on a memory budget (XQSV0004), per-query or root.
+  std::atomic<uint64_t> budget_exceeded{0};
 
   /// End-to-end latency (queue wait + execution) of finished requests.
   LatencyHistogram latency;

@@ -11,6 +11,16 @@ bool IsIgnoredChild(const Node* node) {
          node->kind() == NodeKind::kProcessingInstruction;
 }
 
+/// Cancellation is polled once per batch of visited nodes, keeping the
+/// unpolled comparison path free of any clock reads.
+constexpr uint32_t kDeepEqualPollMask = 255;
+
+void PollCancel(const CancellationToken* token, uint32_t* polls) {
+  if (token != nullptr && (++*polls & kDeepEqualPollMask) == 0) {
+    token->Check();
+  }
+}
+
 bool DeepEqualAtomic(const AtomicValue& a, const AtomicValue& b) {
   if (a.IsNumeric() && b.IsNumeric()) {
     if (a.type() == AtomicType::kDouble || b.type() == AtomicType::kDouble) {
@@ -80,9 +90,9 @@ size_t DeepHashNode(const Node* node) {
   return h;
 }
 
-}  // namespace
-
-bool DeepEqualNodes(const Node* a, const Node* b) {
+bool DeepEqualNodesImpl(const Node* a, const Node* b,
+                        const CancellationToken* token, uint32_t* polls) {
+  PollCancel(token, polls);
   if (a == b) return true;
   if (a->kind() != b->kind()) return false;
   switch (a->kind()) {
@@ -112,7 +122,7 @@ bool DeepEqualNodes(const Node* a, const Node* b) {
         while (i < ca.size() && IsIgnoredChild(ca[i])) ++i;
         while (j < cb.size() && IsIgnoredChild(cb[j])) ++j;
         if (i >= ca.size() || j >= cb.size()) break;
-        if (!DeepEqualNodes(ca[i], cb[j])) return false;
+        if (!DeepEqualNodesImpl(ca[i], cb[j], token, polls)) return false;
         ++i;
         ++j;
       }
@@ -124,16 +134,35 @@ bool DeepEqualNodes(const Node* a, const Node* b) {
   return false;
 }
 
-bool DeepEqualItems(const Item& a, const Item& b) {
+}  // namespace
+
+bool DeepEqualNodes(const Node* a, const Node* b,
+                    const CancellationToken* token) {
+  uint32_t polls = 0;
+  return DeepEqualNodesImpl(a, b, token, &polls);
+}
+
+bool DeepEqualItems(const Item& a, const Item& b,
+                    const CancellationToken* token) {
   if (a.IsNode() != b.IsNode()) return false;
-  if (a.IsNode()) return DeepEqualNodes(a.node(), b.node());
+  if (a.IsNode()) return DeepEqualNodes(a.node(), b.node(), token);
   return DeepEqualAtomic(a.atomic(), b.atomic());
 }
 
-bool DeepEqualSequences(const Sequence& a, const Sequence& b) {
+bool DeepEqualSequences(const Sequence& a, const Sequence& b,
+                        const CancellationToken* token) {
   if (a.size() != b.size()) return false;
+  uint32_t polls = 0;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (!DeepEqualItems(a[i], b[i])) return false;
+    PollCancel(token, &polls);
+    if (a[i].IsNode() != b[i].IsNode()) return false;
+    if (a[i].IsNode()) {
+      if (!DeepEqualNodesImpl(a[i].node(), b[i].node(), token, &polls)) {
+        return false;
+      }
+    } else if (!DeepEqualAtomic(a[i].atomic(), b[i].atomic())) {
+      return false;
+    }
   }
   return true;
 }

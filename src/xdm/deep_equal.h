@@ -3,25 +3,34 @@
 
 #include <cstddef>
 
+#include "base/cancellation.h"
 #include "xdm/item.h"
 
 namespace xqa {
+
+// The optional cancellation token on the comparison entry points is polled
+// in batches of visited nodes, so fn:deep-equal over two huge subtrees
+// respects a deadline or cancel instead of running to completion. Null (the
+// default) keeps the comparison entirely poll-free.
 
 /// fn:deep-equal over two sequences: equal length and pairwise deep-equal
 /// items. This is the paper's default grouping equality (Section 3.3):
 /// permutations are distinct, the empty sequence is a distinct value, and
 /// NaN deep-equals NaN.
-bool DeepEqualSequences(const Sequence& a, const Sequence& b);
+bool DeepEqualSequences(const Sequence& a, const Sequence& b,
+                        const CancellationToken* token = nullptr);
 
 /// Deep equality of two items. Atomic values compare under `eq` semantics
 /// (with untypedAtomic-as-string and NaN=NaN); incomparable atomic types are
 /// unequal rather than an error. Nodes compare structurally: same kind and
 /// name, attribute *sets* equal (order-insensitive), element/text children
 /// pairwise deep-equal (comments and PIs are ignored, per fn:deep-equal).
-bool DeepEqualItems(const Item& a, const Item& b);
+bool DeepEqualItems(const Item& a, const Item& b,
+                    const CancellationToken* token = nullptr);
 
 /// Structural deep equality of two nodes (as used by DeepEqualItems).
-bool DeepEqualNodes(const Node* a, const Node* b);
+bool DeepEqualNodes(const Node* a, const Node* b,
+                    const CancellationToken* token = nullptr);
 
 /// Hash consistent with DeepEqualSequences: deep-equal sequences hash to the
 /// same value. Used to key hash-based grouping.

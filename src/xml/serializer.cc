@@ -2,11 +2,40 @@
 
 #include <sstream>
 
+#include "base/fault_injection.h"
 #include "base/string_util.h"
 
 namespace xqa {
 
 namespace {
+
+/// Per-call serializer state: the output buffer plus counters for the batched
+/// cancellation poll and incremental buffer charge.
+struct SerializeState {
+  std::ostringstream out;
+  uint32_t poll = 0;
+  int64_t charged = 0;
+};
+
+/// Cancellation is polled and the buffer growth charged once per batch of
+/// nodes, so huge trees stay responsive without a clock read or atomic per
+/// node. The buffer charge has no matching release here: the serialized text
+/// escapes into the response, and the per-query tracker settles the balance
+/// when the execution ends.
+constexpr uint32_t kSerializePollMask = 255;
+
+void Checkpoint(const SerializeOptions& options, SerializeState* state) {
+  if ((++state->poll & kSerializePollMask) != 0) return;
+  if (options.cancellation != nullptr) options.cancellation->Check();
+  if (options.memory != nullptr) {
+    XQA_FAULT_POINT("serialize.buffer", ErrorCode::kXQSV0004);
+    int64_t size = static_cast<int64_t>(state->out.tellp());
+    if (size > state->charged) {
+      options.memory->Charge(size - state->charged);
+      state->charged = size;
+    }
+  }
+}
 
 bool HasElementChild(const Node* node) {
   for (const Node* child : node->children()) {
@@ -16,12 +45,14 @@ bool HasElementChild(const Node* node) {
 }
 
 void Serialize(const Node* node, const SerializeOptions& options, int depth,
-               std::ostringstream* out) {
+               SerializeState* state) {
+  std::ostringstream* out = &state->out;
   auto newline_indent = [&](int d) {
     if (options.indent <= 0) return;
     *out << '\n';
     for (int i = 0; i < d * options.indent; ++i) *out << ' ';
   };
+  Checkpoint(options, state);
 
   switch (node->kind()) {
     case NodeKind::kDocument: {
@@ -29,7 +60,7 @@ void Serialize(const Node* node, const SerializeOptions& options, int depth,
       for (const Node* child : node->children()) {
         if (!first) newline_indent(depth);
         first = false;
-        Serialize(child, options, depth, out);
+        Serialize(child, options, depth, state);
       }
       break;
     }
@@ -47,7 +78,7 @@ void Serialize(const Node* node, const SerializeOptions& options, int depth,
       bool indent_children = options.indent > 0 && HasElementChild(node);
       for (const Node* child : node->children()) {
         if (indent_children) newline_indent(depth + 1);
-        Serialize(child, options, depth + 1, out);
+        Serialize(child, options, depth + 1, state);
       }
       if (indent_children) newline_indent(depth);
       *out << "</" << node->name() << '>';
@@ -71,9 +102,16 @@ void Serialize(const Node* node, const SerializeOptions& options, int depth,
 }  // namespace
 
 std::string SerializeNode(const Node* node, const SerializeOptions& options) {
-  std::ostringstream out;
-  Serialize(node, options, 0, &out);
-  return out.str();
+  SerializeState state;
+  Serialize(node, options, 0, &state);
+  if (options.memory != nullptr) {
+    // Small subtrees never reach the in-flight checkpoint, so the settling
+    // charge is the fault boundary every charged serialization passes.
+    XQA_FAULT_POINT("serialize.buffer", ErrorCode::kXQSV0004);
+    int64_t size = static_cast<int64_t>(state.out.tellp());
+    if (size > state.charged) options.memory->Charge(size - state.charged);
+  }
+  return state.out.str();
 }
 
 }  // namespace xqa

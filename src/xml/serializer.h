@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "base/cancellation.h"
+#include "base/memory_tracker.h"
 #include "xml/node.h"
 
 namespace xqa {
@@ -11,6 +13,16 @@ namespace xqa {
 struct SerializeOptions {
   /// Pretty-print with the given indent width; 0 = compact single line.
   int indent = 0;
+
+  /// Cooperative cancellation for the output loop (docs/SERVICE.md): checked
+  /// in batches of nodes so serializing a huge tree respects a deadline or
+  /// cancel. Not owned; null (the default) disables the checkpoints.
+  const CancellationToken* cancellation = nullptr;
+
+  /// Memory accounting for the output buffer (docs/ROBUSTNESS.md): the
+  /// buffer's growth is charged in batches, raising XQSV0004 past the
+  /// budget. Not owned; null (the default) disables accounting.
+  MemoryTracker* memory = nullptr;
 };
 
 /// Serializes a node (and its subtree) back to XML text. Attribute nodes

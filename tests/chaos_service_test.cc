@@ -1,0 +1,204 @@
+// Service-level chaos sweep (docs/ROBUSTNESS.md): run a QueryService
+// workload once per reachable fault site with that site armed, and assert
+// the full graceful-degradation contract after every trip:
+//   1. the failing request resolves with the site's typed error (Submit
+//      never throws, the future always resolves);
+//   2. the service stays serviceable — a follow-up request succeeds;
+//   3. the root memory tracker balances back to zero once idle (no charge
+//      leaked across the unwind);
+//   4. a failed compile does not poison the plan cache — compile_failures
+//      increments, no tombstone entry appears, and the same query compiles
+//      and runs on the next request.
+// Requires the fault call sites compiled in (-DXQA_FAULTS=ON); the sweep
+// skips in a default build. Run under ASan in the chaos CI job.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "base/fault_injection.h"
+#include "service/query_service.h"
+#include "workload/orders.h"
+
+namespace xqa::service {
+namespace {
+
+ServiceOptions ChaosOptions(bool enable_plan_cache) {
+  ServiceOptions options;
+  options.worker_threads = 2;
+  options.enable_plan_cache = enable_plan_cache;
+  // Generous budgets: activate the tracker hierarchy (so the allocation
+  // fault sites are reachable) without ever tripping on their own.
+  options.per_query_memory_bytes = 256ll << 20;
+  options.total_memory_bytes = 1ll << 30;
+  return options;
+}
+
+std::unique_ptr<QueryService> MakeService(bool enable_plan_cache = true) {
+  auto service =
+      std::make_unique<QueryService>(ChaosOptions(enable_plan_cache));
+  workload::OrderConfig config;
+  config.num_orders = 40;
+  service->documents().Put("orders",
+                           workload::GenerateOrdersDocument(config));
+  return service;
+}
+
+/// Requests that together reach every service-path fault site: compile
+/// (parse/bind), tuple materialization, sort keys, group tables, node
+/// construction, serialization, doc load, enqueue, execute.
+std::vector<Request> ChaosWorkload() {
+  std::vector<Request> requests;
+  Request sort;
+  sort.query =
+      "for $o in /orders/order order by $o/orderkey descending "
+      "return <o>{$o/orderkey/text()}</o>";
+  sort.document = "orders";
+  requests.push_back(sort);
+
+  Request group;
+  group.query =
+      "for $l in /orders/order/lineitem "
+      "group by $l/shipmode into $m nest $l into $ls "
+      "return <g mode=\"{$m}\">{count($ls)}</g>";
+  group.document = "orders";
+  requests.push_back(group);
+
+  Request via_doc;
+  via_doc.query = "count(doc('orders')/orders/order)";
+  via_doc.provide_registry = true;
+  requests.push_back(via_doc);
+  return requests;
+}
+
+Request SanityRequest() {
+  Request request;
+  request.query = "count(/orders/order)";
+  request.document = "orders";
+  return request;
+}
+
+class ChaosServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::Enabled()) {
+      GTEST_SKIP() << "fault points compiled out; configure -DXQA_FAULTS=ON";
+    }
+    fault::Reset();
+  }
+  void TearDown() override { fault::Reset(); }
+};
+
+TEST_F(ChaosServiceTest, SweepEverySiteTypedErrorServiceableNoLeak) {
+  // Plan cache off so the compile fault sites stay reachable on every pass
+  // (a cached plan would skip compilation after the record run).
+  std::unique_ptr<QueryService> service = MakeService(/*enable_plan_cache=*/
+                                                      false);
+  // Record mode: a clean pass over the workload discovers reachable sites.
+  for (const Request& request : ChaosWorkload()) {
+    Response response = service->Execute(request);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  std::vector<fault::SiteInfo> sites = fault::Sites();
+  ASSERT_FALSE(sites.empty());
+
+  for (const fault::SiteInfo& site : sites) {
+    SCOPED_TRACE(site.name);
+    fault::Disarm();
+    fault::ArmSite(site.name, 1);
+
+    // Exactly one request absorbs the trip and resolves with the site's
+    // typed error; Submit itself must never throw.
+    int failures = 0;
+    for (const Request& request : ChaosWorkload()) {
+      Response response = service->Execute(request);
+      if (!response.status.ok()) {
+        ++failures;
+        EXPECT_EQ(response.status.code(), site.code);
+        EXPECT_NE(response.status.message().find("injected fault"),
+                  std::string::npos)
+            << response.status.ToString();
+        EXPECT_TRUE(response.result.empty());
+      }
+    }
+    EXPECT_EQ(failures, 1) << "armed site should trip exactly once";
+
+    // Serviceable afterwards (countdown is consumed, nothing armed).
+    Response sanity = service->Execute(SanityRequest());
+    EXPECT_TRUE(sanity.status.ok())
+        << "service unserviceable after " << site.name << ": "
+        << sanity.status.ToString();
+
+    // Leak invariant: all request trackers unwound back to the root.
+    EXPECT_EQ(service->root_memory().used(), 0)
+        << "tracker leak after " << site.name;
+  }
+}
+
+TEST_F(ChaosServiceTest, EnqueueFaultResolvesFutureRetryable) {
+  std::unique_ptr<QueryService> service = MakeService();
+  fault::ArmSite("service.enqueue", 1);
+  Response response = service->Execute(SanityRequest());
+  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0003);
+  EXPECT_TRUE(response.retryable);
+  EXPECT_EQ(service->metrics().rejected.load(), 1u);
+  // Next submit goes through.
+  Response again = service->Execute(SanityRequest());
+  EXPECT_TRUE(again.status.ok()) << again.status.ToString();
+  EXPECT_EQ(service->root_memory().used(), 0);
+}
+
+TEST_F(ChaosServiceTest, FailedCompileDoesNotPoisonPlanCache) {
+  std::unique_ptr<QueryService> service = MakeService();
+  Request request = SanityRequest();
+
+  fault::ArmSite("compile.parse", 1);
+  Response failed = service->Execute(request);
+  EXPECT_EQ(failed.status.code(), ErrorCode::kXPST0003);
+  EXPECT_FALSE(failed.retryable);
+
+  PlanCache::Counters after_failure = service->plan_cache_counters();
+  EXPECT_EQ(after_failure.compile_failures, 1u);
+  EXPECT_EQ(after_failure.entries, 0u) << "failed compile must not tombstone";
+  EXPECT_EQ(after_failure.evictions, 0u);
+
+  // The very same query compiles and runs on the next request — the cache
+  // retries rather than replaying the failure.
+  Response ok = service->Execute(request);
+  ASSERT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_EQ(ok.result, "40");
+  PlanCache::Counters after_success = service->plan_cache_counters();
+  EXPECT_EQ(after_success.compile_failures, 1u);
+  EXPECT_EQ(after_success.entries, 1u);
+
+  // And the plan really is cached now.
+  Response cached = service->Execute(request);
+  EXPECT_TRUE(cached.cache_hit);
+}
+
+TEST_F(ChaosServiceTest, ExecuteFaultLeavesServiceDrainable) {
+  // Trip the execute-path fault, then immediately destroy the service: the
+  // destructor drain must not hang or double-release.
+  std::unique_ptr<QueryService> service = MakeService();
+  fault::ArmSite("service.execute", 1);
+  Response response = service->Execute(SanityRequest());
+  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0002);
+  EXPECT_EQ(service->root_memory().used(), 0);
+  service.reset();  // drain
+}
+
+TEST_F(ChaosServiceTest, MetricsReportFaultActivity) {
+  std::unique_ptr<QueryService> service = MakeService();
+  Response response = service->Execute(SanityRequest());
+  ASSERT_TRUE(response.status.ok());
+  std::string json = service->MetricsJson();
+  EXPECT_NE(json.find("\"faults\""), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  EXPECT_GT(fault::TotalHits(), 0u);
+}
+
+}  // namespace
+}  // namespace xqa::service

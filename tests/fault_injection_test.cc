@@ -1,0 +1,175 @@
+// Deterministic fault injection (docs/ROBUSTNESS.md): unit tests of the
+// injector itself (always runnable — the registry is compiled into the
+// library unconditionally) plus the engine-level chaos sweep, which needs
+// the call sites compiled in (-DXQA_FAULTS=ON) and skips otherwise. The
+// sweep is the acceptance check: discover every reachable fault site by
+// running a workload once in record mode, then re-run the workload once per
+// site with that site armed, asserting a typed error propagates and the
+// memory-tracker balance returns to zero after the unwind.
+
+#include "base/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "base/error.h"
+#include "base/memory_tracker.h"
+#include "workload/orders.h"
+
+namespace xqa {
+namespace {
+
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Reset(); }
+  void TearDown() override { fault::Reset(); }
+};
+
+TEST_F(FaultRegistryTest, DisarmedHitsOnlyCount) {
+  fault::Hit("unit.a", ErrorCode::kXQSV0004);
+  fault::Hit("unit.a", ErrorCode::kXQSV0004);
+  fault::Hit("unit.b", ErrorCode::kXPST0003);
+  EXPECT_EQ(fault::TotalHits(), 3u);
+  EXPECT_EQ(fault::TotalTrips(), 0u);
+  std::vector<fault::SiteInfo> sites = fault::Sites();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].name, "unit.a");
+  EXPECT_EQ(sites[0].hits, 2u);
+  EXPECT_EQ(sites[1].name, "unit.b");
+  EXPECT_EQ(sites[1].code, ErrorCode::kXPST0003);
+}
+
+TEST_F(FaultRegistryTest, ArmSiteTripsOnNthHit) {
+  fault::ArmSite("unit.a", 3);
+  fault::Hit("unit.a", ErrorCode::kXQSV0004);
+  fault::Hit("unit.a", ErrorCode::kXQSV0004);
+  fault::Hit("unit.b", ErrorCode::kXPST0003);  // different site: no trip
+  try {
+    fault::Hit("unit.a", ErrorCode::kXQSV0004);
+    FAIL() << "expected the third hit to trip";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+    EXPECT_NE(std::string(error.what()).find("injected fault at unit.a"),
+              std::string::npos);
+  }
+  EXPECT_EQ(fault::TotalTrips(), 1u);
+  // The countdown is consumed: further hits pass.
+  fault::Hit("unit.a", ErrorCode::kXQSV0004);
+  EXPECT_EQ(fault::TotalTrips(), 1u);
+}
+
+TEST_F(FaultRegistryTest, ArmNthTripsAcrossSites) {
+  fault::ArmNth(2);
+  fault::Hit("unit.a", ErrorCode::kXQSV0004);
+  EXPECT_THROW(fault::Hit("unit.b", ErrorCode::kXPST0003), XQueryError);
+  EXPECT_EQ(fault::TotalTrips(), 1u);
+}
+
+TEST_F(FaultRegistryTest, DisarmKeepsCountersArmsOff) {
+  fault::ArmSite("unit.a", 1);
+  fault::Disarm();
+  fault::Hit("unit.a", ErrorCode::kXQSV0004);  // no throw
+  EXPECT_EQ(fault::TotalHits(), 1u);
+  EXPECT_EQ(fault::TotalTrips(), 0u);
+}
+
+TEST_F(FaultRegistryTest, ResetClearsEverything) {
+  fault::ArmSite("unit.a", 5);
+  fault::Hit("unit.a", ErrorCode::kXQSV0004);
+  fault::Reset();
+  EXPECT_EQ(fault::TotalHits(), 0u);
+  EXPECT_TRUE(fault::Sites().empty());
+  fault::Hit("unit.a", ErrorCode::kXQSV0004);  // previous arming is gone
+}
+
+// --- Engine-level chaos sweep ----------------------------------------------
+
+/// One pass over a workload that reaches every engine fault point: compile
+/// (parse + bind), FLWOR tuple materialization, order-by keys, group-by
+/// table, node construction, doc load, serialization. Executes with a
+/// per-query child of `root` so allocation-path faults are reachable, and
+/// serializes each result under the same tracker.
+void RunEngineWorkload(const DocumentPtr& doc, MemoryTracker* root) {
+  Engine engine;
+  DocumentRegistry registry;
+  registry["orders.xml"] = doc;
+  const std::vector<std::string> queries = {
+      "for $o in /orders/order order by $o/orderkey descending "
+      "return <o>{$o/orderkey/text()}</o>",
+      "for $l in /orders/order/lineitem "
+      "group by $l/shipmode into $m nest $l into $ls "
+      "return <g mode=\"{$m}\">{count($ls)}</g>",
+      "count(doc('orders.xml')/orders/order)",
+  };
+  for (const std::string& query : queries) {
+    MemoryTracker tracker("query", 0, root);
+    ExecutionOptions exec;
+    exec.memory = &tracker;
+    PreparedQuery prepared = engine.Compile(query);
+    Sequence result = prepared.Execute(doc, registry, exec);
+    SerializeOptions serialize;
+    serialize.memory = &tracker;
+    SerializeSequence(result, serialize);
+  }
+}
+
+TEST(FaultSweepTest, EveryReachableSiteFailsCleanAndLeaksNothing) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "fault points compiled out; configure -DXQA_FAULTS=ON";
+  }
+  workload::OrderConfig config;
+  config.num_orders = 60;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+
+  // Record mode: one clean pass discovers the reachable sites.
+  fault::Reset();
+  MemoryTracker record_root("root");
+  RunEngineWorkload(doc, &record_root);
+  EXPECT_EQ(record_root.used(), 0);
+  std::vector<fault::SiteInfo> sites = fault::Sites();
+  ASSERT_FALSE(sites.empty());
+  auto recorded = [&sites](const std::string& name) {
+    for (const fault::SiteInfo& site : sites) {
+      if (site.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(recorded("compile.parse"));
+  EXPECT_TRUE(recorded("compile.bind"));
+  EXPECT_TRUE(recorded("flwor.tuple_alloc"));
+  EXPECT_TRUE(recorded("flwor.sort_keys"));
+  EXPECT_TRUE(recorded("flwor.group_alloc"));
+  EXPECT_TRUE(recorded("construct.node_alloc"));
+  EXPECT_TRUE(recorded("doc.load"));
+  EXPECT_TRUE(recorded("serialize.buffer"));
+
+  // Sweep: trip each site in turn; the workload must fail with that site's
+  // typed error, and the root tracker must balance after the unwind.
+  for (const fault::SiteInfo& site : sites) {
+    SCOPED_TRACE(site.name);
+    fault::Disarm();
+    fault::ArmSite(site.name, 1);
+    MemoryTracker root("root");
+    try {
+      RunEngineWorkload(doc, &root);
+      FAIL() << "armed site never tripped: " << site.name;
+    } catch (const XQueryError& error) {
+      EXPECT_EQ(error.code(), site.code);
+      EXPECT_NE(std::string(error.what()).find("injected fault"),
+                std::string::npos);
+    }
+    EXPECT_EQ(root.used(), 0) << "tracker leak after " << site.name;
+  }
+
+  // The engine still works once disarmed.
+  fault::Reset();
+  MemoryTracker root("root");
+  RunEngineWorkload(doc, &root);
+  EXPECT_EQ(root.used(), 0);
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,335 @@
+// Memory governance (docs/ROBUSTNESS.md): MemoryTracker hierarchy, chunked
+// parent reservation, XQSV0004 semantics, ScopedMemoryCharge RAII, the
+// engine-level budget behavior (queries fail cleanly past a budget and are
+// byte-identical with accounting on but unhit), and the XQSV0005 depth
+// guards in the parser and evaluator.
+
+#include "base/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "base/error.h"
+#include "workload/books.h"
+#include "workload/orders.h"
+#include "workload/sales.h"
+
+namespace xqa {
+namespace {
+
+TEST(MemoryTrackerTest, ChargeReleaseBalance) {
+  MemoryTracker tracker("t", 1000);
+  tracker.Charge(400);
+  EXPECT_EQ(tracker.used(), 400);
+  tracker.Charge(600);
+  EXPECT_EQ(tracker.used(), 1000);
+  EXPECT_EQ(tracker.peak(), 1000);
+  tracker.Release(1000);
+  EXPECT_EQ(tracker.used(), 0);
+  EXPECT_EQ(tracker.peak(), 1000);  // peak is monotonic
+  EXPECT_EQ(tracker.budget_failures(), 0);
+}
+
+TEST(MemoryTrackerTest, OverBudgetThrowsAndRollsBack) {
+  MemoryTracker tracker("q", 1000);
+  tracker.Charge(900);
+  try {
+    tracker.Charge(200);
+    FAIL() << "expected XQSV0004";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+    EXPECT_NE(std::string(error.what()).find("memory budget exceeded"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("'q'"), std::string::npos);
+  }
+  // The failed charge is fully rolled back: the tracker is still usable up
+  // to its remaining headroom.
+  EXPECT_EQ(tracker.used(), 900);
+  EXPECT_EQ(tracker.budget_failures(), 1);
+  tracker.Charge(100);
+  EXPECT_EQ(tracker.used(), 1000);
+}
+
+TEST(MemoryTrackerTest, ZeroLimitMeansUnlimited) {
+  MemoryTracker tracker("unlimited");
+  tracker.Charge(int64_t{1} << 40);  // a terabyte of accounting, no throw
+  EXPECT_EQ(tracker.used(), int64_t{1} << 40);
+  EXPECT_EQ(tracker.limit(), 0);
+}
+
+TEST(MemoryTrackerTest, NegativeAndZeroChargesAreNoOps) {
+  MemoryTracker tracker("t", 100);
+  tracker.Charge(0);
+  tracker.Charge(-50);
+  EXPECT_EQ(tracker.used(), 0);
+  tracker.Release(0);
+  tracker.Release(-50);
+  EXPECT_EQ(tracker.used(), 0);
+}
+
+TEST(MemoryTrackerTest, OverReleaseClampsAtZero) {
+  MemoryTracker tracker("t");
+  tracker.Charge(100);
+  tracker.Release(500);
+  EXPECT_EQ(tracker.used(), 0);
+}
+
+TEST(MemoryTrackerTest, ChildReservesFromParentInChunks) {
+  MemoryTracker root("root");
+  {
+    MemoryTracker child("child", 0, &root);
+    child.Charge(1);
+    // One byte of child use grabs a whole reservation chunk from the parent.
+    EXPECT_EQ(root.used(), MemoryTracker::kReservationChunk);
+    // Growth within the chunk touches the parent no further.
+    child.Charge(MemoryTracker::kReservationChunk - 1);
+    EXPECT_EQ(root.used(), MemoryTracker::kReservationChunk);
+    // The next byte crosses into a second chunk.
+    child.Charge(1);
+    EXPECT_EQ(root.used(), 2 * MemoryTracker::kReservationChunk);
+  }
+  // Destroying the child returns the whole reservation.
+  EXPECT_EQ(root.used(), 0);
+}
+
+TEST(MemoryTrackerTest, RootBalanceReturnsToZeroAfterChildThrow) {
+  MemoryTracker root("root");
+  {
+    MemoryTracker child("child", 100, &root);
+    EXPECT_THROW(child.Charge(200), XQueryError);
+    // The child still holds no reservation (the charge failed on its own
+    // limit before touching the parent).
+  }
+  EXPECT_EQ(root.used(), 0);
+
+  {
+    MemoryTracker child("child", 0, &root);
+    child.Charge(3 * MemoryTracker::kReservationChunk);
+    EXPECT_GT(root.used(), 0);
+    // Simulated unwind: the child dies with charges outstanding.
+  }
+  EXPECT_EQ(root.used(), 0);
+}
+
+TEST(MemoryTrackerTest, ParentLimitVetoesChildCharge) {
+  MemoryTracker root("root", MemoryTracker::kReservationChunk);
+  MemoryTracker child("child", 0, &root);
+  child.Charge(10);  // fits: one chunk == the root limit
+  try {
+    child.Charge(2 * MemoryTracker::kReservationChunk);
+    FAIL() << "expected XQSV0004 from the root";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+    EXPECT_NE(std::string(error.what()).find("'root'"), std::string::npos);
+  }
+  // Rejected charge rolled back on the child; the root keeps only the first
+  // chunk.
+  EXPECT_EQ(child.used(), 10);
+  EXPECT_EQ(root.used(), MemoryTracker::kReservationChunk);
+  EXPECT_EQ(root.budget_failures(), 1);
+}
+
+TEST(MemoryTrackerTest, WouldExceedProbesWholeChain) {
+  MemoryTracker root("root", 1000);
+  MemoryTracker child("child", 0, &root);
+  EXPECT_FALSE(child.WouldExceed(500));
+  root.Charge(900);
+  EXPECT_TRUE(child.WouldExceed(500));
+  EXPECT_FALSE(child.WouldExceed(50));
+}
+
+TEST(MemoryTrackerTest, ConcurrentChargeReleaseBalances) {
+  // Hammer one tracker from several threads (the parallel-FLWOR sharing
+  // pattern); under TSan this doubles as the data-race check.
+  MemoryTracker root("root");
+  MemoryTracker shared("query", 0, &root);
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared] {
+      for (int i = 0; i < kIterations; ++i) {
+        shared.Charge(64);
+        shared.Charge(512);
+        shared.Release(64);
+        shared.Release(512);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(shared.used(), 0);
+  EXPECT_GT(shared.peak(), 0);
+}
+
+TEST(ScopedMemoryChargeTest, ResetChargesDeltaAndReleasesOnDestruction) {
+  MemoryTracker tracker("t");
+  {
+    ScopedMemoryCharge charge(&tracker);
+    charge.Reset(100);
+    EXPECT_EQ(tracker.used(), 100);
+    charge.Reset(250);  // generation replaced by a bigger one
+    EXPECT_EQ(tracker.used(), 250);
+    charge.Reset(40);  // ... then a smaller one
+    EXPECT_EQ(tracker.used(), 40);
+    charge.Add(10);
+    EXPECT_EQ(charge.held(), 50);
+    EXPECT_EQ(tracker.used(), 50);
+  }
+  EXPECT_EQ(tracker.used(), 0);
+}
+
+TEST(ScopedMemoryChargeTest, NullTrackerIsANoOp) {
+  ScopedMemoryCharge charge(nullptr);
+  charge.Reset(1000);
+  charge.Add(1000);
+  EXPECT_EQ(charge.held(), 0);
+}
+
+TEST(ScopedMemoryChargeTest, ReleasesOnExceptionUnwind) {
+  MemoryTracker tracker("t", 1000);
+  try {
+    ScopedMemoryCharge charge(&tracker);
+    charge.Reset(800);
+    charge.Reset(2000);  // throws XQSV0004
+    FAIL() << "expected XQSV0004";
+  } catch (const XQueryError&) {
+  }
+  // The scoped charge released its held 800 during unwind; the failed delta
+  // was rolled back by Charge itself.
+  EXPECT_EQ(tracker.used(), 0);
+}
+
+// --- Engine-level budget behavior ------------------------------------------
+
+Sequence RunWithBudget(const std::string& query, const DocumentPtr& doc,
+                       MemoryTracker* tracker) {
+  Engine engine;
+  PreparedQuery prepared = engine.Compile(query);
+  ExecutionOptions exec;
+  exec.memory = tracker;
+  return prepared.Execute(doc, exec);
+}
+
+TEST(MemoryBudgetTest, TightBudgetFailsQueryWithXQSV0004) {
+  workload::OrderConfig config;
+  config.num_orders = 500;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  MemoryTracker tracker("query", 16 * 1024);  // 16 KiB: far below the data
+  try {
+    RunWithBudget("for $o in /orders/order order by $o/orderkey "
+                  "return <o>{$o/orderkey/text()}</o>",
+                  doc, &tracker);
+    FAIL() << "expected XQSV0004";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+  }
+  EXPECT_GE(tracker.budget_failures(), 1);
+}
+
+TEST(MemoryBudgetTest, GroupByTripsBudgetMidFormation) {
+  workload::OrderConfig config;
+  config.num_orders = 1000;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  MemoryTracker tracker("query", 16 * 1024);
+  EXPECT_THROW(
+      RunWithBudget("for $o in /orders/order "
+                    "group by $o/orderkey into $key nest $o into $os "
+                    "return count($os)",
+                    doc, &tracker),
+      XQueryError);
+}
+
+TEST(MemoryBudgetTest, UnhitBudgetIsByteIdenticalToUntracked) {
+  // The ablation acceptance check: accounting on-but-unhit must not change a
+  // single output byte versus accounting off, across all three workloads.
+  struct Case {
+    DocumentPtr doc;
+    std::string query;
+  };
+  workload::OrderConfig orders;
+  orders.num_orders = 300;
+  workload::BooksConfig books;
+  books.num_books = 120;
+  workload::SalesConfig sales;
+  sales.num_sales = 200;
+  std::vector<Case> cases;
+  cases.push_back(
+      {workload::GenerateOrdersDocument(orders),
+       "for $o in /orders/order "
+       "group by $o/customer/custkey into $c nest $o into $os "
+       "return <c key=\"{$c}\"><n>{count($os)}</n></c>"});
+  cases.push_back({workload::GenerateBooksDocument(books),
+                   "for $b in /bib/book order by $b/title return $b/title"});
+  cases.push_back({workload::GenerateSalesDocument(sales),
+                   "for $s in /sales/sale "
+                   "group by $s/region into $r nest $s into $ss "
+                   "return <r name=\"{$r}\">{count($ss)}</r>"});
+  Engine engine;
+  for (const Case& c : cases) {
+    PreparedQuery prepared = engine.Compile(c.query);
+    ExecutionOptions plain;
+    std::string untracked =
+        SerializeSequence(prepared.Execute(c.doc, plain), 0);
+
+    MemoryTracker root("root");
+    MemoryTracker tracker("query", int64_t{1} << 30, &root);  // 1 GiB: unhit
+    ExecutionOptions budgeted;
+    budgeted.memory = &tracker;
+    std::string tracked =
+        SerializeSequence(prepared.Execute(c.doc, budgeted), 0);
+
+    EXPECT_EQ(untracked, tracked) << c.query;
+    EXPECT_GT(tracker.used(), 0) << "accounting never engaged: " << c.query;
+  }
+}
+
+// --- Depth guards (XQSV0005) -----------------------------------------------
+
+TEST(DepthGuardTest, ParserRejectsDeeplyNestedExpression) {
+  std::string query(4000, '(');
+  query += "1";
+  query += std::string(4000, ')');
+  Engine engine;
+  try {
+    engine.Compile(query);
+    FAIL() << "expected XQSV0005";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0005);
+    EXPECT_NE(std::string(error.what()).find("parser depth limit"),
+              std::string::npos);
+  }
+}
+
+TEST(DepthGuardTest, ParserRejectsDeeplyNestedConstructors) {
+  std::string query, close;
+  for (int i = 0; i < 2000; ++i) {
+    query += "<a>";
+    close = "</a>" + close;
+  }
+  query += close;
+  Engine engine;
+  try {
+    engine.Compile(query);
+    FAIL() << "expected XQSV0005";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0005);
+  }
+}
+
+TEST(DepthGuardTest, ReasonableNestingStillCompilesAndRuns) {
+  std::string query(64, '(');
+  query += "1 + 1";
+  query += std::string(64, ')');
+  Engine engine;
+  Sequence result = engine.Compile(query).Execute();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(SerializeSequence(result), "2");
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,234 @@
+// Resource-governance behaviors that hold in every build, no fault
+// injection required (docs/ROBUSTNESS.md): cancellation checkpoints inside
+// the long loops cooperative polling previously missed (sort comparators,
+// deep-equal, the serializer), the evaluator recursion-depth guard, and the
+// service-level degradation surface — per-query budgets, the memory
+// pressure gate, and retryable classification.
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "base/cancellation.h"
+#include "base/error.h"
+#include "base/memory_tracker.h"
+#include "service/query_service.h"
+#include "workload/orders.h"
+#include "xdm/deep_equal.h"
+#include "xml/serializer.h"
+
+namespace xqa {
+namespace {
+
+ErrorCode CodeOf(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const XQueryError& error) {
+    return error.code();
+  }
+  return ErrorCode::kOk;
+}
+
+// Regression test for the sort-comparator checkpoint: a timed-out order-by
+// over 10^6 keys must abort near the deadline instead of finishing the
+// sort. Before the comparator polled, the deadline was only noticed after
+// std::stable_sort returned.
+TEST(SortCancellationTest, TimedOutMillionKeySortAbortsPromptly) {
+  Engine engine;
+  PreparedQuery prepared = engine.Compile(
+      "for $i in 1 to 1000000 "
+      "order by $i mod 7, $i descending "
+      "return $i");
+  CancellationToken token;
+  token.SetTimeout(0.15);
+  ExecutionOptions exec;
+  exec.cancellation = &token;
+
+  auto start = std::chrono::steady_clock::now();
+  ErrorCode code = CodeOf([&] { prepared.Execute(exec); });
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_EQ(code, ErrorCode::kXQSV0001);
+  // "Promptly": orders of magnitude under the full run, with slack for
+  // sanitizer builds.
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(DeepEqualCancellationTest, CancelledTokenAbortsComparison) {
+  // Two separately generated (deterministic, so identical) documents: the
+  // comparison must walk every node — the identity short-circuit never
+  // fires — and hit the poll.
+  workload::OrderConfig config;
+  config.num_orders = 100;
+  DocumentPtr a = workload::GenerateOrdersDocument(config);
+  DocumentPtr b = workload::GenerateOrdersDocument(config);
+  CancellationToken token;
+  token.Cancel();
+  ErrorCode code =
+      CodeOf([&] { DeepEqualNodes(a->root(), b->root(), &token); });
+  EXPECT_EQ(code, ErrorCode::kXQSV0002);
+  // Null token (the default) stays poll-free and completes.
+  EXPECT_TRUE(DeepEqualNodes(a->root(), b->root()));
+}
+
+TEST(SerializerCancellationTest, CancelledTokenAbortsSerialization) {
+  workload::OrderConfig config;
+  config.num_orders = 100;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  CancellationToken token;
+  token.Cancel();
+  SerializeOptions options;
+  options.cancellation = &token;
+  ErrorCode code = CodeOf([&] { SerializeNode(doc->root(), options); });
+  EXPECT_EQ(code, ErrorCode::kXQSV0002);
+}
+
+TEST(SerializerMemoryTest, TinyBudgetTripsXQSV0004) {
+  workload::OrderConfig config;
+  config.num_orders = 100;
+  DocumentPtr doc = workload::GenerateOrdersDocument(config);
+  MemoryTracker tracker("serialize", 256);
+  SerializeOptions options;
+  options.memory = &tracker;
+  ErrorCode code = CodeOf([&] { SerializeNode(doc->root(), options); });
+  EXPECT_EQ(code, ErrorCode::kXQSV0004);
+  EXPECT_EQ(tracker.budget_failures(), 1u);
+}
+
+TEST(EvalDepthTest, RunawayRecursionTripsXQSV0005) {
+  // Parses shallow (the recursion is dynamic), so only the evaluator's
+  // depth guard can stop it — before the C++ stack does.
+  Engine engine;
+  PreparedQuery prepared = engine.Compile(
+      "declare function local:down($n as xs:integer) as xs:integer "
+      "{ if ($n le 0) then 0 else local:down($n - 1) }; "
+      "local:down(1000000)");
+  ErrorCode code = CodeOf([&] { prepared.Execute(); });
+  EXPECT_EQ(code, ErrorCode::kXQSV0005);
+
+  // Recursion within the limit still runs.
+  PreparedQuery shallow = engine.Compile(
+      "declare function local:down($n as xs:integer) as xs:integer "
+      "{ if ($n le 0) then 0 else local:down($n - 1) }; "
+      "local:down(100)");
+  Sequence result = shallow.Execute();
+  ASSERT_EQ(result.size(), 1u);
+}
+
+// --- Service-level degradation ---------------------------------------------
+
+namespace svc = xqa::service;
+
+std::unique_ptr<svc::QueryService> MakeService(svc::ServiceOptions options) {
+  auto service = std::make_unique<svc::QueryService>(std::move(options));
+  workload::OrderConfig config;
+  config.num_orders = 2000;
+  service->documents().Put("orders",
+                           workload::GenerateOrdersDocument(config));
+  return service;
+}
+
+svc::Request SortRequest() {
+  svc::Request request;
+  request.query =
+      "for $o in /orders/order order by $o/orderkey descending "
+      "return $o/orderkey";
+  request.document = "orders";
+  return request;
+}
+
+TEST(ServiceBudgetTest, PerQueryBudgetFailsWithXQSV0004NotRetryable) {
+  svc::ServiceOptions options;
+  options.per_query_memory_bytes = 32 << 10;  // far under the sort's need
+  options.total_memory_bytes = 1ll << 30;
+  std::unique_ptr<svc::QueryService> service = MakeService(options);
+
+  svc::Response response = service->Execute(SortRequest());
+  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0004);
+  EXPECT_FALSE(response.retryable);
+  EXPECT_TRUE(response.result.empty());
+  EXPECT_EQ(service->metrics().budget_exceeded.load(), 1u);
+  EXPECT_EQ(service->metrics().failed.load(), 1u);
+  // The request's tracker unwound its whole reservation back to the root.
+  EXPECT_EQ(service->root_memory().used(), 0);
+
+  // A cheap query still fits the same budget — the service is degraded for
+  // oversized requests only, not down.
+  svc::Request cheap;
+  cheap.query = "count(/orders/order)";
+  cheap.document = "orders";
+  svc::Response ok = service->Execute(cheap);
+  EXPECT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_EQ(ok.result, "2000");
+  EXPECT_EQ(service->root_memory().used(), 0);
+}
+
+TEST(ServiceBudgetTest, MemoryPressureGateShedsRetryable) {
+  svc::ServiceOptions options;
+  // Degenerate budget: the 90% threshold truncates to 0 bytes, so every
+  // Submit sees the gate closed — a deterministic stand-in for "root budget
+  // nearly exhausted by in-flight requests".
+  options.total_memory_bytes = 1;
+  std::unique_ptr<svc::QueryService> service = MakeService(options);
+
+  svc::Response response = service->Execute(SortRequest());
+  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0003);
+  EXPECT_TRUE(response.retryable);
+  EXPECT_NE(response.status.message().find("memory pressure"),
+            std::string::npos);
+  EXPECT_EQ(service->metrics().shed_memory_pressure.load(), 1u);
+  EXPECT_EQ(service->metrics().rejected.load(), 1u);
+  EXPECT_EQ(service->metrics().admitted.load(), 0u);
+}
+
+TEST(ServiceBudgetTest, DisablingTheGateAdmitsUnderPressure) {
+  svc::ServiceOptions options;
+  options.total_memory_bytes = 1ll << 30;
+  options.memory_pressure_shed_fraction = 0.0;  // gate off
+  std::unique_ptr<svc::QueryService> service = MakeService(options);
+  svc::Response response = service->Execute(SortRequest());
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(service->metrics().shed_memory_pressure.load(), 0u);
+}
+
+TEST(ServiceBudgetTest, DeadlineTimeoutIsRetryable) {
+  svc::ServiceOptions options;
+  std::unique_ptr<svc::QueryService> service = MakeService(options);
+  svc::Request request;
+  request.query =
+      "for $i in 1 to 1000000 order by $i mod 7 return $i";
+  request.deadline_seconds = 0.05;
+  svc::Response response = service->Execute(request);
+  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0001);
+  EXPECT_TRUE(response.retryable);
+  EXPECT_EQ(service->metrics().timed_out.load(), 1u);
+  EXPECT_EQ(service->root_memory().used(), 0);
+}
+
+TEST(ServiceBudgetTest, MetricsJsonExposesGovernanceCounters) {
+  svc::ServiceOptions options;
+  options.per_query_memory_bytes = 32 << 10;
+  options.total_memory_bytes = 1ll << 30;
+  std::unique_ptr<svc::QueryService> service = MakeService(options);
+  service->Execute(SortRequest());  // trips the per-query budget
+
+  std::string json = service->MetricsJson();
+  EXPECT_NE(json.find("\"budget_exceeded\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shed_memory_pressure\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"memory\""), std::string::npos);
+  EXPECT_NE(json.find("\"used_bytes\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"limit_bytes\": " +
+                      std::to_string(options.total_memory_bytes)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"budget_failures\""), std::string::npos);
+  EXPECT_NE(json.find("\"compile_failures\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"faults\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xqa

@@ -231,9 +231,9 @@ TEST(DocumentStoreTest, NullDocumentRejected) {
   DocumentStore store;
   try {
     store.Put("orders", nullptr);
-    FAIL() << "expected XQSV0004";
+    FAIL() << "expected XQSV0006";
   } catch (const XQueryError& error) {
-    EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0006);
   }
 }
 
@@ -383,8 +383,9 @@ TEST_F(ServiceTest, UnknownDocumentIsADedicatedError) {
   request.document = "nope";
   Response response = service.Execute(request);
 
-  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0004);
+  EXPECT_EQ(response.status.code(), ErrorCode::kXQSV0006);
   EXPECT_FALSE(response.executed);
+  EXPECT_FALSE(response.retryable);
   EXPECT_TRUE(response.result.empty());
   EXPECT_EQ(service.metrics().failed.load(), 1u);
   EXPECT_EQ(service.metrics().documents_missing.load(), 1u);
