@@ -144,6 +144,23 @@ inline double MeasureSeconds(const PreparedQuery& query, const DocumentPtr& doc,
   return best;
 }
 
+/// Per-call-options variant, for ablation sections that flip ExecutionOptions
+/// (engine choice, thread count) on one compiled query.
+inline double MeasureSeconds(const PreparedQuery& query, const DocumentPtr& doc,
+                             const ExecutionOptions& options,
+                             int repetitions) {
+  (void)query.Execute(doc, options);
+  double best = 1e300;
+  for (int i = 0; i < repetitions; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    (void)query.Execute(doc, options);
+    auto stop = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(stop - start).count();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
 /// One measured query: the caller's unprofiled wall time plus result size
 /// and counters from one extra profiled run, as a JSON object fragment.
 inline JsonValue MeasureEntry(const PreparedQuery& query,

@@ -110,6 +110,44 @@ int main(int argc, char** argv) {
     thread_results.Append(std::move(entry));
   }
 
+  // --- Batched-vs-scalar ablation (docs/VECTORIZATION.md) ------------------
+  // The explicit group-by on the large document with the batched engine
+  // flipped, serial and 4-way parallel. Byte identity is asserted first.
+  std::printf("\nbatched-engine ablation: group by on the large document\n");
+  std::printf("%10s %12s %12s %9s\n", "threads", "batched ms", "scalar ms",
+              "speedup");
+  JsonValue ablation = JsonValue::Array();
+  for (int threads : {1, 4}) {
+    xqa::ExecutionOptions batched_opts;
+    batched_opts.num_threads = threads;
+    batched_opts.use_batched_execution = true;
+    xqa::ExecutionOptions scalar_opts;
+    scalar_opts.num_threads = threads;
+    scalar_opts.use_batched_execution = false;
+    if (with_groupby.ExecuteToString(scaling_doc, batched_opts) !=
+            serial_result ||
+        with_groupby.ExecuteToString(scaling_doc, scalar_opts) !=
+            serial_result) {
+      std::fprintf(stderr,
+                   "FATAL: ablation result differs at num_threads=%d\n",
+                   threads);
+      return 1;
+    }
+    double t_batched = MeasureSeconds(with_groupby, scaling_doc, batched_opts,
+                                      quick ? 3 : 5);
+    double t_scalar = MeasureSeconds(with_groupby, scaling_doc, scalar_opts,
+                                     quick ? 3 : 5);
+    std::printf("%10d %12.2f %12.2f %9.2f\n", threads, t_batched * 1e3,
+                t_scalar * 1e3, t_scalar / t_batched);
+    JsonValue entry = JsonValue::Object();
+    entry.Set("threads", JsonValue::Int(threads));
+    entry.Set("lineitems", JsonValue::Int(scaling_lineitems));
+    entry.Set("batched_seconds", JsonValue::Number(t_batched));
+    entry.Set("scalar_seconds", JsonValue::Number(t_scalar));
+    entry.Set("batched_speedup", JsonValue::Number(t_scalar / t_batched));
+    ablation.Append(std::move(entry));
+  }
+
   JsonValue root = JsonValue::Object();
   root.Set("bench", JsonValue::Str("scaling"));
   root.Set("experiment",
@@ -121,6 +159,7 @@ int main(int argc, char** argv) {
   root.Set("parameters", std::move(params));
   root.Set("results", std::move(results));
   root.Set("thread_scaling", std::move(thread_results));
+  root.Set("batched_ablation", std::move(ablation));
   xqa::bench::WriteBenchJson("scaling", root);
   return 0;
 }

@@ -80,6 +80,38 @@ int main(int argc, char** argv) {
     results.Append(std::move(entry));
   }
 
+  // --- Batched-vs-scalar ablation (docs/VECTORIZATION.md) -------------------
+  // The same four templates with the batched engine switched off. Byte
+  // identity is asserted before timing, so the recorded speedup is for an
+  // invisible optimization, not a semantic shortcut.
+  std::printf("\nbatched-engine ablation\n");
+  std::printf("%-28s %12s %12s %9s\n", "query", "batched ms", "scalar ms",
+              "speedup");
+  xqa::ExecutionOptions batched_opts;
+  batched_opts.use_batched_execution = true;
+  xqa::ExecutionOptions scalar_opts;
+  scalar_opts.use_batched_execution = false;
+  JsonValue ablation = JsonValue::Array();
+  for (const NamedQuery& q : kQueries) {
+    PreparedQuery query = engine.Compile(q.text);
+    if (query.ExecuteToString(doc, batched_opts) !=
+        query.ExecuteToString(doc, scalar_opts)) {
+      std::fprintf(stderr, "FATAL: %s batched result differs from scalar\n",
+                   q.name);
+      return 1;
+    }
+    double t_batched = MeasureSeconds(query, doc, batched_opts, repetitions);
+    double t_scalar = MeasureSeconds(query, doc, scalar_opts, repetitions);
+    std::printf("%-28s %12.2f %12.2f %9.2f\n", q.name, t_batched * 1e3,
+                t_scalar * 1e3, t_scalar / t_batched);
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::Str(q.name));
+    entry.Set("batched_seconds", JsonValue::Number(t_batched));
+    entry.Set("scalar_seconds", JsonValue::Number(t_scalar));
+    entry.Set("batched_speedup", JsonValue::Number(t_scalar / t_batched));
+    ablation.Append(std::move(entry));
+  }
+
   JsonValue root = JsonValue::Object();
   root.Set("bench", JsonValue::Str("table1"));
   root.Set("experiment",
@@ -90,6 +122,7 @@ int main(int argc, char** argv) {
   params.Set("repetitions", JsonValue::Int(repetitions));
   root.Set("parameters", std::move(params));
   root.Set("results", std::move(results));
+  root.Set("batched_ablation", std::move(ablation));
   xqa::bench::WriteBenchJson("table1", root);
   return 0;
 }

@@ -257,7 +257,15 @@ std::string ExplainModuleImpl(const Module& module, const QueryStats* stats) {
         << stats->fallback_walks << " (" << stats->fallback_walk_nodes
         << " nodes), nodes constructed " << stats->nodes_constructed
         << ", deep-equal " << stats->deep_equal_calls << ", deep-hash "
-        << stats->deep_hash_calls << "\n";
+        << stats->deep_hash_calls;
+    if (stats->batches_emitted > 0) {
+      char fill_buf[32];
+      std::snprintf(fill_buf, sizeof(fill_buf), "%.1f",
+                    stats->BatchFillAverage());
+      out << ", batches " << stats->batches_emitted << " (fill avg "
+          << fill_buf << ")";
+    }
+    out << "\n";
   }
   return out.str();
 }

@@ -68,6 +68,8 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   index_scan_nodes += other.index_scan_nodes;
   fallback_walks += other.fallback_walks;
   fallback_walk_nodes += other.fallback_walk_nodes;
+  batches_emitted += other.batches_emitted;
+  batch_rows_emitted += other.batch_rows_emitted;
   for (const ClauseStats& theirs : other.clauses) {
     ClauseStats& ours = Clause(theirs.flwor, theirs.clause_index, theirs.label);
     ours.executions += theirs.executions;
@@ -118,6 +120,9 @@ std::string QueryStats::ToJson(int indent) const {
   out << pad << "\"fallback_walks\": " << fallback_walks << "," << nl;
   out << pad << "\"fallback_walk_nodes\": " << fallback_walk_nodes << ","
       << nl;
+  out << pad << "\"batches_emitted\": " << batches_emitted << "," << nl;
+  out << pad << "\"batch_rows_emitted\": " << batch_rows_emitted << "," << nl;
+  out << pad << "\"batch_fill_avg\": " << BatchFillAverage() << "," << nl;
   out << pad << "\"clauses\": [" << nl;
   for (size_t i = 0; i < clauses.size(); ++i) {
     const ClauseStats& c = clauses[i];

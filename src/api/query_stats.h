@@ -63,6 +63,21 @@ class QueryStats {
   int64_t fallback_walks = 0;      ///< descendant steps that walked the subtree
   int64_t fallback_walk_nodes = 0; ///< nodes visited by walking steps
 
+  // Batched-execution counters (docs/VECTORIZATION.md). Each columnar tuple
+  // morsel leaving a FLWOR clause counts as one emitted batch;
+  // `batch_rows_emitted / batches_emitted` is the average batch fill. Zero
+  // under the scalar ablation (use_batched_execution = false).
+  int64_t batches_emitted = 0;     ///< tuple batches leaving any FLWOR clause
+  int64_t batch_rows_emitted = 0;  ///< rows carried by those batches
+
+  /// Average rows per emitted batch; 0.0 when no batches were emitted.
+  double BatchFillAverage() const {
+    return batches_emitted > 0
+               ? static_cast<double>(batch_rows_emitted) /
+                     static_cast<double>(batches_emitted)
+               : 0.0;
+  }
+
   /// Per-clause counters in first-execution order. A deque, not a vector:
   /// the evaluator holds ClauseStats* across nested evaluation (an outer
   /// return clause's entry outlives the inner FLWOR's first registration),

@@ -166,6 +166,56 @@ bool ParseDouble(std::string_view s, double* out) {
   return true;
 }
 
+uint32_t Utf8DecodeAt(std::string_view s, size_t* index) {
+  size_t i = *index;
+  unsigned char c = static_cast<unsigned char>(s[i]);
+  uint32_t code = c;
+  size_t length = 1;
+  if ((c & 0xE0) == 0xC0 && i + 1 < s.size()) {
+    code = (c & 0x1F) << 6 | (s[i + 1] & 0x3F);
+    length = 2;
+  } else if ((c & 0xF0) == 0xE0 && i + 2 < s.size()) {
+    code = (c & 0x0F) << 12 | (s[i + 1] & 0x3F) << 6 | (s[i + 2] & 0x3F);
+    length = 3;
+  } else if ((c & 0xF8) == 0xF0 && i + 3 < s.size()) {
+    code = (c & 0x07) << 18 | (s[i + 1] & 0x3F) << 12 |
+           (s[i + 2] & 0x3F) << 6 | (s[i + 3] & 0x3F);
+    length = 4;
+  }
+  *index = i + length;
+  return code;
+}
+
+size_t Utf8Length(std::string_view s) {
+  size_t count = 0;
+  for (size_t i = 0; i < s.size(); ++count) Utf8DecodeAt(s, &i);
+  return count;
+}
+
+size_t Utf8OffsetOf(std::string_view s, size_t n) {
+  size_t i = 0;
+  for (size_t seen = 0; seen < n && i < s.size(); ++seen) Utf8DecodeAt(s, &i);
+  return i;
+}
+
+void Utf8Encode(uint32_t code, std::string* out) {
+  if (code < 0x80) {
+    out->push_back(static_cast<char>(code));
+  } else if (code < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+    out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  } else if (code < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  }
+}
+
 std::string EscapeText(std::string_view s) {
   std::string out;
   out.reserve(s.size());

@@ -50,6 +50,27 @@ bool ParseInteger(std::string_view s, int64_t* out);
 /// decimal and scientific notation); returns false on syntax error.
 bool ParseDouble(std::string_view s, double* out);
 
+// --- UTF-8 codepoint walking -----------------------------------------------
+// Shared by every codepoint-oriented string function (fn:substring,
+// fn:string-length, fn:upper-case/lower-case, fn:string-to-codepoints) so
+// they agree on one decoding policy: invalid or truncated sequences decode
+// as the single byte's value and consume one byte.
+
+/// Decodes the codepoint starting at byte `*index` and advances `*index`
+/// past it. Precondition: `*index < s.size()`.
+uint32_t Utf8DecodeAt(std::string_view s, size_t* index);
+
+/// Number of codepoints in `s` (equals byte length for pure ASCII).
+size_t Utf8Length(std::string_view s);
+
+/// Byte offset where 0-based codepoint index `n` starts; `s.size()` when `s`
+/// has `n` or fewer codepoints. Never lands inside a multibyte sequence, so
+/// slicing on these offsets cannot split a character.
+size_t Utf8OffsetOf(std::string_view s, size_t n);
+
+/// Appends the UTF-8 encoding of `code` (caller guarantees ≤ 0x10FFFF).
+void Utf8Encode(uint32_t code, std::string* out);
+
 /// Escapes text content for XML serialization (& < >).
 std::string EscapeText(std::string_view s);
 

@@ -25,6 +25,7 @@ std::unique_ptr<DynamicContext> DynamicContext::Fork() const {
   // token is shared so every lane of a parallel section observes a deadline
   // or cancel at its next checkpoint.
   fork->exec.use_structural_index = exec.use_structural_index;
+  fork->exec.use_batched_execution = exec.use_batched_execution;
   fork->exec.cancellation = exec.cancellation;
   // The memory tracker is shared too (it is thread-safe): every lane's
   // materialization counts against the same per-query budget.

@@ -35,6 +35,14 @@ struct ExecutionOptions {
   /// tests, which assert byte-identical results either way.
   bool use_structural_index = true;
 
+  /// Run FLWOR expressions through the batched (vectorized) engine
+  /// (docs/VECTORIZATION.md): columnar tuple morsels, batched slot loading,
+  /// simple-path kernels, and per-batch group-by probing. On by default;
+  /// turning it off forces the scalar tuple-at-a-time pipeline — the
+  /// ablation the batched-identity tests and bench_table1/bench_scaling use
+  /// to prove byte-identical results and measure the step change.
+  bool use_batched_execution = true;
+
   /// Cooperative cancellation / deadline token for this execution
   /// (docs/SERVICE.md). Not owned; must outlive the Execute call. Null (the
   /// default) disables the checkpoints entirely, so executions outside the

@@ -46,8 +46,16 @@ class Evaluator {
   Sequence ApplyPredicate(Sequence input, const Expr* predicate,
                           DynamicContext* context);
 
-  // flwor.cc
+  // flwor.cc — the scalar tuple-at-a-time pipeline, kept as the ablation
+  // baseline for the batched engine (docs/VECTORIZATION.md).
   Sequence EvalFlwor(const FlworExpr* expr, DynamicContext* context);
+
+  // flwor_batch.cc — the batched (vectorized) engine: columnar tuple
+  // morsels, batched slot loading, simple-path key kernels, per-batch
+  // group-by probing. Dispatched from EvalFlwor when
+  // ExecutionOptions::use_batched_execution is set; results are
+  // byte-identical to the scalar pipeline at every thread count.
+  Sequence EvalFlworBatched(const FlworExpr* expr, DynamicContext* context);
 
   // path.cc
   Sequence EvalPath(const PathExpr* expr, DynamicContext* context);

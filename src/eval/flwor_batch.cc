@@ -1,0 +1,1418 @@
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/query_stats.h"
+#include "base/error.h"
+#include "base/fault_injection.h"
+#include "base/memory_tracker.h"
+#include "base/thread_pool.h"
+#include "eval/evaluator.h"
+#include "eval/flwor_internal.h"
+#include "eval/path_step.h"
+#include "functions/function_registry.h"
+#include "xdm/deep_equal.h"
+#include "xdm/sequence_ops.h"
+
+namespace xqa {
+
+using namespace flwor_detail;
+using namespace path_detail;
+
+namespace {
+
+/// The batched (vectorized) FLWOR engine, docs/VECTORIZATION.md. The tuple
+/// stream is stored as columns of slot values instead of row tuples, clause
+/// work proceeds in fixed-size morsels of kBatchRows rows, and the common
+/// clause-expression shapes (a bound-variable reference, or a predicate-free
+/// child/attribute path from one) run through dedicated kernels that bypass
+/// the generic tree-walking evaluator. Rows are still visited in input
+/// order, hashes are computed once per row with the shared seeds, and group
+/// formation keeps first-occurrence order, so results, typed errors, and the
+/// comparable QueryStats counters are identical to the scalar pipeline in
+/// flwor.cc at every thread count — the property the batched-identity
+/// ablation asserts.
+
+/// Rows per processing morsel. Batches are dense: every batch a clause
+/// processes is full except possibly the last one of the stream.
+constexpr size_t kBatchRows = 1024;
+
+/// The tuple stream in columnar form: one vector of per-row Sequences per
+/// bound variable, all of length `rows`. The initial stream is the FLWOR's
+/// single empty tuple — zero columns, one row — so `rows` is tracked
+/// explicitly rather than derived from a column.
+struct ColumnStream {
+  std::vector<int> slots;                   ///< bound slot per column
+  std::vector<std::vector<Sequence>> cols;  ///< cols[c][row]
+  size_t rows = 0;
+
+  int ColumnOf(int slot) const {
+    for (size_t c = 0; c < slots.size(); ++c) {
+      if (slots[c] == slot) return static_cast<int>(c);
+    }
+    return -1;
+  }
+};
+
+/// Shallow byte estimate of the live stream. Deliberately the same formula
+/// as the scalar engine's EstimateTupleBytes — per-row header plus Sequence
+/// slots plus items — so a memory budget trips at the same stream size under
+/// either engine and the budget ablation stays comparable.
+int64_t EstimateStreamBytes(const ColumnStream& stream) {
+  int64_t items = 0;
+  for (const std::vector<Sequence>& col : stream.cols) {
+    for (const Sequence& sequence : col) {
+      items += static_cast<int64_t>(sequence.size());
+    }
+  }
+  int64_t slots = static_cast<int64_t>(stream.rows) *
+                  static_cast<int64_t>(stream.cols.size());
+  return static_cast<int64_t>(stream.rows * sizeof(std::vector<Sequence>)) +
+         slots * static_cast<int64_t>(sizeof(Sequence)) +
+         items * static_cast<int64_t>(sizeof(Item));
+}
+
+/// A clause expression of the shape `$var/child::a/.../@b`: a non-global
+/// variable reference start followed only by predicate-free child/attribute
+/// axis steps with the standard node tests. Such keys dominate analytics
+/// workloads (group keys, for domains, nest bodies), and evaluating them
+/// needs neither slot loading nor the generic evaluator.
+struct SimplePathPlan {
+  const PathExpr* path = nullptr;
+  struct Step {
+    Axis axis;
+    const NodeTest* test;
+  };
+  std::vector<Step> steps;
+};
+
+/// How a clause expression is evaluated per row.
+struct ExprPlan {
+  enum class Mode {
+    kGeneric,     ///< swap the row into the slots, run Evaluate
+    kColumn,      ///< a bound-variable reference: read the column directly
+    kSimplePath,  ///< simple path from a bound variable: run the kernel
+  };
+  Mode mode = Mode::kGeneric;
+  int slot = -1;  ///< kColumn / kSimplePath: the VarRef slot
+  int col = -1;   ///< column index of `slot`, or -1 (read the live slot)
+  SimplePathPlan path;
+};
+
+/// Classifies `expr` against the current bound-column set. kColumn and
+/// kSimplePath avoid slot loading entirely when the start variable is a
+/// stream column; a start variable bound outside this FLWOR (col == -1)
+/// still skips the generic evaluator by reading the live slot.
+ExprPlan PlanClauseExpr(const Expr* expr, const ColumnStream& stream) {
+  ExprPlan plan;
+  if (expr == nullptr) return plan;
+  if (expr->kind() == ExprKind::kVarRef) {
+    const auto* var = static_cast<const VarRefExpr*>(expr);
+    if (var->is_global) return plan;
+    plan.slot = var->slot;
+    plan.col = stream.ColumnOf(var->slot);
+    plan.mode = ExprPlan::Mode::kColumn;
+    return plan;
+  }
+  if (expr->kind() != ExprKind::kPath) return plan;
+  const auto* path = static_cast<const PathExpr*>(expr);
+  if (path->absolute || path->start == nullptr ||
+      path->start->kind() != ExprKind::kVarRef) {
+    return plan;
+  }
+  const auto* var = static_cast<const VarRefExpr*>(path->start.get());
+  if (var->is_global) return plan;
+  for (const PathSegment& segment : path->segments) {
+    if (segment.is_expr()) return plan;
+    if (segment.step.axis != Axis::kChild &&
+        segment.step.axis != Axis::kAttribute) {
+      return plan;
+    }
+    if (!segment.step.predicates.empty()) return plan;
+    plan.path.steps.push_back(
+        SimplePathPlan::Step{segment.step.axis, &segment.step.test});
+  }
+  plan.path.path = path;
+  plan.slot = var->slot;
+  plan.col = stream.ColumnOf(var->slot);
+  plan.mode = ExprPlan::Mode::kSimplePath;
+  return plan;
+}
+
+/// The simple-path kernel: applies the planned steps to one row's start
+/// value. Mirrors EvalPath exactly for this shape — path_steps counts one
+/// application per context item per step, an atomic context item raises the
+/// same XPTY0004 at the path's location, and child/attribute results are in
+/// document order by construction so no normalization sort runs (the same
+/// InDocumentOrderByConstruction rule the generic evaluator applies).
+Sequence EvalSimplePathRow(const SimplePathPlan& plan, const Sequence& start,
+                           DynamicContext* context) {
+  QueryStats* stats = context->stats;
+  Sequence current;
+  const Sequence* input = &start;
+  for (const SimplePathPlan::Step& step : plan.steps) {
+    if (stats != nullptr) {
+      stats->path_steps += static_cast<int64_t>(input->size());
+    }
+    Sequence output;
+    for (const Item& item : *input) {
+      context->CheckCancel();
+      if (!item.IsNode()) {
+        ThrowError(ErrorCode::kXPTY0004,
+                   "a path step was applied to an atomic value",
+                   plan.path->location());
+      }
+      Node* node = item.node();
+      const DocumentPtr& doc = item.document();
+      NameId test_id = TestNameId(*step.test, *doc);
+      if (step.axis == Axis::kChild) {
+        EmitChildMatches(node, *step.test, test_id, doc, &output);
+      } else {
+        EmitAttributeMatches(node, *step.test, test_id, doc, &output);
+      }
+    }
+    current = std::move(output);
+    input = &current;
+  }
+  if (input == &start) return start;
+  return current;
+}
+
+/// Batched evaluation of one group-by clause's key expressions over a
+/// morsel. The dominant key shapes never materialize per-row Sequences:
+///
+/// - a single predicate-free child/attribute step from a stream column is
+///   walked at the node level into one flat reusable span buffer — no Item
+///   construction, no refcount traffic, no allocation per row;
+/// - a bound-variable key hashes and compares the column value in place;
+/// - everything else (and the XQuery 3.0 atomize-and-check rule) falls back
+///   to a caller-supplied per-row evaluator into reusable scratch.
+///
+/// Hashes fold DeepHashNode over the spans from kDeepHashSeqSeed, so every
+/// key hashes bit-identically to DeepHashSequence of its materialized value
+/// — bucket layout, probe order, and therefore first-seen group order are
+/// unchanged from the row-at-a-time form. Keys are materialized into owned
+/// Sequences only when a row founds a new group. Rows are evaluated in row
+/// order, keys in key order within a row, so the first typed error (path
+/// step over an atomic, XQuery 3.0 non-singleton key) is the same tuple's in
+/// both engines.
+class GroupKeyBatch {
+ public:
+  /// Evaluates key `k` of row `row` the generic way (swap-loaded Evaluate,
+  /// plus any dialect rule such as atomize-and-check).
+  using GenericKeyFn =
+      std::function<Sequence(size_t row, size_t k, DynamicContext* ctx)>;
+
+  GroupKeyBatch(const ColumnStream& stream,
+                const std::vector<ExprPlan>& plans, bool generic_only,
+                const GenericKeyFn& generic)
+      : stream_(stream), plans_(plans), generic_(generic) {
+    kinds_.reserve(plans.size());
+    for (const ExprPlan& plan : plans) {
+      if (!generic_only && plan.mode == ExprPlan::Mode::kColumn &&
+          plan.col >= 0) {
+        kinds_.push_back(Kind::kColumn);
+      } else if (!generic_only &&
+                 plan.mode == ExprPlan::Mode::kSimplePath && plan.col >= 0 &&
+                 plan.path.steps.size() == 1) {
+        kinds_.push_back(Kind::kNodeSpan);
+        any_span_ = true;
+      } else {
+        kinds_.push_back(Kind::kGeneric);
+        any_generic_ = true;
+      }
+    }
+    name_cache_.resize(plans.size());
+  }
+
+  size_t nkeys() const { return plans_.size(); }
+
+  /// Evaluates all keys of rows [begin, begin + fill), row-major.
+  void EvalMorsel(size_t begin, size_t fill, DynamicContext* ctx) {
+    begin_ = begin;
+    const size_t nk = plans_.size();
+    QueryStats* stats = ctx->stats;
+    if (any_span_) {
+      nodes_.clear();
+      spans_.assign(fill * nk, {0, 0});
+    }
+    if (any_generic_) {
+      scratch_.assign(fill * nk, {});
+    }
+    for (size_t i = 0; i < fill; ++i) {
+      ctx->CheckCancel();
+      for (size_t k = 0; k < nk; ++k) {
+        switch (kinds_[k]) {
+          case Kind::kColumn:
+            break;
+          case Kind::kNodeSpan:
+            WalkSpan(i, k, ctx, stats);
+            break;
+          case Kind::kGeneric:
+            scratch_[i * nk + k] = generic_(begin + i, k, ctx);
+            break;
+        }
+      }
+    }
+  }
+
+  /// Whole-row hash: seed folded with each key's DeepHashSequence value.
+  size_t HashRow(size_t i, size_t hash_seed) {
+    size_t hash = hash_seed;
+    const size_t nk = plans_.size();
+    for (size_t k = 0; k < nk; ++k) {
+      size_t key_hash = kDeepHashSeqSeed;
+      switch (kinds_[k]) {
+        case Kind::kColumn:
+          key_hash = DeepHashSequence(ColumnValue(i, k));
+          break;
+        case Kind::kNodeSpan: {
+          const Span span = spans_[i * nk + k];
+          for (uint32_t j = span.first; j < span.second; ++j) {
+            key_hash = CombineHash(key_hash, HashSpanNode(nodes_[j], k));
+          }
+          break;
+        }
+        case Kind::kGeneric:
+          key_hash = DeepHashSequence(scratch_[i * nk + k]);
+          break;
+      }
+      hash = CombineHash(hash, key_hash);
+    }
+    return hash;
+  }
+
+  /// Deep-equality of row `i`'s key `k` against a stored group key.
+  bool EqualKey(size_t i, size_t k, const Sequence& stored) const {
+    switch (kinds_[k]) {
+      case Kind::kColumn:
+        return DeepEqualSequences(stored, ColumnValue(i, k));
+      case Kind::kNodeSpan: {
+        const Span span = spans_[i * plans_.size() + k];
+        const size_t n = span.second - span.first;
+        if (stored.size() != n) return false;
+        for (size_t j = 0; j < n; ++j) {
+          if (!stored[j].IsNode() ||
+              !EqualSpanNodes(stored[j], nodes_[span.first + j])) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case Kind::kGeneric:
+        break;
+    }
+    return DeepEqualSequences(stored, scratch_[i * plans_.size() + k]);
+  }
+
+  /// Materializes row `i`'s keys as owned Sequences (a new group's
+  /// representative). Called at most once per row.
+  std::vector<Sequence> TakeRow(size_t i) {
+    const size_t nk = plans_.size();
+    std::vector<Sequence> keys;
+    keys.reserve(nk);
+    for (size_t k = 0; k < nk; ++k) {
+      switch (kinds_[k]) {
+        case Kind::kColumn:
+          keys.push_back(ColumnValue(i, k));
+          break;
+        case Kind::kNodeSpan: {
+          const Span span = spans_[i * nk + k];
+          Sequence value;
+          value.reserve(span.second - span.first);
+          for (uint32_t j = span.first; j < span.second; ++j) {
+            value.push_back(Item(nodes_[j].node, *nodes_[j].doc));
+          }
+          keys.push_back(std::move(value));
+          break;
+        }
+        case Kind::kGeneric:
+          keys.push_back(std::move(scratch_[i * nk + k]));
+          break;
+      }
+    }
+    return keys;
+  }
+
+ private:
+  enum class Kind : uint8_t { kColumn, kNodeSpan, kGeneric };
+  /// A matched node plus its owner's DocumentPtr (borrowed from the stream
+  /// column item, which outlives the morsel).
+  struct NodeRef {
+    Node* node;
+    const DocumentPtr* doc;
+  };
+  using Span = std::pair<uint32_t, uint32_t>;
+
+  const Sequence& ColumnValue(size_t i, size_t k) const {
+    return stream_.cols[static_cast<size_t>(plans_[k].col)][begin_ + i];
+  }
+
+  /// DeepHashNode with the name prefix cached across a span column: group-by
+  /// keys are typically runs of like-named `<key>text</key>` elements, for
+  /// which only the text content varies row to row. Bit-identical to
+  /// DeepHashNode (the prefix identity is documented on
+  /// DeepHashElementPrefix), so bucket layout matches the scalar engine.
+  size_t HashSpanNode(const NodeRef& ref, size_t k) {
+    const Node* node = ref.node;
+    const auto& children = node->children();
+    if (node->kind() == NodeKind::kElement && node->attributes().empty() &&
+        children.size() == 1 && children[0]->kind() == NodeKind::kText) {
+      NameCache& cache = name_cache_[k];
+      if (cache.hash_doc != ref.doc->get() ||
+          cache.hash_id != node->name_id()) {
+        cache.hash_doc = ref.doc->get();
+        cache.hash_id = node->name_id();
+        cache.hash_prefix = DeepHashElementPrefix(node);
+      }
+      return CombineDeepHash(cache.hash_prefix, DeepHashNode(children[0]));
+    }
+    return DeepHashNode(node);
+  }
+
+  /// DeepEqualNodes with a short-circuit for the same hot shape: same
+  /// document (so interned name ids are comparable), attribute-free, single
+  /// text child — decided on (name id, text content) without recursing.
+  static bool EqualSpanNodes(const Item& stored, const NodeRef& ref) {
+    const Node* a = stored.node();
+    const Node* b = ref.node;
+    if (a == b) return true;
+    if (a->kind() == NodeKind::kElement && b->kind() == NodeKind::kElement &&
+        stored.document().get() == ref.doc->get()) {
+      if (a->name_id() != b->name_id()) return false;
+      const auto& ca = a->children();
+      const auto& cb = b->children();
+      if (a->attributes().empty() && b->attributes().empty() &&
+          ca.size() == 1 && cb.size() == 1 &&
+          ca[0]->kind() == NodeKind::kText &&
+          cb[0]->kind() == NodeKind::kText) {
+        return ca[0]->content() == cb[0]->content();
+      }
+    }
+    return DeepEqualNodes(a, b);
+  }
+
+  /// The single-step node-span walker: EvalSimplePathRow's semantics (step
+  /// accounting, XPTY0004 wording, document-order emission) without Items.
+  void WalkSpan(size_t i, size_t k, DynamicContext* ctx, QueryStats* stats) {
+    const ExprPlan& plan = plans_[k];
+    const SimplePathPlan::Step& step = plan.path.steps[0];
+    const Sequence& start = ColumnValue(i, k);
+    if (stats != nullptr) {
+      stats->path_steps += static_cast<int64_t>(start.size());
+    }
+    const uint32_t span_begin = static_cast<uint32_t>(nodes_.size());
+    for (const Item& item : start) {
+      ctx->CheckCancel();
+      if (!item.IsNode()) {
+        ThrowError(ErrorCode::kXPTY0004,
+                   "a path step was applied to an atomic value",
+                   plan.path.path->location());
+      }
+      Node* node = item.node();
+      const DocumentPtr& doc = item.document();
+      NameCache& cache = name_cache_[k];
+      if (cache.doc != doc.get()) {
+        cache.doc = doc.get();
+        cache.id = TestNameId(*step.test, *doc);
+        cache.bucket = nullptr;
+        cache.indexed_empty = false;
+        cache.cursor = 0;
+        cache.last_target = 0;
+        // A named element test over an indexed document answers the child
+        // step from the per-name bucket (same rule as path.cc's
+        // TryIndexedDescendants), so the walk below touches only matching
+        // nodes instead of streaming every child of every row.
+        if (ctx->exec.use_structural_index &&
+            (step.test->kind == NodeTest::Kind::kName ||
+             step.test->kind == NodeTest::Kind::kElement) &&
+            cache.id != kNameIdAny && doc->has_element_index()) {
+          if (cache.id == kNameIdAbsent) {
+            cache.indexed_empty = true;  // name occurs nowhere: empty scan
+          } else {
+            cache.bucket = doc->ElementsWithName(cache.id);
+          }
+        }
+      }
+      if (step.axis == Axis::kChild) {
+        if (cache.indexed_empty) {
+          if (stats != nullptr) ++stats->index_scans;
+        } else if (cache.bucket != nullptr) {
+          // Matches inside the subtree span, already in document order; the
+          // parent filter narrows the descendant range to direct children.
+          // The lower bound for [order_index + 1, subtree_end) resumes from
+          // the previous row's cursor (rows are in document order, so the
+          // bound is monotone in the row), degrading to a binary search only
+          // when row order regresses.
+          const std::vector<Node*>& bucket = *cache.bucket;
+          const uint32_t target = node->order_index() + 1;
+          size_t lo = cache.cursor;
+          if (target < cache.last_target) {
+            auto by_order = [](const Node* n, uint32_t index) {
+              return n->order_index() < index;
+            };
+            lo = static_cast<size_t>(
+                std::lower_bound(bucket.begin(), bucket.end(), target,
+                                 by_order) -
+                bucket.begin());
+          } else {
+            while (lo < bucket.size() &&
+                   bucket[lo]->order_index() < target) {
+              ++lo;
+            }
+          }
+          cache.cursor = lo;
+          cache.last_target = target;
+          size_t hi = lo;
+          const uint32_t end = node->subtree_end();
+          while (hi < bucket.size() && bucket[hi]->order_index() < end) {
+            if (bucket[hi]->parent() == node) {
+              nodes_.push_back(NodeRef{bucket[hi], &doc});
+            }
+            ++hi;
+          }
+          if (stats != nullptr) {
+            ++stats->index_scans;
+            stats->index_scan_nodes += static_cast<int64_t>(hi - lo);
+          }
+        } else {
+          for (Node* child : node->children()) {
+            if (MatchesTest(child, *step.test, Axis::kChild, cache.id)) {
+              nodes_.push_back(NodeRef{child, &doc});
+            }
+          }
+        }
+      } else if (node->kind() == NodeKind::kElement) {
+        for (Node* attr : node->attributes()) {
+          if (MatchesTest(attr, *step.test, Axis::kAttribute, cache.id)) {
+            nodes_.push_back(NodeRef{attr, &doc});
+          }
+        }
+      }
+    }
+    spans_[i * plans_.size() + k] =
+        Span{span_begin, static_cast<uint32_t>(nodes_.size())};
+  }
+
+  struct NameCache {
+    const Document* doc = nullptr;
+    NameId id = kNameIdAny;
+    const std::vector<Node*>* bucket = nullptr;  ///< per-name element index
+    bool indexed_empty = false;  ///< indexed doc, name never interned
+    // Monotonic bucket cursor: FLWOR rows arrive in document order, so the
+    // per-row lower bound only ever moves right; the cursor resumes the scan
+    // where the previous row's began, falling back to a fresh binary search
+    // if row order regresses (e.g. after an order by).
+    size_t cursor = 0;
+    uint32_t last_target = 0;
+    // Cached DeepHashElementPrefix for the current (document, name) of the
+    // hashed span nodes — constant across a column of like-named elements.
+    const Document* hash_doc = nullptr;
+    NameId hash_id = kNameIdAbsent;
+    size_t hash_prefix = 0;
+  };
+
+  const ColumnStream& stream_;
+  const std::vector<ExprPlan>& plans_;
+  const GenericKeyFn& generic_;
+  std::vector<Kind> kinds_;
+  bool any_span_ = false;
+  bool any_generic_ = false;
+  std::vector<NameCache> name_cache_;
+  size_t begin_ = 0;
+  std::vector<NodeRef> nodes_;    ///< flat span storage, reused per morsel
+  std::vector<Span> spans_;       ///< spans_[i * nkeys + k] into nodes_
+  std::vector<Sequence> scratch_;  ///< generic key values, reused per morsel
+};
+
+}  // namespace
+
+Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
+                                     DynamicContext* context) {
+  ColumnStream stream;
+  stream.rows = 1;  // the initial single empty tuple
+
+  MemoryTracker* memory = context->exec.memory;
+  ScopedMemoryCharge stream_charge(memory);
+  QueryStats* stats = context->stats;
+
+  // Swaps row `row`'s column values into (or back out of) `ctx`'s slots.
+  // Safe because the binder allocates slots monotonically and never reuses
+  // one within a frame: no clause expression can write a slot this FLWOR has
+  // bound, so the swapped-in Sequences come back untouched. Symmetric — call
+  // once to load, once to restore — and it never copies a sequence, which is
+  // what the scalar engine pays per tuple per bound variable.
+  auto swap_row = [&](DynamicContext* ctx, size_t row) {
+    for (size_t c = 0; c < stream.slots.size(); ++c) {
+      std::swap(ctx->Slot(stream.slots[c]), stream.cols[c][row]);
+    }
+  };
+
+  // Evaluates a planned clause expression for one row on `ctx`.
+  auto eval_row = [&](const ExprPlan& plan, const Expr* e, size_t row,
+                      DynamicContext* ctx) -> Sequence {
+    switch (plan.mode) {
+      case ExprPlan::Mode::kColumn:
+        return plan.col >= 0 ? stream.cols[static_cast<size_t>(plan.col)][row]
+                             : ctx->Slot(plan.slot);
+      case ExprPlan::Mode::kSimplePath:
+        return EvalSimplePathRow(
+            plan.path,
+            plan.col >= 0 ? stream.cols[static_cast<size_t>(plan.col)][row]
+                          : ctx->Slot(plan.slot),
+            ctx);
+      case ExprPlan::Mode::kGeneric:
+        break;
+    }
+    swap_row(ctx, row);
+    Sequence result;
+    try {
+      result = Evaluate(e, ctx);
+    } catch (...) {
+      swap_row(ctx, row);
+      throw;
+    }
+    swap_row(ctx, row);
+    return result;
+  };
+
+  // Builds a SortKey from an already-evaluated order-by key value; identical
+  // rules (and error wording) to the scalar engine's eval_sort_key.
+  auto make_sort_key = [&](Sequence value) {
+    SortKey key;
+    if (value.size() > 1) {
+      ThrowError(ErrorCode::kXPTY0004,
+                 "order by key must be an empty or singleton sequence",
+                 expr->location());
+    }
+    if (!value.empty()) {
+      key.empty = false;
+      AtomicValue v = value[0].atomic();
+      if (v.type() == AtomicType::kUntypedAtomic) {
+        v = v.CastTo(AtomicType::kString);
+      }
+      key.nan = IsNaN(v);
+      key.cls = ClassifyOrderKey(v);
+      key.value = std::move(v);
+    }
+    return key;
+  };
+
+  // True when the `using` equality function accepts (a, b).
+  auto equal_under = [&](const FlworClause::GroupKey& group_key,
+                         const Sequence& a, const Sequence& b) {
+    if (group_key.using_function.empty()) {
+      return DeepEqualSequences(a, b);
+    }
+    std::vector<Sequence> args = {a, b};
+    Sequence result;
+    if (group_key.using_user_fn_index >= 0) {
+      result = CallUserFunction(group_key.using_user_fn_index, std::move(args),
+                                context);
+    } else {
+      EvalContext eval_context{*context, *this};
+      result = BuiltinFunctions()[group_key.using_builtin_id].fn(eval_context,
+                                                                 args);
+    }
+    return EffectiveBooleanValue(result);
+  };
+
+  // Per-clause batch accounting: every started morsel counts as one batch.
+  // Batches are dense, so the fill average only dips below kBatchRows on the
+  // final partial batch of each clause.
+  auto note_batches = [&](size_t rows) {
+    if (stats == nullptr) return;
+    stats->batches_emitted +=
+        static_cast<int64_t>((rows + kBatchRows - 1) / kBatchRows);
+    stats->batch_rows_emitted += static_cast<int64_t>(rows);
+  };
+
+  // --- Parallel-section machinery (same shape as the scalar engine) --------
+  struct Lanes {
+    std::vector<std::unique_ptr<DynamicContext>> ctx;
+    std::vector<QueryStats> stats;
+  };
+  auto make_lanes = [&](int workers) {
+    Lanes lanes;
+    lanes.ctx.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) lanes.ctx.push_back(context->Fork());
+    if (stats != nullptr) {
+      lanes.stats.resize(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        lanes.ctx[static_cast<size_t>(w)]->stats =
+            &lanes.stats[static_cast<size_t>(w)];
+      }
+    }
+    return lanes;
+  };
+  auto merge_lanes = [&](Lanes& lanes) {
+    if (stats == nullptr) return;
+    for (QueryStats& worker_stats : lanes.stats) {
+      stats->MergeFrom(worker_stats);
+    }
+  };
+
+  for (size_t clause_index = 0; clause_index < expr->clauses.size();
+       ++clause_index) {
+    const FlworClause& clause = expr->clauses[clause_index];
+    context->CheckCancel();
+    ClauseStats* cs = nullptr;
+    if (stats != nullptr) {
+      cs = &stats->Clause(expr, static_cast<int>(clause_index),
+                          ClauseLabel(clause));
+      ++cs->executions;
+      cs->tuples_in += static_cast<int64_t>(stream.rows);
+    }
+    StatsTimer timer(cs != nullptr ? &cs->wall_seconds : nullptr);
+
+    // Deterministic parallel group formation: contiguous chunks → per-worker
+    // partial hash tables (keys and hashes computed batch-at-a-time) →
+    // serial merge in ascending chunk order. Identical group order and
+    // per-row hash counts to the scalar engine's form_groups_parallel.
+    auto form_groups_parallel =
+        [&](int workers, size_t hash_seed,
+            const std::vector<ExprPlan>& key_plans, bool generic_only,
+            const GroupKeyBatch::GenericKeyFn& generic_key)
+        -> std::vector<HashGroup> {
+      const size_t count = stream.rows;
+      const size_t lanes_count = static_cast<size_t>(workers);
+      Lanes lanes = make_lanes(workers);
+      std::vector<GroupPartition> partitions(lanes_count);
+      std::string label = ClauseLabel(clause);
+      ThreadPool::Shared().ParallelFor(
+          lanes_count, workers, [&](int w, size_t chunk) {
+            DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+            QueryStats* ws = ctx->stats;
+            ClauseStats* wcs =
+                ws != nullptr
+                    ? &ws->Clause(expr, static_cast<int>(clause_index), label)
+                    : nullptr;
+            GroupPartition& part = partitions[chunk];
+            size_t begin = chunk * count / lanes_count;
+            size_t end = (chunk + 1) * count / lanes_count;
+            GroupKeyBatch key_batch(stream, key_plans, generic_only,
+                                    generic_key);
+            const size_t nk = key_batch.nkeys();
+            std::vector<size_t> batch_hash;
+            for (size_t batch = begin; batch < end; batch += kBatchRows) {
+              size_t batch_end = std::min(end, batch + kBatchRows);
+              size_t fill = batch_end - batch;
+              // Phase A: keys and hashes for the whole morsel.
+              key_batch.EvalMorsel(batch, fill, ctx);
+              batch_hash.assign(fill, 0);
+              for (size_t i = 0; i < fill; ++i) {
+                batch_hash[i] = key_batch.HashRow(i, hash_seed);
+                if (ws != nullptr) {
+                  ws->deep_hash_calls += static_cast<int64_t>(nk);
+                }
+              }
+              // Phase B: probe the partial table for the whole morsel.
+              for (size_t i = 0; i < fill; ++i) {
+                std::vector<size_t>& bucket = part.buckets[batch_hash[i]];
+                size_t group_index = SIZE_MAX;
+                for (size_t candidate : bucket) {
+                  bool all_equal = true;
+                  for (size_t k = 0; k < nk; ++k) {
+                    if (wcs != nullptr) {
+                      ++wcs->deep_equal_calls;
+                      ++ws->deep_equal_calls;
+                    }
+                    if (!key_batch.EqualKey(
+                            i, k, part.groups[candidate].keys[k])) {
+                      all_equal = false;
+                      break;
+                    }
+                  }
+                  if (wcs != nullptr) {
+                    ++wcs->hash_probes;
+                    if (!all_equal) ++wcs->hash_collisions;
+                  }
+                  if (all_equal) {
+                    group_index = candidate;
+                    break;
+                  }
+                }
+                if (group_index == SIZE_MAX) {
+                  group_index = part.groups.size();
+                  bucket.push_back(group_index);
+                  part.groups.push_back(
+                      PartialGroup{key_batch.TakeRow(i), batch_hash[i], {}});
+                }
+                part.groups[group_index].members.push_back(batch + i);
+              }
+            }
+          });
+      merge_lanes(lanes);
+
+      std::vector<HashGroup> groups;
+      std::unordered_map<size_t, std::vector<size_t>> buckets;
+      for (GroupPartition& part : partitions) {
+        for (PartialGroup& partial : part.groups) {
+          std::vector<size_t>& bucket = buckets[partial.hash];
+          size_t group_index = SIZE_MAX;
+          for (size_t candidate : bucket) {
+            bool all_equal = true;
+            for (size_t k = 0; k < partial.keys.size(); ++k) {
+              if (cs != nullptr) {
+                ++cs->deep_equal_calls;
+                ++stats->deep_equal_calls;
+              }
+              if (!DeepEqualSequences(groups[candidate].keys[k],
+                                      partial.keys[k])) {
+                all_equal = false;
+                break;
+              }
+            }
+            if (cs != nullptr) {
+              ++cs->hash_probes;
+              if (!all_equal) ++cs->hash_collisions;
+            }
+            if (all_equal) {
+              group_index = candidate;
+              break;
+            }
+          }
+          if (group_index == SIZE_MAX) {
+            bucket.push_back(groups.size());
+            groups.push_back(
+                HashGroup{std::move(partial.keys), std::move(partial.members)});
+          } else {
+            std::vector<size_t>& members = groups[group_index].members;
+            members.insert(members.end(), partial.members.begin(),
+                           partial.members.end());
+          }
+        }
+      }
+      return groups;
+    };
+
+    // Serial batched group formation: morsel-at-a-time key evaluation and
+    // hashing (phase A), then a probe pass over the morsel (phase B), with
+    // one memory recharge per morsel instead of a row-count stride.
+    auto form_groups_serial =
+        [&](size_t hash_seed, ScopedMemoryCharge* group_charge,
+            const std::vector<ExprPlan>& key_plans, bool generic_only,
+            const GroupKeyBatch::GenericKeyFn& generic_key)
+        -> std::vector<HashGroup> {
+      std::vector<HashGroup> groups;
+      std::unordered_map<size_t, std::vector<size_t>> buckets;
+      GroupKeyBatch key_batch(stream, key_plans, generic_only, generic_key);
+      const size_t nk = key_batch.nkeys();
+      std::vector<size_t> batch_hash;
+      for (size_t batch = 0; batch < stream.rows; batch += kBatchRows) {
+        size_t batch_end = std::min(stream.rows, batch + kBatchRows);
+        size_t fill = batch_end - batch;
+        key_batch.EvalMorsel(batch, fill, context);
+        batch_hash.assign(fill, 0);
+        for (size_t i = 0; i < fill; ++i) {
+          batch_hash[i] = key_batch.HashRow(i, hash_seed);
+          if (cs != nullptr) {
+            stats->deep_hash_calls += static_cast<int64_t>(nk);
+          }
+        }
+        for (size_t i = 0; i < fill; ++i) {
+          std::vector<size_t>& bucket = buckets[batch_hash[i]];
+          size_t group_index = SIZE_MAX;
+          for (size_t candidate : bucket) {
+            bool all_equal = true;
+            for (size_t k = 0; k < nk; ++k) {
+              if (cs != nullptr) {
+                ++cs->deep_equal_calls;
+                ++stats->deep_equal_calls;
+              }
+              if (!key_batch.EqualKey(i, k, groups[candidate].keys[k])) {
+                all_equal = false;
+                break;
+              }
+            }
+            if (cs != nullptr) {
+              ++cs->hash_probes;
+              if (!all_equal) ++cs->hash_collisions;
+            }
+            if (all_equal) {
+              group_index = candidate;
+              break;
+            }
+          }
+          if (group_index == SIZE_MAX) {
+            group_index = groups.size();
+            bucket.push_back(group_index);
+            groups.push_back(HashGroup{key_batch.TakeRow(i), {}});
+          }
+          groups[group_index].members.push_back(batch + i);
+        }
+        if (memory != nullptr) {
+          group_charge->Reset(EstimateGroupBytes(groups));
+        }
+      }
+      return groups;
+    };
+
+    switch (clause.kind) {
+      case ClauseKind::kFor: {
+        // Phase 1: each input row's binding domain.
+        std::vector<Sequence> domains(stream.rows);
+        const ExprPlan plan = PlanClauseExpr(clause.for_expr.get(), stream);
+        const int domain_workers = PlanWorkers(context->exec, stream.rows);
+        if (domain_workers > 1) {
+          Lanes lanes = make_lanes(domain_workers);
+          ThreadPool::Shared().ParallelFor(
+              stream.rows, domain_workers, [&](int w, size_t row) {
+                DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                ctx->CheckCancel();
+                domains[row] =
+                    eval_row(plan, clause.for_expr.get(), row, ctx);
+              });
+          merge_lanes(lanes);
+        } else {
+          for (size_t row = 0; row < stream.rows; ++row) {
+            context->CheckCancel();
+            domains[row] = eval_row(plan, clause.for_expr.get(), row, context);
+          }
+        }
+
+        // Phase 2: columnar materialization at precomputed offsets. Existing
+        // columns replicate their row value across the row's fan-out; the new
+        // column holds the domain items as singletons. Every output vector is
+        // sized up front — no per-row reallocation.
+        std::vector<size_t> offsets(stream.rows + 1, 0);
+        for (size_t row = 0; row < stream.rows; ++row) {
+          offsets[row + 1] = offsets[row] + domains[row].size();
+        }
+        const size_t total = offsets.back();
+        for (std::vector<Sequence>& col : stream.cols) {
+          context->CheckCancel();
+          std::vector<Sequence> next(total);
+          for (size_t row = 0; row < stream.rows; ++row) {
+            size_t fan = domains[row].size();
+            if (fan == 0) continue;
+            // The last copy of a row's value can be a move.
+            for (size_t i = 0; i + 1 < fan; ++i) {
+              next[offsets[row] + i] = col[row];
+            }
+            next[offsets[row] + fan - 1] = std::move(col[row]);
+          }
+          col = std::move(next);
+        }
+        std::vector<Sequence> var_col(total);
+        for (size_t row = 0; row < stream.rows; ++row) {
+          for (size_t i = 0; i < domains[row].size(); ++i) {
+            Sequence single;
+            single.reserve(1);
+            single.push_back(std::move(domains[row][i]));
+            var_col[offsets[row] + i] = std::move(single);
+          }
+        }
+        stream.cols.push_back(std::move(var_col));
+        stream.slots.push_back(clause.for_slot);
+        if (clause.pos_slot >= 0) {
+          std::vector<Sequence> pos_col(total);
+          for (size_t row = 0; row < stream.rows; ++row) {
+            for (size_t i = 0; i < domains[row].size(); ++i) {
+              pos_col[offsets[row] + i] =
+                  Sequence{MakeInteger(static_cast<int64_t>(i + 1))};
+            }
+          }
+          stream.cols.push_back(std::move(pos_col));
+          stream.slots.push_back(clause.pos_slot);
+        }
+        stream.rows = total;
+        break;
+      }
+
+      case ClauseKind::kLet: {
+        const ExprPlan plan = PlanClauseExpr(clause.let_expr.get(), stream);
+        std::vector<Sequence> col(stream.rows);
+        for (size_t row = 0; row < stream.rows; ++row) {
+          context->CheckCancel();
+          col[row] = eval_row(plan, clause.let_expr.get(), row, context);
+        }
+        stream.cols.push_back(std::move(col));
+        stream.slots.push_back(clause.let_slot);
+        break;
+      }
+
+      case ClauseKind::kWhere: {
+        const ExprPlan plan = PlanClauseExpr(clause.where_expr.get(), stream);
+        std::vector<uint8_t> keep(stream.rows, 0);
+        const int workers = PlanWorkers(context->exec, stream.rows);
+        if (workers > 1) {
+          Lanes lanes = make_lanes(workers);
+          ThreadPool::Shared().ParallelFor(
+              stream.rows, workers, [&](int w, size_t row) {
+                DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                ctx->CheckCancel();
+                keep[row] = EffectiveBooleanValue(eval_row(
+                                plan, clause.where_expr.get(), row, ctx))
+                                ? 1
+                                : 0;
+              });
+          merge_lanes(lanes);
+        } else {
+          for (size_t row = 0; row < stream.rows; ++row) {
+            context->CheckCancel();
+            keep[row] = EffectiveBooleanValue(eval_row(
+                            plan, clause.where_expr.get(), row, context))
+                            ? 1
+                            : 0;
+          }
+        }
+        // Serial order-preserving compaction of the selection vector.
+        std::vector<size_t> selection;
+        selection.reserve(stream.rows);
+        for (size_t row = 0; row < stream.rows; ++row) {
+          if (keep[row] != 0) selection.push_back(row);
+        }
+        for (std::vector<Sequence>& col : stream.cols) {
+          std::vector<Sequence> next(selection.size());
+          for (size_t j = 0; j < selection.size(); ++j) {
+            next[j] = std::move(col[selection[j]]);
+          }
+          col = std::move(next);
+        }
+        stream.rows = selection.size();
+        break;
+      }
+
+      case ClauseKind::kCount: {
+        std::vector<Sequence> col(stream.rows);
+        for (size_t row = 0; row < stream.rows; ++row) {
+          col[row] = Sequence{MakeInteger(static_cast<int64_t>(row + 1))};
+        }
+        stream.cols.push_back(std::move(col));
+        stream.slots.push_back(clause.count_slot);
+        break;
+      }
+
+      case ClauseKind::kOrderBy: {
+        const std::vector<OrderSpec>& specs = clause.order_by.specs;
+        const size_t nspecs = specs.size();
+        // Per-spec expression plans; the key columns are a flat rows×specs
+        // vector rather than one small vector per row.
+        std::vector<ExprPlan> plans;
+        plans.reserve(nspecs);
+        for (const OrderSpec& spec : specs) {
+          plans.push_back(PlanClauseExpr(spec.key.get(), stream));
+        }
+        std::vector<SortKey> keys(stream.rows * nspecs);
+        auto eval_keys_for_row = [&](size_t row, DynamicContext* ctx) {
+          for (size_t s = 0; s < nspecs; ++s) {
+            keys[row * nspecs + s] = make_sort_key(
+                Atomize(eval_row(plans[s], specs[s].key.get(), row, ctx)));
+          }
+        };
+        const int workers = PlanWorkers(context->exec, stream.rows);
+        if (workers > 1) {
+          Lanes lanes = make_lanes(workers);
+          ThreadPool::Shared().ParallelFor(
+              stream.rows, workers, [&](int w, size_t row) {
+                DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                ctx->CheckCancel();
+                eval_keys_for_row(row, ctx);
+              });
+          merge_lanes(lanes);
+        } else {
+          for (size_t row = 0; row < stream.rows; ++row) {
+            context->CheckCancel();
+            eval_keys_for_row(row, context);
+          }
+        }
+        ScopedMemoryCharge keys_charge(memory);
+        if (memory != nullptr) {
+          XQA_FAULT_POINT("flwor.sort_keys", ErrorCode::kXQSV0004);
+          keys_charge.Reset(static_cast<int64_t>(
+              stream.rows * (sizeof(std::vector<SortKey>) +
+                             nspecs * sizeof(SortKey))));
+        }
+        ValidateOrderKeys(
+            stream.rows, nspecs,
+            [&](size_t i, size_t s) -> const SortKey& {
+              return keys[i * nspecs + s];
+            },
+            expr->location());
+        std::vector<size_t> order(stream.rows);
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        uint32_t comparisons = 0;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                           if ((++comparisons & kSortPollMask) == 0) {
+                             context->CheckCancel();
+                           }
+                           for (size_t s = 0; s < nspecs; ++s) {
+                             int cmp = CompareSortKeys(keys[a * nspecs + s],
+                                                       keys[b * nspecs + s],
+                                                       specs[s]);
+                             if (cmp != 0) return cmp < 0;
+                           }
+                           return false;
+                         });
+        for (std::vector<Sequence>& col : stream.cols) {
+          std::vector<Sequence> next(stream.rows);
+          for (size_t j = 0; j < stream.rows; ++j) {
+            next[j] = std::move(col[order[j]]);
+          }
+          col = std::move(next);
+        }
+        break;
+      }
+
+      case ClauseKind::kGroupBy: {
+        // Per-key expression plans (shared by both dialects).
+        std::vector<ExprPlan> key_plans;
+        key_plans.reserve(clause.group_keys.size());
+        for (const auto& group_key : clause.group_keys) {
+          key_plans.push_back(PlanClauseExpr(group_key.expr.get(), stream));
+        }
+
+        if (clause.xquery3_group_style) {
+          // --- XQuery 3.0 dialect ------------------------------------------
+          // Atomization makes every key generic: the dialect's own rule runs
+          // per row through the GroupKeyBatch generic hook.
+          GroupKeyBatch::GenericKeyFn eval_key3 =
+              [&](size_t row, size_t k, DynamicContext* ctx) {
+                Sequence value = Atomize(eval_row(
+                    key_plans[k], clause.group_keys[k].expr.get(), row, ctx));
+                if (value.size() > 1) {
+                  ThrowError(ErrorCode::kXPTY0004,
+                             "XQuery 3.0 group by key must be an empty or "
+                             "singleton atomic value",
+                             expr->location());
+                }
+                return value;
+              };
+          std::vector<HashGroup> groups;
+          ScopedMemoryCharge group_charge(memory);
+          const int workers = PlanWorkers(context->exec, stream.rows);
+          if (workers > 1) {
+            groups = form_groups_parallel(workers, kSeed3, key_plans,
+                                          /*generic_only=*/true, eval_key3);
+          } else {
+            groups = form_groups_serial(kSeed3, &group_charge, key_plans,
+                                        /*generic_only=*/true, eval_key3);
+          }
+          if (memory != nullptr) {
+            XQA_FAULT_POINT("flwor.group_alloc", ErrorCode::kXQSV0004);
+            group_charge.Reset(EstimateGroupBytes(groups));
+          }
+
+          // Implicit rebinding, columnar: each non-key column is replaced by
+          // per-group concatenations of its member values — direct column
+          // reads, no expression evaluation and no slot loading. Key-rebound
+          // slots take the key binding only (same rule and ordering as the
+          // scalar engine).
+          std::vector<bool> col_is_key(stream.cols.size(), false);
+          for (size_t c = 0; c < stream.slots.size(); ++c) {
+            for (const auto& key : clause.group_keys) {
+              if (key.slot == stream.slots[c]) {
+                col_is_key[c] = true;
+                break;
+              }
+            }
+          }
+          std::vector<std::vector<Sequence>> next_cols;
+          std::vector<int> next_slots;
+          next_cols.reserve(stream.cols.size() + clause.group_keys.size());
+          for (size_t c = 0; c < stream.cols.size(); ++c) {
+            if (col_is_key[c]) continue;
+            std::vector<Sequence> merged_col(groups.size());
+            for (size_t gi = 0; gi < groups.size(); ++gi) {
+              Sequence merged;
+              for (size_t member : groups[gi].members) {
+                Concat(&merged, stream.cols[c][member]);
+              }
+              if (cs != nullptr) ++cs->implicit_rebinds;
+              merged_col[gi] = std::move(merged);
+            }
+            next_cols.push_back(std::move(merged_col));
+            next_slots.push_back(stream.slots[c]);
+          }
+          for (size_t k = 0; k < clause.group_keys.size(); ++k) {
+            std::vector<Sequence> key_col(groups.size());
+            for (size_t gi = 0; gi < groups.size(); ++gi) {
+              key_col[gi] = groups[gi].keys[k];
+            }
+            next_cols.push_back(std::move(key_col));
+            next_slots.push_back(clause.group_keys[k].slot);
+          }
+          if (cs != nullptr) {
+            cs->groups_formed += static_cast<int64_t>(groups.size());
+          }
+          stream.cols = std::move(next_cols);
+          stream.slots = std::move(next_slots);
+          stream.rows = groups.size();
+          break;
+        }
+
+        // --- Paper dialect -------------------------------------------------
+        std::vector<HashGroup> groups;
+        ScopedMemoryCharge group_charge(memory);
+        bool custom_equality = false;
+        for (const auto& key : clause.group_keys) {
+          if (!key.using_function.empty()) custom_equality = true;
+        }
+        GroupKeyBatch::GenericKeyFn eval_key =
+            [&](size_t row, size_t k, DynamicContext* ctx) {
+              return eval_row(key_plans[k], clause.group_keys[k].expr.get(),
+                              row, ctx);
+            };
+        auto eval_keys = [&](size_t row, DynamicContext* ctx) {
+          std::vector<Sequence> keys;
+          keys.reserve(clause.group_keys.size());
+          for (size_t k = 0; k < clause.group_keys.size(); ++k) {
+            keys.push_back(eval_key(row, k, ctx));
+          }
+          return keys;
+        };
+        const int workers =
+            custom_equality ? 1 : PlanWorkers(context->exec, stream.rows);
+        if (workers > 1) {
+          groups = form_groups_parallel(workers, kSeedPaper, key_plans,
+                                        /*generic_only=*/false, eval_key);
+        } else if (!custom_equality) {
+          groups = form_groups_serial(kSeedPaper, &group_charge, key_plans,
+                                      /*generic_only=*/false, eval_key);
+        } else {
+          // Custom `using` equality: serial linear scan over the group table
+          // (the user function need not be hashable). Row-at-a-time — the
+          // user function sees the caller's context, exactly as in the
+          // scalar engine.
+          for (size_t row = 0; row < stream.rows; ++row) {
+            context->CheckCancel();
+            std::vector<Sequence> keys = eval_keys(row, context);
+            size_t group_index = SIZE_MAX;
+            for (size_t candidate = 0; candidate < groups.size();
+                 ++candidate) {
+              bool all_equal = true;
+              for (size_t k = 0; k < keys.size(); ++k) {
+                if (cs != nullptr) ++cs->linear_scan_compares;
+                if (!equal_under(clause.group_keys[k],
+                                 groups[candidate].keys[k], keys[k])) {
+                  all_equal = false;
+                  break;
+                }
+              }
+              if (all_equal) {
+                group_index = candidate;
+                break;
+              }
+            }
+            if (group_index == SIZE_MAX) {
+              group_index = groups.size();
+              groups.push_back(HashGroup{std::move(keys), {}});
+            }
+            groups[group_index].members.push_back(row);
+            if (memory != nullptr && (row % kGroupChargeStride) == 0) {
+              group_charge.Reset(EstimateGroupBytes(groups));
+            }
+          }
+        }
+        if (memory != nullptr) {
+          XQA_FAULT_POINT("flwor.group_alloc", ErrorCode::kXQSV0004);
+          group_charge.Reset(EstimateGroupBytes(groups));
+        }
+        if (cs != nullptr) {
+          cs->groups_formed += static_cast<int64_t>(groups.size());
+        }
+
+        // --- Output construction, columnar ---------------------------------
+        // Key columns come straight from the group table. Nest columns
+        // evaluate the nest body per member: a bound-variable nest (`nest $d
+        // := $item`) concatenates column values directly, a simple-path nest
+        // runs the kernel, anything else falls back to swap-loaded Evaluate.
+        std::vector<ExprPlan> nest_plans;
+        nest_plans.reserve(clause.nest_specs.size());
+        bool any_nest_order = false;
+        for (const auto& nest : clause.nest_specs) {
+          nest_plans.push_back(PlanClauseExpr(nest.expr.get(), stream));
+          if (nest.order_by.has_value()) any_nest_order = true;
+        }
+        std::vector<std::vector<Sequence>> next_cols(
+            clause.group_keys.size() + clause.nest_specs.size());
+        for (size_t k = 0; k < clause.group_keys.size(); ++k) {
+          std::vector<Sequence> key_col(groups.size());
+          for (size_t gi = 0; gi < groups.size(); ++gi) {
+            key_col[gi] = groups[gi].keys[k];
+          }
+          next_cols[k] = std::move(key_col);
+        }
+        for (auto& col : next_cols) {
+          if (col.empty()) col.resize(groups.size());
+        }
+
+        // One group's nest value under spec `ni`, members in input order or
+        // per the nest's own order by.
+        auto build_nest = [&](size_t ni, const HashGroup& group,
+                              DynamicContext* ctx) {
+          const auto& nest = clause.nest_specs[ni];
+          Sequence nested;
+          if (!nest.order_by.has_value()) {
+            const ExprPlan& plan = nest_plans[ni];
+            if (plan.mode == ExprPlan::Mode::kColumn && plan.col >= 0) {
+              // Bound-variable nest (`nest $item into $d`): concatenate the
+              // column values directly — one sized append instead of a
+              // per-member temporary copy. The column is only read (another
+              // nest spec may read it too).
+              const std::vector<Sequence>& col =
+                  stream.cols[static_cast<size_t>(plan.col)];
+              size_t total = 0;
+              for (size_t member : group.members) {
+                total += col[member].size();
+              }
+              nested.reserve(total);
+              for (size_t member : group.members) {
+                Concat(&nested, col[member]);
+              }
+              return nested;
+            }
+            for (size_t member : group.members) {
+              Concat(&nested,
+                     eval_row(plan, nest.expr.get(), member, ctx));
+            }
+            return nested;
+          }
+          struct MemberValue {
+            std::vector<SortKey> keys;
+            Sequence value;
+          };
+          std::vector<ExprPlan> spec_plans;
+          spec_plans.reserve(nest.order_by->specs.size());
+          for (const OrderSpec& spec : nest.order_by->specs) {
+            spec_plans.push_back(PlanClauseExpr(spec.key.get(), stream));
+          }
+          std::vector<MemberValue> values;
+          values.reserve(group.members.size());
+          for (size_t member : group.members) {
+            MemberValue mv;
+            for (size_t s = 0; s < nest.order_by->specs.size(); ++s) {
+              mv.keys.push_back(make_sort_key(Atomize(eval_row(
+                  spec_plans[s], nest.order_by->specs[s].key.get(), member,
+                  ctx))));
+            }
+            mv.value = eval_row(nest_plans[ni], nest.expr.get(), member, ctx);
+            values.push_back(std::move(mv));
+          }
+          ValidateOrderKeys(
+              values.size(), nest.order_by->specs.size(),
+              [&](size_t i, size_t s) -> const SortKey& {
+                return values[i].keys[s];
+              },
+              expr->location());
+          std::vector<size_t> order(values.size());
+          for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+          uint32_t comparisons = 0;
+          std::stable_sort(order.begin(), order.end(),
+                           [&](size_t a, size_t b) {
+                             if ((++comparisons & kSortPollMask) == 0) {
+                               ctx->CheckCancel();
+                             }
+                             for (size_t s = 0;
+                                  s < nest.order_by->specs.size(); ++s) {
+                               int cmp = CompareSortKeys(
+                                   values[a].keys[s], values[b].keys[s],
+                                   nest.order_by->specs[s]);
+                               if (cmp != 0) return cmp < 0;
+                             }
+                             return false;
+                           });
+          for (size_t index : order) Concat(&nested, values[index].value);
+          return nested;
+        };
+
+        const int out_workers =
+            any_nest_order || groups.size() < 2
+                ? 1
+                : PlanWorkers(context->exec, stream.rows);
+        if (out_workers > 1) {
+          Lanes lanes = make_lanes(out_workers);
+          ThreadPool::Shared().ParallelFor(
+              groups.size(), out_workers, [&](int w, size_t gi) {
+                DynamicContext* ctx = lanes.ctx[static_cast<size_t>(w)].get();
+                ctx->CheckCancel();
+                for (size_t ni = 0; ni < clause.nest_specs.size(); ++ni) {
+                  next_cols[clause.group_keys.size() + ni][gi] =
+                      build_nest(ni, groups[gi], ctx);
+                }
+              });
+          merge_lanes(lanes);
+        } else {
+          for (size_t gi = 0; gi < groups.size(); ++gi) {
+            context->CheckCancel();
+            for (size_t ni = 0; ni < clause.nest_specs.size(); ++ni) {
+              next_cols[clause.group_keys.size() + ni][gi] =
+                  build_nest(ni, groups[gi], context);
+            }
+          }
+        }
+
+        std::vector<int> next_slots;
+        next_slots.reserve(clause.group_keys.size() +
+                           clause.nest_specs.size());
+        for (const auto& key : clause.group_keys) {
+          next_slots.push_back(key.slot);
+        }
+        for (const auto& nest : clause.nest_specs) {
+          next_slots.push_back(nest.slot);
+        }
+        stream.cols = std::move(next_cols);
+        stream.slots = std::move(next_slots);
+        stream.rows = groups.size();
+        break;
+      }
+    }
+    // Budget checkpoint at the clause boundary, as in the scalar engine.
+    if (memory != nullptr) {
+      XQA_FAULT_POINT("flwor.tuple_alloc", ErrorCode::kXQSV0004);
+      stream_charge.Reset(EstimateStreamBytes(stream));
+    }
+    if (cs != nullptr) {
+      cs->tuples_out += static_cast<int64_t>(stream.rows);
+      stats->tuples_flowed += static_cast<int64_t>(stream.rows);
+    }
+    note_batches(stream.rows);
+  }
+
+  // Return clause, with the paper's output-numbering extension (`at`).
+  ClauseStats* return_cs = nullptr;
+  if (stats != nullptr) {
+    return_cs = &stats->Clause(expr, ClauseStats::kReturnClause, "return");
+    ++return_cs->executions;
+    return_cs->tuples_in += static_cast<int64_t>(stream.rows);
+  }
+  StatsTimer return_timer(return_cs != nullptr ? &return_cs->wall_seconds
+                                               : nullptr);
+  const ExprPlan return_plan =
+      PlanClauseExpr(expr->return_expr.get(), stream);
+  Sequence result;
+  int64_t ordinal = 0;
+  size_t charged_items = 0;
+  for (size_t row = 0; row < stream.rows; ++row) {
+    context->CheckCancel();
+    if (expr->at_slot >= 0) {
+      context->Slot(expr->at_slot) = Sequence{MakeInteger(++ordinal)};
+    }
+    Concat(&result,
+           eval_row(return_plan, expr->return_expr.get(), row, context));
+    if (memory != nullptr &&
+        result.size() - charged_items >= kGroupChargeStride) {
+      XQA_FAULT_POINT("flwor.result_alloc", ErrorCode::kXQSV0004);
+      memory->Charge(static_cast<int64_t>((result.size() - charged_items) *
+                                          sizeof(Item)));
+      charged_items = result.size();
+    }
+  }
+  if (memory != nullptr && result.size() > charged_items) {
+    memory->Charge(static_cast<int64_t>((result.size() - charged_items) *
+                                        sizeof(Item)));
+  }
+  if (return_cs != nullptr) {
+    return_cs->tuples_out += static_cast<int64_t>(result.size());
+  }
+  note_batches(stream.rows);
+  return result;
+}
+
+}  // namespace xqa

@@ -1,0 +1,217 @@
+#ifndef XQA_EVAL_FLWOR_INTERNAL_H_
+#define XQA_EVAL_FLWOR_INTERNAL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/error.h"
+#include "base/thread_pool.h"
+#include "eval/dynamic_context.h"
+#include "parser/ast.h"
+#include "xdm/compare.h"
+#include "xdm/item.h"
+
+namespace xqa {
+namespace flwor_detail {
+
+/// Machinery shared by the scalar FLWOR engine (flwor.cc) and the batched
+/// engine (flwor_batch.cc). Both engines must agree exactly on ordering
+/// semantics, hash values, group formation order, and error wording — the
+/// batched-identity ablation asserts byte-identical output — so everything
+/// either engine uses to make one of those decisions lives here, once.
+
+/// Comparison class of a non-empty order-by key (after the untypedAtomic →
+/// xs:string cast). Keys order only against keys of the same class; mixing
+/// classes is XPTY0004, detected before any sort runs.
+enum class KeyClass : uint8_t {
+  kNumeric,
+  kString,
+  kBoolean,
+  kDateTime,
+  kDate,
+  kTime,
+  kDuration,
+  kQName,
+};
+
+/// An evaluated order-by key: empty sequence or a single atomic value, with
+/// its comparison class and NaN-ness resolved at evaluation time so the sort
+/// comparator itself can never hit an unordered or throwing case.
+struct SortKey {
+  bool empty = true;
+  bool nan = false;
+  KeyClass cls = KeyClass::kString;
+  AtomicValue value;
+};
+
+inline bool IsNaN(const AtomicValue& v) {
+  return v.type() == AtomicType::kDouble && std::isnan(v.AsDouble());
+}
+
+inline KeyClass ClassifyOrderKey(const AtomicValue& v) {
+  switch (v.type()) {
+    case AtomicType::kInteger:
+    case AtomicType::kDecimal:
+    case AtomicType::kDouble:
+      return KeyClass::kNumeric;
+    case AtomicType::kString:
+    case AtomicType::kUntypedAtomic:
+      return KeyClass::kString;
+    case AtomicType::kBoolean:
+      return KeyClass::kBoolean;
+    case AtomicType::kDateTime:
+      return KeyClass::kDateTime;
+    case AtomicType::kDate:
+      return KeyClass::kDate;
+    case AtomicType::kTime:
+      return KeyClass::kTime;
+    case AtomicType::kDuration:
+      return KeyClass::kDuration;
+    case AtomicType::kQName:
+      return KeyClass::kQName;
+  }
+  return KeyClass::kString;
+}
+
+/// Enforces that all non-empty keys of each order spec share one comparison
+/// class. CompareSortKeys must be a strict weak ordering for
+/// std::stable_sort, so incomparable keys (string vs number, ...) raise
+/// XPTY0004 here — at the first offending tuple in input order, identically
+/// in serial and parallel runs — never from inside the sort.
+inline void ValidateOrderKeys(
+    size_t rows, size_t num_specs,
+    const std::function<const SortKey&(size_t, size_t)>& at,
+    SourceLocation location) {
+  for (size_t s = 0; s < num_specs; ++s) {
+    const SortKey* reference = nullptr;
+    for (size_t i = 0; i < rows; ++i) {
+      const SortKey& key = at(i, s);
+      if (key.empty) continue;
+      if (reference == nullptr) {
+        reference = &key;
+      } else if (key.cls != reference->cls) {
+        ThrowError(ErrorCode::kXPTY0004,
+                   "order by keys are not mutually comparable: " +
+                       std::string(AtomicTypeName(reference->value.type())) +
+                       " vs " + std::string(AtomicTypeName(key.value.type())),
+                   location);
+      }
+    }
+  }
+}
+
+/// Three-way comparison of two sort keys under one order spec, including
+/// direction and empty-ordering. All NaN/incomparable outcomes route through
+/// the pre-computed `nan` flag: NaN sorts together, below all other values.
+/// Keys were validated mutually comparable before any sort, so
+/// ThreeWayCompareAtomic always yields a value here; a defensive 0 keeps the
+/// comparator a strict weak ordering regardless.
+inline int CompareSortKeys(const SortKey& a, const SortKey& b,
+                           const OrderSpec& spec) {
+  if (a.empty && b.empty) return 0;
+  if (a.empty) return spec.empty_greatest ? 1 : -1;
+  if (b.empty) return spec.empty_greatest ? -1 : 1;
+  int cmp;
+  if (a.nan || b.nan) {
+    cmp = a.nan && b.nan ? 0 : (a.nan ? -1 : 1);
+  } else {
+    cmp = ThreeWayCompareAtomic(a.value, b.value).value_or(0);
+  }
+  return spec.descending ? -cmp : cmp;
+}
+
+inline size_t CombineHash(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash seeds for the two group-by dialects. Distinct seeds keep the two
+/// dialects' bucket layouts independent; both engines must use the same seed
+/// per dialect so parallel chunk merges agree with serial formation.
+constexpr size_t kSeed3 = 0xa0761d6478bd642fULL;
+constexpr size_t kSeedPaper = 0xc2b2ae3d27d4eb4fULL;
+
+/// Display label for a clause's ClauseStats / ExplainAnalyze entry.
+inline std::string ClauseLabel(const FlworClause& clause) {
+  switch (clause.kind) {
+    case ClauseKind::kFor: return "for $" + clause.for_var;
+    case ClauseKind::kLet: return "let $" + clause.let_var;
+    case ClauseKind::kWhere: return "where";
+    case ClauseKind::kCount: return "count $" + clause.count_var;
+    case ClauseKind::kOrderBy: return "order by";
+    case ClauseKind::kGroupBy: return "group by";
+  }
+  return "?";
+}
+
+/// One group of the hash-grouping paths (either dialect): representative key
+/// values plus member tuple indexes in input order.
+struct HashGroup {
+  std::vector<Sequence> keys;
+  std::vector<size_t> members;
+};
+
+/// A worker-private group found while scanning one contiguous tuple chunk.
+struct PartialGroup {
+  std::vector<Sequence> keys;
+  size_t hash = 0;
+  std::vector<size_t> members;  ///< ascending within the chunk
+};
+
+/// One chunk's partial hash table: groups in first-member order plus the
+/// hash buckets indexing them.
+struct GroupPartition {
+  std::vector<PartialGroup> groups;
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+};
+
+/// Re-charge cadence for the incremental group-formation accounting: the
+/// group table is re-estimated every kGroupChargeStride input tuples, so a
+/// group-by with millions of distinct keys trips its budget mid-formation
+/// instead of after the table is already resident.
+constexpr size_t kGroupChargeStride = 4096;
+
+inline int64_t EstimateGroupBytes(const std::vector<HashGroup>& groups) {
+  int64_t bytes =
+      static_cast<int64_t>(groups.size() * (sizeof(HashGroup) + 64));
+  for (const HashGroup& group : groups) {
+    bytes += static_cast<int64_t>(group.members.size() * sizeof(size_t));
+    for (const Sequence& key : group.keys) {
+      bytes += static_cast<int64_t>(sizeof(Sequence) +
+                                    key.size() * sizeof(Item));
+    }
+  }
+  return bytes;
+}
+
+/// Cancellation poll stride inside sort comparators: a timed-out
+/// million-key order-by aborts within ~1k comparisons instead of running
+/// the full O(n log n) sort to completion.
+constexpr uint32_t kSortPollMask = 1023;
+
+/// Streams below this size run serially: forking contexts and scheduling
+/// morsels costs more than the work saves.
+constexpr size_t kMinParallelTuples = 32;
+
+/// Lane count for a parallel section over `count` items; 1 = serial. Lanes
+/// come from the requested num_threads, not from the pool size: ParallelFor
+/// multiplexes lanes onto however many threads exist, so the parallel
+/// algorithm (and its deterministic result) is a function of the options
+/// alone, never of the host's core count.
+inline int PlanWorkers(const ExecutionOptions& exec, size_t count) {
+  int requested = exec.num_threads;
+  if (requested == 0) requested = ThreadPool::Shared().size() + 1;
+  if (requested <= 1 || count < kMinParallelTuples) return 1;
+  int workers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(requested), count / (kMinParallelTuples / 2)));
+  return std::max(workers, 1);
+}
+
+}  // namespace flwor_detail
+}  // namespace xqa
+
+#endif  // XQA_EVAL_FLWOR_INTERNAL_H_

@@ -6,118 +6,14 @@
 
 #include "api/query_stats.h"
 #include "base/error.h"
+#include "eval/path_step.h"
 #include "xdm/sequence_ops.h"
 
 namespace xqa {
 
+using namespace path_detail;
+
 namespace {
-
-/// Resolves a name test to `doc`'s interned id: kNameIdAny for wildcards,
-/// kNameIdAbsent when the name was never interned (the test can match
-/// nothing in this document). Cached in the test's atomic word keyed by
-/// document id, so a step applied to many nodes of one document pays the
-/// hash lookup once; documents with ids above 2^32-1 bypass the cache.
-NameId ResolveTestNameId(const NodeTest& test, const Document& doc) {
-  // processing-instruction("*") means a PI literally named "*"; everywhere
-  // else "*" is the any-name wildcard.
-  if (test.name.empty() ||
-      (test.name == "*" && test.kind != NodeTest::Kind::kPi)) {
-    return kNameIdAny;
-  }
-  uint64_t doc_id = doc.id();
-  if (doc_id > 0xFFFFFFFFull) return doc.LookupName(test.name);
-  uint64_t cached = test.name_id_cache.load(std::memory_order_relaxed);
-  if ((cached >> 32) == doc_id) return static_cast<NameId>(cached);
-  NameId id = doc.LookupName(test.name);
-  test.name_id_cache.store((doc_id << 32) | id, std::memory_order_relaxed);
-  return id;
-}
-
-/// The resolved id MatchesTest needs for `test` against nodes of `doc`;
-/// kNameIdAny when the test kind carries no name constraint.
-NameId TestNameId(const NodeTest& test, const Document& doc) {
-  switch (test.kind) {
-    case NodeTest::Kind::kName:
-    case NodeTest::Kind::kElement:
-    case NodeTest::Kind::kAttribute:
-    case NodeTest::Kind::kPi:
-      return ResolveTestNameId(test, doc);
-    default:
-      return kNameIdAny;
-  }
-}
-
-/// True when `node` matches the test given the step's principal node kind
-/// (attributes for the attribute axis, elements otherwise). `test_id` is the
-/// test's name resolved against the node's document (TestNameId), making the
-/// name comparison an integer compare. Named kinds always carry a real
-/// interned id, so kNameIdAbsent correctly matches nothing.
-bool MatchesTest(const Node* node, const NodeTest& test, Axis axis,
-                 NameId test_id) {
-  switch (test.kind) {
-    case NodeTest::Kind::kName: {
-      NodeKind principal = axis == Axis::kAttribute ? NodeKind::kAttribute
-                                                    : NodeKind::kElement;
-      if (node->kind() != principal) return false;
-      return test_id == kNameIdAny || node->name_id() == test_id;
-    }
-    case NodeTest::Kind::kAnyKind:
-      return true;
-    case NodeTest::Kind::kText:
-      return node->kind() == NodeKind::kText;
-    case NodeTest::Kind::kComment:
-      return node->kind() == NodeKind::kComment;
-    case NodeTest::Kind::kElement:
-      return node->kind() == NodeKind::kElement &&
-             (test_id == kNameIdAny || node->name_id() == test_id);
-    case NodeTest::Kind::kAttribute:
-      return node->kind() == NodeKind::kAttribute &&
-             (test_id == kNameIdAny || node->name_id() == test_id);
-    case NodeTest::Kind::kDocument:
-      return node->kind() == NodeKind::kDocument;
-    case NodeTest::Kind::kPi:
-      return node->kind() == NodeKind::kProcessingInstruction &&
-             (test_id == kNameIdAny || node->name_id() == test_id);
-  }
-  return false;
-}
-
-/// Emits node items that all share one document while paying refcount
-/// traffic once per batch instead of once per item: Reserve(n) performs a
-/// single AddRefs(n), each Emit adopts one pre-paid reference, and the
-/// destructor returns the unused remainder. References are paid before any
-/// adopted handle exists, so early exits and exceptions can never underflow
-/// the count. Emits beyond the reservation fall back to owned copies.
-class BorrowedEmitter {
- public:
-  BorrowedEmitter(const DocumentPtr& doc, Sequence* out)
-      : doc_(doc.get()), out_(out) {}
-  ~BorrowedEmitter() {
-    if (reserved_ > emitted_) doc_->ReleaseRefs(reserved_ - emitted_);
-  }
-  BorrowedEmitter(const BorrowedEmitter&) = delete;
-  BorrowedEmitter& operator=(const BorrowedEmitter&) = delete;
-
-  void Reserve(uint64_t count) {
-    if (count > 0) doc_->AddRefs(count);
-    reserved_ += count;
-  }
-
-  void Emit(Node* node) {
-    if (emitted_ < reserved_) {
-      ++emitted_;
-      out_->push_back(Item(node, DocumentPtr::Adopt(doc_)));
-    } else {
-      out_->push_back(Item(node, DocumentPtr(doc_)));
-    }
-  }
-
- private:
-  Document* doc_;
-  Sequence* out_;
-  uint64_t reserved_ = 0;
-  uint64_t emitted_ = 0;
-};
 
 /// Attempts to answer descendant::T for one context node from the document's
 /// element-name index: the matches are exactly the slice of T's preorder-
@@ -153,8 +49,7 @@ bool TryIndexedDescendants(Node* node, const NodeTest& test, NameId test_id,
       // loop, and the caller already checkpoints once per context node.
       context->CheckCancel();
       BorrowedEmitter emitter(doc, out);
-      emitter.Reserve(static_cast<uint64_t>(hi - lo));
-      for (auto it = lo; it != hi; ++it) emitter.Emit(*it);
+      emitter.EmitRange(&*lo, &*lo + (hi - lo));
     }
     if (context->stats != nullptr) {
       context->stats->index_scan_nodes += static_cast<int64_t>(hi - lo);
@@ -207,16 +102,9 @@ void ApplyAxis(const Item& context_item, Axis axis, const NodeTest& test,
   const DocumentPtr& doc = context_item.document();
   NameId test_id = TestNameId(test, *doc);
   switch (axis) {
-    case Axis::kChild: {
-      const std::vector<Node*>& children = node->children();
-      if (children.empty()) break;
-      BorrowedEmitter emitter(doc, out);
-      emitter.Reserve(children.size());
-      for (Node* child : children) {
-        if (MatchesTest(child, test, axis, test_id)) emitter.Emit(child);
-      }
+    case Axis::kChild:
+      EmitChildMatches(node, test, test_id, doc, out);
       break;
-    }
     case Axis::kDescendant:
       if (!TryIndexedDescendants(node, test, test_id, doc, context, out)) {
         CollectDescendants(node, test, axis, test_id, doc, context, out);
@@ -230,17 +118,9 @@ void ApplyAxis(const Item& context_item, Axis axis, const NodeTest& test,
         CollectDescendants(node, test, axis, test_id, doc, context, out);
       }
       break;
-    case Axis::kAttribute: {
-      if (node->kind() != NodeKind::kElement) break;
-      const std::vector<Node*>& attributes = node->attributes();
-      if (attributes.empty()) break;
-      BorrowedEmitter emitter(doc, out);
-      emitter.Reserve(attributes.size());
-      for (Node* attr : attributes) {
-        if (MatchesTest(attr, test, axis, test_id)) emitter.Emit(attr);
-      }
+    case Axis::kAttribute:
+      EmitAttributeMatches(node, test, test_id, doc, out);
       break;
-    }
     case Axis::kSelf:
       if (MatchesTest(node, test, axis, test_id)) {
         out->push_back(Item(node, doc));

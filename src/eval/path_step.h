@@ -1,0 +1,171 @@
+#ifndef XQA_EVAL_PATH_STEP_H_
+#define XQA_EVAL_PATH_STEP_H_
+
+#include <cstdint>
+
+#include "parser/ast.h"
+#include "xdm/item.h"
+#include "xml/node.h"
+
+namespace xqa {
+namespace path_detail {
+
+/// Node-test matching and batch-friendly node emission, shared by the
+/// generic path evaluator (path.cc) and the batched FLWOR engine's
+/// simple-path kernels (flwor_batch.cc). Both must agree exactly on match
+/// semantics — the batched-identity ablation asserts byte-identical results —
+/// so the single definition lives here.
+
+/// Resolves a name test to `doc`'s interned id: kNameIdAny for wildcards,
+/// kNameIdAbsent when the name was never interned (the test can match
+/// nothing in this document). Cached in the test's atomic word keyed by
+/// document id, so a step applied to many nodes of one document pays the
+/// hash lookup once; documents with ids above 2^32-1 bypass the cache.
+inline NameId ResolveTestNameId(const NodeTest& test, const Document& doc) {
+  // processing-instruction("*") means a PI literally named "*"; everywhere
+  // else "*" is the any-name wildcard.
+  if (test.name.empty() ||
+      (test.name == "*" && test.kind != NodeTest::Kind::kPi)) {
+    return kNameIdAny;
+  }
+  uint64_t doc_id = doc.id();
+  if (doc_id > 0xFFFFFFFFull) return doc.LookupName(test.name);
+  uint64_t cached = test.name_id_cache.load(std::memory_order_relaxed);
+  if ((cached >> 32) == doc_id) return static_cast<NameId>(cached);
+  NameId id = doc.LookupName(test.name);
+  test.name_id_cache.store((doc_id << 32) | id, std::memory_order_relaxed);
+  return id;
+}
+
+/// The resolved id MatchesTest needs for `test` against nodes of `doc`;
+/// kNameIdAny when the test kind carries no name constraint.
+inline NameId TestNameId(const NodeTest& test, const Document& doc) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+    case NodeTest::Kind::kElement:
+    case NodeTest::Kind::kAttribute:
+    case NodeTest::Kind::kPi:
+      return ResolveTestNameId(test, doc);
+    default:
+      return kNameIdAny;
+  }
+}
+
+/// True when `node` matches the test given the step's principal node kind
+/// (attributes for the attribute axis, elements otherwise). `test_id` is the
+/// test's name resolved against the node's document (TestNameId), making the
+/// name comparison an integer compare. Named kinds always carry a real
+/// interned id, so kNameIdAbsent correctly matches nothing.
+inline bool MatchesTest(const Node* node, const NodeTest& test, Axis axis,
+                        NameId test_id) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName: {
+      NodeKind principal = axis == Axis::kAttribute ? NodeKind::kAttribute
+                                                    : NodeKind::kElement;
+      if (node->kind() != principal) return false;
+      return test_id == kNameIdAny || node->name_id() == test_id;
+    }
+    case NodeTest::Kind::kAnyKind:
+      return true;
+    case NodeTest::Kind::kText:
+      return node->kind() == NodeKind::kText;
+    case NodeTest::Kind::kComment:
+      return node->kind() == NodeKind::kComment;
+    case NodeTest::Kind::kElement:
+      return node->kind() == NodeKind::kElement &&
+             (test_id == kNameIdAny || node->name_id() == test_id);
+    case NodeTest::Kind::kAttribute:
+      return node->kind() == NodeKind::kAttribute &&
+             (test_id == kNameIdAny || node->name_id() == test_id);
+    case NodeTest::Kind::kDocument:
+      return node->kind() == NodeKind::kDocument;
+    case NodeTest::Kind::kPi:
+      return node->kind() == NodeKind::kProcessingInstruction &&
+             (test_id == kNameIdAny || node->name_id() == test_id);
+  }
+  return false;
+}
+
+/// Emits node items that all share one document while paying refcount
+/// traffic once per batch instead of once per item: Reserve(n) performs a
+/// single AddRefs(n), each Emit adopts one pre-paid reference, and the
+/// destructor returns the unused remainder. References are paid before any
+/// adopted handle exists, so early exits and exceptions can never underflow
+/// the count. Emits beyond the reservation fall back to owned copies.
+class BorrowedEmitter {
+ public:
+  BorrowedEmitter(const DocumentPtr& doc, Sequence* out)
+      : doc_(doc.get()), out_(out) {}
+  ~BorrowedEmitter() {
+    if (reserved_ > emitted_) doc_->ReleaseRefs(reserved_ - emitted_);
+  }
+  BorrowedEmitter(const BorrowedEmitter&) = delete;
+  BorrowedEmitter& operator=(const BorrowedEmitter&) = delete;
+
+  void Reserve(uint64_t count) {
+    if (count > 0) doc_->AddRefs(count);
+    reserved_ += count;
+  }
+
+  void Emit(Node* node) {
+    if (emitted_ < reserved_) {
+      ++emitted_;
+      out_->push_back(Item(node, DocumentPtr::Adopt(doc_)));
+    } else {
+      out_->push_back(Item(node, DocumentPtr(doc_)));
+    }
+  }
+
+  /// Emits a contiguous run of nodes (an index range scan) in one call:
+  /// one AddRefs, one Sequence capacity reservation, then a tight append
+  /// loop. Equivalent to Reserve(end - begin) followed by Emit per node.
+  void EmitRange(Node* const* begin, Node* const* end) {
+    if (begin == end) return;
+    uint64_t count = static_cast<uint64_t>(end - begin);
+    Reserve(count);
+    out_->reserve(out_->size() + static_cast<size_t>(count));
+    for (Node* const* it = begin; it != end; ++it) {
+      ++emitted_;
+      out_->push_back(Item(*it, DocumentPtr::Adopt(doc_)));
+    }
+  }
+
+ private:
+  Document* doc_;
+  Sequence* out_;
+  uint64_t reserved_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+/// Appends `node`'s children matching the step test to `out` in document
+/// order — the inner loop of both engines' child steps. One refcount batch
+/// per call.
+inline void EmitChildMatches(Node* node, const NodeTest& test, NameId test_id,
+                             const DocumentPtr& doc, Sequence* out) {
+  const std::vector<Node*>& children = node->children();
+  if (children.empty()) return;
+  BorrowedEmitter emitter(doc, out);
+  emitter.Reserve(children.size());
+  for (Node* child : children) {
+    if (MatchesTest(child, test, Axis::kChild, test_id)) emitter.Emit(child);
+  }
+}
+
+/// Attribute-axis counterpart of EmitChildMatches.
+inline void EmitAttributeMatches(Node* node, const NodeTest& test,
+                                 NameId test_id, const DocumentPtr& doc,
+                                 Sequence* out) {
+  if (node->kind() != NodeKind::kElement) return;
+  const std::vector<Node*>& attributes = node->attributes();
+  if (attributes.empty()) return;
+  BorrowedEmitter emitter(doc, out);
+  emitter.Reserve(attributes.size());
+  for (Node* attr : attributes) {
+    if (MatchesTest(attr, test, Axis::kAttribute, test_id)) emitter.Emit(attr);
+  }
+}
+
+}  // namespace path_detail
+}  // namespace xqa
+
+#endif  // XQA_EVAL_PATH_STEP_H_

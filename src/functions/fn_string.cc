@@ -61,22 +61,45 @@ Sequence FnEndsWith(EvalContext&, std::vector<Sequence>& args) {
                                 suffix) == 0)};
 }
 
+/// fn:round semantics for fn:substring's positions: half rounds toward
+/// positive infinity (round(-2.5) = -2, where std::round gives -3).
+/// NaN and the infinities pass through.
+double SubstringRound(double v) {
+  if (std::isnan(v) || std::isinf(v)) return v;
+  return std::floor(v + 0.5);
+}
+
 Sequence FnSubstring(EvalContext&, std::vector<Sequence>& args) {
-  // Byte-oriented (ASCII workloads); positions are 1-based and rounded.
+  // F&O 5.4.3: codepoints at 1-based positions p with
+  // p >= round(start) and p < round(start) + round(length). The bounds are
+  // computed once and the string sliced directly on codepoint boundaries —
+  // no per-byte comparison loop, and a multibyte character is never split.
   std::string s = StringArg(args[0], "fn:substring");
   double start = RequiredAtomicArg(args[1], "fn:substring").ToDoubleValue();
-  double length = args.size() > 2
-      ? RequiredAtomicArg(args[2], "fn:substring").ToDoubleValue()
-      : std::numeric_limits<double>::infinity();
-  std::string out;
-  for (size_t i = 0; i < s.size(); ++i) {
-    double position = static_cast<double>(i + 1);
-    if (position >= std::round(start) &&
-        position < std::round(start) + std::round(length)) {
-      out.push_back(s[i]);
-    }
+  double rstart = SubstringRound(start);
+  double end_excl;  // first position past the slice
+  if (args.size() > 2) {
+    double length =
+        RequiredAtomicArg(args[2], "fn:substring").ToDoubleValue();
+    // NaN start, NaN length, or -INF + INF: every position comparison is
+    // false, so the result is empty.
+    end_excl = rstart + SubstringRound(length);
+  } else {
+    end_excl = std::numeric_limits<double>::infinity();
   }
-  return {MakeString(std::move(out))};
+  if (std::isnan(rstart) || std::isnan(end_excl)) return {MakeString("")};
+  double first = rstart < 1 ? 1 : rstart;
+  // Byte length bounds codepoint count, so these comparisons are safe before
+  // any double→integer cast.
+  if (end_excl <= first || first > static_cast<double>(s.size())) {
+    return {MakeString("")};
+  }
+  size_t from = Utf8OffsetOf(s, static_cast<size_t>(first) - 1);
+  size_t to = s.size();
+  if (end_excl <= static_cast<double>(s.size())) {
+    to = Utf8OffsetOf(s, static_cast<size_t>(end_excl) - 1);
+  }
+  return {MakeString(s.substr(from, to - from))};
 }
 
 Sequence FnStringLength(EvalContext& context, std::vector<Sequence>& args) {
@@ -90,19 +113,40 @@ Sequence FnStringLength(EvalContext& context, std::vector<Sequence>& args) {
   } else {
     s = StringArg(args[0], "fn:string-length");
   }
-  return {MakeInteger(static_cast<int64_t>(s.size()))};
+  return {MakeInteger(static_cast<int64_t>(Utf8Length(s)))};
+}
+
+/// Case-maps one codepoint: ASCII letters plus the Latin-1 Supplement pairs
+/// (U+00C0–U+00DE ↔ U+00E0–U+00FE, skipping × and ÷). Other codepoints are
+/// returned unchanged — never altered byte-wise, so multibyte characters
+/// outside the mapped ranges pass through intact.
+uint32_t MapCase(uint32_t code, bool to_upper) {
+  if (to_upper) {
+    if (code >= 'a' && code <= 'z') return code - 0x20;
+    if (code >= 0xE0 && code <= 0xFE && code != 0xF7) return code - 0x20;
+  } else {
+    if (code >= 'A' && code <= 'Z') return code + 0x20;
+    if (code >= 0xC0 && code <= 0xDE && code != 0xD7) return code + 0x20;
+  }
+  return code;
+}
+
+Sequence CaseMapped(const Sequence& arg, const char* name, bool to_upper) {
+  std::string s = StringArg(arg, name);
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size();) {
+    Utf8Encode(MapCase(Utf8DecodeAt(s, &i), to_upper), &out);
+  }
+  return {MakeString(std::move(out))};
 }
 
 Sequence FnUpperCase(EvalContext&, std::vector<Sequence>& args) {
-  std::string s = StringArg(args[0], "fn:upper-case");
-  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-  return {MakeString(std::move(s))};
+  return CaseMapped(args[0], "fn:upper-case", true);
 }
 
 Sequence FnLowerCase(EvalContext&, std::vector<Sequence>& args) {
-  std::string s = StringArg(args[0], "fn:lower-case");
-  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  return {MakeString(std::move(s))};
+  return CaseMapped(args[0], "fn:lower-case", false);
 }
 
 Sequence FnNormalizeSpace(EvalContext& context, std::vector<Sequence>& args) {
@@ -166,22 +210,7 @@ Sequence FnStringToCodepoints(EvalContext&, std::vector<Sequence>& args) {
   Sequence out;
   // UTF-8 decoding; invalid bytes pass through as their byte values.
   for (size_t i = 0; i < s.size();) {
-    unsigned char c = static_cast<unsigned char>(s[i]);
-    uint32_t code = c;
-    size_t length = 1;
-    if ((c & 0xE0) == 0xC0 && i + 1 < s.size()) {
-      code = (c & 0x1F) << 6 | (s[i + 1] & 0x3F);
-      length = 2;
-    } else if ((c & 0xF0) == 0xE0 && i + 2 < s.size()) {
-      code = (c & 0x0F) << 12 | (s[i + 1] & 0x3F) << 6 | (s[i + 2] & 0x3F);
-      length = 3;
-    } else if ((c & 0xF8) == 0xF0 && i + 3 < s.size()) {
-      code = (c & 0x07) << 18 | (s[i + 1] & 0x3F) << 12 |
-             (s[i + 2] & 0x3F) << 6 | (s[i + 3] & 0x3F);
-      length = 4;
-    }
-    out.push_back(MakeInteger(static_cast<int64_t>(code)));
-    i += length;
+    out.push_back(MakeInteger(static_cast<int64_t>(Utf8DecodeAt(s, &i))));
   }
   return out;
 }
@@ -196,22 +225,7 @@ Sequence FnCodepointsToString(EvalContext&, std::vector<Sequence>& args) {
       ThrowError(ErrorCode::kFOCA0002,
                  "codepoint out of range: " + std::to_string(code));
     }
-    uint32_t u = static_cast<uint32_t>(code);
-    if (u < 0x80) {
-      out.push_back(static_cast<char>(u));
-    } else if (u < 0x800) {
-      out.push_back(static_cast<char>(0xC0 | (u >> 6)));
-      out.push_back(static_cast<char>(0x80 | (u & 0x3F)));
-    } else if (u < 0x10000) {
-      out.push_back(static_cast<char>(0xE0 | (u >> 12)));
-      out.push_back(static_cast<char>(0x80 | ((u >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (u & 0x3F)));
-    } else {
-      out.push_back(static_cast<char>(0xF0 | (u >> 18)));
-      out.push_back(static_cast<char>(0x80 | ((u >> 12) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | ((u >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (u & 0x3F)));
-    }
+    Utf8Encode(static_cast<uint32_t>(code), &out);
   }
   return {MakeString(std::move(out))};
 }

@@ -27,6 +27,7 @@ std::string PlanCache::MakeKey(std::string_view query,
   key += compile.enable_groupby_rewrite ? 'G' : 'g';
   key += compile.enable_constant_folding ? 'F' : 'f';
   key += exec.use_structural_index ? 'I' : 'i';
+  key += exec.use_batched_execution ? 'B' : 'b';
   key += 't';
   key += std::to_string(exec.num_threads);
   key += '\x1f';

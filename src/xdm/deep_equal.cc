@@ -59,6 +59,8 @@ size_t CombineHash(size_t seed, size_t value) {
   return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
+}  // namespace
+
 size_t DeepHashNode(const Node* node) {
   size_t h = static_cast<size_t>(node->kind()) * 0x9e3779b97f4a7c15ULL;
   switch (node->kind()) {
@@ -89,6 +91,21 @@ size_t DeepHashNode(const Node* node) {
   }
   return h;
 }
+
+size_t DeepHashElementPrefix(const Node* elem) {
+  // Mirrors the element arm of DeepHashNode up to (and including) the
+  // empty attribute-set fold, so callers can append child hashes with
+  // CombineDeepHash and land on the exact DeepHashNode value.
+  size_t h = static_cast<size_t>(elem->kind()) * 0x9e3779b97f4a7c15ULL;
+  h = CombineHash(h, std::hash<std::string>()(elem->name()));
+  return CombineHash(h, /*attrs=*/0);
+}
+
+size_t CombineDeepHash(size_t seed, size_t value) {
+  return CombineHash(seed, value);
+}
+
+namespace {
 
 bool DeepEqualNodesImpl(const Node* a, const Node* b,
                         const CancellationToken* token, uint32_t* polls) {
@@ -178,7 +195,7 @@ size_t DeepHashItem(const Item& item) {
 }
 
 size_t DeepHashSequence(const Sequence& sequence) {
-  size_t h = 0x51ed270b76a4f1ceULL;
+  size_t h = kDeepHashSeqSeed;
   for (const Item& item : sequence) {
     h = CombineHash(h, DeepHashItem(item));
   }

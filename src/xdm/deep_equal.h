@@ -39,6 +39,30 @@ size_t DeepHashSequence(const Sequence& sequence);
 /// Hash of one item consistent with DeepEqualItems.
 size_t DeepHashItem(const Item& item);
 
+/// Hash of one node consistent with DeepEqualNodes (the node arm of
+/// DeepHashItem). Exposed so batched kernels can hash node spans without
+/// materializing Items.
+size_t DeepHashNode(const Node* node);
+
+/// The name-dependent prefix of DeepHashNode for an attribute-free element:
+/// for such an element with a single text child,
+///   DeepHashNode(elem) == CombineDeepHash(DeepHashElementPrefix(elem),
+///                                         DeepHashNode(text_child)).
+/// Batched kernels cache the prefix per element name, so hashing a column
+/// of <key>text</key> elements pays one content hash per row instead of
+/// re-hashing the constant name. Precondition: elem->attributes().empty().
+size_t DeepHashElementPrefix(const Node* elem);
+
+/// The CombineHash fold used by the deep-hash chain, exposed for kernels
+/// composing DeepHashElementPrefix with child hashes.
+size_t CombineDeepHash(size_t seed, size_t value);
+
+/// The per-sequence chain seed: DeepHashSequence starts here and folds each
+/// item hash in order. A kernel folding DeepHashNode over a flat node span
+/// from this seed reproduces DeepHashSequence of the materialized sequence
+/// bit for bit.
+inline constexpr size_t kDeepHashSeqSeed = 0x51ed270b76a4f1ceULL;
+
 }  // namespace xqa
 
 #endif  // XQA_XDM_DEEP_EQUAL_H_

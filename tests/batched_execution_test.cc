@@ -1,0 +1,372 @@
+// Batched (vectorized) FLWOR execution ablation (docs/VECTORIZATION.md):
+// the batched engine must be an invisible optimization. For every query the
+// serialized result bytes, the error outcome (code and message, including
+// which tuple's error wins), and the semantic profile counters must match
+// the scalar tuple-at-a-time engine exactly — at every thread count, with
+// and without the structural indexes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/engine.h"
+#include "workload/books.h"
+#include "workload/orders.h"
+
+namespace xqa {
+namespace {
+
+class BatchedExecutionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::OrderConfig config;
+    config.num_orders = 3000;  // ~12k lineitems: several full morsels
+    orders_ = new DocumentPtr(workload::GenerateOrdersDocument(config));
+    bib_ = new DocumentPtr(
+        Engine::ParseDocument(workload::PaperBibliographyXml()));
+    sales_ = new DocumentPtr(Engine::ParseDocument(workload::PaperSalesXml()));
+  }
+  static void TearDownTestSuite() {
+    delete orders_;
+    delete bib_;
+    delete sales_;
+  }
+
+  std::string Run(const DocumentPtr& doc, const std::string& query,
+                  bool batched, int threads, bool indexed = true) {
+    PreparedQuery prepared = engine_.Compile(query);
+    ExecutionOptions options;
+    options.use_batched_execution = batched;
+    options.num_threads = threads;
+    options.use_structural_index = indexed;
+    return prepared.ExecuteToString(doc, options);
+  }
+
+  Status StatusOf(const DocumentPtr& doc, const std::string& query,
+                  bool batched, int threads) {
+    PreparedQuery prepared = engine_.Compile(query);
+    ExecutionOptions options;
+    options.use_batched_execution = batched;
+    options.num_threads = threads;
+    prepared.set_execution_options(options);
+    Result<Sequence> result = prepared.TryExecute(doc);
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  /// The scalar serial indexed engine is the reference; the batched engine
+  /// must reproduce it byte for byte across the full configuration grid:
+  /// {scalar, batched} x {1, 2, 4, hardware} threads x {indexed, walk}.
+  void ExpectAblationIdentical(const DocumentPtr& doc,
+                               const std::string& query) {
+    const std::string reference =
+        Run(doc, query, /*batched=*/false, /*threads=*/1);
+    for (bool batched : {false, true}) {
+      for (int threads : {1, 2, 4, 0}) {
+        for (bool indexed : {true, false}) {
+          EXPECT_EQ(Run(doc, query, batched, threads, indexed), reference)
+              << "batched=" << batched << " threads=" << threads
+              << " indexed=" << indexed << "\nquery: " << query;
+        }
+      }
+    }
+  }
+
+  /// Both engines must fail with the identical typed error — same code,
+  /// same message, same winning tuple — at every thread count.
+  void ExpectSameError(const DocumentPtr& doc, const std::string& query) {
+    Status reference = StatusOf(doc, query, /*batched=*/false, /*threads=*/1);
+    ASSERT_NE(reference.code(), ErrorCode::kOk) << query;
+    for (bool batched : {false, true}) {
+      for (int threads : {1, 2, 4, 0}) {
+        Status status = StatusOf(doc, query, batched, threads);
+        EXPECT_EQ(status.code(), reference.code())
+            << "batched=" << batched << " threads=" << threads;
+        EXPECT_EQ(status.message(), reference.message())
+            << "batched=" << batched << " threads=" << threads;
+      }
+    }
+  }
+
+  Engine engine_;
+  static DocumentPtr* orders_;
+  static DocumentPtr* bib_;
+  static DocumentPtr* sales_;
+};
+
+DocumentPtr* BatchedExecutionTest::orders_ = nullptr;
+DocumentPtr* BatchedExecutionTest::bib_ = nullptr;
+DocumentPtr* BatchedExecutionTest::sales_ = nullptr;
+
+// --- Byte identity over the corpora -----------------------------------------
+
+TEST_F(BatchedExecutionTest, OrdersGroupByWorkloads) {
+  const char* queries[] = {
+      // Paper dialect: hash group-by with a nest, the Table 1 hot path.
+      R"(for $l in //order/lineitem
+         group by $l/quantity into $q
+         nest $l/extendedprice into $prices
+         order by number($q)
+         return <r>{$q}<n>{count($prices)}</n><s>{sum($prices)}</s></r>)",
+      // Multiple keys.
+      R"(for $l in //lineitem
+         group by $l/shipmode into $m, $l/returnflag into $f
+         nest $l/quantity into $qs
+         order by string($m), string($f)
+         return <r>{$m, $f}<n>{count($qs)}</n></r>)",
+      // XQuery 3.0 dialect with implicit rebinding.
+      R"(for $l in //lineitem
+         group by $k := string($l/shipmode)
+         order by $k
+         return ($k, count($l), sum($l/quantity)))",
+      // nest ... order by.
+      R"(for $l in //lineitem
+         group by $l/shipmode into $m
+         nest $l/partkey order by number($l/quantity) descending,
+                                  string($l/partkey) into $parts
+         return <g>{$m}<first>{$parts[1]}</first><n>{count($parts)}</n></g>)",
+  };
+  for (const char* query : queries) ExpectAblationIdentical(*orders_, query);
+}
+
+TEST_F(BatchedExecutionTest, OrdersScanWorkloads) {
+  const char* queries[] = {
+      // where + simple-path kernels over the big document.
+      R"(for $l in //lineitem
+         where number($l/quantity) > 25 and $l/shipmode = "AIR"
+         return string($l/partkey))",
+      // order by with multiple keys and directions.
+      R"(for $l in //lineitem
+         order by string($l/shipmode) descending, number($l/quantity),
+                  string($l/partkey)
+         return string($l/linenumber))",
+      // let + count clauses, positional variable, nested path predicate.
+      R"(for $o at $i in //order
+         let $big := $o/lineitem[number(quantity) > 40]
+         count $c
+         where $i mod 7 = 0 and count($big) > 0
+         return <r>{string($o/orderkey)}<c>{$c}</c><n>{count($big)}</n></r>)",
+      // Nested FLWOR: inner batched pipeline per outer tuple.
+      R"(for $o in //order
+         where count($o//lineitem) > 3
+         return <o>{string($o/orderkey)}
+           {for $l in $o/lineitem
+            order by number($l/quantity) descending
+            return string($l/partkey)}</o>)",
+  };
+  for (const char* query : queries) ExpectAblationIdentical(*orders_, query);
+}
+
+TEST_F(BatchedExecutionTest, BooksAndSalesPaperQueries) {
+  const char* bib_queries[] = {
+      R"(for $b in //book
+         group by $b/publisher into $p, $b/year into $y
+         nest $b/price - $b/discount into $netprices
+         return <group>{$p, $y}<avg>{avg($netprices)}</avg></group>)",
+      R"(for $b in //book
+         order by string($b/title)
+         return at $r ($r, string($b/title)))",
+      R"(for $b in //book
+         group by $b/author into $a using xqa:set-equal
+         nest $b/price into $prices
+         return <group>{$a}<avg>{avg($prices)}</avg></group>)",
+  };
+  for (const char* query : bib_queries) ExpectAblationIdentical(*bib_, query);
+
+  ExpectAblationIdentical(*sales_, R"(
+    for $s in //sale
+    group by $s/region into $region,
+             year-from-dateTime($s/timestamp) into $year
+    nest $s into $region-sales
+    order by $year, $region
+    return
+      for $s in $region-sales
+      group by $s/state into $state
+      nest $s/(quantity * price) into $amounts
+      order by $state
+      return <summary>{$year, $region, $state}
+        <sales>{round-half-to-even(sum($amounts), 2)}</sales></summary>
+  )");
+}
+
+// --- Error determinism ------------------------------------------------------
+
+TEST_F(BatchedExecutionTest, OrderKeyTypeErrorIdenticalInBothEngines) {
+  // Key types flip mid-stream: both engines must report the identical
+  // XPTY0004 for the first offending tuple in input order.
+  DocumentPtr doc = Engine::ParseDocument("<root/>");
+  const std::string query =
+      "for $i in 1 to 2000 "
+      "order by (if ($i = 1500) then \"oops\" else $i) "
+      "return $i";
+  ASSERT_EQ(StatusOf(doc, query, true, 1).code(), ErrorCode::kXPTY0004);
+  ExpectSameError(doc, query);
+}
+
+TEST_F(BatchedExecutionTest, FirstOffendingTupleWinsInBothEngines) {
+  // Two tuples fail; the lower input index must be reported by both engines
+  // at every thread count (the message embeds the failing value).
+  DocumentPtr doc = Engine::ParseDocument("<root/>");
+  ExpectSameError(doc,
+                  "for $i in 1 to 2000 "
+                  "order by (if ($i = 700 or $i = 1900) then $i div 0 else $i) "
+                  "return $i");
+  ExpectSameError(doc,
+                  "for $i in 1 to 2000 "
+                  "where (if ($i = 1111) then $i idiv 0 else $i) > 0 "
+                  "return $i");
+}
+
+TEST_F(BatchedExecutionTest, GroupKeyCardinalityErrorIdentical) {
+  // XQuery 3.0 group by requires a singleton atomized key; the batched
+  // engine must throw the same XPTY0004 as the scalar one.
+  DocumentPtr doc = Engine::ParseDocument(
+      "<r><e><t>a</t><t>b</t></e><e><t>c</t></e></r>");
+  const std::string query =
+      "for $e in //e group by $k := $e/t return count($e)";
+  ASSERT_EQ(StatusOf(doc, query, true, 1).code(), ErrorCode::kXPTY0004);
+  ExpectSameError(doc, query);
+}
+
+TEST_F(BatchedExecutionTest, PathOverAtomicErrorIdentical) {
+  // The simple-path kernel's XPTY0004 must carry the scalar wording.
+  DocumentPtr doc = Engine::ParseDocument("<root/>");
+  ExpectSameError(doc, "for $i in (1, 2, 3) return $i/child::a");
+}
+
+// --- Profile counters -------------------------------------------------------
+
+TEST_F(BatchedExecutionTest, BatchCountersPopulatedOnlyWhenBatched) {
+  const std::string query =
+      "for $l in //lineitem "
+      "where number($l/quantity) > 10 "
+      "group by $l/shipmode into $m "
+      "nest $l into $ls "
+      "return count($ls)";
+  PreparedQuery prepared = engine_.Compile(query);
+
+  ExecutionOptions batched;
+  batched.use_batched_execution = true;
+  ProfiledResult on = prepared.ExecuteProfiled(*orders_, batched);
+  EXPECT_GT(on.stats.batches_emitted, 0);
+  EXPECT_GE(on.stats.batch_rows_emitted, on.stats.batches_emitted);
+  EXPECT_GT(on.stats.BatchFillAverage(), 0.0);
+
+  ExecutionOptions scalar;
+  scalar.use_batched_execution = false;
+  ProfiledResult off = prepared.ExecuteProfiled(*orders_, scalar);
+  EXPECT_EQ(off.stats.batches_emitted, 0);
+  EXPECT_EQ(off.stats.batch_rows_emitted, 0);
+  EXPECT_EQ(off.stats.BatchFillAverage(), 0.0);
+}
+
+TEST_F(BatchedExecutionTest, SemanticCountersMatchScalar) {
+  const std::string query =
+      "for $l in //lineitem "
+      "group by $l/quantity into $q "
+      "nest $l into $ls "
+      "return count($ls)";
+  PreparedQuery prepared = engine_.Compile(query);
+  ExecutionOptions scalar;
+  scalar.use_batched_execution = false;
+  ProfiledResult reference = prepared.ExecuteProfiled(*orders_, scalar);
+
+  ExecutionOptions batched;
+  batched.use_batched_execution = true;
+  ProfiledResult result = prepared.ExecuteProfiled(*orders_, batched);
+
+  EXPECT_EQ(SerializeSequence(result.sequence),
+            SerializeSequence(reference.sequence));
+  EXPECT_EQ(result.stats.TotalGroupsFormed(),
+            reference.stats.TotalGroupsFormed());
+  EXPECT_EQ(result.stats.deep_hash_calls, reference.stats.deep_hash_calls);
+  EXPECT_EQ(result.stats.tuples_flowed, reference.stats.tuples_flowed);
+  EXPECT_EQ(result.stats.path_steps, reference.stats.path_steps);
+}
+
+TEST_F(BatchedExecutionTest, BatchCountersDeterministicAcrossThreads) {
+  // Batch counters are semantic (counted per clause on the main stats, not
+  // per lane), so they must not vary with the thread count.
+  const std::string query =
+      "for $l in //lineitem "
+      "where number($l/quantity) > 10 "
+      "return string($l/partkey)";
+  PreparedQuery prepared = engine_.Compile(query);
+  ExecutionOptions serial;
+  ProfiledResult reference = prepared.ExecuteProfiled(*orders_, serial);
+  EXPECT_GT(reference.stats.batches_emitted, 0);
+  for (int threads : {2, 4, 0}) {
+    ExecutionOptions options;
+    options.num_threads = threads;
+    ProfiledResult result = prepared.ExecuteProfiled(*orders_, options);
+    EXPECT_EQ(result.stats.batches_emitted, reference.stats.batches_emitted)
+        << "threads=" << threads;
+    EXPECT_EQ(result.stats.batch_rows_emitted,
+              reference.stats.batch_rows_emitted)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(BatchedExecutionTest, ExplainAnalyzeReportsBatchFill) {
+  PreparedQuery prepared = engine_.Compile(
+      "for $l in //lineitem "
+      "group by $l/shipmode into $m nest $l into $ls "
+      "return count($ls)");
+  std::string plan = prepared.ExplainAnalyze(*orders_);
+  EXPECT_NE(plan.find("batches "), std::string::npos) << plan;
+  EXPECT_NE(plan.find("fill avg"), std::string::npos) << plan;
+}
+
+// --- Hash group-by key edge cases -------------------------------------------
+
+TEST_F(BatchedExecutionTest, NegativeZeroGroupsWithPositiveZero) {
+  // -0.0 eq +0.0, so DeepHashSequence must hash them identically or the
+  // hash table would split an eq-equal group. Exercised well past the
+  // parallel cutoff so the partial-table merge sees both spellings too.
+  DocumentPtr doc = Engine::ParseDocument("<root/>");
+  const std::string paper_dialect =
+      "for $i in 1 to 1000 "
+      "let $v := if ($i mod 2 = 0) then 0.0e0 else -0.0e0 "
+      "group by $v into $k nest $i into $is "
+      "return count($is)";
+  const std::string xq3_dialect =
+      "for $i in 1 to 1000 "
+      "let $v := if ($i mod 2 = 0) then 0.0e0 else -0.0e0 "
+      "group by $k := $v "
+      "return count($i)";
+  for (const std::string& query : {paper_dialect, xq3_dialect}) {
+    for (bool batched : {false, true}) {
+      for (int threads : {1, 4}) {
+        EXPECT_EQ(Run(doc, query, batched, threads), "1000")
+            << "batched=" << batched << " threads=" << threads
+            << "\nquery: " << query;
+      }
+    }
+  }
+}
+
+TEST_F(BatchedExecutionTest, EqualDecimalAndDoubleShareAGroup) {
+  // 0.5 (xs:decimal) eq 0.5e0 (xs:double): cross-type numeric keys must
+  // land in one group under the hash table, same as the eq comparison.
+  DocumentPtr doc = Engine::ParseDocument("<root/>");
+  const std::string query =
+      "for $i in 1 to 1000 "
+      "let $v := if ($i mod 2 = 0) then 0.5e0 else 0.5 "
+      "group by $v into $k nest $i into $is "
+      "return count($is)";
+  for (bool batched : {false, true}) {
+    for (int threads : {1, 4}) {
+      EXPECT_EQ(Run(doc, query, batched, threads), "1000")
+          << "batched=" << batched << " threads=" << threads;
+    }
+  }
+  // Integers mix in too: 1 eq 1.0 eq 1.0e0.
+  EXPECT_EQ(Run(doc,
+                "for $v in (1, 1.0, 1e0, 2) "
+                "group by $v into $k nest $v into $vs "
+                "order by number($k) return count($vs)",
+                true, 1),
+            "3 1");
+}
+
+}  // namespace
+}  // namespace xqa

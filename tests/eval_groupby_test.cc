@@ -236,6 +236,19 @@ TEST_F(GroupByTest, GroupingVariableHoldsKeyNotTuple) {
             "2");
 }
 
+TEST_F(GroupByTest, NegativeZeroSharesGroupWithPositiveZero) {
+  // -0.0 eq +0.0, so the hash table must not split them into two groups
+  // (the hash normalizes the zero sign before mixing).
+  EXPECT_EQ(Run("for $v in (-0.0e0, 0.0e0, 0.0e0) "
+                "group by $v into $k nest $v into $vs return count($vs)"),
+            "3");
+  // Cross-type numeric keys that compare eq-equal also share a group.
+  EXPECT_EQ(Run("for $v in (0.5e0, 0.5, 1) "
+                "group by $v into $k nest $v into $vs "
+                "order by number($k) return count($vs)"),
+            "2 1");
+}
+
 TEST_F(GroupByTest, OrderByAfterGroupOrdersGroups) {
   EXPECT_EQ(Run("for $x in (30, 10, 30, 20, 10, 10) "
                 "group by $x into $k nest $x into $xs "

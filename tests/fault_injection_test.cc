@@ -91,8 +91,12 @@ TEST_F(FaultRegistryTest, ResetClearsEverything) {
 /// (parse + bind), FLWOR tuple materialization, order-by keys, group-by
 /// table, node construction, doc load, serialization. Executes with a
 /// per-query child of `root` so allocation-path faults are reachable, and
-/// serializes each result under the same tracker.
-void RunEngineWorkload(const DocumentPtr& doc, MemoryTracker* root) {
+/// serializes each result under the same tracker. `batched` selects the
+/// FLWOR engine (docs/VECTORIZATION.md): the sweep below runs every site
+/// under both, so fault points inside batch loops keep the same failure
+/// contract as their scalar counterparts.
+void RunEngineWorkload(const DocumentPtr& doc, MemoryTracker* root,
+                       bool batched) {
   Engine engine;
   DocumentRegistry registry;
   registry["orders.xml"] = doc;
@@ -108,6 +112,7 @@ void RunEngineWorkload(const DocumentPtr& doc, MemoryTracker* root) {
     MemoryTracker tracker("query", 0, root);
     ExecutionOptions exec;
     exec.memory = &tracker;
+    exec.use_batched_execution = batched;
     PreparedQuery prepared = engine.Compile(query);
     Sequence result = prepared.Execute(doc, registry, exec);
     SerializeOptions serialize;
@@ -124,10 +129,11 @@ TEST(FaultSweepTest, EveryReachableSiteFailsCleanAndLeaksNothing) {
   config.num_orders = 60;
   DocumentPtr doc = workload::GenerateOrdersDocument(config);
 
-  // Record mode: one clean pass discovers the reachable sites.
+  // Record mode: one clean pass per engine discovers the reachable sites.
   fault::Reset();
   MemoryTracker record_root("root");
-  RunEngineWorkload(doc, &record_root);
+  RunEngineWorkload(doc, &record_root, /*batched=*/true);
+  RunEngineWorkload(doc, &record_root, /*batched=*/false);
   EXPECT_EQ(record_root.used(), 0);
   std::vector<fault::SiteInfo> sites = fault::Sites();
   ASSERT_FALSE(sites.empty());
@@ -146,28 +152,31 @@ TEST(FaultSweepTest, EveryReachableSiteFailsCleanAndLeaksNothing) {
   EXPECT_TRUE(recorded("doc.load"));
   EXPECT_TRUE(recorded("serialize.buffer"));
 
-  // Sweep: trip each site in turn; the workload must fail with that site's
-  // typed error, and the root tracker must balance after the unwind.
-  for (const fault::SiteInfo& site : sites) {
-    SCOPED_TRACE(site.name);
-    fault::Disarm();
-    fault::ArmSite(site.name, 1);
-    MemoryTracker root("root");
-    try {
-      RunEngineWorkload(doc, &root);
-      FAIL() << "armed site never tripped: " << site.name;
-    } catch (const XQueryError& error) {
-      EXPECT_EQ(error.code(), site.code);
-      EXPECT_NE(std::string(error.what()).find("injected fault"),
-                std::string::npos);
+  // Sweep: trip each site in turn, under each FLWOR engine; the workload
+  // must fail with that site's typed error, and the root tracker must
+  // balance after the unwind.
+  for (bool batched : {true, false}) {
+    for (const fault::SiteInfo& site : sites) {
+      SCOPED_TRACE(std::string(batched ? "batched/" : "scalar/") + site.name);
+      fault::Disarm();
+      fault::ArmSite(site.name, 1);
+      MemoryTracker root("root");
+      try {
+        RunEngineWorkload(doc, &root, batched);
+        FAIL() << "armed site never tripped: " << site.name;
+      } catch (const XQueryError& error) {
+        EXPECT_EQ(error.code(), site.code);
+        EXPECT_NE(std::string(error.what()).find("injected fault"),
+                  std::string::npos);
+      }
+      EXPECT_EQ(root.used(), 0) << "tracker leak after " << site.name;
     }
-    EXPECT_EQ(root.used(), 0) << "tracker leak after " << site.name;
   }
 
   // The engine still works once disarmed.
   fault::Reset();
   MemoryTracker root("root");
-  RunEngineWorkload(doc, &root);
+  RunEngineWorkload(doc, &root, /*batched=*/true);
   EXPECT_EQ(root.used(), 0);
 }
 

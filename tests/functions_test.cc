@@ -175,6 +175,53 @@ TEST_F(FunctionsTest, CaseAndSpace) {
   EXPECT_EQ(Run("translate(\"abc\", \"b\", \"\")"), "ac");  // deletion
 }
 
+// --- Codepoint-aware string functions (UTF-8) --------------------------------
+
+TEST_F(FunctionsTest, StringLengthCountsCodepoints) {
+  EXPECT_EQ(Run("string-length(\"héllo\")"), "5");
+  EXPECT_EQ(Run("string-length(\"naïve\")"), "5");
+  EXPECT_EQ(Run("string-length(\"日本語\")"), "3");
+  EXPECT_EQ(Run("string-length(\"a\U0001F600b\")"), "3");  // 4-byte emoji
+}
+
+TEST_F(FunctionsTest, SubstringNeverSplitsMultibyte) {
+  EXPECT_EQ(Run("substring(\"héllo\", 2)"), "éllo");
+  EXPECT_EQ(Run("substring(\"héllo\", 2, 1)"), "é");
+  EXPECT_EQ(Run("substring(\"héllo\", 1, 2)"), "hé");
+  EXPECT_EQ(Run("substring(\"日本語\", 2, 1)"), "本");
+  EXPECT_EQ(Run("substring(\"a\U0001F600b\", 2, 1)"), "\U0001F600");
+  EXPECT_EQ(Run("string-length(substring(\"héllo\", 3))"), "3");
+}
+
+TEST_F(FunctionsTest, SubstringSpecialDoubles) {
+  // F&O 5.4.3: positions are fn:round-ed once (half toward +INF); NaN start
+  // or length yields the empty string; infinite bounds work directly.
+  EXPECT_EQ(Run("substring(\"12345\", 1.5, 2.6)"), "234");
+  EXPECT_EQ(Run("substring(\"12345\", 0, 3)"), "12");
+  EXPECT_EQ(Run("substring(\"12345\", 5, -3)"), "");
+  EXPECT_EQ(Run("substring(\"12345\", -3, 5)"), "1");
+  EXPECT_EQ(Run("substring(\"12345\", 0 div 0e0, 3)"), "");
+  EXPECT_EQ(Run("substring(\"12345\", 1, 0 div 0e0)"), "");
+  EXPECT_EQ(Run("substring(\"12345\", -42, 1 div 0e0)"), "12345");
+  EXPECT_EQ(Run("substring(\"12345\", -1 div 0e0, 1 div 0e0)"), "");
+  EXPECT_EQ(Run("substring(\"12345\", 1 div 0e0)"), "");
+  EXPECT_EQ(Run("substring(\"12345\", 1.5, -0.5)"), "");  // round(-0.5) = -0
+  EXPECT_EQ(Run("substring(\"hello\", 100)"), "");
+}
+
+TEST_F(FunctionsTest, CaseMappingCoversLatin1) {
+  EXPECT_EQ(Run("upper-case(\"héllo\")"), "HÉLLO");
+  EXPECT_EQ(Run("lower-case(\"ÀÉÎÕÜ\")"), "àéîõü");
+  EXPECT_EQ(Run("upper-case(\"àéîõü\")"), "ÀÉÎÕÜ");
+  // × (U+00D7) and ÷ (U+00F7) sit inside the letter ranges but are not
+  // letters; they must pass through unchanged.
+  EXPECT_EQ(Run("lower-case(\"×÷\")"), "×÷");
+  EXPECT_EQ(Run("upper-case(\"×÷\")"), "×÷");
+  // Codepoints outside the mapped ranges are never altered byte-wise.
+  EXPECT_EQ(Run("upper-case(\"日本語a\")"), "日本語A");
+  EXPECT_EQ(Run("string-length(upper-case(\"héllo\"))"), "5");
+}
+
 // --- Numerics -----------------------------------------------------------------
 
 TEST_F(FunctionsTest, NumberFunction) {

@@ -120,6 +120,84 @@ TEST(EvalDepthTest, RunawayRecursionTripsXQSV0005) {
   ASSERT_EQ(result.size(), 1u);
 }
 
+// --- Batched-execution governance (docs/VECTORIZATION.md) -------------------
+// The batched engine's morsel loops must hit the same cooperative
+// checkpoints as the scalar pipeline: per-row cancellation polls and
+// per-batch memory recharges, in both ablation settings.
+
+TEST(BatchedGovernanceTest, CancelledTokenStopsBatchLoopsInBothEngines) {
+  Engine engine;
+  PreparedQuery prepared = engine.Compile(
+      "for $i in 1 to 1000000 where $i mod 3 = 0 return $i");
+  for (bool batched : {false, true}) {
+    CancellationToken token;
+    token.Cancel();
+    ExecutionOptions exec;
+    exec.cancellation = &token;
+    exec.use_batched_execution = batched;
+    ErrorCode code = CodeOf([&] { prepared.Execute(exec); });
+    EXPECT_EQ(code, ErrorCode::kXQSV0002) << "batched=" << batched;
+  }
+}
+
+TEST(BatchedGovernanceTest, TimedOutBatchedSortAbortsPromptly) {
+  Engine engine;
+  PreparedQuery prepared = engine.Compile(
+      "for $i in 1 to 1000000 "
+      "order by $i mod 7, $i descending "
+      "return $i");
+  CancellationToken token;
+  token.SetTimeout(0.15);
+  ExecutionOptions exec;
+  exec.cancellation = &token;
+  exec.use_batched_execution = true;
+
+  auto start = std::chrono::steady_clock::now();
+  ErrorCode code = CodeOf([&] { prepared.Execute(exec); });
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_EQ(code, ErrorCode::kXQSV0001);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(BatchedGovernanceTest, TinyBudgetTripsXQSV0004InsideBatchLoops) {
+  // A group-by over many tuples must hit the per-morsel recharge well before
+  // completion, fail typed, and unwind its whole reservation — in both
+  // ablation settings, so the budget surface does not depend on the engine.
+  Engine engine;
+  PreparedQuery prepared = engine.Compile(
+      "for $i in 1 to 200000 "
+      "group by $k := $i mod 1000 "
+      "return count($i)");
+  for (bool batched : {false, true}) {
+    MemoryTracker tracker("batch-budget", 64 << 10);
+    ExecutionOptions exec;
+    exec.memory = &tracker;
+    exec.use_batched_execution = batched;
+    ErrorCode code = CodeOf([&] { prepared.Execute(exec); });
+    EXPECT_EQ(code, ErrorCode::kXQSV0004) << "batched=" << batched;
+    EXPECT_GE(tracker.budget_failures(), 1u) << "batched=" << batched;
+    EXPECT_EQ(tracker.used(), 0) << "batched=" << batched;
+  }
+}
+
+TEST(BatchedGovernanceTest, ParallelBatchLoopsHonorCancellation) {
+  Engine engine;
+  PreparedQuery prepared = engine.Compile(
+      "for $i in 1 to 1000000 "
+      "group by $k := $i mod 1000 "
+      "return count($i)");
+  CancellationToken token;
+  token.Cancel();
+  ExecutionOptions exec;
+  exec.cancellation = &token;
+  exec.num_threads = 4;
+  exec.use_batched_execution = true;
+  ErrorCode code = CodeOf([&] { prepared.Execute(exec); });
+  EXPECT_EQ(code, ErrorCode::kXQSV0002);
+}
+
 // --- Service-level degradation ---------------------------------------------
 
 namespace svc = xqa::service;

@@ -134,5 +134,42 @@ TEST(Escape, TextAndAttribute) {
   EXPECT_EQ(EscapeAttribute("<&>"), "&lt;&amp;&gt;");
 }
 
+TEST(Utf8, LengthAndOffsets) {
+  EXPECT_EQ(Utf8Length(""), 0u);
+  EXPECT_EQ(Utf8Length("abc"), 3u);
+  EXPECT_EQ(Utf8Length("héllo"), 5u);
+  EXPECT_EQ(Utf8Length("日本語"), 3u);
+  EXPECT_EQ(Utf8Length("a\U0001F600b"), 3u);
+  EXPECT_EQ(Utf8OffsetOf("héllo", 0), 0u);
+  EXPECT_EQ(Utf8OffsetOf("héllo", 1), 1u);
+  EXPECT_EQ(Utf8OffsetOf("héllo", 2), 3u);  // é is two bytes
+  EXPECT_EQ(Utf8OffsetOf("héllo", 5), 6u);
+  EXPECT_EQ(Utf8OffsetOf("héllo", 9), 6u);  // clamped to the byte length
+}
+
+TEST(Utf8, DecodeEncodeRoundTrip) {
+  const uint32_t codes[] = {0x24, 0xE9, 0x65E5, 0x1F600};
+  for (uint32_t code : codes) {
+    std::string bytes;
+    Utf8Encode(code, &bytes);
+    size_t i = 0;
+    EXPECT_EQ(Utf8DecodeAt(bytes, &i), code);
+    EXPECT_EQ(i, bytes.size());
+  }
+}
+
+TEST(Utf8, InvalidBytesDecodeAsThemselves) {
+  // Lenient policy shared with fn:string-to-codepoints: a truncated lead
+  // byte or stray continuation decodes as its own byte value and consumes
+  // one byte, so the walk always terminates.
+  std::string bad = "a";
+  bad.push_back(static_cast<char>(0xC3));  // two-byte lead with no tail
+  size_t i = 0;
+  EXPECT_EQ(Utf8DecodeAt(bad, &i), static_cast<uint32_t>('a'));
+  EXPECT_EQ(Utf8DecodeAt(bad, &i), 0xC3u);
+  EXPECT_EQ(i, bad.size());
+  EXPECT_EQ(Utf8Length(bad), 2u);
+}
+
 }  // namespace
 }  // namespace xqa
