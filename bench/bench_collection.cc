@@ -1,0 +1,257 @@
+// Sharded collection store and partitioned fn:collection scan
+// (docs/SERVICE.md): three sections over a synthetic corpus of small
+// documents. (1) Ingest: BulkLoad wall time serial vs. one lane per
+// hardware thread — the parse+seal fan-out speedup. (2) Scan: a
+// count and a grouping query over collection("corpus"), swept across
+// thread counts {1, 2, 4, hw} under both FLWOR engines, every
+// configuration byte-compared against the serial scalar baseline (the
+// determinism acceptance check, run as part of the benchmark). (3) A
+// service scrape: the same corpus behind QueryService, one
+// provide_collections request, and the "collections" metrics section
+// with its per-shard gauges embedded in the artifact.
+//
+// Usage: bench_collection [--quick] [--smoke]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "bench_json.h"
+#include "service/collection_store.h"
+#include "service/query_service.h"
+
+namespace {
+
+using xqa::DocumentRegistry;
+using xqa::Engine;
+using xqa::ExecutionOptions;
+using xqa::PreparedQuery;
+using xqa::ProfiledResult;
+using xqa::bench::JsonValue;
+using xqa::service::CollectionStore;
+using xqa::service::CollectionSnapshot;
+using xqa::service::QueryService;
+using xqa::service::Request;
+using xqa::service::Response;
+using xqa::service::ServiceOptions;
+
+// Both scan queries impose a total output order, so any byte difference
+// across thread counts or engines is a determinism bug, not a formatting
+// artifact.
+// The count form routes through the partitioned scan (a FLWOR for clause
+// over fn:collection) with a trivial body, so the scan itself dominates;
+// the group form adds a grouping pipeline downstream of the scan.
+constexpr const char* kCountQuery =
+    "count(for $d in collection('corpus') return $d)";
+constexpr const char* kGroupQuery = R"(
+  for $d in collection('corpus')
+  group by $d/doc/cat into $c
+  nest $d/doc/v into $vs
+  order by string($c)
+  return <g>{$c}<n>{count($vs)}</n><s>{sum($vs)}</s></g>
+)";
+
+std::vector<CollectionStore::BulkDocument> MakeCorpus(int num_docs) {
+  std::vector<CollectionStore::BulkDocument> batch;
+  batch.reserve(static_cast<size_t>(num_docs));
+  for (int i = 0; i < num_docs; ++i) {
+    char uri[40];
+    std::snprintf(uri, sizeof(uri), "doc-%07d.xml", i);
+    batch.push_back({uri, "<doc><id>" + std::to_string(i) + "</id><cat>c" +
+                              std::to_string(i % 8) + "</cat><v>" +
+                              std::to_string(i % 97) + "</v></doc>"});
+  }
+  return batch;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Best-of-`reps` wall time of one scan configuration; the serialized bytes
+/// of the last run come back through `result` for the identity check.
+double MeasureScan(const PreparedQuery& query,
+                   const CollectionSnapshot* corpus,
+                   const ExecutionOptions& exec, int reps,
+                   std::string* result) {
+  *result = query.ExecuteToString(nullptr, nullptr, corpus, exec);  // warm-up
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    std::string got = query.ExecuteToString(nullptr, nullptr, corpus, exec);
+    double seconds = SecondsSince(start);
+    if (seconds < best) best = seconds;
+    *result = std::move(got);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = quick = true;
+  }
+
+  const int num_docs = smoke ? 2000 : quick ? 20000 : 100000;
+  const int reps = smoke ? 2 : quick ? 3 : 5;
+  const int shards = 16;
+  std::vector<CollectionStore::BulkDocument> batch = MakeCorpus(num_docs);
+
+  // --- Section 1: bulk ingest, serial vs. parallel parse+seal ---------------
+  double serial_ingest = 0.0;
+  double parallel_ingest = 0.0;
+  {
+    CollectionStore store(CollectionStore::Options{shards});
+    auto start = std::chrono::steady_clock::now();
+    store.BulkLoad("corpus", batch, /*num_threads=*/1);
+    serial_ingest = SecondsSince(start);
+  }
+  CollectionStore store(CollectionStore::Options{shards});
+  {
+    auto start = std::chrono::steady_clock::now();
+    store.BulkLoad("corpus", batch, /*num_threads=*/0);  // one lane per core
+    parallel_ingest = SecondsSince(start);
+  }
+  std::printf("bulk ingest of %d docs: serial %.3fs, parallel %.3fs (%.2fx)\n",
+              num_docs, serial_ingest, parallel_ingest,
+              serial_ingest / parallel_ingest);
+
+  JsonValue ingest = JsonValue::Object();
+  ingest.Set("documents", JsonValue::Int(num_docs));
+  ingest.Set("serial_seconds", JsonValue::Number(serial_ingest));
+  ingest.Set("parallel_seconds", JsonValue::Number(parallel_ingest));
+  ingest.Set("speedup", JsonValue::Number(serial_ingest / parallel_ingest));
+  ingest.Set("docs_per_second_parallel",
+             JsonValue::Number(static_cast<double>(num_docs) /
+                               parallel_ingest));
+
+  // --- Section 2: partitioned scan sweep ------------------------------------
+  auto corpus = store.Snapshot();
+  Engine engine;
+  const std::vector<int> thread_counts = {1, 2, 4, 0};  // 0 = hardware
+
+  std::printf("partitioned scan over %d docs in %d shards\n", num_docs,
+              shards);
+  std::printf("%-8s %8s %12s %12s %10s\n", "query", "threads", "scalar ms",
+              "batched ms", "identical");
+
+  JsonValue scans = JsonValue::Array();
+  int mismatches = 0;
+  for (const char* query_text : {kCountQuery, kGroupQuery}) {
+    PreparedQuery prepared = engine.Compile(query_text);
+    const char* label = query_text == kCountQuery ? "count" : "group";
+
+    // Baseline: serial scalar — the identity reference for every config.
+    ExecutionOptions baseline_exec;
+    baseline_exec.num_threads = 1;
+    baseline_exec.use_batched_execution = false;
+    std::string baseline;
+    double baseline_seconds =
+        MeasureScan(prepared, corpus.get(), baseline_exec, reps, &baseline);
+
+    for (int threads : thread_counts) {
+      double seconds[2] = {0.0, 0.0};
+      bool identical = true;
+      for (bool batched : {false, true}) {
+        ExecutionOptions exec;
+        exec.num_threads = threads;
+        exec.use_batched_execution = batched;
+        std::string result;
+        seconds[batched ? 1 : 0] =
+            MeasureScan(prepared, corpus.get(), exec, reps, &result);
+        if (result != baseline) {
+          identical = false;
+          ++mismatches;
+        }
+      }
+      std::printf("%-8s %8d %12.3f %12.3f %10s\n", label, threads,
+                  seconds[0] * 1e3, seconds[1] * 1e3,
+                  identical ? "yes" : "NO");
+
+      JsonValue entry = JsonValue::Object();
+      entry.Set("query", JsonValue::Str(label));
+      entry.Set("threads", JsonValue::Int(threads));
+      entry.Set("scalar_seconds", JsonValue::Number(seconds[0]));
+      entry.Set("batched_seconds", JsonValue::Number(seconds[1]));
+      entry.Set("baseline_seconds", JsonValue::Number(baseline_seconds));
+      entry.Set("speedup_scalar",
+                JsonValue::Number(baseline_seconds / seconds[0]));
+      entry.Set("speedup_batched",
+                JsonValue::Number(baseline_seconds / seconds[1]));
+      entry.Set("identical_to_serial_scalar", JsonValue::Bool(identical));
+      scans.Append(std::move(entry));
+    }
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FATAL: %d scan configurations diverged from the serial "
+                 "scalar baseline\n",
+                 mismatches);
+    return 1;
+  }
+
+  // Scan counters from one profiled run: partitions must equal the shard
+  // count and docs the corpus size, independent of lanes.
+  ExecutionOptions profiled_exec;
+  profiled_exec.num_threads = 4;
+  ProfiledResult profiled = engine.Compile(kGroupQuery).ExecuteProfiled(
+      nullptr, nullptr, corpus.get(), profiled_exec);
+  JsonValue counters = JsonValue::Object();
+  counters.Set("collection_scans",
+               JsonValue::Int(profiled.stats.collection_scans));
+  counters.Set("collection_partitions",
+               JsonValue::Int(profiled.stats.collection_partitions));
+  counters.Set("collection_docs",
+               JsonValue::Int(profiled.stats.collection_docs));
+
+  // --- Section 3: per-shard gauges through the service scrape ---------------
+  ServiceOptions service_options;
+  service_options.worker_threads = 2;
+  service_options.collection_shards = shards;
+  QueryService service(service_options);
+  service.collections().BulkLoad("corpus", batch);
+  Request request;
+  request.query = kCountQuery;
+  request.provide_collections = true;
+  Response response = service.Execute(request);
+  if (!response.status.ok() ||
+      response.result != std::to_string(num_docs)) {
+    std::fprintf(stderr, "FATAL: service scan failed: %s\n",
+                 response.status.ToString().c_str());
+    return 1;
+  }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", JsonValue::Str("collection"));
+  root.Set("experiment",
+           JsonValue::Str("sharded corpus ingest and partitioned "
+                          "fn:collection scan: thread sweep x engine with "
+                          "byte-identity against the serial scalar baseline "
+                          "(docs/SERVICE.md)"));
+  JsonValue params = JsonValue::Object();
+  params.Set("quick", JsonValue::Bool(quick));
+  params.Set("smoke", JsonValue::Bool(smoke));
+  params.Set("documents", JsonValue::Int(num_docs));
+  params.Set("shards", JsonValue::Int(shards));
+  params.Set("repetitions", JsonValue::Int(reps));
+  params.Set("hardware_threads",
+             JsonValue::Int(std::thread::hardware_concurrency()));
+  root.Set("parameters", std::move(params));
+  root.Set("ingest", std::move(ingest));
+  root.Set("scans", std::move(scans));
+  root.Set("scan_counters", std::move(counters));
+  root.Set("collections_metrics",
+           JsonValue::Raw(service.collections().StatsJson()));
+  xqa::bench::WriteBenchJson("collection", root);
+  return 0;
+}

@@ -12,9 +12,11 @@ namespace xqa {
 namespace {
 
 Sequence Run(const Module& module, const ExecutionOptions& exec, Focus focus,
-             const DocumentRegistry* documents = nullptr) {
+             const DocumentRegistry* documents = nullptr,
+             const CollectionProvider* collections = nullptr) {
   DynamicContext context;
   context.documents = documents;
+  context.collections = collections;
   context.exec = exec;
   Evaluator evaluator(&module);
   return evaluator.EvaluateQuery(&context, focus);
@@ -22,10 +24,12 @@ Sequence Run(const Module& module, const ExecutionOptions& exec, Focus focus,
 
 ProfiledResult RunProfiled(const Module& module, const ExecutionOptions& exec,
                            Focus focus,
-                           const DocumentRegistry* documents = nullptr) {
+                           const DocumentRegistry* documents = nullptr,
+                           const CollectionProvider* collections = nullptr) {
   ProfiledResult result;
   DynamicContext context;
   context.documents = documents;
+  context.collections = collections;
   context.exec = exec;
   context.stats = &result.stats;
   Evaluator evaluator(&module);
@@ -77,6 +81,15 @@ Sequence PreparedQuery::Execute(const DocumentPtr& context_document,
   Focus focus =
       context_document != nullptr ? DocumentFocus(context_document) : Focus{};
   return Run(*module_, options, focus, &documents);
+}
+
+Sequence PreparedQuery::Execute(const DocumentPtr& context_document,
+                                const DocumentRegistry* documents,
+                                const CollectionProvider* collections,
+                                const ExecutionOptions& options) const {
+  Focus focus =
+      context_document != nullptr ? DocumentFocus(context_document) : Focus{};
+  return Run(*module_, options, focus, documents, collections);
 }
 
 Result<Sequence> PreparedQuery::TryExecute(const DocumentPtr& document) const {
@@ -137,6 +150,15 @@ std::string PreparedQuery::ExecuteToString(const DocumentPtr& context_document,
                            indent);
 }
 
+std::string PreparedQuery::ExecuteToString(const DocumentPtr& context_document,
+                                           const DocumentRegistry* documents,
+                                           const CollectionProvider* collections,
+                                           const ExecutionOptions& options,
+                                           int indent) const {
+  return SerializeSequence(
+      Execute(context_document, documents, collections, options), indent);
+}
+
 std::string PreparedQuery::Explain() const { return ExplainModule(*module_); }
 
 ProfiledResult PreparedQuery::ExecuteProfiled(
@@ -172,6 +194,15 @@ ProfiledResult PreparedQuery::ExecuteProfiled(
   Focus focus =
       context_document != nullptr ? DocumentFocus(context_document) : Focus{};
   return RunProfiled(*module_, options, focus, &documents);
+}
+
+ProfiledResult PreparedQuery::ExecuteProfiled(
+    const DocumentPtr& context_document, const DocumentRegistry* documents,
+    const CollectionProvider* collections,
+    const ExecutionOptions& options) const {
+  Focus focus =
+      context_document != nullptr ? DocumentFocus(context_document) : Focus{};
+  return RunProfiled(*module_, options, focus, documents, collections);
 }
 
 std::string PreparedQuery::ExplainAnalyze(const DocumentPtr& document) const {

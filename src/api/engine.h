@@ -52,6 +52,16 @@ class PreparedQuery {
                    const DocumentRegistry& documents,
                    const ExecutionOptions& options) const;
 
+  /// Full-environment overload: nullable context document, nullable fn:doc
+  /// registry, nullable collection provider (fn:collection and the
+  /// partitioned FLWOR scan — docs/SERVICE.md). The other Execute overloads
+  /// are shorthands for this one; the query service calls it directly with a
+  /// CollectionStore snapshot, which must outlive the call.
+  Sequence Execute(const DocumentPtr& context_document,
+                   const DocumentRegistry* documents,
+                   const CollectionProvider* collections,
+                   const ExecutionOptions& options) const;
+
   /// Non-throwing variant.
   Result<Sequence> TryExecute(const DocumentPtr& document) const;
 
@@ -75,6 +85,11 @@ class PreparedQuery {
                               const DocumentRegistry& documents,
                               const ExecutionOptions& options,
                               int indent = 0) const;
+  std::string ExecuteToString(const DocumentPtr& context_document,
+                              const DocumentRegistry* documents,
+                              const CollectionProvider* collections,
+                              const ExecutionOptions& options,
+                              int indent = 0) const;
 
   /// The underlying bound module (for tests / explain).
   const Module& module() const { return *module_; }
@@ -96,6 +111,10 @@ class PreparedQuery {
   ProfiledResult ExecuteProfiled(const ExecutionOptions& options) const;
   ProfiledResult ExecuteProfiled(const DocumentPtr& context_document,
                                  const DocumentRegistry& documents,
+                                 const ExecutionOptions& options) const;
+  ProfiledResult ExecuteProfiled(const DocumentPtr& context_document,
+                                 const DocumentRegistry* documents,
+                                 const CollectionProvider* collections,
                                  const ExecutionOptions& options) const;
 
   /// Executes the query against `document`, then renders the Explain() plan

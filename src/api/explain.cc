@@ -265,6 +265,11 @@ std::string ExplainModuleImpl(const Module& module, const QueryStats* stats) {
       out << ", batches " << stats->batches_emitted << " (fill avg "
           << fill_buf << ")";
     }
+    if (stats->collection_scans > 0) {
+      out << ", collection scans " << stats->collection_scans << " ("
+          << stats->collection_partitions << " partitions, "
+          << stats->collection_docs << " docs)";
+    }
     out << "\n";
   }
   return out.str();

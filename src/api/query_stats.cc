@@ -70,6 +70,9 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   fallback_walk_nodes += other.fallback_walk_nodes;
   batches_emitted += other.batches_emitted;
   batch_rows_emitted += other.batch_rows_emitted;
+  collection_scans += other.collection_scans;
+  collection_partitions += other.collection_partitions;
+  collection_docs += other.collection_docs;
   for (const ClauseStats& theirs : other.clauses) {
     ClauseStats& ours = Clause(theirs.flwor, theirs.clause_index, theirs.label);
     ours.executions += theirs.executions;
@@ -123,6 +126,10 @@ std::string QueryStats::ToJson(int indent) const {
   out << pad << "\"batches_emitted\": " << batches_emitted << "," << nl;
   out << pad << "\"batch_rows_emitted\": " << batch_rows_emitted << "," << nl;
   out << pad << "\"batch_fill_avg\": " << BatchFillAverage() << "," << nl;
+  out << pad << "\"collection_scans\": " << collection_scans << "," << nl;
+  out << pad << "\"collection_partitions\": " << collection_partitions << ","
+      << nl;
+  out << pad << "\"collection_docs\": " << collection_docs << "," << nl;
   out << pad << "\"clauses\": [" << nl;
   for (size_t i = 0; i < clauses.size(); ++i) {
     const ClauseStats& c = clauses[i];

@@ -70,6 +70,17 @@ class QueryStats {
   int64_t batches_emitted = 0;     ///< tuple batches leaving any FLWOR clause
   int64_t batch_rows_emitted = 0;  ///< rows carried by those batches
 
+  // Partitioned-collection counters (docs/SERVICE.md). A `for $d in
+  // collection(...)` whose domain resolves against a CollectionProvider runs
+  // as a partitioned scan: one scan per resolved call, fanning the view's
+  // shard partitions across the morsel pool. All three are functions of the
+  // corpus and the query alone — identical at any thread count and under
+  // either FLWOR engine (the scan-or-not decision never consults
+  // num_threads).
+  int64_t collection_scans = 0;       ///< partitioned collection() domains run
+  int64_t collection_partitions = 0;  ///< shard partitions those scans covered
+  int64_t collection_docs = 0;        ///< documents those scans emitted
+
   /// Average rows per emitted batch; 0.0 when no batches were emitted.
   double BatchFillAverage() const {
     return batches_emitted > 0

@@ -1,0 +1,131 @@
+#include "eval/collection_scan.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "api/query_stats.h"
+#include "base/fault_injection.h"
+#include "base/memory_tracker.h"
+#include "base/thread_pool.h"
+#include "eval/flwor_internal.h"
+#include "functions/function_registry.h"
+
+namespace xqa {
+
+namespace {
+
+/// Cancellation poll stride inside one partition: a cancelled scan over a
+/// million-document shard aborts within a few hundred emissions instead of
+/// finishing the partition.
+constexpr size_t kScanPollStride = 256;
+
+}  // namespace
+
+const CollectionView* ResolveCollectionScan(const Expr* for_expr,
+                                            DynamicContext* context) {
+  if (context->collections == nullptr || for_expr == nullptr) return nullptr;
+  if (for_expr->kind() != ExprKind::kFunctionCall) return nullptr;
+  const auto* call = static_cast<const FunctionCallExpr*>(for_expr);
+  if (call->builtin_id < 0) return nullptr;
+  if (BuiltinFunctions()[static_cast<size_t>(call->builtin_id)].name !=
+      "collection") {
+    return nullptr;
+  }
+  if (call->args.empty()) {
+    return context->collections->DefaultCollection();
+  }
+  if (call->args.size() != 1 ||
+      call->args[0]->kind() != ExprKind::kLiteral) {
+    return nullptr;
+  }
+  const auto* literal = static_cast<const LiteralExpr*>(call->args[0].get());
+  if (literal->value.type() != AtomicType::kString) return nullptr;
+  return context->collections->FindCollection(literal->value.AsString());
+}
+
+Sequence PartitionedCollectionScan(const CollectionView& view,
+                                   DynamicContext* context) {
+  const size_t total = view.documents.size();
+  const size_t partitions = view.partition_count();
+  QueryStats* stats = context->stats;
+  if (stats != nullptr) {
+    ++stats->collection_scans;
+    stats->collection_partitions += static_cast<int64_t>(partitions);
+    // collection_docs is counted per partition by whichever lane emits it
+    // and folded back through the stats merge — the total is the view's
+    // document count either way, but routing it through the lane sinks keeps
+    // the counter exact if a partition fails mid-scan.
+  }
+  context->CheckCancel();
+
+  // The whole domain buffer is charged up front — its size is known exactly,
+  // so an over-budget scan trips XQSV0004 here, before any materialization,
+  // identically at every thread count. The charge is dropped when the scan
+  // returns; the for-clause boundary then accounts the materialized tuples
+  // like any other generation.
+  ScopedMemoryCharge domain_charge(context->exec.memory);
+  domain_charge.Reset(static_cast<int64_t>(
+      total * sizeof(Item) + sizeof(Sequence)));
+
+  Sequence domain(total);
+  if (total == 0) return domain;
+
+  // Emits one partition's documents into the shared output. Each partition
+  // passes the doc.load fault site — a partitioned scan is `partitions`
+  // loads, and a chaos run must be able to fail any one of them — and polls
+  // cancellation on entry plus every kScanPollStride documents.
+  auto scan_partition = [&](DynamicContext* ctx, size_t p) {
+    ctx->CheckCancel();
+    XQA_FAULT_POINT("doc.load", ErrorCode::kFODC0002);
+    size_t begin = 0;
+    size_t end = total;
+    if (view.partition_offsets.size() > 1) {
+      begin = view.partition_offsets[p];
+      end = view.partition_offsets[p + 1];
+    }
+    for (size_t i = begin; i < end; ++i) {
+      if ((i - begin) % kScanPollStride == 0) ctx->CheckCancel();
+      const DocumentPtr& doc = view.documents[i];
+      domain[i] = Item(doc->root(), doc);
+    }
+    if (ctx->stats != nullptr) {
+      ctx->stats->collection_docs += static_cast<int64_t>(end - begin);
+    }
+  };
+
+  const int workers = flwor_detail::PlanWorkers(context->exec, total);
+  if (workers > 1 && partitions > 1) {
+    // The engines' Lanes discipline: one forked context per lane, each with
+    // a private stats sink, merged in lane order at the barrier. ParallelFor
+    // rethrows the lowest-index partition's error after draining, so the
+    // failing configuration reports the same error at any thread count.
+    std::vector<std::unique_ptr<DynamicContext>> lanes;
+    std::vector<QueryStats> lane_stats;
+    lanes.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) lanes.push_back(context->Fork());
+    if (stats != nullptr) {
+      lane_stats.resize(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        lanes[static_cast<size_t>(w)]->stats =
+            &lane_stats[static_cast<size_t>(w)];
+      }
+    }
+    ThreadPool::Shared().ParallelFor(
+        partitions, workers, [&](int w, size_t p) {
+          scan_partition(lanes[static_cast<size_t>(w)].get(), p);
+        });
+    if (stats != nullptr) {
+      for (QueryStats& worker_stats : lane_stats) {
+        stats->MergeFrom(worker_stats);
+      }
+    }
+  } else {
+    for (size_t p = 0; p < partitions; ++p) {
+      scan_partition(context, p);
+    }
+  }
+  return domain;
+}
+
+}  // namespace xqa

@@ -1,0 +1,47 @@
+#ifndef XQA_EVAL_COLLECTION_SCAN_H_
+#define XQA_EVAL_COLLECTION_SCAN_H_
+
+#include "eval/dynamic_context.h"
+#include "parser/ast.h"
+#include "xdm/item.h"
+
+namespace xqa {
+
+/// Statically resolves a FLWOR for-clause domain expression to a collection
+/// view eligible for the partitioned scan (docs/SERVICE.md): the expression
+/// must be a direct call to fn:collection with zero arguments or a single
+/// string-literal argument, and the context must carry a CollectionProvider
+/// that resolves the name. Returns null otherwise — including for a name the
+/// provider does not know — so the generic evaluation path runs and raises
+/// exactly the error fn:collection would.
+///
+/// The decision depends only on the AST shape and the provider, never on
+/// thread count or engine, which is what lets both engines take the scan at
+/// every point of the ablation grid or neither at any. Restricting the
+/// argument to a literal means the scan never evaluates the argument
+/// expression itself, so no side effects (stats, faults, errors) can
+/// diverge between the scan and the generic path.
+const CollectionView* ResolveCollectionScan(const Expr* for_expr,
+                                            DynamicContext* context);
+
+/// Materializes `view`'s documents as a for-clause binding domain — one item
+/// per document, in the view's canonical partition-major order — fanning the
+/// partitions across the shared morsel pool with the engines' established
+/// discipline: lanes from PlanWorkers (a function of the options alone),
+/// per-lane forked contexts with private QueryStats sinks merged in lane
+/// order at the barrier, lowest-index-error-wins on failure. Each partition
+/// passes the `doc.load` fault site and a cancellation checkpoint before
+/// emitting (plus a checkpoint every 256 documents inside large partitions),
+/// and the whole output buffer is charged against the execution's memory
+/// budget before any partition runs, so an over-budget scan fails with
+/// XQSV0004 without materializing.
+///
+/// The caller's stats (when attached) record one collection scan, the view's
+/// partition count, and the document total — all independent of thread
+/// count.
+Sequence PartitionedCollectionScan(const CollectionView& view,
+                                   DynamicContext* context);
+
+}  // namespace xqa
+
+#endif  // XQA_EVAL_COLLECTION_SCAN_H_

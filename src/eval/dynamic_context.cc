@@ -17,6 +17,7 @@ std::unique_ptr<DynamicContext> DynamicContext::Fork() const {
   auto fork = std::make_unique<DynamicContext>();
   fork->globals = globals;
   fork->documents = documents;
+  fork->collections = collections;
   fork->focus = focus;
   fork->recursion_depth = recursion_depth;
   // num_threads stays at the serial default (workers never re-enter the

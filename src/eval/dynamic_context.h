@@ -19,6 +19,52 @@ class QueryStats;
 /// Documents addressable by fn:doc / fn:collection, keyed by URI.
 using DocumentRegistry = std::map<std::string, DocumentPtr>;
 
+/// One named collection, frozen for the duration of a query: the member
+/// documents in canonical order plus the partition boundaries a partitioned
+/// `for $d in collection(...)` scan fans across the morsel pool
+/// (docs/SERVICE.md).
+///
+/// Canonical order is partition-major — partition 0's documents (URI-sorted
+/// within the partition), then partition 1's, ... — a function of corpus
+/// content and partition count only, never of thread count. Every consumer
+/// (the generic fn:collection body, the partitioned FLWOR scan at any lane
+/// count, either engine) iterates `documents` in this one order, which is
+/// what keeps results byte-identical across the whole ablation grid.
+struct CollectionView {
+  /// Member documents, partition-major. All sealed; readable without
+  /// synchronization from any number of lanes.
+  std::vector<DocumentPtr> documents;
+
+  /// Offsets into `documents`, one per partition plus a trailing
+  /// `documents.size()`. Empty means a single implicit partition.
+  std::vector<size_t> partition_offsets;
+
+  size_t partition_count() const {
+    return partition_offsets.size() > 1 ? partition_offsets.size() - 1
+                                        : (documents.empty() ? 0 : 1);
+  }
+};
+
+/// Read-only source of collections for fn:collection and the partitioned
+/// FLWOR scan. Implemented by the service layer's CollectionStore snapshot;
+/// the eval layer only ever sees this interface (the dependency points
+/// service → eval, never back). Implementations must be safe for concurrent
+/// lookups and must keep the returned views alive for the provider's own
+/// lifetime — DynamicContext holds a borrowed pointer for one execution.
+class CollectionProvider {
+ public:
+  virtual ~CollectionProvider() = default;
+
+  /// The collection published under `name`; null when absent (the caller
+  /// decides whether that is FODC0002 or a registry fallback).
+  virtual const CollectionView* FindCollection(
+      const std::string& name) const = 0;
+
+  /// The default collection — fn:collection() / fn:collection(()) resolve
+  /// here. May be null (no default defined).
+  virtual const CollectionView* DefaultCollection() const = 0;
+};
+
 /// Intra-query parallelism knobs (docs/PARALLELISM.md). The default is fully
 /// serial execution; num_threads > 1 enables deterministic morsel
 /// parallelism in the FLWOR hot paths (group-by, order-by, where), with
@@ -99,6 +145,12 @@ class DynamicContext {
 
   /// Documents available to fn:doc / fn:collection; may be null.
   const DocumentRegistry* documents = nullptr;
+
+  /// Collections available to fn:collection and the partitioned FLWOR scan;
+  /// may be null (fn:collection then falls back to `documents`). Borrowed —
+  /// the caller (typically a CollectionStore snapshot held by the query
+  /// service) must outlive the execution.
+  const CollectionProvider* collections = nullptr;
 
   /// Parallelism settings for this execution (serial by default).
   ExecutionOptions exec;

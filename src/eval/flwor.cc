@@ -10,6 +10,7 @@
 #include "base/fault_injection.h"
 #include "base/memory_tracker.h"
 #include "base/thread_pool.h"
+#include "eval/collection_scan.h"
 #include "eval/evaluator.h"
 #include "eval/flwor_internal.h"
 #include "functions/function_registry.h"
@@ -278,8 +279,21 @@ Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
       case ClauseKind::kFor: {
         // Phase 1: each tuple's binding domain (parallel across tuples).
         std::vector<Sequence> domains(tuples.size());
+        // A single-tuple stream whose domain is a provider-resolved
+        // collection() call runs as a partitioned scan: the shard partitions
+        // fan across the morsel pool instead of the (one-element) tuple
+        // loop. The resolution consults only the AST and the provider, so
+        // the batched engine takes the same branch (its row count at this
+        // clause equals the tuple count here) and the result stays
+        // byte-identical across the whole ablation grid.
+        const CollectionView* collection_scan =
+            tuples.size() == 1
+                ? ResolveCollectionScan(clause.for_expr.get(), context)
+                : nullptr;
         const int domain_workers = PlanWorkers(context->exec, tuples.size());
-        if (domain_workers > 1) {
+        if (collection_scan != nullptr) {
+          domains[0] = PartitionedCollectionScan(*collection_scan, context);
+        } else if (domain_workers > 1) {
           Lanes lanes = make_lanes(domain_workers);
           ThreadPool::Shared().ParallelFor(
               tuples.size(), domain_workers, [&](int w, size_t ti) {

@@ -11,6 +11,7 @@
 #include "base/fault_injection.h"
 #include "base/memory_tracker.h"
 #include "base/thread_pool.h"
+#include "eval/collection_scan.h"
 #include "eval/evaluator.h"
 #include "eval/flwor_internal.h"
 #include "eval/path_step.h"
@@ -856,9 +857,18 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
       case ClauseKind::kFor: {
         // Phase 1: each input row's binding domain.
         std::vector<Sequence> domains(stream.rows);
+        // Partitioned collection() scan for a single-row stream — the same
+        // condition, resolution, and scan the scalar engine uses (see
+        // flwor.cc), so both engines take or skip the scan identically.
+        const CollectionView* collection_scan =
+            stream.rows == 1
+                ? ResolveCollectionScan(clause.for_expr.get(), context)
+                : nullptr;
         const ExprPlan plan = PlanClauseExpr(clause.for_expr.get(), stream);
         const int domain_workers = PlanWorkers(context->exec, stream.rows);
-        if (domain_workers > 1) {
+        if (collection_scan != nullptr) {
+          domains[0] = PartitionedCollectionScan(*collection_scan, context);
+        } else if (domain_workers > 1) {
           Lanes lanes = make_lanes(domain_workers);
           ThreadPool::Shared().ParallelFor(
               stream.rows, domain_workers, [&](int w, size_t row) {

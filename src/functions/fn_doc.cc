@@ -38,21 +38,53 @@ Sequence FnDocAvailable(EvalContext& context, std::vector<Sequence>& args) {
                       registry->count(uri->ToLexical()) > 0)};
 }
 
+/// Emits every document of `view` in its canonical (partition-major) order —
+/// the exact order the partitioned FLWOR scan produces, so a collection()
+/// that reaches this generic body instead of the scan yields byte-identical
+/// results.
+Sequence EmitCollection(const CollectionView& view) {
+  Sequence out;
+  out.reserve(view.documents.size());
+  for (const DocumentPtr& doc : view.documents) {
+    out.push_back(Item(doc->root(), doc));
+  }
+  return out;
+}
+
 Sequence FnCollection(EvalContext& context, std::vector<Sequence>& args) {
+  // Argument inspection first: fn:collection(()) is, per F&O, the same call
+  // as fn:collection() — both resolve the default collection — so the empty
+  // argument must be folded away before anything (including the fault point)
+  // treats this as a named lookup.
+  std::optional<AtomicValue> uri;
+  if (!args.empty()) {
+    uri = OptionalAtomicArg(args[0], "fn:collection");
+  }
+  // The fault site sits exactly where FnDoc's does: after argument
+  // handling, before resolution — a chaos run injects FODC0002 only into
+  // calls that would actually touch document loading.
   XQA_FAULT_POINT("doc.load", ErrorCode::kFODC0002);
+  const CollectionProvider* collections = context.dynamic.collections;
   const DocumentRegistry* registry = Registry(context);
-  if (args.empty()) {
-    // The default collection: every registered document, in URI order.
+  if (!uri.has_value()) {
+    // The default collection: the provider's default view when a provider is
+    // attached, else every registered document in URI order.
+    if (collections != nullptr) {
+      const CollectionView* view = collections->DefaultCollection();
+      if (view != nullptr) return EmitCollection(*view);
+    }
     Sequence out;
     if (registry != nullptr) {
-      for (const auto& [uri, doc] : *registry) {
+      for (const auto& [name, doc] : *registry) {
         out.push_back(Item(doc->root(), doc));
       }
     }
     return out;
   }
-  std::optional<AtomicValue> uri = OptionalAtomicArg(args[0], "fn:collection");
-  if (!uri.has_value()) return {};
+  if (collections != nullptr) {
+    const CollectionView* view = collections->FindCollection(uri->ToLexical());
+    if (view != nullptr) return EmitCollection(*view);
+  }
   if (registry != nullptr) {
     auto it = registry->find(uri->ToLexical());
     if (it != registry->end()) {

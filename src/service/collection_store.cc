@@ -1,0 +1,289 @@
+#include "service/collection_store.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "base/error.h"
+#include "base/thread_pool.h"
+#include "xml/xml_parser.h"
+
+namespace xqa::service {
+
+namespace {
+
+/// FNV-1a over the URI. std::hash would work on any single build, but the
+/// shard layout decides canonical document order (partition-major), and a
+/// defined hash keeps that order — and therefore every byte-identity
+/// assertion over collection() results — stable across builds and hosts.
+size_t HashUri(const std::string& uri) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : uri) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(hash);
+}
+
+}  // namespace
+
+CollectionStore::CollectionStore(Options options) {
+  int shards = std::max(options.shards, 1);
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t CollectionStore::ShardOf(const std::string& uri) const {
+  return HashUri(uri) % shards_.size();
+}
+
+int64_t CollectionStore::EstimateDocumentBytes(const Document& document) {
+  // Arena nodes plus a flat per-name estimate for the pool — structure, not
+  // text payload, matching the engine's other shallow estimates.
+  return static_cast<int64_t>(document.node_count() * sizeof(Node)) +
+         static_cast<int64_t>(document.name_pool_size()) * 32;
+}
+
+void CollectionStore::AddDocumentStats(Shard* shard,
+                                       const Document& document) {
+  ++shard->stats.documents;
+  shard->stats.nodes += static_cast<int64_t>(document.node_count());
+  shard->stats.bytes += EstimateDocumentBytes(document);
+  if (document.has_element_index()) ++shard->stats.indexed_documents;
+}
+
+void CollectionStore::RemoveDocumentStats(Shard* shard,
+                                          const Document& document) {
+  --shard->stats.documents;
+  shard->stats.nodes -= static_cast<int64_t>(document.node_count());
+  shard->stats.bytes -= EstimateDocumentBytes(document);
+  if (document.has_element_index()) --shard->stats.indexed_documents;
+}
+
+bool CollectionStore::Put(const std::string& collection,
+                          const std::string& uri, DocumentPtr document) {
+  if (document == nullptr) {
+    ThrowError(ErrorCode::kXQSV0006, "CollectionStore::Put: null document for '" +
+                                         collection + "'/'" + uri + "'");
+  }
+  // Seal outside the lock: sealing walks the whole tree, and the document is
+  // not yet visible to readers.
+  if (!document->sealed()) document->SealOrder();
+  Shard* shard = shards_[ShardOf(uri)].get();
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  auto [it, inserted] = shard->catalogs[collection].try_emplace(uri);
+  if (!inserted) RemoveDocumentStats(shard, *it->second);
+  it->second = std::move(document);
+  AddDocumentStats(shard, *it->second);
+  version_.fetch_add(1, std::memory_order_release);
+  return !inserted;
+}
+
+DocumentPtr CollectionStore::Get(const std::string& collection,
+                                 const std::string& uri) const {
+  const Shard* shard = shards_[ShardOf(uri)].get();
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  auto catalog = shard->catalogs.find(collection);
+  if (catalog == shard->catalogs.end()) return nullptr;
+  auto it = catalog->second.find(uri);
+  if (it == catalog->second.end()) return nullptr;
+  return it->second;  // refcount increment pins this version for the caller
+}
+
+bool CollectionStore::Remove(const std::string& collection,
+                             const std::string& uri) {
+  Shard* shard = shards_[ShardOf(uri)].get();
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  auto catalog = shard->catalogs.find(collection);
+  if (catalog == shard->catalogs.end()) return false;
+  auto it = catalog->second.find(uri);
+  if (it == catalog->second.end()) return false;
+  RemoveDocumentStats(shard, *it->second);
+  catalog->second.erase(it);
+  if (catalog->second.empty()) shard->catalogs.erase(catalog);
+  // Like DocumentStore: the version bumps only on a successful removal, so
+  // snapshot caches are not invalidated by no-op calls.
+  version_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+size_t CollectionStore::BulkLoad(const std::string& collection,
+                                 const std::vector<BulkDocument>& batch,
+                                 int num_threads) {
+  const size_t count = batch.size();
+  if (count == 0) return 0;
+
+  // Parse + seal fanned across the shared pool: the expensive, lock-free
+  // part of ingest. ParallelFor rethrows the lowest-index document's parse
+  // error after draining, and nothing below runs — a failed batch inserts
+  // nothing.
+  std::vector<DocumentPtr> parsed(count);
+  auto parse_one = [&](size_t i) {
+    DocumentPtr document = ParseXml(batch[i].xml);
+    if (!document->sealed()) document->SealOrder();
+    parsed[i] = std::move(document);
+  };
+  int workers = num_threads;
+  if (workers == 0) workers = ThreadPool::Shared().size() + 1;
+  workers = std::max(1, std::min(workers, static_cast<int>(count)));
+  if (workers > 1) {
+    ThreadPool::Shared().ParallelFor(count, workers,
+                                     [&](int, size_t i) { parse_one(i); });
+  } else {
+    for (size_t i = 0; i < count; ++i) parse_one(i);
+  }
+
+  // Insert shard by shard: one lock acquisition per touched shard, single
+  // version bump for the whole batch. Within a shard, batch order decides
+  // duplicate-URI winners (last write wins, like repeated Put calls).
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < count; ++i) {
+    by_shard[ShardOf(batch[i].uri)].push_back(i);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard* shard = shards_[s].get();
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    auto& catalog = shard->catalogs[collection];
+    for (size_t i : by_shard[s]) {
+      auto [it, inserted] = catalog.try_emplace(batch[i].uri);
+      if (!inserted) RemoveDocumentStats(shard, *it->second);
+      it->second = std::move(parsed[i]);
+      AddDocumentStats(shard, *it->second);
+    }
+  }
+  version_.fetch_add(1, std::memory_order_release);
+  return count;
+}
+
+std::shared_ptr<const CollectionSnapshot> CollectionStore::Snapshot() const {
+  std::lock_guard<std::mutex> cache_lock(snapshot_mutex_);
+  if (cached_snapshot_ != nullptr && cached_version_ == version()) {
+    return cached_snapshot_;
+  }
+
+  // Rebuild under every shard lock, acquired in index order: mutations (which
+  // take a single shard lock, or BulkLoad's one-at-a-time sequence) block for
+  // the duration, so the snapshot is one corpus version across all shards.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    locks.emplace_back(shard->mutex);
+  }
+  const uint64_t version = version_.load(std::memory_order_relaxed);
+
+  std::shared_ptr<CollectionSnapshot> snapshot(new CollectionSnapshot());
+  snapshot->version_ = version;
+  // Register every collection name first so each view gets a full set of
+  // partition offsets, including shards where the collection is empty.
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const auto& [name, catalog] : shard->catalogs) {
+      (void)catalog;
+      snapshot->views_[name];
+    }
+  }
+  const size_t nshards = shards_.size();
+  for (auto& [name, view] : snapshot->views_) {
+    view.partition_offsets.reserve(nshards + 1);
+  }
+  snapshot->default_view_.partition_offsets.reserve(nshards + 1);
+  for (size_t s = 0; s < nshards; ++s) {
+    for (auto& [name, view] : snapshot->views_) {
+      view.partition_offsets.push_back(view.documents.size());
+    }
+    snapshot->default_view_.partition_offsets.push_back(
+        snapshot->default_view_.documents.size());
+    for (const auto& [name, catalog] : shards_[s]->catalogs) {
+      CollectionView& view = snapshot->views_[name];
+      for (const auto& [uri, document] : catalog) {
+        view.documents.push_back(document);
+        snapshot->default_view_.documents.push_back(document);
+      }
+    }
+  }
+  for (auto& [name, view] : snapshot->views_) {
+    view.partition_offsets.push_back(view.documents.size());
+  }
+  snapshot->default_view_.partition_offsets.push_back(
+      snapshot->default_view_.documents.size());
+
+  cached_snapshot_ = std::move(snapshot);
+  cached_version_ = version;
+  return cached_snapshot_;
+}
+
+std::vector<CollectionStore::ShardStats> CollectionStore::PerShardStats()
+    const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.push_back(shard->stats);
+  }
+  return stats;
+}
+
+size_t CollectionStore::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->stats.documents;
+  }
+  return total;
+}
+
+std::vector<std::string> CollectionStore::CollectionNames() const {
+  std::vector<std::string> names;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [name, catalog] : shard->catalogs) {
+      (void)catalog;
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::string CollectionStore::StatsJson() const {
+  std::vector<ShardStats> stats = PerShardStats();
+  size_t documents = 0;
+  for (const ShardStats& shard : stats) documents += shard.documents;
+  std::ostringstream out;
+  out << "{\"shards\": " << shards_.size() << ", \"documents\": " << documents
+      << ", \"collections\": " << CollectionNames().size()
+      << ", \"version\": " << version() << ", \"per_shard\": [";
+  for (size_t s = 0; s < stats.size(); ++s) {
+    const ShardStats& shard = stats[s];
+    out << (s > 0 ? ", " : "") << "{\"documents\": " << shard.documents
+        << ", \"nodes\": " << shard.nodes << ", \"bytes\": " << shard.bytes
+        << ", \"indexed_documents\": " << shard.indexed_documents << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+const CollectionView* CollectionSnapshot::FindCollection(
+    const std::string& name) const {
+  auto it = views_.find(name);
+  return it != views_.end() ? &it->second : nullptr;
+}
+
+const CollectionView* CollectionSnapshot::DefaultCollection() const {
+  return &default_view_;
+}
+
+std::vector<std::string> CollectionSnapshot::CollectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, view] : views_) {
+    (void)view;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace xqa::service

@@ -1,0 +1,172 @@
+#ifndef XQA_SERVICE_COLLECTION_STORE_H_
+#define XQA_SERVICE_COLLECTION_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eval/dynamic_context.h"
+#include "xml/node.h"
+
+namespace xqa::service {
+
+class CollectionSnapshot;
+
+/// Sharded catalog of named collections of sealed documents — the corpus
+/// counterpart of DocumentStore (docs/SERVICE.md). Documents are
+/// hash-sharded by URI (FNV-1a, so the layout is identical on every build
+/// and host); each shard has its own mutex, its own (collection → URI →
+/// document) catalog, and its own aggregate gauges, so concurrent ingest
+/// into different shards never contends and a metrics scrape reads per-shard
+/// stats without a global lock.
+///
+/// Reads go through Snapshot(): an immutable, per-version-cached
+/// CollectionSnapshot built under every shard lock at once, so one request
+/// sees one consistent corpus version — never a mix of shard states — and
+/// the snapshot's views feed fn:collection and the partitioned FLWOR scan
+/// directly (it implements CollectionProvider). Snapshots pin their
+/// documents through the intrusive refcount: a corpus mutated mid-request
+/// frees replaced trees only after the last snapshot holding them drops.
+class CollectionStore {
+ public:
+  struct Options {
+    /// Shard count — also the partition count of every collection view, and
+    /// therefore the fan-out of the partitioned scan. Fixed at construction:
+    /// canonical document order is partition-major, so changing the shard
+    /// count is a (deliberate) corpus reorganization. Clamped to >= 1.
+    int shards = 16;
+  };
+
+  CollectionStore() : CollectionStore(Options()) {}
+  explicit CollectionStore(Options options);
+  CollectionStore(const CollectionStore&) = delete;
+  CollectionStore& operator=(const CollectionStore&) = delete;
+
+  /// Inserts or replaces `uri` within `collection`. Seals the document first
+  /// if the caller has not; null is rejected (XQSV0006). Returns true when
+  /// an existing document was replaced. Locks only the URI's shard.
+  bool Put(const std::string& collection, const std::string& uri,
+           DocumentPtr document);
+
+  /// The document at (collection, uri); null when absent.
+  DocumentPtr Get(const std::string& collection, const std::string& uri) const;
+
+  /// Removes (collection, uri); in-flight snapshots keep their version.
+  /// Returns whether the document was present. The version bumps only on a
+  /// successful remove.
+  bool Remove(const std::string& collection, const std::string& uri);
+
+  /// One document of a bulk ingest batch: the URI plus its unparsed XML.
+  struct BulkDocument {
+    std::string uri;
+    std::string xml;
+  };
+
+  /// Bulk parallel ingest: parses and seals every document of `batch` with
+  /// up to `num_threads` lanes of the shared pool (0 = one per hardware
+  /// thread, 1 = serial), then inserts shard by shard under each shard's
+  /// lock, as one version bump. On a parse failure the error of the
+  /// lowest-index failing document is thrown (the pool's
+  /// lowest-index-error-wins discipline) and nothing is inserted. Returns
+  /// the number of documents ingested.
+  size_t BulkLoad(const std::string& collection,
+                  const std::vector<BulkDocument>& batch, int num_threads = 0);
+
+  /// The current corpus as an immutable CollectionProvider. Cached per
+  /// version: repeated calls between mutations return the same snapshot
+  /// object, so a steady-state service pays one rebuild per corpus change,
+  /// not per request.
+  std::shared_ptr<const CollectionSnapshot> Snapshot() const;
+
+  /// Aggregate gauges of one shard, maintained incrementally under the
+  /// shard's lock (docs/OBSERVABILITY.md).
+  struct ShardStats {
+    size_t documents = 0;          ///< documents resident in the shard
+    int64_t nodes = 0;             ///< XDM nodes across those documents
+    int64_t bytes = 0;             ///< estimated resident tree bytes
+    size_t indexed_documents = 0;  ///< documents with an element-name index
+  };
+  std::vector<ShardStats> PerShardStats() const;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// Documents across all shards and collections.
+  size_t size() const;
+
+  /// Collection names across all shards, sorted.
+  std::vector<std::string> CollectionNames() const;
+
+  /// Bumped by every successful mutation (Put, Remove, BulkLoad batch).
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// The "collections" object of the service metrics scrape: shard count,
+  /// document/collection totals, version, and the per-shard gauge array
+  /// (docs/OBSERVABILITY.md).
+  std::string StatsJson() const;
+
+  /// Shallow byte estimate of one sealed document's resident tree (arena
+  /// nodes + name pool); the unit of the `bytes` gauge.
+  static int64_t EstimateDocumentBytes(const Document& document);
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// collection name → URI → document. Both maps ordered, so a snapshot
+    /// built from shard iteration is deterministic for a given corpus.
+    std::map<std::string, std::map<std::string, DocumentPtr>> catalogs;
+    ShardStats stats;
+  };
+
+  size_t ShardOf(const std::string& uri) const;
+  void AddDocumentStats(Shard* shard, const Document& document);
+  void RemoveDocumentStats(Shard* shard, const Document& document);
+
+  /// Shards never move after construction (each holds a mutex).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> version_{0};
+
+  // Version-keyed snapshot cache. Rebuild takes every shard lock in index
+  // order; single-shard mutations take only their own, so lock order is
+  // globally consistent and deadlock-free.
+  mutable std::mutex snapshot_mutex_;
+  mutable std::shared_ptr<const CollectionSnapshot> cached_snapshot_;
+  mutable uint64_t cached_version_ = ~0ULL;
+};
+
+/// An immutable, internally consistent view of one corpus version. Built by
+/// CollectionStore::Snapshot under all shard locks; thereafter lock-free and
+/// safe to share across any number of requests and lanes. Each collection's
+/// view lists its documents partition-major (shard 0's URI-sorted documents,
+/// then shard 1's, ...) with one partition per shard — the canonical order
+/// every consumer iterates (see CollectionView). The default collection is
+/// the union of all collections, (collection, URI)-sorted within each shard.
+class CollectionSnapshot : public CollectionProvider {
+ public:
+  const CollectionView* FindCollection(
+      const std::string& name) const override;
+  const CollectionView* DefaultCollection() const override;
+
+  /// Documents across all collections (the default view's size).
+  size_t total_documents() const { return default_view_.documents.size(); }
+
+  /// The store version this snapshot materializes.
+  uint64_t version() const { return version_; }
+
+  std::vector<std::string> CollectionNames() const;
+
+ private:
+  friend class CollectionStore;
+  CollectionSnapshot() = default;
+
+  std::map<std::string, CollectionView> views_;
+  CollectionView default_view_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace xqa::service
+
+#endif  // XQA_SERVICE_COLLECTION_STORE_H_

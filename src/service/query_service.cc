@@ -19,6 +19,7 @@ double SecondsBetween(std::chrono::steady_clock::time_point from,
 QueryService::QueryService(ServiceOptions options)
     : options_(std::move(options)),
       engine_(options_.engine),
+      collections_(CollectionStore::Options{options_.collection_shards}),
       cache_(options_.plan_cache),
       root_memory_("service", options_.total_memory_bytes),
       max_concurrent_(options_.max_concurrent_queries > 0
@@ -200,32 +201,28 @@ Response QueryService::RunRequest(
       }
     }
 
-    Sequence sequence;
+    // The request's environment, resolved once: a DocumentStore snapshot for
+    // fn:doc, a CollectionStore snapshot for fn:collection / the partitioned
+    // scan. Both are point-in-time — later Put/Remove/BulkLoad calls do not
+    // reach this execution — and the collection snapshot (a shared_ptr held
+    // across the call) pins its documents until serialization is done.
+    DocumentRegistry registry;
+    const DocumentRegistry* registry_ptr = nullptr;
     if (request.provide_registry) {
-      DocumentRegistry registry = store_.Snapshot();
-      if (request.collect_stats) {
-        ProfiledResult profiled = plan->ExecuteProfiled(doc, registry, exec);
-        sequence = std::move(profiled.sequence);
-        response.stats = std::move(profiled.stats);
-      } else {
-        sequence = plan->Execute(doc, registry, exec);
-      }
-    } else if (doc != nullptr) {
-      if (request.collect_stats) {
-        ProfiledResult profiled = plan->ExecuteProfiled(doc, exec);
-        sequence = std::move(profiled.sequence);
-        response.stats = std::move(profiled.stats);
-      } else {
-        sequence = plan->Execute(doc, exec);
-      }
+      registry = store_.Snapshot();
+      registry_ptr = &registry;
+    }
+    std::shared_ptr<const CollectionSnapshot> corpus;
+    if (request.provide_collections) corpus = collections_.Snapshot();
+
+    Sequence sequence;
+    if (request.collect_stats) {
+      ProfiledResult profiled =
+          plan->ExecuteProfiled(doc, registry_ptr, corpus.get(), exec);
+      sequence = std::move(profiled.sequence);
+      response.stats = std::move(profiled.stats);
     } else {
-      if (request.collect_stats) {
-        ProfiledResult profiled = plan->ExecuteProfiled(exec);
-        sequence = std::move(profiled.sequence);
-        response.stats = std::move(profiled.stats);
-      } else {
-        sequence = plan->Execute(exec);
-      }
+      sequence = plan->Execute(doc, registry_ptr, corpus.get(), exec);
     }
     // Serialization stays under the request's deadline and budget: the
     // output buffer of a huge result is a materialization like any other.
@@ -293,7 +290,8 @@ std::string QueryService::MetricsJson(int indent) const {
       << ", \"hits\": " << fault::TotalHits()
       << ", \"trips\": " << fault::TotalTrips() << "}," << nl;
   out << pad << "\"documents\": {\"count\": " << store_.size()
-      << ", \"version\": " << store_.version() << "}" << nl;
+      << ", \"version\": " << store_.version() << "}," << nl;
+  out << pad << "\"collections\": " << collections_.StatsJson() << nl;
   out << "}";
   return out.str();
 }

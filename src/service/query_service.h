@@ -13,6 +13,7 @@
 #include "api/engine.h"
 #include "base/cancellation.h"
 #include "base/thread_pool.h"
+#include "service/collection_store.h"
 #include "service/document_store.h"
 #include "service/plan_cache.h"
 #include "service/service_metrics.h"
@@ -53,6 +54,10 @@ struct ServiceOptions {
   /// Execution options for requests that do not carry their own.
   ExecutionOptions default_exec;
 
+  /// Shard count of the service's CollectionStore — also the partition
+  /// fan-out of every partitioned collection() scan (docs/SERVICE.md).
+  int collection_shards = 16;
+
   // --- Memory governance (docs/ROBUSTNESS.md) ------------------------------
   // Accounting is active when either budget is set; with both at 0 the
   // service runs untracked (every charge site reduces to a pointer test).
@@ -86,6 +91,13 @@ struct Request {
 
   /// Expose a point-in-time DocumentStore snapshot to fn:doc/fn:collection.
   bool provide_registry = false;
+
+  /// Expose a point-in-time CollectionStore snapshot to fn:collection and
+  /// the partitioned FLWOR scan. The snapshot is resolved once, at execution
+  /// start, so the request sees one consistent corpus version regardless of
+  /// concurrent ingest; the snapshot's refcounts keep every document it
+  /// lists alive until the request finishes.
+  bool provide_collections = false;
 
   /// Per-request deadline: < 0 uses ServiceOptions::default_deadline_seconds,
   /// 0 disables, > 0 overrides.
@@ -154,6 +166,8 @@ class QueryService {
 
   DocumentStore& documents() { return store_; }
   const DocumentStore& documents() const { return store_; }
+  CollectionStore& collections() { return collections_; }
+  const CollectionStore& collections() const { return collections_; }
   ServiceMetrics& metrics() { return metrics_; }
   const ServiceMetrics& metrics() const { return metrics_; }
   PlanCache::Counters plan_cache_counters() const {
@@ -181,6 +195,7 @@ class QueryService {
   ServiceOptions options_;
   Engine engine_;
   DocumentStore store_;
+  CollectionStore collections_;
   PlanCache cache_;
   ServiceMetrics metrics_;
 

@@ -216,6 +216,12 @@ class Document {
     }
   }
 
+  /// Current reference count — a diagnostic gauge for tests asserting
+  /// ownership hand-offs (e.g. that a store Remove leaves a snapshot as the
+  /// only owner). Racy by nature; only exact when no other thread is
+  /// mutating handles.
+  uint64_t refs() const { return refcount_.load(std::memory_order_acquire); }
+
  private:
   friend DocumentPtr MakeDocument();
 

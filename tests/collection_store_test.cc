@@ -1,0 +1,364 @@
+// Sharded CollectionStore + partitioned collection() scans
+// (docs/SERVICE.md): store semantics (sharding, gauges, version discipline),
+// snapshot consistency and caching, bulk parallel ingest, and the
+// acceptance-criterion identity grid — the partitioned scan must be
+// byte-identical to the serial scalar engine across {1,2,4,hw} threads under
+// both FLWOR engines.
+
+#include "service/collection_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "base/cancellation.h"
+#include "base/fault_injection.h"
+#include "base/memory_tracker.h"
+
+namespace xqa {
+namespace {
+
+using service::CollectionSnapshot;
+using service::CollectionStore;
+
+/// A small corpus with predictable content: URIs doc-000.xml .. doc-NNN.xml,
+/// each `<doc><id>i</id><v>i mod 7</v></doc>`.
+std::vector<CollectionStore::BulkDocument> MakeBatch(int count) {
+  std::vector<CollectionStore::BulkDocument> batch;
+  batch.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    char uri[32];
+    std::snprintf(uri, sizeof(uri), "doc-%03d.xml", i);
+    batch.push_back({uri, "<doc><id>" + std::to_string(i) + "</id><v>" +
+                              std::to_string(i % 7) + "</v></doc>"});
+  }
+  return batch;
+}
+
+TEST(CollectionStoreTest, PutGetRemoveWithinCollections) {
+  CollectionStore store(CollectionStore::Options{4});
+  EXPECT_FALSE(store.Put("a", "x.xml", Engine::ParseDocument("<x/>")));
+  EXPECT_FALSE(store.Put("b", "x.xml", Engine::ParseDocument("<y/>")));
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_NE(store.Get("a", "x.xml"), nullptr);
+  EXPECT_EQ(store.Get("a", "x.xml")->root()->children()[0]->name(), "x");
+  EXPECT_EQ(store.Get("b", "x.xml")->root()->children()[0]->name(), "y");
+  EXPECT_EQ(store.Get("a", "missing.xml"), nullptr);
+  EXPECT_EQ(store.Get("missing", "x.xml"), nullptr);
+  // Replace reports true and does not grow the store.
+  EXPECT_TRUE(store.Put("a", "x.xml", Engine::ParseDocument("<x2/>")));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Remove("a", "x.xml"));
+  EXPECT_FALSE(store.Remove("a", "x.xml"));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.CollectionNames(), std::vector<std::string>{"b"});
+}
+
+TEST(CollectionStoreTest, VersionBumpsOnlyOnSuccessfulMutation) {
+  CollectionStore store(CollectionStore::Options{2});
+  uint64_t v0 = store.version();
+  store.Put("c", "a.xml", Engine::ParseDocument("<a/>"));
+  EXPECT_EQ(store.version(), v0 + 1);
+  // Removing an absent document must not bump the version (the same
+  // discipline DocumentStore::Remove promises).
+  EXPECT_FALSE(store.Remove("c", "absent.xml"));
+  EXPECT_FALSE(store.Remove("absent", "a.xml"));
+  EXPECT_EQ(store.version(), v0 + 1);
+  EXPECT_TRUE(store.Remove("c", "a.xml"));
+  EXPECT_EQ(store.version(), v0 + 2);
+}
+
+TEST(CollectionStoreTest, ShardStatsTrackResidentDocuments) {
+  CollectionStore store(CollectionStore::Options{4});
+  store.BulkLoad("c", MakeBatch(40), /*num_threads=*/1);
+  std::vector<CollectionStore::ShardStats> stats = store.PerShardStats();
+  ASSERT_EQ(stats.size(), 4u);
+  size_t documents = 0;
+  int64_t nodes = 0;
+  int64_t bytes = 0;
+  for (const auto& shard : stats) {
+    documents += shard.documents;
+    nodes += shard.nodes;
+    bytes += shard.bytes;
+  }
+  EXPECT_EQ(documents, 40u);
+  EXPECT_GT(nodes, 0);
+  EXPECT_GT(bytes, 0);
+  // FNV-1a spreads 40 URIs over 4 shards: no shard should be empty.
+  for (const auto& shard : stats) EXPECT_GT(shard.documents, 0u);
+  // Removing everything returns every gauge to zero.
+  for (const auto& doc : MakeBatch(40)) EXPECT_TRUE(store.Remove("c", doc.uri));
+  for (const auto& shard : store.PerShardStats()) {
+    EXPECT_EQ(shard.documents, 0u);
+    EXPECT_EQ(shard.nodes, 0);
+    EXPECT_EQ(shard.bytes, 0);
+    EXPECT_EQ(shard.indexed_documents, 0u);
+  }
+}
+
+TEST(CollectionStoreTest, BulkLoadMatchesSerialIngestExactly) {
+  // Parallel parse+seal must produce the identical corpus layout as serial
+  // ingest: same snapshot document order, same stats.
+  CollectionStore serial(CollectionStore::Options{8});
+  CollectionStore parallel(CollectionStore::Options{8});
+  serial.BulkLoad("c", MakeBatch(120), /*num_threads=*/1);
+  parallel.BulkLoad("c", MakeBatch(120), /*num_threads=*/0);
+  auto serial_snapshot = serial.Snapshot();
+  auto parallel_snapshot = parallel.Snapshot();
+  const CollectionView* a = serial_snapshot->FindCollection("c");
+  const CollectionView* b = parallel_snapshot->FindCollection("c");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->documents.size(), 120u);
+  ASSERT_EQ(a->documents.size(), b->documents.size());
+  EXPECT_EQ(a->partition_offsets, b->partition_offsets);
+  for (size_t i = 0; i < a->documents.size(); ++i) {
+    EXPECT_EQ(SerializeSequence({Item(a->documents[i]->root(),
+                                      a->documents[i])}),
+              SerializeSequence({Item(b->documents[i]->root(),
+                                      b->documents[i])}))
+        << "document " << i;
+  }
+}
+
+TEST(CollectionStoreTest, BulkLoadParseFailureInsertsNothing) {
+  CollectionStore store(CollectionStore::Options{4});
+  std::vector<CollectionStore::BulkDocument> batch = MakeBatch(10);
+  batch[3].xml = "<broken";
+  uint64_t v0 = store.version();
+  EXPECT_THROW(store.BulkLoad("c", batch, /*num_threads=*/0), XQueryError);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.version(), v0);
+}
+
+TEST(CollectionSnapshotTest, CachedPerVersionAndIsolatedFromMutations) {
+  CollectionStore store(CollectionStore::Options{4});
+  store.BulkLoad("c", MakeBatch(10), /*num_threads=*/1);
+  auto first = store.Snapshot();
+  // No mutation: the same snapshot object is reused, not rebuilt.
+  EXPECT_EQ(store.Snapshot().get(), first.get());
+  EXPECT_EQ(first->total_documents(), 10u);
+  store.Put("c", "extra.xml", Engine::ParseDocument("<extra/>"));
+  auto second = store.Snapshot();
+  EXPECT_NE(second.get(), first.get());
+  // The old snapshot still sees the old corpus.
+  EXPECT_EQ(first->total_documents(), 10u);
+  EXPECT_EQ(second->total_documents(), 11u);
+  EXPECT_LT(first->version(), second->version());
+}
+
+TEST(CollectionSnapshotTest, SnapshotPinsRemovedDocuments) {
+  CollectionStore store(CollectionStore::Options{2});
+  store.Put("c", "a.xml", Engine::ParseDocument("<a/>"));
+  auto snapshot = store.Snapshot();
+  ASSERT_TRUE(store.Remove("c", "a.xml"));
+  EXPECT_EQ(store.size(), 0u);
+  // The snapshot's refcounts keep the removed tree alive and readable.
+  const CollectionView* view = snapshot->FindCollection("c");
+  ASSERT_NE(view, nullptr);
+  ASSERT_EQ(view->documents.size(), 1u);
+  EXPECT_EQ(view->documents[0]->root()->children()[0]->name(), "a");
+}
+
+TEST(CollectionSnapshotTest, PartitionOffsetsCoverEveryShard) {
+  CollectionStore store(CollectionStore::Options{8});
+  store.BulkLoad("c", MakeBatch(50), /*num_threads=*/1);
+  auto snapshot = store.Snapshot();
+  const CollectionView* view = snapshot->FindCollection("c");
+  ASSERT_NE(view, nullptr);
+  ASSERT_EQ(view->partition_offsets.size(), 9u);
+  EXPECT_EQ(view->partition_count(), 8u);
+  EXPECT_EQ(view->partition_offsets.front(), 0u);
+  EXPECT_EQ(view->partition_offsets.back(), 50u);
+  for (size_t p = 0; p + 1 < view->partition_offsets.size(); ++p) {
+    EXPECT_LE(view->partition_offsets[p], view->partition_offsets[p + 1]);
+  }
+  // The default collection is the union; with one collection it matches.
+  const CollectionView* def = snapshot->DefaultCollection();
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->documents.size(), 50u);
+  EXPECT_EQ(def->partition_offsets, view->partition_offsets);
+}
+
+// --- Partitioned scan through the engine -----------------------------------
+
+class CollectionScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.BulkLoad("c", MakeBatch(150), /*num_threads=*/1);
+    snapshot_ = store_.Snapshot();
+  }
+
+  std::string Run(const std::string& query, const ExecutionOptions& exec) {
+    return engine_.Compile(query).ExecuteToString(nullptr, nullptr,
+                                                  snapshot_.get(), exec);
+  }
+
+  Engine engine_;
+  CollectionStore store_{CollectionStore::Options{8}};
+  std::shared_ptr<const CollectionSnapshot> snapshot_;
+};
+
+TEST_F(CollectionScanTest, ByteIdenticalAcrossThreadsAndEngines) {
+  const std::vector<std::string> queries = {
+      "for $d in collection('c') return <r>{string($d/doc/v)}</r>",
+      "for $d in collection() order by number($d/doc/id) descending "
+      "return <i>{string($d/doc/id)}</i>",
+      "for $d in collection('c') group by $d/doc/v into $k nest $d into $ds "
+      "return <g k=\"{$k}\">{count($ds)}</g>",
+      "count(collection('c'))",
+  };
+  for (const std::string& query : queries) {
+    ExecutionOptions baseline;
+    baseline.num_threads = 1;
+    baseline.use_batched_execution = false;
+    const std::string expected = Run(query, baseline);
+    ASSERT_FALSE(expected.empty());
+    for (int threads : {1, 2, 4, 0}) {
+      for (bool batched : {false, true}) {
+        ExecutionOptions exec;
+        exec.num_threads = threads;
+        exec.use_batched_execution = batched;
+        EXPECT_EQ(Run(query, exec), expected)
+            << query << " threads=" << threads << " batched=" << batched;
+      }
+    }
+  }
+}
+
+TEST_F(CollectionScanTest, StatsCountersAreThreadCountInvariant) {
+  const std::string query =
+      "for $d in collection('c') return string($d/doc/id)";
+  PreparedQuery prepared = engine_.Compile(query);
+  for (int threads : {1, 2, 4, 0}) {
+    for (bool batched : {false, true}) {
+      ExecutionOptions exec;
+      exec.num_threads = threads;
+      exec.use_batched_execution = batched;
+      ProfiledResult profiled =
+          prepared.ExecuteProfiled(nullptr, nullptr, snapshot_.get(), exec);
+      EXPECT_EQ(profiled.stats.collection_scans, 1)
+          << "threads=" << threads << " batched=" << batched;
+      EXPECT_EQ(profiled.stats.collection_partitions, 8);
+      EXPECT_EQ(profiled.stats.collection_docs, 150);
+      EXPECT_EQ(profiled.sequence.size(), 150u);
+    }
+  }
+}
+
+TEST_F(CollectionScanTest, EmptyArgAndNoArgResolveDefaultCollection) {
+  ExecutionOptions exec;
+  EXPECT_EQ(Run("count(collection(()))", exec), "150");
+  EXPECT_EQ(Run("count(collection())", exec), "150");
+  EXPECT_EQ(Run("for $d in collection(()) return string($d/doc/id)", exec),
+            Run("for $d in collection() return string($d/doc/id)", exec));
+}
+
+TEST_F(CollectionScanTest, UnknownCollectionThrowsFodc0002) {
+  ExecutionOptions exec;
+  for (bool batched : {false, true}) {
+    exec.use_batched_execution = batched;
+    try {
+      Run("for $d in collection('missing') return $d", exec);
+      FAIL() << "expected FODC0002";
+    } catch (const XQueryError& error) {
+      EXPECT_EQ(error.code(), ErrorCode::kFODC0002);
+    }
+  }
+}
+
+TEST_F(CollectionScanTest, NonLiteralArgumentStillResolves) {
+  // A computed name cannot take the static scan path; the generic
+  // fn:collection body resolves it against the same provider with identical
+  // results.
+  ExecutionOptions exec;
+  const std::string computed =
+      "for $d in collection(concat('c', '')) return string($d/doc/id)";
+  const std::string literal =
+      "for $d in collection('c') return string($d/doc/id)";
+  EXPECT_EQ(Run(computed, exec), Run(literal, exec));
+}
+
+TEST_F(CollectionScanTest, ScanHonorsCancellation) {
+  CancellationToken token;
+  token.Cancel();
+  for (bool batched : {false, true}) {
+    for (int threads : {1, 4}) {
+      ExecutionOptions exec;
+      exec.num_threads = threads;
+      exec.use_batched_execution = batched;
+      exec.cancellation = &token;
+      try {
+        Run("for $d in collection('c') return $d/doc/id", exec);
+        FAIL() << "expected XQSV0002";
+      } catch (const XQueryError& error) {
+        EXPECT_EQ(error.code(), ErrorCode::kXQSV0002);
+      }
+    }
+  }
+}
+
+TEST_F(CollectionScanTest, ScanHonorsMemoryBudgetAndBalances) {
+  for (bool batched : {false, true}) {
+    for (int threads : {1, 4}) {
+      MemoryTracker tracker("query", 512);
+      ExecutionOptions exec;
+      exec.num_threads = threads;
+      exec.use_batched_execution = batched;
+      exec.memory = &tracker;
+      try {
+        Run("for $d in collection('c') return $d/doc/id", exec);
+        FAIL() << "expected XQSV0004";
+      } catch (const XQueryError& error) {
+        EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+      }
+      EXPECT_EQ(tracker.used(), 0)
+          << "threads=" << threads << " batched=" << batched;
+    }
+  }
+}
+
+TEST_F(CollectionScanTest, RegistryFallbackWhenNoProvider) {
+  // Without a provider the registry behavior is unchanged: a named lookup
+  // resolves a single registered document.
+  DocumentRegistry registry;
+  registry["c"] = Engine::ParseDocument("<single/>");
+  std::string out = SerializeSequence(
+      engine_.Compile("count(collection('c'))").Execute(nullptr, registry));
+  EXPECT_EQ(out, "1");
+}
+
+TEST_F(CollectionScanTest, PartitionLoadFaultFailsCleanAndBalanced) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "fault points compiled out; configure -DXQA_FAULTS=ON";
+  }
+  // Arm doc.load so it trips inside the partitioned scan — one hit per
+  // partition — under both engines, serial and parallel: the scan must
+  // surface the typed error and leave the tracker balanced.
+  for (bool batched : {false, true}) {
+    for (int threads : {1, 4}) {
+      fault::Reset();
+      fault::ArmSite("doc.load", 3);  // third partition's load
+      MemoryTracker tracker("query");
+      ExecutionOptions exec;
+      exec.num_threads = threads;
+      exec.use_batched_execution = batched;
+      exec.memory = &tracker;
+      try {
+        Run("for $d in collection('c') return $d/doc/id", exec);
+        FAIL() << "armed doc.load never tripped";
+      } catch (const XQueryError& error) {
+        EXPECT_EQ(error.code(), ErrorCode::kFODC0002);
+        EXPECT_NE(std::string(error.what()).find("injected fault"),
+                  std::string::npos);
+      }
+      EXPECT_EQ(tracker.used(), 0);
+      fault::Reset();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqa

@@ -60,6 +60,14 @@ TEST_F(DocRegistryTest, CollectionReturnsAllInUriOrder) {
   EXPECT_EQ(Run("name(collection()[1]/*)"), "bib");  // "books.xml" < "sales.xml"
 }
 
+TEST_F(DocRegistryTest, CollectionEmptyArgResolvesDefaultCollection) {
+  // Per F&O, fn:collection(()) is the same call as fn:collection(): both
+  // resolve the default collection — never the empty sequence.
+  EXPECT_EQ(Run("count(collection(()))"), "2");
+  EXPECT_EQ(Run("count(collection(()))"), Run("count(collection())"));
+  EXPECT_EQ(Run("name(collection(())[1]/*)"), "bib");
+}
+
 TEST_F(DocRegistryTest, NoRegistryMeansNothingAvailable) {
   Engine engine;
   DocumentPtr doc = Engine::ParseDocument("<r/>");

@@ -17,6 +17,7 @@
 #include "api/engine.h"
 #include "base/error.h"
 #include "base/memory_tracker.h"
+#include "service/collection_store.h"
 #include "workload/orders.h"
 
 namespace xqa {
@@ -115,6 +116,32 @@ void RunEngineWorkload(const DocumentPtr& doc, MemoryTracker* root,
     exec.use_batched_execution = batched;
     PreparedQuery prepared = engine.Compile(query);
     Sequence result = prepared.Execute(doc, registry, exec);
+    SerializeOptions serialize;
+    serialize.memory = &tracker;
+    SerializeSequence(result, serialize);
+  }
+
+  // Provider-backed partitioned collection scan, so the sweep covers the
+  // per-partition doc.load hits under both engines. The corpus is built
+  // serially (no fault sites on the ingest path) and executed through the
+  // full-environment overload, the same shape the query service uses.
+  service::CollectionStore corpus(service::CollectionStore::Options{4});
+  std::vector<service::CollectionStore::BulkDocument> batch;
+  for (int i = 0; i < 12; ++i) {
+    batch.push_back({"u" + std::to_string(i) + ".xml",
+                     "<d><v>" + std::to_string(i % 3) + "</v></d>"});
+  }
+  corpus.BulkLoad("c", batch, /*num_threads=*/1);
+  auto snapshot = corpus.Snapshot();
+  {
+    MemoryTracker tracker("query", 0, root);
+    ExecutionOptions exec;
+    exec.memory = &tracker;
+    exec.use_batched_execution = batched;
+    PreparedQuery prepared = engine.Compile(
+        "for $d in collection('c') group by $d/d/v into $v "
+        "order by string($v) return <g>{$v}</g>");
+    Sequence result = prepared.Execute(nullptr, nullptr, snapshot.get(), exec);
     SerializeOptions serialize;
     serialize.memory = &tracker;
     SerializeSequence(result, serialize);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <future>
 #include <string>
 #include <thread>
@@ -245,6 +246,54 @@ TEST(DocumentStoreTest, VersionBumpsOnEveryMutation) {
   uint64_t v1 = store.version();
   store.Remove("a");
   EXPECT_GT(store.version(), v1);
+}
+
+/// Regression: Remove on an absent name must be a pure no-op — in
+/// particular it must NOT bump version(), or every miss would invalidate
+/// the version-keyed snapshot caches downstream for nothing.
+TEST(DocumentStoreTest, RemoveOfAbsentNameDoesNotBumpVersion) {
+  DocumentStore store;
+  store.Put("a", Engine::ParseDocument("<a/>"));
+  uint64_t v = store.version();
+
+  EXPECT_FALSE(store.Remove("never-stored"));
+  EXPECT_EQ(store.version(), v);
+  EXPECT_FALSE(store.Remove("never-stored"));  // still absent, still no bump
+  EXPECT_EQ(store.version(), v);
+
+  EXPECT_TRUE(store.Remove("a"));
+  EXPECT_GT(store.version(), v);
+}
+
+/// A request that resolved its registry snapshot before a Remove keeps
+/// resolving the removed document: the snapshot's DocumentPtr pins the tree
+/// through the intrusive refcount, and the store dropping its reference
+/// leaves the snapshot as the sole owner (refs() == held handles).
+TEST(DocumentStoreTest, SnapshotPinsDocumentAcrossRemove) {
+  DocumentStore store;
+  DocumentPtr doc = Engine::ParseDocument("<bib><book/></bib>");
+  const Document* raw = doc.get();
+  store.Put("bib.xml", doc);
+  EXPECT_EQ(raw->refs(), 2u);  // local handle + store
+
+  DocumentRegistry snapshot = store.Snapshot();
+  EXPECT_EQ(raw->refs(), 3u);  // + snapshot
+
+  ASSERT_TRUE(store.Remove("bib.xml"));
+  EXPECT_EQ(store.Get("bib.xml"), nullptr);
+
+  // The in-flight "request" still resolves and reads the removed document.
+  ASSERT_EQ(snapshot.count("bib.xml"), 1u);
+  DocumentPtr pinned = snapshot.at("bib.xml");
+  ASSERT_EQ(pinned.get(), raw);
+  EXPECT_TRUE(pinned->sealed());
+  EXPECT_EQ(pinned->root()->children()[0]->name(), "bib");
+
+  // The store's reference is gone; only the readers keep the tree alive.
+  EXPECT_EQ(raw->refs(), 3u);  // local + snapshot + pinned
+  pinned = nullptr;
+  snapshot.clear();
+  EXPECT_EQ(raw->refs(), 1u);  // the tree is freed when `doc` drops
 }
 
 TEST(DocumentStoreTest, SnapshotIsolatedFromLaterMutations) {
@@ -521,6 +570,59 @@ TEST_F(ServiceTest, RegistrySnapshotServesDocQueries) {
   Response response = service.Execute(request);
   ASSERT_TRUE(response.status.ok()) << response.status.ToString();
   EXPECT_EQ(response.result, "15");
+}
+
+/// End-to-end corpus request: bulk-load a collection, execute a partitioned
+/// fn:collection scan through the service, and verify both the result and
+/// the per-shard gauges in the metrics scrape.
+TEST_F(ServiceTest, CollectionSnapshotServesPartitionedScan) {
+  ServiceOptions options = SmallService();
+  options.collection_shards = 4;
+  QueryService service(options);
+
+  std::vector<CollectionStore::BulkDocument> batch;
+  for (int i = 0; i < 60; ++i) {
+    char uri[32];
+    std::snprintf(uri, sizeof(uri), "doc-%03d.xml", i);
+    batch.push_back({uri, "<doc><v>" + std::to_string(i % 7) + "</v></doc>"});
+  }
+  ASSERT_EQ(service.collections().BulkLoad("corpus", batch), 60u);
+
+  Request request;
+  request.query = R"(
+    for $d in collection("corpus")
+    group by $d/doc/v into $v
+    nest $d into $ds
+    order by number($v)
+    return <g>{$v}<n>{count($ds)}</n></g>
+  )";
+  request.provide_collections = true;
+  request.collect_stats = true;
+  Response response = service.Execute(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.executed);
+  EXPECT_EQ(response.stats.collection_scans, 1);
+  EXPECT_EQ(response.stats.collection_partitions, 4);
+  EXPECT_EQ(response.stats.collection_docs, 60);
+
+  // Cross-check against a direct engine run over the same snapshot.
+  Engine engine;
+  auto snapshot = service.collections().Snapshot();
+  EXPECT_EQ(response.result,
+            engine.Compile(request.query)
+                .ExecuteToString(nullptr, nullptr, snapshot.get(),
+                                 ExecutionOptions{}));
+
+  // Without provide_collections the same query has no corpus to resolve.
+  Request detached = request;
+  detached.provide_collections = false;
+  EXPECT_EQ(service.Execute(detached).status.code(), ErrorCode::kFODC0002);
+
+  std::string json = service.MetricsJson();
+  for (const char* key : {"\"collections\"", "\"shards\"", "\"per_shard\"",
+                          "\"nodes\"", "\"indexed_documents\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
 }
 
 TEST_F(ServiceTest, PerRequestExecOptionsOverrideDefaults) {
