@@ -1,19 +1,24 @@
 // A1 — rewrite ablation: the naive Table 1 query executed (a) as written
-// (the paper's "no rewrites" configuration) and (b) with the optimizer's
-// group-by pattern detection enabled, which rewrites it into an explicit
-// group by at compile time. Shows what the paper's optimizer-detection
-// argument is about: when the template matches, the rewrite recovers the
-// explicit plan's performance; the hard part (Section 7) is that only
-// stylized forms match.
+// (the paper's "no rewrites" configuration) and (b) through the default-on
+// logical rewrite layer, which extracts an explicit group by at compile
+// time. Shows what the paper's optimizer-detection argument is about: when
+// the template matches, the rewrite recovers the explicit plan's
+// performance; the hard part (Section 7) is that only stylized forms match
+// — the non-matching variant stays slow even with rewrites on.
 //
-// Results (wall time + QueryStats, whose counters show the plan shape — the
-// rewritten query forms groups; the non-matching one keeps the quadratic
-// where clause) go to BENCH_rewrite_ablation.json.
+// A second experiment measures order-by elimination: a positional sort the
+// property layer proves redundant, timed with the sort kept vs elided.
+//
+// Both experiments assert byte-identical results between the baseline and
+// rewritten plans across the {scalar, batched} x {1, 2, 4, hw} execution
+// grid and exit non-zero on any mismatch. Results (wall time + QueryStats)
+// go to BENCH_rewrite_ablation.json under the "rewrite_ablation" section.
 //
 // Usage: bench_rewrite_ablation [--quick] [--smoke]   (--smoke: CI-sized quick run)
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "bench_json.h"
 #include "workload/orders.h"
@@ -22,6 +27,7 @@ namespace {
 
 using xqa::DocumentPtr;
 using xqa::Engine;
+using xqa::ExecutionOptions;
 using xqa::PreparedQuery;
 using xqa::bench::JsonValue;
 using xqa::bench::MeasureEntry;
@@ -34,9 +40,9 @@ constexpr char kNaiveQuery[] =
     "              return $i "
     "return <r>{$a, count($items)}</r>";
 
-// A variant the detector cannot match (the key equality sits under a deeper
+// A variant the rewriter cannot match (the key equality sits under a deeper
 // path), demonstrating the fragility the paper describes: it stays slow even
-// with detection enabled.
+// with the rewrite layer on.
 constexpr char kNonMatchingQuery[] =
     "for $a in distinct-values(//order/lineitem/quantity) "
     "let $items := for $i in //order "
@@ -50,6 +56,39 @@ constexpr char kExplicitQuery[] =
     "where exists($a) "
     "return <r>{$a, count($items)}</r>";
 
+// Positional sort over the document-order stream: the order by restates the
+// input order, so the property layer removes it.
+constexpr char kOrderByQuery[] =
+    "for $l at $p in //order/lineitem order by $p return $l/quantity";
+
+Engine::Options NoRewrites() {
+  Engine::Options options;
+  options.optimizer.detect_groupby_patterns = false;
+  options.optimizer.push_predicates = false;
+  options.optimizer.eliminate_order_by = false;
+  options.optimizer.fold_constants = false;
+  return options;
+}
+
+/// Serialized results of `a` and `b` compared across the execution grid;
+/// prints and returns false on the first divergence.
+bool IdenticalAcrossGrid(const char* label, const PreparedQuery& a,
+                         const PreparedQuery& b, const DocumentPtr& doc) {
+  for (bool batched : {false, true}) {
+    for (int threads : {1, 2, 4, 0}) {  // 0 = one per hardware thread
+      ExecutionOptions exec;
+      exec.use_batched_execution = batched;
+      exec.num_threads = threads;
+      if (a.ExecuteToString(doc, exec) != b.ExecuteToString(doc, exec)) {
+        std::printf("IDENTITY FAILURE: %s (batched=%d threads=%d)\n", label,
+                    batched ? 1 : 0, threads);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,13 +100,11 @@ int main(int argc, char** argv) {
   int repetitions = quick ? 1 : 5;
 
   xqa::workload::OrderConfig config;
-  config.num_orders = 500;
+  config.num_orders = quick ? 200 : 500;
   DocumentPtr doc = xqa::workload::GenerateOrdersDocument(config);
 
-  Engine plain;
-  Engine::Options detect_options;
-  detect_options.enable_groupby_rewrite = true;
-  Engine detecting(detect_options);
+  Engine plain(NoRewrites());
+  Engine optimizing;  // the cost-gated rewrite rules are on by default
 
   struct Variant {
     const char* name;
@@ -76,21 +113,38 @@ int main(int argc, char** argv) {
   };
   Variant variants[] = {
       {"naive_as_written", plain.Compile(kNaiveQuery), 0},
-      {"naive_with_rewrite_detection", detecting.Compile(kNaiveQuery), 1},
+      {"naive_with_rewrite", optimizing.Compile(kNaiveQuery), 1},
       {"explicit_groupby_reference", plain.Compile(kExplicitQuery), 0},
-      {"non_matching_with_detection", detecting.Compile(kNonMatchingQuery), 0},
+      {"non_matching_with_rewrite", optimizing.Compile(kNonMatchingQuery), 0},
+      {"orderby_sorted", plain.Compile(kOrderByQuery), 0},
+      {"orderby_elided", optimizing.Compile(kOrderByQuery), 1},
   };
 
-  std::printf("A1: rewrite ablation (500 orders)\n");
+  // The rewrite is only worth benchmarking if it is invisible in the output.
+  if (!IdenticalAcrossGrid("groupby", variants[0].query, variants[1].query,
+                           doc) ||
+      !IdenticalAcrossGrid("non_matching", plain.Compile(kNonMatchingQuery),
+                           variants[3].query, doc) ||
+      !IdenticalAcrossGrid("orderby", variants[4].query, variants[5].query,
+                           doc)) {
+    return 1;
+  }
+
+  std::printf("A1: rewrite ablation (%d orders)\n", config.num_orders);
   std::printf("%-32s %9s %12s\n", "variant", "rewrites", "best ms");
   JsonValue results = JsonValue::Array();
-  for (Variant& v : variants) {
+  double times[6] = {0};
+  int measured = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    Variant& v = variants[i];
     if (v.query.rewrites_applied() != v.expected_rewrites) {
       std::printf("%-32s SKIPPED: expected %d rewrites, got %d\n", v.name,
                   v.expected_rewrites, v.query.rewrites_applied());
       continue;
     }
     double seconds = MeasureSeconds(v.query, doc, repetitions);
+    times[i] = seconds;
+    ++measured;
     std::printf("%-32s %9d %12.2f\n", v.name, v.query.rewrites_applied(),
                 seconds * 1e3);
     JsonValue entry = MeasureEntry(v.query, doc, seconds);
@@ -98,17 +152,44 @@ int main(int argc, char** argv) {
     entry.Set("rewrites_applied", JsonValue::Int(v.query.rewrites_applied()));
     results.Append(std::move(entry));
   }
+  if (measured != 6) {
+    std::printf("FAILURE: a variant compiled with unexpected rewrite count\n");
+    return 1;
+  }
+
+  double groupby_speedup = times[1] > 0 ? times[0] / times[1] : 0;
+  double orderby_speedup = times[5] > 0 ? times[4] / times[5] : 0;
+  std::printf("groupby: naive/rewritten = %.2fx   orderby: sorted/elided = %.2fx\n",
+              groupby_speedup, orderby_speedup);
+
+  JsonValue ablation = JsonValue::Object();
+  JsonValue groupby = JsonValue::Object();
+  groupby.Set("naive_ms", JsonValue::Number(times[0] * 1e3));
+  groupby.Set("rewritten_ms", JsonValue::Number(times[1] * 1e3));
+  groupby.Set("explicit_ms", JsonValue::Number(times[2] * 1e3));
+  groupby.Set("non_matching_ms", JsonValue::Number(times[3] * 1e3));
+  groupby.Set("speedup", JsonValue::Number(groupby_speedup));
+  groupby.Set("identical", JsonValue::Bool(true));
+  ablation.Set("groupby", std::move(groupby));
+  JsonValue orderby = JsonValue::Object();
+  orderby.Set("sorted_ms", JsonValue::Number(times[4] * 1e3));
+  orderby.Set("elided_ms", JsonValue::Number(times[5] * 1e3));
+  orderby.Set("speedup", JsonValue::Number(orderby_speedup));
+  orderby.Set("identical", JsonValue::Bool(true));
+  ablation.Set("orderby", std::move(orderby));
 
   JsonValue root = JsonValue::Object();
   root.Set("bench", JsonValue::Str("rewrite_ablation"));
   root.Set("experiment",
-           JsonValue::Str("A1: optimizer group-by detection ablation"));
+           JsonValue::Str("A1: logical rewrite layer ablation "
+                          "(group-by extraction + order-by elimination)"));
   JsonValue params = JsonValue::Object();
   params.Set("quick", JsonValue::Bool(quick));
   params.Set("orders", JsonValue::Int(config.num_orders));
   params.Set("repetitions", JsonValue::Int(repetitions));
   root.Set("parameters", std::move(params));
   root.Set("results", std::move(results));
+  root.Set("rewrite_ablation", std::move(ablation));
   xqa::bench::WriteBenchJson("rewrite_ablation", root);
   return 0;
 }

@@ -159,15 +159,55 @@ std::string PreparedQuery::ExecuteToString(const DocumentPtr& context_document,
       Execute(context_document, documents, collections, options), indent);
 }
 
-std::string PreparedQuery::Explain() const { return ExplainModule(*module_); }
+namespace {
+
+std::string OptimizerHeader(const RewriteCounts& counts,
+                            const std::vector<std::string>& fired) {
+  std::string out = "optimizer: " + std::to_string(counts.total()) +
+                    " rewrites (groupby=" +
+                    std::to_string(counts.groupby_extracted) +
+                    " pushdown=" + std::to_string(counts.predicates_pushed) +
+                    " orderby-elim=" +
+                    std::to_string(counts.order_by_eliminated) +
+                    " const-fold=" + std::to_string(counts.constants_folded) +
+                    ")\n";
+  for (const std::string& rule : fired) {
+    out += "  - " + rule + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PreparedQuery::Explain() const {
+  if (rewrite_counts_.total() == 0) return ExplainModule(*module_);
+  std::string out = OptimizerHeader(rewrite_counts_, fired_rules_);
+  out += "plan before rewrite:\n";
+  out += pre_rewrite_plan_;
+  out += "plan after rewrite:\n";
+  out += ExplainModule(*module_);
+  return out;
+}
+
+void PreparedQuery::StampRewrites(QueryStats* stats) const {
+  stats->rewrites_groupby = rewrite_counts_.groupby_extracted;
+  stats->rewrites_pushdown = rewrite_counts_.predicates_pushed;
+  stats->rewrites_orderby_elim = rewrite_counts_.order_by_eliminated;
+  stats->rewrites_const_fold = rewrite_counts_.constants_folded;
+}
 
 ProfiledResult PreparedQuery::ExecuteProfiled(
     const DocumentPtr& document) const {
-  return RunProfiled(*module_, exec_options_, DocumentFocus(document));
+  ProfiledResult result =
+      RunProfiled(*module_, exec_options_, DocumentFocus(document));
+  StampRewrites(&result.stats);
+  return result;
 }
 
 ProfiledResult PreparedQuery::ExecuteProfiled() const {
-  return RunProfiled(*module_, exec_options_, Focus{});
+  ProfiledResult result = RunProfiled(*module_, exec_options_, Focus{});
+  StampRewrites(&result.stats);
+  return result;
 }
 
 ProfiledResult PreparedQuery::ExecuteProfiled(
@@ -175,17 +215,25 @@ ProfiledResult PreparedQuery::ExecuteProfiled(
     const DocumentRegistry& documents) const {
   Focus focus =
       context_document != nullptr ? DocumentFocus(context_document) : Focus{};
-  return RunProfiled(*module_, exec_options_, focus, &documents);
+  ProfiledResult result =
+      RunProfiled(*module_, exec_options_, focus, &documents);
+  StampRewrites(&result.stats);
+  return result;
 }
 
 ProfiledResult PreparedQuery::ExecuteProfiled(
     const DocumentPtr& document, const ExecutionOptions& options) const {
-  return RunProfiled(*module_, options, DocumentFocus(document));
+  ProfiledResult result =
+      RunProfiled(*module_, options, DocumentFocus(document));
+  StampRewrites(&result.stats);
+  return result;
 }
 
 ProfiledResult PreparedQuery::ExecuteProfiled(
     const ExecutionOptions& options) const {
-  return RunProfiled(*module_, options, Focus{});
+  ProfiledResult result = RunProfiled(*module_, options, Focus{});
+  StampRewrites(&result.stats);
+  return result;
 }
 
 ProfiledResult PreparedQuery::ExecuteProfiled(
@@ -193,7 +241,9 @@ ProfiledResult PreparedQuery::ExecuteProfiled(
     const ExecutionOptions& options) const {
   Focus focus =
       context_document != nullptr ? DocumentFocus(context_document) : Focus{};
-  return RunProfiled(*module_, options, focus, &documents);
+  ProfiledResult result = RunProfiled(*module_, options, focus, &documents);
+  StampRewrites(&result.stats);
+  return result;
 }
 
 ProfiledResult PreparedQuery::ExecuteProfiled(
@@ -202,24 +252,33 @@ ProfiledResult PreparedQuery::ExecuteProfiled(
     const ExecutionOptions& options) const {
   Focus focus =
       context_document != nullptr ? DocumentFocus(context_document) : Focus{};
-  return RunProfiled(*module_, options, focus, documents, collections);
+  ProfiledResult result =
+      RunProfiled(*module_, options, focus, documents, collections);
+  StampRewrites(&result.stats);
+  return result;
 }
 
 std::string PreparedQuery::ExplainAnalyze(const DocumentPtr& document) const {
   Focus focus = document != nullptr ? DocumentFocus(document) : Focus{};
   ProfiledResult profiled = RunProfiled(*module_, exec_options_, focus);
-  return ExplainAnalyzeModule(*module_, profiled.stats);
+  StampRewrites(&profiled.stats);
+  std::string out;
+  if (rewrite_counts_.total() > 0) {
+    out = OptimizerHeader(rewrite_counts_, fired_rules_);
+  }
+  out += ExplainAnalyzeModule(*module_, profiled.stats);
+  return out;
 }
 
 PreparedQuery Engine::Compile(std::string_view query) const {
   PreparedQuery prepared;
   prepared.module_ = ParseQuery(query);
-  if (options_.enable_groupby_rewrite || options_.enable_constant_folding) {
-    OptimizerOptions optimizer_options;
-    optimizer_options.detect_groupby_patterns = options_.enable_groupby_rewrite;
-    optimizer_options.fold_constants = options_.enable_constant_folding;
-    prepared.rewrites_applied_ =
-        OptimizeModule(prepared.module_.get(), optimizer_options);
+  prepared.rewrite_counts_ = OptimizeModule(
+      prepared.module_.get(), options_.optimizer, &prepared.fired_rules_);
+  if (prepared.rewrite_counts_.total() > 0) {
+    // Re-parse to render the pre-rewrite plan; paying the parse again only
+    // when a rewrite actually fired keeps the common compile path flat.
+    prepared.pre_rewrite_plan_ = ExplainModule(*ParseQuery(query));
   }
   BindModule(prepared.module_.get());
   return prepared;

@@ -5,9 +5,12 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "api/query_stats.h"
 #include "base/error.h"
 #include "eval/dynamic_context.h"
+#include "optimizer/rewriter.h"
 #include "parser/ast.h"
 #include "xdm/item.h"
 #include "xml/serializer.h"
@@ -95,6 +98,9 @@ class PreparedQuery {
   const Module& module() const { return *module_; }
 
   /// Indented logical-plan rendering of the compiled query (see explain.h).
+  /// When the optimizer rewrote the query, the rendering leads with a header
+  /// naming every fired rule (per-rule counts) followed by the plans before
+  /// and after the rewrite, each annotated with derived logical properties.
   std::string Explain() const;
 
   /// Runs the query with stats collection attached (per-clause cardinalities,
@@ -122,9 +128,15 @@ class PreparedQuery {
   /// wall times (EXPLAIN ANALYZE). Pass null to run with no context item.
   std::string ExplainAnalyze(const DocumentPtr& document) const;
 
-  /// Number of distinct-values/self-join patterns the optimizer rewrote into
-  /// explicit group by clauses (0 unless the rewrite was enabled).
-  int rewrites_applied() const { return rewrites_applied_; }
+  /// Total rewrites the optimizer applied while compiling this query.
+  int rewrites_applied() const { return rewrite_counts_.total(); }
+
+  /// Per-rule breakdown of the applied rewrites.
+  const RewriteCounts& rewrite_counts() const { return rewrite_counts_; }
+
+  /// One human-readable line per applied rewrite, in application order
+  /// (EXPLAIN prints these verbatim).
+  const std::vector<std::string>& fired_rules() const { return fired_rules_; }
 
   /// Sets the default options applied by Execute* calls that take no
   /// per-call ExecutionOptions (docs/PARALLELISM.md). Serial by default.
@@ -141,8 +153,15 @@ class PreparedQuery {
 
  private:
   friend class Engine;
+
+  /// Copies the compile-time rewrite counters into `stats` so every profiled
+  /// execution reports which plan it ran.
+  void StampRewrites(QueryStats* stats) const;
+
   std::shared_ptr<Module> module_;
-  int rewrites_applied_ = 0;
+  RewriteCounts rewrite_counts_;
+  std::vector<std::string> fired_rules_;
+  std::string pre_rewrite_plan_;  ///< empty unless rewrites fired
   ExecutionOptions exec_options_;
 };
 
@@ -165,15 +184,13 @@ std::string SerializeSequence(const Sequence& sequence,
 class Engine {
  public:
   struct Options {
-    /// Enable the optimizer pass that detects the distinct-values/self-join
-    /// grouping pattern (Table 1's naive formulation) and rewrites it to an
-    /// explicit group by. Off by default — the paper's experiments ran with
-    /// no rewrites, and the engine matches that configuration.
-    bool enable_groupby_rewrite = false;
-
-    /// Fold literal-only arithmetic/comparison/logic kernels and prune
-    /// statically-decided conditionals at compile time.
-    bool enable_constant_folding = false;
+    /// The logical rewrite layer's per-rule flags and cost-gate thresholds
+    /// (optimizer/rewriter.h). The cost-gated rules — group-by extraction,
+    /// predicate pushdown, order-by elimination — are on by default; every
+    /// rewrite preserves results byte-for-byte, with the group-by extraction
+    /// guarded at run time. Flip individual flags off to reproduce the
+    /// paper's no-rewrites configuration or to ablate one rule.
+    OptimizerOptions optimizer;
   };
 
   Engine() = default;

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "api/query_stats.h"
+#include "optimizer/logical_props.h"
+#include "xdm/compare.h"
 
 namespace xqa {
 
@@ -39,6 +41,18 @@ std::string StatsSuffix(const QueryStats* stats, const FlworExpr* flwor,
 
 std::string Pad(int indent) { return std::string(indent * 2, ' '); }
 
+const char* CompareOpLabel(int op) {
+  switch (static_cast<CompareOp>(op)) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
 const char* AxisLabel(Axis axis) {
   switch (axis) {
     case Axis::kChild: return "child";
@@ -68,6 +82,20 @@ std::string TestLabel(const NodeTest& test) {
     case NodeTest::Kind::kPi: return "processing-instruction()";
   }
   return "?";
+}
+
+/// Domains render as one-line summaries (DumpExpr), which elide the pushed
+/// value filter; append it explicitly so EXPLAIN shows what pushdown did.
+void AppendPushedFilters(const Expr* expr, std::ostringstream* out) {
+  if (expr == nullptr || expr->kind() != ExprKind::kPath) return;
+  for (const PathSegment& segment :
+       static_cast<const PathExpr*>(expr)->segments) {
+    if (segment.is_expr() || segment.step.pushed_filter == nullptr) continue;
+    const PushedValueFilter& filter = *segment.step.pushed_filter;
+    *out << "  [pushed: " << TestLabel(filter.child) << " "
+         << CompareOpLabel(filter.op) << " " << filter.literal.ToLexical()
+         << "]";
+  }
 }
 
 /// Compact single-line summary for expressions small enough to inline.
@@ -101,7 +129,10 @@ void RenderFlwor(const FlworExpr* e, int indent, std::ostringstream* out,
       case ClauseKind::kFor:
         *out << Pad(indent + 1) << "for $" << clause.for_var;
         if (!clause.pos_var.empty()) *out << " at $" << clause.pos_var;
-        *out << " in " << Summary(clause.for_expr.get()) << suffix << "\n";
+        *out << " in " << Summary(clause.for_expr.get());
+        AppendPushedFilters(clause.for_expr.get(), out);
+        *out << "  {" << DescribeProps(DeriveProps(clause.for_expr.get()))
+             << "}" << suffix << "\n";
         break;
       case ClauseKind::kLet:
         *out << Pad(indent + 1) << "let $" << clause.let_var << " := "
@@ -188,6 +219,12 @@ void Render(const Expr* expr, int indent, std::ostringstream* out,
         } else {
           *out << " / " << AxisLabel(segment.step.axis)
                << "::" << TestLabel(segment.step.test);
+          if (segment.step.pushed_filter != nullptr) {
+            const PushedValueFilter& filter = *segment.step.pushed_filter;
+            *out << "[pushed: " << TestLabel(filter.child) << " "
+                 << CompareOpLabel(filter.op) << " "
+                 << filter.literal.ToLexical() << "]";
+          }
           if (!segment.step.predicates.empty()) {
             *out << "[" << segment.step.predicates.size() << " pred]";
           }
@@ -269,6 +306,9 @@ std::string ExplainModuleImpl(const Module& module, const QueryStats* stats) {
       out << ", collection scans " << stats->collection_scans << " ("
           << stats->collection_partitions << " partitions, "
           << stats->collection_docs << " docs)";
+    }
+    if (stats->order_by_elided > 0) {
+      out << ", order-by elided " << stats->order_by_elided;
     }
     out << "\n";
   }

@@ -73,6 +73,11 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   collection_scans += other.collection_scans;
   collection_partitions += other.collection_partitions;
   collection_docs += other.collection_docs;
+  rewrites_groupby += other.rewrites_groupby;
+  rewrites_pushdown += other.rewrites_pushdown;
+  rewrites_orderby_elim += other.rewrites_orderby_elim;
+  rewrites_const_fold += other.rewrites_const_fold;
+  order_by_elided += other.order_by_elided;
   for (const ClauseStats& theirs : other.clauses) {
     ClauseStats& ours = Clause(theirs.flwor, theirs.clause_index, theirs.label);
     ours.executions += theirs.executions;
@@ -130,6 +135,13 @@ std::string QueryStats::ToJson(int indent) const {
   out << pad << "\"collection_partitions\": " << collection_partitions << ","
       << nl;
   out << pad << "\"collection_docs\": " << collection_docs << "," << nl;
+  out << pad << "\"rewrites_groupby\": " << rewrites_groupby << "," << nl;
+  out << pad << "\"rewrites_pushdown\": " << rewrites_pushdown << "," << nl;
+  out << pad << "\"rewrites_orderby_elim\": " << rewrites_orderby_elim << ","
+      << nl;
+  out << pad << "\"rewrites_const_fold\": " << rewrites_const_fold << ","
+      << nl;
+  out << pad << "\"order_by_elided\": " << order_by_elided << "," << nl;
   out << pad << "\"clauses\": [" << nl;
   for (size_t i = 0; i < clauses.size(); ++i) {
     const ClauseStats& c = clauses[i];

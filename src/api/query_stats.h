@@ -81,6 +81,19 @@ class QueryStats {
   int64_t collection_partitions = 0;  ///< shard partitions those scans covered
   int64_t collection_docs = 0;        ///< documents those scans emitted
 
+  // Logical-rewrite counters (docs/OPTIMIZER.md). The rewrites_* fields are
+  // compile-time stamps: PreparedQuery copies its per-rule RewriteCounts
+  // into every profiled run so a stats dump records which plan it measured
+  // (worker-lane sinks start zeroed, so MergeFrom never double-counts them).
+  // `order_by_elided` is the runtime side of order-by elimination: each
+  // execution of a FLWOR whose order-by clause the optimizer removed bumps
+  // it by the number of elided clauses, under either FLWOR engine.
+  int64_t rewrites_groupby = 0;       ///< group-by extractions in the plan
+  int64_t rewrites_pushdown = 0;      ///< where clauses pushed into paths
+  int64_t rewrites_orderby_elim = 0;  ///< order-by clauses removed (compile)
+  int64_t rewrites_const_fold = 0;    ///< constants folded in the plan
+  int64_t order_by_elided = 0;        ///< elided sorts skipped at run time
+
   /// Average rows per emitted batch; 0.0 when no batches were emitted.
   double BatchFillAverage() const {
     return batches_emitted > 0

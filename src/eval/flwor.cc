@@ -53,6 +53,12 @@ int64_t EstimateTupleBytes(const std::vector<Tuple>& tuples) {
 }  // namespace
 
 Sequence Evaluator::EvalFlwor(const FlworExpr* expr, DynamicContext* context) {
+  // Order-by clauses the optimizer removed (optimizer/orderby_elim.h) are
+  // sorts this execution skips; surfaced here, ahead of the engine dispatch,
+  // so the counter is identical under the scalar and batched engines.
+  if (context->stats != nullptr && expr->elided_order_by > 0) {
+    context->stats->order_by_elided += expr->elided_order_by;
+  }
   // The batched (vectorized) engine handles every FLWOR when enabled; the
   // scalar pipeline below is kept verbatim as the ablation baseline
   // (docs/VECTORIZATION.md) and must produce byte-identical results.

@@ -134,6 +134,10 @@ ExprPlan PlanClauseExpr(const Expr* expr, const ColumnStream& stream) {
       return plan;
     }
     if (!segment.step.predicates.empty()) return plan;
+    // A pushed value filter needs the full EvalPath machinery; literal
+    // pushes carry no predicates, so without this check the kernel would
+    // silently skip the filter.
+    if (segment.step.pushed_filter != nullptr) return plan;
     plan.path.steps.push_back(
         SimplePathPlan::Step{segment.step.axis, &segment.step.test});
   }

@@ -7,6 +7,7 @@
 #include "api/query_stats.h"
 #include "base/error.h"
 #include "eval/path_step.h"
+#include "xdm/compare.h"
 #include "xdm/sequence_ops.h"
 
 namespace xqa {
@@ -15,13 +16,31 @@ using namespace path_detail;
 
 namespace {
 
+/// Evaluates a pushed value filter (optimizer/pushdown.h) against one
+/// candidate node: general comparison of the node's matching children
+/// against the literal, exactly the semantics of the original
+/// `where $v/c <op> literal`. Nodes without a matching child compare false
+/// (empty sequence), just as the where clause would.
+bool PassesPushedFilter(Node* node, const PushedValueFilter& filter,
+                        NameId child_id, const Sequence& literal_seq,
+                        const DocumentPtr& doc) {
+  Sequence children;
+  EmitChildMatches(node, filter.child, child_id, doc, &children);
+  return GeneralCompare(static_cast<CompareOp>(filter.op), children,
+                        literal_seq);
+}
+
 /// Attempts to answer descendant::T for one context node from the document's
 /// element-name index: the matches are exactly the slice of T's preorder-
 /// sorted bucket whose order indexes fall in the node's subtree span, found
 /// by binary search and emitted already in document order. Returns true when
 /// the step was fully answered (possibly with zero matches); false means the
 /// caller must walk the subtree.
+/// When `filter` is non-null it is applied inside the scan, so only passing
+/// nodes are emitted and `index_scan_nodes` counts post-filter emissions —
+/// the counter difference against an unfiltered run is the saving.
 bool TryIndexedDescendants(Node* node, const NodeTest& test, NameId test_id,
+                           const PushedValueFilter* filter,
                            const DocumentPtr& doc, DynamicContext* context,
                            Sequence* out) {
   if (!context->exec.use_structural_index) return false;
@@ -44,15 +63,29 @@ bool TryIndexedDescendants(Node* node, const NodeTest& test, NameId test_id,
                                node->order_index() + 1, by_order);
     auto hi = std::lower_bound(lo, bucket->end(), node->subtree_end(),
                                by_order);
+    int64_t emitted = 0;
     if (lo != hi) {
       // One checkpoint per range scan: the scan itself is a tight memcpy-like
       // loop, and the caller already checkpoints once per context node.
       context->CheckCancel();
       BorrowedEmitter emitter(doc, out);
-      emitter.EmitRange(&*lo, &*lo + (hi - lo));
+      if (filter == nullptr) {
+        emitter.EmitRange(&*lo, &*lo + (hi - lo));
+        emitted = static_cast<int64_t>(hi - lo);
+      } else {
+        NameId child_id = TestNameId(filter->child, *document);
+        Sequence literal_seq;
+        literal_seq.push_back(Item(filter->literal));
+        for (auto it = lo; it != hi; ++it) {
+          if (PassesPushedFilter(*it, *filter, child_id, literal_seq, doc)) {
+            emitter.Emit(*it);
+            ++emitted;
+          }
+        }
+      }
     }
     if (context->stats != nullptr) {
-      context->stats->index_scan_nodes += static_cast<int64_t>(hi - lo);
+      context->stats->index_scan_nodes += emitted;
     }
   }
   // kNameIdAbsent: the name occurs nowhere in the document, an empty scan.
@@ -90,9 +123,13 @@ void CollectDescendants(Node* node, const NodeTest& test, Axis axis,
 }
 
 /// Applies one axis step (without predicates) to a single context node,
-/// appending matches to `out` in axis order.
+/// appending matches to `out` in axis order. A pushed value filter (null for
+/// most steps) is applied inside the element-name index scan when the step
+/// is answered by the index, and over the appended tail otherwise, so every
+/// axis honors it before predicates run.
 void ApplyAxis(const Item& context_item, Axis axis, const NodeTest& test,
-               DynamicContext* context, SourceLocation loc, Sequence* out) {
+               const PushedValueFilter* filter, DynamicContext* context,
+               SourceLocation loc, Sequence* out) {
   context->CheckCancel();
   if (!context_item.IsNode()) {
     ThrowError(ErrorCode::kXPTY0004,
@@ -101,12 +138,17 @@ void ApplyAxis(const Item& context_item, Axis axis, const NodeTest& test,
   Node* node = context_item.node();
   const DocumentPtr& doc = context_item.document();
   NameId test_id = TestNameId(test, *doc);
+  size_t before = out->size();
+  bool filtered_in_scan = false;
   switch (axis) {
     case Axis::kChild:
       EmitChildMatches(node, test, test_id, doc, out);
       break;
     case Axis::kDescendant:
-      if (!TryIndexedDescendants(node, test, test_id, doc, context, out)) {
+      if (TryIndexedDescendants(node, test, test_id, filter, doc, context,
+                                out)) {
+        filtered_in_scan = filter != nullptr;
+      } else {
         CollectDescendants(node, test, axis, test_id, doc, context, out);
       }
       break;
@@ -114,7 +156,10 @@ void ApplyAxis(const Item& context_item, Axis axis, const NodeTest& test,
       if (MatchesTest(node, test, axis, test_id)) {
         out->push_back(Item(node, doc));
       }
-      if (!TryIndexedDescendants(node, test, test_id, doc, context, out)) {
+      // The self node bypasses the scan, so the tail filter below handles
+      // this axis uniformly.
+      if (!TryIndexedDescendants(node, test, test_id, /*filter=*/nullptr, doc,
+                                 context, out)) {
         CollectDescendants(node, test, axis, test_id, doc, context, out);
       }
       break;
@@ -170,6 +215,20 @@ void ApplyAxis(const Item& context_item, Axis axis, const NodeTest& test,
       }
       break;
     }
+  }
+  if (filter != nullptr && !filtered_in_scan && out->size() > before) {
+    NameId child_id = TestNameId(filter->child, *doc);
+    Sequence literal_seq;
+    literal_seq.push_back(Item(filter->literal));
+    size_t write = before;
+    for (size_t i = before; i < out->size(); ++i) {
+      if (PassesPushedFilter((*out)[i].node(), *filter, child_id, literal_seq,
+                             (*out)[i].document())) {
+        if (write != i) (*out)[write] = std::move((*out)[i]);
+        ++write;
+      }
+    }
+    out->resize(write);
   }
 }
 
@@ -245,8 +304,9 @@ Sequence Evaluator::EvalPath(const PathExpr* expr, DynamicContext* context) {
       if (!next.is_expr() && next.step.axis == Axis::kChild &&
           next.step.predicates.empty()) {
         for (const Item& item : current) {
-          ApplyAxis(item, Axis::kDescendant, next.step.test, context,
-                    expr->location(), &output);
+          ApplyAxis(item, Axis::kDescendant, next.step.test,
+                    next.step.pushed_filter.get(), context, expr->location(),
+                    &output);
         }
         ++seg_index;
         last = seg_index + 1 == expr->segments.size();
@@ -274,15 +334,17 @@ Sequence Evaluator::EvalPath(const PathExpr* expr, DynamicContext* context) {
       // Forward axis without predicates: emit straight into the segment
       // output, no per-context-node scratch sequence.
       for (const Item& item : current) {
-        ApplyAxis(item, segment.step.axis, segment.step.test, context,
-                  expr->location(), &output);
+        ApplyAxis(item, segment.step.axis, segment.step.test,
+                  segment.step.pushed_filter.get(), context, expr->location(),
+                  &output);
       }
     } else {
       // Axis step: per context node, then predicates in axis order.
       for (const Item& item : current) {
         Sequence matched;
-        ApplyAxis(item, segment.step.axis, segment.step.test, context,
-                  expr->location(), &matched);
+        ApplyAxis(item, segment.step.axis, segment.step.test,
+                  segment.step.pushed_filter.get(), context, expr->location(),
+                  &matched);
         for (const ExprPtr& predicate : segment.step.predicates) {
           matched = ApplyPredicate(std::move(matched), predicate.get(),
                                    context);

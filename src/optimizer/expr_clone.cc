@@ -1,0 +1,259 @@
+#include "optimizer/expr_clone.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace xqa {
+
+namespace {
+
+std::vector<ExprPtr> CloneList(const std::vector<ExprPtr>& list) {
+  std::vector<ExprPtr> out;
+  out.reserve(list.size());
+  for (const ExprPtr& item : list) out.push_back(CloneExpr(item.get()));
+  return out;
+}
+
+PathStep CloneStep(const PathStep& step) {
+  PathStep out;
+  out.axis = step.axis;
+  out.test = step.test;
+  out.predicates = CloneList(step.predicates);
+  if (step.pushed_filter != nullptr) {
+    out.pushed_filter = std::make_unique<PushedValueFilter>();
+    out.pushed_filter->child = step.pushed_filter->child;
+    out.pushed_filter->op = step.pushed_filter->op;
+    out.pushed_filter->literal = step.pushed_filter->literal;
+  }
+  return out;
+}
+
+ConstructorContent CloneContent(const ConstructorContent& content) {
+  ConstructorContent out;
+  out.text = content.text;
+  out.expr = CloneExpr(content.expr.get());
+  out.is_comment = content.is_comment;
+  return out;
+}
+
+}  // namespace
+
+OrderByData CloneOrderBy(const OrderByData& order) {
+  OrderByData out;
+  out.stable = order.stable;
+  out.specs.reserve(order.specs.size());
+  for (const OrderSpec& spec : order.specs) {
+    OrderSpec copy;
+    copy.key = CloneExpr(spec.key.get());
+    copy.descending = spec.descending;
+    copy.empty_greatest = spec.empty_greatest;
+    out.specs.push_back(std::move(copy));
+  }
+  return out;
+}
+
+FlworClause CloneClause(const FlworClause& clause) {
+  FlworClause out;
+  out.kind = clause.kind;
+  out.location = clause.location;
+  out.for_var = clause.for_var;
+  out.for_slot = clause.for_slot;
+  out.pos_var = clause.pos_var;
+  out.pos_slot = clause.pos_slot;
+  out.for_expr = CloneExpr(clause.for_expr.get());
+  out.let_var = clause.let_var;
+  out.let_slot = clause.let_slot;
+  out.let_expr = CloneExpr(clause.let_expr.get());
+  out.where_expr = CloneExpr(clause.where_expr.get());
+  out.xquery3_group_style = clause.xquery3_group_style;
+  for (const FlworClause::GroupKey& key : clause.group_keys) {
+    FlworClause::GroupKey copy;
+    copy.expr = CloneExpr(key.expr.get());
+    copy.var = key.var;
+    copy.slot = key.slot;
+    copy.using_function = key.using_function;
+    copy.using_builtin_id = key.using_builtin_id;
+    copy.using_user_fn_index = key.using_user_fn_index;
+    out.group_keys.push_back(std::move(copy));
+  }
+  for (const FlworClause::NestSpec& nest : clause.nest_specs) {
+    FlworClause::NestSpec copy;
+    copy.expr = CloneExpr(nest.expr.get());
+    if (nest.order_by.has_value()) copy.order_by = CloneOrderBy(*nest.order_by);
+    copy.var = nest.var;
+    copy.slot = nest.slot;
+    out.nest_specs.push_back(std::move(copy));
+  }
+  out.count_var = clause.count_var;
+  out.count_slot = clause.count_slot;
+  out.order_by = CloneOrderBy(clause.order_by);
+  out.order_after_group = clause.order_after_group;
+  return out;
+}
+
+ExprPtr CloneExpr(const Expr* expr) {
+  if (expr == nullptr) return nullptr;
+  SourceLocation loc = expr->location();
+  switch (expr->kind()) {
+    case ExprKind::kLiteral: {
+      const auto* e = static_cast<const LiteralExpr*>(expr);
+      return std::make_unique<LiteralExpr>(e->value, loc);
+    }
+    case ExprKind::kVarRef: {
+      const auto* e = static_cast<const VarRefExpr*>(expr);
+      auto out = std::make_unique<VarRefExpr>(e->name, loc);
+      out->slot = e->slot;
+      out->is_global = e->is_global;
+      return out;
+    }
+    case ExprKind::kContextItem:
+      return std::make_unique<ContextItemExpr>(loc);
+    case ExprKind::kSequence: {
+      const auto* e = static_cast<const SequenceExpr*>(expr);
+      return std::make_unique<SequenceExpr>(CloneList(e->items), loc);
+    }
+    case ExprKind::kRange: {
+      const auto* e = static_cast<const RangeExpr*>(expr);
+      return std::make_unique<RangeExpr>(CloneExpr(e->lo.get()),
+                                         CloneExpr(e->hi.get()), loc);
+    }
+    case ExprKind::kArithmetic: {
+      const auto* e = static_cast<const ArithmeticExpr*>(expr);
+      return std::make_unique<ArithmeticExpr>(
+          e->op, CloneExpr(e->lhs.get()), CloneExpr(e->rhs.get()), loc);
+    }
+    case ExprKind::kUnary: {
+      const auto* e = static_cast<const UnaryExpr*>(expr);
+      return std::make_unique<UnaryExpr>(e->negate,
+                                         CloneExpr(e->operand.get()), loc);
+    }
+    case ExprKind::kComparison: {
+      const auto* e = static_cast<const ComparisonExpr*>(expr);
+      return std::make_unique<ComparisonExpr>(
+          e->comparison_kind, e->op, CloneExpr(e->lhs.get()),
+          CloneExpr(e->rhs.get()), loc);
+    }
+    case ExprKind::kLogical: {
+      const auto* e = static_cast<const LogicalExpr*>(expr);
+      return std::make_unique<LogicalExpr>(
+          e->op, CloneExpr(e->lhs.get()), CloneExpr(e->rhs.get()), loc);
+    }
+    case ExprKind::kIf: {
+      const auto* e = static_cast<const IfExpr*>(expr);
+      return std::make_unique<IfExpr>(CloneExpr(e->condition.get()),
+                                      CloneExpr(e->then_branch.get()),
+                                      CloneExpr(e->else_branch.get()), loc);
+    }
+    case ExprKind::kQuantified: {
+      const auto* e = static_cast<const QuantifiedExpr*>(expr);
+      std::vector<QuantifiedExpr::Binding> bindings;
+      bindings.reserve(e->bindings.size());
+      for (const QuantifiedExpr::Binding& binding : e->bindings) {
+        QuantifiedExpr::Binding copy;
+        copy.var = binding.var;
+        copy.slot = binding.slot;
+        copy.expr = CloneExpr(binding.expr.get());
+        bindings.push_back(std::move(copy));
+      }
+      return std::make_unique<QuantifiedExpr>(
+          e->every, std::move(bindings), CloneExpr(e->satisfies.get()), loc);
+    }
+    case ExprKind::kPath: {
+      const auto* e = static_cast<const PathExpr*>(expr);
+      std::vector<PathSegment> segments;
+      segments.reserve(e->segments.size());
+      for (const PathSegment& segment : e->segments) {
+        PathSegment copy;
+        if (segment.is_expr()) {
+          copy.expr = CloneExpr(segment.expr.get());
+        } else {
+          copy.step = CloneStep(segment.step);
+        }
+        segments.push_back(std::move(copy));
+      }
+      return std::make_unique<PathExpr>(CloneExpr(e->start.get()),
+                                        e->absolute, std::move(segments), loc);
+    }
+    case ExprKind::kFilter: {
+      const auto* e = static_cast<const FilterExpr*>(expr);
+      return std::make_unique<FilterExpr>(CloneExpr(e->primary.get()),
+                                          CloneList(e->predicates), loc);
+    }
+    case ExprKind::kFunctionCall: {
+      const auto* e = static_cast<const FunctionCallExpr*>(expr);
+      auto out = std::make_unique<FunctionCallExpr>(e->name,
+                                                    CloneList(e->args), loc);
+      out->builtin_id = e->builtin_id;
+      out->user_fn_index = e->user_fn_index;
+      return out;
+    }
+    case ExprKind::kFlwor: {
+      const auto* e = static_cast<const FlworExpr*>(expr);
+      std::vector<FlworClause> clauses;
+      clauses.reserve(e->clauses.size());
+      for (const FlworClause& clause : e->clauses) {
+        clauses.push_back(CloneClause(clause));
+      }
+      auto out = std::make_unique<FlworExpr>(std::move(clauses), e->at_var,
+                                             CloneExpr(e->return_expr.get()),
+                                             loc);
+      out->at_slot = e->at_slot;
+      out->elided_order_by = e->elided_order_by;
+      return out;
+    }
+    case ExprKind::kDirectConstructor: {
+      const auto* e = static_cast<const DirectConstructorExpr*>(expr);
+      std::vector<DirectConstructorExpr::Attribute> attributes;
+      attributes.reserve(e->attributes.size());
+      for (const DirectConstructorExpr::Attribute& attr : e->attributes) {
+        DirectConstructorExpr::Attribute copy;
+        copy.name = attr.name;
+        copy.parts.reserve(attr.parts.size());
+        for (const ConstructorContent& part : attr.parts) {
+          copy.parts.push_back(CloneContent(part));
+        }
+        attributes.push_back(std::move(copy));
+      }
+      std::vector<ConstructorContent> children;
+      children.reserve(e->children.size());
+      for (const ConstructorContent& child : e->children) {
+        children.push_back(CloneContent(child));
+      }
+      return std::make_unique<DirectConstructorExpr>(
+          e->name, std::move(attributes), std::move(children), loc);
+    }
+    case ExprKind::kComputedConstructor: {
+      const auto* e = static_cast<const ComputedConstructorExpr*>(expr);
+      return std::make_unique<ComputedConstructorExpr>(
+          e->constructor_kind, e->name, CloneExpr(e->name_expr.get()),
+          CloneExpr(e->content.get()), loc);
+    }
+    case ExprKind::kTypeOp: {
+      const auto* e = static_cast<const TypeOpExpr*>(expr);
+      return std::make_unique<TypeOpExpr>(e->op, CloneExpr(e->operand.get()),
+                                          e->type, loc);
+    }
+    case ExprKind::kTypeswitch: {
+      const auto* e = static_cast<const TypeswitchExpr*>(expr);
+      std::vector<TypeswitchExpr::CaseClause> cases;
+      cases.reserve(e->cases.size());
+      for (const TypeswitchExpr::CaseClause& clause : e->cases) {
+        TypeswitchExpr::CaseClause copy;
+        copy.var = clause.var;
+        copy.slot = clause.slot;
+        copy.type = clause.type;
+        copy.result = CloneExpr(clause.result.get());
+        cases.push_back(std::move(copy));
+      }
+      auto out = std::make_unique<TypeswitchExpr>(
+          CloneExpr(e->operand.get()), std::move(cases), e->default_var,
+          CloneExpr(e->default_result.get()), loc);
+      out->default_slot = e->default_slot;
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace xqa

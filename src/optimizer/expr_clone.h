@@ -1,0 +1,25 @@
+#ifndef XQA_OPTIMIZER_EXPR_CLONE_H_
+#define XQA_OPTIMIZER_EXPR_CLONE_H_
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Deep copy of an (unbound) expression tree. The AST is deliberately
+/// non-copyable, so rewrite rules that must keep the original alive — the
+/// guarded group-by extraction builds both an if-branch plan and a fallback
+/// from one source FLWOR — clone the pieces they reuse instead of moving
+/// them out. Binder-filled fields (slots, builtin ids) are copied verbatim;
+/// the optimizer runs before BindModule, so they are still -1 here.
+/// Returns null for null input.
+ExprPtr CloneExpr(const Expr* expr);
+
+/// Deep copy of one FLWOR clause (any ClauseKind).
+FlworClause CloneClause(const FlworClause& clause);
+
+/// Deep copy of an order-by key list.
+OrderByData CloneOrderBy(const OrderByData& order);
+
+}  // namespace xqa
+
+#endif  // XQA_OPTIMIZER_EXPR_CLONE_H_

@@ -1,17 +1,23 @@
 #include "optimizer/groupby_detect.h"
 
+#include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "optimizer/expr_clone.h"
+#include "optimizer/logical_props.h"
+#include "xdm/compare.h"
 
 namespace xqa {
 
 namespace {
 
 /// Matches FunctionCallExpr `name(arg)`; returns the argument or nullptr.
-Expr* MatchCall1(Expr* expr, std::string_view name) {
+const Expr* MatchCall1(const Expr* expr, std::string_view name) {
   if (expr == nullptr || expr->kind() != ExprKind::kFunctionCall) return nullptr;
-  auto* call = static_cast<FunctionCallExpr*>(expr);
+  const auto* call = static_cast<const FunctionCallExpr*>(expr);
   if (call->name != name || call->args.size() != 1) return nullptr;
   return call->args[0].get();
 }
@@ -27,7 +33,8 @@ bool MatchVarChildPath(const Expr* expr, std::string* var, std::string* child) {
   if (segment.is_expr()) return false;
   if (segment.step.axis != Axis::kChild ||
       segment.step.test.kind != NodeTest::Kind::kName ||
-      segment.step.test.name == "*" || !segment.step.predicates.empty()) {
+      segment.step.test.name == "*" || !segment.step.predicates.empty() ||
+      segment.step.pushed_filter != nullptr) {
     return false;
   }
   *var = static_cast<const VarRefExpr*>(path->start.get())->name;
@@ -36,10 +43,10 @@ bool MatchVarChildPath(const Expr* expr, std::string* var, std::string* child) {
 }
 
 /// Flattens an `and` tree into conjuncts.
-void CollectConjuncts(Expr* expr, std::vector<Expr*>* out) {
+void CollectConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
   if (expr->kind() == ExprKind::kLogical &&
-      static_cast<LogicalExpr*>(expr)->op == LogicalOp::kAnd) {
-    auto* logical = static_cast<LogicalExpr*>(expr);
+      static_cast<const LogicalExpr*>(expr)->op == LogicalOp::kAnd) {
+    const auto* logical = static_cast<const LogicalExpr*>(expr);
     CollectConjuncts(logical->lhs.get(), out);
     CollectConjuncts(logical->rhs.get(), out);
     return;
@@ -66,35 +73,100 @@ ExprPtr BuildCall1(std::string name, ExprPtr arg, SourceLocation loc) {
                                             loc);
 }
 
+/// True when `key_domain` is structurally SRC/child: a path whose last
+/// segment is child::child (no predicates) and whose remaining prefix dumps
+/// equal to `src`. Ensures the naive key domain is exactly the grouped child
+/// values, which the correctness argument relies on.
+bool KeyDomainMatchesSource(const Expr* key_domain, const Expr* src,
+                            const std::string& child) {
+  if (key_domain == nullptr || key_domain->kind() != ExprKind::kPath) {
+    return false;
+  }
+  const auto* path = static_cast<const PathExpr*>(key_domain);
+  if (path->segments.empty()) return false;
+  const PathSegment& last = path->segments.back();
+  if (last.is_expr()) return false;
+  if (last.step.axis != Axis::kChild ||
+      last.step.test.kind != NodeTest::Kind::kName ||
+      last.step.test.name != child || !last.step.predicates.empty() ||
+      last.step.pushed_filter != nullptr) {
+    return false;
+  }
+  ExprPtr prefix = CloneExpr(key_domain);
+  auto* prefix_path = static_cast<PathExpr*>(prefix.get());
+  prefix_path->segments.pop_back();
+  if (prefix_path->segments.empty() && !prefix_path->absolute) {
+    if (prefix_path->start == nullptr) return false;
+    return DumpExpr(prefix_path->start.get()) == DumpExpr(src);
+  }
+  return DumpExpr(prefix.get()) == DumpExpr(src);
+}
+
+/// Builds `every $item in SRC satisfies count($item/c1) <= 1 (and ...)`.
+ExprPtr BuildGuard(const Expr* src, const std::string& item_var,
+                   const std::vector<std::string>& key_children,
+                   SourceLocation loc) {
+  ExprPtr satisfies;
+  std::set<std::string> seen;
+  for (const std::string& child : key_children) {
+    if (!seen.insert(child).second) continue;
+    ExprPtr count =
+        BuildCall1("count", BuildVarChildPath(item_var, child, loc), loc);
+    ExprPtr one =
+        std::make_unique<LiteralExpr>(AtomicValue::Integer(1), loc);
+    ExprPtr at_most_once = std::make_unique<ComparisonExpr>(
+        ComparisonKind::kValue, static_cast<int>(CompareOp::kLe),
+        std::move(count), std::move(one), loc);
+    if (satisfies == nullptr) {
+      satisfies = std::move(at_most_once);
+    } else {
+      satisfies = std::make_unique<LogicalExpr>(
+          LogicalOp::kAnd, std::move(satisfies), std::move(at_most_once), loc);
+    }
+  }
+  std::vector<QuantifiedExpr::Binding> bindings;
+  QuantifiedExpr::Binding binding;
+  binding.var = item_var;
+  binding.expr = CloneExpr(src);
+  bindings.push_back(std::move(binding));
+  return std::make_unique<QuantifiedExpr>(/*every=*/true, std::move(bindings),
+                                          std::move(satisfies), loc);
+}
+
 }  // namespace
 
-ExprPtr TryRewriteGroupByPattern(FlworExpr* expr) {
+bool TryRewriteGroupByPattern(const FlworExpr& expr,
+                              int64_t cardinality_threshold,
+                              GroupByRewrite* out) {
   // --- Shape check ----------------------------------------------------------
   // Leading for-clauses over distinct-values(...).
   size_t index = 0;
   std::vector<std::string> key_vars;
-  while (index < expr->clauses.size() &&
-         expr->clauses[index].kind == ClauseKind::kFor) {
-    FlworClause& clause = expr->clauses[index];
-    if (!clause.pos_var.empty()) return nullptr;
-    if (MatchCall1(clause.for_expr.get(), "distinct-values") == nullptr &&
-        MatchCall1(clause.for_expr.get(), "fn:distinct-values") == nullptr) {
-      break;
+  std::vector<const Expr*> key_domains;
+  while (index < expr.clauses.size() &&
+         expr.clauses[index].kind == ClauseKind::kFor) {
+    const FlworClause& clause = expr.clauses[index];
+    if (!clause.pos_var.empty()) return false;
+    const Expr* domain = MatchCall1(clause.for_expr.get(), "distinct-values");
+    if (domain == nullptr) {
+      domain = MatchCall1(clause.for_expr.get(), "fn:distinct-values");
     }
+    if (domain == nullptr) break;
     key_vars.push_back(clause.for_var);
+    key_domains.push_back(domain);
     ++index;
   }
-  if (key_vars.empty()) return nullptr;
+  if (key_vars.empty()) return false;
 
   // One let clause binding the correlated inner FLWOR.
-  if (index >= expr->clauses.size() ||
-      expr->clauses[index].kind != ClauseKind::kLet) {
-    return nullptr;
+  if (index >= expr.clauses.size() ||
+      expr.clauses[index].kind != ClauseKind::kLet) {
+    return false;
   }
-  FlworClause& let_clause = expr->clauses[index];
+  const FlworClause& let_clause = expr.clauses[index];
   const std::string items_var = let_clause.let_var;
-  if (let_clause.let_expr->kind() != ExprKind::kFlwor) return nullptr;
-  auto* inner = static_cast<FlworExpr*>(let_clause.let_expr.get());
+  if (let_clause.let_expr->kind() != ExprKind::kFlwor) return false;
+  const auto* inner = static_cast<const FlworExpr*>(let_clause.let_expr.get());
   ++index;
 
   // Inner: for $i in SRC where <conjunction> return $i.
@@ -102,91 +174,133 @@ ExprPtr TryRewriteGroupByPattern(FlworExpr* expr) {
       inner->clauses[0].kind != ClauseKind::kFor ||
       inner->clauses[1].kind != ClauseKind::kWhere ||
       !inner->at_var.empty()) {
-    return nullptr;
+    return false;
   }
-  FlworClause& inner_for = inner->clauses[0];
-  if (!inner_for.pos_var.empty()) return nullptr;
+  const FlworClause& inner_for = inner->clauses[0];
+  if (!inner_for.pos_var.empty()) return false;
   const std::string item_var = inner_for.for_var;
+  const Expr* src = inner_for.for_expr.get();
   if (inner->return_expr->kind() != ExprKind::kVarRef ||
-      static_cast<VarRefExpr*>(inner->return_expr.get())->name != item_var) {
-    return nullptr;
+      static_cast<const VarRefExpr*>(inner->return_expr.get())->name !=
+          item_var) {
+    return false;
   }
 
   // The conjunction must pair each key variable with one $i/child = $key.
-  std::vector<Expr*> conjuncts;
+  std::vector<const Expr*> conjuncts;
   CollectConjuncts(inner->clauses[1].where_expr.get(), &conjuncts);
-  if (conjuncts.size() != key_vars.size()) return nullptr;
+  if (conjuncts.size() != key_vars.size()) return false;
   std::vector<std::string> key_children(key_vars.size());
   std::set<std::string> matched;
-  for (Expr* conjunct : conjuncts) {
-    if (conjunct->kind() != ExprKind::kComparison) return nullptr;
-    auto* comparison = static_cast<ComparisonExpr*>(conjunct);
+  for (const Expr* conjunct : conjuncts) {
+    if (conjunct->kind() != ExprKind::kComparison) return false;
+    const auto* comparison = static_cast<const ComparisonExpr*>(conjunct);
     if (comparison->comparison_kind != ComparisonKind::kGeneral ||
-        comparison->op != 0 /* CompareOp::kEq */) {
-      return nullptr;
+        comparison->op != static_cast<int>(CompareOp::kEq)) {
+      return false;
     }
     std::string path_var, child;
-    Expr* lhs = comparison->lhs.get();
-    Expr* rhs = comparison->rhs.get();
+    const Expr* lhs = comparison->lhs.get();
+    const Expr* rhs = comparison->rhs.get();
     // Accept either orientation: $i/c = $k or $k = $i/c.
     if (!MatchVarChildPath(lhs, &path_var, &child)) {
       std::swap(lhs, rhs);
-      if (!MatchVarChildPath(lhs, &path_var, &child)) return nullptr;
+      if (!MatchVarChildPath(lhs, &path_var, &child)) return false;
     }
-    if (path_var != item_var) return nullptr;
-    if (rhs->kind() != ExprKind::kVarRef) return nullptr;
-    const std::string& key_name = static_cast<VarRefExpr*>(rhs)->name;
+    if (path_var != item_var) return false;
+    if (rhs->kind() != ExprKind::kVarRef) return false;
+    const std::string& key_name =
+        static_cast<const VarRefExpr*>(rhs)->name;
     bool found = false;
     for (size_t k = 0; k < key_vars.size(); ++k) {
       if (key_vars[k] == key_name) {
-        if (!matched.insert(key_name).second) return nullptr;
+        if (!matched.insert(key_name).second) return false;
         key_children[k] = child;
         found = true;
         break;
       }
     }
-    if (!found) return nullptr;
+    if (!found) return false;
   }
 
-  // Optional `where exists($items)`.
-  if (index < expr->clauses.size() &&
-      expr->clauses[index].kind == ClauseKind::kWhere) {
-    Expr* arg = MatchCall1(expr->clauses[index].where_expr.get(), "exists");
+  // Each key domain must be exactly SRC/ck.
+  for (size_t k = 0; k < key_vars.size(); ++k) {
+    if (!KeyDomainMatchesSource(key_domains[k], src, key_children[k])) {
+      return false;
+    }
+  }
+
+  // Optional `where exists($items)` — required with >= 2 keys, where the
+  // naive form otherwise also emits empty cross-product combinations.
+  bool has_exists_filter = false;
+  if (index < expr.clauses.size() &&
+      expr.clauses[index].kind == ClauseKind::kWhere) {
+    const Expr* arg =
+        MatchCall1(expr.clauses[index].where_expr.get(), "exists");
     if (arg == nullptr) {
-      arg = MatchCall1(expr->clauses[index].where_expr.get(), "fn:exists");
+      arg = MatchCall1(expr.clauses[index].where_expr.get(), "fn:exists");
     }
     if (arg == nullptr || arg->kind() != ExprKind::kVarRef ||
-        static_cast<VarRefExpr*>(arg)->name != items_var) {
-      return nullptr;
+        static_cast<const VarRefExpr*>(arg)->name != items_var) {
+      return false;
     }
+    has_exists_filter = true;
     ++index;
   }
 
   // Optional trailing order by, then nothing else.
-  FlworClause* order_clause = nullptr;
-  if (index < expr->clauses.size() &&
-      expr->clauses[index].kind == ClauseKind::kOrderBy) {
-    order_clause = &expr->clauses[index];
+  const FlworClause* order_clause = nullptr;
+  if (index < expr.clauses.size() &&
+      expr.clauses[index].kind == ClauseKind::kOrderBy) {
+    order_clause = &expr.clauses[index];
     ++index;
   }
-  if (index != expr->clauses.size()) return nullptr;
+  if (index != expr.clauses.size()) return false;
+
+  // With multiple keys the naive form's group order is the first-occurrence
+  // cross product, which grouping does not reproduce: require the exists
+  // filter plus an order-by whose bare-variable keys cover every key var
+  // (then keys are unique per group and both forms sort identically).
+  if (key_vars.size() > 1) {
+    if (!has_exists_filter || order_clause == nullptr) return false;
+    std::set<std::string> covered;
+    for (const OrderSpec& spec : order_clause->order_by.specs) {
+      if (spec.key == nullptr || spec.key->kind() != ExprKind::kVarRef) {
+        return false;
+      }
+      const std::string& name =
+          static_cast<const VarRefExpr*>(spec.key.get())->name;
+      bool is_key = false;
+      for (const std::string& key : key_vars) {
+        if (key == name) is_key = true;
+      }
+      if (!is_key) return false;
+      covered.insert(name);
+    }
+    if (covered.size() != key_vars.size()) return false;
+  }
 
   // Name hygiene: the inner item variable must not collide with the key or
   // items variables (its name becomes visible in the rewritten FLWOR head).
   for (const std::string& key : key_vars) {
-    if (key == item_var) return nullptr;
+    if (key == item_var) return false;
   }
-  if (items_var == item_var) return nullptr;
+  if (items_var == item_var) return false;
+
+  // Cost gate: the rewrite (and its runtime guard pass) only pays off when
+  // the alternative is a large O(n^2) self-join.
+  LogicalProps src_props = DeriveProps(src);
+  if (!src_props.CardinalityAtLeast(cardinality_threshold)) return false;
 
   // --- Build the rewritten FLWOR --------------------------------------------
-  SourceLocation loc = expr->location();
+  SourceLocation loc = expr.location();
   std::vector<FlworClause> clauses;
 
   FlworClause for_clause;
   for_clause.kind = ClauseKind::kFor;
   for_clause.location = loc;
   for_clause.for_var = item_var;
-  for_clause.for_expr = std::move(inner_for.for_expr);
+  for_clause.for_expr = CloneExpr(src);
   clauses.push_back(std::move(for_clause));
 
   FlworClause group_clause;
@@ -225,11 +339,20 @@ ExprPtr TryRewriteGroupByPattern(FlworExpr* expr) {
   clauses.push_back(std::move(where_clause));
 
   if (order_clause != nullptr) {
-    clauses.push_back(std::move(*order_clause));
+    clauses.push_back(CloneClause(*order_clause));
   }
 
-  return std::make_unique<FlworExpr>(std::move(clauses), expr->at_var,
-                                     std::move(expr->return_expr), loc);
+  out->grouped = std::make_unique<FlworExpr>(
+      std::move(clauses), expr.at_var, CloneExpr(expr.return_expr.get()), loc);
+  out->guard = BuildGuard(src, item_var, key_children, loc);
+  std::string keys;
+  for (size_t k = 0; k < key_children.size(); ++k) {
+    if (k > 0) keys += ", ";
+    keys += key_children[k];
+  }
+  out->description = "group-by extraction: keys (" + keys + ") over source (" +
+                     DescribeProps(src_props) + "), guarded";
+  return true;
 }
 
 }  // namespace xqa

@@ -1,18 +1,35 @@
 #ifndef XQA_OPTIMIZER_GROUPBY_DETECT_H_
 #define XQA_OPTIMIZER_GROUPBY_DETECT_H_
 
+#include <cstdint>
+#include <string>
+
 #include "parser/ast.h"
 
 namespace xqa {
 
-/// Attempts to rewrite one FLWOR matching the naive grouping template of
-/// Table 1 into an explicit group by:
+/// One group-by extraction: the rewriter replaces the matched FLWOR with
 ///
-///   for $k1 in distinct-values(P1) (, $k2 in distinct-values(P2))*
+///   if (<guard>) then <grouped> else <original FLWOR>
+///
+/// so the O(n) grouped plan runs when the single-occurrence safety condition
+/// holds on the actual data, and the naive self-join runs byte-identically
+/// otherwise.
+struct GroupByRewrite {
+  ExprPtr guard;    ///< every $i in SRC satisfies count($i/ck) <= 1, per key
+  ExprPtr grouped;  ///< the explicit group-by FLWOR
+  std::string description;  ///< one line for EXPLAIN / fired-rule logs
+};
+
+/// Recognizes the naive grouping template of Table 1 and builds its explicit
+/// group-by form. This is a real rewrite (no longer detection-only):
+///
+///   for $k1 in distinct-values(SRC/c1) (, $k2 in distinct-values(SRC/c2))*
 ///   let $items := for $i in SRC
 ///                 where $i/c1 = $k1 (and $i/c2 = $k2)* return $i
-///   (where exists($items))?
-///   (order by ...)?
+///   (where exists($items))?       -- required when there are >= 2 keys
+///   (order by ...)?               -- required when there are >= 2 keys,
+///                                 -- keys must cover every $ki
 ///   return R
 ///
 /// becomes
@@ -24,17 +41,29 @@ namespace xqa {
 ///   (order by ...)?
 ///   return R
 ///
-/// The rewrite preserves semantics when each ci occurs at most once per item
-/// of SRC — the configuration of the paper's experiment ("each grouping
-/// element occurred exactly once in its parent"). With repeated ci children
-/// the general '=' in the naive form is existential while grouping compares
-/// the whole value sequence; detecting and compensating that difference is
-/// exactly the hardness the paper argues motivates an explicit construct
-/// (Section 7).
+/// Safety:
+///  - Each distinct-values argument must be structurally SRC/ck (same dump),
+///    so the key domain is exactly the grouped child values.
+///  - The single-occurrence condition of the paper's experiment ("each
+///    grouping element occurred exactly once in its parent") is NOT assumed
+///    statically: the returned guard checks `every $i in SRC satisfies
+///    count($i/ck) <= 1` at run time and falls back to the naive form when
+///    it fails — with repeated children the naive `=` is existential while
+///    grouping compares whole value sequences (Section 7 hazard).
+///  - With multiple keys the naive form enumerates the key cross product, so
+///    `where exists($items)` and a trailing order-by covering every key are
+///    required for the two forms to agree on group order and membership.
+///  - Cost gate: fires only when the derived cardinality of SRC clears
+///    `cardinality_threshold` (document/collection scans always clear it;
+///    known-small literal domains never do) — the guard costs one extra
+///    pass, which only pays off when the O(n^2) self-join is the
+///    alternative.
 ///
-/// Returns the replacement (and empties *expr) or nullptr if the FLWOR does
-/// not match the template.
-ExprPtr TryRewriteGroupByPattern(FlworExpr* expr);
+/// Reads `expr` without modifying it (everything in the result is cloned).
+/// Returns true and fills `out` on a match.
+bool TryRewriteGroupByPattern(const FlworExpr& expr,
+                              int64_t cardinality_threshold,
+                              GroupByRewrite* out);
 
 }  // namespace xqa
 

@@ -1,0 +1,506 @@
+#include "optimizer/logical_props.h"
+
+#include <cctype>
+#include <functional>
+#include <utility>
+
+namespace xqa {
+
+namespace {
+
+/// Invokes `fn` on every direct child expression of `expr` (clause bodies,
+/// predicates, constructor content, ...). Scope-blind — callers that care
+/// about variable scoping (CollectFreeVars) walk explicitly instead.
+void ForEachChild(const Expr* expr,
+                  const std::function<void(const Expr*)>& fn) {
+  if (expr == nullptr) return;
+  auto visit = [&fn](const ExprPtr& child) {
+    if (child != nullptr) fn(child.get());
+  };
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kVarRef:
+    case ExprKind::kContextItem:
+      return;
+    case ExprKind::kSequence:
+      for (const ExprPtr& item : static_cast<const SequenceExpr*>(expr)->items)
+        visit(item);
+      return;
+    case ExprKind::kRange: {
+      const auto* e = static_cast<const RangeExpr*>(expr);
+      visit(e->lo);
+      visit(e->hi);
+      return;
+    }
+    case ExprKind::kArithmetic: {
+      const auto* e = static_cast<const ArithmeticExpr*>(expr);
+      visit(e->lhs);
+      visit(e->rhs);
+      return;
+    }
+    case ExprKind::kUnary:
+      visit(static_cast<const UnaryExpr*>(expr)->operand);
+      return;
+    case ExprKind::kComparison: {
+      const auto* e = static_cast<const ComparisonExpr*>(expr);
+      visit(e->lhs);
+      visit(e->rhs);
+      return;
+    }
+    case ExprKind::kLogical: {
+      const auto* e = static_cast<const LogicalExpr*>(expr);
+      visit(e->lhs);
+      visit(e->rhs);
+      return;
+    }
+    case ExprKind::kIf: {
+      const auto* e = static_cast<const IfExpr*>(expr);
+      visit(e->condition);
+      visit(e->then_branch);
+      visit(e->else_branch);
+      return;
+    }
+    case ExprKind::kQuantified: {
+      const auto* e = static_cast<const QuantifiedExpr*>(expr);
+      for (const QuantifiedExpr::Binding& binding : e->bindings)
+        visit(binding.expr);
+      visit(e->satisfies);
+      return;
+    }
+    case ExprKind::kPath: {
+      const auto* e = static_cast<const PathExpr*>(expr);
+      visit(e->start);
+      for (const PathSegment& segment : e->segments) {
+        if (segment.is_expr()) {
+          visit(segment.expr);
+        } else {
+          for (const ExprPtr& predicate : segment.step.predicates)
+            visit(predicate);
+        }
+      }
+      return;
+    }
+    case ExprKind::kFilter: {
+      const auto* e = static_cast<const FilterExpr*>(expr);
+      visit(e->primary);
+      for (const ExprPtr& predicate : e->predicates) visit(predicate);
+      return;
+    }
+    case ExprKind::kFunctionCall:
+      for (const ExprPtr& arg :
+           static_cast<const FunctionCallExpr*>(expr)->args)
+        visit(arg);
+      return;
+    case ExprKind::kFlwor: {
+      const auto* e = static_cast<const FlworExpr*>(expr);
+      for (const FlworClause& clause : e->clauses) {
+        visit(clause.for_expr);
+        visit(clause.let_expr);
+        visit(clause.where_expr);
+        for (const FlworClause::GroupKey& key : clause.group_keys)
+          visit(key.expr);
+        for (const FlworClause::NestSpec& nest : clause.nest_specs) {
+          visit(nest.expr);
+          if (nest.order_by.has_value()) {
+            for (const OrderSpec& spec : nest.order_by->specs) visit(spec.key);
+          }
+        }
+        for (const OrderSpec& spec : clause.order_by.specs) visit(spec.key);
+      }
+      visit(e->return_expr);
+      return;
+    }
+    case ExprKind::kDirectConstructor: {
+      const auto* e = static_cast<const DirectConstructorExpr*>(expr);
+      for (const DirectConstructorExpr::Attribute& attr : e->attributes) {
+        for (const ConstructorContent& part : attr.parts) visit(part.expr);
+      }
+      for (const ConstructorContent& child : e->children) visit(child.expr);
+      return;
+    }
+    case ExprKind::kComputedConstructor: {
+      const auto* e = static_cast<const ComputedConstructorExpr*>(expr);
+      visit(e->name_expr);
+      visit(e->content);
+      return;
+    }
+    case ExprKind::kTypeOp:
+      visit(static_cast<const TypeOpExpr*>(expr)->operand);
+      return;
+    case ExprKind::kTypeswitch: {
+      const auto* e = static_cast<const TypeswitchExpr*>(expr);
+      visit(e->operand);
+      for (const TypeswitchExpr::CaseClause& clause : e->cases)
+        visit(clause.result);
+      visit(e->default_result);
+      return;
+    }
+  }
+}
+
+void FreeVarsWalk(const Expr* expr, std::set<std::string> bound,
+                  std::set<std::string>* out);
+
+void FreeVarsChild(const Expr* child, const std::set<std::string>& bound,
+                   std::set<std::string>* out) {
+  if (child != nullptr) FreeVarsWalk(child, bound, out);
+}
+
+void FreeVarsWalk(const Expr* expr, std::set<std::string> bound,
+                  std::set<std::string>* out) {
+  if (expr == nullptr) return;
+  switch (expr->kind()) {
+    case ExprKind::kVarRef: {
+      const auto* e = static_cast<const VarRefExpr*>(expr);
+      if (bound.count(e->name) == 0) out->insert(e->name);
+      return;
+    }
+    case ExprKind::kFlwor: {
+      const auto* e = static_cast<const FlworExpr*>(expr);
+      for (const FlworClause& clause : e->clauses) {
+        switch (clause.kind) {
+          case ClauseKind::kFor:
+            FreeVarsChild(clause.for_expr.get(), bound, out);
+            bound.insert(clause.for_var);
+            if (!clause.pos_var.empty()) bound.insert(clause.pos_var);
+            break;
+          case ClauseKind::kLet:
+            FreeVarsChild(clause.let_expr.get(), bound, out);
+            bound.insert(clause.let_var);
+            break;
+          case ClauseKind::kWhere:
+            FreeVarsChild(clause.where_expr.get(), bound, out);
+            break;
+          case ClauseKind::kGroupBy:
+            for (const FlworClause::GroupKey& key : clause.group_keys)
+              FreeVarsChild(key.expr.get(), bound, out);
+            for (const FlworClause::NestSpec& nest : clause.nest_specs) {
+              FreeVarsChild(nest.expr.get(), bound, out);
+              if (nest.order_by.has_value()) {
+                for (const OrderSpec& spec : nest.order_by->specs)
+                  FreeVarsChild(spec.key.get(), bound, out);
+              }
+            }
+            for (const FlworClause::GroupKey& key : clause.group_keys)
+              bound.insert(key.var);
+            for (const FlworClause::NestSpec& nest : clause.nest_specs)
+              bound.insert(nest.var);
+            break;
+          case ClauseKind::kOrderBy:
+            for (const OrderSpec& spec : clause.order_by.specs)
+              FreeVarsChild(spec.key.get(), bound, out);
+            break;
+          case ClauseKind::kCount:
+            bound.insert(clause.count_var);
+            break;
+        }
+      }
+      if (!e->at_var.empty()) bound.insert(e->at_var);
+      FreeVarsChild(e->return_expr.get(), bound, out);
+      return;
+    }
+    case ExprKind::kQuantified: {
+      const auto* e = static_cast<const QuantifiedExpr*>(expr);
+      for (const QuantifiedExpr::Binding& binding : e->bindings) {
+        FreeVarsChild(binding.expr.get(), bound, out);
+        bound.insert(binding.var);
+      }
+      FreeVarsChild(e->satisfies.get(), bound, out);
+      return;
+    }
+    case ExprKind::kTypeswitch: {
+      const auto* e = static_cast<const TypeswitchExpr*>(expr);
+      FreeVarsChild(e->operand.get(), bound, out);
+      for (const TypeswitchExpr::CaseClause& clause : e->cases) {
+        std::set<std::string> case_bound = bound;
+        if (!clause.var.empty()) case_bound.insert(clause.var);
+        FreeVarsChild(clause.result.get(), case_bound, out);
+      }
+      std::set<std::string> default_bound = std::move(bound);
+      if (!e->default_var.empty()) default_bound.insert(e->default_var);
+      FreeVarsChild(e->default_result.get(), default_bound, out);
+      return;
+    }
+    default:
+      ForEachChild(expr, [&bound, out](const Expr* child) {
+        FreeVarsWalk(child, bound, out);
+      });
+      return;
+  }
+}
+
+/// True when `name` at position `pos` in `text` is a whole $var token (not a
+/// prefix of a longer variable name).
+bool TokenBoundary(const std::string& text, size_t end) {
+  if (end >= text.size()) return true;
+  char c = text[end];
+  return !(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':');
+}
+
+int64_t LiteralInt(const Expr* expr, bool* ok) {
+  *ok = false;
+  if (expr == nullptr || expr->kind() != ExprKind::kLiteral) return 0;
+  const auto* literal = static_cast<const LiteralExpr*>(expr);
+  if (literal->value.type() != AtomicType::kInteger) return 0;
+  *ok = true;
+  return literal->value.AsInteger();
+}
+
+}  // namespace
+
+void CollectFreeVars(const Expr* expr, std::set<std::string>* out) {
+  FreeVarsWalk(expr, {}, out);
+}
+
+bool ContainsNonRelocatable(const Expr* expr,
+                            const std::set<std::string>& user_functions) {
+  if (expr == nullptr) return false;
+  if (expr->kind() == ExprKind::kContextItem) return true;
+  if (expr->kind() == ExprKind::kPath &&
+      static_cast<const PathExpr*>(expr)->absolute) {
+    return true;
+  }
+  if (expr->kind() == ExprKind::kFunctionCall) {
+    const auto* call = static_cast<const FunctionCallExpr*>(expr);
+    // Zero-argument calls cover every focus-dependent builtin (position,
+    // last, ...); user functions are excluded wholesale rather than proving
+    // their bodies relocatable.
+    if (call->args.empty()) return true;
+    if (user_functions.count(call->name) > 0) return true;
+  }
+  bool found = false;
+  ForEachChild(expr, [&found, &user_functions](const Expr* child) {
+    if (!found && ContainsNonRelocatable(child, user_functions)) found = true;
+  });
+  return found;
+}
+
+bool DumpKeyRelativeTo(const Expr* key, const std::string& var,
+                       const std::set<std::string>& user_functions,
+                       std::string* out) {
+  if (key == nullptr) return false;
+  std::set<std::string> free_vars;
+  CollectFreeVars(key, &free_vars);
+  if (free_vars.size() != 1 || free_vars.count(var) == 0) return false;
+  if (ContainsNonRelocatable(key, user_functions)) return false;
+  std::string dump = DumpExpr(key);
+  std::string token = "$" + var;
+  std::string result;
+  result.reserve(dump.size());
+  size_t pos = 0;
+  while (pos < dump.size()) {
+    size_t hit = dump.find(token, pos);
+    if (hit == std::string::npos) {
+      result.append(dump, pos, std::string::npos);
+      break;
+    }
+    result.append(dump, pos, hit - pos);
+    if (TokenBoundary(dump, hit + token.size())) {
+      result += "\xe2\x80\xa2";  // •
+    } else {
+      result += token;
+    }
+    pos = hit + token.size();
+  }
+  *out = std::move(result);
+  return true;
+}
+
+LogicalProps DeriveProps(const Expr* expr) {
+  LogicalProps props;
+  if (expr == nullptr) {
+    props.cardinality = 0;
+    return props;
+  }
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      props.cardinality = 1;
+      props.duplicate_free = true;
+      return props;
+    case ExprKind::kSequence: {
+      const auto* e = static_cast<const SequenceExpr*>(expr);
+      int64_t total = 0;
+      bool known = true;
+      bool large = false;
+      for (const ExprPtr& item : e->items) {
+        LogicalProps item_props = DeriveProps(item.get());
+        if (item_props.cardinality >= 0) {
+          total += item_props.cardinality;
+        } else {
+          known = false;
+        }
+        large = large || item_props.cardinality_large;
+      }
+      if (known) props.cardinality = total;
+      props.cardinality_large = large;
+      return props;
+    }
+    case ExprKind::kRange: {
+      const auto* e = static_cast<const RangeExpr*>(expr);
+      // `lo to hi` is ascending and duplicate-free by construction, which
+      // makes `order by` on the range variable itself removable.
+      props.ordering = OrderingKind::kKeySorted;
+      props.keys.push_back(DerivedKey{"\xe2\x80\xa2", false, false});
+      props.duplicate_free = true;
+      bool lo_ok = false, hi_ok = false;
+      int64_t lo = LiteralInt(e->lo.get(), &lo_ok);
+      int64_t hi = LiteralInt(e->hi.get(), &hi_ok);
+      if (lo_ok && hi_ok) props.cardinality = hi < lo ? 0 : hi - lo + 1;
+      return props;
+    }
+    case ExprKind::kPath: {
+      const auto* e = static_cast<const PathExpr*>(expr);
+      // EvalPath normalizes multi-context steps to document order and
+      // deduplicates identities; single-context forward steps are in
+      // document order by construction. Either way the result is
+      // document-ordered and duplicate-free (atomic-producing final
+      // segments lose both, but nothing downstream relies on them then).
+      props.ordering = OrderingKind::kDocumentOrder;
+      props.duplicate_free = true;
+      bool descends = false;
+      for (const PathSegment& segment : e->segments) {
+        if (!segment.is_expr() &&
+            (segment.step.axis == Axis::kDescendant ||
+             segment.step.axis == Axis::kDescendantOrSelf)) {
+          descends = true;
+        }
+      }
+      if (e->start != nullptr) {
+        descends = descends || DeriveProps(e->start.get()).cardinality_large;
+      }
+      props.cardinality_large = descends;
+      return props;
+    }
+    case ExprKind::kFilter: {
+      LogicalProps primary =
+          DeriveProps(static_cast<const FilterExpr*>(expr)->primary.get());
+      // A filter keeps a subsequence: ordering and duplicate-freeness
+      // survive, cardinality bounds do not.
+      props.ordering = primary.ordering;
+      props.keys = std::move(primary.keys);
+      props.duplicate_free = primary.duplicate_free;
+      return props;
+    }
+    case ExprKind::kFunctionCall: {
+      const auto* call = static_cast<const FunctionCallExpr*>(expr);
+      if (call->name == "collection" || call->name == "fn:collection" ||
+          call->name == "doc" || call->name == "fn:doc") {
+        props.ordering = OrderingKind::kDocumentOrder;
+        props.duplicate_free = true;
+        props.cardinality_large = call->name == "collection" ||
+                                  call->name == "fn:collection";
+        return props;
+      }
+      if ((call->name == "distinct-values" ||
+           call->name == "fn:distinct-values") &&
+          call->args.size() == 1) {
+        LogicalProps arg = DeriveProps(call->args[0].get());
+        props.duplicate_free = true;
+        props.cardinality_large = arg.cardinality_large;
+        if (arg.cardinality >= 0) props.cardinality = arg.cardinality;
+        return props;
+      }
+      if ((call->name == "exactly-one" || call->name == "fn:exactly-one") &&
+          call->args.size() == 1) {
+        props.cardinality = 1;
+        props.duplicate_free = true;
+        return props;
+      }
+      return props;
+    }
+    case ExprKind::kFlwor: {
+      const auto* e = static_cast<const FlworExpr*>(expr);
+      const FlworClause* first_for = nullptr;
+      size_t for_count = 0;
+      bool has_group = false;
+      const FlworClause* trailing_order = nullptr;
+      for (const FlworClause& clause : e->clauses) {
+        if (clause.kind == ClauseKind::kFor) {
+          if (first_for == nullptr) first_for = &clause;
+          ++for_count;
+        }
+        if (clause.kind == ClauseKind::kGroupBy) has_group = true;
+        trailing_order =
+            clause.kind == ClauseKind::kOrderBy ? &clause : nullptr;
+      }
+      if (first_for != nullptr) {
+        props.cardinality_large =
+            DeriveProps(first_for->for_expr.get()).cardinality_large;
+      }
+      // `for $v in D ... order by K1($v), ... return $v` emits items sorted
+      // by the keys; with no order by and a single unnested for, the domain's
+      // ordering passes straight through.
+      if (e->return_expr == nullptr ||
+          e->return_expr->kind() != ExprKind::kVarRef || has_group) {
+        return props;
+      }
+      const std::string& ret_var =
+          static_cast<const VarRefExpr*>(e->return_expr.get())->name;
+      bool ret_is_for_var = false;
+      for (const FlworClause& clause : e->clauses) {
+        if (clause.kind == ClauseKind::kFor && clause.for_var == ret_var) {
+          ret_is_for_var = true;
+        }
+      }
+      if (!ret_is_for_var || !e->at_var.empty()) return props;
+      if (trailing_order != nullptr) {
+        std::vector<DerivedKey> keys;
+        for (const OrderSpec& spec : trailing_order->order_by.specs) {
+          DerivedKey key;
+          if (!DumpKeyRelativeTo(spec.key.get(), ret_var, {}, &key.dump)) {
+            return props;
+          }
+          key.descending = spec.descending;
+          key.empty_greatest = spec.empty_greatest;
+          keys.push_back(std::move(key));
+        }
+        props.ordering = OrderingKind::kKeySorted;
+        props.keys = std::move(keys);
+        return props;
+      }
+      if (for_count == 1 && first_for->for_var == ret_var) {
+        // Filtering clauses (where/let/count) keep a subsequence of the
+        // domain, so its derived ordering survives.
+        LogicalProps domain = DeriveProps(first_for->for_expr.get());
+        props.ordering = domain.ordering;
+        props.keys = std::move(domain.keys);
+        props.duplicate_free = domain.duplicate_free;
+      }
+      return props;
+    }
+    default:
+      return props;
+  }
+}
+
+std::string DescribeProps(const LogicalProps& props) {
+  std::string out;
+  switch (props.ordering) {
+    case OrderingKind::kUnordered:
+      out = "unordered";
+      break;
+    case OrderingKind::kDocumentOrder:
+      out = "document-order";
+      break;
+    case OrderingKind::kKeySorted: {
+      out = "sorted[";
+      for (size_t i = 0; i < props.keys.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += props.keys[i].dump;
+        out += props.keys[i].descending ? " desc" : " asc";
+      }
+      out += "]";
+      break;
+    }
+  }
+  if (props.duplicate_free) out += ", dup-free";
+  if (props.cardinality >= 0) {
+    out += ", card=" + std::to_string(props.cardinality);
+  } else {
+    out += props.cardinality_large ? ", card~large" : ", card=?";
+  }
+  return out;
+}
+
+}  // namespace xqa

@@ -1,0 +1,87 @@
+#ifndef XQA_OPTIMIZER_LOGICAL_PROPS_H_
+#define XQA_OPTIMIZER_LOGICAL_PROPS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Derived ordering of an expression's result sequence. The lattice is
+/// kUnordered < {kDocumentOrder, kKeySorted}: rules may rely on a stronger
+/// derived ordering, never assume one that wasn't derived.
+enum class OrderingKind : uint8_t {
+  kUnordered,      ///< nothing known
+  kDocumentOrder,  ///< nodes in document order, no duplicate identities
+  kKeySorted,      ///< sorted by `LogicalProps::keys` (stable w.r.t. input)
+};
+
+/// One derived sort key, identified structurally: `dump` is the key
+/// expression rendered relative to the item it applies to (the driving
+/// variable replaced by a placeholder), so keys derived from different
+/// variable names still compare equal.
+struct DerivedKey {
+  std::string dump;
+  bool descending = false;
+  bool empty_greatest = false;
+
+  bool operator==(const DerivedKey& other) const {
+    return dump == other.dump && descending == other.descending &&
+           empty_greatest == other.empty_greatest;
+  }
+};
+
+/// Statically derived properties of one expression subtree. Cardinality is a
+/// heuristic estimate (the engine has no per-name index statistics at
+/// compile time — see docs/OPTIMIZER.md): `cardinality >= 0` only for
+/// literal-shaped domains, and `cardinality_large` marks domains that scan
+/// documents or collections, which the cost gates treat as clearing any
+/// threshold.
+struct LogicalProps {
+  OrderingKind ordering = OrderingKind::kUnordered;
+  std::vector<DerivedKey> keys;  ///< meaningful when ordering == kKeySorted
+  bool duplicate_free = false;
+  int64_t cardinality = -1;  ///< exact item count when >= 0; -1 unknown
+  bool cardinality_large = false;
+
+  bool CardinalityAtLeast(int64_t threshold) const {
+    return cardinality_large || (cardinality >= 0 && cardinality >= threshold);
+  }
+};
+
+/// Derives properties bottom-up for one expression. Pure and conservative:
+/// anything not recognized degrades to the bottom of the lattice.
+LogicalProps DeriveProps(const Expr* expr);
+
+/// Human-readable one-liner for EXPLAIN annotations and fired-rule logs,
+/// e.g. "document-order, dup-free, card~large" or "sorted[•/price asc]".
+std::string DescribeProps(const LogicalProps& props);
+
+/// Collects the free variable names of `expr` (variables referenced but not
+/// bound inside it), respecting FLWOR clause scoping, quantifier bindings,
+/// and typeswitch case variables.
+void CollectFreeVars(const Expr* expr, std::set<std::string>* out);
+
+/// True when `expr` (anywhere in its tree) depends on the evaluation focus
+/// or other surroundings that change if the expression is relocated into a
+/// path predicate: the context item, absolute paths, zero-argument function
+/// calls (position/last/... — conservatively all of them), or calls to
+/// user-declared functions from `user_functions`.
+bool ContainsNonRelocatable(const Expr* expr,
+                            const std::set<std::string>& user_functions);
+
+/// Renders `key` relative to `var`: the s-expression dump with every
+/// reference to $var replaced by the placeholder "•". Fails (returns false)
+/// when the key references any other variable or contains non-relocatable
+/// constructs, so two keys match only if they are the same function of the
+/// driving item.
+bool DumpKeyRelativeTo(const Expr* key, const std::string& var,
+                       const std::set<std::string>& user_functions,
+                       std::string* out);
+
+}  // namespace xqa
+
+#endif  // XQA_OPTIMIZER_LOGICAL_PROPS_H_

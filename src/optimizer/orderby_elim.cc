@@ -1,0 +1,159 @@
+#include "optimizer/orderby_elim.h"
+
+#include <cstddef>
+
+#include "optimizer/logical_props.h"
+
+namespace xqa {
+
+namespace {
+
+bool BindsVar(const FlworClause& clause, const std::string& name) {
+  switch (clause.kind) {
+    case ClauseKind::kFor:
+      return clause.for_var == name || clause.pos_var == name;
+    case ClauseKind::kLet:
+      return clause.let_var == name;
+    case ClauseKind::kCount:
+      return clause.count_var == name;
+    case ClauseKind::kGroupBy:
+      for (const FlworClause::GroupKey& key : clause.group_keys) {
+        if (key.var == name) return true;
+      }
+      for (const FlworClause::NestSpec& nest : clause.nest_specs) {
+        if (nest.var == name) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+bool GroupByBefore(const FlworExpr& expr, size_t end) {
+  for (size_t i = 0; i < end; ++i) {
+    if (expr.clauses[i].kind == ClauseKind::kGroupBy) return true;
+  }
+  return false;
+}
+
+/// True when `var` is rebound by any clause in (begin, end).
+bool ReboundBetween(const FlworExpr& expr, size_t begin, size_t end,
+                    const std::string& var) {
+  for (size_t i = begin + 1; i < end; ++i) {
+    if (BindsVar(expr.clauses[i], var)) return true;
+  }
+  return false;
+}
+
+/// Case 1: single ascending spec on a tuple-numbering variable — the
+/// positional variable of the first clause, or a count variable bound before
+/// the order-by. Numbering is non-decreasing in stream order, so a stable
+/// sort of it is the identity.
+bool PositionalKeyElides(const FlworExpr& expr, size_t order_index,
+                         std::string* description) {
+  const OrderByData& order = expr.clauses[order_index].order_by;
+  if (order.specs.size() != 1) return false;
+  const OrderSpec& spec = order.specs[0];
+  if (spec.descending) return false;
+  if (spec.key == nullptr || spec.key->kind() != ExprKind::kVarRef) {
+    return false;
+  }
+  const std::string& var =
+      static_cast<const VarRefExpr*>(spec.key.get())->name;
+  if (GroupByBefore(expr, order_index)) return false;
+
+  const FlworClause& first = expr.clauses[0];
+  if (first.kind == ClauseKind::kFor && first.pos_var == var &&
+      !ReboundBetween(expr, 0, order_index, var)) {
+    *description = "order by $" + var +
+                   " (position of first for clause, non-decreasing)";
+    return true;
+  }
+  for (size_t i = 0; i < order_index; ++i) {
+    const FlworClause& clause = expr.clauses[i];
+    if (clause.kind == ClauseKind::kCount && clause.count_var == var &&
+        !ReboundBetween(expr, i, order_index, var)) {
+      *description =
+          "order by $" + var + " (count variable, non-decreasing)";
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Case 2: the first for clause's domain derives kKeySorted and the specs
+/// are a prefix of the derived keys (same expression relative to the driving
+/// variable, same direction, same empty ordering).
+bool SortedDomainElides(const FlworExpr& expr, size_t order_index,
+                        const std::set<std::string>& user_functions,
+                        std::string* description) {
+  size_t for_index = expr.clauses.size();
+  for (size_t i = 0; i < order_index; ++i) {
+    ClauseKind kind = expr.clauses[i].kind;
+    if (kind == ClauseKind::kFor) {
+      for_index = i;
+      break;
+    }
+    if (kind != ClauseKind::kLet && kind != ClauseKind::kWhere) return false;
+  }
+  if (for_index >= order_index) return false;
+  const FlworClause& for_clause = expr.clauses[for_index];
+  LogicalProps props = DeriveProps(for_clause.for_expr.get());
+  if (props.ordering != OrderingKind::kKeySorted || props.keys.empty()) {
+    return false;
+  }
+  if (GroupByBefore(expr, order_index)) return false;
+  if (ReboundBetween(expr, for_index, order_index, for_clause.for_var)) {
+    return false;
+  }
+
+  const OrderByData& order = expr.clauses[order_index].order_by;
+  if (order.specs.empty() || order.specs.size() > props.keys.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < order.specs.size(); ++i) {
+    const OrderSpec& spec = order.specs[i];
+    std::string dump;
+    if (!DumpKeyRelativeTo(spec.key.get(), for_clause.for_var,
+                           user_functions, &dump)) {
+      return false;
+    }
+    DerivedKey wanted;
+    wanted.dump = dump;
+    wanted.descending = spec.descending;
+    wanted.empty_greatest = spec.empty_greatest;
+    if (!(wanted == props.keys[i])) return false;
+  }
+  *description = "order by on already-sorted domain (" +
+                 DescribeProps(props) + ")";
+  return true;
+}
+
+}  // namespace
+
+int EliminateOrderBy(FlworExpr* expr,
+                     const std::set<std::string>& user_functions,
+                     std::vector<std::string>* fired) {
+  int eliminated = 0;
+  for (size_t j = 0; j < expr->clauses.size();) {
+    if (expr->clauses[j].kind != ClauseKind::kOrderBy) {
+      ++j;
+      continue;
+    }
+    std::string description;
+    if (!PositionalKeyElides(*expr, j, &description) &&
+        !SortedDomainElides(*expr, j, user_functions, &description)) {
+      ++j;
+      continue;
+    }
+    expr->clauses.erase(expr->clauses.begin() + static_cast<long>(j));
+    ++expr->elided_order_by;
+    ++eliminated;
+    if (fired != nullptr) {
+      fired->push_back("order-by elimination: " + description);
+    }
+  }
+  return eliminated;
+}
+
+}  // namespace xqa

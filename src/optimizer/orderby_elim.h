@@ -1,0 +1,44 @@
+#ifndef XQA_OPTIMIZER_ORDERBY_ELIM_H_
+#define XQA_OPTIMIZER_ORDERBY_ELIM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Order-by elimination: removes an `order by` clause whose keys are already
+/// implied by the derived ordering of the tuple stream, so both FLWOR
+/// engines skip materializing and stable-sorting the tuple buffer entirely.
+///
+/// Two cases fire:
+///  1. Positional keys — a single ascending spec whose key is exactly the
+///     positional variable of the first clause (`for $x at $p in ...`) or a
+///     preceding `count` variable. Tuple numbering is non-decreasing in
+///     stream order (later for clauses repeat, never reorder, a number), so
+///     a stable sort is the identity, and integer keys can never fail
+///     order-key validation.
+///  2. Derived key-sorted domains — the first `for` clause's domain derives
+///     OrderingKind::kKeySorted (a range expression, or a nested FLWOR with
+///     its own trailing order-by), and the specs are a prefix of the derived
+///     keys: same key expression relative to the driving variable (see
+///     DumpKeyRelativeTo), same direction, same empty-ordering. The inner
+///     sort already ordered and validated the same keys on the same items.
+///
+/// Refusals: any group-by before the order-by (grouping rebuilds the tuple
+/// stream), the driving variable rebound in between, keys referencing other
+/// variables or non-relocatable constructs. Elisions are recorded on the
+/// FLWOR node (`FlworExpr::elided_order_by`) so execution can surface
+/// QueryStats::order_by_elided at run time.
+///
+/// Appends one description per elision to `fired` (if non-null). Returns the
+/// number of clauses removed.
+int EliminateOrderBy(FlworExpr* expr,
+                     const std::set<std::string>& user_functions,
+                     std::vector<std::string>* fired);
+
+}  // namespace xqa
+
+#endif  // XQA_OPTIMIZER_ORDERBY_ELIM_H_

@@ -1,0 +1,369 @@
+#include "optimizer/pushdown.h"
+
+#include <memory>
+#include <utility>
+
+#include "optimizer/logical_props.h"
+#include "xdm/compare.h"
+
+namespace xqa {
+
+namespace {
+
+std::string Brief(const Expr* expr) {
+  std::string dumped = DumpExpr(expr);
+  if (dumped.size() <= 60) return dumped;
+  return dumped.substr(0, 57) + "...";
+}
+
+/// True when `clause` binds the variable `name` (any binding position).
+bool BindsVar(const FlworClause& clause, const std::string& name) {
+  switch (clause.kind) {
+    case ClauseKind::kFor:
+      return clause.for_var == name || clause.pos_var == name;
+    case ClauseKind::kLet:
+      return clause.let_var == name;
+    case ClauseKind::kCount:
+      return clause.count_var == name;
+    case ClauseKind::kGroupBy:
+      for (const FlworClause::GroupKey& key : clause.group_keys) {
+        if (key.var == name) return true;
+      }
+      for (const FlworClause::NestSpec& nest : clause.nest_specs) {
+        if (nest.var == name) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+/// Replaces every reference to $var with the context item, respecting
+/// shadowing: a nested construct that rebinds `var` keeps its own scope
+/// untouched.
+void SubstituteVar(ExprPtr* slot, const std::string& var);
+
+void SubstituteClauseList(FlworExpr* e, const std::string& var) {
+  bool shadowed = false;
+  for (FlworClause& clause : e->clauses) {
+    if (shadowed) return;
+    switch (clause.kind) {
+      case ClauseKind::kFor:
+        SubstituteVar(&clause.for_expr, var);
+        break;
+      case ClauseKind::kLet:
+        SubstituteVar(&clause.let_expr, var);
+        break;
+      case ClauseKind::kWhere:
+        SubstituteVar(&clause.where_expr, var);
+        break;
+      case ClauseKind::kGroupBy:
+        for (FlworClause::GroupKey& key : clause.group_keys) {
+          SubstituteVar(&key.expr, var);
+        }
+        for (FlworClause::NestSpec& nest : clause.nest_specs) {
+          SubstituteVar(&nest.expr, var);
+          if (nest.order_by.has_value()) {
+            for (OrderSpec& spec : nest.order_by->specs) {
+              SubstituteVar(&spec.key, var);
+            }
+          }
+        }
+        break;
+      case ClauseKind::kOrderBy:
+        for (OrderSpec& spec : clause.order_by.specs) {
+          SubstituteVar(&spec.key, var);
+        }
+        break;
+      case ClauseKind::kCount:
+        break;
+    }
+    if (BindsVar(clause, var)) shadowed = true;
+  }
+  if (e->at_var == var) return;
+  SubstituteVar(&e->return_expr, var);
+}
+
+void SubstituteVar(ExprPtr* slot, const std::string& var) {
+  Expr* expr = slot->get();
+  if (expr == nullptr) return;
+  switch (expr->kind()) {
+    case ExprKind::kVarRef:
+      if (static_cast<VarRefExpr*>(expr)->name == var) {
+        *slot = std::make_unique<ContextItemExpr>(expr->location());
+      }
+      return;
+    case ExprKind::kLiteral:
+    case ExprKind::kContextItem:
+      return;
+    case ExprKind::kSequence:
+      for (ExprPtr& item : static_cast<SequenceExpr*>(expr)->items) {
+        SubstituteVar(&item, var);
+      }
+      return;
+    case ExprKind::kRange: {
+      auto* e = static_cast<RangeExpr*>(expr);
+      SubstituteVar(&e->lo, var);
+      SubstituteVar(&e->hi, var);
+      return;
+    }
+    case ExprKind::kArithmetic: {
+      auto* e = static_cast<ArithmeticExpr*>(expr);
+      SubstituteVar(&e->lhs, var);
+      SubstituteVar(&e->rhs, var);
+      return;
+    }
+    case ExprKind::kUnary:
+      SubstituteVar(&static_cast<UnaryExpr*>(expr)->operand, var);
+      return;
+    case ExprKind::kComparison: {
+      auto* e = static_cast<ComparisonExpr*>(expr);
+      SubstituteVar(&e->lhs, var);
+      SubstituteVar(&e->rhs, var);
+      return;
+    }
+    case ExprKind::kLogical: {
+      auto* e = static_cast<LogicalExpr*>(expr);
+      SubstituteVar(&e->lhs, var);
+      SubstituteVar(&e->rhs, var);
+      return;
+    }
+    case ExprKind::kIf: {
+      auto* e = static_cast<IfExpr*>(expr);
+      SubstituteVar(&e->condition, var);
+      SubstituteVar(&e->then_branch, var);
+      SubstituteVar(&e->else_branch, var);
+      return;
+    }
+    case ExprKind::kQuantified: {
+      auto* e = static_cast<QuantifiedExpr*>(expr);
+      for (QuantifiedExpr::Binding& binding : e->bindings) {
+        SubstituteVar(&binding.expr, var);
+        if (binding.var == var) return;  // shadowed from here on
+      }
+      SubstituteVar(&e->satisfies, var);
+      return;
+    }
+    case ExprKind::kPath: {
+      auto* e = static_cast<PathExpr*>(expr);
+      if (e->start != nullptr) SubstituteVar(&e->start, var);
+      for (PathSegment& segment : e->segments) {
+        if (segment.is_expr()) {
+          SubstituteVar(&segment.expr, var);
+        } else {
+          for (ExprPtr& predicate : segment.step.predicates) {
+            SubstituteVar(&predicate, var);
+          }
+        }
+      }
+      return;
+    }
+    case ExprKind::kFilter: {
+      auto* e = static_cast<FilterExpr*>(expr);
+      SubstituteVar(&e->primary, var);
+      for (ExprPtr& predicate : e->predicates) SubstituteVar(&predicate, var);
+      return;
+    }
+    case ExprKind::kFunctionCall:
+      for (ExprPtr& arg : static_cast<FunctionCallExpr*>(expr)->args) {
+        SubstituteVar(&arg, var);
+      }
+      return;
+    case ExprKind::kFlwor:
+      SubstituteClauseList(static_cast<FlworExpr*>(expr), var);
+      return;
+    case ExprKind::kDirectConstructor: {
+      auto* e = static_cast<DirectConstructorExpr*>(expr);
+      for (DirectConstructorExpr::Attribute& attr : e->attributes) {
+        for (ConstructorContent& part : attr.parts) {
+          if (part.expr != nullptr) SubstituteVar(&part.expr, var);
+        }
+      }
+      for (ConstructorContent& child : e->children) {
+        if (child.expr != nullptr) SubstituteVar(&child.expr, var);
+      }
+      return;
+    }
+    case ExprKind::kComputedConstructor: {
+      auto* e = static_cast<ComputedConstructorExpr*>(expr);
+      if (e->name_expr != nullptr) SubstituteVar(&e->name_expr, var);
+      if (e->content != nullptr) SubstituteVar(&e->content, var);
+      return;
+    }
+    case ExprKind::kTypeOp:
+      SubstituteVar(&static_cast<TypeOpExpr*>(expr)->operand, var);
+      return;
+    case ExprKind::kTypeswitch: {
+      auto* e = static_cast<TypeswitchExpr*>(expr);
+      SubstituteVar(&e->operand, var);
+      for (TypeswitchExpr::CaseClause& clause : e->cases) {
+        if (clause.var != var) SubstituteVar(&clause.result, var);
+      }
+      if (e->default_var != var) SubstituteVar(&e->default_result, var);
+      return;
+    }
+  }
+}
+
+/// Matches a single-child-step path "$var/child" with no predicates.
+bool MatchVarChildPath(const Expr* expr, const std::string& var,
+                       std::string* child) {
+  if (expr == nullptr || expr->kind() != ExprKind::kPath) return false;
+  const auto* path = static_cast<const PathExpr*>(expr);
+  if (path->absolute || path->start == nullptr ||
+      path->start->kind() != ExprKind::kVarRef ||
+      static_cast<const VarRefExpr*>(path->start.get())->name != var) {
+    return false;
+  }
+  if (path->segments.size() != 1) return false;
+  const PathSegment& segment = path->segments[0];
+  if (segment.is_expr()) return false;
+  if (segment.step.axis != Axis::kChild ||
+      segment.step.test.kind != NodeTest::Kind::kName ||
+      segment.step.test.name == "*" || segment.step.test.name.empty() ||
+      !segment.step.predicates.empty() ||
+      segment.step.pushed_filter != nullptr) {
+    return false;
+  }
+  *child = segment.step.test.name;
+  return true;
+}
+
+int MirrorOp(int op) {
+  switch (static_cast<CompareOp>(op)) {
+    case CompareOp::kLt: return static_cast<int>(CompareOp::kGt);
+    case CompareOp::kLe: return static_cast<int>(CompareOp::kGe);
+    case CompareOp::kGt: return static_cast<int>(CompareOp::kLt);
+    case CompareOp::kGe: return static_cast<int>(CompareOp::kLe);
+    default: return op;  // eq / ne are symmetric
+  }
+}
+
+/// Literal fast path: `$v/c <op> literal` (either orientation) becomes a
+/// PushedValueFilter on the domain's last step. Requires the step to carry
+/// no predicates (the filter runs at axis time, before predicates, which
+/// would reorder evaluation relative to a positional predicate) and no
+/// prior filter.
+bool TryLiteralPush(const Expr* where, const std::string& var,
+                    PathStep* last_step, std::string* described) {
+  if (last_step->pushed_filter != nullptr || !last_step->predicates.empty()) {
+    return false;
+  }
+  if (last_step->test.kind != NodeTest::Kind::kName &&
+      last_step->test.kind != NodeTest::Kind::kElement) {
+    return false;
+  }
+  if (where == nullptr || where->kind() != ExprKind::kComparison) return false;
+  const auto* cmp = static_cast<const ComparisonExpr*>(where);
+  if (cmp->comparison_kind != ComparisonKind::kGeneral) return false;
+  const Expr* path_side = cmp->lhs.get();
+  const Expr* literal_side = cmp->rhs.get();
+  int op = cmp->op;
+  std::string child;
+  if (!MatchVarChildPath(path_side, var, &child)) {
+    std::swap(path_side, literal_side);
+    op = MirrorOp(op);
+    if (!MatchVarChildPath(path_side, var, &child)) return false;
+  }
+  if (literal_side->kind() != ExprKind::kLiteral) return false;
+  auto filter = std::make_unique<PushedValueFilter>();
+  filter->child.kind = NodeTest::Kind::kName;
+  filter->child.name = child;
+  filter->op = op;
+  filter->literal = static_cast<const LiteralExpr*>(literal_side)->value;
+  last_step->pushed_filter = std::move(filter);
+  *described = Brief(where);
+  return true;
+}
+
+ExprPtr BuildBooleanCall(ExprPtr arg, SourceLocation loc) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(arg));
+  return std::make_unique<FunctionCallExpr>("boolean", std::move(args), loc);
+}
+
+}  // namespace
+
+int PushPredicates(FlworExpr* expr, const std::set<std::string>& user_functions,
+                   std::vector<std::string>* fired) {
+  int pushed = 0;
+  for (size_t j = 0; j < expr->clauses.size();) {
+    FlworClause& where_clause = expr->clauses[j];
+    if (where_clause.kind != ClauseKind::kWhere ||
+        where_clause.where_expr == nullptr) {
+      ++j;
+      continue;
+    }
+    std::set<std::string> free_vars;
+    CollectFreeVars(where_clause.where_expr.get(), &free_vars);
+    if (free_vars.size() != 1 ||
+        ContainsNonRelocatable(where_clause.where_expr.get(),
+                               user_functions)) {
+      ++j;
+      continue;
+    }
+    const std::string var = *free_vars.begin();
+
+    // Scan back to the nearest clause binding `var`; every clause crossed on
+    // the way lies between binder and where, so a count / group by /
+    // order by there blocks the hoist (tuple numbering, stream shape, and
+    // key-validation errors would all observe the unfiltered stream).
+    int binder = -1;
+    bool blocked = false;
+    for (int i = static_cast<int>(j) - 1; i >= 0; --i) {
+      const FlworClause& clause = expr->clauses[static_cast<size_t>(i)];
+      if (BindsVar(clause, var)) {
+        if (clause.kind == ClauseKind::kFor && clause.for_var == var &&
+            clause.pos_var.empty()) {
+          binder = i;
+        }
+        break;
+      }
+      if (clause.kind == ClauseKind::kCount ||
+          clause.kind == ClauseKind::kGroupBy ||
+          clause.kind == ClauseKind::kOrderBy) {
+        blocked = true;
+        break;
+      }
+    }
+    if (binder < 0 || blocked) {
+      ++j;
+      continue;
+    }
+
+    FlworClause& for_clause = expr->clauses[static_cast<size_t>(binder)];
+    if (for_clause.for_expr == nullptr ||
+        for_clause.for_expr->kind() != ExprKind::kPath) {
+      ++j;
+      continue;
+    }
+    auto* domain = static_cast<PathExpr*>(for_clause.for_expr.get());
+    if (domain->segments.empty() || domain->segments.back().is_expr()) {
+      ++j;
+      continue;
+    }
+    PathStep& last_step = domain->segments.back().step;
+
+    std::string described;
+    bool literal = TryLiteralPush(where_clause.where_expr.get(), var,
+                                  &last_step, &described);
+    if (!literal) {
+      described = Brief(where_clause.where_expr.get());
+      ExprPtr hoisted = std::move(where_clause.where_expr);
+      SubstituteVar(&hoisted, var);
+      last_step.predicates.push_back(
+          BuildBooleanCall(std::move(hoisted), where_clause.location));
+    }
+    if (fired != nullptr) {
+      fired->push_back(std::string("predicate pushdown") +
+                       (literal ? " (index value filter)" : "") + ": where " +
+                       described + " -> domain of $" + var + " (" +
+                       DescribeProps(DeriveProps(domain)) + ")");
+    }
+    expr->clauses.erase(expr->clauses.begin() + static_cast<long>(j));
+    ++pushed;
+  }
+  return pushed;
+}
+
+}  // namespace xqa

@@ -1,0 +1,46 @@
+#ifndef XQA_OPTIMIZER_PUSHDOWN_H_
+#define XQA_OPTIMIZER_PUSHDOWN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Predicate pushdown: hoists `where` clauses whose only free variable is a
+/// single preceding `for` variable into that for clause's domain, so tuples
+/// are filtered before they are materialized (both FLWOR engines then filter
+/// inside path evaluation instead of after tuple construction).
+///
+/// Two forms, tried in order per where clause:
+///  1. Literal fast path — `where $v/c <op> literal` (general comparison)
+///     with a path domain ending in a named element step becomes a
+///     PushedValueFilter annotation on that last step, which EvalPath
+///     honors inside the element-name index scan itself.
+///  2. General form — the where expression W (free vars exactly {$v}, no
+///     focus-dependent constructs) becomes the predicate `boolean(W')` on
+///     the domain path's last step, W' being W with $v replaced by the
+///     context item. boolean() forces effective-boolean-value semantics,
+///     matching the where clause exactly (a bare numeric predicate would be
+///     positional).
+///
+/// Refuses to push when semantics could change: the binder carries a
+/// positional variable, a count/group-by/order-by clause sits between binder
+/// and where (their numbering, stream shape, or key-validation errors would
+/// observe the unfiltered stream), the where references the context item /
+/// absolute paths / zero-argument or user-declared functions (focus and
+/// environment change inside a predicate), or the domain is not a path
+/// ending in an axis step (pushing into e.g. collection() would defeat the
+/// partitioned scan).
+///
+/// Removes pushed where clauses from `expr->clauses`. Appends one
+/// description per pushed clause to `fired` (if non-null). Returns the
+/// number of clauses pushed.
+int PushPredicates(FlworExpr* expr, const std::set<std::string>& user_functions,
+                   std::vector<std::string>* fired);
+
+}  // namespace xqa
+
+#endif  // XQA_OPTIMIZER_PUSHDOWN_H_

@@ -1,7 +1,13 @@
 #include "optimizer/rewriter.h"
 
+#include <memory>
+#include <set>
+#include <utility>
+
 #include "optimizer/constant_fold.h"
 #include "optimizer/groupby_detect.h"
+#include "optimizer/orderby_elim.h"
+#include "optimizer/pushdown.h"
 
 namespace xqa {
 
@@ -9,9 +15,14 @@ namespace {
 
 class Rewriter {
  public:
-  explicit Rewriter(const OptimizerOptions& options) : options_(options) {}
+  Rewriter(const OptimizerOptions& options,
+           std::set<std::string> user_functions,
+           std::vector<std::string>* fired)
+      : options_(options),
+        user_functions_(std::move(user_functions)),
+        fired_(fired) {}
 
-  int rewrites() const { return rewrites_; }
+  const RewriteCounts& counts() const { return counts_; }
 
   /// Rewrites the expression in `slot`, recursing into children first so
   /// nested occurrences of a pattern are handled bottom-up.
@@ -20,12 +31,12 @@ class Rewriter {
     if (options_.fold_constants && slot->get() != nullptr) {
       ExprPtr folded = TryFoldConstant(slot->get());
       if (folded != nullptr) {
-        ++rewrites_;
+        RecordFold();
         *slot = std::move(folded);
         // A folded if-branch may expose further folds.
         ExprPtr again = TryFoldConstant(slot->get());
         while (again != nullptr) {
-          ++rewrites_;
+          RecordFold();
           *slot = std::move(again);
           again = TryFoldConstant(slot->get());
         }
@@ -149,13 +160,7 @@ class Rewriter {
           }
         }
         Rewrite(&e->return_expr);
-        if (options_.detect_groupby_patterns) {
-          ExprPtr replacement = TryRewriteGroupByPattern(e);
-          if (replacement != nullptr) {
-            ++rewrites_;
-            *slot = std::move(replacement);
-          }
-        }
+        RewriteFlwor(slot, e);
         return;
       }
       case ExprKind::kDirectConstructor: {
@@ -194,14 +199,54 @@ class Rewriter {
   }
 
  private:
+  /// The FLWOR rule sequence. Pushdown first (it shrinks the clause list the
+  /// later rules scan), then order-by elimination, then group-by extraction
+  /// on whatever shape remains. The extraction wraps the matched FLWOR in
+  /// `if (guard) then grouped else original` so repeated grouping children
+  /// fall back to the naive form byte-identically at run time.
+  void RewriteFlwor(ExprPtr* slot, FlworExpr* e) {
+    if (options_.push_predicates) {
+      counts_.predicates_pushed += PushPredicates(e, user_functions_, fired_);
+    }
+    if (options_.eliminate_order_by) {
+      counts_.order_by_eliminated +=
+          EliminateOrderBy(e, user_functions_, fired_);
+    }
+    if (!options_.detect_groupby_patterns) return;
+    GroupByRewrite rewrite;
+    if (!TryRewriteGroupByPattern(*e, options_.groupby_cardinality_threshold,
+                                  &rewrite)) {
+      return;
+    }
+    ++counts_.groupby_extracted;
+    if (fired_ != nullptr) fired_->push_back(rewrite.description);
+    SourceLocation loc = e->location();
+    ExprPtr original = std::move(*slot);
+    *slot = std::make_unique<IfExpr>(std::move(rewrite.guard),
+                                     std::move(rewrite.grouped),
+                                     std::move(original), loc);
+  }
+
+  void RecordFold() {
+    ++counts_.constants_folded;
+    if (fired_ != nullptr) fired_->push_back("constant folding");
+  }
+
   OptimizerOptions options_;
-  int rewrites_ = 0;
+  std::set<std::string> user_functions_;
+  std::vector<std::string>* fired_;
+  RewriteCounts counts_;
 };
 
 }  // namespace
 
-int OptimizeModule(Module* module, const OptimizerOptions& options) {
-  Rewriter rewriter(options);
+RewriteCounts OptimizeModule(Module* module, const OptimizerOptions& options,
+                             std::vector<std::string>* fired_rules) {
+  std::set<std::string> user_functions;
+  for (const FunctionDecl& fn : module->functions) {
+    user_functions.insert(fn.name);
+  }
+  Rewriter rewriter(options, std::move(user_functions), fired_rules);
   for (FunctionDecl& fn : module->functions) {
     rewriter.Rewrite(&fn.body);
   }
@@ -209,7 +254,7 @@ int OptimizeModule(Module* module, const OptimizerOptions& options) {
     rewriter.Rewrite(&decl.expr);
   }
   rewriter.Rewrite(&module->body);
-  return rewriter.rewrites();
+  return rewriter.counts();
 }
 
 }  // namespace xqa

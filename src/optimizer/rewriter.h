@@ -1,25 +1,65 @@
 #ifndef XQA_OPTIMIZER_REWRITER_H_
 #define XQA_OPTIMIZER_REWRITER_H_
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "parser/ast.h"
 
 namespace xqa {
 
+/// Per-rule switches for the logical rewrite layer. The cost-gated rules are
+/// on by default — each preserves results byte-for-byte (the group-by
+/// extraction via a runtime guard, see groupby_detect.h) — and each flag
+/// exists so ablation benchmarks and tests can isolate one rule at a time.
 struct OptimizerOptions {
-  /// Detect the distinct-values/self-join grouping pattern (the naive
-  /// formulation from Table 1 of the paper) and rewrite it to an explicit
-  /// group by. See groupby_detect.h for the exact template and the
-  /// conditions under which the rewrite preserves semantics.
-  bool detect_groupby_patterns = false;
+  /// Rewrite the distinct-values/self-join grouping pattern (the naive
+  /// formulation from Table 1 of the paper) into an explicit, guarded
+  /// group by. See groupby_detect.h for the template and safety conditions.
+  bool detect_groupby_patterns = true;
+
+  /// Hoist single-variable where clauses into the bound for clause's path
+  /// domain (literal comparisons become index-scan value filters). See
+  /// pushdown.h.
+  bool push_predicates = true;
+
+  /// Remove order-by clauses whose keys are implied by the derived ordering
+  /// of the tuple stream. See orderby_elim.h.
+  bool eliminate_order_by = true;
 
   /// Fold literal-only arithmetic, comparisons, logic, and concatenations at
-  /// compile time, and prune statically-decided conditionals.
+  /// compile time, and prune statically-decided conditionals. Off by
+  /// default: folding rewrites plans that cost nothing at run time, so it
+  /// stays an opt-in ablation.
   bool fold_constants = false;
+
+  /// Minimum derived source cardinality for the group-by extraction to fire
+  /// (its runtime guard costs one extra pass over the source, which only
+  /// pays off against a large O(n^2) self-join). Domains with unknown-large
+  /// cardinality (document/collection scans) always clear the gate.
+  int64_t groupby_cardinality_threshold = 64;
 };
 
-/// Runs enabled rewrite passes over the (parsed, unbound) module. Returns
-/// the number of rewrites applied. Run before BindModule.
-int OptimizeModule(Module* module, const OptimizerOptions& options);
+/// Per-rule breakdown of applied rewrites, surfaced in the EXPLAIN header
+/// and QueryStats::ToJson.
+struct RewriteCounts {
+  int groupby_extracted = 0;
+  int predicates_pushed = 0;
+  int order_by_eliminated = 0;
+  int constants_folded = 0;
+
+  int total() const {
+    return groupby_extracted + predicates_pushed + order_by_eliminated +
+           constants_folded;
+  }
+};
+
+/// Runs enabled rewrite passes over the (parsed, unbound) module. Run before
+/// BindModule. When `fired_rules` is non-null, appends one human-readable
+/// line per applied rewrite (EXPLAIN prints these verbatim).
+RewriteCounts OptimizeModule(Module* module, const OptimizerOptions& options,
+                             std::vector<std::string>* fired_rules = nullptr);
 
 }  // namespace xqa
 

@@ -249,11 +249,26 @@ class QuantifiedExpr : public Expr {
   ExprPtr satisfies;
 };
 
+/// A literal comparison pushed into a path step by the optimizer
+/// (src/optimizer/pushdown.h): keep a context node n iff the general
+/// comparison `data(n/child) <op> literal` holds — exactly the effective
+/// boolean value the hoisted where clause would have computed. Honored by
+/// EvalPath (and inside the element-name index scan for descendant steps);
+/// a step carrying one is disqualified from the batched simple-path kernel
+/// so both engines funnel through the same honoring point.
+struct PushedValueFilter {
+  NodeTest child;     ///< the child element name (Kind::kName)
+  int op = 0;         ///< a CompareOp, same encoding as ComparisonExpr::op
+  AtomicValue literal;
+};
+
 /// One step of a path: axis :: node-test predicate*.
 struct PathStep {
   Axis axis = Axis::kChild;
   NodeTest test;
   std::vector<ExprPtr> predicates;
+  /// Optimizer annotation; null unless predicate pushdown planted one.
+  std::unique_ptr<PushedValueFilter> pushed_filter;
 };
 
 /// A path segment: either an axis step or a general expression evaluated
@@ -390,6 +405,10 @@ class FlworExpr : public Expr {
   std::string at_var;  ///< "return at $rank"; empty if absent
   int at_slot = -1;
   ExprPtr return_expr;
+  /// Number of order-by clauses the optimizer removed because the derived
+  /// input ordering already implied the key sequence (orderby_elim.h). The
+  /// FLWOR engines surface it as QueryStats::order_by_elided per execution.
+  int elided_order_by = 0;
 };
 
 // --- Constructors -----------------------------------------------------------

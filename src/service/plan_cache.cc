@@ -23,9 +23,13 @@ std::string PlanCache::MakeKey(std::string_view query,
   // separator cannot occur in the prefix, so distinct option sets can never
   // alias distinct queries.
   std::string key;
-  key.reserve(query.size() + 16);
-  key += compile.enable_groupby_rewrite ? 'G' : 'g';
-  key += compile.enable_constant_folding ? 'F' : 'f';
+  key.reserve(query.size() + 24);
+  key += compile.optimizer.detect_groupby_patterns ? 'G' : 'g';
+  key += compile.optimizer.fold_constants ? 'F' : 'f';
+  key += compile.optimizer.push_predicates ? 'P' : 'p';
+  key += compile.optimizer.eliminate_order_by ? 'O' : 'o';
+  key += 'h';
+  key += std::to_string(compile.optimizer.groupby_cardinality_threshold);
   key += exec.use_structural_index ? 'I' : 'i';
   key += exec.use_batched_execution ? 'B' : 'b';
   key += 't';

@@ -10,12 +10,21 @@
 namespace xqa {
 namespace {
 
+/// Options with only constant folding enabled, so these tests observe the
+/// fold pass in isolation from the default-on cost-gated rules.
+OptimizerOptions FoldOnly() {
+  OptimizerOptions options;
+  options.detect_groupby_patterns = false;
+  options.push_predicates = false;
+  options.eliminate_order_by = false;
+  options.fold_constants = true;
+  return options;
+}
+
 /// Folds a query body and returns (fold count, dumped AST).
 std::pair<int, std::string> Fold(const std::string& query) {
   ModulePtr module = ParseQuery(query);
-  OptimizerOptions options;
-  options.fold_constants = true;
-  int count = OptimizeModule(module.get(), options);
+  int count = OptimizeModule(module.get(), FoldOnly()).constants_folded;
   return {count, DumpExpr(module->body.get())};
 }
 
@@ -72,9 +81,13 @@ TEST(ConstantFold, InsideLargerExpressions) {
 }
 
 TEST(ConstantFold, ResultsUnchangedThroughEngine) {
-  Engine plain;
+  Engine::Options off;
+  off.optimizer.detect_groupby_patterns = false;
+  off.optimizer.push_predicates = false;
+  off.optimizer.eliminate_order_by = false;
+  Engine plain(off);
   Engine::Options options;
-  options.enable_constant_folding = true;
+  options.optimizer = FoldOnly();
   Engine folding(options);
   DocumentPtr doc = Engine::ParseDocument("<r><v>1</v><v>7</v></r>");
   const char* queries[] = {
@@ -94,9 +107,9 @@ TEST(ConstantFold, ResultsUnchangedThroughEngine) {
 
 TEST(ConstantFold, FoldCountSurfacedViaEngine) {
   Engine::Options options;
-  options.enable_constant_folding = true;
+  options.optimizer = FoldOnly();
   Engine folding(options);
-  EXPECT_GE(folding.Compile("1 + 2 + 3").rewrites_applied(), 2);
+  EXPECT_GE(folding.Compile("1 + 2 + 3").rewrite_counts().constants_folded, 2);
   EXPECT_EQ(folding.Compile("count(//a)").rewrites_applied(), 0);
 }
 

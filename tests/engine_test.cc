@@ -74,9 +74,7 @@ TEST(Engine, ModuleAccessors) {
 }
 
 TEST(Engine, GroupByRewriteOptionSurfacesCount) {
-  Engine::Options options;
-  options.enable_groupby_rewrite = true;
-  Engine engine(options);
+  Engine engine;  // group-by extraction is on by default
   PreparedQuery query = engine.Compile(R"(
     for $a in distinct-values(//order/lineitem/shipmode)
     let $items := for $i in //order/lineitem

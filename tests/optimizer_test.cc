@@ -1,4 +1,4 @@
-// Group-by detection rewrite (ablation A1): when it fires, when it must not,
+// Group-by extraction rewrite (ablation A1): when it fires, when it must not,
 // and that it preserves results on the experiment's workloads.
 
 #include <gtest/gtest.h>
@@ -13,9 +13,16 @@ namespace {
 
 int CountRewrites(const std::string& query) {
   ModulePtr module = ParseQuery(query);
-  OptimizerOptions options;
-  options.detect_groupby_patterns = true;
-  return OptimizeModule(module.get(), options);
+  return OptimizeModule(module.get(), OptimizerOptions()).groupby_extracted;
+}
+
+Engine::Options AllRulesOff() {
+  Engine::Options options;
+  options.optimizer.detect_groupby_patterns = false;
+  options.optimizer.push_predicates = false;
+  options.optimizer.eliminate_order_by = false;
+  options.optimizer.fold_constants = false;
+  return options;
 }
 
 constexpr char kNaiveOneKey[] = R"(
@@ -112,15 +119,13 @@ TEST(GroupByDetect, RewritePreservesResults) {
   config.num_orders = 200;
   DocumentPtr doc = workload::GenerateOrdersDocument(config);
 
-  Engine plain;
-  Engine::Options options;
-  options.enable_groupby_rewrite = true;
-  Engine rewriting(options);
+  Engine plain(AllRulesOff());
+  Engine rewriting;  // group-by extraction is on by default
 
   for (const char* query : {kNaiveOneKey, kNaiveTwoKeys}) {
     PreparedQuery naive = plain.Compile(query);
     PreparedQuery rewritten = rewriting.Compile(query);
-    EXPECT_EQ(rewritten.rewrites_applied(), 1);
+    EXPECT_EQ(rewritten.rewrite_counts().groupby_extracted, 1);
     // One-key case: group first-seen order coincides with distinct-values'
     // first-occurrence order. The two-key template carries an order by, so
     // ordering matches there too.
@@ -139,10 +144,8 @@ TEST(GroupByDetect, RewriteHandlesMissingElements) {
     let $items := for $i in //i where $i/k = $a return $i
     return <g>{string($a), count($items)}</g>
   )";
-  Engine plain;
-  Engine::Options options;
-  options.enable_groupby_rewrite = true;
-  Engine rewriting(options);
+  Engine plain(AllRulesOff());
+  Engine rewriting;
   EXPECT_EQ(plain.Compile(query).ExecuteToString(doc),
             rewriting.Compile(query).ExecuteToString(doc));
 }
@@ -160,10 +163,24 @@ TEST(GroupByDetect, NestedOccurrencesRewritten) {
   EXPECT_EQ(rewrites, 1);
 }
 
-TEST(GroupByDetect, OptimizerOffByDefault) {
+TEST(GroupByDetect, AllRulesOffAppliesNothing) {
   ModulePtr module = ParseQuery(kNaiveOneKey);
-  OptimizerOptions options;  // detection disabled
-  EXPECT_EQ(OptimizeModule(module.get(), options), 0);
+  OptimizerOptions options;
+  options.detect_groupby_patterns = false;
+  options.push_predicates = false;
+  options.eliminate_order_by = false;
+  options.fold_constants = false;
+  EXPECT_EQ(OptimizeModule(module.get(), options).total(), 0);
+}
+
+TEST(GroupByDetect, CostGatedRulesOnByDefault) {
+  OptimizerOptions options;
+  EXPECT_TRUE(options.detect_groupby_patterns);
+  EXPECT_TRUE(options.push_predicates);
+  EXPECT_TRUE(options.eliminate_order_by);
+  // Constant folding stays opt-in: it rewrites plans that cost nothing at
+  // run time, so it remains an ablation flag rather than a default.
+  EXPECT_FALSE(options.fold_constants);
 }
 
 }  // namespace

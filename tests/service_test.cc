@@ -103,7 +103,7 @@ TEST_F(PlanCacheTest, CancellationTokenIsNotPartOfTheKey) {
 
 TEST_F(PlanCacheTest, CompileDialectIsPartOfTheKey) {
   Engine::Options rewriting;
-  rewriting.enable_groupby_rewrite = true;
+  rewriting.optimizer.detect_groupby_patterns = false;
   EXPECT_NE(PlanCache::MakeKey("1", Engine::Options{}, exec_),
             PlanCache::MakeKey("1", rewriting, exec_));
 }
