@@ -5,6 +5,7 @@
 #include "eval/evaluator.h"
 #include "optimizer/rewriter.h"
 #include "parser/parser.h"
+#include "xdm/json.h"
 #include "xml/serializer.h"
 
 namespace xqa {
@@ -125,6 +126,10 @@ std::string SerializeSequence(const Sequence& sequence,
   return out;
 }
 
+std::string SerializeSequenceJson(const Sequence& sequence) {
+  return SequenceToJson(sequence);
+}
+
 std::string PreparedQuery::ExecuteToString(const DocumentPtr& document,
                                            int indent) const {
   return SerializeSequence(Execute(document), indent);
@@ -170,7 +175,8 @@ std::string OptimizerHeader(const RewriteCounts& counts,
                     " orderby-elim=" +
                     std::to_string(counts.order_by_eliminated) +
                     " const-fold=" + std::to_string(counts.constants_folded) +
-                    ")\n";
+                    " shred-mark=" +
+                    std::to_string(counts.shredded_scans_marked) + ")\n";
   for (const std::string& rule : fired) {
     out += "  - " + rule + "\n";
   }

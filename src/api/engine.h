@@ -175,6 +175,12 @@ std::string SerializeSequence(const Sequence& sequence, int indent = 0);
 std::string SerializeSequence(const Sequence& sequence,
                               const SerializeOptions& options);
 
+/// JSON result serialization mode (xdm/json.h): elements map to objects /
+/// scalars, repeated children to arrays, the sequence itself to null / a
+/// value / an array. The string counterpart of wrapping the query body in
+/// xqa:xml-to-json.
+std::string SerializeSequenceJson(const Sequence& sequence);
+
 /// Compilation and execution entry point.
 ///
 ///   Engine engine;

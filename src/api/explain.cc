@@ -131,6 +131,13 @@ void RenderFlwor(const FlworExpr* e, int indent, std::ostringstream* out,
         if (!clause.pos_var.empty()) *out << " at $" << clause.pos_var;
         *out << " in " << Summary(clause.for_expr.get());
         AppendPushedFilters(clause.for_expr.get(), out);
+        if (clause.shred_candidate) {
+          *out << "  [shred candidate: collection("
+               << (clause.shred_collection.empty()
+                       ? ""
+                       : "'" + clause.shred_collection + "'")
+               << ")//" << clause.shred_record << "]";
+        }
         *out << "  {" << DescribeProps(DeriveProps(clause.for_expr.get()))
              << "}" << suffix << "\n";
         break;
@@ -306,6 +313,13 @@ std::string ExplainModuleImpl(const Module& module, const QueryStats* stats) {
       out << ", collection scans " << stats->collection_scans << " ("
           << stats->collection_partitions << " partitions, "
           << stats->collection_docs << " docs)";
+    }
+    if (stats->shredded_scans > 0) {
+      out << ", shredded scans " << stats->shredded_scans << " ("
+          << stats->shredded_rows << " rows)";
+    }
+    if (stats->shred_fallbacks > 0) {
+      out << ", shred fallbacks " << stats->shred_fallbacks;
     }
     if (stats->order_by_elided > 0) {
       out << ", order-by elided " << stats->order_by_elided;

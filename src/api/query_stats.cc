@@ -73,6 +73,9 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   collection_scans += other.collection_scans;
   collection_partitions += other.collection_partitions;
   collection_docs += other.collection_docs;
+  shredded_scans += other.shredded_scans;
+  shredded_rows += other.shredded_rows;
+  shred_fallbacks += other.shred_fallbacks;
   rewrites_groupby += other.rewrites_groupby;
   rewrites_pushdown += other.rewrites_pushdown;
   rewrites_orderby_elim += other.rewrites_orderby_elim;
@@ -135,6 +138,9 @@ std::string QueryStats::ToJson(int indent) const {
   out << pad << "\"collection_partitions\": " << collection_partitions << ","
       << nl;
   out << pad << "\"collection_docs\": " << collection_docs << "," << nl;
+  out << pad << "\"shredded_scans\": " << shredded_scans << "," << nl;
+  out << pad << "\"shredded_rows\": " << shredded_rows << "," << nl;
+  out << pad << "\"shred_fallbacks\": " << shred_fallbacks << "," << nl;
   out << pad << "\"rewrites_groupby\": " << rewrites_groupby << "," << nl;
   out << pad << "\"rewrites_pushdown\": " << rewrites_pushdown << "," << nl;
   out << pad << "\"rewrites_orderby_elim\": " << rewrites_orderby_elim << ","

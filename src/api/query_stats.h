@@ -81,6 +81,16 @@ class QueryStats {
   int64_t collection_partitions = 0;  ///< shard partitions those scans covered
   int64_t collection_docs = 0;        ///< documents those scans emitted
 
+  // Shredded-scan counters (docs/SHREDDING.md). A `for $x in
+  // collection(...)//rec` the optimizer marked either runs off the
+  // snapshot's column table (a shredded scan — zero DOM navigation in the
+  // domain) or falls back to the DOM path when no table covers it. Functions
+  // of corpus + query + the use_shredded_scan flag only — identical at any
+  // thread count.
+  int64_t shredded_scans = 0;   ///< marked domains served from a column table
+  int64_t shredded_rows = 0;    ///< record rows those scans emitted
+  int64_t shred_fallbacks = 0;  ///< marked domains that fell back to the DOM
+
   // Logical-rewrite counters (docs/OPTIMIZER.md). The rewrites_* fields are
   // compile-time stamps: PreparedQuery copies its per-rule RewriteCounts
   // into every profiled run so a stats dump records which plan it measured

@@ -40,6 +40,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kFODC0002: return "FODC0002";
     case ErrorCode::kFORX0002: return "FORX0002";
     case ErrorCode::kFORX0003: return "FORX0003";
+    case ErrorCode::kFOJS0001: return "FOJS0001";
     case ErrorCode::kXMLP0001: return "XMLP0001";
     case ErrorCode::kXQSV0001: return "XQSV0001";
     case ErrorCode::kXQSV0002: return "XQSV0002";

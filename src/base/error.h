@@ -58,6 +58,7 @@ enum class ErrorCode : uint16_t {
   kFODC0002,  ///< document / collection not found
   kFORX0002,  ///< invalid regular expression
   kFORX0003,  ///< regular expression matches the zero-length string
+  kFOJS0001,  ///< malformed JSON input (xqa:parse-json)
 
   // --- XML / input errors --------------------------------------------------
   kXMLP0001,  ///< malformed XML input

@@ -10,6 +10,8 @@
 #include "base/thread_pool.h"
 #include "eval/flwor_internal.h"
 #include "functions/function_registry.h"
+#include "shred/shredded_table.h"
+#include "xdm/compare.h"
 
 namespace xqa {
 
@@ -124,6 +126,86 @@ Sequence PartitionedCollectionScan(const CollectionView& view,
     for (size_t p = 0; p < partitions; ++p) {
       scan_partition(context, p);
     }
+  }
+  return domain;
+}
+
+bool ShredCoversStep(const ShreddedTable& table, const PathStep& step) {
+  if (step.pushed_filter == nullptr) return true;
+  const PushedValueFilter& filter = *step.pushed_filter;
+  if (filter.child.kind != NodeTest::Kind::kName) return false;
+  if (filter.child.name.empty() || filter.child.name == "*") return false;
+  return table.schema().FieldIndex(filter.child.name, false) >= 0;
+}
+
+Sequence ShreddedScanRows(const ShreddedTable& table,
+                          const PathStep* record_step,
+                          DynamicContext* context) {
+  context->CheckCancel();
+
+  const size_t rows = table.row_count();
+  const PushedValueFilter* filter =
+      record_step != nullptr ? record_step->pushed_filter.get() : nullptr;
+
+  // With a pushed filter the verdict depends only on the field's lexical
+  // value, so it is computed once per dictionary code — the columnar saving —
+  // via the same general comparison the DOM path applies to the atomized
+  // child. Codes are in first-occurrence (row) order, so a comparison error
+  // fires on the same value, hence with the same message, as the DOM scan's
+  // first failing record.
+  const ShreddedTable::Column* filter_column = nullptr;
+  std::vector<char> verdicts;
+  if (filter != nullptr) {
+    int col = table.schema().FieldIndex(filter->child.name, false);
+    filter_column = &table.column(static_cast<size_t>(col));
+    Sequence literal_seq{Item(filter->literal)};
+    verdicts.reserve(filter_column->dict.size());
+    for (const std::string& lexical : filter_column->dict) {
+      Sequence lhs{MakeUntyped(lexical)};
+      verdicts.push_back(GeneralCompare(static_cast<CompareOp>(filter->op),
+                                        lhs, literal_seq)
+                             ? 1
+                             : 0);
+    }
+  }
+
+  size_t emit_count = rows;
+  if (filter_column != nullptr) {
+    emit_count = 0;
+    for (size_t row = 0; row < rows; ++row) {
+      if ((row % kScanPollStride) == 0) context->CheckCancel();
+      uint32_t code = filter_column->codes[row];
+      if (code != ShreddedTable::kNullCode && verdicts[code] != 0) {
+        ++emit_count;
+      }
+    }
+  }
+
+  QueryStats* stats = context->stats;
+  if (stats != nullptr) {
+    ++stats->shredded_scans;
+    stats->shredded_rows += static_cast<int64_t>(emit_count);
+  }
+
+  // Same discipline as the partitioned scan: the output buffer's exact size
+  // is known before materialization, so an over-budget scan fails here with
+  // XQSV0004 and nothing built. The charge drops when the scan returns; the
+  // for-clause boundary accounts the tuples it keeps.
+  XQA_FAULT_POINT("shred.scan_alloc", ErrorCode::kXQSV0004);
+  ScopedMemoryCharge domain_charge(context->exec.memory);
+  domain_charge.Reset(
+      static_cast<int64_t>(emit_count * sizeof(Item) + sizeof(Sequence)));
+
+  Sequence domain;
+  domain.reserve(emit_count);
+  for (size_t row = 0; row < rows; ++row) {
+    if ((row % kScanPollStride) == 0) context->CheckCancel();
+    if (filter_column != nullptr) {
+      uint32_t code = filter_column->codes[row];
+      if (code == ShreddedTable::kNullCode || verdicts[code] == 0) continue;
+    }
+    domain.emplace_back(const_cast<Node*>(table.record(row)),
+                        table.record_document(row));
   }
   return domain;
 }

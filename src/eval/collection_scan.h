@@ -42,6 +42,35 @@ const CollectionView* ResolveCollectionScan(const Expr* for_expr,
 Sequence PartitionedCollectionScan(const CollectionView& view,
                                    DynamicContext* context);
 
+class ShreddedTable;
+
+/// True when a shredded table can answer `step`'s pushed value filter (or the
+/// step has none): the filter must name a schema *element* field, so the
+/// per-row verdict reduces to a general comparison of the field's lexical
+/// dictionary value against the literal — exactly what the DOM path computes
+/// by atomizing the matching child. A filter on a name the schema excluded
+/// (structured somewhere, or simply absent) is not covered; the caller falls
+/// back to the DOM scan.
+bool ShredCoversStep(const ShreddedTable& table, const PathStep& step);
+
+/// Emits `collection(...)//record` as a binding domain straight from the
+/// column table — one item per record row, in table order (documents
+/// ascending by id, preorder within each), which is byte-identical to what
+/// the DOM path produces after cross-document sorting. When `record_step`
+/// carries a pushed value filter (covered per ShredCoversStep), verdicts are
+/// computed once per dictionary code and rows are filtered without touching
+/// the DOM; null rows (absent field) compare like the empty child sequence —
+/// excluded.
+///
+/// Mirrors PartitionedCollectionScan's governance: cancellation checkpoint on
+/// entry plus every 256 rows, the output buffer charged up front (XQSV0004
+/// past the budget, identically at every thread count), and the
+/// `shred.scan_alloc` fault site before materialization. The caller's stats
+/// record one shredded scan and the emitted row count.
+Sequence ShreddedScanRows(const ShreddedTable& table,
+                          const PathStep* record_step,
+                          DynamicContext* context);
+
 }  // namespace xqa
 
 #endif  // XQA_EVAL_COLLECTION_SCAN_H_

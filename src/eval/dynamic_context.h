@@ -15,6 +15,8 @@
 namespace xqa {
 
 class QueryStats;
+class ShreddedTable;
+struct ShredBuildContext;
 
 /// Documents addressable by fn:doc / fn:collection, keyed by URI.
 using DocumentRegistry = std::map<std::string, DocumentPtr>;
@@ -63,6 +65,22 @@ class CollectionProvider {
   /// The default collection — fn:collection() / fn:collection(()) resolve
   /// here. May be null (no default defined).
   virtual const CollectionView* DefaultCollection() const = 0;
+
+  /// The shredded column table for `record` elements of `collection` (""
+  /// names the default collection), built and cached on first use
+  /// (docs/SHREDDING.md). Null when the provider does not shred or schema
+  /// inference refuses the corpus — the caller falls back to the DOM path.
+  /// `context` governs a build this call performs (cancellation polls,
+  /// transient memory charge); a cancellation/budget abort propagates as the
+  /// usual typed error. The default implementation never shreds.
+  virtual const ShreddedTable* FindShreddedTable(
+      const std::string& collection, const std::string& record,
+      const ShredBuildContext& context) const {
+    (void)collection;
+    (void)record;
+    (void)context;
+    return nullptr;
+  }
 };
 
 /// Intra-query parallelism knobs (docs/PARALLELISM.md). The default is fully
@@ -88,6 +106,14 @@ struct ExecutionOptions {
   /// ablation the batched-identity tests and bench_table1/bench_scaling use
   /// to prove byte-identical results and measure the step change.
   bool use_batched_execution = true;
+
+  /// Let the batched engine replace optimizer-marked `collection(...)//rec`
+  /// scans with shredded column-table reads (docs/SHREDDING.md). On by
+  /// default; turning it off forces the DOM path for every scan — the
+  /// bench_shred ablation and the shred parity tests use it to prove
+  /// byte-identical results. No effect on the scalar engine, which never
+  /// shreds.
+  bool use_shredded_scan = true;
 
   /// Cooperative cancellation / deadline token for this execution
   /// (docs/SERVICE.md). Not owned; must outlive the Execute call. Null (the

@@ -16,6 +16,7 @@
 #include "eval/flwor_internal.h"
 #include "eval/path_step.h"
 #include "functions/function_registry.h"
+#include "shred/shredded_table.h"
 #include "xdm/deep_equal.h"
 #include "xdm/sequence_ops.h"
 
@@ -187,6 +188,18 @@ Sequence EvalSimplePathRow(const SimplePathPlan& plan, const Sequence& start,
   return current;
 }
 
+/// Per-key shredded-column binding (docs/SHREDDING.md): set when the key is
+/// a single-step child/attribute path from a slot whose binding domain came
+/// from a shredded scan and the step names a schema field of that table. For
+/// such a key the step's matches are exactly the table's column entry — the
+/// field node, or nothing when the row's field is null — so the kernel reads
+/// the precomputed dictionary code and its deep hash instead of walking
+/// children and hashing per row.
+struct ShredKeyPlan {
+  const ShreddedTable* table = nullptr;
+  int column = -1;
+};
+
 /// Batched evaluation of one group-by clause's key expressions over a
 /// morsel. The dominant key shapes never materialize per-row Sequences:
 ///
@@ -214,17 +227,28 @@ class GroupKeyBatch {
 
   GroupKeyBatch(const ColumnStream& stream,
                 const std::vector<ExprPlan>& plans, bool generic_only,
-                const GenericKeyFn& generic)
-      : stream_(stream), plans_(plans), generic_(generic) {
+                const GenericKeyFn& generic,
+                const std::vector<ShredKeyPlan>& shred = {})
+      : stream_(stream), plans_(plans), generic_(generic), shred_(shred) {
     kinds_.reserve(plans.size());
-    for (const ExprPlan& plan : plans) {
+    for (size_t k = 0; k < plans.size(); ++k) {
+      const ExprPlan& plan = plans[k];
       if (!generic_only && plan.mode == ExprPlan::Mode::kColumn &&
           plan.col >= 0) {
         kinds_.push_back(Kind::kColumn);
       } else if (!generic_only &&
                  plan.mode == ExprPlan::Mode::kSimplePath && plan.col >= 0 &&
                  plan.path.steps.size() == 1) {
-        kinds_.push_back(Kind::kNodeSpan);
+        // A shredded binding upgrades the span walk to a column read; rows
+        // whose slot value turns out not to be a table record (never the
+        // case for a shredded domain, but defended anyway) degrade to the
+        // span walk per row, which hashes and compares identically.
+        if (k < shred_.size() && shred_[k].table != nullptr) {
+          kinds_.push_back(Kind::kShredField);
+          any_shred_ = true;
+        } else {
+          kinds_.push_back(Kind::kNodeSpan);
+        }
         any_span_ = true;
       } else {
         kinds_.push_back(Kind::kGeneric);
@@ -245,6 +269,9 @@ class GroupKeyBatch {
       nodes_.clear();
       spans_.assign(fill * nk, {0, 0});
     }
+    if (any_shred_) {
+      shred_rows_.assign(fill * nk, -1);
+    }
     if (any_generic_) {
       scratch_.assign(fill * nk, {});
     }
@@ -257,6 +284,19 @@ class GroupKeyBatch {
           case Kind::kNodeSpan:
             WalkSpan(i, k, ctx, stats);
             break;
+          case Kind::kShredField: {
+            // Column read: the row's record resolves to a table row, whose
+            // dictionary code carries the key's value and hash. No child
+            // scan, no name match, no per-row hashing.
+            const Sequence& start = ColumnValue(i, k);
+            int table_row = -1;
+            if (start.size() == 1 && start[0].IsNode()) {
+              table_row = shred_[k].table->RowOf(start[0].node());
+            }
+            shred_rows_[i * nk + k] = table_row;
+            if (table_row < 0) WalkSpan(i, k, ctx, stats);
+            break;
+          }
           case Kind::kGeneric:
             scratch_[i * nk + k] = generic_(begin + i, k, ctx);
             break;
@@ -275,11 +315,27 @@ class GroupKeyBatch {
         case Kind::kColumn:
           key_hash = DeepHashSequence(ColumnValue(i, k));
           break;
-        case Kind::kNodeSpan: {
-          const Span span = spans_[i * nk + k];
-          for (uint32_t j = span.first; j < span.second; ++j) {
-            key_hash = CombineHash(key_hash, HashSpanNode(nodes_[j], k));
+        case Kind::kNodeSpan:
+          key_hash = SpanKeyHash(i, k);
+          break;
+        case Kind::kShredField: {
+          const int table_row = shred_rows_[i * nk + k];
+          if (table_row < 0) {
+            key_hash = SpanKeyHash(i, k);
+            break;
           }
+          // code_hashes holds CombineDeepHash(kDeepHashSeqSeed,
+          // DeepHashNode(field)) — exactly the singleton-span fold above —
+          // and a null field is the empty key sequence, whose hash is the
+          // chain seed. Bucket layout is therefore identical to the DOM
+          // kernels', which is what keeps parallel chunk merges and the
+          // scalar-identity ablation consistent.
+          const ShreddedTable::Column& column =
+              shred_[k].table->column(static_cast<size_t>(shred_[k].column));
+          const uint32_t code = column.codes[static_cast<size_t>(table_row)];
+          key_hash = code == ShreddedTable::kNullCode
+                         ? ShreddedTable::kNullKeyHash
+                         : column.code_hashes[code];
           break;
         }
         case Kind::kGeneric:
@@ -296,17 +352,18 @@ class GroupKeyBatch {
     switch (kinds_[k]) {
       case Kind::kColumn:
         return DeepEqualSequences(stored, ColumnValue(i, k));
-      case Kind::kNodeSpan: {
-        const Span span = spans_[i * plans_.size() + k];
-        const size_t n = span.second - span.first;
-        if (stored.size() != n) return false;
-        for (size_t j = 0; j < n; ++j) {
-          if (!stored[j].IsNode() ||
-              !EqualSpanNodes(stored[j], nodes_[span.first + j])) {
-            return false;
-          }
-        }
-        return true;
+      case Kind::kNodeSpan:
+        return SpanEqualKey(i, k, stored);
+      case Kind::kShredField: {
+        const int table_row = shred_rows_[i * plans_.size() + k];
+        if (table_row < 0) return SpanEqualKey(i, k, stored);
+        const ShreddedTable::Column& column =
+            shred_[k].table->column(static_cast<size_t>(shred_[k].column));
+        const uint32_t code = column.codes[static_cast<size_t>(table_row)];
+        if (code == ShreddedTable::kNullCode) return stored.empty();
+        if (stored.size() != 1 || !stored[0].IsNode()) return false;
+        return EqualShredNode(stored[0].node(), column, code,
+                              static_cast<size_t>(table_row));
       }
       case Kind::kGeneric:
         break;
@@ -325,12 +382,25 @@ class GroupKeyBatch {
         case Kind::kColumn:
           keys.push_back(ColumnValue(i, k));
           break;
-        case Kind::kNodeSpan: {
-          const Span span = spans_[i * nk + k];
+        case Kind::kNodeSpan:
+          keys.push_back(SpanTakeKey(i, k));
+          break;
+        case Kind::kShredField: {
+          const int table_row = shred_rows_[i * nk + k];
+          if (table_row < 0) {
+            keys.push_back(SpanTakeKey(i, k));
+            break;
+          }
+          // The representative key is the field *node* (pinned by the
+          // table), not a typed value — serialization of the group key must
+          // stay byte-identical to the DOM path's.
+          const ShreddedTable::Column& column =
+              shred_[k].table->column(static_cast<size_t>(shred_[k].column));
+          const size_t row = static_cast<size_t>(table_row);
           Sequence value;
-          value.reserve(span.second - span.first);
-          for (uint32_t j = span.first; j < span.second; ++j) {
-            value.push_back(Item(nodes_[j].node, *nodes_[j].doc));
+          if (column.codes[row] != ShreddedTable::kNullCode) {
+            value.push_back(Item(const_cast<Node*>(column.nodes[row]),
+                                 shred_[k].table->record_document(row)));
           }
           keys.push_back(std::move(value));
           break;
@@ -344,7 +414,7 @@ class GroupKeyBatch {
   }
 
  private:
-  enum class Kind : uint8_t { kColumn, kNodeSpan, kGeneric };
+  enum class Kind : uint8_t { kColumn, kNodeSpan, kShredField, kGeneric };
   /// A matched node plus its owner's DocumentPtr (borrowed from the stream
   /// column item, which outlives the morsel).
   struct NodeRef {
@@ -355,6 +425,73 @@ class GroupKeyBatch {
 
   const Sequence& ColumnValue(size_t i, size_t k) const {
     return stream_.cols[static_cast<size_t>(plans_[k].col)][begin_ + i];
+  }
+
+  /// The kNodeSpan hash arm, shared with kShredField's per-row degradation:
+  /// DeepHashNode folded over the span from the chain seed.
+  size_t SpanKeyHash(size_t i, size_t k) {
+    const Span span = spans_[i * plans_.size() + k];
+    size_t key_hash = kDeepHashSeqSeed;
+    for (uint32_t j = span.first; j < span.second; ++j) {
+      key_hash = CombineHash(key_hash, HashSpanNode(nodes_[j], k));
+    }
+    return key_hash;
+  }
+
+  /// The kNodeSpan equality arm (shared with kShredField's degradation).
+  bool SpanEqualKey(size_t i, size_t k, const Sequence& stored) const {
+    const Span span = spans_[i * plans_.size() + k];
+    const size_t n = span.second - span.first;
+    if (stored.size() != n) return false;
+    for (size_t j = 0; j < n; ++j) {
+      if (!stored[j].IsNode() ||
+          !EqualSpanNodes(stored[j], nodes_[span.first + j])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The kNodeSpan materialization arm (shared with kShredField's
+  /// degradation).
+  Sequence SpanTakeKey(size_t i, size_t k) {
+    const Span span = spans_[i * plans_.size() + k];
+    Sequence value;
+    value.reserve(span.second - span.first);
+    for (uint32_t j = span.first; j < span.second; ++j) {
+      value.push_back(Item(nodes_[j].node, *nodes_[j].doc));
+    }
+    return value;
+  }
+
+  /// Deep-equality of a stored key node against table row `row`'s field in
+  /// `column`, decided on the dictionary lexical when the stored node has the
+  /// conforming scalar shape — no recursion, no per-probe string-value
+  /// materialization. A stored node of any other shape (possible only via
+  /// the defensive span degradation) falls back to the full comparison.
+  static bool EqualShredNode(const Node* stored,
+                             const ShreddedTable::Column& column,
+                             uint32_t code, size_t row) {
+    const Node* field = column.nodes[row];
+    if (stored == field) return true;
+    const std::string& lexical = column.dict[code];
+    if (column.field.is_attribute) {
+      if (stored->kind() == NodeKind::kAttribute) {
+        return stored->name() == column.field.name &&
+               stored->content() == lexical;
+      }
+    } else if (stored->kind() == NodeKind::kElement &&
+               stored->attributes().empty()) {
+      const auto& children = stored->children();
+      if (children.size() == 1 && children[0]->kind() == NodeKind::kText) {
+        return stored->name() == column.field.name &&
+               children[0]->content() == lexical;
+      }
+      if (children.empty()) {
+        return stored->name() == column.field.name && lexical.empty();
+      }
+    }
+    return DeepEqualNodes(stored, field);
   }
 
   /// DeepHashNode with the name prefix cached across a span column: group-by
@@ -524,13 +661,16 @@ class GroupKeyBatch {
   const ColumnStream& stream_;
   const std::vector<ExprPlan>& plans_;
   const GenericKeyFn& generic_;
+  std::vector<ShredKeyPlan> shred_;  ///< per-key shredded bindings (may be {})
   std::vector<Kind> kinds_;
   bool any_span_ = false;
+  bool any_shred_ = false;
   bool any_generic_ = false;
   std::vector<NameCache> name_cache_;
   size_t begin_ = 0;
   std::vector<NodeRef> nodes_;    ///< flat span storage, reused per morsel
   std::vector<Span> spans_;       ///< spans_[i * nkeys + k] into nodes_
+  std::vector<int> shred_rows_;   ///< shred_rows_[i * nkeys + k], -1 = walk
   std::vector<Sequence> scratch_;  ///< generic key values, reused per morsel
 };
 
@@ -544,6 +684,13 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
   MemoryTracker* memory = context->exec.memory;
   ScopedMemoryCharge stream_charge(memory);
   QueryStats* stats = context->stats;
+
+  // Slots whose binding domain came from a shredded scan, mapped to the
+  // backing column table (docs/SHREDDING.md). Where/order-by/count preserve
+  // the invariant that such a column holds singleton record items; group-by
+  // consumes the bindings for its key kernels and then clears them — its
+  // output columns hold group keys and concatenations, not records.
+  std::unordered_map<int, const ShreddedTable*> shred_tables;
 
   // Swaps row `row`'s column values into (or back out of) `ctx`'s slots.
   // Safe because the binder allocates slots monotonically and never reuses
@@ -681,7 +828,8 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
     auto form_groups_parallel =
         [&](int workers, size_t hash_seed,
             const std::vector<ExprPlan>& key_plans, bool generic_only,
-            const GroupKeyBatch::GenericKeyFn& generic_key)
+            const GroupKeyBatch::GenericKeyFn& generic_key,
+            const std::vector<ShredKeyPlan>& shred_plans)
         -> std::vector<HashGroup> {
       const size_t count = stream.rows;
       const size_t lanes_count = static_cast<size_t>(workers);
@@ -700,7 +848,7 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
             size_t begin = chunk * count / lanes_count;
             size_t end = (chunk + 1) * count / lanes_count;
             GroupKeyBatch key_batch(stream, key_plans, generic_only,
-                                    generic_key);
+                                    generic_key, shred_plans);
             const size_t nk = key_batch.nkeys();
             std::vector<size_t> batch_hash;
             for (size_t batch = begin; batch < end; batch += kBatchRows) {
@@ -801,11 +949,13 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
     auto form_groups_serial =
         [&](size_t hash_seed, ScopedMemoryCharge* group_charge,
             const std::vector<ExprPlan>& key_plans, bool generic_only,
-            const GroupKeyBatch::GenericKeyFn& generic_key)
+            const GroupKeyBatch::GenericKeyFn& generic_key,
+            const std::vector<ShredKeyPlan>& shred_plans)
         -> std::vector<HashGroup> {
       std::vector<HashGroup> groups;
       std::unordered_map<size_t, std::vector<size_t>> buckets;
-      GroupKeyBatch key_batch(stream, key_plans, generic_only, generic_key);
+      GroupKeyBatch key_batch(stream, key_plans, generic_only, generic_key,
+                              shred_plans);
       const size_t nk = key_batch.nkeys();
       std::vector<size_t> batch_hash;
       for (size_t batch = 0; batch < stream.rows; batch += kBatchRows) {
@@ -868,9 +1018,41 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
             stream.rows == 1
                 ? ResolveCollectionScan(clause.for_expr.get(), context)
                 : nullptr;
+        // Shredded scan substitution: an optimizer-marked
+        // `collection(...)//rec` domain reads the column table instead of
+        // navigating DOM — when the provider has (or can infer and build) a
+        // conforming table and any pushed filter names a schema field. Every
+        // other outcome falls back to the DOM path below, byte-identically,
+        // and is counted as a shred fallback.
+        const ShreddedTable* shred_table = nullptr;
+        const PathStep* shred_record_step = nullptr;
+        if (clause.shred_candidate && stream.rows == 1 &&
+            context->exec.use_shredded_scan &&
+            context->collections != nullptr &&
+            clause.for_expr->kind() == ExprKind::kPath) {
+          const auto* path =
+              static_cast<const PathExpr*>(clause.for_expr.get());
+          if (path->segments.size() == 2 && !path->segments[1].is_expr()) {
+            ShredBuildContext build_context{context->exec.cancellation,
+                                            context->exec.memory};
+            const ShreddedTable* table = context->collections->FindShreddedTable(
+                clause.shred_collection, clause.shred_record, build_context);
+            if (table != nullptr &&
+                ShredCoversStep(*table, path->segments[1].step)) {
+              shred_table = table;
+              shred_record_step = &path->segments[1].step;
+            } else if (stats != nullptr) {
+              ++stats->shred_fallbacks;
+            }
+          }
+        }
         const ExprPlan plan = PlanClauseExpr(clause.for_expr.get(), stream);
         const int domain_workers = PlanWorkers(context->exec, stream.rows);
-        if (collection_scan != nullptr) {
+        if (shred_table != nullptr) {
+          domains[0] =
+              ShreddedScanRows(*shred_table, shred_record_step, context);
+          shred_tables[clause.for_slot] = shred_table;
+        } else if (collection_scan != nullptr) {
           domains[0] = PartitionedCollectionScan(*collection_scan, context);
         } else if (domain_workers > 1) {
           Lanes lanes = make_lanes(domain_workers);
@@ -1082,6 +1264,35 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
           key_plans.push_back(PlanClauseExpr(group_key.expr.get(), stream));
         }
 
+        // Per-key shredded-column bindings: a single-step child/attribute
+        // key from a shredded-scan slot that names a schema field reads the
+        // column's dictionary codes instead of walking the DOM. Conformance
+        // guarantees the step's matches are exactly the column entry: a
+        // schema field name is never structured and never repeated within a
+        // record (either would have excluded it or refused the schema).
+        // XQuery 3.0 group-by atomizes every key (generic_only), so the
+        // bindings are inert there by construction.
+        std::vector<ShredKeyPlan> shred_plans(key_plans.size());
+        for (size_t k = 0; k < key_plans.size(); ++k) {
+          const ExprPlan& plan = key_plans[k];
+          if (plan.mode != ExprPlan::Mode::kSimplePath || plan.col < 0 ||
+              plan.path.steps.size() != 1) {
+            continue;
+          }
+          auto bound = shred_tables.find(plan.slot);
+          if (bound == shred_tables.end()) continue;
+          const SimplePathPlan::Step& step = plan.path.steps[0];
+          if (step.test->kind != NodeTest::Kind::kName ||
+              step.test->name.empty() || step.test->name == "*") {
+            continue;
+          }
+          const bool is_attribute = step.axis == Axis::kAttribute;
+          int field = bound->second->schema().FieldIndex(step.test->name,
+                                                         is_attribute);
+          if (field < 0) continue;
+          shred_plans[k] = ShredKeyPlan{bound->second, field};
+        }
+
         if (clause.xquery3_group_style) {
           // --- XQuery 3.0 dialect ------------------------------------------
           // Atomization makes every key generic: the dialect's own rule runs
@@ -1103,10 +1314,12 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
           const int workers = PlanWorkers(context->exec, stream.rows);
           if (workers > 1) {
             groups = form_groups_parallel(workers, kSeed3, key_plans,
-                                          /*generic_only=*/true, eval_key3);
+                                          /*generic_only=*/true, eval_key3,
+                                          shred_plans);
           } else {
             groups = form_groups_serial(kSeed3, &group_charge, key_plans,
-                                        /*generic_only=*/true, eval_key3);
+                                        /*generic_only=*/true, eval_key3,
+                                        shred_plans);
           }
           if (memory != nullptr) {
             XQA_FAULT_POINT("flwor.group_alloc", ErrorCode::kXQSV0004);
@@ -1158,6 +1371,7 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
           stream.cols = std::move(next_cols);
           stream.slots = std::move(next_slots);
           stream.rows = groups.size();
+          shred_tables.clear();
           break;
         }
 
@@ -1185,10 +1399,12 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
             custom_equality ? 1 : PlanWorkers(context->exec, stream.rows);
         if (workers > 1) {
           groups = form_groups_parallel(workers, kSeedPaper, key_plans,
-                                        /*generic_only=*/false, eval_key);
+                                        /*generic_only=*/false, eval_key,
+                                        shred_plans);
         } else if (!custom_equality) {
           groups = form_groups_serial(kSeedPaper, &group_charge, key_plans,
-                                      /*generic_only=*/false, eval_key);
+                                      /*generic_only=*/false, eval_key,
+                                      shred_plans);
         } else {
           // Custom `using` equality: serial linear scan over the group table
           // (the user function need not be hashable). Row-at-a-time — the
@@ -1374,6 +1590,7 @@ Sequence Evaluator::EvalFlworBatched(const FlworExpr* expr,
         stream.cols = std::move(next_cols);
         stream.slots = std::move(next_slots);
         stream.rows = groups.size();
+        shred_tables.clear();
         break;
       }
     }

@@ -1,0 +1,36 @@
+#include "functions/helpers.h"
+#include "xdm/json.h"
+
+namespace xqa {
+namespace fn_internal {
+
+namespace {
+
+// JSON interop (docs/SHREDDING.md): xqa:parse-json ingests a feed payload as
+// a canonical element tree the shredder can infer a schema from;
+// xqa:xml-to-json is the inverse-ish projection for emitting analytics
+// results to JSON consumers.
+
+Sequence FnParseJson(EvalContext& context, std::vector<Sequence>& args) {
+  (void)context;
+  std::optional<AtomicValue> text = OptionalAtomicArg(args[0], "xqa:parse-json");
+  if (!text.has_value()) return {};
+  DocumentPtr document = ParseJsonDocument(text->ToLexical());
+  Node* root = document->root();
+  return {Item(root, document)};
+}
+
+Sequence FnXmlToJson(EvalContext& context, std::vector<Sequence>& args) {
+  (void)context;
+  return {MakeString(SequenceToJson(args[0]))};
+}
+
+}  // namespace
+
+void RegisterJson(std::vector<BuiltinFunction>* registry) {
+  registry->push_back({"xqa:parse-json", 1, 1, FnParseJson});
+  registry->push_back({"xqa:xml-to-json", 1, 1, FnXmlToJson});
+}
+
+}  // namespace fn_internal
+}  // namespace xqa

@@ -13,6 +13,7 @@ void RegisterNode(std::vector<BuiltinFunction>* registry);
 void RegisterMembership(std::vector<BuiltinFunction>* registry);
 void RegisterRegex(std::vector<BuiltinFunction>* registry);
 void RegisterDoc(std::vector<BuiltinFunction>* registry);
+void RegisterJson(std::vector<BuiltinFunction>* registry);
 }  // namespace fn_internal
 
 const std::vector<BuiltinFunction>& BuiltinFunctions() {
@@ -27,6 +28,7 @@ const std::vector<BuiltinFunction>& BuiltinFunctions() {
     fn_internal::RegisterMembership(r);
     fn_internal::RegisterRegex(r);
     fn_internal::RegisterDoc(r);
+    fn_internal::RegisterJson(r);
     return r;
   }();
   return registry;

@@ -62,6 +62,9 @@ FlworClause CloneClause(const FlworClause& clause) {
   out.pos_var = clause.pos_var;
   out.pos_slot = clause.pos_slot;
   out.for_expr = CloneExpr(clause.for_expr.get());
+  out.shred_candidate = clause.shred_candidate;
+  out.shred_collection = clause.shred_collection;
+  out.shred_record = clause.shred_record;
   out.let_var = clause.let_var;
   out.let_slot = clause.let_slot;
   out.let_expr = CloneExpr(clause.let_expr.get());

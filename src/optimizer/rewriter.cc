@@ -8,6 +8,7 @@
 #include "optimizer/groupby_detect.h"
 #include "optimizer/orderby_elim.h"
 #include "optimizer/pushdown.h"
+#include "optimizer/shred_plan.h"
 
 namespace xqa {
 
@@ -212,6 +213,10 @@ class Rewriter {
       counts_.order_by_eliminated +=
           EliminateOrderBy(e, user_functions_, fired_);
     }
+    if (options_.mark_shredded_scans) {
+      counts_.shredded_scans_marked +=
+          MarkShreddedScans(e, user_functions_, fired_);
+    }
     if (!options_.detect_groupby_patterns) return;
     GroupByRewrite rewrite;
     if (!TryRewriteGroupByPattern(*e, options_.groupby_cardinality_threshold,
@@ -220,6 +225,14 @@ class Rewriter {
     }
     ++counts_.groupby_extracted;
     if (fired_ != nullptr) fired_->push_back(rewrite.description);
+    // The synthesized grouped FLWOR is new AST the bottom-up walk has
+    // already passed — give its for clauses their shred marks too.
+    if (options_.mark_shredded_scans && rewrite.grouped != nullptr &&
+        rewrite.grouped->kind() == ExprKind::kFlwor) {
+      counts_.shredded_scans_marked += MarkShreddedScans(
+          static_cast<FlworExpr*>(rewrite.grouped.get()), user_functions_,
+          fired_);
+    }
     SourceLocation loc = e->location();
     ExprPtr original = std::move(*slot);
     *slot = std::make_unique<IfExpr>(std::move(rewrite.guard),

@@ -28,6 +28,12 @@ struct OptimizerOptions {
   /// of the tuple stream. See orderby_elim.h.
   bool eliminate_order_by = true;
 
+  /// Mark `for $x in collection(...)//rec` clauses as shredded-scan
+  /// candidates for the batched engine (shred_plan.h). Advisory annotation,
+  /// not a rewrite: execution verifies a column table exists and falls back
+  /// to the DOM path byte-identically.
+  bool mark_shredded_scans = true;
+
   /// Fold literal-only arithmetic, comparisons, logic, and concatenations at
   /// compile time, and prune statically-decided conditionals. Off by
   /// default: folding rewrites plans that cost nothing at run time, so it
@@ -48,10 +54,11 @@ struct RewriteCounts {
   int predicates_pushed = 0;
   int order_by_eliminated = 0;
   int constants_folded = 0;
+  int shredded_scans_marked = 0;
 
   int total() const {
     return groupby_extracted + predicates_pushed + order_by_eliminated +
-           constants_folded;
+           constants_folded + shredded_scans_marked;
   }
 };
 

@@ -1,0 +1,90 @@
+#include "optimizer/shred_plan.h"
+
+namespace xqa {
+
+namespace {
+
+/// Matches a direct fn:collection call usable as a shredded-scan source:
+/// zero arguments (the default collection) or one string literal. Returns
+/// false for computed names — the collection must be known at compile time
+/// to name a table. Runs pre-bind, so the match is by name, excluding names
+/// shadowed by user-declared functions.
+bool MatchCollectionCall(const Expr* expr,
+                         const std::set<std::string>& user_functions,
+                         std::string* collection) {
+  if (expr == nullptr || expr->kind() != ExprKind::kFunctionCall) return false;
+  const auto* call = static_cast<const FunctionCallExpr*>(expr);
+  if (call->name != "collection" && call->name != "fn:collection") {
+    return false;
+  }
+  if (user_functions.count(call->name) > 0) return false;
+  if (call->args.empty()) {
+    collection->clear();
+    return true;
+  }
+  if (call->args.size() != 1) return false;
+  const Expr* arg = call->args[0].get();
+  if (arg == nullptr || arg->kind() != ExprKind::kLiteral) return false;
+  const auto* literal = static_cast<const LiteralExpr*>(arg);
+  if (!literal->value.IsStringLike()) return false;
+  *collection = literal->value.ToLexical();
+  return true;
+}
+
+/// Matches the `//rec` tail: descendant-or-self::node() (no predicates, no
+/// pushed filter) then child::rec (no predicates; a pushed value filter is
+/// fine — the shredded scan evaluates it against the dictionary).
+bool MatchDescendantRecord(const PathExpr* path, std::string* record) {
+  if (path->segments.size() != 2) return false;
+  const PathSegment& dos = path->segments[0];
+  const PathSegment& rec = path->segments[1];
+  if (dos.is_expr() || rec.is_expr()) return false;
+  if (dos.step.axis != Axis::kDescendantOrSelf ||
+      dos.step.test.kind != NodeTest::Kind::kAnyKind ||
+      !dos.step.predicates.empty() || dos.step.pushed_filter != nullptr) {
+    return false;
+  }
+  if (rec.step.axis != Axis::kChild ||
+      rec.step.test.kind != NodeTest::Kind::kName ||
+      rec.step.test.name.empty() || rec.step.test.name == "*" ||
+      !rec.step.predicates.empty()) {
+    return false;
+  }
+  *record = rec.step.test.name;
+  return true;
+}
+
+}  // namespace
+
+int MarkShreddedScans(FlworExpr* expr,
+                      const std::set<std::string>& user_functions,
+                      std::vector<std::string>* fired) {
+  int marked = 0;
+  for (FlworClause& clause : expr->clauses) {
+    if (clause.kind != ClauseKind::kFor || clause.shred_candidate) continue;
+    const Expr* domain = clause.for_expr.get();
+    if (domain == nullptr || domain->kind() != ExprKind::kPath) continue;
+    const auto* path = static_cast<const PathExpr*>(domain);
+    if (path->absolute || path->start == nullptr) continue;
+    std::string collection;
+    if (!MatchCollectionCall(path->start.get(), user_functions, &collection)) {
+      continue;
+    }
+    std::string record;
+    if (!MatchDescendantRecord(path, &record)) continue;
+    clause.shred_candidate = true;
+    clause.shred_collection = std::move(collection);
+    clause.shred_record = record;
+    ++marked;
+    if (fired != nullptr) {
+      fired->push_back("shredded-scan candidate: collection(" +
+                       (clause.shred_collection.empty()
+                            ? std::string()
+                            : "'" + clause.shred_collection + "'") +
+                       ")//" + record);
+    }
+  }
+  return marked;
+}
+
+}  // namespace xqa

@@ -1,0 +1,40 @@
+#ifndef XQA_OPTIMIZER_SHRED_PLAN_H_
+#define XQA_OPTIMIZER_SHRED_PLAN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parser/ast.h"
+
+namespace xqa {
+
+/// Shredded-scan eligibility (docs/SHREDDING.md): marks every for clause of
+/// `expr` whose domain is exactly
+///
+///   collection()//rec   or   collection("name")//rec
+///
+/// — a direct fn:collection call (zero args, or one string literal; not
+/// shadowed by a user-declared function) followed by the two-segment
+/// descendant pattern `//rec` (descendant-or-self::node() with no
+/// predicates, then child::rec with no predicates; a pushed value filter on
+/// the record step is allowed — the shredded scan can evaluate it from the
+/// dictionary) — by setting FlworClause::shred_candidate plus the collection
+/// and record names.
+///
+/// The mark is advisory, never a rewrite: at execution the batched engine
+/// asks the snapshot for a matching column table and falls back to the DOM
+/// path (counting QueryStats::shred_fallbacks) when inference refused the
+/// corpus, the pushed filter names a non-column field, or shredding is
+/// disabled. Results are byte-identical either way, so the rule needs no
+/// cost gate.
+///
+/// Appends one "shredded-scan candidate: ..." line per mark to `fired` (if
+/// non-null). Returns the number of clauses marked.
+int MarkShreddedScans(FlworExpr* expr,
+                      const std::set<std::string>& user_functions,
+                      std::vector<std::string>* fired);
+
+}  // namespace xqa
+
+#endif  // XQA_OPTIMIZER_SHRED_PLAN_H_

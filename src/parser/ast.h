@@ -350,6 +350,14 @@ struct FlworClause {
   std::string pos_var;  ///< "at $pos"; empty if absent
   int pos_slot = -1;
   ExprPtr for_expr;
+  /// Optimizer annotation (optimizer/shred_plan.h): this for binds
+  /// `collection(shred_collection)//shred_record` — a shape the batched
+  /// engine may satisfy from a shredded column table when the snapshot has
+  /// one (docs/SHREDDING.md). Purely advisory; execution re-verifies and
+  /// falls back to the DOM path byte-identically.
+  bool shred_candidate = false;
+  std::string shred_collection;  ///< "" = the default collection
+  std::string shred_record;
 
   // kLet
   std::string let_var;

@@ -276,6 +276,16 @@ const CollectionView* CollectionSnapshot::DefaultCollection() const {
   return &default_view_;
 }
 
+const ShreddedTable* CollectionSnapshot::FindShreddedTable(
+    const std::string& collection, const std::string& record,
+    const ShredBuildContext& context) const {
+  const CollectionView* view =
+      collection.empty() ? DefaultCollection() : FindCollection(collection);
+  if (view == nullptr || view->documents.empty()) return nullptr;
+  return shred_catalog_.FindOrBuild(collection, record, *view, ShredOptions(),
+                                    context);
+}
+
 std::vector<std::string> CollectionSnapshot::CollectionNames() const {
   std::vector<std::string> names;
   names.reserve(views_.size());

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "eval/dynamic_context.h"
+#include "shred/shred_catalog.h"
 #include "xml/node.h"
 
 namespace xqa::service {
@@ -150,6 +151,21 @@ class CollectionSnapshot : public CollectionProvider {
       const std::string& name) const override;
   const CollectionView* DefaultCollection() const override;
 
+  /// Shredded column tables, built lazily per (collection, record) and
+  /// cached for this snapshot's lifetime — i.e. per corpus version, the same
+  /// granularity as the snapshot itself (docs/SHREDDING.md). "" names the
+  /// default collection.
+  const ShreddedTable* FindShreddedTable(
+      const std::string& collection, const std::string& record,
+      const ShredBuildContext& context) const override;
+
+  /// Aggregate shredding gauges across this snapshot's cached tables.
+  ShredCatalog::Stats shred_stats() const { return shred_catalog_.GetStats(); }
+
+  /// The "shred" object of the service metrics scrape
+  /// (docs/OBSERVABILITY.md).
+  std::string ShredStatsJson() const { return shred_catalog_.StatsJson(); }
+
   /// Documents across all collections (the default view's size).
   size_t total_documents() const { return default_view_.documents.size(); }
 
@@ -165,6 +181,10 @@ class CollectionSnapshot : public CollectionProvider {
   std::map<std::string, CollectionView> views_;
   CollectionView default_view_;
   uint64_t version_ = 0;
+
+  /// Lazily populated table cache; mutable because building a table is a
+  /// logically-const read amplification of the immutable corpus.
+  mutable ShredCatalog shred_catalog_;
 };
 
 }  // namespace xqa::service

@@ -28,10 +28,12 @@ std::string PlanCache::MakeKey(std::string_view query,
   key += compile.optimizer.fold_constants ? 'F' : 'f';
   key += compile.optimizer.push_predicates ? 'P' : 'p';
   key += compile.optimizer.eliminate_order_by ? 'O' : 'o';
+  key += compile.optimizer.mark_shredded_scans ? 'S' : 's';
   key += 'h';
   key += std::to_string(compile.optimizer.groupby_cardinality_threshold);
   key += exec.use_structural_index ? 'I' : 'i';
   key += exec.use_batched_execution ? 'B' : 'b';
+  key += exec.use_shredded_scan ? 'R' : 'r';
   key += 't';
   key += std::to_string(exec.num_threads);
   key += '\x1f';

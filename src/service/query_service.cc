@@ -291,7 +291,9 @@ std::string QueryService::MetricsJson(int indent) const {
       << ", \"trips\": " << fault::TotalTrips() << "}," << nl;
   out << pad << "\"documents\": {\"count\": " << store_.size()
       << ", \"version\": " << store_.version() << "}," << nl;
-  out << pad << "\"collections\": " << collections_.StatsJson() << nl;
+  out << pad << "\"collections\": " << collections_.StatsJson() << "," << nl;
+  out << pad << "\"shred\": " << collections_.Snapshot()->ShredStatsJson()
+      << nl;
   out << "}";
   return out.str();
 }

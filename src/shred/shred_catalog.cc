@@ -1,0 +1,131 @@
+#include "shred/shred_catalog.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "eval/dynamic_context.h"
+
+namespace xqa {
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(ch));
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const ShreddedTable* ShredCatalog::FindOrBuild(
+    const std::string& collection, const std::string& record,
+    const CollectionView& view, const ShredOptions& options,
+    const ShredBuildContext& context) {
+  const std::string key = collection + '\x1f' + record;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second.table.get();
+
+  // Inference iterates the view's partition-major order (deterministic for a
+  // snapshot version), which fixes the schema's column order; the build then
+  // re-sorts rows into cross-document document order.
+  auto start = std::chrono::steady_clock::now();
+  ShredInference inference =
+      InferShredSchema(view.documents, record, options, context);
+  last_infer_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  Entry entry;
+  entry.collection = collection;
+  entry.record = record;
+  if (!inference.ok) {
+    entry.refusal = inference.refusal;
+    auto [pos, inserted] = entries_.emplace(key, std::move(entry));
+    (void)inserted;
+    return pos->second.table.get();
+  }
+
+  // Cancellation / budget / fault throws propagate before anything is
+  // cached, so a retry rebuilds from scratch.
+  entry.table = BuildShreddedTable(view.documents, inference.schema, context);
+  auto [pos, inserted] = entries_.emplace(key, std::move(entry));
+  (void)inserted;
+  return pos->second.table.get();
+}
+
+ShredCatalog::Stats ShredCatalog::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.last_infer_seconds = last_infer_seconds_;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.table == nullptr) {
+      ++stats.refusals;
+      continue;
+    }
+    ++stats.tables;
+    stats.columns += static_cast<int64_t>(entry.table->column_count());
+    stats.rows += static_cast<int64_t>(entry.table->row_count());
+    stats.bytes += entry.table->bytes();
+  }
+  return stats;
+}
+
+std::string ShredCatalog::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.last_infer_seconds = last_infer_seconds_;
+  std::string per_table = "[";
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.table == nullptr) {
+      ++stats.refusals;
+      continue;
+    }
+    ++stats.tables;
+    stats.columns += static_cast<int64_t>(entry.table->column_count());
+    stats.rows += static_cast<int64_t>(entry.table->row_count());
+    stats.bytes += entry.table->bytes();
+    if (!first) per_table += ",";
+    first = false;
+    per_table += "{\"collection\":\"" + JsonEscape(entry.collection) +
+                 "\",\"record\":\"" + JsonEscape(entry.record) +
+                 "\",\"rows\":" + std::to_string(entry.table->row_count()) +
+                 ",\"columns\":" +
+                 std::to_string(entry.table->column_count()) +
+                 ",\"bytes\":" + std::to_string(entry.table->bytes()) +
+                 ",\"build_seconds\":" +
+                 std::to_string(entry.table->build_seconds()) + "}";
+  }
+  per_table += "]";
+  std::string json = "{";
+  json += "\"tables\":" + std::to_string(stats.tables);
+  json += ",\"columns\":" + std::to_string(stats.columns);
+  json += ",\"rows\":" + std::to_string(stats.rows);
+  json += ",\"bytes\":" + std::to_string(stats.bytes);
+  json += ",\"refusals\":" + std::to_string(stats.refusals);
+  json += ",\"last_infer_seconds\":" + std::to_string(stats.last_infer_seconds);
+  json += ",\"per_table\":" + per_table;
+  json += "}";
+  return json;
+}
+
+}  // namespace xqa

@@ -1,0 +1,74 @@
+#ifndef XQA_SHRED_SHRED_CATALOG_H_
+#define XQA_SHRED_SHRED_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "shred/shredded_table.h"
+
+namespace xqa {
+
+struct CollectionView;
+
+/// Per-snapshot cache of shredded column tables (docs/SHREDDING.md), keyed by
+/// (collection, record element). A CollectionSnapshot owns one catalog; since
+/// snapshots are immutable and cached per store version, a table is built at
+/// most once per corpus version and shared by every query against it.
+///
+/// Refusals (heterogeneous corpus, mixed content, ...) are deterministic
+/// functions of the corpus, so they are negatively cached too — a query
+/// pattern that keeps probing an unshreddable collection pays the inference
+/// pass once, not per execution. Cancellation/budget/fault aborts propagate
+/// uncached: a retry with a bigger budget may succeed.
+///
+/// Thread-safe; service workers race FindOrBuild on a cold snapshot and the
+/// first one in builds while the rest wait (the build lock is the catalog
+/// mutex — coarse, but builds are once-per-version).
+class ShredCatalog {
+ public:
+  struct Stats {
+    int64_t tables = 0;
+    int64_t columns = 0;
+    int64_t rows = 0;
+    int64_t bytes = 0;
+    int64_t refusals = 0;
+    double last_infer_seconds = 0.0;
+  };
+
+  /// Returns the cached table for (`collection`, `record`) over `view`,
+  /// building (inference + column materialization) on first use. Returns
+  /// nullptr when inference refuses — deterministically, so the refusal is
+  /// cached. `context` governs only a build actually performed by this call.
+  const ShreddedTable* FindOrBuild(const std::string& collection,
+                                   const std::string& record,
+                                   const CollectionView& view,
+                                   const ShredOptions& options,
+                                   const ShredBuildContext& context);
+
+  Stats GetStats() const;
+
+  /// JSON object for the service metrics scrape:
+  /// {"tables":N,"columns":C,"rows":R,"bytes":B,"refusals":K,
+  ///  "last_infer_seconds":s,"per_table":[{...}]}.
+  std::string StatsJson() const;
+
+ private:
+  struct Entry {
+    std::string collection;
+    std::string record;
+    std::shared_ptr<const ShreddedTable> table;  ///< null for a refusal
+    std::string refusal;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< key: collection \x1f record
+  double last_infer_seconds_ = 0.0;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_SHRED_SHRED_CATALOG_H_

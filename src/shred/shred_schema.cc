@@ -1,0 +1,248 @@
+#include "shred/shred_schema.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "base/string_util.h"
+#include "xdm/datetime.h"
+#include "xdm/decimal.h"
+
+namespace xqa {
+
+namespace {
+
+/// Cancellation poll stride for the record loops (matches the collection
+/// scan's stride, eval/collection_scan.cc).
+constexpr size_t kInferPollStride = 256;
+
+ShredFieldType DetectValueType(std::string_view text) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) return ShredFieldType::kString;
+  int64_t integer_value = 0;
+  if (ParseInteger(trimmed, &integer_value)) return ShredFieldType::kInteger;
+  Decimal decimal_value;
+  if (Decimal::Parse(trimmed, &decimal_value)) return ShredFieldType::kDecimal;
+  double double_value = 0.0;
+  if (ParseDouble(trimmed, &double_value)) return ShredFieldType::kDouble;
+  DateTime datetime_value;
+  if (DateTime::ParseDateTime(trimmed, &datetime_value)) {
+    return ShredFieldType::kDateTime;
+  }
+  return ShredFieldType::kString;
+}
+
+/// The lattice join: numerics widen along integer -> decimal -> double,
+/// anything else degrades to string.
+ShredFieldType JoinTypes(ShredFieldType a, ShredFieldType b) {
+  if (a == b) return a;
+  auto is_numeric = [](ShredFieldType t) {
+    return t == ShredFieldType::kInteger || t == ShredFieldType::kDecimal ||
+           t == ShredFieldType::kDouble;
+  };
+  if (is_numeric(a) && is_numeric(b)) {
+    auto rank = [](ShredFieldType t) {
+      return t == ShredFieldType::kInteger ? 0
+             : t == ShredFieldType::kDecimal ? 1
+                                             : 2;
+    };
+    return rank(a) >= rank(b) ? a : b;
+  }
+  return ShredFieldType::kString;
+}
+
+void CollectRecordsByWalk(const Node* node, std::string_view record_name,
+                          std::vector<const Node*>* out) {
+  if (node->kind() == NodeKind::kElement && node->name() == record_name) {
+    out->push_back(node);
+  }
+  for (const Node* child : node->children()) {
+    CollectRecordsByWalk(child, record_name, out);
+  }
+}
+
+/// Per-name accumulator for one pass over the corpus.
+struct NameState {
+  std::string name;
+  bool is_attribute = false;
+  bool structured = false;  ///< saw a non-scalar occurrence somewhere
+  size_t present_records = 0;
+  bool has_type = false;
+  ShredFieldType type = ShredFieldType::kString;
+};
+
+}  // namespace
+
+std::string_view ShredFieldTypeName(ShredFieldType type) {
+  switch (type) {
+    case ShredFieldType::kString: return "xs:string";
+    case ShredFieldType::kInteger: return "xs:integer";
+    case ShredFieldType::kDecimal: return "xs:decimal";
+    case ShredFieldType::kDouble: return "xs:double";
+    case ShredFieldType::kDateTime: return "xs:dateTime";
+  }
+  return "?";
+}
+
+int ShredSchema::FieldIndex(std::string_view name, bool is_attribute) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].is_attribute == is_attribute && fields[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool IsScalarShapedElement(const Node* element) {
+  if (element->kind() != NodeKind::kElement) return false;
+  if (!element->attributes().empty()) return false;
+  const std::vector<Node*>& children = element->children();
+  if (children.empty()) return true;
+  return children.size() == 1 && children[0]->kind() == NodeKind::kText;
+}
+
+std::string_view ScalarFieldText(const Node* field) {
+  if (field->kind() == NodeKind::kAttribute) return field->content();
+  const std::vector<Node*>& children = field->children();
+  if (children.empty()) return std::string_view();
+  return children[0]->content();
+}
+
+void CollectRecords(const Document& document, std::string_view record_name,
+                    std::vector<const Node*>* out) {
+  NameId id = document.LookupName(record_name);
+  if (id == kNameIdAbsent) return;
+  if (const std::vector<Node*>* bucket = document.ElementsWithName(id)) {
+    out->insert(out->end(), bucket->begin(), bucket->end());
+    return;
+  }
+  CollectRecordsByWalk(document.root(), record_name, out);
+}
+
+ShredInference InferShredSchema(const std::vector<DocumentPtr>& documents,
+                                std::string_view record_name,
+                                const ShredOptions& options,
+                                const ShredBuildContext& context) {
+  ShredInference result;
+  result.schema.record_name = std::string(record_name);
+
+  // Per-name state in first-appearance order (the schema's column order).
+  std::vector<NameState> states;
+  std::unordered_map<std::string, size_t> state_index;
+  auto state_of = [&](const std::string& name,
+                      bool is_attribute) -> NameState& {
+    std::string key = (is_attribute ? "@" : "") + name;
+    auto [it, inserted] = state_index.try_emplace(key, states.size());
+    if (inserted) {
+      states.push_back(NameState{name, is_attribute, false, 0, false,
+                                 ShredFieldType::kString});
+    }
+    return states[it->second];
+  };
+
+  size_t record_count = 0;
+  size_t poll = 0;
+  std::vector<const Node*> records;
+  // Scratch for the per-record repeated-child check: (state index, count).
+  std::vector<size_t> seen_in_record;
+
+  for (const DocumentPtr& document : documents) {
+    records.clear();
+    CollectRecords(*document, record_name, &records);
+    for (const Node* record : records) {
+      if (context.cancellation != nullptr &&
+          ++poll % kInferPollStride == 0) {
+        context.cancellation->Check();
+      }
+      ++record_count;
+      seen_in_record.clear();
+      for (const Node* child : record->children()) {
+        switch (child->kind()) {
+          case NodeKind::kText:
+            if (!IsAllWhitespace(child->content())) {
+              result.refusal = "mixed content in <" +
+                               std::string(record_name) + "> record";
+              return result;
+            }
+            break;
+          case NodeKind::kElement: {
+            NameState& state = state_of(child->name(), false);
+            if (!IsScalarShapedElement(child)) {
+              state.structured = true;
+              break;
+            }
+            size_t index = &state - states.data();
+            if (std::find(seen_in_record.begin(), seen_in_record.end(),
+                          index) != seen_in_record.end()) {
+              result.refusal = "repeated scalar child <" + child->name() +
+                               "> in <" + std::string(record_name) +
+                               "> record";
+              return result;
+            }
+            seen_in_record.push_back(index);
+            ++state.present_records;
+            ShredFieldType value_type =
+                DetectValueType(ScalarFieldText(child));
+            state.type = state.has_type ? JoinTypes(state.type, value_type)
+                                        : value_type;
+            state.has_type = true;
+            break;
+          }
+          default:
+            break;  // comments / PIs between fields are ignored
+        }
+      }
+      for (const Node* attribute : record->attributes()) {
+        NameState& state = state_of(attribute->name(), true);
+        ++state.present_records;
+        ShredFieldType value_type =
+            DetectValueType(attribute->content());
+        state.type = state.has_type ? JoinTypes(state.type, value_type)
+                                    : value_type;
+        state.has_type = true;
+      }
+    }
+  }
+
+  result.record_count = record_count;
+  if (record_count == 0) {
+    result.refusal =
+        "no <" + std::string(record_name) + "> records in the corpus";
+    return result;
+  }
+
+  size_t present_total = 0;
+  for (const NameState& state : states) {
+    if (state.structured || state.present_records == 0) continue;
+    ShredField field;
+    field.name = state.name;
+    field.is_attribute = state.is_attribute;
+    field.type = state.type;
+    field.nullable = state.present_records < record_count;
+    result.schema.fields.push_back(std::move(field));
+    present_total += state.present_records;
+  }
+  if (result.schema.fields.empty()) {
+    result.refusal = "no scalar fields in <" + std::string(record_name) +
+                     "> records";
+    return result;
+  }
+
+  result.coverage =
+      static_cast<double>(present_total) /
+      (static_cast<double>(record_count) *
+       static_cast<double>(result.schema.fields.size()));
+  if (result.coverage < options.homogeneity_threshold) {
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "field coverage %.2f below homogeneity threshold %.2f",
+                  result.coverage, options.homogeneity_threshold);
+    result.refusal = buffer;
+    return result;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace xqa

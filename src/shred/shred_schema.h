@@ -1,0 +1,110 @@
+#ifndef XQA_SHRED_SHRED_SCHEMA_H_
+#define XQA_SHRED_SHRED_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/cancellation.h"
+#include "base/memory_tracker.h"
+#include "xml/node.h"
+
+namespace xqa {
+
+/// The column types the shredder detects (docs/SHREDDING.md). Detection is
+/// per-value from the lexical form, joined across the corpus by the type
+/// lattice: integer < decimal < double among numerics, dateTime only with
+/// itself, and string as the top that absorbs every mix.
+enum class ShredFieldType : uint8_t {
+  kString,
+  kInteger,
+  kDecimal,
+  kDouble,
+  kDateTime,
+};
+
+/// "xs:integer"-style names for diagnostics and the metrics scrape.
+std::string_view ShredFieldTypeName(ShredFieldType type);
+
+/// One scalar field of a record: a child element (`<price>9.99</price>`) or
+/// an attribute of the record element itself.
+struct ShredField {
+  std::string name;
+  bool is_attribute = false;
+  ShredFieldType type = ShredFieldType::kString;
+  /// True when at least one record lacks the field (the column has nulls).
+  bool nullable = false;
+};
+
+/// An inferred record schema: the record element name plus its scalar fields
+/// in first-appearance order (deterministic for a given corpus order).
+struct ShredSchema {
+  std::string record_name;
+  std::vector<ShredField> fields;
+
+  /// Index into `fields`, or -1 when no such field exists.
+  int FieldIndex(std::string_view name, bool is_attribute) const;
+};
+
+/// Inference thresholds.
+struct ShredOptions {
+  /// Minimum average field coverage: the sum over records of schema fields
+  /// present, divided by (records x fields). A corpus below this is
+  /// heterogeneous — shredding would make most columns null — and inference
+  /// refuses rather than building a mostly-empty table.
+  double homogeneity_threshold = 0.6;
+};
+
+/// Resource governance for a schema-inference pass or a column-table build,
+/// threaded from the executing query: its cancellation token (the build
+/// polls it) and its memory tracker (the build's transient charge raises
+/// XQSV0004 past the budget). Both borrowed and nullable.
+struct ShredBuildContext {
+  const CancellationToken* cancellation = nullptr;
+  MemoryTracker* memory = nullptr;
+};
+
+/// Outcome of a schema-inference pass: a schema, or a named refusal.
+/// Refusals are deterministic functions of the corpus — the catalog caches
+/// them, unlike cancellation/budget aborts, which may succeed on retry.
+struct ShredInference {
+  bool ok = false;
+  std::string refusal;  ///< human-readable reason when !ok
+  ShredSchema schema;
+  size_t record_count = 0;
+  double coverage = 0.0;  ///< average field coverage actually observed
+};
+
+/// True for the element shape a column can hold losslessly: no attributes
+/// and at most one child, which must be text (so the string value is exactly
+/// the single text content and dictionary-code equality coincides with
+/// deep-equal for same-named fields).
+bool IsScalarShapedElement(const Node* element);
+
+/// The lexical value of a field node: attribute content, or the text of a
+/// scalar-shaped element ("" for an empty element). Precondition: `field` is
+/// an attribute or a scalar-shaped element.
+std::string_view ScalarFieldText(const Node* field);
+
+/// Appends every element of `document` named `record_name` in preorder —
+/// the same node set, in the same order, that a `//record_name` step
+/// produces within one document. Uses the element-name index when built.
+void CollectRecords(const Document& document, std::string_view record_name,
+                    std::vector<const Node*>* out);
+
+/// Runs schema inference over `documents` (iterated in the given order,
+/// which should be a deterministic corpus order). Refuses on: no records, a
+/// record with non-whitespace text content (mixed content), a scalar child
+/// name repeated within one record, no scalar fields at all, or coverage
+/// below the homogeneity threshold. A child name with any structured
+/// occurrence (attributes, element children) anywhere in the corpus is
+/// excluded from the schema but does not refuse — those subtrees simply stay
+/// DOM-only.
+ShredInference InferShredSchema(const std::vector<DocumentPtr>& documents,
+                                std::string_view record_name,
+                                const ShredOptions& options,
+                                const ShredBuildContext& context);
+
+}  // namespace xqa
+
+#endif  // XQA_SHRED_SHRED_SCHEMA_H_

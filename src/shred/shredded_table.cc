@@ -1,0 +1,168 @@
+#include "shred/shredded_table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "base/fault_injection.h"
+#include "base/string_util.h"
+#include "xdm/decimal.h"
+
+namespace xqa {
+
+namespace {
+
+constexpr size_t kBuildPollStride = 256;
+/// Charge granularity while building: re-point the scoped charge once per
+/// this many rows so the tracker sees growth without per-row atomics.
+constexpr size_t kChargeStride = 4096;
+
+int64_t EstimateColumnBytes(const ShreddedTable::Column& column) {
+  int64_t bytes = 0;
+  bytes += static_cast<int64_t>(column.codes.size()) * sizeof(uint32_t);
+  bytes += static_cast<int64_t>(column.nodes.size()) * sizeof(const Node*);
+  bytes += static_cast<int64_t>(column.code_hashes.size()) * sizeof(size_t);
+  bytes += static_cast<int64_t>(column.ints.size()) * sizeof(int64_t);
+  bytes += static_cast<int64_t>(column.doubles.size()) * sizeof(double);
+  bytes += static_cast<int64_t>(column.present.size()) * sizeof(uint64_t);
+  for (const std::string& value : column.dict) {
+    bytes += static_cast<int64_t>(value.size()) + 48;  // entry overhead
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::shared_ptr<const ShreddedTable> BuildShreddedTable(
+    const std::vector<DocumentPtr>& documents, const ShredSchema& schema,
+    const ShredBuildContext& context) {
+  auto start = std::chrono::steady_clock::now();
+  auto table = std::shared_ptr<ShreddedTable>(new ShreddedTable());
+  table->schema_ = schema;
+
+  // Rows must come out in the order `collection(...)//record` yields after
+  // SortDocumentOrderAndDedup: documents ascending by id, preorder within.
+  std::vector<DocumentPtr> ordered = documents;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const DocumentPtr& a, const DocumentPtr& b) {
+              return a->id() < b->id();
+            });
+
+  const size_t field_count = schema.fields.size();
+  table->columns_.resize(field_count);
+  std::vector<std::unordered_map<std::string_view, uint32_t>> interns(
+      field_count);
+  for (size_t c = 0; c < field_count; ++c) {
+    table->columns_[c].field = schema.fields[c];
+  }
+
+  // Transient build charge — released when this function returns; the
+  // long-lived owner (the snapshot catalog) accounts the table in its gauges.
+  ScopedMemoryCharge charge(context.memory);
+
+  size_t poll = 0;
+  std::vector<const Node*> records;
+  for (const DocumentPtr& document : ordered) {
+    XQA_FAULT_POINT("shred.column_build", ErrorCode::kXQSV0004);
+    records.clear();
+    CollectRecords(*document, schema.record_name, &records);
+    for (const Node* record : records) {
+      if (context.cancellation != nullptr &&
+          ++poll % kBuildPollStride == 0) {
+        context.cancellation->Check();
+      }
+      const size_t row = table->rows_.size();
+      table->rows_.push_back(record);
+      table->row_documents_.push_back(document);
+      table->row_index_.emplace(record, static_cast<uint32_t>(row));
+
+      for (size_t c = 0; c < field_count; ++c) {
+        ShreddedTable::Column& column = table->columns_[c];
+        const ShredField& field = column.field;
+
+        const Node* field_node = nullptr;
+        if (field.is_attribute) {
+          field_node = record->FindAttribute(field.name);
+        } else {
+          for (const Node* child : record->children()) {
+            if (child->kind() == NodeKind::kElement &&
+                child->name() == field.name) {
+              field_node = child;
+              break;
+            }
+          }
+        }
+
+        if ((row & 63) == 0) column.present.push_back(0);
+        column.nodes.push_back(field_node);
+        if (field_node == nullptr) {
+          column.codes.push_back(ShreddedTable::kNullCode);
+          ++column.null_count;
+          if (field.type == ShredFieldType::kInteger) {
+            column.ints.push_back(0);
+          } else if (field.type == ShredFieldType::kDecimal ||
+                     field.type == ShredFieldType::kDouble) {
+            column.doubles.push_back(0.0);
+          }
+          continue;
+        }
+        column.present[row >> 6] |= uint64_t{1} << (row & 63);
+
+        std::string_view text = ScalarFieldText(field_node);
+        auto [it, inserted] =
+            interns[c].try_emplace(text, static_cast<uint32_t>(
+                                             column.dict.size()));
+        if (inserted) {
+          // `text` points into document content, pinned by row_documents_
+          // for at least the life of this local intern map.
+          column.dict.emplace_back(text);
+          column.code_hashes.push_back(CombineDeepHash(
+              kDeepHashSeqSeed, DeepHashNode(field_node)));
+        }
+        const uint32_t code = it->second;
+        column.codes.push_back(code);
+
+        if (field.type == ShredFieldType::kInteger) {
+          int64_t value = 0;
+          ParseInteger(TrimWhitespace(text), &value);
+          column.ints.push_back(value);
+        } else if (field.type == ShredFieldType::kDecimal ||
+                   field.type == ShredFieldType::kDouble) {
+          double value = 0.0;
+          Decimal decimal_value;
+          if (Decimal::Parse(TrimWhitespace(text), &decimal_value)) {
+            value = decimal_value.ToDouble();
+          } else {
+            ParseDouble(TrimWhitespace(text), &value);
+          }
+          column.doubles.push_back(value);
+        }
+      }
+
+      if (row % kChargeStride == 0) {
+        int64_t bytes = 0;
+        for (const ShreddedTable::Column& column : table->columns_) {
+          bytes += EstimateColumnBytes(column);
+        }
+        bytes += static_cast<int64_t>(table->rows_.size()) *
+                 (sizeof(const Node*) + sizeof(DocumentPtr) + 48);
+        charge.Reset(bytes);
+      }
+    }
+  }
+
+  int64_t bytes = 0;
+  for (const ShreddedTable::Column& column : table->columns_) {
+    bytes += EstimateColumnBytes(column);
+  }
+  bytes += static_cast<int64_t>(table->rows_.size()) *
+           (sizeof(const Node*) + sizeof(DocumentPtr) + 48);
+  charge.Reset(bytes);
+  table->bytes_ = bytes;
+  table->build_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return table;
+}
+
+}  // namespace xqa

@@ -1,0 +1,124 @@
+#ifndef XQA_SHRED_SHREDDED_TABLE_H_
+#define XQA_SHRED_SHREDDED_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "shred/shred_schema.h"
+#include "xdm/deep_equal.h"
+#include "xml/node.h"
+
+namespace xqa {
+
+/// An immutable columnar materialization of one record set
+/// (docs/SHREDDING.md): one row per record element, one column per schema
+/// field. Rows are ordered documents-ascending-by-id, preorder within each
+/// document — exactly the order `collection(...)//record` produces after
+/// cross-document sorting — so a shredded scan substitutes for the DOM path
+/// byte for byte.
+///
+/// Column layout per field:
+///  - `codes`: a dictionary code per row (kNullCode for an absent field).
+///    The dictionary stores original lexical values in first-seen order, so
+///    "07" and "7" remain distinct codes — dictionary-code equality
+///    coincides with deep-equal over the (scalar-shaped, same-named) field
+///    nodes, which is what lets group-by kernels compare codes instead of
+///    trees.
+///  - `nodes`: the field node per row, so grouping keys and serialized
+///    output materialize the *node* (e.g. `<publisher>X</publisher>`), not a
+///    typed value — required for byte identity with the DOM path.
+///  - `code_hashes`: the deep-hash-chain group-key hash per code
+///    (CombineDeepHash(kDeepHashSeqSeed, DeepHashNode(field))), identical to
+///    what the generic grouping kernels compute for the same key, so
+///    shredded and DOM lanes can share one hash table layout.
+///  - `ints` / `doubles`: dense typed vectors for numeric columns (integer
+///    -> int64, decimal/double -> double), with the null bitmap in
+///    `present`. These serve typed analytics and the gauges; equality and
+///    serialization always go through the lexical dictionary.
+///
+/// Thread-safe after construction (immutable; documents pinned by refcount).
+class ShreddedTable {
+ public:
+  /// Code marking an absent (null) field.
+  static constexpr uint32_t kNullCode = 0xFFFFFFFFu;
+
+  /// Group-key hash of a null field (the empty key sequence): the deep-hash
+  /// chain seed, matching DeepHashSequence({}).
+  static constexpr size_t kNullKeyHash = kDeepHashSeqSeed;
+
+  struct Column {
+    ShredField field;
+    std::vector<uint32_t> codes;      ///< row -> dictionary code / kNullCode
+    std::vector<const Node*> nodes;   ///< row -> field node / nullptr
+    std::vector<std::string> dict;    ///< code -> original lexical value
+    std::vector<size_t> code_hashes;  ///< code -> group-key hash
+    std::vector<int64_t> ints;        ///< dense values (kInteger), 0 at null
+    std::vector<double> doubles;      ///< dense values (kDecimal/kDouble)
+    std::vector<uint64_t> present;    ///< null bitmap, 1 bit per row
+    int64_t null_count = 0;
+
+    bool IsPresent(size_t row) const {
+      return ((present[row >> 6] >> (row & 63)) & 1) != 0;
+    }
+  };
+
+  const ShredSchema& schema() const { return schema_; }
+  size_t row_count() const { return rows_.size(); }
+  size_t column_count() const { return columns_.size(); }
+
+  /// The record element of row `row` and its owning (pinned) document.
+  const Node* record(size_t row) const { return rows_[row]; }
+  const DocumentPtr& record_document(size_t row) const {
+    return row_documents_[row];
+  }
+
+  const Column& column(size_t index) const { return columns_[index]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// The row of a record node; -1 when the node is not a record of this
+  /// table. O(1) — this is how batched kernels translate a slot's bound node
+  /// back into a row without any hidden per-tuple state.
+  int RowOf(const Node* record) const {
+    auto it = row_index_.find(record);
+    return it != row_index_.end() ? static_cast<int>(it->second) : -1;
+  }
+
+  /// Estimated resident bytes of the table (columns, dictionary, row index).
+  int64_t bytes() const { return bytes_; }
+
+  /// Wall time of the build (inference excluded), for the metrics scrape.
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  friend std::shared_ptr<const ShreddedTable> BuildShreddedTable(
+      const std::vector<DocumentPtr>& documents, const ShredSchema& schema,
+      const ShredBuildContext& context);
+
+  ShreddedTable() = default;
+
+  ShredSchema schema_;
+  std::vector<const Node*> rows_;
+  std::vector<DocumentPtr> row_documents_;
+  std::vector<Column> columns_;
+  std::unordered_map<const Node*, uint32_t> row_index_;
+  int64_t bytes_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+/// Materializes the column table for `schema` over `documents` (any input
+/// order; rows come out documents-ascending-by-id, preorder within each).
+/// Polls the context's cancellation token, charges the context's memory
+/// tracker transiently while building (XQSV0004 past the budget; the charge
+/// is released once the table is handed to its long-lived owner, whose
+/// gauges account it instead), and passes the `shred.column_build` fault
+/// site per document (docs/ROBUSTNESS.md).
+std::shared_ptr<const ShreddedTable> BuildShreddedTable(
+    const std::vector<DocumentPtr>& documents, const ShredSchema& schema,
+    const ShredBuildContext& context);
+
+}  // namespace xqa
+
+#endif  // XQA_SHRED_SHREDDED_TABLE_H_

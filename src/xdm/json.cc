@@ -1,0 +1,506 @@
+#include "xdm/json.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace xqa {
+
+namespace {
+
+constexpr int kMaxJsonDepth = 512;
+
+// --- Parsing (JSON text → element tree) --------------------------------------
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, Document* document)
+      : text_(text), document_(document) {}
+
+  void ParseDocument() {
+    SkipWhitespace();
+    Node* root = document_->CreateElement("json");
+    document_->AppendChild(document_->root(), root);
+    ParseValueInto(root, 0);
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing characters after JSON value");
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    ThrowError(ErrorCode::kFOJS0001,
+               "xqa:parse-json: " + what + " at offset " +
+                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void ExpectLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      Fail("invalid literal");
+    }
+    pos_ += word.size();
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          uint32_t code = ParseHex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: the low half must follow as another \uXXXX.
+            if (!Consume('\\') || !Consume('u')) {
+              Fail("unpaired surrogate escape");
+            }
+            uint32_t low = ParseHex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              Fail("unpaired surrogate escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            Fail("unpaired surrogate escape");
+          }
+          Utf8Encode(code, &out);
+          break;
+        }
+        default:
+          Fail("invalid escape");
+      }
+    }
+  }
+
+  uint32_t ParseHex4() {
+    if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        Fail("invalid \\u escape");
+      }
+    }
+    return value;
+  }
+
+  /// Scans a number per the JSON grammar and returns the raw lexeme — the
+  /// text node carries the feed's original spelling.
+  std::string_view ParseNumberLexeme() {
+    size_t start = pos_;
+    Consume('-');
+    if (Consume('0')) {
+      // no further integer digits
+    } else if (Peek() >= '1' && Peek() <= '9') {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    } else {
+      Fail("invalid number");
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        Fail("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        Fail("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// A JSON member key as an element name: ASCII NCName characters pass
+  /// through, everything else sanitizes to '_' ("user.name" → "user_name");
+  /// a key that is empty or starts with a non-start character (e.g. "2024")
+  /// gets a leading '_'. Deterministic, so repeated keys shred into one
+  /// column.
+  std::string ElementNameForKey(const std::string& key) {
+    std::string name;
+    name.reserve(key.size() + 1);
+    for (char c : key) {
+      if (static_cast<unsigned char>(c) < 0x80 &&
+          (name.empty() ? IsNameStartChar(c) : IsNameChar(c))) {
+        name += c;
+      } else if (name.empty() && static_cast<unsigned char>(c) < 0x80 &&
+                 IsNameChar(c)) {
+        name += '_';
+        name += c;
+      } else {
+        name += '_';
+      }
+    }
+    if (name.empty()) name = "_";
+    return name;
+  }
+
+  void ParseValueInto(Node* element, int depth) {
+    if (depth > kMaxJsonDepth) Fail("nesting exceeds the depth limit");
+    SkipWhitespace();
+    char c = Peek();
+    switch (c) {
+      case '{':
+        ParseObjectInto(element, depth);
+        break;
+      case '[':
+        ParseArrayInto(element, "item", depth);
+        break;
+      case '"': {
+        std::string value = ParseString();
+        if (!value.empty()) {
+          document_->AppendChild(element, document_->CreateText(value));
+        }
+        break;
+      }
+      case 't':
+        ExpectLiteral("true");
+        document_->AppendChild(element, document_->CreateText("true"));
+        break;
+      case 'f':
+        ExpectLiteral("false");
+        document_->AppendChild(element, document_->CreateText("false"));
+        break;
+      case 'n':
+        ExpectLiteral("null");
+        break;  // null → empty element (a shredded null)
+      default:
+        document_->AppendChild(element,
+                               document_->CreateText(ParseNumberLexeme()));
+    }
+  }
+
+  void ParseObjectInto(Node* element, int depth) {
+    Expect('{');
+    SkipWhitespace();
+    if (Consume('}')) return;
+    while (true) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      std::string name = ElementNameForKey(key);
+      SkipWhitespace();
+      if (Peek() == '[') {
+        // "k": [...] → repeated <k> children, not <k><item>.
+        ParseArrayInto(element, name, depth + 1);
+      } else {
+        Node* child = document_->CreateElement(name);
+        document_->AppendChild(element, child);
+        ParseValueInto(child, depth + 1);
+      }
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      Expect('}');
+      return;
+    }
+  }
+
+  void ParseArrayInto(Node* element, std::string_view member_name, int depth) {
+    Expect('[');
+    SkipWhitespace();
+    if (Consume(']')) return;
+    while (true) {
+      Node* member = document_->CreateElement(member_name);
+      document_->AppendChild(element, member);
+      ParseValueInto(member, depth + 1);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      Expect(']');
+      return;
+    }
+  }
+
+  std::string_view text_;
+  Document* document_;
+  size_t pos_ = 0;
+};
+
+// --- Emission (XDM → JSON text) -----------------------------------------------
+
+void AppendJsonString(std::string_view text, std::string* out) {
+  *out += '"';
+  for (char ch : text) {
+    switch (ch) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(ch));
+          *out += buffer;
+        } else {
+          *out += ch;
+        }
+    }
+  }
+  *out += '"';
+}
+
+/// True when `text` is exactly a JSON number — the only scalar lexemes that
+/// may pass through unquoted. Stricter than XQuery's number grammar (no
+/// leading '+', no leading/trailing '.', no NaN/INF).
+bool IsJsonNumber(std::string_view text) {
+  size_t i = 0;
+  if (i < text.size() && text[i] == '-') ++i;
+  if (i >= text.size()) return false;
+  if (text[i] == '0') {
+    ++i;
+  } else if (text[i] >= '1' && text[i] <= '9') {
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i;
+  } else {
+    return false;
+  }
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    if (i >= text.size() || text[i] < '0' || text[i] > '9') return false;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i;
+  }
+  if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+    ++i;
+    if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+    if (i >= text.size() || text[i] < '0' || text[i] > '9') return false;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i;
+  }
+  return i == text.size();
+}
+
+void AppendScalarJson(std::string_view text, std::string* out) {
+  if (text.empty()) {
+    *out += "null";
+  } else if (text == "true" || text == "false") {
+    out->append(text);
+  } else if (IsJsonNumber(text)) {
+    out->append(text);
+  } else {
+    AppendJsonString(text, out);
+  }
+}
+
+/// Emits the JSON value of an element's content: attributes as "@name"
+/// members, children grouped by name (repeats → arrays); an element with
+/// neither is a scalar of its text.
+void AppendElementValueJson(const Node* element, std::string* out, int depth) {
+  if (depth > kMaxJsonDepth) {
+    ThrowError(ErrorCode::kFOJS0001,
+               "xqa:xml-to-json: nesting exceeds the depth limit");
+  }
+  bool has_element_children = false;
+  bool has_text = false;
+  for (const Node* child : element->children()) {
+    if (child->kind() == NodeKind::kElement) has_element_children = true;
+    if (child->kind() == NodeKind::kText &&
+        !IsAllWhitespace(child->content())) {
+      has_text = true;
+    }
+  }
+
+  if (element->attributes().empty() && !has_element_children) {
+    AppendScalarJson(element->StringValue(), out);
+    return;
+  }
+  if (has_element_children && has_text) {
+    // Mixed content has no faithful JSON shape; degrade to the string-value.
+    AppendJsonString(element->StringValue(), out);
+    return;
+  }
+
+  *out += '{';
+  bool first = true;
+  for (const Node* attribute : element->attributes()) {
+    if (!first) *out += ',';
+    first = false;
+    AppendJsonString("@" + attribute->name(), out);
+    *out += ':';
+    AppendScalarJson(attribute->content(), out);
+  }
+
+  // Group element children by name in first-appearance order.
+  std::vector<std::pair<const std::string*, std::vector<const Node*>>> groups;
+  for (const Node* child : element->children()) {
+    if (child->kind() != NodeKind::kElement) continue;
+    bool found = false;
+    for (auto& [name, members] : groups) {
+      if (*name == child->name()) {
+        members.push_back(child);
+        found = true;
+        break;
+      }
+    }
+    if (!found) groups.push_back({&child->name(), {child}});
+  }
+  for (const auto& [name, members] : groups) {
+    if (!first) *out += ',';
+    first = false;
+    AppendJsonString(*name, out);
+    *out += ':';
+    if (members.size() == 1) {
+      AppendElementValueJson(members[0], out, depth + 1);
+    } else {
+      *out += '[';
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) *out += ',';
+        AppendElementValueJson(members[i], out, depth + 1);
+      }
+      *out += ']';
+    }
+  }
+  *out += '}';
+}
+
+void AppendNodeJson(const Node* node, std::string* out) {
+  switch (node->kind()) {
+    case NodeKind::kDocument: {
+      const Node* root_element = nullptr;
+      for (const Node* child : node->children()) {
+        if (child->kind() == NodeKind::kElement) {
+          root_element = child;
+          break;
+        }
+      }
+      if (root_element != nullptr) {
+        AppendElementValueJson(root_element, out, 0);
+      } else {
+        AppendScalarJson(node->StringValue(), out);
+      }
+      break;
+    }
+    case NodeKind::kElement:
+      AppendElementValueJson(node, out, 0);
+      break;
+    case NodeKind::kAttribute:
+      AppendScalarJson(node->content(), out);
+      break;
+    default:
+      AppendJsonString(node->StringValue(), out);
+  }
+}
+
+void AppendAtomicJson(const AtomicValue& value, std::string* out) {
+  switch (value.type()) {
+    case AtomicType::kBoolean:
+      *out += value.AsBoolean() ? "true" : "false";
+      break;
+    case AtomicType::kInteger:
+    case AtomicType::kDecimal:
+      out->append(value.ToLexical());
+      break;
+    case AtomicType::kDouble: {
+      // NaN/INF have no JSON number form; serialize as strings.
+      std::string lexical = value.ToLexical();
+      if (IsJsonNumber(lexical)) {
+        out->append(lexical);
+      } else {
+        AppendJsonString(lexical, out);
+      }
+      break;
+    }
+    default:
+      AppendJsonString(value.ToLexical(), out);
+  }
+}
+
+}  // namespace
+
+DocumentPtr ParseJsonDocument(std::string_view json) {
+  DocumentPtr document = MakeDocument();
+  JsonParser parser(json, document.get());
+  parser.ParseDocument();
+  document->SealOrder();
+  return document;
+}
+
+std::string ItemToJson(const Item& item) {
+  std::string out;
+  if (item.IsNode()) {
+    AppendNodeJson(item.node(), &out);
+  } else {
+    AppendAtomicJson(item.atomic(), &out);
+  }
+  return out;
+}
+
+std::string SequenceToJson(const Sequence& sequence) {
+  if (sequence.empty()) return "null";
+  if (sequence.size() == 1) return ItemToJson(sequence[0]);
+  std::string out = "[";
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    if (i > 0) out += ',';
+    out += ItemToJson(sequence[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace xqa

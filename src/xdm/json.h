@@ -1,0 +1,53 @@
+#ifndef XQA_XDM_JSON_H_
+#define XQA_XDM_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "xdm/item.h"
+#include "xml/node.h"
+
+namespace xqa {
+
+/// JSON ↔ XDM interop (docs/SHREDDING.md, "analytics over feeds").
+///
+/// Ingest (`xqa:parse-json`): JSON text becomes a sealed document whose
+/// canonical element shape the shredder can infer a schema from —
+///   - the document root is `<json>`,
+///   - an object member `"k": v` becomes a child element `<k>` (non-NCName
+///     characters in the key sanitized to '_', an empty key to "_"), members
+///     in input order,
+///   - an array under key `k` becomes repeated `<k>` children; a top-level
+///     array becomes repeated `<item>` children,
+///   - scalars become text content carrying the ORIGINAL lexeme (numbers are
+///     not reparsed/reformatted, so 1.10 stays "1.10" and the shredder's
+///     type detection sees what the feed actually said),
+///   - `null` becomes an empty element (a shredded null),
+///   - `true`/`false` become the text "true"/"false".
+///
+/// Emit (`xqa:xml-to-json` / JSON result serialization): the inverse-ish
+/// mapping — an element with no attributes and no element children is a
+/// scalar (empty → null, "true"/"false" → booleans, strict JSON-number
+/// lexemes → raw numbers, anything else → a string); attributes become
+/// "@name" members; element children group by name in first-appearance
+/// order, a name occurring once mapping to its value and a repeated name to
+/// an array. Mixed content degrades to the string-value. NaN/INF have no
+/// JSON number form and serialize as strings.
+
+/// Parses JSON text into a sealed document. Throws FOJS0001 on malformed
+/// input (syntax error, unpaired surrogate escape, trailing garbage, or
+/// nesting beyond the depth guard).
+DocumentPtr ParseJsonDocument(std::string_view json);
+
+/// Serializes one item to JSON: nodes through the element mapping above,
+/// atomics directly (booleans and numerics as JSON values, the rest as
+/// strings).
+std::string ItemToJson(const Item& item);
+
+/// Serializes a sequence to JSON: empty → null, a singleton → its value, n
+/// items → an array.
+std::string SequenceToJson(const Sequence& sequence);
+
+}  // namespace xqa
+
+#endif  // XQA_XDM_JSON_H_

@@ -1,0 +1,251 @@
+// JSON ↔ XDM interop (docs/SHREDDING.md): xqa:parse-json's canonical element
+// mapping (objects, arrays, scalars with original lexemes, nulls, escapes,
+// FOJS0001 diagnostics), xqa:xml-to-json / SerializeSequenceJson emission,
+// round-trips, and the integration the mapping exists for — a JSON feed
+// loaded as a collection and scanned through the shredded column table.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "service/collection_store.h"
+#include "xdm/json.h"
+
+namespace xqa {
+namespace {
+
+using service::CollectionStore;
+
+class JsonTest : public ::testing::Test {
+ protected:
+  std::string Run(const std::string& query) {
+    DocumentPtr doc = Engine::ParseDocument("<root/>");
+    return engine_.Compile(query).ExecuteToString(doc);
+  }
+
+  Engine engine_;
+};
+
+// ---------------------------------------------------------------------------
+// xqa:parse-json — the element mapping.
+// ---------------------------------------------------------------------------
+
+TEST_F(JsonTest, ParseJsonObjectBecomesChildElements) {
+  EXPECT_EQ(Run(R"(xqa:parse-json('{"a": 1, "b": "x"}'))"),
+            "<json><a>1</a><b>x</b></json>");
+}
+
+TEST_F(JsonTest, ParseJsonArrayUnderKeyBecomesRepeatedChildren) {
+  EXPECT_EQ(Run(R"(xqa:parse-json('{"a": [1, 2, 3]}'))"),
+            "<json><a>1</a><a>2</a><a>3</a></json>");
+}
+
+TEST_F(JsonTest, ParseJsonTopLevelArrayBecomesItems) {
+  EXPECT_EQ(Run(R"(xqa:parse-json('[1, "two"]'))"),
+            "<json><item>1</item><item>two</item></json>");
+}
+
+TEST_F(JsonTest, ParseJsonNestedObjects) {
+  EXPECT_EQ(Run(R"(xqa:parse-json('{"o": {"i": 5}}'))"),
+            "<json><o><i>5</i></o></json>");
+}
+
+TEST_F(JsonTest, ParseJsonPreservesNumberLexemes) {
+  // 1.10 must not reformat to 1.1 — the shredder's type detection and the
+  // byte-identity discipline both see the feed's original spelling.
+  EXPECT_EQ(Run(R"(xqa:parse-json('{"p": 1.10, "e": 1.5e3, "z": -0}'))"),
+            "<json><p>1.10</p><e>1.5e3</e><z>-0</z></json>");
+}
+
+TEST_F(JsonTest, ParseJsonNullBecomesEmptyElement) {
+  EXPECT_EQ(Run(R"(xqa:parse-json('{"a": null, "b": 1}'))"),
+            "<json><a/><b>1</b></json>");
+}
+
+TEST_F(JsonTest, ParseJsonBooleansBecomeText) {
+  EXPECT_EQ(Run(R"(xqa:parse-json('{"t": true, "f": false}'))"),
+            "<json><t>true</t><f>false</f></json>");
+}
+
+TEST_F(JsonTest, ParseJsonSanitizesMemberKeys) {
+  EXPECT_EQ(Run(R"(xqa:parse-json('{"a b": 1, "2024": 2, "": 3}'))"),
+            "<json><a_b>1</a_b><_2024>2</_2024><_>3</_></json>");
+}
+
+TEST_F(JsonTest, ParseJsonDecodesEscapes) {
+  DocumentPtr doc = ParseJsonDocument(R"({"s": "a\nb\t\"q\"\\"})");
+  const Node* json = doc->root()->children()[0];
+  ASSERT_EQ(json->children().size(), 1u);
+  EXPECT_EQ(json->children()[0]->StringValue(), "a\nb\t\"q\"\\");
+}
+
+TEST_F(JsonTest, ParseJsonDecodesUnicodeEscapesAndSurrogatePairs) {
+  DocumentPtr doc = ParseJsonDocument(R"({"s": "\u0041\uD83D\uDE00"})");
+  const Node* json = doc->root()->children()[0];
+  EXPECT_EQ(json->children()[0]->StringValue(), "A\xF0\x9F\x98\x80");
+}
+
+// ---------------------------------------------------------------------------
+// xqa:parse-json — FOJS0001 diagnostics.
+// ---------------------------------------------------------------------------
+
+void ExpectParseFails(const std::string& json) {
+  try {
+    ParseJsonDocument(json);
+    FAIL() << "expected FOJS0001 for: " << json;
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kFOJS0001) << json;
+    EXPECT_NE(std::string(error.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST_F(JsonTest, ParseJsonRejectsMalformedInput) {
+  ExpectParseFails("{");
+  ExpectParseFails("[1, ]");
+  ExpectParseFails("{\"a\" 1}");
+  ExpectParseFails("1 x");  // trailing garbage
+  ExpectParseFails("01");   // leading zero
+  ExpectParseFails("nul");
+  ExpectParseFails("\"a");  // unterminated string
+  ExpectParseFails("\"\\q\"");
+  ExpectParseFails("\"\x01\"");  // unescaped control character
+}
+
+TEST_F(JsonTest, ParseJsonRejectsUnpairedSurrogates) {
+  ExpectParseFails(R"("\uD800")");
+  ExpectParseFails(R"("\uD800\u0041")");
+  ExpectParseFails(R"("\uDC00")");
+}
+
+TEST_F(JsonTest, ParseJsonRejectsRunawayNesting) {
+  std::string deep(600, '[');
+  deep += "1";
+  deep.append(600, ']');
+  ExpectParseFails(deep);
+}
+
+TEST_F(JsonTest, ParseJsonErrorSurfacesThroughTheFunction) {
+  try {
+    Run(R"(xqa:parse-json('{"a":'))");
+    FAIL() << "expected FOJS0001";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kFOJS0001);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// xqa:xml-to-json / SerializeSequenceJson — emission.
+// ---------------------------------------------------------------------------
+
+TEST_F(JsonTest, XmlToJsonGroupsRepeatedChildrenIntoArrays) {
+  EXPECT_EQ(Run("xqa:xml-to-json(<a><b>1</b><b>2</b><c>x</c></a>)"),
+            R"({"b":[1,2],"c":"x"})");
+}
+
+TEST_F(JsonTest, XmlToJsonMapsAttributesToAtMembers) {
+  EXPECT_EQ(Run(R"(xqa:xml-to-json(<a id="7"><b>x</b></a>))"),
+            R"({"@id":7,"b":"x"})");
+}
+
+TEST_F(JsonTest, XmlToJsonScalarShapes) {
+  EXPECT_EQ(Run("xqa:xml-to-json(<a>42</a>)"), "42");
+  EXPECT_EQ(Run("xqa:xml-to-json(<a>1.5e3</a>)"), "1.5e3");
+  EXPECT_EQ(Run("xqa:xml-to-json(<a>true</a>)"), "true");
+  EXPECT_EQ(Run("xqa:xml-to-json(<a/>)"), "null");
+  // A leading zero is not a JSON number lexeme; it stays a string.
+  EXPECT_EQ(Run("xqa:xml-to-json(<a>01</a>)"), R"("01")");
+}
+
+TEST_F(JsonTest, XmlToJsonAtomicsAndSequences) {
+  EXPECT_EQ(Run("xqa:xml-to-json(\"hi\")"), R"("hi")");
+  EXPECT_EQ(Run("xqa:xml-to-json(1.5)"), "1.5");
+  EXPECT_EQ(Run("xqa:xml-to-json(())"), "null");
+  EXPECT_EQ(Run("xqa:xml-to-json((1, 2))"), "[1,2]");
+  EXPECT_EQ(Run("xqa:xml-to-json(true())"), "true");
+}
+
+TEST_F(JsonTest, XmlToJsonNanAndInfinitySerializeAsStrings) {
+  EXPECT_EQ(Run("xqa:xml-to-json(number('NaN'))"), R"("NaN")");
+  EXPECT_EQ(Run("xqa:xml-to-json(1e308 * 10)"), R"("INF")");
+}
+
+TEST_F(JsonTest, XmlToJsonEscapesStrings) {
+  EXPECT_EQ(Run(R"(xqa:xml-to-json(codepoints-to-string((97, 10, 9, 34, 92))))"),
+            R"("a\n\t\"\\")");
+}
+
+TEST_F(JsonTest, XmlToJsonMixedContentDegradesToStringValue) {
+  EXPECT_EQ(Run("xqa:xml-to-json(<a>t<b>1</b></a>)"), R"("t1")");
+}
+
+TEST_F(JsonTest, SerializeSequenceJsonMatchesTheFunction) {
+  PreparedQuery query =
+      engine_.Compile("(<a><b>1</b><b>2</b></a>, 3, \"s\")");
+  Sequence result = query.Execute(Engine::ParseDocument("<root/>"));
+  EXPECT_EQ(SerializeSequenceJson(result), R"([{"b":[1,2]},3,"s"])");
+  EXPECT_EQ(SerializeSequenceJson(Sequence{}), "null");
+}
+
+TEST_F(JsonTest, RoundTripThroughBothDirections) {
+  EXPECT_EQ(
+      Run(R"(xqa:xml-to-json(xqa:parse-json('{"a":[1,2],"b":{"c":"x"},"n":null}')))"),
+      R"({"a":[1,2],"b":{"c":"x"},"n":null})");
+}
+
+// ---------------------------------------------------------------------------
+// The integration the mapping exists for: a JSON feed as a shredded corpus.
+// ---------------------------------------------------------------------------
+
+TEST_F(JsonTest, JsonFeedShredsAndScansByteIdentically) {
+  CollectionStore store{CollectionStore::Options{4}};
+  for (int d = 0; d < 12; ++d) {
+    std::string feed = "[";
+    for (int i = 0; i < 4; ++i) {
+      int n = d * 4 + i;
+      if (i > 0) feed += ",";
+      feed += R"({"sku": "p)" + std::to_string(n % 5) +
+              R"(", "qty": )" + std::to_string(n % 7) +
+              R"(, "price": )" + std::to_string(n % 3) + ".50}";
+    }
+    feed += "]";
+    store.Put("feed", "feed-" + std::to_string(d) + ".json",
+              ParseJsonDocument(feed));
+  }
+  auto snapshot = store.Snapshot();
+
+  const std::string query = R"(
+    for $r in collection('feed')//item
+    group by $r/sku into $sku
+    nest $r/qty into $qtys
+    order by string($sku)
+    return <g>{$sku}<n>{count($qtys)}</n><q>{sum($qtys)}</q></g>
+  )";
+  PreparedQuery prepared = engine_.Compile(query);
+
+  ExecutionOptions baseline;
+  baseline.num_threads = 1;
+  baseline.use_batched_execution = false;
+  std::string expected =
+      prepared.ExecuteToString(nullptr, nullptr, snapshot.get(), baseline);
+  ASSERT_FALSE(expected.empty());
+
+  for (bool shred : {false, true}) {
+    ExecutionOptions exec;
+    exec.num_threads = 2;
+    exec.use_shredded_scan = shred;
+    EXPECT_EQ(prepared.ExecuteToString(nullptr, nullptr, snapshot.get(), exec),
+              expected)
+        << "shred=" << shred;
+  }
+
+  ExecutionOptions profiled_exec;
+  ProfiledResult profiled =
+      prepared.ExecuteProfiled(nullptr, nullptr, snapshot.get(), profiled_exec);
+  EXPECT_EQ(profiled.stats.shredded_scans, 1);
+  EXPECT_EQ(profiled.stats.shredded_rows, 48);
+}
+
+}  // namespace
+}  // namespace xqa

@@ -1,0 +1,448 @@
+// Shredded scans through the batched engine (docs/SHREDDING.md): an
+// optimizer-marked `collection(...)//rec` domain served from the snapshot's
+// column table must be byte-identical to the DOM path at every point of the
+// {scalar, batched} x {1, 2, 4, hw} x {shred on, off} grid — including the
+// paper's Q1 and Q3 over generated corpora — while the QueryStats counters
+// (shredded_scans / shredded_rows / shred_fallbacks) record which path ran.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "api/explain.h"
+#include "base/cancellation.h"
+#include "base/fault_injection.h"
+#include "base/memory_tracker.h"
+#include "service/collection_store.h"
+#include "workload/books.h"
+#include "workload/sales.h"
+
+namespace xqa {
+namespace {
+
+using service::CollectionSnapshot;
+using service::CollectionStore;
+
+class ShreddedScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // "rows": a conforming corpus, several records per document, with a
+    // nullable field (maybe), a structured child excluded from the schema
+    // (nested), and value collisions across documents for the group keys.
+    std::vector<CollectionStore::BulkDocument> rows;
+    for (int d = 0; d < 40; ++d) {
+      std::string xml = "<batch>";
+      for (int i = 0; i < 5; ++i) {
+        int n = d * 5 + i;
+        xml += "<row><cat>c" + std::to_string(n % 7) + "</cat><v>" +
+               std::to_string(n % 53) + "</v><tag>t" +
+               std::to_string(n % 3) + "</tag>";
+        if (n % 4 != 0) {
+          xml += "<maybe>m" + std::to_string(n % 5) + "</maybe>";
+        }
+        xml += "<nested><x>x" + std::to_string(n) + "</x></nested></row>";
+      }
+      xml += "</batch>";
+      rows.push_back({"rows-" + std::to_string(d) + ".xml", xml});
+    }
+    store_.BulkLoad("rows", rows, /*num_threads=*/1);
+
+    // "messy": repeated scalar children — schema inference refuses, every
+    // marked scan falls back to the DOM path.
+    std::vector<CollectionStore::BulkDocument> messy;
+    for (int d = 0; d < 10; ++d) {
+      messy.push_back({"messy-" + std::to_string(d) + ".xml",
+                       "<batch><row><a>1</a><a>2</a><b>b" +
+                           std::to_string(d) + "</b></row></batch>"});
+    }
+    store_.BulkLoad("messy", messy, /*num_threads=*/1);
+
+    // "books"/"sales": the paper's generators, one document per batch, with
+    // max_authors=1 so the bibliography conforms (see shred_test.cc for the
+    // default corpus refusing on repeated <author>).
+    std::vector<CollectionStore::BulkDocument> books;
+    for (int d = 0; d < 10; ++d) {
+      workload::BooksConfig config;
+      config.num_books = 6;
+      config.max_authors = 1;
+      config.seed = 100 + static_cast<uint64_t>(d);
+      books.push_back({"books-" + std::to_string(d) + ".xml",
+                       workload::GenerateBooksXml(config)});
+    }
+    store_.BulkLoad("books", books, /*num_threads=*/1);
+
+    std::vector<CollectionStore::BulkDocument> sales;
+    for (int d = 0; d < 6; ++d) {
+      workload::SalesConfig config;
+      config.num_sales = 25;
+      config.seed = 200 + static_cast<uint64_t>(d);
+      sales.push_back({"sales-" + std::to_string(d) + ".xml",
+                       workload::GenerateSalesXml(config)});
+    }
+    store_.BulkLoad("sales", sales, /*num_threads=*/1);
+
+    snapshot_ = store_.Snapshot();
+  }
+
+  std::string Run(const std::string& query, const ExecutionOptions& exec) {
+    return engine_.Compile(query).ExecuteToString(nullptr, nullptr,
+                                                  snapshot_.get(), exec);
+  }
+
+  /// Asserts every point of the full ablation grid — engine x threads x
+  /// shredding — reproduces the serial scalar baseline byte for byte.
+  void ExpectGridIdentical(const std::string& query) {
+    ExecutionOptions baseline;
+    baseline.num_threads = 1;
+    baseline.use_batched_execution = false;
+    const std::string expected = Run(query, baseline);
+    ASSERT_FALSE(expected.empty()) << query;
+    for (int threads : {1, 2, 4, 0}) {
+      for (bool batched : {false, true}) {
+        for (bool shred : {false, true}) {
+          ExecutionOptions exec;
+          exec.num_threads = threads;
+          exec.use_batched_execution = batched;
+          exec.use_shredded_scan = shred;
+          EXPECT_EQ(Run(query, exec), expected)
+              << query << "\nthreads=" << threads << " batched=" << batched
+              << " shred=" << shred;
+        }
+      }
+    }
+  }
+
+  QueryStats Profile(const std::string& query, bool shred,
+                     int threads = 1) {
+    ExecutionOptions exec;
+    exec.num_threads = threads;
+    exec.use_batched_execution = true;
+    exec.use_shredded_scan = shred;
+    return engine_.Compile(query)
+        .ExecuteProfiled(nullptr, nullptr, snapshot_.get(), exec)
+        .stats;
+  }
+
+  Engine engine_;
+  CollectionStore store_{CollectionStore::Options{8}};
+  std::shared_ptr<const CollectionSnapshot> snapshot_;
+};
+
+// ---------------------------------------------------------------------------
+// Byte-identity grid.
+// ---------------------------------------------------------------------------
+
+TEST_F(ShreddedScanTest, PlainScanParity) {
+  ExpectGridIdentical(
+      "for $r in collection('rows')//row return <x>{string($r/v)}</x>");
+}
+
+TEST_F(ShreddedScanTest, GroupByShredKeyParity) {
+  ExpectGridIdentical(R"(
+    for $r in collection('rows')//row
+    group by $r/cat into $c
+    nest $r/v into $vs
+    order by string($c)
+    return <g>{$c}<n>{count($vs)}</n><s>{sum($vs)}</s></g>
+  )");
+}
+
+TEST_F(ShreddedScanTest, NullableGroupKeyParity) {
+  // ~1/4 of the rows lack <maybe>: the empty key sequence must form its own
+  // group identically whether the key comes from the column (null code) or
+  // from a DOM child step.
+  ExpectGridIdentical(R"(
+    for $r in collection('rows')//row
+    group by $r/maybe into $m
+    nest $r/v into $vs
+    order by string($m)
+    return <g>{$m}<n>{count($vs)}</n></g>
+  )");
+}
+
+TEST_F(ShreddedScanTest, MultiKeyGroupByParity) {
+  ExpectGridIdentical(R"(
+    for $r in collection('rows')//row
+    group by $r/cat into $c, $r/tag into $t
+    nest $r into $rs
+    order by string($c), string($t)
+    return <g>{$c, $t}<n>{count($rs)}</n></g>
+  )");
+}
+
+TEST_F(ShreddedScanTest, PushedFilterParity) {
+  // The [cat = 'c3'] predicate becomes a pushed value filter the shredded
+  // scan answers per dictionary code.
+  ExpectGridIdentical(R"(
+    for $r in collection('rows')//row[cat = 'c3']
+    group by $r/tag into $t
+    nest $r into $rs
+    order by string($t)
+    return <g>{$t}<n>{count($rs)}</n></g>
+  )");
+}
+
+TEST_F(ShreddedScanTest, WhereClauseParity) {
+  ExpectGridIdentical(R"(
+    for $r in collection('rows')//row
+    where number($r/v) > 40
+    group by $r/cat into $c
+    nest $r into $rs
+    order by string($c)
+    return <g>{$c}<n>{count($rs)}</n></g>
+  )");
+}
+
+TEST_F(ShreddedScanTest, RefusalCorpusParity) {
+  // The messy corpus is unshreddable; every configuration must agree via the
+  // DOM fallback.
+  ExpectGridIdentical(R"(
+    for $r in collection('messy')//row
+    group by $r/b into $b
+    nest $r into $rs
+    order by string($b)
+    return <g>{$b}<n>{count($rs)}</n></g>
+  )");
+}
+
+TEST_F(ShreddedScanTest, LexicalEdgeValuesStayDistinctGroups) {
+  // "-0", "0", and "0.0" atomize to equal numbers but are distinct nodes
+  // under the group-by's deep-equal — three groups on both paths.
+  std::vector<CollectionStore::BulkDocument> edge = {
+      {"e0.xml", "<t><row><v>-0</v></row><row><v>0</v></row></t>"},
+      {"e1.xml", "<t><row><v>0.0</v></row><row><v>0</v></row></t>"},
+      {"e2.xml", "<t><row><v>1.0</v></row><row><v>1</v></row></t>"}};
+  store_.BulkLoad("edge", edge, /*num_threads=*/1);
+  snapshot_ = store_.Snapshot();
+  const std::string query = R"(
+    for $r in collection('edge')//row
+    group by $r/v into $v
+    nest $r into $rs
+    order by string($v)
+    return <g>{$v}<n>{count($rs)}</n></g>
+  )";
+  ExpectGridIdentical(query);
+  ExecutionOptions exec;
+  std::string out = Run(query, exec);
+  EXPECT_EQ(out.find("<g><v>-0</v><n>1</n></g>") != std::string::npos, true)
+      << out;
+  EXPECT_NE(out.find("<g><v>0.0</v><n>1</n></g>"), std::string::npos) << out;
+  EXPECT_NE(out.find("<g><v>1.0</v><n>1</n></g>"), std::string::npos) << out;
+}
+
+// ---------------------------------------------------------------------------
+// The paper's Q1 / Q3 over collections.
+// ---------------------------------------------------------------------------
+
+TEST_F(ShreddedScanTest, PaperQ1OverBooksCollection) {
+  ExpectGridIdentical(R"(
+    for $b in collection('books')//book
+    group by $b/publisher into $p, $b/year into $y
+    nest $b/price - $b/discount into $netprices
+    return
+      <group>
+        {$p, $y}
+        <avg-net-price>{avg($netprices)}</avg-net-price>
+      </group>
+  )");
+}
+
+TEST_F(ShreddedScanTest, PaperQ3OverSalesCollection) {
+  ExpectGridIdentical(R"(
+    for $s in collection('sales')//sale
+    group by $s/region into $region,
+             year-from-dateTime($s/timestamp) into $year
+    nest $s into $region-sales
+    let $region-sum := round-half-to-even(sum( $region-sales/(quantity * price) ), 2)
+    order by $year, $region
+    return
+      for $s in $region-sales
+      group by $s/state into $state
+      nest $s into $state-sales
+      let $state-sum := round-half-to-even(sum( $state-sales/(quantity * price) ), 2)
+      order by $state
+      return
+        <summary>
+          <year>{$year}</year>{$region, $state}
+          <state-sales>{ $state-sum }</state-sales>
+          <region-sales>{ $region-sum }</region-sales>
+          <state-percentage>
+            { round-half-to-even($state-sum * 100 div $region-sum, 1) }
+          </state-percentage>
+        </summary>
+  )");
+}
+
+// ---------------------------------------------------------------------------
+// Counters: which path ran, invariant across thread counts.
+// ---------------------------------------------------------------------------
+
+TEST_F(ShreddedScanTest, CountersRecordShreddedScan) {
+  const std::string query =
+      "for $r in collection('rows')//row return string($r/v)";
+  for (int threads : {1, 2, 4, 0}) {
+    QueryStats stats = Profile(query, /*shred=*/true, threads);
+    EXPECT_EQ(stats.shredded_scans, 1) << "threads=" << threads;
+    EXPECT_EQ(stats.shredded_rows, 200) << "threads=" << threads;
+    EXPECT_EQ(stats.shred_fallbacks, 0) << "threads=" << threads;
+  }
+}
+
+TEST_F(ShreddedScanTest, AblationFlagDisablesShredding) {
+  const std::string query =
+      "for $r in collection('rows')//row return string($r/v)";
+  QueryStats stats = Profile(query, /*shred=*/false);
+  EXPECT_EQ(stats.shredded_scans, 0);
+  EXPECT_EQ(stats.shredded_rows, 0);
+  // The flag gates the substitution before the table lookup, so turning it
+  // off is not a fallback either.
+  EXPECT_EQ(stats.shred_fallbacks, 0);
+  // A path-shaped domain does not resolve to the partitioned collection scan
+  // (that fast path requires a bare collection() call), so the DOM engine
+  // evaluates it generically.
+  EXPECT_EQ(stats.collection_scans, 0);
+}
+
+TEST_F(ShreddedScanTest, ScalarEngineNeverShreds) {
+  ExecutionOptions exec;
+  exec.use_batched_execution = false;
+  ProfiledResult profiled =
+      engine_.Compile("for $r in collection('rows')//row return string($r/v)")
+          .ExecuteProfiled(nullptr, nullptr, snapshot_.get(), exec);
+  EXPECT_EQ(profiled.stats.shredded_scans, 0);
+  EXPECT_EQ(profiled.stats.shred_fallbacks, 0);
+}
+
+TEST_F(ShreddedScanTest, RefusalCountsAsFallback) {
+  QueryStats stats = Profile(
+      "for $r in collection('messy')//row return string($r/b)",
+      /*shred=*/true);
+  EXPECT_EQ(stats.shredded_scans, 0);
+  EXPECT_GE(stats.shred_fallbacks, 1);
+}
+
+TEST_F(ShreddedScanTest, PushedFilterEmitsOnlyMatchingRows) {
+  // The where clause becomes a PushedValueFilter on the record step (the
+  // optimizer's literal pushdown), which the shredded scan answers from the
+  // cat column's dictionary — only matching rows are materialized.
+  QueryStats stats = Profile(
+      "for $r in collection('rows')//row where $r/cat = 'c3' "
+      "return string($r/v)",
+      /*shred=*/true);
+  EXPECT_EQ(stats.shredded_scans, 1);
+  EXPECT_GT(stats.shredded_rows, 0);
+  EXPECT_LT(stats.shredded_rows, 200);  // the filter pruned during the scan
+}
+
+TEST_F(ShreddedScanTest, UncoveredFilterFallsBack) {
+  // <nested> is structured everywhere, so it is not a schema field and a
+  // pushed filter naming it cannot be answered from the columns.
+  QueryStats stats = Profile(
+      "for $r in collection('rows')//row where $r/nested = 'x1' "
+      "return string($r/v)",
+      /*shred=*/true);
+  EXPECT_EQ(stats.shredded_scans, 0);
+  EXPECT_GE(stats.shred_fallbacks, 1);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN / EXPLAIN ANALYZE surfaces.
+// ---------------------------------------------------------------------------
+
+TEST_F(ShreddedScanTest, ExplainMarksShredCandidates) {
+  PreparedQuery prepared = engine_.Compile(
+      "for $r in collection('rows')//row return string($r/v)");
+  std::string plan = prepared.Explain();
+  EXPECT_NE(plan.find("[shred candidate: collection('rows')//row]"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(ShreddedScanTest, ExplainAnalyzeFooterReportsShreddedScans) {
+  PreparedQuery prepared = engine_.Compile(
+      "for $r in collection('rows')//row return string($r/v)");
+  ExecutionOptions exec;
+  ProfiledResult profiled =
+      prepared.ExecuteProfiled(nullptr, nullptr, snapshot_.get(), exec);
+  std::string analyzed = ExplainAnalyzeModule(prepared.module(), profiled.stats);
+  EXPECT_NE(analyzed.find("shredded scans 1 (200 rows)"), std::string::npos)
+      << analyzed;
+}
+
+TEST_F(ShreddedScanTest, ExplainAnalyzeFooterReportsFallbacks) {
+  PreparedQuery prepared = engine_.Compile(
+      "for $r in collection('messy')//row return string($r/b)");
+  ExecutionOptions exec;
+  ProfiledResult profiled =
+      prepared.ExecuteProfiled(nullptr, nullptr, snapshot_.get(), exec);
+  std::string analyzed = ExplainAnalyzeModule(prepared.module(), profiled.stats);
+  EXPECT_NE(analyzed.find("shred fallbacks 1"), std::string::npos) << analyzed;
+}
+
+// ---------------------------------------------------------------------------
+// Governance under shredding: typed errors, balanced tracker, fault site.
+// ---------------------------------------------------------------------------
+
+TEST_F(ShreddedScanTest, PreCancelledTokenFailsIdenticallyWithAndWithoutShred) {
+  for (bool shred : {false, true}) {
+    CancellationToken token;
+    token.Cancel();
+    ExecutionOptions exec;
+    exec.use_shredded_scan = shred;
+    exec.cancellation = &token;
+    try {
+      Run("for $r in collection('rows')//row return string($r/v)", exec);
+      FAIL() << "expected XQSV0002 (shred=" << shred << ")";
+    } catch (const XQueryError& error) {
+      EXPECT_EQ(error.code(), ErrorCode::kXQSV0002);
+    }
+  }
+}
+
+TEST_F(ShreddedScanTest, TinyBudgetFailsTypedAndBalancedOnBothPaths) {
+  for (bool shred : {false, true}) {
+    MemoryTracker tracker("query", /*limit_bytes=*/512);
+    ExecutionOptions exec;
+    exec.use_shredded_scan = shred;
+    exec.memory = &tracker;
+    try {
+      Run("for $r in collection('rows')//row return string($r/v)", exec);
+      FAIL() << "expected XQSV0004 (shred=" << shred << ")";
+    } catch (const XQueryError& error) {
+      EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+    }
+    EXPECT_EQ(tracker.used(), 0) << "shred=" << shred;
+  }
+}
+
+TEST_F(ShreddedScanTest, ScanAllocFaultFailsCleanly) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "fault points compiled out; configure -DXQA_FAULTS=ON";
+  }
+  // Warm the table first so the armed site is the scan's own allocation
+  // checkpoint, not the column build.
+  ExecutionOptions warm;
+  Run("count(collection('rows')//row)", warm);
+
+  fault::Reset();
+  fault::ArmSite("shred.scan_alloc", 1);
+  MemoryTracker tracker("query");
+  ExecutionOptions exec;
+  exec.memory = &tracker;
+  try {
+    Run("for $r in collection('rows')//row return string($r/v)", exec);
+    FAIL() << "armed shred.scan_alloc never tripped";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+    EXPECT_NE(std::string(error.what()).find("injected fault"),
+              std::string::npos);
+  }
+  EXPECT_EQ(tracker.used(), 0);
+  fault::Reset();
+}
+
+}  // namespace
+}  // namespace xqa

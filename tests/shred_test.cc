@@ -1,0 +1,504 @@
+// Columnar shredding subsystem (docs/SHREDDING.md): schema inference over a
+// corpus (type lattice, nullability, the named refusals), the typed column
+// tables (row order, dictionary codes, null bitmaps, dense numeric vectors),
+// and the per-snapshot catalog (caching, negative caching, gauges). Resource
+// governance — cancellation, memory budget, fault sites — is exercised at the
+// build entry points the executing query threads its context through.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "base/cancellation.h"
+#include "base/fault_injection.h"
+#include "base/memory_tracker.h"
+#include "service/collection_store.h"
+#include "shred/shred_catalog.h"
+#include "shred/shred_schema.h"
+#include "shred/shredded_table.h"
+#include "workload/books.h"
+
+namespace xqa {
+namespace {
+
+using service::CollectionSnapshot;
+using service::CollectionStore;
+
+std::vector<DocumentPtr> MakeDocs(const std::vector<std::string>& xmls) {
+  std::vector<DocumentPtr> docs;
+  docs.reserve(xmls.size());
+  for (const std::string& xml : xmls) {
+    docs.push_back(Engine::ParseDocument(xml));
+  }
+  return docs;
+}
+
+ShredInference Infer(const std::vector<std::string>& xmls,
+                     std::string_view record) {
+  std::vector<DocumentPtr> docs = MakeDocs(xmls);
+  return InferShredSchema(docs, record, ShredOptions{}, ShredBuildContext{});
+}
+
+// ---------------------------------------------------------------------------
+// Schema inference: per-value type detection and the join lattice.
+// ---------------------------------------------------------------------------
+
+TEST(ShredSchemaTest, DetectsAllFieldTypes) {
+  ShredInference inference = Infer(
+      {"<t><r><i>42</i><d>9.99</d><f>1.5e3</f><s>abc</s>"
+       "<ts>2004-07-01T12:00:00</ts></r></t>"},
+      "r");
+  ASSERT_TRUE(inference.ok) << inference.refusal;
+  ASSERT_EQ(inference.schema.fields.size(), 5u);
+  EXPECT_EQ(inference.schema.record_name, "r");
+
+  auto type_of = [&](const char* name) {
+    int index = inference.schema.FieldIndex(name, false);
+    EXPECT_GE(index, 0) << name;
+    return inference.schema.fields[static_cast<size_t>(index)].type;
+  };
+  EXPECT_EQ(type_of("i"), ShredFieldType::kInteger);
+  EXPECT_EQ(type_of("d"), ShredFieldType::kDecimal);
+  EXPECT_EQ(type_of("f"), ShredFieldType::kDouble);
+  EXPECT_EQ(type_of("s"), ShredFieldType::kString);
+  EXPECT_EQ(type_of("ts"), ShredFieldType::kDateTime);
+}
+
+TEST(ShredSchemaTest, TypeLatticeJoinsAcrossRecords) {
+  // integer ∨ decimal = decimal; integer ∨ double = double; numeric ∨ text =
+  // string; dateTime joins only with itself, anything else is string.
+  ShredInference inference = Infer(
+      {"<t><r><a>1</a><b>1</b><c>1</c><d>2004-01-01T00:00:00</d></r>"
+       "<r><a>2.5</a><b>1e2</b><c>oops</c><d>not-a-date</d></r></t>"},
+      "r");
+  ASSERT_TRUE(inference.ok) << inference.refusal;
+  auto type_of = [&](const char* name) {
+    return inference.schema
+        .fields[static_cast<size_t>(inference.schema.FieldIndex(name, false))]
+        .type;
+  };
+  EXPECT_EQ(type_of("a"), ShredFieldType::kDecimal);
+  EXPECT_EQ(type_of("b"), ShredFieldType::kDouble);
+  EXPECT_EQ(type_of("c"), ShredFieldType::kString);
+  EXPECT_EQ(type_of("d"), ShredFieldType::kString);
+}
+
+TEST(ShredSchemaTest, MarksMissingFieldsNullable) {
+  ShredInference inference = Infer(
+      {"<t><r><always>1</always><sometimes>x</sometimes></r>"
+       "<r><always>2</always></r></t>"},
+      "r");
+  ASSERT_TRUE(inference.ok) << inference.refusal;
+  int always = inference.schema.FieldIndex("always", false);
+  int sometimes = inference.schema.FieldIndex("sometimes", false);
+  ASSERT_GE(always, 0);
+  ASSERT_GE(sometimes, 0);
+  EXPECT_FALSE(inference.schema.fields[static_cast<size_t>(always)].nullable);
+  EXPECT_TRUE(
+      inference.schema.fields[static_cast<size_t>(sometimes)].nullable);
+}
+
+TEST(ShredSchemaTest, InfersAttributeFields) {
+  ShredInference inference =
+      Infer({"<t><r id=\"7\"><v>1</v></r><r id=\"8\"><v>2</v></r></t>"}, "r");
+  ASSERT_TRUE(inference.ok) << inference.refusal;
+  EXPECT_GE(inference.schema.FieldIndex("id", true), 0);
+  EXPECT_GE(inference.schema.FieldIndex("v", false), 0);
+  // An attribute and an element field are distinct namespaces.
+  EXPECT_EQ(inference.schema.FieldIndex("id", false), -1);
+  EXPECT_EQ(inference.schema.FieldIndex("v", true), -1);
+}
+
+TEST(ShredSchemaTest, FieldOrderIsFirstAppearance) {
+  ShredInference inference = Infer(
+      {"<t><r><b>1</b><a>2</a></r><r><a>3</a><c>4</c></r></t>"}, "r");
+  ASSERT_TRUE(inference.ok) << inference.refusal;
+  ASSERT_EQ(inference.schema.fields.size(), 3u);
+  EXPECT_EQ(inference.schema.fields[0].name, "b");
+  EXPECT_EQ(inference.schema.fields[1].name, "a");
+  EXPECT_EQ(inference.schema.fields[2].name, "c");
+}
+
+// ---------------------------------------------------------------------------
+// Schema inference: the named refusals.
+// ---------------------------------------------------------------------------
+
+TEST(ShredSchemaTest, RefusesWhenNoRecordsExist) {
+  ShredInference inference = Infer({"<t><other>1</other></t>"}, "r");
+  EXPECT_FALSE(inference.ok);
+  EXPECT_FALSE(inference.refusal.empty());
+}
+
+TEST(ShredSchemaTest, RefusesMixedContentRecords) {
+  ShredInference inference =
+      Infer({"<t><r>loose text<v>1</v></r></t>"}, "r");
+  EXPECT_FALSE(inference.ok);
+}
+
+TEST(ShredSchemaTest, RefusesRepeatedScalarChild) {
+  // Two <a> children in one record: a column can hold at most one value per
+  // row, so the corpus is refused rather than silently dropping data.
+  ShredInference inference =
+      Infer({"<t><r><a>1</a><a>2</a></r></t>"}, "r");
+  EXPECT_FALSE(inference.ok);
+}
+
+TEST(ShredSchemaTest, RefusesWhenNoScalarFieldsRemain) {
+  // The only child is structured everywhere, so it is excluded and nothing
+  // shreddable remains.
+  ShredInference inference =
+      Infer({"<t><r><nest><x>1</x></nest></r></t>"}, "r");
+  EXPECT_FALSE(inference.ok);
+}
+
+TEST(ShredSchemaTest, RefusesBelowHomogeneityThreshold) {
+  // Ten records with pairwise-disjoint field names: average coverage 1/10,
+  // far below the default 0.6 threshold.
+  std::string xml = "<t>";
+  for (int i = 0; i < 10; ++i) {
+    std::string name = "f" + std::to_string(i);
+    xml += "<r><" + name + ">1</" + name + "></r>";
+  }
+  xml += "</t>";
+  ShredInference inference = Infer({xml}, "r");
+  EXPECT_FALSE(inference.ok);
+  EXPECT_LT(inference.coverage, 0.6);
+}
+
+TEST(ShredSchemaTest, StructuredChildIsExcludedNotRefused) {
+  // An orders-like shape: <lineitems> is structured, so it stays DOM-only,
+  // but the scalar siblings still shred.
+  ShredInference inference = Infer(
+      {"<t><r><id>1</id><lineitems><li>x</li></lineitems></r>"
+       "<r><id>2</id><lineitems><li>y</li></lineitems></r></t>"},
+      "r");
+  ASSERT_TRUE(inference.ok) << inference.refusal;
+  EXPECT_GE(inference.schema.FieldIndex("id", false), 0);
+  EXPECT_EQ(inference.schema.FieldIndex("lineitems", false), -1);
+}
+
+TEST(ShredSchemaTest, DefaultBooksCorpusRefusesOnRepeatedAuthors) {
+  // The paper's bibliography generator allows up to three <author> children
+  // per book — the canonical unshreddable corpus.
+  workload::BooksConfig config;
+  config.num_books = 50;
+  std::vector<DocumentPtr> docs = {workload::GenerateBooksDocument(config)};
+  ShredInference inference =
+      InferShredSchema(docs, "book", ShredOptions{}, ShredBuildContext{});
+  EXPECT_FALSE(inference.ok);
+}
+
+TEST(ShredSchemaTest, SingleAuthorBooksCorpusConforms) {
+  workload::BooksConfig config;
+  config.num_books = 50;
+  config.max_authors = 1;
+  std::vector<DocumentPtr> docs = {workload::GenerateBooksDocument(config)};
+  ShredInference inference =
+      InferShredSchema(docs, "book", ShredOptions{}, ShredBuildContext{});
+  ASSERT_TRUE(inference.ok) << inference.refusal;
+  EXPECT_GE(inference.schema.FieldIndex("publisher", false), 0);
+  EXPECT_GE(inference.schema.FieldIndex("year", false), 0);
+  EXPECT_GE(inference.schema.FieldIndex("price", false), 0);
+  EXPECT_EQ(inference.record_count, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Column tables: row order, dictionaries, nulls, typed vectors.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const ShreddedTable> BuildTable(
+    const std::vector<DocumentPtr>& docs, std::string_view record) {
+  ShredInference inference =
+      InferShredSchema(docs, record, ShredOptions{}, ShredBuildContext{});
+  EXPECT_TRUE(inference.ok) << inference.refusal;
+  return BuildShreddedTable(docs, inference.schema, ShredBuildContext{});
+}
+
+TEST(ShreddedTableTest, RowsAreDocumentOrderThenPreorder) {
+  std::vector<DocumentPtr> docs = MakeDocs(
+      {"<t><r><v>a</v></r><r><v>b</v></r></t>", "<t><r><v>c</v></r></t>"});
+  // Hand the builder the documents in reverse: rows must still come out
+  // documents-ascending-by-id, preorder within each — the //r order.
+  std::vector<DocumentPtr> reversed = {docs[1], docs[0]};
+  auto table = BuildTable(reversed, "r");
+  ASSERT_EQ(table->row_count(), 3u);
+  const ShreddedTable::Column& v =
+      table->column(static_cast<size_t>(table->schema().FieldIndex("v", false)));
+  EXPECT_EQ(v.dict[v.codes[0]], "a");
+  EXPECT_EQ(v.dict[v.codes[1]], "b");
+  EXPECT_EQ(v.dict[v.codes[2]], "c");
+}
+
+TEST(ShreddedTableTest, DictionaryKeepsLexicalFormsDistinct) {
+  // "07" and "7" compare equal numerically but are different nodes under
+  // deep-equal, so they must hold different codes.
+  auto table = BuildTable(
+      MakeDocs({"<t><r><v>07</v></r><r><v>7</v></r><r><v>07</v></r></t>"}),
+      "r");
+  const ShreddedTable::Column& v = table->column(0);
+  EXPECT_NE(v.codes[0], v.codes[1]);
+  EXPECT_EQ(v.codes[0], v.codes[2]);
+  ASSERT_EQ(v.dict.size(), 2u);
+  EXPECT_EQ(v.dict[0], "07");  // first-seen order
+  EXPECT_EQ(v.dict[1], "7");
+}
+
+TEST(ShreddedTableTest, NegativeZeroAndTrailingZeroStayDistinct) {
+  auto table = BuildTable(
+      MakeDocs({"<t><r><v>-0</v></r><r><v>0</v></r></t>",
+                "<t><r><w>1.0</w><v>0</v></r><r><w>1</w><v>0</v></r></t>"}),
+      "r");
+  const ShreddedTable::Column& v =
+      table->column(static_cast<size_t>(table->schema().FieldIndex("v", false)));
+  EXPECT_NE(v.codes[0], v.codes[1]);  // -0 vs 0
+  const ShreddedTable::Column& w =
+      table->column(static_cast<size_t>(table->schema().FieldIndex("w", false)));
+  EXPECT_NE(w.codes[2], w.codes[3]);  // 1.0 vs 1
+}
+
+TEST(ShreddedTableTest, NullBitmapAndNullCodes) {
+  auto table = BuildTable(
+      MakeDocs({"<t><r><a>1</a><b>x</b></r><r><a>2</a></r>"
+                "<r><a>3</a><b>y</b></r></t>"}),
+      "r");
+  const ShreddedTable::Column& b =
+      table->column(static_cast<size_t>(table->schema().FieldIndex("b", false)));
+  EXPECT_TRUE(b.IsPresent(0));
+  EXPECT_FALSE(b.IsPresent(1));
+  EXPECT_TRUE(b.IsPresent(2));
+  EXPECT_EQ(b.codes[1], ShreddedTable::kNullCode);
+  EXPECT_EQ(b.nodes[1], nullptr);
+  EXPECT_EQ(b.null_count, 1);
+}
+
+TEST(ShreddedTableTest, DenseNumericVectors) {
+  auto table = BuildTable(
+      MakeDocs({"<t><r><i>10</i><d>2.50</d></r><r><i>-3</i><d>0.25</d></r></t>"}),
+      "r");
+  const ShreddedTable::Column& i =
+      table->column(static_cast<size_t>(table->schema().FieldIndex("i", false)));
+  ASSERT_EQ(i.field.type, ShredFieldType::kInteger);
+  ASSERT_EQ(i.ints.size(), 2u);
+  EXPECT_EQ(i.ints[0], 10);
+  EXPECT_EQ(i.ints[1], -3);
+  const ShreddedTable::Column& d =
+      table->column(static_cast<size_t>(table->schema().FieldIndex("d", false)));
+  ASSERT_EQ(d.field.type, ShredFieldType::kDecimal);
+  ASSERT_EQ(d.doubles.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.doubles[0], 2.50);
+  EXPECT_DOUBLE_EQ(d.doubles[1], 0.25);
+}
+
+TEST(ShreddedTableTest, RowOfMapsRecordsAndRejectsOutsiders) {
+  std::vector<DocumentPtr> docs =
+      MakeDocs({"<t><r><v>a</v></r><r><v>b</v></r></t>"});
+  auto table = BuildTable(docs, "r");
+  for (size_t row = 0; row < table->row_count(); ++row) {
+    EXPECT_EQ(table->RowOf(table->record(row)), static_cast<int>(row));
+  }
+  EXPECT_EQ(table->RowOf(docs[0]->root()), -1);  // <t> is not a record
+  EXPECT_EQ(table->RowOf(nullptr), -1);
+}
+
+TEST(ShreddedTableTest, ReportsBytesAndPinsDocuments) {
+  auto table = BuildTable(MakeDocs({"<t><r><v>abc</v></r></t>"}), "r");
+  EXPECT_GT(table->bytes(), 0);
+  ASSERT_EQ(table->row_count(), 1u);
+  EXPECT_NE(table->record_document(0), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog: per-snapshot caching, negative caching, gauges.
+// ---------------------------------------------------------------------------
+
+class ShredCatalogTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& collection, const std::string& body,
+            int copies) {
+    std::vector<CollectionStore::BulkDocument> batch;
+    for (int i = 0; i < copies; ++i) {
+      batch.push_back({collection + "-" + std::to_string(i) + ".xml", body});
+    }
+    store_.BulkLoad(collection, batch, /*num_threads=*/1);
+  }
+
+  CollectionStore store_{CollectionStore::Options{4}};
+};
+
+TEST_F(ShredCatalogTest, CachesTablePerSnapshotAndReusesPointer) {
+  Load("c", "<t><r><v>1</v></r></t>", 8);
+  auto snapshot = store_.Snapshot();
+  const ShreddedTable* first =
+      snapshot->FindShreddedTable("c", "r", ShredBuildContext{});
+  ASSERT_NE(first, nullptr);
+  const ShreddedTable* second =
+      snapshot->FindShreddedTable("c", "r", ShredBuildContext{});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first->row_count(), 8u);
+
+  ShredCatalog::Stats stats = snapshot->shred_stats();
+  EXPECT_EQ(stats.tables, 1);
+  EXPECT_EQ(stats.rows, 8);
+  EXPECT_GT(stats.bytes, 0);
+  EXPECT_EQ(stats.refusals, 0);
+}
+
+TEST_F(ShredCatalogTest, CachesRefusalsNegatively) {
+  Load("c", "<t><r><a>1</a><a>2</a></r></t>", 4);  // repeated child: refusal
+  auto snapshot = store_.Snapshot();
+  EXPECT_EQ(snapshot->FindShreddedTable("c", "r", ShredBuildContext{}),
+            nullptr);
+  EXPECT_EQ(snapshot->FindShreddedTable("c", "r", ShredBuildContext{}),
+            nullptr);
+  ShredCatalog::Stats stats = snapshot->shred_stats();
+  EXPECT_EQ(stats.tables, 0);
+  EXPECT_EQ(stats.refusals, 1);  // inference ran once, not twice
+}
+
+TEST_F(ShredCatalogTest, UnknownCollectionAndRecordReturnNull) {
+  Load("c", "<t><r><v>1</v></r></t>", 2);
+  auto snapshot = store_.Snapshot();
+  EXPECT_EQ(snapshot->FindShreddedTable("missing", "r", ShredBuildContext{}),
+            nullptr);
+  EXPECT_EQ(snapshot->FindShreddedTable("c", "absent", ShredBuildContext{}),
+            nullptr);
+}
+
+TEST_F(ShredCatalogTest, DistinctRecordNamesGetDistinctTables) {
+  Load("c", "<t><r><v>1</v></r><s><w>2</w></s></t>", 3);
+  auto snapshot = store_.Snapshot();
+  const ShreddedTable* r =
+      snapshot->FindShreddedTable("c", "r", ShredBuildContext{});
+  const ShreddedTable* s =
+      snapshot->FindShreddedTable("c", "s", ShredBuildContext{});
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(s, nullptr);
+  EXPECT_NE(r, s);
+  EXPECT_EQ(snapshot->shred_stats().tables, 2);
+}
+
+TEST_F(ShredCatalogTest, StatsJsonCarriesTheGauges) {
+  Load("c", "<t><r><v>1</v><w>2.5</w></r></t>", 5);
+  auto snapshot = store_.Snapshot();
+  ASSERT_NE(snapshot->FindShreddedTable("c", "r", ShredBuildContext{}),
+            nullptr);
+  std::string json = snapshot->ShredStatsJson();
+  EXPECT_NE(json.find("\"tables\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rows\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"refusals\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("per_table"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Resource governance at the build entry points.
+// ---------------------------------------------------------------------------
+
+// A corpus big enough that the record loops cross their 256-record
+// cancellation poll stride several times.
+std::vector<DocumentPtr> MakeLargeCorpus() {
+  std::vector<std::string> xmls;
+  for (int d = 0; d < 3; ++d) {
+    std::string xml = "<t>";
+    for (int i = 0; i < 400; ++i) {
+      xml += "<r><v>v" + std::to_string(d * 400 + i) + "</v></r>";
+    }
+    xml += "</t>";
+    xmls.push_back(xml);
+  }
+  return MakeDocs(xmls);
+}
+
+TEST(ShredGovernanceTest, PreCancelledTokenAbortsInference) {
+  std::vector<DocumentPtr> docs = MakeLargeCorpus();
+  CancellationToken token;
+  token.Cancel();
+  ShredBuildContext context;
+  context.cancellation = &token;
+  try {
+    InferShredSchema(docs, "r", ShredOptions{}, context);
+    FAIL() << "expected XQSV0002";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0002);
+  }
+}
+
+TEST(ShredGovernanceTest, PreCancelledTokenAbortsTableBuild) {
+  std::vector<DocumentPtr> docs = MakeLargeCorpus();
+  ShredInference inference =
+      InferShredSchema(docs, "r", ShredOptions{}, ShredBuildContext{});
+  ASSERT_TRUE(inference.ok);
+  CancellationToken token;
+  token.Cancel();
+  ShredBuildContext context;
+  context.cancellation = &token;
+  try {
+    BuildShreddedTable(docs, inference.schema, context);
+    FAIL() << "expected XQSV0002";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0002);
+  }
+}
+
+TEST(ShredGovernanceTest, TinyBudgetFailsBuildAndLeavesTrackerBalanced) {
+  std::vector<std::string> xmls;
+  for (int i = 0; i < 4; ++i) {
+    std::string xml = "<t>";
+    for (int j = 0; j < 64; ++j) {
+      xml += "<r><v>value-" + std::to_string(i * 64 + j) + "</v></r>";
+    }
+    xml += "</t>";
+    xmls.push_back(xml);
+  }
+  std::vector<DocumentPtr> docs = MakeDocs(xmls);
+  ShredInference inference =
+      InferShredSchema(docs, "r", ShredOptions{}, ShredBuildContext{});
+  ASSERT_TRUE(inference.ok);
+
+  MemoryTracker tracker("shred-test", /*limit_bytes=*/256);
+  ShredBuildContext context;
+  context.memory = &tracker;
+  try {
+    BuildShreddedTable(docs, inference.schema, context);
+    FAIL() << "expected XQSV0004";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+  }
+  EXPECT_EQ(tracker.used(), 0);
+}
+
+TEST(ShredGovernanceTest, ColumnBuildFaultPropagatesAndIsNotCached) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "fault points compiled out; configure -DXQA_FAULTS=ON";
+  }
+  CollectionStore store{CollectionStore::Options{4}};
+  std::vector<CollectionStore::BulkDocument> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back({"d" + std::to_string(i) + ".xml",
+                     "<t><r><v>" + std::to_string(i) + "</v></r></t>"});
+  }
+  store.BulkLoad("c", batch, /*num_threads=*/1);
+  auto snapshot = store.Snapshot();
+
+  fault::Reset();
+  fault::ArmSite("shred.column_build", 2);
+  try {
+    snapshot->FindShreddedTable("c", "r", ShredBuildContext{});
+    FAIL() << "armed shred.column_build never tripped";
+  } catch (const XQueryError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kXQSV0004);
+  }
+  fault::Reset();
+
+  // The abort is transient — unlike a refusal it must not be cached, so the
+  // retry builds the table.
+  const ShreddedTable* table =
+      snapshot->FindShreddedTable("c", "r", ShredBuildContext{});
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->row_count(), 6u);
+}
+
+}  // namespace
+}  // namespace xqa
