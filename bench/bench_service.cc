@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -260,6 +261,78 @@ JsonValue RunOverloadSection(const xqa::DocumentPtr& orders, int clients,
   return entry;
 }
 
+/// Cold-start section (docs/STORAGE.md): the same corpus brought up two
+/// ways — bulk re-parse from XML into a fresh in-memory service versus
+/// recovery from a checkpoint generation (binary doc codec, checksummed
+/// segments). The ratio is what a restart actually buys: recovery decodes
+/// preorder records instead of re-running the XML parser.
+JsonValue RunColdStartSection(int docs) {
+  std::vector<xqa::service::CollectionStore::BulkDocument> batch;
+  batch.reserve(static_cast<size_t>(docs));
+  for (int i = 0; i < docs; ++i) {
+    std::string xml = "<book id=\"" + std::to_string(i) + "\"><t>title " +
+                      std::to_string(i) + "</t>";
+    for (int j = 0; j < 8; ++j) {
+      xml += "<f n=\"" + std::to_string(j) + "\">value " +
+             std::to_string(i * 8 + j) + "</f>";
+    }
+    xml += "<price>" + std::to_string(10 + i % 90) + ".99</price></book>";
+    batch.push_back({"b" + std::to_string(i) + ".xml", std::move(xml)});
+  }
+
+  ServiceOptions memory_options;
+  memory_options.worker_threads = 2;
+  double parse_seconds = 0.0;
+  {
+    QueryService service(memory_options);
+    auto start = std::chrono::steady_clock::now();
+    service.collections().BulkLoad("books", batch, 0);
+    parse_seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  }
+
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "xqa_bench_cold_start")
+                        .string();
+  std::filesystem::remove_all(dir);
+  ServiceOptions durable_options = memory_options;
+  durable_options.data_dir = dir;
+  durable_options.storage_fsync = xqa::FsyncPolicy::kNever;
+  {
+    QueryService service(durable_options);
+    service.collections().BulkLoad("books", batch, 0);
+    service.CheckpointStorage();
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  QueryService recovered(durable_options);
+  double recover_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  size_t recovered_docs = recovered.collections().size();
+  std::filesystem::remove_all(dir);
+
+  std::printf(
+      "cold start: %d docs  re-parse %.3f ms  recover %.3f ms  (%.2fx)\n",
+      docs, parse_seconds * 1e3, recover_seconds * 1e3,
+      recover_seconds > 0 ? parse_seconds / recover_seconds : 0.0);
+
+  JsonValue entry = JsonValue::Object();
+  entry.Set("documents", JsonValue::Int(docs));
+  entry.Set("reparse_seconds", JsonValue::Number(parse_seconds));
+  entry.Set("recover_seconds", JsonValue::Number(recover_seconds));
+  entry.Set("speedup",
+            JsonValue::Number(recover_seconds > 0
+                                  ? parse_seconds / recover_seconds
+                                  : 0.0));
+  entry.Set("recovered_documents",
+            JsonValue::Int(static_cast<int64_t>(recovered_docs)));
+  entry.Set("recovery_consistent",
+            JsonValue::Bool(recovered_docs == static_cast<size_t>(docs)));
+  return entry;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -304,6 +377,8 @@ int main(int argc, char** argv) {
   JsonValue deadline = RunDeadlineSection(orders, smoke ? 4 : 16);
   JsonValue overload = RunOverloadSection(orders, smoke ? 6 : 8,
                                           requests_per_client);
+  JsonValue cold_start =
+      RunColdStartSection(smoke ? 200 : quick ? 1000 : 5000);
 
   JsonValue root = JsonValue::Object();
   root.Set("bench", JsonValue::Str("service"));
@@ -321,6 +396,7 @@ int main(int argc, char** argv) {
   root.Set("results", std::move(results));
   root.Set("deadline", std::move(deadline));
   root.Set("overload", std::move(overload));
+  root.Set("cold_start", std::move(cold_start));
   xqa::bench::WriteBenchJson("service", root);
   return 0;
 }

@@ -1,0 +1,30 @@
+#ifndef XQA_BASE_CRC32C_H_
+#define XQA_BASE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xqa {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected) — the checksum the
+/// durable storage layer stamps on every manifest, segment block, and
+/// journal record (docs/STORAGE.md). Software slicing-by-4 implementation:
+/// no hardware dependency, so the on-disk format verifies identically on any
+/// host; throughput (~GB/s) is far above the parse cost it protects.
+///
+/// Crc32c(data) == Crc32cExtend(Crc32cExtend(0, prefix), suffix) for any
+/// split, so streaming writers can checksum incrementally.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+inline uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace xqa
+
+#endif  // XQA_BASE_CRC32C_H_

@@ -48,6 +48,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kXQSV0004: return "XQSV0004";
     case ErrorCode::kXQSV0005: return "XQSV0005";
     case ErrorCode::kXQSV0006: return "XQSV0006";
+    case ErrorCode::kXQSV0007: return "XQSV0007";
   }
   return "UNKNOWN";
 }

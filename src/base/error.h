@@ -76,6 +76,7 @@ enum class ErrorCode : uint16_t {
   kXQSV0004,  ///< memory budget exceeded (MemoryTracker)
   kXQSV0005,  ///< expression nesting / recursion depth limit exceeded
   kXQSV0006,  ///< named document not present in the DocumentStore
+  kXQSV0007,  ///< durable storage failure (I/O error or detected corruption)
 };
 
 /// Returns the canonical name of an error code, e.g. "XPST0008".

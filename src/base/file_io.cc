@@ -1,0 +1,209 @@
+#include "base/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "base/error.h"
+
+namespace xqa {
+
+namespace {
+
+[[noreturn]] void ThrowIo(const std::string& what, const std::string& path) {
+  ThrowError(ErrorCode::kXQSV0007,
+             "storage I/O: " + what + " '" + path + "': " +
+                 std::strerror(errno));
+}
+
+/// Parent directory of `path` ("." when none) — the directory whose entry
+/// list must be fsynced for a rename/create in it to be durable.
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void FsyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) ThrowIo("open directory for fsync", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) ThrowIo("fsync directory", dir);
+}
+
+void WriteAll(int fd, const char* data, size_t size, const std::string& path) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowIo("write", path);
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) ThrowIo("open", path);
+  std::string out;
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    out.reserve(static_cast<size_t>(st.st_size));
+  }
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ThrowIo("read", path);
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+uint64_t FileSizeOf(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) ThrowIo("stat", path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+void CreateDirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    ThrowError(ErrorCode::kXQSV0007, "storage I/O: create directories '" +
+                                         path + "': " + ec.message());
+  }
+}
+
+std::vector<std::string> ListDirectory(const std::string& path) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  if (ec) {
+    ThrowError(ErrorCode::kXQSV0007, "storage I/O: list directory '" + path +
+                                         "': " + ec.message());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // best effort; see header
+}
+
+void WriteFileDurable(const std::string& path, std::string_view data,
+                      FsyncPolicy policy) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) ThrowIo("create temp", tmp);
+  try {
+    WriteAll(fd, data.data(), data.size(), tmp);
+    if (policy == FsyncPolicy::kAlways && ::fsync(fd) != 0) {
+      ThrowIo("fsync", tmp);
+    }
+  } catch (...) {
+    ::close(fd);
+    RemoveFileIfExists(tmp);
+    throw;
+  }
+  if (::close(fd) != 0) {
+    RemoveFileIfExists(tmp);
+    ThrowIo("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    RemoveFileIfExists(tmp);
+    ThrowIo("rename", path);
+  }
+  if (policy == FsyncPolicy::kAlways) FsyncDirectory(ParentDir(path));
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+void AppendFile::Create(const std::string& path, std::string_view header,
+                        FsyncPolicy policy) {
+  Close();
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) ThrowIo("create", path);
+  size_ = 0;
+  broken_ = false;
+  Append(header, policy);
+  // Make the file's existence durable too: a journal that vanishes with the
+  // directory entry would silently drop every record in it.
+  if (policy == FsyncPolicy::kAlways) FsyncDirectory(ParentDir(path));
+}
+
+void AppendFile::OpenTruncated(const std::string& path, uint64_t valid_size) {
+  Close();
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd_ < 0) ThrowIo("open", path);
+  if (::ftruncate(fd_, static_cast<off_t>(valid_size)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    Close();
+    ThrowIo("truncate to valid prefix", path);
+  }
+  size_ = valid_size;
+  broken_ = false;
+}
+
+void AppendFile::Append(std::string_view data, FsyncPolicy policy) {
+  if (fd_ < 0 || broken_) {
+    ThrowError(ErrorCode::kXQSV0007,
+               "storage I/O: append to unusable journal '" + path_ + "'");
+  }
+  const char* p = data.data();
+  size_t remaining = data.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Roll the partial record back out so the live file never ends
+      // mid-record; if that fails too, the tail is garbage — go broken.
+      if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0 ||
+          ::lseek(fd_, 0, SEEK_END) < 0) {
+        broken_ = true;
+      }
+      ThrowIo("append", path_);
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  size_ += data.size();
+  if (policy == FsyncPolicy::kAlways && ::fsync(fd_) != 0) {
+    ThrowIo("fsync", path_);
+  }
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace xqa

@@ -1,0 +1,95 @@
+#ifndef XQA_BASE_FILE_IO_H_
+#define XQA_BASE_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqa {
+
+/// When the storage layer calls fsync (docs/STORAGE.md). kAlways is the
+/// durability contract — an acknowledged mutation survives a kill -9;
+/// kNever trades that for speed (tests, benches, bulk seeding) while keeping
+/// the same on-disk format, so recovery still works after a clean exit.
+enum class FsyncPolicy : uint8_t {
+  kAlways,
+  kNever,
+};
+
+/// Reads the whole file into a string. Throws XQueryError(kXQSV0007) when
+/// the file cannot be opened or read.
+std::string ReadFileToString(const std::string& path);
+
+/// True when `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// Size of a regular file in bytes; throws kXQSV0007 when unreadable.
+uint64_t FileSizeOf(const std::string& path);
+
+/// mkdir -p. Throws kXQSV0007 on failure.
+void CreateDirs(const std::string& path);
+
+/// Entry names (not paths) in `path`, sorted; "." / ".." excluded. Throws
+/// kXQSV0007 when the directory cannot be read.
+std::vector<std::string> ListDirectory(const std::string& path);
+
+/// Best-effort unlink; absent files and failures are ignored (used for
+/// garbage collection of superseded storage files, where a leftover file is
+/// harmless — recovery ignores anything the manifest does not reference).
+void RemoveFileIfExists(const std::string& path);
+
+/// The commit primitive of the storage layer: writes `data` to
+/// `path + ".tmp"`, fsyncs the file (per `policy`), atomically renames it
+/// over `path`, then fsyncs the containing directory so the rename itself is
+/// durable. Readers therefore see either the old bytes or the new bytes,
+/// never a torn file. Throws kXQSV0007 on any failure, removing the temp.
+void WriteFileDurable(const std::string& path, std::string_view data,
+                      FsyncPolicy policy);
+
+/// Append-only file handle for the ingest journal. Not thread-safe — the
+/// owner serializes appends (the journal mutex in DurableStore).
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Creates `path` (truncating any existing file) with `header` as its
+  /// initial contents, fsyncing per `policy`. Throws kXQSV0007 on failure.
+  void Create(const std::string& path, std::string_view header,
+              FsyncPolicy policy);
+
+  /// Opens an existing file for appending after truncating it to
+  /// `valid_size` — recovery's torn-tail cut: bytes past the last valid
+  /// record are discarded before new records go in. Throws kXQSV0007.
+  void OpenTruncated(const std::string& path, uint64_t valid_size);
+
+  /// Appends `data` as one write and fsyncs per `policy`. A short or failed
+  /// write is rolled back with ftruncate so the file never ends mid-record
+  /// while the process lives (a crash mid-write is the torn tail recovery
+  /// handles); if even the rollback fails the handle goes broken() and every
+  /// later append fails fast. Throws kXQSV0007 on failure.
+  void Append(std::string_view data, FsyncPolicy policy);
+
+  /// Bytes successfully appended (== file size while not broken).
+  uint64_t size() const { return size_; }
+
+  /// True after an append failure that could not be rolled back: the tail of
+  /// the file is garbage and the journal must be rotated before reuse.
+  bool broken() const { return broken_; }
+
+  bool is_open() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  bool broken_ = false;
+  std::string path_;
+};
+
+}  // namespace xqa
+
+#endif  // XQA_BASE_FILE_IO_H_

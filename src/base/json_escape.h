@@ -1,0 +1,20 @@
+#ifndef XQA_BASE_JSON_ESCAPE_H_
+#define XQA_BASE_JSON_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+namespace xqa {
+
+/// Escapes `text` for embedding inside a JSON string literal (RFC 8259):
+/// backslash, double quote, and control characters below 0x20 (the common
+/// ones as \b \f \n \r \t, the rest as \u00XX). Everything else — including
+/// multi-byte UTF-8 — passes through unchanged. Every hand-rolled JSON
+/// emitter in the tree (metrics scrapes, storage stats) must route
+/// user-influenced strings such as collection names, URIs, and paths through
+/// this, or a name containing a quote corrupts the whole scrape.
+std::string JsonEscape(std::string_view text);
+
+}  // namespace xqa
+
+#endif  // XQA_BASE_JSON_ESCAPE_H_

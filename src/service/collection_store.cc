@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/error.h"
+#include "base/json_escape.h"
 #include "base/thread_pool.h"
 #include "xml/xml_parser.h"
 
@@ -62,6 +63,19 @@ void CollectionStore::RemoveDocumentStats(Shard* shard,
   if (document.has_element_index()) --shard->stats.indexed_documents;
 }
 
+bool CollectionStore::InsertSealed(const std::string& collection,
+                                   const std::string& uri,
+                                   DocumentPtr document, bool bump_version) {
+  Shard* shard = shards_[ShardOf(uri)].get();
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  auto [it, inserted] = shard->catalogs[collection].try_emplace(uri);
+  if (!inserted) RemoveDocumentStats(shard, *it->second);
+  it->second = std::move(document);
+  AddDocumentStats(shard, *it->second);
+  if (bump_version) version_.fetch_add(1, std::memory_order_release);
+  return !inserted;
+}
+
 bool CollectionStore::Put(const std::string& collection,
                           const std::string& uri, DocumentPtr document) {
   if (document == nullptr) {
@@ -71,14 +85,15 @@ bool CollectionStore::Put(const std::string& collection,
   // Seal outside the lock: sealing walks the whole tree, and the document is
   // not yet visible to readers.
   if (!document->sealed()) document->SealOrder();
-  Shard* shard = shards_[ShardOf(uri)].get();
-  std::lock_guard<std::mutex> lock(shard->mutex);
-  auto [it, inserted] = shard->catalogs[collection].try_emplace(uri);
-  if (!inserted) RemoveDocumentStats(shard, *it->second);
-  it->second = std::move(document);
-  AddDocumentStats(shard, *it->second);
-  version_.fetch_add(1, std::memory_order_release);
-  return !inserted;
+  if (durable_ != nullptr) {
+    // Write-ahead: the journal append happens (and fsyncs) before the
+    // document becomes visible, under the durable mutex so append order is
+    // apply order. A failed append throws with the store unchanged.
+    std::lock_guard<std::mutex> durable_lock(durable_mutex_);
+    durable_->JournalPut(collection, uri, *document);
+    return InsertSealed(collection, uri, std::move(document), true);
+  }
+  return InsertSealed(collection, uri, std::move(document), true);
 }
 
 DocumentPtr CollectionStore::Get(const std::string& collection,
@@ -92,8 +107,9 @@ DocumentPtr CollectionStore::Get(const std::string& collection,
   return it->second;  // refcount increment pins this version for the caller
 }
 
-bool CollectionStore::Remove(const std::string& collection,
-                             const std::string& uri) {
+bool CollectionStore::EraseDocument(const std::string& collection,
+                                    const std::string& uri,
+                                    bool bump_version) {
   Shard* shard = shards_[ShardOf(uri)].get();
   std::lock_guard<std::mutex> lock(shard->mutex);
   auto catalog = shard->catalogs.find(collection);
@@ -105,8 +121,22 @@ bool CollectionStore::Remove(const std::string& collection,
   if (catalog->second.empty()) shard->catalogs.erase(catalog);
   // Like DocumentStore: the version bumps only on a successful removal, so
   // snapshot caches are not invalidated by no-op calls.
-  version_.fetch_add(1, std::memory_order_release);
+  if (bump_version) version_.fetch_add(1, std::memory_order_release);
   return true;
+}
+
+bool CollectionStore::Remove(const std::string& collection,
+                             const std::string& uri) {
+  if (durable_ != nullptr) {
+    std::lock_guard<std::mutex> durable_lock(durable_mutex_);
+    // Probe first so a no-op remove journals nothing: replay counts one
+    // version bump per record, and the live path does not bump on a miss.
+    // The probe cannot go stale — every mutation holds the durable mutex.
+    if (Get(collection, uri) == nullptr) return false;
+    durable_->JournalRemove(collection, uri);
+    return EraseDocument(collection, uri, true);
+  }
+  return EraseDocument(collection, uri, true);
 }
 
 size_t CollectionStore::BulkLoad(const std::string& collection,
@@ -135,6 +165,21 @@ size_t CollectionStore::BulkLoad(const std::string& collection,
     for (size_t i = 0; i < count; ++i) parse_one(i);
   }
 
+  // With durability attached, the whole batch becomes one journal record —
+  // one version bump on replay, matching the single bump below — appended
+  // before anything is inserted. The durable mutex is taken only now, after
+  // the parallel parse: parsing is lock-free work that need not serialize.
+  std::unique_lock<std::mutex> durable_lock;
+  if (durable_ != nullptr) {
+    durable_lock = std::unique_lock<std::mutex>(durable_mutex_);
+    std::vector<std::pair<std::string, const Document*>> journal_batch;
+    journal_batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      journal_batch.emplace_back(batch[i].uri, parsed[i].get());
+    }
+    durable_->JournalBulkLoad(collection, journal_batch);
+  }
+
   // Insert shard by shard: one lock acquisition per touched shard, single
   // version bump for the whole batch. Within a shard, batch order decides
   // duplicate-URI winners (last write wins, like repeated Put calls).
@@ -156,6 +201,47 @@ size_t CollectionStore::BulkLoad(const std::string& collection,
   }
   version_.fetch_add(1, std::memory_order_release);
   return count;
+}
+
+void CollectionStore::AttachDurability(storage::DurableStore* storage) {
+  durable_ = storage;
+}
+
+void CollectionStore::Checkpoint() {
+  if (durable_ == nullptr) return;
+  // The durable mutex quiesces mutations (they all take it while durability
+  // is attached), so the image below is one corpus version. Entries are
+  // refcounted handles — capture is cheap; serialization happens inside
+  // DurableStore against trees the image pins.
+  std::lock_guard<std::mutex> durable_lock(durable_mutex_);
+  storage::CorpusImage image;
+  image.version = version();
+  image.shards.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard* shard = shards_[s].get();
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [name, catalog] : shard->catalogs) {
+      for (const auto& [uri, document] : catalog) {
+        image.shards[s].push_back(
+            storage::CorpusImage::Entry{name, uri, document});
+      }
+    }
+  }
+  durable_->Checkpoint(image);
+}
+
+void CollectionStore::ApplyPut(const std::string& collection,
+                               const std::string& uri, DocumentPtr document) {
+  InsertSealed(collection, uri, std::move(document), false);
+}
+
+void CollectionStore::ApplyRemove(const std::string& collection,
+                                  const std::string& uri) {
+  EraseDocument(collection, uri, false);
+}
+
+void CollectionStore::RestoreVersion(uint64_t version) {
+  version_.store(version, std::memory_order_release);
 }
 
 std::shared_ptr<const CollectionSnapshot> CollectionStore::Snapshot() const {
@@ -252,10 +338,16 @@ std::string CollectionStore::StatsJson() const {
   std::vector<ShardStats> stats = PerShardStats();
   size_t documents = 0;
   for (const ShardStats& shard : stats) documents += shard.documents;
+  std::vector<std::string> names = CollectionNames();
   std::ostringstream out;
   out << "{\"shards\": " << shards_.size() << ", \"documents\": " << documents
-      << ", \"collections\": " << CollectionNames().size()
-      << ", \"version\": " << version() << ", \"per_shard\": [";
+      << ", \"collections\": " << names.size() << ", \"names\": [";
+  // Collection names are caller-chosen strings; JsonEscape keeps a quote or
+  // backslash in a name from corrupting the scrape.
+  for (size_t i = 0; i < names.size(); ++i) {
+    out << (i > 0 ? ", " : "") << "\"" << JsonEscape(names[i]) << "\"";
+  }
+  out << "], \"version\": " << version() << ", \"per_shard\": [";
   for (size_t s = 0; s < stats.size(); ++s) {
     const ShardStats& shard = stats[s];
     out << (s > 0 ? ", " : "") << "{\"documents\": " << shard.documents

@@ -11,6 +11,7 @@
 
 #include "eval/dynamic_context.h"
 #include "shred/shred_catalog.h"
+#include "storage/durable_store.h"
 #include "xml/node.h"
 
 namespace xqa::service {
@@ -32,7 +33,15 @@ class CollectionSnapshot;
 /// directly (it implements CollectionProvider). Snapshots pin their
 /// documents through the intrusive refcount: a corpus mutated mid-request
 /// frees replaced trees only after the last snapshot holding them drops.
-class CollectionStore {
+///
+/// Durability (docs/STORAGE.md): after AttachDurability, every mutation is
+/// written ahead to the DurableStore's ingest journal and applied in memory
+/// only if the append succeeds, and all mutations serialize on a durable
+/// mutex so journal order always equals apply order — the property recovery
+/// replay depends on. The store doubles as the storage layer's CorpusSink:
+/// recovery rebuilds the corpus through ApplyPut/ApplyRemove (no journaling,
+/// no version bumps) and installs the recovered version via RestoreVersion.
+class CollectionStore : public storage::CorpusSink {
  public:
   struct Options {
     /// Shard count — also the partition count of every collection view, and
@@ -113,6 +122,29 @@ class CollectionStore {
   /// nodes + name pool); the unit of the `bytes` gauge.
   static int64_t EstimateDocumentBytes(const Document& document);
 
+  // --- Durability (docs/STORAGE.md) ---------------------------------------
+
+  /// Attaches write-ahead journaling: from now on Put/Remove/BulkLoad append
+  /// to `storage`'s journal before applying, and fail (kXQSV0007, store
+  /// unchanged) when the append does. Call once, after storage->Open(this)
+  /// has replayed the corpus and before concurrent use. Null detaches.
+  void AttachDurability(storage::DurableStore* storage);
+
+  /// Writes the current corpus as a checkpoint generation (segments + fresh
+  /// journal + manifest commit). Mutations wait while the image is captured.
+  /// No-op without attached durability; throws kXQSV0007 on failure, leaving
+  /// the previous generation intact.
+  void Checkpoint();
+
+  // CorpusSink — recovery's rebuild path (storage/durable_store.h). ApplyPut
+  // and ApplyRemove mutate without journaling or version bumps;
+  // RestoreVersion installs the recovered corpus version.
+  void ApplyPut(const std::string& collection, const std::string& uri,
+                DocumentPtr document) override;
+  void ApplyRemove(const std::string& collection,
+                   const std::string& uri) override;
+  void RestoreVersion(uint64_t version) override;
+
  private:
   struct Shard {
     mutable std::mutex mutex;
@@ -125,10 +157,22 @@ class CollectionStore {
   size_t ShardOf(const std::string& uri) const;
   void AddDocumentStats(Shard* shard, const Document& document);
   void RemoveDocumentStats(Shard* shard, const Document& document);
+  bool InsertSealed(const std::string& collection, const std::string& uri,
+                    DocumentPtr document, bool bump_version);
+  bool EraseDocument(const std::string& collection, const std::string& uri,
+                     bool bump_version);
 
   /// Shards never move after construction (each holds a mutex).
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> version_{0};
+
+  /// Null until AttachDurability; guarded writes happen before use begins.
+  storage::DurableStore* durable_ = nullptr;
+  /// Serializes mutations while durability is attached so journal append
+  /// order equals in-memory apply order. Lock order: durable_mutex_ before
+  /// any shard mutex (Checkpoint takes it, then the shard locks in index
+  /// order — consistent with single-shard mutations, so deadlock-free).
+  std::mutex durable_mutex_;
 
   // Version-keyed snapshot cache. Rebuild takes every shard lock in index
   // order; single-shard mutations take only their own, so lock order is

@@ -17,7 +17,8 @@ bool DocumentStore::Put(const std::string& name, DocumentPtr document) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = documents_.try_emplace(name);
   it->second = std::move(document);
-  version_.fetch_add(1, std::memory_order_relaxed);
+  // Release, paired with the acquire load in version() (see header).
+  version_.fetch_add(1, std::memory_order_release);
   return !inserted;
 }
 
@@ -31,7 +32,8 @@ DocumentPtr DocumentStore::Get(const std::string& name) const {
 bool DocumentStore::Remove(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   bool erased = documents_.erase(name) > 0;
-  if (erased) version_.fetch_add(1, std::memory_order_relaxed);
+  // Release, paired with the acquire load in version() (see header).
+  if (erased) version_.fetch_add(1, std::memory_order_release);
   return erased;
 }
 

@@ -55,8 +55,16 @@ class DocumentStore {
 
   /// Bumped by every successful Put/Remove; lets callers detect catalog
   /// changes without diffing snapshots.
+  ///
+  /// Acquire, paired with the release bumps, matching CollectionStore: a
+  /// caller that observes version N is guaranteed to also observe the
+  /// catalog writes that produced N if it then takes the mutex-free read
+  /// paths. With relaxed ordering a version-gated cache (the pattern
+  /// CollectionStore::Snapshot uses) could see the new number with the old
+  /// catalog. The mutexed accessors do not need it, but the two stores
+  /// should make the same promise.
   uint64_t version() const {
-    return version_.load(std::memory_order_relaxed);
+    return version_.load(std::memory_order_acquire);
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/fault_injection.h"
+#include "base/json_escape.h"
 
 namespace xqa::service {
 
@@ -25,7 +26,17 @@ QueryService::QueryService(ServiceOptions options)
       max_concurrent_(options_.max_concurrent_queries > 0
                           ? options_.max_concurrent_queries
                           : options_.worker_threads),
-      pool_(std::make_unique<ThreadPool>(options_.worker_threads)) {}
+      pool_(std::make_unique<ThreadPool>(options_.worker_threads)) {
+  if (!options_.data_dir.empty()) {
+    // Recovery before anything else can touch the store: the corpus that
+    // was on disk (newest valid manifest + journal replay) becomes the
+    // starting state, and only then does write-ahead journaling attach.
+    storage_ = std::make_unique<storage::DurableStore>(
+        storage::StorageOptions{options_.data_dir, options_.storage_fsync});
+    storage_recovery_ = storage_->Open(&collections_);
+    collections_.AttachDurability(storage_.get());
+  }
+}
 
 QueryService::~QueryService() { Shutdown(); }
 
@@ -148,6 +159,17 @@ std::future<Response> QueryService::Submit(
 Response QueryService::Execute(Request request,
                                std::shared_ptr<CancellationToken> token) {
   return Submit(std::move(request), std::move(token)).get();
+}
+
+bool QueryService::CheckpointStorage() {
+  if (storage_ == nullptr) return false;
+  collections_.Checkpoint();
+  return true;
+}
+
+storage::ScrubReport QueryService::ScrubStorage() {
+  if (storage_ == nullptr) return storage::ScrubReport();
+  return storage_->Scrub();
 }
 
 Response QueryService::RunRequest(
@@ -290,8 +312,18 @@ std::string QueryService::MetricsJson(int indent) const {
       << ", \"hits\": " << fault::TotalHits()
       << ", \"trips\": " << fault::TotalTrips() << "}," << nl;
   out << pad << "\"documents\": {\"count\": " << store_.size()
-      << ", \"version\": " << store_.version() << "}," << nl;
+      << ", \"version\": " << store_.version() << ", \"names\": [";
+  // Document names are caller-chosen — a quote or backslash in one must not
+  // corrupt the scrape (regression-tested in tests/service_test.cc).
+  std::vector<std::string> names = store_.Names();
+  for (size_t i = 0; i < names.size(); ++i) {
+    out << (i > 0 ? ", " : "") << "\"" << JsonEscape(names[i]) << "\"";
+  }
+  out << "]}," << nl;
   out << pad << "\"collections\": " << collections_.StatsJson() << "," << nl;
+  if (storage_ != nullptr) {
+    out << pad << "\"storage\": " << storage_->StatsJson() << "," << nl;
+  }
   out << pad << "\"shred\": " << collections_.Snapshot()->ShredStatsJson()
       << nl;
   out << "}";

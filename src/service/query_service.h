@@ -12,6 +12,7 @@
 
 #include "api/engine.h"
 #include "base/cancellation.h"
+#include "base/file_io.h"
 #include "base/thread_pool.h"
 #include "service/collection_store.h"
 #include "service/document_store.h"
@@ -57,6 +58,20 @@ struct ServiceOptions {
   /// Shard count of the service's CollectionStore — also the partition
   /// fan-out of every partitioned collection() scan (docs/SERVICE.md).
   int collection_shards = 16;
+
+  // --- Durable storage (docs/STORAGE.md) -----------------------------------
+
+  /// When non-empty, the service opens a DurableStore at this directory:
+  /// construction recovers the corpus that was there (newest valid manifest
+  /// + journal replay), and every CollectionStore mutation thereafter is
+  /// journaled ahead of applying. Empty (the default) keeps the corpus
+  /// purely in-memory, exactly as before.
+  std::string data_dir;
+
+  /// fsync policy of the durable store. kAlways is the crash-durability
+  /// contract; kNever is for tests and bulk seeding, where only clean-exit
+  /// recovery matters.
+  FsyncPolicy storage_fsync = FsyncPolicy::kAlways;
 
   // --- Memory governance (docs/ROBUSTNESS.md) ------------------------------
   // Accounting is active when either budget is set; with both at 0 the
@@ -168,6 +183,24 @@ class QueryService {
   const DocumentStore& documents() const { return store_; }
   CollectionStore& collections() { return collections_; }
   const CollectionStore& collections() const { return collections_; }
+
+  /// The durable store, or null when ServiceOptions::data_dir is empty.
+  storage::DurableStore* storage() { return storage_.get(); }
+  const storage::DurableStore* storage() const { return storage_.get(); }
+
+  /// What construction-time recovery found (all zeros without a data_dir).
+  const storage::RecoveryResult& storage_recovery() const {
+    return storage_recovery_;
+  }
+
+  /// Checkpoints the corpus (CollectionStore::Checkpoint). Returns false
+  /// when the service has no durable storage; throws kXQSV0007 on failure
+  /// (previous generation intact).
+  bool CheckpointStorage();
+
+  /// Re-verifies every checksum of the current storage generation. Returns
+  /// an empty (clean) report without a data_dir.
+  storage::ScrubReport ScrubStorage();
   ServiceMetrics& metrics() { return metrics_; }
   const ServiceMetrics& metrics() const { return metrics_; }
   PlanCache::Counters plan_cache_counters() const {
@@ -196,6 +229,13 @@ class QueryService {
   Engine engine_;
   DocumentStore store_;
   CollectionStore collections_;
+
+  /// Present only with a data_dir. Declared after collections_ (recovery
+  /// feeds it) and destroyed before it would matter — the journal holds no
+  /// pointers into the store.
+  std::unique_ptr<storage::DurableStore> storage_;
+  storage::RecoveryResult storage_recovery_;
+
   PlanCache cache_;
   ServiceMetrics metrics_;
 

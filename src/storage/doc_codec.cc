@@ -1,0 +1,264 @@
+#include "storage/doc_codec.h"
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/error.h"
+#include "storage/format.h"
+
+namespace xqa::storage {
+
+namespace {
+
+/// Nesting bound for decode: far above anything the parser (depth <= 1000)
+/// or the evaluator's construction guard (<= 4096) can produce, low enough
+/// that a corrupt child count cannot grow the decode stack unboundedly.
+constexpr size_t kMaxDecodeDepth = 1 << 16;
+
+[[noreturn]] void ThrowCorrupt(const char* what) {
+  ThrowError(ErrorCode::kXQSV0007,
+             std::string("storage decode: malformed document blob (") + what +
+                 ")");
+}
+
+/// First-encounter name interning for the blob's local name table. Indexes
+/// are assigned in preorder-first-use order, so encoding is deterministic
+/// for a given tree.
+class NameTable {
+ public:
+  uint32_t IdOf(const std::string& name) {
+    auto [it, inserted] =
+        ids_.try_emplace(name, static_cast<uint32_t>(names_.size()));
+    if (inserted) names_.push_back(name);
+    return it->second;
+  }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+void CollectNames(const Node* root, NameTable* table, size_t* record_count) {
+  std::vector<const Node*> stack{root};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++*record_count;
+    switch (node->kind()) {
+      case NodeKind::kElement:
+      case NodeKind::kProcessingInstruction:
+        (void)table->IdOf(node->name());
+        break;
+      default:
+        break;
+    }
+    for (const Node* attribute : node->attributes()) {
+      (void)table->IdOf(attribute->name());
+      ++*record_count;
+    }
+    const std::vector<Node*>& children = node->children();
+    for (size_t i = children.size(); i > 0; --i) {
+      stack.push_back(children[i - 1]);
+    }
+  }
+}
+
+void EncodeNodeRecord(const Node* node, NameTable* table, std::string* out) {
+  AppendU8(out, static_cast<uint8_t>(node->kind()));
+  switch (node->kind()) {
+    case NodeKind::kDocument:
+      break;
+    case NodeKind::kElement: {
+      AppendU32(out, table->IdOf(node->name()));
+      AppendU32(out, static_cast<uint32_t>(node->attributes().size()));
+      for (const Node* attribute : node->attributes()) {
+        AppendU32(out, table->IdOf(attribute->name()));
+        AppendBytes(out, attribute->content());
+      }
+      break;
+    }
+    case NodeKind::kProcessingInstruction:
+      AppendU32(out, table->IdOf(node->name()));
+      AppendBytes(out, node->content());
+      break;
+    case NodeKind::kText:
+    case NodeKind::kComment:
+      AppendBytes(out, node->content());
+      break;
+    case NodeKind::kAttribute:
+      // Attributes are encoded inline with their element, never as a
+      // standalone preorder record.
+      ThrowCorrupt("free-standing attribute");
+  }
+  if (node->kind() == NodeKind::kDocument ||
+      node->kind() == NodeKind::kElement) {
+    AppendU32(out, static_cast<uint32_t>(node->children().size()));
+  }
+}
+
+}  // namespace
+
+void EncodeDocument(const Document& document, std::string* out) {
+  const Node* root = document.root();
+  NameTable table;
+  size_t record_count = 0;
+  CollectNames(root, &table, &record_count);
+
+  AppendU32(out, static_cast<uint32_t>(table.names().size()));
+  for (const std::string& name : table.names()) AppendBytes(out, name);
+  AppendU32(out, static_cast<uint32_t>(record_count));
+
+  // Preorder emission; each element/document record carries its child count,
+  // so the decoder reconstructs the exact shape without terminators.
+  std::vector<const Node*> stack{root};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    EncodeNodeRecord(node, &table, out);
+    const std::vector<Node*>& children = node->children();
+    for (size_t i = children.size(); i > 0; --i) {
+      stack.push_back(children[i - 1]);
+    }
+  }
+}
+
+DocumentPtr DecodeDocument(std::string_view blob) {
+  ByteReader reader(blob);
+
+  uint32_t name_count = 0;
+  if (!reader.ReadU32(&name_count)) ThrowCorrupt("name table header");
+  // Each name costs at least its 4-byte length prefix.
+  if (static_cast<size_t>(name_count) > reader.remaining() / 4) {
+    ThrowCorrupt("name table count");
+  }
+  std::vector<std::string_view> names(name_count);
+  for (uint32_t i = 0; i < name_count; ++i) {
+    if (!reader.ReadBytes(&names[i])) ThrowCorrupt("name table entry");
+  }
+
+  uint32_t record_count = 0;
+  if (!reader.ReadU32(&record_count)) ThrowCorrupt("record count");
+  // Every record is at least one kind byte; attributes inline cost >= 8.
+  if (static_cast<size_t>(record_count) > reader.remaining() + 1) {
+    ThrowCorrupt("record count vs payload");
+  }
+
+  DocumentPtr document = MakeDocument();
+  uint32_t records_read = 0;
+
+  auto read_name = [&](uint32_t* index) {
+    if (!reader.ReadU32(index) || *index >= name_count) {
+      ThrowCorrupt("name index");
+    }
+  };
+
+  // (parent, children still to attach). The root document record is read
+  // first and seeds the stack.
+  struct Frame {
+    Node* parent;
+    uint32_t remaining;
+  };
+  std::vector<Frame> stack;
+
+  uint8_t root_kind = 0;
+  uint32_t root_children = 0;
+  if (!reader.ReadU8(&root_kind) ||
+      root_kind != static_cast<uint8_t>(NodeKind::kDocument) ||
+      !reader.ReadU32(&root_children)) {
+    ThrowCorrupt("root record");
+  }
+  ++records_read;
+  if (root_children > 0) {
+    stack.push_back({document->root(), root_children});
+  }
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.remaining == 0) {
+      stack.pop_back();
+      continue;
+    }
+    --top.remaining;
+    Node* parent = top.parent;
+
+    uint8_t kind_byte = 0;
+    if (!reader.ReadU8(&kind_byte)) ThrowCorrupt("truncated record");
+    ++records_read;
+    if (records_read > record_count) ThrowCorrupt("more records than declared");
+
+    switch (static_cast<NodeKind>(kind_byte)) {
+      case NodeKind::kElement: {
+        uint32_t name_index = 0;
+        read_name(&name_index);
+        Node* element = document->CreateElement(names[name_index]);
+        uint32_t attr_count = 0;
+        if (!reader.ReadU32(&attr_count)) ThrowCorrupt("attribute count");
+        if (static_cast<size_t>(attr_count) > reader.remaining() / 8) {
+          ThrowCorrupt("attribute count vs payload");
+        }
+        for (uint32_t a = 0; a < attr_count; ++a) {
+          uint32_t attr_name = 0;
+          read_name(&attr_name);
+          std::string_view value;
+          if (!reader.ReadBytes(&value)) ThrowCorrupt("attribute value");
+          Node* attribute =
+              document->CreateAttribute(names[attr_name], value);
+          if (!document->AppendAttribute(element, attribute)) {
+            ThrowCorrupt("duplicate attribute");
+          }
+          records_read += 1;
+          if (records_read > record_count) {
+            ThrowCorrupt("more records than declared");
+          }
+        }
+        document->AppendChild(parent, element);
+        uint32_t child_count = 0;
+        if (!reader.ReadU32(&child_count)) ThrowCorrupt("child count");
+        if (static_cast<size_t>(child_count) > reader.remaining() + 1) {
+          ThrowCorrupt("child count vs payload");
+        }
+        if (child_count > 0) {
+          if (stack.size() >= kMaxDecodeDepth) ThrowCorrupt("nesting depth");
+          stack.push_back({element, child_count});
+        }
+        break;
+      }
+      case NodeKind::kText: {
+        std::string_view content;
+        if (!reader.ReadBytes(&content)) ThrowCorrupt("text content");
+        document->AppendChild(parent, document->CreateText(content));
+        break;
+      }
+      case NodeKind::kComment: {
+        std::string_view content;
+        if (!reader.ReadBytes(&content)) ThrowCorrupt("comment content");
+        document->AppendChild(parent, document->CreateComment(content));
+        break;
+      }
+      case NodeKind::kProcessingInstruction: {
+        uint32_t name_index = 0;
+        read_name(&name_index);
+        std::string_view content;
+        if (!reader.ReadBytes(&content)) ThrowCorrupt("PI content");
+        document->AppendChild(
+            parent,
+            document->CreateProcessingInstruction(names[name_index], content));
+        break;
+      }
+      case NodeKind::kDocument:
+      case NodeKind::kAttribute:
+      default:
+        ThrowCorrupt("unexpected node kind");
+    }
+  }
+
+  if (records_read != record_count) ThrowCorrupt("record count mismatch");
+  if (!reader.AtEnd()) ThrowCorrupt("trailing bytes");
+  document->SealOrder();
+  return document;
+}
+
+}  // namespace xqa::storage

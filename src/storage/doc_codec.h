@@ -1,0 +1,38 @@
+#ifndef XQA_STORAGE_DOC_CODEC_H_
+#define XQA_STORAGE_DOC_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/node.h"
+
+namespace xqa::storage {
+
+/// Binary (de)serialization of sealed documents — the payload format inside
+/// segment blocks and journal Put records (docs/STORAGE.md).
+///
+/// A blob is a name table (every distinct element/attribute/PI name once)
+/// followed by the tree in preorder, each node as a fixed-shape record with
+/// its child/attribute counts inline. Loading therefore skips everything the
+/// XML parser must do — tokenizing, entity decoding, attribute-syntax
+/// checks, whitespace stripping — and reduces to arena appends plus one
+/// SealOrder, which is what makes recovery's cold start cheaper than
+/// re-parsing the corpus (bench_service "cold_start").
+///
+/// Integrity: blobs travel under a CRC32C stamped by the segment/journal
+/// framing, so decode errors mean either a checksum collision or a writer
+/// bug. DecodeDocument is nevertheless hardened — every length, count, name
+/// index, and nesting depth is validated against the buffer before use, and
+/// malformed input throws XQueryError(kXQSV0007) (the caller quarantines)
+/// rather than reading out of bounds.
+
+/// Appends the encoded form of `document` (which must be sealed) to `out`.
+void EncodeDocument(const Document& document, std::string* out);
+
+/// Decodes one blob into a fresh sealed document. Throws kXQSV0007 on any
+/// structural violation.
+DocumentPtr DecodeDocument(std::string_view blob);
+
+}  // namespace xqa::storage
+
+#endif  // XQA_STORAGE_DOC_CODEC_H_

@@ -1,0 +1,367 @@
+#include "storage/durable_store.h"
+
+#include <sstream>
+#include <utility>
+
+#include "base/crc32c.h"
+#include "base/error.h"
+#include "base/fault_injection.h"
+#include "base/json_escape.h"
+#include "storage/format.h"
+
+namespace xqa::storage {
+
+namespace {
+
+[[noreturn]] void ThrowStorage(const std::string& what) {
+  throw XQueryError(ErrorCode::kXQSV0007, what);
+}
+
+}  // namespace
+
+DurableStore::DurableStore(StorageOptions options)
+    : options_(std::move(options)) {}
+
+DurableStore::~DurableStore() = default;
+
+uint64_t DurableStore::manifest_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return has_manifest_ ? current_.seq : 0;
+}
+
+SegmentReadStats DurableStore::ReadSegmentWithRetry(
+    const std::string& path, uint32_t shard,
+    const std::function<void(SegmentEntry)>* sink) {
+  // The fault site models a transient read error (EINTR, a device hiccup).
+  // One retry keeps an injected trip from changing the recovery outcome —
+  // ReadSegmentFile touches the sink only after the whole file is in memory,
+  // so a failed first attempt has applied nothing and the retry is safe.
+  // Persistent failure (real corruption, missing file) still throws and the
+  // caller quarantines the segment.
+  try {
+    XQA_FAULT_POINT("storage.recover_read", ErrorCode::kXQSV0007);
+    return ReadSegmentFile(path, shard, sink);
+  } catch (const XQueryError&) {
+    return ReadSegmentFile(path, shard, sink);
+  }
+}
+
+RecoveryResult DurableStore::Open(CorpusSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CreateDirs(options_.data_dir);
+  recovery_ = RecoveryResult();
+
+  std::optional<Manifest> manifest = FindNewestValidManifest(
+      options_.data_dir, &recovery_.manifests_quarantined);
+  uint64_t base_version = 0;
+  if (manifest.has_value()) {
+    recovery_.manifest_found = true;
+    recovery_.manifest_seq = manifest->seq;
+    base_version = manifest->corpus_version;
+    std::function<void(SegmentEntry)> apply = [&](SegmentEntry entry) {
+      if (sink != nullptr) {
+        sink->ApplyPut(entry.collection, entry.uri, std::move(entry.document));
+      }
+      ++recovery_.documents_loaded;
+    };
+    for (const SegmentRef& ref : manifest->segments) {
+      const std::string path = options_.data_dir + "/" + ref.file;
+      try {
+        SegmentReadStats stats = ReadSegmentWithRetry(path, ref.shard, &apply);
+        recovery_.segment_blocks_corrupt += stats.blocks_corrupt;
+        if (!stats.header_valid) ++recovery_.segments_quarantined;
+      } catch (const XQueryError&) {
+        ++recovery_.segments_quarantined;
+      }
+    }
+    current_ = std::move(*manifest);
+    has_manifest_ = true;
+  } else {
+    current_ = Manifest();
+    has_manifest_ = false;
+  }
+
+  // The journal holding mutations after the manifest — or, before the first
+  // checkpoint ever, the generation-0 journal by naming convention.
+  const std::string journal_name =
+      has_manifest_ ? current_.journal_file : JournalFileName(0);
+  journal_path_ = options_.data_dir + "/" + journal_name;
+  uint64_t version = base_version;
+  bool journal_reusable = false;
+  if (FileExists(journal_path_)) {
+    try {
+      XQA_FAULT_POINT("storage.recover_read", ErrorCode::kXQSV0007);
+    } catch (const XQueryError&) {
+      // Transient; the scan below reads the file itself.
+    }
+    // First pass validates the header (including that the journal really
+    // belongs to this generation) before any record is applied.
+    JournalScanResult probe;
+    try {
+      probe = ScanJournalFile(journal_path_, nullptr);
+    } catch (const XQueryError&) {
+      probe = JournalScanResult();  // unreadable: rebuild it fresh below
+    }
+    if (probe.header_valid && probe.base_version == base_version) {
+      std::function<void(JournalRecord)> replay = [&](JournalRecord record) {
+        ++version;  // one version bump per record, matching the live path
+        switch (record.op) {
+          case JournalOp::kPut:
+          case JournalOp::kBulkLoad:
+            for (auto& [uri, document] : record.documents) {
+              if (sink != nullptr) {
+                sink->ApplyPut(record.collection, uri, std::move(document));
+              }
+              ++recovery_.documents_loaded;
+            }
+            break;
+          case JournalOp::kRemove:
+            if (sink != nullptr) {
+              sink->ApplyRemove(record.collection, record.uri);
+            }
+            break;
+        }
+      };
+      JournalScanResult scan = ScanJournalFile(journal_path_, &replay);
+      recovery_.journal_records_applied = scan.records_valid;
+      recovery_.journal_records_dropped = scan.records_dropped;
+      recovery_.journal_dropped_bytes = scan.dropped_bytes;
+      recovery_.journal_tail_torn = scan.dropped_bytes > 0;
+      journal_.OpenTruncated(journal_path_, scan.valid_prefix_bytes);
+      journal_reusable = true;
+    } else {
+      // Header torn or from another generation: nothing in it can be
+      // attributed to this corpus. Count the loss and start over.
+      recovery_.journal_tail_torn = true;
+      recovery_.journal_dropped_bytes = probe.dropped_bytes;
+    }
+  }
+  if (!journal_reusable) {
+    journal_.Create(journal_path_, BuildJournalHeader(base_version),
+                    options_.fsync);
+  }
+
+  recovery_.corpus_version = version;
+  if (sink != nullptr) sink->RestoreVersion(version);
+
+  GarbageCollectLocked();
+  return recovery_;
+}
+
+void DurableStore::AppendRecordLocked(std::string_view payload) {
+  if (!journal_.is_open() || journal_.broken()) {
+    ++journal_append_failures_;
+    ThrowStorage("journal is not writable; checkpoint to rotate it");
+  }
+  try {
+    XQA_FAULT_POINT("storage.journal_append", ErrorCode::kXQSV0007);
+    journal_.Append(FrameJournalRecord(payload), options_.fsync);
+  } catch (const XQueryError&) {
+    ++journal_append_failures_;
+    throw;
+  }
+  ++journal_appends_;
+}
+
+void DurableStore::JournalPut(const std::string& collection,
+                              const std::string& uri,
+                              const Document& document) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AppendRecordLocked(EncodePutRecord(collection, uri, document));
+}
+
+void DurableStore::JournalRemove(const std::string& collection,
+                                 const std::string& uri) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AppendRecordLocked(EncodeRemoveRecord(collection, uri));
+}
+
+void DurableStore::JournalBulkLoad(
+    const std::string& collection,
+    const std::vector<std::pair<std::string, const Document*>>& documents) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AppendRecordLocked(EncodeBulkLoadRecord(collection, documents));
+}
+
+void DurableStore::Checkpoint(const CorpusImage& image) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Manifest next;
+  next.seq = (has_manifest_ ? current_.seq : 0) + 1;
+  next.corpus_version = image.version;
+  next.shard_count = static_cast<uint32_t>(image.shards.size());
+  next.journal_file = JournalFileName(next.seq);
+
+  // Everything below is written under the *next* sequence number; nothing
+  // the current generation references is touched, so an abort anywhere
+  // before the manifest rename leaves the store exactly as it was.
+  std::vector<std::string> written;
+  std::string header = BuildJournalHeader(image.version);
+  try {
+    for (uint32_t shard = 0; shard < image.shards.size(); ++shard) {
+      if (image.shards[shard].empty()) continue;
+      std::vector<SegmentEntry> entries;
+      entries.reserve(image.shards[shard].size());
+      for (const CorpusImage::Entry& e : image.shards[shard]) {
+        entries.push_back(SegmentEntry{e.collection, e.uri, e.document});
+      }
+      std::string bytes = BuildSegmentBytes(shard, entries);
+      SegmentRef ref;
+      ref.shard = shard;
+      ref.file = SegmentFileName(next.seq, shard);
+      ref.file_bytes = bytes.size();
+      ref.file_crc = Crc32c(bytes);
+      XQA_FAULT_POINT("storage.segment_write", ErrorCode::kXQSV0007);
+      WriteFileDurable(options_.data_dir + "/" + ref.file, bytes,
+                       options_.fsync);
+      written.push_back(ref.file);
+      next.segments.push_back(std::move(ref));
+    }
+    {
+      // The new generation's journal must exist before the manifest names
+      // it (recovery tolerates the opposite order, but never needs to).
+      AppendFile fresh;
+      XQA_FAULT_POINT("storage.journal_append", ErrorCode::kXQSV0007);
+      fresh.Create(options_.data_dir + "/" + next.journal_file, header,
+                   options_.fsync);
+      written.push_back(next.journal_file);
+      fresh.Close();
+    }
+    // The atomic rename inside WriteManifestFile is the commit point.
+    XQA_FAULT_POINT("storage.manifest_write", ErrorCode::kXQSV0007);
+    WriteManifestFile(options_.data_dir, next, options_.fsync);
+  } catch (...) {
+    ++checkpoint_failures_;
+    for (const std::string& name : written) {
+      RemoveFileIfExists(options_.data_dir + "/" + name);
+    }
+    throw;
+  }
+
+  // Committed. Swap the journal to the new generation and drop the old one.
+  journal_.Close();
+  journal_path_ = options_.data_dir + "/" + next.journal_file;
+  journal_.OpenTruncated(journal_path_, header.size());
+  current_ = std::move(next);
+  has_manifest_ = true;
+  ++checkpoints_;
+  GarbageCollectLocked();
+}
+
+ScrubReport DurableStore::Scrub() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScrubReport report;
+  report.manifest_seq = has_manifest_ ? current_.seq : 0;
+  if (has_manifest_) {
+    for (const SegmentRef& ref : current_.segments) {
+      ++report.segments_checked;
+      const std::string path = options_.data_dir + "/" + ref.file;
+      bool file_ok = false;
+      try {
+        std::string bytes = ReadFileToString(path);
+        file_ok = bytes.size() == ref.file_bytes &&
+                  Crc32c(bytes) == ref.file_crc;
+      } catch (const XQueryError&) {
+        file_ok = false;
+      }
+      SegmentReadStats stats;
+      bool readable = true;
+      try {
+        stats = ReadSegmentFile(path, ref.shard, nullptr);
+      } catch (const XQueryError&) {
+        readable = false;
+      }
+      report.blocks_checked += stats.blocks_ok + stats.blocks_corrupt;
+      report.blocks_corrupt += stats.blocks_corrupt;
+      if (!readable || !file_ok || !stats.header_valid) {
+        ++report.segments_corrupt;
+      }
+    }
+  }
+  if (journal_.is_open()) {
+    JournalScanResult scan;
+    try {
+      scan = ScanJournalFile(journal_path_, nullptr);
+    } catch (const XQueryError&) {
+      scan = JournalScanResult();
+      ++report.journal_records_corrupt;
+    }
+    report.journal_records = scan.records_valid;
+    report.journal_records_corrupt += scan.records_dropped;
+    if (!scan.header_valid) ++report.journal_records_corrupt;
+  }
+  ++scrubs_;
+  last_scrub_ = report;
+  return report;
+}
+
+void DurableStore::GarbageCollectLocked() {
+  // Only files of *superseded* generations (seq below the committed
+  // manifest) and leftover temp files are deleted. Files with a newer or
+  // unparseable sequence stay on disk: quarantine means keep and count,
+  // never destroy possible evidence.
+  const uint64_t live_seq = has_manifest_ ? current_.seq : 0;
+  std::vector<std::string> names;
+  try {
+    names = ListDirectory(options_.data_dir);
+  } catch (const XQueryError&) {
+    return;  // GC is best-effort
+  }
+  for (const std::string& name : names) {
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      RemoveFileIfExists(options_.data_dir + "/" + name);
+      continue;
+    }
+    uint64_t seq = 0;
+    if ((ParseManifestFileName(name, &seq) ||
+         ParseStorageFileSeq(name, &seq)) &&
+        seq < live_seq) {
+      RemoveFileIfExists(options_.data_dir + "/" + name);
+    }
+  }
+}
+
+std::string DurableStore::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"data_dir\": \"" << JsonEscape(options_.data_dir) << "\""
+      << ", \"fsync\": \""
+      << (options_.fsync == FsyncPolicy::kAlways ? "always" : "never") << "\""
+      << ", \"manifest_seq\": " << (has_manifest_ ? current_.seq : 0)
+      << ", \"segments\": " << (has_manifest_ ? current_.segments.size() : 0)
+      << ", \"journal_bytes\": " << journal_.size()
+      << ", \"journal_appends\": " << journal_appends_
+      << ", \"journal_append_failures\": " << journal_append_failures_
+      << ", \"checkpoints\": " << checkpoints_
+      << ", \"checkpoint_failures\": " << checkpoint_failures_
+      << ", \"scrubs\": " << scrubs_;
+  out << ", \"recovery\": {"
+      << "\"manifest_found\": " << (recovery_.manifest_found ? "true" : "false")
+      << ", \"manifest_seq\": " << recovery_.manifest_seq
+      << ", \"corpus_version\": " << recovery_.corpus_version
+      << ", \"documents_loaded\": " << recovery_.documents_loaded
+      << ", \"manifests_quarantined\": " << recovery_.manifests_quarantined
+      << ", \"segments_quarantined\": " << recovery_.segments_quarantined
+      << ", \"segment_blocks_corrupt\": " << recovery_.segment_blocks_corrupt
+      << ", \"journal_records_applied\": " << recovery_.journal_records_applied
+      << ", \"journal_records_dropped\": " << recovery_.journal_records_dropped
+      << ", \"journal_tail_torn\": "
+      << (recovery_.journal_tail_torn ? "true" : "false") << "}";
+  if (last_scrub_.has_value()) {
+    out << ", \"last_scrub\": {"
+        << "\"manifest_seq\": " << last_scrub_->manifest_seq
+        << ", \"segments_checked\": " << last_scrub_->segments_checked
+        << ", \"segments_corrupt\": " << last_scrub_->segments_corrupt
+        << ", \"blocks_checked\": " << last_scrub_->blocks_checked
+        << ", \"blocks_corrupt\": " << last_scrub_->blocks_corrupt
+        << ", \"journal_records\": " << last_scrub_->journal_records
+        << ", \"journal_records_corrupt\": "
+        << last_scrub_->journal_records_corrupt
+        << ", \"clean\": " << (last_scrub_->clean() ? "true" : "false") << "}";
+  } else {
+    out << ", \"last_scrub\": null";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace xqa::storage

@@ -1,0 +1,195 @@
+#ifndef XQA_STORAGE_DURABLE_STORE_H_
+#define XQA_STORAGE_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/file_io.h"
+#include "storage/journal.h"
+#include "storage/manifest.h"
+#include "storage/segment.h"
+#include "xml/node.h"
+
+namespace xqa::storage {
+
+/// Configuration of one DurableStore (docs/STORAGE.md).
+struct StorageOptions {
+  /// Directory holding segments, journals, and manifests. Created on Open.
+  std::string data_dir;
+
+  /// kAlways is the crash-durability contract; kNever keeps the format but
+  /// only survives clean exits (tests, benches, bulk seeding).
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+};
+
+/// The in-memory corpus as the storage layer sees it. DurableStore rebuilds
+/// a corpus through this interface during recovery and never touches
+/// CollectionStore directly, so storage depends only on base + xml.
+/// Recovery calls arrive single-threaded, in deterministic order (segments
+/// shard-major, then journal records in append order).
+class CorpusSink {
+ public:
+  virtual ~CorpusSink() = default;
+
+  /// Insert or replace (collection, uri). `document` is sealed. Must not
+  /// journal and must not bump the corpus version — RestoreVersion sets it.
+  virtual void ApplyPut(const std::string& collection, const std::string& uri,
+                        DocumentPtr document) = 0;
+
+  /// Remove (collection, uri); absent entries are a no-op.
+  virtual void ApplyRemove(const std::string& collection,
+                           const std::string& uri) = 0;
+
+  /// Install the recovered corpus version (manifest base + replayed
+  /// journal records, one bump per record).
+  virtual void RestoreVersion(uint64_t version) = 0;
+};
+
+/// Point-in-time copy of the corpus for Checkpoint, built by the owner under
+/// its own mutation locks. Entries are grouped by shard so each segment file
+/// holds exactly one shard's documents.
+struct CorpusImage {
+  struct Entry {
+    std::string collection;
+    std::string uri;
+    DocumentPtr document;  ///< sealed
+  };
+  uint64_t version = 0;
+  std::vector<std::vector<Entry>> shards;  ///< index = shard
+};
+
+/// What Open found and did (docs/STORAGE.md recovery invariants). Corruption
+/// is counted, never thrown — a damaged data directory yields the largest
+/// provably-consistent corpus, not a crash.
+struct RecoveryResult {
+  bool manifest_found = false;
+  uint64_t manifest_seq = 0;       ///< generation recovered from (0 = none)
+  uint64_t corpus_version = 0;     ///< version handed to RestoreVersion
+  size_t documents_loaded = 0;     ///< segment blocks + journal puts applied
+  size_t manifests_quarantined = 0;  ///< newer manifests that failed validation
+  size_t segments_quarantined = 0;   ///< segments unreadable or header-invalid
+  size_t segment_blocks_corrupt = 0;  ///< blocks skipped inside readable segments
+  size_t journal_records_applied = 0;
+  size_t journal_records_dropped = 0;  ///< records past the valid prefix
+  bool journal_tail_torn = false;      ///< journal truncated to valid prefix
+  uint64_t journal_dropped_bytes = 0;
+};
+
+/// Outcome of one Scrub pass: every checksum in the current generation
+/// re-verified (whole-file CRCs against the manifest, per-block CRCs inside
+/// segments, per-record CRCs in the journal).
+struct ScrubReport {
+  uint64_t manifest_seq = 0;
+  size_t segments_checked = 0;
+  size_t segments_corrupt = 0;  ///< unreadable, size/CRC mismatch, bad header
+  size_t blocks_checked = 0;
+  size_t blocks_corrupt = 0;
+  size_t journal_records = 0;
+  size_t journal_records_corrupt = 0;
+  bool clean() const {
+    return segments_corrupt == 0 && blocks_corrupt == 0 &&
+           journal_records_corrupt == 0;
+  }
+};
+
+/// Durable corpus storage under CollectionStore (docs/STORAGE.md): immutable
+/// checksummed segment files per shard, an append-only write-ahead ingest
+/// journal between checkpoints, and a MANIFEST whose atomic rename is the
+/// checkpoint commit point.
+///
+/// Invariants:
+///  - Every acknowledged mutation is in the journal before it is visible in
+///    memory (the owner calls JournalPut/Remove/BulkLoad first and applies
+///    only on success), so kill -9 at any instant loses nothing acknowledged
+///    under FsyncPolicy::kAlways.
+///  - A failed checkpoint leaves the previous generation fully intact: new
+///    segments and the new journal are written under the next sequence
+///    number and become live only when MANIFEST-<seq> renames into place.
+///  - Recovery never crashes on corruption: invalid manifests fall back to
+///    the previous generation, corrupt segments/blocks are quarantined and
+///    counted, and the journal replays to its torn-tail-safe prefix.
+///
+/// Thread safety: Open is called once before concurrent use. Journal*,
+/// Checkpoint, Scrub, and StatsJson are internally locked, but the WAL
+/// ordering contract (append order == apply order) is the owner's to keep —
+/// CollectionStore serializes mutations on its durable mutex around the
+/// journal-then-apply pair.
+class DurableStore {
+ public:
+  explicit DurableStore(StorageOptions options);
+  ~DurableStore();
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Recovers the corpus into `sink` (see RecoveryResult), opens the journal
+  /// for appending (truncated to its valid prefix), and garbage-collects
+  /// files of superseded generations plus leftover temp files. Throws
+  /// kXQSV0007 only for environmental failures (directory cannot be created
+  /// or listed) — corruption recovers and counts.
+  RecoveryResult Open(CorpusSink* sink);
+
+  /// Write-ahead append of one mutation; fsynced per options. Throws
+  /// kXQSV0007 on failure, in which case the caller must not apply the
+  /// mutation in memory.
+  void JournalPut(const std::string& collection, const std::string& uri,
+                  const Document& document);
+  void JournalRemove(const std::string& collection, const std::string& uri);
+  /// One record for the whole batch — one version bump on replay, matching
+  /// BulkLoad's single bump.
+  void JournalBulkLoad(
+      const std::string& collection,
+      const std::vector<std::pair<std::string, const Document*>>& documents);
+
+  /// Writes `image` as the next generation: one segment per non-empty shard,
+  /// a fresh journal based at image.version, then the manifest (the commit).
+  /// On success the journal swaps to the new file and older generations are
+  /// garbage-collected. On failure (I/O or injected fault) the previous
+  /// generation — manifest, segments, and open journal — is untouched and
+  /// partially written files are removed; throws kXQSV0007.
+  void Checkpoint(const CorpusImage& image);
+
+  /// Re-verifies every checksum of the current generation. Read-only apart
+  /// from counters; holds the store lock, so concurrent ingest waits.
+  ScrubReport Scrub();
+
+  /// The "storage" object of the service metrics scrape
+  /// (docs/OBSERVABILITY.md): directory, generation, recovery outcome,
+  /// journal/checkpoint counters, and the last scrub.
+  std::string StatsJson() const;
+
+  const RecoveryResult& recovery() const { return recovery_; }
+  uint64_t manifest_seq() const;
+  const StorageOptions& options() const { return options_; }
+
+ private:
+  void AppendRecordLocked(std::string_view payload);
+  void GarbageCollectLocked();
+  SegmentReadStats ReadSegmentWithRetry(
+      const std::string& path, uint32_t shard,
+      const std::function<void(SegmentEntry)>* sink);
+
+  StorageOptions options_;
+
+  mutable std::mutex mutex_;
+  Manifest current_;          ///< seq 0 + empty until the first checkpoint
+  bool has_manifest_ = false;
+  AppendFile journal_;
+  std::string journal_path_;
+  RecoveryResult recovery_;
+  std::optional<ScrubReport> last_scrub_;
+
+  // Counters for StatsJson, under mutex_.
+  uint64_t journal_appends_ = 0;
+  uint64_t journal_append_failures_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t checkpoint_failures_ = 0;
+  uint64_t scrubs_ = 0;
+};
+
+}  // namespace xqa::storage
+
+#endif  // XQA_STORAGE_DURABLE_STORE_H_

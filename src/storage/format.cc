@@ -1,0 +1,127 @@
+#include "storage/format.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace xqa::storage {
+
+std::string ManifestFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "MANIFEST-%06llu",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string JournalFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "journal-%06llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string SegmentFileName(uint64_t seq, uint32_t shard) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu-%04u.seg",
+                static_cast<unsigned long long>(seq), shard);
+  return buf;
+}
+
+namespace {
+
+bool ParseSeqDigits(std::string_view digits, uint64_t* seq) {
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseManifestFileName(std::string_view name, uint64_t* seq) {
+  constexpr std::string_view kPrefix = "MANIFEST-";
+  if (name.size() <= kPrefix.size() || name.substr(0, kPrefix.size()) != kPrefix) {
+    return false;
+  }
+  return ParseSeqDigits(name.substr(kPrefix.size()), seq);
+}
+
+bool ParseStorageFileSeq(std::string_view name, uint64_t* seq) {
+  if (ParseManifestFileName(name, seq)) return true;
+  for (std::string_view prefix : {std::string_view("seg-"),
+                                  std::string_view("journal-")}) {
+    if (name.size() > prefix.size() &&
+        name.substr(0, prefix.size()) == prefix) {
+      std::string_view rest = name.substr(prefix.size());
+      size_t end = rest.find_first_not_of("0123456789");
+      if (end == std::string_view::npos || end == 0) return false;
+      return ParseSeqDigits(rest.substr(0, end), seq);
+    }
+  }
+  return false;
+}
+
+void AppendU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xFF);
+  buf[1] = static_cast<char>((value >> 8) & 0xFF);
+  buf[2] = static_cast<char>((value >> 16) & 0xFF);
+  buf[3] = static_cast<char>((value >> 24) & 0xFF);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  AppendU32(out, static_cast<uint32_t>(value & 0xFFFFFFFFu));
+  AppendU32(out, static_cast<uint32_t>(value >> 32));
+}
+
+void AppendBytes(std::string* out, std::string_view bytes) {
+  AppendU32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes.data(), bytes.size());
+}
+
+bool ByteReader::ReadU8(uint8_t* value) {
+  if (remaining() < 1) return false;
+  *value = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t* value) {
+  if (remaining() < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(data_.data() + pos_);
+  *value = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t* value) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+  *value = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool ByteReader::ReadBytes(std::string_view* bytes) {
+  uint32_t size = 0;
+  if (!ReadU32(&size)) return false;
+  return ReadRaw(size, bytes);
+}
+
+bool ByteReader::ReadRaw(size_t size, std::string_view* bytes) {
+  if (remaining() < size) return false;
+  *bytes = data_.substr(pos_, size);
+  pos_ += size;
+  return true;
+}
+
+}  // namespace xqa::storage

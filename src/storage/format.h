@@ -1,0 +1,72 @@
+#ifndef XQA_STORAGE_FORMAT_H_
+#define XQA_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xqa::storage {
+
+/// On-disk format constants and little-endian encode/decode primitives
+/// shared by the segment, manifest, and journal codecs (docs/STORAGE.md).
+/// All multi-byte integers are little-endian regardless of host; every file
+/// starts with an 8-byte magic and a u32 format version so a reader can
+/// refuse what it does not understand instead of misparsing it.
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+inline constexpr std::string_view kSegmentMagic{"XQASEG1\0", 8};
+inline constexpr std::string_view kManifestMagic{"XQAMAN1\0", 8};
+inline constexpr std::string_view kJournalMagic{"XQAJRN1\0", 8};
+
+/// File-name conventions inside a data directory. Sequence numbers are
+/// zero-padded so lexicographic directory order equals numeric order.
+std::string ManifestFileName(uint64_t seq);
+std::string JournalFileName(uint64_t seq);
+std::string SegmentFileName(uint64_t seq, uint32_t shard);
+
+/// Parses the sequence number out of a "MANIFEST-<seq>" name; returns false
+/// for anything else (temp files, segments, foreign files).
+bool ParseManifestFileName(std::string_view name, uint64_t* seq);
+
+/// Parses "<prefix>-<seq>-..." storage names (segments, journals) just far
+/// enough for garbage collection: which checkpoint generation a file belongs
+/// to. Returns false for names that are not generated storage files.
+bool ParseStorageFileSeq(std::string_view name, uint64_t* seq);
+
+// --- Little-endian primitives ----------------------------------------------
+
+void AppendU8(std::string* out, uint8_t value);
+void AppendU32(std::string* out, uint32_t value);
+void AppendU64(std::string* out, uint64_t value);
+/// u32 length prefix + raw bytes.
+void AppendBytes(std::string* out, std::string_view bytes);
+
+/// Bounded, non-throwing reader for hardened decoding: every Read* checks
+/// the remaining size and returns false instead of running past the buffer,
+/// so a corrupt length field can never cause an out-of-bounds read — the
+/// caller turns `false` into a quarantine decision.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* value);
+  bool ReadU32(uint32_t* value);
+  bool ReadU64(uint64_t* value);
+  /// Length-prefixed bytes; the returned view aliases the input buffer.
+  bool ReadBytes(std::string_view* bytes);
+  /// Exactly `size` raw bytes.
+  bool ReadRaw(size_t size, std::string_view* bytes);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xqa::storage
+
+#endif  // XQA_STORAGE_FORMAT_H_

@@ -1,0 +1,195 @@
+#include "storage/journal.h"
+
+#include <functional>
+#include <utility>
+
+#include "base/crc32c.h"
+#include "base/error.h"
+#include "storage/doc_codec.h"
+#include "storage/format.h"
+
+namespace xqa::storage {
+
+namespace {
+
+/// A corrupt length prefix larger than this is torn framing even when it
+/// happens to fit the remaining file.
+constexpr uint32_t kMaxRecordPayload = 1u << 30;
+
+}  // namespace
+
+std::string EncodePutRecord(const std::string& collection,
+                            const std::string& uri,
+                            const Document& document) {
+  std::string payload;
+  AppendU8(&payload, static_cast<uint8_t>(JournalOp::kPut));
+  AppendBytes(&payload, collection);
+  AppendBytes(&payload, uri);
+  std::string blob;
+  EncodeDocument(document, &blob);
+  AppendBytes(&payload, blob);
+  return payload;
+}
+
+std::string EncodeRemoveRecord(const std::string& collection,
+                               const std::string& uri) {
+  std::string payload;
+  AppendU8(&payload, static_cast<uint8_t>(JournalOp::kRemove));
+  AppendBytes(&payload, collection);
+  AppendBytes(&payload, uri);
+  return payload;
+}
+
+std::string EncodeBulkLoadRecord(
+    const std::string& collection,
+    const std::vector<std::pair<std::string, const Document*>>& documents) {
+  std::string payload;
+  AppendU8(&payload, static_cast<uint8_t>(JournalOp::kBulkLoad));
+  AppendBytes(&payload, collection);
+  AppendU32(&payload, static_cast<uint32_t>(documents.size()));
+  std::string blob;
+  for (const auto& [uri, document] : documents) {
+    AppendBytes(&payload, uri);
+    blob.clear();
+    EncodeDocument(*document, &blob);
+    AppendBytes(&payload, blob);
+  }
+  return payload;
+}
+
+std::string FrameJournalRecord(std::string_view payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 8);
+  AppendU32(&framed, static_cast<uint32_t>(payload.size()));
+  framed.append(payload.data(), payload.size());
+  AppendU32(&framed, Crc32c(payload));
+  return framed;
+}
+
+std::string BuildJournalHeader(uint64_t base_version) {
+  std::string header;
+  header.append(kJournalMagic.data(), kJournalMagic.size());
+  AppendU32(&header, kFormatVersion);
+  AppendU64(&header, base_version);
+  AppendU32(&header, Crc32c(header));
+  return header;
+}
+
+namespace {
+
+/// Decodes one CRC-verified payload; returns false (caller stops the scan)
+/// on structural violations — a checksum collision or writer bug.
+bool DecodeRecordPayload(std::string_view payload, JournalRecord* record) {
+  ByteReader reader(payload);
+  uint8_t op = 0;
+  std::string_view collection;
+  if (!reader.ReadU8(&op) || !reader.ReadBytes(&collection)) return false;
+  record->collection.assign(collection);
+  switch (static_cast<JournalOp>(op)) {
+    case JournalOp::kPut: {
+      record->op = JournalOp::kPut;
+      std::string_view uri;
+      std::string_view blob;
+      if (!reader.ReadBytes(&uri) || !reader.ReadBytes(&blob) ||
+          !reader.AtEnd()) {
+        return false;
+      }
+      try {
+        record->documents.emplace_back(std::string(uri),
+                                       DecodeDocument(blob));
+      } catch (const XQueryError&) {
+        return false;
+      }
+      return true;
+    }
+    case JournalOp::kRemove: {
+      record->op = JournalOp::kRemove;
+      std::string_view uri;
+      if (!reader.ReadBytes(&uri) || !reader.AtEnd()) return false;
+      record->uri.assign(uri);
+      return true;
+    }
+    case JournalOp::kBulkLoad: {
+      record->op = JournalOp::kBulkLoad;
+      uint32_t count = 0;
+      if (!reader.ReadU32(&count) ||
+          static_cast<size_t>(count) > reader.remaining() / 8) {
+        return false;
+      }
+      record->documents.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string_view uri;
+        std::string_view blob;
+        if (!reader.ReadBytes(&uri) || !reader.ReadBytes(&blob)) return false;
+        try {
+          record->documents.emplace_back(std::string(uri),
+                                         DecodeDocument(blob));
+        } catch (const XQueryError&) {
+          return false;
+        }
+      }
+      return reader.AtEnd();
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+JournalScanResult ScanJournalFile(
+    const std::string& path,
+    const std::function<void(JournalRecord)>* handler) {
+  JournalScanResult result;
+  std::string bytes = ReadFileToString(path);
+  ByteReader reader(bytes);
+
+  std::string_view magic;
+  uint32_t format = 0;
+  std::string_view header_crc_input(bytes.data(),
+                                    std::min<size_t>(bytes.size(), 20));
+  uint32_t header_crc = 0;
+  if (!reader.ReadRaw(kJournalMagic.size(), &magic) ||
+      magic != kJournalMagic || !reader.ReadU32(&format) ||
+      format != kFormatVersion || !reader.ReadU64(&result.base_version) ||
+      !reader.ReadU32(&header_crc) ||
+      Crc32c(header_crc_input) != header_crc) {
+    // Header invalid: nothing in the file is trustworthy. The whole file is
+    // the dropped tail.
+    result.dropped_bytes = bytes.size();
+    return result;
+  }
+  result.header_valid = true;
+  result.valid_prefix_bytes = reader.position();
+
+  while (!reader.AtEnd()) {
+    uint32_t payload_len = 0;
+    std::string_view payload;
+    uint32_t expected_crc = 0;
+    if (!reader.ReadU32(&payload_len) || payload_len > kMaxRecordPayload ||
+        !reader.ReadRaw(payload_len, &payload) ||
+        !reader.ReadU32(&expected_crc)) {
+      // Torn tail: mid-length-prefix, mid-payload, or mid-checksum.
+      ++result.records_dropped;
+      break;
+    }
+    if (Crc32c(payload) != expected_crc) {
+      // Bit rot or a torn rewrite; later record boundaries would only be
+      // trustworthy by luck, so the valid prefix ends here.
+      ++result.records_dropped;
+      break;
+    }
+    JournalRecord record;
+    if (!DecodeRecordPayload(payload, &record)) {
+      ++result.records_dropped;
+      break;
+    }
+    if (handler != nullptr) (*handler)(std::move(record));
+    ++result.records_valid;
+    result.valid_prefix_bytes = reader.position();
+  }
+  result.dropped_bytes = bytes.size() - result.valid_prefix_bytes;
+  return result;
+}
+
+}  // namespace xqa::storage

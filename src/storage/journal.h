@@ -1,0 +1,88 @@
+#ifndef XQA_STORAGE_JOURNAL_H_
+#define XQA_STORAGE_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/file_io.h"
+#include "xml/node.h"
+
+namespace xqa::storage {
+
+/// The append-only ingest journal (docs/STORAGE.md): every Put / Remove /
+/// BulkLoad between checkpoints becomes one length-prefixed, per-record
+/// checksummed entry, appended (and fsynced per policy) *before* the
+/// mutation applies in memory — write-ahead, so an acknowledged mutation is
+/// on disk by the time the caller sees it succeed.
+///
+/// File layout:
+///   header  := [magic "XQAJRN1\0"][u32 format][u64 base_version][u32 crc]
+///              (crc covers the 20 header bytes before it)
+///   record  := [u32 payload_len][payload][u32 crc32c(payload)]
+///   payload := [u8 op][op-specific fields]   (ops in JournalOp)
+///
+/// Replay applies records in order and stops at the first violation — a
+/// truncated length prefix, a length that overruns the file, a truncated
+/// payload or checksum, or a checksum mismatch. Everything before that point
+/// is the torn-tail-safe prefix; everything after is counted, not trusted
+/// (a crash mid-append can only produce garbage at the tail). The writer
+/// then truncates to the valid prefix before appending new records.
+
+enum class JournalOp : uint8_t {
+  kPut = 1,
+  kRemove = 2,
+  kBulkLoad = 3,
+};
+
+/// One decoded replay record. For kPut, `documents` has exactly one entry;
+/// for kBulkLoad, one per ingested document; for kRemove, none.
+struct JournalRecord {
+  JournalOp op = JournalOp::kPut;
+  std::string collection;
+  /// (uri, decoded document) pairs; document is sealed.
+  std::vector<std::pair<std::string, DocumentPtr>> documents;
+  std::string uri;  ///< kRemove only
+};
+
+/// Record encoders (doc blobs via storage::EncodeDocument).
+std::string EncodePutRecord(const std::string& collection,
+                            const std::string& uri, const Document& document);
+std::string EncodeRemoveRecord(const std::string& collection,
+                               const std::string& uri);
+/// `documents` are (uri, sealed document) pairs.
+std::string EncodeBulkLoadRecord(
+    const std::string& collection,
+    const std::vector<std::pair<std::string, const Document*>>& documents);
+
+/// Frames `payload` as one on-disk record (length + payload + CRC).
+std::string FrameJournalRecord(std::string_view payload);
+
+/// The 24-byte journal header for `base_version`.
+std::string BuildJournalHeader(uint64_t base_version);
+
+/// Outcome of scanning one journal file.
+struct JournalScanResult {
+  bool header_valid = false;
+  uint64_t base_version = 0;
+  size_t records_valid = 0;     ///< records in the torn-tail-safe prefix
+  size_t records_dropped = 0;   ///< undecodable records past the prefix (0/1;
+                                ///< boundaries past a bad record are unknown)
+  uint64_t valid_prefix_bytes = 0;  ///< file offset replay stopped at
+  uint64_t dropped_bytes = 0;       ///< file size minus the valid prefix
+};
+
+/// Scans the journal at `path`, invoking `handler` (may be null — scrub
+/// verifies without applying) for every record in the valid prefix. Decode
+/// errors and torn tails are reported through the result, never thrown; an
+/// unreadable file throws kXQSV0007.
+JournalScanResult ScanJournalFile(
+    const std::string& path,
+    const std::function<void(JournalRecord)>* handler);
+
+}  // namespace xqa::storage
+
+#endif  // XQA_STORAGE_JOURNAL_H_

@@ -1,0 +1,98 @@
+#include "storage/manifest.h"
+
+#include <algorithm>
+
+#include "base/crc32c.h"
+#include "base/error.h"
+#include "storage/format.h"
+
+namespace xqa::storage {
+
+void WriteManifestFile(const std::string& dir, const Manifest& manifest,
+                       FsyncPolicy policy) {
+  std::string payload;
+  payload.append(kManifestMagic.data(), kManifestMagic.size());
+  AppendU32(&payload, kFormatVersion);
+  AppendU64(&payload, manifest.seq);
+  AppendU64(&payload, manifest.corpus_version);
+  AppendU32(&payload, manifest.shard_count);
+  AppendBytes(&payload, manifest.journal_file);
+  AppendU32(&payload, static_cast<uint32_t>(manifest.segments.size()));
+  for (const SegmentRef& segment : manifest.segments) {
+    AppendU32(&payload, segment.shard);
+    AppendBytes(&payload, segment.file);
+    AppendU64(&payload, segment.file_bytes);
+    AppendU32(&payload, segment.file_crc);
+  }
+  AppendU32(&payload, Crc32c(payload));
+  WriteFileDurable(dir + "/" + ManifestFileName(manifest.seq), payload,
+                   policy);
+}
+
+std::optional<Manifest> LoadManifestFile(const std::string& path,
+                                         uint64_t expected_seq) {
+  std::string bytes;
+  try {
+    bytes = ReadFileToString(path);
+  } catch (const XQueryError&) {
+    return std::nullopt;
+  }
+  if (bytes.size() < 4) return std::nullopt;
+  std::string_view payload(bytes.data(), bytes.size() - 4);
+  ByteReader crc_reader(std::string_view(bytes).substr(bytes.size() - 4));
+  uint32_t expected_crc = 0;
+  if (!crc_reader.ReadU32(&expected_crc) ||
+      Crc32c(payload) != expected_crc) {
+    return std::nullopt;
+  }
+
+  ByteReader reader(payload);
+  std::string_view magic;
+  uint32_t format = 0;
+  Manifest manifest;
+  uint32_t segment_count = 0;
+  std::string_view journal_file;
+  if (!reader.ReadRaw(kManifestMagic.size(), &magic) ||
+      magic != kManifestMagic || !reader.ReadU32(&format) ||
+      format != kFormatVersion || !reader.ReadU64(&manifest.seq) ||
+      manifest.seq != expected_seq ||
+      !reader.ReadU64(&manifest.corpus_version) ||
+      !reader.ReadU32(&manifest.shard_count) ||
+      !reader.ReadBytes(&journal_file) || !reader.ReadU32(&segment_count)) {
+    return std::nullopt;
+  }
+  manifest.journal_file.assign(journal_file);
+  manifest.segments.reserve(segment_count);
+  for (uint32_t i = 0; i < segment_count; ++i) {
+    SegmentRef segment;
+    std::string_view file;
+    if (!reader.ReadU32(&segment.shard) || !reader.ReadBytes(&file) ||
+        !reader.ReadU64(&segment.file_bytes) ||
+        !reader.ReadU32(&segment.file_crc)) {
+      return std::nullopt;
+    }
+    segment.file.assign(file);
+    manifest.segments.push_back(std::move(segment));
+  }
+  if (!reader.AtEnd()) return std::nullopt;
+  return manifest;
+}
+
+std::optional<Manifest> FindNewestValidManifest(const std::string& dir,
+                                                size_t* quarantined) {
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : ListDirectory(dir)) {
+    uint64_t seq = 0;
+    if (ParseManifestFileName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  for (uint64_t seq : seqs) {
+    std::optional<Manifest> manifest =
+        LoadManifestFile(dir + "/" + ManifestFileName(seq), seq);
+    if (manifest.has_value()) return manifest;
+    if (quarantined != nullptr) ++*quarantined;
+  }
+  return std::nullopt;
+}
+
+}  // namespace xqa::storage

@@ -1,0 +1,56 @@
+#ifndef XQA_STORAGE_MANIFEST_H_
+#define XQA_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/file_io.h"
+
+namespace xqa::storage {
+
+/// The MANIFEST is the commit record of a checkpoint (docs/STORAGE.md): it
+/// names the segment files (with their sizes and whole-file CRCs) and the
+/// journal file that together represent one corpus version. It is written
+/// with WriteFileDurable — temp file, fsync, atomic rename — so a manifest
+/// either exists completely or not at all; the rename is the checkpoint's
+/// single commit point. Recovery scans for MANIFEST-<seq> files and loads
+/// the newest one that validates (magic, format, trailing CRC32C over the
+/// whole payload, name/seq agreement), counting invalid ones as quarantined
+/// and falling back to the next-newest.
+
+struct SegmentRef {
+  uint32_t shard = 0;
+  std::string file;       ///< name within the data directory
+  uint64_t file_bytes = 0;
+  uint32_t file_crc = 0;  ///< CRC32C of the entire segment file
+};
+
+struct Manifest {
+  uint64_t seq = 0;             ///< checkpoint generation, monotonically rising
+  uint64_t corpus_version = 0;  ///< CollectionStore version the segments hold
+  uint32_t shard_count = 0;
+  std::string journal_file;     ///< journal capturing mutations after `seq`
+  std::vector<SegmentRef> segments;
+};
+
+/// Serializes and commits `manifest` as MANIFEST-<seq> in `dir`.
+/// Throws kXQSV0007 on I/O failure.
+void WriteManifestFile(const std::string& dir, const Manifest& manifest,
+                       FsyncPolicy policy);
+
+/// Parses and validates one manifest file; nullopt when missing, torn, or
+/// checksum-invalid (never throws on corruption — the caller falls back).
+std::optional<Manifest> LoadManifestFile(const std::string& path,
+                                         uint64_t expected_seq);
+
+/// Scans `dir` for manifests, newest first, and returns the first valid one.
+/// `quarantined` (may be null) receives the count of manifest files that
+/// existed but failed validation and were skipped.
+std::optional<Manifest> FindNewestValidManifest(const std::string& dir,
+                                                size_t* quarantined);
+
+}  // namespace xqa::storage
+
+#endif  // XQA_STORAGE_MANIFEST_H_

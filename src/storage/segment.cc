@@ -1,0 +1,107 @@
+#include "storage/segment.h"
+
+#include <utility>
+
+#include "base/crc32c.h"
+#include "base/error.h"
+#include "storage/doc_codec.h"
+#include "storage/format.h"
+
+namespace xqa::storage {
+
+namespace {
+
+/// Upper bound on one block's payload: a corrupt length field larger than
+/// this is treated as a framing violation even when it happens to fit the
+/// remaining file.
+constexpr uint32_t kMaxBlockPayload = 1u << 30;
+
+}  // namespace
+
+std::string BuildSegmentBytes(uint32_t shard,
+                              const std::vector<SegmentEntry>& entries) {
+  std::string out;
+  out.append(kSegmentMagic.data(), kSegmentMagic.size());
+  AppendU32(&out, kFormatVersion);
+  AppendU32(&out, shard);
+  std::string payload;
+  for (const SegmentEntry& entry : entries) {
+    payload.clear();
+    AppendBytes(&payload, entry.collection);
+    AppendBytes(&payload, entry.uri);
+    std::string blob;
+    EncodeDocument(*entry.document, &blob);
+    AppendBytes(&payload, blob);
+    AppendU32(&out, static_cast<uint32_t>(payload.size()));
+    AppendU32(&out, Crc32c(payload));
+    out.append(payload);
+  }
+  return out;
+}
+
+SegmentReadStats ReadSegmentFile(
+    const std::string& path, uint32_t expected_shard,
+    const std::function<void(SegmentEntry)>* sink) {
+  SegmentReadStats stats;
+  std::string bytes = ReadFileToString(path);
+  ByteReader reader(bytes);
+
+  std::string_view magic;
+  uint32_t format = 0;
+  uint32_t shard = 0;
+  if (!reader.ReadRaw(kSegmentMagic.size(), &magic) ||
+      magic != kSegmentMagic || !reader.ReadU32(&format) ||
+      format != kFormatVersion || !reader.ReadU32(&shard) ||
+      shard != expected_shard) {
+    // Unreadable header: nothing in the file can be trusted.
+    stats.truncated = true;
+    return stats;
+  }
+  stats.header_valid = true;
+
+  while (!reader.AtEnd()) {
+    uint32_t payload_len = 0;
+    uint32_t expected_crc = 0;
+    std::string_view payload;
+    if (!reader.ReadU32(&payload_len) || payload_len > kMaxBlockPayload ||
+        !reader.ReadU32(&expected_crc) ||
+        !reader.ReadRaw(payload_len, &payload)) {
+      // Framing violation: the length prefix itself is suspect, so the next
+      // block boundary is unknowable — abandon the rest of the file.
+      stats.truncated = true;
+      ++stats.blocks_corrupt;
+      break;
+    }
+    if (Crc32c(payload) != expected_crc) {
+      // The framing was intact (lengths plausible), so skipping just this
+      // block and continuing at the next boundary is safe.
+      ++stats.blocks_corrupt;
+      continue;
+    }
+    ByteReader record(payload);
+    std::string_view collection;
+    std::string_view uri;
+    std::string_view blob;
+    if (!record.ReadBytes(&collection) || !record.ReadBytes(&uri) ||
+        !record.ReadBytes(&blob) || !record.AtEnd()) {
+      ++stats.blocks_corrupt;
+      continue;
+    }
+    if (sink != nullptr) {
+      SegmentEntry entry;
+      entry.collection.assign(collection);
+      entry.uri.assign(uri);
+      try {
+        entry.document = DecodeDocument(blob);
+      } catch (const XQueryError&) {
+        ++stats.blocks_corrupt;
+        continue;
+      }
+      (*sink)(std::move(entry));
+    }
+    ++stats.blocks_ok;
+  }
+  return stats;
+}
+
+}  // namespace xqa::storage

@@ -1,0 +1,58 @@
+#ifndef XQA_STORAGE_SEGMENT_H_
+#define XQA_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/file_io.h"
+#include "xml/node.h"
+
+namespace xqa::storage {
+
+/// Segment files: the checkpointed, immutable portion of the corpus, one
+/// file per CollectionStore shard (docs/STORAGE.md).
+///
+/// Layout: [magic "XQASEG1\0"][u32 format][u32 shard] then zero or more
+/// blocks, each [u32 payload_len][u32 crc32c(payload)][payload]; EOF ends
+/// the file. A payload holds one document: length-prefixed collection name,
+/// URI, and doc_codec blob. Segments are only ever written whole (temp +
+/// fsync + atomic rename) before a manifest references them, so a valid
+/// manifest never points at a torn segment — corruption seen by the reader
+/// means bit rot or tampering, and is quarantined per block (a framing
+/// violation abandons the rest of the file, since block boundaries can no
+/// longer be trusted).
+
+struct SegmentEntry {
+  std::string collection;
+  std::string uri;
+  DocumentPtr document;  ///< sealed
+};
+
+/// Outcome counters of reading one segment; aggregated into RecoveryResult
+/// and ScrubReport.
+struct SegmentReadStats {
+  size_t blocks_ok = 0;
+  size_t blocks_corrupt = 0;   ///< CRC mismatch or undecodable payload
+  bool header_valid = false;   ///< magic/format/shard header parsed
+  bool truncated = false;      ///< framing violation; tail abandoned
+};
+
+/// Serializes `entries` into segment-file bytes for `shard`.
+std::string BuildSegmentBytes(uint32_t shard,
+                              const std::vector<SegmentEntry>& entries);
+
+/// Reads the segment at `path`, invoking `sink` for every intact block.
+/// `sink` may be null (scrub: verify checksums only — payloads are CRC-
+/// checked but not decoded). Never throws on corruption — bad blocks are
+/// counted and skipped; a broken header or framing stops the scan with the
+/// stats telling the caller what was lost. I/O failures (unreadable file)
+/// throw kXQSV0007.
+SegmentReadStats ReadSegmentFile(
+    const std::string& path, uint32_t expected_shard,
+    const std::function<void(SegmentEntry)>* sink);
+
+}  // namespace xqa::storage
+
+#endif  // XQA_STORAGE_SEGMENT_H_

@@ -18,6 +18,8 @@
 #include "service/plan_cache.h"
 #include "service/query_service.h"
 #include "workload/books.h"
+#include "xdm/json.h"
+#include "xml/xml_parser.h"
 #include "workload/orders.h"
 #include "workload/sales.h"
 
@@ -665,6 +667,29 @@ TEST_F(ServiceTest, MetricsJsonIsWellFormed) {
         "\"query_stats\"", "\"hits\"", "\"misses\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+/// Regression: document and collection names land in MetricsJson as JSON
+/// string values, so a quote or backslash in a URI must come out escaped —
+/// before the JsonEscape fix this scrape was unparseable JSON.
+TEST_F(ServiceTest, MetricsJsonEscapesHostileNames) {
+  QueryService service(SmallService());
+  service.documents().Put("orders \"prod\"", SmallOrders());
+  service.documents().Put("back\\slash", SmallOrders());
+  DocumentPtr doc = ParseXml("<book><t>x</t></book>");
+  doc->SealOrder();
+  service.collections().Put("shelf \"a\"\x01", "uri.xml", doc);
+
+  std::string json = service.MetricsJson();
+  // Parseable despite the hostile names...
+  EXPECT_NO_THROW(ParseJsonDocument(json)) << json;
+  // ...because they were escaped, not emitted raw.
+  EXPECT_NE(json.find("orders \\\"prod\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos) << json;
+  EXPECT_NE(json.find("shelf \\\"a\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\u0001"), std::string::npos) << json;
+  // The raw control byte must not appear anywhere in the scrape.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
 }
 
 /// The tentpole's end-to-end concurrency scenario, run under TSan in CI:

@@ -1,0 +1,299 @@
+// Storage chaos (docs/STORAGE.md, docs/ROBUSTNESS.md): sweep every
+// storage.* fault site and assert the durability contract around each trip —
+//   1. a tripped write path (journal append, segment/manifest write) fails
+//      with the typed kXQSV0007 and leaves the store unchanged: the mutation
+//      or checkpoint simply did not happen;
+//   2. a tripped recovery read is absorbed by the retry and never changes
+//      the recovered corpus;
+//   3. after any trip the service stays serviceable, and killing it (no
+//      checkpoint, no clean close) then recovering yields a consistent
+//      corpus version with query results byte-identical to the live state.
+// The kill-recover suite drives the same guarantee without faults: recovery
+// after abandoning the service at any mutation boundary — including with a
+// torn journal tail — lands exactly on an acknowledged prefix state.
+// Requires -DXQA_FAULTS=ON for the sweep; kill-recover runs in any build.
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "base/fault_injection.h"
+#include "base/file_io.h"
+#include "service/query_service.h"
+#include "storage/format.h"
+#include "xml/xml_parser.h"
+
+namespace xqa {
+namespace {
+
+using service::CollectionStore;
+using service::QueryService;
+using service::Request;
+using service::Response;
+using service::ServiceOptions;
+
+std::string MakeTempDir(const std::string& name) {
+  std::string sanitized = name;
+  for (char& c : sanitized) {
+    if (c == '.') c = '_';
+  }
+  std::string dir = ::testing::TempDir() + "xqa_storage_chaos_" + sanitized;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+ServiceOptions DurableOptions(const std::string& dir) {
+  ServiceOptions options;
+  options.worker_threads = 2;
+  options.collection_shards = 4;
+  options.data_dir = dir;
+  options.storage_fsync = FsyncPolicy::kAlways;  // the durability contract
+  return options;
+}
+
+DocumentPtr Doc(const std::string& xml) {
+  DocumentPtr document = ParseXml(xml);
+  if (!document->sealed()) document->SealOrder();
+  return document;
+}
+
+std::string QueryCorpus(QueryService& service) {
+  Request request;
+  request.query =
+      "for $d in collection('books') return <t>{$d/book/t/text()}</t>";
+  request.provide_collections = true;
+  Response response = service.Execute(request);
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  return response.result;
+}
+
+void Seed(QueryService& service, int docs) {
+  for (int i = 0; i < docs; ++i) {
+    service.collections().Put(
+        "books", "seed" + std::to_string(i) + ".xml",
+        Doc("<book><t>seed" + std::to_string(i) + "</t></book>"));
+  }
+}
+
+class StorageChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::Enabled()) {
+      GTEST_SKIP() << "fault points compiled out; configure -DXQA_FAULTS=ON";
+    }
+    fault::Reset();
+  }
+  void TearDown() override {
+    if (fault::Enabled()) fault::Reset();
+  }
+};
+
+/// Record mode over the full durable lifecycle — mutate, checkpoint, close,
+/// recover — discovering every reachable storage.* site.
+std::vector<fault::SiteInfo> DiscoverStorageSites() {
+  fault::Reset();
+  std::string dir = MakeTempDir("record");
+  {
+    QueryService service(DurableOptions(dir));
+    Seed(service, 4);                                  // storage.journal_append
+    service.CheckpointStorage();  // segment_write, journal_append,
+                                  // manifest_write
+    service.collections().Remove("books", "seed0.xml");
+  }
+  {
+    QueryService service(DurableOptions(dir));  // storage.recover_read
+  }
+  std::vector<fault::SiteInfo> storage_sites;
+  for (const fault::SiteInfo& site : fault::Sites()) {
+    if (site.name.rfind("storage.", 0) == 0) storage_sites.push_back(site);
+  }
+  return storage_sites;
+}
+
+TEST_F(StorageChaosTest, SweepEveryStorageSite) {
+  std::vector<fault::SiteInfo> sites = DiscoverStorageSites();
+  std::vector<std::string> names;
+  for (const fault::SiteInfo& site : sites) names.push_back(site.name);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "storage.journal_append", "storage.manifest_write",
+                       "storage.recover_read", "storage.segment_write"}));
+
+  for (const fault::SiteInfo& site : sites) {
+    SCOPED_TRACE(site.name);
+    fault::Disarm();
+    std::string dir = MakeTempDir("sweep_" + site.name);
+
+    // Seed a generation on disk so recovery has segments and a journal.
+    {
+      QueryService service(DurableOptions(dir));
+      Seed(service, 6);
+      service.CheckpointStorage();
+      service.collections().Put("books", "post.xml",
+                                Doc("<book><t>post</t></book>"));
+    }
+
+    // Victim run with the site armed: recovery, a mutation, a checkpoint.
+    // Exactly one step may absorb the trip; it must fail with the typed
+    // error (or, for recover_read, be absorbed by the retry) and leave the
+    // store in a state recovery reproduces byte-identically.
+    fault::ArmSite(site.name, 1);
+    int typed_failures = 0;
+    std::string live_result;
+    uint64_t live_version = 0;
+    {
+      QueryService service(DurableOptions(dir));
+      try {
+        service.collections().Put("books", "victim.xml",
+                                  Doc("<book><t>victim</t></book>"));
+      } catch (const XQueryError& error) {
+        EXPECT_EQ(error.code(), ErrorCode::kXQSV0007);
+        ++typed_failures;
+      }
+      try {
+        service.CheckpointStorage();
+      } catch (const XQueryError& error) {
+        EXPECT_EQ(error.code(), ErrorCode::kXQSV0007);
+        ++typed_failures;
+      }
+      try {
+        std::vector<CollectionStore::BulkDocument> batch;
+        batch.push_back({"bulk.xml", "<book><t>bulk</t></book>"});
+        service.collections().BulkLoad("books", batch, 1);
+      } catch (const XQueryError& error) {
+        EXPECT_EQ(error.code(), ErrorCode::kXQSV0007);
+        ++typed_failures;
+      }
+      EXPECT_LE(typed_failures, 1);
+
+      // Liveness: with the fault spent, the service keeps accepting
+      // mutations and checkpoints.
+      fault::Disarm();
+      service.collections().Put("books", "alive.xml",
+                                Doc("<book><t>alive</t></book>"));
+      service.CheckpointStorage();
+      live_result = QueryCorpus(service);
+      live_version = service.collections().version();
+    }  // killed: no further checkpoint, no clean close
+
+    // Recovery must land exactly on the acknowledged live state.
+    QueryService recovered(DurableOptions(dir));
+    EXPECT_EQ(recovered.collections().version(), live_version);
+    EXPECT_EQ(QueryCorpus(recovered), live_result);
+    EXPECT_EQ(recovered.storage_recovery().segments_quarantined, 0u);
+  }
+}
+
+TEST_F(StorageChaosTest, FailedCheckpointLeavesPreviousGenerationServing) {
+  for (const char* site :
+       {"storage.segment_write", "storage.manifest_write"}) {
+    SCOPED_TRACE(site);
+    fault::Disarm();
+    std::string dir = MakeTempDir(std::string("ckpt_") + site);
+    std::string before;
+    uint64_t version = 0;
+    {
+      QueryService service(DurableOptions(dir));
+      Seed(service, 5);
+      service.CheckpointStorage();
+      service.collections().Put("books", "late.xml",
+                                Doc("<book><t>late</t></book>"));
+      before = QueryCorpus(service);
+      version = service.collections().version();
+
+      fault::ArmSite(site, 1);
+      EXPECT_THROW(service.CheckpointStorage(), XQueryError);
+      fault::Disarm();
+      // The live corpus is untouched by the failed checkpoint.
+      EXPECT_EQ(QueryCorpus(service), before);
+      EXPECT_EQ(service.collections().version(), version);
+    }
+    // And the on-disk state still recovers it: the old manifest, segments,
+    // and journal were never disturbed, and no partial generation-2 file is
+    // picked up.
+    QueryService recovered(DurableOptions(dir));
+    EXPECT_EQ(recovered.collections().version(), version);
+    EXPECT_EQ(QueryCorpus(recovered), before);
+    EXPECT_LE(recovered.storage()->manifest_seq(), 1u);
+  }
+}
+
+/// Kill-recover without faults: runs in every build (no XQA_FAULTS needed).
+/// The QueryService destructor does nothing for storage beyond closing file
+/// descriptors — there is no flush-on-close path — so dropping the service
+/// without a checkpoint exercises exactly what a kill -9 leaves behind:
+/// the last checkpoint plus the write-ahead journal.
+TEST(KillRecoverTest, RecoveryAtEveryMutationBoundaryIsByteIdentical) {
+  std::string dir = MakeTempDir("boundaries");
+  constexpr int kMutations = 6;
+  std::vector<std::string> results;
+  std::vector<uint64_t> versions;
+  {
+    QueryService service(DurableOptions(dir));
+    for (int i = 0; i < kMutations; ++i) {
+      if (i == 2) {
+        service.collections().Remove("books", "m0.xml");
+      } else {
+        service.collections().Put(
+            "books", "m" + std::to_string(i) + ".xml",
+            Doc("<book><t>m" + std::to_string(i) + "</t></book>"));
+      }
+      if (i == 3) service.CheckpointStorage();
+      results.push_back(QueryCorpus(service));
+      versions.push_back(service.collections().version());
+    }
+  }  // killed
+
+  QueryService recovered(DurableOptions(dir));
+  EXPECT_EQ(recovered.collections().version(), versions.back());
+  EXPECT_EQ(QueryCorpus(recovered), results.back());
+  EXPECT_TRUE(recovered.storage_recovery().manifest_found);
+}
+
+TEST(KillRecoverTest, TornTailLandsOnAnAcknowledgedPrefixState) {
+  // Capture the state after every mutation, kill, then tear the journal at
+  // descending sizes. Every recovery must land exactly on captured state
+  // #records_applied — never a blend, never a crash.
+  std::string dir = MakeTempDir("torn_prefix");
+  constexpr int kMutations = 5;
+  std::vector<std::string> results;
+  std::vector<uint64_t> versions;
+  {
+    QueryService service(DurableOptions(dir));
+    for (int i = 0; i < kMutations; ++i) {
+      service.collections().Put(
+          "books", "m" + std::to_string(i) + ".xml",
+          Doc("<book><t>m" + std::to_string(i) + "</t></book>"));
+      results.push_back(QueryCorpus(service));
+      versions.push_back(service.collections().version());
+    }
+  }
+
+  const std::string journal = dir + "/" + storage::JournalFileName(0);
+  const uint64_t full = FileSizeOf(journal);
+  // Chop 7 bytes at a time through the last two records' worth of tail.
+  for (uint64_t size = full - 7; size + 150 > full && size > 24; size -= 7) {
+    std::filesystem::resize_file(journal, size);
+    QueryService recovered(DurableOptions(dir));
+    const storage::RecoveryResult& recovery = recovered.storage_recovery();
+    size_t applied = recovery.journal_records_applied;
+    ASSERT_LE(applied, static_cast<size_t>(kMutations));
+    if (applied == 0) {
+      EXPECT_EQ(recovered.collections().size(), 0u);
+      EXPECT_EQ(recovered.collections().version(), 0u);
+    } else {
+      EXPECT_EQ(recovered.collections().version(), versions[applied - 1]);
+      EXPECT_EQ(QueryCorpus(recovered), results[applied - 1]);
+    }
+    // Recovery truncated the journal to the valid prefix; appends from the
+    // recovered service would resume there. Re-tear from the smaller size
+    // next iteration.
+  }
+}
+
+}  // namespace
+}  // namespace xqa
